@@ -1,0 +1,154 @@
+// A1 (ablation harness): the design choices inside our Bayesian optimizer,
+// each toggled independently on the 20-knob DBMS:
+//   - candidate pool size for acquisition maximization (64 / 512 / 2048);
+//   - local exploitation fraction around the incumbent (0 %, 30 %, 70 %);
+//   - surrogate refit cadence (every observation vs. every 5);
+//   - batch fantasy strategy (constant liar vs. kriging believer).
+// The point is to document which implementation choices the headline
+// results actually depend on.
+
+#include <memory>
+
+#include "bench_util.h"
+
+#include "common/check.h"
+#include "optimizers/bayesian.h"
+#include "sim/db_env.h"
+#include "surrogate/gaussian_process.h"
+
+namespace autotune {
+namespace {
+
+std::unique_ptr<Environment> MakeEnv(uint64_t seed) {
+  sim::DbEnvOptions options;
+  options.workload = workload::TpcC();
+  options.noise_seed = seed;
+  options.noise.run_noise_frac = 0.02;
+  options.noise.machine_speed_stddev = 0.0;
+  options.noise.outlier_machine_prob = 0.0;
+  return std::make_unique<sim::DbEnv>(options);
+}
+
+benchutil::OptFactory MakeVariant(BayesianOptimizerOptions options) {
+  return [options](const ConfigSpace* space, uint64_t seed) {
+    return std::make_unique<BayesianOptimizer>(
+        space, seed, GaussianProcess::MakeDefault(), options);
+  };
+}
+
+void Run() {
+  benchutil::PrintHeader(
+      "A1: BO implementation ablations", "design-choice ablations",
+      "refit cadence dominates (stale models hurt most); candidate pool "
+      "size and local fraction are second-order; constant liar batches "
+      "beat kriging believer on this surface");
+
+  const int kTrials = 40;
+  const int kSeeds = 5;
+
+  struct Variant {
+    const char* name;
+    BayesianOptimizerOptions options;
+  };
+  std::vector<Variant> variants;
+  {
+    Variant v{"default (512 cand, 30% local, refit=1)", {}};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"candidates=64", {}};
+    v.options.num_candidates = 64;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"candidates=2048", {}};
+    v.options.num_candidates = 2048;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"local_fraction=0 (global only)", {}};
+    v.options.local_fraction = 0.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"local_fraction=0.7 (mostly local)", {}};
+    v.options.local_fraction = 0.7;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"refit_every=5 (stale model)", {}};
+    v.options.refit_every = 5;
+    variants.push_back(v);
+  }
+
+  std::vector<benchutil::ConvergenceCurve> curves;
+  for (const Variant& variant : variants) {
+    curves.push_back(benchutil::RunConvergence(
+        variant.name, MakeEnv, MakeVariant(variant.options), kTrials,
+        kSeeds));
+  }
+  // ARD surrogate variant (per-dimension length scales).
+  curves.push_back(benchutil::RunConvergence(
+      "ard length scales", MakeEnv,
+      [](const ConfigSpace* space, uint64_t seed) {
+        GpOptions gp_options;
+        gp_options.fit_ard = true;
+        return std::make_unique<BayesianOptimizer>(
+            space, seed,
+            std::make_unique<GaussianProcess>(MakeMaternKernel(2.5, 0.3),
+                                              gp_options),
+            BayesianOptimizerOptions{});
+      },
+      kTrials, kSeeds));
+  std::printf("Median best P99 (ms) on simdb/tpcc by trial budget:\n");
+  Table table({"variant", "t=15", "t=25", "t=40"});
+  for (const auto& curve : curves) {
+    (void)table.AppendRow({curve.name,
+                           FormatDouble(curve.median_best[14], 5),
+                           FormatDouble(curve.median_best[24], 5),
+                           FormatDouble(curve.median_best[39], 5)});
+  }
+  benchutil::PrintTable(table);
+
+  // Batch-strategy ablation at batch size 4.
+  std::printf("batch fantasy strategy (12 rounds of k=4, median final):\n");
+  for (auto strategy :
+       {BayesianOptimizerOptions::BatchStrategy::kConstantLiar,
+        BayesianOptimizerOptions::BatchStrategy::kKrigingBeliever}) {
+    std::vector<double> finals;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      auto env = MakeEnv(seed);
+      TrialRunner runner(env.get(), TrialRunnerOptions{}, seed * 13);
+      BayesianOptimizerOptions options;
+      options.batch_strategy = strategy;
+      BayesianOptimizer bo(&env->space(), seed * 29,
+                           GaussianProcess::MakeDefault(), options);
+      double best = 1e18;
+      for (int round = 0; round < 12; ++round) {
+        auto batch = bo.SuggestBatch(4);
+        AUTOTUNE_CHECK(batch.ok());
+        for (const Configuration& config : *batch) {
+          Observation obs = runner.Evaluate(config);
+          if (!obs.failed) best = std::min(best, obs.objective);
+          AUTOTUNE_CHECK(bo.Observe(obs).ok());
+        }
+      }
+      finals.push_back(best);
+    }
+    std::printf(
+        "  %-18s %s ms\n",
+        strategy ==
+                BayesianOptimizerOptions::BatchStrategy::kConstantLiar
+            ? "constant-liar"
+            : "kriging-believer",
+        FormatDouble(Median(finals), 5).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace autotune
+
+int main() {
+  autotune::Run();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E2 (slides 31-37, 48): sample efficiency of Bayesian optimization.
+// GP-BO uses information from previous trials to pick the next
+// configuration and should reach the latency basin in far fewer trials
+// than grid or random search on the Redis example.
+
+#include <memory>
+
+#include "bench_util.h"
+#include "optimizers/bayesian.h"
+#include "optimizers/grid_search.h"
+#include "optimizers/random_search.h"
+#include "sim/redis_env.h"
+#include "surrogate/gaussian_process.h"
+
+namespace autotune {
+namespace {
+
+std::unique_ptr<Environment> MakeEnv(uint64_t seed) {
+  sim::RedisEnvOptions options;
+  options.noise_seed = seed;
+  return std::make_unique<sim::RedisEnv>(options);
+}
+
+void Run() {
+  benchutil::PrintHeader(
+      "E2: Bayesian optimization sample efficiency", "slides 31-37, 48",
+      "GP-BO with LCB/EI needs several-fold fewer trials than grid/random "
+      "to reach the basin");
+
+  const int kTrials = 40;
+  const int kSeeds = 7;
+  std::vector<benchutil::ConvergenceCurve> curves;
+  curves.push_back(benchutil::RunConvergence(
+      "bo-gp-ei", MakeEnv,
+      [](const ConfigSpace* space, uint64_t seed) {
+        return MakeGpBo(space, seed);
+      },
+      kTrials, kSeeds));
+  curves.push_back(benchutil::RunConvergence(
+      "bo-gp-lcb", MakeEnv,
+      [](const ConfigSpace* space, uint64_t seed) {
+        BayesianOptimizerOptions options;
+        options.acquisition = AcquisitionKind::kLowerConfidenceBound;
+        return std::make_unique<BayesianOptimizer>(
+            space, seed, GaussianProcess::MakeDefault(), options);
+      },
+      kTrials, kSeeds));
+  curves.push_back(benchutil::RunConvergence(
+      "random", MakeEnv,
+      [](const ConfigSpace* space, uint64_t seed) {
+        return std::make_unique<RandomSearch>(space, seed);
+      },
+      kTrials, kSeeds));
+  curves.push_back(benchutil::RunConvergence(
+      "grid", MakeEnv,
+      [](const ConfigSpace* space, uint64_t) {
+        return std::make_unique<GridSearch>(space, 4);
+      },
+      kTrials, kSeeds));
+
+  std::printf("Median best P99 latency (ms) by trial budget:\n");
+  benchutil::PrintConvergence(curves, {5, 10, 15, 20, 30, 40});
+  std::printf("\nSample efficiency (trials to reach P99 <= 0.72 ms):\n");
+  for (const auto& curve : curves) {
+    const int trials = benchutil::TrialsToReach(curve, 0.72);
+    std::printf("  %-10s %s\n", curve.name.c_str(),
+                trials < 0 ? "not reached"
+                           : std::to_string(trials).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace autotune
+
+int main() {
+  autotune::Run();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E4 (slides 47-48): acquisition functions trade exploration against
+// exploitation. PI exploits greedily, EI weighs the magnitude of
+// improvement, LCB's beta dials exploration explicitly, Thompson sampling
+// randomizes it. All should make progress; their profiles differ.
+
+#include <memory>
+
+#include "bench_util.h"
+#include "optimizers/bayesian.h"
+#include "sim/db_env.h"
+#include "surrogate/gaussian_process.h"
+
+namespace autotune {
+namespace {
+
+std::unique_ptr<Environment> MakeEnv(uint64_t seed) {
+  sim::DbEnvOptions options;
+  options.workload = workload::YcsbA();
+  options.noise_seed = seed;
+  options.noise.run_noise_frac = 0.02;
+  options.noise.machine_speed_stddev = 0.0;
+  options.noise.outlier_machine_prob = 0.0;
+  return std::make_unique<sim::DbEnv>(options);
+}
+
+benchutil::OptFactory MakeBo(AcquisitionKind kind, double beta) {
+  return [kind, beta](const ConfigSpace* space, uint64_t seed) {
+    BayesianOptimizerOptions options;
+    options.acquisition = kind;
+    options.acquisition_params.beta = beta;
+    return std::make_unique<BayesianOptimizer>(
+        space, seed, GaussianProcess::MakeDefault(), options);
+  };
+}
+
+void Run() {
+  benchutil::PrintHeader(
+      "E4: acquisition functions", "slides 47-48",
+      "PI/EI/LCB/TS all beat blind search; beta controls LCB's "
+      "explore-exploit balance (beta=0 can stall, huge beta over-explores)");
+
+  const int kTrials = 40;
+  const int kSeeds = 5;
+  std::vector<benchutil::ConvergenceCurve> curves;
+  curves.push_back(benchutil::RunConvergence(
+      "pi", MakeEnv,
+      MakeBo(AcquisitionKind::kProbabilityOfImprovement, 2.0), kTrials,
+      kSeeds));
+  curves.push_back(benchutil::RunConvergence(
+      "ei", MakeEnv, MakeBo(AcquisitionKind::kExpectedImprovement, 2.0),
+      kTrials, kSeeds));
+  curves.push_back(benchutil::RunConvergence(
+      "lcb-b0", MakeEnv,
+      MakeBo(AcquisitionKind::kLowerConfidenceBound, 0.0), kTrials, kSeeds));
+  curves.push_back(benchutil::RunConvergence(
+      "lcb-b2", MakeEnv,
+      MakeBo(AcquisitionKind::kLowerConfidenceBound, 2.0), kTrials, kSeeds));
+  curves.push_back(benchutil::RunConvergence(
+      "lcb-b8", MakeEnv,
+      MakeBo(AcquisitionKind::kLowerConfidenceBound, 8.0), kTrials, kSeeds));
+  curves.push_back(benchutil::RunConvergence(
+      "thompson", MakeEnv, MakeBo(AcquisitionKind::kThompsonSampling, 2.0),
+      kTrials, kSeeds));
+
+  std::printf("Median best P99 latency (ms) on simdb/ycsb-a:\n");
+  benchutil::PrintConvergence(curves, {10, 15, 20, 30, 40});
+}
+
+}  // namespace
+}  // namespace autotune
+
+int main() {
+  autotune::Run();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E5 (slide 50): alternative black-box optimizers — SMAC's random forest,
+// CMA-ES, and PSO versus GP-BO, simulated annealing, a genetic algorithm,
+// and random search, all on the 20-knob simulated DBMS. Expected shape:
+// model-guided methods (GP-BO, SMAC) are the most sample-efficient at this
+// budget; evolutionary methods need more trials but keep improving; random
+// trails everything.
+
+#include <memory>
+
+#include "bench_util.h"
+#include "optimizers/bayesian.h"
+#include "optimizers/cmaes.h"
+#include "optimizers/genetic.h"
+#include "optimizers/pso.h"
+#include "optimizers/random_search.h"
+#include "optimizers/simulated_annealing.h"
+#include "sim/db_env.h"
+
+namespace autotune {
+namespace {
+
+std::unique_ptr<Environment> MakeEnv(uint64_t seed) {
+  sim::DbEnvOptions options;
+  options.workload = workload::TpcC();
+  options.noise_seed = seed;
+  options.noise.run_noise_frac = 0.02;
+  options.noise.machine_speed_stddev = 0.0;
+  options.noise.outlier_machine_prob = 0.0;
+  return std::make_unique<sim::DbEnv>(options);
+}
+
+void Run() {
+  benchutil::PrintHeader(
+      "E5: optimizer shootout", "slide 50",
+      "GP-BO and SMAC are most sample-efficient; CMA-ES/PSO/GA improve "
+      "steadily; random search trails");
+
+  const int kTrials = 80;
+  const int kSeeds = 5;
+  std::vector<benchutil::ConvergenceCurve> curves;
+  curves.push_back(benchutil::RunConvergence(
+      "bo-gp", MakeEnv,
+      [](const ConfigSpace* space, uint64_t seed) {
+        return MakeGpBo(space, seed);
+      },
+      kTrials, kSeeds));
+  curves.push_back(benchutil::RunConvergence(
+      "smac-rf", MakeEnv,
+      [](const ConfigSpace* space, uint64_t seed) {
+        return MakeSmac(space, seed);
+      },
+      kTrials, kSeeds));
+  curves.push_back(benchutil::RunConvergence(
+      "cmaes", MakeEnv,
+      [](const ConfigSpace* space, uint64_t seed) {
+        return std::make_unique<CmaEsOptimizer>(space, seed);
+      },
+      kTrials, kSeeds));
+  curves.push_back(benchutil::RunConvergence(
+      "pso", MakeEnv,
+      [](const ConfigSpace* space, uint64_t seed) {
+        return std::make_unique<ParticleSwarmOptimizer>(space, seed);
+      },
+      kTrials, kSeeds));
+  curves.push_back(benchutil::RunConvergence(
+      "ga", MakeEnv,
+      [](const ConfigSpace* space, uint64_t seed) {
+        return std::make_unique<GeneticOptimizer>(space, seed);
+      },
+      kTrials, kSeeds));
+  curves.push_back(benchutil::RunConvergence(
+      "anneal", MakeEnv,
+      [](const ConfigSpace* space, uint64_t seed) {
+        return std::make_unique<SimulatedAnnealing>(space, seed);
+      },
+      kTrials, kSeeds));
+  curves.push_back(benchutil::RunConvergence(
+      "random", MakeEnv,
+      [](const ConfigSpace* space, uint64_t seed) {
+        return std::make_unique<RandomSearch>(space, seed);
+      },
+      kTrials, kSeeds));
+
+  std::printf("Median best P99 latency (ms) on simdb/tpcc:\n");
+  benchutil::PrintConvergence(curves, {10, 20, 40, 60, 80});
+}
+
+}  // namespace
+}  // namespace autotune
+
+int main() {
+  autotune::Run();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// E9 (slide 58): multi-objective optimization — latency vs. dollar cost on
+// the simulated DBMS. ParEGO (random Tchebycheff weights per iteration)
+// traces the whole Pareto frontier in one run; a fixed linear scalarization
+// converges to a single trade-off point. Hypervolume quantifies frontier
+// coverage.
+
+#include <memory>
+
+#include "bench_util.h"
+
+#include "common/check.h"
+#include "multiobj/parego.h"
+#include "multiobj/pareto.h"
+#include "sim/db_env.h"
+
+namespace autotune {
+namespace {
+
+// Latency (p99, ms) and cost (USD/hour), both minimized. Normalized to
+// roughly comparable scales for the reference point.
+Vector Objectives(sim::DbEnv* env, const Configuration& config) {
+  auto result = env->EvaluateModel(config, 1.0);
+  if (result.crashed) return {50.0, 1.0};
+  return {result.metrics.at("latency_p99_ms"),
+          result.metrics.at("cost_usd_per_hour") * 10.0};
+}
+
+void Run() {
+  benchutil::PrintHeader(
+      "E9: multi-objective latency vs cost", "slide 58",
+      "ParEGO covers the Pareto frontier (higher hypervolume, more "
+      "incomparable trade-offs); fixed linear weights converge to one "
+      "point");
+
+  const int kTrials = 60;
+  const int kSeeds = 5;
+  const Vector kReference = {50.0, 3.0};
+
+  Table table({"method", "median_hypervolume", "median_frontier_size"});
+  struct Entry {
+    const char* name;
+    std::function<std::unique_ptr<MultiObjectiveOptimizer>(
+        const ConfigSpace*, uint64_t)>
+        factory;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"parego",
+                     [](const ConfigSpace* space, uint64_t seed)
+                         -> std::unique_ptr<MultiObjectiveOptimizer> {
+                       return std::make_unique<ParEgoOptimizer>(space, seed,
+                                                                2);
+                     }});
+  entries.push_back({"linear-equal",
+                     [](const ConfigSpace* space, uint64_t seed)
+                         -> std::unique_ptr<MultiObjectiveOptimizer> {
+                       return std::make_unique<LinearScalarizationOptimizer>(
+                           space, seed, Vector{1.0, 1.0});
+                     }});
+  entries.push_back({"linear-latency",
+                     [](const ConfigSpace* space, uint64_t seed)
+                         -> std::unique_ptr<MultiObjectiveOptimizer> {
+                       return std::make_unique<LinearScalarizationOptimizer>(
+                           space, seed, Vector{9.0, 1.0});
+                     }});
+
+  for (const Entry& entry : entries) {
+    std::vector<double> hypervolumes;
+    std::vector<double> frontier_sizes;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      sim::DbEnvOptions options;
+      options.workload = workload::WebApp();
+      options.deterministic = true;
+      sim::DbEnv env(options);
+      auto optimizer = entry.factory(&env.space(), seed * 17);
+      for (int i = 0; i < kTrials; ++i) {
+        auto config = optimizer->Suggest();
+        if (!config.ok()) break;
+        Status status =
+            optimizer->Observe(*config, Objectives(&env, *config));
+        AUTOTUNE_CHECK(status.ok());
+      }
+      // Clip archive to points dominating the reference.
+      std::vector<Vector> clipped;
+      for (const auto& p : optimizer->archive().points()) {
+        if (p[0] < kReference[0] && p[1] < kReference[1]) {
+          clipped.push_back(p);
+        }
+      }
+      auto hv = Hypervolume2D(clipped, kReference);
+      hypervolumes.push_back(hv.ok() ? *hv : 0.0);
+      frontier_sizes.push_back(static_cast<double>(clipped.size()));
+    }
+    (void)table.AppendRow({entry.name,
+                           FormatDouble(Median(hypervolumes), 6),
+                           FormatDouble(Median(frontier_sizes), 3)});
+  }
+  benchutil::PrintTable(table);
+
+  // Show one ParEGO frontier explicitly (latency, cost pairs).
+  sim::DbEnvOptions options;
+  options.workload = workload::WebApp();
+  options.deterministic = true;
+  sim::DbEnv env(options);
+  ParEgoOptimizer parego(&env.space(), 99, 2);
+  for (int i = 0; i < kTrials; ++i) {
+    auto config = parego.Suggest();
+    if (!config.ok()) break;
+    Status status = parego.Observe(*config, Objectives(&env, *config));
+    AUTOTUNE_CHECK(status.ok());
+  }
+  std::printf("sample ParEGO frontier (latency_p99_ms, cost_usd_per_hour):\n");
+  for (const auto& p : parego.archive().points()) {
+    std::printf("  (%s, %s)\n", FormatDouble(p[0], 4).c_str(),
+                FormatDouble(p[1] / 10.0, 4).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace autotune
+
+int main() {
+  autotune::Run();
+  return 0;
+}

@@ -1,0 +1,140 @@
+// E10 (slides 65-66): multi-fidelity optimization. Screening with a cheap
+// benchmark (TPC-H SF1 instead of SF100) reaches a target quality at a
+// fraction of the cost — IF the cheap benchmark preserves the response
+// surface. The second table reproduces the slide-66 caveat: at a tiny
+// fidelity everything fits in memory, the buffer-pool knob stops
+// mattering, and promotion quality collapses.
+
+#include <memory>
+
+#include "bench_util.h"
+
+#include "fidelity/multi_fidelity.h"
+#include "optimizers/bayesian.h"
+#include "sim/db_env.h"
+
+namespace autotune {
+namespace {
+
+sim::DbEnvOptions EnvOptions(uint64_t seed) {
+  sim::DbEnvOptions options;
+  options.workload = workload::YcsbA();
+  options.noise_seed = seed;
+  options.noise.run_noise_frac = 0.02;
+  options.noise.machine_speed_stddev = 0.0;
+  options.noise.outlier_machine_prob = 0.0;
+  return options;
+}
+
+void Run() {
+  benchutil::PrintHeader(
+      "E10: multi-fidelity tuning", "slides 65-66",
+      "cheap screening + promotion reaches a good config at a fraction of "
+      "full-fidelity cost; too-cheap screening shifts knob importance and "
+      "degrades the promoted config");
+
+  const int kSeeds = 5;
+  Table table({"strategy", "median_best_p99_ms", "median_cost_s",
+               "hi_fi_trials"});
+
+  // Full-fidelity-only baseline: 20 trials at fidelity 1.
+  {
+    std::vector<double> bests;
+    std::vector<double> costs;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      sim::DbEnv env(EnvOptions(seed));
+      TrialRunner runner(&env, TrialRunnerOptions{}, seed * 3);
+      auto bo = MakeGpBo(&env.space(), seed * 5);
+      TuningLoopOptions loop;
+      loop.max_trials = 20;
+      TuningResult result = RunTuningLoop(bo.get(), &runner, loop);
+      bests.push_back(result.best.has_value() ? result.best->objective
+                                              : 1e18);
+      costs.push_back(result.total_cost);
+    }
+    (void)table.AppendRow({"full-fidelity-20", FormatDouble(Median(bests), 5),
+                           FormatDouble(Median(costs), 5), "20"});
+  }
+
+  // Multi-fidelity at several screening fidelities.
+  for (double low : {0.3, 0.1, 0.02}) {
+    std::vector<double> bests;
+    std::vector<double> costs;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      sim::DbEnv env(EnvOptions(seed));
+      TrialRunner runner(&env, TrialRunnerOptions{}, seed * 3);
+      auto bo = MakeGpBo(&env.space(), seed * 5);
+      MultiFidelityOptions options;
+      options.low_fidelity = low;
+      options.low_fidelity_trials = 40;
+      options.promote_top_k = 5;
+      auto result = RunMultiFidelityTuning(bo.get(), &runner, options);
+      bests.push_back(result.best.has_value() ? result.best->objective
+                                              : 1e18);
+      costs.push_back(result.total_cost);
+    }
+    (void)table.AppendRow(
+        {"screen@" + FormatDouble(low, 3) + "+promote5",
+         FormatDouble(Median(bests), 5), FormatDouble(Median(costs), 5),
+         "5"});
+  }
+  benchutil::PrintTable(table);
+
+  // The slide-66 caveat, directly: how well does the cheap benchmark RANK
+  // configurations relative to the full one? Spearman rank correlation
+  // between objective at the screening fidelity and at fidelity 1 over a
+  // fixed random config set. Low correlation = knowledge not transferable.
+  Table corr({"screen_fidelity", "rank_correlation_with_full"});
+  sim::DbEnvOptions det = EnvOptions(1);
+  det.deterministic = true;
+  sim::DbEnv env(det);
+  Rng rng(7);
+  std::vector<Configuration> probes;
+  for (int i = 0; i < 120; ++i) {
+    Configuration c = env.space().Sample(&rng);
+    if (!env.EvaluateModel(c, 1.0).crashed &&
+        !env.EvaluateModel(c, 0.02).crashed) {
+      probes.push_back(std::move(c));
+    }
+  }
+  std::vector<double> full_values;
+  for (const auto& c : probes) {
+    full_values.push_back(
+        env.EvaluateModel(c, 1.0).metrics.at("latency_p99_ms"));
+  }
+  auto ranks = [](const std::vector<double>& values) {
+    std::vector<size_t> order(values.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&values](size_t a, size_t b) {
+      return values[a] < values[b];
+    });
+    std::vector<double> r(values.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      r[order[i]] = static_cast<double>(i);
+    }
+    return r;
+  };
+  const std::vector<double> full_ranks = ranks(full_values);
+  for (double fidelity : {0.5, 0.3, 0.1, 0.02}) {
+    std::vector<double> low_values;
+    for (const auto& c : probes) {
+      low_values.push_back(
+          env.EvaluateModel(c, fidelity).metrics.at("latency_p99_ms"));
+    }
+    const double rho =
+        PearsonCorrelation(ranks(low_values), full_ranks);
+    (void)corr.AppendRow(
+        {FormatDouble(fidelity, 3), FormatDouble(rho, 4)});
+  }
+  std::printf("rank agreement between screening and full fidelity\n"
+              "(the transferability caveat of slide 66):\n");
+  benchutil::PrintTable(corr);
+}
+
+}  // namespace
+}  // namespace autotune
+
+int main() {
+  autotune::Run();
+  return 0;
+}

@@ -1,0 +1,141 @@
+// E11 (slide 67): knowledge transfer. Warm-starting a tuner with the good
+// samples of a prior session on a similar workload makes the new session
+// cheaper; replaying crashed configs everywhere ("if it crashes the
+// system, probably always does") avoids re-exploring the crash region.
+
+#include <memory>
+
+#include "bench_util.h"
+
+#include "common/check.h"
+#include "optimizers/bayesian.h"
+#include "sim/db_env.h"
+#include "transfer/knowledge_base.h"
+
+namespace autotune {
+namespace {
+
+sim::DbEnvOptions EnvOptions(const workload::Workload& w, uint64_t seed) {
+  sim::DbEnvOptions options;
+  options.workload = w;
+  options.noise_seed = seed;
+  options.noise.run_noise_frac = 0.02;
+  options.noise.machine_speed_stddev = 0.0;
+  options.noise.outlier_machine_prob = 0.0;
+  return options;
+}
+
+// Records a tuning session on `past_workload` and rebuilds its trials in
+// `target_space` so they can warm-start a new optimizer there.
+transfer::TuningSession RecordSession(const workload::Workload& w,
+                                      const ConfigSpace* target_space,
+                                      int trials, uint64_t seed) {
+  sim::DbEnv env(EnvOptions(w, seed));
+  TrialRunner runner(&env, TrialRunnerOptions{}, seed * 7);
+  auto bo = MakeGpBo(&env.space(), seed * 11);
+  TuningLoopOptions loop;
+  loop.max_trials = trials;
+  TuningResult result = RunTuningLoop(bo.get(), &runner, loop);
+  transfer::TuningSession session;
+  session.workload_label = w.name;
+  for (const Observation& obs : result.history) {
+    std::vector<std::pair<std::string, ParamValue>> values;
+    for (size_t i = 0; i < env.space().size(); ++i) {
+      values.emplace_back(env.space().param(i).name(),
+                          obs.config.ValueAt(i));
+    }
+    auto rebuilt = target_space->Make(values);
+    AUTOTUNE_CHECK(rebuilt.ok());
+    Observation transferred(*rebuilt, obs.objective);
+    transferred.failed = obs.failed;
+    session.trials.push_back(std::move(transferred));
+  }
+  return session;
+}
+
+void Run() {
+  benchutil::PrintHeader(
+      "E11: knowledge transfer / warm start", "slide 67",
+      "warm start from a similar workload reaches the same quality in "
+      "fewer fresh trials; transferring from a DISSIMILAR workload helps "
+      "less (or hurts)");
+
+  const int kFreshTrials = 15;
+  const int kSeeds = 5;
+  Table table({"strategy", "median_best_p99_after_15_fresh_trials"});
+
+  struct Entry {
+    const char* name;
+    const workload::Workload source;  // Session to transfer from.
+    bool use_transfer;
+  };
+  const std::vector<Entry> entries = {
+      {"cold-start", workload::YcsbA(), false},
+      {"warm-from-similar(ycsb-b)", workload::YcsbB(), true},
+      {"warm-from-dissimilar(tpch)", workload::TpcH(), true},
+  };
+
+  for (const Entry& entry : entries) {
+    std::vector<double> bests;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      sim::DbEnv env(EnvOptions(workload::YcsbA(), seed));
+      TrialRunner runner(&env, TrialRunnerOptions{}, seed * 13);
+      auto bo = MakeGpBo(&env.space(), seed * 17);
+      if (entry.use_transfer) {
+        transfer::KnowledgeBase kb;
+        kb.AddSession(
+            RecordSession(entry.source, &env.space(), 40, seed * 19));
+        transfer::WarmStartPolicy policy;
+        policy.good_samples = 10;
+        auto replayed = kb.WarmStart(0, policy, bo.get());
+        AUTOTUNE_CHECK(replayed.ok());
+      }
+      TuningLoopOptions loop;
+      loop.max_trials = kFreshTrials;
+      TuningResult result = RunTuningLoop(bo.get(), &runner, loop);
+      // Count only what THIS context evaluated.
+      double best = 1e18;
+      for (const auto& obs : result.history) {
+        if (!obs.failed) best = std::min(best, obs.objective);
+      }
+      bests.push_back(best);
+    }
+    (void)table.AppendRow({entry.name, FormatDouble(Median(bests), 5)});
+  }
+  benchutil::PrintTable(table);
+
+  // Crash-region avoidance: replaying bad samples cuts fresh crashes.
+  std::printf("crash avoidance (bad-sample replay):\n");
+  for (bool replay_bad : {false, true}) {
+    int crashes = 0;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      sim::DbEnv env(EnvOptions(workload::YcsbA(), seed));
+      TrialRunner runner(&env, TrialRunnerOptions{}, seed * 23);
+      auto bo = MakeGpBo(&env.space(), seed * 29);
+      transfer::KnowledgeBase kb;
+      kb.AddSession(
+          RecordSession(workload::YcsbB(), &env.space(), 60, seed * 31));
+      transfer::WarmStartPolicy policy;
+      policy.good_samples = 10;
+      policy.replay_bad_samples = replay_bad;
+      auto replayed = kb.WarmStart(0, policy, bo.get());
+      AUTOTUNE_CHECK(replayed.ok());
+      TuningLoopOptions loop;
+      loop.max_trials = 25;
+      TuningResult result = RunTuningLoop(bo.get(), &runner, loop);
+      for (const auto& obs : result.history) {
+        if (obs.failed) ++crashes;
+      }
+    }
+    std::printf("  replay_bad=%d: %d fresh crashes over %d seeds\n",
+                replay_bad ? 1 : 0, crashes, kSeeds);
+  }
+}
+
+}  // namespace
+}  // namespace autotune
+
+int main() {
+  autotune::Run();
+  return 0;
+}

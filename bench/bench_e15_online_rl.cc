@@ -1,0 +1,167 @@
+// E15 (slides 76-84): online tuning under workload shift. A static config
+// tuned offline for the OLD workload degrades when the workload changes; a
+// Q-learning agent (CDBTune/QTune family) keeps adjusting runtime knobs
+// and recovers; a contextual hybrid bandit (OPPerTune-style) recovers
+// fastest once its context signal flips.
+
+#include <memory>
+
+#include "bench_util.h"
+
+#include "common/check.h"
+#include "optimizers/bayesian.h"
+#include "rl/contextual_bandit.h"
+#include "rl/online_agent.h"
+#include "sim/db_env.h"
+
+namespace autotune {
+namespace {
+
+sim::DbEnvOptions EnvOptions(uint64_t seed) {
+  sim::DbEnvOptions options;
+  options.workload = workload::YcsbB();  // Starts read-heavy.
+  options.noise_seed = seed;
+  options.noise.run_noise_frac = 0.03;
+  options.noise.machine_speed_stddev = 0.0;
+  options.noise.outlier_machine_prob = 0.0;
+  return options;
+}
+
+const int kTotalSteps = 500;
+const int kShiftStep = 250;  // Workload flips to write-heavy TPCC here.
+
+void MaybeShift(sim::DbEnv* env, int step) {
+  if (step == kShiftStep) env->set_workload(workload::TpcC());
+}
+
+// Offline-tuned static config for the INITIAL workload.
+Configuration TuneOffline(sim::DbEnv* env, uint64_t seed) {
+  TrialRunner runner(env, TrialRunnerOptions{}, seed * 3);
+  auto bo = MakeGpBo(&env->space(), seed * 5);
+  TuningLoopOptions loop;
+  loop.max_trials = 40;
+  TuningResult result = RunTuningLoop(bo.get(), &runner, loop);
+  AUTOTUNE_CHECK(result.best.has_value());
+  return result.best->config;
+}
+
+double ObjectiveOf(sim::DbEnv* env, const Configuration& config, Rng* rng) {
+  auto result = env->Run(config, 1.0, rng);
+  return result.crashed ? 1e3 : result.metrics.at("latency_p99_ms");
+}
+
+struct Phases {
+  double before = 0.0;  // Mean P99 in the 100 steps before the shift.
+  double after = 0.0;   // Mean P99 in the last 100 steps.
+};
+
+Phases RunStatic(uint64_t seed) {
+  sim::DbEnv env(EnvOptions(seed));
+  const Configuration tuned = TuneOffline(&env, seed);
+  Rng rng(seed * 7);
+  std::vector<double> before, after;
+  for (int step = 0; step < kTotalSteps; ++step) {
+    MaybeShift(&env, step);
+    const double p99 = ObjectiveOf(&env, tuned, &rng);
+    if (step >= kShiftStep - 100 && step < kShiftStep) {
+      before.push_back(p99);
+    }
+    if (step >= kTotalSteps - 100) after.push_back(p99);
+  }
+  return {Mean(before), Mean(after)};
+}
+
+Phases RunQLearning(uint64_t seed) {
+  sim::DbEnv env(EnvOptions(seed));
+  rl::OnlineAgentOptions options;
+  options.knobs = {"buffer_pool_mb", "worker_threads", "log_buffer_kb",
+                   "work_mem_kb"};
+  options.context_metric = "io_util";  // Distinguishes the workloads.
+  options.rl.epsilon = 0.25;
+  rl::OnlineTuningAgent agent(&env, options, seed * 11);
+  std::vector<double> before, after;
+  for (int step = 0; step < kTotalSteps; ++step) {
+    MaybeShift(&env, step);
+    const auto result = agent.Step();
+    if (step >= kShiftStep - 100 && step < kShiftStep) {
+      before.push_back(result.objective);
+    }
+    if (step >= kTotalSteps - 100) after.push_back(result.objective);
+  }
+  return {Mean(before), Mean(after)};
+}
+
+Phases RunContextualBandit(uint64_t seed) {
+  sim::DbEnv env(EnvOptions(seed));
+  // Arms: a handful of candidate configs spanning the regimes.
+  Rng arm_rng(seed * 13);
+  std::vector<Configuration> arms;
+  for (int i = 0; i < 8; ++i) {
+    auto config = env.space().SampleFeasible(&arm_rng);
+    AUTOTUNE_CHECK(config.ok());
+    arms.push_back(std::move(config).value());
+  }
+  arms.push_back(env.space().Default());
+  rl::ContextualBandit bandit(&env.space(), seed * 17, arms,
+                              /*num_contexts=*/2);
+  Rng rng(seed * 19);
+  std::vector<double> before, after;
+  for (int step = 0; step < kTotalSteps; ++step) {
+    MaybeShift(&env, step);
+    // Context router: the workload's write share is observable upstream
+    // (OPPerTune's AutoScoper uses job type + RPS).
+    const size_t context = env.workload().read_ratio > 0.6 ? 0 : 1;
+    auto config = bandit.Suggest(context);
+    AUTOTUNE_CHECK(config.ok());
+    const double p99 = ObjectiveOf(&env, *config, &rng);
+    Status status = bandit.Observe(context, *config, p99);
+    AUTOTUNE_CHECK(status.ok());
+    if (step >= kShiftStep - 100 && step < kShiftStep) {
+      before.push_back(p99);
+    }
+    if (step >= kTotalSteps - 100) after.push_back(p99);
+  }
+  return {Mean(before), Mean(after)};
+}
+
+void Run() {
+  benchutil::PrintHeader(
+      "E15: online tuning under workload shift", "slides 76-84",
+      "static offline config degrades after the shift; Q-learning agent "
+      "and contextual bandit adapt and recover");
+
+  const int kSeeds = 5;
+  Table table({"strategy", "p99_before_shift", "p99_steady_after_shift",
+               "degradation"});
+  struct Entry {
+    const char* name;
+    Phases (*run)(uint64_t);
+  };
+  const Entry entries[] = {
+      {"static-offline", RunStatic},
+      {"qlearning-agent", RunQLearning},
+      {"contextual-bandit", RunContextualBandit},
+  };
+  for (const Entry& entry : entries) {
+    std::vector<double> before, after;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      Phases p = entry.run(seed);
+      before.push_back(p.before);
+      after.push_back(p.after);
+    }
+    const double b = Median(before);
+    const double a = Median(after);
+    (void)table.AppendRow({entry.name, FormatDouble(b, 5),
+                           FormatDouble(a, 5),
+                           FormatDouble(a / b, 4) + "x"});
+  }
+  benchutil::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace autotune
+
+int main() {
+  autotune::Run();
+  return 0;
+}

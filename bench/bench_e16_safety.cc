@@ -1,0 +1,100 @@
+// E16 (slide 84): avoiding performance regressions during online
+// exploration. An unguarded agent explores freely and racks up SLA
+// violations; wrapping it with a guardrail (rollback to the trusted
+// baseline after consecutive regressions) cuts violations sharply at a
+// small cost in final quality.
+
+#include <memory>
+
+#include "bench_util.h"
+
+#include "common/check.h"
+#include "rl/online_agent.h"
+#include "sim/db_env.h"
+
+namespace autotune {
+namespace {
+
+sim::DbEnvOptions EnvOptions(uint64_t seed) {
+  sim::DbEnvOptions options;
+  options.workload = workload::YcsbA();
+  options.noise_seed = seed;
+  options.noise.run_noise_frac = 0.03;
+  options.noise.machine_speed_stddev = 0.0;
+  options.noise.outlier_machine_prob = 0.0;
+  return options;
+}
+
+struct SafetyRun {
+  int violations = 0;   // Steps with P99 above the SLA.
+  int rollbacks = 0;
+  double final_p99 = 0.0;
+};
+
+SafetyRun RunAgent(bool guarded, uint64_t seed) {
+  sim::DbEnv env(EnvOptions(seed));
+  rl::OnlineAgentOptions options;
+  options.knobs = {"buffer_pool_mb", "worker_threads", "work_mem_kb"};
+  options.rl.epsilon = 0.5;  // Aggressive exploration to stress safety.
+  options.rl.epsilon_decay = 0.999;
+  rl::OnlineTuningAgent agent(&env, options, seed * 3);
+
+  // SLA: the default config's P99 times 1.5.
+  Rng rng(seed * 5);
+  const double baseline =
+      env.EvaluateModel(env.space().Default(), 1.0)
+          .metrics.at("latency_p99_ms");
+  const double sla = baseline * 1.5;
+  rl::GuardrailOptions guard_options;
+  guard_options.regression_threshold = 1.5;
+  guard_options.window = 2;
+  rl::SafetyGuardrail guardrail(baseline, guard_options);
+
+  SafetyRun out;
+  std::vector<double> tail;
+  const int kSteps = 300;
+  for (int step = 0; step < kSteps; ++step) {
+    const auto result = agent.Step();
+    if (result.objective > sla) ++out.violations;
+    if (guarded && guardrail.ShouldRollback(result.objective)) {
+      agent.ResetTo(env.space().Default());
+      ++out.rollbacks;
+    }
+    if (step >= kSteps - 50) tail.push_back(result.objective);
+  }
+  out.final_p99 = Mean(tail);
+  return out;
+}
+
+void Run() {
+  benchutil::PrintHeader(
+      "E16: safety guardrails for online tuning", "slide 84",
+      "the guardrail cuts SLA violations sharply during exploration, at a "
+      "small cost in converged quality");
+
+  const int kSeeds = 7;
+  Table table({"mode", "median_sla_violations", "median_rollbacks",
+               "median_final_p99_ms"});
+  for (bool guarded : {false, true}) {
+    std::vector<double> violations, rollbacks, finals;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      SafetyRun run = RunAgent(guarded, seed);
+      violations.push_back(run.violations);
+      rollbacks.push_back(run.rollbacks);
+      finals.push_back(run.final_p99);
+    }
+    (void)table.AppendRow({guarded ? "guarded" : "unguarded",
+                           FormatDouble(Median(violations), 4),
+                           FormatDouble(Median(rollbacks), 4),
+                           FormatDouble(Median(finals), 5)});
+  }
+  benchutil::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace autotune
+
+int main() {
+  autotune::Run();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// E17 (slides 88-92): workload identification. Embed telemetry of the
+// standard workload families, identify an unseen customer workload by
+// nearest neighbor, and reuse the matched family's tuned config. Expected
+// shape: identification accuracy is high; reusing the matched config
+// recovers most of the gap between the default and a from-scratch tuning
+// session, at zero additional trials.
+
+#include <memory>
+
+#include "bench_util.h"
+
+#include "common/check.h"
+#include "optimizers/bayesian.h"
+#include "sim/db_env.h"
+#include "workload/embedding.h"
+#include "workload/identification.h"
+#include "workload/telemetry.h"
+
+namespace autotune {
+namespace {
+
+sim::DbEnvOptions EnvOptions(const workload::Workload& w) {
+  sim::DbEnvOptions options;
+  options.workload = w;
+  options.deterministic = true;
+  return options;
+}
+
+// Offline-tunes a family and returns the best config's VALUES by name (so
+// they can be applied to another env instance).
+std::vector<std::pair<std::string, ParamValue>> TuneFamily(
+    const workload::Workload& w, uint64_t seed) {
+  sim::DbEnv env(EnvOptions(w));
+  TrialRunner runner(&env, TrialRunnerOptions{}, seed);
+  auto bo = MakeGpBo(&env.space(), seed * 3);
+  TuningLoopOptions loop;
+  loop.max_trials = 50;
+  TuningResult result = RunTuningLoop(bo.get(), &runner, loop);
+  AUTOTUNE_CHECK(result.best.has_value());
+  std::vector<std::pair<std::string, ParamValue>> values;
+  for (size_t i = 0; i < env.space().size(); ++i) {
+    values.emplace_back(env.space().param(i).name(),
+                        result.best->config.ValueAt(i));
+  }
+  return values;
+}
+
+void Run() {
+  benchutil::PrintHeader(
+      "E17: workload identification & config reuse", "slides 88-92",
+      "nearest-neighbor identification over telemetry embeddings is "
+      "accurate; reusing the matched family's config closes most of the "
+      "default-to-tuned gap with zero new trials");
+
+  Rng rng(5);
+  const auto families = workload::StandardWorkloads();
+  workload::TelemetryOptions telemetry_options;
+  telemetry_options.noise_frac = 0.08;
+
+  // 1. Train the embedder + identifier on the families.
+  std::vector<Vector> corpus;
+  std::vector<std::string> labels;
+  for (const auto& family : families) {
+    for (int i = 0; i < 6; ++i) {
+      corpus.push_back(workload::ExtractFeatures(
+          workload::GenerateTelemetry(family, telemetry_options, &rng)));
+      labels.push_back(family.name);
+    }
+  }
+  auto embedder = workload::WorkloadEmbedder::Fit(corpus, 12, &rng);
+  AUTOTUNE_CHECK(embedder.ok());
+  workload::WorkloadIdentifier identifier;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    identifier.AddExemplar(labels[i], embedder->Embed(corpus[i]));
+  }
+
+  // 2. Identification accuracy on perturbed customers.
+  int correct = 0;
+  int total = 0;
+  for (const auto& family : families) {
+    for (int i = 0; i < 8; ++i) {
+      const workload::Workload customer =
+          workload::PerturbWorkload(family, 0.07, &rng);
+      const Vector query = embedder->Embed(workload::ExtractFeatures(
+          workload::GenerateTelemetry(customer, telemetry_options, &rng)));
+      auto match = identifier.Identify(query);
+      AUTOTUNE_CHECK(match.ok());
+      if (match->label == family.name) ++correct;
+      ++total;
+    }
+  }
+  std::printf("identification accuracy: %d/%d = %.1f%%\n", correct, total,
+              100.0 * correct / total);
+
+  // 3. Config-reuse payoff on one customer workload per family.
+  std::printf("\nconfig reuse (P99 ms on the CUSTOMER workload):\n");
+  Table table({"customer_of", "identified_as", "default", "reused_config",
+               "tuned_from_scratch"});
+  std::map<std::string, std::vector<std::pair<std::string, ParamValue>>>
+      tuned_configs;
+  for (const auto& family : families) {
+    tuned_configs[family.name] = TuneFamily(family, 11);
+  }
+  for (const auto& family : families) {
+    const workload::Workload customer =
+        workload::PerturbWorkload(family, 0.07, &rng);
+    const Vector query = embedder->Embed(workload::ExtractFeatures(
+        workload::GenerateTelemetry(customer, telemetry_options, &rng)));
+    auto match = identifier.Identify(query);
+    AUTOTUNE_CHECK(match.ok());
+
+    sim::DbEnv env(EnvOptions(customer));
+    const double default_p99 =
+        env.EvaluateModel(env.space().Default(), 1.0)
+            .metrics.at("latency_p99_ms");
+    auto reused = env.space().Make(tuned_configs[match->label]);
+    AUTOTUNE_CHECK(reused.ok());
+    auto reused_result = env.EvaluateModel(*reused, 1.0);
+    const double reused_p99 =
+        reused_result.crashed ? -1.0
+                              : reused_result.metrics.at("latency_p99_ms");
+    // From-scratch tuning on the customer itself (the upper bound).
+    auto scratch_values = TuneFamily(customer, 13);
+    auto scratch = env.space().Make(scratch_values);
+    AUTOTUNE_CHECK(scratch.ok());
+    const double scratch_p99 =
+        env.EvaluateModel(*scratch, 1.0).metrics.at("latency_p99_ms");
+    (void)table.AppendRow({family.name, match->label,
+                           FormatDouble(default_p99, 5),
+                           reused_p99 < 0 ? "crashed"
+                                          : FormatDouble(reused_p99, 5),
+                           FormatDouble(scratch_p99, 5)});
+  }
+  benchutil::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace autotune
+
+int main() {
+  autotune::Run();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E19 (slide 20): combining offline and online tuning. Offline tuning
+// finds a strong static config for the lab workload; online fine-tuning
+// from that starting point tracks the (slightly different, drifting)
+// production workload. Expected shape: offline-then-online beats both
+// offline-only (can't adapt) and online-only (wastes production steps
+// exploring from the default).
+
+#include <memory>
+
+#include "bench_util.h"
+
+#include "common/check.h"
+#include "optimizers/bayesian.h"
+#include "rl/online_agent.h"
+#include "sim/db_env.h"
+
+namespace autotune {
+namespace {
+
+// Production workload: like the lab's YCSB-A but perturbed and slowly
+// drifting toward more writes over the run.
+workload::Workload ProductionAt(int step, int total, Rng* rng) {
+  static workload::Workload base = [] {
+    Rng init(424242);
+    return workload::PerturbWorkload(workload::YcsbA(), 0.1, &init);
+  }();
+  (void)rng;
+  const double t = static_cast<double>(step) / total;
+  return workload::BlendWorkloads(base, workload::TpcC(), 0.5 * t);
+}
+
+sim::DbEnvOptions EnvOptions(uint64_t seed) {
+  sim::DbEnvOptions options;
+  options.workload = workload::YcsbA();  // The "lab" workload.
+  options.noise_seed = seed;
+  options.noise.run_noise_frac = 0.03;
+  options.noise.machine_speed_stddev = 0.0;
+  options.noise.outlier_machine_prob = 0.0;
+  return options;
+}
+
+Configuration OfflineTune(sim::DbEnv* env, uint64_t seed) {
+  TrialRunner runner(env, TrialRunnerOptions{}, seed * 3);
+  auto bo = MakeGpBo(&env->space(), seed * 5);
+  TuningLoopOptions loop;
+  loop.max_trials = 50;
+  TuningResult result = RunTuningLoop(bo.get(), &runner, loop);
+  AUTOTUNE_CHECK(result.best.has_value());
+  return result.best->config;
+}
+
+const int kProdSteps = 400;
+
+// Returns mean production P99 over the final 100 steps.
+double RunStrategy(const std::string& strategy, uint64_t seed) {
+  sim::DbEnv env(EnvOptions(seed));
+  std::optional<Configuration> offline_config;
+  if (strategy != "online-only") {
+    offline_config = OfflineTune(&env, seed);  // Lab phase.
+  }
+  // Production phase.
+  rl::OnlineAgentOptions agent_options;
+  agent_options.knobs = {"buffer_pool_mb", "worker_threads",
+                         "log_buffer_kb", "work_mem_kb"};
+  agent_options.context_metric = "io_util";
+  rl::OnlineTuningAgent agent(&env, agent_options, seed * 7);
+  if (offline_config.has_value()) {
+    agent.ResetTo(*offline_config);  // Warm start from the lab config.
+  }
+  Rng rng(seed * 11);
+  std::vector<double> tail;
+  for (int step = 0; step < kProdSteps; ++step) {
+    env.set_workload(ProductionAt(step, kProdSteps, &rng));
+    double p99;
+    if (strategy == "offline-only") {
+      auto result = env.Run(*offline_config, 1.0, &rng);
+      p99 = result.crashed ? 1e3 : result.metrics.at("latency_p99_ms");
+    } else {
+      p99 = agent.Step().objective;
+    }
+    if (step >= kProdSteps - 100) tail.push_back(p99);
+  }
+  return Mean(tail);
+}
+
+void Run() {
+  benchutil::PrintHeader(
+      "E19: offline + online combination", "slide 20",
+      "start from offline-tuned defaults, fine-tune online: beats "
+      "offline-only (static under drift) and online-only (starts from "
+      "scratch in production)");
+
+  const int kSeeds = 5;
+  Table table({"strategy", "median_prod_p99_final100"});
+  for (const std::string strategy :
+       {"offline-only", "online-only", "offline-then-online"}) {
+    std::vector<double> values;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      values.push_back(RunStrategy(strategy, seed));
+    }
+    (void)table.AppendRow({strategy, FormatDouble(Median(values), 5)});
+  }
+  benchutil::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace autotune
+
+int main() {
+  autotune::Run();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// E25 (slide 61): structured search spaces — "exploit the independence
+// structure of the tunable parameters: if jit=off, ignore the JIT
+// parameters". Our treatment imputes inactive conditional knobs with their
+// defaults before encoding, so configurations that differ only in dead
+// knobs look identical to the surrogate. This ablation turns the
+// imputation off (dead-knob values leak into the features as noise
+// dimensions) on a space with a deep conditional subtree, where the
+// structure matters most.
+
+#include <memory>
+
+#include "bench_util.h"
+
+#include "common/check.h"
+#include "optimizers/bayesian.h"
+#include "surrogate/gaussian_process.h"
+
+namespace autotune {
+namespace {
+
+// A synthetic "query engine" with a large conditional subtree: when
+// jit=off, five jit_* knobs are inactive; the objective depends on x and,
+// when jit is on, on getting the jit knobs right.
+struct StructuredProblem {
+  StructuredProblem() {
+    space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+    space.AddOrDie(ParameterSpec::Bool("jit"));
+    for (int i = 0; i < 5; ++i) {
+      ParameterSpec knob =
+          *ParameterSpec::Float("jit_k" + std::to_string(i), 0.0, 1.0);
+      knob.WithCondition("jit", {"true"});
+      space.AddOrDie(std::move(knob));
+    }
+  }
+
+  double Evaluate(const Configuration& config) const {
+    const double x = config.GetDouble("x");
+    double value = (x - 0.3) * (x - 0.3) + 0.5;
+    if (config.GetBool("jit")) {
+      // JIT pays off only if its five knobs are all tuned near 0.7.
+      double misfit = 0.0;
+      for (int i = 0; i < 5; ++i) {
+        const double k = config.GetDouble("jit_k" + std::to_string(i));
+        misfit += (k - 0.7) * (k - 0.7);
+      }
+      value += -0.4 + misfit;
+    }
+    return value;
+  }
+
+  ConfigSpace space;
+};
+
+double RunBo(bool impute, uint64_t seed, int trials) {
+  StructuredProblem problem;
+  BayesianOptimizerOptions options;
+  options.impute_inactive = impute;
+  BayesianOptimizer bo(&problem.space, seed, GaussianProcess::MakeDefault(),
+                       options);
+  double best = 1e18;
+  for (int i = 0; i < trials; ++i) {
+    auto config = bo.Suggest();
+    AUTOTUNE_CHECK(config.ok());
+    const double objective = problem.Evaluate(*config);
+    best = std::min(best, objective);
+    Status status = bo.Observe(Observation(*config, objective));
+    AUTOTUNE_CHECK(status.ok());
+  }
+  return best;
+}
+
+void Run() {
+  benchutil::PrintHeader(
+      "E25: structured (conditional) search spaces", "slide 61",
+      "imputing inactive conditional knobs (jit=off => ignore jit_*) "
+      "de-noises the surrogate; the ablation without imputation learns "
+      "slower on a space with a 5-knob conditional subtree");
+
+  const int kSeeds = 9;
+  Table table({"budget", "with_imputation", "without_imputation"});
+  for (int trials : {20, 40, 60}) {
+    std::vector<double> with_imp, without_imp;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      with_imp.push_back(RunBo(true, seed, trials));
+      without_imp.push_back(RunBo(false, seed, trials));
+    }
+    (void)table.AppendRow({std::to_string(trials),
+                           FormatDouble(Median(with_imp), 5),
+                           FormatDouble(Median(without_imp), 5)});
+  }
+  benchutil::PrintTable(table);
+  std::printf("global optimum: 0.1 (jit=on, all jit_k*=0.7, x=0.3); "
+              "best without JIT: 0.5\n");
+}
+
+}  // namespace
+}  // namespace autotune
+
+int main() {
+  autotune::Run();
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Microbenchmarks (google-benchmark) for the framework's hot paths: the
+// per-suggestion costs an adopter pays — GP fit/predict scaling with
+// observation count, RF fit, space sampling/encoding, CMA-ES generation
+// updates, and Pareto archive maintenance. These are about the OPTIMIZER's
+// overhead, not the target system's; run in Release mode for meaningful
+// numbers.
+
+#include <cmath>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "multiobj/pareto.h"
+#include "optimizers/bayesian.h"
+#include "optimizers/cmaes.h"
+#include "sim/db_env.h"
+#include "space/encoding.h"
+#include "surrogate/gaussian_process.h"
+#include "surrogate/random_forest.h"
+
+namespace autotune {
+namespace {
+
+void MakeRegressionData(size_t n, size_t dim, std::vector<Vector>* xs,
+                        Vector* ys) {
+  Rng rng(42);
+  xs->clear();
+  ys->clear();
+  for (size_t i = 0; i < n; ++i) {
+    Vector x(dim);
+    for (auto& v : x) v = rng.Uniform();
+    double y = 0.0;
+    for (size_t d = 0; d < dim; ++d) y += std::sin(3.0 * x[d]);
+    ys->push_back(y + rng.Normal(0, 0.05));
+    xs->push_back(std::move(x));
+  }
+}
+
+void BM_GpFit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Vector> xs;
+  Vector ys;
+  MakeRegressionData(n, 8, &xs, &ys);
+  for (auto _ : state) {
+    auto gp = GaussianProcess::MakeDefault();
+    benchmark::DoNotOptimize(gp->Fit(xs, ys).ok());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GpFit)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Complexity();
+
+void BM_GpPredict(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Vector> xs;
+  Vector ys;
+  MakeRegressionData(n, 8, &xs, &ys);
+  auto gp = GaussianProcess::MakeDefault();
+  if (!gp->Fit(xs, ys).ok()) state.SkipWithError("fit failed");
+  Rng rng(7);
+  Vector query(8);
+  for (auto _ : state) {
+    for (auto& v : query) v = rng.Uniform();
+    benchmark::DoNotOptimize(gp->Predict(query));
+  }
+}
+BENCHMARK(BM_GpPredict)->Arg(50)->Arg(200);
+
+void BM_RandomForestFit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Vector> xs;
+  Vector ys;
+  MakeRegressionData(n, 8, &xs, &ys);
+  for (auto _ : state) {
+    RandomForestSurrogate rf;
+    benchmark::DoNotOptimize(rf.Fit(xs, ys).ok());
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Arg(100)->Arg(400);
+
+void BM_SpaceSampleAndEncode(benchmark::State& state) {
+  sim::DbEnvOptions options;
+  options.deterministic = true;
+  sim::DbEnv env(options);
+  SpaceEncoder encoder(&env.space(),
+                       SpaceEncoder::CategoricalMode::kOrdinal);
+  Rng rng(3);
+  for (auto _ : state) {
+    Configuration config = env.space().Sample(&rng);
+    benchmark::DoNotOptimize(encoder.Encode(config));
+  }
+}
+BENCHMARK(BM_SpaceSampleAndEncode);
+
+void BM_DbModelEvaluate(benchmark::State& state) {
+  sim::DbEnvOptions options;
+  options.deterministic = true;
+  sim::DbEnv env(options);
+  Rng rng(5);
+  Configuration config = env.space().Sample(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.EvaluateModel(config, 1.0));
+  }
+}
+BENCHMARK(BM_DbModelEvaluate);
+
+void BM_BoSuggest(benchmark::State& state) {
+  // Cost of one model-guided suggestion at 40 observations on 20 knobs.
+  sim::DbEnvOptions options;
+  options.deterministic = true;
+  sim::DbEnv env(options);
+  auto bo = MakeGpBo(&env.space(), 11);
+  Rng rng(13);
+  for (int i = 0; i < 40; ++i) {
+    auto config = bo->Suggest();
+    if (!config.ok()) break;
+    auto result = env.EvaluateModel(*config, 1.0);
+    Observation obs(*config,
+                    result.crashed ? 1e6
+                                   : result.metrics.at("latency_p99_ms"));
+    obs.failed = result.crashed;
+    (void)bo->Observe(obs);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bo->Suggest());
+  }
+}
+BENCHMARK(BM_BoSuggest);
+
+void BM_CmaEsGeneration(benchmark::State& state) {
+  ConfigSpace space;
+  for (int i = 0; i < 20; ++i) {
+    space.AddOrDie(ParameterSpec::Float("x" + std::to_string(i), 0, 1));
+  }
+  CmaEsOptimizer cmaes(&space, 17);
+  Rng rng(19);
+  for (auto _ : state) {
+    auto config = cmaes.Suggest();
+    if (!config.ok()) continue;
+    (void)cmaes.Observe(Observation(*config, rng.Uniform()));
+  }
+}
+BENCHMARK(BM_CmaEsGeneration);
+
+void BM_ParetoArchiveInsert(benchmark::State& state) {
+  Rng rng(23);
+  ParetoArchive archive;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        archive.Insert({rng.Uniform(), rng.Uniform(), rng.Uniform()}));
+  }
+}
+BENCHMARK(BM_ParetoArchiveInsert);
+
+}  // namespace
+}  // namespace autotune
+
+BENCHMARK_MAIN();

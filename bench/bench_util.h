@@ -1,0 +1,126 @@
+#ifndef AUTOTUNE_BENCH_BENCH_UTIL_H_
+#define AUTOTUNE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/environment.h"
+#include "core/optimizer.h"
+#include "core/trial_runner.h"
+#include "core/tuning_loop.h"
+#include "math/stats.h"
+
+namespace autotune {
+namespace benchutil {
+
+/// Prints the experiment banner: id, tutorial slide, and the qualitative
+/// claim the run is expected to reproduce.
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& slide,
+                        const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s  (%s)\n", experiment.c_str(), slide.c_str());
+  std::printf("Claim: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintTable(const Table& table) {
+  std::printf("%s\n", table.ToPrettyString().c_str());
+}
+
+/// Factory types: a fresh environment / optimizer per seed so runs are
+/// independent.
+using EnvFactory = std::function<std::unique_ptr<Environment>(uint64_t seed)>;
+using OptFactory = std::function<std::unique_ptr<Optimizer>(
+    const ConfigSpace* space, uint64_t seed)>;
+
+/// One optimizer's convergence data: the median (across seeds) of the
+/// best-objective-so-far after each trial.
+struct ConvergenceCurve {
+  std::string name;
+  std::vector<double> median_best;  ///< Indexed by trial (0-based).
+  double median_final = 0.0;
+  double median_cost = 0.0;
+};
+
+/// Runs `optimizer_factory` against `env_factory` for `num_seeds`
+/// independent repetitions of `trials` trials each and aggregates the
+/// convergence curves by the median.
+inline ConvergenceCurve RunConvergence(const std::string& name,
+                                       const EnvFactory& env_factory,
+                                       const OptFactory& optimizer_factory,
+                                       int trials, int num_seeds,
+                                       TrialRunnerOptions runner_options =
+                                           TrialRunnerOptions()) {
+  std::vector<std::vector<double>> curves;
+  std::vector<double> finals;
+  std::vector<double> costs;
+  for (uint64_t seed = 1; seed <= static_cast<uint64_t>(num_seeds); ++seed) {
+    std::unique_ptr<Environment> env = env_factory(seed);
+    TrialRunner runner(env.get(), runner_options, seed * 1337);
+    std::unique_ptr<Optimizer> optimizer =
+        optimizer_factory(&env->space(), seed * 7919);
+    TuningLoopOptions loop;
+    loop.max_trials = trials;
+    TuningResult result = RunTuningLoop(optimizer.get(), &runner, loop);
+    // Pad short runs (e.g. exhausted grids) with their final value.
+    std::vector<double> curve = result.best_so_far;
+    while (curve.size() < static_cast<size_t>(trials)) {
+      curve.push_back(curve.empty() ? 0.0 : curve.back());
+    }
+    curves.push_back(std::move(curve));
+    finals.push_back(result.best.has_value() ? result.best->objective : 0.0);
+    costs.push_back(result.total_cost);
+  }
+  ConvergenceCurve out;
+  out.name = name;
+  out.median_best.resize(static_cast<size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> at_t;
+    at_t.reserve(curves.size());
+    for (const auto& curve : curves) {
+      at_t.push_back(curve[static_cast<size_t>(t)]);
+    }
+    out.median_best[static_cast<size_t>(t)] = Median(at_t);
+  }
+  out.median_final = Median(finals);
+  out.median_cost = Median(costs);
+  return out;
+}
+
+/// Prints curves side by side at the given trial checkpoints.
+inline void PrintConvergence(const std::vector<ConvergenceCurve>& curves,
+                             const std::vector<int>& checkpoints) {
+  std::vector<std::string> columns = {"trials"};
+  for (const auto& curve : curves) columns.push_back(curve.name);
+  Table table(columns);
+  for (int checkpoint : checkpoints) {
+    std::vector<std::string> row = {std::to_string(checkpoint)};
+    for (const auto& curve : curves) {
+      const size_t index = static_cast<size_t>(checkpoint) - 1;
+      row.push_back(index < curve.median_best.size()
+                        ? FormatDouble(curve.median_best[index], 5)
+                        : "-");
+    }
+    Status status = table.AppendRow(std::move(row));
+    (void)status;
+  }
+  PrintTable(table);
+}
+
+/// Trials needed (median curve) to reach `target`; -1 if never reached.
+inline int TrialsToReach(const ConvergenceCurve& curve, double target) {
+  for (size_t t = 0; t < curve.median_best.size(); ++t) {
+    if (curve.median_best[t] <= target) return static_cast<int>(t) + 1;
+  }
+  return -1;
+}
+
+}  // namespace benchutil
+}  // namespace autotune
+
+#endif  // AUTOTUNE_BENCH_BENCH_UTIL_H_

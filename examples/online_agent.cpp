@@ -1,0 +1,78 @@
+// Online tuning in "production": a Q-learning agent adjusts runtime knobs
+// while the workload shifts underneath it, with a safety guardrail that
+// rolls back to the trusted baseline after consecutive SLA regressions
+// (tutorial slides 76-84).
+//
+// Build & run:  ./build/examples/online_agent
+
+#include <cstdio>
+
+#include "rl/online_agent.h"
+#include "sim/db_env.h"
+
+using namespace autotune;  // NOLINT: example brevity.
+
+int main() {
+  sim::DbEnvOptions env_options;
+  env_options.workload = workload::YcsbB();  // Starts read-heavy.
+  env_options.noise.run_noise_frac = 0.03;
+  sim::DbEnv env(env_options);
+
+  rl::OnlineAgentOptions agent_options;
+  agent_options.knobs = {"buffer_pool_mb", "worker_threads",
+                         "log_buffer_kb", "work_mem_kb"};
+  agent_options.context_metric = "io_util";  // Workload signal.
+  rl::OnlineTuningAgent agent(&env, agent_options, /*seed=*/17);
+
+  const double baseline_p99 =
+      env.EvaluateModel(env.space().Default(), 1.0)
+          .metrics.at("latency_p99_ms");
+  rl::GuardrailOptions guard_options;
+  guard_options.regression_threshold = 2.0;
+  guard_options.window = 3;
+  rl::SafetyGuardrail guardrail(baseline_p99, guard_options);
+
+  std::printf("baseline P99 %.3f ms; guardrail at %.3f ms\n\n",
+              baseline_p99, baseline_p99 * 2.0);
+
+  const int kSteps = 400;
+  const int kShiftAt = 200;
+  double window_sum = 0.0;
+  int window_count = 0;
+  for (int step = 0; step < kSteps; ++step) {
+    if (step == kShiftAt) {
+      env.set_workload(workload::TpcC());  // Production shift!
+      // Re-baseline the guardrail: the old SLA is meaningless under the
+      // new workload (in production this follows a shift-detection alarm,
+      // see workload::ShiftDetector).
+      const double new_baseline =
+          env.EvaluateModel(env.space().Default(), 1.0)
+              .metrics.at("latency_p99_ms");
+      guardrail.UpdateBaseline(new_baseline);
+      std::printf("--- step %d: workload shifts ycsb-b -> tpcc; guardrail "
+                  "re-baselined to %.2f ms ---\n",
+                  step, new_baseline * 2.0);
+    }
+    const auto result = agent.Step();
+    window_sum += result.objective;
+    ++window_count;
+    if (guardrail.ShouldRollback(result.objective)) {
+      agent.ResetTo(env.space().Default());
+      std::printf("step %3d: GUARDRAIL rollback to baseline (P99 %.2f)\n",
+                  step, result.objective);
+    }
+    if ((step + 1) % 50 == 0) {
+      std::printf("steps %3d-%3d: mean P99 %.3f ms, epsilon %.3f\n",
+                  step - window_count + 2, step + 1,
+                  window_sum / window_count, agent.q_agent().epsilon());
+      window_sum = 0.0;
+      window_count = 0;
+    }
+  }
+  std::printf(
+      "\ndone: %d steps, %d regressions seen, %d rollbacks\n"
+      "final deployed config: %s\n",
+      agent.steps(), guardrail.regressions(), guardrail.rollbacks(),
+      agent.current_config().ToString().c_str());
+  return 0;
+}

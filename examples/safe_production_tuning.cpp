@@ -1,0 +1,74 @@
+// Safe production tuning (tutorial slides 82-84): an OnlineTune-style
+// optimizer tunes a live Nginx-class web server IN PRODUCTION — contextual
+// features in the surrogate, a trust region around the incumbent, and a
+// confidence-bound safety gate that falls back to the incumbent when no
+// candidate is provably safe.
+//
+// Build & run:  ./build/examples/safe_production_tuning
+
+#include <cstdio>
+
+#include "rl/online_tune.h"
+#include "sim/nginx_env.h"
+
+using namespace autotune;  // NOLINT: example brevity.
+
+int main() {
+  sim::NginxEnvOptions env_options;
+  env_options.noise.run_noise_frac = 0.04;
+  sim::NginxEnv env(env_options);
+
+  // The trusted starting point: production's current config (the shipped
+  // defaults) and its measured P95.
+  const Configuration baseline = env.space().Default();
+  const double baseline_p95 =
+      env.EvaluateModel(baseline, 1.0).metrics.at("latency_p95_ms");
+  std::printf("production baseline: P95 %.2f ms (%zu knobs)\n",
+              baseline_p95, env.space().size());
+
+  rl::OnlineTuneOptions options;
+  options.safety_threshold = 1.25;  // Tight SLO: never 25%% worse.
+  rl::OnlineTuneOptimizer tuner(&env.space(), /*seed=*/7,
+                                /*context_dim=*/1, options);
+  tuner.SetBaseline(baseline, baseline_p95);
+
+  Rng rng(11);
+  double cpu_util = 0.5;  // The context signal: current CPU utilization.
+  double worst_seen = 0.0;
+  const int kSteps = 120;
+  for (int step = 0; step < kSteps; ++step) {
+    auto config = tuner.Suggest({cpu_util});
+    if (!config.ok()) {
+      std::fprintf(stderr, "suggest: %s\n",
+                   config.status().ToString().c_str());
+      return 1;
+    }
+    auto result = env.Run(*config, 1.0, &rng);
+    const double p95 = result.metrics.at("latency_p95_ms");
+    cpu_util = result.metrics.at("cpu_util");
+    worst_seen = std::max(worst_seen, p95);
+    if (!tuner.Observe(*config, {cpu_util}, p95).ok()) return 1;
+    if ((step + 1) % 30 == 0) {
+      std::printf(
+          "step %3d: incumbent P95 %.2f ms, trust region %.3f, "
+          "%d unsafe candidates rejected, %d safe no-ops\n",
+          step + 1,
+          env.EvaluateModel(tuner.incumbent(), 1.0)
+              .metrics.at("latency_p95_ms"),
+          tuner.trust_region(), tuner.suggestions_rejected_unsafe(),
+          tuner.fallbacks_to_incumbent());
+    }
+  }
+
+  const double final_p95 = env.EvaluateModel(tuner.incumbent(), 1.0)
+                               .metrics.at("latency_p95_ms");
+  std::printf(
+      "\nafter %d live steps: P95 %.2f -> %.2f ms (%.1fx better)\n"
+      "worst single observation during tuning: %.2f ms "
+      "(SLO was %.2f ms)\n"
+      "final config: %s\n",
+      kSteps, baseline_p95, final_p95, baseline_p95 / final_p95,
+      worst_seen, baseline_p95 * options.safety_threshold,
+      tuner.incumbent().ToString().c_str());
+  return 0;
+}

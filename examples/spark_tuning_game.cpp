@@ -1,0 +1,104 @@
+// The "Spark tuning game" of tutorial slide 14: minimize TPC-H Q1 runtime,
+// limit 100 tries. The tutorial has the audience play by hand; here three
+// players compete under the game's rules on the simulated Spark job:
+//
+//   the novice     — random configurations (no strategy);
+//   the expert     — follows rules of thumb, then hill-climbs locally
+//                    (a decent human with Spark experience);
+//   the autotuner  — GP Bayesian optimization.
+//
+// Build & run:  ./build/examples/spark_tuning_game
+
+#include <algorithm>
+#include <cstdio>
+
+#include "optimizers/bayesian.h"
+#include "optimizers/random_search.h"
+#include "optimizers/simulated_annealing.h"
+#include "sim/spark_env.h"
+
+using namespace autotune;  // NOLINT: example brevity.
+
+namespace {
+
+constexpr int kTries = 100;
+
+double Play(sim::SparkEnv* env, Optimizer* player, Rng* rng) {
+  double best = 1e18;
+  for (int attempt = 0; attempt < kTries; ++attempt) {
+    auto config = player->Suggest();
+    if (!config.ok()) break;
+    auto result = env->Run(*config, 1.0, rng);
+    const double runtime =
+        result.crashed ? 3600.0 : result.metrics.at("runtime_s");
+    best = std::min(best, runtime);
+    Observation obs(*config, runtime);
+    obs.failed = result.crashed;
+    if (!player->Observe(obs).ok()) break;
+  }
+  return best;
+}
+
+// The "expert": starts from community rules of thumb and explores nearby
+// (simulated annealing seeded at the rule-of-thumb config).
+double PlayExpert(sim::SparkEnv* env, Rng* rng) {
+  auto rule_of_thumb = env->space().Make({
+      {"executor_count", ParamValue(int64_t{16})},
+      {"executor_cores", ParamValue(int64_t{4})},
+      {"executor_memory_mb", ParamValue(int64_t{8192})},
+      {"shuffle_partitions", ParamValue(int64_t{128})},
+      {"serializer", ParamValue(std::string("kryo"))},
+  });
+  if (!rule_of_thumb.ok()) return 1e18;
+  SimulatedAnnealing annealer(&env->space(), 23);
+  // Seed the walk at the rule-of-thumb config.
+  auto first = env->Run(*rule_of_thumb, 1.0, rng);
+  double best = first.crashed ? 3600.0 : first.metrics.at("runtime_s");
+  Observation seed_obs(*rule_of_thumb, best);
+  seed_obs.failed = first.crashed;
+  if (!annealer.Observe(seed_obs).ok()) return 1e18;
+  for (int attempt = 1; attempt < kTries; ++attempt) {
+    auto config = annealer.Suggest();
+    if (!config.ok()) break;
+    auto result = env->Run(*config, 1.0, rng);
+    const double runtime =
+        result.crashed ? 3600.0 : result.metrics.at("runtime_s");
+    best = std::min(best, runtime);
+    Observation obs(*config, runtime);
+    obs.failed = result.crashed;
+    if (!annealer.Observe(obs).ok()) break;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== the spark tuning game (slide 14) ===\n");
+  std::printf("goal: minimize TPC-H-Q1-like runtime, %d tries each\n\n",
+              kTries);
+
+  sim::SparkEnvOptions options;
+  options.noise.run_noise_frac = 0.03;
+  sim::SparkEnv env(options);
+  Rng rng(2025);
+
+  const auto default_result =
+      env.EvaluateModel(env.space().Default(), 1.0);
+  std::printf("shipped defaults: %.1f s\n",
+              default_result.metrics.at("runtime_s"));
+
+  RandomSearch novice(&env.space(), 7);
+  const double novice_best = Play(&env, &novice, &rng);
+  std::printf("the novice (random):        best %.1f s\n", novice_best);
+
+  const double expert_best = PlayExpert(&env, &rng);
+  std::printf("the expert (rules + local): best %.1f s\n", expert_best);
+
+  auto bo = MakeGpBo(&env.space(), 11);
+  const double bo_best = Play(&env, bo.get(), &rng);
+  std::printf("the autotuner (GP-BO):      best %.1f s\n", bo_best);
+
+  std::printf("\npost your best perf number in the chat ;)\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Workload identification + knowledge transfer (tutorial slides 67,
+// 88-92): build a knowledge base of tuned workload families, identify an
+// unknown customer workload from its telemetry, deploy the matched
+// family's config immediately, then fine-tune from that warm start.
+//
+// Build & run:  ./build/examples/workload_advisor
+
+#include <cstdio>
+#include <map>
+
+#include "core/trial_runner.h"
+#include "core/tuning_loop.h"
+#include "optimizers/bayesian.h"
+#include "sim/db_env.h"
+#include "transfer/knowledge_base.h"
+#include "workload/embedding.h"
+#include "workload/identification.h"
+#include "workload/telemetry.h"
+
+using namespace autotune;  // NOLINT: example brevity.
+
+namespace {
+
+sim::DbEnvOptions EnvOptions(const workload::Workload& w) {
+  sim::DbEnvOptions options;
+  options.workload = w;
+  options.deterministic = true;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(21);
+  const auto families = workload::StandardWorkloads();
+  workload::TelemetryOptions telemetry_options;
+
+  // ---- Phase 1: build the library (offline, once). -----------------------
+  std::printf("phase 1: tuning %zu workload families offline...\n",
+              families.size());
+  std::vector<Vector> corpus;
+  std::vector<std::string> labels;
+  for (const auto& family : families) {
+    for (int i = 0; i < 6; ++i) {
+      corpus.push_back(workload::ExtractFeatures(
+          workload::GenerateTelemetry(family, telemetry_options, &rng)));
+      labels.push_back(family.name);
+    }
+  }
+  auto embedder = workload::WorkloadEmbedder::Fit(corpus, 12, &rng);
+  if (!embedder.ok()) return 1;
+  workload::WorkloadIdentifier identifier;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    identifier.AddExemplar(labels[i], embedder->Embed(corpus[i]));
+  }
+
+  std::map<std::string, std::vector<std::pair<std::string, ParamValue>>>
+      tuned;
+  for (const auto& family : families) {
+    sim::DbEnv env(EnvOptions(family));
+    TrialRunner runner(&env, TrialRunnerOptions{}, 5);
+    auto bo = MakeGpBo(&env.space(), 9);
+    TuningLoopOptions loop;
+    loop.max_trials = 50;
+    TuningResult result = RunTuningLoop(bo.get(), &runner, loop);
+    if (!result.best.has_value()) return 1;
+    std::vector<std::pair<std::string, ParamValue>> values;
+    for (size_t i = 0; i < env.space().size(); ++i) {
+      values.emplace_back(env.space().param(i).name(),
+                          result.best->config.ValueAt(i));
+    }
+    tuned[family.name] = values;
+    std::printf("  %-8s tuned: best P99 %.3f ms\n", family.name.c_str(),
+                result.best->objective);
+  }
+
+  // ---- Phase 2: an unknown customer shows up. -----------------------------
+  const workload::Workload customer =
+      workload::PerturbWorkload(workload::TpcC(), 0.08, &rng);
+  std::printf("\nphase 2: unknown customer arrives (truly %s-like)\n",
+              "tpcc");
+  const Vector query = embedder->Embed(workload::ExtractFeatures(
+      workload::GenerateTelemetry(customer, telemetry_options, &rng)));
+  auto match = identifier.Identify(query);
+  if (!match.ok()) return 1;
+  std::printf("identified as '%s' (embedding distance %.3f)\n",
+              match->label.c_str(), match->distance);
+
+  // ---- Phase 3: deploy the matched config, then fine-tune. ----------------
+  sim::DbEnv env(EnvOptions(customer));
+  const double default_p99 = env.EvaluateModel(env.space().Default(), 1.0)
+                                 .metrics.at("latency_p99_ms");
+  auto reused = env.space().Make(tuned[match->label]);
+  if (!reused.ok()) return 1;
+  const double reused_p99 =
+      env.EvaluateModel(*reused, 1.0).metrics.at("latency_p99_ms");
+  std::printf("\nphase 3: default P99 %.2f ms -> reused config %.3f ms "
+              "(zero trials)\n",
+              default_p99, reused_p99);
+
+  // Fine-tune with a small fresh budget, warm-started from the match.
+  auto bo = MakeGpBo(&env.space(), 23);
+  Observation warm(*reused, reused_p99);
+  if (!bo->Observe(warm).ok()) return 1;
+  TrialRunner runner(&env, TrialRunnerOptions{}, 25);
+  TuningLoopOptions loop;
+  loop.max_trials = 15;
+  TuningResult result = RunTuningLoop(bo.get(), &runner, loop);
+  if (result.best.has_value()) {
+    const double fine_p99 = env.EvaluateModel(result.best->config, 1.0)
+                                .metrics.at("latency_p99_ms");
+    std::printf("after 15 fine-tuning trials: %.3f ms\n", fine_p99);
+  }
+  return 0;
+}

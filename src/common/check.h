@@ -1,0 +1,28 @@
+#ifndef AUTOTUNE_COMMON_CHECK_H_
+#define AUTOTUNE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Assertion macros for programmer errors (invariant violations). Unlike
+/// `Status`, which reports expected runtime failures to callers, a failed
+/// CHECK indicates a bug and aborts the process. Enabled in all build modes.
+#define AUTOTUNE_CHECK(cond)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define AUTOTUNE_CHECK_MSG(cond, msg)                                     \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#endif  // AUTOTUNE_COMMON_CHECK_H_

@@ -1,0 +1,49 @@
+#ifndef AUTOTUNE_COMMON_LOG_H_
+#define AUTOTUNE_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace autotune {
+
+/// Log severity, ordered by increasing importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that gets emitted (default: kWarning, so library
+/// internals stay quiet unless something is wrong).
+void SetLogLevel(LogLevel level);
+
+/// Current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal_log {
+
+/// Stream-style log sink; writes one line to stderr on destruction if the
+/// message level passes the global threshold.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+}  // namespace autotune
+
+#define AUTOTUNE_LOG(level)                                       \
+  ::autotune::internal_log::LogMessage(::autotune::LogLevel::level, \
+                                       __FILE__, __LINE__)
+
+#endif  // AUTOTUNE_COMMON_LOG_H_

@@ -1,0 +1,187 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+
+namespace {
+
+// SplitMix64: expands a single seed into well-distributed state words.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  AUTOTUNE_CHECK(lo <= hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  AUTOTUNE_CHECK(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(NextUint64());  // Full range.
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t value = NextUint64();
+  while (value >= limit) value = NextUint64();
+  return lo + static_cast<int64_t>(value % range);
+}
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = Uniform();
+  double u2 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  spare_normal_ = radius * std::sin(angle);
+  has_spare_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  AUTOTUNE_CHECK(stddev >= 0.0);
+  return mean + stddev * Normal();
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+double Rng::Exponential(double lambda) {
+  AUTOTUNE_CHECK(lambda > 0.0);
+  double u = Uniform();
+  while (u <= 1e-300) u = Uniform();
+  return -std::log(u) / lambda;
+}
+
+double Rng::Gamma(double shape, double scale) {
+  AUTOTUNE_CHECK(shape > 0.0);
+  AUTOTUNE_CHECK(scale > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape + 1 and correct with a uniform power (Marsaglia-Tsang).
+    const double u = std::max(Uniform(), 1e-300);
+    return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = Normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = Uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (std::log(std::max(u, 1e-300)) <
+        0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return Uniform() < p;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  AUTOTUNE_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    AUTOTUNE_CHECK(w >= 0.0);
+    total += w;
+  }
+  if (total <= 0.0) return weights.size() - 1;
+  double target = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  AUTOTUNE_CHECK(n > 0);
+  AUTOTUNE_CHECK(s >= 0.0);
+  if (n == 1) return 0;
+  if (s == 0.0) return static_cast<size_t>(UniformInt(0, n - 1));
+  // Rejection-inversion sampling (Hormann & Derflinger). Harmonic integral
+  // H(x) = ((x)^(1-s) - 1) / (1-s) for s != 1, log(x) for s == 1.
+  const double sm1 = 1.0 - s;
+  auto h_integral = [&](double x) {
+    const double lx = std::log(x);
+    if (std::abs(sm1) < 1e-12) return lx;
+    return std::expm1(sm1 * lx) / sm1;
+  };
+  auto h_integral_inv = [&](double y) {
+    if (std::abs(sm1) < 1e-12) return std::exp(y);
+    return std::exp(std::log1p(y * sm1) / sm1);
+  };
+  auto h = [&](double x) { return std::exp(-s * std::log(x)); };
+  const double hx0 = h_integral(static_cast<double>(n) + 0.5);
+  const double hx1 = h_integral(1.5) - 1.0;
+  for (;;) {
+    const double u = hx1 + Uniform() * (hx0 - hx1);
+    const double x = h_integral_inv(u);
+    double k = std::floor(x + 0.5);
+    k = std::clamp(k, 1.0, static_cast<double>(n));
+    if (k - x <= 1.0 - (h_integral(k + 0.5) - h(k)) ||
+        u >= h_integral(k + 0.5) - h(k)) {
+      return static_cast<size_t>(k) - 1;
+    }
+  }
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  AUTOTUNE_CHECK(k <= n);
+  // Floyd's algorithm would avoid materializing [0, n); n is small in all of
+  // our uses, so a partial shuffle keeps it simple.
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = static_cast<size_t>(
+        UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(n) - 1));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace autotune

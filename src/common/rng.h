@@ -1,0 +1,88 @@
+#ifndef AUTOTUNE_COMMON_RNG_H_
+#define AUTOTUNE_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace autotune {
+
+/// Deterministic pseudo-random number generator (xoshiro256++) with the
+/// distribution helpers the tuning stack needs. All randomness in the library
+/// flows through explicitly seeded `Rng` instances so experiments are
+/// reproducible; use `Fork()` to derive independent substreams for parallel
+/// components.
+class Rng {
+ public:
+  /// Seeds the generator. Two instances with the same seed produce identical
+  /// streams.
+  explicit Rng(uint64_t seed);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, 1).
+  double Uniform();
+
+  /// Uniform in [lo, hi). Requires lo <= hi.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller (cached spare value).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation (stddev >= 0).
+  double Normal(double mean, double stddev);
+
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  /// Exponential with rate `lambda` > 0.
+  double Exponential(double lambda);
+
+  /// Gamma(shape k > 0, scale theta > 0) via Marsaglia-Tsang.
+  double Gamma(double shape, double scale);
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Index sampled proportionally to non-negative `weights` (not necessarily
+  /// normalized). Returns weights.size()-1 if all weights are zero.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Zipf-distributed value in [0, n) with skew `s` >= 0 (s = 0 is uniform).
+  /// Uses rejection-inversion, suitable for large n.
+  size_t Zipf(size_t n, double s);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i)));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) uniformly (k <= n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent generator; deterministic given this generator's
+  /// current state.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_COMMON_RNG_H_

@@ -1,0 +1,194 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace autotune {
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  AUTOTUNE_CHECK(!columns_.empty());
+  std::set<std::string> seen(columns_.begin(), columns_.end());
+  AUTOTUNE_CHECK_MSG(seen.size() == columns_.size(),
+                     "duplicate column names");
+}
+
+Status Table::AppendRow(std::vector<std::string> values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument("row has " +
+                                   std::to_string(values.size()) +
+                                   " values, expected " +
+                                   std::to_string(columns_.size()));
+  }
+  rows_.push_back(std::move(values));
+  return Status::OK();
+}
+
+const std::string& Table::at(size_t row, size_t col) const {
+  AUTOTUNE_CHECK(row < rows_.size());
+  AUTOTUNE_CHECK(col < columns_.size());
+  return rows_[row][col];
+}
+
+Result<size_t> Table::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == column) return i;
+  }
+  return Status::NotFound("no column named '" + column + "'");
+}
+
+Result<std::string> Table::Get(size_t row, const std::string& column) const {
+  if (row >= rows_.size()) {
+    return Status::OutOfRange("row " + std::to_string(row) +
+                              " out of range");
+  }
+  AUTOTUNE_ASSIGN_OR_RETURN(size_t col, ColumnIndex(column));
+  return rows_[row][col];
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+void AppendCsvField(const std::string& field, std::string* out) {
+  if (!NeedsQuoting(field)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+// Parses one CSV record starting at *pos; advances *pos past the record's
+// trailing newline (or to text.size()).
+Result<std::vector<std::string>> ParseCsvRecord(const std::string& text,
+                                                size_t* pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      ++i;
+      break;
+    } else if (c == '\r') {
+      // Swallow; handles CRLF.
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted field");
+  fields.push_back(std::move(field));
+  *pos = i;
+  return fields;
+}
+
+}  // namespace
+
+std::string Table::ToCsv() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendCsvField(columns_[i], &out);
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendCsvField(row[i], &out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<Table> Table::FromCsv(const std::string& text) {
+  size_t pos = 0;
+  if (text.empty()) return Status::InvalidArgument("empty CSV text");
+  AUTOTUNE_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                            ParseCsvRecord(text, &pos));
+  Table table(std::move(header));
+  while (pos < text.size()) {
+    AUTOTUNE_ASSIGN_OR_RETURN(std::vector<std::string> row,
+                              ParseCsvRecord(text, &pos));
+    if (row.size() == 1 && row[0].empty()) continue;  // Trailing blank line.
+    AUTOTUNE_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+Status Table::WriteCsvFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Unavailable("cannot open '" + path + "'");
+  out << ToCsv();
+  if (!out) return Status::Unavailable("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<Table> Table::ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return FromCsv(buffer.str());
+}
+
+std::string Table::ToPrettyString() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.append("  ");
+      out.append(row[i]);
+      out.append(widths[i] - row[i].size(), ' ');
+    }
+    // Trim trailing spaces.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out.push_back('\n');
+  };
+  append_row(columns_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+}  // namespace autotune

@@ -1,0 +1,59 @@
+#ifndef AUTOTUNE_COMMON_TABLE_H_
+#define AUTOTUNE_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace autotune {
+
+/// A small in-memory table of strings with named columns — the interchange
+/// format between trial storage, CSV files, and the benchmark harness report
+/// printers.
+class Table {
+ public:
+  /// Creates a table with the given column names (must be non-empty and
+  /// unique; enforced with CHECK since this is a programmer error).
+  explicit Table(std::vector<std::string> columns);
+
+  /// Column names, in order.
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Number of data rows.
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row; `values.size()` must equal the column count.
+  Status AppendRow(std::vector<std::string> values);
+
+  /// Cell accessors.
+  const std::string& at(size_t row, size_t col) const;
+  Result<std::string> Get(size_t row, const std::string& column) const;
+
+  /// Index of `column`, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& column) const;
+
+  /// Serializes to RFC-4180-ish CSV (quotes fields containing separators).
+  std::string ToCsv() const;
+
+  /// Parses CSV text produced by `ToCsv` (header row required).
+  static Result<Table> FromCsv(const std::string& text);
+
+  /// Writes/reads CSV files.
+  Status WriteCsvFile(const std::string& path) const;
+  static Result<Table> ReadCsvFile(const std::string& path);
+
+  /// Renders an aligned, human-readable text table (for bench reports).
+  std::string ToPrettyString() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (helper for reports).
+std::string FormatDouble(double value, int digits = 6);
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_COMMON_TABLE_H_

@@ -1,0 +1,53 @@
+#ifndef AUTOTUNE_COMMON_THREAD_POOL_H_
+#define AUTOTUNE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace autotune {
+
+/// Fixed-size worker pool used by the parallel trial runner. Tasks are plain
+/// `std::function<void()>`; use `Submit` to get a future for a callable's
+/// result. Destruction drains queued tasks, then joins.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its result.
+  template <typename Fn>
+  auto Submit(Fn fn) -> std::future<decltype(fn())> {
+    using ResultType = decltype(fn());
+    auto task = std::make_shared<std::packaged_task<ResultType()>>(
+        std::move(fn));
+    std::future<ResultType> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,47 @@
+#ifndef AUTOTUNE_CORE_OBSERVATION_H_
+#define AUTOTUNE_CORE_OBSERVATION_H_
+
+#include <map>
+#include <string>
+
+#include "space/config_space.h"
+
+namespace autotune {
+
+/// The outcome of evaluating one configuration — what flows from the target
+/// system back to the optimizer in the suggest/observe loop (tutorial slide
+/// 34). `objective` is always in MINIMIZE convention; the trial runner
+/// negates maximization metrics (e.g. throughput) so optimizers never need
+/// to care about direction.
+struct Observation {
+  Observation(Configuration config_in, double objective_in)
+      : config(std::move(config_in)), objective(objective_in) {}
+
+  Configuration config;
+
+  /// Aggregated objective value, lower is better.
+  double objective = 0.0;
+
+  /// All metrics reported by the benchmark (raw direction), e.g.
+  /// "latency_p99_ms", "throughput_ops", "cost_usd".
+  std::map<std::string, double> metrics;
+
+  /// True if the system crashed or the benchmark failed under this
+  /// configuration; `objective` then holds an imputed penalty score
+  /// (tutorial slide 67: "bad: make it up — N x worst score measured").
+  bool failed = false;
+
+  /// Execution cost of this evaluation (simulated seconds).
+  double cost = 0.0;
+
+  /// Fidelity this observation was collected at, in (0, 1]; 1 = full
+  /// benchmark (tutorial slides 65-66).
+  double fidelity = 1.0;
+
+  /// How many benchmark repetitions were aggregated.
+  int repetitions = 1;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_CORE_OBSERVATION_H_

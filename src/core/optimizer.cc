@@ -1,0 +1,42 @@
+#include "core/optimizer.h"
+
+#include "common/check.h"
+
+namespace autotune {
+
+Result<std::vector<Configuration>> Optimizer::SuggestBatch(size_t k) {
+  std::vector<Configuration> batch;
+  batch.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    AUTOTUNE_ASSIGN_OR_RETURN(Configuration config, Suggest());
+    batch.push_back(std::move(config));
+  }
+  return batch;
+}
+
+OptimizerBase::OptimizerBase(const ConfigSpace* space, uint64_t seed)
+    : space_(space), rng_(seed) {
+  AUTOTUNE_CHECK(space != nullptr);
+}
+
+Status OptimizerBase::Observe(const Observation& observation) {
+  if (&observation.config.space() != space_) {
+    return Status::InvalidArgument(
+        "observation configuration from a different space");
+  }
+  history_.push_back(observation);
+  // Track the best non-failed observation; failures count only if nothing
+  // better exists (they still carry an imputed objective).
+  if (!best_.has_value() ||
+      (best_->failed && !observation.failed) ||
+      (best_->failed == observation.failed &&
+       observation.objective < best_->objective)) {
+    best_ = observation;
+  }
+  OnObserve(observation);
+  return Status::OK();
+}
+
+void OptimizerBase::OnObserve(const Observation& /*observation*/) {}
+
+}  // namespace autotune

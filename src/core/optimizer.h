@@ -1,0 +1,84 @@
+#ifndef AUTOTUNE_CORE_OPTIMIZER_H_
+#define AUTOTUNE_CORE_OPTIMIZER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/observation.h"
+#include "space/config_space.h"
+
+namespace autotune {
+
+/// The optimizer side of the tutorial's black-box tuning loop (slide 34):
+/// "Optimizer: suggest new x_i" / "Target: evaluate y_i = f(x_i)". The
+/// target function is a black box to the optimizer and vice versa, which is
+/// what lets one framework host grid search, Bayesian optimization, CMA-ES,
+/// genetic algorithms, and bandits behind a single interface.
+///
+/// All optimizers MINIMIZE the observation's `objective`.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Short identifier for reports, e.g. "bo-gp-ei".
+  virtual std::string name() const = 0;
+
+  /// The space being searched.
+  virtual const ConfigSpace& space() const = 0;
+
+  /// Proposes the next configuration to evaluate. May fail (e.g. a grid
+  /// search that is exhausted returns ResourceExhausted-like status).
+  virtual Result<Configuration> Suggest() = 0;
+
+  /// Feeds back the result of evaluating a suggested (or any) configuration.
+  virtual Status Observe(const Observation& observation) = 0;
+
+  /// Proposes `k` configurations for parallel evaluation (tutorial slide
+  /// 57). The default implementation calls `Suggest` repeatedly; model-based
+  /// optimizers override with constant-liar / kriging-believer batching to
+  /// keep the batch diverse.
+  virtual Result<std::vector<Configuration>> SuggestBatch(size_t k);
+
+  /// Best observation seen so far (failed observations excluded unless
+  /// nothing else exists).
+  virtual const std::optional<Observation>& best() const = 0;
+
+  /// Number of observations received.
+  virtual size_t num_observations() const = 0;
+};
+
+/// Convenience base class handling the bookkeeping shared by all concrete
+/// optimizers: history, best tracking, RNG, and the space pointer.
+class OptimizerBase : public Optimizer {
+ public:
+  /// `space` must outlive the optimizer.
+  OptimizerBase(const ConfigSpace* space, uint64_t seed);
+
+  const ConfigSpace& space() const override { return *space_; }
+
+  Status Observe(const Observation& observation) override;
+
+  const std::optional<Observation>& best() const override { return best_; }
+
+  size_t num_observations() const override { return history_.size(); }
+
+  /// Full observation history, in arrival order.
+  const std::vector<Observation>& history() const { return history_; }
+
+ protected:
+  /// Hook for subclasses to react to a new observation (model refit etc.).
+  /// Called after the observation is recorded.
+  virtual void OnObserve(const Observation& observation);
+
+  const ConfigSpace* space_;
+  Rng rng_;
+  std::vector<Observation> history_;
+  std::optional<Observation> best_;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_CORE_OPTIMIZER_H_

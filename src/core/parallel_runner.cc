@@ -1,0 +1,72 @@
+#include "core/parallel_runner.h"
+
+#include <algorithm>
+#include <future>
+
+#include "common/check.h"
+
+namespace autotune {
+
+ParallelTrialRunner::ParallelTrialRunner(EnvFactory factory,
+                                         TrialRunnerOptions options,
+                                         int num_workers, uint64_t seed)
+    : pool_(static_cast<size_t>(std::max(num_workers, 1))) {
+  AUTOTUNE_CHECK(factory != nullptr);
+  AUTOTUNE_CHECK(num_workers >= 1);
+  for (int worker = 0; worker < num_workers; ++worker) {
+    std::unique_ptr<Environment> env = factory(worker);
+    AUTOTUNE_CHECK(env != nullptr);
+    runners_.push_back(std::make_unique<TrialRunner>(
+        env.get(), options, seed + static_cast<uint64_t>(worker) * 7919));
+    envs_.push_back(std::move(env));
+  }
+}
+
+std::vector<Observation> ParallelTrialRunner::EvaluateBatch(
+    const std::vector<Configuration>& configs) {
+  std::vector<Observation> results;
+  results.reserve(configs.size());
+  for (size_t begin = 0; begin < configs.size();
+       begin += runners_.size()) {
+    const size_t end =
+        std::min(configs.size(), begin + runners_.size());
+    std::vector<std::future<Observation>> futures;
+    for (size_t i = begin; i < end; ++i) {
+      const size_t worker = i - begin;
+      const Configuration& config = configs[i];
+      futures.push_back(pool_.Submit([this, worker, &config]() {
+        // Rebuild the configuration against this worker's space by name.
+        Environment* env = envs_[worker].get();
+        std::vector<std::pair<std::string, ParamValue>> values;
+        const ConfigSpace& source = config.space();
+        for (size_t p = 0; p < source.size(); ++p) {
+          values.emplace_back(source.param(p).name(), config.ValueAt(p));
+        }
+        auto local = env->space().Make(values);
+        AUTOTUNE_CHECK_MSG(local.ok(),
+                           "schema mismatch between optimizer space and "
+                           "worker environment");
+        Observation obs = runners_[worker]->Evaluate(*local);
+        // Re-home onto the caller's configuration object.
+        Observation out(config, obs.objective);
+        out.metrics = std::move(obs.metrics);
+        out.failed = obs.failed;
+        out.cost = obs.cost;
+        out.fidelity = obs.fidelity;
+        out.repetitions = obs.repetitions;
+        return out;
+      }));
+    }
+    double batch_max_cost = 0.0;
+    for (auto& future : futures) {
+      Observation obs = future.get();
+      total_cost_ += obs.cost;
+      batch_max_cost = std::max(batch_max_cost, obs.cost);
+      results.push_back(std::move(obs));
+    }
+    wall_clock_cost_ += batch_max_cost;
+  }
+  return results;
+}
+
+}  // namespace autotune

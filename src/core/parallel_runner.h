@@ -1,0 +1,58 @@
+#ifndef AUTOTUNE_CORE_PARALLEL_RUNNER_H_
+#define AUTOTUNE_CORE_PARALLEL_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/environment.h"
+#include "core/trial_runner.h"
+
+namespace autotune {
+
+/// Executes trial batches concurrently on a worker pool — the execution
+/// side of parallel optimization (tutorial slide 57: "in the cloud! just
+/// run more"). Each worker owns a private `Environment` instance (real
+/// deployments give each worker its own VM; our simulators are cheap to
+/// clone), created by the factory with the worker index, so per-machine
+/// noise differs across workers exactly as it does across cloud VMs.
+///
+/// Configurations may come from any space with the same knob schema (the
+/// optimizer's); they are rebuilt by name against each worker's
+/// environment. Returned observations carry the ORIGINAL configuration so
+/// the optimizer can match them.
+class ParallelTrialRunner {
+ public:
+  using EnvFactory = std::function<std::unique_ptr<Environment>(int worker)>;
+
+  /// Creates `num_workers` workers (>= 1), each with its own environment
+  /// and trial runner.
+  ParallelTrialRunner(EnvFactory factory, TrialRunnerOptions options,
+                      int num_workers, uint64_t seed);
+
+  /// Evaluates all configurations, `num_workers` at a time. Order of the
+  /// returned observations matches the input order.
+  std::vector<Observation> EvaluateBatch(
+      const std::vector<Configuration>& configs);
+
+  /// Total resource cost (sum over all trials).
+  double total_cost() const { return total_cost_; }
+
+  /// Simulated wall-clock: per batch, the maximum worker cost (workers run
+  /// concurrently), accumulated over batches.
+  double wall_clock_cost() const { return wall_clock_cost_; }
+
+  int num_workers() const { return static_cast<int>(runners_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<Environment>> envs_;
+  std::vector<std::unique_ptr<TrialRunner>> runners_;
+  ThreadPool pool_;
+  double total_cost_ = 0.0;
+  double wall_clock_cost_ = 0.0;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_CORE_PARALLEL_RUNNER_H_

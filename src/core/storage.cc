@@ -1,0 +1,109 @@
+#include "core/storage.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace autotune {
+
+TrialStorage::TrialStorage(const ConfigSpace* space) : space_(space) {
+  AUTOTUNE_CHECK(space != nullptr);
+}
+
+Status TrialStorage::Add(const Observation& observation) {
+  if (&observation.config.space() != space_) {
+    return Status::InvalidArgument(
+        "observation configuration from a different space");
+  }
+  observations_.push_back(observation);
+  return Status::OK();
+}
+
+std::optional<Observation> TrialStorage::Best() const {
+  std::optional<Observation> best;
+  for (const auto& obs : observations_) {
+    if (obs.failed) continue;
+    if (!best.has_value() || obs.objective < best->objective) {
+      best = obs;
+    }
+  }
+  return best;
+}
+
+std::vector<double> TrialStorage::BestSoFarCurve() const {
+  std::vector<double> curve;
+  curve.reserve(observations_.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& obs : observations_) {
+    if (!obs.failed) best = std::min(best, obs.objective);
+    curve.push_back(best);
+  }
+  return curve;
+}
+
+Table TrialStorage::ToTable() const {
+  std::vector<std::string> columns;
+  columns.push_back("trial");
+  for (size_t i = 0; i < space_->size(); ++i) {
+    columns.push_back(space_->param(i).name());
+  }
+  columns.push_back("objective");
+  columns.push_back("failed");
+  columns.push_back("cost");
+  columns.push_back("fidelity");
+  Table table(std::move(columns));
+  for (size_t t = 0; t < observations_.size(); ++t) {
+    const Observation& obs = observations_[t];
+    std::vector<std::string> row;
+    row.push_back(std::to_string(t));
+    for (size_t i = 0; i < space_->size(); ++i) {
+      row.push_back(ParamValueToString(obs.config.ValueAt(i)));
+    }
+    row.push_back(FormatDouble(obs.objective, 17));
+    row.push_back(obs.failed ? "1" : "0");
+    row.push_back(FormatDouble(obs.cost, 17));
+    row.push_back(FormatDouble(obs.fidelity, 17));
+    Status status = table.AppendRow(std::move(row));
+    AUTOTUNE_CHECK(status.ok());
+  }
+  return table;
+}
+
+Status TrialStorage::WriteCsv(const std::string& path) const {
+  return ToTable().WriteCsvFile(path);
+}
+
+Result<TrialStorage> TrialStorage::ReadCsv(const ConfigSpace* space,
+                                           const std::string& path) {
+  if (space == nullptr) return Status::InvalidArgument("null space");
+  AUTOTUNE_ASSIGN_OR_RETURN(Table table, Table::ReadCsvFile(path));
+  TrialStorage storage(space);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<std::pair<std::string, ParamValue>> values;
+    for (size_t i = 0; i < space->size(); ++i) {
+      const std::string& name = space->param(i).name();
+      AUTOTUNE_ASSIGN_OR_RETURN(std::string text, table.Get(r, name));
+      AUTOTUNE_ASSIGN_OR_RETURN(ParamValue value,
+                                space->param(i).Parse(text));
+      values.emplace_back(name, std::move(value));
+    }
+    AUTOTUNE_ASSIGN_OR_RETURN(Configuration config, space->Make(values));
+    AUTOTUNE_ASSIGN_OR_RETURN(std::string objective_text,
+                              table.Get(r, "objective"));
+    Observation obs(std::move(config), std::strtod(objective_text.c_str(),
+                                                   nullptr));
+    AUTOTUNE_ASSIGN_OR_RETURN(std::string failed_text,
+                              table.Get(r, "failed"));
+    obs.failed = failed_text == "1";
+    AUTOTUNE_ASSIGN_OR_RETURN(std::string cost_text, table.Get(r, "cost"));
+    obs.cost = std::strtod(cost_text.c_str(), nullptr);
+    AUTOTUNE_ASSIGN_OR_RETURN(std::string fidelity_text,
+                              table.Get(r, "fidelity"));
+    obs.fidelity = std::strtod(fidelity_text.c_str(), nullptr);
+    AUTOTUNE_RETURN_IF_ERROR(storage.Add(obs));
+  }
+  return storage;
+}
+
+}  // namespace autotune

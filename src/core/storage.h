@@ -1,0 +1,57 @@
+#ifndef AUTOTUNE_CORE_STORAGE_H_
+#define AUTOTUNE_CORE_STORAGE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/observation.h"
+
+namespace autotune {
+
+/// In-memory record of a tuning session's trials, exportable to CSV. The
+/// persistence layer of the slide-26 architecture: the scheduler stores
+/// every (config, result) pair so sessions can be analyzed, transferred to
+/// new contexts, or replayed as warm starts.
+class TrialStorage {
+ public:
+  /// `space` must outlive the storage.
+  explicit TrialStorage(const ConfigSpace* space);
+
+  /// Records an observation (must belong to this storage's space).
+  Status Add(const Observation& observation);
+
+  size_t size() const { return observations_.size(); }
+  const std::vector<Observation>& observations() const {
+    return observations_;
+  }
+  const ConfigSpace& space() const { return *space_; }
+
+  /// Best successful observation (lowest objective); nullopt if none.
+  std::optional<Observation> Best() const;
+
+  /// Objective of the best config seen up to and including each trial —
+  /// the convergence curve benchmark reports plot.
+  std::vector<double> BestSoFarCurve() const;
+
+  /// Serializes all trials: one column per parameter plus objective /
+  /// failed / cost / fidelity.
+  Table ToTable() const;
+
+  /// Writes `ToTable()` as CSV.
+  Status WriteCsv(const std::string& path) const;
+
+  /// Reloads observations from a CSV written by `WriteCsv` into the given
+  /// space (parameters must match by name).
+  static Result<TrialStorage> ReadCsv(const ConfigSpace* space,
+                                      const std::string& path);
+
+ private:
+  const ConfigSpace* space_;
+  std::vector<Observation> observations_;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_CORE_STORAGE_H_

@@ -1,0 +1,169 @@
+#include "core/trial_runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "math/stats.h"
+
+namespace autotune {
+
+TrialRunner::TrialRunner(Environment* env, TrialRunnerOptions options,
+                         uint64_t seed)
+    : env_(env), options_(options), rng_(seed) {
+  AUTOTUNE_CHECK(env != nullptr);
+  AUTOTUNE_CHECK(options_.repetitions >= 1);
+  AUTOTUNE_CHECK(options_.fidelity > 0.0 && options_.fidelity <= 1.0);
+  AUTOTUNE_CHECK(options_.crash_penalty_factor >= 1.0);
+  AUTOTUNE_CHECK(options_.early_abort_factor > 1.0);
+}
+
+double TrialRunner::ObjectiveOf(const BenchmarkResult& result) const {
+  auto it = result.metrics.find(env_->objective_metric());
+  AUTOTUNE_CHECK_MSG(it != result.metrics.end(),
+                     "environment did not report its objective metric");
+  return env_->minimize() ? it->second : -it->second;
+}
+
+double TrialRunner::RepetitionCost(double objective, bool aborted) const {
+  switch (options_.cost_model) {
+    case CostModel::kFidelity:
+      return env_->RunCost(options_.fidelity);
+    case CostModel::kElapsedTime: {
+      // The benchmark takes as long as its (minimize-convention) objective.
+      double elapsed = std::max(objective, 0.0);
+      if (aborted && best_objective_.has_value()) {
+        // The run was killed at the abort threshold.
+        elapsed = std::min(elapsed,
+                           *best_objective_ * options_.early_abort_factor);
+      }
+      return elapsed;
+    }
+  }
+  return 0.0;
+}
+
+double TrialRunner::AggregateObjectives(
+    const std::vector<double>& values) const {
+  switch (options_.aggregation) {
+    case Aggregation::kMean:
+      return Mean(values);
+    case Aggregation::kMedian:
+      return Median(values);
+    case Aggregation::kMin:
+      return Min(values);
+    case Aggregation::kMax:
+      return Max(values);
+  }
+  return Mean(values);
+}
+
+Observation TrialRunner::Evaluate(const Configuration& config) {
+  ++num_trials_;
+
+  // Restart-cost accounting: if any restart-scoped knob changed relative to
+  // the previously deployed configuration, the deployment pays RestartCost.
+  double deploy_cost = 0.0;
+  if (last_deployed_.has_value()) {
+    const ConfigSpace& space = env_->space();
+    for (size_t i = 0; i < space.size(); ++i) {
+      if (env_->knob_scope(space.param(i).name()) == KnobScope::kRuntime) {
+        continue;
+      }
+      if (!ParamValueEquals(config.ValueAt(i), last_deployed_->ValueAt(i))) {
+        deploy_cost = env_->RestartCost();
+        break;
+      }
+    }
+  }
+  last_deployed_ = config;
+
+  std::vector<double> objectives;
+  std::map<std::string, double> last_metrics;
+  bool crashed = false;
+  bool aborted = false;
+  int executed = 0;
+  double run_cost = 0.0;
+
+  for (int rep = 0; rep < options_.repetitions; ++rep) {
+    BenchmarkResult result = env_->Run(config, options_.fidelity, &rng_);
+    ++executed;
+    if (result.crashed) {
+      crashed = true;
+      // A crashed run still burns (some) time.
+      run_cost += env_->RunCost(options_.fidelity) * 0.25;
+      break;
+    }
+    const double objective = ObjectiveOf(result);
+    const bool over_abort_threshold =
+        options_.early_abort && best_objective_.has_value() &&
+        objective > *best_objective_ * options_.early_abort_factor;
+    run_cost += RepetitionCost(objective, over_abort_threshold);
+    objectives.push_back(objective);
+    last_metrics = result.metrics;
+    if (over_abort_threshold) {
+      aborted = true;
+      break;  // Report the bad score sooner (slide 69).
+    }
+  }
+
+  Observation obs(config, 0.0);
+  obs.fidelity = options_.fidelity;
+  obs.repetitions = executed;
+  obs.cost = deploy_cost + run_cost;
+  total_cost_ += obs.cost;
+
+  if (crashed || objectives.empty()) {
+    obs.failed = true;
+    const double worst = worst_objective_.value_or(
+        options_.crash_fallback_objective /
+        options_.crash_penalty_factor);
+    obs.objective = worst * options_.crash_penalty_factor;
+    return obs;
+  }
+
+  obs.objective = AggregateObjectives(objectives);
+  obs.metrics = last_metrics;
+  if (aborted) obs.metrics["early_aborted"] = 1.0;
+  if (!best_objective_.has_value() || obs.objective < *best_objective_) {
+    best_objective_ = obs.objective;
+  }
+  if (!worst_objective_.has_value() || obs.objective > *worst_objective_) {
+    worst_objective_ = obs.objective;
+  }
+  return obs;
+}
+
+Observation TrialRunner::EvaluateDuet(const Configuration& config,
+                                      const Configuration& baseline) {
+  ++num_trials_;
+  // Both sides consume the SAME random stream, so machine speed, transient
+  // spikes, and arrival jitter are identical — only the configs differ.
+  Rng shared = rng_.Fork();
+  Rng side_a = shared;
+  Rng side_b = shared;
+  BenchmarkResult result_config =
+      env_->Run(config, options_.fidelity, &side_a);
+  BenchmarkResult result_baseline =
+      env_->Run(baseline, options_.fidelity, &side_b);
+  total_cost_ += 2.0 * env_->RunCost(options_.fidelity);
+
+  Observation obs(config, 0.0);
+  obs.fidelity = options_.fidelity;
+  obs.cost = 2.0 * env_->RunCost(options_.fidelity);
+  if (result_config.crashed || result_baseline.crashed) {
+    obs.failed = true;
+    obs.objective = options_.crash_fallback_objective;
+    return obs;
+  }
+  const double objective_config = ObjectiveOf(result_config);
+  const double objective_baseline = ObjectiveOf(result_baseline);
+  const double denom = std::max(std::abs(objective_baseline), 1e-12);
+  obs.objective = (objective_config - objective_baseline) / denom;
+  obs.metrics = result_config.metrics;
+  obs.metrics["duet_baseline_objective"] = objective_baseline;
+  obs.metrics["duet_config_objective"] = objective_config;
+  return obs;
+}
+
+}  // namespace autotune

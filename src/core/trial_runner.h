@@ -1,0 +1,106 @@
+#ifndef AUTOTUNE_CORE_TRIAL_RUNNER_H_
+#define AUTOTUNE_CORE_TRIAL_RUNNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/environment.h"
+#include "core/observation.h"
+
+namespace autotune {
+
+/// How per-repetition objectives are aggregated into one score.
+enum class Aggregation { kMean, kMedian, kMin, kMax };
+
+/// How a trial's execution cost is accounted.
+enum class CostModel {
+  /// Cost = Environment::RunCost(fidelity) per repetition.
+  kFidelity,
+  /// Cost = the measured objective itself (elapsed-time benchmarks like
+  /// TPC-H, where a slow config literally costs its own runtime; the
+  /// setting where early abort pays off — tutorial slide 69).
+  kElapsedTime,
+};
+
+/// Options for `TrialRunner`.
+struct TrialRunnerOptions {
+  int repetitions = 1;
+  Aggregation aggregation = Aggregation::kMean;
+  double fidelity = 1.0;
+  CostModel cost_model = CostModel::kFidelity;
+
+  /// Crashed trials get objective = worst successful objective times this
+  /// factor (minimize convention). Tutorial slide 67's "N x worst score".
+  double crash_penalty_factor = 3.0;
+
+  /// Fallback imputed objective when nothing succeeded yet.
+  double crash_fallback_objective = 1e9;
+
+  /// Early abort: stop remaining repetitions (and, under kElapsedTime, cap
+  /// the charged cost) once a repetition exceeds
+  /// `early_abort_factor x best objective so far`.
+  bool early_abort = false;
+  double early_abort_factor = 3.0;
+};
+
+/// Executes trials against an `Environment` and turns raw benchmark results
+/// into optimizer-ready `Observation`s: repetition + aggregation, maximize ->
+/// minimize negation, crash-score imputation, early abort, restart-cost
+/// accounting, and duet paired execution (tutorial slides 67-71).
+class TrialRunner {
+ public:
+  /// `env` must outlive the runner.
+  TrialRunner(Environment* env, TrialRunnerOptions options, uint64_t seed);
+
+  /// Runs one trial (possibly several repetitions) of `config`.
+  Observation Evaluate(const Configuration& config);
+
+  /// Duet benchmarking (tutorial slide 71): runs `config` and the baseline
+  /// side by side under IDENTICAL noise draws and reports the normalized
+  /// relative difference (config - baseline) / |baseline| as the objective
+  /// (minimize convention; negative = better than baseline). Robust to
+  /// machine-to-machine noise because both runs share it.
+  Observation EvaluateDuet(const Configuration& config,
+                           const Configuration& baseline);
+
+  /// Total simulated execution cost (seconds) so far.
+  double total_cost() const { return total_cost_; }
+
+  /// Number of trials executed.
+  size_t num_trials() const { return num_trials_; }
+
+  /// Best (lowest) successful objective seen, if any.
+  const std::optional<double>& best_objective() const {
+    return best_objective_;
+  }
+
+  Environment* environment() const { return env_; }
+  const TrialRunnerOptions& options() const { return options_; }
+
+  /// Overrides the fidelity for subsequent trials (multi-fidelity drivers).
+  void set_fidelity(double fidelity) { options_.fidelity = fidelity; }
+
+ private:
+  /// Extracts the minimize-convention objective from a benchmark result.
+  double ObjectiveOf(const BenchmarkResult& result) const;
+
+  /// Cost charged for one repetition with the given measured objective.
+  double RepetitionCost(double objective, bool aborted) const;
+
+  double AggregateObjectives(const std::vector<double>& values) const;
+
+  Environment* env_;
+  TrialRunnerOptions options_;
+  Rng rng_;
+  double total_cost_ = 0.0;
+  size_t num_trials_ = 0;
+  std::optional<double> best_objective_;
+  std::optional<double> worst_objective_;
+  std::optional<Configuration> last_deployed_;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_CORE_TRIAL_RUNNER_H_

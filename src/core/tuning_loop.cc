@@ -1,0 +1,73 @@
+#include "core/tuning_loop.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace autotune {
+
+TuningResult RunTuningLoop(Optimizer* optimizer, TrialRunner* runner,
+                           const TuningLoopOptions& options) {
+  AUTOTUNE_CHECK(optimizer != nullptr);
+  AUTOTUNE_CHECK(runner != nullptr);
+  AUTOTUNE_CHECK(options.max_trials >= 1);
+  AUTOTUNE_CHECK(options.batch_size >= 1);
+
+  TuningResult result;
+  const double initial_cost = runner->total_cost();
+  double best = std::numeric_limits<double>::infinity();
+
+  while (result.trials_run < options.max_trials &&
+         runner->total_cost() - initial_cost < options.max_cost) {
+    const size_t remaining =
+        static_cast<size_t>(options.max_trials - result.trials_run);
+    const size_t batch = std::min(options.batch_size, remaining);
+
+    std::vector<Configuration> suggestions;
+    if (batch == 1) {
+      auto suggestion = optimizer->Suggest();
+      if (!suggestion.ok()) {
+        AUTOTUNE_LOG(kInfo) << "optimizer '" << optimizer->name()
+                            << "' stopped suggesting: "
+                            << suggestion.status().ToString();
+        break;  // E.g. grid exhausted.
+      }
+      suggestions.push_back(std::move(suggestion).value());
+    } else {
+      auto suggested = optimizer->SuggestBatch(batch);
+      if (!suggested.ok() || suggested->empty()) break;
+      suggestions = std::move(suggested).value();
+    }
+
+    for (const Configuration& config : suggestions) {
+      Observation obs = runner->Evaluate(config);
+      Status status = optimizer->Observe(obs);
+      AUTOTUNE_CHECK_MSG(status.ok(), status.ToString().c_str());
+      if (!obs.failed) best = std::min(best, obs.objective);
+      result.best_so_far.push_back(best);
+      result.history.push_back(std::move(obs));
+      ++result.trials_run;
+    }
+
+    // Convergence check over the trailing window.
+    if (options.convergence_window > 0 &&
+        result.trials_run > options.convergence_window) {
+      const size_t idx = result.best_so_far.size() -
+                         static_cast<size_t>(options.convergence_window) - 1;
+      const double before = result.best_so_far[idx];
+      if (std::isfinite(before) &&
+          before - best <= options.convergence_tol) {
+        result.converged_early = true;
+        break;
+      }
+    }
+  }
+
+  result.best = optimizer->best();
+  result.total_cost = runner->total_cost() - initial_cost;
+  return result;
+}
+
+}  // namespace autotune

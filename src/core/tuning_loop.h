@@ -1,0 +1,55 @@
+#ifndef AUTOTUNE_CORE_TUNING_LOOP_H_
+#define AUTOTUNE_CORE_TUNING_LOOP_H_
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/optimizer.h"
+#include "core/storage.h"
+#include "core/trial_runner.h"
+
+namespace autotune {
+
+/// Stopping criteria and batching for `RunTuningLoop`.
+struct TuningLoopOptions {
+  /// Stop after this many trials.
+  int max_trials = 50;
+
+  /// Stop once the runner's cumulative cost exceeds this (seconds).
+  double max_cost = std::numeric_limits<double>::infinity();
+
+  /// Suggest/evaluate in batches of this size (parallel optimization,
+  /// tutorial slide 57). 1 = fully sequential.
+  size_t batch_size = 1;
+
+  /// Stop early if the best objective has not improved by more than
+  /// `convergence_tol` over the last `convergence_window` trials
+  /// (0 disables).
+  int convergence_window = 0;
+  double convergence_tol = 1e-9;
+};
+
+/// Outcome of a tuning session.
+struct TuningResult {
+  std::vector<Observation> history;
+  std::optional<Observation> best;
+  double total_cost = 0.0;
+  int trials_run = 0;
+  bool converged_early = false;
+
+  /// Best objective after each trial (convergence curve).
+  std::vector<double> best_so_far;
+};
+
+/// Drives the tutorial's sequential model-based optimization loop (slide
+/// 33): suggest -> evaluate -> observe -> repeat, with budget and
+/// convergence stopping. This is the "elegant tuning framework" of slide 34
+/// — any Optimizer against any Environment.
+TuningResult RunTuningLoop(Optimizer* optimizer, TrialRunner* runner,
+                           const TuningLoopOptions& options);
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_CORE_TUNING_LOOP_H_

@@ -1,0 +1,60 @@
+#include "fidelity/multi_fidelity.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace autotune {
+
+MultiFidelityResult RunMultiFidelityTuning(
+    Optimizer* optimizer, TrialRunner* runner,
+    const MultiFidelityOptions& options) {
+  AUTOTUNE_CHECK(optimizer != nullptr);
+  AUTOTUNE_CHECK(runner != nullptr);
+  AUTOTUNE_CHECK(options.low_fidelity > 0.0 && options.low_fidelity <= 1.0);
+  AUTOTUNE_CHECK(options.low_fidelity_trials >= 1);
+  AUTOTUNE_CHECK(options.promote_top_k >= 1);
+
+  MultiFidelityResult result;
+  const double cost_before = runner->total_cost();
+
+  // Phase 1: cheap screening.
+  runner->set_fidelity(options.low_fidelity);
+  for (int i = 0; i < options.low_fidelity_trials; ++i) {
+    auto suggestion = optimizer->Suggest();
+    if (!suggestion.ok()) break;
+    Observation obs = runner->Evaluate(*suggestion);
+    ++result.low_fidelity_trials;
+    result.screened.push_back(obs);
+    if (options.feed_low_fidelity_to_optimizer && !obs.failed) {
+      Status status = optimizer->Observe(obs);
+      AUTOTUNE_CHECK(status.ok());
+    }
+  }
+
+  // Phase 2: promote the best screened configs to full fidelity.
+  std::vector<size_t> order(result.screened.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&result](size_t a, size_t b) {
+    return result.screened[a].objective < result.screened[b].objective;
+  });
+  runner->set_fidelity(1.0);
+  const size_t promote = std::min<size_t>(
+      static_cast<size_t>(options.promote_top_k), order.size());
+  for (size_t i = 0; i < promote; ++i) {
+    const Observation& screened = result.screened[order[i]];
+    if (screened.failed) continue;
+    Observation full = runner->Evaluate(screened.config);
+    ++result.high_fidelity_trials;
+    result.promoted.push_back(full);
+    if (!full.failed &&
+        (!result.best.has_value() ||
+         full.objective < result.best->objective)) {
+      result.best = full;
+    }
+  }
+  result.total_cost = runner->total_cost() - cost_before;
+  return result;
+}
+
+}  // namespace autotune

@@ -1,0 +1,52 @@
+#ifndef AUTOTUNE_FIDELITY_MULTI_FIDELITY_H_
+#define AUTOTUNE_FIDELITY_MULTI_FIDELITY_H_
+
+#include <vector>
+
+#include "core/optimizer.h"
+#include "core/trial_runner.h"
+#include "core/tuning_loop.h"
+
+namespace autotune {
+
+/// Options for `RunMultiFidelityTuning`.
+struct MultiFidelityOptions {
+  /// Fidelity of the cheap screening phase (e.g. TPC-H SF1 vs SF100,
+  /// tutorial slide 66).
+  double low_fidelity = 0.1;
+  /// Number of cheap screening trials.
+  int low_fidelity_trials = 40;
+  /// How many of the best screened configs get promoted to full fidelity.
+  int promote_top_k = 5;
+  /// Discount applied to low-fidelity observations when feeding the
+  /// optimizer ("score it with lower confidence", slide 66): the observed
+  /// objective is kept but failures at low fidelity are NOT imputed into
+  /// the model as full-fidelity truth.
+  bool feed_low_fidelity_to_optimizer = true;
+};
+
+/// Result of a multi-fidelity session.
+struct MultiFidelityResult {
+  std::optional<Observation> best;   ///< Best FULL-fidelity observation.
+  double total_cost = 0.0;
+  int low_fidelity_trials = 0;
+  int high_fidelity_trials = 0;
+  std::vector<Observation> screened;  ///< Low-fidelity history.
+  std::vector<Observation> promoted;  ///< Full-fidelity evaluations.
+};
+
+/// Two-phase multi-fidelity tuning (tutorial slides 65-66): screen many
+/// configurations with a cheap low-fidelity benchmark, then promote the
+/// top-k to full fidelity and report the best full-fidelity result. The
+/// caveat from the tutorial applies and is visible in the benches: if the
+/// cheap benchmark shifts which knobs matter (e.g. everything fits in
+/// memory at SF1), promotion quality degrades — knowledge is transferable
+/// only when the fidelities agree on the response surface.
+MultiFidelityResult RunMultiFidelityTuning(Optimizer* optimizer,
+                                           TrialRunner* runner,
+                                           const MultiFidelityOptions&
+                                               options);
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_FIDELITY_MULTI_FIDELITY_H_

@@ -1,0 +1,118 @@
+#include "fidelity/successive_halving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "math/stats.h"
+
+namespace autotune {
+
+SuccessiveHalving::SuccessiveHalving(SuccessiveHalvingOptions options)
+    : options_(options) {
+  AUTOTUNE_CHECK(options_.eta > 1.0);
+  AUTOTUNE_CHECK(options_.min_resource >= 1);
+  AUTOTUNE_CHECK(options_.max_resource >= options_.min_resource);
+}
+
+Result<HalvingResult> SuccessiveHalving::Run(
+    const std::vector<Configuration>& candidates,
+    const Evaluator& evaluator) const {
+  if (candidates.size() < 2) {
+    return Status::InvalidArgument("need >= 2 candidates");
+  }
+  AUTOTUNE_CHECK(evaluator != nullptr);
+
+  HalvingResult result;
+  result.outcomes.reserve(candidates.size());
+  for (const Configuration& config : candidates) {
+    HalvingOutcome outcome{config};
+    result.outcomes.push_back(std::move(outcome));
+  }
+
+  std::vector<size_t> alive(candidates.size());
+  std::iota(alive.begin(), alive.end(), 0);
+  int resource = options_.min_resource;
+
+  while (true) {
+    ++result.rungs;
+    // Evaluate every surviving candidate at the current resource.
+    std::vector<std::pair<double, size_t>> scored;
+    scored.reserve(alive.size());
+    for (size_t index : alive) {
+      std::vector<double> samples =
+          evaluator(result.outcomes[index].config, resource);
+      AUTOTUNE_CHECK_MSG(!samples.empty(), "evaluator returned no samples");
+      result.total_resource_spent += resource;
+      const double score = options_.robust_median ? Median(samples)
+                                                  : Mean(samples);
+      result.outcomes[index].score = score;
+      result.outcomes[index].highest_resource = resource;
+      scored.emplace_back(score, index);
+    }
+    std::sort(scored.begin(), scored.end());
+
+    const bool final_rung = resource >= options_.max_resource;
+    if (final_rung || scored.size() <= 1) {
+      result.winner_index = scored.front().second;
+      for (const auto& [score, index] : scored) {
+        result.outcomes[index].survived_to_final = true;
+      }
+      break;
+    }
+    // Keep the top 1/eta (at least one).
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(std::floor(
+               static_cast<double>(scored.size()) / options_.eta)));
+    alive.clear();
+    for (size_t i = 0; i < keep; ++i) alive.push_back(scored[i].second);
+    resource = std::min(
+        options_.max_resource,
+        static_cast<int>(std::ceil(resource * options_.eta)));
+  }
+  return result;
+}
+
+HyperbandResult RunHyperband(const ConfigSpace& space,
+                             const SuccessiveHalving::Evaluator& evaluator,
+                             const SuccessiveHalvingOptions& options,
+                             int candidates_per_bracket, int num_brackets,
+                             Rng* rng) {
+  AUTOTUNE_CHECK(rng != nullptr);
+  AUTOTUNE_CHECK(candidates_per_bracket >= 2);
+  AUTOTUNE_CHECK(num_brackets >= 1);
+  HyperbandResult result;
+  for (int bracket = 0; bracket < num_brackets; ++bracket) {
+    // Later brackets start with fewer candidates but more initial resource.
+    SuccessiveHalvingOptions bracket_options = options;
+    bracket_options.min_resource = std::min(
+        options.max_resource,
+        static_cast<int>(options.min_resource *
+                         std::pow(options.eta, bracket)));
+    const int num_candidates = std::max(
+        2, static_cast<int>(candidates_per_bracket /
+                            std::pow(options.eta, bracket)));
+    std::vector<Configuration> candidates;
+    candidates.reserve(static_cast<size_t>(num_candidates));
+    for (int i = 0; i < num_candidates; ++i) {
+      auto config = space.SampleFeasible(rng);
+      if (!config.ok()) continue;
+      candidates.push_back(std::move(config).value());
+    }
+    if (candidates.size() < 2) continue;
+    SuccessiveHalving halving(bracket_options);
+    auto run = halving.Run(candidates, evaluator);
+    if (!run.ok()) continue;
+    ++result.brackets;
+    result.total_resource_spent += run->total_resource_spent;
+    const HalvingOutcome& winner = run->outcomes[run->winner_index];
+    if (!result.best.has_value() || winner.score < result.best_score) {
+      result.best = winner.config;
+      result.best_score = winner.score;
+    }
+  }
+  return result;
+}
+
+}  // namespace autotune

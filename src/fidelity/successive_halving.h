@@ -1,0 +1,84 @@
+#ifndef AUTOTUNE_FIDELITY_SUCCESSIVE_HALVING_H_
+#define AUTOTUNE_FIDELITY_SUCCESSIVE_HALVING_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/observation.h"
+#include "space/config_space.h"
+
+namespace autotune {
+
+/// Options for `SuccessiveHalving`.
+struct SuccessiveHalvingOptions {
+  /// Keep the best 1/eta fraction at each rung.
+  double eta = 3.0;
+  /// Resource (e.g. repetitions, or machines sampled) at the first rung.
+  int min_resource = 1;
+  /// Resource at the final rung.
+  int max_resource = 9;
+  /// Use the median across repetitions (robust to outlier machines — the
+  /// TUNA flavor, tutorial slide 71); false = mean.
+  bool robust_median = true;
+};
+
+/// Per-candidate outcome of a successive-halving run.
+struct HalvingOutcome {
+  Configuration config;
+  double score = 0.0;           ///< Last aggregated objective.
+  int highest_resource = 0;     ///< Resource level the candidate reached.
+  bool survived_to_final = false;
+};
+
+/// Result of a successive-halving run.
+struct HalvingResult {
+  std::vector<HalvingOutcome> outcomes;  ///< In input order.
+  size_t winner_index = 0;               ///< Index of the best survivor.
+  double total_resource_spent = 0.0;
+  int rungs = 0;
+};
+
+/// Successive halving (tutorial slide 71, the core of TUNA): evaluate all
+/// candidates cheaply, keep the best 1/eta, re-evaluate the survivors with
+/// eta-times the resource, repeat. "Progressively run on multiple VMs iff
+/// the config looks good" — the resource here abstracts repetitions /
+/// machines sampled.
+class SuccessiveHalving {
+ public:
+  /// Evaluator: runs `config` consuming `resource` units and returns one
+  /// objective sample per unit (minimize convention). The evaluator is
+  /// charged `resource` toward `total_resource_spent`.
+  using Evaluator = std::function<std::vector<double>(
+      const Configuration& config, int resource)>;
+
+  explicit SuccessiveHalving(SuccessiveHalvingOptions options = {});
+
+  /// Runs the tournament. Requires >= 2 candidates.
+  Result<HalvingResult> Run(const std::vector<Configuration>& candidates,
+                            const Evaluator& evaluator) const;
+
+ private:
+  SuccessiveHalvingOptions options_;
+};
+
+/// Hyperband: runs several successive-halving brackets trading off "many
+/// cheap candidates" against "few well-evaluated ones", sampling fresh
+/// candidates per bracket. Returns the best configuration found and the
+/// total resource spent.
+struct HyperbandResult {
+  std::optional<Configuration> best;
+  double best_score = 0.0;
+  double total_resource_spent = 0.0;
+  int brackets = 0;
+};
+
+HyperbandResult RunHyperband(
+    const ConfigSpace& space, const SuccessiveHalving::Evaluator& evaluator,
+    const SuccessiveHalvingOptions& options, int candidates_per_bracket,
+    int num_brackets, Rng* rng);
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_FIDELITY_SUCCESSIVE_HALVING_H_

@@ -1,0 +1,18 @@
+#ifndef AUTOTUNE_MATH_DISTRIBUTIONS_H_
+#define AUTOTUNE_MATH_DISTRIBUTIONS_H_
+
+namespace autotune {
+
+/// Standard normal density phi(x).
+double NormalPdf(double x);
+
+/// Standard normal CDF Phi(x), accurate to ~1e-7 (erfc-based).
+double NormalCdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, refined by
+/// one Halley step; |error| < 1e-9 on (0, 1)). CHECKs 0 < p < 1.
+double NormalQuantile(double p);
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_MATH_DISTRIBUTIONS_H_

@@ -1,0 +1,146 @@
+#include "math/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace autotune {
+
+namespace {
+
+// k-means++ seeding: first center uniform, then proportional to D^2.
+std::vector<Vector> SeedCentroids(const std::vector<Vector>& points, size_t k,
+                                  Rng* rng) {
+  std::vector<Vector> centroids;
+  centroids.reserve(k);
+  centroids.push_back(
+      points[static_cast<size_t>(rng->UniformInt(0, points.size() - 1))]);
+  std::vector<double> dist_sq(points.size(),
+                              std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      dist_sq[i] = std::min(dist_sq[i],
+                            SquaredDistance(points[i], centroids.back()));
+    }
+    const size_t next = rng->Categorical(dist_sq);
+    centroids.push_back(points[next]);
+  }
+  return centroids;
+}
+
+KMeansResult RunLloyd(const std::vector<Vector>& points, size_t k,
+                      const KMeansOptions& options, Rng* rng) {
+  const size_t dim = points[0].size();
+  KMeansResult result;
+  result.centroids = SeedCentroids(points, k, rng);
+  result.assignment.assign(points.size(), 0);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    double inertia = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      size_t best = NearestCentroid(result.centroids, points[i]);
+      result.assignment[i] = best;
+      inertia += SquaredDistance(points[i], result.centroids[best]);
+    }
+    result.inertia = inertia;
+    // Update step.
+    std::vector<Vector> sums(k, Vector(dim, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const size_t c = result.assignment[i];
+      ++counts[c];
+      for (size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        result.centroids[c] =
+            points[static_cast<size_t>(rng->UniformInt(0, points.size() - 1))];
+        continue;
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+    if (prev_inertia - inertia < options.tol) break;
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace
+
+size_t NearestCentroid(const std::vector<Vector>& centroids,
+                       const Vector& point) {
+  AUTOTUNE_CHECK(!centroids.empty());
+  size_t best = 0;
+  double best_dist = SquaredDistance(point, centroids[0]);
+  for (size_t c = 1; c < centroids.size(); ++c) {
+    const double dist = SquaredDistance(point, centroids[c]);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+Result<KMeansResult> KMeans(const std::vector<Vector>& points, size_t k,
+                            const KMeansOptions& options, Rng* rng) {
+  if (points.empty()) return Status::InvalidArgument("no points");
+  if (k < 1 || k > points.size()) {
+    return Status::InvalidArgument("k must be in [1, num points]");
+  }
+  const size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) return Status::InvalidArgument("ragged points");
+  }
+  AUTOTUNE_CHECK(rng != nullptr);
+  KMeansResult best;
+  bool have_best = false;
+  const int restarts = std::max(options.restarts, 1);
+  for (int r = 0; r < restarts; ++r) {
+    KMeansResult candidate = RunLloyd(points, k, options, rng);
+    if (!have_best || candidate.inertia < best.inertia) {
+      best = std::move(candidate);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+double SilhouetteScore(const std::vector<Vector>& points,
+                       const std::vector<size_t>& assignment, size_t k) {
+  AUTOTUNE_CHECK(points.size() == assignment.size());
+  if (k <= 1 || points.size() < 2) return 0.0;
+  double total = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::vector<double> mean_dist(k, 0.0);
+    std::vector<size_t> counts(k, 0);
+    for (size_t j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      mean_dist[assignment[j]] +=
+          std::sqrt(SquaredDistance(points[i], points[j]));
+      ++counts[assignment[j]];
+    }
+    const size_t own = assignment[i];
+    if (counts[own] == 0) continue;  // Singleton cluster: skip.
+    const double a = mean_dist[own] / static_cast<double>(counts[own]);
+    double b = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < k; ++c) {
+      if (c == own || counts[c] == 0) continue;
+      b = std::min(b, mean_dist[c] / static_cast<double>(counts[c]));
+    }
+    if (!std::isfinite(b)) continue;
+    total += (b - a) / std::max(a, b);
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace autotune

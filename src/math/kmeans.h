@@ -1,0 +1,44 @@
+#ifndef AUTOTUNE_MATH_KMEANS_H_
+#define AUTOTUNE_MATH_KMEANS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "math/matrix.h"
+
+namespace autotune {
+
+/// Result of a k-means clustering run.
+struct KMeansResult {
+  std::vector<Vector> centroids;   ///< k cluster centers.
+  std::vector<size_t> assignment;  ///< Cluster index per input point.
+  double inertia = 0.0;            ///< Sum of squared distances to centers.
+  int iterations = 0;              ///< Lloyd iterations executed.
+};
+
+/// Options for `KMeans`.
+struct KMeansOptions {
+  int max_iterations = 100;
+  double tol = 1e-6;   ///< Stop when inertia improvement falls below tol.
+  int restarts = 4;    ///< Independent k-means++ restarts; best kept.
+};
+
+/// Lloyd's algorithm with k-means++ seeding. Used for workload
+/// identification (clustering workload embeddings). Requires
+/// 1 <= k <= points.size() and equal-dimension points.
+Result<KMeansResult> KMeans(const std::vector<Vector>& points, size_t k,
+                            const KMeansOptions& options, Rng* rng);
+
+/// Index of the centroid nearest to `point` (CHECKs non-empty centroids).
+size_t NearestCentroid(const std::vector<Vector>& centroids,
+                       const Vector& point);
+
+/// Silhouette score in [-1, 1] for a clustering (higher = better separated);
+/// 0 when k == 1. O(n^2) — fine for the few hundred points we cluster.
+double SilhouetteScore(const std::vector<Vector>& points,
+                       const std::vector<size_t>& assignment, size_t k);
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_MATH_KMEANS_H_

@@ -1,0 +1,193 @@
+#include "math/linear_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "math/stats.h"
+
+namespace autotune {
+
+namespace {
+
+struct StandardizedData {
+  std::vector<Vector> xs;  // Standardized feature rows.
+  Vector ys_centered;      // y minus its mean.
+  double y_mean = 0.0;
+  Vector means;
+  Vector stddevs;
+};
+
+Result<StandardizedData> Standardize(const std::vector<Vector>& xs,
+                                     const Vector& ys) {
+  if (xs.empty()) return Status::InvalidArgument("no training rows");
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("xs/ys size mismatch");
+  }
+  const size_t dim = xs[0].size();
+  if (dim == 0) return Status::InvalidArgument("zero-dimensional features");
+  for (const auto& row : xs) {
+    if (row.size() != dim) return Status::InvalidArgument("ragged features");
+  }
+  StandardizedData data;
+  data.means.assign(dim, 0.0);
+  data.stddevs.assign(dim, 1.0);
+  for (size_t j = 0; j < dim; ++j) {
+    std::vector<double> column(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) column[i] = xs[i][j];
+    const Standardizer s = FitStandardizer(column);
+    data.means[j] = s.mean;
+    data.stddevs[j] = s.stddev;
+  }
+  data.xs.reserve(xs.size());
+  for (const auto& row : xs) {
+    Vector z(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      z[j] = (row[j] - data.means[j]) / data.stddevs[j];
+    }
+    data.xs.push_back(std::move(z));
+  }
+  data.y_mean = Mean(ys);
+  data.ys_centered.resize(ys.size());
+  for (size_t i = 0; i < ys.size(); ++i) {
+    data.ys_centered[i] = ys[i] - data.y_mean;
+  }
+  return data;
+}
+
+LinearModel MakeModel(const StandardizedData& data, Vector weights) {
+  LinearModel model;
+  model.weights = std::move(weights);
+  model.intercept = data.y_mean;
+  model.feature_means = data.means;
+  model.feature_stddevs = data.stddevs;
+  return model;
+}
+
+}  // namespace
+
+double LinearModel::Predict(const Vector& x) const {
+  AUTOTUNE_CHECK(x.size() == weights.size());
+  double y = intercept;
+  for (size_t j = 0; j < x.size(); ++j) {
+    y += weights[j] * (x[j] - feature_means[j]) / feature_stddevs[j];
+  }
+  return y;
+}
+
+Result<LinearModel> FitRidge(const std::vector<Vector>& xs, const Vector& ys,
+                             double lambda) {
+  if (lambda < 0.0) return Status::InvalidArgument("negative lambda");
+  AUTOTUNE_ASSIGN_OR_RETURN(StandardizedData data, Standardize(xs, ys));
+  const size_t dim = data.xs[0].size();
+  const size_t n = data.xs.size();
+  // Normal equations: (X^T X + lambda I) w = X^T y.
+  Matrix gram(dim, dim);
+  Vector xty(dim, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      xty[j] += data.xs[i][j] * data.ys_centered[i];
+      for (size_t k = j; k < dim; ++k) {
+        gram(j, k) += data.xs[i][j] * data.xs[i][k];
+      }
+    }
+  }
+  for (size_t j = 0; j < dim; ++j) {
+    for (size_t k = 0; k < j; ++k) gram(j, k) = gram(k, j);
+  }
+  gram.AddDiagonal(lambda + 1e-10);
+  AUTOTUNE_ASSIGN_OR_RETURN(Matrix chol, CholeskyWithJitter(gram));
+  return MakeModel(data, CholeskySolve(chol, xty));
+}
+
+Result<LinearModel> FitLasso(const std::vector<Vector>& xs, const Vector& ys,
+                             double lambda, int max_sweeps, double tol) {
+  if (lambda < 0.0) return Status::InvalidArgument("negative lambda");
+  AUTOTUNE_ASSIGN_OR_RETURN(StandardizedData data, Standardize(xs, ys));
+  const size_t dim = data.xs[0].size();
+  const size_t n = data.xs.size();
+
+  // Precompute per-feature squared norms for the coordinate updates.
+  Vector col_sq(dim, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dim; ++j) col_sq[j] += data.xs[i][j] * data.xs[i][j];
+  }
+
+  Vector weights(dim, 0.0);
+  Vector residual = data.ys_centered;  // r = y - X w (w starts at 0).
+  const double threshold = lambda * static_cast<double>(n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double max_delta = 0.0;
+    for (size_t j = 0; j < dim; ++j) {
+      if (col_sq[j] <= 1e-12) continue;
+      // rho = X_j . (r + X_j * w_j): correlation of feature j with the
+      // residual excluding its own contribution.
+      double rho = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        rho += data.xs[i][j] * (residual[i] + data.xs[i][j] * weights[j]);
+      }
+      double new_weight = 0.0;
+      if (rho > threshold) {
+        new_weight = (rho - threshold) / col_sq[j];
+      } else if (rho < -threshold) {
+        new_weight = (rho + threshold) / col_sq[j];
+      }
+      const double delta = new_weight - weights[j];
+      if (delta != 0.0) {
+        for (size_t i = 0; i < n; ++i) {
+          residual[i] -= data.xs[i][j] * delta;
+        }
+        weights[j] = new_weight;
+      }
+      max_delta = std::max(max_delta, std::abs(delta));
+    }
+    if (max_delta < tol) break;
+  }
+  return MakeModel(data, std::move(weights));
+}
+
+Result<std::vector<size_t>> LassoImportanceOrder(
+    const std::vector<Vector>& xs, const Vector& ys, int num_lambdas) {
+  if (num_lambdas < 2) return Status::InvalidArgument("need >= 2 lambdas");
+  AUTOTUNE_ASSIGN_OR_RETURN(StandardizedData data, Standardize(xs, ys));
+  const size_t dim = data.xs[0].size();
+  const size_t n = data.xs.size();
+  // lambda_max: smallest lambda at which all weights are zero.
+  double lambda_max = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    double rho = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      rho += data.xs[i][j] * data.ys_centered[i];
+    }
+    lambda_max = std::max(lambda_max, std::abs(rho) / static_cast<double>(n));
+  }
+  if (lambda_max <= 0.0) {
+    // y is constant: no feature matters; return index order.
+    std::vector<size_t> order(dim);
+    for (size_t j = 0; j < dim; ++j) order[j] = j;
+    return order;
+  }
+  const double lambda_min = lambda_max * 1e-3;
+  std::vector<size_t> order;
+  std::vector<bool> entered(dim, false);
+  for (int k = 0; k < num_lambdas; ++k) {
+    const double t =
+        static_cast<double>(k) / static_cast<double>(num_lambdas - 1);
+    const double lambda =
+        lambda_max * std::pow(lambda_min / lambda_max, t) * 0.999;
+    AUTOTUNE_ASSIGN_OR_RETURN(LinearModel model, FitLasso(xs, ys, lambda));
+    for (size_t j = 0; j < dim; ++j) {
+      if (!entered[j] && std::abs(model.weights[j]) > 1e-9) {
+        entered[j] = true;
+        order.push_back(j);
+      }
+    }
+    if (order.size() == dim) break;
+  }
+  for (size_t j = 0; j < dim; ++j) {
+    if (!entered[j]) order.push_back(j);
+  }
+  return order;
+}
+
+}  // namespace autotune

@@ -1,0 +1,47 @@
+#ifndef AUTOTUNE_MATH_LINEAR_MODEL_H_
+#define AUTOTUNE_MATH_LINEAR_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "math/matrix.h"
+
+namespace autotune {
+
+/// A fitted linear model y ~ intercept + x . weights, on standardized
+/// features. Used by OtterTune-style knob-importance ranking (Lasso) and by
+/// simple performance predictors.
+struct LinearModel {
+  Vector weights;            ///< One weight per feature (standardized space).
+  double intercept = 0.0;    ///< Intercept (original-y space).
+  Vector feature_means;      ///< Standardization means per feature.
+  Vector feature_stddevs;    ///< Standardization stddevs per feature.
+
+  /// Predicts y for a raw (unstandardized) feature vector.
+  double Predict(const Vector& x) const;
+};
+
+/// Ridge regression with L2 penalty `lambda` >= 0, solved in closed form via
+/// Cholesky on the (standardized) normal equations.
+Result<LinearModel> FitRidge(const std::vector<Vector>& xs, const Vector& ys,
+                             double lambda);
+
+/// Lasso (L1) regression via cyclic coordinate descent on standardized
+/// features. `lambda` >= 0 controls sparsity. Converges when the max
+/// coefficient change per sweep drops below `tol` or after `max_sweeps`.
+Result<LinearModel> FitLasso(const std::vector<Vector>& xs, const Vector& ys,
+                             double lambda, int max_sweeps = 1000,
+                             double tol = 1e-7);
+
+/// The full Lasso regularization path: fits at each lambda (descending) and
+/// records the order in which features first enter the model — OtterTune's
+/// knob-importance criterion (features entering earlier matter more).
+/// Returns indices of all features ordered by importance (entered-first
+/// first; features that never enter go last in index order).
+Result<std::vector<size_t>> LassoImportanceOrder(
+    const std::vector<Vector>& xs, const Vector& ys,
+    int num_lambdas = 50);
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_MATH_LINEAR_MODEL_H_

@@ -1,0 +1,234 @@
+#include "math/matrix.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Result<Matrix> Matrix::FromRows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return Status::InvalidArgument("no rows");
+  const size_t cols = rows[0].size();
+  if (cols == 0) return Status::InvalidArgument("empty rows");
+  Matrix m(rows.size(), cols);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != cols) {
+      return Status::InvalidArgument("ragged rows");
+    }
+    for (size_t j = 0; j < cols; ++j) m(i, j) = rows[i][j];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::Row(size_t i) const {
+  AUTOTUNE_CHECK(i < rows_);
+  Vector row(cols_);
+  for (size_t j = 0; j < cols_; ++j) row[j] = (*this)(i, j);
+  return row;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  AUTOTUNE_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += aik * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::MultiplyVec(const Vector& v) const {
+  AUTOTUNE_CHECK(cols_ == v.size());
+  Vector out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < cols_; ++j) sum += (*this)(i, j) * v[j];
+    out[i] = sum;
+  }
+  return out;
+}
+
+void Matrix::AddDiagonal(double s) {
+  AUTOTUNE_CHECK(rows_ == cols_);
+  for (size_t i = 0; i < rows_; ++i) (*this)(i, i) += s;
+}
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          return Status::FailedPrecondition(
+              "matrix is not positive definite (pivot " +
+              std::to_string(sum) + " at " + std::to_string(i) + ")");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Result<Matrix> CholeskyWithJitter(const Matrix& a, double max_jitter,
+                                  double* jitter_used) {
+  Result<Matrix> direct = Cholesky(a);
+  if (direct.ok()) {
+    if (jitter_used != nullptr) *jitter_used = 0.0;
+    return direct;
+  }
+  for (double jitter = 1e-10; jitter <= max_jitter; jitter *= 100.0) {
+    Matrix jittered = a;
+    jittered.AddDiagonal(jitter);
+    Result<Matrix> attempt = Cholesky(jittered);
+    if (attempt.ok()) {
+      if (jitter_used != nullptr) *jitter_used = jitter;
+      return attempt;
+    }
+  }
+  return Status::FailedPrecondition(
+      "matrix not positive definite even with jitter " +
+      std::to_string(max_jitter));
+}
+
+Vector SolveLowerTriangular(const Matrix& l, const Vector& b) {
+  AUTOTUNE_CHECK(l.rows() == l.cols());
+  AUTOTUNE_CHECK(l.rows() == b.size());
+  const size_t n = b.size();
+  Vector x(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t j = 0; j < i; ++j) sum -= l(i, j) * x[j];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+Vector SolveUpperTriangularFromLower(const Matrix& l, const Vector& b) {
+  AUTOTUNE_CHECK(l.rows() == l.cols());
+  AUTOTUNE_CHECK(l.rows() == b.size());
+  const size_t n = b.size();
+  Vector x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double sum = b[i];
+    for (size_t j = i + 1; j < n; ++j) sum -= l(j, i) * x[j];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+Vector CholeskySolve(const Matrix& l, const Vector& b) {
+  return SolveUpperTriangularFromLower(l, SolveLowerTriangular(l, b));
+}
+
+double LogDetFromCholesky(const Matrix& l) {
+  double sum = 0.0;
+  for (size_t i = 0; i < l.rows(); ++i) sum += std::log(l(i, i));
+  return 2.0 * sum;
+}
+
+Result<EigenResult> SymmetricEigen(const Matrix& a, int max_sweeps) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SymmetricEigen requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix d = a;  // Will be driven to diagonal form.
+  Matrix v = Matrix::Identity(n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Largest off-diagonal magnitude decides convergence.
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        off = std::max(off, std::abs(d(p, q)));
+      }
+    }
+    if (off < 1e-12) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        if (std::abs(d(p, q)) < 1e-14) continue;
+        // Jacobi rotation annihilating d(p, q).
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * d(p, q));
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  EigenResult result;
+  result.eigenvectors = v;
+  result.eigenvalues.resize(n);
+  for (size_t i = 0; i < n; ++i) result.eigenvalues[i] = d(i, i);
+  return result;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  AUTOTUNE_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(const Vector& v) { return std::sqrt(Dot(v, v)); }
+
+double SquaredDistance(const Vector& a, const Vector& b) {
+  AUTOTUNE_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace autotune

@@ -1,0 +1,99 @@
+#ifndef AUTOTUNE_MATH_MATRIX_H_
+#define AUTOTUNE_MATH_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace autotune {
+
+/// Dense column vector.
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles. Sized for the moderate dimensions of
+/// surrogate modeling (a few hundred rows), not BLAS-scale workloads.
+class Matrix {
+ public:
+  /// Creates a rows x cols matrix of zeros.
+  Matrix(size_t rows, size_t cols);
+
+  /// Creates a matrix from rows of equal length.
+  static Result<Matrix> FromRows(const std::vector<Vector>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t i, size_t j) { return data_[i * cols_ + j]; }
+  double operator()(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+
+  /// Row `i` as a vector copy.
+  Vector Row(size_t i) const;
+
+  /// Matrix transpose.
+  Matrix Transposed() const;
+
+  /// this * other. Dimensions must agree (CHECKed).
+  Matrix Multiply(const Matrix& other) const;
+
+  /// this * v.
+  Vector MultiplyVec(const Vector& v) const;
+
+  /// In-place: this += s * I (requires square).
+  void AddDiagonal(double s);
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix:
+/// A = L * L^T. Fails with FailedPrecondition if A is not (numerically) PD.
+Result<Matrix> Cholesky(const Matrix& a);
+
+/// Cholesky with escalating diagonal jitter: retries with jitter
+/// 1e-10, 1e-8, ... up to `max_jitter` until the factorization succeeds.
+/// Returns the factor and writes the jitter used to `*jitter_used` if
+/// non-null. This is the standard GP trick for near-singular kernel matrices.
+Result<Matrix> CholeskyWithJitter(const Matrix& a, double max_jitter = 1e-2,
+                                  double* jitter_used = nullptr);
+
+/// Solves L * x = b where L is lower triangular (forward substitution).
+Vector SolveLowerTriangular(const Matrix& l, const Vector& b);
+
+/// Solves L^T * x = b where L is lower triangular (back substitution).
+Vector SolveUpperTriangularFromLower(const Matrix& l, const Vector& b);
+
+/// Solves A * x = b given the Cholesky factor L of A (two triangular solves).
+Vector CholeskySolve(const Matrix& l, const Vector& b);
+
+/// log(det(A)) given the Cholesky factor L of A: 2 * sum(log(L_ii)).
+double LogDetFromCholesky(const Matrix& l);
+
+/// Eigendecomposition of a symmetric matrix A = V diag(w) V^T via the cyclic
+/// Jacobi method. `eigenvectors` columns are the eigenvectors; `eigenvalues`
+/// are in no particular order. Fails on non-square input.
+struct EigenResult {
+  Matrix eigenvectors;
+  Vector eigenvalues;
+
+  EigenResult() : eigenvectors(0, 0) {}
+};
+Result<EigenResult> SymmetricEigen(const Matrix& a, int max_sweeps = 50);
+
+/// Dot product (sizes must match, CHECKed).
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double Norm2(const Vector& v);
+
+/// Squared Euclidean distance between two equal-size vectors.
+double SquaredDistance(const Vector& a, const Vector& b);
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_MATH_MATRIX_H_

@@ -1,0 +1,98 @@
+#include "math/pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace autotune {
+
+Result<Pca> Pca::Fit(const std::vector<Vector>& data, size_t num_components,
+                     int power_iterations) {
+  if (data.size() < 2) return Status::InvalidArgument("need >= 2 rows");
+  const size_t dim = data[0].size();
+  if (dim == 0) return Status::InvalidArgument("zero-dimensional rows");
+  for (const auto& row : data) {
+    if (row.size() != dim) return Status::InvalidArgument("ragged rows");
+  }
+  if (num_components < 1 || num_components > dim) {
+    return Status::InvalidArgument("num_components out of range");
+  }
+
+  Pca pca;
+  pca.mean_.assign(dim, 0.0);
+  for (const auto& row : data) {
+    for (size_t j = 0; j < dim; ++j) pca.mean_[j] += row[j];
+  }
+  for (double& m : pca.mean_) m /= static_cast<double>(data.size());
+
+  // Covariance matrix (dim is small for our feature vectors).
+  Matrix cov(dim, dim);
+  for (const auto& row : data) {
+    for (size_t a = 0; a < dim; ++a) {
+      const double da = row[a] - pca.mean_[a];
+      for (size_t b = a; b < dim; ++b) {
+        cov(a, b) += da * (row[b] - pca.mean_[b]);
+      }
+    }
+  }
+  for (size_t a = 0; a < dim; ++a) {
+    for (size_t b = 0; b < a; ++b) cov(a, b) = cov(b, a);
+    for (size_t b = a; b < dim; ++b) {
+      cov(a, b) /= static_cast<double>(data.size() - 1);
+      if (a != b) cov(b, a) = cov(a, b);
+    }
+  }
+
+  // Power iteration with deflation.
+  Rng rng(12345);
+  for (size_t c = 0; c < num_components; ++c) {
+    Vector v(dim);
+    for (auto& x : v) x = rng.Normal();
+    double eigenvalue = 0.0;
+    for (int iter = 0; iter < power_iterations; ++iter) {
+      Vector next = cov.MultiplyVec(v);
+      const double norm = Norm2(next);
+      if (norm < 1e-15) break;  // Remaining variance is ~0.
+      for (double& x : next) x /= norm;
+      eigenvalue = norm;
+      v = std::move(next);
+    }
+    pca.components_.push_back(v);
+    pca.explained_variance_.push_back(std::max(eigenvalue, 0.0));
+    // Deflate: cov -= lambda v v^T.
+    for (size_t a = 0; a < dim; ++a) {
+      for (size_t b = 0; b < dim; ++b) {
+        cov(a, b) -= eigenvalue * v[a] * v[b];
+      }
+    }
+  }
+  return pca;
+}
+
+Vector Pca::Transform(const Vector& x) const {
+  AUTOTUNE_CHECK(x.size() == mean_.size());
+  Vector projected(components_.size());
+  for (size_t c = 0; c < components_.size(); ++c) {
+    double dot = 0.0;
+    for (size_t j = 0; j < mean_.size(); ++j) {
+      dot += components_[c][j] * (x[j] - mean_[j]);
+    }
+    projected[c] = dot;
+  }
+  return projected;
+}
+
+Vector Pca::InverseTransform(const Vector& projected) const {
+  AUTOTUNE_CHECK(projected.size() == components_.size());
+  Vector x = mean_;
+  for (size_t c = 0; c < components_.size(); ++c) {
+    for (size_t j = 0; j < mean_.size(); ++j) {
+      x[j] += projected[c] * components_[c][j];
+    }
+  }
+  return x;
+}
+
+}  // namespace autotune

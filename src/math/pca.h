@@ -1,0 +1,44 @@
+#ifndef AUTOTUNE_MATH_PCA_H_
+#define AUTOTUNE_MATH_PCA_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "math/matrix.h"
+
+namespace autotune {
+
+/// Principal component analysis via power iteration with deflation — the
+/// classical dimensionality reduction for workload embeddings (an
+/// alternative to random projection when a corpus is available to fit on).
+class Pca {
+ public:
+  /// Fits `num_components` components (1 <= k <= feature dim) on mean-
+  /// centered `data` (>= 2 equal-length rows).
+  static Result<Pca> Fit(const std::vector<Vector>& data,
+                         size_t num_components, int power_iterations = 100);
+
+  /// Projects a feature vector onto the fitted components.
+  Vector Transform(const Vector& x) const;
+
+  /// Reconstructs an approximation of the original vector from its
+  /// projection (mean + sum of component contributions).
+  Vector InverseTransform(const Vector& projected) const;
+
+  /// Variance captured by each component, largest first.
+  const Vector& explained_variance() const { return explained_variance_; }
+
+  size_t num_components() const { return components_.size(); }
+  size_t input_dim() const { return mean_.size(); }
+
+ private:
+  Pca() = default;
+
+  Vector mean_;
+  std::vector<Vector> components_;  // Orthonormal rows.
+  Vector explained_variance_;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_MATH_PCA_H_

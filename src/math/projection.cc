@@ -1,0 +1,78 @@
+#include "math/projection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+
+RandomProjection::RandomProjection(Kind kind, size_t low_dim, size_t high_dim)
+    : kind_(kind), low_dim_(low_dim), high_dim_(high_dim) {}
+
+Result<RandomProjection> RandomProjection::Create(Kind kind, size_t low_dim,
+                                                  size_t high_dim, Rng* rng) {
+  if (low_dim == 0 || high_dim == 0) {
+    return Status::InvalidArgument("dimensions must be positive");
+  }
+  if (low_dim > high_dim) {
+    return Status::InvalidArgument("low_dim must be <= high_dim");
+  }
+  AUTOTUNE_CHECK(rng != nullptr);
+  RandomProjection p(kind, low_dim, high_dim);
+  switch (kind) {
+    case Kind::kGaussian: {
+      p.dense_.resize(high_dim * low_dim);
+      const double scale = 1.0 / std::sqrt(static_cast<double>(low_dim));
+      for (auto& entry : p.dense_) entry = rng->Normal() * scale;
+      break;
+    }
+    case Kind::kHesbo: {
+      p.source_.resize(high_dim);
+      p.sign_.resize(high_dim);
+      for (size_t i = 0; i < high_dim; ++i) {
+        // Guarantee surjectivity: the first low_dim high dims cover every
+        // low dim once; the rest are random.
+        p.source_[i] = i < low_dim
+                           ? i
+                           : static_cast<size_t>(rng->UniformInt(
+                                 0, static_cast<int64_t>(low_dim) - 1));
+        p.sign_[i] = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+      }
+      break;
+    }
+  }
+  return p;
+}
+
+Vector RandomProjection::Up(const Vector& low_point) const {
+  AUTOTUNE_CHECK(low_point.size() == low_dim_);
+  Vector high(high_dim_);
+  // Map [0,1] -> [-1,1], project, clip, map back.
+  Vector centered(low_dim_);
+  for (size_t j = 0; j < low_dim_; ++j) {
+    centered[j] = 2.0 * low_point[j] - 1.0;
+  }
+  switch (kind_) {
+    case Kind::kGaussian:
+      for (size_t i = 0; i < high_dim_; ++i) {
+        double sum = 0.0;
+        for (size_t j = 0; j < low_dim_; ++j) {
+          sum += dense_[i * low_dim_ + j] * centered[j];
+        }
+        high[i] = sum;
+      }
+      break;
+    case Kind::kHesbo:
+      for (size_t i = 0; i < high_dim_; ++i) {
+        high[i] = sign_[i] * centered[source_[i]];
+      }
+      break;
+  }
+  for (size_t i = 0; i < high_dim_; ++i) {
+    high[i] = std::clamp(high[i], -1.0, 1.0) * 0.5 + 0.5;
+  }
+  return high;
+}
+
+}  // namespace autotune

@@ -1,0 +1,53 @@
+#ifndef AUTOTUNE_MATH_PROJECTION_H_
+#define AUTOTUNE_MATH_PROJECTION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "math/matrix.h"
+
+namespace autotune {
+
+/// Random linear embeddings for dimensionality reduction, the core of
+/// LlamaTune / HesBO-style low-dimensional search-space tuning (tutorial
+/// slide 62): the optimizer searches a d-dimensional box and the projection
+/// maps its points into the D-dimensional (D > d) original space.
+class RandomProjection {
+ public:
+  /// Projection families.
+  enum class Kind {
+    /// Dense Gaussian matrix, entries N(0, 1/d) (REMBO-style).
+    kGaussian,
+    /// HesBO-style count-sketch: each high dimension copies exactly one low
+    /// dimension with a random sign. Preserves box membership exactly.
+    kHesbo,
+  };
+
+  /// Creates a projection from `low_dim` to `high_dim` (low_dim <= high_dim).
+  static Result<RandomProjection> Create(Kind kind, size_t low_dim,
+                                         size_t high_dim, Rng* rng);
+
+  size_t low_dim() const { return low_dim_; }
+  size_t high_dim() const { return high_dim_; }
+
+  /// Maps a point in the low-dim unit cube [0,1]^d to the high-dim unit cube
+  /// [0,1]^D. Internally works in [-1,1] and clips, as LlamaTune does.
+  Vector Up(const Vector& low_point) const;
+
+ private:
+  RandomProjection(Kind kind, size_t low_dim, size_t high_dim);
+
+  Kind kind_;
+  size_t low_dim_;
+  size_t high_dim_;
+  // Gaussian: row-major high_dim x low_dim matrix.
+  std::vector<double> dense_;
+  // HesBO: for each high dim, the source low dim and a sign.
+  std::vector<size_t> source_;
+  std::vector<double> sign_;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_MATH_PROJECTION_H_

@@ -1,0 +1,47 @@
+#include "math/quasirandom.h"
+
+#include "common/check.h"
+
+namespace autotune {
+
+namespace {
+
+// Enough primes for any realistic configuration-space dimensionality.
+constexpr unsigned kPrimes[] = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,
+    43,  47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101,
+    103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167,
+    173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239,
+    241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307, 311, 313};
+constexpr size_t kNumPrimes = sizeof(kPrimes) / sizeof(kPrimes[0]);
+
+}  // namespace
+
+double RadicalInverse(size_t index, unsigned base) {
+  double result = 0.0;
+  double fraction = 1.0 / static_cast<double>(base);
+  size_t i = index;
+  while (i > 0) {
+    result += static_cast<double>(i % base) * fraction;
+    i /= base;
+    fraction /= static_cast<double>(base);
+  }
+  return result;
+}
+
+HaltonSequence::HaltonSequence(size_t dim, size_t skip)
+    : dim_(dim), index_(skip + 1) {
+  AUTOTUNE_CHECK(dim >= 1);
+  AUTOTUNE_CHECK_MSG(dim <= kNumPrimes, "dimension too large for Halton");
+}
+
+Vector HaltonSequence::Next() {
+  Vector point(dim_);
+  for (size_t d = 0; d < dim_; ++d) {
+    point[d] = RadicalInverse(index_, kPrimes[d]);
+  }
+  ++index_;
+  return point;
+}
+
+}  // namespace autotune

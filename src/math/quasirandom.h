@@ -1,0 +1,36 @@
+#ifndef AUTOTUNE_MATH_QUASIRANDOM_H_
+#define AUTOTUNE_MATH_QUASIRANDOM_H_
+
+#include <cstddef>
+
+#include "math/matrix.h"
+
+namespace autotune {
+
+/// Halton low-discrepancy sequence generator over the unit cube, used for
+/// space-filling initial designs (better coverage than i.i.d. random for the
+/// first few trials of a BO run).
+class HaltonSequence {
+ public:
+  /// Creates a generator for `dim` dimensions (dim >= 1; the first `dim`
+  /// primes are used as bases). `skip` initial points are discarded to avoid
+  /// the sequence's correlated warm-up region.
+  explicit HaltonSequence(size_t dim, size_t skip = 20);
+
+  /// Next point in [0, 1)^dim.
+  Vector Next();
+
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_;
+  size_t index_;
+};
+
+/// Radical inverse of `index` in the given `base` (the Halton/van der Corput
+/// kernel). Exposed for testing.
+double RadicalInverse(size_t index, unsigned base);
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_MATH_QUASIRANDOM_H_

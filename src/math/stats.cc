@@ -1,0 +1,126 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+
+double Mean(const std::vector<double>& xs) {
+  AUTOTUNE_CHECK(!xs.empty());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mean = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) {
+    const double d = x - mean;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(xs.size() - 1);
+}
+
+double Stddev(const std::vector<double>& xs) {
+  return std::sqrt(Variance(xs));
+}
+
+double Min(const std::vector<double>& xs) {
+  AUTOTUNE_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  AUTOTUNE_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  AUTOTUNE_CHECK(!xs.empty());
+  AUTOTUNE_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double Median(std::vector<double> xs) { return Quantile(std::move(xs), 0.5); }
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  AUTOTUNE_CHECK(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+BootstrapInterval BootstrapMeanCi(const std::vector<double>& xs,
+                                  double confidence, size_t resamples,
+                                  Rng* rng) {
+  AUTOTUNE_CHECK(!xs.empty());
+  AUTOTUNE_CHECK(confidence > 0.0 && confidence < 1.0);
+  AUTOTUNE_CHECK(resamples > 0);
+  AUTOTUNE_CHECK(rng != nullptr);
+  std::vector<double> means;
+  means.reserve(resamples);
+  const int64_t n = static_cast<int64_t>(xs.size());
+  for (size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      sum += xs[static_cast<size_t>(rng->UniformInt(0, n - 1))];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+  const double tail = (1.0 - confidence) / 2.0;
+  BootstrapInterval ci;
+  ci.lower = Quantile(means, tail);
+  ci.upper = Quantile(means, 1.0 - tail);
+  return ci;
+}
+
+Standardizer FitStandardizer(const std::vector<double>& xs) {
+  Standardizer s;
+  if (xs.empty()) return s;
+  s.mean = Mean(xs);
+  const double sd = Stddev(xs);
+  s.stddev = sd > 1e-12 ? sd : 1.0;
+  return s;
+}
+
+EwmaTracker::EwmaTracker(double alpha) : alpha_(alpha) {
+  AUTOTUNE_CHECK(alpha > 0.0 && alpha <= 1.0);
+}
+
+void EwmaTracker::Observe(double x) {
+  if (count_ == 0) {
+    mean_ = x;
+    variance_ = 0.0;
+  } else {
+    const double delta = x - mean_;
+    // West (1979) incremental EWMA mean/variance update.
+    const double incr = alpha_ * delta;
+    mean_ += incr;
+    variance_ = (1.0 - alpha_) * (variance_ + delta * incr);
+  }
+  ++count_;
+}
+
+}  // namespace autotune

@@ -1,0 +1,89 @@
+#ifndef AUTOTUNE_MATH_STATS_H_
+#define AUTOTUNE_MATH_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace autotune {
+
+/// Descriptive statistics over samples — used for benchmark-result
+/// aggregation (mean/median/P95 latency, noise estimation) throughout the
+/// trial runner and report code. All functions CHECK for non-empty input
+/// where a value is required.
+
+/// Arithmetic mean.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+double Variance(const std::vector<double>& xs);
+
+/// sqrt(Variance).
+double Stddev(const std::vector<double>& xs);
+
+/// Smallest / largest element.
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+/// Quantile `q` in [0, 1] by linear interpolation between order statistics
+/// (the "type 7" estimator used by NumPy/R default).
+double Quantile(std::vector<double> xs, double q);
+
+/// Median (Quantile 0.5).
+double Median(std::vector<double> xs);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Confidence interval for the mean via the percentile bootstrap.
+struct BootstrapInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+BootstrapInterval BootstrapMeanCi(const std::vector<double>& xs,
+                                  double confidence, size_t resamples,
+                                  Rng* rng);
+
+/// Standardizes values to zero mean / unit variance. If the variance is ~0
+/// the output is all zeros. Outputs the transform used so it can be applied
+/// to new points or inverted.
+struct Standardizer {
+  double mean = 0.0;
+  double stddev = 1.0;
+
+  double Apply(double x) const { return (x - mean) / stddev; }
+  double Invert(double z) const { return z * stddev + mean; }
+};
+Standardizer FitStandardizer(const std::vector<double>& xs);
+
+/// Exponentially weighted moving average / variance tracker for online
+/// statistics (used by the workload-shift detector and online agents).
+class EwmaTracker {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest observation.
+  explicit EwmaTracker(double alpha);
+
+  /// Incorporates an observation.
+  void Observe(double x);
+
+  /// Current smoothed mean (0 before any observation).
+  double mean() const { return mean_; }
+
+  /// Current smoothed variance estimate.
+  double variance() const { return variance_; }
+
+  /// Number of observations so far.
+  size_t count() const { return count_; }
+
+ private:
+  double alpha_;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+  size_t count_ = 0;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_MATH_STATS_H_

@@ -1,0 +1,165 @@
+#include "multiobj/parego.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "math/distributions.h"
+#include "optimizers/acquisition.h"
+
+namespace autotune {
+
+namespace {
+
+// Scores candidates by EI against a GP fitted to (encoded, value) pairs and
+// returns the best feasible candidate.
+Result<Configuration> SuggestByGpEi(
+    const ConfigSpace& space, const SpaceEncoder& encoder,
+    const std::vector<std::pair<Vector, double>>& data, int num_candidates,
+    Rng* rng) {
+  std::vector<Vector> xs;
+  Vector ys;
+  xs.reserve(data.size());
+  ys.reserve(data.size());
+  double incumbent = std::numeric_limits<double>::infinity();
+  for (const auto& [x, y] : data) {
+    xs.push_back(x);
+    ys.push_back(y);
+    incumbent = std::min(incumbent, y);
+  }
+  auto gp = GaussianProcess::MakeDefault();
+  AUTOTUNE_RETURN_IF_ERROR(gp->Fit(xs, ys));
+
+  AcquisitionParams params;
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::optional<Configuration> best;
+  for (int i = 0; i < num_candidates; ++i) {
+    Configuration candidate = space.Sample(rng);
+    if (!space.IsFeasible(candidate)) continue;
+    AUTOTUNE_ASSIGN_OR_RETURN(Vector x, encoder.Encode(candidate));
+    const double score =
+        EvaluateAcquisition(AcquisitionKind::kExpectedImprovement, params,
+                            gp->Predict(x), incumbent);
+    if (score > best_score) {
+      best_score = score;
+      best = std::move(candidate);
+    }
+  }
+  if (!best.has_value()) return space.SampleFeasible(rng);
+  return *best;
+}
+
+}  // namespace
+
+ParEgoOptimizer::ParEgoOptimizer(const ConfigSpace* space, uint64_t seed,
+                                 size_t num_objectives, MooOptions options)
+    : space_(space),
+      rng_(seed),
+      num_objectives_(num_objectives),
+      options_(options),
+      encoder_(space, SpaceEncoder::CategoricalMode::kOrdinal),
+      halton_(space->size()) {
+  AUTOTUNE_CHECK(space != nullptr);
+  AUTOTUNE_CHECK(num_objectives >= 2);
+}
+
+std::vector<Vector> ParEgoOptimizer::NormalizedObjectives() const {
+  Vector lo(num_objectives_, std::numeric_limits<double>::infinity());
+  Vector hi(num_objectives_, -std::numeric_limits<double>::infinity());
+  for (const auto& [config, objectives] : history_) {
+    for (size_t i = 0; i < num_objectives_; ++i) {
+      lo[i] = std::min(lo[i], objectives[i]);
+      hi[i] = std::max(hi[i], objectives[i]);
+    }
+  }
+  std::vector<Vector> normalized;
+  normalized.reserve(history_.size());
+  for (const auto& [config, objectives] : history_) {
+    Vector z(num_objectives_);
+    for (size_t i = 0; i < num_objectives_; ++i) {
+      const double range = hi[i] - lo[i];
+      z[i] = range > 1e-12 ? (objectives[i] - lo[i]) / range : 0.0;
+    }
+    normalized.push_back(std::move(z));
+  }
+  return normalized;
+}
+
+Result<Configuration> ParEgoOptimizer::Suggest() {
+  if (history_.size() < static_cast<size_t>(options_.initial_design)) {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      Configuration config = space_->FromUnit(halton_.Next());
+      if (space_->IsFeasible(config)) return config;
+    }
+    return space_->SampleFeasible(&rng_);
+  }
+  // Random simplex weights (uniform via exponential spacings).
+  Vector weights(num_objectives_);
+  for (auto& w : weights) w = rng_.Exponential(1.0) + 1e-9;
+  // Scalarize all history with this draw.
+  const std::vector<Vector> normalized = NormalizedObjectives();
+  std::vector<std::pair<Vector, double>> data;
+  data.reserve(history_.size());
+  for (size_t i = 0; i < history_.size(); ++i) {
+    AUTOTUNE_ASSIGN_OR_RETURN(Vector x,
+                              encoder_.Encode(history_[i].first));
+    data.emplace_back(std::move(x),
+                      TchebycheffScalarization(normalized[i], weights,
+                                               options_.rho));
+  }
+  return SuggestByGpEi(*space_, encoder_, data, options_.num_candidates,
+                       &rng_);
+}
+
+Status ParEgoOptimizer::Observe(const Configuration& config,
+                                const Vector& objectives) {
+  if (objectives.size() != num_objectives_) {
+    return Status::InvalidArgument("expected " +
+                                   std::to_string(num_objectives_) +
+                                   " objectives");
+  }
+  history_.emplace_back(config, objectives);
+  archive_.Insert(objectives);
+  return Status::OK();
+}
+
+LinearScalarizationOptimizer::LinearScalarizationOptimizer(
+    const ConfigSpace* space, uint64_t seed, Vector weights,
+    MooOptions options)
+    : space_(space),
+      rng_(seed),
+      weights_(std::move(weights)),
+      options_(options),
+      encoder_(space, SpaceEncoder::CategoricalMode::kOrdinal),
+      halton_(space->size()) {
+  AUTOTUNE_CHECK(space != nullptr);
+  AUTOTUNE_CHECK(weights_.size() >= 2);
+}
+
+Result<Configuration> LinearScalarizationOptimizer::Suggest() {
+  if (scalarized_.size() < static_cast<size_t>(options_.initial_design)) {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      Configuration config = space_->FromUnit(halton_.Next());
+      if (space_->IsFeasible(config)) return config;
+    }
+    return space_->SampleFeasible(&rng_);
+  }
+  return SuggestByGpEi(*space_, encoder_, scalarized_,
+                       options_.num_candidates, &rng_);
+}
+
+Status LinearScalarizationOptimizer::Observe(const Configuration& config,
+                                             const Vector& objectives) {
+  if (objectives.size() != weights_.size()) {
+    return Status::InvalidArgument("objective/weight size mismatch");
+  }
+  AUTOTUNE_ASSIGN_OR_RETURN(Vector x, encoder_.Encode(config));
+  scalarized_.emplace_back(std::move(x),
+                           LinearScalarization(objectives, weights_));
+  archive_.Insert(objectives);
+  ++num_observations_;
+  return Status::OK();
+}
+
+}  // namespace autotune

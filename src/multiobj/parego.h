@@ -1,0 +1,103 @@
+#ifndef AUTOTUNE_MULTIOBJ_PAREGO_H_
+#define AUTOTUNE_MULTIOBJ_PAREGO_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "math/quasirandom.h"
+#include "multiobj/pareto.h"
+#include "space/encoding.h"
+#include "surrogate/gaussian_process.h"
+
+namespace autotune {
+
+/// Options for multi-objective optimizers.
+struct MooOptions {
+  int initial_design = 8;
+  int num_candidates = 256;
+  /// Tchebycheff augmentation for ParEGO.
+  double rho = 0.05;
+};
+
+/// Interface for optimizers that observe a VECTOR of objectives (all
+/// minimized) and maintain a Pareto archive (tutorial slide 58).
+class MultiObjectiveOptimizer {
+ public:
+  virtual ~MultiObjectiveOptimizer() = default;
+
+  virtual std::string name() const = 0;
+  virtual Result<Configuration> Suggest() = 0;
+  virtual Status Observe(const Configuration& config,
+                         const Vector& objectives) = 0;
+
+  /// The non-dominated objective vectors observed so far.
+  virtual const ParetoArchive& archive() const = 0;
+  virtual size_t num_observations() const = 0;
+};
+
+/// ParEGO (Knowles 2006; tutorial slide 58): each iteration draws a random
+/// weight vector on the simplex, scalarizes all observed objective vectors
+/// with the augmented Tchebycheff function, fits a GP to the scalarized
+/// values, and maximizes expected improvement. Different draws push the
+/// search toward different parts of the Pareto frontier.
+class ParEgoOptimizer : public MultiObjectiveOptimizer {
+ public:
+  ParEgoOptimizer(const ConfigSpace* space, uint64_t seed,
+                  size_t num_objectives, MooOptions options = {});
+
+  std::string name() const override { return "parego"; }
+  Result<Configuration> Suggest() override;
+  Status Observe(const Configuration& config,
+                 const Vector& objectives) override;
+  const ParetoArchive& archive() const override { return archive_; }
+  size_t num_observations() const override { return history_.size(); }
+
+ private:
+  /// Objective vectors min-max normalized over history (per dimension).
+  std::vector<Vector> NormalizedObjectives() const;
+
+  const ConfigSpace* space_;
+  Rng rng_;
+  size_t num_objectives_;
+  MooOptions options_;
+  SpaceEncoder encoder_;
+  HaltonSequence halton_;
+  std::vector<std::pair<Configuration, Vector>> history_;
+  ParetoArchive archive_;
+};
+
+/// Baseline: fixed linear scalarization (slide 58's "linear" strategy) —
+/// one weight vector for the whole run, optimized with GP-EI. Finds one
+/// point per run; sweeping weights across runs traces the convex part of
+/// the frontier only.
+class LinearScalarizationOptimizer : public MultiObjectiveOptimizer {
+ public:
+  LinearScalarizationOptimizer(const ConfigSpace* space, uint64_t seed,
+                               Vector weights, MooOptions options = {});
+
+  std::string name() const override { return "linear-scalar"; }
+  Result<Configuration> Suggest() override;
+  Status Observe(const Configuration& config,
+                 const Vector& objectives) override;
+  const ParetoArchive& archive() const override { return archive_; }
+  size_t num_observations() const override { return num_observations_; }
+
+ private:
+  const ConfigSpace* space_;
+  Rng rng_;
+  Vector weights_;
+  MooOptions options_;
+  SpaceEncoder encoder_;
+  HaltonSequence halton_;
+  std::vector<std::pair<Vector, double>> scalarized_;  // (encoded, value).
+  ParetoArchive archive_;
+  size_t num_observations_ = 0;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_MULTIOBJ_PAREGO_H_

@@ -1,0 +1,114 @@
+#include "multiobj/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+
+bool Dominates(const Vector& a, const Vector& b) {
+  AUTOTUNE_CHECK(a.size() == b.size());
+  AUTOTUNE_CHECK(!a.empty());
+  bool strictly_better = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<size_t> ParetoFrontier(const std::vector<Vector>& points) {
+  std::vector<size_t> frontier;
+  for (size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < points.size(); ++j) {
+      if (i != j && Dominates(points[j], points[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(i);
+  }
+  return frontier;
+}
+
+bool ParetoArchive::Insert(const Vector& point) {
+  for (const Vector& existing : points_) {
+    if (Dominates(existing, point) || existing == point) return false;
+  }
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [&point](const Vector& existing) {
+                                 return Dominates(point, existing);
+                               }),
+                points_.end());
+  points_.push_back(point);
+  return true;
+}
+
+Result<double> Hypervolume2D(const std::vector<Vector>& frontier,
+                             const Vector& reference) {
+  if (reference.size() != 2) {
+    return Status::InvalidArgument("Hypervolume2D needs 2-D objectives");
+  }
+  if (frontier.empty()) return 0.0;
+  std::vector<Vector> sorted;
+  for (const Vector& p : frontier) {
+    if (p.size() != 2) {
+      return Status::InvalidArgument("point is not 2-D");
+    }
+    if (p[0] >= reference[0] || p[1] >= reference[1]) {
+      return Status::InvalidArgument(
+          "every frontier point must dominate the reference");
+    }
+    sorted.push_back(p);
+  }
+  // Keep only the non-dominated points, sorted by first objective.
+  std::sort(sorted.begin(), sorted.end());
+  double volume = 0.0;
+  double prev_y = reference[1];
+  for (const Vector& p : sorted) {
+    if (p[1] >= prev_y) continue;  // Dominated by a previous point.
+    volume += (reference[0] - p[0]) * (prev_y - p[1]);
+    prev_y = p[1];
+  }
+  return volume;
+}
+
+namespace {
+
+Vector NormalizedWeights(const Vector& weights, size_t size) {
+  AUTOTUNE_CHECK(weights.size() == size);
+  double sum = 0.0;
+  for (double w : weights) {
+    AUTOTUNE_CHECK(w > 0.0);
+    sum += w;
+  }
+  Vector normalized(weights);
+  for (double& w : normalized) w /= sum;
+  return normalized;
+}
+
+}  // namespace
+
+double LinearScalarization(const Vector& objectives, const Vector& weights) {
+  const Vector w = NormalizedWeights(weights, objectives.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < objectives.size(); ++i) sum += w[i] * objectives[i];
+  return sum;
+}
+
+double TchebycheffScalarization(const Vector& objectives,
+                                const Vector& weights, double rho) {
+  const Vector w = NormalizedWeights(weights, objectives.size());
+  double max_term = -1e300;
+  double sum = 0.0;
+  for (size_t i = 0; i < objectives.size(); ++i) {
+    const double term = w[i] * objectives[i];
+    max_term = std::max(max_term, term);
+    sum += term;
+  }
+  return max_term + rho * sum;
+}
+
+}  // namespace autotune

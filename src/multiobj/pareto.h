@@ -1,0 +1,55 @@
+#ifndef AUTOTUNE_MULTIOBJ_PARETO_H_
+#define AUTOTUNE_MULTIOBJ_PARETO_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "math/matrix.h"
+
+namespace autotune {
+
+/// Multi-objective primitives (tutorial slide 58). All objectives are
+/// MINIMIZED; a point dominates another if it is no worse in every
+/// objective and strictly better in at least one.
+
+/// True iff `a` dominates `b` (equal-size vectors, CHECKed).
+bool Dominates(const Vector& a, const Vector& b);
+
+/// Indices of the non-dominated points among `points` (the Pareto
+/// frontier), in input order. O(n^2), fine for tuning-scale data.
+std::vector<size_t> ParetoFrontier(const std::vector<Vector>& points);
+
+/// Maintains a Pareto archive incrementally: `Insert` keeps only
+/// non-dominated points and reports whether the newcomer survived.
+class ParetoArchive {
+ public:
+  /// Inserts `point`; returns true if it is non-dominated (and is kept,
+  /// evicting any points it dominates).
+  bool Insert(const Vector& point);
+
+  const std::vector<Vector>& points() const { return points_; }
+  size_t size() const { return points_.size(); }
+
+ private:
+  std::vector<Vector> points_;
+};
+
+/// Exact hypervolume (area) dominated by a 2-D frontier relative to
+/// `reference` (which every point must dominate). Standard quality metric
+/// for comparing multi-objective optimizers. Fails if any point does not
+/// dominate the reference.
+Result<double> Hypervolume2D(const std::vector<Vector>& frontier,
+                             const Vector& reference);
+
+/// Scalarizations g_theta: R^k -> R (slide 58). `weights` must be positive
+/// and are normalized internally.
+double LinearScalarization(const Vector& objectives, const Vector& weights);
+
+/// Augmented Tchebycheff scalarization, as used by ParEGO:
+/// max_i(w_i f_i) + rho * sum_i(w_i f_i).
+double TchebycheffScalarization(const Vector& objectives,
+                                const Vector& weights, double rho = 0.05);
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_MULTIOBJ_PARETO_H_

@@ -1,0 +1,47 @@
+#include "optimizers/acquisition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/distributions.h"
+
+namespace autotune {
+
+const char* AcquisitionKindToString(AcquisitionKind kind) {
+  switch (kind) {
+    case AcquisitionKind::kProbabilityOfImprovement:
+      return "pi";
+    case AcquisitionKind::kExpectedImprovement:
+      return "ei";
+    case AcquisitionKind::kLowerConfidenceBound:
+      return "lcb";
+    case AcquisitionKind::kThompsonSampling:
+      return "ts";
+  }
+  return "?";
+}
+
+double EvaluateAcquisition(AcquisitionKind kind,
+                           const AcquisitionParams& params,
+                           const Prediction& prediction,
+                           double best_objective, double thompson_draw) {
+  const double mean = prediction.mean;
+  const double stddev = std::max(prediction.stddev(), 1e-12);
+  // Improvement means going BELOW the incumbent (minimization).
+  const double target = best_objective - params.xi;
+  const double z = (target - mean) / stddev;
+  switch (kind) {
+    case AcquisitionKind::kProbabilityOfImprovement:
+      return NormalCdf(z);
+    case AcquisitionKind::kExpectedImprovement:
+      // E[max(target - f(x), 0)] = s * (z Phi(z) + phi(z)).
+      return stddev * (z * NormalCdf(z) + NormalPdf(z));
+    case AcquisitionKind::kLowerConfidenceBound:
+      return -(mean - params.beta * stddev);
+    case AcquisitionKind::kThompsonSampling:
+      return -(mean + stddev * thompson_draw);
+  }
+  return 0.0;
+}
+
+}  // namespace autotune

@@ -1,0 +1,50 @@
+#ifndef AUTOTUNE_OPTIMIZERS_ACQUISITION_H_
+#define AUTOTUNE_OPTIMIZERS_ACQUISITION_H_
+
+#include <string>
+
+#include "surrogate/surrogate.h"
+
+namespace autotune {
+
+/// Acquisition functions (tutorial slides 47-48): score how "interesting"
+/// a candidate point is given the surrogate posterior. All scores are
+/// HIGHER-IS-BETTER, and the objective is MINIMIZED, so UCB from the slides
+/// becomes the lower confidence bound here (slide 48: "in our case, Lower
+/// Confidence Bound").
+enum class AcquisitionKind {
+  /// Probability of improving on the incumbent.
+  kProbabilityOfImprovement,
+  /// Expected improvement: magnitude-aware (slide 47).
+  kExpectedImprovement,
+  /// Negated lower confidence bound -(mean - beta * stddev).
+  kLowerConfidenceBound,
+  /// Thompson sampling: score = -posterior_sample (handled by the BO driver
+  /// drawing joint samples; pointwise fallback draws an independent normal).
+  kThompsonSampling,
+};
+
+const char* AcquisitionKindToString(AcquisitionKind kind);
+
+/// Parameters for acquisition evaluation.
+struct AcquisitionParams {
+  /// Exploration weight for LCB (slide 48's beta >= 0).
+  double beta = 2.0;
+  /// Jitter xi subtracted from the incumbent in EI/PI to avoid premature
+  /// exploitation.
+  double xi = 0.0;
+};
+
+/// Scores a prediction. `best_objective` is the incumbent (lowest observed
+/// objective). For kThompsonSampling this pointwise form returns
+/// -(mean) plus noise supplied by the caller as `thompson_draw` (a standard
+/// normal); the BO driver passes a per-candidate draw.
+double EvaluateAcquisition(AcquisitionKind kind,
+                           const AcquisitionParams& params,
+                           const Prediction& prediction,
+                           double best_objective,
+                           double thompson_draw = 0.0);
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OPTIMIZERS_ACQUISITION_H_

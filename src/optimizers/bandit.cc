@@ -1,0 +1,124 @@
+#include "optimizers/bandit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace autotune {
+
+BanditOptimizer::BanditOptimizer(const ConfigSpace* space, uint64_t seed,
+                                 std::vector<Configuration> arms,
+                                 BanditOptions options)
+    : OptimizerBase(space, seed),
+      options_(options),
+      arms_(std::move(arms)) {
+  AUTOTUNE_CHECK_MSG(!arms_.empty(), "bandit needs at least one arm");
+  plays_.assign(arms_.size(), 0);
+  mean_objective_.assign(arms_.size(), 0.0);
+  m2_.assign(arms_.size(), 0.0);
+  for (size_t i = 0; i < arms_.size(); ++i) {
+    arm_index_[arms_[i].ToString()] = i;
+  }
+}
+
+std::unique_ptr<BanditOptimizer> BanditOptimizer::FromGrid(
+    const ConfigSpace* space, uint64_t seed, size_t points_per_numeric,
+    BanditOptions options) {
+  return std::make_unique<BanditOptimizer>(
+      space, seed, space->Grid(points_per_numeric), options);
+}
+
+std::string BanditOptimizer::name() const {
+  switch (options_.policy) {
+    case BanditPolicy::kEpsilonGreedy:
+      return "bandit-egreedy";
+    case BanditPolicy::kUcb1:
+      return "bandit-ucb1";
+    case BanditPolicy::kThompson:
+      return "bandit-ts";
+  }
+  return "bandit";
+}
+
+size_t BanditOptimizer::BestArm() const {
+  size_t best = 0;
+  double best_mean = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < arms_.size(); ++i) {
+    if (plays_[i] > 0 && mean_objective_[i] < best_mean) {
+      best_mean = mean_objective_[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+const Configuration& BanditOptimizer::arm(size_t index) const {
+  AUTOTUNE_CHECK(index < arms_.size());
+  return arms_[index];
+}
+
+Result<Configuration> BanditOptimizer::Suggest() {
+  // Play every arm once first.
+  for (size_t i = 0; i < arms_.size(); ++i) {
+    if (plays_[i] == 0) return arms_[i];
+  }
+  size_t choice = 0;
+  switch (options_.policy) {
+    case BanditPolicy::kEpsilonGreedy: {
+      if (rng_.Bernoulli(options_.epsilon)) {
+        choice = static_cast<size_t>(
+            rng_.UniformInt(0, static_cast<int64_t>(arms_.size()) - 1));
+      } else {
+        choice = BestArm();
+      }
+      break;
+    }
+    case BanditPolicy::kUcb1: {
+      // Minimization: pick the lowest lower-confidence bound on the mean
+      // objective (equivalently UCB on reward = -objective).
+      double best_score = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < arms_.size(); ++i) {
+        const double bonus =
+            std::sqrt(options_.ucb_c * std::log(total_plays_ + 1.0) /
+                      plays_[i]);
+        const double score = mean_objective_[i] - bonus;
+        if (score < best_score) {
+          best_score = score;
+          choice = i;
+        }
+      }
+      break;
+    }
+    case BanditPolicy::kThompson: {
+      double best_draw = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < arms_.size(); ++i) {
+        const double n = plays_[i];
+        const double var = plays_[i] > 1 ? m2_[i] / (n - 1.0) : 1.0;
+        const double draw =
+            rng_.Normal(mean_objective_[i], std::sqrt(var / n) + 1e-9);
+        if (draw < best_draw) {
+          best_draw = draw;
+          choice = i;
+        }
+      }
+      break;
+    }
+  }
+  return arms_[choice];
+}
+
+void BanditOptimizer::OnObserve(const Observation& observation) {
+  auto it = arm_index_.find(observation.config.ToString());
+  if (it == arm_index_.end()) return;  // Not one of our arms; ignore.
+  const size_t arm = it->second;
+  ++plays_[arm];
+  ++total_plays_;
+  // Welford online mean/variance update.
+  const double delta = observation.objective - mean_objective_[arm];
+  mean_objective_[arm] += delta / plays_[arm];
+  m2_[arm] += delta * (observation.objective - mean_objective_[arm]);
+}
+
+}  // namespace autotune

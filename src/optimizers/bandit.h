@@ -1,0 +1,79 @@
+#ifndef AUTOTUNE_OPTIMIZERS_BANDIT_H_
+#define AUTOTUNE_OPTIMIZERS_BANDIT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+
+namespace autotune {
+
+/// Arm-selection policy.
+enum class BanditPolicy {
+  kEpsilonGreedy,
+  kUcb1,
+  kThompson,  ///< Gaussian Thompson sampling on the arm-mean posterior.
+};
+
+/// Options for `BanditOptimizer`.
+struct BanditOptions {
+  BanditPolicy policy = BanditPolicy::kUcb1;
+  double epsilon = 0.1;   ///< For kEpsilonGreedy.
+  double ucb_c = 2.0;     ///< Exploration constant for kUcb1.
+};
+
+/// Multi-armed bandit over a FINITE set of configurations (tutorial slide
+/// 51: bandits are the natural treatment for discrete/hybrid spaces, and
+/// slide 81's OPPerTune uses hybrid bandits online). Each distinct
+/// configuration is an arm; rewards are negated objectives.
+class BanditOptimizer : public OptimizerBase {
+ public:
+  /// `arms` must be non-empty configurations of `space`.
+  BanditOptimizer(const ConfigSpace* space, uint64_t seed,
+                  std::vector<Configuration> arms,
+                  BanditOptions options = {});
+
+  /// Builds the arm set from the space's grid (categoricals fully
+  /// enumerated, `points_per_numeric` levels per numeric knob).
+  static std::unique_ptr<BanditOptimizer> FromGrid(
+      const ConfigSpace* space, uint64_t seed, size_t points_per_numeric,
+      BanditOptions options = {});
+
+  std::string name() const override;
+
+  Result<Configuration> Suggest() override;
+
+  size_t num_arms() const { return arms_.size(); }
+
+  /// Times each arm was played (diagnostic).
+  const std::vector<int>& play_counts() const { return plays_; }
+
+  /// Index of the arm with the best (lowest) mean objective so far.
+  size_t BestArm() const;
+
+  /// The configuration of arm `index` (CHECKed).
+  const Configuration& arm(size_t index) const;
+
+  /// The arm a bandit recommends after tuning: the one with the best MEAN
+  /// objective. Under noise this is far more robust than the luckiest
+  /// single observation.
+  const Configuration& Recommend() const { return arm(BestArm()); }
+
+ protected:
+  void OnObserve(const Observation& observation) override;
+
+ private:
+  BanditOptions options_;
+  std::vector<Configuration> arms_;
+  std::map<std::string, size_t> arm_index_;  // Keyed by config ToString.
+  std::vector<int> plays_;
+  Vector mean_objective_;
+  Vector m2_;  // Welford sum of squared deviations per arm.
+  int total_plays_ = 0;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OPTIMIZERS_BANDIT_H_

@@ -1,0 +1,169 @@
+#include "optimizers/bayesian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "surrogate/gaussian_process.h"
+#include "surrogate/random_forest.h"
+
+namespace autotune {
+
+BayesianOptimizer::BayesianOptimizer(const ConfigSpace* space, uint64_t seed,
+                                     std::unique_ptr<Surrogate> surrogate,
+                                     BayesianOptimizerOptions options)
+    : OptimizerBase(space, seed),
+      surrogate_(std::move(surrogate)),
+      options_(options),
+      encoder_(space, options.encoding, options.impute_inactive),
+      halton_(space->size()) {
+  AUTOTUNE_CHECK(surrogate_ != nullptr);
+  AUTOTUNE_CHECK(options_.initial_design >= 2);
+  AUTOTUNE_CHECK(options_.num_candidates >= 2);
+  AUTOTUNE_CHECK(options_.refit_every >= 1);
+}
+
+std::string BayesianOptimizer::name() const {
+  return std::string("bo-") +
+         AcquisitionKindToString(options_.acquisition);
+}
+
+void BayesianOptimizer::OnObserve(const Observation& /*observation*/) {
+  surrogate_stale_ = true;
+}
+
+Status BayesianOptimizer::RefitWith(
+    const std::vector<std::pair<Vector, double>>& extra) {
+  std::vector<Vector> xs;
+  Vector ys;
+  xs.reserve(history_.size() + extra.size());
+  ys.reserve(history_.size() + extra.size());
+  for (const Observation& obs : history_) {
+    AUTOTUNE_ASSIGN_OR_RETURN(Vector x, encoder_.Encode(obs.config));
+    xs.push_back(std::move(x));
+    ys.push_back(obs.objective);
+  }
+  for (const auto& [x, y] : extra) {
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  if (xs.empty()) return Status::FailedPrecondition("no observations");
+  return surrogate_->Fit(xs, ys);
+}
+
+Result<Configuration> BayesianOptimizer::MaximizeAcquisition() {
+  AUTOTUNE_CHECK(best_.has_value());
+  const double incumbent = best_->objective;
+
+  // Candidate pool: uniform exploration + local perturbations of the best.
+  std::vector<Configuration> candidates;
+  candidates.reserve(static_cast<size_t>(options_.num_candidates));
+  const int local = static_cast<int>(options_.local_fraction *
+                                     options_.num_candidates);
+  for (int i = 0; i < options_.num_candidates; ++i) {
+    Configuration candidate =
+        (i < local && !best_->failed)
+            ? space_->Neighbor(best_->config, options_.local_scale, &rng_)
+            : space_->Sample(&rng_);
+    if (!space_->IsFeasible(candidate)) continue;
+    candidates.push_back(std::move(candidate));
+  }
+  if (candidates.empty()) {
+    return space_->SampleFeasible(&rng_);
+  }
+
+  double best_score = -std::numeric_limits<double>::infinity();
+  size_t best_index = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    AUTOTUNE_ASSIGN_OR_RETURN(Vector x, encoder_.Encode(candidates[i]));
+    const Prediction prediction = surrogate_->Predict(x);
+    const double draw =
+        options_.acquisition == AcquisitionKind::kThompsonSampling
+            ? rng_.Normal()
+            : 0.0;
+    double score =
+        EvaluateAcquisition(options_.acquisition,
+                            options_.acquisition_params, prediction,
+                            incumbent, draw);
+    if (options_.cost_fn && score > 0.0) {
+      // Cost-adjusted acquisition: improvement per unit cost.
+      score /= std::max(options_.cost_fn(candidates[i]), 1e-9);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_index = i;
+    }
+  }
+  return candidates[best_index];
+}
+
+Result<Configuration> BayesianOptimizer::Suggest() {
+  // Phase 1: space-filling initial design.
+  if (history_.size() < static_cast<size_t>(options_.initial_design)) {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      Configuration config = space_->FromUnit(halton_.Next());
+      if (space_->IsFeasible(config)) return config;
+    }
+    return space_->SampleFeasible(&rng_);
+  }
+  // Phase 2: model-guided.
+  if (surrogate_stale_ &&
+      ++observations_since_fit_ >= options_.refit_every) {
+    Status status = RefitWith({});
+    if (!status.ok()) {
+      AUTOTUNE_LOG(kWarning) << "surrogate refit failed: "
+                             << status.ToString()
+                             << "; falling back to random";
+      return space_->SampleFeasible(&rng_);
+    }
+    surrogate_stale_ = false;
+    observations_since_fit_ = 0;
+  }
+  return MaximizeAcquisition();
+}
+
+Result<std::vector<Configuration>> BayesianOptimizer::SuggestBatch(size_t k) {
+  if (history_.size() < static_cast<size_t>(options_.initial_design)) {
+    // Initial design is naturally diverse; no liar needed.
+    return Optimizer::SuggestBatch(k);
+  }
+  std::vector<Configuration> batch;
+  std::vector<std::pair<Vector, double>> fantasies;
+  const double incumbent_lie = best_.has_value() ? best_->objective : 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    AUTOTUNE_RETURN_IF_ERROR(RefitWith(fantasies));
+    surrogate_stale_ = true;  // Fantasy fit; force a clean refit later.
+    AUTOTUNE_ASSIGN_OR_RETURN(Configuration config, MaximizeAcquisition());
+    AUTOTUNE_ASSIGN_OR_RETURN(Vector x, encoder_.Encode(config));
+    const double fantasy =
+        options_.batch_strategy ==
+                BayesianOptimizerOptions::BatchStrategy::kKrigingBeliever
+            ? surrogate_->Predict(x).mean  // Believe the model.
+            : incumbent_lie;               // Constant liar.
+    fantasies.emplace_back(std::move(x), fantasy);
+    batch.push_back(std::move(config));
+  }
+  return batch;
+}
+
+std::unique_ptr<BayesianOptimizer> MakeGpBo(const ConfigSpace* space,
+                                            uint64_t seed) {
+  return std::make_unique<BayesianOptimizer>(
+      space, seed, GaussianProcess::MakeDefault(),
+      BayesianOptimizerOptions{});
+}
+
+std::unique_ptr<BayesianOptimizer> MakeSmac(const ConfigSpace* space,
+                                            uint64_t seed) {
+  BayesianOptimizerOptions options;
+  options.encoding = SpaceEncoder::CategoricalMode::kOneHot;
+  RandomForestOptions rf_options;
+  rf_options.seed = seed ^ 0x5eed5eedULL;
+  return std::make_unique<BayesianOptimizer>(
+      space, seed, std::make_unique<RandomForestSurrogate>(rf_options),
+      options);
+}
+
+}  // namespace autotune

@@ -1,0 +1,111 @@
+#ifndef AUTOTUNE_OPTIMIZERS_BAYESIAN_H_
+#define AUTOTUNE_OPTIMIZERS_BAYESIAN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "math/quasirandom.h"
+#include "optimizers/acquisition.h"
+#include "space/encoding.h"
+#include "surrogate/surrogate.h"
+
+namespace autotune {
+
+/// Options for `BayesianOptimizer`.
+struct BayesianOptimizerOptions {
+  /// Space-filling (Halton) trials before the surrogate takes over.
+  int initial_design = 8;
+
+  AcquisitionKind acquisition = AcquisitionKind::kExpectedImprovement;
+  AcquisitionParams acquisition_params;
+
+  /// Candidate pool size for acquisition maximization.
+  int num_candidates = 512;
+
+  /// Fraction of candidates drawn as perturbations of the incumbent
+  /// (local exploitation); the rest are uniform (global exploration).
+  double local_fraction = 0.3;
+  double local_scale = 0.08;
+
+  /// Categorical encoding for the surrogate input.
+  SpaceEncoder::CategoricalMode encoding =
+      SpaceEncoder::CategoricalMode::kOrdinal;
+
+  /// Impute inactive conditional knobs with defaults before encoding
+  /// (slide 61's tree-structured-dependency treatment); false ablates it.
+  bool impute_inactive = true;
+
+  /// Refit the surrogate every `refit_every` observations (1 = always).
+  int refit_every = 1;
+
+  /// Batch-diversity strategy for `SuggestBatch` (slide 57):
+  /// constant liar fantasizes the incumbent value at each picked point;
+  /// kriging believer fantasizes the surrogate's own posterior mean.
+  enum class BatchStrategy { kConstantLiar, kKrigingBeliever };
+  BatchStrategy batch_strategy = BatchStrategy::kConstantLiar;
+
+  /// Cost-aware acquisition (slide 65: "cost-adjusted expected
+  /// improvement"): when set, positive acquisition scores are divided by
+  /// this configuration cost (e.g. run time, or restart cost), steering
+  /// the search toward cheap informative trials.
+  std::function<double(const Configuration&)> cost_fn;
+};
+
+/// Sequential model-based (Bayesian) optimization (tutorial slides 32-48):
+/// fit a surrogate to past (config, objective) pairs, maximize an
+/// acquisition function over candidates, evaluate, repeat. The surrogate is
+/// pluggable — a `GaussianProcess` gives textbook BO, a
+/// `RandomForestSurrogate` gives SMAC (slide 50).
+class BayesianOptimizer : public OptimizerBase {
+ public:
+  /// Takes ownership of `surrogate`.
+  BayesianOptimizer(const ConfigSpace* space, uint64_t seed,
+                    std::unique_ptr<Surrogate> surrogate,
+                    BayesianOptimizerOptions options = {});
+
+  std::string name() const override;
+
+  Result<Configuration> Suggest() override;
+
+  /// Constant-liar batching (tutorial slide 57): after each batch pick, the
+  /// chosen point is temporarily "observed" at the incumbent value so the
+  /// next pick avoids it, keeping the batch diverse.
+  Result<std::vector<Configuration>> SuggestBatch(size_t k) override;
+
+  /// Access to the fitted surrogate (for diagnostics/tests).
+  const Surrogate& surrogate() const { return *surrogate_; }
+
+ protected:
+  void OnObserve(const Observation& observation) override;
+
+ private:
+  /// Refits the surrogate to history plus `extra` fantasy observations.
+  Status RefitWith(const std::vector<std::pair<Vector, double>>& extra);
+
+  /// Argmax of the acquisition over a random+local candidate pool, skipping
+  /// infeasible configurations.
+  Result<Configuration> MaximizeAcquisition();
+
+  std::unique_ptr<Surrogate> surrogate_;
+  BayesianOptimizerOptions options_;
+  SpaceEncoder encoder_;
+  HaltonSequence halton_;
+  bool surrogate_stale_ = true;
+  int observations_since_fit_ = 0;
+};
+
+/// Factory: textbook GP-BO (Matérn-5/2, EI).
+std::unique_ptr<BayesianOptimizer> MakeGpBo(const ConfigSpace* space,
+                                            uint64_t seed);
+
+/// Factory: SMAC-style BO (random-forest surrogate + EI, one-hot encoding
+/// for hybrid spaces; tutorial slides 50-51).
+std::unique_ptr<BayesianOptimizer> MakeSmac(const ConfigSpace* space,
+                                            uint64_t seed);
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OPTIMIZERS_BAYESIAN_H_

@@ -1,0 +1,208 @@
+#include "optimizers/cmaes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace autotune {
+
+CmaEsOptimizer::CmaEsOptimizer(const ConfigSpace* space, uint64_t seed,
+                               CmaEsOptions options)
+    : OptimizerBase(space, seed),
+      options_(options),
+      dim_(space->size()),
+      lambda_(0),
+      mu_(0),
+      sigma_(options.initial_sigma),
+      cov_(Matrix::Identity(space->size())),
+      eigen_basis_(Matrix::Identity(space->size())),
+      eigen_scale_(space->size(), 1.0),
+      path_sigma_(space->size(), 0.0),
+      path_cov_(space->size(), 0.0) {
+  AUTOTUNE_CHECK(dim_ >= 1);
+  AUTOTUNE_CHECK(sigma_ > 0.0);
+  const double n = static_cast<double>(dim_);
+  lambda_ = options_.population > 0
+                ? options_.population
+                : 4 + static_cast<int>(std::floor(3.0 * std::log(n)));
+  lambda_ = std::max(lambda_, 4);
+  mu_ = lambda_ / 2;
+  // Log-rank recombination weights (Hansen's defaults).
+  weights_.resize(static_cast<size_t>(mu_));
+  double sum = 0.0;
+  for (int i = 0; i < mu_; ++i) {
+    weights_[static_cast<size_t>(i)] =
+        std::log(static_cast<double>(mu_) + 0.5) -
+        std::log(static_cast<double>(i) + 1.0);
+    sum += weights_[static_cast<size_t>(i)];
+  }
+  double sum_sq = 0.0;
+  for (auto& w : weights_) {
+    w /= sum;
+    sum_sq += w * w;
+  }
+  mu_eff_ = 1.0 / sum_sq;
+  cc_ = (4.0 + mu_eff_ / n) / (n + 4.0 + 2.0 * mu_eff_ / n);
+  cs_ = (mu_eff_ + 2.0) / (n + mu_eff_ + 5.0);
+  c1_ = 2.0 / ((n + 1.3) * (n + 1.3) + mu_eff_);
+  cmu_ = std::min(1.0 - c1_,
+                  2.0 * (mu_eff_ - 2.0 + 1.0 / mu_eff_) /
+                      ((n + 2.0) * (n + 2.0) + mu_eff_));
+  damps_ = 1.0 +
+           2.0 * std::max(0.0, std::sqrt((mu_eff_ - 1.0) / (n + 1.0)) - 1.0) +
+           cs_;
+  chi_n_ = std::sqrt(n) * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n));
+  // Start at the center of the unit cube.
+  mean_.assign(dim_, 0.5);
+  SampleGeneration();
+}
+
+void CmaEsOptimizer::RefreshEigen() {
+  auto eigen = SymmetricEigen(cov_);
+  AUTOTUNE_CHECK(eigen.ok());
+  eigen_basis_ = eigen->eigenvectors;
+  eigen_scale_ = eigen->eigenvalues;
+  for (auto& value : eigen_scale_) {
+    value = std::sqrt(std::max(value, 1e-14));
+  }
+}
+
+void CmaEsOptimizer::SampleGeneration() {
+  gen_points_.clear();
+  unsuggested_.clear();
+  awaiting_result_.clear();
+  gen_objectives_.assign(static_cast<size_t>(lambda_), 0.0);
+  observed_in_generation_ = 0;
+  for (int i = 0; i < lambda_; ++i) {
+    // x = m + sigma * B * D * z, clipped to the unit cube.
+    Vector z(dim_);
+    for (auto& v : z) v = rng_.Normal();
+    Vector x(dim_, 0.0);
+    for (size_t r = 0; r < dim_; ++r) {
+      double acc = 0.0;
+      for (size_t c = 0; c < dim_; ++c) {
+        acc += eigen_basis_(r, c) * eigen_scale_[c] * z[c];
+      }
+      x[r] = std::clamp(mean_[r] + sigma_ * acc, 0.0, 1.0);
+    }
+    gen_points_.push_back(std::move(x));
+    unsuggested_.push_back(static_cast<size_t>(i));
+  }
+}
+
+Result<Configuration> CmaEsOptimizer::Suggest() {
+  if (unsuggested_.empty()) {
+    // Whole generation outstanding; re-suggest the oldest awaiting result
+    // (keeps the loop alive if some observations never arrive).
+    if (!awaiting_result_.empty()) {
+      return space_->FromUnit(gen_points_[awaiting_result_.front()]);
+    }
+    return Status::Internal("CMA-ES generation bookkeeping exhausted");
+  }
+  const size_t index = unsuggested_.front();
+  unsuggested_.pop_front();
+  awaiting_result_.push_back(index);
+  return space_->FromUnit(gen_points_[index]);
+}
+
+void CmaEsOptimizer::OnObserve(const Observation& /*observation*/) {
+  if (awaiting_result_.empty()) return;  // External observation; ignore.
+  const size_t index = awaiting_result_.front();
+  awaiting_result_.pop_front();
+  gen_objectives_[index] = history_.back().objective;
+  ++observed_in_generation_;
+  if (observed_in_generation_ == static_cast<size_t>(lambda_)) {
+    UpdateDistribution();
+    ++generation_;
+    SampleGeneration();
+  }
+}
+
+void CmaEsOptimizer::UpdateDistribution() {
+  const double n = static_cast<double>(dim_);
+  // Rank individuals by objective (ascending: best first).
+  std::vector<size_t> order(static_cast<size_t>(lambda_));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return gen_objectives_[a] < gen_objectives_[b];
+  });
+
+  const Vector old_mean = mean_;
+  Vector new_mean(dim_, 0.0);
+  for (int i = 0; i < mu_; ++i) {
+    const Vector& x = gen_points_[order[static_cast<size_t>(i)]];
+    for (size_t d = 0; d < dim_; ++d) {
+      new_mean[d] += weights_[static_cast<size_t>(i)] * x[d];
+    }
+  }
+
+  // Mean shift in sigma-normalized coordinates.
+  Vector shift(dim_);
+  for (size_t d = 0; d < dim_; ++d) {
+    shift[d] = (new_mean[d] - old_mean[d]) / sigma_;
+  }
+
+  // C^-1/2 * shift = B * D^-1 * B^T * shift.
+  Vector bt_shift(dim_, 0.0);
+  for (size_t c = 0; c < dim_; ++c) {
+    double acc = 0.0;
+    for (size_t r = 0; r < dim_; ++r) acc += eigen_basis_(r, c) * shift[r];
+    bt_shift[c] = acc / eigen_scale_[c];
+  }
+  Vector c_inv_sqrt_shift(dim_, 0.0);
+  for (size_t r = 0; r < dim_; ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < dim_; ++c) {
+      acc += eigen_basis_(r, c) * bt_shift[c];
+    }
+    c_inv_sqrt_shift[r] = acc;
+  }
+
+  // Evolution path for sigma.
+  const double cs_norm = std::sqrt(cs_ * (2.0 - cs_) * mu_eff_);
+  for (size_t d = 0; d < dim_; ++d) {
+    path_sigma_[d] = (1.0 - cs_) * path_sigma_[d] +
+                     cs_norm * c_inv_sqrt_shift[d];
+  }
+  const double ps_norm = Norm2(path_sigma_);
+  const double expected_decay = std::sqrt(
+      1.0 - std::pow(1.0 - cs_, 2.0 * static_cast<double>(generation_ + 1)));
+  const bool hsig =
+      ps_norm / std::max(expected_decay, 1e-12) / chi_n_ <
+      1.4 + 2.0 / (n + 1.0);
+
+  // Evolution path for C.
+  const double cc_norm = std::sqrt(cc_ * (2.0 - cc_) * mu_eff_);
+  for (size_t d = 0; d < dim_; ++d) {
+    path_cov_[d] = (1.0 - cc_) * path_cov_[d] +
+                   (hsig ? cc_norm * shift[d] : 0.0);
+  }
+
+  // Covariance update: rank-one + rank-mu.
+  const double c1a =
+      c1_ * (1.0 - (hsig ? 0.0 : 1.0) * cc_ * (2.0 - cc_));
+  for (size_t r = 0; r < dim_; ++r) {
+    for (size_t c = 0; c < dim_; ++c) {
+      double rank_mu = 0.0;
+      for (int i = 0; i < mu_; ++i) {
+        const Vector& x = gen_points_[order[static_cast<size_t>(i)]];
+        const double yr = (x[r] - old_mean[r]) / sigma_;
+        const double yc = (x[c] - old_mean[c]) / sigma_;
+        rank_mu += weights_[static_cast<size_t>(i)] * yr * yc;
+      }
+      cov_(r, c) = (1.0 - c1a - cmu_) * cov_(r, c) +
+                   c1_ * path_cov_[r] * path_cov_[c] + cmu_ * rank_mu;
+    }
+  }
+
+  // Step-size update.
+  sigma_ *= std::exp((cs_ / damps_) * (ps_norm / chi_n_ - 1.0));
+  sigma_ = std::clamp(sigma_, 1e-8, 1.0);
+
+  mean_ = new_mean;
+  RefreshEigen();
+}
+
+}  // namespace autotune

@@ -1,0 +1,80 @@
+#ifndef AUTOTUNE_OPTIMIZERS_CMAES_H_
+#define AUTOTUNE_OPTIMIZERS_CMAES_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "math/matrix.h"
+
+namespace autotune {
+
+/// Options for `CmaEsOptimizer`.
+struct CmaEsOptions {
+  /// Population size; 0 = Hansen's default 4 + floor(3 ln n).
+  int population = 0;
+  /// Initial step size in unit-cube coordinates.
+  double initial_sigma = 0.3;
+};
+
+/// CMA-ES — covariance matrix adaptation evolution strategy (tutorial slide
+/// 50, Hansen 2023). A population of unit-cube points is sampled from
+/// N(m, sigma^2 C); after the whole generation is evaluated, the mean, step
+/// size, and covariance adapt toward the best-ranked samples. Implemented
+/// in ask/tell style so it plugs into the suggest/observe loop: `Suggest`
+/// pops from the current generation and `Observe` triggers the update once
+/// the generation completes.
+class CmaEsOptimizer : public OptimizerBase {
+ public:
+  CmaEsOptimizer(const ConfigSpace* space, uint64_t seed,
+                 CmaEsOptions options = {});
+
+  std::string name() const override { return "cmaes"; }
+
+  Result<Configuration> Suggest() override;
+
+  /// Current step size (diagnostic).
+  double sigma() const { return sigma_; }
+
+  /// Completed generations (diagnostic).
+  int generation() const { return generation_; }
+
+ protected:
+  void OnObserve(const Observation& observation) override;
+
+ private:
+  void SampleGeneration();
+  void UpdateDistribution();
+  /// Refreshes B/D from C via eigendecomposition.
+  void RefreshEigen();
+
+  CmaEsOptions options_;
+  size_t dim_;
+  int lambda_;
+  int mu_;
+  Vector weights_;
+  double mu_eff_ = 0.0;
+  double cc_ = 0.0, cs_ = 0.0, c1_ = 0.0, cmu_ = 0.0, damps_ = 0.0;
+  double chi_n_ = 0.0;
+
+  Vector mean_;
+  double sigma_;
+  Matrix cov_;
+  Matrix eigen_basis_;   // B.
+  Vector eigen_scale_;   // D (sqrt of eigenvalues).
+  Vector path_sigma_;
+  Vector path_cov_;
+  int generation_ = 0;
+
+  // Current generation bookkeeping.
+  std::vector<Vector> gen_points_;      // Unit-cube sample per individual.
+  std::deque<size_t> unsuggested_;      // Individuals not yet handed out.
+  std::deque<size_t> awaiting_result_;  // Suggested, not yet observed (FIFO).
+  Vector gen_objectives_;
+  size_t observed_in_generation_ = 0;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OPTIMIZERS_CMAES_H_

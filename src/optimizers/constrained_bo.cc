@@ -1,0 +1,124 @@
+#include "optimizers/constrained_bo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "math/distributions.h"
+
+namespace autotune {
+
+ConstrainedBoOptimizer::ConstrainedBoOptimizer(const ConfigSpace* space,
+                                               uint64_t seed,
+                                               size_t num_constraints,
+                                               ConstrainedBoOptions options)
+    : OptimizerBase(space, seed),
+      options_(options),
+      encoder_(space, SpaceEncoder::CategoricalMode::kOrdinal),
+      halton_(space->size()),
+      constraint_values_(num_constraints) {
+  AUTOTUNE_CHECK(num_constraints >= 1);
+  AUTOTUNE_CHECK(options_.initial_design >= 2);
+}
+
+Status ConstrainedBoOptimizer::ObserveWithConstraints(
+    const Observation& observation, const Vector& constraints) {
+  if (constraints.size() != constraint_values_.size()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(constraint_values_.size()) +
+        " constraint values, got " + std::to_string(constraints.size()));
+  }
+  AUTOTUNE_ASSIGN_OR_RETURN(Vector x, encoder_.Encode(observation.config));
+  AUTOTUNE_RETURN_IF_ERROR(Observe(observation));
+  encoded_.push_back(std::move(x));
+  for (size_t c = 0; c < constraints.size(); ++c) {
+    constraint_values_[c].push_back(constraints[c]);
+  }
+  bool feasible = !observation.failed;
+  for (double value : constraints) {
+    if (value > 0.0) feasible = false;
+  }
+  if (feasible && (!best_feasible_.has_value() ||
+                   observation.objective < best_feasible_->objective)) {
+    best_feasible_ = observation;
+  }
+  return Status::OK();
+}
+
+Result<Configuration> ConstrainedBoOptimizer::Suggest() {
+  if (encoded_.size() < static_cast<size_t>(options_.initial_design)) {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      Configuration config = space_->FromUnit(halton_.Next());
+      if (space_->IsFeasible(config)) return config;
+    }
+    return space_->SampleFeasible(&rng_);
+  }
+
+  // Fit the objective surrogate on FEASIBLE points only (infeasible
+  // objectives can be arbitrary), and one surrogate per constraint on all
+  // points.
+  std::vector<Vector> feasible_x;
+  Vector feasible_y;
+  for (size_t i = 0; i < encoded_.size(); ++i) {
+    bool feasible = !history_[i].failed;
+    for (size_t c = 0; c < constraint_values_.size(); ++c) {
+      if (constraint_values_[c][i] > 0.0) feasible = false;
+    }
+    if (feasible) {
+      feasible_x.push_back(encoded_[i]);
+      feasible_y.push_back(history_[i].objective);
+    }
+  }
+
+  auto objective_gp = GaussianProcess::MakeDefault();
+  const bool have_objective_model = feasible_x.size() >= 3;
+  if (have_objective_model) {
+    AUTOTUNE_RETURN_IF_ERROR(objective_gp->Fit(feasible_x, feasible_y));
+  }
+
+  std::vector<std::unique_ptr<GaussianProcess>> constraint_gps;
+  for (const Vector& values : constraint_values_) {
+    auto gp = GaussianProcess::MakeDefault();
+    AUTOTUNE_RETURN_IF_ERROR(gp->Fit(encoded_, values));
+    constraint_gps.push_back(std::move(gp));
+  }
+
+  const double incumbent = best_feasible_.has_value()
+                               ? best_feasible_->objective
+                               : std::numeric_limits<double>::infinity();
+
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::optional<Configuration> best_candidate;
+  for (int i = 0; i < options_.num_candidates; ++i) {
+    Configuration candidate = space_->Sample(&rng_);
+    if (!space_->IsFeasible(candidate)) continue;
+    AUTOTUNE_ASSIGN_OR_RETURN(Vector x, encoder_.Encode(candidate));
+    // P(all constraints satisfied).
+    double p_feasible = 1.0;
+    for (const auto& gp : constraint_gps) {
+      const Prediction p = gp->Predict(x);
+      const double stddev = std::max(p.stddev(), 1e-9);
+      p_feasible *= NormalCdf((0.0 - p.mean) / stddev);
+    }
+    double score;
+    if (!have_objective_model || !std::isfinite(incumbent)) {
+      // No feasible incumbent yet: pure feasibility search.
+      score = p_feasible;
+    } else {
+      const Prediction p = objective_gp->Predict(x);
+      const double ei =
+          EvaluateAcquisition(AcquisitionKind::kExpectedImprovement,
+                              options_.acquisition_params, p, incumbent);
+      score = ei * p_feasible;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_candidate = std::move(candidate);
+    }
+  }
+  if (!best_candidate.has_value()) return space_->SampleFeasible(&rng_);
+  return *best_candidate;
+}
+
+}  // namespace autotune

@@ -1,0 +1,70 @@
+#ifndef AUTOTUNE_OPTIMIZERS_CONSTRAINED_BO_H_
+#define AUTOTUNE_OPTIMIZERS_CONSTRAINED_BO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "math/quasirandom.h"
+#include "optimizers/acquisition.h"
+#include "space/encoding.h"
+#include "surrogate/gaussian_process.h"
+
+namespace autotune {
+
+/// Options for `ConstrainedBoOptimizer`.
+struct ConstrainedBoOptions {
+  int initial_design = 10;
+  int num_candidates = 512;
+  AcquisitionParams acquisition_params;
+};
+
+/// Bayesian optimization with BLACK-BOX constraints (tutorial slide 60,
+/// SCBO: "constraints can involve multiple tunables and/or be black-box").
+/// Unlike `ConfigSpace::AddConstraint` (checked before running a trial),
+/// black-box constraints are only observed by RUNNING the trial — e.g.
+/// "replication lag must stay under 1 s" or "memory headroom >= 10%".
+///
+/// Each constraint gets its own GP surrogate over the observed constraint
+/// values; candidates are scored by expected improvement weighted by the
+/// probability that every constraint is satisfied (EI x prod_i P(c_i <= 0)).
+/// Constraint convention: a trial is FEASIBLE iff every reported constraint
+/// value is <= 0.
+class ConstrainedBoOptimizer : public OptimizerBase {
+ public:
+  ConstrainedBoOptimizer(const ConfigSpace* space, uint64_t seed,
+                         size_t num_constraints,
+                         ConstrainedBoOptions options = ConstrainedBoOptions());
+
+  std::string name() const override { return "cbo"; }
+
+  Result<Configuration> Suggest() override;
+
+  /// Records a trial with its objective AND measured constraint values
+  /// (`constraints.size()` must equal `num_constraints`). Prefer this over
+  /// plain `Observe`, which assumes the trial was feasible.
+  Status ObserveWithConstraints(const Observation& observation,
+                                const Vector& constraints);
+
+  /// Best FEASIBLE observation so far (objective among trials whose every
+  /// constraint value was <= 0).
+  const std::optional<Observation>& best_feasible() const {
+    return best_feasible_;
+  }
+
+  size_t num_constraints() const { return constraint_values_.size(); }
+
+ private:
+  ConstrainedBoOptions options_;
+  SpaceEncoder encoder_;
+  HaltonSequence halton_;
+  // Parallel to history_: encoded features and per-constraint values.
+  std::vector<Vector> encoded_;
+  std::vector<Vector> constraint_values_;  // [constraint][observation].
+  std::optional<Observation> best_feasible_;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OPTIMIZERS_CONSTRAINED_BO_H_

@@ -1,0 +1,109 @@
+#include "optimizers/genetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace autotune {
+
+GeneticOptimizer::GeneticOptimizer(const ConfigSpace* space, uint64_t seed,
+                                   GeneticOptions options)
+    : OptimizerBase(space, seed),
+      options_(options),
+      dim_(space->size()),
+      tournament_rng_(seed ^ 0x9e3779b97f4a7c15ULL) {
+  AUTOTUNE_CHECK(options_.population >= 4);
+  AUTOTUNE_CHECK(options_.elite >= 0 &&
+                 options_.elite < options_.population);
+  AUTOTUNE_CHECK(options_.tournament_size >= 1);
+  const size_t n = static_cast<size_t>(options_.population);
+  genomes_.resize(n);
+  fitness_.assign(n, std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < n; ++i) {
+    genomes_[i].resize(dim_);
+    for (auto& g : genomes_[i]) g = rng_.Uniform();
+    unsuggested_.push_back(i);
+  }
+}
+
+Result<Configuration> GeneticOptimizer::Suggest() {
+  if (unsuggested_.empty()) {
+    if (!awaiting_result_.empty()) {
+      return space_->FromUnit(genomes_[awaiting_result_.front()]);
+    }
+    return Status::Internal("GA generation bookkeeping exhausted");
+  }
+  const size_t index = unsuggested_.front();
+  unsuggested_.pop_front();
+  awaiting_result_.push_back(index);
+  return space_->FromUnit(genomes_[index]);
+}
+
+void GeneticOptimizer::OnObserve(const Observation& observation) {
+  if (awaiting_result_.empty()) return;
+  const size_t index = awaiting_result_.front();
+  awaiting_result_.pop_front();
+  fitness_[index] = observation.objective;
+  ++observed_in_generation_;
+  if (observed_in_generation_ == static_cast<size_t>(options_.population)) {
+    NextGeneration();
+    ++generation_;
+    observed_in_generation_ = 0;
+  }
+}
+
+size_t GeneticOptimizer::TournamentPick() const {
+  size_t best = static_cast<size_t>(
+      tournament_rng_.UniformInt(0, options_.population - 1));
+  for (int t = 1; t < options_.tournament_size; ++t) {
+    const size_t challenger = static_cast<size_t>(
+        tournament_rng_.UniformInt(0, options_.population - 1));
+    if (fitness_[challenger] < fitness_[best]) best = challenger;
+  }
+  return best;
+}
+
+void GeneticOptimizer::NextGeneration() {
+  const size_t n = static_cast<size_t>(options_.population);
+  // Rank current genomes (ascending objective).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return fitness_[a] < fitness_[b];
+  });
+
+  std::vector<Vector> next;
+  next.reserve(n);
+  for (int e = 0; e < options_.elite; ++e) {
+    next.push_back(genomes_[order[static_cast<size_t>(e)]]);
+  }
+  while (next.size() < n) {
+    const Vector& parent_a = genomes_[TournamentPick()];
+    const Vector& parent_b = genomes_[TournamentPick()];
+    Vector child(dim_);
+    if (rng_.Bernoulli(options_.crossover_rate)) {
+      for (size_t d = 0; d < dim_; ++d) {
+        child[d] = rng_.Bernoulli(0.5) ? parent_a[d] : parent_b[d];
+      }
+    } else {
+      child = parent_a;
+    }
+    for (size_t d = 0; d < dim_; ++d) {
+      if (rng_.Bernoulli(options_.mutation_rate)) {
+        child[d] = std::clamp(
+            child[d] + rng_.Normal(0.0, options_.mutation_scale), 0.0, 1.0);
+      }
+    }
+    next.push_back(std::move(child));
+  }
+  genomes_ = std::move(next);
+  fitness_.assign(n, std::numeric_limits<double>::infinity());
+  unsuggested_.clear();
+  awaiting_result_.clear();
+  for (size_t i = 0; i < n; ++i) unsuggested_.push_back(i);
+}
+
+}  // namespace autotune

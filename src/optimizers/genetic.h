@@ -1,0 +1,58 @@
+#ifndef AUTOTUNE_OPTIMIZERS_GENETIC_H_
+#define AUTOTUNE_OPTIMIZERS_GENETIC_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "math/matrix.h"
+
+namespace autotune {
+
+/// Options for `GeneticOptimizer`.
+struct GeneticOptions {
+  int population = 16;
+  int elite = 2;                 ///< Individuals copied unchanged.
+  int tournament_size = 3;
+  double crossover_rate = 0.9;   ///< Probability of uniform crossover.
+  double mutation_rate = 0.15;   ///< Per-gene mutation probability.
+  double mutation_scale = 0.2;   ///< Stddev of the Gaussian gene mutation.
+};
+
+/// Genetic algorithm over unit-cube genomes (the online-tuning GA family of
+/// tutorial slide 81: HUNTER, RFHOC): tournament selection, uniform
+/// crossover, Gaussian mutation, elitism. Ask/tell generational loop like
+/// CMA-ES.
+class GeneticOptimizer : public OptimizerBase {
+ public:
+  GeneticOptimizer(const ConfigSpace* space, uint64_t seed,
+                   GeneticOptions options = {});
+
+  std::string name() const override { return "ga"; }
+
+  Result<Configuration> Suggest() override;
+
+  int generation() const { return generation_; }
+
+ protected:
+  void OnObserve(const Observation& observation) override;
+
+ private:
+  void NextGeneration();
+  size_t TournamentPick() const;
+
+  GeneticOptions options_;
+  size_t dim_;
+  std::vector<Vector> genomes_;
+  Vector fitness_;  // Objective per genome (lower = fitter).
+  std::deque<size_t> unsuggested_;
+  std::deque<size_t> awaiting_result_;
+  size_t observed_in_generation_ = 0;
+  int generation_ = 0;
+  mutable Rng tournament_rng_;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OPTIMIZERS_GENETIC_H_

@@ -1,0 +1,18 @@
+#include "optimizers/grid_search.h"
+
+namespace autotune {
+
+GridSearch::GridSearch(const ConfigSpace* space, size_t points_per_numeric,
+                       size_t max_points)
+    : OptimizerBase(space, /*seed=*/0),
+      grid_(space->Grid(points_per_numeric, max_points)) {}
+
+Result<Configuration> GridSearch::Suggest() {
+  if (next_ >= grid_.size()) {
+    return Status::Unavailable("grid exhausted after " +
+                               std::to_string(grid_.size()) + " points");
+  }
+  return grid_[next_++];
+}
+
+}  // namespace autotune

@@ -1,0 +1,36 @@
+#ifndef AUTOTUNE_OPTIMIZERS_GRID_SEARCH_H_
+#define AUTOTUNE_OPTIMIZERS_GRID_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+
+namespace autotune {
+
+/// Grid search (tutorial slide 29): a fixed trial budget spread at even
+/// intervals over the space; try every combination, keep the best. Exhausts
+/// after the full grid has been suggested (Suggest then returns
+/// Unavailable), which ends the tuning loop.
+class GridSearch : public OptimizerBase {
+ public:
+  /// `points_per_numeric` levels per numeric parameter; categoricals/bools
+  /// enumerate every level. The grid is capped at `max_points`.
+  GridSearch(const ConfigSpace* space, size_t points_per_numeric,
+             size_t max_points = 100000);
+
+  std::string name() const override { return "grid"; }
+
+  Result<Configuration> Suggest() override;
+
+  /// Total number of grid points.
+  size_t grid_size() const { return grid_.size(); }
+
+ private:
+  std::vector<Configuration> grid_;
+  size_t next_ = 0;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OPTIMIZERS_GRID_SEARCH_H_

@@ -1,0 +1,51 @@
+#include "optimizers/projected.h"
+
+#include "common/check.h"
+
+namespace autotune {
+
+ProjectedOptimizer::ProjectedOptimizer(
+    std::unique_ptr<ProjectedSpace> adapter, std::unique_ptr<Optimizer> inner)
+    : adapter_(std::move(adapter)), inner_(std::move(inner)) {
+  AUTOTUNE_CHECK(adapter_ != nullptr);
+  AUTOTUNE_CHECK(inner_ != nullptr);
+  AUTOTUNE_CHECK_MSG(&inner_->space() == &adapter_->low_space(),
+                     "inner optimizer must search the adapter's low space");
+}
+
+std::string ProjectedOptimizer::name() const {
+  return "llamatune-" + inner_->name();
+}
+
+Result<Configuration> ProjectedOptimizer::Suggest() {
+  AUTOTUNE_ASSIGN_OR_RETURN(Configuration low, inner_->Suggest());
+  AUTOTUNE_ASSIGN_OR_RETURN(Configuration lifted, adapter_->Lift(low));
+  pending_.emplace_back(std::move(low), lifted);
+  return lifted;
+}
+
+Status ProjectedOptimizer::Observe(const Observation& observation) {
+  ++num_observations_;
+  if (!best_.has_value() ||
+      (best_->failed && !observation.failed) ||
+      (best_->failed == observation.failed &&
+       observation.objective < best_->objective)) {
+    best_ = observation;
+  }
+  // Route to the inner optimizer: find the matching pending suggestion
+  // (usually the front; batch loops may interleave).
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->second == observation.config) {
+      Observation low_obs(it->first, observation.objective);
+      low_obs.failed = observation.failed;
+      low_obs.cost = observation.cost;
+      low_obs.fidelity = observation.fidelity;
+      pending_.erase(it);
+      return inner_->Observe(low_obs);
+    }
+  }
+  // Observation for a config we did not suggest: nothing to route.
+  return Status::OK();
+}
+
+}  // namespace autotune

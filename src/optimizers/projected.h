@@ -1,0 +1,51 @@
+#ifndef AUTOTUNE_OPTIMIZERS_PROJECTED_H_
+#define AUTOTUNE_OPTIMIZERS_PROJECTED_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/optimizer.h"
+#include "space/projected_space.h"
+
+namespace autotune {
+
+/// LlamaTune-style wrapper (tutorial slide 62): an inner optimizer searches
+/// the low-dimensional projected space, while the tuning loop sees
+/// configurations of the real target space. Observations are routed back to
+/// the inner optimizer in the low space (FIFO pairing with suggestions,
+/// matching the sequential/batch loop's ordering).
+class ProjectedOptimizer : public Optimizer {
+ public:
+  /// `adapter` maps low <-> target; `make_inner` builds the inner optimizer
+  /// over `adapter->low_space()`. Both are owned.
+  ProjectedOptimizer(std::unique_ptr<ProjectedSpace> adapter,
+                     std::unique_ptr<Optimizer> inner);
+
+  std::string name() const override;
+
+  const ConfigSpace& space() const override {
+    return adapter_->target_space();
+  }
+
+  Result<Configuration> Suggest() override;
+
+  Status Observe(const Observation& observation) override;
+
+  const std::optional<Observation>& best() const override { return best_; }
+
+  size_t num_observations() const override { return num_observations_; }
+
+ private:
+  std::unique_ptr<ProjectedSpace> adapter_;
+  std::unique_ptr<Optimizer> inner_;
+  // Pending (low config, lifted config) pairs awaiting observation.
+  std::deque<std::pair<Configuration, Configuration>> pending_;
+  std::optional<Observation> best_;
+  size_t num_observations_ = 0;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OPTIMIZERS_PROJECTED_H_

@@ -1,0 +1,87 @@
+#include "optimizers/pso.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace autotune {
+
+ParticleSwarmOptimizer::ParticleSwarmOptimizer(const ConfigSpace* space,
+                                               uint64_t seed,
+                                               PsoOptions options)
+    : OptimizerBase(space, seed),
+      options_(options),
+      dim_(space->size()),
+      global_best_objective_(std::numeric_limits<double>::infinity()) {
+  AUTOTUNE_CHECK(options_.num_particles >= 2);
+  const size_t n = static_cast<size_t>(options_.num_particles);
+  positions_.resize(n);
+  velocities_.resize(n);
+  personal_best_.resize(n);
+  personal_best_objective_.assign(n,
+                                  std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < n; ++i) {
+    positions_[i].resize(dim_);
+    velocities_[i].resize(dim_);
+    for (size_t d = 0; d < dim_; ++d) {
+      positions_[i][d] = rng_.Uniform();
+      velocities_[i][d] =
+          rng_.Uniform(-options_.max_velocity, options_.max_velocity);
+    }
+    personal_best_[i] = positions_[i];
+  }
+  global_best_ = positions_[0];
+}
+
+Result<Configuration> ParticleSwarmOptimizer::Suggest() {
+  const size_t index = next_particle_;
+  next_particle_ = (next_particle_ + 1) %
+                   static_cast<size_t>(options_.num_particles);
+  if (initialized_) AdvanceParticle(index);
+  awaiting_result_.push_back(index);
+  if (next_particle_ == 0) initialized_ = true;
+  return space_->FromUnit(positions_[index]);
+}
+
+void ParticleSwarmOptimizer::OnObserve(const Observation& observation) {
+  if (awaiting_result_.empty()) return;  // External observation.
+  const size_t index = awaiting_result_.front();
+  awaiting_result_.pop_front();
+  const double objective = observation.objective;
+  if (objective < personal_best_objective_[index]) {
+    personal_best_objective_[index] = objective;
+    personal_best_[index] = positions_[index];
+  }
+  if (objective < global_best_objective_) {
+    global_best_objective_ = objective;
+    global_best_ = positions_[index];
+  }
+}
+
+void ParticleSwarmOptimizer::AdvanceParticle(size_t index) {
+  for (size_t d = 0; d < dim_; ++d) {
+    const double r1 = rng_.Uniform();
+    const double r2 = rng_.Uniform();
+    double v = options_.inertia * velocities_[index][d] +
+               options_.cognitive * r1 *
+                   (personal_best_[index][d] - positions_[index][d]) +
+               options_.social * r2 *
+                   (global_best_[d] - positions_[index][d]);
+    v = std::clamp(v, -options_.max_velocity, options_.max_velocity);
+    velocities_[index][d] = v;
+    double x = positions_[index][d] + v;
+    // Reflective boundary handling keeps particles in the cube.
+    if (x < 0.0) {
+      x = -x;
+      velocities_[index][d] = -velocities_[index][d];
+    } else if (x > 1.0) {
+      x = 2.0 - x;
+      velocities_[index][d] = -velocities_[index][d];
+    }
+    positions_[index][d] = std::clamp(x, 0.0, 1.0);
+  }
+}
+
+}  // namespace autotune

@@ -1,0 +1,55 @@
+#ifndef AUTOTUNE_OPTIMIZERS_PSO_H_
+#define AUTOTUNE_OPTIMIZERS_PSO_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "math/matrix.h"
+
+namespace autotune {
+
+/// Options for `ParticleSwarmOptimizer`.
+struct PsoOptions {
+  int num_particles = 12;
+  double inertia = 0.72;          ///< Velocity carry-over (w).
+  double cognitive = 1.49;        ///< Pull toward the particle's best (c1).
+  double social = 1.49;           ///< Pull toward the global best (c2).
+  double max_velocity = 0.25;     ///< Per-dimension velocity clamp.
+};
+
+/// Particle swarm optimization (tutorial slide 50, Gad 2022): a swarm of
+/// unit-cube particles, each pulled toward its own best and the swarm's
+/// best position. Ask/tell: one swarm sweep per generation.
+class ParticleSwarmOptimizer : public OptimizerBase {
+ public:
+  ParticleSwarmOptimizer(const ConfigSpace* space, uint64_t seed,
+                         PsoOptions options = {});
+
+  std::string name() const override { return "pso"; }
+
+  Result<Configuration> Suggest() override;
+
+ protected:
+  void OnObserve(const Observation& observation) override;
+
+ private:
+  void AdvanceParticle(size_t index);
+
+  PsoOptions options_;
+  size_t dim_;
+  std::vector<Vector> positions_;
+  std::vector<Vector> velocities_;
+  std::vector<Vector> personal_best_;
+  Vector personal_best_objective_;
+  Vector global_best_;
+  double global_best_objective_;
+  std::deque<size_t> awaiting_result_;
+  size_t next_particle_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OPTIMIZERS_PSO_H_

@@ -1,0 +1,24 @@
+#include "optimizers/random_search.h"
+
+namespace autotune {
+
+RandomSearch::RandomSearch(const ConfigSpace* space, uint64_t seed, Mode mode)
+    : OptimizerBase(space, seed), mode_(mode), halton_(space->size()) {}
+
+std::string RandomSearch::name() const {
+  return mode_ == Mode::kUniform ? "random" : "halton";
+}
+
+Result<Configuration> RandomSearch::Suggest() {
+  constexpr int kMaxTries = 1000;
+  for (int attempt = 0; attempt < kMaxTries; ++attempt) {
+    Configuration config = mode_ == Mode::kUniform
+                               ? space_->Sample(&rng_)
+                               : space_->FromUnit(halton_.Next());
+    if (space_->IsFeasible(config)) return config;
+  }
+  return Status::Unavailable("no feasible sample in " +
+                             std::to_string(kMaxTries) + " tries");
+}
+
+}  // namespace autotune

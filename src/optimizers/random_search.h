@@ -1,0 +1,34 @@
+#ifndef AUTOTUNE_OPTIMIZERS_RANDOM_SEARCH_H_
+#define AUTOTUNE_OPTIMIZERS_RANDOM_SEARCH_H_
+
+#include <string>
+
+#include "core/optimizer.h"
+#include "math/quasirandom.h"
+
+namespace autotune {
+
+/// Random search (tutorial slide 30): fixed trial budget, configurations
+/// sampled independently — uniformly, or via a Halton low-discrepancy
+/// sequence for better space coverage. Respects space constraints by
+/// rejection sampling. The standard baseline every model-guided optimizer
+/// must beat.
+class RandomSearch : public OptimizerBase {
+ public:
+  enum class Mode { kUniform, kHalton };
+
+  RandomSearch(const ConfigSpace* space, uint64_t seed,
+               Mode mode = Mode::kUniform);
+
+  std::string name() const override;
+
+  Result<Configuration> Suggest() override;
+
+ private:
+  Mode mode_;
+  HaltonSequence halton_;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OPTIMIZERS_RANDOM_SEARCH_H_

@@ -1,0 +1,61 @@
+#include "optimizers/simulated_annealing.h"
+
+#include <cmath>
+
+namespace autotune {
+
+SimulatedAnnealing::SimulatedAnnealing(const ConfigSpace* space,
+                                       uint64_t seed,
+                                       SimulatedAnnealingOptions options)
+    : OptimizerBase(space, seed),
+      options_(options),
+      temperature_(options.initial_temperature) {}
+
+Result<Configuration> SimulatedAnnealing::Suggest() {
+  Configuration proposal =
+      !current_.has_value()
+          ? space_->Sample(&rng_)
+          : (temperature_ < options_.restart_temperature &&
+                     rng_.Bernoulli(0.1)
+                 ? space_->Sample(&rng_)
+                 : space_->Neighbor(*current_, options_.neighbor_scale,
+                                    &rng_));
+  // Respect constraints; fall back to feasible uniform sampling.
+  if (!space_->IsFeasible(proposal)) {
+    AUTOTUNE_ASSIGN_OR_RETURN(proposal, space_->SampleFeasible(&rng_));
+  }
+  pending_ = proposal;
+  return proposal;
+}
+
+void SimulatedAnnealing::OnObserve(const Observation& observation) {
+  // Only walk from configurations we proposed (external observations still
+  // enter history/best via the base class).
+  const bool is_pending =
+      pending_.has_value() && observation.config == *pending_;
+  if (is_pending) pending_.reset();
+
+  if (!current_.has_value()) {
+    current_ = observation.config;
+    current_objective_ = observation.objective;
+    return;
+  }
+  if (!is_pending) return;
+
+  const double delta = observation.objective - current_objective_;
+  bool accept = delta <= 0.0;
+  if (!accept && !observation.failed && temperature_ > 0.0) {
+    // Metropolis: accept worse moves with probability exp(-delta / T),
+    // where delta is normalized by the scale of objectives seen so far.
+    const double scale =
+        std::max(1e-12, std::abs(current_objective_) * 0.1 + 1e-9);
+    accept = rng_.Bernoulli(std::exp(-delta / (scale * temperature_)));
+  }
+  if (accept && !observation.failed) {
+    current_ = observation.config;
+    current_objective_ = observation.objective;
+  }
+  temperature_ *= options_.cooling_rate;
+}
+
+}  // namespace autotune

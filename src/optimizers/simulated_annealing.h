@@ -1,0 +1,51 @@
+#ifndef AUTOTUNE_OPTIMIZERS_SIMULATED_ANNEALING_H_
+#define AUTOTUNE_OPTIMIZERS_SIMULATED_ANNEALING_H_
+
+#include <optional>
+#include <string>
+
+#include "core/optimizer.h"
+
+namespace autotune {
+
+/// Options for `SimulatedAnnealing`.
+struct SimulatedAnnealingOptions {
+  double initial_temperature = 1.0;
+  /// Temperature multiplier per accepted/observed step (geometric cooling).
+  double cooling_rate = 0.95;
+  /// Stddev of the unit-space perturbation proposing a neighbor.
+  double neighbor_scale = 0.15;
+  /// Random restarts: probability of jumping to a fresh uniform sample when
+  /// temperature has cooled below `restart_temperature`.
+  double restart_temperature = 1e-3;
+};
+
+/// Simulated annealing (tutorial slide 7 lists it under "search based"):
+/// hill climbing over `ConfigSpace::Neighbor` moves with a Metropolis
+/// acceptance rule, so early high-temperature steps can escape local optima
+/// of the response surface.
+class SimulatedAnnealing : public OptimizerBase {
+ public:
+  SimulatedAnnealing(const ConfigSpace* space, uint64_t seed,
+                     SimulatedAnnealingOptions options = {});
+
+  std::string name() const override { return "anneal"; }
+
+  Result<Configuration> Suggest() override;
+
+  double temperature() const { return temperature_; }
+
+ protected:
+  void OnObserve(const Observation& observation) override;
+
+ private:
+  SimulatedAnnealingOptions options_;
+  double temperature_;
+  std::optional<Configuration> current_;
+  double current_objective_ = 0.0;
+  std::optional<Configuration> pending_;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OPTIMIZERS_SIMULATED_ANNEALING_H_

@@ -1,0 +1,43 @@
+#include "rl/contextual_bandit.h"
+
+#include "common/check.h"
+
+namespace autotune {
+namespace rl {
+
+ContextualBandit::ContextualBandit(const ConfigSpace* space, uint64_t seed,
+                                   std::vector<Configuration> arms,
+                                   size_t num_contexts,
+                                   BanditOptions options)
+    : arms_(std::move(arms)) {
+  AUTOTUNE_CHECK(num_contexts >= 1);
+  AUTOTUNE_CHECK(!arms_.empty());
+  bandits_.reserve(num_contexts);
+  for (size_t c = 0; c < num_contexts; ++c) {
+    bandits_.push_back(std::make_unique<BanditOptimizer>(
+        space, seed + c * 7919ULL, arms_, options));
+  }
+}
+
+Result<Configuration> ContextualBandit::Suggest(size_t context) {
+  if (context >= bandits_.size()) {
+    return Status::InvalidArgument("context out of range");
+  }
+  return bandits_[context]->Suggest();
+}
+
+Status ContextualBandit::Observe(size_t context, const Configuration& config,
+                                 double objective) {
+  if (context >= bandits_.size()) {
+    return Status::InvalidArgument("context out of range");
+  }
+  return bandits_[context]->Observe(Observation(config, objective));
+}
+
+const BanditOptimizer& ContextualBandit::bandit(size_t context) const {
+  AUTOTUNE_CHECK(context < bandits_.size());
+  return *bandits_[context];
+}
+
+}  // namespace rl
+}  // namespace autotune

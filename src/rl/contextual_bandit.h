@@ -1,0 +1,46 @@
+#ifndef AUTOTUNE_RL_CONTEXTUAL_BANDIT_H_
+#define AUTOTUNE_RL_CONTEXTUAL_BANDIT_H_
+
+#include <memory>
+#include <vector>
+
+#include "optimizers/bandit.h"
+
+namespace autotune {
+namespace rl {
+
+/// OPPerTune-style contextual hybrid bandit (tutorial slides 78, 82): a
+/// context id (e.g. job type x request-rate bucket, produced by an
+/// AutoScoper-like router) selects a dedicated bandit over the shared arm
+/// set, so each context converges to its own best configuration while
+/// contexts with the same optimum don't interfere.
+class ContextualBandit {
+ public:
+  /// One bandit per context in [0, num_contexts), all over `arms`.
+  ContextualBandit(const ConfigSpace* space, uint64_t seed,
+                   std::vector<Configuration> arms, size_t num_contexts,
+                   BanditOptions options = {});
+
+  size_t num_contexts() const { return bandits_.size(); }
+  size_t num_arms() const { return arms_.size(); }
+
+  /// Suggests a configuration for the given context.
+  Result<Configuration> Suggest(size_t context);
+
+  /// Reports the observed objective (minimize) for a configuration played
+  /// in `context`.
+  Status Observe(size_t context, const Configuration& config,
+                 double objective);
+
+  /// The bandit serving `context` (diagnostics).
+  const BanditOptimizer& bandit(size_t context) const;
+
+ private:
+  std::vector<Configuration> arms_;
+  std::vector<std::unique_ptr<BanditOptimizer>> bandits_;
+};
+
+}  // namespace rl
+}  // namespace autotune
+
+#endif  // AUTOTUNE_RL_CONTEXTUAL_BANDIT_H_

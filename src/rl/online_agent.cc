@@ -1,0 +1,162 @@
+#include "rl/online_agent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+namespace rl {
+
+OnlineTuningAgent::OnlineTuningAgent(Environment* env,
+                                     OnlineAgentOptions options,
+                                     uint64_t seed)
+    : env_(env),
+      options_(std::move(options)),
+      rng_(seed),
+      current_(env->space().Default()) {
+  AUTOTUNE_CHECK(env != nullptr);
+  AUTOTUNE_CHECK_MSG(!options_.knobs.empty(), "agent needs >= 1 knob");
+  AUTOTUNE_CHECK(options_.step > 0.0 && options_.step < 1.0);
+  AUTOTUNE_CHECK(options_.perf_buckets >= 2);
+  for (const std::string& knob : options_.knobs) {
+    auto index = env->space().Index(knob);
+    AUTOTUNE_CHECK_MSG(index.ok(), knob.c_str());
+    const ParameterType type = env->space().param(*index).type();
+    AUTOTUNE_CHECK_MSG(
+        type == ParameterType::kFloat || type == ParameterType::kInt,
+        "agent knobs must be numeric");
+  }
+  const size_t num_states =
+      static_cast<size_t>(options_.perf_buckets) *
+      (options_.context_metric.empty()
+           ? 1
+           : static_cast<size_t>(options_.context_buckets));
+  const size_t num_actions = 2 * options_.knobs.size() + 1;  // +/- per knob.
+  agent_ = std::make_unique<QLearningAgent>(num_states, num_actions,
+                                            seed ^ 0xabcdULL, options_.rl);
+}
+
+size_t OnlineTuningAgent::EncodeState(
+    double objective, const std::map<std::string, double>& metrics) const {
+  // Performance bucket: objective relative to the best seen.
+  static const double kThresholds[] = {1.05, 1.2, 1.5, 2.0, 4.0, 8.0};
+  const double ratio =
+      has_best_ ? objective / std::max(best_objective_, 1e-12) : 1.0;
+  int perf = 0;
+  const int max_perf = options_.perf_buckets - 1;
+  for (int i = 0; i < max_perf && i < 6; ++i) {
+    if (ratio > kThresholds[i]) perf = i + 1;
+  }
+  size_t state = static_cast<size_t>(std::min(perf, max_perf));
+  if (!options_.context_metric.empty()) {
+    double signal = 0.0;
+    auto it = metrics.find(options_.context_metric);
+    if (it != metrics.end()) signal = it->second;
+    signal = std::clamp(signal, 0.0, 1.0);
+    int bucket = std::min(options_.context_buckets - 1,
+                          static_cast<int>(signal *
+                                           options_.context_buckets));
+    state = state * static_cast<size_t>(options_.context_buckets) +
+            static_cast<size_t>(bucket);
+  }
+  return state;
+}
+
+Configuration OnlineTuningAgent::ApplyAction(int action) const {
+  if (action == 0) return current_;  // No-op.
+  const size_t knob_index = static_cast<size_t>(action - 1) / 2;
+  const bool increase = (action - 1) % 2 == 0;
+  auto unit = env_->space().ToUnit(current_);
+  AUTOTUNE_CHECK(unit.ok());
+  Vector u = *unit;
+  auto param_index = env_->space().Index(options_.knobs[knob_index]);
+  AUTOTUNE_CHECK(param_index.ok());
+  double& coord = u[*param_index];
+  coord = std::clamp(coord + (increase ? options_.step : -options_.step),
+                     0.0, 1.0);
+  return env_->space().FromUnit(u);
+}
+
+OnlineTuningAgent::StepResult OnlineTuningAgent::Step() {
+  StepResult result;
+  ++steps_;
+  BenchmarkResult bench = env_->Run(current_, 1.0, &rng_);
+  double objective;
+  if (bench.crashed) {
+    // Crash in production: heavy penalty, fall back to the best seen x 4.
+    objective = has_best_ ? best_objective_ * 4.0 : 1e9;
+  } else {
+    auto it = bench.metrics.find(env_->objective_metric());
+    AUTOTUNE_CHECK(it != bench.metrics.end());
+    objective = env_->minimize() ? it->second : -it->second;
+  }
+  result.objective = objective;
+
+  if (!has_best_ || objective < best_objective_) {
+    best_objective_ = objective;
+    has_best_ = true;
+  }
+  const size_t state = EncodeState(objective, bench.metrics);
+  result.state = static_cast<int>(state);
+
+  // Learn from the previous transition.
+  if (prev_state_ >= 0) {
+    // Reward: relative improvement of the objective (positive = better).
+    const double scale = std::max(std::abs(prev_objective_), 1e-12);
+    const double reward = (prev_objective_ - objective) / scale;
+    result.reward = reward;
+    agent_->Update(static_cast<size_t>(prev_state_), prev_action_, reward,
+                   state);
+  }
+
+  // Act.
+  const int action = agent_->ChooseAction(state);
+  result.action = action;
+  Configuration next = ApplyAction(action);
+  result.config_changed = !(next == current_);
+  current_ = next;
+
+  prev_state_ = static_cast<int>(state);
+  prev_action_ = action;
+  prev_objective_ = objective;
+  return result;
+}
+
+void OnlineTuningAgent::ResetTo(const Configuration& config) {
+  AUTOTUNE_CHECK(&config.space() == &env_->space());
+  current_ = config;
+  // The transition across a forced reset is not the agent's doing; do not
+  // learn from it.
+  prev_state_ = -1;
+  prev_action_ = -1;
+}
+
+SafetyGuardrail::SafetyGuardrail(double baseline_objective,
+                                 GuardrailOptions options)
+    : options_(options), baseline_(baseline_objective) {
+  AUTOTUNE_CHECK(options_.regression_threshold > 1.0);
+  AUTOTUNE_CHECK(options_.window >= 1);
+}
+
+bool SafetyGuardrail::ShouldRollback(double objective) {
+  if (objective > baseline_ * options_.regression_threshold) {
+    ++regressions_;
+    ++consecutive_;
+    if (consecutive_ >= options_.window) {
+      ++rollbacks_;
+      consecutive_ = 0;
+      return true;
+    }
+  } else {
+    consecutive_ = 0;
+  }
+  return false;
+}
+
+void SafetyGuardrail::UpdateBaseline(double baseline_objective) {
+  baseline_ = baseline_objective;
+}
+
+}  // namespace rl
+}  // namespace autotune

@@ -1,0 +1,127 @@
+#ifndef AUTOTUNE_RL_ONLINE_AGENT_H_
+#define AUTOTUNE_RL_ONLINE_AGENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/environment.h"
+#include "core/observation.h"
+#include "rl/qlearning.h"
+
+namespace autotune {
+namespace rl {
+
+/// Options for `OnlineTuningAgent`.
+struct OnlineAgentOptions {
+  /// Names of the numeric, runtime-adjustable knobs the agent controls.
+  std::vector<std::string> knobs;
+
+  /// Unit-space step applied by an up/down action.
+  double step = 0.12;
+
+  /// Perf-state discretization: buckets of objective relative to the best
+  /// seen so far.
+  int perf_buckets = 5;
+
+  /// Secondary state signal: buckets of the `context_metric` (captures the
+  /// workload; e.g. io_util distinguishes scan- from point-heavy loads).
+  std::string context_metric;  ///< Empty = no context signal.
+  int context_buckets = 3;
+
+  TabularRlOptions rl;
+};
+
+/// The internal online-tuning architecture of tutorial slide 78: an agent
+/// embedded with the system continually observes metrics and adjusts
+/// runtime knobs. Tabular Q-learning over (performance bucket x workload
+/// context bucket) states; actions nudge one knob up/down in unit space (or
+/// no-op). Rewards are relative performance improvements, so the agent
+/// tracks workload shifts that static offline configs cannot (slide 76).
+class OnlineTuningAgent {
+ public:
+  /// `env` must outlive the agent. Starts at the environment default
+  /// configuration.
+  OnlineTuningAgent(Environment* env, OnlineAgentOptions options,
+                    uint64_t seed);
+
+  /// Outcome of one control step.
+  struct StepResult {
+    double objective = 0.0;   ///< Observed (minimize convention).
+    int state = 0;
+    int action = 0;
+    double reward = 0.0;
+    bool config_changed = false;
+  };
+
+  /// Runs one observe -> learn -> act cycle at the current configuration.
+  StepResult Step();
+
+  /// The configuration currently deployed.
+  const Configuration& current_config() const { return current_; }
+
+  /// Force-deploys a configuration (rollback, warm start).
+  void ResetTo(const Configuration& config);
+
+  /// Total control steps taken.
+  int steps() const { return steps_; }
+
+  const QLearningAgent& q_agent() const { return *agent_; }
+
+ private:
+  size_t EncodeState(double objective,
+                     const std::map<std::string, double>& metrics) const;
+  Configuration ApplyAction(int action) const;
+
+  Environment* env_;
+  OnlineAgentOptions options_;
+  Rng rng_;
+  std::unique_ptr<QLearningAgent> agent_;
+  Configuration current_;
+  double best_objective_ = 0.0;
+  bool has_best_ = false;
+  int prev_state_ = -1;
+  int prev_action_ = -1;
+  double prev_objective_ = 0.0;
+  int steps_ = 0;
+};
+
+/// Safety guardrail for online exploration (tutorial slide 84): track the
+/// live objective against a trusted baseline; after `window` consecutive
+/// observations worse than `regression_threshold x baseline`, declare a
+/// regression and demand rollback. Counts regressions and rollbacks so
+/// benches can report the safety/optimality trade-off.
+struct GuardrailOptions {
+  double regression_threshold = 1.3;
+  int window = 3;
+};
+
+class SafetyGuardrail {
+ public:
+  SafetyGuardrail(double baseline_objective,
+                  GuardrailOptions options = GuardrailOptions());
+
+  /// Feeds one observation; returns true when a rollback should happen
+  /// (the consecutive-regression window filled). Resets the window after
+  /// signaling.
+  bool ShouldRollback(double objective);
+
+  /// Updates the trusted baseline (e.g. after a verified improvement).
+  void UpdateBaseline(double baseline_objective);
+
+  int regressions() const { return regressions_; }
+  int rollbacks() const { return rollbacks_; }
+  double baseline() const { return baseline_; }
+
+ private:
+  GuardrailOptions options_;
+  double baseline_;
+  int consecutive_ = 0;
+  int regressions_ = 0;
+  int rollbacks_ = 0;
+};
+
+}  // namespace rl
+}  // namespace autotune
+
+#endif  // AUTOTUNE_RL_ONLINE_AGENT_H_

@@ -1,0 +1,145 @@
+#include "rl/online_tune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "optimizers/acquisition.h"
+
+namespace autotune {
+namespace rl {
+
+OnlineTuneOptimizer::OnlineTuneOptimizer(const ConfigSpace* space,
+                                         uint64_t seed, size_t context_dim,
+                                         OnlineTuneOptions options)
+    : space_(space),
+      rng_(seed),
+      context_dim_(context_dim),
+      options_(options),
+      encoder_(space, SpaceEncoder::CategoricalMode::kOrdinal) {
+  AUTOTUNE_CHECK(space != nullptr);
+  AUTOTUNE_CHECK(options_.trust_region > 0.0);
+  AUTOTUNE_CHECK(options_.safety_threshold > 1.0);
+  AUTOTUNE_CHECK(options_.initial_samples >= 1);
+}
+
+void OnlineTuneOptimizer::SetBaseline(const Configuration& config,
+                                      double objective) {
+  AUTOTUNE_CHECK(&config.space() == space_);
+  incumbent_ = config;
+  incumbent_objective_ = objective;
+  baseline_objective_ = objective;
+  has_baseline_ = true;
+}
+
+const Configuration& OnlineTuneOptimizer::incumbent() const {
+  AUTOTUNE_CHECK_MSG(incumbent_.has_value(), "SetBaseline first");
+  return *incumbent_;
+}
+
+Vector OnlineTuneOptimizer::EncodeWithContext(const Configuration& config,
+                                              const Vector& context) const {
+  auto encoded = encoder_.Encode(config);
+  AUTOTUNE_CHECK(encoded.ok());
+  Vector out = std::move(encoded).value();
+  AUTOTUNE_CHECK(context.size() == context_dim_);
+  for (double c : context) out.push_back(std::clamp(c, 0.0, 1.0));
+  return out;
+}
+
+Result<Configuration> OnlineTuneOptimizer::Suggest(const Vector& context) {
+  if (!has_baseline_) {
+    return Status::FailedPrecondition("SetBaseline before Suggest");
+  }
+  if (context.size() != context_dim_) {
+    return Status::InvalidArgument("context has wrong dimension");
+  }
+  // Warm-up: small random steps around the incumbent (safe by locality).
+  if (ys_.size() < static_cast<size_t>(options_.initial_samples)) {
+    return space_->Neighbor(*incumbent_, options_.trust_region * 0.5,
+                            &rng_);
+  }
+
+  // Fit the contextual GP.
+  GaussianProcess gp(MakeMaternKernel(2.5, 0.3), GpOptions{});
+  Status fit = gp.Fit(xs_, ys_);
+  if (!fit.ok()) {
+    ++fallbacks_;
+    return *incumbent_;
+  }
+
+  // Candidates inside the trust region around the incumbent.
+  auto incumbent_unit = space_->ToUnit(*incumbent_);
+  AUTOTUNE_CHECK(incumbent_unit.ok());
+  const double safety_cap =
+      baseline_objective_ * options_.safety_threshold;
+
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::optional<Configuration> best;
+  for (int i = 0; i < options_.num_candidates; ++i) {
+    Vector u = *incumbent_unit;
+    for (double& coord : u) {
+      coord = std::clamp(
+          coord + rng_.Uniform(-options_.trust_region,
+                               options_.trust_region),
+          0.0, 1.0);
+    }
+    Configuration candidate = space_->FromUnit(u);
+    if (!space_->IsFeasible(candidate)) continue;
+    const Prediction p =
+        gp.Predict(EncodeWithContext(candidate, context));
+    // Safety gate: even the PESSIMISTIC estimate (mean + beta sigma) must
+    // stay under the cap — the configuration is provably-ish safe.
+    const double pessimistic = p.mean + options_.lcb_beta * p.stddev();
+    if (pessimistic > safety_cap) {
+      ++rejected_unsafe_;
+      continue;
+    }
+    const double score =
+        EvaluateAcquisition(AcquisitionKind::kExpectedImprovement,
+                            AcquisitionParams{}, p, incumbent_objective_);
+    if (score > best_score) {
+      best_score = score;
+      best = std::move(candidate);
+    }
+  }
+  if (!best.has_value()) {
+    ++fallbacks_;
+    return *incumbent_;  // Nothing safe: hold position.
+  }
+  return *best;
+}
+
+Status OnlineTuneOptimizer::Observe(const Configuration& config,
+                                    const Vector& context,
+                                    double objective) {
+  if (&config.space() != space_) {
+    return Status::InvalidArgument("config from a different space");
+  }
+  if (context.size() != context_dim_) {
+    return Status::InvalidArgument("context has wrong dimension");
+  }
+  xs_.push_back(EncodeWithContext(config, context));
+  ys_.push_back(objective);
+  if (!incumbent_.has_value()) {
+    incumbent_ = config;
+    incumbent_objective_ = objective;
+    return Status::OK();
+  }
+  if (objective < incumbent_objective_) {
+    incumbent_ = config;
+    incumbent_objective_ = objective;
+    options_.trust_region = std::min(
+        options_.trust_region * options_.expand, options_.trust_region_max);
+  } else if (objective > baseline_objective_ * options_.safety_threshold) {
+    // A regression slipped through: shrink the region.
+    options_.trust_region = std::max(
+        options_.trust_region * options_.contract,
+        options_.trust_region_min);
+  }
+  return Status::OK();
+}
+
+}  // namespace rl
+}  // namespace autotune

@@ -1,0 +1,103 @@
+#ifndef AUTOTUNE_RL_ONLINE_TUNE_H_
+#define AUTOTUNE_RL_ONLINE_TUNE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "space/encoding.h"
+#include "surrogate/gaussian_process.h"
+
+namespace autotune {
+namespace rl {
+
+/// Options for `OnlineTuneOptimizer`.
+struct OnlineTuneOptions {
+  /// Initial unit-space radius of the trust region around the incumbent
+  /// ("iteratively optimizes subspaces around the best-known
+  /// configuration").
+  double trust_region = 0.15;
+  double trust_region_min = 0.03;
+  double trust_region_max = 0.5;
+  double expand = 1.3;    ///< On improvement.
+  double contract = 0.7;  ///< On regression.
+
+  /// Safety: a candidate is explored only if its LOWER confidence bound
+  /// does not exceed `safety_threshold x baseline` ("assessing safety via
+  /// lower-bound estimates"). Here higher objective = worse, so the bound
+  /// checked is mean - beta * stddev <= threshold * baseline... see
+  /// implementation note: we require the OPTIMISTIC bound to be safe AND
+  /// use the pessimistic bound to quantify risk.
+  double safety_threshold = 1.3;
+  double lcb_beta = 1.0;
+
+  /// Random (safe) warm-up suggestions near the incumbent before the model
+  /// kicks in.
+  int initial_samples = 5;
+  int num_candidates = 256;
+};
+
+/// OnlineTune-style safe contextual Bayesian optimization (tutorial slides
+/// 82-84): tune a production system in place by (1) embedding contextual
+/// workload features into the surrogate input, so one model serves a
+/// changing workload, (2) searching only a trust region around the
+/// best-known configuration, and (3) gating exploration with a
+/// confidence-bound safety check against a trusted baseline, falling back
+/// to the incumbent when nothing is provably safe.
+class OnlineTuneOptimizer {
+ public:
+  /// `space` must outlive the optimizer. `context_dim` is the length of the
+  /// context vector supplied at each step (0 = no context).
+  OnlineTuneOptimizer(const ConfigSpace* space, uint64_t seed,
+                      size_t context_dim,
+                      OnlineTuneOptions options = OnlineTuneOptions());
+
+  /// Proposes the next configuration to deploy given the current workload
+  /// context. Returns the incumbent when no candidate passes the safety
+  /// check (a safe no-op).
+  Result<Configuration> Suggest(const Vector& context);
+
+  /// Records the outcome of deploying `config` under `context`.
+  Status Observe(const Configuration& config, const Vector& context,
+                 double objective);
+
+  /// Declares the trusted baseline objective (e.g. the default config's
+  /// measured performance). Must be called before the first Suggest.
+  void SetBaseline(const Configuration& config, double objective);
+
+  /// Current incumbent (baseline until something safely better is found).
+  const Configuration& incumbent() const;
+
+  double trust_region() const { return options_.trust_region; }
+  int suggestions_rejected_unsafe() const { return rejected_unsafe_; }
+  int fallbacks_to_incumbent() const { return fallbacks_; }
+  size_t num_observations() const { return ys_.size(); }
+
+ private:
+  Vector EncodeWithContext(const Configuration& config,
+                           const Vector& context) const;
+
+  const ConfigSpace* space_;
+  Rng rng_;
+  size_t context_dim_;
+  OnlineTuneOptions options_;
+  SpaceEncoder encoder_;
+
+  std::optional<Configuration> incumbent_;
+  double incumbent_objective_ = 0.0;
+  double baseline_objective_ = 0.0;
+  bool has_baseline_ = false;
+
+  std::vector<Vector> xs_;
+  Vector ys_;
+  int rejected_unsafe_ = 0;
+  int fallbacks_ = 0;
+};
+
+}  // namespace rl
+}  // namespace autotune
+
+#endif  // AUTOTUNE_RL_ONLINE_TUNE_H_

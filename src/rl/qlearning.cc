@@ -1,0 +1,153 @@
+#include "rl/qlearning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+namespace rl {
+
+QLearningAgent::QLearningAgent(size_t num_states, size_t num_actions,
+                               uint64_t seed, TabularRlOptions options)
+    : num_states_(num_states),
+      num_actions_(num_actions),
+      options_(options),
+      rng_(seed),
+      epsilon_(options.epsilon),
+      table_(num_states * num_actions, options.initial_q) {
+  AUTOTUNE_CHECK(num_states >= 1);
+  AUTOTUNE_CHECK(num_actions >= 1);
+}
+
+double& QLearningAgent::QRef(size_t state, int action) {
+  AUTOTUNE_CHECK(state < num_states_);
+  AUTOTUNE_CHECK(action >= 0 && static_cast<size_t>(action) < num_actions_);
+  return table_[state * num_actions_ + static_cast<size_t>(action)];
+}
+
+double QLearningAgent::Q(size_t state, int action) const {
+  AUTOTUNE_CHECK(state < num_states_);
+  AUTOTUNE_CHECK(action >= 0 && static_cast<size_t>(action) < num_actions_);
+  return table_[state * num_actions_ + static_cast<size_t>(action)];
+}
+
+int QLearningAgent::GreedyAction(size_t state) const {
+  int best = 0;
+  double best_q = Q(state, 0);
+  for (size_t a = 1; a < num_actions_; ++a) {
+    const double q = Q(state, static_cast<int>(a));
+    if (q > best_q) {
+      best_q = q;
+      best = static_cast<int>(a);
+    }
+  }
+  return best;
+}
+
+int QLearningAgent::ChooseAction(size_t state) {
+  if (rng_.Bernoulli(epsilon_)) {
+    return static_cast<int>(
+        rng_.UniformInt(0, static_cast<int64_t>(num_actions_) - 1));
+  }
+  return GreedyAction(state);
+}
+
+void QLearningAgent::Update(size_t state, int action, double reward,
+                            size_t next_state) {
+  double max_next = Q(next_state, 0);
+  for (size_t a = 1; a < num_actions_; ++a) {
+    max_next = std::max(max_next, Q(next_state, static_cast<int>(a)));
+  }
+  double& q = QRef(state, action);
+  q += options_.alpha * (reward + options_.gamma * max_next - q);
+  epsilon_ = std::max(options_.epsilon_min,
+                      epsilon_ * options_.epsilon_decay);
+}
+
+void QLearningAgent::UpdateSarsa(size_t state, int action, double reward,
+                                 size_t next_state, int next_action) {
+  double& q = QRef(state, action);
+  q += options_.alpha *
+       (reward + options_.gamma * Q(next_state, next_action) - q);
+  epsilon_ = std::max(options_.epsilon_min,
+                      epsilon_ * options_.epsilon_decay);
+}
+
+ActorCriticAgent::ActorCriticAgent(size_t feature_dim, size_t num_actions,
+                                   uint64_t seed,
+                                   ActorCriticOptions options)
+    : feature_dim_(feature_dim),
+      num_actions_(num_actions),
+      options_(options),
+      rng_(seed),
+      critic_(feature_dim, 0.0),
+      actor_(num_actions, std::vector<double>(feature_dim, 0.0)) {
+  AUTOTUNE_CHECK(feature_dim >= 1);
+  AUTOTUNE_CHECK(num_actions >= 2);
+}
+
+double ActorCriticAgent::Value(const std::vector<double>& features) const {
+  AUTOTUNE_CHECK(features.size() == feature_dim_);
+  double value = 0.0;
+  for (size_t i = 0; i < feature_dim_; ++i) {
+    value += critic_[i] * features[i];
+  }
+  return value;
+}
+
+std::vector<double> ActorCriticAgent::Policy(
+    const std::vector<double>& features) const {
+  AUTOTUNE_CHECK(features.size() == feature_dim_);
+  std::vector<double> preferences(num_actions_, 0.0);
+  double max_pref = -1e300;
+  for (size_t a = 0; a < num_actions_; ++a) {
+    for (size_t i = 0; i < feature_dim_; ++i) {
+      preferences[a] += actor_[a][i] * features[i];
+    }
+    max_pref = std::max(max_pref, preferences[a]);
+  }
+  double total = 0.0;
+  for (auto& p : preferences) {
+    p = std::exp(p - max_pref);
+    total += p;
+  }
+  for (auto& p : preferences) p /= total;
+  return preferences;
+}
+
+int ActorCriticAgent::ChooseAction(const std::vector<double>& features) {
+  const std::vector<double> pi = Policy(features);
+  return static_cast<int>(rng_.Categorical(pi));
+}
+
+int ActorCriticAgent::GreedyAction(
+    const std::vector<double>& features) const {
+  const std::vector<double> pi = Policy(features);
+  size_t best = 0;
+  for (size_t a = 1; a < pi.size(); ++a) {
+    if (pi[a] > pi[best]) best = a;
+  }
+  return static_cast<int>(best);
+}
+
+void ActorCriticAgent::Update(const std::vector<double>& features,
+                              int action, double reward,
+                              const std::vector<double>& next_features) {
+  AUTOTUNE_CHECK(action >= 0 && static_cast<size_t>(action) < num_actions_);
+  const double td_error = reward + options_.gamma * Value(next_features) -
+                          Value(features);
+  for (size_t i = 0; i < feature_dim_; ++i) {
+    critic_[i] += options_.critic_alpha * td_error * features[i];
+  }
+  const std::vector<double> pi = Policy(features);
+  for (size_t a = 0; a < num_actions_; ++a) {
+    const double grad = (static_cast<int>(a) == action ? 1.0 : 0.0) - pi[a];
+    for (size_t i = 0; i < feature_dim_; ++i) {
+      actor_[a][i] += options_.actor_alpha * td_error * grad * features[i];
+    }
+  }
+}
+
+}  // namespace rl
+}  // namespace autotune

@@ -1,0 +1,104 @@
+#ifndef AUTOTUNE_RL_QLEARNING_H_
+#define AUTOTUNE_RL_QLEARNING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace autotune {
+namespace rl {
+
+/// Options for tabular TD agents.
+struct TabularRlOptions {
+  double alpha = 0.15;          ///< Learning rate.
+  double gamma = 0.9;           ///< Discount.
+  double epsilon = 0.3;         ///< Initial exploration rate.
+  double epsilon_decay = 0.995; ///< Multiplied per update.
+  double epsilon_min = 0.02;
+  double initial_q = 0.0;       ///< Optimistic init > 0 boosts exploration.
+};
+
+/// Tabular Q-learning / SARSA (tutorial slides 79-80: "Q values Q(s,a) —
+/// the expected reward when taking action a at state s"). The workhorse of
+/// online knob tuning (CDBTune/QTune lineage): states are discretized
+/// system conditions, actions are knob adjustments, rewards are performance
+/// improvements.
+class QLearningAgent {
+ public:
+  QLearningAgent(size_t num_states, size_t num_actions, uint64_t seed,
+                 TabularRlOptions options = TabularRlOptions());
+
+  /// Epsilon-greedy action for `state`; decays epsilon over time.
+  int ChooseAction(size_t state);
+
+  /// Greedy (exploitation-only) action.
+  int GreedyAction(size_t state) const;
+
+  /// Q-learning backup: off-policy max over next-state actions.
+  void Update(size_t state, int action, double reward, size_t next_state);
+
+  /// SARSA backup: on-policy with the actually chosen next action.
+  void UpdateSarsa(size_t state, int action, double reward,
+                   size_t next_state, int next_action);
+
+  double Q(size_t state, int action) const;
+  double epsilon() const { return epsilon_; }
+  size_t num_states() const { return num_states_; }
+  size_t num_actions() const { return num_actions_; }
+
+ private:
+  double& QRef(size_t state, int action);
+
+  size_t num_states_;
+  size_t num_actions_;
+  TabularRlOptions options_;
+  Rng rng_;
+  double epsilon_;
+  std::vector<double> table_;
+};
+
+/// Actor-critic with linear function approximation over a feature vector
+/// (tutorial slide 79: policy pi(s, a) + value V(s)). Softmax policy over
+/// discrete actions; TD(0) critic.
+struct ActorCriticOptions {
+  double actor_alpha = 0.05;
+  double critic_alpha = 0.1;
+  double gamma = 0.9;
+};
+
+class ActorCriticAgent {
+ public:
+  ActorCriticAgent(size_t feature_dim, size_t num_actions, uint64_t seed,
+                   ActorCriticOptions options = ActorCriticOptions());
+
+  /// Samples an action from the softmax policy at `features`.
+  int ChooseAction(const std::vector<double>& features);
+
+  /// Most probable action (deployment mode).
+  int GreedyAction(const std::vector<double>& features) const;
+
+  /// One TD(0) actor-critic update for the transition
+  /// (features, action, reward, next_features).
+  void Update(const std::vector<double>& features, int action, double reward,
+              const std::vector<double>& next_features);
+
+  /// State-value estimate.
+  double Value(const std::vector<double>& features) const;
+
+  /// Action probabilities at `features`.
+  std::vector<double> Policy(const std::vector<double>& features) const;
+
+ private:
+  size_t feature_dim_;
+  size_t num_actions_;
+  ActorCriticOptions options_;
+  Rng rng_;
+  std::vector<double> critic_;                 // V weights.
+  std::vector<std::vector<double>> actor_;     // Per-action preferences.
+};
+
+}  // namespace rl
+}  // namespace autotune
+
+#endif  // AUTOTUNE_RL_QLEARNING_H_

@@ -1,0 +1,364 @@
+#include "sim/db_env.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+namespace sim {
+
+DbEnv::DbEnv(DbEnvOptions options)
+    : options_(options),
+      workload_(options.workload),
+      noise_(options.noise, options.noise_seed) {
+  BuildSpace();
+}
+
+void DbEnv::BuildSpace() {
+  // Memory & storage.
+  space_.AddOrDie(ParameterSpec::Int("buffer_pool_mb", 64, 12288)
+                      .value()
+                      .WithLogScale()
+                      .WithDefault(ParamValue(int64_t{128})));
+  space_.AddOrDie(ParameterSpec::Int("log_buffer_kb", 64, 65536)
+                      .value()
+                      .WithLogScale()
+                      .WithDefault(ParamValue(int64_t{512})));
+  space_.AddOrDie(ParameterSpec::Bool("wal_sync").WithDefault(
+      ParamValue(true)));
+  space_.AddOrDie(ParameterSpec::Int("checkpoint_interval_s", 30, 3600)
+                      .value()
+                      .WithLogScale()
+                      .WithDefault(ParamValue(int64_t{300})));
+  space_.AddOrDie(ParameterSpec::Categorical(
+                      "flush_method",
+                      {"fsync", "O_DSYNC", "O_DIRECT", "O_DIRECT_NO_FSYNC"})
+                      .value()
+                      .WithDefault(ParamValue(std::string("fsync"))));
+  space_.AddOrDie(ParameterSpec::Categorical("compression",
+                                             {"none", "lz4", "zstd"})
+                      .value()
+                      .WithDefault(ParamValue(std::string("none"))));
+
+  // Concurrency.
+  space_.AddOrDie(ParameterSpec::Int("io_threads", 1, 64)
+                      .value()
+                      .WithDefault(ParamValue(int64_t{4})));
+  space_.AddOrDie(ParameterSpec::Int("worker_threads", 1, 128)
+                      .value()
+                      .WithDefault(ParamValue(int64_t{8})));
+  space_.AddOrDie(ParameterSpec::Int("max_connections", 16, 1024)
+                      .value()
+                      .WithLogScale()
+                      .WithDefault(ParamValue(int64_t{128})));
+
+  // Per-session memory & caching.
+  space_.AddOrDie(ParameterSpec::Int("work_mem_kb", 64, 1048576)
+                      .value()
+                      .WithLogScale()
+                      .WithDefault(ParamValue(int64_t{4096})));
+  space_.AddOrDie(ParameterSpec::Int("prefetch_depth", 1, 64)
+                      .value()
+                      .WithSpecialValues({0.0}, 0.1)
+                      .WithDefault(ParamValue(int64_t{0})));
+  space_.AddOrDie(ParameterSpec::Int("query_cache_mb", 1, 1024)
+                      .value()
+                      .WithLogScale()
+                      .WithSpecialValues({0.0}, 0.15)
+                      .WithDefault(ParamValue(int64_t{0})));
+
+  // Planner / executor.
+  space_.AddOrDie(
+      ParameterSpec::Bool("jit").WithDefault(ParamValue(false)));
+  space_.AddOrDie(ParameterSpec::Float("jit_above_cost", 1e3, 1e7)
+                      .value()
+                      .WithLogScale()
+                      .WithDefault(ParamValue(1e5))
+                      .WithCondition("jit", {"true"}));
+  space_.AddOrDie(ParameterSpec::Float("random_page_cost", 1.0, 10.0)
+                      .value()
+                      .WithDefault(ParamValue(4.0)));
+  space_.AddOrDie(
+      ParameterSpec::Bool("parallel_scan").WithDefault(ParamValue(false)));
+
+  // Maintenance.
+  space_.AddOrDie(
+      ParameterSpec::Bool("autovacuum").WithDefault(ParamValue(true)));
+  space_.AddOrDie(ParameterSpec::Int("vacuum_delay_ms", 0, 100)
+                      .value()
+                      .WithDefault(ParamValue(int64_t{20})));
+  space_.AddOrDie(ParameterSpec::Int("stats_target", 10, 1000)
+                      .value()
+                      .WithLogScale()
+                      .WithDefault(ParamValue(int64_t{100})));
+  space_.AddOrDie(ParameterSpec::Int("net_buffer_kb", 16, 4096)
+                      .value()
+                      .WithLogScale()
+                      .WithDefault(ParamValue(int64_t{64})));
+
+  // Cross-knob constraint (tutorial slide 60's MySQL example shape).
+  space_.AddConstraint(
+      [](const Configuration& c) {
+        return c.GetInt("log_buffer_kb") / 1024 <=
+               c.GetInt("buffer_pool_mb");
+      },
+      "log_buffer <= buffer_pool");
+}
+
+KnobScope DbEnv::knob_scope(const std::string& name) const {
+  // Memory layout and flush method need a restart (slide 19: PG
+  // shared_buffers); everything else is ALTER SYSTEM-able.
+  if (name == "buffer_pool_mb" || name == "flush_method" ||
+      name == "max_connections") {
+    return KnobScope::kRestart;
+  }
+  return KnobScope::kRuntime;
+}
+
+BenchmarkResult DbEnv::EvaluateModel(const Configuration& config,
+                                     double fidelity) const {
+  AUTOTUNE_CHECK(fidelity > 0.0 && fidelity <= 1.0);
+  BenchmarkResult result;
+
+  const double buffer_pool_mb =
+      static_cast<double>(config.GetInt("buffer_pool_mb"));
+  const double log_buffer_kb =
+      static_cast<double>(config.GetInt("log_buffer_kb"));
+  const bool wal_sync = config.GetBool("wal_sync");
+  const double checkpoint_s =
+      static_cast<double>(config.GetInt("checkpoint_interval_s"));
+  const std::string& flush = config.GetCategory("flush_method");
+  const std::string& compression = config.GetCategory("compression");
+  const double io_threads = static_cast<double>(config.GetInt("io_threads"));
+  const double workers =
+      static_cast<double>(config.GetInt("worker_threads"));
+  const double max_connections =
+      static_cast<double>(config.GetInt("max_connections"));
+  const double work_mem_kb =
+      static_cast<double>(config.GetInt("work_mem_kb"));
+  const double prefetch =
+      static_cast<double>(config.GetInt("prefetch_depth"));
+  const double query_cache_mb =
+      static_cast<double>(config.GetInt("query_cache_mb"));
+  const bool jit = config.GetBool("jit");
+  const double jit_above_cost =
+      jit ? config.GetDouble("jit_above_cost") : 1e18;
+  const double random_page_cost = config.GetDouble("random_page_cost");
+  const bool parallel_scan = config.GetBool("parallel_scan");
+  const bool autovacuum = config.GetBool("autovacuum");
+  const double vacuum_delay =
+      static_cast<double>(config.GetInt("vacuum_delay_ms"));
+  const double stats_target =
+      static_cast<double>(config.GetInt("stats_target"));
+  const double net_buffer_kb =
+      static_cast<double>(config.GetInt("net_buffer_kb"));
+
+  const workload::Workload& w = workload_;
+  const double working_set = std::max(64.0, w.working_set_mb * fidelity);
+  const double data_size = std::max(working_set, w.data_size_mb * fidelity);
+
+  // ---- Crash region: over-committed memory -> OOM at startup. ----------
+  const double committed =
+      buffer_pool_mb + max_connections * (work_mem_kb / 1024.0) * 0.25 +
+      query_cache_mb;
+  if (committed > 0.9 * options_.ram_mb) {
+    result.crashed = true;
+    return result;
+  }
+
+  // ---- Buffer pool hit rate. --------------------------------------------
+  const double coverage = buffer_pool_mb / working_set;
+  double hit = 1.0 - std::exp(-1.8 * coverage);
+  hit += (1.0 - hit) * std::min(0.5, 0.35 * w.skew);  // Skew concentrates.
+  hit = std::min(hit, 0.995);
+
+  // ---- I/O path. ----------------------------------------------------------
+  // Random-read latency improves with I/O parallelism, floor at device
+  // speed. O_DIRECT skips double buffering: slightly better at high misses.
+  double io_read_ms = 4.0 / (1.0 + 0.35 * std::pow(io_threads, 0.7));
+  io_read_ms = std::max(io_read_ms, 0.12);
+  if (flush == "O_DIRECT" || flush == "O_DIRECT_NO_FSYNC") {
+    io_read_ms *= 0.9;
+  }
+  // Prefetch hides sequential-scan latency, with diminishing returns; a
+  // little prefetch also helps point loads via readahead of hot extents.
+  const double prefetch_gain =
+      prefetch <= 0.0 ? 1.0 : 1.0 / (1.0 + 0.25 * std::log2(1.0 + prefetch));
+
+  // Compression trades I/O volume for CPU.
+  double io_volume_factor = 1.0;
+  double compress_cpu_factor = 1.0;
+  if (compression == "lz4") {
+    io_volume_factor = 0.6;
+    compress_cpu_factor = 1.15;
+  } else if (compression == "zstd") {
+    io_volume_factor = 0.45;
+    compress_cpu_factor = 1.35;
+  }
+
+  // ---- Point operation cost (ms). ----------------------------------------
+  double point_cpu_ms = 0.05 * compress_cpu_factor;
+  // JIT hurts cheap queries when it compiles them (threshold too low).
+  if (jit && jit_above_cost < 1e4) point_cpu_ms *= 1.25;
+  double point_io_ms = (1.0 - hit) * io_read_ms * io_volume_factor;
+  const double point_ms = point_cpu_ms + point_io_ms;
+
+  // ---- Scan operation cost (ms). -----------------------------------------
+  // A scan touches a slice of the full data set.
+  const double scan_mb = 0.02 * data_size;
+  double scan_io_ms = scan_mb * 0.8 * io_volume_factor * prefetch_gain *
+                      (1.0 - 0.65 * hit);
+  double scan_cpu_ms = scan_mb * 0.5 * compress_cpu_factor;
+  // JIT compiles expensive queries: big scans qualify when the threshold is
+  // sane (scan cost in planner units ~ scan_mb * 2e4).
+  if (jit && jit_above_cost < scan_mb * 2e4) scan_cpu_ms *= 0.62;
+  if (parallel_scan) {
+    const double lanes = std::min(workers, 8.0);
+    scan_io_ms /= 1.0 + 0.5 * (lanes - 1.0);
+    scan_cpu_ms /= 1.0 + 0.5 * (lanes - 1.0);
+  }
+  // Sort/join spill when work_mem is too small for the scan working set.
+  const double needed_kb = 1024.0 * (1.0 + 24.0 * w.scan_ratio);
+  const double spill = std::exp(-work_mem_kb / needed_kb);
+  double scan_ms = (scan_io_ms + scan_cpu_ms) * (1.0 + 0.8 * spill);
+  // Planner quality: random_page_cost calibrated near 2 (SSD) picks good
+  // plans; misestimation hurts scans most. Larger stats targets help joins.
+  scan_ms *= 1.0 + 0.10 * std::abs(std::log2(random_page_cost / 2.0));
+  scan_ms *= 1.0 + 0.06 * std::abs(std::log10(stats_target / 200.0));
+
+  // ---- Write/commit cost (ms). -------------------------------------------
+  double fsync_ms = 1.2;
+  if (flush == "O_DSYNC") fsync_ms = 0.9;
+  if (flush == "O_DIRECT") fsync_ms = 0.7;
+  if (flush == "O_DIRECT_NO_FSYNC") fsync_ms = 0.45;
+  // Group commit: a bigger log buffer amortizes the sync across commits.
+  const double group = std::sqrt(1.0 + log_buffer_kb / 256.0);
+  double commit_ms = wal_sync ? fsync_ms / group : 0.05;
+  // Checkpoints add write amplification when frequent.
+  const double checkpoint_overhead =
+      std::min(0.5, 0.4 * std::sqrt(60.0 / checkpoint_s));
+  double write_ms =
+      0.08 * compress_cpu_factor +
+      (1.0 - hit) * io_read_ms * io_volume_factor +
+      commit_ms * (0.3 + 0.7 * w.transactional);
+  write_ms *= 1.0 + checkpoint_overhead * 0.6;
+  // Vacuum: off -> bloat tax on writes; delay has a sweet spot in the
+  // middle (0 = vacuum competes for I/O, 100 = bloat accumulates).
+  if (!autovacuum) {
+    write_ms *= 1.25;
+  } else {
+    const double vacuum_misfit = std::abs(vacuum_delay - 20.0) / 80.0;
+    write_ms *= 1.0 + 0.08 * vacuum_misfit;
+  }
+
+  // ---- Query-cache effects. ----------------------------------------------
+  const double read_ratio = w.read_ratio;
+  double qc_hit = 0.0;
+  double qc_penalty = 0.0;
+  if (query_cache_mb > 0.0) {
+    qc_hit = std::min(0.25, (query_cache_mb / 1024.0) * w.skew * 0.4) *
+             read_ratio * (1.0 - w.scan_ratio);
+    // The classic single-mutex query cache: writers invalidate, everyone
+    // serializes. Painful for write-heavy, many-client workloads.
+    qc_penalty = 0.12 * (1.0 - read_ratio) * (w.clients / 64.0);
+  }
+
+  // ---- Mean service time per operation (ms). -----------------------------
+  const double point_fraction = (1.0 - w.scan_ratio);
+  double service_ms =
+      read_ratio * (point_fraction * point_ms + w.scan_ratio * scan_ms) +
+      (1.0 - read_ratio) * write_ms;
+  service_ms *= 1.0 - qc_hit;
+  service_ms *= 1.0 + qc_penalty;
+  // Network buffer: mild penalty when mis-sized for the response size.
+  service_ms *= 1.0 + 0.02 * std::abs(std::log2(net_buffer_kb / 128.0));
+
+  // ---- Concurrency & queueing. -------------------------------------------
+  const double cores = static_cast<double>(options_.cores);
+  // Too many workers thrash; too few leave cores idle.
+  double thrash = 1.0 + 0.006 * std::max(0.0, workers - 4.0 * cores);
+  service_ms *= thrash;
+  const double servers = std::max(1.0, std::min(workers, w.clients));
+  const double offered = w.arrival_rate * fidelity;
+  const double capacity = servers * 1000.0 / service_ms;  // ops/s.
+  double rho = std::min(offered / capacity, 0.97);
+  double latency_avg = service_ms * (1.0 + rho * rho / (1.0 - rho));
+  // Connection-limit queueing.
+  if (w.clients > max_connections) {
+    latency_avg += 2.0 * (w.clients / max_connections - 1.0);
+  }
+  const double throughput = std::min(offered, capacity);
+
+  const double latency_p95 = latency_avg * (1.55 + 0.9 * rho);
+  const double latency_p99 = latency_avg * (2.1 + 2.0 * rho);
+
+  // ---- Cost & utilization metrics. ---------------------------------------
+  const double cost_per_hour = 0.05 + buffer_pool_mb * 1.0e-5 +
+                               workers * 0.002 + io_threads * 0.001 +
+                               query_cache_mb * 5.0e-6;
+  const double cpu_util = std::min(
+      1.0, (throughput * (point_cpu_ms + scan_cpu_ms * w.scan_ratio)) /
+               (cores * 1000.0) * compress_cpu_factor + 0.05);
+  const double io_util =
+      std::min(1.0, throughput * (1.0 - hit) * io_read_ms / 1000.0 /
+                        std::max(io_threads, 1.0) +
+                        checkpoint_overhead * 0.3);
+
+  // ---- Profile: where does an average operation spend its time? --------
+  // The component breakdown a stack profiler (perf / eBPF) would report —
+  // the raw material for profile-guided knob discovery (slide 68's PGO/FDO
+  // opportunity). Fractions are of mean request latency.
+  const double profile_io =
+      read_ratio * (point_fraction * point_io_ms +
+                    w.scan_ratio * scan_io_ms) +
+      (1.0 - read_ratio) * (1.0 - hit) * io_read_ms * io_volume_factor;
+  const double profile_commit = (1.0 - read_ratio) * commit_ms *
+                                (0.3 + 0.7 * w.transactional) *
+                                (1.0 + checkpoint_overhead * 0.6);
+  const double profile_cpu =
+      read_ratio * (point_fraction * point_cpu_ms +
+                    w.scan_ratio * scan_cpu_ms) +
+      (1.0 - read_ratio) * 0.08 * compress_cpu_factor;
+  const double profile_spill = read_ratio * w.scan_ratio *
+                               (scan_io_ms + scan_cpu_ms) * 0.8 * spill;
+  const double profile_queue = std::max(latency_avg - service_ms, 0.0);
+  const double profile_total = std::max(
+      profile_io + profile_commit + profile_cpu + profile_spill +
+          profile_queue,
+      1e-12);
+  result.metrics["profile_io_frac"] = profile_io / profile_total;
+  result.metrics["profile_commit_frac"] = profile_commit / profile_total;
+  result.metrics["profile_cpu_frac"] = profile_cpu / profile_total;
+  result.metrics["profile_spill_frac"] = profile_spill / profile_total;
+  result.metrics["profile_queue_frac"] = profile_queue / profile_total;
+
+  result.metrics["throughput_tps"] = throughput;
+  result.metrics["latency_avg_ms"] = latency_avg;
+  result.metrics["latency_p95_ms"] = latency_p95;
+  result.metrics["latency_p99_ms"] = latency_p99;
+  result.metrics["cost_usd_per_hour"] = cost_per_hour;
+  result.metrics["cpu_util"] = cpu_util;
+  result.metrics["io_util"] = io_util;
+  result.metrics["buffer_hit_rate"] = hit;
+  return result;
+}
+
+BenchmarkResult DbEnv::Run(const Configuration& config, double fidelity,
+                           Rng* rng) {
+  BenchmarkResult result = EvaluateModel(config, fidelity);
+  if (result.crashed || options_.deterministic || rng == nullptr) {
+    return result;
+  }
+  // Apply cloud noise to the latency metrics; throughput moves inversely.
+  const double factor = noise_.ApplyToLatency(1.0, options_.machine_id, rng);
+  for (const char* metric :
+       {"latency_avg_ms", "latency_p95_ms", "latency_p99_ms"}) {
+    result.metrics[metric] *= factor;
+  }
+  result.metrics["throughput_tps"] /= std::sqrt(factor);
+  return result;
+}
+
+}  // namespace sim
+}  // namespace autotune

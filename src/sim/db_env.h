@@ -1,0 +1,99 @@
+#ifndef AUTOTUNE_SIM_DB_ENV_H_
+#define AUTOTUNE_SIM_DB_ENV_H_
+
+#include <string>
+
+#include "core/environment.h"
+#include "sim/noise.h"
+#include "workload/workload.h"
+
+namespace autotune {
+namespace sim {
+
+/// Options for `DbEnv`.
+struct DbEnvOptions {
+  workload::Workload workload = workload::TpcC();
+
+  /// Machine RAM: the OOM ceiling for buffer pool + per-connection memory.
+  double ram_mb = 16384.0;
+
+  /// Logical CPU cores (thread-thrash threshold).
+  int cores = 16;
+
+  /// Objective: one of the reported metrics.
+  std::string objective_metric = "latency_p99_ms";
+  bool minimize = true;
+
+  /// Cloud-noise model; `machine_id` selects the persistent machine factor.
+  CloudNoiseOptions noise;
+  uint64_t noise_seed = 1234;
+  int machine_id = 0;
+
+  /// Disable all stochastic noise (deterministic model; for tests).
+  bool deterministic = false;
+};
+
+/// An analytical performance model of a MySQL/PostgreSQL-class DBMS with 20
+/// tunable knobs — the simulated stand-in for the tutorial's real tuning
+/// targets (OtterTune/LlamaTune-style workloads). The model is built from
+/// first-order systems effects so that the response surface has the
+/// properties every tutorial technique exploits:
+///
+///  * a low effective dimension (buffer pool, WAL sync, worker threads
+///    dominate) -> LlamaTune projections and knob-importance ranking work;
+///  * knob-workload interactions (scan-heavy loads reward JIT, compression
+///    and parallel scans; point loads reward the buffer pool and penalize
+///    the query-cache mutex) -> per-workload optima differ;
+///  * conditional knobs (jit_above_cost active iff jit=on) and a
+///    cross-knob constraint (log buffer <= buffer pool);
+///  * a crash region (over-committed memory -> OOM) -> score imputation;
+///  * heteroscedastic cloud noise + per-machine factors -> Duet/TUNA.
+///
+/// Metrics reported: throughput_tps, latency_avg_ms, latency_p95_ms,
+/// latency_p99_ms, cost_usd_per_hour, cpu_util, io_util, buffer_hit_rate.
+class DbEnv : public Environment {
+ public:
+  explicit DbEnv(DbEnvOptions options);
+
+  std::string name() const override { return "simdb-" + workload_.name; }
+  const ConfigSpace& space() const override { return space_; }
+  BenchmarkResult Run(const Configuration& config, double fidelity,
+                      Rng* rng) override;
+  std::string objective_metric() const override {
+    return options_.objective_metric;
+  }
+  bool minimize() const override { return options_.minimize; }
+  double RunCost(double fidelity) const override {
+    return 30.0 + fidelity * 270.0;  // 5 min full benchmark, 30 s floor.
+  }
+  KnobScope knob_scope(const std::string& name) const override;
+  double RestartCost() const override { return 45.0; }
+
+  /// Deterministic model evaluation (no noise): the ground truth used by
+  /// tests and by benches that need the "true" value of a configuration.
+  BenchmarkResult EvaluateModel(const Configuration& config,
+                                double fidelity) const;
+
+  /// Switches the offered workload (online-tuning experiments).
+  void set_workload(const workload::Workload& w) { workload_ = w; }
+  const workload::Workload& workload() const { return workload_; }
+
+  /// Re-homes the environment on another machine (TUNA cluster sampling).
+  void set_machine(int machine_id) { options_.machine_id = machine_id; }
+  int machine() const { return options_.machine_id; }
+
+  const CloudNoise& noise() const { return noise_; }
+
+ private:
+  void BuildSpace();
+
+  DbEnvOptions options_;
+  workload::Workload workload_;
+  ConfigSpace space_;
+  CloudNoise noise_;
+};
+
+}  // namespace sim
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SIM_DB_ENV_H_

@@ -1,0 +1,194 @@
+#include "sim/nginx_env.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+namespace sim {
+
+NginxEnv::NginxEnv(NginxEnvOptions options)
+    : options_(options), noise_(options.noise, options.noise_seed) {
+  BuildSpace();
+}
+
+void NginxEnv::BuildSpace() {
+  space_.AddOrDie(ParameterSpec::Int("worker_processes", 1, 64)
+                      .value()
+                      .WithDefault(ParamValue(int64_t{1})));
+  space_.AddOrDie(ParameterSpec::Int("worker_connections", 256, 65536)
+                      .value()
+                      .WithLogScale()
+                      .WithDefault(ParamValue(int64_t{512})));
+  space_.AddOrDie(ParameterSpec::Int("keepalive_timeout_s", 0, 300)
+                      .value()
+                      .WithDefault(ParamValue(int64_t{75})));
+  space_.AddOrDie(ParameterSpec::Int("keepalive_requests", 10, 100000)
+                      .value()
+                      .WithLogScale()
+                      .WithDefault(ParamValue(int64_t{100})));
+  space_.AddOrDie(
+      ParameterSpec::Bool("gzip").WithDefault(ParamValue(false)));
+  space_.AddOrDie(ParameterSpec::Int("gzip_level", 1, 9)
+                      .value()
+                      .WithDefault(ParamValue(int64_t{6}))
+                      .WithCondition("gzip", {"true"}));
+  space_.AddOrDie(
+      ParameterSpec::Bool("sendfile").WithDefault(ParamValue(true)));
+  space_.AddOrDie(ParameterSpec::Int("open_file_cache", 1, 100000)
+                      .value()
+                      .WithLogScale()
+                      .WithSpecialValues({0.0}, 0.1)
+                      .WithDefault(ParamValue(int64_t{0})));
+  space_.AddOrDie(ParameterSpec::Int("client_body_buffer_kb", 8, 1024)
+                      .value()
+                      .WithLogScale()
+                      .WithDefault(ParamValue(int64_t{16})));
+  space_.AddOrDie(ParameterSpec::Bool("access_log_buffered")
+                      .WithDefault(ParamValue(false)));
+  space_.AddOrDie(
+      ParameterSpec::Bool("tcp_nodelay").WithDefault(ParamValue(true)));
+}
+
+KnobScope NginxEnv::knob_scope(const std::string& name) const {
+  // worker_processes / worker_connections require a full restart; the rest
+  // reload gracefully (treated as runtime).
+  if (name == "worker_processes" || name == "worker_connections") {
+    return KnobScope::kRestart;
+  }
+  return KnobScope::kRuntime;
+}
+
+BenchmarkResult NginxEnv::EvaluateModel(const Configuration& config,
+                                        double fidelity) const {
+  AUTOTUNE_CHECK(fidelity > 0.0 && fidelity <= 1.0);
+  const double workers =
+      static_cast<double>(config.GetInt("worker_processes"));
+  const double worker_connections =
+      static_cast<double>(config.GetInt("worker_connections"));
+  const double keepalive_s =
+      static_cast<double>(config.GetInt("keepalive_timeout_s"));
+  const double keepalive_requests =
+      static_cast<double>(config.GetInt("keepalive_requests"));
+  const bool gzip = config.GetBool("gzip");
+  const double gzip_level =
+      gzip ? static_cast<double>(config.GetInt("gzip_level")) : 0.0;
+  const bool sendfile = config.GetBool("sendfile");
+  const double open_file_cache =
+      static_cast<double>(config.GetInt("open_file_cache"));
+  const double body_buffer_kb =
+      static_cast<double>(config.GetInt("client_body_buffer_kb"));
+  const bool log_buffered = config.GetBool("access_log_buffered");
+  const bool tcp_nodelay = config.GetBool("tcp_nodelay");
+
+  const WebWorkload& w = options_.workload;
+  const double offered_rps = w.rps * fidelity;
+
+  // ---- Per-request CPU cost (ms). ----------------------------------------
+  double cpu_ms = 0.06;  // Parse + route + respond.
+  // Static content: sendfile avoids the copy; otherwise CPU scales with
+  // response size.
+  const double copy_cost = w.response_kb * 0.004;
+  cpu_ms += w.static_fraction * (sendfile ? 0.01 : copy_cost);
+  cpu_ms += (1.0 - w.static_fraction) * copy_cost;  // Dynamic always copies.
+  // gzip: CPU grows superlinearly with level; compression ratio saturates.
+  double wire_kb = w.response_kb;
+  if (gzip) {
+    const double compressible = w.compressible_fraction;
+    const double ratio = 0.28 + 0.40 * std::exp(-gzip_level / 2.5);
+    wire_kb = w.response_kb * (compressible * ratio + (1.0 - compressible));
+    cpu_ms += compressible * w.response_kb * 0.002 *
+              (1.0 + 0.35 * gzip_level);
+  }
+  // open() on every static request unless the file cache covers it.
+  const double cache_hit =
+      open_file_cache <= 0.0
+          ? 0.0
+          : std::min(1.0, open_file_cache / w.unique_files);
+  cpu_ms += w.static_fraction * (1.0 - cache_hit) * 0.05;
+  // Unbuffered access log: one write per request.
+  cpu_ms += log_buffered ? 0.002 : 0.03;
+  // Request-body buffering: too small means extra read syscalls.
+  cpu_ms += 0.01 * std::max(0.0, std::log2(64.0 / body_buffer_kb));
+
+  // ---- Connection handling. ----------------------------------------------
+  // Without keep-alive every request pays a handshake; with it the cost is
+  // amortized over requests_per_connection (capped by keepalive_requests).
+  double handshake_ms = 0.25;
+  double requests_per_conn = 1.0;
+  if (keepalive_s > 0.0) {
+    requests_per_conn =
+        std::min(w.requests_per_connection, keepalive_requests);
+  }
+  const double conn_cpu_ms = handshake_ms / requests_per_conn * 0.4;
+  cpu_ms += conn_cpu_ms;
+
+  // Idle keep-alive connections occupy the connection table: roughly one
+  // connection per active client per keepalive window.
+  const double conn_capacity = workers * worker_connections;
+  const double concurrent_conns =
+      keepalive_s > 0.0
+          ? offered_rps / w.requests_per_connection *
+                std::min(keepalive_s, 30.0)
+          : offered_rps * 0.02;
+  const double connection_util =
+      std::min(1.0, concurrent_conns / conn_capacity);
+  // Exhaustion: refused/retried connections show up as errors + latency.
+  const double overflow = std::max(
+      0.0, concurrent_conns - conn_capacity) / std::max(concurrent_conns,
+                                                        1.0);
+
+  // ---- Capacity & queueing. ----------------------------------------------
+  const double cores = static_cast<double>(options_.cores);
+  const double effective_workers = std::min(workers, cores);
+  // Single worker can't use more than one core; oversubscription thrashes.
+  double thrash = 1.0 + 0.01 * std::max(0.0, workers - 2.0 * cores);
+  const double capacity_rps =
+      effective_workers * 1000.0 / (cpu_ms * thrash);
+  const double rho = std::min(offered_rps / capacity_rps, 0.97);
+
+  // ---- Network time. -------------------------------------------------------
+  const double net_capacity_kb_s = options_.bandwidth_mbps * 1024.0;
+  const double net_util =
+      std::min(1.0, offered_rps * wire_kb / net_capacity_kb_s);
+  // Serialization at client pace, with M/M/1-style congestion blow-up as
+  // the link saturates.
+  double net_ms = wire_kb / 1500.0 / std::max(0.05, 1.0 - 0.97 * net_util);
+  if (!tcp_nodelay) net_ms += 0.2 * (1.0 - w.static_fraction);  // Nagle.
+  const double handshake_latency =
+      handshake_ms / requests_per_conn;
+
+  double latency_avg = cpu_ms * (1.0 + rho * rho / (1.0 - rho)) + net_ms +
+                       handshake_latency;
+  latency_avg *= 1.0 + 4.0 * overflow;  // Retries on refused connections.
+
+  BenchmarkResult result;
+  const double served_rps =
+      std::min(offered_rps * (1.0 - overflow), capacity_rps);
+  result.metrics["throughput_rps"] = served_rps;
+  result.metrics["latency_avg_ms"] = latency_avg;
+  result.metrics["latency_p95_ms"] = latency_avg * (1.6 + 1.0 * rho);
+  result.metrics["latency_p99_ms"] = latency_avg * (2.2 + 2.2 * rho);
+  result.metrics["cpu_util"] = std::min(1.0, rho + 0.03);
+  result.metrics["net_util"] = net_util;
+  result.metrics["connection_util"] = connection_util;
+  result.metrics["error_rate"] = overflow;
+  return result;
+}
+
+BenchmarkResult NginxEnv::Run(const Configuration& config, double fidelity,
+                              Rng* rng) {
+  BenchmarkResult result = EvaluateModel(config, fidelity);
+  if (options_.deterministic || rng == nullptr) return result;
+  const double factor = noise_.ApplyToLatency(1.0, options_.machine_id, rng);
+  for (const char* metric :
+       {"latency_avg_ms", "latency_p95_ms", "latency_p99_ms"}) {
+    result.metrics[metric] *= factor;
+  }
+  result.metrics["throughput_rps"] /= std::sqrt(factor);
+  return result;
+}
+
+}  // namespace sim
+}  // namespace autotune

@@ -1,0 +1,90 @@
+#ifndef AUTOTUNE_SIM_NGINX_ENV_H_
+#define AUTOTUNE_SIM_NGINX_ENV_H_
+
+#include <string>
+
+#include "core/environment.h"
+#include "sim/noise.h"
+
+namespace autotune {
+namespace sim {
+
+/// The web-serving workload an `NginxEnv` instance faces.
+struct WebWorkload {
+  std::string name = "web-mixed";
+  /// Offered load, requests per second.
+  double rps = 20000.0;
+  /// Mean response size (compressible content), KB.
+  double response_kb = 32.0;
+  /// Fraction of requests served from static files (sendfile-eligible).
+  double static_fraction = 0.6;
+  /// Fraction of responses that are compressible text.
+  double compressible_fraction = 0.7;
+  /// Mean requests per client connection when keep-alive is available.
+  double requests_per_connection = 8.0;
+  /// Distinct files the static content spans (open-file-cache target).
+  double unique_files = 20000.0;
+};
+
+/// Options for `NginxEnv`.
+struct NginxEnvOptions {
+  WebWorkload workload;
+  int cores = 16;
+  /// Downstream bandwidth, MB/s (gzip trades CPU against this).
+  double bandwidth_mbps = 2000.0;
+  std::string objective_metric = "latency_p95_ms";
+  bool minimize = true;
+  CloudNoiseOptions noise;
+  uint64_t noise_seed = 4242;
+  int machine_id = 0;
+  bool deterministic = false;
+};
+
+/// An Nginx-class web/cache server performance model — the fourth system
+/// family the tutorial names as a tuning target (slide 8: "System: Redis,
+/// MySQL, Postgres, Nginx, ..."). Ten knobs with classic interactions:
+/// worker processes vs. cores, keep-alive timeout vs. connection-table
+/// exhaustion, gzip level trading CPU for bandwidth, sendfile and the
+/// open-file cache for static content, buffered access logging.
+///
+/// Metrics: throughput_rps, latency_avg_ms, latency_p95_ms,
+/// latency_p99_ms, cpu_util, net_util, connection_util, error_rate.
+class NginxEnv : public Environment {
+ public:
+  explicit NginxEnv(NginxEnvOptions options = NginxEnvOptions());
+
+  std::string name() const override {
+    return "nginx-" + options_.workload.name;
+  }
+  const ConfigSpace& space() const override { return space_; }
+  BenchmarkResult Run(const Configuration& config, double fidelity,
+                      Rng* rng) override;
+  std::string objective_metric() const override {
+    return options_.objective_metric;
+  }
+  bool minimize() const override { return options_.minimize; }
+  double RunCost(double fidelity) const override {
+    return 15.0 + fidelity * 105.0;  // wrk/ab runs are ~2 minutes.
+  }
+  KnobScope knob_scope(const std::string& name) const override;
+  double RestartCost() const override { return 5.0; }  // Graceful reload.
+
+  /// Deterministic model evaluation (ground truth).
+  BenchmarkResult EvaluateModel(const Configuration& config,
+                                double fidelity) const;
+
+  void set_workload(const WebWorkload& w) { options_.workload = w; }
+  const WebWorkload& workload() const { return options_.workload; }
+
+ private:
+  void BuildSpace();
+
+  NginxEnvOptions options_;
+  ConfigSpace space_;
+  CloudNoise noise_;
+};
+
+}  // namespace sim
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SIM_NGINX_ENV_H_

@@ -1,0 +1,40 @@
+#include "sim/noise.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+namespace sim {
+
+CloudNoise::CloudNoise(CloudNoiseOptions options, uint64_t seed)
+    : options_(options), seed_(seed) {
+  AUTOTUNE_CHECK(options_.run_noise_frac >= 0.0);
+  AUTOTUNE_CHECK(options_.spike_prob >= 0.0 && options_.spike_prob <= 1.0);
+}
+
+double CloudNoise::MachineFactor(int machine_id) const {
+  // Deterministic per-machine draw: fork a machine-specific stream.
+  Rng machine_rng(seed_ ^ (0x9e3779b97f4a7c15ULL *
+                           static_cast<uint64_t>(machine_id + 1)));
+  double factor =
+      std::exp(machine_rng.Normal(0.0, options_.machine_speed_stddev));
+  if (machine_rng.Bernoulli(options_.outlier_machine_prob)) {
+    factor *= machine_rng.Uniform(1.5, 2.5);  // Persistent lemon.
+  }
+  return factor;
+}
+
+double CloudNoise::ApplyToLatency(double latency, int machine_id,
+                                  Rng* rng) const {
+  AUTOTUNE_CHECK(rng != nullptr);
+  double value = latency * MachineFactor(machine_id);
+  value *= std::exp(rng->Normal(0.0, options_.run_noise_frac));
+  if (rng->Bernoulli(options_.spike_prob)) {
+    value *= 1.0 + options_.spike_magnitude * rng->Exponential(1.0);
+  }
+  return value;
+}
+
+}  // namespace sim
+}  // namespace autotune

@@ -1,0 +1,59 @@
+#ifndef AUTOTUNE_SIM_NOISE_H_
+#define AUTOTUNE_SIM_NOISE_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace autotune {
+namespace sim {
+
+/// Options for `CloudNoise`.
+struct CloudNoiseOptions {
+  /// Relative stddev of per-run multiplicative noise.
+  double run_noise_frac = 0.03;
+
+  /// Probability a run hits a transient interference spike (noisy
+  /// neighbor, GC pause, ...).
+  double spike_prob = 0.03;
+
+  /// Relative magnitude of a spike (latency multiplied by 1 + this,
+  /// exponentially distributed).
+  double spike_magnitude = 0.6;
+
+  /// Stddev of per-machine LOG speed factor: machines differ persistently
+  /// (hardware generation, placement) — the reason TUNA samples a cluster.
+  double machine_speed_stddev = 0.08;
+
+  /// Fraction of machines that are persistent outliers (~2x slower).
+  double outlier_machine_prob = 0.05;
+};
+
+/// The cloud-noise model of tutorial slides 70-71: unstable performance
+/// even without any config change. Noise has two components:
+/// per-MACHINE persistent speed factors (deterministic in machine id) and
+/// per-RUN transient noise/spikes (drawn from the run's rng, so duet pairs
+/// sharing an rng share them).
+class CloudNoise {
+ public:
+  CloudNoise(CloudNoiseOptions options, uint64_t seed);
+
+  /// Persistent speed multiplier (>= ~0.5) of a machine; 1.0 is nominal.
+  /// Deterministic: the same machine is always equally slow.
+  double MachineFactor(int machine_id) const;
+
+  /// Multiplies `latency` by machine and transient factors. Higher =
+  /// slower. Transient draws come from `rng`.
+  double ApplyToLatency(double latency, int machine_id, Rng* rng) const;
+
+  const CloudNoiseOptions& options() const { return options_; }
+
+ private:
+  CloudNoiseOptions options_;
+  uint64_t seed_;
+};
+
+}  // namespace sim
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SIM_NOISE_H_

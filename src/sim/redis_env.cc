@@ -1,0 +1,69 @@
+#include "sim/redis_env.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "sim/test_functions.h"
+
+namespace autotune {
+namespace sim {
+
+RedisEnv::RedisEnv(RedisEnvOptions options)
+    : options_(options), noise_(options.noise, options.noise_seed) {
+  // Primary knob: the kernel scheduler migration cost, 0..1e6 ns (slide
+  // 28's prior-knowledge range), log-ish behavior handled by the response
+  // curve itself so the knob stays linear like the tutorial's plots.
+  space_.AddOrDie(ParameterSpec::Int("sched_migration_cost_ns", 0, 1000000)
+                      .value()
+                      .WithDefault(ParamValue(int64_t{500000})));
+  space_.AddOrDie(ParameterSpec::Int("io_threads", 1, 8)
+                      .value()
+                      .WithDefault(ParamValue(int64_t{1})));
+  space_.AddOrDie(ParameterSpec::Categorical(
+                      "maxmemory_policy",
+                      {"noeviction", "allkeys-lru", "allkeys-lfu"})
+                      .value()
+                      .WithDefault(ParamValue(std::string("noeviction"))));
+}
+
+BenchmarkResult RedisEnv::EvaluateModel(const Configuration& config) const {
+  const double knob =
+      static_cast<double>(config.GetInt("sched_migration_cost_ns")) / 1e6;
+  const double io_threads =
+      static_cast<double>(config.GetInt("io_threads"));
+  const std::string& policy = config.GetCategory("maxmemory_policy");
+
+  // The tutorial's 1-D latency curve over the normalized kernel knob.
+  double p99 = TutorialCurve1D(knob);
+  // Secondary effects: io_threads help up to ~4 then contend; LFU keeps the
+  // hot set resident slightly better than LRU, noeviction risks swapping.
+  p99 *= 1.0 + 0.04 * std::abs(io_threads - 4.0) / 4.0;
+  if (policy == "allkeys-lru") {
+    p99 *= 0.97;
+  } else if (policy == "allkeys-lfu") {
+    p99 *= 0.95;
+  }
+
+  BenchmarkResult result;
+  result.metrics["latency_p99_ms"] = p99;
+  result.metrics["latency_p95_ms"] = p99 * 0.75;
+  result.metrics["latency_avg_ms"] = p99 * 0.4;
+  result.metrics["throughput_ops"] = 90000.0 / p99;
+  return result;
+}
+
+BenchmarkResult RedisEnv::Run(const Configuration& config,
+                              double /*fidelity*/, Rng* rng) {
+  BenchmarkResult result = EvaluateModel(config);
+  if (options_.deterministic || rng == nullptr) return result;
+  const double factor = noise_.ApplyToLatency(1.0, options_.machine_id, rng);
+  for (const char* metric :
+       {"latency_avg_ms", "latency_p95_ms", "latency_p99_ms"}) {
+    result.metrics[metric] *= factor;
+  }
+  result.metrics["throughput_ops"] /= factor;
+  return result;
+}
+
+}  // namespace sim
+}  // namespace autotune

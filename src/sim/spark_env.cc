@@ -1,0 +1,141 @@
+#include "sim/spark_env.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+namespace sim {
+
+SparkEnv::SparkEnv(SparkEnvOptions options)
+    : options_(options), noise_(options.noise, options.noise_seed) {
+  space_.AddOrDie(ParameterSpec::Int("executor_count", 1, 64)
+                      .value()
+                      .WithDefault(ParamValue(int64_t{2})));
+  space_.AddOrDie(ParameterSpec::Int("executor_cores", 1, 16)
+                      .value()
+                      .WithDefault(ParamValue(int64_t{2})));
+  space_.AddOrDie(ParameterSpec::Int("executor_memory_mb", 512, 32768)
+                      .value()
+                      .WithLogScale()
+                      .WithDefault(ParamValue(int64_t{2048})));
+  space_.AddOrDie(ParameterSpec::Int("shuffle_partitions", 8, 4096)
+                      .value()
+                      .WithLogScale()
+                      .WithDefault(ParamValue(int64_t{200})));
+  space_.AddOrDie(ParameterSpec::Float("memory_fraction", 0.3, 0.9)
+                      .value()
+                      .WithDefault(ParamValue(0.6)));
+  space_.AddOrDie(ParameterSpec::Categorical("serializer",
+                                             {"java", "kryo"})
+                      .value()
+                      .WithDefault(ParamValue(std::string("java"))));
+  space_.AddOrDie(
+      ParameterSpec::Bool("shuffle_compress").WithDefault(ParamValue(true)));
+  space_.AddOrDie(ParameterSpec::Int("broadcast_threshold_mb", 1, 512)
+                      .value()
+                      .WithLogScale()
+                      .WithDefault(ParamValue(int64_t{10})));
+
+  // Cluster capacity constraint.
+  space_.AddConstraint(
+      [this](const Configuration& c) {
+        return c.GetInt("executor_count") * c.GetInt("executor_cores") <=
+               options_.max_cluster_cores;
+      },
+      "total cores <= cluster capacity");
+}
+
+BenchmarkResult SparkEnv::EvaluateModel(const Configuration& config,
+                                        double fidelity) const {
+  AUTOTUNE_CHECK(fidelity > 0.0 && fidelity <= 1.0);
+  const double executors =
+      static_cast<double>(config.GetInt("executor_count"));
+  const double cores_each =
+      static_cast<double>(config.GetInt("executor_cores"));
+  const double memory_mb =
+      static_cast<double>(config.GetInt("executor_memory_mb"));
+  const double partitions =
+      static_cast<double>(config.GetInt("shuffle_partitions"));
+  const double memory_fraction = config.GetDouble("memory_fraction");
+  const bool kryo = config.GetCategory("serializer") == "kryo";
+  const bool compress = config.GetBool("shuffle_compress");
+  const double broadcast_mb =
+      static_cast<double>(config.GetInt("broadcast_threshold_mb"));
+
+  const double input_gb = options_.input_gb * fidelity;
+  const double total_cores = executors * cores_each;
+
+  BenchmarkResult result;
+  // OOM region: heap per core too small for the shuffle working set.
+  const double heap_per_task_mb =
+      memory_mb * memory_fraction / std::max(cores_each, 1.0);
+  const double partition_mb = input_gb * 1024.0 / partitions;
+  if (partition_mb > heap_per_task_mb * 4.0) {
+    result.crashed = true;  // Executor OOM.
+    return result;
+  }
+
+  // Stage 1: scan + partial aggregation, embarrassingly parallel.
+  const double scan_rate_gb_s_per_core = kryo ? 0.055 : 0.04;
+  double scan_s = input_gb / (scan_rate_gb_s_per_core * total_cores);
+  // GC pressure when memory per core is tight.
+  const double gc_factor =
+      1.0 + 2.0 * std::exp(-heap_per_task_mb / 384.0);
+  scan_s *= gc_factor;
+
+  // Stage 2: shuffle. Volume shrinks with aggregation; compression trades
+  // CPU for network.
+  double shuffle_gb = input_gb * 0.1;
+  double net_rate = 0.8 * std::sqrt(executors);  // GB/s aggregate-ish.
+  double shuffle_s = shuffle_gb * (compress ? 0.5 : 1.0) / net_rate +
+                     shuffle_gb * (compress ? 0.06 : 0.0);
+  // Per-partition scheduling overhead vs straggler skew trade-off.
+  const double sched_overhead_s = partitions * 0.004 / total_cores *
+                                  partitions / 200.0;
+  const double ideal_partitions = 2.0 * total_cores;
+  const double straggler =
+      partitions < ideal_partitions
+          ? 1.0 + 0.8 * (ideal_partitions - partitions) / ideal_partitions
+          : 1.0;
+  shuffle_s = shuffle_s * straggler + sched_overhead_s;
+
+  // Stage 3: final aggregation on the reduced data.
+  double reduce_s = shuffle_gb /
+                    (scan_rate_gb_s_per_core * std::min(total_cores,
+                                                        partitions));
+  reduce_s *= gc_factor;
+
+  // Broadcast-join threshold: the dimension table is ~40 MB; broadcasting
+  // it avoids a shuffle join.
+  const double broadcast_bonus = broadcast_mb >= 40.0 ? 0.88 : 1.0;
+
+  // Fixed driver/startup overhead plus executor launch time.
+  const double startup_s = 6.0 + 0.25 * executors;
+
+  const double runtime =
+      (scan_s + shuffle_s + reduce_s) * broadcast_bonus + startup_s;
+  const double cost_core_hours = runtime / 3600.0 * total_cores;
+
+  result.metrics["runtime_s"] = runtime;
+  result.metrics["cost_core_hours"] = cost_core_hours;
+  result.metrics["gc_factor"] = gc_factor;
+  result.metrics["shuffle_gb"] = shuffle_gb;
+  return result;
+}
+
+BenchmarkResult SparkEnv::Run(const Configuration& config, double fidelity,
+                              Rng* rng) {
+  BenchmarkResult result = EvaluateModel(config, fidelity);
+  if (result.crashed || options_.deterministic || rng == nullptr) {
+    return result;
+  }
+  const double factor = noise_.ApplyToLatency(1.0, options_.machine_id, rng);
+  result.metrics["runtime_s"] *= factor;
+  result.metrics["cost_core_hours"] *= factor;
+  return result;
+}
+
+}  // namespace sim
+}  // namespace autotune

@@ -1,0 +1,57 @@
+#ifndef AUTOTUNE_SIM_SPARK_ENV_H_
+#define AUTOTUNE_SIM_SPARK_ENV_H_
+
+#include <string>
+
+#include "core/environment.h"
+#include "sim/noise.h"
+
+namespace autotune {
+namespace sim {
+
+/// Options for `SparkEnv`.
+struct SparkEnvOptions {
+  /// Input size of the TPC-H-like job, GB.
+  double input_gb = 100.0;
+  /// Cluster size available to the job.
+  int max_cluster_cores = 256;
+  CloudNoiseOptions noise;
+  uint64_t noise_seed = 99;
+  int machine_id = 0;
+  bool deterministic = false;
+};
+
+/// The "Spark tuning game" of tutorial slide 14: minimize the runtime of a
+/// TPC-H-Q1-like aggregation job by tuning executor sizing, shuffle
+/// partitioning, and serialization knobs. Stage-based runtime model:
+/// scan -> (partial agg) -> shuffle -> final agg, with GC pressure when
+/// executor memory is scarce, scheduling overhead when partitions are tiny,
+/// and skew stragglers when partitions are too coarse.
+class SparkEnv : public Environment {
+ public:
+  explicit SparkEnv(SparkEnvOptions options = {});
+
+  std::string name() const override { return "spark-tpch-q1"; }
+  const ConfigSpace& space() const override { return space_; }
+  BenchmarkResult Run(const Configuration& config, double fidelity,
+                      Rng* rng) override;
+  std::string objective_metric() const override { return "runtime_s"; }
+  bool minimize() const override { return true; }
+  double RunCost(double fidelity) const override {
+    return 20.0 + fidelity * 160.0;
+  }
+
+  /// Noise-free model value. Fidelity scales the input size.
+  BenchmarkResult EvaluateModel(const Configuration& config,
+                                double fidelity) const;
+
+ private:
+  SparkEnvOptions options_;
+  ConfigSpace space_;
+  CloudNoise noise_;
+};
+
+}  // namespace sim
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SIM_SPARK_ENV_H_

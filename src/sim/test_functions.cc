@@ -1,0 +1,113 @@
+#include "sim/test_functions.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+namespace sim {
+
+double Branin(double x0, double x1) {
+  // Canonical domain: x in [-5, 10], y in [0, 15].
+  const double x = -5.0 + 15.0 * x0;
+  const double y = 15.0 * x1;
+  const double a = 1.0;
+  const double b = 5.1 / (4.0 * M_PI * M_PI);
+  const double c = 5.0 / M_PI;
+  const double r = 6.0;
+  const double s = 10.0;
+  const double t = 1.0 / (8.0 * M_PI);
+  const double term = y - b * x * x + c * x - r;
+  return a * term * term + s * (1.0 - t) * std::cos(x) + s;
+}
+
+double Sphere(const Vector& u) {
+  double sum = 0.0;
+  for (double v : u) {
+    const double x = 2.0 * v - 1.0;
+    sum += x * x;
+  }
+  return sum;
+}
+
+double Rosenbrock(const Vector& u) {
+  AUTOTUNE_CHECK(u.size() >= 2);
+  double sum = 0.0;
+  for (size_t i = 0; i + 1 < u.size(); ++i) {
+    const double x = -2.0 + 4.0 * u[i];
+    const double y = -2.0 + 4.0 * u[i + 1];
+    sum += 100.0 * (y - x * x) * (y - x * x) + (1.0 - x) * (1.0 - x);
+  }
+  return sum;
+}
+
+double Rastrigin(const Vector& u) {
+  double sum = 10.0 * static_cast<double>(u.size());
+  for (double v : u) {
+    const double x = -5.12 + 10.24 * v;
+    sum += x * x - 10.0 * std::cos(2.0 * M_PI * x);
+  }
+  return sum;
+}
+
+double Ackley(const Vector& u) {
+  const double n = static_cast<double>(u.size());
+  double sum_sq = 0.0;
+  double sum_cos = 0.0;
+  for (double v : u) {
+    const double x = -5.0 + 10.0 * v;
+    sum_sq += x * x;
+    sum_cos += std::cos(2.0 * M_PI * x);
+  }
+  return -20.0 * std::exp(-0.2 * std::sqrt(sum_sq / n)) -
+         std::exp(sum_cos / n) + 20.0 + M_E;
+}
+
+double StyblinskiTang(const Vector& u) {
+  double sum = 0.0;
+  for (double v : u) {
+    const double x = -5.0 + 10.0 * v;
+    sum += x * x * x * x - 16.0 * x * x + 5.0 * x;
+  }
+  return 0.5 * sum;
+}
+
+double TutorialCurve1D(double u) {
+  // Latency (ms) over the normalized sched_migration_cost_ns knob:
+  // high plateau at the left, narrow basin near 0.23, gentle rise after.
+  const double plateau = 1.0 / (1.0 + std::exp(40.0 * (u - 0.12)));
+  const double basin =
+      -0.55 * std::exp(-(u - 0.23) * (u - 0.23) / (2.0 * 0.04 * 0.04));
+  const double rise = 0.35 * u;
+  return 1.05 + 0.45 * plateau + basin + rise;
+}
+
+FunctionEnvironment::FunctionEnvironment(std::string name, size_t dim,
+                                         Objective objective,
+                                         double noise_stddev)
+    : name_(std::move(name)),
+      objective_(std::move(objective)),
+      noise_stddev_(noise_stddev) {
+  AUTOTUNE_CHECK(dim >= 1);
+  AUTOTUNE_CHECK(noise_stddev >= 0.0);
+  for (size_t d = 0; d < dim; ++d) {
+    space_.AddOrDie(
+        ParameterSpec::Float("x" + std::to_string(d), 0.0, 1.0));
+  }
+}
+
+BenchmarkResult FunctionEnvironment::Run(const Configuration& config,
+                                         double /*fidelity*/, Rng* rng) {
+  auto u = space_.ToUnit(config);
+  AUTOTUNE_CHECK(u.ok());
+  BenchmarkResult result;
+  double value = objective_(*u);
+  if (noise_stddev_ > 0.0 && rng != nullptr) {
+    value += rng->Normal(0.0, noise_stddev_);
+  }
+  result.metrics["value"] = value;
+  return result;
+}
+
+}  // namespace sim
+}  // namespace autotune

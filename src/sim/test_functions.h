@@ -1,0 +1,70 @@
+#ifndef AUTOTUNE_SIM_TEST_FUNCTIONS_H_
+#define AUTOTUNE_SIM_TEST_FUNCTIONS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/environment.h"
+#include "space/config_space.h"
+
+namespace autotune {
+namespace sim {
+
+/// Classic black-box optimization test functions over [0,1]^d (internally
+/// rescaled to their canonical domains), plus an `Environment` wrapper so
+/// they plug into the tuning loop. Used to validate optimizers before
+/// pointing them at the system simulators.
+
+/// 2-D Branin; global minimum ~0.397887.
+double Branin(double x0, double x1);
+
+/// d-dimensional sphere, minimum 0 at the center of the cube.
+double Sphere(const Vector& u);
+
+/// d-dimensional Rosenbrock over [-2, 2]^d, minimum 0.
+double Rosenbrock(const Vector& u);
+
+/// d-dimensional Rastrigin over [-5.12, 5.12]^d, many local minima, min 0.
+double Rastrigin(const Vector& u);
+
+/// d-dimensional Ackley over [-5, 5]^d, minimum 0.
+double Ackley(const Vector& u);
+
+/// d-dimensional Styblinski-Tang over [-5, 5]^d; min ~ -39.166 * d.
+double StyblinskiTang(const Vector& u);
+
+/// The tutorial's running 1-D example shape (slides 28-31): P99 latency as
+/// a function of a normalized kernel knob — a flat plateau, a narrow
+/// optimum basin, and a steep rise. Deterministic part only; noise is the
+/// environment's job. Minimum ~0.62 near u = 0.23.
+double TutorialCurve1D(double u);
+
+/// An `Environment` evaluating a deterministic function of the unit-cube
+/// coordinates with additive Gaussian noise — the minimal target system.
+class FunctionEnvironment : public Environment {
+ public:
+  using Objective = std::function<double(const Vector&)>;
+
+  /// Builds an environment with `dim` float parameters x0..x{dim-1} in
+  /// [0, 1] evaluating `objective` (+ N(0, noise_stddev) noise).
+  FunctionEnvironment(std::string name, size_t dim, Objective objective,
+                      double noise_stddev = 0.0);
+
+  std::string name() const override { return name_; }
+  const ConfigSpace& space() const override { return space_; }
+  BenchmarkResult Run(const Configuration& config, double fidelity,
+                      Rng* rng) override;
+  std::string objective_metric() const override { return "value"; }
+
+ private:
+  std::string name_;
+  ConfigSpace space_;
+  Objective objective_;
+  double noise_stddev_;
+};
+
+}  // namespace sim
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SIM_TEST_FUNCTIONS_H_

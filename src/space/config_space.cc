@@ -1,0 +1,322 @@
+#include "space/config_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+
+// ----------------------------------------------------------- Configuration
+
+Result<ParamValue> Configuration::Get(const std::string& name) const {
+  AUTOTUNE_ASSIGN_OR_RETURN(size_t idx, space_->Index(name));
+  return values_[idx];
+}
+
+double Configuration::GetDouble(const std::string& name) const {
+  auto value = Get(name);
+  AUTOTUNE_CHECK_MSG(value.ok(), name.c_str());
+  AUTOTUNE_CHECK_MSG(std::holds_alternative<double>(*value), name.c_str());
+  return std::get<double>(*value);
+}
+
+int64_t Configuration::GetInt(const std::string& name) const {
+  auto value = Get(name);
+  AUTOTUNE_CHECK_MSG(value.ok(), name.c_str());
+  AUTOTUNE_CHECK_MSG(std::holds_alternative<int64_t>(*value), name.c_str());
+  return std::get<int64_t>(*value);
+}
+
+const std::string& Configuration::GetCategory(const std::string& name) const {
+  auto idx = space_->Index(name);
+  AUTOTUNE_CHECK_MSG(idx.ok(), name.c_str());
+  const ParamValue& value = values_[*idx];
+  AUTOTUNE_CHECK_MSG(std::holds_alternative<std::string>(value),
+                     name.c_str());
+  return std::get<std::string>(value);
+}
+
+bool Configuration::GetBool(const std::string& name) const {
+  auto value = Get(name);
+  AUTOTUNE_CHECK_MSG(value.ok(), name.c_str());
+  AUTOTUNE_CHECK_MSG(std::holds_alternative<bool>(*value), name.c_str());
+  return std::get<bool>(*value);
+}
+
+double Configuration::GetNumeric(const std::string& name) const {
+  auto value = Get(name);
+  AUTOTUNE_CHECK_MSG(value.ok(), name.c_str());
+  if (std::holds_alternative<double>(*value)) return std::get<double>(*value);
+  AUTOTUNE_CHECK_MSG(std::holds_alternative<int64_t>(*value), name.c_str());
+  return static_cast<double>(std::get<int64_t>(*value));
+}
+
+bool Configuration::IsActive(const std::string& name) const {
+  auto idx = space_->Index(name);
+  AUTOTUNE_CHECK_MSG(idx.ok(), name.c_str());
+  return space_->IsActiveIndex(values_, *idx);
+}
+
+bool Configuration::IsActiveIndex(size_t index) const {
+  return space_->IsActiveIndex(values_, index);
+}
+
+const ParamValue& Configuration::ValueAt(size_t index) const {
+  AUTOTUNE_CHECK(index < values_.size());
+  return values_[index];
+}
+
+std::string Configuration::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += space_->param(i).name();
+    out += "=";
+    out += ParamValueToString(values_[i]);
+    if (!IsActiveIndex(i)) out += " (inactive)";
+  }
+  return out;
+}
+
+bool Configuration::operator==(const Configuration& other) const {
+  return space_ == other.space_ && values_ == other.values_;
+}
+
+// -------------------------------------------------------------- ConfigSpace
+
+Status ConfigSpace::Add(ParameterSpec spec) {
+  if (index_.count(spec.name()) > 0) {
+    return Status::InvalidArgument("duplicate parameter '" + spec.name() +
+                                   "'");
+  }
+  if (spec.is_conditional()) {
+    auto parent_it = index_.find(spec.condition_parent());
+    if (parent_it == index_.end()) {
+      return Status::InvalidArgument(
+          "conditional parameter '" + spec.name() + "': parent '" +
+          spec.condition_parent() + "' must be declared first");
+    }
+    const ParameterSpec& parent = params_[parent_it->second];
+    if (parent.type() != ParameterType::kCategorical &&
+        parent.type() != ParameterType::kBool) {
+      return Status::InvalidArgument(
+          "conditional parameter '" + spec.name() +
+          "': parent must be categorical or bool");
+    }
+  }
+  index_[spec.name()] = params_.size();
+  params_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+void ConfigSpace::AddOrDie(Result<ParameterSpec> spec) {
+  AUTOTUNE_CHECK_MSG(spec.ok(), spec.status().ToString().c_str());
+  AddOrDie(std::move(spec).value());
+}
+
+void ConfigSpace::AddOrDie(ParameterSpec spec) {
+  Status status = Add(std::move(spec));
+  AUTOTUNE_CHECK_MSG(status.ok(), status.ToString().c_str());
+}
+
+const ParameterSpec& ConfigSpace::param(size_t index) const {
+  AUTOTUNE_CHECK(index < params_.size());
+  return params_[index];
+}
+
+Result<size_t> ConfigSpace::Index(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no parameter named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool ConfigSpace::Has(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+void ConfigSpace::AddConstraint(
+    std::function<bool(const Configuration&)> predicate,
+    std::string description) {
+  AUTOTUNE_CHECK(predicate != nullptr);
+  constraints_.push_back(std::move(predicate));
+  constraint_descriptions_.push_back(std::move(description));
+}
+
+const std::string& ConfigSpace::constraint_description(size_t i) const {
+  AUTOTUNE_CHECK(i < constraint_descriptions_.size());
+  return constraint_descriptions_[i];
+}
+
+bool ConfigSpace::IsFeasible(const Configuration& config) const {
+  for (const auto& constraint : constraints_) {
+    if (!constraint(config)) return false;
+  }
+  return true;
+}
+
+Configuration ConfigSpace::Default() const {
+  std::vector<ParamValue> values;
+  values.reserve(params_.size());
+  for (const auto& spec : params_) values.push_back(spec.DefaultValue());
+  return Configuration(this, std::move(values));
+}
+
+Result<Configuration> ConfigSpace::Make(
+    const std::vector<std::pair<std::string, ParamValue>>& values) const {
+  std::vector<ParamValue> out;
+  out.reserve(params_.size());
+  for (const auto& spec : params_) out.push_back(spec.DefaultValue());
+  for (const auto& [name, value] : values) {
+    AUTOTUNE_ASSIGN_OR_RETURN(size_t idx, Index(name));
+    AUTOTUNE_RETURN_IF_ERROR(params_[idx].Validate(value));
+    out[idx] = value;
+  }
+  return Configuration(this, std::move(out));
+}
+
+Configuration ConfigSpace::FromUnit(const Vector& u) const {
+  AUTOTUNE_CHECK(u.size() == params_.size());
+  std::vector<ParamValue> values;
+  values.reserve(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    values.push_back(params_[i].FromUnit(u[i]));
+  }
+  return Configuration(this, std::move(values));
+}
+
+Result<Vector> ConfigSpace::ToUnit(const Configuration& config) const {
+  if (&config.space() != this) {
+    return Status::InvalidArgument("configuration from a different space");
+  }
+  Vector u(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    AUTOTUNE_ASSIGN_OR_RETURN(u[i], params_[i].ToUnit(config.ValueAt(i)));
+  }
+  return u;
+}
+
+Configuration ConfigSpace::Sample(Rng* rng) const {
+  AUTOTUNE_CHECK(rng != nullptr);
+  Vector u(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const auto& prior = params_[i].prior();
+    if (prior.has_value() &&
+        (params_[i].type() == ParameterType::kFloat ||
+         params_[i].type() == ParameterType::kInt)) {
+      // Truncated-normal sampling in value space, then canonical unit coord.
+      const auto [mean, stddev] = *prior;
+      double value = 0.0;
+      bool accepted = false;
+      for (int attempt = 0; attempt < 100; ++attempt) {
+        value = rng->Normal(mean, stddev);
+        if (value >= params_[i].min() && value <= params_[i].max()) {
+          accepted = true;
+          break;
+        }
+      }
+      if (!accepted) {
+        value = std::clamp(value, params_[i].min(), params_[i].max());
+      }
+      ParamValue pv = params_[i].type() == ParameterType::kInt
+                          ? ParamValue(static_cast<int64_t>(
+                                std::llround(value)))
+                          : ParamValue(value);
+      auto unit = params_[i].ToUnit(pv);
+      u[i] = unit.ok() ? *unit : rng->Uniform();
+    } else {
+      u[i] = rng->Uniform();
+    }
+  }
+  return FromUnit(u);
+}
+
+Result<Configuration> ConfigSpace::SampleFeasible(Rng* rng,
+                                                  int max_tries) const {
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    Configuration config = Sample(rng);
+    if (IsFeasible(config)) return config;
+  }
+  return Status::Unavailable("no feasible sample in " +
+                             std::to_string(max_tries) + " tries");
+}
+
+std::vector<Configuration> ConfigSpace::Grid(size_t points_per_numeric,
+                                             size_t max_points) const {
+  AUTOTUNE_CHECK(points_per_numeric >= 1);
+  // Levels per parameter, expressed as unit coordinates.
+  std::vector<std::vector<double>> levels(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const ParameterSpec& spec = params_[i];
+    const size_t card = spec.cardinality();
+    if (card > 0) {
+      for (size_t c = 0; c < card; ++c) {
+        levels[i].push_back((static_cast<double>(c) + 0.5) /
+                            static_cast<double>(card));
+      }
+    } else if (points_per_numeric == 1) {
+      levels[i].push_back(0.5);
+    } else {
+      for (size_t c = 0; c < points_per_numeric; ++c) {
+        levels[i].push_back(static_cast<double>(c) /
+                            static_cast<double>(points_per_numeric - 1));
+      }
+    }
+  }
+  std::vector<Configuration> out;
+  std::vector<size_t> cursor(params_.size(), 0);
+  for (;;) {
+    Vector u(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i) {
+      u[i] = levels[i][cursor[i]];
+    }
+    Configuration config = FromUnit(u);
+    if (IsFeasible(config)) out.push_back(std::move(config));
+    if (out.size() >= max_points) break;
+    // Odometer increment.
+    size_t i = 0;
+    for (; i < params_.size(); ++i) {
+      if (++cursor[i] < levels[i].size()) break;
+      cursor[i] = 0;
+    }
+    if (i == params_.size()) break;
+  }
+  return out;
+}
+
+Configuration ConfigSpace::Neighbor(const Configuration& config, double scale,
+                                    Rng* rng) const {
+  AUTOTUNE_CHECK(rng != nullptr);
+  AUTOTUNE_CHECK(&config.space() == this);
+  auto unit = ToUnit(config);
+  AUTOTUNE_CHECK(unit.ok());
+  Vector u = *unit;
+  const size_t target =
+      static_cast<size_t>(rng->UniformInt(0, params_.size() - 1));
+  const ParameterSpec& spec = params_[target];
+  if (spec.cardinality() > 0) {
+    u[target] = rng->Uniform();
+  } else {
+    u[target] = std::clamp(u[target] + rng->Normal(0.0, scale), 0.0, 1.0);
+  }
+  return FromUnit(u);
+}
+
+bool ConfigSpace::IsActiveIndex(const std::vector<ParamValue>& values,
+                                size_t index) const {
+  AUTOTUNE_CHECK(index < params_.size());
+  const ParameterSpec& spec = params_[index];
+  if (!spec.is_conditional()) return true;
+  auto parent_it = index_.find(spec.condition_parent());
+  AUTOTUNE_CHECK(parent_it != index_.end());
+  const size_t parent_idx = parent_it->second;
+  if (!IsActiveIndex(values, parent_idx)) return false;
+  const std::string parent_value = ParamValueToString(values[parent_idx]);
+  return std::find(spec.condition_values().begin(),
+                   spec.condition_values().end(),
+                   parent_value) != spec.condition_values().end();
+}
+
+}  // namespace autotune

@@ -1,0 +1,154 @@
+#ifndef AUTOTUNE_SPACE_CONFIG_SPACE_H_
+#define AUTOTUNE_SPACE_CONFIG_SPACE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "math/matrix.h"
+#include "space/parameter.h"
+
+namespace autotune {
+
+class ConfigSpace;
+
+/// A complete assignment of values to every parameter of a `ConfigSpace`.
+/// Configurations are value types; they keep a pointer to their space (which
+/// must outlive them, the usual arrangement for a tuning session).
+class Configuration {
+ public:
+  /// Value of parameter `name`; NotFound for unknown names.
+  Result<ParamValue> Get(const std::string& name) const;
+
+  /// Typed accessors. CHECK-fail on unknown name or wrong type — intended
+  /// for simulator/benchmark code where the space is statically known.
+  double GetDouble(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  const std::string& GetCategory(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// Reads a numeric parameter (float or int) as double.
+  double GetNumeric(const std::string& name) const;
+
+  /// Whether the parameter is active under this configuration's values
+  /// (conditional parameters may be inactive; see
+  /// `ParameterSpec::WithCondition`).
+  bool IsActive(const std::string& name) const;
+  bool IsActiveIndex(size_t index) const;
+
+  /// Raw value by index (always present, even for inactive parameters).
+  const ParamValue& ValueAt(size_t index) const;
+
+  /// The owning space.
+  const ConfigSpace& space() const { return *space_; }
+
+  /// Renders "name=value, ..." for logs.
+  std::string ToString() const;
+
+  /// Structural equality (same space instance and equal values).
+  bool operator==(const Configuration& other) const;
+
+ private:
+  friend class ConfigSpace;
+  Configuration(const ConfigSpace* space, std::vector<ParamValue> values)
+      : space_(space), values_(std::move(values)) {}
+
+  const ConfigSpace* space_;
+  std::vector<ParamValue> values_;
+};
+
+/// The search space: an ordered set of parameters plus feasibility
+/// constraints. Provides the unit-cube view optimizers work in (tutorial
+/// slide 28: "configuration space") and the sampling/grid/neighborhood
+/// primitives classic search needs.
+class ConfigSpace {
+ public:
+  ConfigSpace() = default;
+
+  /// Spaces are referenced by Configurations; keep them stable.
+  ConfigSpace(const ConfigSpace&) = delete;
+  ConfigSpace& operator=(const ConfigSpace&) = delete;
+  ConfigSpace(ConfigSpace&&) = delete;
+  ConfigSpace& operator=(ConfigSpace&&) = delete;
+
+  /// Adds a parameter. Fails on duplicate names or on conditional parameters
+  /// whose parent is unknown, declared later, or not categorical/bool.
+  Status Add(ParameterSpec spec);
+
+  /// Convenience: adds and CHECK-fails on error (for statically-known
+  /// spaces in examples and tests).
+  void AddOrDie(Result<ParameterSpec> spec);
+  void AddOrDie(ParameterSpec spec);
+
+  /// Number of parameters == dimensionality of the unit-cube view.
+  size_t size() const { return params_.size(); }
+
+  /// Parameter metadata.
+  const ParameterSpec& param(size_t index) const;
+  Result<size_t> Index(const std::string& name) const;
+  bool Has(const std::string& name) const;
+
+  /// Registers a feasibility predicate with a human-readable description,
+  /// e.g. "chunk_size <= pool_size / instances" (tutorial slide 60).
+  void AddConstraint(std::function<bool(const Configuration&)> predicate,
+                     std::string description);
+
+  size_t num_constraints() const { return constraints_.size(); }
+  const std::string& constraint_description(size_t i) const;
+
+  /// True when all constraints pass.
+  bool IsFeasible(const Configuration& config) const;
+
+  /// The system-default configuration.
+  Configuration Default() const;
+
+  /// Builds a configuration from explicit values (unspecified parameters get
+  /// defaults). Validates every value.
+  Result<Configuration> Make(
+      const std::vector<std::pair<std::string, ParamValue>>& values) const;
+
+  /// Maps a unit-cube point (one coordinate per parameter) to a
+  /// configuration. `u.size()` must equal `size()` (CHECKed).
+  Configuration FromUnit(const Vector& u) const;
+
+  /// Inverse mapping to canonical unit coordinates.
+  Result<Vector> ToUnit(const Configuration& config) const;
+
+  /// Uniform (or prior-weighted, for parameters with priors) sample.
+  Configuration Sample(Rng* rng) const;
+
+  /// Rejection-samples a feasible configuration; Unavailable if
+  /// `max_tries` consecutive samples are infeasible.
+  Result<Configuration> SampleFeasible(Rng* rng, int max_tries = 1000) const;
+
+  /// Full-factorial grid: `points_per_numeric` levels per numeric parameter
+  /// and every category/bool level, capped at `max_points` configurations
+  /// (excess dropped; infeasible points filtered out).
+  std::vector<Configuration> Grid(size_t points_per_numeric,
+                                  size_t max_points = 100000) const;
+
+  /// A neighbor for local search: perturbs one random parameter's unit
+  /// coordinate by N(0, scale) (categoricals resample uniformly).
+  Configuration Neighbor(const Configuration& config, double scale,
+                         Rng* rng) const;
+
+  /// Whether parameter `index` is active given `values` (resolves the
+  /// conditional-parameter chain).
+  bool IsActiveIndex(const std::vector<ParamValue>& values,
+                     size_t index) const;
+
+ private:
+  std::vector<ParameterSpec> params_;
+  std::map<std::string, size_t> index_;
+  std::vector<std::function<bool(const Configuration&)>> constraints_;
+  std::vector<std::string> constraint_descriptions_;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SPACE_CONFIG_SPACE_H_

@@ -1,0 +1,71 @@
+#include "space/encoding.h"
+
+#include "common/check.h"
+
+namespace autotune {
+
+namespace {
+
+size_t DimsForParam(const ParameterSpec& spec,
+                    SpaceEncoder::CategoricalMode mode) {
+  if (mode == SpaceEncoder::CategoricalMode::kOneHot &&
+      spec.cardinality() > 0) {
+    return spec.cardinality();
+  }
+  return 1;
+}
+
+}  // namespace
+
+SpaceEncoder::SpaceEncoder(const ConfigSpace* space, CategoricalMode mode,
+                           bool impute_inactive)
+    : space_(space),
+      mode_(mode),
+      impute_inactive_(impute_inactive),
+      encoded_dim_(0) {
+  AUTOTUNE_CHECK(space != nullptr);
+  for (size_t i = 0; i < space->size(); ++i) {
+    encoded_dim_ += DimsForParam(space->param(i), mode);
+  }
+}
+
+Result<Vector> SpaceEncoder::Encode(const Configuration& config) const {
+  if (&config.space() != space_) {
+    return Status::InvalidArgument("configuration from a different space");
+  }
+  Vector out;
+  out.reserve(encoded_dim_);
+  for (size_t i = 0; i < space_->size(); ++i) {
+    const ParameterSpec& spec = space_->param(i);
+    // Impute inactive conditional parameters with their default (unless
+    // ablated), so dead knobs do not alias distinct feature vectors.
+    const ParamValue value =
+        (!impute_inactive_ || config.IsActiveIndex(i))
+            ? config.ValueAt(i)
+            : spec.DefaultValue();
+    if (mode_ == CategoricalMode::kOneHot && spec.cardinality() > 0) {
+      const size_t card = spec.cardinality();
+      size_t active_level = 0;
+      if (spec.type() == ParameterType::kBool) {
+        active_level = std::get<bool>(value) ? 1 : 0;
+      } else {
+        const std::string& cat = std::get<std::string>(value);
+        for (size_t c = 0; c < card; ++c) {
+          if (spec.categories()[c] == cat) {
+            active_level = c;
+            break;
+          }
+        }
+      }
+      for (size_t c = 0; c < card; ++c) {
+        out.push_back(c == active_level ? 1.0 : 0.0);
+      }
+    } else {
+      AUTOTUNE_ASSIGN_OR_RETURN(double u, spec.ToUnit(value));
+      out.push_back(u);
+    }
+  }
+  return out;
+}
+
+}  // namespace autotune

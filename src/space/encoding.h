@@ -1,0 +1,48 @@
+#ifndef AUTOTUNE_SPACE_ENCODING_H_
+#define AUTOTUNE_SPACE_ENCODING_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "math/matrix.h"
+#include "space/config_space.h"
+
+namespace autotune {
+
+/// Turns configurations into numeric feature vectors for surrogate models.
+/// Two categorical treatments are supported (tutorial slide 51, "adapt
+/// features to continuous space: impose order, one-hot"):
+///   - kOrdinal: each parameter contributes its unit-cube coordinate (1 dim).
+///   - kOneHot: categoricals/bools expand to one indicator dim per level.
+/// Inactive conditional parameters are imputed with their default value's
+/// coordinates so the feature vector has fixed dimension.
+class SpaceEncoder {
+ public:
+  enum class CategoricalMode { kOrdinal, kOneHot };
+
+  /// `space` must outlive the encoder. `impute_inactive` (the default)
+  /// replaces inactive conditional parameters with their defaults so two
+  /// configs that differ only in dead knobs encode identically — the
+  /// simple treatment of tree-structured dependencies (slide 61); pass
+  /// false to ablate it (dead-knob values leak into the features).
+  SpaceEncoder(const ConfigSpace* space, CategoricalMode mode,
+               bool impute_inactive = true);
+
+  /// Dimension of encoded vectors.
+  size_t encoded_dim() const { return encoded_dim_; }
+
+  CategoricalMode mode() const { return mode_; }
+
+  /// Encodes a configuration (must belong to the encoder's space).
+  Result<Vector> Encode(const Configuration& config) const;
+
+ private:
+  const ConfigSpace* space_;
+  CategoricalMode mode_;
+  bool impute_inactive_;
+  size_t encoded_dim_;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SPACE_ENCODING_H_

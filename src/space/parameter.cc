@@ -1,0 +1,376 @@
+#include "space/parameter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace autotune {
+
+std::string ParamValueToString(const ParamValue& value) {
+  if (std::holds_alternative<double>(value)) {
+    return FormatDouble(std::get<double>(value), 17);
+  }
+  if (std::holds_alternative<int64_t>(value)) {
+    return std::to_string(std::get<int64_t>(value));
+  }
+  if (std::holds_alternative<std::string>(value)) {
+    return std::get<std::string>(value);
+  }
+  return std::get<bool>(value) ? "true" : "false";
+}
+
+bool ParamValueEquals(const ParamValue& a, const ParamValue& b) {
+  return a == b;
+}
+
+const char* ParameterTypeToString(ParameterType type) {
+  switch (type) {
+    case ParameterType::kFloat:
+      return "float";
+    case ParameterType::kInt:
+      return "int";
+    case ParameterType::kCategorical:
+      return "categorical";
+    case ParameterType::kBool:
+      return "bool";
+  }
+  return "?";
+}
+
+ParameterSpec::ParameterSpec(std::string name, ParameterType type)
+    : name_(std::move(name)), type_(type) {}
+
+Result<ParameterSpec> ParameterSpec::Float(std::string name, double min,
+                                           double max) {
+  if (name.empty()) return Status::InvalidArgument("empty parameter name");
+  if (!(min < max)) {
+    return Status::InvalidArgument("Float '" + name + "': min must be < max");
+  }
+  ParameterSpec spec(std::move(name), ParameterType::kFloat);
+  spec.min_ = min;
+  spec.max_ = max;
+  return spec;
+}
+
+Result<ParameterSpec> ParameterSpec::Int(std::string name, int64_t min,
+                                         int64_t max) {
+  if (name.empty()) return Status::InvalidArgument("empty parameter name");
+  if (min > max) {
+    return Status::InvalidArgument("Int '" + name + "': min must be <= max");
+  }
+  ParameterSpec spec(std::move(name), ParameterType::kInt);
+  spec.min_ = static_cast<double>(min);
+  spec.max_ = static_cast<double>(max);
+  return spec;
+}
+
+Result<ParameterSpec> ParameterSpec::Categorical(
+    std::string name, std::vector<std::string> categories) {
+  if (name.empty()) return Status::InvalidArgument("empty parameter name");
+  if (categories.empty()) {
+    return Status::InvalidArgument("Categorical '" + name +
+                                   "': needs >= 1 category");
+  }
+  std::set<std::string> unique(categories.begin(), categories.end());
+  if (unique.size() != categories.size()) {
+    return Status::InvalidArgument("Categorical '" + name +
+                                   "': duplicate categories");
+  }
+  ParameterSpec spec(std::move(name), ParameterType::kCategorical);
+  spec.categories_ = std::move(categories);
+  return spec;
+}
+
+ParameterSpec ParameterSpec::Bool(std::string name) {
+  AUTOTUNE_CHECK(!name.empty());
+  return ParameterSpec(std::move(name), ParameterType::kBool);
+}
+
+ParameterSpec& ParameterSpec::WithLogScale() {
+  AUTOTUNE_CHECK_MSG(
+      type_ == ParameterType::kFloat || type_ == ParameterType::kInt,
+      "log scale requires a numeric parameter");
+  AUTOTUNE_CHECK_MSG(min_ > 0.0, "log scale requires min > 0");
+  log_scale_ = true;
+  return *this;
+}
+
+ParameterSpec& ParameterSpec::WithQuantization(double step) {
+  AUTOTUNE_CHECK_MSG(type_ == ParameterType::kFloat,
+                     "quantization applies to float parameters");
+  AUTOTUNE_CHECK(step > 0.0);
+  quantization_ = step;
+  return *this;
+}
+
+ParameterSpec& ParameterSpec::WithSpecialValues(std::vector<double> values,
+                                                double prob_mass) {
+  AUTOTUNE_CHECK_MSG(
+      type_ == ParameterType::kFloat || type_ == ParameterType::kInt,
+      "special values require a numeric parameter");
+  AUTOTUNE_CHECK(!values.empty());
+  AUTOTUNE_CHECK(prob_mass > 0.0 && prob_mass < 1.0);
+  special_values_ = std::move(values);
+  special_prob_mass_ = prob_mass;
+  return *this;
+}
+
+ParameterSpec& ParameterSpec::WithDefault(ParamValue value) {
+  AUTOTUNE_CHECK_MSG(Validate(value).ok() ||
+                         (type_ != ParameterType::kCategorical &&
+                          !special_values_.empty()),
+                     "default value invalid for parameter domain");
+  default_value_ = std::move(value);
+  return *this;
+}
+
+ParameterSpec& ParameterSpec::WithPrior(double mean, double stddev) {
+  AUTOTUNE_CHECK_MSG(
+      type_ == ParameterType::kFloat || type_ == ParameterType::kInt,
+      "priors require a numeric parameter");
+  AUTOTUNE_CHECK(stddev > 0.0);
+  prior_ = std::make_pair(mean, stddev);
+  return *this;
+}
+
+ParameterSpec& ParameterSpec::WithCondition(std::string parent,
+                                            std::vector<std::string> values) {
+  AUTOTUNE_CHECK(!parent.empty());
+  AUTOTUNE_CHECK(!values.empty());
+  condition_parent_ = std::move(parent);
+  condition_values_ = std::move(values);
+  return *this;
+}
+
+size_t ParameterSpec::cardinality() const {
+  switch (type_) {
+    case ParameterType::kCategorical:
+      return categories_.size();
+    case ParameterType::kBool:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+ParamValue ParameterSpec::DefaultValue() const {
+  if (default_value_.has_value()) return *default_value_;
+  switch (type_) {
+    case ParameterType::kFloat:
+      return FromUnit(0.5);
+    case ParameterType::kInt:
+      return FromUnit(0.5);
+    case ParameterType::kCategorical:
+      return categories_[0];
+    case ParameterType::kBool:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+double MapNumericUnit(double u, double min, double max, bool log_scale) {
+  if (log_scale) {
+    const double log_min = std::log(min);
+    const double log_max = std::log(max);
+    return std::exp(log_min + u * (log_max - log_min));
+  }
+  return min + u * (max - min);
+}
+
+double UnmapNumericUnit(double value, double min, double max,
+                        bool log_scale) {
+  if (log_scale) {
+    const double log_min = std::log(min);
+    const double log_max = std::log(max);
+    return (std::log(value) - log_min) / (log_max - log_min);
+  }
+  return (value - min) / (max - min);
+}
+
+}  // namespace
+
+ParamValue ParameterSpec::FromUnit(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  switch (type_) {
+    case ParameterType::kFloat:
+    case ParameterType::kInt: {
+      // Special-value region occupies the leading prob mass, split evenly.
+      if (!special_values_.empty() && u < special_prob_mass_) {
+        const size_t count = special_values_.size();
+        size_t slot = static_cast<size_t>(u / special_prob_mass_ *
+                                          static_cast<double>(count));
+        slot = std::min(slot, count - 1);
+        const double sv = special_values_[slot];
+        if (type_ == ParameterType::kInt) {
+          return static_cast<int64_t>(std::llround(sv));
+        }
+        return sv;
+      }
+      double scaled = u;
+      if (!special_values_.empty()) {
+        scaled = (u - special_prob_mass_) / (1.0 - special_prob_mass_);
+        scaled = std::clamp(scaled, 0.0, 1.0);
+      }
+      double value = MapNumericUnit(scaled, min_, max_, log_scale_);
+      if (type_ == ParameterType::kInt) {
+        value = std::clamp(std::round(value), min_, max_);
+        return static_cast<int64_t>(std::llround(value));
+      }
+      if (quantization_ > 0.0) {
+        value = min_ + std::round((value - min_) / quantization_) *
+                           quantization_;
+      }
+      return std::clamp(value, min_, max_);
+    }
+    case ParameterType::kCategorical: {
+      const size_t k = categories_.size();
+      size_t idx = static_cast<size_t>(u * static_cast<double>(k));
+      idx = std::min(idx, k - 1);
+      return categories_[idx];
+    }
+    case ParameterType::kBool:
+      return u >= 0.5;
+  }
+  return false;
+}
+
+Result<double> ParameterSpec::ToUnit(const ParamValue& value) const {
+  AUTOTUNE_RETURN_IF_ERROR(Validate(value));
+  switch (type_) {
+    case ParameterType::kFloat:
+    case ParameterType::kInt: {
+      const double v = type_ == ParameterType::kFloat
+                           ? std::get<double>(value)
+                           : static_cast<double>(std::get<int64_t>(value));
+      if (!special_values_.empty()) {
+        for (size_t i = 0; i < special_values_.size(); ++i) {
+          if (v == special_values_[i]) {
+            // Center of the slot's sub-interval.
+            return special_prob_mass_ * (static_cast<double>(i) + 0.5) /
+                   static_cast<double>(special_values_.size());
+          }
+        }
+      }
+      double u = UnmapNumericUnit(v, min_, max_, log_scale_);
+      u = std::clamp(u, 0.0, 1.0);
+      if (!special_values_.empty()) {
+        u = special_prob_mass_ + u * (1.0 - special_prob_mass_);
+      }
+      return u;
+    }
+    case ParameterType::kCategorical: {
+      const std::string& cat = std::get<std::string>(value);
+      for (size_t i = 0; i < categories_.size(); ++i) {
+        if (categories_[i] == cat) {
+          return (static_cast<double>(i) + 0.5) /
+                 static_cast<double>(categories_.size());
+        }
+      }
+      return Status::Internal("validated category missing");
+    }
+    case ParameterType::kBool:
+      return std::get<bool>(value) ? 0.75 : 0.25;
+  }
+  return Status::Internal("unreachable");
+}
+
+Status ParameterSpec::Validate(const ParamValue& value) const {
+  switch (type_) {
+    case ParameterType::kFloat: {
+      if (!std::holds_alternative<double>(value)) {
+        return Status::InvalidArgument("'" + name_ + "' expects a double");
+      }
+      const double v = std::get<double>(value);
+      for (double sv : special_values_) {
+        if (v == sv) return Status::OK();
+      }
+      if (v < min_ || v > max_ || !std::isfinite(v)) {
+        return Status::OutOfRange("'" + name_ + "' value " +
+                                  FormatDouble(v) + " outside [" +
+                                  FormatDouble(min_) + ", " +
+                                  FormatDouble(max_) + "]");
+      }
+      return Status::OK();
+    }
+    case ParameterType::kInt: {
+      if (!std::holds_alternative<int64_t>(value)) {
+        return Status::InvalidArgument("'" + name_ + "' expects an int64");
+      }
+      const double v = static_cast<double>(std::get<int64_t>(value));
+      for (double sv : special_values_) {
+        if (v == sv) return Status::OK();
+      }
+      if (v < min_ || v > max_) {
+        return Status::OutOfRange("'" + name_ + "' value " +
+                                  FormatDouble(v) + " outside [" +
+                                  FormatDouble(min_) + ", " +
+                                  FormatDouble(max_) + "]");
+      }
+      return Status::OK();
+    }
+    case ParameterType::kCategorical: {
+      if (!std::holds_alternative<std::string>(value)) {
+        return Status::InvalidArgument("'" + name_ + "' expects a category");
+      }
+      const std::string& cat = std::get<std::string>(value);
+      if (std::find(categories_.begin(), categories_.end(), cat) ==
+          categories_.end()) {
+        return Status::OutOfRange("'" + name_ + "': unknown category '" +
+                                  cat + "'");
+      }
+      return Status::OK();
+    }
+    case ParameterType::kBool:
+      if (!std::holds_alternative<bool>(value)) {
+        return Status::InvalidArgument("'" + name_ + "' expects a bool");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<ParamValue> ParameterSpec::Parse(const std::string& text) const {
+  switch (type_) {
+    case ParameterType::kFloat: {
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("'" + name_ + "': cannot parse '" +
+                                       text + "' as double");
+      }
+      ParamValue value = v;
+      AUTOTUNE_RETURN_IF_ERROR(Validate(value));
+      return value;
+    }
+    case ParameterType::kInt: {
+      char* end = nullptr;
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("'" + name_ + "': cannot parse '" +
+                                       text + "' as int64");
+      }
+      ParamValue value = static_cast<int64_t>(v);
+      AUTOTUNE_RETURN_IF_ERROR(Validate(value));
+      return value;
+    }
+    case ParameterType::kCategorical: {
+      ParamValue value = text;
+      AUTOTUNE_RETURN_IF_ERROR(Validate(value));
+      return value;
+    }
+    case ParameterType::kBool: {
+      if (text == "true") return ParamValue(true);
+      if (text == "false") return ParamValue(false);
+      return Status::InvalidArgument("'" + name_ + "': cannot parse '" +
+                                     text + "' as bool");
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace autotune

@@ -1,0 +1,144 @@
+#ifndef AUTOTUNE_SPACE_PARAMETER_H_
+#define AUTOTUNE_SPACE_PARAMETER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace autotune {
+
+/// The value of a single tunable parameter. The alternative types mirror the
+/// parameter kinds a real system exposes: numeric knobs (buffer sizes,
+/// timeouts), enumerations (`innodb_flush_method`), and switches.
+using ParamValue = std::variant<double, int64_t, std::string, bool>;
+
+/// Renders a `ParamValue` for logs and CSV storage.
+std::string ParamValueToString(const ParamValue& value);
+
+/// Equality with exact semantics per alternative (doubles compared exactly;
+/// quantized spaces produce identical doubles for identical grid points).
+bool ParamValueEquals(const ParamValue& a, const ParamValue& b);
+
+/// Parameter kinds.
+enum class ParameterType { kFloat, kInt, kCategorical, kBool };
+
+/// Returns e.g. "float" for logging.
+const char* ParameterTypeToString(ParameterType type);
+
+/// Static description of one tunable parameter ("knob"): its domain plus the
+/// search-space hints the tutorial catalogs (slides 28, 51, 60-62): log
+/// scaling, quantization, special/sentinel values with biased probability
+/// mass, sampling priors, and conditional activation on a parent knob
+/// (e.g. PostgreSQL `jit_*` knobs are only active when `jit=on`).
+class ParameterSpec {
+ public:
+  /// Factory for a continuous parameter on [min, max] (min < max).
+  static Result<ParameterSpec> Float(std::string name, double min, double max);
+
+  /// Factory for an integer parameter on [min, max] inclusive (min <= max).
+  static Result<ParameterSpec> Int(std::string name, int64_t min, int64_t max);
+
+  /// Factory for a categorical parameter (>= 1 distinct category).
+  static Result<ParameterSpec> Categorical(std::string name,
+                                           std::vector<std::string> categories);
+
+  /// Factory for a boolean switch.
+  static ParameterSpec Bool(std::string name);
+
+  // ----- Fluent modifiers (return *this; CHECK on misuse). ---------------
+
+  /// Samples/maps on a log scale (numeric only; requires min > 0).
+  ParameterSpec& WithLogScale();
+
+  /// Quantizes a float to multiples of `step` from min (step > 0).
+  ParameterSpec& WithQuantization(double step);
+
+  /// Adds sentinel values (e.g. -1 = "disabled") that receive `prob_mass`
+  /// of the unit interval collectively (0 < prob_mass < 1). LlamaTune's
+  /// "special knob values handling". Numeric only.
+  ParameterSpec& WithSpecialValues(std::vector<double> values,
+                                   double prob_mass);
+
+  /// Sets the system default value, used for baseline configs and for
+  /// imputing inactive conditional parameters.
+  ParameterSpec& WithDefault(ParamValue value);
+
+  /// Biases sampling toward `mean` with spread `stddev` (numeric only;
+  /// truncated-normal in unit space). Encodes DBA prior knowledge.
+  ParameterSpec& WithPrior(double mean, double stddev);
+
+  /// Makes this parameter conditional: active only when parameter `parent`
+  /// (a categorical/bool declared earlier) takes one of `values`.
+  ParameterSpec& WithCondition(std::string parent,
+                               std::vector<std::string> values);
+
+  // ----- Accessors. -------------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  ParameterType type() const { return type_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  bool log_scale() const { return log_scale_; }
+  double quantization() const { return quantization_; }
+  const std::vector<std::string>& categories() const { return categories_; }
+  const std::vector<double>& special_values() const { return special_values_; }
+  double special_prob_mass() const { return special_prob_mass_; }
+  const std::optional<std::pair<double, double>>& prior() const {
+    return prior_;
+  }
+  const std::string& condition_parent() const { return condition_parent_; }
+  const std::vector<std::string>& condition_values() const {
+    return condition_values_;
+  }
+  bool is_conditional() const { return !condition_parent_.empty(); }
+
+  /// Number of categories (categorical), 2 (bool), or 0 (numeric).
+  size_t cardinality() const;
+
+  /// The configured default, or a canonical one (mid-range / first category /
+  /// false).
+  ParamValue DefaultValue() const;
+
+  // ----- Unit-interval mapping. -------------------------------------------
+
+  /// Maps u in [0, 1] to a parameter value, honoring log scale,
+  /// quantization, and special-value mass.
+  ParamValue FromUnit(double u) const;
+
+  /// Inverse of `FromUnit` (returns the canonical unit coordinate; special
+  /// values map to their slot centers). Fails if `value` has the wrong
+  /// alternative or is out of domain.
+  Result<double> ToUnit(const ParamValue& value) const;
+
+  /// Checks that `value` has the right type and is within the domain.
+  Status Validate(const ParamValue& value) const;
+
+  /// Parses a string produced by `ParamValueToString` into this parameter's
+  /// value type.
+  Result<ParamValue> Parse(const std::string& text) const;
+
+ private:
+  explicit ParameterSpec(std::string name, ParameterType type);
+
+  std::string name_;
+  ParameterType type_;
+  double min_ = 0.0;
+  double max_ = 1.0;
+  bool log_scale_ = false;
+  double quantization_ = 0.0;
+  std::vector<std::string> categories_;
+  std::vector<double> special_values_;
+  double special_prob_mass_ = 0.0;
+  std::optional<ParamValue> default_value_;
+  std::optional<std::pair<double, double>> prior_;
+  std::string condition_parent_;
+  std::vector<std::string> condition_values_;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SPACE_PARAMETER_H_

@@ -1,0 +1,59 @@
+#include "space/projected_space.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace autotune {
+
+ProjectedSpace::ProjectedSpace(const ConfigSpace* target,
+                               RandomProjection projection, size_t buckets)
+    : target_(target),
+      projection_(std::move(projection)),
+      buckets_(buckets),
+      low_space_(std::make_unique<ConfigSpace>()) {}
+
+Result<std::unique_ptr<ProjectedSpace>> ProjectedSpace::Create(
+    const ConfigSpace* target, size_t low_dim, const Options& options,
+    Rng* rng) {
+  if (target == nullptr) return Status::InvalidArgument("null target space");
+  if (low_dim == 0 || low_dim > target->size()) {
+    return Status::InvalidArgument(
+        "low_dim must be in [1, target dimension]");
+  }
+  AUTOTUNE_ASSIGN_OR_RETURN(
+      RandomProjection projection,
+      RandomProjection::Create(options.kind, low_dim, target->size(), rng));
+  // Cannot use make_unique: the constructor is private.
+  std::unique_ptr<ProjectedSpace> adapter(
+      new ProjectedSpace(target, std::move(projection), options.buckets));
+  for (size_t d = 0; d < low_dim; ++d) {
+    AUTOTUNE_ASSIGN_OR_RETURN(
+        ParameterSpec spec,
+        ParameterSpec::Float("z" + std::to_string(d), 0.0, 1.0));
+    AUTOTUNE_RETURN_IF_ERROR(adapter->low_space_->Add(std::move(spec)));
+  }
+  return adapter;
+}
+
+Result<Configuration> ProjectedSpace::Lift(
+    const Configuration& low_config) const {
+  if (&low_config.space() != low_space_.get()) {
+    return Status::InvalidArgument(
+        "configuration is not from this adapter's low space");
+  }
+  AUTOTUNE_ASSIGN_OR_RETURN(Vector low_u, low_space_->ToUnit(low_config));
+  if (buckets_ > 1) {
+    // Snap each coordinate to the center of its bucket.
+    const double k = static_cast<double>(buckets_);
+    for (double& u : low_u) {
+      const double slot = std::min(std::floor(u * k), k - 1.0);
+      u = (slot + 0.5) / k;
+    }
+  }
+  return target_->FromUnit(projection_.Up(low_u));
+}
+
+}  // namespace autotune

@@ -1,0 +1,58 @@
+#ifndef AUTOTUNE_SPACE_PROJECTED_SPACE_H_
+#define AUTOTUNE_SPACE_PROJECTED_SPACE_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "math/projection.h"
+#include "space/config_space.h"
+
+namespace autotune {
+
+/// LlamaTune-style low-dimensional search-space adapter (tutorial slide 62).
+/// Exposes a synthetic `low_space()` of `low_dim` float parameters in
+/// [0, 1]; any optimizer can search that small space, and `Lift` maps each
+/// low-dim configuration through a random linear embedding into the real
+/// (high-dimensional) target space. Special-value biasing and bucketization
+/// are inherited from the target space's `ParameterSpec`s, which apply
+/// during the unit-cube decode.
+class ProjectedSpace {
+ public:
+  /// Options for the adapter.
+  struct Options {
+    RandomProjection::Kind kind = RandomProjection::Kind::kHesbo;
+    /// If > 0, quantizes each low dimension to this many buckets
+    /// (LlamaTune's "knob values bucketization").
+    size_t buckets = 0;
+  };
+
+  /// Creates an adapter searching `low_dim` dimensions of `target` (which
+  /// must outlive the adapter). Fails if low_dim is 0 or exceeds the target
+  /// dimension.
+  static Result<std::unique_ptr<ProjectedSpace>> Create(
+      const ConfigSpace* target, size_t low_dim, const Options& options,
+      Rng* rng);
+
+  /// The synthetic low-dimensional space optimizers should search.
+  const ConfigSpace& low_space() const { return *low_space_; }
+
+  /// The real space configurations are deployed in.
+  const ConfigSpace& target_space() const { return *target_; }
+
+  /// Maps a configuration of `low_space()` to one of the target space.
+  Result<Configuration> Lift(const Configuration& low_config) const;
+
+ private:
+  ProjectedSpace(const ConfigSpace* target, RandomProjection projection,
+                 size_t buckets);
+
+  const ConfigSpace* target_;
+  RandomProjection projection_;
+  size_t buckets_;
+  std::unique_ptr<ConfigSpace> low_space_;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SPACE_PROJECTED_SPACE_H_

@@ -1,0 +1,218 @@
+#include "surrogate/gaussian_process.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+
+double Prediction::stddev() const {
+  return std::sqrt(std::max(variance, 0.0));
+}
+
+GaussianProcess::GaussianProcess(std::unique_ptr<Kernel> kernel,
+                                 GpOptions options)
+    : kernel_(std::move(kernel)), options_(std::move(options)) {
+  AUTOTUNE_CHECK(kernel_ != nullptr);
+  AUTOTUNE_CHECK(options_.noise_variance > 0.0);
+}
+
+std::unique_ptr<GaussianProcess> GaussianProcess::MakeDefault() {
+  return std::make_unique<GaussianProcess>(MakeMaternKernel(2.5, 0.3),
+                                           GpOptions{});
+}
+
+Status GaussianProcess::FitOnce(double noise_variance) {
+  const size_t n = xs_.size();
+  Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = kernel_->Eval(xs_[i], xs_[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  k.AddDiagonal(noise_variance);
+  AUTOTUNE_ASSIGN_OR_RETURN(chol_, CholeskyWithJitter(k));
+  alpha_ = CholeskySolve(chol_, ys_std_);
+  // LML = -1/2 y^T alpha - 1/2 log|K| - n/2 log(2 pi).
+  lml_ = -0.5 * Dot(ys_std_, alpha_) - 0.5 * LogDetFromCholesky(chol_) -
+         0.5 * static_cast<double>(n) * std::log(2.0 * M_PI);
+  fitted_noise_ = noise_variance;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Vector GaussianProcess::ScaleInput(const Vector& x) const {
+  if (ard_inv_scales_.empty()) return x;
+  AUTOTUNE_CHECK(x.size() == ard_inv_scales_.size());
+  Vector scaled(x.size());
+  for (size_t d = 0; d < x.size(); ++d) {
+    scaled[d] = x[d] * ard_inv_scales_[d];
+  }
+  return scaled;
+}
+
+Status GaussianProcess::FitArd(double noise_variance,
+                               double base_length_scale) {
+  // Work with kernel length scale 1 and fold the isotropic scale into the
+  // per-dimension inverse scales, then coordinate-descend on the LML.
+  const size_t dim = xs_raw_[0].size();
+  ard_inv_scales_.assign(dim, 1.0 / base_length_scale);
+  kernel_->SetLengthScale(1.0);
+  auto rescale = [this]() {
+    for (size_t i = 0; i < xs_raw_.size(); ++i) {
+      xs_[i] = ScaleInput(xs_raw_[i]);
+    }
+  };
+  rescale();
+  AUTOTUNE_RETURN_IF_ERROR(FitOnce(noise_variance));
+  double best_lml = lml_;
+  for (int sweep = 0; sweep < options_.ard_sweeps; ++sweep) {
+    for (size_t d = 0; d < dim; ++d) {
+      const double current = ard_inv_scales_[d];
+      double best_scale = current;
+      for (double factor : {0.35, 0.6, 1.7, 3.0}) {
+        ard_inv_scales_[d] = current * factor;
+        rescale();
+        if (!FitOnce(noise_variance).ok()) continue;
+        if (lml_ > best_lml) {
+          best_lml = lml_;
+          best_scale = ard_inv_scales_[d];
+        }
+      }
+      ard_inv_scales_[d] = best_scale;
+    }
+  }
+  rescale();
+  return FitOnce(noise_variance);
+}
+
+Status GaussianProcess::Fit(const std::vector<Vector>& xs, const Vector& ys) {
+  if (xs.empty()) return Status::InvalidArgument("no observations");
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("xs/ys size mismatch");
+  }
+  const size_t dim = xs[0].size();
+  for (const auto& x : xs) {
+    if (x.size() != dim) return Status::InvalidArgument("ragged features");
+  }
+  ard_inv_scales_.clear();
+  xs_raw_ = xs;
+  xs_ = xs;
+  y_standardizer_ = FitStandardizer(ys);
+  ys_std_.resize(ys.size());
+  for (size_t i = 0; i < ys.size(); ++i) {
+    ys_std_[i] = y_standardizer_.Apply(ys[i]);
+  }
+
+  if (!options_.fit_length_scale || xs_.size() < 3) {
+    return FitOnce(options_.noise_variance);
+  }
+
+  // Model selection: maximize log marginal likelihood over the grids.
+  std::vector<double> noise_candidates = options_.noise_grid;
+  if (noise_candidates.empty()) {
+    noise_candidates.push_back(options_.noise_variance);
+  }
+  double best_lml = -std::numeric_limits<double>::infinity();
+  double best_ls = -1.0;
+  double best_noise = options_.noise_variance;
+  for (double ls : options_.length_scale_grid) {
+    kernel_->SetLengthScale(ls);
+    for (double noise : noise_candidates) {
+      Status status = FitOnce(noise);
+      if (!status.ok()) continue;
+      if (lml_ > best_lml) {
+        best_lml = lml_;
+        best_ls = ls;
+        best_noise = noise;
+      }
+    }
+  }
+  if (best_ls < 0.0) {
+    return Status::Internal("GP fit failed for every hyperparameter choice");
+  }
+  kernel_->SetLengthScale(best_ls);
+  if (options_.fit_ard && xs_.size() >= 8) {
+    return FitArd(best_noise, best_ls);
+  }
+  return FitOnce(best_noise);
+}
+
+Prediction GaussianProcess::Predict(const Vector& x) const {
+  Prediction out;
+  if (!fitted_) {
+    // Weak prior in original units.
+    out.mean = y_standardizer_.mean;
+    out.variance = y_standardizer_.stddev * y_standardizer_.stddev;
+    if (out.variance == 0.0) out.variance = 1.0;
+    return out;
+  }
+  const size_t n = xs_.size();
+  const Vector query = ScaleInput(x);
+  Vector k_star(n);
+  for (size_t i = 0; i < n; ++i) k_star[i] = kernel_->Eval(query, xs_[i]);
+  const double mean_std = Dot(k_star, alpha_);
+  // var = k(x,x) - ||L^-1 k*||^2.
+  const Vector v = SolveLowerTriangular(chol_, k_star);
+  double var_std = kernel_->Eval(query, query) - Dot(v, v);
+  var_std = std::max(var_std, 0.0);
+  out.mean = y_standardizer_.Invert(mean_std);
+  out.variance = var_std * y_standardizer_.stddev * y_standardizer_.stddev;
+  return out;
+}
+
+double GaussianProcess::log_marginal_likelihood() const {
+  AUTOTUNE_CHECK_MSG(fitted_, "call Fit first");
+  return lml_;
+}
+
+Result<Vector> GaussianProcess::SamplePosterior(
+    const std::vector<Vector>& points, Rng* rng) const {
+  if (!fitted_) return Status::FailedPrecondition("GP not fitted");
+  if (points.empty()) return Status::InvalidArgument("no points");
+  AUTOTUNE_CHECK(rng != nullptr);
+  const size_t m = points.size();
+  const size_t n = xs_.size();
+  std::vector<Vector> queries;
+  queries.reserve(m);
+  for (const Vector& p : points) queries.push_back(ScaleInput(p));
+  // Posterior mean and covariance at the query points (standardized space).
+  Vector mean(m);
+  Matrix cross(m, n);  // K(points, xs).
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      cross(i, j) = kernel_->Eval(queries[i], xs_[j]);
+    }
+    mean[i] = Dot(cross.Row(i), alpha_);
+  }
+  Matrix cov(m, m);
+  // V = L^-1 K(xs, points): column i = L^-1 cross_row(i).
+  std::vector<Vector> v_cols(m);
+  for (size_t i = 0; i < m; ++i) {
+    v_cols[i] = SolveLowerTriangular(chol_, cross.Row(i));
+  }
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i; j < m; ++j) {
+      const double prior = kernel_->Eval(queries[i], queries[j]);
+      const double reduction = Dot(v_cols[i], v_cols[j]);
+      const double value = prior - reduction;
+      cov(i, j) = value;
+      cov(j, i) = value;
+    }
+  }
+  AUTOTUNE_ASSIGN_OR_RETURN(Matrix cov_chol, CholeskyWithJitter(cov, 1e-1));
+  Vector z(m);
+  for (auto& zi : z) zi = rng->Normal();
+  Vector sample(m);
+  for (size_t i = 0; i < m; ++i) {
+    double s = mean[i];
+    for (size_t j = 0; j <= i; ++j) s += cov_chol(i, j) * z[j];
+    sample[i] = y_standardizer_.Invert(s);
+  }
+  return sample;
+}
+
+}  // namespace autotune

@@ -1,0 +1,272 @@
+#include "surrogate/kernel.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace autotune {
+
+void Kernel::SetLengthScale(double /*length_scale*/) {}
+
+namespace {
+
+class RbfKernel : public Kernel {
+ public:
+  RbfKernel(double length_scale, double signal_variance)
+      : length_scale_(length_scale), signal_variance_(signal_variance) {
+    AUTOTUNE_CHECK(length_scale > 0.0);
+    AUTOTUNE_CHECK(signal_variance > 0.0);
+  }
+
+  double Eval(const Vector& a, const Vector& b) const override {
+    const double d2 = SquaredDistance(a, b);
+    return signal_variance_ *
+           std::exp(-d2 / (2.0 * length_scale_ * length_scale_));
+  }
+
+  std::unique_ptr<Kernel> Clone() const override {
+    return std::make_unique<RbfKernel>(length_scale_, signal_variance_);
+  }
+
+  void SetLengthScale(double length_scale) override {
+    AUTOTUNE_CHECK(length_scale > 0.0);
+    length_scale_ = length_scale;
+  }
+
+  std::string ToString() const override {
+    return "RBF(l=" + FormatDouble(length_scale_) +
+           ", s2=" + FormatDouble(signal_variance_) + ")";
+  }
+
+ private:
+  double length_scale_;
+  double signal_variance_;
+};
+
+class MaternKernel : public Kernel {
+ public:
+  MaternKernel(double nu, double length_scale, double signal_variance)
+      : nu_(nu),
+        length_scale_(length_scale),
+        signal_variance_(signal_variance) {
+    AUTOTUNE_CHECK_MSG(nu == 0.5 || nu == 1.5 || nu == 2.5,
+                       "Matern supports nu in {0.5, 1.5, 2.5}");
+    AUTOTUNE_CHECK(length_scale > 0.0);
+    AUTOTUNE_CHECK(signal_variance > 0.0);
+  }
+
+  double Eval(const Vector& a, const Vector& b) const override {
+    const double d = std::sqrt(SquaredDistance(a, b)) / length_scale_;
+    if (nu_ == 0.5) {
+      return signal_variance_ * std::exp(-d);
+    }
+    if (nu_ == 1.5) {
+      const double s = std::sqrt(3.0) * d;
+      return signal_variance_ * (1.0 + s) * std::exp(-s);
+    }
+    const double s = std::sqrt(5.0) * d;
+    return signal_variance_ * (1.0 + s + s * s / 3.0) * std::exp(-s);
+  }
+
+  std::unique_ptr<Kernel> Clone() const override {
+    return std::make_unique<MaternKernel>(nu_, length_scale_,
+                                          signal_variance_);
+  }
+
+  void SetLengthScale(double length_scale) override {
+    AUTOTUNE_CHECK(length_scale > 0.0);
+    length_scale_ = length_scale;
+  }
+
+  std::string ToString() const override {
+    return "Matern(nu=" + FormatDouble(nu_) +
+           ", l=" + FormatDouble(length_scale_) +
+           ", s2=" + FormatDouble(signal_variance_) + ")";
+  }
+
+ private:
+  double nu_;
+  double length_scale_;
+  double signal_variance_;
+};
+
+class ConstantKernel : public Kernel {
+ public:
+  explicit ConstantKernel(double value) : value_(value) {
+    AUTOTUNE_CHECK(value >= 0.0);
+  }
+
+  double Eval(const Vector&, const Vector&) const override { return value_; }
+
+  std::unique_ptr<Kernel> Clone() const override {
+    return std::make_unique<ConstantKernel>(value_);
+  }
+
+  std::string ToString() const override {
+    return "Const(" + FormatDouble(value_) + ")";
+  }
+
+ private:
+  double value_;
+};
+
+class LinearKernel : public Kernel {
+ public:
+  LinearKernel(double signal_variance, double offset)
+      : signal_variance_(signal_variance), offset_(offset) {
+    AUTOTUNE_CHECK(signal_variance > 0.0);
+  }
+
+  double Eval(const Vector& a, const Vector& b) const override {
+    return signal_variance_ * (Dot(a, b) + offset_);
+  }
+
+  std::unique_ptr<Kernel> Clone() const override {
+    return std::make_unique<LinearKernel>(signal_variance_, offset_);
+  }
+
+  std::string ToString() const override {
+    return "Linear(s2=" + FormatDouble(signal_variance_) +
+           ", c=" + FormatDouble(offset_) + ")";
+  }
+
+ private:
+  double signal_variance_;
+  double offset_;
+};
+
+class PeriodicKernel : public Kernel {
+ public:
+  PeriodicKernel(double length_scale, double period, double signal_variance)
+      : length_scale_(length_scale),
+        period_(period),
+        signal_variance_(signal_variance) {
+    AUTOTUNE_CHECK(length_scale > 0.0);
+    AUTOTUNE_CHECK(period > 0.0);
+    AUTOTUNE_CHECK(signal_variance > 0.0);
+  }
+
+  double Eval(const Vector& a, const Vector& b) const override {
+    const double d = std::sqrt(SquaredDistance(a, b));
+    const double s = std::sin(M_PI * d / period_) / length_scale_;
+    return signal_variance_ * std::exp(-2.0 * s * s);
+  }
+
+  std::unique_ptr<Kernel> Clone() const override {
+    return std::make_unique<PeriodicKernel>(length_scale_, period_,
+                                            signal_variance_);
+  }
+
+  void SetLengthScale(double length_scale) override {
+    AUTOTUNE_CHECK(length_scale > 0.0);
+    length_scale_ = length_scale;
+  }
+
+  std::string ToString() const override {
+    return "Periodic(l=" + FormatDouble(length_scale_) +
+           ", p=" + FormatDouble(period_) + ")";
+  }
+
+ private:
+  double length_scale_;
+  double period_;
+  double signal_variance_;
+};
+
+class SumKernel : public Kernel {
+ public:
+  SumKernel(std::unique_ptr<Kernel> a, std::unique_ptr<Kernel> b)
+      : a_(std::move(a)), b_(std::move(b)) {
+    AUTOTUNE_CHECK(a_ != nullptr && b_ != nullptr);
+  }
+
+  double Eval(const Vector& x, const Vector& y) const override {
+    return a_->Eval(x, y) + b_->Eval(x, y);
+  }
+
+  std::unique_ptr<Kernel> Clone() const override {
+    return std::make_unique<SumKernel>(a_->Clone(), b_->Clone());
+  }
+
+  void SetLengthScale(double length_scale) override {
+    a_->SetLengthScale(length_scale);
+    b_->SetLengthScale(length_scale);
+  }
+
+  std::string ToString() const override {
+    return "(" + a_->ToString() + " + " + b_->ToString() + ")";
+  }
+
+ private:
+  std::unique_ptr<Kernel> a_;
+  std::unique_ptr<Kernel> b_;
+};
+
+class ProductKernel : public Kernel {
+ public:
+  ProductKernel(std::unique_ptr<Kernel> a, std::unique_ptr<Kernel> b)
+      : a_(std::move(a)), b_(std::move(b)) {
+    AUTOTUNE_CHECK(a_ != nullptr && b_ != nullptr);
+  }
+
+  double Eval(const Vector& x, const Vector& y) const override {
+    return a_->Eval(x, y) * b_->Eval(x, y);
+  }
+
+  std::unique_ptr<Kernel> Clone() const override {
+    return std::make_unique<ProductKernel>(a_->Clone(), b_->Clone());
+  }
+
+  void SetLengthScale(double length_scale) override {
+    a_->SetLengthScale(length_scale);
+    b_->SetLengthScale(length_scale);
+  }
+
+  std::string ToString() const override {
+    return "(" + a_->ToString() + " * " + b_->ToString() + ")";
+  }
+
+ private:
+  std::unique_ptr<Kernel> a_;
+  std::unique_ptr<Kernel> b_;
+};
+
+}  // namespace
+
+std::unique_ptr<Kernel> MakeRbfKernel(double length_scale,
+                                      double signal_variance) {
+  return std::make_unique<RbfKernel>(length_scale, signal_variance);
+}
+
+std::unique_ptr<Kernel> MakeMaternKernel(double nu, double length_scale,
+                                         double signal_variance) {
+  return std::make_unique<MaternKernel>(nu, length_scale, signal_variance);
+}
+
+std::unique_ptr<Kernel> MakeConstantKernel(double value) {
+  return std::make_unique<ConstantKernel>(value);
+}
+
+std::unique_ptr<Kernel> MakeLinearKernel(double signal_variance,
+                                         double offset) {
+  return std::make_unique<LinearKernel>(signal_variance, offset);
+}
+
+std::unique_ptr<Kernel> MakePeriodicKernel(double length_scale, double period,
+                                           double signal_variance) {
+  return std::make_unique<PeriodicKernel>(length_scale, period,
+                                          signal_variance);
+}
+
+std::unique_ptr<Kernel> MakeSumKernel(std::unique_ptr<Kernel> a,
+                                      std::unique_ptr<Kernel> b) {
+  return std::make_unique<SumKernel>(std::move(a), std::move(b));
+}
+
+std::unique_ptr<Kernel> MakeProductKernel(std::unique_ptr<Kernel> a,
+                                          std::unique_ptr<Kernel> b) {
+  return std::make_unique<ProductKernel>(std::move(a), std::move(b));
+}
+
+}  // namespace autotune

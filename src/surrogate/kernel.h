@@ -1,0 +1,65 @@
+#ifndef AUTOTUNE_SURROGATE_KERNEL_H_
+#define AUTOTUNE_SURROGATE_KERNEL_H_
+
+#include <memory>
+#include <string>
+
+#include "math/matrix.h"
+
+namespace autotune {
+
+/// Covariance (kernel) function K(x, x') for Gaussian-process surrogates
+/// (tutorial slides 42-44). Kernels are composable: `MakeSum` and
+/// `MakeProduct` build the usual algebra, and `SetLengthScale` recursively
+/// rescales every stationary component (used by the GP hyperparameter fit).
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Covariance between two (equal-dimension) points.
+  virtual double Eval(const Vector& a, const Vector& b) const = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<Kernel> Clone() const = 0;
+
+  /// Sets the length scale on this kernel and any children that have one.
+  /// No-op for scale-free kernels (constant, linear).
+  virtual void SetLengthScale(double length_scale);
+
+  /// Human-readable form, e.g. "RBF(l=0.3, s2=1)".
+  virtual std::string ToString() const = 0;
+};
+
+/// Radial basis function: s2 * exp(-d^2 / (2 l^2)). The scikit-learn default
+/// (slide 43).
+std::unique_ptr<Kernel> MakeRbfKernel(double length_scale,
+                                      double signal_variance = 1.0);
+
+/// Matérn kernel for nu in {0.5, 1.5, 2.5} (the closed-form cases; slide 43
+/// calls it "the most popular kernel nowadays"). nu=0.5 is the exponential
+/// kernel; nu -> inf approaches RBF.
+std::unique_ptr<Kernel> MakeMaternKernel(double nu, double length_scale,
+                                         double signal_variance = 1.0);
+
+/// Constant covariance c (models a global offset).
+std::unique_ptr<Kernel> MakeConstantKernel(double value);
+
+/// Dot-product (linear) kernel: s2 * (x . x' + offset).
+std::unique_ptr<Kernel> MakeLinearKernel(double signal_variance = 1.0,
+                                         double offset = 0.0);
+
+/// Exp-sine-squared periodic kernel with the given period and length scale.
+std::unique_ptr<Kernel> MakePeriodicKernel(double length_scale, double period,
+                                           double signal_variance = 1.0);
+
+/// K = a + b.
+std::unique_ptr<Kernel> MakeSumKernel(std::unique_ptr<Kernel> a,
+                                      std::unique_ptr<Kernel> b);
+
+/// K = a * b.
+std::unique_ptr<Kernel> MakeProductKernel(std::unique_ptr<Kernel> a,
+                                          std::unique_ptr<Kernel> b);
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SURROGATE_KERNEL_H_

@@ -1,0 +1,60 @@
+#include "surrogate/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+
+KnnSurrogate::KnnSurrogate(size_t k) : k_(k) { AUTOTUNE_CHECK(k >= 1); }
+
+Status KnnSurrogate::Fit(const std::vector<Vector>& xs, const Vector& ys) {
+  if (xs.empty()) return Status::InvalidArgument("no observations");
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("xs/ys size mismatch");
+  }
+  const size_t dim = xs[0].size();
+  for (const auto& x : xs) {
+    if (x.size() != dim) return Status::InvalidArgument("ragged features");
+  }
+  xs_ = xs;
+  ys_ = ys;
+  return Status::OK();
+}
+
+Prediction KnnSurrogate::Predict(const Vector& x) const {
+  Prediction out;
+  if (xs_.empty()) {
+    out.variance = 1.0;
+    return out;
+  }
+  const size_t k = std::min(k_, xs_.size());
+  // Partial selection of the k nearest.
+  std::vector<std::pair<double, size_t>> dist(xs_.size());
+  for (size_t i = 0; i < xs_.size(); ++i) {
+    dist[i] = {SquaredDistance(x, xs_[i]), i};
+  }
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(k),
+                    dist.end());
+  double weight_sum = 0.0;
+  double mean = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    const double w = 1.0 / (1e-9 + std::sqrt(dist[j].first));
+    weight_sum += w;
+    mean += w * ys_[dist[j].second];
+  }
+  mean /= weight_sum;
+  double spread = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    const double d = ys_[dist[j].second] - mean;
+    spread += d * d;
+  }
+  spread /= static_cast<double>(k);
+  out.mean = mean;
+  // Uncertainty grows with distance to the nearest neighbor.
+  out.variance = spread + dist[0].first;
+  return out;
+}
+
+}  // namespace autotune

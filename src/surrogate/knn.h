@@ -1,0 +1,35 @@
+#ifndef AUTOTUNE_SURROGATE_KNN_H_
+#define AUTOTUNE_SURROGATE_KNN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "math/matrix.h"
+#include "surrogate/surrogate.h"
+
+namespace autotune {
+
+/// k-nearest-neighbor surrogate: a cheap non-parametric baseline. The mean
+/// is the distance-weighted average of the k nearest observations; the
+/// variance combines their spread with a distance term so uncertainty grows
+/// away from the data. Useful as a control in surrogate comparisons and as
+/// a warm-start score estimator for knowledge transfer.
+class KnnSurrogate : public Surrogate {
+ public:
+  explicit KnnSurrogate(size_t k = 5);
+
+  Status Fit(const std::vector<Vector>& xs, const Vector& ys) override;
+
+  Prediction Predict(const Vector& x) const override;
+
+  size_t num_observations() const override { return xs_.size(); }
+
+ private:
+  size_t k_;
+  std::vector<Vector> xs_;
+  Vector ys_;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SURROGATE_KNN_H_

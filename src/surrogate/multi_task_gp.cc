@@ -1,0 +1,124 @@
+#include "surrogate/multi_task_gp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace autotune {
+
+MultiTaskGp::MultiTaskGp(size_t num_tasks, MultiTaskGpOptions options)
+    : num_tasks_(num_tasks),
+      options_(options),
+      input_kernel_(MakeMaternKernel(2.5, 0.3)) {
+  AUTOTUNE_CHECK(num_tasks >= 1);
+  AUTOTUNE_CHECK(options_.noise_variance > 0.0);
+  AUTOTUNE_CHECK(!options_.correlation_grid.empty());
+  AUTOTUNE_CHECK(!options_.length_scale_grid.empty());
+}
+
+double MultiTaskGp::TaskCov(size_t a, size_t b, double rho) const {
+  return a == b ? 1.0 : rho;
+}
+
+Status MultiTaskGp::FitOnce(double rho, double length_scale) {
+  input_kernel_->SetLengthScale(length_scale);
+  const size_t n = xs_.size();
+  Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = TaskCov(tasks_[i], tasks_[j], rho) *
+                       input_kernel_->Eval(xs_[i], xs_[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  k.AddDiagonal(options_.noise_variance);
+  AUTOTUNE_ASSIGN_OR_RETURN(chol_, CholeskyWithJitter(k));
+  alpha_ = CholeskySolve(chol_, ys_std_);
+  lml_ = -0.5 * Dot(ys_std_, alpha_) - 0.5 * LogDetFromCholesky(chol_) -
+         0.5 * static_cast<double>(n) * std::log(2.0 * M_PI);
+  fitted_rho_ = rho;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status MultiTaskGp::Fit(const std::vector<size_t>& tasks,
+                        const std::vector<Vector>& xs, const Vector& ys) {
+  if (xs.empty()) return Status::InvalidArgument("no observations");
+  if (tasks.size() != xs.size() || xs.size() != ys.size()) {
+    return Status::InvalidArgument("tasks/xs/ys size mismatch");
+  }
+  const size_t dim = xs[0].size();
+  for (const auto& x : xs) {
+    if (x.size() != dim) return Status::InvalidArgument("ragged features");
+  }
+  for (size_t task : tasks) {
+    if (task >= num_tasks_) {
+      return Status::OutOfRange("task index " + std::to_string(task) +
+                                " >= num_tasks");
+    }
+  }
+  tasks_ = tasks;
+  xs_ = xs;
+  // Per-task standardization so tasks with different scales coexist.
+  task_standardizers_.assign(num_tasks_, Standardizer{});
+  for (size_t t = 0; t < num_tasks_; ++t) {
+    std::vector<double> task_ys;
+    for (size_t i = 0; i < ys.size(); ++i) {
+      if (tasks[i] == t) task_ys.push_back(ys[i]);
+    }
+    if (!task_ys.empty()) {
+      task_standardizers_[t] = FitStandardizer(task_ys);
+    }
+  }
+  ys_std_.resize(ys.size());
+  for (size_t i = 0; i < ys.size(); ++i) {
+    ys_std_[i] = task_standardizers_[tasks[i]].Apply(ys[i]);
+  }
+
+  double best_lml = -std::numeric_limits<double>::infinity();
+  double best_rho = 0.0;
+  double best_ls = options_.length_scale_grid.front();
+  for (double rho : options_.correlation_grid) {
+    for (double ls : options_.length_scale_grid) {
+      Status status = FitOnce(rho, ls);
+      if (!status.ok()) continue;
+      if (lml_ > best_lml) {
+        best_lml = lml_;
+        best_rho = rho;
+        best_ls = ls;
+      }
+    }
+  }
+  if (!std::isfinite(best_lml)) {
+    return Status::Internal("multi-task GP fit failed on every grid point");
+  }
+  return FitOnce(best_rho, best_ls);
+}
+
+Prediction MultiTaskGp::Predict(size_t task, const Vector& x) const {
+  AUTOTUNE_CHECK(task < num_tasks_);
+  Prediction out;
+  if (!fitted_) {
+    out.variance = 1.0;
+    return out;
+  }
+  const size_t n = xs_.size();
+  Vector k_star(n);
+  for (size_t i = 0; i < n; ++i) {
+    k_star[i] = TaskCov(task, tasks_[i], fitted_rho_) *
+                input_kernel_->Eval(x, xs_[i]);
+  }
+  const double mean_std = Dot(k_star, alpha_);
+  const Vector v = SolveLowerTriangular(chol_, k_star);
+  double var_std = input_kernel_->Eval(x, x) - Dot(v, v);
+  var_std = std::max(var_std, 0.0);
+  const Standardizer& st = task_standardizers_[task];
+  out.mean = st.Invert(mean_std);
+  out.variance = var_std * st.stddev * st.stddev;
+  return out;
+}
+
+}  // namespace autotune

@@ -1,0 +1,77 @@
+#ifndef AUTOTUNE_SURROGATE_MULTI_TASK_GP_H_
+#define AUTOTUNE_SURROGATE_MULTI_TASK_GP_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "math/matrix.h"
+#include "math/stats.h"
+#include "surrogate/kernel.h"
+#include "surrogate/surrogate.h"
+
+namespace autotune {
+
+/// Options for `MultiTaskGp`.
+struct MultiTaskGpOptions {
+  double noise_variance = 1e-4;
+  /// Candidate task correlations for the LML fit (the intrinsic
+  /// coregionalization model B = (1-rho) I + rho 11^T).
+  std::vector<double> correlation_grid = {0.0, 0.3, 0.6, 0.9};
+  /// Candidate length scales for the input kernel.
+  std::vector<double> length_scale_grid = {0.1, 0.2, 0.3, 0.5, 0.8};
+};
+
+/// Multi-task Gaussian process with a separable (ICM) kernel
+/// K((i, x), (j, x')) = B(i, j) * K_x(x, x')  (tutorial slide 59:
+/// "exploit the correlations between f_1(x) ... f_k(x)" with separable
+/// multi-output kernels). Observations from one task inform predictions
+/// for the others in proportion to the learned task correlation, which is
+/// selected — together with the input length scale — by maximizing the log
+/// marginal likelihood. Targets are standardized per task.
+class MultiTaskGp {
+ public:
+  MultiTaskGp(size_t num_tasks,
+              MultiTaskGpOptions options = MultiTaskGpOptions());
+
+  /// Fits to observations: `tasks[i]` is the task index of (`xs[i]`,
+  /// `ys[i]`). Every task index must be < num_tasks; at least one
+  /// observation overall is required (tasks may be empty).
+  Status Fit(const std::vector<size_t>& tasks, const std::vector<Vector>& xs,
+             const Vector& ys);
+
+  /// Posterior prediction for `task` at `x`.
+  Prediction Predict(size_t task, const Vector& x) const;
+
+  /// The fitted task correlation rho (0 = independent tasks).
+  double task_correlation() const { return fitted_rho_; }
+
+  /// Log marginal likelihood of the fitted model.
+  double log_marginal_likelihood() const { return lml_; }
+
+  size_t num_tasks() const { return num_tasks_; }
+  size_t num_observations() const { return xs_.size(); }
+
+ private:
+  Status FitOnce(double rho, double length_scale);
+  double TaskCov(size_t a, size_t b, double rho) const;
+
+  size_t num_tasks_;
+  MultiTaskGpOptions options_;
+  std::unique_ptr<Kernel> input_kernel_;
+
+  std::vector<size_t> tasks_;
+  std::vector<Vector> xs_;
+  Vector ys_std_;
+  std::vector<Standardizer> task_standardizers_;
+
+  bool fitted_ = false;
+  double fitted_rho_ = 0.0;
+  Matrix chol_{0, 0};
+  Vector alpha_;
+  double lml_ = 0.0;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SURROGATE_MULTI_TASK_GP_H_

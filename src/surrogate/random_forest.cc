@@ -1,0 +1,238 @@
+#include "surrogate/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace autotune {
+
+namespace {
+
+struct Moments {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+Moments ComputeMoments(const Vector& ys, const std::vector<size_t>& indices,
+                       size_t begin, size_t end) {
+  Moments m;
+  const double n = static_cast<double>(end - begin);
+  for (size_t i = begin; i < end; ++i) m.mean += ys[indices[i]];
+  m.mean /= n;
+  for (size_t i = begin; i < end; ++i) {
+    const double d = ys[indices[i]] - m.mean;
+    m.variance += d * d;
+  }
+  m.variance /= n;
+  return m;
+}
+
+double SseOf(const Vector& ys, const std::vector<size_t>& indices,
+             size_t begin, size_t end) {
+  const Moments m = ComputeMoments(ys, indices, begin, end);
+  return m.variance * static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+RandomForestSurrogate::RandomForestSurrogate(RandomForestOptions options)
+    : options_(options) {
+  AUTOTUNE_CHECK(options_.num_trees >= 1);
+  AUTOTUNE_CHECK(options_.min_samples_leaf >= 1);
+  AUTOTUNE_CHECK(options_.feature_fraction > 0.0 &&
+                 options_.feature_fraction <= 1.0);
+  AUTOTUNE_CHECK(options_.max_thresholds >= 1);
+}
+
+int RandomForestSurrogate::BuildNode(Tree* tree, const std::vector<Vector>& xs,
+                                     const Vector& ys,
+                                     std::vector<size_t>* indices,
+                                     size_t begin, size_t end, int depth,
+                                     Rng* rng) {
+  const int node_index = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+  const Moments moments = ComputeMoments(ys, *indices, begin, end);
+  tree->nodes[node_index].mean = moments.mean;
+  tree->nodes[node_index].variance = moments.variance;
+
+  const size_t count = end - begin;
+  if (count < 2 * static_cast<size_t>(options_.min_samples_leaf) ||
+      depth >= options_.max_depth || moments.variance <= 1e-14) {
+    return node_index;  // Leaf.
+  }
+
+  // Random feature subset.
+  const size_t num_try = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(options_.feature_fraction *
+                                       static_cast<double>(num_features_))));
+  std::vector<size_t> features =
+      rng->SampleWithoutReplacement(num_features_, num_try);
+
+  const double parent_sse = SseOf(ys, *indices, begin, end);
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<double> values;
+  for (size_t feature : features) {
+    values.clear();
+    values.reserve(count);
+    for (size_t i = begin; i < end; ++i) {
+      values.push_back(xs[(*indices)[i]][feature]);
+    }
+    std::sort(values.begin(), values.end());
+    if (values.front() == values.back()) continue;
+    // Candidate thresholds: quantile cuts between distinct values.
+    const int cuts = std::min<int>(options_.max_thresholds,
+                                   static_cast<int>(count) - 1);
+    for (int c = 1; c <= cuts; ++c) {
+      const size_t pos = count * static_cast<size_t>(c) /
+                         static_cast<size_t>(cuts + 1);
+      if (pos == 0 || pos >= count) continue;
+      const double threshold = 0.5 * (values[pos - 1] + values[pos]);
+      if (values[pos - 1] == values[pos]) continue;
+      // Partition in a scratch pass to evaluate the split.
+      double left_sum = 0.0, left_sq = 0.0;
+      double right_sum = 0.0, right_sq = 0.0;
+      size_t left_n = 0;
+      for (size_t i = begin; i < end; ++i) {
+        const double y = ys[(*indices)[i]];
+        if (xs[(*indices)[i]][feature] <= threshold) {
+          left_sum += y;
+          left_sq += y * y;
+          ++left_n;
+        } else {
+          right_sum += y;
+          right_sq += y * y;
+        }
+      }
+      const size_t right_n = count - left_n;
+      if (left_n < static_cast<size_t>(options_.min_samples_leaf) ||
+          right_n < static_cast<size_t>(options_.min_samples_leaf)) {
+        continue;
+      }
+      const double left_sse =
+          left_sq - left_sum * left_sum / static_cast<double>(left_n);
+      const double right_sse =
+          right_sq - right_sum * right_sum / static_cast<double>(right_n);
+      const double gain = parent_sse - (left_sse + right_sse);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(feature);
+        best_threshold = threshold;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;  // No useful split: leaf.
+
+  // Partition indices in place around the chosen split.
+  size_t mid = begin;
+  for (size_t i = begin; i < end; ++i) {
+    if (xs[(*indices)[i]][static_cast<size_t>(best_feature)] <=
+        best_threshold) {
+      std::swap((*indices)[i], (*indices)[mid]);
+      ++mid;
+    }
+  }
+  if (mid == begin || mid == end) return node_index;  // Degenerate.
+
+  importances_[static_cast<size_t>(best_feature)] += best_gain;
+  tree->nodes[node_index].feature = best_feature;
+  tree->nodes[node_index].threshold = best_threshold;
+  const int left =
+      BuildNode(tree, xs, ys, indices, begin, mid, depth + 1, rng);
+  tree->nodes[node_index].left = left;
+  const int right = BuildNode(tree, xs, ys, indices, mid, end, depth + 1, rng);
+  tree->nodes[node_index].right = right;
+  return node_index;
+}
+
+Status RandomForestSurrogate::Fit(const std::vector<Vector>& xs,
+                                  const Vector& ys) {
+  if (xs.empty()) return Status::InvalidArgument("no observations");
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("xs/ys size mismatch");
+  }
+  num_features_ = xs[0].size();
+  if (num_features_ == 0) {
+    return Status::InvalidArgument("zero-dimensional features");
+  }
+  for (const auto& x : xs) {
+    if (x.size() != num_features_) {
+      return Status::InvalidArgument("ragged features");
+    }
+  }
+  num_observations_ = xs.size();
+  importances_.assign(num_features_, 0.0);
+  trees_.clear();
+  trees_.resize(static_cast<size_t>(options_.num_trees));
+  Rng rng(options_.seed);
+  const size_t n = xs.size();
+  for (auto& tree : trees_) {
+    std::vector<size_t> indices(n);
+    if (options_.bootstrap) {
+      for (auto& idx : indices) {
+        idx = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) indices[i] = i;
+    }
+    BuildNode(&tree, xs, ys, &indices, 0, n, 0, &rng);
+  }
+  return Status::OK();
+}
+
+double RandomForestSurrogate::PredictTree(const Tree& tree, const Vector& x,
+                                          double* variance) const {
+  int node = 0;
+  for (;;) {
+    const Node& n = tree.nodes[static_cast<size_t>(node)];
+    if (n.feature < 0) {
+      *variance = n.variance;
+      return n.mean;
+    }
+    node = x[static_cast<size_t>(n.feature)] <= n.threshold ? n.left
+                                                            : n.right;
+  }
+}
+
+Prediction RandomForestSurrogate::Predict(const Vector& x) const {
+  Prediction out;
+  if (trees_.empty()) {
+    out.mean = 0.0;
+    out.variance = 1.0;
+    return out;
+  }
+  AUTOTUNE_CHECK(x.size() == num_features_);
+  // Law of total variance: Var = E[leaf var] + Var[leaf mean].
+  double sum_mean = 0.0;
+  double sum_mean_sq = 0.0;
+  double sum_var = 0.0;
+  for (const auto& tree : trees_) {
+    double leaf_var = 0.0;
+    const double leaf_mean = PredictTree(tree, x, &leaf_var);
+    sum_mean += leaf_mean;
+    sum_mean_sq += leaf_mean * leaf_mean;
+    sum_var += leaf_var;
+  }
+  const double t = static_cast<double>(trees_.size());
+  out.mean = sum_mean / t;
+  out.variance = std::max(
+      0.0, sum_var / t + sum_mean_sq / t - out.mean * out.mean);
+  return out;
+}
+
+Vector RandomForestSurrogate::FeatureImportances() const {
+  Vector normalized = importances_;
+  double total = 0.0;
+  for (double v : normalized) total += v;
+  if (total <= 0.0) return Vector(num_features_, 0.0);
+  for (double& v : normalized) v /= total;
+  return normalized;
+}
+
+}  // namespace autotune

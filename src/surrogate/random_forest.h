@@ -1,0 +1,76 @@
+#ifndef AUTOTUNE_SURROGATE_RANDOM_FOREST_H_
+#define AUTOTUNE_SURROGATE_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "math/matrix.h"
+#include "surrogate/surrogate.h"
+
+namespace autotune {
+
+/// Options for `RandomForestSurrogate`.
+struct RandomForestOptions {
+  int num_trees = 30;
+  int min_samples_leaf = 2;
+  int max_depth = 16;
+  /// Fraction of features considered at each split (random subspace).
+  double feature_fraction = 0.8;
+  /// Bootstrap-resample the training set per tree.
+  bool bootstrap = true;
+  /// Max split thresholds evaluated per feature (quantile cuts).
+  int max_thresholds = 16;
+  uint64_t seed = 42;
+};
+
+/// Random-forest regression surrogate in the style of SMAC (tutorial slide
+/// 50): each tree predicts a leaf mean/variance; across trees the law of
+/// total variance yields the epistemic uncertainty Bayesian optimization
+/// needs. Handles discrete/one-hot features naturally, which is why SMAC
+/// favors it for hybrid spaces (slide 51).
+class RandomForestSurrogate : public Surrogate {
+ public:
+  explicit RandomForestSurrogate(RandomForestOptions options = {});
+
+  Status Fit(const std::vector<Vector>& xs, const Vector& ys) override;
+
+  Prediction Predict(const Vector& x) const override;
+
+  size_t num_observations() const override { return num_observations_; }
+
+  /// Impurity-decrease feature importances, normalized to sum to 1 (all
+  /// zeros before Fit or if no splits occurred). Used for knob-importance
+  /// ranking (slide 68).
+  Vector FeatureImportances() const;
+
+ private:
+  struct Node {
+    // Internal node: feature/threshold and child indices; leaf: stats.
+    int feature = -1;  // -1 marks a leaf.
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double mean = 0.0;
+    double variance = 0.0;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  int BuildNode(Tree* tree, const std::vector<Vector>& xs, const Vector& ys,
+                std::vector<size_t>* indices, size_t begin, size_t end,
+                int depth, Rng* rng);
+  double PredictTree(const Tree& tree, const Vector& x, double* variance)
+      const;
+
+  RandomForestOptions options_;
+  std::vector<Tree> trees_;
+  size_t num_features_ = 0;
+  size_t num_observations_ = 0;
+  Vector importances_;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SURROGATE_RANDOM_FOREST_H_

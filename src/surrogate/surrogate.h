@@ -1,0 +1,43 @@
+#ifndef AUTOTUNE_SURROGATE_SURROGATE_H_
+#define AUTOTUNE_SURROGATE_SURROGATE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "math/matrix.h"
+
+namespace autotune {
+
+/// Posterior prediction at a single point.
+struct Prediction {
+  double mean = 0.0;
+  double variance = 0.0;
+
+  double stddev() const;
+};
+
+/// A regression model of the (expensive, noisy) objective over encoded
+/// feature vectors — the statistical model `M` of the tutorial's
+/// sequential model-based optimization loop (slide 33). Implementations:
+/// `GaussianProcess` (slides 35-44), `RandomForestSurrogate` (SMAC, slide
+/// 50), `KnnSurrogate` (baseline).
+class Surrogate {
+ public:
+  virtual ~Surrogate() = default;
+
+  /// Fits the model to observations. `xs` are equal-dimension feature rows,
+  /// `ys` the observed objective values. May be called repeatedly as data
+  /// accumulates (each call refits from scratch).
+  virtual Status Fit(const std::vector<Vector>& xs, const Vector& ys) = 0;
+
+  /// Posterior mean/variance at `x`. Before any successful `Fit`, returns a
+  /// weakly-informative prior (mean 0, unit variance).
+  virtual Prediction Predict(const Vector& x) const = 0;
+
+  /// Number of observations the model was last fitted to.
+  virtual size_t num_observations() const = 0;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SURROGATE_SURROGATE_H_

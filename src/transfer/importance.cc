@@ -1,0 +1,127 @@
+#include "transfer/importance.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "math/linear_model.h"
+#include "space/encoding.h"
+#include "surrogate/random_forest.h"
+
+namespace autotune {
+namespace transfer {
+
+Result<std::vector<KnobImportance>> RankKnobImportance(
+    const ConfigSpace& space, const std::vector<Observation>& history,
+    ImportanceMethod method) {
+  SpaceEncoder encoder(&space, SpaceEncoder::CategoricalMode::kOrdinal);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (const Observation& obs : history) {
+    if (obs.failed) continue;
+    AUTOTUNE_ASSIGN_OR_RETURN(Vector x, encoder.Encode(obs.config));
+    xs.push_back(std::move(x));
+    ys.push_back(obs.objective);
+  }
+  if (xs.size() < 3) {
+    return Status::FailedPrecondition(
+        "need >= 3 successful observations to rank knobs");
+  }
+
+  std::vector<KnobImportance> ranking;
+  ranking.reserve(space.size());
+  switch (method) {
+    case ImportanceMethod::kLasso: {
+      AUTOTUNE_ASSIGN_OR_RETURN(std::vector<size_t> order,
+                                LassoImportanceOrder(xs, ys));
+      // Score by entry order: first entrant gets the top score.
+      for (size_t rank = 0; rank < order.size(); ++rank) {
+        KnobImportance k;
+        k.name = space.param(order[rank]).name();
+        k.score = static_cast<double>(order.size() - rank) /
+                  static_cast<double>(order.size());
+        ranking.push_back(std::move(k));
+      }
+      break;
+    }
+    case ImportanceMethod::kRandomForest: {
+      RandomForestSurrogate forest;
+      AUTOTUNE_RETURN_IF_ERROR(forest.Fit(xs, ys));
+      Vector importances = forest.FeatureImportances();
+      std::vector<size_t> order(importances.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&importances](size_t a, size_t b) {
+                  return importances[a] > importances[b];
+                });
+      for (size_t index : order) {
+        KnobImportance k;
+        k.name = space.param(index).name();
+        k.score = importances[index];
+        ranking.push_back(std::move(k));
+      }
+      break;
+    }
+  }
+  return ranking;
+}
+
+SubsetSpace::SubsetSpace(const ConfigSpace* target, Configuration base)
+    : target_(target),
+      base_(std::move(base)),
+      low_space_(std::make_unique<ConfigSpace>()) {}
+
+Result<std::unique_ptr<SubsetSpace>> SubsetSpace::Create(
+    const ConfigSpace* target, const std::vector<std::string>& keep,
+    Configuration base) {
+  if (target == nullptr) return Status::InvalidArgument("null target");
+  if (keep.empty()) return Status::InvalidArgument("keep set is empty");
+  if (&base.space() != target) {
+    return Status::InvalidArgument("base config from a different space");
+  }
+  std::unique_ptr<SubsetSpace> subset(
+      new SubsetSpace(target, std::move(base)));
+  for (const std::string& name : keep) {
+    AUTOTUNE_ASSIGN_OR_RETURN(size_t index, target->Index(name));
+    ParameterSpec spec = target->param(index);
+    // Conditions reference parents that may not be in the subset; the
+    // lifted configuration re-establishes them, so strip conditions here.
+    if (spec.is_conditional()) {
+      ParameterSpec stripped = spec;  // Copy keeps domain/defaults.
+      // Rebuild without the condition by re-creating from the original
+      // fields: simplest is to keep it and rely on Add()'s parent check —
+      // instead, only allow unconditional knobs in subsets.
+      return Status::InvalidArgument(
+          "conditional knob '" + name +
+          "' cannot be tuned in a subset space; include its parent "
+          "instead");
+    }
+    AUTOTUNE_RETURN_IF_ERROR(subset->low_space_->Add(std::move(spec)));
+    subset->keep_.push_back(name);
+  }
+  return subset;
+}
+
+Result<Configuration> SubsetSpace::Lift(
+    const Configuration& low_config) const {
+  if (&low_config.space() != low_space_.get()) {
+    return Status::InvalidArgument("config not from this subset space");
+  }
+  std::vector<std::pair<std::string, ParamValue>> values;
+  // Start from the base assignment...
+  for (size_t i = 0; i < target_->size(); ++i) {
+    values.emplace_back(target_->param(i).name(), base_.ValueAt(i));
+  }
+  // ...then overlay the tuned knobs.
+  for (size_t i = 0; i < keep_.size(); ++i) {
+    for (auto& [name, value] : values) {
+      if (name == keep_[i]) {
+        value = low_config.ValueAt(i);
+        break;
+      }
+    }
+  }
+  return target_->Make(values);
+}
+
+}  // namespace transfer
+}  // namespace autotune

@@ -1,0 +1,66 @@
+#ifndef AUTOTUNE_TRANSFER_IMPORTANCE_H_
+#define AUTOTUNE_TRANSFER_IMPORTANCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/observation.h"
+#include "space/config_space.h"
+
+namespace autotune {
+namespace transfer {
+
+/// A knob with its importance score (higher = more influential).
+struct KnobImportance {
+  std::string name;
+  double score = 0.0;
+};
+
+/// How importances are estimated.
+enum class ImportanceMethod {
+  /// OtterTune-style Lasso path: knobs entering the regularization path
+  /// earlier matter more (tutorial slide 68).
+  kLasso,
+  /// Random-forest impurity-decrease importances.
+  kRandomForest,
+};
+
+/// Ranks knobs by their influence on the observed objective, from tuning
+/// history. Needs >= ~2x as many successful observations as knobs to be
+/// meaningful. Failed observations are skipped.
+Result<std::vector<KnobImportance>> RankKnobImportance(
+    const ConfigSpace& space, const std::vector<Observation>& history,
+    ImportanceMethod method);
+
+/// A reduced search space keeping only `keep` knobs of `target`, all other
+/// knobs pinned at `base` (usually the default or the incumbent). "Focus
+/// on the important knobs" (slide 68) made concrete: tune the top-k, freeze
+/// the rest.
+class SubsetSpace {
+ public:
+  /// Fails if any name in `keep` is unknown.
+  static Result<std::unique_ptr<SubsetSpace>> Create(
+      const ConfigSpace* target, const std::vector<std::string>& keep,
+      Configuration base);
+
+  /// The reduced space (one parameter per kept knob, same domains).
+  const ConfigSpace& low_space() const { return *low_space_; }
+
+  /// Expands a reduced-space configuration to the full target space.
+  Result<Configuration> Lift(const Configuration& low_config) const;
+
+ private:
+  SubsetSpace(const ConfigSpace* target, Configuration base);
+
+  const ConfigSpace* target_;
+  Configuration base_;
+  std::vector<std::string> keep_;
+  std::unique_ptr<ConfigSpace> low_space_;
+};
+
+}  // namespace transfer
+}  // namespace autotune
+
+#endif  // AUTOTUNE_TRANSFER_IMPORTANCE_H_

@@ -1,0 +1,95 @@
+#include "transfer/knowledge_base.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "math/stats.h"
+
+namespace autotune {
+namespace transfer {
+
+void KnowledgeBase::AddSession(TuningSession session) {
+  sessions_.push_back(std::move(session));
+}
+
+const TuningSession& KnowledgeBase::session(size_t i) const {
+  AUTOTUNE_CHECK(i < sessions_.size());
+  return sessions_[i];
+}
+
+Result<size_t> KnowledgeBase::NearestSession(const Vector& query) const {
+  double best_distance = std::numeric_limits<double>::infinity();
+  size_t best = 0;
+  bool found = false;
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    const Vector& embedding = sessions_[i].workload_embedding;
+    if (embedding.size() != query.size() || embedding.empty()) continue;
+    const double d = std::sqrt(SquaredDistance(query, embedding));
+    if (d < best_distance) {
+      best_distance = d;
+      best = i;
+      found = true;
+    }
+  }
+  if (!found) return Status::NotFound("no session with a matching embedding");
+  return best;
+}
+
+Result<int> KnowledgeBase::WarmStart(size_t session_index,
+                                     const WarmStartPolicy& policy,
+                                     Optimizer* optimizer) const {
+  if (session_index >= sessions_.size()) {
+    return Status::OutOfRange("no session " + std::to_string(session_index));
+  }
+  AUTOTUNE_CHECK(optimizer != nullptr);
+  const TuningSession& session = sessions_[session_index];
+
+  // Partition successful trials by quality.
+  std::vector<const Observation*> good;
+  std::vector<const Observation*> bad;
+  std::vector<double> objectives;
+  for (const Observation& obs : session.trials) {
+    if (obs.failed) {
+      bad.push_back(&obs);
+    } else {
+      objectives.push_back(obs.objective);
+    }
+  }
+  if (!objectives.empty()) {
+    const double poor_cut = Quantile(objectives, policy.poor_quantile);
+    for (const Observation& obs : session.trials) {
+      if (!obs.failed && obs.objective <= poor_cut) good.push_back(&obs);
+    }
+    std::sort(good.begin(), good.end(),
+              [](const Observation* a, const Observation* b) {
+                return a->objective < b->objective;
+              });
+    if (good.size() > static_cast<size_t>(policy.good_samples)) {
+      good.resize(static_cast<size_t>(policy.good_samples));
+    }
+  }
+
+  int replayed = 0;
+  for (const Observation* obs : good) {
+    Observation replay = *obs;
+    AUTOTUNE_RETURN_IF_ERROR(optimizer->Observe(replay));
+    ++replayed;
+  }
+  if (policy.replay_bad_samples && !bad.empty()) {
+    const double worst_good =
+        objectives.empty() ? 1e6 : Max(objectives);
+    for (const Observation* obs : bad) {
+      Observation replay = *obs;
+      replay.objective = worst_good * policy.bad_penalty;
+      replay.failed = true;
+      AUTOTUNE_RETURN_IF_ERROR(optimizer->Observe(replay));
+      ++replayed;
+    }
+  }
+  return replayed;
+}
+
+}  // namespace transfer
+}  // namespace autotune

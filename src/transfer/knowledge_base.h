@@ -1,0 +1,68 @@
+#ifndef AUTOTUNE_TRANSFER_KNOWLEDGE_BASE_H_
+#define AUTOTUNE_TRANSFER_KNOWLEDGE_BASE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/observation.h"
+#include "core/optimizer.h"
+#include "math/matrix.h"
+
+namespace autotune {
+namespace transfer {
+
+/// A recorded tuning session: where it ran (workload embedding) and what
+/// was learned (the trial history). The repository behind knowledge
+/// transfer (tutorial slide 67) and config reuse (slide 92).
+struct TuningSession {
+  std::string workload_label;
+  Vector workload_embedding;       ///< May be empty if unknown.
+  std::vector<Observation> trials; ///< Configs must outlive via the space.
+};
+
+/// Warm-start policy knobs, mirroring slide 67's sample taxonomy:
+/// good samples -> reuse from similar workloads; bad (crashed) samples ->
+/// reuse everywhere ("if it crashes the system, it probably always does");
+/// poor samples -> keep exploring (not replayed).
+struct WarmStartPolicy {
+  /// Replay this many of the session's best trials.
+  int good_samples = 10;
+
+  /// Replay crashed trials with an imputed score of
+  /// `bad_penalty x worst-good-objective` so the optimizer avoids the
+  /// crash region without believing an exact value.
+  bool replay_bad_samples = true;
+  double bad_penalty = 3.0;
+
+  /// Skip mid-quality trials (they may be good in the new context).
+  double poor_quantile = 0.5;  ///< Trials worse than this quantile are
+                               ///< "poor" and not replayed.
+};
+
+/// Stores tuning sessions and serves warm starts for new contexts.
+class KnowledgeBase {
+ public:
+  void AddSession(TuningSession session);
+
+  size_t num_sessions() const { return sessions_.size(); }
+  const TuningSession& session(size_t i) const;
+
+  /// Index of the session whose workload embedding is nearest to `query`;
+  /// NotFound when the base is empty or no session has an embedding.
+  Result<size_t> NearestSession(const Vector& query) const;
+
+  /// Replays the chosen session's history into `optimizer` per `policy`
+  /// (the configurations must belong to the optimizer's space). Returns
+  /// the number of observations replayed.
+  Result<int> WarmStart(size_t session_index, const WarmStartPolicy& policy,
+                        Optimizer* optimizer) const;
+
+ private:
+  std::vector<TuningSession> sessions_;
+};
+
+}  // namespace transfer
+}  // namespace autotune
+
+#endif  // AUTOTUNE_TRANSFER_KNOWLEDGE_BASE_H_

@@ -1,0 +1,169 @@
+#include "transfer/manual_knowledge.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+namespace transfer {
+
+void ManualKnowledgeBase::AddHint(KnobHint hint) {
+  AUTOTUNE_CHECK(!hint.knob.empty());
+  AUTOTUNE_CHECK(hint.importance >= 0.0 && hint.importance <= 1.0);
+  for (KnobHint& existing : hints_) {
+    if (existing.knob == hint.knob) {
+      existing = std::move(hint);
+      return;
+    }
+  }
+  hints_.push_back(std::move(hint));
+}
+
+const KnobHint* ManualKnowledgeBase::Find(const std::string& knob) const {
+  for (const KnobHint& hint : hints_) {
+    if (hint.knob == knob) return &hint;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ManualKnowledgeBase::KnobsByImportance() const {
+  std::vector<const KnobHint*> sorted;
+  sorted.reserve(hints_.size());
+  for (const KnobHint& hint : hints_) sorted.push_back(&hint);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const KnobHint* a, const KnobHint* b) {
+              return a->importance > b->importance;
+            });
+  std::vector<std::string> names;
+  names.reserve(sorted.size());
+  for (const KnobHint* hint : sorted) names.push_back(hint->knob);
+  return names;
+}
+
+namespace {
+
+// Rebuilds a numeric spec with a narrowed range and prior.
+Result<ParameterSpec> NarrowNumeric(const ParameterSpec& original,
+                                    const KnobHint& hint) {
+  const double lo = std::max(original.min(),
+                             hint.suggested_min.value_or(original.min()));
+  const double hi = std::min(original.max(),
+                             hint.suggested_max.value_or(original.max()));
+  if (!(lo < hi)) {
+    return Status::InvalidArgument("hint for '" + hint.knob +
+                                   "' empties the domain");
+  }
+  Result<ParameterSpec> rebuilt =
+      original.type() == ParameterType::kFloat
+          ? ParameterSpec::Float(original.name(), lo, hi)
+          : ParameterSpec::Int(original.name(),
+                               static_cast<int64_t>(std::llround(lo)),
+                               static_cast<int64_t>(std::llround(hi)));
+  AUTOTUNE_RETURN_IF_ERROR(rebuilt.status());
+  ParameterSpec spec = std::move(rebuilt).value();
+  if (original.log_scale() && lo > 0.0) spec.WithLogScale();
+  if (original.quantization() > 0.0 &&
+      original.type() == ParameterType::kFloat) {
+    spec.WithQuantization(original.quantization());
+  }
+  if (hint.rule_of_thumb.has_value()) {
+    const double rot = std::clamp(*hint.rule_of_thumb, lo, hi);
+    spec.WithPrior(rot, (hi - lo) / 4.0);
+    spec.WithDefault(original.type() == ParameterType::kFloat
+                         ? ParamValue(rot)
+                         : ParamValue(static_cast<int64_t>(
+                               std::llround(rot))));
+  }
+  if (original.is_conditional()) {
+    spec.WithCondition(original.condition_parent(),
+                       original.condition_values());
+  }
+  return spec;
+}
+
+}  // namespace
+
+Result<Configuration> GuidedSpace::Lift(
+    const Configuration& guided_config) const {
+  if (&guided_config.space() != guided_.get()) {
+    return Status::InvalidArgument("config not from this guided space");
+  }
+  std::vector<std::pair<std::string, ParamValue>> values;
+  for (size_t i = 0; i < guided_->size(); ++i) {
+    values.emplace_back(guided_->param(i).name(),
+                        guided_config.ValueAt(i));
+  }
+  return target_->Make(values);
+}
+
+Result<std::unique_ptr<GuidedSpace>> ManualKnowledgeBase::ApplyToSpace(
+    const ConfigSpace* target) const {
+  if (target == nullptr) return Status::InvalidArgument("null target");
+  for (const KnobHint& hint : hints_) {
+    if (!target->Has(hint.knob)) {
+      return Status::NotFound("hint for unknown knob '" + hint.knob + "'");
+    }
+  }
+  std::unique_ptr<GuidedSpace> guided(new GuidedSpace());
+  guided->target_ = target;
+  guided->guided_ = std::make_unique<ConfigSpace>();
+  for (size_t i = 0; i < target->size(); ++i) {
+    const ParameterSpec& original = target->param(i);
+    const KnobHint* hint = Find(original.name());
+    const bool numeric = original.type() == ParameterType::kFloat ||
+                         original.type() == ParameterType::kInt;
+    if (hint != nullptr && numeric &&
+        (hint->suggested_min.has_value() ||
+         hint->suggested_max.has_value() ||
+         hint->rule_of_thumb.has_value())) {
+      AUTOTUNE_ASSIGN_OR_RETURN(ParameterSpec narrowed,
+                                NarrowNumeric(original, *hint));
+      AUTOTUNE_RETURN_IF_ERROR(guided->guided_->Add(std::move(narrowed)));
+    } else {
+      AUTOTUNE_RETURN_IF_ERROR(guided->guided_->Add(original));
+    }
+  }
+  // Inherit the target's feasibility constraints by lifting.
+  const GuidedSpace* guided_ptr = guided.get();
+  guided->guided_->AddConstraint(
+      [guided_ptr](const Configuration& config) {
+        auto lifted = guided_ptr->Lift(config);
+        return lifted.ok() &&
+               guided_ptr->target_->IsFeasible(*lifted);
+      },
+      "target-space feasibility (lifted)");
+  return guided;
+}
+
+ManualKnowledgeBase ManualKnowledgeBase::DbmsManual(double ram_mb,
+                                                    int cores) {
+  ManualKnowledgeBase manual;
+  // The phrasing mirrors the sentences a DB-BERT-style extractor would pull
+  // from PostgreSQL/MySQL documentation.
+  manual.AddHint({"buffer_pool_mb", 0.25 * ram_mb, 0.75 * ram_mb,
+                  0.5 * ram_mb, 1.0,
+                  "\"the buffer pool is the single most important setting; "
+                  "start at 25-75% of physical RAM\""});
+  manual.AddHint({"worker_threads", 1.0 * cores, 4.0 * cores, 2.0 * cores,
+                  0.9,
+                  "\"a reasonable starting point is 2-4 workers per core\""});
+  manual.AddHint({"log_buffer_kb", 4096.0, 65536.0, 16384.0, 0.8,
+                  "\"increase the log buffer to 16MB or more on "
+                  "write-heavy systems\""});
+  manual.AddHint({"work_mem_kb", 4096.0, 131072.0, 16384.0, 0.7,
+                  "\"4-128MB per sort; beware memory multiplication across "
+                  "connections\""});
+  manual.AddHint({"io_threads", 4.0, 32.0, 16.0, 0.6,
+                  "\"use 8-32 background I/O threads on SSD storage\""});
+  manual.AddHint({"max_connections", 64.0, 512.0, 200.0, 0.5,
+                  "\"keep max_connections modest and use a pooler\""});
+  manual.AddHint({"checkpoint_interval_s", 300.0, 1800.0, 900.0, 0.4,
+                  "\"spread checkpoints out: 5-30 minutes apart\""});
+  manual.AddHint({"random_page_cost", 1.1, 4.0, 2.0, 0.3,
+                  "\"lower random_page_cost toward 1-2 on SSDs\""});
+  return manual;
+}
+
+}  // namespace transfer
+}  // namespace autotune

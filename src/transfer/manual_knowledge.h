@@ -1,0 +1,96 @@
+#ifndef AUTOTUNE_TRANSFER_MANUAL_KNOWLEDGE_H_
+#define AUTOTUNE_TRANSFER_MANUAL_KNOWLEDGE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "space/config_space.h"
+
+namespace autotune {
+namespace transfer {
+
+/// A tuning hint for one knob, of the kind DB-BERT / GPTuner extract from
+/// manuals and forums with language models (tutorial slides 63-64: "LLMs
+/// are good at extraction and summarization of human knowledge" — identify
+/// important knobs and biased value ranges). Here the extraction itself is
+/// replaced by a curated knowledge base; everything downstream (range
+/// narrowing, priors, importance-ordered search) is implemented.
+struct KnobHint {
+  std::string knob;
+
+  /// Narrowed numeric range (absolute values within the knob's domain);
+  /// unset = keep the full range.
+  std::optional<double> suggested_min;
+  std::optional<double> suggested_max;
+
+  /// A rule-of-thumb value ("set shared_buffers to 25% of RAM") used as a
+  /// sampling prior inside the narrowed range.
+  std::optional<double> rule_of_thumb;
+
+  /// Relative importance in [0, 1] ("the single most important setting").
+  double importance = 0.5;
+
+  /// The sentence this hint was "extracted" from (documentation flavor).
+  std::string source;
+};
+
+/// A guided view of a target space: same knob names, but numeric domains
+/// narrowed and priors installed per the manual's hints. Optimizers search
+/// `guided_space()`; `Lift` maps results back to target-space
+/// configurations (values are valid in the original domains by
+/// construction).
+class GuidedSpace {
+ public:
+  const ConfigSpace& guided_space() const { return *guided_; }
+  const ConfigSpace& target_space() const { return *target_; }
+
+  /// Maps a guided-space configuration onto the target space.
+  Result<Configuration> Lift(const Configuration& guided_config) const;
+
+ private:
+  friend class ManualKnowledgeBase;
+  GuidedSpace() = default;
+
+  const ConfigSpace* target_ = nullptr;
+  std::unique_ptr<ConfigSpace> guided_;
+};
+
+/// The curated "manual" — a set of knob hints with apply/rank operations.
+class ManualKnowledgeBase {
+ public:
+  /// Adds a hint (later hints for the same knob override earlier ones).
+  void AddHint(KnobHint hint);
+
+  size_t num_hints() const { return hints_.size(); }
+  const std::vector<KnobHint>& hints() const { return hints_; }
+
+  /// Hint for `knob`, if any.
+  const KnobHint* Find(const std::string& knob) const;
+
+  /// Knob names ordered by hint importance (descending); knobs without
+  /// hints are omitted.
+  std::vector<std::string> KnobsByImportance() const;
+
+  /// Builds the guided view of `target`: hinted numeric knobs get their
+  /// ranges narrowed (intersected with the domain) and a prior at the rule
+  /// of thumb; all other knobs pass through unchanged. Fails if a hint
+  /// names an unknown knob or produces an empty range.
+  Result<std::unique_ptr<GuidedSpace>> ApplyToSpace(
+      const ConfigSpace* target) const;
+
+  /// The curated manual for the simulated DBMS (`sim::DbEnv`), written the
+  /// way PostgreSQL/MySQL documentation phrases its advice. `ram_mb` and
+  /// `cores` parameterize the rules of thumb.
+  static ManualKnowledgeBase DbmsManual(double ram_mb, int cores);
+
+ private:
+  std::vector<KnobHint> hints_;
+};
+
+}  // namespace transfer
+}  // namespace autotune
+
+#endif  // AUTOTUNE_TRANSFER_MANUAL_KNOWLEDGE_H_

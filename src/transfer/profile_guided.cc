@@ -1,0 +1,66 @@
+#include "transfer/profile_guided.h"
+
+#include <algorithm>
+#include <set>
+
+namespace autotune {
+namespace transfer {
+
+std::vector<ComponentKnobs> DbmsComponentMap() {
+  return {
+      {"profile_io_frac",
+       {"buffer_pool_mb", "io_threads", "prefetch_depth", "compression"}},
+      {"profile_commit_frac",
+       {"log_buffer_kb", "wal_sync", "flush_method",
+        "checkpoint_interval_s"}},
+      {"profile_cpu_frac",
+       {"worker_threads", "parallel_scan", "jit", "compression"}},
+      {"profile_spill_frac", {"work_mem_kb"}},
+      {"profile_queue_frac", {"worker_threads", "max_connections"}},
+  };
+}
+
+std::vector<std::string> HotComponents(
+    const std::map<std::string, double>& metrics,
+    const std::vector<ComponentKnobs>& component_map) {
+  std::vector<std::pair<double, std::string>> scored;
+  for (const ComponentKnobs& entry : component_map) {
+    auto it = metrics.find(entry.component);
+    if (it == metrics.end()) continue;
+    scored.emplace_back(it->second, entry.component);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> components;
+  components.reserve(scored.size());
+  for (const auto& [fraction, component] : scored) {
+    components.push_back(component);
+  }
+  return components;
+}
+
+Result<std::vector<std::string>> ProfileGuidedKnobs(
+    const std::map<std::string, double>& metrics,
+    const std::vector<ComponentKnobs>& component_map, size_t max_knobs) {
+  if (max_knobs == 0) return Status::InvalidArgument("max_knobs must be > 0");
+  const std::vector<std::string> hot = HotComponents(metrics, component_map);
+  if (hot.empty()) {
+    return Status::FailedPrecondition(
+        "metrics contain none of the mapped profile components");
+  }
+  std::vector<std::string> knobs;
+  std::set<std::string> seen;
+  for (const std::string& component : hot) {
+    for (const ComponentKnobs& entry : component_map) {
+      if (entry.component != component) continue;
+      for (const std::string& knob : entry.knobs) {
+        if (knobs.size() >= max_knobs) return knobs;
+        if (seen.insert(knob).second) knobs.push_back(knob);
+      }
+    }
+  }
+  return knobs;
+}
+
+}  // namespace transfer
+}  // namespace autotune

@@ -1,0 +1,53 @@
+#ifndef AUTOTUNE_TRANSFER_PROFILE_GUIDED_H_
+#define AUTOTUNE_TRANSFER_PROFILE_GUIDED_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace autotune {
+namespace transfer {
+
+/// Profile-guided knob discovery — the tutorial's slide-68 PGO/FDO idea
+/// ("run workload, capture stack traces, identify hotspots, search
+/// surrounding code for tunables, prioritize tuning those"), which it
+/// flags as an OPPORTUNITY no system currently implements.
+///
+/// The pieces:
+///   1. the target reports a component time profile (our `sim::DbEnv`
+///      emits `profile_*_frac` metrics, standing in for perf/eBPF stacks);
+///   2. a component -> knobs table (the "search surrounding code for
+///      tunables" step, done once by a developer or tool);
+///   3. hot components select the knobs to tune first.
+/// The payoff measured in bench E22: one profiling run replaces hundreds
+/// of tuning trials of Lasso-style importance estimation.
+
+/// One profiled component with the knobs that influence it.
+struct ComponentKnobs {
+  std::string component;           ///< E.g. "profile_io_frac".
+  std::vector<std::string> knobs;  ///< Knobs that address this component.
+};
+
+/// The component->knob map for the simulated DBMS.
+std::vector<ComponentKnobs> DbmsComponentMap();
+
+/// Ranks components by their measured time fraction in `metrics`
+/// (descending). Unknown components are skipped.
+std::vector<std::string> HotComponents(
+    const std::map<std::string, double>& metrics,
+    const std::vector<ComponentKnobs>& component_map);
+
+/// The profile-guided knob list: walk components hottest-first, appending
+/// each component's knobs (deduplicated), until `max_knobs` are collected.
+/// `metrics` must contain the component fractions named in
+/// `component_map`.
+Result<std::vector<std::string>> ProfileGuidedKnobs(
+    const std::map<std::string, double>& metrics,
+    const std::vector<ComponentKnobs>& component_map, size_t max_knobs);
+
+}  // namespace transfer
+}  // namespace autotune
+
+#endif  // AUTOTUNE_TRANSFER_PROFILE_GUIDED_H_

@@ -1,0 +1,120 @@
+#include "workload/embedding.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+namespace workload {
+
+namespace {
+constexpr size_t kFeaturesPerChannel = 5;
+constexpr size_t kNumChannels = 7;
+}  // namespace
+
+size_t NumTelemetryFeatures() {
+  return kFeaturesPerChannel * kNumChannels;
+}
+
+Vector ExtractFeatures(const TelemetrySeries& series) {
+  AUTOTUNE_CHECK(series.num_steps() >= 2);
+  Vector features;
+  features.reserve(series.num_channels() * kFeaturesPerChannel);
+  const double n = static_cast<double>(series.num_steps());
+  for (size_t c = 0; c < series.num_channels(); ++c) {
+    std::vector<double> column(series.num_steps());
+    for (size_t t = 0; t < series.num_steps(); ++t) {
+      column[t] = series.samples[t][c];
+    }
+    const double mean = Mean(column);
+    const double stddev = Stddev(column);
+    const double p95 = Quantile(column, 0.95);
+    // Lag-1 autocorrelation.
+    double autocorr = 0.0;
+    if (stddev > 1e-12) {
+      double acc = 0.0;
+      for (size_t t = 1; t < column.size(); ++t) {
+        acc += (column[t] - mean) * (column[t - 1] - mean);
+      }
+      autocorr = acc / ((n - 1.0) * stddev * stddev);
+    }
+    // Linear trend: least-squares slope against t, scaled by series length
+    // so it is comparable across durations.
+    double sxy = 0.0;
+    double sxx = 0.0;
+    const double t_mean = (n - 1.0) / 2.0;
+    for (size_t t = 0; t < column.size(); ++t) {
+      const double dt = static_cast<double>(t) - t_mean;
+      sxy += dt * (column[t] - mean);
+      sxx += dt * dt;
+    }
+    const double trend = sxx > 0.0 ? sxy / sxx * n : 0.0;
+    features.push_back(mean);
+    features.push_back(stddev);
+    features.push_back(p95);
+    features.push_back(autocorr);
+    features.push_back(trend);
+  }
+  return features;
+}
+
+Result<WorkloadEmbedder> WorkloadEmbedder::Fit(
+    const std::vector<Vector>& corpus, size_t embedding_dim, Rng* rng) {
+  if (corpus.empty()) return Status::InvalidArgument("empty corpus");
+  const size_t dim = corpus[0].size();
+  for (const auto& f : corpus) {
+    if (f.size() != dim) return Status::InvalidArgument("ragged corpus");
+  }
+  WorkloadEmbedder embedder;
+  embedder.feature_dim_ = dim;
+  embedder.standardizers_.reserve(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    std::vector<double> column(corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) column[i] = corpus[i][j];
+    embedder.standardizers_.push_back(FitStandardizer(column));
+  }
+  if (embedding_dim > 0 && embedding_dim < dim) {
+    AUTOTUNE_CHECK(rng != nullptr);
+    embedder.embedding_dim_ = embedding_dim;
+    embedder.projection_.resize(embedding_dim * dim);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(embedding_dim));
+    for (double& v : embedder.projection_) v = rng->Normal() * scale;
+  } else {
+    embedder.embedding_dim_ = dim;
+  }
+  return embedder;
+}
+
+size_t WorkloadEmbedder::embedding_dim() const { return embedding_dim_; }
+
+Vector WorkloadEmbedder::Embed(const Vector& features) const {
+  AUTOTUNE_CHECK(features.size() == feature_dim_);
+  Vector standardized(feature_dim_);
+  for (size_t j = 0; j < feature_dim_; ++j) {
+    standardized[j] = standardizers_[j].Apply(features[j]);
+  }
+  if (projection_.empty()) return standardized;
+  Vector embedded(embedding_dim_, 0.0);
+  for (size_t i = 0; i < embedding_dim_; ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < feature_dim_; ++j) {
+      acc += projection_[i * feature_dim_ + j] * standardized[j];
+    }
+    embedded[i] = acc;
+  }
+  return embedded;
+}
+
+double EmbeddingDistance(const Vector& a, const Vector& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double CosineSimilarity(const Vector& a, const Vector& b) {
+  const double na = Norm2(a);
+  const double nb = Norm2(b);
+  if (na < 1e-12 || nb < 1e-12) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+}  // namespace workload
+}  // namespace autotune

@@ -1,0 +1,61 @@
+#ifndef AUTOTUNE_WORKLOAD_EMBEDDING_H_
+#define AUTOTUNE_WORKLOAD_EMBEDDING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "math/matrix.h"
+#include "math/stats.h"
+#include "workload/telemetry.h"
+
+namespace autotune {
+namespace workload {
+
+/// Extracts a fixed-length feature vector from a telemetry series: per
+/// channel {mean, stddev, p95, lag-1 autocorrelation, linear trend}. These
+/// are the "compact representation of a large number of heterogeneous
+/// features" of tutorial slide 89.
+Vector ExtractFeatures(const TelemetrySeries& series);
+
+/// Number of features `ExtractFeatures` produces for a series with the
+/// standard channels.
+size_t NumTelemetryFeatures();
+
+/// Maps raw telemetry features to a workload embedding: standardization
+/// fitted on a training corpus, followed by an optional random projection
+/// to `embedding_dim` (slide 89's "map each workload to a
+/// multi-dimensional vector").
+class WorkloadEmbedder {
+ public:
+  /// Fits the standardization (and projection, if `embedding_dim` > 0 and
+  /// < feature dim) on a corpus of feature vectors.
+  static Result<WorkloadEmbedder> Fit(const std::vector<Vector>& corpus,
+                                      size_t embedding_dim, Rng* rng);
+
+  /// Embeds one feature vector.
+  Vector Embed(const Vector& features) const;
+
+  size_t embedding_dim() const;
+
+ private:
+  WorkloadEmbedder() = default;
+
+  std::vector<Standardizer> standardizers_;
+  // Row-major projection (embedding_dim x feature_dim); empty = identity.
+  std::vector<double> projection_;
+  size_t feature_dim_ = 0;
+  size_t embedding_dim_ = 0;
+};
+
+/// Euclidean distance between embeddings (the similarity metric of slide
+/// 88: "need a distance / similarity metric between workloads").
+double EmbeddingDistance(const Vector& a, const Vector& b);
+
+/// Cosine similarity in [-1, 1].
+double CosineSimilarity(const Vector& a, const Vector& b);
+
+}  // namespace workload
+}  // namespace autotune
+
+#endif  // AUTOTUNE_WORKLOAD_EMBEDDING_H_

@@ -1,0 +1,117 @@
+#include "workload/identification.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "math/stats.h"
+#include "workload/embedding.h"
+
+namespace autotune {
+namespace workload {
+
+void WorkloadIdentifier::AddExemplar(std::string label, Vector embedding) {
+  AUTOTUNE_CHECK(!embedding.empty());
+  if (!embeddings_.empty()) {
+    AUTOTUNE_CHECK(embedding.size() == embeddings_[0].size());
+  }
+  labels_.push_back(std::move(label));
+  embeddings_.push_back(std::move(embedding));
+}
+
+Result<WorkloadIdentifier::Match> WorkloadIdentifier::Identify(
+    const Vector& embedding) const {
+  if (embeddings_.empty()) return Status::NotFound("no exemplars");
+  Match best;
+  best.distance = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < embeddings_.size(); ++i) {
+    const double d = EmbeddingDistance(embedding, embeddings_[i]);
+    if (d < best.distance) {
+      best.distance = d;
+      best.label = labels_[i];
+      best.exemplar_index = i;
+    }
+  }
+  return best;
+}
+
+std::vector<WorkloadIdentifier::Match> WorkloadIdentifier::IdentifyTopK(
+    const Vector& embedding, size_t k) const {
+  std::vector<Match> matches;
+  matches.reserve(embeddings_.size());
+  for (size_t i = 0; i < embeddings_.size(); ++i) {
+    Match m;
+    m.label = labels_[i];
+    m.distance = EmbeddingDistance(embedding, embeddings_[i]);
+    m.exemplar_index = i;
+    matches.push_back(std::move(m));
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const Match& a, const Match& b) {
+              return a.distance < b.distance;
+            });
+  if (matches.size() > k) matches.resize(k);
+  return matches;
+}
+
+Result<std::vector<size_t>> WorkloadIdentifier::Cluster(size_t k,
+                                                        Rng* rng) const {
+  AUTOTUNE_ASSIGN_OR_RETURN(KMeansResult result,
+                            KMeans(embeddings_, k, KMeansOptions{}, rng));
+  return result.assignment;
+}
+
+ShiftDetector::ShiftDetector(ShiftDetectorOptions options)
+    : options_(options) {
+  AUTOTUNE_CHECK(options_.reference_window >= 5);
+  AUTOTUNE_CHECK(options_.threshold_sigmas > 0.0);
+  AUTOTUNE_CHECK(options_.confirm_steps >= 1);
+}
+
+bool ShiftDetector::reference_ready() const {
+  return reference_.size() >= options_.reference_window;
+}
+
+double ShiftDetector::DistanceToReference(const Vector& embedding) const {
+  // Centroid and mean spread of the reference window.
+  const size_t dim = reference_[0].size();
+  Vector centroid(dim, 0.0);
+  for (const Vector& r : reference_) {
+    for (size_t j = 0; j < dim; ++j) centroid[j] += r[j];
+  }
+  for (double& v : centroid) v /= static_cast<double>(reference_.size());
+  std::vector<double> spreads;
+  spreads.reserve(reference_.size());
+  for (const Vector& r : reference_) {
+    spreads.push_back(EmbeddingDistance(r, centroid));
+  }
+  const double spread = std::max(Mean(spreads), 1e-9);
+  return EmbeddingDistance(embedding, centroid) / spread;
+}
+
+bool ShiftDetector::Observe(const Vector& embedding) {
+  if (!reference_ready()) {
+    reference_.push_back(embedding);
+    return false;
+  }
+  const double normalized = DistanceToReference(embedding);
+  if (normalized > options_.threshold_sigmas) {
+    ++consecutive_;
+    if (consecutive_ >= options_.confirm_steps) {
+      ++shifts_detected_;
+      consecutive_ = 0;
+      reference_.clear();  // Re-learn the new regime.
+      reference_.push_back(embedding);
+      return true;
+    }
+  } else {
+    consecutive_ = 0;
+    // Slowly refresh the reference with in-regime samples.
+    reference_.erase(reference_.begin());
+    reference_.push_back(embedding);
+  }
+  return false;
+}
+
+}  // namespace workload
+}  // namespace autotune

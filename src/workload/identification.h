@@ -1,0 +1,80 @@
+#ifndef AUTOTUNE_WORKLOAD_IDENTIFICATION_H_
+#define AUTOTUNE_WORKLOAD_IDENTIFICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "math/kmeans.h"
+#include "math/matrix.h"
+
+namespace autotune {
+namespace workload {
+
+/// Nearest-neighbor workload identification over embeddings (tutorial slide
+/// 88: "systems with similar workloads can benefit from the same optimal
+/// config — optimize one system, identify other similar systems, reuse").
+class WorkloadIdentifier {
+ public:
+  /// Registers a labeled exemplar embedding.
+  void AddExemplar(std::string label, Vector embedding);
+
+  /// Result of an identification query.
+  struct Match {
+    std::string label;
+    double distance = 0.0;
+    size_t exemplar_index = 0;
+  };
+
+  /// Nearest exemplar; NotFound if no exemplars are registered.
+  Result<Match> Identify(const Vector& embedding) const;
+
+  /// Top-k nearest exemplars, closest first.
+  std::vector<Match> IdentifyTopK(const Vector& embedding, size_t k) const;
+
+  size_t num_exemplars() const { return embeddings_.size(); }
+
+  /// Unsupervised grouping of the registered exemplars into `k` clusters
+  /// (k-means over embeddings). Returns the cluster id per exemplar.
+  Result<std::vector<size_t>> Cluster(size_t k, Rng* rng) const;
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<Vector> embeddings_;
+};
+
+/// Online workload-shift detector (slide 92: "identify changes in workload
+/// over time"). Maintains a reference window of embeddings; an observation
+/// far from the reference centroid (relative to the reference's own
+/// spread) raises a shift signal after `confirm_steps` consecutive hits,
+/// then the reference re-learns the new regime.
+struct ShiftDetectorOptions {
+  size_t reference_window = 30;  ///< Embeddings forming the reference.
+  double threshold_sigmas = 4.0; ///< Distance threshold in spread units.
+  int confirm_steps = 3;         ///< Consecutive hits required.
+};
+
+class ShiftDetector {
+ public:
+  explicit ShiftDetector(ShiftDetectorOptions options = ShiftDetectorOptions());
+
+  /// Feeds one embedding; returns true when a shift is confirmed (fires
+  /// once per shift; the detector then resets onto the new regime).
+  bool Observe(const Vector& embedding);
+
+  int shifts_detected() const { return shifts_detected_; }
+  bool reference_ready() const;
+
+ private:
+  double DistanceToReference(const Vector& embedding) const;
+
+  ShiftDetectorOptions options_;
+  std::vector<Vector> reference_;
+  int consecutive_ = 0;
+  int shifts_detected_ = 0;
+};
+
+}  // namespace workload
+}  // namespace autotune
+
+#endif  // AUTOTUNE_WORKLOAD_IDENTIFICATION_H_

@@ -1,0 +1,131 @@
+#include "workload/synthesis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+namespace workload {
+
+Workload WeightedBlend(const std::vector<Workload>& bases,
+                       const Vector& weights) {
+  AUTOTUNE_CHECK(!bases.empty());
+  AUTOTUNE_CHECK(bases.size() == weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    AUTOTUNE_CHECK(w >= 0.0);
+    total += w;
+  }
+  AUTOTUNE_CHECK_MSG(total > 0.0, "at least one weight must be positive");
+  Workload blend;
+  blend.name = "synthetic";
+  blend.read_ratio = 0.0;
+  blend.scan_ratio = 0.0;
+  blend.working_set_mb = 0.0;
+  blend.data_size_mb = 0.0;
+  blend.arrival_rate = 0.0;
+  blend.skew = 0.0;
+  blend.clients = 0.0;
+  blend.transactional = 0.0;
+  for (size_t i = 0; i < bases.size(); ++i) {
+    const double w = weights[i] / total;
+    blend.read_ratio += w * bases[i].read_ratio;
+    blend.scan_ratio += w * bases[i].scan_ratio;
+    blend.working_set_mb += w * bases[i].working_set_mb;
+    blend.data_size_mb += w * bases[i].data_size_mb;
+    blend.arrival_rate += w * bases[i].arrival_rate;
+    blend.skew += w * bases[i].skew;
+    blend.clients += w * bases[i].clients;
+    blend.transactional += w * bases[i].transactional;
+  }
+  return blend;
+}
+
+namespace {
+
+double MixtureDistance(const std::vector<Workload>& bases,
+                       const Vector& weights, const Vector& target,
+                       const WorkloadEmbedder& embedder,
+                       const SynthesisOptions& options, Rng* rng) {
+  const Workload blend = WeightedBlend(bases, weights);
+  double total = 0.0;
+  for (int s = 0; s < options.telemetry_samples; ++s) {
+    const Vector embedding = embedder.Embed(ExtractFeatures(
+        GenerateTelemetry(blend, options.telemetry, rng)));
+    total += EmbeddingDistance(embedding, target);
+  }
+  return total / options.telemetry_samples;
+}
+
+Vector DirichletSample(size_t k, Rng* rng) {
+  Vector weights(k);
+  double total = 0.0;
+  for (auto& w : weights) {
+    w = rng->Exponential(1.0) + 1e-9;
+    total += w;
+  }
+  for (auto& w : weights) w /= total;
+  return weights;
+}
+
+}  // namespace
+
+Result<SynthesisResult> SynthesizeWorkload(
+    const std::vector<Workload>& bases, const Vector& target_embedding,
+    const WorkloadEmbedder& embedder, const SynthesisOptions& options,
+    Rng* rng) {
+  if (bases.empty()) return Status::InvalidArgument("no base workloads");
+  if (target_embedding.size() != embedder.embedding_dim()) {
+    return Status::InvalidArgument(
+        "target embedding dimension does not match the embedder");
+  }
+  AUTOTUNE_CHECK(rng != nullptr);
+
+  Vector best_weights;
+  double best_distance = std::numeric_limits<double>::infinity();
+  // Random restarts across the simplex (including the pure corners).
+  for (int start = 0; start < options.random_starts; ++start) {
+    Vector weights;
+    if (start < static_cast<int>(bases.size())) {
+      weights.assign(bases.size(), 0.0);
+      weights[static_cast<size_t>(start)] = 1.0;  // Pure base workload.
+    } else {
+      weights = DirichletSample(bases.size(), rng);
+    }
+    const double distance = MixtureDistance(bases, weights,
+                                            target_embedding, embedder,
+                                            options, rng);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best_weights = std::move(weights);
+    }
+  }
+  // Local refinement: perturb one weight at a time, keep improvements.
+  for (int round = 0; round < options.refine_rounds; ++round) {
+    Vector candidate = best_weights;
+    const size_t index = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(bases.size()) - 1));
+    candidate[index] = std::max(
+        0.0, candidate[index] * std::exp(rng->Normal(0.0, 0.5)) + 1e-6);
+    double total = 0.0;
+    for (double w : candidate) total += w;
+    for (double& w : candidate) w /= total;
+    const double distance = MixtureDistance(bases, candidate,
+                                            target_embedding, embedder,
+                                            options, rng);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best_weights = std::move(candidate);
+    }
+  }
+
+  SynthesisResult result;
+  result.weights = best_weights;
+  result.workload = WeightedBlend(bases, best_weights);
+  result.distance = best_distance;
+  return result;
+}
+
+}  // namespace workload
+}  // namespace autotune

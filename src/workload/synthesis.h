@@ -1,0 +1,53 @@
+#ifndef AUTOTUNE_WORKLOAD_SYNTHESIS_H_
+#define AUTOTUNE_WORKLOAD_SYNTHESIS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "workload/embedding.h"
+#include "workload/workload.h"
+
+namespace autotune {
+namespace workload {
+
+/// Synthetic-benchmark generation (tutorial slides 73 & 92, Stitcher-style:
+/// "create new synthetic benchmarks from just metrics" / "generate the
+/// optimal mixture of queries to mimic the workload in production"). Given
+/// only a production TELEMETRY EMBEDDING (no query logs, no user data — the
+/// privacy constraint of slide 73), find the mixture of known benchmark
+/// families whose blended telemetry looks the same. The mixture can then be
+/// run in the lab and tuned offline.
+
+/// A convex mixture over base workloads.
+struct SynthesisResult {
+  Vector weights;          ///< One weight per base, summing to 1.
+  Workload workload;       ///< The blended workload.
+  double distance = 0.0;   ///< Embedding distance to the target.
+};
+
+/// Blends base workloads with the given non-negative weights (normalized
+/// internally; at least one weight must be positive).
+Workload WeightedBlend(const std::vector<Workload>& bases,
+                       const Vector& weights);
+
+/// Options for `SynthesizeWorkload`.
+struct SynthesisOptions {
+  int random_starts = 40;      ///< Dirichlet-sampled initial mixtures.
+  int refine_rounds = 60;      ///< Local weight-perturbation rounds.
+  int telemetry_samples = 3;   ///< Telemetry draws averaged per candidate.
+  TelemetryOptions telemetry;  ///< Telemetry generation parameters.
+};
+
+/// Searches mixture weights over `bases` so the blended workload's
+/// telemetry embedding matches `target_embedding` (as produced by
+/// `embedder`). Random restarts + local refinement; deterministic given
+/// `rng`.
+Result<SynthesisResult> SynthesizeWorkload(
+    const std::vector<Workload>& bases, const Vector& target_embedding,
+    const WorkloadEmbedder& embedder, const SynthesisOptions& options,
+    Rng* rng);
+
+}  // namespace workload
+}  // namespace autotune
+
+#endif  // AUTOTUNE_WORKLOAD_SYNTHESIS_H_

@@ -1,0 +1,107 @@
+#include "workload/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autotune {
+namespace workload {
+
+std::vector<double> TelemetrySeries::Channel(
+    const std::string& channel) const {
+  for (size_t c = 0; c < channels.size(); ++c) {
+    if (channels[c] == channel) {
+      std::vector<double> column(samples.size());
+      for (size_t t = 0; t < samples.size(); ++t) column[t] = samples[t][c];
+      return column;
+    }
+  }
+  AUTOTUNE_CHECK_MSG(false, ("unknown channel " + channel).c_str());
+  return {};
+}
+
+namespace {
+
+const char* kChannels[] = {"cpu_util", "io_util",   "mem_util", "net_util",
+                           "read_ops", "write_ops", "scan_ops"};
+
+// Deterministic per-workload channel baselines.
+Vector BaselineSample(const Workload& w, double load_factor) {
+  const double rate = w.arrival_rate * load_factor;
+  const double read_ops = rate * w.read_ratio * (1.0 - w.scan_ratio);
+  const double write_ops = rate * (1.0 - w.read_ratio);
+  const double scan_ops = rate * w.scan_ratio;
+  // Scans dominate I/O and CPU per op; writes stress I/O via the log.
+  const double cpu =
+      std::min(0.98, (read_ops * 0.04 + write_ops * 0.07 + scan_ops * 9.0) /
+                         1000.0 / 16.0 + 0.04);
+  const double io =
+      std::min(0.98, (write_ops * 0.12 + scan_ops * 14.0 +
+                      read_ops * 0.015 * (1.0 - std::min(w.skew, 1.0))) /
+                         1000.0 / 8.0 + 0.02);
+  const double mem = std::min(
+      0.98, 0.15 + 0.7 * w.working_set_mb / (w.working_set_mb + 4096.0));
+  const double net = std::min(0.98, rate / 20000.0 + scan_ops / 400.0);
+  return {cpu, io, mem, net, read_ops, write_ops, scan_ops};
+}
+
+Vector NoisySample(const Workload& w, double load_factor, double noise_frac,
+                   Rng* rng) {
+  Vector sample = BaselineSample(w, load_factor);
+  for (double& v : sample) {
+    v *= std::exp(rng->Normal(0.0, noise_frac));
+  }
+  return sample;
+}
+
+double LoadFactor(int step, const TelemetryOptions& options) {
+  return 1.0 + options.diurnal_amplitude *
+                   std::sin(2.0 * M_PI * step / options.diurnal_period);
+}
+
+}  // namespace
+
+TelemetrySeries GenerateTelemetry(const Workload& workload,
+                                  const TelemetryOptions& options, Rng* rng) {
+  AUTOTUNE_CHECK(rng != nullptr);
+  AUTOTUNE_CHECK(options.steps >= 1);
+  TelemetrySeries series;
+  series.channels.assign(std::begin(kChannels), std::end(kChannels));
+  series.samples.reserve(static_cast<size_t>(options.steps));
+  for (int t = 0; t < options.steps; ++t) {
+    series.samples.push_back(
+        NoisySample(workload, LoadFactor(t, options), options.noise_frac,
+                    rng));
+  }
+  return series;
+}
+
+TelemetrySeries GenerateShiftingTelemetry(const Workload& from,
+                                          const Workload& to,
+                                          int shift_step, int ramp_steps,
+                                          const TelemetryOptions& options,
+                                          Rng* rng) {
+  AUTOTUNE_CHECK(rng != nullptr);
+  AUTOTUNE_CHECK(shift_step >= 0 && shift_step <= options.steps);
+  TelemetrySeries series;
+  series.channels.assign(std::begin(kChannels), std::end(kChannels));
+  series.samples.reserve(static_cast<size_t>(options.steps));
+  for (int t = 0; t < options.steps; ++t) {
+    double mix = 0.0;
+    if (t >= shift_step) {
+      mix = ramp_steps <= 0
+                ? 1.0
+                : std::min(1.0, static_cast<double>(t - shift_step) /
+                                    ramp_steps);
+    }
+    const Workload blended = BlendWorkloads(from, to, mix);
+    series.samples.push_back(
+        NoisySample(blended, LoadFactor(t, options), options.noise_frac,
+                    rng));
+  }
+  return series;
+}
+
+}  // namespace workload
+}  // namespace autotune

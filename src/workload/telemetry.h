@@ -1,0 +1,60 @@
+#ifndef AUTOTUNE_WORKLOAD_TELEMETRY_H_
+#define AUTOTUNE_WORKLOAD_TELEMETRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "math/matrix.h"
+#include "workload/workload.h"
+
+namespace autotune {
+namespace workload {
+
+/// A multivariate telemetry time series — the "easy to collect, typically
+/// not sensitive, noisy!" signal of tutorial slide 90 (CPU load, memory,
+/// disk and network I/O, plus app-specific op counters).
+struct TelemetrySeries {
+  /// Channel names, fixed across the library:
+  /// cpu_util, io_util, mem_util, net_util, read_ops, write_ops, scan_ops.
+  std::vector<std::string> channels;
+
+  /// One row per time step; row[i] is channel i's value at that step.
+  std::vector<Vector> samples;
+
+  size_t num_steps() const { return samples.size(); }
+  size_t num_channels() const { return channels.size(); }
+
+  /// Column `channel` as a vector (CHECKs the name exists).
+  std::vector<double> Channel(const std::string& channel) const;
+};
+
+/// Options for `GenerateTelemetry`.
+struct TelemetryOptions {
+  int steps = 240;            ///< E.g. 4 hours of 1-minute samples.
+  double noise_frac = 0.08;   ///< Multiplicative per-sample noise.
+  double diurnal_amplitude = 0.25;  ///< Load swing over the series.
+  double diurnal_period = 120.0;    ///< Steps per load cycle.
+};
+
+/// Synthesizes the telemetry a system serving `workload` would emit:
+/// utilization channels derived from the workload's characteristics, a
+/// diurnal load swing, and per-sample noise. Two different workloads yield
+/// distinguishable (but overlapping, under noise) series — the raw material
+/// for workload identification (slides 88-92).
+TelemetrySeries GenerateTelemetry(const Workload& workload,
+                                  const TelemetryOptions& options, Rng* rng);
+
+/// Telemetry for a workload that shifts from `from` to `to` at
+/// `shift_step` (abruptly if `ramp_steps` == 0, else linearly over the
+/// ramp). For shift-detection experiments.
+TelemetrySeries GenerateShiftingTelemetry(const Workload& from,
+                                          const Workload& to,
+                                          int shift_step, int ramp_steps,
+                                          const TelemetryOptions& options,
+                                          Rng* rng);
+
+}  // namespace workload
+}  // namespace autotune
+
+#endif  // AUTOTUNE_WORKLOAD_TELEMETRY_H_

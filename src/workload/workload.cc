@@ -1,0 +1,121 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace autotune {
+namespace workload {
+
+Workload YcsbA() {
+  Workload w;
+  w.name = "ycsb-a";
+  w.read_ratio = 0.5;
+  w.scan_ratio = 0.0;
+  w.working_set_mb = 2048.0;
+  w.data_size_mb = 10240.0;
+  w.arrival_rate = 4000.0;
+  w.skew = 0.99;
+  w.clients = 64.0;
+  w.transactional = 0.0;
+  return w;
+}
+
+Workload YcsbB() {
+  Workload w = YcsbA();
+  w.name = "ycsb-b";
+  w.read_ratio = 0.95;
+  return w;
+}
+
+Workload YcsbC() {
+  Workload w = YcsbA();
+  w.name = "ycsb-c";
+  w.read_ratio = 1.0;
+  return w;
+}
+
+Workload TpcC() {
+  Workload w;
+  w.name = "tpcc";
+  w.read_ratio = 0.35;
+  w.scan_ratio = 0.04;
+  w.working_set_mb = 4096.0;
+  w.data_size_mb = 20480.0;
+  w.arrival_rate = 1500.0;
+  w.skew = 0.6;
+  w.clients = 96.0;
+  w.transactional = 0.9;
+  return w;
+}
+
+Workload TpcH() {
+  Workload w;
+  w.name = "tpch";
+  w.read_ratio = 1.0;
+  w.scan_ratio = 0.85;
+  w.working_set_mb = 8192.0;
+  w.data_size_mb = 102400.0;
+  w.arrival_rate = 8.0;
+  w.skew = 0.1;
+  w.clients = 4.0;
+  w.transactional = 0.0;
+  return w;
+}
+
+Workload WebApp() {
+  Workload w;
+  w.name = "webapp";
+  w.read_ratio = 0.85;
+  w.scan_ratio = 0.1;
+  w.working_set_mb = 1024.0;
+  w.data_size_mb = 4096.0;
+  w.arrival_rate = 2500.0;
+  w.skew = 0.9;
+  w.clients = 48.0;
+  w.transactional = 0.3;
+  return w;
+}
+
+std::vector<Workload> StandardWorkloads() {
+  return {YcsbA(), YcsbB(), YcsbC(), TpcC(), TpcH(), WebApp()};
+}
+
+Workload PerturbWorkload(const Workload& base, double relative_spread,
+                         Rng* rng) {
+  AUTOTUNE_CHECK(rng != nullptr);
+  AUTOTUNE_CHECK(relative_spread >= 0.0 && relative_spread < 1.0);
+  auto jitter = [&](double value) {
+    return value * (1.0 + rng->Uniform(-relative_spread, relative_spread));
+  };
+  Workload w = base;
+  w.name = base.name + "*";
+  w.read_ratio = std::clamp(jitter(base.read_ratio), 0.0, 1.0);
+  w.scan_ratio = std::clamp(jitter(base.scan_ratio), 0.0, 1.0);
+  w.working_set_mb = std::max(64.0, jitter(base.working_set_mb));
+  w.data_size_mb = std::max(w.working_set_mb, jitter(base.data_size_mb));
+  w.arrival_rate = std::max(1.0, jitter(base.arrival_rate));
+  w.skew = std::clamp(jitter(base.skew), 0.0, 1.5);
+  w.clients = std::max(1.0, jitter(base.clients));
+  w.transactional = std::clamp(jitter(base.transactional), 0.0, 1.0);
+  return w;
+}
+
+Workload BlendWorkloads(const Workload& a, const Workload& b, double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  auto mix = [t](double x, double y) { return x + t * (y - x); };
+  Workload w;
+  w.name = a.name + "->" + b.name;
+  w.read_ratio = mix(a.read_ratio, b.read_ratio);
+  w.scan_ratio = mix(a.scan_ratio, b.scan_ratio);
+  w.working_set_mb = mix(a.working_set_mb, b.working_set_mb);
+  w.data_size_mb = mix(a.data_size_mb, b.data_size_mb);
+  w.arrival_rate = mix(a.arrival_rate, b.arrival_rate);
+  w.skew = mix(a.skew, b.skew);
+  w.clients = mix(a.clients, b.clients);
+  w.transactional = mix(a.transactional, b.transactional);
+  return w;
+}
+
+}  // namespace workload
+}  // namespace autotune

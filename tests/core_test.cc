@@ -1,0 +1,348 @@
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/environment.h"
+#include "core/storage.h"
+#include "core/trial_runner.h"
+#include "core/tuning_loop.h"
+#include "optimizers/random_search.h"
+#include "sim/test_functions.h"
+
+namespace autotune {
+namespace {
+
+// A controllable environment for runner semantics tests.
+class ScriptedEnvironment : public Environment {
+ public:
+  ScriptedEnvironment() {
+    space_.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+    space_.AddOrDie(ParameterSpec::Int("restart_knob", 0, 10));
+  }
+
+  std::string name() const override { return "scripted"; }
+  const ConfigSpace& space() const override { return space_; }
+
+  BenchmarkResult Run(const Configuration& config, double fidelity,
+                      Rng* rng) override {
+    ++runs;
+    BenchmarkResult result;
+    if (crash_when_x_above >= 0.0 &&
+        config.GetDouble("x") > crash_when_x_above) {
+      result.crashed = true;
+      return result;
+    }
+    double value = config.GetDouble("x") * 10.0;
+    if (noise > 0.0) value += rng->Normal(0.0, noise);
+    value /= fidelity_gain ? fidelity : 1.0;
+    result.metrics["latency_ms"] = value;
+    result.metrics["throughput_ops"] = 1000.0 - value;
+    return result;
+  }
+
+  std::string objective_metric() const override { return metric; }
+  bool minimize() const override { return metric == "latency_ms"; }
+  double RunCost(double fidelity) const override { return fidelity * 10.0; }
+  KnobScope knob_scope(const std::string& name) const override {
+    return name == "restart_knob" ? KnobScope::kRestart
+                                  : KnobScope::kRuntime;
+  }
+  double RestartCost() const override { return 100.0; }
+
+  ConfigSpace space_;
+  std::string metric = "latency_ms";
+  double crash_when_x_above = -1.0;
+  double noise = 0.0;
+  bool fidelity_gain = false;
+  int runs = 0;
+};
+
+Configuration MakeConfig(ScriptedEnvironment* env, double x,
+                         int64_t restart_knob = 0) {
+  auto config = env->space_.Make({{"x", ParamValue(x)},
+                                  {"restart_knob",
+                                   ParamValue(restart_knob)}});
+  EXPECT_TRUE(config.ok());
+  return *config;
+}
+
+// ----------------------------------------------------------- TrialRunner --
+
+TEST(TrialRunnerTest, MinimizeObjectivePassesThrough) {
+  ScriptedEnvironment env;
+  TrialRunner runner(&env, TrialRunnerOptions{}, 1);
+  Observation obs = runner.Evaluate(MakeConfig(&env, 0.5));
+  EXPECT_FALSE(obs.failed);
+  EXPECT_DOUBLE_EQ(obs.objective, 5.0);
+  EXPECT_DOUBLE_EQ(obs.metrics.at("latency_ms"), 5.0);
+}
+
+TEST(TrialRunnerTest, MaximizeObjectiveIsNegated) {
+  ScriptedEnvironment env;
+  env.metric = "throughput_ops";
+  TrialRunner runner(&env, TrialRunnerOptions{}, 1);
+  Observation obs = runner.Evaluate(MakeConfig(&env, 0.5));
+  EXPECT_DOUBLE_EQ(obs.objective, -(1000.0 - 5.0));
+}
+
+TEST(TrialRunnerTest, RepetitionsAggregateMean) {
+  ScriptedEnvironment env;
+  env.noise = 1.0;
+  TrialRunnerOptions options;
+  options.repetitions = 20;
+  TrialRunner runner(&env, options, 7);
+  Observation obs = runner.Evaluate(MakeConfig(&env, 0.5));
+  EXPECT_EQ(obs.repetitions, 20);
+  EXPECT_NEAR(obs.objective, 5.0, 1.0);
+  EXPECT_EQ(env.runs, 20);
+}
+
+TEST(TrialRunnerTest, CrashImputesPenaltyFromWorst) {
+  ScriptedEnvironment env;
+  env.crash_when_x_above = 0.8;
+  TrialRunnerOptions options;
+  options.crash_penalty_factor = 3.0;
+  TrialRunner runner(&env, options, 1);
+  // Establish a worst successful score of 6.
+  runner.Evaluate(MakeConfig(&env, 0.2));
+  runner.Evaluate(MakeConfig(&env, 0.6));
+  Observation crashed = runner.Evaluate(MakeConfig(&env, 0.9));
+  EXPECT_TRUE(crashed.failed);
+  EXPECT_DOUBLE_EQ(crashed.objective, 6.0 * 3.0);
+}
+
+TEST(TrialRunnerTest, CrashBeforeAnySuccessUsesFallback) {
+  ScriptedEnvironment env;
+  env.crash_when_x_above = 0.0;  // Everything with x > 0 crashes.
+  TrialRunnerOptions options;
+  TrialRunner runner(&env, options, 1);
+  Observation crashed = runner.Evaluate(MakeConfig(&env, 0.5));
+  EXPECT_TRUE(crashed.failed);
+  EXPECT_DOUBLE_EQ(crashed.objective, options.crash_fallback_objective);
+}
+
+TEST(TrialRunnerTest, EarlyAbortStopsRepetitions) {
+  ScriptedEnvironment env;
+  TrialRunnerOptions options;
+  options.repetitions = 10;
+  options.early_abort = true;
+  options.early_abort_factor = 2.0;
+  TrialRunner runner(&env, options, 1);
+  runner.Evaluate(MakeConfig(&env, 0.1));  // Best = 1.0. Runs = 10.
+  const int runs_before = env.runs;
+  Observation bad = runner.Evaluate(MakeConfig(&env, 0.9));  // 9 > 2*1.
+  EXPECT_EQ(env.runs - runs_before, 1);  // Aborted after the first rep.
+  EXPECT_EQ(bad.repetitions, 1);
+  EXPECT_EQ(bad.metrics.count("early_aborted"), 1u);
+}
+
+TEST(TrialRunnerTest, ElapsedTimeCostCapsOnAbort) {
+  ScriptedEnvironment env;
+  TrialRunnerOptions options;
+  options.cost_model = CostModel::kElapsedTime;
+  options.early_abort = true;
+  options.early_abort_factor = 2.0;
+  TrialRunner runner(&env, options, 1);
+  Observation first = runner.Evaluate(MakeConfig(&env, 0.1));
+  EXPECT_DOUBLE_EQ(first.cost, 1.0);  // Elapsed = objective.
+  Observation slow = runner.Evaluate(MakeConfig(&env, 1.0));  // 10 > 2*1.
+  EXPECT_DOUBLE_EQ(slow.cost, 2.0);  // Killed at 2x best, not 10.
+  EXPECT_DOUBLE_EQ(slow.objective, 10.0);  // Score still reported.
+}
+
+TEST(TrialRunnerTest, RestartCostChargedOnRestartKnobChange) {
+  ScriptedEnvironment env;
+  TrialRunner runner(&env, TrialRunnerOptions{}, 1);
+  Observation first = runner.Evaluate(MakeConfig(&env, 0.5, 1));
+  EXPECT_DOUBLE_EQ(first.cost, 10.0);  // No previous deployment.
+  Observation same_knob = runner.Evaluate(MakeConfig(&env, 0.7, 1));
+  EXPECT_DOUBLE_EQ(same_knob.cost, 10.0);  // Runtime knob change only.
+  Observation restart = runner.Evaluate(MakeConfig(&env, 0.7, 2));
+  EXPECT_DOUBLE_EQ(restart.cost, 110.0);  // Restart knob changed.
+}
+
+TEST(TrialRunnerTest, DuetCancelsSharedNoise) {
+  ScriptedEnvironment env;
+  env.noise = 5.0;  // Huge noise relative to the signal.
+  TrialRunnerOptions options;
+  TrialRunner runner(&env, options, 42);
+  Configuration baseline = MakeConfig(&env, 0.5);
+  // Duet objective: relative difference under SHARED noise. x=0.4 is truly
+  // better than x=0.5 by 1.0 (20%), which the duet must detect despite
+  // noise that would swamp independent runs.
+  for (int i = 0; i < 10; ++i) {
+    Observation obs = runner.EvaluateDuet(MakeConfig(&env, 0.4), baseline);
+    EXPECT_FALSE(obs.failed);
+    EXPECT_LT(obs.objective, 0.0) << "iteration " << i;
+  }
+}
+
+TEST(TrialRunnerTest, DuetReportsBothSides) {
+  ScriptedEnvironment env;
+  TrialRunner runner(&env, TrialRunnerOptions{}, 1);
+  Observation obs =
+      runner.EvaluateDuet(MakeConfig(&env, 0.25), MakeConfig(&env, 0.5));
+  EXPECT_DOUBLE_EQ(obs.metrics.at("duet_config_objective"), 2.5);
+  EXPECT_DOUBLE_EQ(obs.metrics.at("duet_baseline_objective"), 5.0);
+  EXPECT_NEAR(obs.objective, (2.5 - 5.0) / 5.0, 1e-12);
+}
+
+TEST(TrialRunnerTest, TracksCumulativeCost) {
+  ScriptedEnvironment env;
+  TrialRunner runner(&env, TrialRunnerOptions{}, 1);
+  runner.Evaluate(MakeConfig(&env, 0.1));
+  runner.Evaluate(MakeConfig(&env, 0.2));
+  EXPECT_DOUBLE_EQ(runner.total_cost(), 20.0);
+  EXPECT_EQ(runner.num_trials(), 2u);
+}
+
+// --------------------------------------------------------------- Storage --
+
+TEST(StorageTest, BestAndCurve) {
+  ScriptedEnvironment env;
+  TrialStorage storage(&env.space_);
+  auto add = [&](double x, double objective, bool failed) {
+    Observation obs(MakeConfig(&env, x), objective);
+    obs.failed = failed;
+    ASSERT_TRUE(storage.Add(obs).ok());
+  };
+  add(0.5, 5.0, false);
+  add(0.9, 90.0, true);  // Failed: excluded from Best.
+  add(0.2, 2.0, false);
+  add(0.7, 7.0, false);
+  auto best = storage.Best();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->objective, 2.0);
+  auto curve = storage.BestSoFarCurve();
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0], 5.0);
+  EXPECT_DOUBLE_EQ(curve[1], 5.0);  // Failed trial does not improve it.
+  EXPECT_DOUBLE_EQ(curve[2], 2.0);
+  EXPECT_DOUBLE_EQ(curve[3], 2.0);
+}
+
+TEST(StorageTest, CsvRoundTrip) {
+  ScriptedEnvironment env;
+  TrialStorage storage(&env.space_);
+  Observation obs(MakeConfig(&env, 0.375, 3), 12.5);
+  obs.cost = 60.0;
+  obs.fidelity = 0.5;
+  ASSERT_TRUE(storage.Add(obs).ok());
+  const std::string path = "/tmp/autotune_storage_test.csv";
+  ASSERT_TRUE(storage.WriteCsv(path).ok());
+  auto loaded = TrialStorage::ReadCsv(&env.space_, path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  const Observation& round = loaded->observations()[0];
+  EXPECT_DOUBLE_EQ(round.config.GetDouble("x"), 0.375);
+  EXPECT_EQ(round.config.GetInt("restart_knob"), 3);
+  EXPECT_DOUBLE_EQ(round.objective, 12.5);
+  EXPECT_DOUBLE_EQ(round.cost, 60.0);
+  EXPECT_DOUBLE_EQ(round.fidelity, 0.5);
+  std::remove(path.c_str());
+}
+
+TEST(StorageTest, RejectsForeignSpace) {
+  ScriptedEnvironment env_a;
+  ScriptedEnvironment env_b;
+  TrialStorage storage(&env_a.space_);
+  Observation obs(MakeConfig(&env_b, 0.5), 1.0);
+  EXPECT_FALSE(storage.Add(obs).ok());
+}
+
+
+// ----------------------------------------------------------- OptimizerBase --
+
+TEST(OptimizerBaseTest, RejectsForeignSpaceObservation) {
+  sim::FunctionEnvironment env_a("a", 1, sim::Sphere);
+  sim::FunctionEnvironment env_b("b", 1, sim::Sphere);
+  RandomSearch optimizer(&env_a.space(), 3);
+  Rng rng(5);
+  Observation foreign(env_b.space().Sample(&rng), 1.0);
+  EXPECT_FALSE(optimizer.Observe(foreign).ok());
+  EXPECT_EQ(optimizer.num_observations(), 0u);
+}
+
+TEST(OptimizerBaseTest, BestPrefersNonFailedObservations) {
+  sim::FunctionEnvironment env("f", 1, sim::Sphere);
+  RandomSearch optimizer(&env.space(), 7);
+  Rng rng(9);
+  Observation failed(env.space().Sample(&rng), 0.001);  // Great score but...
+  failed.failed = true;                                  // ...it crashed.
+  ASSERT_TRUE(optimizer.Observe(failed).ok());
+  EXPECT_TRUE(optimizer.best()->failed);
+  Observation ok_obs(env.space().Sample(&rng), 10.0);
+  ASSERT_TRUE(optimizer.Observe(ok_obs).ok());
+  // The successful observation wins despite the worse objective.
+  EXPECT_FALSE(optimizer.best()->failed);
+  EXPECT_DOUBLE_EQ(optimizer.best()->objective, 10.0);
+}
+
+TEST(OptimizerBaseTest, DefaultSuggestBatchDelegates) {
+  sim::FunctionEnvironment env("f", 2, sim::Sphere);
+  RandomSearch optimizer(&env.space(), 11);
+  auto batch = optimizer.SuggestBatch(5);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->size(), 5u);
+}
+
+// ------------------------------------------------------------ TuningLoop --
+
+TEST(TuningLoopTest, RunsToTrialBudget) {
+  sim::FunctionEnvironment env("sphere", 2, sim::Sphere);
+  TrialRunner runner(&env, TrialRunnerOptions{}, 1);
+  RandomSearch optimizer(&env.space(), 7);
+  TuningLoopOptions options;
+  options.max_trials = 25;
+  TuningResult result = RunTuningLoop(&optimizer, &runner, options);
+  EXPECT_EQ(result.trials_run, 25);
+  EXPECT_EQ(result.history.size(), 25u);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_LT(result.best->objective, 2.0);  // Random should find something.
+  // Curve is monotone non-increasing.
+  for (size_t i = 1; i < result.best_so_far.size(); ++i) {
+    EXPECT_LE(result.best_so_far[i], result.best_so_far[i - 1]);
+  }
+}
+
+TEST(TuningLoopTest, StopsAtCostBudget) {
+  sim::FunctionEnvironment env("sphere", 2, sim::Sphere);
+  TrialRunner runner(&env, TrialRunnerOptions{}, 1);
+  RandomSearch optimizer(&env.space(), 7);
+  TuningLoopOptions options;
+  options.max_trials = 1000;
+  options.max_cost = 60.0 * 5;  // Five trials at 60s each.
+  TuningResult result = RunTuningLoop(&optimizer, &runner, options);
+  EXPECT_EQ(result.trials_run, 5);
+}
+
+TEST(TuningLoopTest, ConvergenceWindowStopsEarly) {
+  // Constant objective: no improvement ever, so the window triggers.
+  sim::FunctionEnvironment env("flat", 1,
+                               [](const Vector&) { return 1.0; });
+  TrialRunner runner(&env, TrialRunnerOptions{}, 1);
+  RandomSearch optimizer(&env.space(), 7);
+  TuningLoopOptions options;
+  options.max_trials = 500;
+  options.convergence_window = 10;
+  TuningResult result = RunTuningLoop(&optimizer, &runner, options);
+  EXPECT_TRUE(result.converged_early);
+  EXPECT_LT(result.trials_run, 50);
+}
+
+TEST(TuningLoopTest, BatchModeEvaluatesAllSuggestions) {
+  sim::FunctionEnvironment env("sphere", 2, sim::Sphere);
+  TrialRunner runner(&env, TrialRunnerOptions{}, 1);
+  RandomSearch optimizer(&env.space(), 7);
+  TuningLoopOptions options;
+  options.max_trials = 12;
+  options.batch_size = 4;
+  TuningResult result = RunTuningLoop(&optimizer, &runner, options);
+  EXPECT_EQ(result.trials_run, 12);
+}
+
+}  // namespace
+}  // namespace autotune

@@ -1,0 +1,453 @@
+// Tests for the tutorial's extension/future-work features: constrained BO
+// (slide 60), multi-task GP (slide 59), manual-knowledge priors (slides
+// 63-64), profile-guided knob discovery (slide 68), parallel trial
+// execution (slide 57), and workload synthesis (slides 73/92).
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel_runner.h"
+#include "optimizers/constrained_bo.h"
+#include "sim/db_env.h"
+#include "sim/test_functions.h"
+#include "surrogate/multi_task_gp.h"
+#include "transfer/manual_knowledge.h"
+#include "transfer/profile_guided.h"
+#include "workload/synthesis.h"
+
+namespace autotune {
+namespace {
+
+// ---------------------------------------------------------- ConstrainedBO --
+
+TEST(ConstrainedBoTest, RespectsBlackBoxConstraint) {
+  // Minimize (x-1)^2 + (y-1)^2 subject to x + y <= 1 (black box).
+  // Constrained optimum: x = y = 0.5, objective 0.5.
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  space.AddOrDie(ParameterSpec::Float("y", 0.0, 1.0));
+  ConstrainedBoOptimizer cbo(&space, 7, /*num_constraints=*/1);
+  for (int i = 0; i < 50; ++i) {
+    auto config = cbo.Suggest();
+    ASSERT_TRUE(config.ok());
+    const double x = config->GetDouble("x");
+    const double y = config->GetDouble("y");
+    const double objective = (x - 1) * (x - 1) + (y - 1) * (y - 1);
+    const double constraint = x + y - 1.0;  // <= 0 means feasible.
+    ASSERT_TRUE(cbo.ObserveWithConstraints(Observation(*config, objective),
+                                           {constraint})
+                    .ok());
+  }
+  ASSERT_TRUE(cbo.best_feasible().has_value());
+  const Configuration& best = cbo.best_feasible()->config;
+  // Must be feasible and near the constrained optimum (not the
+  // unconstrained one at (1,1)).
+  EXPECT_LE(best.GetDouble("x") + best.GetDouble("y"), 1.0 + 1e-9);
+  EXPECT_LT(cbo.best_feasible()->objective, 0.70);
+  EXPECT_GT(cbo.best_feasible()->objective, 0.45);
+}
+
+TEST(ConstrainedBoTest, FindsFeasibleRegionWhenTiny) {
+  // Feasible only in a small corner: x <= 0.15 and y <= 0.15.
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  space.AddOrDie(ParameterSpec::Float("y", 0.0, 1.0));
+  ConstrainedBoOptimizer cbo(&space, 11, /*num_constraints=*/2);
+  int feasible_count = 0;
+  for (int i = 0; i < 60; ++i) {
+    auto config = cbo.Suggest();
+    ASSERT_TRUE(config.ok());
+    const double x = config->GetDouble("x");
+    const double y = config->GetDouble("y");
+    const bool feasible = x <= 0.15 && y <= 0.15;
+    if (feasible) ++feasible_count;
+    ASSERT_TRUE(cbo.ObserveWithConstraints(Observation(*config, x + y),
+                                           {x - 0.15, y - 0.15})
+                    .ok());
+  }
+  EXPECT_TRUE(cbo.best_feasible().has_value());
+  EXPECT_GT(feasible_count, 3);  // Learned to aim at the corner.
+}
+
+TEST(ConstrainedBoTest, RejectsWrongConstraintArity) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  ConstrainedBoOptimizer cbo(&space, 13, 2);
+  auto config = cbo.Suggest();
+  ASSERT_TRUE(config.ok());
+  EXPECT_FALSE(
+      cbo.ObserveWithConstraints(Observation(*config, 1.0), {0.0}).ok());
+}
+
+// ------------------------------------------------------------ MultiTaskGp --
+
+TEST(MultiTaskGpTest, TransfersAcrossCorrelatedTasks) {
+  // Task 0 densely sampled; task 1 = task 0 + small offset, sparsely
+  // sampled. A correlated multi-task GP predicts task 1 far better than an
+  // independent model could from 3 points.
+  Rng rng(17);
+  auto f = [](double x) { return std::sin(5.0 * x); };
+  std::vector<size_t> tasks;
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 25; ++i) {
+    const double x = i / 24.0;
+    tasks.push_back(0);
+    xs.push_back({x});
+    ys.push_back(f(x) + rng.Normal(0, 0.01));
+  }
+  for (double x : {0.1, 0.5, 0.9}) {
+    tasks.push_back(1);
+    xs.push_back({x});
+    ys.push_back(f(x) + 0.2 + rng.Normal(0, 0.01));
+  }
+  MultiTaskGp gp(2);
+  ASSERT_TRUE(gp.Fit(tasks, xs, ys).ok());
+  EXPECT_GT(gp.task_correlation(), 0.5);  // Learned they correlate.
+  // Predict task 1 at unseen points.
+  double rmse = 0.0;
+  int n = 0;
+  for (double x = 0.05; x < 1.0; x += 0.1) {
+    const double prediction = gp.Predict(1, {x}).mean;
+    rmse += (prediction - (f(x) + 0.2)) * (prediction - (f(x) + 0.2));
+    ++n;
+  }
+  rmse = std::sqrt(rmse / n);
+  EXPECT_LT(rmse, 0.30);
+}
+
+TEST(MultiTaskGpTest, IndependentTasksGetLowCorrelation) {
+  Rng rng(19);
+  std::vector<size_t> tasks;
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 20; ++i) {
+    const double x = i / 19.0;
+    tasks.push_back(0);
+    xs.push_back({x});
+    ys.push_back(std::sin(6.0 * x) + rng.Normal(0, 0.01));
+    tasks.push_back(1);
+    xs.push_back({x});
+    // Anti-correlated task.
+    ys.push_back(-std::sin(6.0 * x) + rng.Normal(0, 0.01));
+  }
+  MultiTaskGp gp(2);
+  ASSERT_TRUE(gp.Fit(tasks, xs, ys).ok());
+  EXPECT_LT(gp.task_correlation(), 0.5);
+}
+
+TEST(MultiTaskGpTest, ValidatesInput) {
+  MultiTaskGp gp(2);
+  EXPECT_FALSE(gp.Fit({}, {}, {}).ok());
+  EXPECT_FALSE(gp.Fit({0}, {{0.1}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(gp.Fit({5}, {{0.1}}, {1.0}).ok());  // Task out of range.
+  // Unfitted predict returns a weak prior.
+  EXPECT_GT(gp.Predict(0, {0.5}).variance, 0.0);
+}
+
+// ---------------------------------------------------- ManualKnowledgeBase --
+
+TEST(ManualKnowledgeTest, DbmsManualAppliesToDbEnv) {
+  sim::DbEnvOptions options;
+  options.deterministic = true;
+  sim::DbEnv env(options);
+  auto manual = transfer::ManualKnowledgeBase::DbmsManual(16384.0, 16);
+  EXPECT_GE(manual.num_hints(), 6u);
+  auto guided = manual.ApplyToSpace(&env.space());
+  ASSERT_TRUE(guided.ok()) << guided.status().ToString();
+  // Same knob count, narrowed buffer pool domain.
+  EXPECT_EQ((*guided)->guided_space().size(), env.space().size());
+  auto idx = (*guided)->guided_space().Index("buffer_pool_mb");
+  ASSERT_TRUE(idx.ok());
+  const ParameterSpec& narrowed = (*guided)->guided_space().param(*idx);
+  EXPECT_GE(narrowed.min(), 16384.0 * 0.25 - 1);
+  EXPECT_LE(narrowed.max(), 16384.0 * 0.75 + 1);
+  // Importance ordering puts the buffer pool first.
+  EXPECT_EQ(manual.KnobsByImportance().front(), "buffer_pool_mb");
+}
+
+TEST(ManualKnowledgeTest, GuidedSamplesLiftAndAreValid) {
+  sim::DbEnvOptions options;
+  options.deterministic = true;
+  sim::DbEnv env(options);
+  auto manual = transfer::ManualKnowledgeBase::DbmsManual(16384.0, 16);
+  auto guided = manual.ApplyToSpace(&env.space());
+  ASSERT_TRUE(guided.ok());
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    auto sample = (*guided)->guided_space().SampleFeasible(&rng);
+    ASSERT_TRUE(sample.ok());
+    auto lifted = (*guided)->Lift(*sample);
+    ASSERT_TRUE(lifted.ok()) << lifted.status().ToString();
+    // Narrowed range respected after lifting.
+    EXPECT_GE(lifted->GetInt("buffer_pool_mb"), 4096);
+    EXPECT_LE(lifted->GetInt("buffer_pool_mb"), 12288);
+    // Lifted configs satisfy the target space's own constraints.
+    EXPECT_TRUE(env.space().IsFeasible(*lifted));
+  }
+}
+
+TEST(ManualKnowledgeTest, GuidedSamplesRarelyCrash) {
+  // The manual's memory rules of thumb keep samples out of the OOM region
+  // far more often than uniform sampling — the GPTuner payoff.
+  sim::DbEnvOptions options;
+  options.deterministic = true;
+  sim::DbEnv env(options);
+  auto manual = transfer::ManualKnowledgeBase::DbmsManual(16384.0, 16);
+  auto guided = manual.ApplyToSpace(&env.space());
+  ASSERT_TRUE(guided.ok());
+  Rng rng(29);
+  int guided_crashes = 0;
+  int uniform_crashes = 0;
+  const int kSamples = 200;
+  for (int i = 0; i < kSamples; ++i) {
+    auto sample = (*guided)->guided_space().SampleFeasible(&rng);
+    ASSERT_TRUE(sample.ok());
+    auto lifted = (*guided)->Lift(*sample);
+    ASSERT_TRUE(lifted.ok());
+    if (env.EvaluateModel(*lifted, 1.0).crashed) ++guided_crashes;
+    if (env.EvaluateModel(env.space().Sample(&rng), 1.0).crashed) {
+      ++uniform_crashes;
+    }
+  }
+  EXPECT_LE(guided_crashes, uniform_crashes);
+}
+
+TEST(ManualKnowledgeTest, UnknownKnobIsRejected) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  transfer::ManualKnowledgeBase manual;
+  manual.AddHint({"nonexistent", 0.0, 1.0, 0.5, 0.5, ""});
+  EXPECT_FALSE(manual.ApplyToSpace(&space).ok());
+}
+
+TEST(ManualKnowledgeTest, HintOverride) {
+  transfer::ManualKnowledgeBase manual;
+  manual.AddHint({"k", 0.0, 1.0, 0.5, 0.2, "first"});
+  manual.AddHint({"k", 0.0, 1.0, 0.7, 0.9, "second"});
+  EXPECT_EQ(manual.num_hints(), 1u);
+  EXPECT_DOUBLE_EQ(manual.Find("k")->importance, 0.9);
+}
+
+// ---------------------------------------------------------- ProfileGuided --
+
+TEST(ProfileGuidedTest, DbEnvEmitsProfileFractions) {
+  sim::DbEnvOptions options;
+  options.deterministic = true;
+  sim::DbEnv env(options);
+  auto result = env.EvaluateModel(env.space().Default(), 1.0);
+  double total = 0.0;
+  for (const char* metric :
+       {"profile_io_frac", "profile_commit_frac", "profile_cpu_frac",
+        "profile_spill_frac", "profile_queue_frac"}) {
+    ASSERT_EQ(result.metrics.count(metric), 1u) << metric;
+    EXPECT_GE(result.metrics.at(metric), 0.0);
+    total += result.metrics.at(metric);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ProfileGuidedTest, HotComponentsMatchWorkloadCharacter) {
+  // Write-heavy OLTP at low buffer pool: commit + io dominate. Scan-heavy
+  // OLAP: io and spill dominate, commit negligible.
+  sim::DbEnvOptions oltp;
+  oltp.workload = workload::TpcC();
+  oltp.workload.arrival_rate = 300.0;
+  oltp.deterministic = true;
+  sim::DbEnv oltp_env(oltp);
+  auto oltp_profile =
+      oltp_env.EvaluateModel(oltp_env.space().Default(), 1.0).metrics;
+
+  sim::DbEnvOptions olap;
+  olap.workload = workload::TpcH();
+  olap.workload.arrival_rate = 0.5;  // Unsaturated: per-query costs show.
+  olap.deterministic = true;
+  sim::DbEnv olap_env(olap);
+  auto olap_profile =
+      olap_env.EvaluateModel(olap_env.space().Default(), 1.0).metrics;
+
+  EXPECT_GT(oltp_profile.at("profile_commit_frac"),
+            olap_profile.at("profile_commit_frac"));
+  EXPECT_GT(olap_profile.at("profile_spill_frac") +
+                olap_profile.at("profile_io_frac"),
+            0.3);
+}
+
+TEST(ProfileGuidedTest, KnobListFollowsHotspots) {
+  // A synthetic profile where commit dominates: commit knobs first.
+  std::map<std::string, double> metrics = {
+      {"profile_io_frac", 0.1},    {"profile_commit_frac", 0.6},
+      {"profile_cpu_frac", 0.15},  {"profile_spill_frac", 0.05},
+      {"profile_queue_frac", 0.1},
+  };
+  auto knobs = transfer::ProfileGuidedKnobs(
+      metrics, transfer::DbmsComponentMap(), 6);
+  ASSERT_TRUE(knobs.ok());
+  ASSERT_GE(knobs->size(), 4u);
+  const std::set<std::string> first_four(knobs->begin(),
+                                         knobs->begin() + 4);
+  EXPECT_EQ(first_four.count("log_buffer_kb"), 1u);
+  EXPECT_EQ(first_four.count("wal_sync"), 1u);
+  EXPECT_EQ(first_four.count("flush_method"), 1u);
+}
+
+TEST(ProfileGuidedTest, DeduplicatesAcrossComponents) {
+  std::map<std::string, double> metrics = {
+      {"profile_cpu_frac", 0.5},
+      {"profile_queue_frac", 0.5},
+  };
+  // Both components list worker_threads; it must appear once.
+  auto knobs = transfer::ProfileGuidedKnobs(
+      metrics, transfer::DbmsComponentMap(), 10);
+  ASSERT_TRUE(knobs.ok());
+  int worker_count = 0;
+  for (const auto& knob : *knobs) {
+    if (knob == "worker_threads") ++worker_count;
+  }
+  EXPECT_EQ(worker_count, 1);
+}
+
+TEST(ProfileGuidedTest, RejectsEmptyInput) {
+  EXPECT_FALSE(transfer::ProfileGuidedKnobs(
+                   {{"unrelated", 1.0}}, transfer::DbmsComponentMap(), 4)
+                   .ok());
+  EXPECT_FALSE(transfer::ProfileGuidedKnobs(
+                   {{"profile_io_frac", 1.0}},
+                   transfer::DbmsComponentMap(), 0)
+                   .ok());
+}
+
+// ----------------------------------------------------- ParallelTrialRunner --
+
+TEST(ParallelRunnerTest, MatchesInputOrderAndSchema) {
+  ConfigSpace reference_space;
+  reference_space.AddOrDie(ParameterSpec::Float("x0", 0.0, 1.0));
+  reference_space.AddOrDie(ParameterSpec::Float("x1", 0.0, 1.0));
+  auto factory = [](int) {
+    return std::make_unique<sim::FunctionEnvironment>("sphere", 2,
+                                                      sim::Sphere);
+  };
+  ParallelTrialRunner runner(factory, TrialRunnerOptions{}, 4, 3);
+  Rng rng(5);
+  std::vector<Configuration> batch;
+  for (int i = 0; i < 10; ++i) batch.push_back(reference_space.Sample(&rng));
+  auto results = runner.EvaluateBatch(batch);
+  ASSERT_EQ(results.size(), 10u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].config == batch[i]);
+    auto unit = reference_space.ToUnit(batch[i]);
+    ASSERT_TRUE(unit.ok());
+    EXPECT_NEAR(results[i].objective, sim::Sphere(*unit), 1e-9);
+  }
+}
+
+TEST(ParallelRunnerTest, WallClockBelowTotalCost) {
+  auto factory = [](int) {
+    return std::make_unique<sim::FunctionEnvironment>("sphere", 1,
+                                                      sim::Sphere);
+  };
+  ParallelTrialRunner runner(factory, TrialRunnerOptions{}, 4, 7);
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x0", 0.0, 1.0));
+  Rng rng(9);
+  std::vector<Configuration> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(space.Sample(&rng));
+  runner.EvaluateBatch(batch);
+  // 8 trials, 4 workers: 2 wall-clock rounds vs 8 trials of cost.
+  EXPECT_NEAR(runner.wall_clock_cost() * 4.0, runner.total_cost(), 1e-9);
+}
+
+// ---------------------------------------------------- Workload synthesis --
+
+TEST(SynthesisTest, WeightedBlendInterpolates) {
+  const auto bases = workload::StandardWorkloads();
+  Vector pure(bases.size(), 0.0);
+  pure[0] = 1.0;
+  const workload::Workload w = workload::WeightedBlend(bases, pure);
+  EXPECT_DOUBLE_EQ(w.read_ratio, bases[0].read_ratio);
+  Vector even(bases.size(), 1.0);
+  const workload::Workload mix = workload::WeightedBlend(bases, even);
+  EXPECT_GT(mix.scan_ratio, 0.0);
+  EXPECT_LT(mix.scan_ratio, workload::TpcH().scan_ratio);
+}
+
+TEST(SynthesisTest, RecoversPureBaseWorkload) {
+  Rng rng(31);
+  const auto bases = workload::StandardWorkloads();
+  // Build an embedder over the bases.
+  std::vector<Vector> corpus;
+  workload::TelemetryOptions telemetry;
+  for (const auto& base : bases) {
+    for (int i = 0; i < 4; ++i) {
+      corpus.push_back(workload::ExtractFeatures(
+          workload::GenerateTelemetry(base, telemetry, &rng)));
+    }
+  }
+  auto embedder = workload::WorkloadEmbedder::Fit(corpus, 0, &rng);
+  ASSERT_TRUE(embedder.ok());
+  // The "production" workload is TPC-H; only its embedding is shared.
+  const Vector target = embedder->Embed(workload::ExtractFeatures(
+      workload::GenerateTelemetry(workload::TpcH(), telemetry, &rng)));
+  workload::SynthesisOptions options;
+  options.telemetry = telemetry;
+  auto result = workload::SynthesizeWorkload(bases, target, *embedder,
+                                             options, &rng);
+  ASSERT_TRUE(result.ok());
+  // The TPC-H weight must dominate the mixture.
+  size_t tpch_index = 0;
+  for (size_t i = 0; i < bases.size(); ++i) {
+    if (bases[i].name == "tpch") tpch_index = i;
+  }
+  EXPECT_GT(result->weights[tpch_index], 0.6);
+  EXPECT_GT(result->workload.scan_ratio, 0.5);
+}
+
+TEST(SynthesisTest, MatchesBlendedTarget) {
+  Rng rng(37);
+  const std::vector<workload::Workload> bases = {workload::YcsbC(),
+                                                 workload::TpcC()};
+  std::vector<Vector> corpus;
+  workload::TelemetryOptions telemetry;
+  for (const auto& base : bases) {
+    for (int i = 0; i < 4; ++i) {
+      corpus.push_back(workload::ExtractFeatures(
+          workload::GenerateTelemetry(base, telemetry, &rng)));
+    }
+  }
+  auto embedder = workload::WorkloadEmbedder::Fit(corpus, 0, &rng);
+  ASSERT_TRUE(embedder.ok());
+  // Production = 30/70 blend.
+  const workload::Workload truth =
+      workload::WeightedBlend(bases, {0.3, 0.7});
+  const Vector target = embedder->Embed(workload::ExtractFeatures(
+      workload::GenerateTelemetry(truth, telemetry, &rng)));
+  workload::SynthesisOptions options;
+  options.telemetry = telemetry;
+  auto result = workload::SynthesizeWorkload(bases, target, *embedder,
+                                             options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->weights[1], 0.7, 0.25);
+  EXPECT_NEAR(result->workload.read_ratio, truth.read_ratio, 0.15);
+}
+
+TEST(SynthesisTest, RejectsBadInput) {
+  Rng rng(41);
+  std::vector<Vector> corpus = {{1.0, 2.0}, {2.0, 3.0}};
+  auto embedder = workload::WorkloadEmbedder::Fit(corpus, 0, &rng);
+  ASSERT_TRUE(embedder.ok());
+  EXPECT_FALSE(workload::SynthesizeWorkload({}, {0.0, 0.0}, *embedder,
+                                            workload::SynthesisOptions{},
+                                            &rng)
+                   .ok());
+  EXPECT_FALSE(workload::SynthesizeWorkload(workload::StandardWorkloads(),
+                                            {0.0}, *embedder,
+                                            workload::SynthesisOptions{},
+                                            &rng)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace autotune

@@ -1,0 +1,181 @@
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/trial_runner.h"
+#include "fidelity/multi_fidelity.h"
+#include "fidelity/successive_halving.h"
+#include "optimizers/random_search.h"
+#include "sim/db_env.h"
+#include "sim/test_functions.h"
+
+namespace autotune {
+namespace {
+
+// -------------------------------------------------- Successive halving --
+
+TEST(SuccessiveHalvingTest, FindsBestUnderNoise) {
+  // True quality = x; noisy evaluator. SH must pick a near-minimal x while
+  // spending most resource on survivors only.
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  Rng rng(3);
+  std::vector<Configuration> candidates;
+  for (int i = 0; i < 27; ++i) candidates.push_back(space.Sample(&rng));
+
+  Rng eval_rng(7);
+  auto evaluator = [&eval_rng](const Configuration& config, int resource) {
+    std::vector<double> samples;
+    for (int r = 0; r < resource; ++r) {
+      samples.push_back(config.GetDouble("x") +
+                        eval_rng.Normal(0.0, 0.15));
+    }
+    return samples;
+  };
+  SuccessiveHalvingOptions options;
+  options.eta = 3.0;
+  options.min_resource = 1;
+  options.max_resource = 9;
+  SuccessiveHalving halving(options);
+  auto result = halving.Run(candidates, evaluator);
+  ASSERT_TRUE(result.ok());
+  // Winner must be among the truly-good candidates.
+  double true_best = 1e9;
+  for (const auto& c : candidates) {
+    true_best = std::min(true_best, c.GetDouble("x"));
+  }
+  const double winner_x =
+      result->outcomes[result->winner_index].config.GetDouble("x");
+  EXPECT_LT(winner_x, true_best + 0.25);
+  EXPECT_GE(result->rungs, 3);
+}
+
+TEST(SuccessiveHalvingTest, SpendsLessThanFullEvaluation) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  Rng rng(5);
+  std::vector<Configuration> candidates;
+  for (int i = 0; i < 27; ++i) candidates.push_back(space.Sample(&rng));
+  auto evaluator = [](const Configuration& config, int resource) {
+    return std::vector<double>(static_cast<size_t>(resource),
+                               config.GetDouble("x"));
+  };
+  SuccessiveHalvingOptions options;
+  options.min_resource = 1;
+  options.max_resource = 9;
+  SuccessiveHalving halving(options);
+  auto result = halving.Run(candidates, evaluator);
+  ASSERT_TRUE(result.ok());
+  // Evaluating all 27 at max resource would cost 243.
+  EXPECT_LT(result->total_resource_spent, 243.0 * 0.5);
+}
+
+TEST(SuccessiveHalvingTest, SurvivorFlagsConsistent) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  Rng rng(9);
+  std::vector<Configuration> candidates;
+  for (int i = 0; i < 9; ++i) candidates.push_back(space.Sample(&rng));
+  auto evaluator = [](const Configuration& config, int resource) {
+    return std::vector<double>(static_cast<size_t>(resource),
+                               config.GetDouble("x"));
+  };
+  SuccessiveHalving halving;
+  auto result = halving.Run(candidates, evaluator);
+  ASSERT_TRUE(result.ok());
+  int finalists = 0;
+  for (const auto& outcome : result->outcomes) {
+    if (outcome.survived_to_final) ++finalists;
+  }
+  EXPECT_GE(finalists, 1);
+  EXPECT_LT(finalists, 9);
+  EXPECT_TRUE(result->outcomes[result->winner_index].survived_to_final);
+}
+
+TEST(SuccessiveHalvingTest, RejectsTooFewCandidates) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  Rng rng(1);
+  SuccessiveHalving halving;
+  auto evaluator = [](const Configuration&, int resource) {
+    return std::vector<double>(static_cast<size_t>(resource), 0.0);
+  };
+  EXPECT_FALSE(halving.Run({space.Sample(&rng)}, evaluator).ok());
+}
+
+TEST(HyperbandTest, RunsBracketsAndFindsGoodConfig) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  Rng rng(11);
+  Rng eval_rng(13);
+  auto evaluator = [&eval_rng](const Configuration& config, int resource) {
+    std::vector<double> samples;
+    for (int r = 0; r < resource; ++r) {
+      samples.push_back(config.GetDouble("x") + eval_rng.Normal(0.0, 0.1));
+    }
+    return samples;
+  };
+  SuccessiveHalvingOptions options;
+  options.min_resource = 1;
+  options.max_resource = 9;
+  auto result = RunHyperband(space, evaluator, options, 18, 3, &rng);
+  EXPECT_EQ(result.brackets, 3);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_LT(result.best->GetDouble("x"), 0.3);
+}
+
+// -------------------------------------------------------- Multi-fidelity --
+
+TEST(MultiFidelityTest, CheaperThanFullFidelitySearch) {
+  // Screening at low fidelity + promoting a few must beat spending the
+  // same trial count at full fidelity, in cost, while finding a good
+  // config (the fidelities agree on this function).
+  sim::FunctionEnvironment env("sphere", 3, sim::Sphere);
+  TrialRunner runner(&env, TrialRunnerOptions{}, 3);
+  RandomSearch optimizer(&env.space(), 5);
+  MultiFidelityOptions options;
+  options.low_fidelity = 0.1;
+  options.low_fidelity_trials = 40;
+  options.promote_top_k = 5;
+  auto result = RunMultiFidelityTuning(&optimizer, &runner, options);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_EQ(result.low_fidelity_trials, 40);
+  EXPECT_EQ(result.high_fidelity_trials, 5);
+  EXPECT_LT(result.best->objective, 0.4);
+  // 45 trials all at full fidelity would cost 45*60; screening costs
+  // 40*6 + 5*60 = 540.
+  EXPECT_LT(result.total_cost, 45 * 60.0 * 0.5);
+  EXPECT_DOUBLE_EQ(result.best->fidelity, 1.0);
+}
+
+TEST(MultiFidelityTest, FidelityShiftDegradesPromotion) {
+  // On the DBMS, fidelity changes which knobs matter (slide 66). Screening
+  // at a tiny fidelity must yield a worse promoted config than screening
+  // at a faithful fidelity, measured at full fidelity.
+  auto run_with = [](double low_fidelity, uint64_t seed) {
+    sim::DbEnvOptions env_options;
+    env_options.workload = workload::YcsbA();
+    env_options.deterministic = true;
+    sim::DbEnv env(env_options);
+    TrialRunner runner(&env, TrialRunnerOptions{}, seed);
+    RandomSearch optimizer(&env.space(), seed);
+    MultiFidelityOptions options;
+    options.low_fidelity = low_fidelity;
+    options.low_fidelity_trials = 60;
+    options.promote_top_k = 3;
+    auto result = RunMultiFidelityTuning(&optimizer, &runner, options);
+    return result.best.has_value() ? result.best->objective : 1e18;
+  };
+  double faithful_total = 0.0;
+  double tiny_total = 0.0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    faithful_total += run_with(0.8, seed);
+    tiny_total += run_with(0.02, seed);
+  }
+  EXPECT_LE(faithful_total, tiny_total);
+}
+
+}  // namespace
+}  // namespace autotune

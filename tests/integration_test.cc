@@ -1,0 +1,415 @@
+// End-to-end integration tests: whole tuning pipelines against the
+// simulated systems, with noise, crash regions, workload shifts, and the
+// composition of techniques (warm start + narrowing + multi-fidelity, the
+// online agent + shift detector + guardrail, parallel batched BO, ...).
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel_runner.h"
+#include "core/storage.h"
+#include "core/trial_runner.h"
+#include "core/tuning_loop.h"
+#include "fidelity/multi_fidelity.h"
+#include "optimizers/bayesian.h"
+#include "optimizers/cmaes.h"
+#include "optimizers/constrained_bo.h"
+#include "optimizers/genetic.h"
+#include "optimizers/pso.h"
+#include "optimizers/random_search.h"
+#include "optimizers/simulated_annealing.h"
+#include "rl/online_agent.h"
+#include "sim/db_env.h"
+#include "transfer/importance.h"
+#include "transfer/knowledge_base.h"
+#include "workload/embedding.h"
+#include "workload/identification.h"
+#include "workload/telemetry.h"
+
+namespace autotune {
+namespace {
+
+sim::DbEnvOptions NoisyDb(const workload::Workload& w, uint64_t seed) {
+  sim::DbEnvOptions options;
+  options.workload = w;
+  options.noise_seed = seed;
+  options.noise.run_noise_frac = 0.05;
+  options.noise.spike_prob = 0.02;
+  options.noise.machine_speed_stddev = 0.05;
+  options.noise.outlier_machine_prob = 0.0;
+  return options;
+}
+
+// ------------------------------------------------ All optimizers, full DB --
+
+using OptimizerFactory =
+    std::function<std::unique_ptr<Optimizer>(const ConfigSpace*, uint64_t)>;
+
+struct EndToEndCase {
+  const char* name;
+  OptimizerFactory factory;
+  int trials;
+};
+
+class EndToEndOptimizerTest
+    : public ::testing::TestWithParam<EndToEndCase> {};
+
+TEST_P(EndToEndOptimizerTest, BeatsDefaultOnNoisyDbWithCrashes) {
+  const EndToEndCase& param = GetParam();
+  sim::DbEnv env(NoisyDb(workload::TpcC(), 1));
+  const double default_p99 =
+      env.EvaluateModel(env.space().Default(), 1.0)
+          .metrics.at("latency_p99_ms");
+
+  TrialRunner runner(&env, TrialRunnerOptions{}, 11);
+  auto optimizer = param.factory(&env.space(), 7);
+  TuningLoopOptions loop;
+  loop.max_trials = param.trials;
+  TuningResult result = RunTuningLoop(optimizer.get(), &runner, loop);
+
+  ASSERT_TRUE(result.best.has_value()) << param.name;
+  EXPECT_FALSE(result.best->failed) << param.name;
+  // True (noise-free) value of the recommendation beats the default.
+  const auto tuned = env.EvaluateModel(result.best->config, 1.0);
+  ASSERT_FALSE(tuned.crashed) << param.name;
+  EXPECT_LT(tuned.metrics.at("latency_p99_ms"), default_p99)
+      << param.name;
+  // History is complete and the curve is monotone.
+  EXPECT_EQ(result.history.size(), static_cast<size_t>(result.trials_run));
+  for (size_t i = 1; i < result.best_so_far.size(); ++i) {
+    EXPECT_LE(result.best_so_far[i], result.best_so_far[i - 1]);
+  }
+}
+
+TEST_P(EndToEndOptimizerTest, SurvivesBatchMode) {
+  const EndToEndCase& param = GetParam();
+  sim::DbEnv env(NoisyDb(workload::YcsbA(), 2));
+  TrialRunner runner(&env, TrialRunnerOptions{}, 13);
+  auto optimizer = param.factory(&env.space(), 17);
+  TuningLoopOptions loop;
+  loop.max_trials = 24;
+  loop.batch_size = 4;
+  TuningResult result = RunTuningLoop(optimizer.get(), &runner, loop);
+  EXPECT_EQ(result.trials_run, 24) << param.name;
+  EXPECT_TRUE(result.best.has_value()) << param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Optimizers, EndToEndOptimizerTest,
+    ::testing::Values(
+        EndToEndCase{"bo",
+                     [](const ConfigSpace* s, uint64_t seed)
+                         -> std::unique_ptr<Optimizer> {
+                       return MakeGpBo(s, seed);
+                     },
+                     40},
+        EndToEndCase{"smac",
+                     [](const ConfigSpace* s, uint64_t seed)
+                         -> std::unique_ptr<Optimizer> {
+                       return MakeSmac(s, seed);
+                     },
+                     40},
+        EndToEndCase{"cmaes",
+                     [](const ConfigSpace* s, uint64_t seed)
+                         -> std::unique_ptr<Optimizer> {
+                       return std::make_unique<CmaEsOptimizer>(s, seed);
+                     },
+                     60},
+        EndToEndCase{"pso",
+                     [](const ConfigSpace* s, uint64_t seed)
+                         -> std::unique_ptr<Optimizer> {
+                       return std::make_unique<ParticleSwarmOptimizer>(
+                           s, seed);
+                     },
+                     60},
+        EndToEndCase{"ga",
+                     [](const ConfigSpace* s, uint64_t seed)
+                         -> std::unique_ptr<Optimizer> {
+                       return std::make_unique<GeneticOptimizer>(s, seed);
+                     },
+                     60},
+        EndToEndCase{"anneal",
+                     [](const ConfigSpace* s, uint64_t seed)
+                         -> std::unique_ptr<Optimizer> {
+                       return std::make_unique<SimulatedAnnealing>(s, seed);
+                     },
+                     60},
+        EndToEndCase{"random",
+                     [](const ConfigSpace* s, uint64_t seed)
+                         -> std::unique_ptr<Optimizer> {
+                       return std::make_unique<RandomSearch>(s, seed);
+                     },
+                     40}),
+    [](const ::testing::TestParamInfo<EndToEndCase>& info) {
+      return info.param.name;
+    });
+
+// ------------------------------------ Composition: narrow + warm + fidelity --
+
+TEST(PipelineTest, ImportanceNarrowingThenWarmStartThenMultiFidelity) {
+  // Phase A: explore the full space on a SOURCE workload.
+  sim::DbEnv source(NoisyDb(workload::YcsbB(), 3));
+  TrialRunner source_runner(&source, TrialRunnerOptions{}, 19);
+  RandomSearch explorer(&source.space(), 23);
+  TuningLoopOptions explore_loop;
+  explore_loop.max_trials = 120;
+  TuningResult exploration =
+      RunTuningLoop(&explorer, &source_runner, explore_loop);
+
+  // Phase B: rank knobs from the source history.
+  auto ranking = transfer::RankKnobImportance(
+      source.space(), exploration.history,
+      transfer::ImportanceMethod::kRandomForest);
+  ASSERT_TRUE(ranking.ok());
+
+  // Phase C: tune the TARGET workload over the top-5 knobs only, with a
+  // multi-fidelity schedule, warm-started from the source's best trials.
+  sim::DbEnv target(NoisyDb(workload::YcsbA(), 4));
+  std::vector<std::string> top;
+  for (const auto& entry : *ranking) {
+    if (entry.name == "jit" || entry.name == "jit_above_cost") continue;
+    top.push_back(entry.name);
+    if (top.size() == 5) break;
+  }
+  auto subset = transfer::SubsetSpace::Create(&target.space(), top,
+                                              target.space().Default());
+  ASSERT_TRUE(subset.ok());
+
+  auto bo = MakeGpBo(&(*subset)->low_space(), 29);
+  // Warm start: replay source's best configs PROJECTED onto the subset.
+  int replayed = 0;
+  for (const Observation& obs : exploration.history) {
+    if (obs.failed || replayed >= 8) continue;
+    std::vector<std::pair<std::string, ParamValue>> values;
+    for (const std::string& knob : top) {
+      auto value = obs.config.Get(knob);
+      ASSERT_TRUE(value.ok());
+      values.emplace_back(knob, *value);
+    }
+    auto low = (*subset)->low_space().Make(values);
+    ASSERT_TRUE(low.ok());
+    Observation warm(*low, obs.objective);
+    ASSERT_TRUE(bo->Observe(warm).ok());
+    ++replayed;
+  }
+  EXPECT_EQ(replayed, 8);
+
+  // Multi-fidelity loop over the subset, manually lifting each suggestion.
+  Rng run_rng(31);
+  double best_true = 1e18;
+  int evaluations = 0;
+  for (double fidelity : {0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 1.0, 1.0, 1.0}) {
+    auto low = bo->Suggest();
+    ASSERT_TRUE(low.ok());
+    auto lifted = (*subset)->Lift(*low);
+    ASSERT_TRUE(lifted.ok());
+    auto result = target.Run(*lifted, fidelity, &run_rng);
+    ++evaluations;
+    Observation obs(*low, result.crashed
+                              ? 1e6
+                              : result.metrics.at("latency_p99_ms"));
+    obs.failed = result.crashed;
+    obs.fidelity = fidelity;
+    ASSERT_TRUE(bo->Observe(obs).ok());
+    if (fidelity == 1.0 && !result.crashed) {
+      const auto truth = target.EvaluateModel(*lifted, 1.0);
+      best_true =
+          std::min(best_true, truth.metrics.at("latency_p99_ms"));
+    }
+  }
+  // The composed pipeline lands far below the default with 9 target trials.
+  const double default_p99 =
+      target.EvaluateModel(target.space().Default(), 1.0)
+          .metrics.at("latency_p99_ms");
+  EXPECT_LT(best_true, default_p99 * 0.25);
+  EXPECT_EQ(evaluations, 9);
+}
+
+// ----------------------------- Online agent + shift detector + guardrail --
+
+TEST(PipelineTest, ShiftDetectorTriggersGuardrailRebaseline) {
+  sim::DbEnv env(NoisyDb(workload::YcsbC(), 5));
+  // Embedder trained on the initial regime's telemetry.
+  Rng rng(37);
+  std::vector<Vector> corpus;
+  for (int i = 0; i < 30; ++i) {
+    corpus.push_back(workload::ExtractFeatures(workload::GenerateTelemetry(
+        workload::YcsbC(), workload::TelemetryOptions{}, &rng)));
+  }
+  auto embedder = workload::WorkloadEmbedder::Fit(corpus, 0, &rng);
+  ASSERT_TRUE(embedder.ok());
+  workload::ShiftDetectorOptions detector_options;
+  detector_options.reference_window = 20;
+  workload::ShiftDetector detector(detector_options);
+
+  rl::OnlineAgentOptions agent_options;
+  agent_options.knobs = {"buffer_pool_mb", "worker_threads"};
+  rl::OnlineTuningAgent agent(&env, agent_options, 41);
+  rl::SafetyGuardrail guardrail(
+      env.EvaluateModel(env.space().Default(), 1.0)
+          .metrics.at("latency_p99_ms"));
+
+  int rebaselines = 0;
+  const int kShiftAt = 120;
+  for (int step = 0; step < 240; ++step) {
+    if (step == kShiftAt) env.set_workload(workload::TpcC());
+    agent.Step();
+    // Telemetry arrives independently of the control loop.
+    const Vector embedding = embedder->Embed(workload::ExtractFeatures(
+        workload::GenerateTelemetry(env.workload(),
+                                    workload::TelemetryOptions{}, &rng)));
+    if (detector.Observe(embedding)) {
+      // Shift confirmed: re-baseline the guardrail for the new regime.
+      guardrail.UpdateBaseline(
+          env.EvaluateModel(env.space().Default(), 1.0)
+              .metrics.at("latency_p99_ms"));
+      ++rebaselines;
+    }
+  }
+  EXPECT_EQ(rebaselines, 1);
+  EXPECT_EQ(detector.shifts_detected(), 1);
+}
+
+// ------------------------------------------------- Parallel batched BO --
+
+TEST(PipelineTest, ParallelBatchedBoOnDb) {
+  sim::DbEnv reference(NoisyDb(workload::TpcC(), 6));
+  auto factory = [](int worker) -> std::unique_ptr<Environment> {
+    sim::DbEnvOptions options = NoisyDb(workload::TpcC(), 6);
+    options.machine_id = worker;  // Each worker is a different machine.
+    return std::make_unique<sim::DbEnv>(options);
+  };
+  ParallelTrialRunner runner(factory, TrialRunnerOptions{}, 4, 43);
+  auto bo = MakeGpBo(&reference.space(), 47);
+
+  double best = 1e18;
+  for (int round = 0; round < 8; ++round) {
+    auto batch = bo->SuggestBatch(4);
+    ASSERT_TRUE(batch.ok());
+    auto observations = runner.EvaluateBatch(*batch);
+    ASSERT_EQ(observations.size(), 4u);
+    for (const Observation& obs : observations) {
+      ASSERT_TRUE(bo->Observe(obs).ok());
+      if (!obs.failed) best = std::min(best, obs.objective);
+    }
+  }
+  EXPECT_LT(best, 1e17);
+  // Wall-clock accounting: 8 rounds of concurrent 4-trial batches.
+  EXPECT_LT(runner.wall_clock_cost(), runner.total_cost() * 0.5);
+  const auto tuned_default = reference.EvaluateModel(
+      reference.space().Default(), 1.0);
+  EXPECT_LT(best, tuned_default.metrics.at("latency_p99_ms"));
+}
+
+// -------------------------------------------- Constrained BO on the DBMS --
+
+TEST(PipelineTest, ConstrainedBoKeepsMemoryHeadroom) {
+  // Black-box constraint: committed memory must leave 50% RAM headroom —
+  // stricter than the crash region, observable only by "running" the
+  // config (we compute it from the config, standing in for a measurement).
+  sim::DbEnvOptions options = NoisyDb(workload::YcsbA(), 7);
+  options.deterministic = true;
+  sim::DbEnv env(options);
+  const double ram = 16384.0;
+  auto committed_mb = [](const Configuration& c) {
+    return static_cast<double>(c.GetInt("buffer_pool_mb")) +
+           static_cast<double>(c.GetInt("max_connections")) *
+               (static_cast<double>(c.GetInt("work_mem_kb")) / 1024.0) *
+               0.25 +
+           static_cast<double>(c.GetInt("query_cache_mb"));
+  };
+  ConstrainedBoOptimizer cbo(&env.space(), 53, 1);
+  for (int i = 0; i < 50; ++i) {
+    auto config = cbo.Suggest();
+    ASSERT_TRUE(config.ok());
+    auto result = env.EvaluateModel(*config, 1.0);
+    Observation obs(*config, result.crashed
+                                 ? 1e6
+                                 : result.metrics.at("latency_p99_ms"));
+    obs.failed = result.crashed;
+    const double headroom_violation = committed_mb(*config) - 0.5 * ram;
+    ASSERT_TRUE(
+        cbo.ObserveWithConstraints(obs, {headroom_violation}).ok());
+  }
+  ASSERT_TRUE(cbo.best_feasible().has_value());
+  const Configuration& best = cbo.best_feasible()->config;
+  EXPECT_LE(committed_mb(best), 0.5 * ram + 1e-6);
+  // Still much better than the default despite the constraint.
+  const double default_p99 =
+      env.EvaluateModel(env.space().Default(), 1.0)
+          .metrics.at("latency_p99_ms");
+  EXPECT_LT(cbo.best_feasible()->objective, default_p99 * 0.5);
+}
+
+// --------------------------------------------------- Storage + DbEnv I/O --
+
+TEST(PipelineTest, DbTrialLogRoundTripsThroughCsv) {
+  sim::DbEnv env(NoisyDb(workload::TpcC(), 8));
+  TrialRunner runner(&env, TrialRunnerOptions{}, 59);
+  RandomSearch random(&env.space(), 61);
+  TrialStorage storage(&env.space());
+  for (int i = 0; i < 30; ++i) {
+    auto config = random.Suggest();
+    ASSERT_TRUE(config.ok());
+    ASSERT_TRUE(storage.Add(runner.Evaluate(*config)).ok());
+  }
+  const std::string path = "/tmp/autotune_integration_trials.csv";
+  ASSERT_TRUE(storage.WriteCsv(path).ok());
+  auto loaded = TrialStorage::ReadCsv(&env.space(), path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), storage.size());
+  for (size_t i = 0; i < storage.size(); ++i) {
+    EXPECT_TRUE(loaded->observations()[i].config ==
+                storage.observations()[i].config)
+        << "trial " << i;
+    EXPECT_DOUBLE_EQ(loaded->observations()[i].objective,
+                     storage.observations()[i].objective);
+    EXPECT_EQ(loaded->observations()[i].failed,
+              storage.observations()[i].failed);
+  }
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------ Conditional chain space --
+
+TEST(ConditionalChainTest, GrandparentDeactivationPropagates) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Bool("a"));
+  ParameterSpec b = ParameterSpec::Bool("b");
+  b.WithCondition("a", {"true"});
+  space.AddOrDie(std::move(b));
+  ParameterSpec c = *ParameterSpec::Float("c", 0.0, 1.0);
+  c.WithCondition("b", {"true"});
+  space.AddOrDie(std::move(c));
+
+  auto all_on = space.Make({{"a", ParamValue(true)},
+                            {"b", ParamValue(true)}});
+  ASSERT_TRUE(all_on.ok());
+  EXPECT_TRUE(all_on->IsActive("c"));
+
+  // b on, but a off: b is inactive, so c must be inactive too.
+  auto grandparent_off = space.Make({{"a", ParamValue(false)},
+                                     {"b", ParamValue(true)}});
+  ASSERT_TRUE(grandparent_off.ok());
+  EXPECT_FALSE(grandparent_off->IsActive("b"));
+  EXPECT_FALSE(grandparent_off->IsActive("c"));
+
+  // Encoder imputes the whole chain consistently.
+  SpaceEncoder encoder(&space, SpaceEncoder::CategoricalMode::kOrdinal);
+  auto e1 = encoder.Encode(*grandparent_off);
+  auto off2 = space.Make({{"a", ParamValue(false)},
+                          {"b", ParamValue(true)},
+                          {"c", ParamValue(0.99)}});
+  ASSERT_TRUE(off2.ok());
+  auto e2 = encoder.Encode(*off2);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(*e1, *e2);  // Dead c value is invisible.
+}
+
+}  // namespace
+}  // namespace autotune

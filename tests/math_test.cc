@@ -1,0 +1,535 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/distributions.h"
+#include "math/kmeans.h"
+#include "math/linear_model.h"
+#include "math/matrix.h"
+#include "math/pca.h"
+#include "math/projection.h"
+#include "math/quasirandom.h"
+#include "math/stats.h"
+
+namespace autotune {
+namespace {
+
+// ---------------------------------------------------------------- Matrix --
+
+TEST(MatrixTest, IdentityMultiply) {
+  Matrix id = Matrix::Identity(3);
+  Matrix a(3, 3);
+  int v = 1;
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) a(i, j) = v++;
+  }
+  Matrix prod = id.Multiply(a);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(prod(i, j), a(i, j));
+  }
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 2) = 5;
+  a(1, 1) = -2;
+  Matrix att = a.Transposed().Transposed();
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(att(i, j), a(i, j));
+  }
+}
+
+TEST(MatrixTest, FromRowsRejectsRagged) {
+  EXPECT_FALSE(Matrix::FromRows({{1.0, 2.0}, {3.0}}).ok());
+  EXPECT_FALSE(Matrix::FromRows({}).ok());
+}
+
+TEST(MatrixTest, MultiplyVec) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  Vector y = a.MultiplyVec({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+// Property test: Cholesky reconstructs the original SPD matrix across sizes.
+class CholeskyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyPropertyTest, ReconstructsSpdMatrix) {
+  const int n = GetParam();
+  Rng rng(1000 + static_cast<uint64_t>(n));
+  // Build A = B B^T + n*I, guaranteed SPD.
+  Matrix b(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) b(i, j) = rng.Normal();
+  }
+  Matrix a = b.Multiply(b.Transposed());
+  a.AddDiagonal(static_cast<double>(n));
+  auto chol = Cholesky(a);
+  ASSERT_TRUE(chol.ok());
+  Matrix recon = chol->Multiply(chol->Transposed());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(recon(i, j), a(i, j), 1e-8 * n);
+    }
+  }
+  // Solve check: A x = b should satisfy residual ~ 0.
+  Vector rhs(n);
+  for (int i = 0; i < n; ++i) rhs[i] = rng.Normal();
+  Vector x = CholeskySolve(*chol, rhs);
+  Vector ax = a.MultiplyVec(x);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(ax[i], rhs[i], 1e-6 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(CholeskyTest, RejectsNonPd) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 1.0;  // Eigenvalues 3, -1: not PD.
+  EXPECT_FALSE(Cholesky(a).ok());
+}
+
+TEST(CholeskyTest, JitterRescuesSemidefinite) {
+  // Rank-deficient PSD matrix: outer product of [1, 1].
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 1.0;
+  double jitter = -1.0;
+  auto chol = CholeskyWithJitter(a, 1e-2, &jitter);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_GT(jitter, 0.0);
+}
+
+TEST(CholeskyTest, LogDetMatchesKnownValue) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(1, 1) = 9.0;  // det = 36, log det = log(36).
+  auto chol = Cholesky(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(LogDetFromCholesky(*chol), std::log(36.0), 1e-12);
+}
+
+// Property test: Jacobi eigendecomposition reconstructs symmetric matrices
+// and produces orthonormal eigenvectors.
+class EigenPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenPropertyTest, ReconstructsSymmetricMatrix) {
+  const int n = GetParam();
+  Rng rng(2000 + static_cast<uint64_t>(n));
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const double v = rng.Normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  auto eigen = SymmetricEigen(a);
+  ASSERT_TRUE(eigen.ok());
+  const Matrix& v = eigen->eigenvectors;
+  // Reconstruct A = V diag(w) V^T.
+  Matrix reconstructed(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < n; ++k) {
+        sum += v(i, k) * eigen->eigenvalues[static_cast<size_t>(k)] *
+               v(j, k);
+      }
+      reconstructed(i, j) = sum;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(reconstructed(i, j), a(i, j), 1e-8) << i << "," << j;
+    }
+  }
+  // Orthonormality: V^T V = I.
+  Matrix vtv = v.Transposed().Multiply(v);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 20));
+
+TEST(EigenTest, KnownEigenvalues) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 2.0;
+  auto eigen = SymmetricEigen(a);
+  ASSERT_TRUE(eigen.ok());
+  std::vector<double> values = eigen->eigenvalues;
+  std::sort(values.begin(), values.end());
+  EXPECT_NEAR(values[0], 1.0, 1e-10);
+  EXPECT_NEAR(values[1], 3.0, 1e-10);
+}
+
+TEST(EigenTest, RejectsNonSquare) {
+  EXPECT_FALSE(SymmetricEigen(Matrix(2, 3)).ok());
+}
+
+TEST(VectorOpsTest, DotNormDistance) {
+  Vector a = {1.0, 2.0, 2.0};
+  Vector b = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(Dot(a, a), 9.0);
+  EXPECT_DOUBLE_EQ(Norm2(a), 3.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 9.0);
+}
+
+// ----------------------------------------------------------------- Stats --
+
+TEST(StatsTest, MeanVarianceStddev) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(Variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(Stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Median(xs), 2.5);
+}
+
+TEST(StatsTest, MinMax) {
+  std::vector<double> xs = {3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 3.0);
+}
+
+TEST(StatsTest, PearsonCorrelationPerfect) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, neg), -1.0, 1e-12);
+  std::vector<double> constant = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(xs, constant), 0.0);
+}
+
+TEST(StatsTest, BootstrapCiCoversMean) {
+  Rng rng(99);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.Normal(10.0, 2.0));
+  auto ci = BootstrapMeanCi(xs, 0.95, 500, &rng);
+  EXPECT_LT(ci.lower, 10.3);
+  EXPECT_GT(ci.upper, 9.7);
+  EXPECT_LT(ci.lower, ci.upper);
+}
+
+TEST(StatsTest, StandardizerRoundTrip) {
+  std::vector<double> xs = {10.0, 20.0, 30.0};
+  Standardizer s = FitStandardizer(xs);
+  EXPECT_NEAR(s.Apply(20.0), 0.0, 1e-12);
+  EXPECT_NEAR(s.Invert(s.Apply(30.0)), 30.0, 1e-12);
+}
+
+TEST(StatsTest, EwmaTracksShift) {
+  EwmaTracker tracker(0.2);
+  for (int i = 0; i < 100; ++i) tracker.Observe(1.0);
+  EXPECT_NEAR(tracker.mean(), 1.0, 1e-6);
+  for (int i = 0; i < 100; ++i) tracker.Observe(5.0);
+  EXPECT_NEAR(tracker.mean(), 5.0, 0.01);
+  EXPECT_EQ(tracker.count(), 200u);
+}
+
+// --------------------------------------------------------- Distributions --
+
+TEST(DistributionsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(DistributionsTest, NormalPdfPeak) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_LT(NormalPdf(3.0), NormalPdf(0.0));
+}
+
+// Property: quantile inverts CDF across the domain.
+class NormalQuantilePropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalQuantilePropertyTest, InvertsCdf) {
+  const double p = GetParam();
+  EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, NormalQuantilePropertyTest,
+                         ::testing::Values(1e-6, 0.001, 0.025, 0.1, 0.25, 0.5,
+                                           0.75, 0.9, 0.975, 0.999,
+                                           1.0 - 1e-6));
+
+// ---------------------------------------------------------- LinearModel --
+
+TEST(RidgeTest, RecoversLinearRelation) {
+  Rng rng(7);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 200; ++i) {
+    Vector x = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    xs.push_back(x);
+    ys.push_back(3.0 * x[0] - 2.0 * x[1] + 1.0 + rng.Normal(0, 0.01));
+  }
+  auto model = FitRidge(xs, ys, 1e-6);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->Predict({0.5, -0.5}), 3.0 * 0.5 + 2.0 * 0.5 + 1.0, 0.05);
+}
+
+TEST(LassoTest, ShrinksIrrelevantFeatures) {
+  Rng rng(17);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 300; ++i) {
+    Vector x(6);
+    for (auto& v : x) v = rng.Uniform(-1, 1);
+    xs.push_back(x);
+    // Only features 0 and 3 matter.
+    ys.push_back(5.0 * x[0] - 4.0 * x[3] + rng.Normal(0, 0.05));
+  }
+  auto model = FitLasso(xs, ys, 0.05);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(std::abs(model->weights[0]), 0.5);
+  EXPECT_GT(std::abs(model->weights[3]), 0.5);
+  for (size_t j : {1u, 2u, 4u, 5u}) {
+    EXPECT_LT(std::abs(model->weights[j]), 0.1) << "feature " << j;
+  }
+}
+
+TEST(LassoTest, LargeLambdaZeroesEverything) {
+  std::vector<Vector> xs = {{1.0}, {2.0}, {3.0}, {4.0}};
+  Vector ys = {1.0, 2.0, 3.0, 4.0};
+  auto model = FitLasso(xs, ys, 1e6);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->weights[0], 0.0, 1e-9);
+  // Intercept alone predicts the mean.
+  EXPECT_NEAR(model->Predict({2.5}), 2.5, 1e-6);
+}
+
+TEST(LassoImportanceTest, ImportantFeaturesEnterFirst) {
+  Rng rng(23);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 400; ++i) {
+    Vector x(8);
+    for (auto& v : x) v = rng.Uniform(-1, 1);
+    xs.push_back(x);
+    ys.push_back(10.0 * x[2] + 3.0 * x[5] + 0.5 * x[7] +
+                 rng.Normal(0, 0.05));
+  }
+  auto order = LassoImportanceOrder(xs, ys);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ((*order)[0], 2u);
+  EXPECT_EQ((*order)[1], 5u);
+  EXPECT_EQ(order->size(), 8u);
+}
+
+TEST(LinearModelTest, RejectsBadInput) {
+  EXPECT_FALSE(FitRidge({}, {}, 1.0).ok());
+  EXPECT_FALSE(FitRidge({{1.0}}, {1.0, 2.0}, 1.0).ok());
+  EXPECT_FALSE(FitLasso({{1.0}, {2.0}}, {1.0, 2.0}, -1.0).ok());
+}
+
+// ---------------------------------------------------------------- KMeans --
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  Rng rng(31);
+  std::vector<Vector> points;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      points.push_back({c * 10.0 + rng.Normal(0, 0.5),
+                        c * 10.0 + rng.Normal(0, 0.5)});
+    }
+  }
+  auto result = KMeans(points, 3, KMeansOptions{}, &rng);
+  ASSERT_TRUE(result.ok());
+  // All points in the same generated cluster must share an assignment.
+  for (int c = 0; c < 3; ++c) {
+    const size_t base = static_cast<size_t>(c) * 30;
+    for (size_t i = 1; i < 30; ++i) {
+      EXPECT_EQ(result->assignment[base + i], result->assignment[base]);
+    }
+  }
+  EXPECT_GT(SilhouetteScore(points, result->assignment, 3), 0.8);
+}
+
+TEST(KMeansTest, KEqualsOneClusterEverything) {
+  Rng rng(37);
+  std::vector<Vector> points = {{0.0}, {1.0}, {2.0}};
+  auto result = KMeans(points, 1, KMeansOptions{}, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->centroids[0][0], 1.0, 1e-9);
+}
+
+TEST(KMeansTest, RejectsInvalidK) {
+  Rng rng(41);
+  std::vector<Vector> points = {{0.0}, {1.0}};
+  EXPECT_FALSE(KMeans(points, 0, KMeansOptions{}, &rng).ok());
+  EXPECT_FALSE(KMeans(points, 3, KMeansOptions{}, &rng).ok());
+  EXPECT_FALSE(KMeans({}, 1, KMeansOptions{}, &rng).ok());
+}
+
+TEST(KMeansTest, NearestCentroidPicksClosest) {
+  std::vector<Vector> centroids = {{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_EQ(NearestCentroid(centroids, {1.0, 1.0}), 0u);
+  EXPECT_EQ(NearestCentroid(centroids, {9.0, 9.0}), 1u);
+}
+
+// ------------------------------------------------------------ Projection --
+
+class ProjectionPropertyTest
+    : public ::testing::TestWithParam<RandomProjection::Kind> {};
+
+TEST_P(ProjectionPropertyTest, MapsIntoUnitCube) {
+  Rng rng(43);
+  auto proj = RandomProjection::Create(GetParam(), 4, 20, &rng);
+  ASSERT_TRUE(proj.ok());
+  for (int trial = 0; trial < 200; ++trial) {
+    Vector low(4);
+    for (auto& v : low) v = rng.Uniform();
+    Vector high = proj->Up(low);
+    ASSERT_EQ(high.size(), 20u);
+    for (double v : high) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST_P(ProjectionPropertyTest, IsDeterministic) {
+  Rng rng(47);
+  auto proj = RandomProjection::Create(GetParam(), 3, 10, &rng);
+  ASSERT_TRUE(proj.ok());
+  Vector low = {0.2, 0.8, 0.5};
+  EXPECT_EQ(proj->Up(low), proj->Up(low));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ProjectionPropertyTest,
+                         ::testing::Values(RandomProjection::Kind::kGaussian,
+                                           RandomProjection::Kind::kHesbo));
+
+TEST(ProjectionTest, HesboCoversAllLowDims) {
+  Rng rng(53);
+  auto proj =
+      RandomProjection::Create(RandomProjection::Kind::kHesbo, 2, 8, &rng);
+  ASSERT_TRUE(proj.ok());
+  // Moving a low dim must move at least one high dim (surjectivity onto
+  // low-dim influence).
+  Vector a = {0.1, 0.5};
+  Vector b = {0.9, 0.5};
+  EXPECT_NE(proj->Up(a), proj->Up(b));
+  Vector c = {0.1, 0.9};
+  EXPECT_NE(proj->Up(a), proj->Up(c));
+}
+
+TEST(ProjectionTest, RejectsBadDims) {
+  Rng rng(59);
+  EXPECT_FALSE(
+      RandomProjection::Create(RandomProjection::Kind::kGaussian, 5, 3, &rng)
+          .ok());
+  EXPECT_FALSE(
+      RandomProjection::Create(RandomProjection::Kind::kGaussian, 0, 3, &rng)
+          .ok());
+}
+
+
+// ------------------------------------------------------------------- PCA --
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Data lies along the direction (1, 1)/sqrt(2) with tiny orthogonal
+  // noise: the first component must align with it.
+  Rng rng(71);
+  std::vector<Vector> data;
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.Normal(0.0, 3.0);
+    const double eps = rng.Normal(0.0, 0.05);
+    data.push_back({t + eps, t - eps});
+  }
+  auto pca = Pca::Fit(data, 2);
+  ASSERT_TRUE(pca.ok());
+  // First component ~ (1,1)/sqrt(2) up to sign.
+  const Vector projected = pca->Transform({1.0, 1.0});
+  EXPECT_GT(std::abs(projected[0]), 1.2);   // Strong on PC1.
+  EXPECT_LT(std::abs(projected[1]), 0.05);  // Nothing on PC2.
+  // Variance ordering.
+  EXPECT_GT(pca->explained_variance()[0],
+            10.0 * pca->explained_variance()[1]);
+}
+
+TEST(PcaTest, ReconstructionErrorSmallWithAllComponents) {
+  Rng rng(73);
+  std::vector<Vector> data;
+  for (int i = 0; i < 50; ++i) {
+    data.push_back({rng.Uniform(), rng.Uniform(), rng.Uniform()});
+  }
+  auto pca = Pca::Fit(data, 3);
+  ASSERT_TRUE(pca.ok());
+  for (int i = 0; i < 10; ++i) {
+    const Vector& x = data[static_cast<size_t>(i)];
+    const Vector rebuilt = pca->InverseTransform(pca->Transform(x));
+    for (size_t j = 0; j < 3; ++j) EXPECT_NEAR(rebuilt[j], x[j], 1e-6);
+  }
+}
+
+TEST(PcaTest, RejectsBadInput) {
+  EXPECT_FALSE(Pca::Fit({{1.0}}, 1).ok());               // One row.
+  EXPECT_FALSE(Pca::Fit({{1.0}, {2.0}}, 2).ok());        // k > dim.
+  EXPECT_FALSE(Pca::Fit({{1.0, 2.0}, {3.0}}, 1).ok());   // Ragged.
+}
+
+// ----------------------------------------------------------- Quasirandom --
+
+TEST(HaltonTest, PointsInUnitCube) {
+  HaltonSequence seq(5);
+  for (int i = 0; i < 100; ++i) {
+    Vector p = seq.Next();
+    ASSERT_EQ(p.size(), 5u);
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(HaltonTest, BetterCoverageThanFirstDimensionClumping) {
+  // The 1-D Halton sequence (base 2) has discrepancy far below random:
+  // 64 points must hit all 8 equal bins exactly 8 times.
+  HaltonSequence seq(1, /*skip=*/0);
+  std::vector<int> bins(8, 0);
+  for (int i = 0; i < 64; ++i) {
+    ++bins[static_cast<size_t>(seq.Next()[0] * 8.0)];
+  }
+  for (int count : bins) EXPECT_EQ(count, 8);
+}
+
+TEST(HaltonTest, RadicalInverseKnownValues) {
+  EXPECT_DOUBLE_EQ(RadicalInverse(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(RadicalInverse(2, 2), 0.25);
+  EXPECT_DOUBLE_EQ(RadicalInverse(3, 2), 0.75);
+  EXPECT_DOUBLE_EQ(RadicalInverse(1, 3), 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace autotune

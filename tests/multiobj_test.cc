@@ -1,0 +1,209 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "multiobj/parego.h"
+#include "multiobj/pareto.h"
+#include "space/config_space.h"
+
+namespace autotune {
+namespace {
+
+// ---------------------------------------------------------------- Pareto --
+
+TEST(ParetoTest, DominanceBasics) {
+  EXPECT_TRUE(Dominates({1.0, 1.0}, {2.0, 2.0}));
+  EXPECT_TRUE(Dominates({1.0, 2.0}, {1.0, 3.0}));
+  EXPECT_FALSE(Dominates({1.0, 2.0}, {2.0, 1.0}));  // Incomparable.
+  EXPECT_FALSE(Dominates({1.0, 1.0}, {1.0, 1.0}));  // Equal: not strict.
+}
+
+TEST(ParetoTest, FrontierExcludesDominated) {
+  std::vector<Vector> points = {
+      {1.0, 5.0}, {2.0, 4.0}, {3.0, 3.0}, {2.5, 4.5}, {5.0, 1.0},
+  };
+  auto frontier = ParetoFrontier(points);
+  std::set<size_t> expected = {0, 1, 2, 4};  // (2.5, 4.5) is dominated.
+  EXPECT_EQ(std::set<size_t>(frontier.begin(), frontier.end()), expected);
+}
+
+// Property: no frontier point dominates another, and every non-frontier
+// point is dominated by some frontier point — across random point sets.
+class ParetoPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParetoPropertyTest, FrontierInvariants) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<Vector> points;
+  for (int i = 0; i < 60; ++i) {
+    points.push_back({rng.Uniform(), rng.Uniform(), rng.Uniform()});
+  }
+  auto frontier = ParetoFrontier(points);
+  ASSERT_FALSE(frontier.empty());
+  std::set<size_t> on_frontier(frontier.begin(), frontier.end());
+  for (size_t a : frontier) {
+    for (size_t b : frontier) {
+      if (a != b) EXPECT_FALSE(Dominates(points[a], points[b]));
+    }
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (on_frontier.count(i) > 0) continue;
+    bool dominated = false;
+    for (size_t f : frontier) {
+      if (Dominates(points[f], points[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated) << "point " << i;
+  }
+}
+
+TEST_P(ParetoPropertyTest, ArchiveMatchesBatchFrontierAnyOrder) {
+  Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+  std::vector<Vector> points;
+  for (int i = 0; i < 40; ++i) {
+    points.push_back({rng.Uniform(), rng.Uniform()});
+  }
+  auto frontier_indices = ParetoFrontier(points);
+  std::set<std::pair<double, double>> expected;
+  for (size_t i : frontier_indices) {
+    expected.insert({points[i][0], points[i][1]});
+  }
+  // Insert in a shuffled order; the archive must converge to the same set.
+  std::vector<Vector> shuffled = points;
+  rng.Shuffle(&shuffled);
+  ParetoArchive archive;
+  for (const auto& p : shuffled) archive.Insert(p);
+  std::set<std::pair<double, double>> actual;
+  for (const auto& p : archive.points()) actual.insert({p[0], p[1]});
+  EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ParetoArchiveTest, RejectsDominatedAndDuplicates) {
+  ParetoArchive archive;
+  EXPECT_TRUE(archive.Insert({1.0, 2.0}));
+  EXPECT_FALSE(archive.Insert({1.0, 2.0}));  // Duplicate.
+  EXPECT_FALSE(archive.Insert({2.0, 3.0}));  // Dominated.
+  EXPECT_TRUE(archive.Insert({0.5, 3.0}));   // Incomparable.
+  EXPECT_TRUE(archive.Insert({0.1, 0.1}));   // Dominates everything.
+  EXPECT_EQ(archive.size(), 1u);
+}
+
+// ------------------------------------------------------------ Hypervolume --
+
+TEST(HypervolumeTest, SinglePointRectangle) {
+  auto hv = Hypervolume2D({{1.0, 1.0}}, {3.0, 3.0});
+  ASSERT_TRUE(hv.ok());
+  EXPECT_DOUBLE_EQ(*hv, 4.0);
+}
+
+TEST(HypervolumeTest, StaircaseUnion) {
+  auto hv = Hypervolume2D({{1.0, 2.0}, {2.0, 1.0}}, {3.0, 3.0});
+  ASSERT_TRUE(hv.ok());
+  // Two 2x1 rectangles overlapping in a 1x1 square: 2 + 2 - 1 = 3.
+  EXPECT_DOUBLE_EQ(*hv, 3.0);
+}
+
+TEST(HypervolumeTest, DominatedPointAddsNothing) {
+  auto with = Hypervolume2D({{1.0, 1.0}, {2.0, 2.0}}, {3.0, 3.0});
+  auto without = Hypervolume2D({{1.0, 1.0}}, {3.0, 3.0});
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_DOUBLE_EQ(*with, *without);
+}
+
+TEST(HypervolumeTest, RejectsBadInput) {
+  EXPECT_FALSE(Hypervolume2D({{5.0, 1.0}}, {3.0, 3.0}).ok());  // Outside.
+  EXPECT_FALSE(Hypervolume2D({{1.0, 1.0, 1.0}}, {3.0, 3.0}).ok());
+  auto empty = Hypervolume2D({}, {3.0, 3.0});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_DOUBLE_EQ(*empty, 0.0);
+}
+
+// --------------------------------------------------------- Scalarization --
+
+TEST(ScalarizationTest, LinearIsWeightedMean) {
+  EXPECT_DOUBLE_EQ(LinearScalarization({2.0, 4.0}, {1.0, 1.0}), 3.0);
+  EXPECT_DOUBLE_EQ(LinearScalarization({2.0, 4.0}, {3.0, 1.0}), 2.5);
+}
+
+TEST(ScalarizationTest, TchebycheffConsistentWithDominance) {
+  // If a dominates b, every scalarization must rank a no worse.
+  Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    Vector a = {rng.Uniform(), rng.Uniform()};
+    Vector b = {a[0] + rng.Uniform(0.0, 0.5), a[1] + rng.Uniform(0.0, 0.5)};
+    Vector w = {rng.Uniform(0.1, 1.0), rng.Uniform(0.1, 1.0)};
+    EXPECT_LE(TchebycheffScalarization(a, w),
+              TchebycheffScalarization(b, w) + 1e-12);
+    EXPECT_LE(LinearScalarization(a, w), LinearScalarization(b, w) + 1e-12);
+  }
+}
+
+// ----------------------------------------------------------------- ParEGO --
+
+// A 2-objective toy problem with a known trade-off: f1 = x, f2 = 1 - x
+// (plus curvature): the frontier spans x in [0, 1].
+Vector ToyObjectives(double x, double y) {
+  const double f1 = x * x + 0.05 * y;
+  const double f2 = (1.0 - x) * (1.0 - x) + 0.05 * y;
+  return {f1, f2};
+}
+
+TEST(ParEgoTest, FindsSpreadOfTradeoffs) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  space.AddOrDie(ParameterSpec::Float("y", 0.0, 1.0));
+  ParEgoOptimizer parego(&space, 3, 2);
+  for (int i = 0; i < 40; ++i) {
+    auto config = parego.Suggest();
+    ASSERT_TRUE(config.ok());
+    ASSERT_TRUE(parego
+                    .Observe(*config, ToyObjectives(config->GetDouble("x"),
+                                                    config->GetDouble("y")))
+                    .ok());
+  }
+  // The archive should hold several incomparable trade-offs spanning the
+  // frontier, with decent hypervolume.
+  EXPECT_GE(parego.archive().size(), 4u);
+  auto hv = Hypervolume2D(parego.archive().points(), {1.2, 1.2});
+  ASSERT_TRUE(hv.ok()) << hv.status().ToString();
+  EXPECT_GT(*hv, 0.9);  // Ideal frontier is ~1.15 vs this reference.
+}
+
+TEST(LinearScalarizationOptimizerTest, ConvergesToOneTradeoff) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  space.AddOrDie(ParameterSpec::Float("y", 0.0, 1.0));
+  LinearScalarizationOptimizer opt(&space, 5, {1.0, 1.0});
+  double best_scalar = 1e18;
+  for (int i = 0; i < 30; ++i) {
+    auto config = opt.Suggest();
+    ASSERT_TRUE(config.ok());
+    Vector objectives = ToyObjectives(config->GetDouble("x"),
+                                      config->GetDouble("y"));
+    best_scalar = std::min(best_scalar,
+                           LinearScalarization(objectives, {1.0, 1.0}));
+    ASSERT_TRUE(opt.Observe(*config, objectives).ok());
+  }
+  // Equal weights: optimum near x = 0.5, y = 0 -> scalar ~0.25.
+  EXPECT_LT(best_scalar, 0.32);
+}
+
+TEST(ParEgoTest, RejectsWrongObjectiveCount) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  ParEgoOptimizer parego(&space, 7, 2);
+  auto config = parego.Suggest();
+  ASSERT_TRUE(config.ok());
+  EXPECT_FALSE(parego.Observe(*config, {1.0}).ok());
+  EXPECT_FALSE(parego.Observe(*config, {1.0, 2.0, 3.0}).ok());
+}
+
+}  // namespace
+}  // namespace autotune

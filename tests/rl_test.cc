@@ -1,0 +1,322 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rl/contextual_bandit.h"
+#include "rl/online_agent.h"
+#include "rl/online_tune.h"
+#include "rl/qlearning.h"
+#include "sim/db_env.h"
+
+namespace autotune {
+namespace rl {
+namespace {
+
+// ----------------------------------------------------------- Q-learning --
+
+// A 5-state corridor: start at 2, action 0 = left, 1 = right; reaching
+// state 4 pays +1, state 0 pays -1. Optimal policy: always right.
+struct Corridor {
+  size_t state = 2;
+  double Step(int action) {
+    state = action == 1 ? state + 1 : state - 1;
+    if (state == 4) return 1.0;
+    if (state == 0) return -1.0;
+    return -0.01;
+  }
+  bool done() const { return state == 0 || state == 4; }
+};
+
+TEST(QLearningTest, LearnsCorridorPolicy) {
+  TabularRlOptions options;
+  options.epsilon = 0.3;
+  QLearningAgent agent(5, 2, 7, options);
+  for (int episode = 0; episode < 300; ++episode) {
+    Corridor env;
+    while (!env.done()) {
+      const size_t s = env.state;
+      const int a = agent.ChooseAction(s);
+      const double r = env.Step(a);
+      agent.Update(s, a, r, env.state);
+    }
+  }
+  // Greedy policy from every interior state must be "right".
+  for (size_t s = 1; s <= 3; ++s) {
+    EXPECT_EQ(agent.GreedyAction(s), 1) << "state " << s;
+    EXPECT_GT(agent.Q(s, 1), agent.Q(s, 0));
+  }
+}
+
+TEST(QLearningTest, SarsaAlsoLearnsCorridor) {
+  TabularRlOptions options;
+  QLearningAgent agent(5, 2, 11, options);
+  for (int episode = 0; episode < 400; ++episode) {
+    Corridor env;
+    size_t s = env.state;
+    int a = agent.ChooseAction(s);
+    while (!env.done()) {
+      const double r = env.Step(a);
+      const size_t s2 = env.state;
+      const int a2 = agent.ChooseAction(s2);
+      agent.UpdateSarsa(s, a, r, s2, a2);
+      s = s2;
+      a = a2;
+    }
+  }
+  EXPECT_EQ(agent.GreedyAction(2), 1);
+}
+
+TEST(QLearningTest, EpsilonDecays) {
+  TabularRlOptions options;
+  options.epsilon = 0.5;
+  options.epsilon_min = 0.05;
+  QLearningAgent agent(2, 2, 13, options);
+  for (int i = 0; i < 2000; ++i) agent.Update(0, 0, 0.0, 1);
+  EXPECT_NEAR(agent.epsilon(), 0.05, 1e-9);
+}
+
+// ----------------------------------------------------------- ActorCritic --
+
+TEST(ActorCriticTest, LearnsBanditPreference) {
+  // Single-state 2-armed bandit via function approximation: action 1 pays
+  // more; the policy must concentrate on it.
+  ActorCriticAgent agent(1, 2, 17);
+  const std::vector<double> features = {1.0};
+  Rng rng(19);
+  for (int i = 0; i < 2000; ++i) {
+    const int action = agent.ChooseAction(features);
+    const double reward =
+        action == 1 ? rng.Normal(1.0, 0.1) : rng.Normal(0.2, 0.1);
+    agent.Update(features, action, reward, features);
+  }
+  EXPECT_EQ(agent.GreedyAction(features), 1);
+  EXPECT_GT(agent.Policy(features)[1], 0.8);
+  // Critic's value should approach the exploited arm's payoff.
+  EXPECT_GT(agent.Value(features), 0.5);
+}
+
+TEST(ActorCriticTest, PolicyIsDistribution) {
+  ActorCriticAgent agent(3, 4, 23);
+  const std::vector<double> features = {0.2, -1.0, 0.5};
+  auto pi = agent.Policy(features);
+  ASSERT_EQ(pi.size(), 4u);
+  double total = 0.0;
+  for (double p : pi) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+// ----------------------------------------------------- OnlineTuningAgent --
+
+TEST(OnlineAgentTest, ImprovesDbOverTime) {
+  sim::DbEnvOptions env_options;
+  env_options.workload = workload::YcsbA();
+  env_options.noise.run_noise_frac = 0.01;
+  env_options.noise.spike_prob = 0.0;
+  env_options.noise.machine_speed_stddev = 0.0;
+  env_options.noise.outlier_machine_prob = 0.0;
+  sim::DbEnv env(env_options);
+
+  OnlineAgentOptions options;
+  options.knobs = {"buffer_pool_mb", "worker_threads", "log_buffer_kb"};
+  options.rl.epsilon = 0.4;
+  OnlineTuningAgent agent(&env, options, 31);
+
+  double early = 0.0;
+  double late = 0.0;
+  const int total_steps = 400;
+  for (int step = 0; step < total_steps; ++step) {
+    auto result = agent.Step();
+    if (step < 50) early += result.objective;
+    if (step >= total_steps - 50) late += result.objective;
+  }
+  // The agent should have walked the knobs toward a better region.
+  EXPECT_LT(late, early);
+  EXPECT_EQ(agent.steps(), total_steps);
+}
+
+TEST(OnlineAgentTest, ResetToRestoresConfig) {
+  sim::DbEnvOptions env_options;
+  env_options.deterministic = true;
+  sim::DbEnv env(env_options);
+  OnlineAgentOptions options;
+  options.knobs = {"buffer_pool_mb"};
+  OnlineTuningAgent agent(&env, options, 37);
+  const Configuration baseline = env.space().Default();
+  for (int i = 0; i < 20; ++i) agent.Step();
+  agent.ResetTo(baseline);
+  EXPECT_TRUE(agent.current_config() == baseline);
+}
+
+// --------------------------------------------------------- SafetyGuardrail --
+
+TEST(SafetyGuardrailTest, RollsBackAfterConsecutiveRegressions) {
+  GuardrailOptions options;
+  options.regression_threshold = 1.5;
+  options.window = 3;
+  SafetyGuardrail guardrail(10.0, options);
+  EXPECT_FALSE(guardrail.ShouldRollback(11.0));  // Within threshold.
+  EXPECT_FALSE(guardrail.ShouldRollback(16.0));  // Regression 1.
+  EXPECT_FALSE(guardrail.ShouldRollback(16.0));  // Regression 2.
+  EXPECT_TRUE(guardrail.ShouldRollback(16.0));   // Regression 3 -> rollback.
+  EXPECT_EQ(guardrail.regressions(), 3);
+  EXPECT_EQ(guardrail.rollbacks(), 1);
+}
+
+TEST(SafetyGuardrailTest, GoodObservationResetsWindow) {
+  GuardrailOptions options;
+  options.window = 2;
+  SafetyGuardrail guardrail(10.0, options);
+  EXPECT_FALSE(guardrail.ShouldRollback(20.0));
+  EXPECT_FALSE(guardrail.ShouldRollback(9.0));   // Resets.
+  EXPECT_FALSE(guardrail.ShouldRollback(20.0));
+  EXPECT_TRUE(guardrail.ShouldRollback(20.0));
+}
+
+TEST(SafetyGuardrailTest, BaselineUpdates) {
+  SafetyGuardrail guardrail(10.0);
+  guardrail.UpdateBaseline(5.0);
+  EXPECT_DOUBLE_EQ(guardrail.baseline(), 5.0);
+  // 10 > 5 * 1.3 now counts as a regression.
+  guardrail.ShouldRollback(10.0);
+  EXPECT_EQ(guardrail.regressions(), 1);
+}
+
+// -------------------------------------------------------- ContextualBandit --
+
+TEST(ContextualBanditTest, LearnsPerContextOptima) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Categorical("mode", {"a", "b"}));
+  std::vector<Configuration> arms = space.Grid(1);
+  ASSERT_EQ(arms.size(), 2u);
+  ContextualBandit bandit(&space, 41, arms, 2);
+  Rng noise(43);
+  // Context 0: arm "a" is best; context 1: arm "b" is best.
+  for (int i = 0; i < 200; ++i) {
+    for (size_t context = 0; context < 2; ++context) {
+      auto config = bandit.Suggest(context);
+      ASSERT_TRUE(config.ok());
+      const bool is_a = config->GetCategory("mode") == "a";
+      const bool best = (context == 0) == is_a;
+      ASSERT_TRUE(bandit
+                      .Observe(context, *config,
+                               (best ? 1.0 : 2.0) + noise.Normal(0, 0.2))
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(bandit.bandit(0).best().has_value());
+  EXPECT_EQ(bandit.bandit(0).best()->config.GetCategory("mode"), "a");
+  EXPECT_EQ(bandit.bandit(1).best()->config.GetCategory("mode"), "b");
+}
+
+TEST(ContextualBanditTest, RejectsBadContext) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Bool("flag"));
+  ContextualBandit bandit(&space, 47, space.Grid(1), 2);
+  EXPECT_FALSE(bandit.Suggest(5).ok());
+}
+
+
+// ------------------------------------------------------ OnlineTuneOptimizer --
+
+TEST(OnlineTuneTest, RequiresBaselineAndValidContext) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  OnlineTuneOptimizer tuner(&space, 3, /*context_dim=*/1);
+  EXPECT_FALSE(tuner.Suggest({0.5}).ok());  // No baseline yet.
+  tuner.SetBaseline(space.Default(), 1.0);
+  EXPECT_FALSE(tuner.Suggest({0.5, 0.5}).ok());  // Wrong context dim.
+  EXPECT_TRUE(tuner.Suggest({0.5}).ok());
+}
+
+TEST(OnlineTuneTest, ImprovesSafelyOnQuadratic) {
+  // Objective: (x - 0.7)^2 + 0.2; default x = 0.5 scores 0.24. The safe
+  // tuner must creep toward 0.7 while rarely exceeding 1.3x the baseline
+  // (which would require |x - 0.7| > ~0.33, i.e. jumping far left).
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  auto objective = [](const Configuration& c) {
+    const double x = c.GetDouble("x");
+    return (x - 0.7) * (x - 0.7) + 0.2;
+  };
+  OnlineTuneOptimizer tuner(&space, 5, /*context_dim=*/0);
+  const Configuration start = space.Default();
+  tuner.SetBaseline(start, objective(start));
+  int violations = 0;
+  double best = 1e18;
+  for (int step = 0; step < 60; ++step) {
+    auto config = tuner.Suggest({});
+    ASSERT_TRUE(config.ok());
+    const double value = objective(*config);
+    if (value > objective(start) * 1.3) ++violations;
+    best = std::min(best, value);
+    ASSERT_TRUE(tuner.Observe(*config, {}, value).ok());
+  }
+  EXPECT_LT(best, 0.215);     // Reached the optimum basin.
+  EXPECT_LE(violations, 3);   // And stayed safe while doing it.
+  EXPECT_NEAR(tuner.incumbent().GetDouble("x"), 0.7, 0.1);
+}
+
+TEST(OnlineTuneTest, FallsBackToIncumbentWhenNothingIsSafe) {
+  // A cliff objective: everything except a tiny region around the default
+  // is catastrophically bad. Once the model sees a few cliff samples, the
+  // safety gate should start rejecting candidates and fall back.
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  auto objective = [](const Configuration& c) {
+    const double x = c.GetDouble("x");
+    return std::abs(x - 0.5) < 0.05 ? 1.0 : 50.0;
+  };
+  OnlineTuneOptions options;
+  options.trust_region = 0.4;  // Big region: plenty of unsafe candidates.
+  OnlineTuneOptimizer tuner(&space, 7, 0, options);
+  tuner.SetBaseline(space.Default(), 1.0);
+  for (int step = 0; step < 40; ++step) {
+    auto config = tuner.Suggest({});
+    ASSERT_TRUE(config.ok());
+    ASSERT_TRUE(tuner.Observe(*config, {}, objective(*config)).ok());
+  }
+  EXPECT_GT(tuner.suggestions_rejected_unsafe(), 50);
+  // The incumbent never leaves the safe plateau.
+  EXPECT_NEAR(tuner.incumbent().GetDouble("x"), 0.5, 0.06);
+}
+
+TEST(OnlineTuneTest, ContextSeparatesRegimes) {
+  // The optimum depends on the context bit: ctx=0 -> x near 0.2,
+  // ctx=1 -> x near 0.8. One contextual tuner must learn both.
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  auto objective = [](double x, double ctx) {
+    const double target = ctx < 0.5 ? 0.2 : 0.8;
+    return (x - target) * (x - target) + 0.1;
+  };
+  OnlineTuneOptions options;
+  options.trust_region = 0.3;
+  options.safety_threshold = 3.0;  // Loose: this test is about context.
+  OnlineTuneOptimizer tuner(&space, 11, /*context_dim=*/1, options);
+  tuner.SetBaseline(space.Default(), objective(0.5, 0.0));
+  double best_ctx0 = 1e18;
+  double best_ctx1 = 1e18;
+  for (int step = 0; step < 120; ++step) {
+    const double ctx = (step % 2 == 0) ? 0.0 : 1.0;
+    auto config = tuner.Suggest({ctx});
+    ASSERT_TRUE(config.ok());
+    const double value = objective(config->GetDouble("x"), ctx);
+    if (ctx < 0.5) {
+      best_ctx0 = std::min(best_ctx0, value);
+    } else {
+      best_ctx1 = std::min(best_ctx1, value);
+    }
+    ASSERT_TRUE(tuner.Observe(*config, {ctx}, value).ok());
+  }
+  // Both regimes explored well below the context-blind best (~0.19).
+  EXPECT_LT(best_ctx0, 0.15);
+  EXPECT_LT(best_ctx1, 0.15);
+}
+
+}  // namespace
+}  // namespace rl
+}  // namespace autotune

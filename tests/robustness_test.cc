@@ -1,0 +1,287 @@
+// Robustness and property sweeps: randomized config-space round trips,
+// trial-runner aggregation policies, duet under crashes, GP noise-grid
+// fitting, and assorted edge cases that the per-module tests do not sweep.
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/trial_runner.h"
+#include "fidelity/multi_fidelity.h"
+#include "optimizers/random_search.h"
+#include "sim/test_functions.h"
+#include "space/config_space.h"
+#include "space/encoding.h"
+#include "surrogate/gaussian_process.h"
+
+namespace autotune {
+namespace {
+
+// ------------------------------------------- Randomized space round trips --
+
+// Builds a random configuration space with a mix of parameter kinds.
+std::unique_ptr<ConfigSpace> RandomSpace(uint64_t seed, size_t* num_params) {
+  Rng rng(seed);
+  auto space = std::make_unique<ConfigSpace>();
+  const int n = static_cast<int>(rng.UniformInt(2, 8));
+  for (int i = 0; i < n; ++i) {
+    const std::string name = "p" + std::to_string(i);
+    switch (rng.UniformInt(0, 3)) {
+      case 0: {
+        const double lo = rng.Uniform(-100.0, 100.0);
+        ParameterSpec spec =
+            *ParameterSpec::Float(name, lo, lo + rng.Uniform(0.5, 200.0));
+        if (rng.Bernoulli(0.3) && spec.min() > 0.0) spec.WithLogScale();
+        if (rng.Bernoulli(0.3)) {
+          spec.WithQuantization((spec.max() - spec.min()) /
+                                rng.UniformInt(2, 50));
+        }
+        space->AddOrDie(std::move(spec));
+        break;
+      }
+      case 1: {
+        const int64_t lo = rng.UniformInt(-1000, 1000);
+        ParameterSpec spec =
+            *ParameterSpec::Int(name, lo, lo + rng.UniformInt(1, 10000));
+        if (rng.Bernoulli(0.3) && spec.min() > 0.0) spec.WithLogScale();
+        space->AddOrDie(std::move(spec));
+        break;
+      }
+      case 2: {
+        std::vector<std::string> categories;
+        const int k = static_cast<int>(rng.UniformInt(2, 6));
+        for (int c = 0; c < k; ++c) {
+          categories.push_back("cat" + std::to_string(c));
+        }
+        space->AddOrDie(ParameterSpec::Categorical(name, categories));
+        break;
+      }
+      default:
+        space->AddOrDie(ParameterSpec::Bool(name));
+    }
+  }
+  *num_params = static_cast<size_t>(n);
+  return space;
+}
+
+class SpaceFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpaceFuzzTest, SampleToUnitFromUnitRoundTrips) {
+  size_t num_params = 0;
+  auto space = RandomSpace(GetParam(), &num_params);
+  ASSERT_EQ(space->size(), num_params);
+  Rng rng(GetParam() * 7919 + 1);
+  SpaceEncoder ordinal(space.get(), SpaceEncoder::CategoricalMode::kOrdinal);
+  SpaceEncoder onehot(space.get(), SpaceEncoder::CategoricalMode::kOneHot);
+  for (int i = 0; i < 50; ++i) {
+    Configuration config = space->Sample(&rng);
+    // Every sampled value validates.
+    for (size_t p = 0; p < space->size(); ++p) {
+      EXPECT_TRUE(space->param(p).Validate(config.ValueAt(p)).ok())
+          << space->param(p).name();
+    }
+    // Unit round trip is exact for quantized/int/categorical/bool values
+    // and within FP tolerance for continuous floats.
+    auto unit = space->ToUnit(config);
+    ASSERT_TRUE(unit.ok());
+    Configuration rebuilt = space->FromUnit(*unit);
+    for (size_t p = 0; p < space->size(); ++p) {
+      const ParamValue& a = config.ValueAt(p);
+      const ParamValue& b = rebuilt.ValueAt(p);
+      if (std::holds_alternative<double>(a) &&
+          space->param(p).quantization() == 0.0) {
+        EXPECT_NEAR(std::get<double>(a), std::get<double>(b),
+                    1e-7 * std::max(1.0, std::abs(std::get<double>(a))));
+      } else {
+        EXPECT_TRUE(ParamValueEquals(a, b))
+            << space->param(p).name() << ": " << ParamValueToString(a)
+            << " vs " << ParamValueToString(b);
+      }
+    }
+    // Encoders accept every sample and produce the declared dimensions.
+    auto e1 = ordinal.Encode(config);
+    auto e2 = onehot.Encode(config);
+    ASSERT_TRUE(e1.ok());
+    ASSERT_TRUE(e2.ok());
+    EXPECT_EQ(e1->size(), ordinal.encoded_dim());
+    EXPECT_EQ(e2->size(), onehot.encoded_dim());
+  }
+}
+
+TEST_P(SpaceFuzzTest, CsvParseRoundTripsEveryParameter) {
+  size_t num_params = 0;
+  auto space = RandomSpace(GetParam() + 500, &num_params);
+  Rng rng(GetParam() * 31 + 2);
+  for (int i = 0; i < 20; ++i) {
+    Configuration config = space->Sample(&rng);
+    for (size_t p = 0; p < space->size(); ++p) {
+      const std::string text = ParamValueToString(config.ValueAt(p));
+      auto parsed = space->param(p).Parse(text);
+      ASSERT_TRUE(parsed.ok())
+          << space->param(p).name() << " <- '" << text << "'";
+      EXPECT_TRUE(ParamValueEquals(*parsed, config.ValueAt(p)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpaceFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ------------------------------------------------ Aggregation policy sweep --
+
+class AggregationTest : public ::testing::TestWithParam<Aggregation> {};
+
+TEST_P(AggregationTest, MatchesDirectStatistic) {
+  // An environment returning a deterministic sequence 1, 2, ..., reps.
+  class SequenceEnv : public Environment {
+   public:
+    SequenceEnv() { space_.AddOrDie(ParameterSpec::Float("x", 0, 1)); }
+    std::string name() const override { return "seq"; }
+    const ConfigSpace& space() const override { return space_; }
+    BenchmarkResult Run(const Configuration&, double, Rng*) override {
+      BenchmarkResult result;
+      result.metrics["value"] = static_cast<double>(++calls_);
+      return result;
+    }
+    std::string objective_metric() const override { return "value"; }
+    ConfigSpace space_;
+    int calls_ = 0;
+  };
+  SequenceEnv env;
+  TrialRunnerOptions options;
+  options.repetitions = 5;
+  options.aggregation = GetParam();
+  TrialRunner runner(&env, options, 1);
+  Observation obs = runner.Evaluate(env.space_.Default());
+  const std::vector<double> values = {1, 2, 3, 4, 5};
+  double expected = 0.0;
+  switch (GetParam()) {
+    case Aggregation::kMean:
+      expected = 3.0;
+      break;
+    case Aggregation::kMedian:
+      expected = 3.0;
+      break;
+    case Aggregation::kMin:
+      expected = 1.0;
+      break;
+    case Aggregation::kMax:
+      expected = 5.0;
+      break;
+  }
+  EXPECT_DOUBLE_EQ(obs.objective, expected);
+  EXPECT_EQ(obs.repetitions, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, AggregationTest,
+                         ::testing::Values(Aggregation::kMean,
+                                           Aggregation::kMedian,
+                                           Aggregation::kMin,
+                                           Aggregation::kMax));
+
+// ------------------------------------------------------- Duet with crashes --
+
+TEST(DuetRobustnessTest, CrashOnEitherSideFails) {
+  class CrashyEnv : public Environment {
+   public:
+    CrashyEnv() { space_.AddOrDie(ParameterSpec::Float("x", 0, 1)); }
+    std::string name() const override { return "crashy"; }
+    const ConfigSpace& space() const override { return space_; }
+    BenchmarkResult Run(const Configuration& config, double,
+                        Rng*) override {
+      BenchmarkResult result;
+      if (config.GetDouble("x") > 0.9) {
+        result.crashed = true;
+        return result;
+      }
+      result.metrics["value"] = config.GetDouble("x");
+      return result;
+    }
+    std::string objective_metric() const override { return "value"; }
+    ConfigSpace space_;
+  };
+  CrashyEnv env;
+  TrialRunner runner(&env, TrialRunnerOptions{}, 3);
+  auto safe = env.space_.Make({{"x", ParamValue(0.5)}});
+  auto crash = env.space_.Make({{"x", ParamValue(0.95)}});
+  ASSERT_TRUE(safe.ok());
+  ASSERT_TRUE(crash.ok());
+  EXPECT_TRUE(runner.EvaluateDuet(*crash, *safe).failed);
+  EXPECT_TRUE(runner.EvaluateDuet(*safe, *crash).failed);
+  EXPECT_FALSE(runner.EvaluateDuet(*safe, *safe).failed);
+}
+
+// --------------------------------------------------------- GP noise grid --
+
+TEST(GpNoiseGridTest, JointFitPrefersTrueNoiseLevel) {
+  // Noisy observations of a smooth function: jointly fitting the noise
+  // level must not collapse to the near-interpolating tiny-noise model.
+  Rng rng(41);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 30; ++i) {
+    const double x = i / 29.0;
+    xs.push_back({x});
+    ys.push_back(std::sin(4.0 * x) + rng.Normal(0.0, 0.3));
+  }
+  GpOptions options;
+  options.fit_length_scale = true;
+  options.noise_grid = {1e-6, 1e-3, 0.05, 0.2};
+  GaussianProcess gp(MakeMaternKernel(2.5, 0.3), options);
+  ASSERT_TRUE(gp.Fit(xs, ys).ok());
+  // Generalization against the TRUE function: must beat the forced
+  // tiny-noise interpolator.
+  GpOptions interpolate;
+  interpolate.fit_length_scale = true;
+  interpolate.noise_grid = {1e-8};
+  GaussianProcess gp_interp(MakeMaternKernel(2.5, 0.3), interpolate);
+  ASSERT_TRUE(gp_interp.Fit(xs, ys).ok());
+  double se_fit = 0.0;
+  double se_interp = 0.0;
+  for (double x = 0.01; x < 1.0; x += 0.02) {
+    const double truth = std::sin(4.0 * x);
+    se_fit += std::pow(gp.Predict({x}).mean - truth, 2);
+    se_interp += std::pow(gp_interp.Predict({x}).mean - truth, 2);
+  }
+  EXPECT_LT(se_fit, se_interp);
+}
+
+// -------------------------------------------- Multi-fidelity feed ablation --
+
+TEST(MultiFidelityFeedTest, DisablingFeedbackStillPromotes) {
+  sim::FunctionEnvironment env("sphere", 2, sim::Sphere);
+  TrialRunner runner(&env, TrialRunnerOptions{}, 5);
+  RandomSearch optimizer(&env.space(), 7);
+  MultiFidelityOptions options;
+  options.low_fidelity = 0.2;
+  options.low_fidelity_trials = 20;
+  options.promote_top_k = 3;
+  options.feed_low_fidelity_to_optimizer = false;
+  auto result = RunMultiFidelityTuning(&optimizer, &runner, options);
+  EXPECT_EQ(result.high_fidelity_trials, 3);
+  ASSERT_TRUE(result.best.has_value());
+  // Optimizer received nothing, but promotion still worked.
+  EXPECT_EQ(optimizer.num_observations(), 0u);
+}
+
+// ----------------------------------------------------------- Grid caps --
+
+TEST(GridCapTest, MaxPointsBoundsCartesianExplosion) {
+  ConfigSpace space;
+  for (int i = 0; i < 6; ++i) {
+    space.AddOrDie(ParameterSpec::Float("x" + std::to_string(i), 0, 1));
+  }
+  // 10^6 combinations, capped at 1000.
+  auto grid = space.Grid(10, 1000);
+  EXPECT_EQ(grid.size(), 1000u);
+  // All distinct.
+  std::set<std::string> unique;
+  for (const auto& config : grid) unique.insert(config.ToString());
+  EXPECT_EQ(unique.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace autotune

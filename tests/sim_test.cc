@@ -1,0 +1,491 @@
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/db_env.h"
+#include "sim/nginx_env.h"
+#include "sim/noise.h"
+#include "sim/redis_env.h"
+#include "sim/spark_env.h"
+#include "sim/test_functions.h"
+
+namespace autotune {
+namespace sim {
+namespace {
+
+// ------------------------------------------------------- Test functions --
+
+TEST(TestFunctionsTest, KnownOptima) {
+  // Branin global minimum ~0.397887 at (pi, 2.275) -> unit coords.
+  const double u0 = (M_PI + 5.0) / 15.0;
+  const double u1 = 2.275 / 15.0;
+  EXPECT_NEAR(Branin(u0, u1), 0.397887, 1e-4);
+  EXPECT_NEAR(Sphere({0.5, 0.5, 0.5}), 0.0, 1e-12);
+  EXPECT_NEAR(Rosenbrock({0.75, 0.75}), 0.0, 1e-9);  // x=y=1.
+  EXPECT_NEAR(Rastrigin({0.5, 0.5}), 0.0, 1e-9);
+  EXPECT_NEAR(Ackley({0.5, 0.5}), 0.0, 1e-9);
+}
+
+TEST(TestFunctionsTest, TutorialCurveShape) {
+  // Plateau on the left is high; the basin near 0.23 is the minimum; the
+  // curve rises again after the basin.
+  const double plateau = TutorialCurve1D(0.02);
+  const double basin = TutorialCurve1D(0.23);
+  const double tail = TutorialCurve1D(0.9);
+  EXPECT_GT(plateau, basin + 0.3);
+  EXPECT_GT(tail, basin + 0.2);
+  // The basin is a local minimum over a fine sweep.
+  double min_value = 1e9;
+  double min_u = 0.0;
+  for (double u = 0.0; u <= 1.0; u += 0.001) {
+    if (TutorialCurve1D(u) < min_value) {
+      min_value = TutorialCurve1D(u);
+      min_u = u;
+    }
+  }
+  EXPECT_NEAR(min_u, 0.23, 0.03);
+}
+
+// ------------------------------------------------------------ CloudNoise --
+
+TEST(CloudNoiseTest, MachineFactorIsDeterministic) {
+  CloudNoise noise(CloudNoiseOptions{}, 42);
+  EXPECT_DOUBLE_EQ(noise.MachineFactor(3), noise.MachineFactor(3));
+  // Machines differ.
+  bool any_different = false;
+  for (int m = 1; m < 10; ++m) {
+    if (std::abs(noise.MachineFactor(m) - noise.MachineFactor(0)) > 1e-6) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(CloudNoiseTest, SharedRngGivesIdenticalTransients) {
+  CloudNoise noise(CloudNoiseOptions{}, 42);
+  Rng shared(7);
+  Rng a = shared;
+  Rng b = shared;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(noise.ApplyToLatency(1.0, 0, &a),
+                     noise.ApplyToLatency(1.0, 0, &b));
+  }
+}
+
+TEST(CloudNoiseTest, NoiseIsMultiplicativeAroundOne) {
+  CloudNoiseOptions options;
+  options.machine_speed_stddev = 0.0;
+  options.outlier_machine_prob = 0.0;
+  options.spike_prob = 0.0;
+  options.run_noise_frac = 0.05;
+  CloudNoise noise(options, 1);
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += noise.ApplyToLatency(1.0, 0, &rng);
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+// ----------------------------------------------------------------- DbEnv --
+
+DbEnv MakeDeterministicDb(const workload::Workload& w) {
+  DbEnvOptions options;
+  options.workload = w;
+  options.deterministic = true;
+  return DbEnv(options);
+}
+
+TEST(DbEnvTest, DefaultConfigIsMediocre) {
+  DbEnv env = MakeDeterministicDb(workload::TpcC());
+  auto def = env.EvaluateModel(env.space().Default(), 1.0);
+  ASSERT_FALSE(def.crashed);
+  // A well-chosen config beats the default substantially on throughput.
+  auto tuned = env.space().Make({
+      {"buffer_pool_mb", ParamValue(int64_t{8192})},
+      {"worker_threads", ParamValue(int64_t{48})},
+      {"log_buffer_kb", ParamValue(int64_t{16384})},
+      {"io_threads", ParamValue(int64_t{16})},
+      {"flush_method", ParamValue(std::string("O_DIRECT"))},
+  });
+  ASSERT_TRUE(tuned.ok());
+  auto good = env.EvaluateModel(*tuned, 1.0);
+  ASSERT_FALSE(good.crashed);
+  EXPECT_GT(good.metrics.at("throughput_tps"),
+            2.0 * def.metrics.at("throughput_tps"));
+  EXPECT_LT(good.metrics.at("latency_p99_ms"),
+            def.metrics.at("latency_p99_ms"));
+}
+
+TEST(DbEnvTest, BufferPoolImprovesHitRate) {
+  DbEnv env = MakeDeterministicDb(workload::YcsbA());
+  auto small = env.space().Make({{"buffer_pool_mb", ParamValue(int64_t{64})}});
+  auto large =
+      env.space().Make({{"buffer_pool_mb", ParamValue(int64_t{8192})}});
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  auto r_small = env.EvaluateModel(*small, 1.0);
+  auto r_large = env.EvaluateModel(*large, 1.0);
+  EXPECT_LT(r_small.metrics.at("buffer_hit_rate"),
+            r_large.metrics.at("buffer_hit_rate"));
+  EXPECT_GT(r_small.metrics.at("latency_avg_ms"),
+            r_large.metrics.at("latency_avg_ms"));
+}
+
+TEST(DbEnvTest, OvercommittedMemoryCrashes) {
+  DbEnv env = MakeDeterministicDb(workload::TpcC());
+  auto oom = env.space().Make({
+      {"buffer_pool_mb", ParamValue(int64_t{12288})},
+      {"max_connections", ParamValue(int64_t{1024})},
+      {"work_mem_kb", ParamValue(int64_t{1048576})},
+  });
+  ASSERT_TRUE(oom.ok());
+  EXPECT_TRUE(env.EvaluateModel(*oom, 1.0).crashed);
+}
+
+TEST(DbEnvTest, JitHelpsScansHurtsOltp) {
+  // Scan-heavy (TPC-H): jit with a sane threshold reduces latency.
+  DbEnv tpch = MakeDeterministicDb(workload::TpcH());
+  auto jit_on = tpch.space().Make({{"jit", ParamValue(true)},
+                                   {"jit_above_cost", ParamValue(1e5)}});
+  auto jit_off = tpch.space().Make({{"jit", ParamValue(false)}});
+  ASSERT_TRUE(jit_on.ok());
+  ASSERT_TRUE(jit_off.ok());
+  EXPECT_LT(tpch.EvaluateModel(*jit_on, 1.0).metrics.at("latency_avg_ms"),
+            tpch.EvaluateModel(*jit_off, 1.0).metrics.at("latency_avg_ms"));
+  // OLTP point queries with an aggressive threshold: jit overhead hurts.
+  DbEnv ycsb = MakeDeterministicDb(workload::YcsbC());
+  auto jit_aggressive = ycsb.space().Make(
+      {{"jit", ParamValue(true)}, {"jit_above_cost", ParamValue(1500.0)}});
+  ASSERT_TRUE(jit_aggressive.ok());
+  EXPECT_GT(
+      ycsb.EvaluateModel(*jit_aggressive, 1.0).metrics.at("latency_avg_ms"),
+      ycsb.EvaluateModel(*jit_off, 1.0).metrics.at("latency_avg_ms"));
+}
+
+TEST(DbEnvTest, QueryCacheHelpsReadsHurtsWrites) {
+  auto qc_on = [](DbEnv& env) {
+    auto config = env.space().Make(
+        {{"query_cache_mb", ParamValue(int64_t{512})}});
+    EXPECT_TRUE(config.ok());
+    return env.EvaluateModel(*config, 1.0);
+  };
+  auto qc_off = [](DbEnv& env) {
+    auto config =
+        env.space().Make({{"query_cache_mb", ParamValue(int64_t{0})}});
+    EXPECT_TRUE(config.ok());
+    return env.EvaluateModel(*config, 1.0);
+  };
+  DbEnv readonly = MakeDeterministicDb(workload::YcsbC());
+  EXPECT_LT(qc_on(readonly).metrics.at("latency_avg_ms"),
+            qc_off(readonly).metrics.at("latency_avg_ms"));
+  DbEnv writeheavy = MakeDeterministicDb(workload::TpcC());
+  EXPECT_GT(qc_on(writeheavy).metrics.at("latency_avg_ms"),
+            qc_off(writeheavy).metrics.at("latency_avg_ms"));
+}
+
+TEST(DbEnvTest, WalGroupCommitAmortizesSync) {
+  DbEnv env = MakeDeterministicDb(workload::TpcC());
+  auto small_log =
+      env.space().Make({{"log_buffer_kb", ParamValue(int64_t{64})}});
+  auto big_log =
+      env.space().Make({{"log_buffer_kb", ParamValue(int64_t{65536})},
+                        {"buffer_pool_mb", ParamValue(int64_t{128})}});
+  ASSERT_TRUE(small_log.ok());
+  ASSERT_TRUE(big_log.ok());
+  EXPECT_GT(env.EvaluateModel(*small_log, 1.0).metrics.at("latency_avg_ms"),
+            env.EvaluateModel(*big_log, 1.0).metrics.at("latency_avg_ms"));
+}
+
+TEST(DbEnvTest, FidelityShiftsKnobImportance) {
+  // At low fidelity (small data), the default buffer pool already covers
+  // the working set, so growing it matters far less — slide 66's caveat.
+  DbEnv env = MakeDeterministicDb(workload::YcsbA());
+  auto small = env.space().Make({{"buffer_pool_mb", ParamValue(int64_t{64})}});
+  auto large =
+      env.space().Make({{"buffer_pool_mb", ParamValue(int64_t{4096})}});
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  const double gain_full =
+      env.EvaluateModel(*small, 1.0).metrics.at("latency_avg_ms") /
+      env.EvaluateModel(*large, 1.0).metrics.at("latency_avg_ms");
+  const double gain_tiny =
+      env.EvaluateModel(*small, 0.05).metrics.at("latency_avg_ms") /
+      env.EvaluateModel(*large, 0.05).metrics.at("latency_avg_ms");
+  EXPECT_GT(gain_full, gain_tiny);
+}
+
+TEST(DbEnvTest, WorkloadsHaveDifferentOptima) {
+  // parallel_scan should help TPC-H far more than YCSB-C.
+  DbEnv tpch = MakeDeterministicDb(workload::TpcH());
+  DbEnv ycsb = MakeDeterministicDb(workload::YcsbC());
+  auto with = [](DbEnv& env, bool on) {
+    auto config = env.space().Make({{"parallel_scan", ParamValue(on)}});
+    EXPECT_TRUE(config.ok());
+    return env.EvaluateModel(*config, 1.0).metrics.at("latency_avg_ms");
+  };
+  const double tpch_gain = with(tpch, false) / with(tpch, true);
+  const double ycsb_gain = with(ycsb, false) / with(ycsb, true);
+  EXPECT_GT(tpch_gain, 1.2);
+  EXPECT_LT(ycsb_gain, 1.05);
+}
+
+TEST(DbEnvTest, NoiseRespectsMachineFactor) {
+  DbEnvOptions options;
+  options.workload = workload::TpcC();
+  options.noise.machine_speed_stddev = 0.3;
+  options.noise.run_noise_frac = 0.0;
+  options.noise.spike_prob = 0.0;
+  options.noise.outlier_machine_prob = 0.0;
+  DbEnv env(options);
+  Rng rng(5);
+  Configuration config = env.space().Default();
+  env.set_machine(1);
+  const double m1 = env.Run(config, 1.0, &rng).metrics.at("latency_p99_ms");
+  env.set_machine(2);
+  const double m2 = env.Run(config, 1.0, &rng).metrics.at("latency_p99_ms");
+  EXPECT_NE(m1, m2);
+  // Ratio equals the machine-factor ratio exactly (no transient noise).
+  const double expected =
+      env.noise().MachineFactor(1) / env.noise().MachineFactor(2);
+  EXPECT_NEAR(m1 / m2, expected, 1e-9);
+}
+
+TEST(DbEnvTest, RestartScopedKnobs) {
+  DbEnv env = MakeDeterministicDb(workload::TpcC());
+  EXPECT_EQ(env.knob_scope("buffer_pool_mb"), KnobScope::kRestart);
+  EXPECT_EQ(env.knob_scope("worker_threads"), KnobScope::kRuntime);
+  EXPECT_GT(env.RestartCost(), 0.0);
+}
+
+// -------------------------------------------------------------- RedisEnv --
+
+TEST(RedisEnvTest, OptimumMatchesTutorialCurve) {
+  RedisEnvOptions options;
+  options.deterministic = true;
+  RedisEnv env(options);
+  // Sweep the primary knob; optimum should be near 0.23 * 1e6.
+  double best_knob = 0.0;
+  double best_p99 = 1e18;
+  for (int64_t knob = 0; knob <= 1000000; knob += 5000) {
+    auto config = env.space().Make(
+        {{"sched_migration_cost_ns", ParamValue(knob)}});
+    ASSERT_TRUE(config.ok());
+    const double p99 =
+        env.EvaluateModel(*config).metrics.at("latency_p99_ms");
+    if (p99 < best_p99) {
+      best_p99 = p99;
+      best_knob = static_cast<double>(knob);
+    }
+  }
+  EXPECT_NEAR(best_knob / 1e6, 0.23, 0.05);
+  // Default (500000) is well off the optimum.
+  auto def = env.EvaluateModel(env.space().Default());
+  EXPECT_GT(def.metrics.at("latency_p99_ms"), best_p99 * 1.2);
+}
+
+// -------------------------------------------------------------- SparkEnv --
+
+TEST(SparkEnvTest, MoreParallelismHelpsUntilOverhead) {
+  SparkEnvOptions options;
+  options.deterministic = true;
+  SparkEnv env(options);
+  auto runtime = [&env](int64_t executors) {
+    auto config = env.space().Make(
+        {{"executor_count", ParamValue(executors)},
+         {"executor_cores", ParamValue(int64_t{4})},
+         {"executor_memory_mb", ParamValue(int64_t{8192})}});
+    EXPECT_TRUE(config.ok());
+    auto result = env.EvaluateModel(*config, 1.0);
+    EXPECT_FALSE(result.crashed);
+    return result.metrics.at("runtime_s");
+  };
+  EXPECT_GT(runtime(2), runtime(16));  // Scaling up helps...
+  EXPECT_GT(runtime(64), runtime(16) * 0.3);  // ...with diminishing returns.
+}
+
+TEST(SparkEnvTest, TinyHeapWithHugePartitionsOoms) {
+  SparkEnvOptions options;
+  options.deterministic = true;
+  SparkEnv env(options);
+  auto config = env.space().Make(
+      {{"executor_memory_mb", ParamValue(int64_t{512})},
+       {"executor_cores", ParamValue(int64_t{16})},
+       {"shuffle_partitions", ParamValue(int64_t{8})}});
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(env.EvaluateModel(*config, 1.0).crashed);
+}
+
+TEST(SparkEnvTest, KryoAndCompressionHelp) {
+  SparkEnvOptions options;
+  options.deterministic = true;
+  SparkEnv env(options);
+  auto base = env.space().Make(
+      {{"executor_count", ParamValue(int64_t{16})},
+       {"executor_memory_mb", ParamValue(int64_t{8192})},
+       {"serializer", ParamValue(std::string("java"))}});
+  auto tuned = env.space().Make(
+      {{"executor_count", ParamValue(int64_t{16})},
+       {"executor_memory_mb", ParamValue(int64_t{8192})},
+       {"serializer", ParamValue(std::string("kryo"))}});
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(tuned.ok());
+  EXPECT_LT(env.EvaluateModel(*tuned, 1.0).metrics.at("runtime_s"),
+            env.EvaluateModel(*base, 1.0).metrics.at("runtime_s"));
+}
+
+TEST(SparkEnvTest, ClusterConstraintEnforced) {
+  SparkEnvOptions options;
+  options.deterministic = true;
+  SparkEnv env(options);
+  auto too_big = env.space().Make(
+      {{"executor_count", ParamValue(int64_t{64})},
+       {"executor_cores", ParamValue(int64_t{16})}});
+  ASSERT_TRUE(too_big.ok());
+  EXPECT_FALSE(env.space().IsFeasible(*too_big));
+}
+
+
+// -------------------------------------------------------------- NginxEnv --
+
+NginxEnv MakeDeterministicNginx() {
+  NginxEnvOptions options;
+  options.deterministic = true;
+  return NginxEnv(options);
+}
+
+TEST(NginxEnvTest, DefaultSingleWorkerIsSaturated) {
+  NginxEnv env = MakeDeterministicNginx();
+  auto def = env.EvaluateModel(env.space().Default(), 1.0);
+  // One worker for 20k rps: utilization pegged, tail latency high.
+  EXPECT_GT(def.metrics.at("cpu_util"), 0.9);
+  auto scaled = env.space().Make(
+      {{"worker_processes", ParamValue(int64_t{16})}});
+  ASSERT_TRUE(scaled.ok());
+  auto tuned = env.EvaluateModel(*scaled, 1.0);
+  EXPECT_LT(tuned.metrics.at("latency_p95_ms"),
+            def.metrics.at("latency_p95_ms") * 0.5);
+  EXPECT_GT(tuned.metrics.at("throughput_rps"),
+            def.metrics.at("throughput_rps"));
+}
+
+TEST(NginxEnvTest, WorkersBeyondCoresThrash) {
+  NginxEnv env = MakeDeterministicNginx();
+  auto at = [&env](int64_t workers) {
+    // Connection table held ample so only worker scaling is measured.
+    auto config = env.space().Make(
+        {{"worker_processes", ParamValue(workers)},
+         {"worker_connections", ParamValue(int64_t{16384})}});
+    EXPECT_TRUE(config.ok());
+    return env.EvaluateModel(*config, 1.0).metrics.at("latency_p95_ms");
+  };
+  EXPECT_LT(at(16), at(1));   // Scaling to the cores helps...
+  EXPECT_LE(at(16), at(64));  // ...past them it does not.
+}
+
+TEST(NginxEnvTest, GzipTradesCpuForBandwidth) {
+  // On a bandwidth-starved link, gzip wins; on a fat link it only costs
+  // CPU.
+  NginxEnvOptions narrow;
+  narrow.deterministic = true;
+  narrow.bandwidth_mbps = 450.0;  // Raw traffic saturates; gzip'd fits.
+  NginxEnv narrow_env(narrow);
+  auto with = [](NginxEnv& env, bool gzip) {
+    auto config = env.space().Make(
+        {{"worker_processes", ParamValue(int64_t{16})},
+         {"gzip", ParamValue(gzip)}});
+    EXPECT_TRUE(config.ok());
+    return env.EvaluateModel(*config, 1.0).metrics.at("latency_p95_ms");
+  };
+  EXPECT_LT(with(narrow_env, true), with(narrow_env, false));
+  NginxEnvOptions fat;
+  fat.deterministic = true;
+  fat.bandwidth_mbps = 20000.0;
+  NginxEnv fat_env(fat);
+  EXPECT_GT(with(fat_env, true), with(fat_env, false));
+}
+
+TEST(NginxEnvTest, KeepaliveAmortizesHandshakes) {
+  NginxEnv env = MakeDeterministicNginx();
+  auto keepalive = [&env](int64_t timeout) {
+    // Connection table sized for the keep-alive load (the two knobs
+    // interact: see the exhaustion check below).
+    auto config = env.space().Make(
+        {{"worker_processes", ParamValue(int64_t{16})},
+         {"worker_connections", ParamValue(int64_t{16384})},
+         {"keepalive_timeout_s", ParamValue(timeout)}});
+    EXPECT_TRUE(config.ok());
+    return env.EvaluateModel(*config, 1.0);
+  };
+  // No keep-alive: handshake on every request, worse latency.
+  EXPECT_GT(keepalive(0).metrics.at("latency_avg_ms"),
+            keepalive(60).metrics.at("latency_avg_ms"));
+  // Huge keep-alive with the tiny default connection table overflows.
+  auto exhausted = env.space().Make(
+      {{"worker_processes", ParamValue(int64_t{2})},
+       {"worker_connections", ParamValue(int64_t{256})},
+       {"keepalive_timeout_s", ParamValue(int64_t{300})}});
+  ASSERT_TRUE(exhausted.ok());
+  EXPECT_GT(env.EvaluateModel(*exhausted, 1.0).metrics.at("error_rate"),
+            0.1);
+}
+
+TEST(NginxEnvTest, OpenFileCacheHelpsStaticContent) {
+  NginxEnv env = MakeDeterministicNginx();
+  auto cache = [&env](int64_t entries) {
+    auto config = env.space().Make(
+        {{"worker_processes", ParamValue(int64_t{16})},
+         {"open_file_cache", ParamValue(entries)}});
+    EXPECT_TRUE(config.ok());
+    return env.EvaluateModel(*config, 1.0).metrics.at("latency_avg_ms");
+  };
+  EXPECT_LT(cache(100000), cache(0));
+}
+
+TEST(NginxEnvTest, GzipLevelConditional) {
+  NginxEnv env = MakeDeterministicNginx();
+  auto off = env.space().Make({{"gzip", ParamValue(false)}});
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off->IsActive("gzip_level"));
+  auto on = env.space().Make({{"gzip", ParamValue(true)}});
+  ASSERT_TRUE(on.ok());
+  EXPECT_TRUE(on->IsActive("gzip_level"));
+  EXPECT_EQ(env.knob_scope("worker_processes"), KnobScope::kRestart);
+  EXPECT_EQ(env.knob_scope("gzip"), KnobScope::kRuntime);
+}
+
+// -------------------------------------------------------------- Workload --
+
+TEST(WorkloadTest, StandardFamiliesDiffer) {
+  auto workloads = workload::StandardWorkloads();
+  EXPECT_GE(workloads.size(), 5u);
+  EXPECT_GT(workload::TpcH().scan_ratio, workload::YcsbA().scan_ratio);
+  EXPECT_GT(workload::TpcC().transactional, workload::YcsbC().transactional);
+  EXPECT_DOUBLE_EQ(workload::YcsbC().read_ratio, 1.0);
+}
+
+TEST(WorkloadTest, PerturbStaysClose) {
+  Rng rng(11);
+  const workload::Workload base = workload::TpcC();
+  for (int i = 0; i < 20; ++i) {
+    const workload::Workload p =
+        workload::PerturbWorkload(base, 0.1, &rng);
+    EXPECT_NEAR(p.read_ratio, base.read_ratio, base.read_ratio * 0.11);
+    EXPECT_NEAR(p.arrival_rate, base.arrival_rate,
+                base.arrival_rate * 0.11);
+  }
+}
+
+TEST(WorkloadTest, BlendInterpolates) {
+  const auto a = workload::YcsbC();
+  const auto b = workload::TpcC();
+  const auto mid = workload::BlendWorkloads(a, b, 0.5);
+  EXPECT_NEAR(mid.read_ratio, (a.read_ratio + b.read_ratio) / 2.0, 1e-12);
+  const auto start = workload::BlendWorkloads(a, b, 0.0);
+  EXPECT_DOUBLE_EQ(start.read_ratio, a.read_ratio);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace autotune

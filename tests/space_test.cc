@@ -1,0 +1,448 @@
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "space/config_space.h"
+#include "space/encoding.h"
+#include "space/parameter.h"
+#include "space/projected_space.h"
+
+namespace autotune {
+namespace {
+
+// ------------------------------------------------------------- Parameter --
+
+TEST(ParameterTest, FloatFactoryValidates) {
+  EXPECT_TRUE(ParameterSpec::Float("x", 0.0, 1.0).ok());
+  EXPECT_FALSE(ParameterSpec::Float("x", 1.0, 1.0).ok());
+  EXPECT_FALSE(ParameterSpec::Float("", 0.0, 1.0).ok());
+}
+
+TEST(ParameterTest, IntFactoryValidates) {
+  EXPECT_TRUE(ParameterSpec::Int("n", 5, 5).ok());
+  EXPECT_FALSE(ParameterSpec::Int("n", 6, 5).ok());
+}
+
+TEST(ParameterTest, CategoricalFactoryValidates) {
+  EXPECT_TRUE(ParameterSpec::Categorical("c", {"a", "b"}).ok());
+  EXPECT_FALSE(ParameterSpec::Categorical("c", {}).ok());
+  EXPECT_FALSE(ParameterSpec::Categorical("c", {"a", "a"}).ok());
+}
+
+TEST(ParameterTest, FloatUnitMappingEndpoints) {
+  auto spec = ParameterSpec::Float("x", 10.0, 20.0);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_DOUBLE_EQ(std::get<double>(spec->FromUnit(0.0)), 10.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(spec->FromUnit(1.0)), 20.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(spec->FromUnit(0.5)), 15.0);
+}
+
+TEST(ParameterTest, LogScaleMapsGeometrically) {
+  auto spec = ParameterSpec::Float("x", 1.0, 10000.0);
+  ASSERT_TRUE(spec.ok());
+  spec->WithLogScale();
+  EXPECT_NEAR(std::get<double>(spec->FromUnit(0.5)), 100.0, 1e-9);
+  EXPECT_NEAR(std::get<double>(spec->FromUnit(0.25)), 10.0, 1e-9);
+}
+
+TEST(ParameterTest, QuantizationSnapsToGrid) {
+  auto spec = ParameterSpec::Float("x", 0.0, 10.0);
+  ASSERT_TRUE(spec.ok());
+  spec->WithQuantization(2.5);
+  std::set<double> seen;
+  for (double u = 0.0; u <= 1.0; u += 0.01) {
+    seen.insert(std::get<double>(spec->FromUnit(u)));
+  }
+  EXPECT_EQ(seen, std::set<double>({0.0, 2.5, 5.0, 7.5, 10.0}));
+}
+
+TEST(ParameterTest, IntMappingCoversAllValues) {
+  auto spec = ParameterSpec::Int("n", 1, 4);
+  ASSERT_TRUE(spec.ok());
+  std::set<int64_t> seen;
+  for (double u = 0.0; u <= 1.0; u += 0.001) {
+    seen.insert(std::get<int64_t>(spec->FromUnit(u)));
+  }
+  EXPECT_EQ(seen, std::set<int64_t>({1, 2, 3, 4}));
+}
+
+TEST(ParameterTest, SpecialValuesOccupyLeadingMass) {
+  auto spec = ParameterSpec::Int("cache", 64, 1024);
+  ASSERT_TRUE(spec.ok());
+  spec->WithSpecialValues({-1.0, 0.0}, 0.2);
+  // u < 0.1 -> first special (-1); 0.1 <= u < 0.2 -> second (0).
+  EXPECT_EQ(std::get<int64_t>(spec->FromUnit(0.05)), -1);
+  EXPECT_EQ(std::get<int64_t>(spec->FromUnit(0.15)), 0);
+  // u = 0.2 -> start of the regular range.
+  EXPECT_EQ(std::get<int64_t>(spec->FromUnit(0.2)), 64);
+  EXPECT_EQ(std::get<int64_t>(spec->FromUnit(1.0)), 1024);
+}
+
+TEST(ParameterTest, SpecialValuesValidateAndRoundTrip) {
+  auto spec = ParameterSpec::Int("cache", 64, 1024);
+  ASSERT_TRUE(spec.ok());
+  spec->WithSpecialValues({-1.0}, 0.1);
+  EXPECT_TRUE(spec->Validate(ParamValue(int64_t{-1})).ok());
+  EXPECT_FALSE(spec->Validate(ParamValue(int64_t{-2})).ok());
+  auto u = spec->ToUnit(ParamValue(int64_t{-1}));
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(std::get<int64_t>(spec->FromUnit(*u)), -1);
+}
+
+TEST(ParameterTest, CategoricalMappingUniform) {
+  auto spec = ParameterSpec::Categorical(
+      "flush", {"fsync", "O_DSYNC", "O_DIRECT"});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(std::get<std::string>(spec->FromUnit(0.1)), "fsync");
+  EXPECT_EQ(std::get<std::string>(spec->FromUnit(0.5)), "O_DSYNC");
+  EXPECT_EQ(std::get<std::string>(spec->FromUnit(0.9)), "O_DIRECT");
+}
+
+TEST(ParameterTest, BoolMapping) {
+  ParameterSpec spec = ParameterSpec::Bool("jit");
+  EXPECT_EQ(std::get<bool>(spec.FromUnit(0.2)), false);
+  EXPECT_EQ(std::get<bool>(spec.FromUnit(0.8)), true);
+}
+
+// Property: FromUnit(ToUnit(v)) == v for all parameter kinds.
+struct RoundTripCase {
+  const char* name;
+  ParameterSpec spec;
+  ParamValue value;
+};
+
+class ParameterRoundTripTest
+    : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(ParameterRoundTripTest, FromUnitInvertsToUnit) {
+  const auto& param = GetParam();
+  auto u = param.spec.ToUnit(param.value);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  const ParamValue rebuilt = param.spec.FromUnit(*u);
+  if (std::holds_alternative<double>(param.value) &&
+      param.spec.quantization() == 0.0) {
+    // Continuous floats round-trip up to FP error (log scale especially).
+    EXPECT_NEAR(std::get<double>(rebuilt), std::get<double>(param.value),
+                1e-9 * std::max(1.0, std::abs(std::get<double>(param.value))));
+  } else {
+    EXPECT_TRUE(ParamValueEquals(rebuilt, param.value));
+  }
+}
+
+std::vector<RoundTripCase> RoundTripCases() {
+  std::vector<RoundTripCase> cases;
+  auto flt = ParameterSpec::Float("f", 0.0, 100.0);
+  cases.push_back({"float_mid", *flt, ParamValue(25.0)});
+  cases.push_back({"float_min", *flt, ParamValue(0.0)});
+  cases.push_back({"float_max", *flt, ParamValue(100.0)});
+  auto logf = ParameterSpec::Float("lf", 1.0, 1e6);
+  logf->WithLogScale();
+  cases.push_back({"log_float", *logf, ParamValue(1000.0)});
+  auto quant = ParameterSpec::Float("q", 0.0, 10.0);
+  quant->WithQuantization(0.5);
+  cases.push_back({"quantized", *quant, ParamValue(7.5)});
+  auto integer = ParameterSpec::Int("i", -5, 5);
+  cases.push_back({"int_neg", *integer, ParamValue(int64_t{-3})});
+  cases.push_back({"int_zero", *integer, ParamValue(int64_t{0})});
+  auto special = ParameterSpec::Int("s", 10, 100);
+  special->WithSpecialValues({-1.0, 0.0}, 0.25);
+  cases.push_back({"special_first", *special, ParamValue(int64_t{-1})});
+  cases.push_back({"special_second", *special, ParamValue(int64_t{0})});
+  cases.push_back({"special_regular", *special, ParamValue(int64_t{55})});
+  auto cat = ParameterSpec::Categorical("c", {"a", "b", "c", "d"});
+  cases.push_back({"cat_first", *cat, ParamValue(std::string("a"))});
+  cases.push_back({"cat_last", *cat, ParamValue(std::string("d"))});
+  cases.push_back({"bool_true", ParameterSpec::Bool("b"), ParamValue(true)});
+  cases.push_back(
+      {"bool_false", ParameterSpec::Bool("b"), ParamValue(false)});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ParameterRoundTripTest, ::testing::ValuesIn(RoundTripCases()),
+    [](const ::testing::TestParamInfo<RoundTripCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ParameterTest, ParseRoundTrip) {
+  auto spec = ParameterSpec::Float("x", 0.0, 10.0);
+  ASSERT_TRUE(spec.ok());
+  ParamValue v(3.25);
+  auto parsed = spec->Parse(ParamValueToString(v));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(ParamValueEquals(*parsed, v));
+  EXPECT_FALSE(spec->Parse("not-a-number").ok());
+  EXPECT_FALSE(spec->Parse("99").ok());  // Out of range.
+}
+
+TEST(ParameterTest, DefaultValueRespectsConfigured) {
+  auto spec = ParameterSpec::Int("n", 0, 100);
+  ASSERT_TRUE(spec.ok());
+  spec->WithDefault(ParamValue(int64_t{42}));
+  EXPECT_EQ(std::get<int64_t>(spec->DefaultValue()), 42);
+}
+
+// ------------------------------------------------------------ ConfigSpace --
+
+ConfigSpace* MakeDbSpace() {
+  // Leaked intentionally: Configurations reference the space, and tests
+  // share it. (Trivial size; process-lifetime.)
+  auto* space = new ConfigSpace();
+  space->AddOrDie(ParameterSpec::Int("buffer_pool_mb", 64, 8192));
+  space->AddOrDie(ParameterSpec::Int("instances", 1, 16));
+  space->AddOrDie(
+      ParameterSpec::Categorical("flush_method", {"fsync", "O_DIRECT"}));
+  space->AddOrDie(ParameterSpec::Bool("jit"));
+  ParameterSpec jit_cost = *ParameterSpec::Float("jit_above_cost", 0.0, 1e6);
+  jit_cost.WithCondition("jit", {"true"});
+  space->AddOrDie(std::move(jit_cost));
+  return space;
+}
+
+TEST(ConfigSpaceTest, RejectsDuplicates) {
+  ConfigSpace space;
+  ASSERT_TRUE(space.Add(*ParameterSpec::Float("x", 0, 1)).ok());
+  EXPECT_FALSE(space.Add(*ParameterSpec::Float("x", 0, 1)).ok());
+}
+
+TEST(ConfigSpaceTest, RejectsUnknownConditionParent) {
+  ConfigSpace space;
+  ParameterSpec child = *ParameterSpec::Float("child", 0, 1);
+  child.WithCondition("missing_parent", {"true"});
+  EXPECT_FALSE(space.Add(std::move(child)).ok());
+}
+
+TEST(ConfigSpaceTest, RejectsNumericConditionParent) {
+  ConfigSpace space;
+  ASSERT_TRUE(space.Add(*ParameterSpec::Float("num", 0, 1)).ok());
+  ParameterSpec child = *ParameterSpec::Float("child", 0, 1);
+  child.WithCondition("num", {"0.5"});
+  EXPECT_FALSE(space.Add(std::move(child)).ok());
+}
+
+TEST(ConfigSpaceTest, DefaultAndMake) {
+  ConfigSpace* space = MakeDbSpace();
+  Configuration def = space->Default();
+  EXPECT_EQ(def.GetCategory("flush_method"), "fsync");
+  EXPECT_FALSE(def.GetBool("jit"));
+  auto made = space->Make(
+      {{"buffer_pool_mb", ParamValue(int64_t{1024})},
+       {"jit", ParamValue(true)}});
+  ASSERT_TRUE(made.ok());
+  EXPECT_EQ(made->GetInt("buffer_pool_mb"), 1024);
+  EXPECT_TRUE(made->GetBool("jit"));
+  EXPECT_FALSE(space->Make({{"nope", ParamValue(1.0)}}).ok());
+  EXPECT_FALSE(
+      space->Make({{"instances", ParamValue(int64_t{99})}}).ok());
+}
+
+TEST(ConfigSpaceTest, ConditionalActivity) {
+  ConfigSpace* space = MakeDbSpace();
+  auto off = space->Make({{"jit", ParamValue(false)}});
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off->IsActive("jit_above_cost"));
+  auto on = space->Make({{"jit", ParamValue(true)}});
+  ASSERT_TRUE(on.ok());
+  EXPECT_TRUE(on->IsActive("jit_above_cost"));
+  EXPECT_TRUE(on->IsActive("buffer_pool_mb"));  // Unconditional.
+}
+
+TEST(ConfigSpaceTest, UnitRoundTrip) {
+  ConfigSpace* space = MakeDbSpace();
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    Configuration config = space->Sample(&rng);
+    auto u = space->ToUnit(config);
+    ASSERT_TRUE(u.ok());
+    Configuration rebuilt = space->FromUnit(*u);
+    EXPECT_TRUE(config == rebuilt) << config.ToString() << " vs "
+                                   << rebuilt.ToString();
+  }
+}
+
+TEST(ConfigSpaceTest, SampleIsWithinDomain) {
+  ConfigSpace* space = MakeDbSpace();
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    Configuration config = space->Sample(&rng);
+    EXPECT_GE(config.GetInt("buffer_pool_mb"), 64);
+    EXPECT_LE(config.GetInt("buffer_pool_mb"), 8192);
+    EXPECT_GE(config.GetInt("instances"), 1);
+    EXPECT_LE(config.GetInt("instances"), 16);
+  }
+}
+
+TEST(ConfigSpaceTest, PriorBiasesSampling) {
+  ConfigSpace space;
+  ParameterSpec spec = *ParameterSpec::Float("x", 0.0, 100.0);
+  spec.WithPrior(10.0, 2.0);
+  space.AddOrDie(std::move(spec));
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) sum += space.Sample(&rng).GetDouble("x");
+  EXPECT_NEAR(sum / n, 10.0, 0.5);  // Uniform would give ~50.
+}
+
+TEST(ConfigSpaceTest, ConstraintsFilterSamples) {
+  ConfigSpace* space = MakeDbSpace();
+  space->AddConstraint(
+      [](const Configuration& c) {
+        return c.GetInt("buffer_pool_mb") / c.GetInt("instances") >= 64;
+      },
+      "per-instance pool >= 64MB");
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    auto config = space->SampleFeasible(&rng);
+    ASSERT_TRUE(config.ok());
+    EXPECT_GE(config->GetInt("buffer_pool_mb") / config->GetInt("instances"),
+              64);
+  }
+}
+
+TEST(ConfigSpaceTest, InfeasibleSpaceReportsUnavailable) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0, 1));
+  space.AddConstraint([](const Configuration&) { return false; },
+                      "never feasible");
+  Rng rng(13);
+  auto result = space.SampleFeasible(&rng, 10);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ConfigSpaceTest, GridEnumeratesCartesianProduct) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  space.AddOrDie(ParameterSpec::Categorical("c", {"a", "b", "c"}));
+  auto grid = space.Grid(4);
+  EXPECT_EQ(grid.size(), 12u);  // 4 numeric levels x 3 categories.
+  std::set<std::string> combos;
+  for (const auto& config : grid) {
+    combos.insert(config.ToString());
+  }
+  EXPECT_EQ(combos.size(), 12u);  // All distinct.
+}
+
+TEST(ConfigSpaceTest, GridRespectsCap) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("a", 0, 1));
+  space.AddOrDie(ParameterSpec::Float("b", 0, 1));
+  space.AddOrDie(ParameterSpec::Float("c", 0, 1));
+  auto grid = space.Grid(10, 50);
+  EXPECT_EQ(grid.size(), 50u);
+}
+
+TEST(ConfigSpaceTest, NeighborChangesAtMostOneParameter) {
+  ConfigSpace* space = MakeDbSpace();
+  Rng rng(17);
+  Configuration base = space->Default();
+  for (int i = 0; i < 50; ++i) {
+    Configuration next = space->Neighbor(base, 0.1, &rng);
+    int changed = 0;
+    for (size_t p = 0; p < space->size(); ++p) {
+      if (!ParamValueEquals(base.ValueAt(p), next.ValueAt(p))) ++changed;
+    }
+    EXPECT_LE(changed, 1);
+  }
+}
+
+// ---------------------------------------------------------------- Encoder --
+
+TEST(EncoderTest, OrdinalDimensionEqualsParamCount) {
+  ConfigSpace* space = MakeDbSpace();
+  SpaceEncoder encoder(space, SpaceEncoder::CategoricalMode::kOrdinal);
+  EXPECT_EQ(encoder.encoded_dim(), space->size());
+  auto encoded = encoder.Encode(space->Default());
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded->size(), space->size());
+  for (double v : *encoded) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(EncoderTest, OneHotExpandsCategoricals) {
+  ConfigSpace* space = MakeDbSpace();
+  SpaceEncoder encoder(space, SpaceEncoder::CategoricalMode::kOneHot);
+  // 2 ints + 2-cat (2) + bool (2) + conditional float = 2 + 2 + 2 + 1 = 7.
+  EXPECT_EQ(encoder.encoded_dim(), 7u);
+  auto config = space->Make({{"flush_method", ParamValue(std::string(
+                                                  "O_DIRECT"))}});
+  ASSERT_TRUE(config.ok());
+  auto encoded = encoder.Encode(*config);
+  ASSERT_TRUE(encoded.ok());
+  // flush_method occupies dims 2..3; O_DIRECT is category index 1.
+  EXPECT_DOUBLE_EQ((*encoded)[2], 0.0);
+  EXPECT_DOUBLE_EQ((*encoded)[3], 1.0);
+}
+
+TEST(EncoderTest, InactiveParamsImputedConsistently) {
+  ConfigSpace* space = MakeDbSpace();
+  SpaceEncoder encoder(space, SpaceEncoder::CategoricalMode::kOrdinal);
+  auto a = space->Make({{"jit", ParamValue(false)},
+                        {"jit_above_cost", ParamValue(10.0)}});
+  auto b = space->Make({{"jit", ParamValue(false)},
+                        {"jit_above_cost", ParamValue(999999.0)}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto ea = encoder.Encode(*a);
+  auto eb = encoder.Encode(*b);
+  ASSERT_TRUE(ea.ok());
+  ASSERT_TRUE(eb.ok());
+  // jit off: the jit_above_cost feature must be identical (imputed).
+  EXPECT_EQ(*ea, *eb);
+}
+
+// --------------------------------------------------------- ProjectedSpace --
+
+TEST(ProjectedSpaceTest, LiftMapsIntoTargetSpace) {
+  ConfigSpace* target = MakeDbSpace();
+  Rng rng(23);
+  ProjectedSpace::Options options;
+  auto adapter = ProjectedSpace::Create(target, 2, options, &rng);
+  ASSERT_TRUE(adapter.ok());
+  EXPECT_EQ((*adapter)->low_space().size(), 2u);
+  for (int i = 0; i < 100; ++i) {
+    Configuration low = (*adapter)->low_space().Sample(&rng);
+    auto high = (*adapter)->Lift(low);
+    ASSERT_TRUE(high.ok());
+    EXPECT_GE(high->GetInt("buffer_pool_mb"), 64);
+    EXPECT_LE(high->GetInt("buffer_pool_mb"), 8192);
+  }
+}
+
+TEST(ProjectedSpaceTest, BucketizationQuantizesLift) {
+  ConfigSpace* target = MakeDbSpace();
+  Rng rng(29);
+  ProjectedSpace::Options options;
+  options.buckets = 2;
+  auto adapter = ProjectedSpace::Create(target, 1, options, &rng);
+  ASSERT_TRUE(adapter.ok());
+  // With 1 low dim and 2 buckets there are at most 2 distinct lifted configs.
+  std::set<std::string> lifted;
+  for (int i = 0; i < 200; ++i) {
+    Configuration low = (*adapter)->low_space().Sample(&rng);
+    auto high = (*adapter)->Lift(low);
+    ASSERT_TRUE(high.ok());
+    lifted.insert(high->ToString());
+  }
+  EXPECT_LE(lifted.size(), 2u);
+}
+
+TEST(ProjectedSpaceTest, RejectsBadDims) {
+  ConfigSpace* target = MakeDbSpace();
+  Rng rng(31);
+  EXPECT_FALSE(
+      ProjectedSpace::Create(target, 0, ProjectedSpace::Options{}, &rng)
+          .ok());
+  EXPECT_FALSE(ProjectedSpace::Create(target, target->size() + 1,
+                                      ProjectedSpace::Options{}, &rng)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace autotune

@@ -1,0 +1,459 @@
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/matrix.h"
+#include "surrogate/gaussian_process.h"
+#include "surrogate/kernel.h"
+#include "surrogate/knn.h"
+#include "surrogate/random_forest.h"
+
+namespace autotune {
+namespace {
+
+// ----------------------------------------------------------------- Kernel --
+
+TEST(KernelTest, RbfAtZeroDistanceIsSignalVariance) {
+  auto k = MakeRbfKernel(0.5, 2.0);
+  Vector x = {0.3, 0.7};
+  EXPECT_DOUBLE_EQ(k->Eval(x, x), 2.0);
+}
+
+TEST(KernelTest, RbfDecaysWithDistance) {
+  auto k = MakeRbfKernel(0.5);
+  Vector a = {0.0};
+  EXPECT_GT(k->Eval(a, {0.1}), k->Eval(a, {0.5}));
+  EXPECT_GT(k->Eval(a, {0.5}), k->Eval(a, {2.0}));
+}
+
+TEST(KernelTest, SmallerLengthScaleDecaysFaster) {
+  auto narrow = MakeRbfKernel(0.1);
+  auto wide = MakeRbfKernel(1.0);
+  Vector a = {0.0};
+  Vector b = {0.3};
+  EXPECT_LT(narrow->Eval(a, b), wide->Eval(a, b));
+}
+
+TEST(KernelTest, MaternOrderingApproachesRbf) {
+  // At a fixed distance, higher nu gives a smoother (larger) value that
+  // approaches the RBF value.
+  Vector a = {0.0};
+  Vector b = {0.4};
+  const double ls = 0.5;
+  const double m12 = MakeMaternKernel(0.5, ls)->Eval(a, b);
+  const double m32 = MakeMaternKernel(1.5, ls)->Eval(a, b);
+  const double m52 = MakeMaternKernel(2.5, ls)->Eval(a, b);
+  const double rbf = MakeRbfKernel(ls)->Eval(a, b);
+  EXPECT_LT(m12, m32);
+  EXPECT_LT(m32, m52);
+  EXPECT_LT(m52, rbf);
+  EXPECT_NEAR(m52, rbf, 0.12);
+}
+
+TEST(KernelTest, PeriodicRepeats) {
+  auto k = MakePeriodicKernel(1.0, 0.5);
+  Vector a = {0.0};
+  // Distance exactly one period: covariance equals variance at 0.
+  EXPECT_NEAR(k->Eval(a, {0.5}), k->Eval(a, a), 1e-12);
+  EXPECT_LT(k->Eval(a, {0.25}), k->Eval(a, a));
+}
+
+TEST(KernelTest, SumAndProductCompose) {
+  auto sum = MakeSumKernel(MakeConstantKernel(1.0), MakeRbfKernel(0.5));
+  auto prod = MakeProductKernel(MakeConstantKernel(2.0), MakeRbfKernel(0.5));
+  Vector x = {0.1};
+  Vector y = {0.2};
+  auto rbf = MakeRbfKernel(0.5);
+  EXPECT_DOUBLE_EQ(sum->Eval(x, y), 1.0 + rbf->Eval(x, y));
+  EXPECT_DOUBLE_EQ(prod->Eval(x, y), 2.0 * rbf->Eval(x, y));
+}
+
+TEST(KernelTest, CloneIsIndependent) {
+  auto k = MakeRbfKernel(0.5);
+  auto clone = k->Clone();
+  k->SetLengthScale(0.01);
+  Vector a = {0.0};
+  Vector b = {0.3};
+  EXPECT_NE(k->Eval(a, b), clone->Eval(a, b));
+}
+
+TEST(KernelTest, SetLengthScaleRecursesIntoComposites) {
+  auto sum = MakeSumKernel(MakeRbfKernel(0.5), MakeMaternKernel(1.5, 0.5));
+  Vector a = {0.0};
+  Vector b = {0.3};
+  const double before = sum->Eval(a, b);
+  sum->SetLengthScale(0.05);
+  EXPECT_LT(sum->Eval(a, b), before);
+}
+
+// --------------------------------------------------------------------- GP --
+
+TEST(GpTest, InterpolatesNoiselessData) {
+  GpOptions options;
+  options.noise_variance = 1e-8;
+  options.fit_length_scale = false;
+  GaussianProcess gp(MakeRbfKernel(0.3), options);
+  std::vector<Vector> xs = {{0.1}, {0.4}, {0.8}};
+  Vector ys = {1.0, -0.5, 2.0};
+  ASSERT_TRUE(gp.Fit(xs, ys).ok());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    Prediction p = gp.Predict(xs[i]);
+    EXPECT_NEAR(p.mean, ys[i], 1e-3);
+    EXPECT_LT(p.variance, 1e-3);
+  }
+}
+
+TEST(GpTest, UncertaintyGrowsAwayFromData) {
+  GpOptions options;
+  options.fit_length_scale = false;
+  GaussianProcess gp(MakeRbfKernel(0.2), options);
+  std::vector<Vector> xs = {{0.5}};
+  Vector ys = {0.0};
+  // Need >= 2 distinct y values for standardization; add a second point.
+  xs.push_back({0.55});
+  ys.push_back(1.0);
+  ASSERT_TRUE(gp.Fit(xs, ys).ok());
+  Prediction near = gp.Predict({0.52});
+  Prediction far = gp.Predict({0.0});
+  EXPECT_LT(near.variance, far.variance);
+}
+
+TEST(GpTest, PriorBeforeFit) {
+  GaussianProcess gp(MakeRbfKernel(0.3), GpOptions{});
+  Prediction p = gp.Predict({0.5});
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_GT(p.variance, 0.0);
+  EXPECT_EQ(gp.num_observations(), 0u);
+}
+
+TEST(GpTest, RejectsBadInput) {
+  GaussianProcess gp(MakeRbfKernel(0.3), GpOptions{});
+  EXPECT_FALSE(gp.Fit({}, {}).ok());
+  EXPECT_FALSE(gp.Fit({{0.1}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(gp.Fit({{0.1}, {0.2, 0.3}}, {1.0, 2.0}).ok());
+}
+
+// Property: the GP posterior must match direct Gaussian conditioning
+// (tutorial slide 41) for every kernel family.
+struct GpConditioningCase {
+  const char* name;
+  std::unique_ptr<Kernel> (*make_kernel)();
+};
+
+class GpConditioningTest
+    : public ::testing::TestWithParam<GpConditioningCase> {};
+
+TEST_P(GpConditioningTest, PosteriorMatchesDirectConditioning) {
+  auto kernel = GetParam().make_kernel();
+  const double noise = 1e-6;
+
+  Rng rng(101);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 8; ++i) {
+    xs.push_back({rng.Uniform()});
+    ys.push_back(std::sin(6.0 * xs.back()[0]) + rng.Normal(0, 0.01));
+  }
+  GpOptions options;
+  options.noise_variance = noise;
+  options.fit_length_scale = false;
+  GaussianProcess gp(kernel->Clone(), options);
+  ASSERT_TRUE(gp.Fit(xs, ys).ok());
+
+  // Direct conditioning on standardized targets:
+  //   mu = K*^T (K + nI)^-1 y;  var = K** - K*^T (K + nI)^-1 K*.
+  const Standardizer st = FitStandardizer(ys);
+  Vector ys_std(ys.size());
+  for (size_t i = 0; i < ys.size(); ++i) ys_std[i] = st.Apply(ys[i]);
+  const size_t n = xs.size();
+  Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) k(i, j) = kernel->Eval(xs[i], xs[j]);
+  }
+  k.AddDiagonal(noise);
+  auto chol = Cholesky(k);
+  ASSERT_TRUE(chol.ok());
+  Vector alpha = CholeskySolve(*chol, ys_std);
+
+  for (double q = 0.05; q < 1.0; q += 0.17) {
+    Vector query = {q};
+    Vector k_star(n);
+    for (size_t i = 0; i < n; ++i) k_star[i] = kernel->Eval(query, xs[i]);
+    const double mean_direct = st.Invert(Dot(k_star, alpha));
+    const Vector w = CholeskySolve(*chol, k_star);
+    const double var_direct =
+        (kernel->Eval(query, query) - Dot(k_star, w)) * st.stddev *
+        st.stddev;
+    Prediction p = gp.Predict(query);
+    EXPECT_NEAR(p.mean, mean_direct, 1e-8) << "q=" << q;
+    EXPECT_NEAR(p.variance, std::max(var_direct, 0.0), 1e-8) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, GpConditioningTest,
+    ::testing::Values(
+        GpConditioningCase{"rbf",
+                           []() { return MakeRbfKernel(0.3); }},
+        GpConditioningCase{"matern12",
+                           []() { return MakeMaternKernel(0.5, 0.3); }},
+        GpConditioningCase{"matern32",
+                           []() { return MakeMaternKernel(1.5, 0.3); }},
+        GpConditioningCase{"matern52",
+                           []() { return MakeMaternKernel(2.5, 0.3); }},
+        GpConditioningCase{
+            "sum",
+            []() {
+              return MakeSumKernel(MakeRbfKernel(0.3),
+                                   MakeConstantKernel(0.5));
+            }}),
+    [](const ::testing::TestParamInfo<GpConditioningCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GpTest, LengthScaleFitImprovesLikelihood) {
+  Rng rng(7);
+  // Smooth function: a long length scale should fit better than a tiny one.
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 20; ++i) {
+    const double x = static_cast<double>(i) / 19.0;
+    xs.push_back({x});
+    ys.push_back(std::sin(3.0 * x) + rng.Normal(0, 0.02));
+  }
+  GpOptions fixed;
+  fixed.fit_length_scale = false;
+  GaussianProcess gp_tiny(MakeRbfKernel(0.005), fixed);
+  ASSERT_TRUE(gp_tiny.Fit(xs, ys).ok());
+
+  GpOptions fit;
+  fit.fit_length_scale = true;
+  GaussianProcess gp_fit(MakeRbfKernel(0.005), fit);
+  ASSERT_TRUE(gp_fit.Fit(xs, ys).ok());
+  EXPECT_GT(gp_fit.log_marginal_likelihood(),
+            gp_tiny.log_marginal_likelihood());
+
+  // And generalization improves: prediction midway between grid points.
+  Prediction p = gp_fit.Predict({0.5 + 0.5 / 19.0});
+  EXPECT_NEAR(p.mean, std::sin(3.0 * (0.5 + 0.5 / 19.0)), 0.1);
+}
+
+TEST(GpTest, PosteriorSampleInterpolatesObservations) {
+  GpOptions options;
+  options.noise_variance = 1e-8;
+  options.fit_length_scale = false;
+  GaussianProcess gp(MakeRbfKernel(0.3), options);
+  std::vector<Vector> xs = {{0.2}, {0.8}};
+  Vector ys = {1.0, -1.0};
+  ASSERT_TRUE(gp.Fit(xs, ys).ok());
+  Rng rng(11);
+  auto sample = gp.SamplePosterior({{0.2}, {0.5}, {0.8}}, &rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 3u);
+  // At the observed points, samples must be pinned near the observations.
+  EXPECT_NEAR((*sample)[0], 1.0, 0.15);
+  EXPECT_NEAR((*sample)[2], -1.0, 0.15);
+}
+
+TEST(GpTest, PosteriorSamplesVaryBetweenDraws) {
+  GaussianProcess gp(MakeRbfKernel(0.2), GpOptions{});
+  std::vector<Vector> xs = {{0.1}, {0.9}};
+  Vector ys = {0.0, 1.0};
+  ASSERT_TRUE(gp.Fit(xs, ys).ok());
+  Rng rng(13);
+  auto s1 = gp.SamplePosterior({{0.5}}, &rng);
+  auto s2 = gp.SamplePosterior({{0.5}}, &rng);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_NE((*s1)[0], (*s2)[0]);
+}
+
+TEST(GpTest, SamplePosteriorRequiresFit) {
+  GaussianProcess gp(MakeRbfKernel(0.3), GpOptions{});
+  Rng rng(17);
+  EXPECT_FALSE(gp.SamplePosterior({{0.5}}, &rng).ok());
+}
+
+
+TEST(GpArdTest, LearnsRelevanceOnAnisotropicFunction) {
+  // f depends sharply on x0 and not at all on x1..x3: ARD must assign x0 a
+  // much larger inverse length scale and generalize better than the
+  // isotropic fit.
+  Rng rng(83);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 40; ++i) {
+    Vector x = {rng.Uniform(), rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    xs.push_back(x);
+    ys.push_back(std::sin(9.0 * x[0]) + rng.Normal(0, 0.02));
+  }
+  GpOptions ard_options;
+  ard_options.fit_ard = true;
+  GaussianProcess ard(MakeMaternKernel(2.5, 0.3), ard_options);
+  ASSERT_TRUE(ard.Fit(xs, ys).ok());
+  const Vector& scales = ard.ard_inverse_scales();
+  ASSERT_EQ(scales.size(), 4u);
+  for (size_t d = 1; d < 4; ++d) {
+    EXPECT_GT(scales[0], scales[d]) << "dim " << d;
+  }
+
+  GaussianProcess iso(MakeMaternKernel(2.5, 0.3), GpOptions{});
+  ASSERT_TRUE(iso.Fit(xs, ys).ok());
+  EXPECT_GT(ard.log_marginal_likelihood(), iso.log_marginal_likelihood());
+
+  // Holdout RMSE improves.
+  double se_ard = 0.0;
+  double se_iso = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    Vector q = {rng.Uniform(), rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    const double truth = std::sin(9.0 * q[0]);
+    se_ard += std::pow(ard.Predict(q).mean - truth, 2);
+    se_iso += std::pow(iso.Predict(q).mean - truth, 2);
+  }
+  EXPECT_LT(se_ard, se_iso);
+}
+
+TEST(GpArdTest, DisabledByDefaultAndHarmlessWhenIsotropic) {
+  Rng rng(89);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 25; ++i) {
+    Vector x = {rng.Uniform(), rng.Uniform()};
+    xs.push_back(x);
+    ys.push_back(std::sin(4.0 * (x[0] + x[1])) + rng.Normal(0, 0.02));
+  }
+  GaussianProcess plain(MakeMaternKernel(2.5, 0.3), GpOptions{});
+  ASSERT_TRUE(plain.Fit(xs, ys).ok());
+  EXPECT_TRUE(plain.ard_inverse_scales().empty());
+  GpOptions ard_options;
+  ard_options.fit_ard = true;
+  GaussianProcess ard(MakeMaternKernel(2.5, 0.3), ard_options);
+  ASSERT_TRUE(ard.Fit(xs, ys).ok());
+  // On an isotropic function ARD must not be (much) worse.
+  double se_ard = 0.0;
+  double se_plain = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    Vector q = {rng.Uniform(), rng.Uniform()};
+    const double truth = std::sin(4.0 * (q[0] + q[1]));
+    se_ard += std::pow(ard.Predict(q).mean - truth, 2);
+    se_plain += std::pow(plain.Predict(q).mean - truth, 2);
+  }
+  EXPECT_LT(se_ard, se_plain * 1.5);
+}
+
+// ------------------------------------------------------------------- RF --
+
+TEST(RandomForestTest, FitsStepFunction) {
+  // Trees shine on discontinuous responses.
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = static_cast<double>(i) / 199.0;
+    xs.push_back({x});
+    ys.push_back(x < 0.5 ? 1.0 : 5.0);
+  }
+  RandomForestSurrogate rf;
+  ASSERT_TRUE(rf.Fit(xs, ys).ok());
+  EXPECT_NEAR(rf.Predict({0.25}).mean, 1.0, 0.3);
+  EXPECT_NEAR(rf.Predict({0.75}).mean, 5.0, 0.3);
+}
+
+TEST(RandomForestTest, VarianceHigherOffManifold) {
+  Rng rng(19);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.Uniform(0.4, 0.6);
+    xs.push_back({x});
+    ys.push_back(std::sin(20.0 * x) * 3.0 + rng.Normal(0, 0.1));
+  }
+  RandomForestSurrogate rf;
+  ASSERT_TRUE(rf.Fit(xs, ys).ok());
+  // Inside the sampled band the forest has tight leaves; prediction is an
+  // extrapolated leaf outside, but variance across trees should not explode
+  // downward. Just assert non-negative variance everywhere.
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    EXPECT_GE(rf.Predict({x}).variance, 0.0);
+  }
+}
+
+TEST(RandomForestTest, FeatureImportancesFindSignal) {
+  Rng rng(23);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 300; ++i) {
+    Vector x(5);
+    for (auto& v : x) v = rng.Uniform();
+    xs.push_back(x);
+    ys.push_back(10.0 * x[2] + rng.Normal(0, 0.1));  // Only feature 2.
+  }
+  RandomForestSurrogate rf;
+  ASSERT_TRUE(rf.Fit(xs, ys).ok());
+  Vector imp = rf.FeatureImportances();
+  ASSERT_EQ(imp.size(), 5u);
+  double total = 0.0;
+  for (double v : imp) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (size_t j = 0; j < 5; ++j) {
+    if (j == 2) continue;
+    EXPECT_GT(imp[2], imp[j]);
+  }
+  EXPECT_GT(imp[2], 0.8);
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  std::vector<Vector> xs;
+  Vector ys;
+  Rng rng(29);
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back({rng.Uniform(), rng.Uniform()});
+    ys.push_back(xs.back()[0] + rng.Normal(0, 0.1));
+  }
+  RandomForestOptions options;
+  options.seed = 7;
+  RandomForestSurrogate a(options);
+  RandomForestSurrogate b(options);
+  ASSERT_TRUE(a.Fit(xs, ys).ok());
+  ASSERT_TRUE(b.Fit(xs, ys).ok());
+  for (double x = 0.0; x <= 1.0; x += 0.1) {
+    EXPECT_DOUBLE_EQ(a.Predict({x, 0.5}).mean, b.Predict({x, 0.5}).mean);
+  }
+}
+
+TEST(RandomForestTest, RejectsBadInput) {
+  RandomForestSurrogate rf;
+  EXPECT_FALSE(rf.Fit({}, {}).ok());
+  EXPECT_FALSE(rf.Fit({{1.0}}, {1.0, 2.0}).ok());
+}
+
+// ------------------------------------------------------------------ KNN --
+
+TEST(KnnTest, PredictsNearbyValue) {
+  KnnSurrogate knn(2);
+  std::vector<Vector> xs = {{0.0}, {0.1}, {1.0}};
+  Vector ys = {1.0, 1.2, 10.0};
+  ASSERT_TRUE(knn.Fit(xs, ys).ok());
+  EXPECT_NEAR(knn.Predict({0.05}).mean, 1.1, 0.15);
+  EXPECT_NEAR(knn.Predict({0.99}).mean, 10.0, 1.0);
+}
+
+TEST(KnnTest, VarianceGrowsWithDistance) {
+  KnnSurrogate knn(1);
+  std::vector<Vector> xs = {{0.5}};
+  Vector ys = {2.0};
+  ASSERT_TRUE(knn.Fit(xs, ys).ok());
+  EXPECT_LT(knn.Predict({0.51}).variance, knn.Predict({5.0}).variance);
+}
+
+TEST(KnnTest, PriorBeforeFit) {
+  KnnSurrogate knn(3);
+  Prediction p = knn.Predict({0.0});
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_GT(p.variance, 0.0);
+}
+
+}  // namespace
+}  // namespace autotune

@@ -1,0 +1,265 @@
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/embedding.h"
+#include "workload/identification.h"
+#include "workload/telemetry.h"
+#include "workload/workload.h"
+
+namespace autotune {
+namespace workload {
+namespace {
+
+// -------------------------------------------------------------- Telemetry --
+
+TEST(TelemetryTest, GeneratesRequestedShape) {
+  Rng rng(1);
+  TelemetryOptions options;
+  options.steps = 100;
+  TelemetrySeries series = GenerateTelemetry(TpcC(), options, &rng);
+  EXPECT_EQ(series.num_steps(), 100u);
+  EXPECT_EQ(series.num_channels(), 7u);
+  for (const auto& sample : series.samples) {
+    EXPECT_EQ(sample.size(), 7u);
+    for (double v : sample) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(TelemetryTest, ScanHeavyWorkloadShowsHigherIo) {
+  Rng rng(2);
+  TelemetryOptions options;
+  const auto tpch = GenerateTelemetry(TpcH(), options, &rng);
+  const auto ycsb = GenerateTelemetry(YcsbC(), options, &rng);
+  const auto io_tpch = tpch.Channel("io_util");
+  const auto io_ycsb = ycsb.Channel("io_util");
+  EXPECT_GT(Mean(io_tpch), Mean(io_ycsb));
+  // And scan op counters differ by construction.
+  EXPECT_GT(Mean(tpch.Channel("scan_ops")), Mean(ycsb.Channel("scan_ops")));
+}
+
+TEST(TelemetryTest, ShiftingSeriesChangesRegime) {
+  Rng rng(3);
+  TelemetryOptions options;
+  options.steps = 200;
+  TelemetrySeries series =
+      GenerateShiftingTelemetry(YcsbC(), TpcH(), 100, 0, options, &rng);
+  const auto scans = series.Channel("scan_ops");
+  const std::vector<double> before(scans.begin(), scans.begin() + 100);
+  const std::vector<double> after(scans.begin() + 100, scans.end());
+  EXPECT_GT(Mean(after), 10.0 * Mean(before) + 1.0);
+}
+
+// --------------------------------------------------------------- Features --
+
+TEST(FeaturesTest, FixedDimension) {
+  Rng rng(4);
+  TelemetrySeries series = GenerateTelemetry(WebApp(), TelemetryOptions{},
+                                             &rng);
+  Vector features = ExtractFeatures(series);
+  EXPECT_EQ(features.size(), NumTelemetryFeatures());
+}
+
+TEST(FeaturesTest, SameWorkloadCloserThanDifferent) {
+  Rng rng(5);
+  TelemetryOptions options;
+  auto feat = [&](const Workload& w) {
+    return ExtractFeatures(GenerateTelemetry(w, options, &rng));
+  };
+  // Standardize distances via an embedder over a corpus.
+  std::vector<Vector> corpus;
+  for (int i = 0; i < 10; ++i) {
+    corpus.push_back(feat(TpcC()));
+    corpus.push_back(feat(TpcH()));
+  }
+  auto embedder = WorkloadEmbedder::Fit(corpus, 0, &rng);
+  ASSERT_TRUE(embedder.ok());
+  const Vector a1 = embedder->Embed(feat(TpcC()));
+  const Vector a2 = embedder->Embed(feat(TpcC()));
+  const Vector b = embedder->Embed(feat(TpcH()));
+  EXPECT_LT(EmbeddingDistance(a1, a2), EmbeddingDistance(a1, b));
+}
+
+// --------------------------------------------------------------- Embedder --
+
+TEST(EmbedderTest, ProjectionReducesDimension) {
+  Rng rng(6);
+  std::vector<Vector> corpus;
+  for (int i = 0; i < 30; ++i) {
+    Vector f(NumTelemetryFeatures());
+    for (auto& v : f) v = rng.Uniform();
+    corpus.push_back(f);
+  }
+  auto embedder = WorkloadEmbedder::Fit(corpus, 8, &rng);
+  ASSERT_TRUE(embedder.ok());
+  EXPECT_EQ(embedder->embedding_dim(), 8u);
+  EXPECT_EQ(embedder->Embed(corpus[0]).size(), 8u);
+}
+
+TEST(EmbedderTest, RejectsBadCorpus) {
+  Rng rng(7);
+  EXPECT_FALSE(WorkloadEmbedder::Fit({}, 4, &rng).ok());
+  EXPECT_FALSE(WorkloadEmbedder::Fit({{1.0, 2.0}, {1.0}}, 0, &rng).ok());
+}
+
+TEST(EmbedderTest, CosineSimilarityBounds) {
+  EXPECT_NEAR(CosineSimilarity({1.0, 0.0}, {1.0, 0.0}), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1.0, 0.0}, {-1.0, 0.0}), -1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1.0, 0.0}, {0.0, 1.0}), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0.0, 0.0}, {1.0, 0.0}), 0.0);
+}
+
+// ----------------------------------------------------------- Identification --
+
+// Builds an embedder + identifier over the standard workload families and
+// returns classification accuracy on fresh noisy queries.
+double IdentificationAccuracy(uint64_t seed, double noise_frac) {
+  Rng rng(seed);
+  TelemetryOptions options;
+  options.noise_frac = noise_frac;
+  const auto families = StandardWorkloads();
+
+  std::vector<Vector> corpus;
+  std::vector<std::string> labels;
+  for (const auto& w : families) {
+    for (int i = 0; i < 6; ++i) {
+      corpus.push_back(ExtractFeatures(GenerateTelemetry(w, options, &rng)));
+      labels.push_back(w.name);
+    }
+  }
+  auto embedder = WorkloadEmbedder::Fit(corpus, 12, &rng);
+  EXPECT_TRUE(embedder.ok());
+  WorkloadIdentifier identifier;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    identifier.AddExemplar(labels[i], embedder->Embed(corpus[i]));
+  }
+
+  int correct = 0;
+  int total = 0;
+  for (const auto& w : families) {
+    for (int i = 0; i < 5; ++i) {
+      // Perturbed customer workload resembling family w.
+      Workload customer = PerturbWorkload(w, 0.05, &rng);
+      const Vector query = embedder->Embed(
+          ExtractFeatures(GenerateTelemetry(customer, options, &rng)));
+      auto match = identifier.Identify(query);
+      EXPECT_TRUE(match.ok());
+      if (match.ok() && match->label == w.name) ++correct;
+      ++total;
+    }
+  }
+  return static_cast<double>(correct) / total;
+}
+
+TEST(IdentificationTest, HighAccuracyOnDistinctFamilies) {
+  EXPECT_GT(IdentificationAccuracy(11, 0.08), 0.8);
+}
+
+TEST(IdentificationTest, AccuracyDegradesWithNoise) {
+  const double clean = IdentificationAccuracy(13, 0.02);
+  const double noisy = IdentificationAccuracy(13, 0.6);
+  EXPECT_GE(clean, noisy);
+}
+
+TEST(IdentificationTest, TopKOrdering) {
+  WorkloadIdentifier identifier;
+  identifier.AddExemplar("near", {0.0, 0.0});
+  identifier.AddExemplar("mid", {1.0, 0.0});
+  identifier.AddExemplar("far", {5.0, 5.0});
+  auto top = identifier.IdentifyTopK({0.1, 0.0}, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].label, "near");
+  EXPECT_EQ(top[1].label, "mid");
+}
+
+TEST(IdentificationTest, EmptyIdentifierIsNotFound) {
+  WorkloadIdentifier identifier;
+  EXPECT_EQ(identifier.Identify({1.0}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(IdentificationTest, ClusteringGroupsFamilies) {
+  Rng rng(17);
+  TelemetryOptions options;
+  std::vector<Vector> corpus;
+  std::vector<int> truth;
+  const Workload families[] = {YcsbC(), TpcH()};
+  for (int f = 0; f < 2; ++f) {
+    for (int i = 0; i < 8; ++i) {
+      corpus.push_back(ExtractFeatures(
+          GenerateTelemetry(families[f], options, &rng)));
+      truth.push_back(f);
+    }
+  }
+  auto embedder = WorkloadEmbedder::Fit(corpus, 0, &rng);
+  ASSERT_TRUE(embedder.ok());
+  WorkloadIdentifier identifier;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    identifier.AddExemplar("w" + std::to_string(i),
+                           embedder->Embed(corpus[i]));
+  }
+  auto clusters = identifier.Cluster(2, &rng);
+  ASSERT_TRUE(clusters.ok());
+  // Perfect split: all of family 0 in one cluster, family 1 in the other.
+  std::set<size_t> family0((*clusters).begin(), (*clusters).begin() + 8);
+  std::set<size_t> family1((*clusters).begin() + 8, (*clusters).end());
+  EXPECT_EQ(family0.size(), 1u);
+  EXPECT_EQ(family1.size(), 1u);
+  EXPECT_NE(*family0.begin(), *family1.begin());
+}
+
+// ---------------------------------------------------------- ShiftDetector --
+
+TEST(ShiftDetectorTest, DetectsAbruptShift) {
+  Rng rng(19);
+  TelemetryOptions options;
+  options.steps = 1;  // Generate one sample at a time.
+  ShiftDetectorOptions detector_options;
+  detector_options.reference_window = 20;
+  detector_options.confirm_steps = 3;
+  ShiftDetector detector(detector_options);
+
+  std::vector<Vector> corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus.push_back(
+        ExtractFeatures(GenerateTelemetry(YcsbC(), TelemetryOptions{},
+                                          &rng)));
+  }
+  auto embedder = WorkloadEmbedder::Fit(corpus, 0, &rng);
+  ASSERT_TRUE(embedder.ok());
+
+  int detected_at = -1;
+  for (int t = 0; t < 120; ++t) {
+    const Workload& w = t < 60 ? YcsbC() : TpcH();
+    const Vector embedding = embedder->Embed(
+        ExtractFeatures(GenerateTelemetry(w, TelemetryOptions{}, &rng)));
+    if (detector.Observe(embedding) && detected_at < 0) detected_at = t;
+  }
+  EXPECT_EQ(detector.shifts_detected(), 1);
+  EXPECT_GE(detected_at, 60);
+  EXPECT_LE(detected_at, 70);  // Detected within 10 steps of the shift.
+}
+
+TEST(ShiftDetectorTest, NoFalsePositivesOnStableWorkload) {
+  Rng rng(23);
+  std::vector<Vector> corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus.push_back(ExtractFeatures(
+        GenerateTelemetry(TpcC(), TelemetryOptions{}, &rng)));
+  }
+  auto embedder = WorkloadEmbedder::Fit(corpus, 0, &rng);
+  ASSERT_TRUE(embedder.ok());
+  ShiftDetector detector;
+  for (int t = 0; t < 200; ++t) {
+    detector.Observe(embedder->Embed(ExtractFeatures(
+        GenerateTelemetry(TpcC(), TelemetryOptions{}, &rng))));
+  }
+  EXPECT_EQ(detector.shifts_detected(), 0);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace autotune

@@ -1,0 +1,323 @@
+// autotune_cli — run a tuning session from the command line.
+//
+// Usage:
+//   autotune_cli [--env=simdb|redis|spark] [--workload=NAME]
+//                [--optimizer=bo|smac|cmaes|pso|ga|anneal|random|grid|
+//                 llamatune]
+//                [--trials=N] [--seed=N] [--reps=N] [--fidelity=F]
+//                [--objective=METRIC] [--maximize] [--noisy]
+//                [--batch=K] [--out=trials.csv] [--list]
+//
+// Examples:
+//   autotune_cli --env=simdb --workload=tpcc --optimizer=bo --trials=60
+//   autotune_cli --env=redis --optimizer=cmaes --trials=100 --noisy
+//   autotune_cli --env=spark --optimizer=llamatune --trials=50 \
+//       --out=/tmp/spark_trials.csv
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/storage.h"
+#include "core/trial_runner.h"
+#include "core/tuning_loop.h"
+#include "optimizers/bayesian.h"
+#include "optimizers/cmaes.h"
+#include "optimizers/genetic.h"
+#include "optimizers/grid_search.h"
+#include "optimizers/projected.h"
+#include "optimizers/pso.h"
+#include "optimizers/random_search.h"
+#include "optimizers/simulated_annealing.h"
+#include "sim/db_env.h"
+#include "sim/nginx_env.h"
+#include "sim/redis_env.h"
+#include "sim/spark_env.h"
+#include "space/projected_space.h"
+
+namespace autotune {
+namespace {
+
+struct CliOptions {
+  std::string env = "simdb";
+  std::string workload = "tpcc";
+  std::string optimizer = "bo";
+  std::string objective;  // Empty = environment default.
+  std::string out;
+  int trials = 60;
+  uint64_t seed = 1;
+  int reps = 1;
+  double fidelity = 1.0;
+  size_t batch = 1;
+  bool maximize = false;
+  bool noisy = false;
+  bool list = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "autotune_cli — tune a simulated system from the command line\n\n"
+      "  --env=simdb|redis|spark|nginx  target system (default simdb)\n"
+      "  --workload=NAME             simdb workload: ycsb-a|ycsb-b|ycsb-c|\n"
+      "                              tpcc|tpch|webapp (default tpcc)\n"
+      "  --optimizer=NAME            bo|smac|cmaes|pso|ga|anneal|random|\n"
+      "                              grid|llamatune (default bo)\n"
+      "  --trials=N                  trial budget (default 60)\n"
+      "  --seed=N                    RNG seed (default 1)\n"
+      "  --reps=N                    repetitions per trial (default 1)\n"
+      "  --fidelity=F                benchmark fidelity in (0,1]\n"
+      "  --objective=METRIC          override the objective metric\n"
+      "  --maximize                  maximize the objective\n"
+      "  --noisy                     enable cloud-noise model\n"
+      "  --batch=K                   parallel suggestions per round\n"
+      "  --out=FILE.csv              write the trial log\n"
+      "  --list                      list knobs of the chosen env and "
+      "exit\n");
+}
+
+bool ParseFlag(const std::string& arg, const char* name,
+               std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+Result<CliOptions> ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--maximize") {
+      options.maximize = true;
+    } else if (arg == "--noisy") {
+      options.noisy = true;
+    } else if (ParseFlag(arg, "env", &options.env) ||
+               ParseFlag(arg, "workload", &options.workload) ||
+               ParseFlag(arg, "optimizer", &options.optimizer) ||
+               ParseFlag(arg, "objective", &options.objective) ||
+               ParseFlag(arg, "out", &options.out)) {
+      // Parsed into the corresponding string field.
+    } else if (ParseFlag(arg, "trials", &value)) {
+      options.trials = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "seed", &value)) {
+      options.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "reps", &value)) {
+      options.reps = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "fidelity", &value)) {
+      options.fidelity = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "batch", &value)) {
+      options.batch = static_cast<size_t>(std::atoll(value.c_str()));
+    } else {
+      return Status::InvalidArgument("unknown flag '" + arg +
+                                     "' (try --help)");
+    }
+  }
+  if (options.trials < 1) {
+    return Status::InvalidArgument("--trials must be >= 1");
+  }
+  if (options.fidelity <= 0.0 || options.fidelity > 1.0) {
+    return Status::InvalidArgument("--fidelity must be in (0, 1]");
+  }
+  return options;
+}
+
+Result<workload::Workload> PickWorkload(const std::string& name) {
+  for (const auto& w : workload::StandardWorkloads()) {
+    if (w.name == name) return w;
+  }
+  return Status::NotFound("unknown workload '" + name +
+                          "' (ycsb-a|ycsb-b|ycsb-c|tpcc|tpch|webapp)");
+}
+
+Result<std::unique_ptr<Environment>> MakeEnv(const CliOptions& options) {
+  if (options.env == "simdb") {
+    AUTOTUNE_ASSIGN_OR_RETURN(workload::Workload w,
+                              PickWorkload(options.workload));
+    sim::DbEnvOptions env_options;
+    env_options.workload = w;
+    env_options.noise_seed = options.seed * 97;
+    env_options.deterministic = !options.noisy;
+    if (!options.objective.empty()) {
+      env_options.objective_metric = options.objective;
+      env_options.minimize = !options.maximize;
+    }
+    return std::unique_ptr<Environment>(
+        std::make_unique<sim::DbEnv>(env_options));
+  }
+  if (options.env == "redis") {
+    sim::RedisEnvOptions env_options;
+    env_options.noise_seed = options.seed * 97;
+    env_options.deterministic = !options.noisy;
+    return std::unique_ptr<Environment>(
+        std::make_unique<sim::RedisEnv>(env_options));
+  }
+  if (options.env == "nginx") {
+    sim::NginxEnvOptions env_options;
+    env_options.noise_seed = options.seed * 97;
+    env_options.deterministic = !options.noisy;
+    if (!options.objective.empty()) {
+      env_options.objective_metric = options.objective;
+      env_options.minimize = !options.maximize;
+    }
+    return std::unique_ptr<Environment>(
+        std::make_unique<sim::NginxEnv>(env_options));
+  }
+  if (options.env == "spark") {
+    sim::SparkEnvOptions env_options;
+    env_options.noise_seed = options.seed * 97;
+    env_options.deterministic = !options.noisy;
+    return std::unique_ptr<Environment>(
+        std::make_unique<sim::SparkEnv>(env_options));
+  }
+  return Status::NotFound("unknown env '" + options.env +
+                          "' (simdb|redis|spark|nginx)");
+}
+
+Result<std::unique_ptr<Optimizer>> MakeOptimizer(const CliOptions& options,
+                                                 const ConfigSpace* space) {
+  const std::string& name = options.optimizer;
+  const uint64_t seed = options.seed;
+  if (name == "bo") return std::unique_ptr<Optimizer>(MakeGpBo(space, seed));
+  if (name == "smac") {
+    return std::unique_ptr<Optimizer>(MakeSmac(space, seed));
+  }
+  if (name == "cmaes") {
+    return std::unique_ptr<Optimizer>(
+        std::make_unique<CmaEsOptimizer>(space, seed));
+  }
+  if (name == "pso") {
+    return std::unique_ptr<Optimizer>(
+        std::make_unique<ParticleSwarmOptimizer>(space, seed));
+  }
+  if (name == "ga") {
+    return std::unique_ptr<Optimizer>(
+        std::make_unique<GeneticOptimizer>(space, seed));
+  }
+  if (name == "anneal") {
+    return std::unique_ptr<Optimizer>(
+        std::make_unique<SimulatedAnnealing>(space, seed));
+  }
+  if (name == "random") {
+    return std::unique_ptr<Optimizer>(
+        std::make_unique<RandomSearch>(space, seed));
+  }
+  if (name == "grid") {
+    return std::unique_ptr<Optimizer>(
+        std::make_unique<GridSearch>(space, 4));
+  }
+  if (name == "llamatune") {
+    Rng rng(seed);
+    const size_t low_dim = std::min<size_t>(8, space->size());
+    AUTOTUNE_ASSIGN_OR_RETURN(
+        auto adapter,
+        ProjectedSpace::Create(space, low_dim, ProjectedSpace::Options{},
+                               &rng));
+    const ConfigSpace* low_space = &adapter->low_space();
+    return std::unique_ptr<Optimizer>(std::make_unique<ProjectedOptimizer>(
+        std::move(adapter), MakeGpBo(low_space, seed * 17)));
+  }
+  return Status::NotFound("unknown optimizer '" + name + "'");
+}
+
+int RunCli(const CliOptions& options) {
+  auto env = MakeEnv(options);
+  if (!env.ok()) {
+    std::fprintf(stderr, "error: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+  const ConfigSpace& space = (*env)->space();
+
+  if (options.list) {
+    std::printf("%s: %zu knobs, objective %s (%s)\n", (*env)->name().c_str(),
+                space.size(), (*env)->objective_metric().c_str(),
+                (*env)->minimize() ? "minimize" : "maximize");
+    for (size_t i = 0; i < space.size(); ++i) {
+      const ParameterSpec& spec = space.param(i);
+      const std::string condition =
+          spec.is_conditional()
+              ? " (when " + spec.condition_parent() + ")"
+              : "";
+      std::printf("  %-24s %-12s default=%s%s\n", spec.name().c_str(),
+                  ParameterTypeToString(spec.type()),
+                  ParamValueToString(spec.DefaultValue()).c_str(),
+                  condition.c_str());
+    }
+    return 0;
+  }
+
+  auto optimizer = MakeOptimizer(options, &space);
+  if (!optimizer.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 optimizer.status().ToString().c_str());
+    return 1;
+  }
+
+  TrialRunnerOptions runner_options;
+  runner_options.repetitions = options.reps;
+  runner_options.fidelity = options.fidelity;
+  TrialRunner runner(env->get(), runner_options, options.seed * 31);
+  TrialStorage storage(&space);
+
+  std::printf("tuning %s with %s: %d trials, seed %llu%s\n",
+              (*env)->name().c_str(), (*optimizer)->name().c_str(),
+              options.trials,
+              static_cast<unsigned long long>(options.seed),
+              options.noisy ? ", noisy" : "");
+
+  TuningLoopOptions loop;
+  loop.max_trials = options.trials;
+  loop.batch_size = options.batch;
+  TuningResult result = RunTuningLoop(optimizer->get(), &runner, loop);
+  for (const Observation& obs : result.history) {
+    (void)storage.Add(obs);
+  }
+
+  // Convergence summary at quartile checkpoints.
+  std::printf("\nbest objective so far:\n");
+  for (double fraction : {0.25, 0.5, 0.75, 1.0}) {
+    const size_t index = std::min(
+        result.best_so_far.size() - 1,
+        static_cast<size_t>(fraction * result.best_so_far.size()) - 1);
+    std::printf("  after %3zu trials: %s\n", index + 1,
+                FormatDouble(result.best_so_far[index], 6).c_str());
+  }
+  std::printf("total simulated cost: %.0f s; %d trials, %zu failures\n",
+              result.total_cost, result.trials_run, [&] {
+                size_t failures = 0;
+                for (const auto& obs : result.history) {
+                  if (obs.failed) ++failures;
+                }
+                return failures;
+              }());
+  if (result.best.has_value()) {
+    std::printf("\nbest configuration:\n  %s\n",
+                result.best->config.ToString().c_str());
+  }
+  if (!options.out.empty()) {
+    Status status = storage.WriteCsv(options.out);
+    std::printf("\ntrial log: %s (%s)\n", options.out.c_str(),
+                status.ok() ? "written" : status.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace autotune
+
+int main(int argc, char** argv) {
+  auto options = autotune::ParseArgs(argc, argv);
+  if (!options.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 options.status().ToString().c_str());
+    return 1;
+  }
+  return autotune::RunCli(*options);
+}
