@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e01_grid_random.dir/bench_e01_grid_random.cc.o"
+  "CMakeFiles/bench_e01_grid_random.dir/bench_e01_grid_random.cc.o.d"
+  "bench_e01_grid_random"
+  "bench_e01_grid_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e01_grid_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

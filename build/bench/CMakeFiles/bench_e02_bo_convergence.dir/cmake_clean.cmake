@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e02_bo_convergence.dir/bench_e02_bo_convergence.cc.o"
+  "CMakeFiles/bench_e02_bo_convergence.dir/bench_e02_bo_convergence.cc.o.d"
+  "bench_e02_bo_convergence"
+  "bench_e02_bo_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e02_bo_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

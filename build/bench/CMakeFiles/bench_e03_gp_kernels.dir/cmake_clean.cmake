@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e03_gp_kernels.dir/bench_e03_gp_kernels.cc.o"
+  "CMakeFiles/bench_e03_gp_kernels.dir/bench_e03_gp_kernels.cc.o.d"
+  "bench_e03_gp_kernels"
+  "bench_e03_gp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e03_gp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e04_acquisition.dir/bench_e04_acquisition.cc.o"
+  "CMakeFiles/bench_e04_acquisition.dir/bench_e04_acquisition.cc.o.d"
+  "bench_e04_acquisition"
+  "bench_e04_acquisition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e04_acquisition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

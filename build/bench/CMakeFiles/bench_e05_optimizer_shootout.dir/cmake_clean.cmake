@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e05_optimizer_shootout.dir/bench_e05_optimizer_shootout.cc.o"
+  "CMakeFiles/bench_e05_optimizer_shootout.dir/bench_e05_optimizer_shootout.cc.o.d"
+  "bench_e05_optimizer_shootout"
+  "bench_e05_optimizer_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e05_optimizer_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

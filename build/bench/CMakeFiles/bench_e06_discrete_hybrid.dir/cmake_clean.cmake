@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e06_discrete_hybrid.dir/bench_e06_discrete_hybrid.cc.o"
+  "CMakeFiles/bench_e06_discrete_hybrid.dir/bench_e06_discrete_hybrid.cc.o.d"
+  "bench_e06_discrete_hybrid"
+  "bench_e06_discrete_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e06_discrete_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

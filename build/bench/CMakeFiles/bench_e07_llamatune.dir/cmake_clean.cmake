@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e07_llamatune.dir/bench_e07_llamatune.cc.o"
+  "CMakeFiles/bench_e07_llamatune.dir/bench_e07_llamatune.cc.o.d"
+  "bench_e07_llamatune"
+  "bench_e07_llamatune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e07_llamatune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e08_parallel.dir/bench_e08_parallel.cc.o"
+  "CMakeFiles/bench_e08_parallel.dir/bench_e08_parallel.cc.o.d"
+  "bench_e08_parallel"
+  "bench_e08_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e08_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e09_multiobjective.dir/bench_e09_multiobjective.cc.o"
+  "CMakeFiles/bench_e09_multiobjective.dir/bench_e09_multiobjective.cc.o.d"
+  "bench_e09_multiobjective"
+  "bench_e09_multiobjective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e09_multiobjective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_multifidelity.dir/bench_e10_multifidelity.cc.o"
+  "CMakeFiles/bench_e10_multifidelity.dir/bench_e10_multifidelity.cc.o.d"
+  "bench_e10_multifidelity"
+  "bench_e10_multifidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_multifidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_transfer.dir/bench_e11_transfer.cc.o"
+  "CMakeFiles/bench_e11_transfer.dir/bench_e11_transfer.cc.o.d"
+  "bench_e11_transfer"
+  "bench_e11_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

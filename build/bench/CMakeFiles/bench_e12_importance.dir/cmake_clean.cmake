@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_importance.dir/bench_e12_importance.cc.o"
+  "CMakeFiles/bench_e12_importance.dir/bench_e12_importance.cc.o.d"
+  "bench_e12_importance"
+  "bench_e12_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

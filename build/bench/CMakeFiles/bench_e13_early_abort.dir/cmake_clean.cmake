@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_early_abort.dir/bench_e13_early_abort.cc.o"
+  "CMakeFiles/bench_e13_early_abort.dir/bench_e13_early_abort.cc.o.d"
+  "bench_e13_early_abort"
+  "bench_e13_early_abort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_early_abort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_noise_duet_tuna.dir/bench_e14_noise_duet_tuna.cc.o"
+  "CMakeFiles/bench_e14_noise_duet_tuna.dir/bench_e14_noise_duet_tuna.cc.o.d"
+  "bench_e14_noise_duet_tuna"
+  "bench_e14_noise_duet_tuna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_noise_duet_tuna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_online_rl.dir/bench_e15_online_rl.cc.o"
+  "CMakeFiles/bench_e15_online_rl.dir/bench_e15_online_rl.cc.o.d"
+  "bench_e15_online_rl"
+  "bench_e15_online_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_online_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_workload_id.dir/bench_e17_workload_id.cc.o"
+  "CMakeFiles/bench_e17_workload_id.dir/bench_e17_workload_id.cc.o.d"
+  "bench_e17_workload_id"
+  "bench_e17_workload_id.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_workload_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

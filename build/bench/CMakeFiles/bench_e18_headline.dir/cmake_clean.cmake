@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e18_headline.dir/bench_e18_headline.cc.o"
+  "CMakeFiles/bench_e18_headline.dir/bench_e18_headline.cc.o.d"
+  "bench_e18_headline"
+  "bench_e18_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

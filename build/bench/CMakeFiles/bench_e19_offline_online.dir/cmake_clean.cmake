@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e19_offline_online.dir/bench_e19_offline_online.cc.o"
+  "CMakeFiles/bench_e19_offline_online.dir/bench_e19_offline_online.cc.o.d"
+  "bench_e19_offline_online"
+  "bench_e19_offline_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e19_offline_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e20_shift_detection.dir/bench_e20_shift_detection.cc.o"
+  "CMakeFiles/bench_e20_shift_detection.dir/bench_e20_shift_detection.cc.o.d"
+  "bench_e20_shift_detection"
+  "bench_e20_shift_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e20_shift_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e21_manual_knowledge.dir/bench_e21_manual_knowledge.cc.o"
+  "CMakeFiles/bench_e21_manual_knowledge.dir/bench_e21_manual_knowledge.cc.o.d"
+  "bench_e21_manual_knowledge"
+  "bench_e21_manual_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e21_manual_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

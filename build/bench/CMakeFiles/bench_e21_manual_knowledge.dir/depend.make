@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e21_manual_knowledge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e22_profile_guided.dir/bench_e22_profile_guided.cc.o"
+  "CMakeFiles/bench_e22_profile_guided.dir/bench_e22_profile_guided.cc.o.d"
+  "bench_e22_profile_guided"
+  "bench_e22_profile_guided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e22_profile_guided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e23_multitask.dir/bench_e23_multitask.cc.o"
+  "CMakeFiles/bench_e23_multitask.dir/bench_e23_multitask.cc.o.d"
+  "bench_e23_multitask"
+  "bench_e23_multitask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e23_multitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e24_synthesis.dir/bench_e24_synthesis.cc.o"
+  "CMakeFiles/bench_e24_synthesis.dir/bench_e24_synthesis.cc.o.d"
+  "bench_e24_synthesis"
+  "bench_e24_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e24_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

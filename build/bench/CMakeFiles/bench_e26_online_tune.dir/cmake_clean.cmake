@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e26_online_tune.dir/bench_e26_online_tune.cc.o"
+  "CMakeFiles/bench_e26_online_tune.dir/bench_e26_online_tune.cc.o.d"
+  "bench_e26_online_tune"
+  "bench_e26_online_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e26_online_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

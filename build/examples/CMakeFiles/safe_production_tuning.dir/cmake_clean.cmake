@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_production_tuning.dir/safe_production_tuning.cpp.o"
+  "CMakeFiles/safe_production_tuning.dir/safe_production_tuning.cpp.o.d"
+  "safe_production_tuning"
+  "safe_production_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_production_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

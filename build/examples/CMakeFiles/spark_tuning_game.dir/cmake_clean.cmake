@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_tuning_game.dir/spark_tuning_game.cpp.o"
+  "CMakeFiles/spark_tuning_game.dir/spark_tuning_game.cpp.o.d"
+  "spark_tuning_game"
+  "spark_tuning_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_tuning_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_dbms.dir/tune_dbms.cpp.o"
+  "CMakeFiles/tune_dbms.dir/tune_dbms.cpp.o.d"
+  "tune_dbms"
+  "tune_dbms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_dbms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,79 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/autotune.dir/common/log.cc.o" "gcc" "src/CMakeFiles/autotune.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/autotune.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/autotune.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/autotune.dir/common/status.cc.o" "gcc" "src/CMakeFiles/autotune.dir/common/status.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/autotune.dir/common/table.cc.o" "gcc" "src/CMakeFiles/autotune.dir/common/table.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/autotune.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/autotune.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/autotune.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/autotune.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/core/parallel_runner.cc" "src/CMakeFiles/autotune.dir/core/parallel_runner.cc.o" "gcc" "src/CMakeFiles/autotune.dir/core/parallel_runner.cc.o.d"
+  "/root/repo/src/core/storage.cc" "src/CMakeFiles/autotune.dir/core/storage.cc.o" "gcc" "src/CMakeFiles/autotune.dir/core/storage.cc.o.d"
+  "/root/repo/src/core/trial_runner.cc" "src/CMakeFiles/autotune.dir/core/trial_runner.cc.o" "gcc" "src/CMakeFiles/autotune.dir/core/trial_runner.cc.o.d"
+  "/root/repo/src/core/tuning_loop.cc" "src/CMakeFiles/autotune.dir/core/tuning_loop.cc.o" "gcc" "src/CMakeFiles/autotune.dir/core/tuning_loop.cc.o.d"
+  "/root/repo/src/fidelity/multi_fidelity.cc" "src/CMakeFiles/autotune.dir/fidelity/multi_fidelity.cc.o" "gcc" "src/CMakeFiles/autotune.dir/fidelity/multi_fidelity.cc.o.d"
+  "/root/repo/src/fidelity/successive_halving.cc" "src/CMakeFiles/autotune.dir/fidelity/successive_halving.cc.o" "gcc" "src/CMakeFiles/autotune.dir/fidelity/successive_halving.cc.o.d"
+  "/root/repo/src/math/distributions.cc" "src/CMakeFiles/autotune.dir/math/distributions.cc.o" "gcc" "src/CMakeFiles/autotune.dir/math/distributions.cc.o.d"
+  "/root/repo/src/math/kmeans.cc" "src/CMakeFiles/autotune.dir/math/kmeans.cc.o" "gcc" "src/CMakeFiles/autotune.dir/math/kmeans.cc.o.d"
+  "/root/repo/src/math/linear_model.cc" "src/CMakeFiles/autotune.dir/math/linear_model.cc.o" "gcc" "src/CMakeFiles/autotune.dir/math/linear_model.cc.o.d"
+  "/root/repo/src/math/matrix.cc" "src/CMakeFiles/autotune.dir/math/matrix.cc.o" "gcc" "src/CMakeFiles/autotune.dir/math/matrix.cc.o.d"
+  "/root/repo/src/math/pca.cc" "src/CMakeFiles/autotune.dir/math/pca.cc.o" "gcc" "src/CMakeFiles/autotune.dir/math/pca.cc.o.d"
+  "/root/repo/src/math/projection.cc" "src/CMakeFiles/autotune.dir/math/projection.cc.o" "gcc" "src/CMakeFiles/autotune.dir/math/projection.cc.o.d"
+  "/root/repo/src/math/quasirandom.cc" "src/CMakeFiles/autotune.dir/math/quasirandom.cc.o" "gcc" "src/CMakeFiles/autotune.dir/math/quasirandom.cc.o.d"
+  "/root/repo/src/math/stats.cc" "src/CMakeFiles/autotune.dir/math/stats.cc.o" "gcc" "src/CMakeFiles/autotune.dir/math/stats.cc.o.d"
+  "/root/repo/src/multiobj/parego.cc" "src/CMakeFiles/autotune.dir/multiobj/parego.cc.o" "gcc" "src/CMakeFiles/autotune.dir/multiobj/parego.cc.o.d"
+  "/root/repo/src/multiobj/pareto.cc" "src/CMakeFiles/autotune.dir/multiobj/pareto.cc.o" "gcc" "src/CMakeFiles/autotune.dir/multiobj/pareto.cc.o.d"
+  "/root/repo/src/optimizers/acquisition.cc" "src/CMakeFiles/autotune.dir/optimizers/acquisition.cc.o" "gcc" "src/CMakeFiles/autotune.dir/optimizers/acquisition.cc.o.d"
+  "/root/repo/src/optimizers/bandit.cc" "src/CMakeFiles/autotune.dir/optimizers/bandit.cc.o" "gcc" "src/CMakeFiles/autotune.dir/optimizers/bandit.cc.o.d"
+  "/root/repo/src/optimizers/bayesian.cc" "src/CMakeFiles/autotune.dir/optimizers/bayesian.cc.o" "gcc" "src/CMakeFiles/autotune.dir/optimizers/bayesian.cc.o.d"
+  "/root/repo/src/optimizers/cmaes.cc" "src/CMakeFiles/autotune.dir/optimizers/cmaes.cc.o" "gcc" "src/CMakeFiles/autotune.dir/optimizers/cmaes.cc.o.d"
+  "/root/repo/src/optimizers/constrained_bo.cc" "src/CMakeFiles/autotune.dir/optimizers/constrained_bo.cc.o" "gcc" "src/CMakeFiles/autotune.dir/optimizers/constrained_bo.cc.o.d"
+  "/root/repo/src/optimizers/genetic.cc" "src/CMakeFiles/autotune.dir/optimizers/genetic.cc.o" "gcc" "src/CMakeFiles/autotune.dir/optimizers/genetic.cc.o.d"
+  "/root/repo/src/optimizers/grid_search.cc" "src/CMakeFiles/autotune.dir/optimizers/grid_search.cc.o" "gcc" "src/CMakeFiles/autotune.dir/optimizers/grid_search.cc.o.d"
+  "/root/repo/src/optimizers/projected.cc" "src/CMakeFiles/autotune.dir/optimizers/projected.cc.o" "gcc" "src/CMakeFiles/autotune.dir/optimizers/projected.cc.o.d"
+  "/root/repo/src/optimizers/pso.cc" "src/CMakeFiles/autotune.dir/optimizers/pso.cc.o" "gcc" "src/CMakeFiles/autotune.dir/optimizers/pso.cc.o.d"
+  "/root/repo/src/optimizers/random_search.cc" "src/CMakeFiles/autotune.dir/optimizers/random_search.cc.o" "gcc" "src/CMakeFiles/autotune.dir/optimizers/random_search.cc.o.d"
+  "/root/repo/src/optimizers/simulated_annealing.cc" "src/CMakeFiles/autotune.dir/optimizers/simulated_annealing.cc.o" "gcc" "src/CMakeFiles/autotune.dir/optimizers/simulated_annealing.cc.o.d"
+  "/root/repo/src/rl/contextual_bandit.cc" "src/CMakeFiles/autotune.dir/rl/contextual_bandit.cc.o" "gcc" "src/CMakeFiles/autotune.dir/rl/contextual_bandit.cc.o.d"
+  "/root/repo/src/rl/online_agent.cc" "src/CMakeFiles/autotune.dir/rl/online_agent.cc.o" "gcc" "src/CMakeFiles/autotune.dir/rl/online_agent.cc.o.d"
+  "/root/repo/src/rl/online_tune.cc" "src/CMakeFiles/autotune.dir/rl/online_tune.cc.o" "gcc" "src/CMakeFiles/autotune.dir/rl/online_tune.cc.o.d"
+  "/root/repo/src/rl/qlearning.cc" "src/CMakeFiles/autotune.dir/rl/qlearning.cc.o" "gcc" "src/CMakeFiles/autotune.dir/rl/qlearning.cc.o.d"
+  "/root/repo/src/sim/db_env.cc" "src/CMakeFiles/autotune.dir/sim/db_env.cc.o" "gcc" "src/CMakeFiles/autotune.dir/sim/db_env.cc.o.d"
+  "/root/repo/src/sim/nginx_env.cc" "src/CMakeFiles/autotune.dir/sim/nginx_env.cc.o" "gcc" "src/CMakeFiles/autotune.dir/sim/nginx_env.cc.o.d"
+  "/root/repo/src/sim/noise.cc" "src/CMakeFiles/autotune.dir/sim/noise.cc.o" "gcc" "src/CMakeFiles/autotune.dir/sim/noise.cc.o.d"
+  "/root/repo/src/sim/redis_env.cc" "src/CMakeFiles/autotune.dir/sim/redis_env.cc.o" "gcc" "src/CMakeFiles/autotune.dir/sim/redis_env.cc.o.d"
+  "/root/repo/src/sim/spark_env.cc" "src/CMakeFiles/autotune.dir/sim/spark_env.cc.o" "gcc" "src/CMakeFiles/autotune.dir/sim/spark_env.cc.o.d"
+  "/root/repo/src/sim/test_functions.cc" "src/CMakeFiles/autotune.dir/sim/test_functions.cc.o" "gcc" "src/CMakeFiles/autotune.dir/sim/test_functions.cc.o.d"
+  "/root/repo/src/space/config_space.cc" "src/CMakeFiles/autotune.dir/space/config_space.cc.o" "gcc" "src/CMakeFiles/autotune.dir/space/config_space.cc.o.d"
+  "/root/repo/src/space/encoding.cc" "src/CMakeFiles/autotune.dir/space/encoding.cc.o" "gcc" "src/CMakeFiles/autotune.dir/space/encoding.cc.o.d"
+  "/root/repo/src/space/parameter.cc" "src/CMakeFiles/autotune.dir/space/parameter.cc.o" "gcc" "src/CMakeFiles/autotune.dir/space/parameter.cc.o.d"
+  "/root/repo/src/space/projected_space.cc" "src/CMakeFiles/autotune.dir/space/projected_space.cc.o" "gcc" "src/CMakeFiles/autotune.dir/space/projected_space.cc.o.d"
+  "/root/repo/src/surrogate/gaussian_process.cc" "src/CMakeFiles/autotune.dir/surrogate/gaussian_process.cc.o" "gcc" "src/CMakeFiles/autotune.dir/surrogate/gaussian_process.cc.o.d"
+  "/root/repo/src/surrogate/kernel.cc" "src/CMakeFiles/autotune.dir/surrogate/kernel.cc.o" "gcc" "src/CMakeFiles/autotune.dir/surrogate/kernel.cc.o.d"
+  "/root/repo/src/surrogate/knn.cc" "src/CMakeFiles/autotune.dir/surrogate/knn.cc.o" "gcc" "src/CMakeFiles/autotune.dir/surrogate/knn.cc.o.d"
+  "/root/repo/src/surrogate/multi_task_gp.cc" "src/CMakeFiles/autotune.dir/surrogate/multi_task_gp.cc.o" "gcc" "src/CMakeFiles/autotune.dir/surrogate/multi_task_gp.cc.o.d"
+  "/root/repo/src/surrogate/random_forest.cc" "src/CMakeFiles/autotune.dir/surrogate/random_forest.cc.o" "gcc" "src/CMakeFiles/autotune.dir/surrogate/random_forest.cc.o.d"
+  "/root/repo/src/transfer/importance.cc" "src/CMakeFiles/autotune.dir/transfer/importance.cc.o" "gcc" "src/CMakeFiles/autotune.dir/transfer/importance.cc.o.d"
+  "/root/repo/src/transfer/knowledge_base.cc" "src/CMakeFiles/autotune.dir/transfer/knowledge_base.cc.o" "gcc" "src/CMakeFiles/autotune.dir/transfer/knowledge_base.cc.o.d"
+  "/root/repo/src/transfer/manual_knowledge.cc" "src/CMakeFiles/autotune.dir/transfer/manual_knowledge.cc.o" "gcc" "src/CMakeFiles/autotune.dir/transfer/manual_knowledge.cc.o.d"
+  "/root/repo/src/transfer/profile_guided.cc" "src/CMakeFiles/autotune.dir/transfer/profile_guided.cc.o" "gcc" "src/CMakeFiles/autotune.dir/transfer/profile_guided.cc.o.d"
+  "/root/repo/src/workload/embedding.cc" "src/CMakeFiles/autotune.dir/workload/embedding.cc.o" "gcc" "src/CMakeFiles/autotune.dir/workload/embedding.cc.o.d"
+  "/root/repo/src/workload/identification.cc" "src/CMakeFiles/autotune.dir/workload/identification.cc.o" "gcc" "src/CMakeFiles/autotune.dir/workload/identification.cc.o.d"
+  "/root/repo/src/workload/synthesis.cc" "src/CMakeFiles/autotune.dir/workload/synthesis.cc.o" "gcc" "src/CMakeFiles/autotune.dir/workload/synthesis.cc.o.d"
+  "/root/repo/src/workload/telemetry.cc" "src/CMakeFiles/autotune.dir/workload/telemetry.cc.o" "gcc" "src/CMakeFiles/autotune.dir/workload/telemetry.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/autotune.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/autotune.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

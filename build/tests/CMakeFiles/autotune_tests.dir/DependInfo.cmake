@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/autotune_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/autotune_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/autotune_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/autotune_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/autotune_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/autotune_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/fidelity_test.cc" "tests/CMakeFiles/autotune_tests.dir/fidelity_test.cc.o" "gcc" "tests/CMakeFiles/autotune_tests.dir/fidelity_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/autotune_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/autotune_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/math_test.cc" "tests/CMakeFiles/autotune_tests.dir/math_test.cc.o" "gcc" "tests/CMakeFiles/autotune_tests.dir/math_test.cc.o.d"
+  "/root/repo/tests/multiobj_test.cc" "tests/CMakeFiles/autotune_tests.dir/multiobj_test.cc.o" "gcc" "tests/CMakeFiles/autotune_tests.dir/multiobj_test.cc.o.d"
+  "/root/repo/tests/optimizers_test.cc" "tests/CMakeFiles/autotune_tests.dir/optimizers_test.cc.o" "gcc" "tests/CMakeFiles/autotune_tests.dir/optimizers_test.cc.o.d"
+  "/root/repo/tests/rl_test.cc" "tests/CMakeFiles/autotune_tests.dir/rl_test.cc.o" "gcc" "tests/CMakeFiles/autotune_tests.dir/rl_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/autotune_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/autotune_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/autotune_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/autotune_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/space_test.cc" "tests/CMakeFiles/autotune_tests.dir/space_test.cc.o" "gcc" "tests/CMakeFiles/autotune_tests.dir/space_test.cc.o.d"
+  "/root/repo/tests/surrogate_test.cc" "tests/CMakeFiles/autotune_tests.dir/surrogate_test.cc.o" "gcc" "tests/CMakeFiles/autotune_tests.dir/surrogate_test.cc.o.d"
+  "/root/repo/tests/transfer_test.cc" "tests/CMakeFiles/autotune_tests.dir/transfer_test.cc.o" "gcc" "tests/CMakeFiles/autotune_tests.dir/transfer_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/autotune_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/autotune_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autotune.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_cli.dir/autotune_cli.cc.o"
+  "CMakeFiles/autotune_cli.dir/autotune_cli.cc.o.d"
+  "autotune_cli"
+  "autotune_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
