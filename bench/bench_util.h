@@ -1,7 +1,9 @@
 #ifndef AUTOTUNE_BENCH_BENCH_UTIL_H_
 #define AUTOTUNE_BENCH_BENCH_UTIL_H_
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -13,12 +15,45 @@
 #include "core/trial_runner.h"
 #include "core/tuning_loop.h"
 #include "math/stats.h"
+#include "obs/metrics.h"
 
 namespace autotune {
 namespace benchutil {
 
+/// Short machine-friendly id of the running bench ("E1", "A01", ...),
+/// derived from the banner by `PrintHeader`.
+inline std::string& CurrentExperimentId() {
+  static std::string id = "bench";
+  return id;
+}
+
+/// Writes the process-wide metrics registry (per-phase latency histograms,
+/// trial counters, ...) as pretty JSON to `path`. Every bench binary gets
+/// this machine-readable output for free — see `PrintHeader`.
+inline Status WriteBenchMetricsJson(const std::string& path) {
+  return obs::MetricsRegistry::Global().WriteJsonFile(path);
+}
+
+namespace internal {
+
+inline void WriteBenchMetricsAtExit() {
+  const char* dir = std::getenv("AUTOTUNE_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path =
+      std::string(dir) + "/BENCH_" + CurrentExperimentId() + ".json";
+  Status status = WriteBenchMetricsJson(path);
+  std::printf("\nbench metrics: %s (%s)\n", path.c_str(),
+              status.ok() ? "written" : status.ToString().c_str());
+}
+
+}  // namespace internal
+
 /// Prints the experiment banner: id, tutorial slide, and the qualitative
-/// claim the run is expected to reproduce.
+/// claim the run is expected to reproduce. Also arranges for a
+/// machine-readable metrics snapshot `BENCH_<id>.json` to be written at
+/// process exit when AUTOTUNE_BENCH_JSON_DIR is set — so every bench
+/// binary emits per-phase (suggest/evaluate/fit) latency histograms and
+/// trial counters without per-bench plumbing.
 inline void PrintHeader(const std::string& experiment,
                         const std::string& slide,
                         const std::string& claim) {
@@ -26,6 +61,22 @@ inline void PrintHeader(const std::string& experiment,
   std::printf("%s  (%s)\n", experiment.c_str(), slide.c_str());
   std::printf("Claim: %s\n", claim.c_str());
   std::printf("==============================================================\n");
+
+  // "E1: grid vs random search" -> "E1".
+  std::string id;
+  for (char c : experiment) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-') {
+      id.push_back(c);
+    } else {
+      break;
+    }
+  }
+  if (!id.empty()) CurrentExperimentId() = id;
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    std::atexit(internal::WriteBenchMetricsAtExit);
+  }
 }
 
 inline void PrintTable(const Table& table) {

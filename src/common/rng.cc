@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <string>
 
 #include "common/check.h"
 
@@ -183,5 +185,26 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 }
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
+
+std::vector<uint64_t> Rng::SaveState() const {
+  std::vector<uint64_t> words(state_, state_ + 4);
+  uint64_t spare_bits;
+  static_assert(sizeof(spare_bits) == sizeof(spare_normal_));
+  std::memcpy(&spare_bits, &spare_normal_, sizeof(spare_bits));
+  words.push_back(spare_bits);
+  words.push_back(has_spare_normal_ ? 1 : 0);
+  return words;
+}
+
+Status Rng::RestoreState(const std::vector<uint64_t>& words) {
+  if (words.size() != 6) {
+    return Status::InvalidArgument("rng state must be 6 words, got " +
+                                   std::to_string(words.size()));
+  }
+  std::copy(words.begin(), words.begin() + 4, state_);
+  std::memcpy(&spare_normal_, &words[4], sizeof(spare_normal_));
+  has_spare_normal_ = words[5] != 0;
+  return Status::OK();
+}
 
 }  // namespace autotune

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+
 namespace autotune {
 
 /// Deterministic pseudo-random number generator (xoshiro256++) with the
@@ -76,6 +78,15 @@ class Rng {
   /// Derives an independent generator; deterministic given this generator's
   /// current state.
   Rng Fork();
+
+  /// Serializes the full generator state (xoshiro words plus the cached
+  /// Box-Muller spare) as 6 opaque words, for checkpoint/resume. A restored
+  /// generator continues the exact stream of the saved one.
+  std::vector<uint64_t> SaveState() const;
+
+  /// Restores state previously produced by `SaveState`. Returns
+  /// InvalidArgument if `words` has the wrong shape.
+  Status RestoreState(const std::vector<uint64_t>& words);
 
  private:
   uint64_t state_[4];

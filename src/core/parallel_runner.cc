@@ -4,6 +4,8 @@
 #include <future>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace autotune {
 
@@ -24,6 +26,8 @@ ParallelTrialRunner::ParallelTrialRunner(EnvFactory factory,
 
 std::vector<Observation> ParallelTrialRunner::EvaluateBatch(
     const std::vector<Configuration>& configs) {
+  obs::Span batch_span("parallel.evaluate_batch");
+  obs::MetricsRegistry::Global().Increment("parallel.batches");
   std::vector<Observation> results;
   results.reserve(configs.size());
   for (size_t begin = 0; begin < configs.size();
@@ -35,6 +39,7 @@ std::vector<Observation> ParallelTrialRunner::EvaluateBatch(
       const size_t worker = i - begin;
       const Configuration& config = configs[i];
       futures.push_back(pool_.Submit([this, worker, &config]() {
+        obs::Span span("parallel.worker.evaluate");
         // Rebuild the configuration against this worker's space by name.
         Environment* env = envs_[worker].get();
         std::vector<std::pair<std::string, ParamValue>> values;

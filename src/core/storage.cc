@@ -1,9 +1,11 @@
 #include "core/storage.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 
 #include "common/check.h"
+#include "obs/journal.h"
 
 namespace autotune {
 
@@ -102,6 +104,34 @@ Result<TrialStorage> TrialStorage::ReadCsv(const ConfigSpace* space,
                               table.Get(r, "fidelity"));
     obs.fidelity = std::strtod(fidelity_text.c_str(), nullptr);
     AUTOTUNE_RETURN_IF_ERROR(storage.Add(obs));
+  }
+  return storage;
+}
+
+Status TrialStorage::WriteJsonl(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open '" + path + "' for writing");
+  }
+  for (const Observation& observation : observations_) {
+    const std::string line = obs::EncodeObservation(observation).Dump();
+    std::fwrite(line.data(), 1, line.size(), file);
+    std::fputc('\n', file);
+  }
+  if (std::fclose(file) != 0) {
+    return Status::Internal("error closing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<TrialStorage> TrialStorage::FromJournal(const ConfigSpace* space,
+                                               const std::string& path) {
+  if (space == nullptr) return Status::InvalidArgument("null space");
+  AUTOTUNE_ASSIGN_OR_RETURN(obs::JournalReplay replay,
+                            obs::ReplayJournal(path, space));
+  TrialStorage storage(space);
+  for (const Observation& observation : replay.observations) {
+    AUTOTUNE_RETURN_IF_ERROR(storage.Add(observation));
   }
   return storage;
 }

@@ -47,6 +47,17 @@ class TrialStorage {
   static Result<TrialStorage> ReadCsv(const ConfigSpace* space,
                                       const std::string& path);
 
+  /// Writes every observation as one JSON object per line (the journal's
+  /// trial_completed payload format) — lossless, unlike CSV, which drops
+  /// the per-trial metrics map.
+  Status WriteJsonl(const std::string& path) const;
+
+  /// Rebuilds storage from an experiment journal (`obs::Journal`): every
+  /// journaled trial_completed observation, in order. This is how a killed
+  /// run's history comes back for analysis or warm starts.
+  static Result<TrialStorage> FromJournal(const ConfigSpace* space,
+                                          const std::string& path);
+
  private:
   const ConfigSpace* space_;
   std::vector<Observation> observations_;

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "math/stats.h"
+#include "obs/trace.h"
 
 namespace autotune {
 
@@ -59,6 +60,7 @@ double TrialRunner::AggregateObjectives(
 }
 
 Observation TrialRunner::Evaluate(const Configuration& config) {
+  obs::Span span("trial.evaluate");
   ++num_trials_;
 
   // Restart-cost accounting: if any restart-scoped knob changed relative to
@@ -134,8 +136,24 @@ Observation TrialRunner::Evaluate(const Configuration& config) {
   return obs;
 }
 
+void TrialRunner::RestoreFromReplay(const Observation& observation) {
+  ++num_trials_;
+  last_deployed_ = observation.config;
+  total_cost_ += observation.cost;
+  if (observation.failed) return;
+  if (!best_objective_.has_value() ||
+      observation.objective < *best_objective_) {
+    best_objective_ = observation.objective;
+  }
+  if (!worst_objective_.has_value() ||
+      observation.objective > *worst_objective_) {
+    worst_objective_ = observation.objective;
+  }
+}
+
 Observation TrialRunner::EvaluateDuet(const Configuration& config,
                                       const Configuration& baseline) {
+  obs::Span span("trial.evaluate_duet");
   ++num_trials_;
   // Both sides consume the SAME random stream, so machine speed, transient
   // spikes, and arrival jitter are identical — only the configs differ.

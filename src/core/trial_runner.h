@@ -82,6 +82,21 @@ class TrialRunner {
   /// Overrides the fidelity for subsequent trials (multi-fidelity drivers).
   void set_fidelity(double fidelity) { options_.fidelity = fidelity; }
 
+  /// Checkpoint/resume support: advances trial/cost counters, the
+  /// best/worst-objective trackers, and the last-deployed config exactly as
+  /// `Evaluate` would have for this observation, without running the
+  /// benchmark. Used by `ResumeTuningLoop` to fast-forward journaled
+  /// trials.
+  void RestoreFromReplay(const Observation& observation);
+
+  /// Snapshot/restore of the runner's RNG stream. The tuning loop journals
+  /// the state after every trial so a resumed run draws the exact same
+  /// noise the uninterrupted run would have.
+  std::vector<uint64_t> SaveRngState() const { return rng_.SaveState(); }
+  Status RestoreRngState(const std::vector<uint64_t>& words) {
+    return rng_.RestoreState(words);
+  }
+
  private:
   /// Extracts the minimize-convention objective from a benchmark result.
   double ObjectiveOf(const BenchmarkResult& result) const;

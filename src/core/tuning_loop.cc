@@ -5,15 +5,45 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace autotune {
 
-TuningResult RunTuningLoop(Optimizer* optimizer, TrialRunner* runner,
-                           const TuningLoopOptions& options) {
+namespace {
+
+using obs::Json;
+
+TuningResult RunTuningLoopImpl(Optimizer* optimizer, TrialRunner* runner,
+                               const TuningLoopOptions& options,
+                               const obs::JournalReplay* replay) {
   AUTOTUNE_CHECK(optimizer != nullptr);
   AUTOTUNE_CHECK(runner != nullptr);
   AUTOTUNE_CHECK(options.max_trials >= 1);
   AUTOTUNE_CHECK(options.batch_size >= 1);
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Counter* trials_started = metrics.GetCounter("loop.trials.started");
+  obs::Counter* trials_completed =
+      metrics.GetCounter("loop.trials.completed");
+  obs::Counter* trials_failed = metrics.GetCounter("loop.trials.failed");
+  obs::Counter* incumbent_updates =
+      metrics.GetCounter("loop.incumbent_updates");
+  obs::Gauge* incumbent_gauge = metrics.GetGauge("loop.incumbent_objective");
+  obs::Journal* journal = options.journal;
+
+  const size_t replay_count = replay ? replay->observations.size() : 0;
+  size_t replay_next = 0;
+
+  if (journal != nullptr) {
+    journal->Event("loop_started",
+                   {{"optimizer", Json(optimizer->name())},
+                    {"max_trials", Json(int64_t{options.max_trials})},
+                    {"batch_size", Json(options.batch_size)},
+                    {"resumed_trials", Json(replay_count)},
+                    {"space", obs::EncodeSpaceSchema(optimizer->space())}});
+  }
 
   TuningResult result;
   const double initial_cost = runner->total_cost();
@@ -26,29 +56,105 @@ TuningResult RunTuningLoop(Optimizer* optimizer, TrialRunner* runner,
     const size_t batch = std::min(options.batch_size, remaining);
 
     std::vector<Configuration> suggestions;
-    if (batch == 1) {
-      auto suggestion = optimizer->Suggest();
-      if (!suggestion.ok()) {
-        AUTOTUNE_LOG(kInfo) << "optimizer '" << optimizer->name()
-                            << "' stopped suggesting: "
-                            << suggestion.status().ToString();
-        break;  // E.g. grid exhausted.
+    {
+      obs::Span span("loop.suggest");
+      if (batch == 1) {
+        auto suggestion = optimizer->Suggest();
+        if (!suggestion.ok()) {
+          AUTOTUNE_LOG(kInfo) << "optimizer '" << optimizer->name()
+                              << "' stopped suggesting: "
+                              << suggestion.status().ToString();
+          break;  // E.g. grid exhausted.
+        }
+        suggestions.push_back(std::move(suggestion).value());
+      } else {
+        auto suggested = optimizer->SuggestBatch(batch);
+        if (!suggested.ok() || suggested->empty()) break;
+        suggestions = std::move(suggested).value();
       }
-      suggestions.push_back(std::move(suggestion).value());
-    } else {
-      auto suggested = optimizer->SuggestBatch(batch);
-      if (!suggested.ok() || suggested->empty()) break;
-      suggestions = std::move(suggested).value();
     }
 
     for (const Configuration& config : suggestions) {
-      Observation obs = runner->Evaluate(config);
-      Status status = optimizer->Observe(obs);
-      AUTOTUNE_CHECK_MSG(status.ok(), status.ToString().c_str());
-      if (!obs.failed) best = std::min(best, obs.objective);
+      const int trial = result.trials_run;
+      const bool replaying = replay_next < replay_count;
+      std::optional<Observation> evaluated;
+      if (replaying) {
+        // Fast-forward: take the journaled outcome instead of re-running
+        // the benchmark. The suggestion above was still made (and is now
+        // discarded) so the optimizer's RNG stream advances exactly as in
+        // the original run.
+        const Observation& journaled = replay->observations[replay_next];
+        if (&journaled.config.space() == &config.space() &&
+            !(journaled.config == config)) {
+          AUTOTUNE_LOG(kWarning)
+              << "resume divergence at trial " << trial
+              << ": suggested config differs from journaled config; "
+                 "continuing with the journaled one";
+        }
+        evaluated = journaled;
+        runner->RestoreFromReplay(journaled);
+        ++replay_next;
+        ++result.replayed_trials;
+        if (replay_next == replay_count && !replay->runner_rng.empty()) {
+          Status status = runner->RestoreRngState(replay->runner_rng);
+          if (!status.ok()) {
+            AUTOTUNE_LOG(kWarning) << "could not restore runner RNG state: "
+                                   << status.ToString();
+          }
+        }
+      } else {
+        trials_started->Increment();
+        if (journal != nullptr) {
+          journal->Event("trial_started",
+                         {{"trial", Json(int64_t{trial})},
+                          {"config", obs::EncodeConfig(config)}});
+        }
+        {
+          obs::Span span("loop.evaluate");
+          evaluated = runner->Evaluate(config);
+        }
+        trials_completed->Increment();
+        if (evaluated->failed) trials_failed->Increment();
+        if (journal != nullptr) {
+          journal->Event(
+              "trial_completed",
+              {{"trial", Json(int64_t{trial})},
+               {"observation", obs::EncodeObservation(*evaluated)},
+               {"runner_rng", obs::EncodeRngState(runner->SaveRngState())}});
+        }
+      }
+
+      Observation& observation = *evaluated;
+      {
+        obs::Span span("loop.observe");
+        Status status = optimizer->Observe(observation);
+        AUTOTUNE_CHECK_MSG(status.ok(), status.ToString().c_str());
+      }
+      if (!observation.failed && observation.objective < best) {
+        best = observation.objective;
+        incumbent_updates->Increment();
+        incumbent_gauge->Set(best);
+        if (journal != nullptr && !replaying) {
+          journal->Event("incumbent_updated",
+                         {{"trial", Json(int64_t{trial})},
+                          {"objective", Json(best)},
+                          {"config", obs::EncodeConfig(observation.config)}});
+        }
+      }
       result.best_so_far.push_back(best);
-      result.history.push_back(std::move(obs));
+      result.history.push_back(std::move(observation));
       ++result.trials_run;
+
+      if (journal != nullptr && !replaying && options.snapshot_every > 0 &&
+          result.trials_run % options.snapshot_every == 0) {
+        journal->Event(
+            "optimizer_snapshot",
+            {{"trial", Json(int64_t{result.trials_run})},
+             {"num_observations", Json(optimizer->num_observations())},
+             {"best_objective",
+              Json(std::isfinite(best) ? best : 0.0)},
+             {"total_cost", Json(runner->total_cost() - initial_cost)}});
+      }
     }
 
     // Convergence check over the trailing window.
@@ -67,7 +173,27 @@ TuningResult RunTuningLoop(Optimizer* optimizer, TrialRunner* runner,
 
   result.best = optimizer->best();
   result.total_cost = runner->total_cost() - initial_cost;
+  if (journal != nullptr) {
+    journal->Event("experiment_finished",
+                   {{"trials", Json(int64_t{result.trials_run})},
+                    {"total_cost", Json(result.total_cost)},
+                    {"converged_early", Json(result.converged_early)}});
+    journal->Flush();
+  }
   return result;
+}
+
+}  // namespace
+
+TuningResult RunTuningLoop(Optimizer* optimizer, TrialRunner* runner,
+                           const TuningLoopOptions& options) {
+  return RunTuningLoopImpl(optimizer, runner, options, nullptr);
+}
+
+TuningResult ResumeTuningLoop(Optimizer* optimizer, TrialRunner* runner,
+                              const TuningLoopOptions& options,
+                              const obs::JournalReplay& replay) {
+  return RunTuningLoopImpl(optimizer, runner, options, &replay);
 }
 
 }  // namespace autotune

@@ -12,6 +12,11 @@
 
 namespace autotune {
 
+namespace obs {
+class Journal;
+struct JournalReplay;
+}  // namespace obs
+
 /// Stopping criteria and batching for `RunTuningLoop`.
 struct TuningLoopOptions {
   /// Stop after this many trials.
@@ -29,6 +34,16 @@ struct TuningLoopOptions {
   /// (0 disables).
   int convergence_window = 0;
   double convergence_tol = 1e-9;
+
+  /// Optional experiment journal (non-owning). When set, the loop appends
+  /// loop_started / trial_started / trial_completed / incumbent_updated /
+  /// optimizer_snapshot / experiment_finished events, making the session
+  /// durable and resumable (see `ResumeTuningLoop`).
+  obs::Journal* journal = nullptr;
+
+  /// Journal an optimizer_snapshot event every N completed live trials
+  /// (0 disables).
+  int snapshot_every = 10;
 };
 
 /// Outcome of a tuning session.
@@ -38,6 +53,10 @@ struct TuningResult {
   double total_cost = 0.0;
   int trials_run = 0;
   bool converged_early = false;
+
+  /// Of `trials_run`, how many were fast-forwarded from a journal instead
+  /// of evaluated live (0 for fresh runs).
+  int replayed_trials = 0;
 
   /// Best objective after each trial (convergence curve).
   std::vector<double> best_so_far;
@@ -49,6 +68,19 @@ struct TuningResult {
 /// — any Optimizer against any Environment.
 TuningResult RunTuningLoop(Optimizer* optimizer, TrialRunner* runner,
                            const TuningLoopOptions& options);
+
+/// Resumes a journaled session: re-drives the loop with the same seeds and
+/// options, but the first `replay.observations.size()` trials are taken
+/// from the journal instead of re-evaluated — the optimizer still makes
+/// (and discards) its suggestions during the fast-forward, so its internal
+/// state (surrogate, RNG stream) ends up exactly where the interrupted run
+/// left it, and the remaining trials continue as if the run had never been
+/// killed. Pass a fresh optimizer/runner constructed with the ORIGINAL
+/// seeds; with the journaled runner-RNG state restored, resumed runs are
+/// bit-exact even for noisy environments.
+TuningResult ResumeTuningLoop(Optimizer* optimizer, TrialRunner* runner,
+                              const TuningLoopOptions& options,
+                              const obs::JournalReplay& replay);
 
 }  // namespace autotune
 

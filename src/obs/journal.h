@@ -1,0 +1,134 @@
+#ifndef AUTOTUNE_OBS_JOURNAL_H_
+#define AUTOTUNE_OBS_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/observation.h"
+#include "obs/json.h"
+
+namespace autotune {
+namespace obs {
+
+/// Append-only JSONL experiment journal — the durable record of a tuning
+/// session (the MLOS-style "every trial persisted with full context"
+/// design). One JSON object per line; events carry a monotonically
+/// increasing "seq" and a wall-clock "ts_ms". Serialization happens on the
+/// caller's thread (cheap), the file write + flush on a single background
+/// writer thread, so journaling never blocks the tuning loop on disk I/O.
+/// Every line is flushed to the OS as it is written, so a killed process
+/// loses at most the event being written — the partial trailing line is
+/// tolerated (and discarded) by `Replay`.
+///
+/// Event taxonomy (see docs/OBSERVABILITY.md for full schemas):
+///   experiment_started   CLI/session metadata, written by the caller
+///   loop_started         loop options + optimizer + space schema
+///   trial_started        {"trial", "config"}
+///   trial_completed      observation fields + runner RNG state
+///   incumbent_updated    {"trial", "objective", "config"}
+///   optimizer_snapshot   periodic {"trial", "num_observations", ...}
+///   experiment_finished  {"trials", "total_cost", "converged_early"}
+class Journal {
+ public:
+  /// Opens `path` for appending (created if missing).
+  static Result<std::unique_ptr<Journal>> Open(const std::string& path);
+
+  /// Flushes pending events and closes the file.
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Appends one event. `event` must be a JSON object with an "event"
+  /// member; "seq" and "ts_ms" are stamped here. Thread-safe; events are
+  /// written in Append order.
+  void Append(Json event);
+
+  /// Convenience: Append({"event": kind, ...fields}).
+  void Event(const std::string& kind, Json::Object fields = {});
+
+  /// Blocks until every appended event has reached the OS.
+  void Flush();
+
+  const std::string& path() const { return path_; }
+  int64_t events_written() const { return next_seq_; }
+
+ private:
+  Journal(std::string path, std::FILE* file);
+
+  std::string path_;
+  std::FILE* file_;
+  std::mutex mutex_;  ///< Orders seq stamping with queue submission.
+  int64_t next_seq_ = 0;
+  /// Declared last so it drains and joins before `file_` is closed.
+  std::unique_ptr<ThreadPool> writer_;
+};
+
+// ---- Event payload encoding ------------------------------------------------
+
+/// {"param": value, ...} with native JSON types per parameter kind.
+Json EncodeConfig(const Configuration& config);
+
+/// Full observation: {"config", "objective", "failed", "cost", "fidelity",
+/// "repetitions", "metrics"}.
+Json EncodeObservation(const Observation& observation);
+
+/// Rebuilds an observation against `space` (parameters matched by name).
+Result<Observation> DecodeObservation(const ConfigSpace* space,
+                                      const Json& encoded);
+
+/// [{"name", "type"}, ...] — enough to detect schema drift on resume.
+Json EncodeSpaceSchema(const ConfigSpace& space);
+
+/// FailedPrecondition if `schema` does not match `space` by name and type.
+Status CheckSpaceSchema(const ConfigSpace& space, const Json& schema);
+
+/// RNG state words as hex strings (uint64 does not fit JSON integers).
+Json EncodeRngState(const std::vector<uint64_t>& words);
+Result<std::vector<uint64_t>> DecodeRngState(const Json& encoded);
+
+// ---- Replay ----------------------------------------------------------------
+
+/// Everything `Journal::Replay` reconstructs from a journal file.
+struct JournalReplay {
+  /// Completed trials, in journal order, rebuilt against the caller's
+  /// space.
+  std::vector<Observation> observations;
+
+  /// Trial runner RNG state recorded with the LAST completed trial (empty
+  /// if the journal predates it); restoring it makes even noisy-environment
+  /// resumes bit-exact.
+  std::vector<uint64_t> runner_rng;
+
+  /// The first "experiment_started" event (null if absent) — callers that
+  /// journal their own session metadata (e.g. the CLI) read it back here.
+  Json experiment;
+
+  /// True if an "experiment_finished" event was seen.
+  bool finished = false;
+};
+
+/// Parses a journal written by this class and reconstructs the trial
+/// history. `space` is the configuration space to rebuild against; a
+/// journaled "loop_started" space schema that conflicts with it is an
+/// error. A truncated final line (process killed mid-write) is silently
+/// discarded; malformed lines elsewhere fail the replay.
+Result<JournalReplay> ReplayJournal(const std::string& path,
+                                    const ConfigSpace* space);
+
+/// Scans a journal for the first event of the given kind, without needing
+/// a configuration space (used by the CLI to recover session metadata
+/// before it can construct the environment). NotFound if absent.
+Result<Json> ReadFirstEvent(const std::string& path,
+                            const std::string& kind);
+
+}  // namespace obs
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OBS_JOURNAL_H_

@@ -1,0 +1,425 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace autotune {
+namespace obs {
+
+bool Json::AsBool() const {
+  AUTOTUNE_CHECK(is_bool());
+  return std::get<bool>(value_);
+}
+
+int64_t Json::AsInt() const {
+  AUTOTUNE_CHECK(is_int());
+  return std::get<int64_t>(value_);
+}
+
+double Json::AsDouble() const {
+  AUTOTUNE_CHECK(is_number());
+  if (is_int()) return static_cast<double>(std::get<int64_t>(value_));
+  return std::get<double>(value_);
+}
+
+const std::string& Json::AsString() const {
+  AUTOTUNE_CHECK(is_string());
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::AsArray() const {
+  AUTOTUNE_CHECK(is_array());
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::AsObject() const {
+  AUTOTUNE_CHECK(is_object());
+  return std::get<Object>(value_);
+}
+
+Json::Array& Json::AsArray() {
+  AUTOTUNE_CHECK(is_array());
+  return std::get<Array>(value_);
+}
+
+Json::Object& Json::AsObject() {
+  AUTOTUNE_CHECK(is_object());
+  return std::get<Object>(value_);
+}
+
+Result<Json> Json::Get(const std::string& key) const {
+  if (!is_object()) return Status::InvalidArgument("not a JSON object");
+  const Object& object = std::get<Object>(value_);
+  auto it = object.find(key);
+  if (it == object.end()) return Status::NotFound("no member '" + key + "'");
+  return it->second;
+}
+
+bool Json::GetBool(const std::string& key, bool fallback) const {
+  auto member = Get(key);
+  return member.ok() && member->is_bool() ? member->AsBool() : fallback;
+}
+
+int64_t Json::GetInt(const std::string& key, int64_t fallback) const {
+  auto member = Get(key);
+  return member.ok() && member->is_int() ? member->AsInt() : fallback;
+}
+
+double Json::GetDouble(const std::string& key, double fallback) const {
+  auto member = Get(key);
+  return member.ok() && member->is_number() ? member->AsDouble() : fallback;
+}
+
+std::string Json::GetString(const std::string& key,
+                            const std::string& fallback) const {
+  auto member = Get(key);
+  return member.ok() && member->is_string() ? member->AsString() : fallback;
+}
+
+bool Json::Has(const std::string& key) const {
+  return is_object() &&
+         std::get<Object>(value_).find(key) != std::get<Object>(value_).end();
+}
+
+void AppendJsonString(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+namespace {
+
+void AppendDouble(double value, std::string* out) {
+  if (!std::isfinite(value)) {
+    *out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Trim to the shortest representation that round-trips.
+  for (int digits = 1; digits < 17; ++digits) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", digits, value);
+    if (std::strtod(shorter, nullptr) == value) {
+      std::memcpy(buf, shorter, sizeof(shorter));
+      break;
+    }
+  }
+  *out += buf;
+  // "1e+30" is valid JSON, but bare integers like "5" would re-parse as
+  // int64; keep the double-ness explicit.
+  if (std::strpbrk(buf, ".eE") == nullptr) *out += ".0";
+}
+
+void AppendNewlineIndent(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  if (is_null()) {
+    *out += "null";
+  } else if (is_bool()) {
+    *out += AsBool() ? "true" : "false";
+  } else if (is_int()) {
+    *out += std::to_string(AsInt());
+  } else if (is_double()) {
+    AppendDouble(std::get<double>(value_), out);
+  } else if (is_string()) {
+    AppendJsonString(AsString(), out);
+  } else if (is_array()) {
+    const Array& array = AsArray();
+    if (array.empty()) {
+      *out += "[]";
+      return;
+    }
+    out->push_back('[');
+    for (size_t i = 0; i < array.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      AppendNewlineIndent(out, indent, depth + 1);
+      array[i].DumpTo(out, indent, depth + 1);
+    }
+    AppendNewlineIndent(out, indent, depth);
+    out->push_back(']');
+  } else {
+    const Object& object = AsObject();
+    if (object.empty()) {
+      *out += "{}";
+      return;
+    }
+    out->push_back('{');
+    bool first = true;
+    for (const auto& [key, value] : object) {
+      if (!first) out->push_back(',');
+      first = false;
+      AppendNewlineIndent(out, indent, depth + 1);
+      AppendJsonString(key, out);
+      out->push_back(':');
+      if (indent > 0) out->push_back(' ');
+      value.DumpTo(out, indent, depth + 1);
+    }
+    AppendNewlineIndent(out, indent, depth);
+    out->push_back('}');
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out, /*indent=*/0, /*depth=*/0);
+  return out;
+}
+
+std::string Json::Pretty() const {
+  std::string out;
+  DumpTo(&out, /*indent=*/2, /*depth=*/0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string view of the input.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> ParseDocument() {
+    AUTOTUNE_ASSIGN_OR_RETURN(Json value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t len = std::strlen(literal);
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      AUTOTUNE_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Json(std::move(s));
+    }
+    if (ConsumeLiteral("true")) return Json(true);
+    if (ConsumeLiteral("false")) return Json(false);
+    if (ConsumeLiteral("null")) return Json(nullptr);
+    return ParseNumber();
+  }
+
+  Result<Json> ParseObject() {
+    ++pos_;  // '{'
+    Json::Object object;
+    SkipWhitespace();
+    if (Consume('}')) return Json(std::move(object));
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      AUTOTUNE_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      AUTOTUNE_ASSIGN_OR_RETURN(Json value, ParseValue());
+      object[std::move(key)] = std::move(value);
+      SkipWhitespace();
+      if (Consume('}')) return Json(std::move(object));
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Json> ParseArray() {
+    ++pos_;  // '['
+    Json::Array array;
+    SkipWhitespace();
+    if (Consume(']')) return Json(std::move(array));
+    while (true) {
+      AUTOTUNE_ASSIGN_OR_RETURN(Json value, ParseValue());
+      array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return Json(std::move(array));
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(escape);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode (surrogate pairs not needed for our own output,
+          // which only escapes control characters).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<Json> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("invalid value");
+    const std::string token = text_.substr(start, pos_ - start);
+    const bool integral =
+        token.find_first_of(".eE") == std::string::npos;
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long parsed = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return Json(static_cast<int64_t>(parsed));
+      }
+      // Out of int64 range: fall through to double.
+    }
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Error("invalid number");
+    return Json(parsed);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(const std::string& text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace obs
+}  // namespace autotune

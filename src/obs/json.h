@@ -1,0 +1,99 @@
+#ifndef AUTOTUNE_OBS_JSON_H_
+#define AUTOTUNE_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace autotune {
+namespace obs {
+
+/// Minimal JSON document model for the observability layer: journal events,
+/// metrics exports, and trace dumps. Deliberately small — objects keep keys
+/// sorted (std::map) so output is deterministic and diffable, integers are
+/// kept distinct from doubles so 64-bit knob values survive a round trip.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}        // NOLINT(runtime/explicit)
+  Json(bool value) : value_(value) {}              // NOLINT(runtime/explicit)
+  Json(int value) : value_(int64_t{value}) {}      // NOLINT(runtime/explicit)
+  Json(int64_t value) : value_(value) {}           // NOLINT(runtime/explicit)
+  Json(uint64_t value)                             // NOLINT(runtime/explicit)
+      : value_(static_cast<int64_t>(value)) {}
+  Json(double value) : value_(value) {}            // NOLINT(runtime/explicit)
+  Json(const char* value)                          // NOLINT(runtime/explicit)
+      : value_(std::string(value)) {}
+  Json(std::string value)                          // NOLINT(runtime/explicit)
+      : value_(std::move(value)) {}
+  Json(Array value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Json(Object value)                               // NOLINT(runtime/explicit)
+      : value_(std::move(value)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors; CHECK-fail on alternative mismatch (`AsDouble` accepts
+  /// both numeric alternatives).
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  const Object& AsObject() const;
+  Array& AsArray();
+  Object& AsObject();
+
+  /// Object lookup: the member value, or NotFound.
+  Result<Json> Get(const std::string& key) const;
+
+  /// Object lookup with a default when the key is absent.
+  bool GetBool(const std::string& key, bool fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+
+  /// True if this is an object containing `key`.
+  bool Has(const std::string& key) const;
+
+  /// Serializes to compact JSON (no whitespace). Doubles render with enough
+  /// digits to round-trip; NaN/Inf (not representable in JSON) render null.
+  std::string Dump() const;
+
+  /// Serializes with 2-space indentation (for human-facing exports).
+  std::string Pretty() const;
+
+  /// Parses one JSON document (surrounding whitespace allowed; trailing
+  /// garbage is an error).
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      value_;
+};
+
+/// Appends `text` JSON-escaped (quotes included) to `out`.
+void AppendJsonString(const std::string& text, std::string* out);
+
+}  // namespace obs
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OBS_JSON_H_

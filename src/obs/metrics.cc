@@ -1,0 +1,264 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace autotune {
+namespace obs {
+
+namespace {
+
+/// CAS loop replacing `target` with `value` whenever `better(value, old)`.
+template <typename Better>
+void AtomicExtreme(std::atomic<double>* target, double value, Better better) {
+  double current = target->load(std::memory_order_relaxed);
+  while (better(value, current) &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(upper_bounds_.size() + 1) {
+  AUTOTUNE_CHECK(!upper_bounds_.empty());
+  AUTOTUNE_CHECK(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()));
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void Histogram::Record(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value) -
+      upper_bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicExtreme(&min_, value, [](double a, double b) { return a < b; });
+  AtomicExtreme(&max_, value, [](double a, double b) { return a > b; });
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const int64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+int64_t Histogram::bucket_count(size_t i) const {
+  AUTOTUNE_CHECK(i < buckets_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::Quantile(double q) const {
+  const int64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const int64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      // Interpolate within [lower, upper); clamp the open-ended edges to the
+      // observed extremes.
+      const double lower = i == 0 ? min() : upper_bounds_[i - 1];
+      const double upper =
+          i == upper_bounds_.size() ? max() : upper_bounds_[i];
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return max();
+}
+
+std::vector<double> Histogram::LatencyBuckets() {
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 200.0; decade *= 10.0) {
+    for (double step : {1.0, 2.0, 5.0}) {
+      bounds.push_back(decade * step);
+    }
+  }
+  return bounds;  // 1us, 2us, 5us, ..., 100s, 200s, 500s.
+}
+
+MetricsRegistry::Shard& MetricsRegistry::ShardFor(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % kNumShards];
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  AUTOTUNE_CHECK_MSG(shard.gauges.find(name) == shard.gauges.end() &&
+                         shard.histograms.find(name) == shard.histograms.end(),
+                     "metric name already used by another kind");
+  auto& slot = shard.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  AUTOTUNE_CHECK_MSG(shard.counters.find(name) == shard.counters.end() &&
+                         shard.histograms.find(name) == shard.histograms.end(),
+                     "metric name already used by another kind");
+  auto& slot = shard.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  AUTOTUNE_CHECK_MSG(shard.counters.find(name) == shard.counters.end() &&
+                         shard.gauges.find(name) == shard.gauges.end(),
+                     "metric name already used by another kind");
+  auto& slot = shard.histograms[name];
+  if (slot == nullptr) {
+    if (upper_bounds.empty()) upper_bounds = Histogram::LatencyBuckets();
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::Increment(const std::string& name, int64_t delta) {
+  GetCounter(name)->Increment(delta);
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  GetGauge(name)->Set(value);
+}
+
+void MetricsRegistry::Record(const std::string& name, double value) {
+  GetHistogram(name)->Record(value);
+}
+
+void MetricsRegistry::Reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.counters.clear();
+    shard.gauges.clear();
+    shard.histograms.clear();
+  }
+}
+
+Json MetricsRegistry::ToJson() const {
+  Json::Object counters;
+  Json::Object gauges;
+  Json::Object histograms;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [name, counter] : shard.counters) {
+      counters[name] = Json(counter->value());
+    }
+    for (const auto& [name, gauge] : shard.gauges) {
+      gauges[name] = Json(gauge->value());
+    }
+    for (const auto& [name, histogram] : shard.histograms) {
+      Json::Object h;
+      h["count"] = Json(histogram->count());
+      h["sum"] = Json(histogram->sum());
+      h["mean"] = Json(histogram->mean());
+      h["min"] = Json(histogram->min());
+      h["max"] = Json(histogram->max());
+      h["p50"] = Json(histogram->Quantile(0.50));
+      h["p95"] = Json(histogram->Quantile(0.95));
+      h["p99"] = Json(histogram->Quantile(0.99));
+      Json::Array buckets;
+      const auto& bounds = histogram->upper_bounds();
+      for (size_t i = 0; i <= bounds.size(); ++i) {
+        const int64_t in_bucket = histogram->bucket_count(i);
+        if (in_bucket == 0) continue;  // Keep exports compact.
+        Json::Object bucket;
+        bucket["le"] = i == bounds.size()
+                           ? Json("+inf")
+                           : Json(bounds[i]);
+        bucket["count"] = Json(in_bucket);
+        buckets.push_back(Json(std::move(bucket)));
+      }
+      h["buckets"] = Json(std::move(buckets));
+      histograms[name] = Json(std::move(h));
+    }
+  }
+  Json::Object root;
+  root["counters"] = Json(std::move(counters));
+  root["gauges"] = Json(std::move(gauges));
+  root["histograms"] = Json(std::move(histograms));
+  return Json(std::move(root));
+}
+
+Table MetricsRegistry::ToTable() const {
+  Table table({"metric", "kind", "field", "value"});
+  const Json snapshot = ToJson();
+  const auto append = [&table](const std::string& metric,
+                               const std::string& kind,
+                               const std::string& field, double value) {
+    Status status =
+        table.AppendRow({metric, kind, field, FormatDouble(value, 17)});
+    AUTOTUNE_CHECK(status.ok());
+  };
+  // Keep the Result<Json> temporaries alive across the loops: Get returns
+  // by value, so iterating `Get(...)->AsObject()` directly would dangle.
+  const Result<Json> counters = snapshot.Get("counters");
+  const Result<Json> gauges = snapshot.Get("gauges");
+  const Result<Json> histograms = snapshot.Get("histograms");
+  for (const auto& [name, value] : counters->AsObject()) {
+    append(name, "counter", "value", value.AsDouble());
+  }
+  for (const auto& [name, value] : gauges->AsObject()) {
+    append(name, "gauge", "value", value.AsDouble());
+  }
+  for (const auto& [name, histogram] : histograms->AsObject()) {
+    for (const char* field :
+         {"count", "sum", "mean", "min", "max", "p50", "p95", "p99"}) {
+      append(name, "histogram", field, histogram.GetDouble(field, 0.0));
+    }
+  }
+  return table;
+}
+
+Status MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open '" + path + "' for writing");
+  }
+  const std::string text = ToJson().Pretty();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  if (written != text.size()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status MetricsRegistry::WriteCsvFile(const std::string& path) const {
+  return ToTable().WriteCsvFile(path);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace autotune

@@ -1,0 +1,147 @@
+#ifndef AUTOTUNE_OBS_METRICS_H_
+#define AUTOTUNE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/table.h"
+#include "obs/json.h"
+
+namespace autotune {
+namespace obs {
+
+/// Monotonically increasing event count (trials started, refits, ...).
+/// Increment is a single relaxed atomic add — safe to call from any thread.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written instantaneous value (incumbent objective, queue depth, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: counts per bucket plus sum/min/max, all updated
+/// with atomics so concurrent `Record` calls never block each other. Bucket
+/// `i` counts values `<= upper_bounds[i]`; one implicit overflow bucket
+/// catches the rest. Quantiles are estimated by linear interpolation inside
+/// the containing bucket (the usual Prometheus-style approximation).
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Record(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Estimated q-quantile (q in [0, 1]); 0 when empty.
+  double Quantile(double q) const;
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+
+  /// Count in bucket `i` (i == upper_bounds().size() is the overflow
+  /// bucket).
+  int64_t bucket_count(size_t i) const;
+
+  /// Default upper bounds for latency-in-seconds histograms: a 1-2-5 series
+  /// from 1 microsecond to 100 seconds.
+  static std::vector<double> LatencyBuckets();
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;  // upper_bounds_.size() + 1.
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Process-wide metric namespace. Lookups hash the metric name onto one of
+/// several independently locked shards (lock striping), so concurrent
+/// workers registering or fetching different metrics rarely contend; the
+/// returned pointers are stable for the registry's lifetime, and updates
+/// through them are lock-free atomics.
+///
+/// Naming convention: dotted lowercase paths, e.g. "loop.trials.started",
+/// "span.bo.fit" (seconds histograms created by the trace layer).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named metric. CHECK-fails if the name already
+  /// names a metric of a different kind.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `upper_bounds` applies only on first creation (empty = latency
+  /// buckets).
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds = {});
+
+  /// One-shot conveniences for cold paths.
+  void Increment(const std::string& name, int64_t delta = 1);
+  void SetGauge(const std::string& name, double value);
+  void Record(const std::string& name, double value);
+
+  /// Drops all metrics (tests / between bench phases).
+  void Reset();
+
+  /// Point-in-time export:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  ///  mean, min, max, p50, p95, p99, buckets: [{le, count}, ...]}}}.
+  Json ToJson() const;
+
+  /// Flat tabular export: one row per scalar and per histogram summary
+  /// statistic (metric, kind, field, value).
+  Table ToTable() const;
+
+  Status WriteJsonFile(const std::string& path) const;
+  Status WriteCsvFile(const std::string& path) const;
+
+  /// The process-wide registry used by the tracing layer and the tuning
+  /// loop.
+  static MetricsRegistry& Global();
+
+ private:
+  static constexpr size_t kNumShards = 16;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Shard& ShardFor(const std::string& name);
+
+  Shard shards_[kNumShards];
+};
+
+}  // namespace obs
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OBS_METRICS_H_

@@ -1,0 +1,157 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace autotune {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{true};
+
+/// Steady-clock ns relative to the first use in this process, so span
+/// timestamps stay small and comparable across threads.
+int64_t NowNs() {
+  static const std::chrono::steady_clock::time_point anchor =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - anchor)
+      .count();
+}
+
+uint64_t ThisThreadId() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+/// Ring storage behind a plain mutex: spans end at trial granularity
+/// (microseconds and up), so contention here is negligible next to the
+/// work being traced.
+struct Ring {
+  std::mutex mutex;
+  std::vector<SpanRecord> records;
+  size_t capacity = 8192;
+  size_t next = 0;     ///< Overwrite position once full.
+  bool wrapped = false;
+};
+
+Ring& GetRing() {
+  static Ring* ring = new Ring();
+  return *ring;
+}
+
+thread_local int t_span_depth = 0;
+
+}  // namespace
+
+void TraceBuffer::SetEnabled(bool enabled) {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TraceBuffer::enabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void TraceBuffer::SetCapacity(size_t capacity) {
+  Ring& ring = GetRing();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  ring.capacity = capacity == 0 ? 1 : capacity;
+  ring.records.clear();
+  ring.records.shrink_to_fit();
+  ring.next = 0;
+  ring.wrapped = false;
+}
+
+void TraceBuffer::Clear() {
+  Ring& ring = GetRing();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  ring.records.clear();
+  ring.next = 0;
+  ring.wrapped = false;
+}
+
+void TraceBuffer::Record(SpanRecord record) {
+  Ring& ring = GetRing();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  if (ring.records.size() < ring.capacity) {
+    ring.records.push_back(std::move(record));
+  } else {
+    ring.records[ring.next] = std::move(record);
+    ring.next = (ring.next + 1) % ring.capacity;
+    ring.wrapped = true;
+  }
+}
+
+std::vector<SpanRecord> TraceBuffer::Snapshot() {
+  Ring& ring = GetRing();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  std::vector<SpanRecord> out;
+  out.reserve(ring.records.size());
+  if (ring.wrapped) {
+    out.insert(out.end(), ring.records.begin() + ring.next,
+               ring.records.end());
+    out.insert(out.end(), ring.records.begin(),
+               ring.records.begin() + ring.next);
+  } else {
+    out = ring.records;
+  }
+  return out;
+}
+
+Json TraceBuffer::ToChromeTraceJson() {
+  Json::Array events;
+  for (const SpanRecord& span : Snapshot()) {
+    Json::Object event;
+    event["name"] = Json(span.name);
+    event["ph"] = Json("X");
+    event["pid"] = Json(int64_t{1});
+    event["tid"] = Json(span.thread_id % 100000);
+    event["ts"] = Json(static_cast<double>(span.start_ns) / 1000.0);
+    event["dur"] = Json(static_cast<double>(span.duration_ns) / 1000.0);
+    Json::Object args;
+    args["depth"] = Json(int64_t{span.depth});
+    event["args"] = Json(std::move(args));
+    events.push_back(Json(std::move(event)));
+  }
+  Json::Object root;
+  root["traceEvents"] = Json(std::move(events));
+  return Json(std::move(root));
+}
+
+Status TraceBuffer::WriteChromeTraceFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open '" + path + "' for writing");
+  }
+  const std::string text = ToChromeTraceJson().Dump();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  if (written != text.size()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Span::Span(const char* name)
+    : name_(name), start_ns_(NowNs()), depth_(t_span_depth++) {}
+
+int64_t Span::ElapsedNs() const { return NowNs() - start_ns_; }
+
+Span::~Span() {
+  const int64_t duration_ns = ElapsedNs();
+  --t_span_depth;
+  MetricsRegistry::Global().Record(std::string("span.") + name_,
+                                   static_cast<double>(duration_ns) * 1e-9);
+  if (TraceBuffer::enabled()) {
+    TraceBuffer::Record(SpanRecord{name_, ThisThreadId(), start_ns_,
+                                   duration_ns, depth_});
+  }
+}
+
+}  // namespace obs
+}  // namespace autotune

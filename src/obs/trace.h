@@ -1,0 +1,81 @@
+#ifndef AUTOTUNE_OBS_TRACE_H_
+#define AUTOTUNE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace autotune {
+namespace obs {
+
+/// One completed span, as stored in the trace ring buffer.
+struct SpanRecord {
+  std::string name;       ///< Span name, e.g. "bo.fit".
+  uint64_t thread_id;     ///< Hashed std::thread::id.
+  int64_t start_ns;       ///< Steady-clock start, ns since process anchor.
+  int64_t duration_ns;    ///< Wall time inside the span.
+  int depth;              ///< Nesting depth on its thread (0 = root).
+};
+
+/// Process-wide trace sink: a fixed-capacity ring buffer of completed spans
+/// (oldest overwritten first) plus an on/off switch. Span *latencies* always
+/// flow into `MetricsRegistry::Global()` (histogram "span.<name>"); the ring
+/// buffer additionally keeps the most recent individual spans for timeline
+/// debugging, and can be exported in Chrome's trace-event format for
+/// chrome://tracing / Perfetto.
+class TraceBuffer {
+ public:
+  /// Enables/disables span *recording* into the ring buffer (latency
+  /// histograms are unaffected). Enabled by default.
+  static void SetEnabled(bool enabled);
+  static bool enabled();
+
+  /// Resizes the ring buffer (default 8192 spans) and clears it.
+  static void SetCapacity(size_t capacity);
+
+  /// Drops all recorded spans.
+  static void Clear();
+
+  /// Copies out the recorded spans, oldest first.
+  static std::vector<SpanRecord> Snapshot();
+
+  /// Chrome trace-event JSON: {"traceEvents": [{"name", "ph": "X", "pid",
+  /// "tid", "ts" (us), "dur" (us)}, ...]}.
+  static Json ToChromeTraceJson();
+  static Status WriteChromeTraceFile(const std::string& path);
+
+  /// Internal: called by ~Span.
+  static void Record(SpanRecord record);
+};
+
+/// RAII timed span. Construct at the top of the phase being measured; on
+/// destruction the elapsed time is recorded to the latency histogram
+/// "span.<name>" and (when tracing is enabled) appended to the ring buffer.
+/// Spans nest via a thread-local depth counter, so traces reconstruct the
+/// call tree (loop.evaluate > trial.evaluate > env.run).
+///
+/// `name` must be a string literal (or otherwise outlive the span).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Nanoseconds elapsed since construction.
+  int64_t ElapsedNs() const;
+
+ private:
+  const char* name_;
+  int64_t start_ns_;
+  int depth_;
+};
+
+}  // namespace obs
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OBS_TRACE_H_

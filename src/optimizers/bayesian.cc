@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "surrogate/gaussian_process.h"
 #include "surrogate/random_forest.h"
 
@@ -36,6 +38,8 @@ void BayesianOptimizer::OnObserve(const Observation& /*observation*/) {
 
 Status BayesianOptimizer::RefitWith(
     const std::vector<std::pair<Vector, double>>& extra) {
+  obs::Span span("bo.fit");
+  obs::MetricsRegistry::Global().Increment("bo.surrogate_refits");
   std::vector<Vector> xs;
   Vector ys;
   xs.reserve(history_.size() + extra.size());
@@ -100,6 +104,7 @@ Result<Configuration> BayesianOptimizer::MaximizeAcquisition() {
 }
 
 Result<Configuration> BayesianOptimizer::Suggest() {
+  obs::Span span("bo.suggest");
   // Phase 1: space-filling initial design.
   if (history_.size() < static_cast<size_t>(options_.initial_design)) {
     for (int attempt = 0; attempt < 100; ++attempt) {

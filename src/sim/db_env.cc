@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace autotune {
 namespace sim {
@@ -346,6 +347,7 @@ BenchmarkResult DbEnv::EvaluateModel(const Configuration& config,
 
 BenchmarkResult DbEnv::Run(const Configuration& config, double fidelity,
                            Rng* rng) {
+  obs::Span span("env.simdb.run");
   BenchmarkResult result = EvaluateModel(config, fidelity);
   if (result.crashed || options_.deterministic || rng == nullptr) {
     return result;

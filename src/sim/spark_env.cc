@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace autotune {
 namespace sim {
@@ -127,6 +128,7 @@ BenchmarkResult SparkEnv::EvaluateModel(const Configuration& config,
 
 BenchmarkResult SparkEnv::Run(const Configuration& config, double fidelity,
                               Rng* rng) {
+  obs::Span span("env.spark.run");
   BenchmarkResult result = EvaluateModel(config, fidelity);
   if (result.crashed || options_.deterministic || rng == nullptr) {
     return result;

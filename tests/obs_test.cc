@@ -1,0 +1,607 @@
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/storage.h"
+#include "core/trial_runner.h"
+#include "core/tuning_loop.h"
+#include "obs/journal.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "optimizers/bayesian.h"
+#include "optimizers/random_search.h"
+#include "sim/test_functions.h"
+
+namespace autotune {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "obs_test_" + name;
+}
+
+// ------------------------------------------------------------------ Json --
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  obs::Json::Object object;
+  object["bool"] = obs::Json(true);
+  object["int"] = obs::Json(int64_t{-42});
+  object["double"] = obs::Json(3.25);
+  object["string"] = obs::Json(std::string("he\"llo\nworld"));
+  object["null"] = obs::Json(nullptr);
+  obs::Json::Array array;
+  array.push_back(obs::Json(int64_t{1}));
+  array.push_back(obs::Json(std::string("two")));
+  object["array"] = obs::Json(std::move(array));
+  obs::Json original(std::move(object));
+
+  auto parsed = obs::Json::Parse(original.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Dump(), original.Dump());
+  EXPECT_TRUE(parsed->GetBool("bool", false));
+  EXPECT_EQ(parsed->GetInt("int", 0), -42);
+  EXPECT_DOUBLE_EQ(parsed->GetDouble("double", 0.0), 3.25);
+  EXPECT_EQ(parsed->GetString("string", ""), "he\"llo\nworld");
+  EXPECT_TRUE(parsed->Get("null")->is_null());
+  EXPECT_EQ(parsed->Get("array")->AsArray().size(), 2u);
+}
+
+TEST(JsonTest, DoublesRoundTripExactly) {
+  // Shortest-round-trip printing must reproduce the bit pattern — resume
+  // correctness depends on journaled objectives being exact.
+  for (double value : {0.1, 1.0 / 3.0, 1779350.5663786256, 1e-17,
+                       -2.2250738585072014e-308, 12345678901234.567}) {
+    auto parsed = obs::Json::Parse(obs::Json(value).Dump());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->AsDouble(), value);
+  }
+}
+
+TEST(JsonTest, IntegralDoubleStaysDouble) {
+  auto parsed = obs::Json::Parse(obs::Json(5.0).Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->is_number());
+  EXPECT_FALSE(parsed->is_int());  // "5.0", not "5".
+  EXPECT_EQ(parsed->AsDouble(), 5.0);
+}
+
+TEST(JsonTest, ObjectKeysAreSorted) {
+  obs::Json::Object object;
+  object["zebra"] = obs::Json(int64_t{1});
+  object["alpha"] = obs::Json(int64_t{2});
+  EXPECT_EQ(obs::Json(std::move(object)).Dump(),
+            "{\"alpha\":2,\"zebra\":1}");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(obs::Json::Parse("{\"a\":").ok());
+  EXPECT_FALSE(obs::Json::Parse("[1, 2").ok());
+  EXPECT_FALSE(obs::Json::Parse("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(obs::Json::Parse("").ok());
+}
+
+// ------------------------------------------------------------- Histogram --
+
+TEST(HistogramTest, BucketMath) {
+  obs::Histogram histogram({1.0, 2.0, 5.0});
+  for (double value : {0.5, 0.9, 1.0, 1.5, 3.0, 100.0}) {
+    histogram.Record(value);
+  }
+  // Bucket i counts values <= upper_bounds[i]; 1.0 lands in the first.
+  EXPECT_EQ(histogram.bucket_count(0), 3);  // 0.5, 0.9, 1.0
+  EXPECT_EQ(histogram.bucket_count(1), 1);  // 1.5
+  EXPECT_EQ(histogram.bucket_count(2), 1);  // 3.0
+  EXPECT_EQ(histogram.bucket_count(3), 1);  // 100.0 -> overflow
+  EXPECT_EQ(histogram.count(), 6);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.max(), 100.0);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.5 + 0.9 + 1.0 + 1.5 + 3.0 + 100.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), histogram.sum() / 6.0);
+}
+
+TEST(HistogramTest, QuantileInterpolates) {
+  obs::Histogram histogram({10.0, 20.0, 30.0});
+  for (int i = 0; i < 100; ++i) histogram.Record(5.0);   // First bucket.
+  for (int i = 0; i < 100; ++i) histogram.Record(15.0);  // Second bucket.
+  // Median sits at the boundary between the two buckets.
+  EXPECT_NEAR(histogram.Quantile(0.5), 10.0, 1.0);
+  // p25 is inside the first bucket, p75 inside the second.
+  EXPECT_GT(histogram.Quantile(0.25), 0.0);
+  EXPECT_LE(histogram.Quantile(0.25), 10.0);
+  EXPECT_GT(histogram.Quantile(0.75), 10.0);
+  EXPECT_LE(histogram.Quantile(0.75), 20.0);
+  EXPECT_DOUBLE_EQ(obs::Histogram({1.0}).Quantile(0.5), 0.0);  // Empty.
+}
+
+TEST(HistogramTest, LatencyBucketsAreStrictlyIncreasing) {
+  const std::vector<double> bounds = obs::Histogram::LatencyBuckets();
+  ASSERT_GE(bounds.size(), 10u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_LE(bounds.front(), 1e-6);
+  EXPECT_GE(bounds.back(), 100.0);
+}
+
+// ------------------------------------------------------- MetricsRegistry --
+
+TEST(MetricsRegistryTest, ConcurrentCounterIncrements) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Half through the cached pointer, half through the name lookup, so
+      // both the lock-striped lookup and the atomic update are exercised.
+      obs::Counter* counter = registry.GetCounter("test.hits");
+      for (int i = 0; i < kPerThread / 2; ++i) counter->Increment();
+      for (int i = 0; i < kPerThread / 2; ++i) {
+        registry.Increment("test.hits");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("test.hits")->value(),
+            int64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ConcurrentHistogramRecords) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.Record("test.latency", 0.001 * (t + 1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  obs::Histogram* histogram = registry.GetHistogram("test.latency");
+  EXPECT_EQ(histogram->count(), int64_t{kThreads} * kPerThread);
+  EXPECT_DOUBLE_EQ(histogram->min(), 0.001);
+  EXPECT_DOUBLE_EQ(histogram->max(), 0.008);
+}
+
+TEST(MetricsRegistryTest, StablePointersAndReset) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("a.counter");
+  EXPECT_EQ(counter, registry.GetCounter("a.counter"));
+  counter->Increment(5);
+  registry.SetGauge("a.gauge", 1.5);
+  registry.Record("a.histogram", 0.25);
+
+  obs::Json snapshot = registry.ToJson();
+  EXPECT_EQ(snapshot.Get("counters")->GetInt("a.counter", 0), 5);
+  EXPECT_DOUBLE_EQ(snapshot.Get("gauges")->GetDouble("a.gauge", 0.0), 1.5);
+  EXPECT_TRUE(snapshot.Get("histograms")->Has("a.histogram"));
+
+  registry.Reset();
+  EXPECT_EQ(registry.ToJson().Get("counters")->AsObject().size(), 0u);
+  EXPECT_EQ(registry.GetCounter("a.counter")->value(), 0);
+}
+
+TEST(MetricsRegistryTest, ExportsJsonAndCsvFiles) {
+  obs::MetricsRegistry registry;
+  registry.Increment("export.count", 3);
+  registry.Record("export.latency", 0.5);
+  const std::string json_path = TempPath("metrics.json");
+  const std::string csv_path = TempPath("metrics.csv");
+  ASSERT_TRUE(registry.WriteJsonFile(json_path).ok());
+  ASSERT_TRUE(registry.WriteCsvFile(csv_path).ok());
+  std::FILE* file = std::fopen(json_path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  std::fclose(file);
+  std::remove(json_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+// ----------------------------------------------------------------- Trace --
+
+TEST(TraceTest, SpansRecordToRingBufferAndHistogram) {
+  obs::TraceBuffer::SetCapacity(64);
+  obs::MetricsRegistry::Global().Reset();
+  {
+    obs::Span outer("test.outer");
+    obs::Span inner("test.inner");
+  }
+  std::vector<obs::SpanRecord> spans = obs::TraceBuffer::Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner span closes (and is recorded) first, at depth 1.
+  EXPECT_EQ(spans[0].name, "test.inner");
+  EXPECT_EQ(spans[0].depth, 1);
+  EXPECT_EQ(spans[1].name, "test.outer");
+  EXPECT_EQ(spans[1].depth, 0);
+  EXPECT_GE(spans[0].duration_ns, 0);
+  // Latencies always land in the global registry.
+  EXPECT_EQ(
+      obs::MetricsRegistry::Global().GetHistogram("span.test.outer")->count(),
+      1);
+  obs::TraceBuffer::Clear();
+  obs::MetricsRegistry::Global().Reset();
+}
+
+TEST(TraceTest, RingBufferKeepsMostRecent) {
+  obs::TraceBuffer::SetCapacity(4);
+  for (int i = 0; i < 10; ++i) {
+    obs::Span span("test.wrap");
+  }
+  EXPECT_EQ(obs::TraceBuffer::Snapshot().size(), 4u);
+  obs::TraceBuffer::SetCapacity(8192);  // Restore the default.
+  obs::MetricsRegistry::Global().Reset();
+}
+
+TEST(TraceTest, DisabledBufferStillFeedsHistograms) {
+  obs::TraceBuffer::Clear();
+  obs::TraceBuffer::SetEnabled(false);
+  obs::MetricsRegistry::Global().Reset();
+  {
+    obs::Span span("test.disabled");
+  }
+  EXPECT_TRUE(obs::TraceBuffer::Snapshot().empty());
+  EXPECT_EQ(obs::MetricsRegistry::Global()
+                .GetHistogram("span.test.disabled")
+                ->count(),
+            1);
+  obs::TraceBuffer::SetEnabled(true);
+  obs::MetricsRegistry::Global().Reset();
+}
+
+TEST(TraceTest, ChromeTraceExportHasEvents) {
+  obs::TraceBuffer::Clear();
+  {
+    obs::Span span("test.chrome");
+  }
+  obs::Json trace = obs::TraceBuffer::ToChromeTraceJson();
+  auto events = trace.Get("traceEvents");
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->AsArray().size(), 1u);
+  EXPECT_EQ(events->AsArray()[0].GetString("name", ""), "test.chrome");
+  EXPECT_EQ(events->AsArray()[0].GetString("ph", ""), "X");
+  obs::TraceBuffer::Clear();
+  obs::MetricsRegistry::Global().Reset();
+}
+
+// --------------------------------------------------------------- Journal --
+
+// ConfigSpace is neither copyable nor movable; build in place.
+struct MixedSpace {
+  MixedSpace() {
+    space.AddOrDie(ParameterSpec::Float("learning_rate", 1e-4, 1.0));
+    space.AddOrDie(ParameterSpec::Int("batch", 1, 512));
+    space.AddOrDie(
+        ParameterSpec::Categorical("policy", {"lru", "lfu", "arc"}));
+    space.AddOrDie(ParameterSpec::Bool("compress"));
+  }
+  ConfigSpace space;
+};
+
+Observation MakeObservation(const ConfigSpace& space, double objective) {
+  auto config = space.Make({{"learning_rate", ParamValue(0.125)},
+                            {"batch", ParamValue(int64_t{64})},
+                            {"policy", ParamValue(std::string("lfu"))},
+                            {"compress", ParamValue(true)}});
+  EXPECT_TRUE(config.ok());
+  Observation observation(*config, objective);
+  observation.cost = 12.5;
+  observation.fidelity = 0.5;
+  observation.repetitions = 3;
+  observation.metrics["latency_ms"] = objective;
+  observation.metrics["throughput_ops"] = 1000.0 - objective;
+  return observation;
+}
+
+TEST(JournalTest, ObservationEncodeDecodeRoundTrip) {
+  MixedSpace mixed;
+  ConfigSpace& space = mixed.space;
+  Observation original = MakeObservation(space, 41.75);
+  auto decoded =
+      obs::DecodeObservation(&space, obs::EncodeObservation(original));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->objective, original.objective);
+  EXPECT_EQ(decoded->cost, original.cost);
+  EXPECT_EQ(decoded->fidelity, original.fidelity);
+  EXPECT_EQ(decoded->repetitions, original.repetitions);
+  EXPECT_EQ(decoded->failed, original.failed);
+  EXPECT_TRUE(decoded->config == original.config);
+  EXPECT_EQ(decoded->metrics.at("latency_ms"), 41.75);
+}
+
+TEST(JournalTest, WriteThenReplayRoundTrip) {
+  MixedSpace mixed;
+  ConfigSpace& space = mixed.space;
+  const std::string path = TempPath("roundtrip.jsonl");
+  std::remove(path.c_str());
+  {
+    auto journal = obs::Journal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    (*journal)->Event("experiment_started",
+                      {{"env", obs::Json(std::string("unit"))}});
+    for (int trial = 0; trial < 3; ++trial) {
+      Observation observation = MakeObservation(space, 10.0 + trial);
+      (*journal)->Event(
+          "trial_completed",
+          {{"trial", obs::Json(int64_t{trial})},
+           {"observation", obs::EncodeObservation(observation)},
+           {"runner_rng",
+            obs::EncodeRngState(
+                {1, 2, 3, 4, 0, static_cast<uint64_t>(trial) + 7})}});
+    }
+  }  // Destructor drains the writer thread and closes the file.
+
+  auto replay = obs::ReplayJournal(path, &space);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(replay->observations.size(), 3u);
+  EXPECT_EQ(replay->observations[0].objective, 10.0);
+  EXPECT_EQ(replay->observations[2].objective, 12.0);
+  EXPECT_FALSE(replay->finished);
+  EXPECT_EQ(replay->experiment.GetString("env", ""), "unit");
+  // The LAST trial's RNG state wins.
+  ASSERT_EQ(replay->runner_rng.size(), 6u);
+  EXPECT_EQ(replay->runner_rng[5], 9u);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, EventsAreSequencedAndOrdered) {
+  const std::string path = TempPath("seq.jsonl");
+  std::remove(path.c_str());
+  {
+    auto journal = obs::Journal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 20; ++i) {
+      (*journal)->Event("tick", {{"i", obs::Json(int64_t{i})}});
+    }
+    (*journal)->Flush();
+    EXPECT_EQ((*journal)->events_written(), 20);
+  }
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char line[4096];
+  int64_t expected_seq = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    auto parsed = obs::Json::Parse(line);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->GetInt("seq", -1), expected_seq);
+    EXPECT_EQ(parsed->GetInt("i", -1), expected_seq);
+    ++expected_seq;
+  }
+  std::fclose(file);
+  EXPECT_EQ(expected_seq, 20);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, TruncatedFinalLineIsTolerated) {
+  MixedSpace mixed;
+  ConfigSpace& space = mixed.space;
+  const std::string path = TempPath("truncated.jsonl");
+  std::remove(path.c_str());
+  {
+    auto journal = obs::Journal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    Observation observation = MakeObservation(space, 5.0);
+    (*journal)->Event(
+        "trial_completed",
+        {{"trial", obs::Json(int64_t{0})},
+         {"observation", obs::EncodeObservation(observation)}});
+  }
+  // Simulate a kill mid-write: a partial JSON line with no newline.
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  ASSERT_NE(file, nullptr);
+  std::fputs("{\"event\":\"trial_completed\",\"observ", file);
+  std::fclose(file);
+
+  auto replay = obs::ReplayJournal(path, &space);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->observations.size(), 1u);  // Partial line discarded.
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, MalformedInteriorLineFailsReplay) {
+  MixedSpace mixed;
+  ConfigSpace& space = mixed.space;
+  const std::string path = TempPath("corrupt.jsonl");
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fputs("{\"event\":\"loop_started\"}\n", file);
+  std::fputs("not json at all\n", file);  // Interior corruption.
+  std::fputs("{\"event\":\"experiment_finished\"}\n", file);
+  std::fclose(file);
+  EXPECT_FALSE(obs::ReplayJournal(path, &space).ok());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, SpaceSchemaMismatchFailsReplay) {
+  MixedSpace mixed;
+  ConfigSpace& space = mixed.space;
+  const std::string path = TempPath("schema.jsonl");
+  std::remove(path.c_str());
+  {
+    auto journal = obs::Journal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    (*journal)->Event("loop_started",
+                      {{"space", obs::EncodeSpaceSchema(space)}});
+  }
+  ConfigSpace other;
+  other.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  EXPECT_FALSE(obs::ReplayJournal(path, &other).ok());
+  EXPECT_TRUE(obs::ReplayJournal(path, &space).ok());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, RngStateRoundTripsThroughHex) {
+  const std::vector<uint64_t> words = {0, 1, 0xffffffffffffffffULL,
+                                       0x0123456789abcdefULL};
+  auto decoded = obs::DecodeRngState(obs::EncodeRngState(words));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, words);
+}
+
+TEST(JournalTest, StorageBridgesToJournal) {
+  MixedSpace mixed;
+  ConfigSpace& space = mixed.space;
+  const std::string path = TempPath("storage.jsonl");
+  std::remove(path.c_str());
+  {
+    auto journal = obs::Journal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    for (int trial = 0; trial < 4; ++trial) {
+      (*journal)->Event(
+          "trial_completed",
+          {{"observation",
+            obs::EncodeObservation(MakeObservation(space, 1.0 + trial))}});
+    }
+  }
+  auto storage = TrialStorage::FromJournal(&space, path);
+  ASSERT_TRUE(storage.ok()) << storage.status().ToString();
+  EXPECT_EQ(storage->size(), 4u);
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------- Kill-and-resume --
+
+// Runs a full seeded session; then replays a prefix of it from a journal
+// and resumes — the resumed run must be bit-exact with the uninterrupted
+// one, even though the environment is noisy (the journaled runner RNG
+// state carries the noise stream across the kill).
+TEST(ResumeTest, ResumedRunMatchesUninterruptedRun) {
+  constexpr int kTotalTrials = 30;
+  constexpr int kKilledAfter = 12;
+  constexpr uint64_t kEnvSeed = 11, kOptSeed = 21;
+  // One environment for all three phases: FunctionEnvironment is
+  // stateless (noise flows through the runner's RNG), and returned
+  // history configurations point into its space, so it must outlive
+  // every TuningResult compared below.
+  sim::FunctionEnvironment env("noisy-sphere", 3, sim::Sphere, 0.5);
+
+  // Baseline: uninterrupted.
+  TuningResult baseline;
+  {
+    TrialRunner runner(&env, TrialRunnerOptions{}, kEnvSeed);
+    RandomSearch optimizer(&env.space(), kOptSeed);
+    TuningLoopOptions options;
+    options.max_trials = kTotalTrials;
+    baseline = RunTuningLoop(&optimizer, &runner, options);
+  }
+  ASSERT_EQ(baseline.trials_run, kTotalTrials);
+  ASSERT_TRUE(baseline.best.has_value());
+
+  // "Killed" run: same seeds, journaled, stopped after kKilledAfter trials.
+  const std::string path = TempPath("resume.jsonl");
+  std::remove(path.c_str());
+  {
+    TrialRunner runner(&env, TrialRunnerOptions{}, kEnvSeed);
+    RandomSearch optimizer(&env.space(), kOptSeed);
+    auto journal = obs::Journal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    TuningLoopOptions options;
+    options.max_trials = kKilledAfter;
+    options.journal = journal->get();
+    RunTuningLoop(&optimizer, &runner, options);
+  }
+
+  // Resume with FRESH optimizer/runner built from the ORIGINAL seeds.
+  auto replay = obs::ReplayJournal(path, &env.space());
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(replay->observations.size(),
+            static_cast<size_t>(kKilledAfter));
+  TrialRunner runner(&env, TrialRunnerOptions{}, kEnvSeed);
+  RandomSearch optimizer(&env.space(), kOptSeed);
+  TuningLoopOptions options;
+  options.max_trials = kTotalTrials;
+  TuningResult resumed =
+      ResumeTuningLoop(&optimizer, &runner, options, *replay);
+
+  EXPECT_EQ(resumed.trials_run, kTotalTrials);
+  EXPECT_EQ(resumed.replayed_trials, kKilledAfter);
+  ASSERT_EQ(resumed.history.size(), baseline.history.size());
+  for (size_t i = 0; i < baseline.history.size(); ++i) {
+    EXPECT_EQ(resumed.history[i].objective, baseline.history[i].objective)
+        << "trial " << i << " diverged";
+    // Configuration::operator== requires the same space instance; the two
+    // runs use different environments, so compare by value.
+    EXPECT_EQ(obs::EncodeConfig(resumed.history[i].config).Dump(),
+              obs::EncodeConfig(baseline.history[i].config).Dump())
+        << "trial " << i << " config diverged";
+  }
+  ASSERT_TRUE(resumed.best.has_value());
+  EXPECT_EQ(resumed.best->objective, baseline.best->objective);
+  EXPECT_EQ(obs::EncodeConfig(resumed.best->config).Dump(),
+            obs::EncodeConfig(baseline.best->config).Dump());
+  EXPECT_DOUBLE_EQ(resumed.total_cost, baseline.total_cost);
+  std::remove(path.c_str());
+}
+
+// Same exactness property with a model-based optimizer: the fast-forward
+// must advance the surrogate and the optimizer RNG identically.
+TEST(ResumeTest, ResumedBayesianRunMatchesUninterruptedRun) {
+  constexpr int kTotalTrials = 20;
+  constexpr int kKilledAfter = 9;
+  constexpr uint64_t kEnvSeed = 5, kOptSeed = 31;
+  sim::FunctionEnvironment env("sphere", 2, sim::Sphere, 0.25);
+
+  TuningResult baseline;
+  {
+    TrialRunner runner(&env, TrialRunnerOptions{}, kEnvSeed);
+    auto optimizer = MakeGpBo(&env.space(), kOptSeed);
+    TuningLoopOptions options;
+    options.max_trials = kTotalTrials;
+    baseline = RunTuningLoop(optimizer.get(), &runner, options);
+  }
+
+  const std::string path = TempPath("resume_bo.jsonl");
+  std::remove(path.c_str());
+  {
+    TrialRunner runner(&env, TrialRunnerOptions{}, kEnvSeed);
+    auto optimizer = MakeGpBo(&env.space(), kOptSeed);
+    auto journal = obs::Journal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    TuningLoopOptions options;
+    options.max_trials = kKilledAfter;
+    options.journal = journal->get();
+    RunTuningLoop(optimizer.get(), &runner, options);
+  }
+
+  auto replay = obs::ReplayJournal(path, &env.space());
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  TrialRunner runner(&env, TrialRunnerOptions{}, kEnvSeed);
+  auto optimizer = MakeGpBo(&env.space(), kOptSeed);
+  TuningLoopOptions options;
+  options.max_trials = kTotalTrials;
+  TuningResult resumed =
+      ResumeTuningLoop(optimizer.get(), &runner, options, *replay);
+
+  ASSERT_EQ(resumed.history.size(), baseline.history.size());
+  for (size_t i = 0; i < baseline.history.size(); ++i) {
+    EXPECT_EQ(resumed.history[i].objective, baseline.history[i].objective)
+        << "trial " << i << " diverged";
+  }
+  ASSERT_TRUE(resumed.best.has_value());
+  ASSERT_TRUE(baseline.best.has_value());
+  EXPECT_EQ(resumed.best->objective, baseline.best->objective);
+  std::remove(path.c_str());
+}
+
+TEST(RngStateTest, SaveRestoreReproducesStream) {
+  Rng rng(1234);
+  (void)rng.Normal();  // Prime the Box-Muller spare.
+  const std::vector<uint64_t> state = rng.SaveState();
+  std::vector<double> expected;
+  for (int i = 0; i < 10; ++i) expected.push_back(rng.Normal());
+
+  Rng other(999);  // Different seed; state restore must override it.
+  ASSERT_TRUE(other.RestoreState(state).ok());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(other.Normal(), expected[static_cast<size_t>(i)]);
+  }
+  EXPECT_FALSE(other.RestoreState({1, 2, 3}).ok());  // Wrong word count.
+}
+
+}  // namespace
+}  // namespace autotune

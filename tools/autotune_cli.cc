@@ -7,12 +7,22 @@
 //                [--trials=N] [--seed=N] [--reps=N] [--fidelity=F]
 //                [--objective=METRIC] [--maximize] [--noisy]
 //                [--batch=K] [--out=trials.csv] [--list]
+//                [--journal=run.jsonl] [--resume=run.jsonl]
+//                [--metrics-out=metrics.json] [--trace-out=trace.json]
 //
 // Examples:
 //   autotune_cli --env=simdb --workload=tpcc --optimizer=bo --trials=60
 //   autotune_cli --env=redis --optimizer=cmaes --trials=100 --noisy
 //   autotune_cli --env=spark --optimizer=llamatune --trials=50 \
 //       --out=/tmp/spark_trials.csv
+//
+// Durable sessions: pass --journal to persist every trial as it completes;
+// if the process dies, --resume picks the session back up from the journal
+// (all other session flags are restored from the journal itself) and
+// finishes it with identical results to an uninterrupted run.
+//   autotune_cli --env=simdb --optimizer=bo --trials=80 --journal=run.jsonl
+//   <kill it mid-run>
+//   autotune_cli --resume=run.jsonl
 
 #include <cstdio>
 #include <cstring>
@@ -23,6 +33,9 @@
 #include "core/storage.h"
 #include "core/trial_runner.h"
 #include "core/tuning_loop.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizers/bayesian.h"
 #include "optimizers/cmaes.h"
 #include "optimizers/genetic.h"
@@ -46,6 +59,10 @@ struct CliOptions {
   std::string optimizer = "bo";
   std::string objective;  // Empty = environment default.
   std::string out;
+  std::string journal;      // JSONL journal to write (empty = off).
+  std::string resume;       // Journal to resume from (empty = fresh run).
+  std::string metrics_out;  // Metrics snapshot (.json or .csv).
+  std::string trace_out;    // Chrome trace-event dump.
   int trials = 60;
   uint64_t seed = 1;
   int reps = 1;
@@ -54,6 +71,7 @@ struct CliOptions {
   bool maximize = false;
   bool noisy = false;
   bool list = false;
+  bool trials_explicit = false;  // --trials given on this command line.
 };
 
 void PrintUsage() {
@@ -73,6 +91,15 @@ void PrintUsage() {
       "  --noisy                     enable cloud-noise model\n"
       "  --batch=K                   parallel suggestions per round\n"
       "  --out=FILE.csv              write the trial log\n"
+      "  --journal=FILE.jsonl        append every trial to a durable "
+      "journal\n"
+      "  --resume=FILE.jsonl         resume a journaled session (other "
+      "session\n"
+      "                              flags are restored from the journal)\n"
+      "  --metrics-out=FILE          write a metrics snapshot (.json or "
+      ".csv)\n"
+      "  --trace-out=FILE            write spans as Chrome trace-event "
+      "JSON\n"
       "  --list                      list knobs of the chosen env and "
       "exit\n");
 }
@@ -103,10 +130,15 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
                ParseFlag(arg, "workload", &options.workload) ||
                ParseFlag(arg, "optimizer", &options.optimizer) ||
                ParseFlag(arg, "objective", &options.objective) ||
-               ParseFlag(arg, "out", &options.out)) {
+               ParseFlag(arg, "out", &options.out) ||
+               ParseFlag(arg, "journal", &options.journal) ||
+               ParseFlag(arg, "resume", &options.resume) ||
+               ParseFlag(arg, "metrics-out", &options.metrics_out) ||
+               ParseFlag(arg, "trace-out", &options.trace_out)) {
       // Parsed into the corresponding string field.
     } else if (ParseFlag(arg, "trials", &value)) {
       options.trials = std::atoi(value.c_str());
+      options.trials_explicit = true;
     } else if (ParseFlag(arg, "seed", &value)) {
       options.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(arg, "reps", &value)) {
@@ -227,6 +259,36 @@ Result<std::unique_ptr<Optimizer>> MakeOptimizer(const CliOptions& options,
   return Status::NotFound("unknown optimizer '" + name + "'");
 }
 
+/// Restores the session flags of a journaled run from its
+/// experiment_started event, so `--resume=FILE` needs no other flags. An
+/// explicit `--trials` still wins (to extend a finished run).
+Status RestoreOptionsFromJournal(CliOptions* options) {
+  AUTOTUNE_ASSIGN_OR_RETURN(
+      obs::Json experiment,
+      obs::ReadFirstEvent(options->resume, "experiment_started"));
+  options->env = experiment.GetString("env", options->env);
+  options->workload = experiment.GetString("workload", options->workload);
+  options->optimizer = experiment.GetString("optimizer", options->optimizer);
+  options->objective = experiment.GetString("objective", options->objective);
+  if (!options->trials_explicit) {
+    options->trials =
+        static_cast<int>(experiment.GetInt("trials", options->trials));
+  }
+  options->seed = static_cast<uint64_t>(
+      experiment.GetInt("seed", static_cast<int64_t>(options->seed)));
+  options->reps = static_cast<int>(experiment.GetInt("reps", options->reps));
+  options->fidelity = experiment.GetDouble("fidelity", options->fidelity);
+  options->batch = static_cast<size_t>(
+      experiment.GetInt("batch", static_cast<int64_t>(options->batch)));
+  options->maximize = experiment.GetBool("maximize", options->maximize);
+  options->noisy = experiment.GetBool("noisy", options->noisy);
+  if (options->out.empty()) {
+    options->out = experiment.GetString("out", "");
+  }
+  options->journal = options->resume;  // Keep appending to the same file.
+  return Status::OK();
+}
+
 int RunCli(const CliOptions& options) {
   auto env = MakeEnv(options);
   if (!env.ok()) {
@@ -266,16 +328,62 @@ int RunCli(const CliOptions& options) {
   TrialRunner runner(env->get(), runner_options, options.seed * 31);
   TrialStorage storage(&space);
 
+  const bool resuming = !options.resume.empty();
+  obs::JournalReplay replay;
+  if (resuming) {
+    auto replayed = obs::ReplayJournal(options.resume, &space);
+    if (!replayed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   replayed.status().ToString().c_str());
+      return 1;
+    }
+    replay = std::move(replayed).value();
+  }
+
+  std::unique_ptr<obs::Journal> journal;
+  if (!options.journal.empty()) {
+    auto opened = obs::Journal::Open(options.journal);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    journal = std::move(opened).value();
+    if (!resuming) {
+      journal->Event("experiment_started",
+                     {{"env", obs::Json(options.env)},
+                      {"workload", obs::Json(options.workload)},
+                      {"optimizer", obs::Json(options.optimizer)},
+                      {"objective", obs::Json(options.objective)},
+                      {"out", obs::Json(options.out)},
+                      {"trials", obs::Json(int64_t{options.trials})},
+                      {"seed", obs::Json(options.seed)},
+                      {"reps", obs::Json(int64_t{options.reps})},
+                      {"fidelity", obs::Json(options.fidelity)},
+                      {"batch", obs::Json(options.batch)},
+                      {"maximize", obs::Json(options.maximize)},
+                      {"noisy", obs::Json(options.noisy)}});
+    }
+  }
+
   std::printf("tuning %s with %s: %d trials, seed %llu%s\n",
               (*env)->name().c_str(), (*optimizer)->name().c_str(),
               options.trials,
               static_cast<unsigned long long>(options.seed),
               options.noisy ? ", noisy" : "");
+  if (resuming) {
+    std::printf("resuming from %s: %zu journaled trials%s\n",
+                options.resume.c_str(), replay.observations.size(),
+                replay.finished ? " (session was already complete)" : "");
+  }
 
   TuningLoopOptions loop;
   loop.max_trials = options.trials;
   loop.batch_size = options.batch;
-  TuningResult result = RunTuningLoop(optimizer->get(), &runner, loop);
+  loop.journal = journal.get();
+  TuningResult result =
+      resuming ? ResumeTuningLoop(optimizer->get(), &runner, loop, replay)
+               : RunTuningLoop(optimizer->get(), &runner, loop);
   for (const Observation& obs : result.history) {
     (void)storage.Add(obs);
   }
@@ -289,8 +397,10 @@ int RunCli(const CliOptions& options) {
     std::printf("  after %3zu trials: %s\n", index + 1,
                 FormatDouble(result.best_so_far[index], 6).c_str());
   }
-  std::printf("total simulated cost: %.0f s; %d trials, %zu failures\n",
-              result.total_cost, result.trials_run, [&] {
+  std::printf("total simulated cost: %.0f s; %d trials (%d replayed), "
+              "%zu failures\n",
+              result.total_cost, result.trials_run, result.replayed_trials,
+              [&] {
                 size_t failures = 0;
                 for (const auto& obs : result.history) {
                   if (obs.failed) ++failures;
@@ -306,6 +416,23 @@ int RunCli(const CliOptions& options) {
     std::printf("\ntrial log: %s (%s)\n", options.out.c_str(),
                 status.ok() ? "written" : status.ToString().c_str());
   }
+  if (!options.metrics_out.empty()) {
+    const bool csv = options.metrics_out.size() >= 4 &&
+                     options.metrics_out.compare(
+                         options.metrics_out.size() - 4, 4, ".csv") == 0;
+    Status status =
+        csv ? obs::MetricsRegistry::Global().WriteCsvFile(options.metrics_out)
+            : obs::MetricsRegistry::Global().WriteJsonFile(
+                  options.metrics_out);
+    std::printf("metrics: %s (%s)\n", options.metrics_out.c_str(),
+                status.ok() ? "written" : status.ToString().c_str());
+  }
+  if (!options.trace_out.empty()) {
+    Status status =
+        obs::TraceBuffer::WriteChromeTraceFile(options.trace_out);
+    std::printf("trace: %s (%s)\n", options.trace_out.c_str(),
+                status.ok() ? "written" : status.ToString().c_str());
+  }
   return 0;
 }
 
@@ -318,6 +445,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n",
                  options.status().ToString().c_str());
     return 1;
+  }
+  if (!options->resume.empty()) {
+    autotune::Status status =
+        autotune::RestoreOptionsFromJournal(&*options);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: cannot resume: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
   }
   return autotune::RunCli(*options);
 }
