@@ -30,7 +30,7 @@ inline std::string& CurrentExperimentId() {
 /// Writes the process-wide metrics registry (per-phase latency histograms,
 /// trial counters, ...) as pretty JSON to `path`. Every bench binary gets
 /// this machine-readable output for free — see `PrintHeader`.
-inline Status WriteBenchMetricsJson(const std::string& path) {
+[[nodiscard]] inline Status WriteBenchMetricsJson(const std::string& path) {
   return obs::MetricsRegistry::Global().WriteJsonFile(path);
 }
 

@@ -1,0 +1,75 @@
+#ifndef AUTOTUNE_COMMON_MUTEX_H_
+#define AUTOTUNE_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace autotune {
+
+/// `std::mutex` wrapped as a Clang thread-safety *capability*, so fields can
+/// be declared `GUARDED_BY(mutex_)` and the analysis can verify the lock
+/// discipline at compile time (the standard mutex carries no annotations in
+/// libstdc++/libc++, so the analysis cannot see through it). Zero overhead:
+/// the wrapper is exactly a `std::mutex` plus attributes.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mutex_.lock(); }
+  void Unlock() RELEASE() { mutex_.unlock(); }
+
+  /// The wrapped mutex, for APIs that need it (condition variables). The
+  /// caller is responsible for keeping lock state consistent with what the
+  /// analysis believes.
+  std::mutex& native() { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII lock for `Mutex` — `std::lock_guard` with scoped-capability
+/// annotations.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.Lock();
+  }
+  ~MutexLock() RELEASE() { mutex_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// RAII lock built on `std::unique_lock`, for waiting on a
+/// `std::condition_variable` while keeping the capability annotations: the
+/// analysis treats the scope as holding the mutex, which is exactly the
+/// state whenever a wait predicate runs or the wait returns.
+class SCOPED_CAPABILITY CondVarLock {
+ public:
+  explicit CondVarLock(Mutex& mutex) ACQUIRE(mutex) : lock_(mutex.native()) {}
+  ~CondVarLock() RELEASE() {}
+
+  CondVarLock(const CondVarLock&) = delete;
+  CondVarLock& operator=(const CondVarLock&) = delete;
+
+  /// Waits on `cv`; releases and reacquires the mutex internally. The
+  /// predicate is always evaluated with the mutex held.
+  template <typename Predicate>
+  void Wait(std::condition_variable& cv, Predicate predicate) {
+    cv.wait(lock_, std::move(predicate));
+  }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_COMMON_MUTEX_H_

@@ -86,7 +86,7 @@ class Rng {
 
   /// Restores state previously produced by `SaveState`. Returns
   /// InvalidArgument if `words` has the wrong shape.
-  Status RestoreState(const std::vector<uint64_t>& words);
+  [[nodiscard]] Status RestoreState(const std::vector<uint64_t>& words);
 
  private:
   uint64_t state_[4];

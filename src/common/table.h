@@ -24,24 +24,24 @@ class Table {
   size_t num_rows() const { return rows_.size(); }
 
   /// Appends a row; `values.size()` must equal the column count.
-  Status AppendRow(std::vector<std::string> values);
+  [[nodiscard]] Status AppendRow(std::vector<std::string> values);
 
   /// Cell accessors.
   const std::string& at(size_t row, size_t col) const;
-  Result<std::string> Get(size_t row, const std::string& column) const;
+  [[nodiscard]] Result<std::string> Get(size_t row, const std::string& column) const;
 
   /// Index of `column`, or NotFound.
-  Result<size_t> ColumnIndex(const std::string& column) const;
+  [[nodiscard]] Result<size_t> ColumnIndex(const std::string& column) const;
 
   /// Serializes to RFC-4180-ish CSV (quotes fields containing separators).
   std::string ToCsv() const;
 
   /// Parses CSV text produced by `ToCsv` (header row required).
-  static Result<Table> FromCsv(const std::string& text);
+  [[nodiscard]] static Result<Table> FromCsv(const std::string& text);
 
   /// Writes/reads CSV files.
-  Status WriteCsvFile(const std::string& path) const;
-  static Result<Table> ReadCsvFile(const std::string& path);
+  [[nodiscard]] Status WriteCsvFile(const std::string& path) const;
+  [[nodiscard]] static Result<Table> ReadCsvFile(const std::string& path);
 
   /// Renders an aligned, human-readable text table (for bench reports).
   std::string ToPrettyString() const;

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   cv_.notify_all();
@@ -23,7 +23,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     AUTOTUNE_CHECK_MSG(!shutting_down_, "Submit after shutdown");
     queue_.push_back(std::move(task));
   }
@@ -34,8 +34,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this]() { return shutting_down_ || !queue_.empty(); });
+      CondVarLock lock(mutex_);
+      lock.Wait(cv_, [this]() REQUIRES(mutex_) {
+        return shutting_down_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // Shutting down and drained.
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -5,9 +5,11 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace autotune {
 
@@ -38,14 +40,16 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void Enqueue(std::function<void()> task);
-  void WorkerLoop();
+  void Enqueue(std::function<void()> task) EXCLUDES(mutex_);
+  void WorkerLoop() EXCLUDES(mutex_);
 
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  /// Started in the constructor, joined in the destructor; never mutated in
+  /// between, so `num_threads()` reads it without the lock.
   std::vector<std::thread> workers_;
-  bool shutting_down_ = false;
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace autotune

@@ -31,16 +31,16 @@ class Optimizer {
 
   /// Proposes the next configuration to evaluate. May fail (e.g. a grid
   /// search that is exhausted returns ResourceExhausted-like status).
-  virtual Result<Configuration> Suggest() = 0;
+  [[nodiscard]] virtual Result<Configuration> Suggest() = 0;
 
   /// Feeds back the result of evaluating a suggested (or any) configuration.
-  virtual Status Observe(const Observation& observation) = 0;
+  [[nodiscard]] virtual Status Observe(const Observation& observation) = 0;
 
   /// Proposes `k` configurations for parallel evaluation (tutorial slide
   /// 57). The default implementation calls `Suggest` repeatedly; model-based
   /// optimizers override with constant-liar / kriging-believer batching to
   /// keep the batch diverse.
-  virtual Result<std::vector<Configuration>> SuggestBatch(size_t k);
+  [[nodiscard]] virtual Result<std::vector<Configuration>> SuggestBatch(size_t k);
 
   /// Best observation seen so far (failed observations excluded unless
   /// nothing else exists).
@@ -59,7 +59,7 @@ class OptimizerBase : public Optimizer {
 
   const ConfigSpace& space() const override { return *space_; }
 
-  Status Observe(const Observation& observation) override;
+  [[nodiscard]] Status Observe(const Observation& observation) override;
 
   const std::optional<Observation>& best() const override { return best_; }
 

@@ -20,7 +20,7 @@ class TrialStorage {
   explicit TrialStorage(const ConfigSpace* space);
 
   /// Records an observation (must belong to this storage's space).
-  Status Add(const Observation& observation);
+  [[nodiscard]] Status Add(const Observation& observation);
 
   size_t size() const { return observations_.size(); }
   const std::vector<Observation>& observations() const {
@@ -40,22 +40,22 @@ class TrialStorage {
   Table ToTable() const;
 
   /// Writes `ToTable()` as CSV.
-  Status WriteCsv(const std::string& path) const;
+  [[nodiscard]] Status WriteCsv(const std::string& path) const;
 
   /// Reloads observations from a CSV written by `WriteCsv` into the given
   /// space (parameters must match by name).
-  static Result<TrialStorage> ReadCsv(const ConfigSpace* space,
+  [[nodiscard]] static Result<TrialStorage> ReadCsv(const ConfigSpace* space,
                                       const std::string& path);
 
   /// Writes every observation as one JSON object per line (the journal's
   /// trial_completed payload format) — lossless, unlike CSV, which drops
   /// the per-trial metrics map.
-  Status WriteJsonl(const std::string& path) const;
+  [[nodiscard]] Status WriteJsonl(const std::string& path) const;
 
   /// Rebuilds storage from an experiment journal (`obs::Journal`): every
   /// journaled trial_completed observation, in order. This is how a killed
   /// run's history comes back for analysis or warm starts.
-  static Result<TrialStorage> FromJournal(const ConfigSpace* space,
+  [[nodiscard]] static Result<TrialStorage> FromJournal(const ConfigSpace* space,
                                           const std::string& path);
 
  private:

@@ -93,7 +93,7 @@ class TrialRunner {
   /// the state after every trial so a resumed run draws the exact same
   /// noise the uninterrupted run would have.
   std::vector<uint64_t> SaveRngState() const { return rng_.SaveState(); }
-  Status RestoreRngState(const std::vector<uint64_t>& words) {
+  [[nodiscard]] Status RestoreRngState(const std::vector<uint64_t>& words) {
     return rng_.RestoreState(words);
   }
 

@@ -56,7 +56,7 @@ class SuccessiveHalving {
   explicit SuccessiveHalving(SuccessiveHalvingOptions options = {});
 
   /// Runs the tournament. Requires >= 2 candidates.
-  Result<HalvingResult> Run(const std::vector<Configuration>& candidates,
+  [[nodiscard]] Result<HalvingResult> Run(const std::vector<Configuration>& candidates,
                             const Evaluator& evaluator) const;
 
  private:

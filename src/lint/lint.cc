@@ -1,0 +1,905 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace autotune {
+namespace lint {
+
+namespace {
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// ---- Comment / literal stripping -------------------------------------------
+
+/// Records the rules suppressed by a NOLINT marker in `comment` (started on
+/// `line`): "*" for a bare `NOLINT`, else each name inside `NOLINT(...)`.
+void ParseNolint(const std::string& comment, int line,
+                 std::map<int, std::set<std::string>>* nolint) {
+  size_t pos = comment.find("NOLINT");
+  if (pos == std::string::npos) return;
+  size_t after = pos + 6;  // strlen("NOLINT")
+  if (after < comment.size() && comment[after] == '(') {
+    size_t close = comment.find(')', after);
+    if (close == std::string::npos) return;
+    std::string rules = comment.substr(after + 1, close - after - 1);
+    std::istringstream stream(rules);
+    std::string rule;
+    while (std::getline(stream, rule, ',')) {
+      const size_t first = rule.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;
+      const size_t last = rule.find_last_not_of(" \t");
+      (*nolint)[line].insert(rule.substr(first, last - first + 1));
+    }
+  } else {
+    (*nolint)[line].insert("*");
+  }
+}
+
+/// Produces a copy of `raw` with comments, string literals, and character
+/// literals blanked to spaces (newlines preserved, so token line numbers
+/// match the original), collecting NOLINT suppressions along the way.
+std::string StripCommentsAndLiterals(
+    const std::string& raw, std::map<int, std::set<std::string>>* nolint) {
+  std::string code(raw.size(), ' ');
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRawString };
+  State state = State::kCode;
+  int line = 1;
+  std::string comment;
+  int comment_line = 0;
+  std::string raw_delim;  // Closing ")delim" of an in-flight raw string.
+
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          comment.clear();
+          comment_line = line;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          comment.clear();
+          comment_line = line;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsIdentChar(raw[i - 1]))) {
+          // Raw string: R"delim( ... )delim".
+          size_t open = raw.find('(', i + 2);
+          if (open == std::string::npos) break;
+          raw_delim = ")" + raw.substr(i + 2, open - i - 2) + "\"";
+          i = open;
+          state = State::kRawString;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'' && !(i > 0 && IsIdentChar(raw[i - 1]))) {
+          // Skip digit separators like 1'000'000 (preceded by ident char).
+          state = State::kChar;
+        } else {
+          code[i] = c;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          ParseNolint(comment, comment_line, nolint);
+          state = State::kCode;
+        } else {
+          comment.push_back(c);
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          ParseNolint(comment, comment_line, nolint);
+          state = State::kCode;
+          ++i;
+        } else {
+          comment.push_back(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+          if (next == '\n') ++line, code[i] = '\n';
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && raw.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+    if (c == '\n') {
+      ++line;
+      code[i] = '\n';
+    }
+  }
+  if (state == State::kLine) ParseNolint(comment, comment_line, nolint);
+  return code;
+}
+
+/// Blanks preprocessor directives (including line continuations) so token
+/// rules do not fire inside macro definitions; `#include` lines are analyzed
+/// separately from the unstripped view.
+std::string BlankPreprocessor(const std::string& code) {
+  std::string out = code;
+  size_t begin = 0;
+  bool continued = false;
+  while (begin < out.size()) {
+    size_t end = out.find('\n', begin);
+    if (end == std::string::npos) end = out.size();
+    const size_t first = out.find_first_not_of(" \t", begin);
+    const bool directive =
+        continued || (first != std::string::npos && first < end &&
+                      out[first] == '#');
+    continued = false;
+    if (directive) {
+      // A directive continues onto the next line when it ends with '\'.
+      const size_t last = out.find_last_not_of(" \t\r", end - 1);
+      continued = end > begin && last != std::string::npos &&
+                  last >= begin && out[last] == '\\';
+      for (size_t i = begin; i < end; ++i) out[i] = ' ';
+    }
+    begin = end + 1;
+  }
+  return out;
+}
+
+// ---- Tokenizer -------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+std::vector<Token> Tokenize(const std::string& code) {
+  std::vector<Token> tokens;
+  int line = 1;
+  for (size_t i = 0; i < code.size();) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < code.size() && IsIdentChar(code[j])) ++j;
+      tokens.push_back({code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;
+      while (j < code.size() && (IsIdentChar(code[j]) || code[j] == '.')) ++j;
+      tokens.push_back({code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+      tokens.push_back({"::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
+      tokens.push_back({"->", line});
+      i += 2;
+      continue;
+    }
+    tokens.push_back({std::string(1, c), line});
+    ++i;
+  }
+  return tokens;
+}
+
+bool IsIdentToken(const Token& token) {
+  return !token.text.empty() && IsIdentStart(token.text[0]);
+}
+
+/// From `tokens[open]` == "<", returns the index one past the matching ">"
+/// (or `open` if the angles never close sanely — treat as "not a template").
+size_t SkipAngles(const std::vector<Token>& tokens, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < tokens.size() && i < open + 64; ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "<") ++depth;
+    if (t == ">") {
+      if (--depth == 0) return i + 1;
+    }
+    if (t == ";" || t == "{" || t == "}") break;
+  }
+  return open;
+}
+
+// ---- Include extraction ----------------------------------------------------
+
+struct Include {
+  std::string path;  ///< The include target as written.
+  bool angled = false;
+  int line = 0;
+};
+
+/// `code` (comment/literal-stripped) decides what is a real directive —
+/// commented-out includes are blanked there — while the path itself is read
+/// from `raw`, because the stripping blanks the quoted path too. The two
+/// views are position-aligned by construction.
+std::vector<Include> ExtractIncludes(const std::string& code,
+                                     const std::string& raw) {
+  std::vector<Include> includes;
+  int line = 0;
+  size_t begin = 0;
+  while (begin <= code.size()) {
+    size_t end = code.find('\n', begin);
+    if (end == std::string::npos) end = code.size();
+    ++line;
+    const std::string text = code.substr(begin, end - begin);
+    const std::string raw_text = raw.substr(begin, end - begin);
+    begin = end + 1;
+    size_t pos = text.find_first_not_of(" \t");
+    if (pos == std::string::npos || text[pos] != '#') continue;
+    pos = text.find_first_not_of(" \t", pos + 1);
+    if (pos == std::string::npos || text.compare(pos, 7, "include") != 0) {
+      continue;
+    }
+    pos = raw_text.find_first_of("\"<", pos + 7);
+    if (pos == std::string::npos) continue;
+    const char close = raw_text[pos] == '<' ? '>' : '"';
+    const size_t close_pos = raw_text.find(close, pos + 1);
+    if (close_pos == std::string::npos) continue;
+    includes.push_back(
+        {raw_text.substr(pos + 1, close_pos - pos - 1), close == '>', line});
+    if (begin > code.size()) break;
+  }
+  return includes;
+}
+
+// ---- Rule: determinism -----------------------------------------------------
+
+/// Identifiers that introduce ambient randomness or wall-clock time. Any use
+/// outside the sanctioned shims breaks same-seed replay and bit-exact
+/// resume.
+const std::set<std::string>& BannedIdentifiers() {
+  static const std::set<std::string>* banned = new std::set<std::string>{
+      "random_device", "mt19937", "mt19937_64", "minstd_rand",
+      "minstd_rand0", "default_random_engine", "knuth_b", "random_shuffle",
+      "rand", "srand", "drand48", "lrand48", "rand_r", "steady_clock",
+      "system_clock", "high_resolution_clock", "gettimeofday",
+      "clock_gettime",
+  };
+  return *banned;
+}
+
+/// Files allowed to touch clocks/entropy: the seeded RNG itself and the obs
+/// timestamp shims (journal "ts_ms" stamps, trace span clocks) — their
+/// output is diagnostic metadata, never tuning state.
+bool IsDeterminismExempt(const std::string& path) {
+  return StartsWith(path, "src/common/rng.") || path == "src/obs/trace.cc" ||
+         path == "src/obs/journal.cc";
+}
+
+void RunDeterminismRule(const std::string& path,
+                        const std::vector<Token>& tokens,
+                        const std::vector<Include>& includes,
+                        std::vector<Finding>* findings) {
+  if (IsDeterminismExempt(path)) return;
+  for (const Include& include : includes) {
+    if (include.angled &&
+        (include.path == "random" || include.path == "ctime" ||
+         include.path == "time.h" || include.path == "sys/time.h")) {
+      findings->push_back(
+          {path, include.line, "determinism",
+           "#include <" + include.path +
+               "> — ambient randomness/clock headers are reserved for "
+               "src/common/rng and the obs timestamp shims"});
+    }
+  }
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& text = tokens[i].text;
+    if (BannedIdentifiers().count(text) > 0) {
+      findings->push_back(
+          {path, tokens[i].line, "determinism",
+           "'" + text +
+               "' — all randomness/time must flow through src/common/rng "
+               "(seeded, replayable) or the obs timestamp shims"});
+      continue;
+    }
+    // `time(...)` / `clock(...)` only when called (plain identifiers named
+    // `time` are common and harmless).
+    if ((text == "time" || text == "clock") && i + 1 < tokens.size() &&
+        tokens[i + 1].text == "(" &&
+        (i == 0 ||
+         (tokens[i - 1].text != "." && tokens[i - 1].text != "->"))) {
+      findings->push_back(
+          {path, tokens[i].line, "determinism",
+           "call to '" + text +
+               "()' — wall-clock/CRT time sources break same-seed replay"});
+    }
+  }
+}
+
+// ---- Rule: unchecked-status ------------------------------------------------
+
+/// First pass: names of functions declared or defined to return `Status` or
+/// `Result<T>`, collected across every linted file. Names that are ALSO
+/// declared somewhere with a `void` return (collected into `void_names`)
+/// are excluded by the caller — a token-level linter cannot resolve which
+/// overload a call site binds to, and flagging `void Run()` because an
+/// unrelated `Status Run()` exists elsewhere would drown the signal.
+void CollectReturnTypedFunctions(const std::vector<Token>& tokens,
+                                 std::set<std::string>* status_names,
+                                 std::set<std::string>* void_names) {
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    size_t after_type = 0;
+    std::set<std::string>* names = status_names;
+    if (tokens[i].text == "Status") {
+      after_type = i + 1;
+    } else if (tokens[i].text == "Result" && i + 1 < tokens.size() &&
+               tokens[i + 1].text == "<") {
+      const size_t closed = SkipAngles(tokens, i + 1);
+      if (closed == i + 1) continue;
+      after_type = closed;
+    } else if (tokens[i].text == "void") {
+      after_type = i + 1;
+      names = void_names;
+    } else {
+      continue;
+    }
+    // Qualified declarator: ident (:: ident)* '('  — record the last name.
+    size_t j = after_type;
+    if (j >= tokens.size() || !IsIdentToken(tokens[j])) continue;
+    std::string last = tokens[j].text;
+    while (j + 2 < tokens.size() && tokens[j + 1].text == "::" &&
+           IsIdentToken(tokens[j + 2])) {
+      j += 2;
+      last = tokens[j].text;
+    }
+    if (j + 1 < tokens.size() && tokens[j + 1].text == "(") {
+      names->insert(last);
+    }
+  }
+}
+
+/// True if `index` is the start of a statement: file start, after `;` `{`
+/// `}`, after an access-specifier colon, after the `)` of a control-flow
+/// header, or after `else`/`do`.
+bool IsStatementStart(const std::vector<Token>& tokens, size_t index) {
+  if (index == 0) return true;
+  const std::string& prev = tokens[index - 1].text;
+  if (prev == ";" || prev == "{" || prev == "}") return true;
+  if (prev == "else" || prev == "do") return true;
+  if (prev == ":" && index >= 2 &&
+      (tokens[index - 2].text == "public" ||
+       tokens[index - 2].text == "private" ||
+       tokens[index - 2].text == "protected")) {
+    return true;
+  }
+  if (prev == ")") {
+    // `(void) Foo();` is the sanctioned "intentionally discarded" spelling.
+    if (index >= 3 && tokens[index - 2].text == "void" &&
+        tokens[index - 3].text == "(") {
+      return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+void RunUncheckedStatusRule(const std::string& path,
+                            const std::vector<Token>& tokens,
+                            const std::set<std::string>& status_functions,
+                            std::vector<Finding>* findings) {
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!IsIdentToken(tokens[i]) || !IsStatementStart(tokens, i)) continue;
+    // Call chain: ident ((:: | . | ->) ident)* '(' ... ')' ';'.
+    size_t j = i;
+    std::string callee = tokens[j].text;
+    while (j + 2 < tokens.size() &&
+           (tokens[j + 1].text == "::" || tokens[j + 1].text == "." ||
+            tokens[j + 1].text == "->") &&
+           IsIdentToken(tokens[j + 2])) {
+      j += 2;
+      callee = tokens[j].text;
+    }
+    if (j + 1 >= tokens.size() || tokens[j + 1].text != "(") continue;
+    size_t k = j + 1;
+    int depth = 0;
+    while (k < tokens.size()) {
+      if (tokens[k].text == "(") ++depth;
+      if (tokens[k].text == ")" && --depth == 0) break;
+      ++k;
+    }
+    if (k + 1 >= tokens.size() || tokens[k + 1].text != ";") continue;
+    if (status_functions.count(callee) == 0) continue;
+    findings->push_back(
+        {path, tokens[i].line, "unchecked-status",
+         "result of '" + callee +
+             "' (returns Status/Result) is discarded — handle it, or cast "
+             "to (void) with a reason"});
+  }
+}
+
+// ---- Rule: nodiscard -------------------------------------------------------
+
+void RunNodiscardRule(const std::string& path,
+                      const std::vector<Token>& tokens,
+                      std::vector<Finding>* findings) {
+  if (!EndsWith(path, ".h")) return;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!IsStatementStart(tokens, i)) continue;
+    size_t j = i;
+    bool has_nodiscard = false;
+    for (;;) {
+      if (j >= tokens.size()) break;
+      const std::string& t = tokens[j].text;
+      if (t == "static" || t == "virtual" || t == "inline" ||
+          t == "constexpr" || t == "explicit" || t == "friend") {
+        ++j;
+        continue;
+      }
+      if (t == "[" && j + 1 < tokens.size() && tokens[j + 1].text == "[") {
+        size_t k = j + 2;
+        while (k < tokens.size() && tokens[k].text != "]") {
+          if (tokens[k].text == "nodiscard") has_nodiscard = true;
+          ++k;
+        }
+        j = k + 2;  // Past "]]".
+        continue;
+      }
+      break;
+    }
+    if (j >= tokens.size()) continue;
+    size_t after_type = 0;
+    if (tokens[j].text == "Status") {
+      after_type = j + 1;
+    } else if (tokens[j].text == "Result" && j + 1 < tokens.size() &&
+               tokens[j + 1].text == "<") {
+      const size_t closed = SkipAngles(tokens, j + 1);
+      if (closed == j + 1) continue;
+      after_type = closed;
+    } else {
+      continue;
+    }
+    if (after_type + 1 >= tokens.size() ||
+        !IsIdentToken(tokens[after_type]) ||
+        tokens[after_type + 1].text != "(") {
+      continue;
+    }
+    if (has_nodiscard) continue;
+    findings->push_back(
+        {path, tokens[j].line, "nodiscard",
+         "header declaration of '" + tokens[after_type].text +
+             "' returns Status/Result but is not [[nodiscard]]"});
+  }
+}
+
+// ---- Rule: layering --------------------------------------------------------
+
+/// Module of a source path: second component under src/, else the top-level
+/// directory (tools, tests, bench, examples).
+std::string ModuleOf(const std::string& path) {
+  std::string p = path;
+  if (StartsWith(p, "src/")) p = p.substr(4);
+  const size_t slash = p.find('/');
+  return slash == std::string::npos ? std::string() : p.substr(0, slash);
+}
+
+/// Module an include target resolves to. Quoted includes resolve against
+/// src/ (the only include directory), so the first path component is the
+/// module; a bare filename is a same-directory include. `../` prefixes are
+/// stripped so escapes into sibling trees are still classified.
+std::string IncludeModule(const std::string& include,
+                          const std::string& includer_module) {
+  std::string p = include;
+  while (StartsWith(p, "./") || StartsWith(p, "../")) {
+    p = p.substr(p.find('/') + 1);
+  }
+  const size_t slash = p.find('/');
+  if (slash == std::string::npos) return includer_module;
+  return p.substr(0, slash);
+}
+
+/// Allowed dependencies for the constrained modules (self always allowed).
+/// Modules not listed are unconstrained beyond the universal rules.
+const std::map<std::string, std::set<std::string>>& LayerWhitelist() {
+  static const auto* map = new std::map<std::string, std::set<std::string>>{
+      {"common", {}},
+      {"math", {"common"}},
+      {"space", {"common", "math"}},
+      {"surrogate", {"common", "math"}},
+      {"sim", {"common", "math"}},
+      {"lint", {"common", "obs"}},
+  };
+  return *map;
+}
+
+/// Explicitly forbidden edges for otherwise-unconstrained modules.
+const std::map<std::string, std::set<std::string>>& LayerBlacklist() {
+  static const auto* map = new std::map<std::string, std::set<std::string>>{
+      {"obs", {"optimizers", "core"}},
+  };
+  return *map;
+}
+
+void RunLayeringRule(const std::string& path,
+                     const std::vector<Include>& includes,
+                     std::vector<Finding>* findings) {
+  const std::string module = ModuleOf(path);
+  for (const Include& include : includes) {
+    if (include.angled) continue;
+    const std::string target = IncludeModule(include.path, module);
+    if (target == "tools" || target == "tests") {
+      findings->push_back({path, include.line, "layering",
+                           "'" + include.path +
+                               "' — nothing may include tools/ or tests/"});
+      continue;
+    }
+    if (target == module) continue;
+    auto white = LayerWhitelist().find(module);
+    if (white != LayerWhitelist().end() &&
+        white->second.count(target) == 0) {
+      std::string allowed;
+      for (const std::string& dep : white->second) {
+        allowed += (allowed.empty() ? "" : ", ") + dep;
+      }
+      findings->push_back(
+          {path, include.line, "layering",
+           "module '" + module + "' may only depend on {" + allowed +
+               "} but includes '" + include.path + "'"});
+      continue;
+    }
+    auto black = LayerBlacklist().find(module);
+    if (black != LayerBlacklist().end() &&
+        black->second.count(target) > 0) {
+      findings->push_back({path, include.line, "layering",
+                           "module '" + module + "' must never include '" +
+                               target + "/' ('" + include.path + "')"});
+    }
+  }
+}
+
+// ---- Rule: include-hygiene -------------------------------------------------
+
+bool HasIncludeGuard(const std::string& raw) {
+  std::istringstream stream(raw);
+  std::string line;
+  std::string guard;
+  while (std::getline(stream, line)) {
+    std::istringstream tokens(line);
+    std::string hash, word;
+    tokens >> hash;
+    if (hash.empty()) continue;
+    if (hash == "#pragma") {
+      tokens >> word;
+      if (word == "once") return true;
+      continue;
+    }
+    if (hash == "#ifndef" && guard.empty()) {
+      tokens >> guard;
+      continue;
+    }
+    if (hash == "#define" && !guard.empty()) {
+      tokens >> word;
+      if (word == guard) return true;
+    }
+  }
+  return false;
+}
+
+void RunIncludeHygieneRule(const std::string& path, const std::string& raw,
+                           const std::vector<Token>& tokens,
+                           std::vector<Finding>* findings) {
+  if (!EndsWith(path, ".h")) return;
+  if (!HasIncludeGuard(raw)) {
+    findings->push_back({path, 1, "include-hygiene",
+                         "header has neither an include guard nor "
+                         "#pragma once"});
+  }
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].text == "using" && tokens[i + 1].text == "namespace") {
+      findings->push_back(
+          {path, tokens[i].line, "include-hygiene",
+           "'using namespace' in a header leaks into every includer"});
+    }
+  }
+}
+
+}  // namespace
+
+// ---- Finding / rule registry -----------------------------------------------
+
+std::string Finding::ToString() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+const std::vector<std::string>& AllRules() {
+  static const std::vector<std::string>* rules = new std::vector<std::string>{
+      "determinism", "unchecked-status", "nodiscard", "layering",
+      "include-hygiene",
+  };
+  return *rules;
+}
+
+bool IsKnownRule(const std::string& rule) {
+  const auto& all = AllRules();
+  return std::find(all.begin(), all.end(), rule) != all.end();
+}
+
+// ---- Linter ----------------------------------------------------------------
+
+void Linter::AddFile(std::string file, std::string contents) {
+  SourceFile source;
+  source.path = std::move(file);
+  source.raw = std::move(contents);
+  source.code = StripCommentsAndLiterals(source.raw, &source.nolint);
+  source.code_nopp = BlankPreprocessor(source.code);
+  files_.push_back(std::move(source));
+}
+
+void Linter::SetRules(std::vector<std::string> rules) {
+  rules_ = std::move(rules);
+}
+
+bool Linter::RuleEnabled(const std::string& rule) const {
+  return rules_.empty() ||
+         std::find(rules_.begin(), rules_.end(), rule) != rules_.end();
+}
+
+std::vector<Finding> Linter::Run() {
+  nolint_suppressed_ = 0;
+
+  // Pass 1: the Status/Result-returning vocabulary, across all files.
+  std::set<std::string> status_functions;
+  std::set<std::string> void_functions;
+  std::vector<std::vector<Token>> tokens_per_file;
+  tokens_per_file.reserve(files_.size());
+  for (const SourceFile& file : files_) {
+    tokens_per_file.push_back(Tokenize(file.code_nopp));
+    CollectReturnTypedFunctions(tokens_per_file.back(), &status_functions,
+                                &void_functions);
+  }
+  for (const std::string& name : void_functions) {
+    status_functions.erase(name);  // Ambiguous overloads: stay silent.
+  }
+
+  // Pass 2: per-file rules.
+  std::vector<Finding> findings;
+  for (size_t i = 0; i < files_.size(); ++i) {
+    const SourceFile& file = files_[i];
+    const std::vector<Token>& tokens = tokens_per_file[i];
+    const std::vector<Include> includes =
+        ExtractIncludes(file.code, file.raw);
+    std::vector<Finding> local;
+    if (RuleEnabled("determinism")) {
+      RunDeterminismRule(file.path, tokens, includes, &local);
+    }
+    if (RuleEnabled("unchecked-status")) {
+      RunUncheckedStatusRule(file.path, tokens, status_functions, &local);
+    }
+    if (RuleEnabled("nodiscard")) {
+      RunNodiscardRule(file.path, tokens, &local);
+    }
+    if (RuleEnabled("layering")) {
+      RunLayeringRule(file.path, includes, &local);
+    }
+    if (RuleEnabled("include-hygiene")) {
+      RunIncludeHygieneRule(file.path, file.raw, tokens, &local);
+    }
+    for (Finding& finding : local) {
+      const auto nolint = file.nolint.find(finding.line);
+      if (nolint != file.nolint.end() &&
+          (nolint->second.count("*") > 0 ||
+           nolint->second.count(finding.rule) > 0)) {
+        ++nolint_suppressed_;
+        continue;
+      }
+      findings.push_back(std::move(finding));
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+// ---- Filesystem driver -----------------------------------------------------
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t read;
+  while ((read = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    text.append(buf, read);
+  }
+  std::fclose(file);
+  return text;
+}
+
+Result<std::vector<std::string>> CollectSourceFiles(
+    const std::string& root, const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    const fs::path absolute = fs::path(root) / path;
+    std::error_code ec;
+    if (fs::is_regular_file(absolute, ec)) {
+      files.push_back(fs::path(path).generic_string());
+      continue;
+    }
+    if (!fs::is_directory(absolute, ec)) {
+      return Status::NotFound("'" + path + "' is not a file or directory");
+    }
+    for (fs::recursive_directory_iterator
+             it(absolute, fs::directory_options::skip_permission_denied, ec),
+         end;
+         it != end; it.increment(ec)) {
+      if (ec) {
+        return Status::Internal("walking '" + path + "': " + ec.message());
+      }
+      const std::string name = it->path().filename().string();
+      if (it->is_directory() &&
+          (name == "build" || (!name.empty() && name[0] == '.'))) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".cc" && ext != ".h") continue;
+      files.push_back(
+          (fs::path(path) / fs::relative(it->path(), absolute, ec))
+              .generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+// ---- Baseline --------------------------------------------------------------
+
+Result<Baseline> ParseBaseline(const std::string& text) {
+  Baseline baseline;
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    int count = 0;
+    std::string rule, file;
+    if (!(fields >> count >> rule >> file) || count <= 0 ||
+        !IsKnownRule(rule)) {
+      return Status::InvalidArgument(
+          "baseline line " + std::to_string(line_number) +
+          ": expected '<count> <rule> <file>', got '" + line + "'");
+    }
+    baseline[{file, rule}] += count;
+  }
+  return baseline;
+}
+
+std::string SerializeBaseline(const Baseline& baseline) {
+  std::string out =
+      "# autotune-lint baseline: accepted pre-existing debt, one\n"
+      "# '<count> <rule> <file>' triple per line. Counts may only shrink;\n"
+      "# regenerate with `autotune_lint --write-baseline` after paying\n"
+      "# debt down. See docs/STATIC_ANALYSIS.md.\n";
+  for (const auto& [key, count] : baseline) {
+    out += std::to_string(count) + " " + key.second + " " + key.first + "\n";
+  }
+  return out;
+}
+
+Baseline BaselineFromFindings(const std::vector<Finding>& findings) {
+  Baseline baseline;
+  for (const Finding& finding : findings) {
+    baseline[{finding.file, finding.rule}] += 1;
+  }
+  return baseline;
+}
+
+std::vector<Finding> ApplyBaseline(const std::vector<Finding>& findings,
+                                   const Baseline& baseline,
+                                   int* suppressed) {
+  const Baseline actual = BaselineFromFindings(findings);
+  std::vector<Finding> out;
+  int absorbed = 0;
+  for (const Finding& finding : findings) {
+    const auto key = std::make_pair(finding.file, finding.rule);
+    const auto allowance = baseline.find(key);
+    const int allowed =
+        allowance == baseline.end() ? 0 : allowance->second;
+    if (actual.at(key) <= allowed) {
+      ++absorbed;  // Within the ratchet: pre-existing debt.
+    } else {
+      out.push_back(finding);  // Over allowance: report the whole group.
+    }
+  }
+  if (suppressed != nullptr) *suppressed = absorbed;
+  return out;
+}
+
+// ---- Reporting -------------------------------------------------------------
+
+obs::Json FindingsToJson(const std::vector<Finding>& findings) {
+  obs::Json::Array array;
+  obs::Json::Object counts;
+  for (const Finding& finding : findings) {
+    obs::Json::Object object;
+    object["file"] = obs::Json(finding.file);
+    object["line"] = obs::Json(int64_t{finding.line});
+    object["rule"] = obs::Json(finding.rule);
+    object["message"] = obs::Json(finding.message);
+    array.push_back(obs::Json(std::move(object)));
+    const auto it = counts.find(finding.rule);
+    counts[finding.rule] =
+        obs::Json(it == counts.end() ? int64_t{1} : it->second.AsInt() + 1);
+  }
+  obs::Json::Object root;
+  root["findings"] = obs::Json(std::move(array));
+  root["counts"] = obs::Json(std::move(counts));
+  root["total"] = obs::Json(int64_t{static_cast<int64_t>(findings.size())});
+  return obs::Json(std::move(root));
+}
+
+Table SummaryTable(const std::vector<Finding>& findings) {
+  std::map<std::string, int> counts;
+  for (const Finding& finding : findings) counts[finding.rule] += 1;
+  Table table({"rule", "findings"});
+  for (const std::string& rule : AllRules()) {
+    const auto it = counts.find(rule);
+    const Status status = table.AppendRow(
+        {rule, std::to_string(it == counts.end() ? 0 : it->second)});
+    AUTOTUNE_CHECK(status.ok());
+  }
+  return table;
+}
+
+}  // namespace lint
+}  // namespace autotune

@@ -1,0 +1,137 @@
+#ifndef AUTOTUNE_LINT_LINT_H_
+#define AUTOTUNE_LINT_LINT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/table.h"
+#include "obs/json.h"
+
+namespace autotune {
+namespace lint {
+
+/// One lint violation. `file` is the path as given to the linter
+/// (repo-relative when driven by `tools/autotune_lint`), `line` is 1-based.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  /// Renders "file:line: [rule] message" — the grep/editor-friendly format.
+  std::string ToString() const;
+};
+
+/// The rule names understood by the linter, in reporting order:
+///   determinism      ambient randomness / wall clocks outside the sanctioned
+///                    shims (src/common/rng.*, the obs timestamp helpers)
+///   unchecked-status a call to a Status/Result-returning function used as a
+///                    discarded expression statement
+///   nodiscard        Status/Result-returning declarations in headers missing
+///                    [[nodiscard]]
+///   layering         include-graph violations between modules
+///   include-hygiene  `using namespace` in headers; missing include guards
+const std::vector<std::string>& AllRules();
+
+/// True if `rule` names a known rule.
+bool IsKnownRule(const std::string& rule);
+
+/// Token-level linter over a set of source files. Usage:
+///   Linter linter;
+///   linter.AddFile("src/foo/bar.cc", contents);   // repeat per file
+///   std::vector<Finding> findings = linter.Run();
+/// `Run` is two-pass: Status/Result-returning function names are collected
+/// across every added file first, so `unchecked-status` sees declarations
+/// from headers added alongside the implementation files.
+class Linter {
+ public:
+  /// Registers `contents` for linting under path `file` (used both for
+  /// reporting and for path-sensitive rules). Files are analyzed in the
+  /// order added.
+  void AddFile(std::string file, std::string contents);
+
+  /// Restricts `Run` to the given rules (default: all).
+  void SetRules(std::vector<std::string> rules);
+
+  /// Lints every added file and returns the findings, ordered by file then
+  /// line. Findings on lines carrying `// NOLINT` or `// NOLINT(rule, ...)`
+  /// naming the matching rule are dropped (tallied in
+  /// `nolint_suppressed()`).
+  std::vector<Finding> Run();
+
+  /// Number of findings suppressed by NOLINT comments in the last `Run`.
+  int nolint_suppressed() const { return nolint_suppressed_; }
+
+ private:
+  struct SourceFile {
+    std::string path;
+    std::string raw;        ///< Original text.
+    std::string code;       ///< Comments and literals blanked.
+    std::string code_nopp;  ///< `code` with preprocessor lines blanked too.
+    /// line -> rules suppressed on that line ("*" = all).
+    std::map<int, std::set<std::string>> nolint;
+  };
+
+  bool RuleEnabled(const std::string& rule) const;
+
+  std::vector<SourceFile> files_;
+  std::vector<std::string> rules_;
+  int nolint_suppressed_ = 0;
+};
+
+// ---- Filesystem driver -----------------------------------------------------
+
+/// Recursively collects `.cc` / `.h` files under each of `paths` (a path may
+/// also name a single file), resolved against `root`. Returned paths are
+/// root-relative with forward slashes, sorted. Directories named `build` or
+/// starting with '.' are skipped.
+[[nodiscard]] Result<std::vector<std::string>> CollectSourceFiles(
+    const std::string& root, const std::vector<std::string>& paths);
+
+/// Reads a whole file. NotFound if it cannot be opened.
+[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
+
+// ---- Baseline ratchet ------------------------------------------------------
+
+/// Accepted pre-existing debt: (file, rule) -> allowed finding count. The
+/// ratchet: findings within the allowance are suppressed; a (file, rule)
+/// pair exceeding its allowance reports ALL of its findings (so the
+/// offending lines are visible), and new pairs report normally. Counts may
+/// only shrink over time — regenerate with `autotune_lint --write-baseline`
+/// after paying down debt.
+using Baseline = std::map<std::pair<std::string, std::string>, int>;
+
+/// Parses baseline text: one `<count> <rule> <file>` triple per line, '#'
+/// comments and blank lines ignored.
+[[nodiscard]] Result<Baseline> ParseBaseline(const std::string& text);
+
+/// Serializes a baseline in the `ParseBaseline` format (sorted, with a
+/// header comment).
+std::string SerializeBaseline(const Baseline& baseline);
+
+/// Collapses findings into their (file, rule) counts.
+Baseline BaselineFromFindings(const std::vector<Finding>& findings);
+
+/// Applies the ratchet described at `Baseline`; `suppressed` (optional)
+/// receives the number of findings absorbed by the allowance.
+std::vector<Finding> ApplyBaseline(const std::vector<Finding>& findings,
+                                   const Baseline& baseline,
+                                   int* suppressed = nullptr);
+
+// ---- Reporting -------------------------------------------------------------
+
+/// {"findings": [{"file", "line", "rule", "message"}, ...],
+///  "counts": {rule: n, ...}, "total": n}
+obs::Json FindingsToJson(const std::vector<Finding>& findings);
+
+/// Per-rule summary table (rule | findings) for the human report.
+Table SummaryTable(const std::vector<Finding>& findings);
+
+}  // namespace lint
+}  // namespace autotune
+
+#endif  // AUTOTUNE_LINT_LINT_H_

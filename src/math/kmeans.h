@@ -27,7 +27,7 @@ struct KMeansOptions {
 /// Lloyd's algorithm with k-means++ seeding. Used for workload
 /// identification (clustering workload embeddings). Requires
 /// 1 <= k <= points.size() and equal-dimension points.
-Result<KMeansResult> KMeans(const std::vector<Vector>& points, size_t k,
+[[nodiscard]] Result<KMeansResult> KMeans(const std::vector<Vector>& points, size_t k,
                             const KMeansOptions& options, Rng* rng);
 
 /// Index of the centroid nearest to `point` (CHECKs non-empty centroids).

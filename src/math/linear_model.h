@@ -23,13 +23,13 @@ struct LinearModel {
 
 /// Ridge regression with L2 penalty `lambda` >= 0, solved in closed form via
 /// Cholesky on the (standardized) normal equations.
-Result<LinearModel> FitRidge(const std::vector<Vector>& xs, const Vector& ys,
+[[nodiscard]] Result<LinearModel> FitRidge(const std::vector<Vector>& xs, const Vector& ys,
                              double lambda);
 
 /// Lasso (L1) regression via cyclic coordinate descent on standardized
 /// features. `lambda` >= 0 controls sparsity. Converges when the max
 /// coefficient change per sweep drops below `tol` or after `max_sweeps`.
-Result<LinearModel> FitLasso(const std::vector<Vector>& xs, const Vector& ys,
+[[nodiscard]] Result<LinearModel> FitLasso(const std::vector<Vector>& xs, const Vector& ys,
                              double lambda, int max_sweeps = 1000,
                              double tol = 1e-7);
 
@@ -38,7 +38,7 @@ Result<LinearModel> FitLasso(const std::vector<Vector>& xs, const Vector& ys,
 /// knob-importance criterion (features entering earlier matter more).
 /// Returns indices of all features ordered by importance (entered-first
 /// first; features that never enter go last in index order).
-Result<std::vector<size_t>> LassoImportanceOrder(
+[[nodiscard]] Result<std::vector<size_t>> LassoImportanceOrder(
     const std::vector<Vector>& xs, const Vector& ys,
     int num_lambdas = 50);
 

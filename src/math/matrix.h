@@ -19,7 +19,7 @@ class Matrix {
   Matrix(size_t rows, size_t cols);
 
   /// Creates a matrix from rows of equal length.
-  static Result<Matrix> FromRows(const std::vector<Vector>& rows);
+  [[nodiscard]] static Result<Matrix> FromRows(const std::vector<Vector>& rows);
 
   /// Identity matrix of size n.
   static Matrix Identity(size_t n);
@@ -53,13 +53,13 @@ class Matrix {
 
 /// Lower-triangular Cholesky factor of a symmetric positive-definite matrix:
 /// A = L * L^T. Fails with FailedPrecondition if A is not (numerically) PD.
-Result<Matrix> Cholesky(const Matrix& a);
+[[nodiscard]] Result<Matrix> Cholesky(const Matrix& a);
 
 /// Cholesky with escalating diagonal jitter: retries with jitter
 /// 1e-10, 1e-8, ... up to `max_jitter` until the factorization succeeds.
 /// Returns the factor and writes the jitter used to `*jitter_used` if
 /// non-null. This is the standard GP trick for near-singular kernel matrices.
-Result<Matrix> CholeskyWithJitter(const Matrix& a, double max_jitter = 1e-2,
+[[nodiscard]] Result<Matrix> CholeskyWithJitter(const Matrix& a, double max_jitter = 1e-2,
                                   double* jitter_used = nullptr);
 
 /// Solves L * x = b where L is lower triangular (forward substitution).
@@ -83,7 +83,7 @@ struct EigenResult {
 
   EigenResult() : eigenvectors(0, 0) {}
 };
-Result<EigenResult> SymmetricEigen(const Matrix& a, int max_sweeps = 50);
+[[nodiscard]] Result<EigenResult> SymmetricEigen(const Matrix& a, int max_sweeps = 50);
 
 /// Dot product (sizes must match, CHECKed).
 double Dot(const Vector& a, const Vector& b);

@@ -15,7 +15,7 @@ class Pca {
  public:
   /// Fits `num_components` components (1 <= k <= feature dim) on mean-
   /// centered `data` (>= 2 equal-length rows).
-  static Result<Pca> Fit(const std::vector<Vector>& data,
+  [[nodiscard]] static Result<Pca> Fit(const std::vector<Vector>& data,
                          size_t num_components, int power_iterations = 100);
 
   /// Projects a feature vector onto the fitted components.

@@ -25,7 +25,7 @@ class RandomProjection {
   };
 
   /// Creates a projection from `low_dim` to `high_dim` (low_dim <= high_dim).
-  static Result<RandomProjection> Create(Kind kind, size_t low_dim,
+  [[nodiscard]] static Result<RandomProjection> Create(Kind kind, size_t low_dim,
                                          size_t high_dim, Rng* rng);
 
   size_t low_dim() const { return low_dim_; }

@@ -30,8 +30,8 @@ class MultiObjectiveOptimizer {
   virtual ~MultiObjectiveOptimizer() = default;
 
   virtual std::string name() const = 0;
-  virtual Result<Configuration> Suggest() = 0;
-  virtual Status Observe(const Configuration& config,
+  [[nodiscard]] virtual Result<Configuration> Suggest() = 0;
+  [[nodiscard]] virtual Status Observe(const Configuration& config,
                          const Vector& objectives) = 0;
 
   /// The non-dominated objective vectors observed so far.
@@ -50,8 +50,8 @@ class ParEgoOptimizer : public MultiObjectiveOptimizer {
                   size_t num_objectives, MooOptions options = {});
 
   std::string name() const override { return "parego"; }
-  Result<Configuration> Suggest() override;
-  Status Observe(const Configuration& config,
+  [[nodiscard]] Result<Configuration> Suggest() override;
+  [[nodiscard]] Status Observe(const Configuration& config,
                  const Vector& objectives) override;
   const ParetoArchive& archive() const override { return archive_; }
   size_t num_observations() const override { return history_.size(); }
@@ -80,8 +80,8 @@ class LinearScalarizationOptimizer : public MultiObjectiveOptimizer {
                                Vector weights, MooOptions options = {});
 
   std::string name() const override { return "linear-scalar"; }
-  Result<Configuration> Suggest() override;
-  Status Observe(const Configuration& config,
+  [[nodiscard]] Result<Configuration> Suggest() override;
+  [[nodiscard]] Status Observe(const Configuration& config,
                  const Vector& objectives) override;
   const ParetoArchive& archive() const override { return archive_; }
   size_t num_observations() const override { return num_observations_; }

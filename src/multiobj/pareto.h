@@ -38,7 +38,7 @@ class ParetoArchive {
 /// `reference` (which every point must dominate). Standard quality metric
 /// for comparing multi-objective optimizers. Fails if any point does not
 /// dominate the reference.
-Result<double> Hypervolume2D(const std::vector<Vector>& frontier,
+[[nodiscard]] Result<double> Hypervolume2D(const std::vector<Vector>& frontier,
                              const Vector& reference);
 
 /// Scalarizations g_theta: R^k -> R (slide 58). `weights` must be positive

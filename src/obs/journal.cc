@@ -41,8 +41,9 @@ Journal::~Journal() {
 void Journal::Append(Json event) {
   AUTOTUNE_CHECK_MSG(event.is_object() && event.Has("event"),
                      "journal events must be objects with an 'event' member");
-  std::lock_guard<std::mutex> lock(mutex_);
-  event.AsObject()["seq"] = Json(next_seq_++);
+  MutexLock lock(mutex_);
+  event.AsObject()["seq"] =
+      Json(next_seq_.fetch_add(1, std::memory_order_relaxed));
   event.AsObject()["ts_ms"] = Json(NowMillis());
   std::string line = event.Dump();
   line.push_back('\n');

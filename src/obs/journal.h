@@ -1,14 +1,16 @@
 #ifndef AUTOTUNE_OBS_JOURNAL_H_
 #define AUTOTUNE_OBS_JOURNAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/observation.h"
 #include "obs/json.h"
@@ -37,7 +39,7 @@ namespace obs {
 class Journal {
  public:
   /// Opens `path` for appending (created if missing).
-  static Result<std::unique_ptr<Journal>> Open(const std::string& path);
+  [[nodiscard]] static Result<std::unique_ptr<Journal>> Open(const std::string& path);
 
   /// Flushes pending events and closes the file.
   ~Journal();
@@ -48,7 +50,7 @@ class Journal {
   /// Appends one event. `event` must be a JSON object with an "event"
   /// member; "seq" and "ts_ms" are stamped here. Thread-safe; events are
   /// written in Append order.
-  void Append(Json event);
+  void Append(Json event) EXCLUDES(mutex_);
 
   /// Convenience: Append({"event": kind, ...fields}).
   void Event(const std::string& kind, Json::Object fields = {});
@@ -57,15 +59,21 @@ class Journal {
   void Flush();
 
   const std::string& path() const { return path_; }
-  int64_t events_written() const { return next_seq_; }
+  int64_t events_written() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
 
  private:
   Journal(std::string path, std::FILE* file);
 
   std::string path_;
+  /// Written and flushed only on the single writer thread (and in the
+  /// destructor, after the writer has joined).
   std::FILE* file_;
-  std::mutex mutex_;  ///< Orders seq stamping with queue submission.
-  int64_t next_seq_ = 0;
+  Mutex mutex_;  ///< Orders seq stamping with queue submission.
+  /// Incremented only under `mutex_` (atomic so `events_written()` can read
+  /// it from any thread without taking the lock).
+  std::atomic<int64_t> next_seq_{0};
   /// Declared last so it drains and joins before `file_` is closed.
   std::unique_ptr<ThreadPool> writer_;
 };
@@ -80,18 +88,18 @@ Json EncodeConfig(const Configuration& config);
 Json EncodeObservation(const Observation& observation);
 
 /// Rebuilds an observation against `space` (parameters matched by name).
-Result<Observation> DecodeObservation(const ConfigSpace* space,
+[[nodiscard]] Result<Observation> DecodeObservation(const ConfigSpace* space,
                                       const Json& encoded);
 
 /// [{"name", "type"}, ...] — enough to detect schema drift on resume.
 Json EncodeSpaceSchema(const ConfigSpace& space);
 
 /// FailedPrecondition if `schema` does not match `space` by name and type.
-Status CheckSpaceSchema(const ConfigSpace& space, const Json& schema);
+[[nodiscard]] Status CheckSpaceSchema(const ConfigSpace& space, const Json& schema);
 
 /// RNG state words as hex strings (uint64 does not fit JSON integers).
 Json EncodeRngState(const std::vector<uint64_t>& words);
-Result<std::vector<uint64_t>> DecodeRngState(const Json& encoded);
+[[nodiscard]] Result<std::vector<uint64_t>> DecodeRngState(const Json& encoded);
 
 // ---- Replay ----------------------------------------------------------------
 
@@ -119,13 +127,13 @@ struct JournalReplay {
 /// journaled "loop_started" space schema that conflicts with it is an
 /// error. A truncated final line (process killed mid-write) is silently
 /// discarded; malformed lines elsewhere fail the replay.
-Result<JournalReplay> ReplayJournal(const std::string& path,
+[[nodiscard]] Result<JournalReplay> ReplayJournal(const std::string& path,
                                     const ConfigSpace* space);
 
 /// Scans a journal for the first event of the given kind, without needing
 /// a configuration space (used by the CLI to recover session metadata
 /// before it can construct the environment). NotFound if absent.
-Result<Json> ReadFirstEvent(const std::string& path,
+[[nodiscard]] Result<Json> ReadFirstEvent(const std::string& path,
                             const std::string& kind);
 
 }  // namespace obs

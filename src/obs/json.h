@@ -59,7 +59,7 @@ class Json {
   Object& AsObject();
 
   /// Object lookup: the member value, or NotFound.
-  Result<Json> Get(const std::string& key) const;
+  [[nodiscard]] Result<Json> Get(const std::string& key) const;
 
   /// Object lookup with a default when the key is absent.
   bool GetBool(const std::string& key, bool fallback) const;
@@ -80,7 +80,7 @@ class Json {
 
   /// Parses one JSON document (surrounding whitespace allowed; trailing
   /// garbage is an error).
-  static Result<Json> Parse(const std::string& text);
+  [[nodiscard]] static Result<Json> Parse(const std::string& text);
 
  private:
   void DumpTo(std::string* out, int indent, int depth) const;

@@ -105,7 +105,7 @@ MetricsRegistry::Shard& MetricsRegistry::ShardFor(const std::string& name) {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   AUTOTUNE_CHECK_MSG(shard.gauges.find(name) == shard.gauges.end() &&
                          shard.histograms.find(name) == shard.histograms.end(),
                      "metric name already used by another kind");
@@ -116,7 +116,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   AUTOTUNE_CHECK_MSG(shard.counters.find(name) == shard.counters.end() &&
                          shard.histograms.find(name) == shard.histograms.end(),
                      "metric name already used by another kind");
@@ -128,7 +128,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> upper_bounds) {
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   AUTOTUNE_CHECK_MSG(shard.counters.find(name) == shard.counters.end() &&
                          shard.gauges.find(name) == shard.gauges.end(),
                      "metric name already used by another kind");
@@ -154,7 +154,7 @@ void MetricsRegistry::Record(const std::string& name, double value) {
 
 void MetricsRegistry::Reset() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.counters.clear();
     shard.gauges.clear();
     shard.histograms.clear();
@@ -166,7 +166,7 @@ Json MetricsRegistry::ToJson() const {
   Json::Object gauges;
   Json::Object histograms;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     for (const auto& [name, counter] : shard.counters) {
       counters[name] = Json(counter->value());
     }

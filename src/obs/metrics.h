@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/table.h"
+#include "common/thread_annotations.h"
 #include "obs/json.h"
 
 namespace autotune {
@@ -119,8 +120,8 @@ class MetricsRegistry {
   /// statistic (metric, kind, field, value).
   Table ToTable() const;
 
-  Status WriteJsonFile(const std::string& path) const;
-  Status WriteCsvFile(const std::string& path) const;
+  [[nodiscard]] Status WriteJsonFile(const std::string& path) const;
+  [[nodiscard]] Status WriteCsvFile(const std::string& path) const;
 
   /// The process-wide registry used by the tracing layer and the tuning
   /// loop.
@@ -130,10 +131,12 @@ class MetricsRegistry {
   static constexpr size_t kNumShards = 16;
 
   struct Shard {
-    mutable std::mutex mutex;
-    std::map<std::string, std::unique_ptr<Counter>> counters;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    mutable Mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>> counters
+        GUARDED_BY(mutex);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges GUARDED_BY(mutex);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms
+        GUARDED_BY(mutex);
   };
 
   Shard& ShardFor(const std::string& name);

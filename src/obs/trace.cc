@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace autotune {
@@ -32,11 +33,11 @@ uint64_t ThisThreadId() {
 /// (microseconds and up), so contention here is negligible next to the
 /// work being traced.
 struct Ring {
-  std::mutex mutex;
-  std::vector<SpanRecord> records;
-  size_t capacity = 8192;
-  size_t next = 0;     ///< Overwrite position once full.
-  bool wrapped = false;
+  Mutex mutex;
+  std::vector<SpanRecord> records GUARDED_BY(mutex);
+  size_t capacity GUARDED_BY(mutex) = 8192;
+  size_t next GUARDED_BY(mutex) = 0;  ///< Overwrite position once full.
+  bool wrapped GUARDED_BY(mutex) = false;
 };
 
 Ring& GetRing() {
@@ -58,7 +59,7 @@ bool TraceBuffer::enabled() {
 
 void TraceBuffer::SetCapacity(size_t capacity) {
   Ring& ring = GetRing();
-  std::lock_guard<std::mutex> lock(ring.mutex);
+  MutexLock lock(ring.mutex);
   ring.capacity = capacity == 0 ? 1 : capacity;
   ring.records.clear();
   ring.records.shrink_to_fit();
@@ -68,7 +69,7 @@ void TraceBuffer::SetCapacity(size_t capacity) {
 
 void TraceBuffer::Clear() {
   Ring& ring = GetRing();
-  std::lock_guard<std::mutex> lock(ring.mutex);
+  MutexLock lock(ring.mutex);
   ring.records.clear();
   ring.next = 0;
   ring.wrapped = false;
@@ -76,7 +77,7 @@ void TraceBuffer::Clear() {
 
 void TraceBuffer::Record(SpanRecord record) {
   Ring& ring = GetRing();
-  std::lock_guard<std::mutex> lock(ring.mutex);
+  MutexLock lock(ring.mutex);
   if (ring.records.size() < ring.capacity) {
     ring.records.push_back(std::move(record));
   } else {
@@ -88,7 +89,7 @@ void TraceBuffer::Record(SpanRecord record) {
 
 std::vector<SpanRecord> TraceBuffer::Snapshot() {
   Ring& ring = GetRing();
-  std::lock_guard<std::mutex> lock(ring.mutex);
+  MutexLock lock(ring.mutex);
   std::vector<SpanRecord> out;
   out.reserve(ring.records.size());
   if (ring.wrapped) {

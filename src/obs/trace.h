@@ -45,7 +45,7 @@ class TraceBuffer {
   /// Chrome trace-event JSON: {"traceEvents": [{"name", "ph": "X", "pid",
   /// "tid", "ts" (us), "dur" (us)}, ...]}.
   static Json ToChromeTraceJson();
-  static Status WriteChromeTraceFile(const std::string& path);
+  [[nodiscard]] static Status WriteChromeTraceFile(const std::string& path);
 
   /// Internal: called by ~Span.
   static void Record(SpanRecord record);

@@ -43,7 +43,7 @@ class BanditOptimizer : public OptimizerBase {
 
   std::string name() const override;
 
-  Result<Configuration> Suggest() override;
+  [[nodiscard]] Result<Configuration> Suggest() override;
 
   size_t num_arms() const { return arms_.size(); }
 

@@ -68,12 +68,12 @@ class BayesianOptimizer : public OptimizerBase {
 
   std::string name() const override;
 
-  Result<Configuration> Suggest() override;
+  [[nodiscard]] Result<Configuration> Suggest() override;
 
   /// Constant-liar batching (tutorial slide 57): after each batch pick, the
   /// chosen point is temporarily "observed" at the incumbent value so the
   /// next pick avoids it, keeping the batch diverse.
-  Result<std::vector<Configuration>> SuggestBatch(size_t k) override;
+  [[nodiscard]] Result<std::vector<Configuration>> SuggestBatch(size_t k) override;
 
   /// Access to the fitted surrogate (for diagnostics/tests).
   const Surrogate& surrogate() const { return *surrogate_; }
@@ -83,11 +83,11 @@ class BayesianOptimizer : public OptimizerBase {
 
  private:
   /// Refits the surrogate to history plus `extra` fantasy observations.
-  Status RefitWith(const std::vector<std::pair<Vector, double>>& extra);
+  [[nodiscard]] Status RefitWith(const std::vector<std::pair<Vector, double>>& extra);
 
   /// Argmax of the acquisition over a random+local candidate pool, skipping
   /// infeasible configurations.
-  Result<Configuration> MaximizeAcquisition();
+  [[nodiscard]] Result<Configuration> MaximizeAcquisition();
 
   std::unique_ptr<Surrogate> surrogate_;
   BayesianOptimizerOptions options_;

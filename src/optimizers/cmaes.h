@@ -32,7 +32,7 @@ class CmaEsOptimizer : public OptimizerBase {
 
   std::string name() const override { return "cmaes"; }
 
-  Result<Configuration> Suggest() override;
+  [[nodiscard]] Result<Configuration> Suggest() override;
 
   /// Current step size (diagnostic).
   double sigma() const { return sigma_; }

@@ -39,12 +39,12 @@ class ConstrainedBoOptimizer : public OptimizerBase {
 
   std::string name() const override { return "cbo"; }
 
-  Result<Configuration> Suggest() override;
+  [[nodiscard]] Result<Configuration> Suggest() override;
 
   /// Records a trial with its objective AND measured constraint values
   /// (`constraints.size()` must equal `num_constraints`). Prefer this over
   /// plain `Observe`, which assumes the trial was feasible.
-  Status ObserveWithConstraints(const Observation& observation,
+  [[nodiscard]] Status ObserveWithConstraints(const Observation& observation,
                                 const Vector& constraints);
 
   /// Best FEASIBLE observation so far (objective among trials whose every

@@ -31,7 +31,7 @@ class GeneticOptimizer : public OptimizerBase {
 
   std::string name() const override { return "ga"; }
 
-  Result<Configuration> Suggest() override;
+  [[nodiscard]] Result<Configuration> Suggest() override;
 
   int generation() const { return generation_; }
 

@@ -21,7 +21,7 @@ class GridSearch : public OptimizerBase {
 
   std::string name() const override { return "grid"; }
 
-  Result<Configuration> Suggest() override;
+  [[nodiscard]] Result<Configuration> Suggest() override;
 
   /// Total number of grid points.
   size_t grid_size() const { return grid_.size(); }

@@ -29,9 +29,9 @@ class ProjectedOptimizer : public Optimizer {
     return adapter_->target_space();
   }
 
-  Result<Configuration> Suggest() override;
+  [[nodiscard]] Result<Configuration> Suggest() override;
 
-  Status Observe(const Observation& observation) override;
+  [[nodiscard]] Status Observe(const Observation& observation) override;
 
   const std::optional<Observation>& best() const override { return best_; }
 

@@ -29,7 +29,7 @@ class ParticleSwarmOptimizer : public OptimizerBase {
 
   std::string name() const override { return "pso"; }
 
-  Result<Configuration> Suggest() override;
+  [[nodiscard]] Result<Configuration> Suggest() override;
 
  protected:
   void OnObserve(const Observation& observation) override;

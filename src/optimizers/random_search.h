@@ -22,7 +22,7 @@ class RandomSearch : public OptimizerBase {
 
   std::string name() const override;
 
-  Result<Configuration> Suggest() override;
+  [[nodiscard]] Result<Configuration> Suggest() override;
 
  private:
   Mode mode_;

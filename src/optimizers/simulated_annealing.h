@@ -31,7 +31,7 @@ class SimulatedAnnealing : public OptimizerBase {
 
   std::string name() const override { return "anneal"; }
 
-  Result<Configuration> Suggest() override;
+  [[nodiscard]] Result<Configuration> Suggest() override;
 
   double temperature() const { return temperature_; }
 

@@ -25,11 +25,11 @@ class ContextualBandit {
   size_t num_arms() const { return arms_.size(); }
 
   /// Suggests a configuration for the given context.
-  Result<Configuration> Suggest(size_t context);
+  [[nodiscard]] Result<Configuration> Suggest(size_t context);
 
   /// Reports the observed objective (minimize) for a configuration played
   /// in `context`.
-  Status Observe(size_t context, const Configuration& config,
+  [[nodiscard]] Status Observe(size_t context, const Configuration& config,
                  double objective);
 
   /// The bandit serving `context` (diagnostics).

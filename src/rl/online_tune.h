@@ -58,10 +58,10 @@ class OnlineTuneOptimizer {
   /// Proposes the next configuration to deploy given the current workload
   /// context. Returns the incumbent when no candidate passes the safety
   /// check (a safe no-op).
-  Result<Configuration> Suggest(const Vector& context);
+  [[nodiscard]] Result<Configuration> Suggest(const Vector& context);
 
   /// Records the outcome of deploying `config` under `context`.
-  Status Observe(const Configuration& config, const Vector& context,
+  [[nodiscard]] Status Observe(const Configuration& config, const Vector& context,
                  double objective);
 
   /// Declares the trusted baseline objective (e.g. the default config's

@@ -23,7 +23,7 @@ class ConfigSpace;
 class Configuration {
  public:
   /// Value of parameter `name`; NotFound for unknown names.
-  Result<ParamValue> Get(const std::string& name) const;
+  [[nodiscard]] Result<ParamValue> Get(const std::string& name) const;
 
   /// Typed accessors. CHECK-fail on unknown name or wrong type — intended
   /// for simulator/benchmark code where the space is statically known.
@@ -78,7 +78,7 @@ class ConfigSpace {
 
   /// Adds a parameter. Fails on duplicate names or on conditional parameters
   /// whose parent is unknown, declared later, or not categorical/bool.
-  Status Add(ParameterSpec spec);
+  [[nodiscard]] Status Add(ParameterSpec spec);
 
   /// Convenience: adds and CHECK-fails on error (for statically-known
   /// spaces in examples and tests).
@@ -90,7 +90,7 @@ class ConfigSpace {
 
   /// Parameter metadata.
   const ParameterSpec& param(size_t index) const;
-  Result<size_t> Index(const std::string& name) const;
+  [[nodiscard]] Result<size_t> Index(const std::string& name) const;
   bool Has(const std::string& name) const;
 
   /// Registers a feasibility predicate with a human-readable description,
@@ -109,7 +109,7 @@ class ConfigSpace {
 
   /// Builds a configuration from explicit values (unspecified parameters get
   /// defaults). Validates every value.
-  Result<Configuration> Make(
+  [[nodiscard]] Result<Configuration> Make(
       const std::vector<std::pair<std::string, ParamValue>>& values) const;
 
   /// Maps a unit-cube point (one coordinate per parameter) to a
@@ -117,14 +117,14 @@ class ConfigSpace {
   Configuration FromUnit(const Vector& u) const;
 
   /// Inverse mapping to canonical unit coordinates.
-  Result<Vector> ToUnit(const Configuration& config) const;
+  [[nodiscard]] Result<Vector> ToUnit(const Configuration& config) const;
 
   /// Uniform (or prior-weighted, for parameters with priors) sample.
   Configuration Sample(Rng* rng) const;
 
   /// Rejection-samples a feasible configuration; Unavailable if
   /// `max_tries` consecutive samples are infeasible.
-  Result<Configuration> SampleFeasible(Rng* rng, int max_tries = 1000) const;
+  [[nodiscard]] Result<Configuration> SampleFeasible(Rng* rng, int max_tries = 1000) const;
 
   /// Full-factorial grid: `points_per_numeric` levels per numeric parameter
   /// and every category/bool level, capped at `max_points` configurations

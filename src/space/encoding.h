@@ -34,7 +34,7 @@ class SpaceEncoder {
   CategoricalMode mode() const { return mode_; }
 
   /// Encodes a configuration (must belong to the encoder's space).
-  Result<Vector> Encode(const Configuration& config) const;
+  [[nodiscard]] Result<Vector> Encode(const Configuration& config) const;
 
  private:
   const ConfigSpace* space_;

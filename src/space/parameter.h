@@ -37,13 +37,13 @@ const char* ParameterTypeToString(ParameterType type);
 class ParameterSpec {
  public:
   /// Factory for a continuous parameter on [min, max] (min < max).
-  static Result<ParameterSpec> Float(std::string name, double min, double max);
+  [[nodiscard]] static Result<ParameterSpec> Float(std::string name, double min, double max);
 
   /// Factory for an integer parameter on [min, max] inclusive (min <= max).
-  static Result<ParameterSpec> Int(std::string name, int64_t min, int64_t max);
+  [[nodiscard]] static Result<ParameterSpec> Int(std::string name, int64_t min, int64_t max);
 
   /// Factory for a categorical parameter (>= 1 distinct category).
-  static Result<ParameterSpec> Categorical(std::string name,
+  [[nodiscard]] static Result<ParameterSpec> Categorical(std::string name,
                                            std::vector<std::string> categories);
 
   /// Factory for a boolean switch.
@@ -112,14 +112,14 @@ class ParameterSpec {
   /// Inverse of `FromUnit` (returns the canonical unit coordinate; special
   /// values map to their slot centers). Fails if `value` has the wrong
   /// alternative or is out of domain.
-  Result<double> ToUnit(const ParamValue& value) const;
+  [[nodiscard]] Result<double> ToUnit(const ParamValue& value) const;
 
   /// Checks that `value` has the right type and is within the domain.
-  Status Validate(const ParamValue& value) const;
+  [[nodiscard]] Status Validate(const ParamValue& value) const;
 
   /// Parses a string produced by `ParamValueToString` into this parameter's
   /// value type.
-  Result<ParamValue> Parse(const std::string& text) const;
+  [[nodiscard]] Result<ParamValue> Parse(const std::string& text) const;
 
  private:
   explicit ParameterSpec(std::string name, ParameterType type);

@@ -30,7 +30,7 @@ class ProjectedSpace {
   /// Creates an adapter searching `low_dim` dimensions of `target` (which
   /// must outlive the adapter). Fails if low_dim is 0 or exceeds the target
   /// dimension.
-  static Result<std::unique_ptr<ProjectedSpace>> Create(
+  [[nodiscard]] static Result<std::unique_ptr<ProjectedSpace>> Create(
       const ConfigSpace* target, size_t low_dim, const Options& options,
       Rng* rng);
 
@@ -41,7 +41,7 @@ class ProjectedSpace {
   const ConfigSpace& target_space() const { return *target_; }
 
   /// Maps a configuration of `low_space()` to one of the target space.
-  Result<Configuration> Lift(const Configuration& low_config) const;
+  [[nodiscard]] Result<Configuration> Lift(const Configuration& low_config) const;
 
  private:
   ProjectedSpace(const ConfigSpace* target, RandomProjection projection,

@@ -52,7 +52,7 @@ class GaussianProcess : public Surrogate {
   /// BO surrogate.
   static std::unique_ptr<GaussianProcess> MakeDefault();
 
-  Status Fit(const std::vector<Vector>& xs, const Vector& ys) override;
+  [[nodiscard]] Status Fit(const std::vector<Vector>& xs, const Vector& ys) override;
 
   Prediction Predict(const Vector& x) const override;
 
@@ -72,15 +72,15 @@ class GaussianProcess : public Surrogate {
 
   /// Draws one joint posterior sample at `points` (Thompson sampling over a
   /// candidate set). Requires a successful prior Fit.
-  Result<Vector> SamplePosterior(const std::vector<Vector>& points,
+  [[nodiscard]] Result<Vector> SamplePosterior(const std::vector<Vector>& points,
                                  Rng* rng) const;
 
  private:
   /// Fits with the current kernel; fills chol_/alpha_/lml_.
-  Status FitOnce(double noise_variance);
+  [[nodiscard]] Status FitOnce(double noise_variance);
 
   /// ARD coordinate descent (called by Fit when options_.fit_ard).
-  Status FitArd(double noise_variance, double base_length_scale);
+  [[nodiscard]] Status FitArd(double noise_variance, double base_length_scale);
 
   /// Applies the ARD per-dimension scaling (identity if disabled).
   Vector ScaleInput(const Vector& x) const;

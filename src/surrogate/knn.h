@@ -18,7 +18,7 @@ class KnnSurrogate : public Surrogate {
  public:
   explicit KnnSurrogate(size_t k = 5);
 
-  Status Fit(const std::vector<Vector>& xs, const Vector& ys) override;
+  [[nodiscard]] Status Fit(const std::vector<Vector>& xs, const Vector& ys) override;
 
   Prediction Predict(const Vector& x) const override;
 

@@ -37,7 +37,7 @@ class MultiTaskGp {
   /// Fits to observations: `tasks[i]` is the task index of (`xs[i]`,
   /// `ys[i]`). Every task index must be < num_tasks; at least one
   /// observation overall is required (tasks may be empty).
-  Status Fit(const std::vector<size_t>& tasks, const std::vector<Vector>& xs,
+  [[nodiscard]] Status Fit(const std::vector<size_t>& tasks, const std::vector<Vector>& xs,
              const Vector& ys);
 
   /// Posterior prediction for `task` at `x`.
@@ -53,7 +53,7 @@ class MultiTaskGp {
   size_t num_observations() const { return xs_.size(); }
 
  private:
-  Status FitOnce(double rho, double length_scale);
+  [[nodiscard]] Status FitOnce(double rho, double length_scale);
   double TaskCov(size_t a, size_t b, double rho) const;
 
   size_t num_tasks_;

@@ -33,7 +33,7 @@ class RandomForestSurrogate : public Surrogate {
  public:
   explicit RandomForestSurrogate(RandomForestOptions options = {});
 
-  Status Fit(const std::vector<Vector>& xs, const Vector& ys) override;
+  [[nodiscard]] Status Fit(const std::vector<Vector>& xs, const Vector& ys) override;
 
   Prediction Predict(const Vector& x) const override;
 

@@ -28,7 +28,7 @@ class Surrogate {
   /// Fits the model to observations. `xs` are equal-dimension feature rows,
   /// `ys` the observed objective values. May be called repeatedly as data
   /// accumulates (each call refits from scratch).
-  virtual Status Fit(const std::vector<Vector>& xs, const Vector& ys) = 0;
+  [[nodiscard]] virtual Status Fit(const std::vector<Vector>& xs, const Vector& ys) = 0;
 
   /// Posterior mean/variance at `x`. Before any successful `Fit`, returns a
   /// weakly-informative prior (mean 0, unit variance).

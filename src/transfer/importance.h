@@ -30,7 +30,7 @@ enum class ImportanceMethod {
 /// Ranks knobs by their influence on the observed objective, from tuning
 /// history. Needs >= ~2x as many successful observations as knobs to be
 /// meaningful. Failed observations are skipped.
-Result<std::vector<KnobImportance>> RankKnobImportance(
+[[nodiscard]] Result<std::vector<KnobImportance>> RankKnobImportance(
     const ConfigSpace& space, const std::vector<Observation>& history,
     ImportanceMethod method);
 
@@ -41,7 +41,7 @@ Result<std::vector<KnobImportance>> RankKnobImportance(
 class SubsetSpace {
  public:
   /// Fails if any name in `keep` is unknown.
-  static Result<std::unique_ptr<SubsetSpace>> Create(
+  [[nodiscard]] static Result<std::unique_ptr<SubsetSpace>> Create(
       const ConfigSpace* target, const std::vector<std::string>& keep,
       Configuration base);
 
@@ -49,7 +49,7 @@ class SubsetSpace {
   const ConfigSpace& low_space() const { return *low_space_; }
 
   /// Expands a reduced-space configuration to the full target space.
-  Result<Configuration> Lift(const Configuration& low_config) const;
+  [[nodiscard]] Result<Configuration> Lift(const Configuration& low_config) const;
 
  private:
   SubsetSpace(const ConfigSpace* target, Configuration base);

@@ -50,12 +50,12 @@ class KnowledgeBase {
 
   /// Index of the session whose workload embedding is nearest to `query`;
   /// NotFound when the base is empty or no session has an embedding.
-  Result<size_t> NearestSession(const Vector& query) const;
+  [[nodiscard]] Result<size_t> NearestSession(const Vector& query) const;
 
   /// Replays the chosen session's history into `optimizer` per `policy`
   /// (the configurations must belong to the optimizer's space). Returns
   /// the number of observations replayed.
-  Result<int> WarmStart(size_t session_index, const WarmStartPolicy& policy,
+  [[nodiscard]] Result<int> WarmStart(size_t session_index, const WarmStartPolicy& policy,
                         Optimizer* optimizer) const;
 
  private:

@@ -48,7 +48,7 @@ class GuidedSpace {
   const ConfigSpace& target_space() const { return *target_; }
 
   /// Maps a guided-space configuration onto the target space.
-  Result<Configuration> Lift(const Configuration& guided_config) const;
+  [[nodiscard]] Result<Configuration> Lift(const Configuration& guided_config) const;
 
  private:
   friend class ManualKnowledgeBase;
@@ -78,7 +78,7 @@ class ManualKnowledgeBase {
   /// ranges narrowed (intersected with the domain) and a prior at the rule
   /// of thumb; all other knobs pass through unchanged. Fails if a hint
   /// names an unknown knob or produces an empty range.
-  Result<std::unique_ptr<GuidedSpace>> ApplyToSpace(
+  [[nodiscard]] Result<std::unique_ptr<GuidedSpace>> ApplyToSpace(
       const ConfigSpace* target) const;
 
   /// The curated manual for the simulated DBMS (`sim::DbEnv`), written the

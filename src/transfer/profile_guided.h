@@ -43,7 +43,7 @@ std::vector<std::string> HotComponents(
 /// each component's knobs (deduplicated), until `max_knobs` are collected.
 /// `metrics` must contain the component fractions named in
 /// `component_map`.
-Result<std::vector<std::string>> ProfileGuidedKnobs(
+[[nodiscard]] Result<std::vector<std::string>> ProfileGuidedKnobs(
     const std::map<std::string, double>& metrics,
     const std::vector<ComponentKnobs>& component_map, size_t max_knobs);
 

@@ -30,7 +30,7 @@ class WorkloadEmbedder {
  public:
   /// Fits the standardization (and projection, if `embedding_dim` > 0 and
   /// < feature dim) on a corpus of feature vectors.
-  static Result<WorkloadEmbedder> Fit(const std::vector<Vector>& corpus,
+  [[nodiscard]] static Result<WorkloadEmbedder> Fit(const std::vector<Vector>& corpus,
                                       size_t embedding_dim, Rng* rng);
 
   /// Embeds one feature vector.

@@ -27,7 +27,7 @@ class WorkloadIdentifier {
   };
 
   /// Nearest exemplar; NotFound if no exemplars are registered.
-  Result<Match> Identify(const Vector& embedding) const;
+  [[nodiscard]] Result<Match> Identify(const Vector& embedding) const;
 
   /// Top-k nearest exemplars, closest first.
   std::vector<Match> IdentifyTopK(const Vector& embedding, size_t k) const;
@@ -36,7 +36,7 @@ class WorkloadIdentifier {
 
   /// Unsupervised grouping of the registered exemplars into `k` clusters
   /// (k-means over embeddings). Returns the cluster id per exemplar.
-  Result<std::vector<size_t>> Cluster(size_t k, Rng* rng) const;
+  [[nodiscard]] Result<std::vector<size_t>> Cluster(size_t k, Rng* rng) const;
 
  private:
   std::vector<std::string> labels_;

@@ -42,7 +42,7 @@ struct SynthesisOptions {
 /// telemetry embedding matches `target_embedding` (as produced by
 /// `embedder`). Random restarts + local refinement; deterministic given
 /// `rng`.
-Result<SynthesisResult> SynthesizeWorkload(
+[[nodiscard]] Result<SynthesisResult> SynthesizeWorkload(
     const std::vector<Workload>& bases, const Vector& target_embedding,
     const WorkloadEmbedder& embedder, const SynthesisOptions& options,
     Rng* rng);

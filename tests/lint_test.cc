@@ -1,0 +1,373 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace autotune {
+namespace lint {
+namespace {
+
+std::vector<Finding> Lint(const std::string& path,
+                          const std::string& contents) {
+  Linter linter;
+  linter.AddFile(path, contents);
+  return linter.Run();
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&rule](const Finding& f) { return f.rule == rule; }));
+}
+
+// ---- determinism -----------------------------------------------------------
+
+TEST(LintDeterminismTest, FlagsAmbientRandomness) {
+  const auto findings = Lint("src/core/foo.cc",
+                             "void F() {\n"
+                             "  std::random_device rd;\n"
+                             "  std::mt19937 gen(rd());\n"
+                             "  int x = rand();\n"
+                             "}\n");
+  EXPECT_EQ(CountRule(findings, "determinism"), 3);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintDeterminismTest, FlagsClocksAndTimeCalls) {
+  const auto findings = Lint(
+      "src/optimizers/foo.cc",
+      "int64_t Now() {\n"
+      "  auto t = std::chrono::steady_clock::now();\n"
+      "  return time(nullptr);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "determinism"), 2);
+}
+
+TEST(LintDeterminismTest, FlagsRandomHeaderInclude) {
+  const auto findings =
+      Lint("src/math/foo.cc", "#include <random>\n#include <ctime>\n");
+  EXPECT_EQ(CountRule(findings, "determinism"), 2);
+}
+
+TEST(LintDeterminismTest, ExemptsRngAndObsTimestampShims) {
+  const std::string body = "#include <random>\nstd::random_device rd;\n";
+  EXPECT_EQ(CountRule(Lint("src/common/rng.cc", body), "determinism"), 0);
+  EXPECT_EQ(CountRule(Lint("src/obs/trace.cc", body), "determinism"), 0);
+  EXPECT_EQ(CountRule(Lint("src/obs/journal.cc", body), "determinism"), 0);
+}
+
+TEST(LintDeterminismTest, IgnoresIdentifiersThatEmbedTime) {
+  // `runtime(...)` and comments/strings must not trip the banned-token scan.
+  const auto findings = Lint("src/core/foo.cc",
+                             "double runtime(int n);\n"
+                             "// rand() in a comment\n"
+                             "const char* s = \"steady_clock\";\n"
+                             "double y = runtime(3);\n");
+  EXPECT_EQ(CountRule(findings, "determinism"), 0);
+}
+
+// ---- unchecked-status ------------------------------------------------------
+
+TEST(LintUncheckedStatusTest, FlagsDiscardedStatusCall) {
+  const auto findings = Lint("src/core/foo.cc",
+                             "Status DoThing(int x);\n"
+                             "void Caller() {\n"
+                             "  DoThing(1);\n"
+                             "}\n");
+  ASSERT_EQ(CountRule(findings, "unchecked-status"), 1);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintUncheckedStatusTest, FlagsDiscardedResultMethodCall) {
+  const auto findings = Lint("src/core/foo.cc",
+                             "class Table {\n"
+                             " public:\n"
+                             "  Result<int> Load(int row);\n"
+                             "};\n"
+                             "void Caller(Table& t) {\n"
+                             "  t.Load(0);\n"
+                             "}\n");
+  EXPECT_EQ(CountRule(findings, "unchecked-status"), 1);
+}
+
+TEST(LintUncheckedStatusTest, AcceptsHandledOrExplicitlyDiscarded) {
+  const auto findings = Lint("src/core/foo.cc",
+                             "Status DoThing(int x);\n"
+                             "Status Caller() {\n"
+                             "  Status s = DoThing(1);\n"
+                             "  (void)DoThing(2);\n"
+                             "  AUTOTUNE_RETURN_IF_ERROR(DoThing(3));\n"
+                             "  return DoThing(4);\n"
+                             "}\n");
+  EXPECT_EQ(CountRule(findings, "unchecked-status"), 0);
+}
+
+TEST(LintUncheckedStatusTest, FlagsDiscardInControlFlowBody) {
+  const auto findings = Lint("src/core/foo.cc",
+                             "Status DoThing(int x);\n"
+                             "void Caller(bool c) {\n"
+                             "  if (c) DoThing(1);\n"
+                             "}\n");
+  EXPECT_EQ(CountRule(findings, "unchecked-status"), 1);
+}
+
+TEST(LintUncheckedStatusTest, StaysSilentOnVoidOverloadAmbiguity) {
+  // A name declared void anywhere is excluded: the token matcher cannot
+  // tell which overload a call binds to.
+  Linter linter;
+  linter.AddFile("src/core/a.h", "Status Run(int x);\n");
+  linter.AddFile("bench/b.cc",
+                 "void Run();\n"
+                 "int main() {\n"
+                 "  Run();\n"
+                 "  return 0;\n"
+                 "}\n");
+  EXPECT_EQ(CountRule(linter.Run(), "unchecked-status"), 0);
+}
+
+TEST(LintUncheckedStatusTest, SeesDeclarationsFromOtherFiles) {
+  Linter linter;
+  linter.AddFile("src/core/a.h", "Status DoThing(int x);\n");
+  linter.AddFile("src/core/b.cc", "void F() {\n  DoThing(1);\n}\n");
+  EXPECT_EQ(CountRule(linter.Run(), "unchecked-status"), 1);
+}
+
+// ---- nodiscard -------------------------------------------------------------
+
+TEST(LintNodiscardTest, FlagsHeaderDeclarationsMissingNodiscard) {
+  const auto findings = Lint("src/core/foo.h",
+                             "class Store {\n"
+                             " public:\n"
+                             "  Status Save(int x);\n"
+                             "  [[nodiscard]] Status SaveChecked(int x);\n"
+                             "  static Result<int> Load(int row);\n"
+                             "  void Reset();\n"
+                             "};\n");
+  EXPECT_EQ(CountRule(findings, "nodiscard"), 2);  // Save and Load.
+}
+
+TEST(LintNodiscardTest, OnlyAppliesToHeaders) {
+  const auto findings =
+      Lint("src/core/foo.cc", "Status Save(int x) { return Status::OK(); }\n");
+  EXPECT_EQ(CountRule(findings, "nodiscard"), 0);
+}
+
+TEST(LintNodiscardTest, IgnoresFieldsAndConstructors) {
+  const auto findings = Lint("src/core/foo.h",
+                             "class Result2 {\n"
+                             " public:\n"
+                             "  Result2(Status status);\n"
+                             " private:\n"
+                             "  Status status_;\n"
+                             "};\n");
+  EXPECT_EQ(CountRule(findings, "nodiscard"), 0);
+}
+
+// ---- layering --------------------------------------------------------------
+
+TEST(LintLayeringTest, EnforcesModuleWhitelists) {
+  EXPECT_EQ(CountRule(Lint("src/common/foo.h",
+                           "#include \"math/matrix.h\"\n"),
+                      "layering"),
+            1);
+  EXPECT_EQ(CountRule(Lint("src/math/foo.h",
+                           "#include \"common/status.h\"\n"),
+                      "layering"),
+            0);
+  EXPECT_EQ(CountRule(Lint("src/sim/foo.h",
+                           "#include \"optimizers/bayesian.h\"\n"),
+                      "layering"),
+            1);
+}
+
+TEST(LintLayeringTest, ObsMustNotIncludeCoreOrOptimizers) {
+  EXPECT_EQ(CountRule(Lint("src/obs/foo.h",
+                           "#include \"core/observation.h\"\n"),
+                      "layering"),
+            1);
+  EXPECT_EQ(
+      CountRule(Lint("src/obs/foo.h", "#include \"common/status.h\"\n"),
+                "layering"),
+      0);
+}
+
+TEST(LintLayeringTest, NothingIncludesToolsOrTests) {
+  EXPECT_EQ(CountRule(Lint("src/core/foo.cc",
+                           "#include \"../tools/helper.h\"\n"),
+                      "layering"),
+            1);
+  EXPECT_EQ(CountRule(Lint("bench/foo.cc",
+                           "#include \"tests/fixtures.h\"\n"),
+                      "layering"),
+            1);
+}
+
+TEST(LintLayeringTest, IgnoresCommentedOutIncludes) {
+  const auto findings = Lint("src/common/foo.h",
+                             "// #include \"math/matrix.h\"\n");
+  EXPECT_EQ(CountRule(findings, "layering"), 0);
+}
+
+// ---- include-hygiene -------------------------------------------------------
+
+TEST(LintIncludeHygieneTest, FlagsUsingNamespaceAndMissingGuard) {
+  const auto findings =
+      Lint("src/core/foo.h", "using namespace std;\nint x;\n");
+  EXPECT_EQ(CountRule(findings, "include-hygiene"), 2);
+}
+
+TEST(LintIncludeHygieneTest, AcceptsGuardedHeaders) {
+  EXPECT_EQ(CountRule(Lint("src/core/foo.h",
+                           "#ifndef FOO_H_\n#define FOO_H_\n#endif\n"),
+                      "include-hygiene"),
+            0);
+  EXPECT_EQ(CountRule(Lint("src/core/foo.h", "#pragma once\nint x;\n"),
+                      "include-hygiene"),
+            0);
+}
+
+// ---- NOLINT suppression ----------------------------------------------------
+
+TEST(LintNolintTest, SuppressesNamedRuleOnSameLine) {
+  Linter linter;
+  linter.AddFile("src/core/foo.cc",
+                 "void F() {\n"
+                 "  std::random_device rd;  // NOLINT(determinism)\n"
+                 "}\n");
+  EXPECT_TRUE(linter.Run().empty());
+  EXPECT_EQ(linter.nolint_suppressed(), 1);
+}
+
+TEST(LintNolintTest, BareNolintSuppressesEverything) {
+  Linter linter;
+  linter.AddFile("src/core/foo.cc",
+                 "void F() {\n"
+                 "  std::random_device rd;  // NOLINT\n"
+                 "}\n");
+  EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(LintNolintTest, OtherRuleNamesDoNotSuppress) {
+  const auto findings =
+      Lint("src/core/foo.cc",
+           "void F() {\n"
+           "  std::random_device rd;  // NOLINT(runtime/explicit)\n"
+           "}\n");
+  EXPECT_EQ(CountRule(findings, "determinism"), 1);
+}
+
+// ---- baseline ratchet ------------------------------------------------------
+
+Finding MakeFinding(const std::string& file, int line,
+                    const std::string& rule) {
+  return Finding{file, line, rule, "msg"};
+}
+
+TEST(LintBaselineTest, AbsorbsFindingsWithinAllowance) {
+  const std::vector<Finding> findings = {
+      MakeFinding("a.cc", 1, "determinism"),
+      MakeFinding("a.cc", 9, "determinism"),
+  };
+  Baseline baseline;
+  baseline[{"a.cc", "determinism"}] = 2;
+  int suppressed = 0;
+  EXPECT_TRUE(ApplyBaseline(findings, baseline, &suppressed).empty());
+  EXPECT_EQ(suppressed, 2);
+}
+
+TEST(LintBaselineTest, ReportsWholeGroupWhenAllowanceExceeded) {
+  const std::vector<Finding> findings = {
+      MakeFinding("a.cc", 1, "determinism"),
+      MakeFinding("a.cc", 9, "determinism"),
+      MakeFinding("b.cc", 3, "layering"),
+  };
+  Baseline baseline;
+  baseline[{"a.cc", "determinism"}] = 1;  // One allowed, two found.
+  baseline[{"b.cc", "layering"}] = 1;
+  int suppressed = 0;
+  const auto out = ApplyBaseline(findings, baseline, &suppressed);
+  ASSERT_EQ(out.size(), 2u);  // Both determinism findings surface.
+  EXPECT_EQ(out[0].rule, "determinism");
+  EXPECT_EQ(out[1].rule, "determinism");
+  EXPECT_EQ(suppressed, 1);  // The layering finding stays absorbed.
+}
+
+TEST(LintBaselineTest, NewFindingsAreNeverAbsorbed) {
+  const std::vector<Finding> findings = {MakeFinding("new.cc", 1, "layering")};
+  const auto out = ApplyBaseline(findings, Baseline{}, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].file, "new.cc");
+}
+
+TEST(LintBaselineTest, SerializeParseRoundTrip) {
+  Baseline baseline;
+  baseline[{"src/a.cc", "determinism"}] = 3;
+  baseline[{"src/b.h", "layering"}] = 1;
+  const Result<Baseline> parsed = ParseBaseline(SerializeBaseline(baseline));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, baseline);
+}
+
+TEST(LintBaselineTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseBaseline("3 nonsense-rule src/a.cc\n").ok());
+  EXPECT_FALSE(ParseBaseline("determinism src/a.cc\n").ok());
+  EXPECT_TRUE(ParseBaseline("# comment\n\n2 layering src/a.cc\n").ok());
+}
+
+// ---- reporting -------------------------------------------------------------
+
+TEST(LintReportTest, FindingToStringFormat) {
+  EXPECT_EQ(MakeFinding("src/a.cc", 42, "layering").ToString(),
+            "src/a.cc:42: [layering] msg");
+}
+
+TEST(LintReportTest, JsonOutputShape) {
+  const std::vector<Finding> findings = {
+      MakeFinding("a.cc", 1, "determinism"),
+      MakeFinding("a.cc", 2, "determinism"),
+      MakeFinding("b.h", 3, "nodiscard"),
+  };
+  const obs::Json json = FindingsToJson(findings);
+  EXPECT_EQ(json.GetInt("total", -1), 3);
+  const Result<obs::Json> list = json.Get("findings");
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->AsArray().size(), 3u);
+  EXPECT_EQ(list->AsArray()[0].GetString("file", ""), "a.cc");
+  EXPECT_EQ(list->AsArray()[0].GetInt("line", -1), 1);
+  EXPECT_EQ(list->AsArray()[0].GetString("rule", ""), "determinism");
+  const Result<obs::Json> counts = json.Get("counts");
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts->GetInt("determinism", -1), 2);
+  EXPECT_EQ(counts->GetInt("nodiscard", -1), 1);
+}
+
+TEST(LintReportTest, SummaryTableListsEveryRule) {
+  const Table table = SummaryTable({MakeFinding("a.cc", 1, "layering")});
+  EXPECT_EQ(table.num_rows(), AllRules().size());
+}
+
+// ---- rule selection --------------------------------------------------------
+
+TEST(LintRulesTest, SetRulesRestrictsAnalysis) {
+  Linter linter;
+  linter.SetRules({"layering"});
+  linter.AddFile("src/core/foo.cc",
+                 "void F() {\n  std::random_device rd;\n}\n");
+  EXPECT_TRUE(linter.Run().empty());  // determinism rule disabled.
+}
+
+TEST(LintRulesTest, KnownRuleRegistry) {
+  EXPECT_TRUE(IsKnownRule("determinism"));
+  EXPECT_TRUE(IsKnownRule("unchecked-status"));
+  EXPECT_TRUE(IsKnownRule("nodiscard"));
+  EXPECT_TRUE(IsKnownRule("layering"));
+  EXPECT_TRUE(IsKnownRule("include-hygiene"));
+  EXPECT_FALSE(IsKnownRule("made-up"));
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace autotune

@@ -1,0 +1,216 @@
+// autotune-lint: project-specific static analysis for the autotune codebase.
+//
+// Enforces the invariants the reproduction's determinism and resume
+// guarantees rest on (see docs/STATIC_ANALYSIS.md): no ambient randomness or
+// wall clocks outside the sanctioned shims, no silently dropped
+// Status/Result, [[nodiscard]] on fallible APIs, module layering, and header
+// hygiene. Pre-existing debt lives in tools/lint_baseline.txt and may only
+// shrink.
+//
+// Usage:
+//   autotune_lint [options] <path>...          paths relative to --root
+//     --root DIR          repository root (default: .)
+//     --baseline FILE     baseline file (default: tools/lint_baseline.txt
+//                         under --root, if present)
+//     --no-baseline       ignore any baseline: report every finding
+//     --write-baseline    rewrite the baseline from current findings
+//     --rules r1,r2       run only the named rules
+//     --json              machine-readable report on stdout
+//   exit status: 0 = clean (over baseline), 1 = findings, 2 = usage/IO.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lint/lint.h"
+
+namespace {
+
+using ::autotune::Result;
+using ::autotune::Status;
+
+struct Options {
+  std::string root = ".";
+  std::string baseline;  // Empty = default path probe.
+  bool no_baseline = false;
+  bool write_baseline = false;
+  bool json = false;
+  std::vector<std::string> rules;
+  std::vector<std::string> paths;
+};
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: autotune_lint [--root DIR] [--baseline FILE] "
+               "[--no-baseline]\n"
+               "                     [--write-baseline] [--rules r1,r2] "
+               "[--json] <path>...\n");
+}
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--root") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      options->root = value;
+    } else if (arg == "--baseline") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      options->baseline = value;
+    } else if (arg == "--no-baseline") {
+      options->no_baseline = true;
+    } else if (arg == "--write-baseline") {
+      options->write_baseline = true;
+    } else if (arg == "--json") {
+      options->json = true;
+    } else if (arg == "--rules") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      std::string rule;
+      for (const char* p = value;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          if (!rule.empty()) {
+            if (!autotune::lint::IsKnownRule(rule)) {
+              std::fprintf(stderr, "autotune_lint: unknown rule '%s'\n",
+                           rule.c_str());
+              return false;
+            }
+            options->rules.push_back(rule);
+          }
+          rule.clear();
+          if (*p == '\0') break;
+        } else {
+          rule.push_back(*p);
+        }
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "autotune_lint: unknown option '%s'\n",
+                   arg.c_str());
+      return false;
+    } else {
+      options->paths.push_back(arg);
+    }
+  }
+  return !options->paths.empty();
+}
+
+Status WriteFile(const std::string& path, const std::string& text) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open '" + path + "' for writing");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  std::fclose(file);
+  if (written != text.size()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 2;
+  }
+
+  namespace lint = ::autotune::lint;
+
+  const Result<std::vector<std::string>> files =
+      lint::CollectSourceFiles(options.root, options.paths);
+  if (!files.ok()) {
+    std::fprintf(stderr, "autotune_lint: %s\n",
+                 files.status().ToString().c_str());
+    return 2;
+  }
+
+  lint::Linter linter;
+  linter.SetRules(options.rules);
+  for (const std::string& file : *files) {
+    const Result<std::string> contents =
+        lint::ReadFileToString(options.root + "/" + file);
+    if (!contents.ok()) {
+      std::fprintf(stderr, "autotune_lint: %s\n",
+                   contents.status().ToString().c_str());
+      return 2;
+    }
+    linter.AddFile(file, *contents);
+  }
+  const std::vector<lint::Finding> all_findings = linter.Run();
+
+  // Resolve the baseline: explicit path, the checked-in default, or none.
+  std::string baseline_path = options.baseline;
+  if (baseline_path.empty() && !options.no_baseline) {
+    const std::string candidate = options.root + "/tools/lint_baseline.txt";
+    if (FileExists(candidate)) baseline_path = candidate;
+  }
+
+  if (options.write_baseline) {
+    const std::string target = baseline_path.empty()
+                                   ? options.root + "/tools/lint_baseline.txt"
+                                   : baseline_path;
+    const Status status = WriteFile(
+        target,
+        lint::SerializeBaseline(lint::BaselineFromFindings(all_findings)));
+    if (!status.ok()) {
+      std::fprintf(stderr, "autotune_lint: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "autotune_lint: wrote baseline (%zu findings) to %s\n",
+                 all_findings.size(), target.c_str());
+    return 0;
+  }
+
+  lint::Baseline baseline;
+  if (!options.no_baseline && !baseline_path.empty()) {
+    const Result<std::string> text = lint::ReadFileToString(baseline_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "autotune_lint: %s\n",
+                   text.status().ToString().c_str());
+      return 2;
+    }
+    const Result<lint::Baseline> parsed = lint::ParseBaseline(*text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "autotune_lint: %s: %s\n", baseline_path.c_str(),
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    baseline = *parsed;
+  }
+
+  int baselined = 0;
+  const std::vector<lint::Finding> findings =
+      lint::ApplyBaseline(all_findings, baseline, &baselined);
+
+  if (options.json) {
+    std::printf("%s\n", lint::FindingsToJson(findings).Pretty().c_str());
+  } else {
+    for (const lint::Finding& finding : findings) {
+      std::printf("%s\n", finding.ToString().c_str());
+    }
+    std::fprintf(stderr, "%s",
+                 lint::SummaryTable(findings).ToPrettyString().c_str());
+    std::fprintf(stderr,
+                 "%zu file(s), %zu finding(s) (%d baselined, %d NOLINTed)\n",
+                 files->size(), findings.size(), baselined,
+                 linter.nolint_suppressed());
+  }
+  return findings.empty() ? 0 : 1;
+}
