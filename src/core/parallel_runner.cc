@@ -2,26 +2,123 @@
 
 #include <algorithm>
 #include <future>
+#include <utility>
 
 #include "common/check.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace autotune {
 
+Status ParallelRunnerOptions::Validate() const {
+  AUTOTUNE_RETURN_IF_ERROR(trial.Validate());
+  if (quarantine_after < 0) {
+    return Status::InvalidArgument(
+        "ParallelRunnerOptions::quarantine_after must be >= 0");
+  }
+  if (max_replacements < 0) {
+    return Status::InvalidArgument(
+        "ParallelRunnerOptions::max_replacements must be >= 0");
+  }
+  return Status::OK();
+}
+
+ParallelTrialRunner::ParallelTrialRunner(EnvFactory factory,
+                                         ParallelRunnerOptions options,
+                                         int num_workers, uint64_t seed)
+    : factory_(std::move(factory)),
+      options_(std::move(options)),
+      seed_(seed),
+      health_(std::max(num_workers, 1), options_.quarantine_after),
+      pool_(static_cast<size_t>(std::max(num_workers, 1))),
+      next_replacement_index_(num_workers) {
+  AUTOTUNE_CHECK(factory_ != nullptr);
+  AUTOTUNE_CHECK(num_workers >= 1);
+  const Status valid = options_.Validate();
+  AUTOTUNE_CHECK_MSG(valid.ok(), valid.ToString().c_str());
+  for (int worker = 0; worker < num_workers; ++worker) {
+    std::unique_ptr<Environment> env = factory_(worker);
+    AUTOTUNE_CHECK(env != nullptr);
+    runners_.push_back(std::make_unique<TrialRunner>(
+        env.get(), options_.trial, seed + static_cast<uint64_t>(worker) * 7919));
+    envs_.push_back(std::move(env));
+  }
+}
+
 ParallelTrialRunner::ParallelTrialRunner(EnvFactory factory,
                                          TrialRunnerOptions options,
                                          int num_workers, uint64_t seed)
-    : pool_(static_cast<size_t>(std::max(num_workers, 1))) {
-  AUTOTUNE_CHECK(factory != nullptr);
-  AUTOTUNE_CHECK(num_workers >= 1);
-  for (int worker = 0; worker < num_workers; ++worker) {
-    std::unique_ptr<Environment> env = factory(worker);
-    AUTOTUNE_CHECK(env != nullptr);
-    runners_.push_back(std::make_unique<TrialRunner>(
-        env.get(), options, seed + static_cast<uint64_t>(worker) * 7919));
-    envs_.push_back(std::move(env));
+    : ParallelTrialRunner(
+          std::move(factory),
+          [&options] {
+            ParallelRunnerOptions parallel;
+            parallel.trial = options;
+            return parallel;
+          }(),
+          num_workers, seed) {}
+
+Observation ParallelTrialRunner::RunOnWorker(size_t worker,
+                                             const Configuration& config) {
+  obs::Span span("parallel.worker.evaluate");
+  // Rebuild the configuration against this worker's space by name.
+  Environment* env = envs_[worker].get();
+  std::vector<std::pair<std::string, ParamValue>> values;
+  const ConfigSpace& source = config.space();
+  for (size_t p = 0; p < source.size(); ++p) {
+    values.emplace_back(source.param(p).name(), config.ValueAt(p));
   }
+  auto local = env->space().Make(values);
+  AUTOTUNE_CHECK_MSG(local.ok(),
+                     "schema mismatch between optimizer space and "
+                     "worker environment");
+  Observation obs = runners_[worker]->Evaluate(*local);
+  health_.RecordResult(static_cast<int>(worker), obs.failed);
+  // Re-home onto the caller's configuration object.
+  Observation out(config, obs.objective);
+  out.metrics = std::move(obs.metrics);
+  out.failed = obs.failed;
+  out.cost = obs.cost;
+  out.fidelity = obs.fidelity;
+  out.repetitions = obs.repetitions;
+  return out;
+}
+
+bool ParallelTrialRunner::ReplaceWorker(size_t worker) {
+  const fault::WorkerHealth before = health_.Snapshot(static_cast<int>(worker));
+  if (options_.journal != nullptr) {
+    options_.journal->Event(
+        "worker_quarantined",
+        {{"worker", obs::Json(int64_t{static_cast<int64_t>(worker)})},
+         {"consecutive_failures",
+          obs::Json(int64_t{before.consecutive_failures})},
+         {"failures", obs::Json(before.failures)},
+         {"generation", obs::Json(int64_t{before.generation})}});
+  }
+  obs::MetricsRegistry::Global().Increment("fault.workers_quarantined");
+  if (replacements_made_ >= options_.max_replacements) {
+    // Replacement budget exhausted: lift the quarantine so the slot keeps
+    // limping along — degraded beats deadlocked.
+    health_.MarkReplaced(static_cast<int>(worker));
+    return false;
+  }
+  const int replacement = next_replacement_index_++;
+  std::unique_ptr<Environment> env = factory_(replacement);
+  AUTOTUNE_CHECK(env != nullptr);
+  runners_[worker] = std::make_unique<TrialRunner>(
+      env.get(), options_.trial,
+      seed_ + static_cast<uint64_t>(replacement) * 7919);
+  envs_[worker] = std::move(env);
+  health_.MarkReplaced(static_cast<int>(worker));
+  ++replacements_made_;
+  obs::MetricsRegistry::Global().Increment("fault.workers_replaced");
+  if (options_.journal != nullptr) {
+    options_.journal->Event(
+        "worker_replaced",
+        {{"worker", obs::Json(int64_t{static_cast<int64_t>(worker)})},
+         {"replacement_index", obs::Json(int64_t{replacement})}});
+  }
+  return true;
 }
 
 std::vector<Observation> ParallelTrialRunner::EvaluateBatch(
@@ -38,38 +135,39 @@ std::vector<Observation> ParallelTrialRunner::EvaluateBatch(
     for (size_t i = begin; i < end; ++i) {
       const size_t worker = i - begin;
       const Configuration& config = configs[i];
-      futures.push_back(pool_.Submit([this, worker, &config]() {
-        obs::Span span("parallel.worker.evaluate");
-        // Rebuild the configuration against this worker's space by name.
-        Environment* env = envs_[worker].get();
-        std::vector<std::pair<std::string, ParamValue>> values;
-        const ConfigSpace& source = config.space();
-        for (size_t p = 0; p < source.size(); ++p) {
-          values.emplace_back(source.param(p).name(), config.ValueAt(p));
-        }
-        auto local = env->space().Make(values);
-        AUTOTUNE_CHECK_MSG(local.ok(),
-                           "schema mismatch between optimizer space and "
-                           "worker environment");
-        Observation obs = runners_[worker]->Evaluate(*local);
-        // Re-home onto the caller's configuration object.
-        Observation out(config, obs.objective);
-        out.metrics = std::move(obs.metrics);
-        out.failed = obs.failed;
-        out.cost = obs.cost;
-        out.fidelity = obs.fidelity;
-        out.repetitions = obs.repetitions;
-        return out;
-      }));
+      futures.push_back(pool_.Submit(
+          [this, worker, &config]() { return RunOnWorker(worker, config); }));
     }
-    double batch_max_cost = 0.0;
-    for (auto& future : futures) {
-      Observation obs = future.get();
+    // The barrier below is also the safety boundary for quarantine
+    // handling: envs_/runners_ are only mutated once every in-flight trial
+    // of the wave has completed, so pool threads never race a replacement.
+    std::vector<Observation> wave;
+    wave.reserve(futures.size());
+    for (auto& future : futures) wave.push_back(future.get());
+
+    // Quarantine + replace workers that crossed the threshold, then give
+    // their failed trials one more chance on the fresh environment — a
+    // dying worker must not be able to fail its slice of the batch.
+    for (size_t worker = 0; worker < runners_.size(); ++worker) {
+      if (!health_.IsQuarantined(static_cast<int>(worker))) continue;
+      const bool replaced = ReplaceWorker(worker);
+      if (!replaced || !options_.retry_after_quarantine) continue;
+      // Wave slot i ran on worker i (one config per worker per wave).
+      for (size_t i = 0; i < wave.size(); ++i) {
+        if (i != worker || !wave[i].failed) continue;
+        // Charge both attempts: the failed one stays in the books.
+        total_cost_ += wave[i].cost;
+        wave[i] = RunOnWorker(worker, configs[begin + i]);
+      }
+    }
+
+    double wave_max_cost = 0.0;
+    for (auto& obs : wave) {
       total_cost_ += obs.cost;
-      batch_max_cost = std::max(batch_max_cost, obs.cost);
+      wave_max_cost = std::max(wave_max_cost, obs.cost);
       results.push_back(std::move(obs));
     }
-    wall_clock_cost_ += batch_max_cost;
+    wall_clock_cost_ += wave_max_cost;
   }
   return results;
 }

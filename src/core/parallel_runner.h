@@ -5,11 +5,47 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/environment.h"
 #include "core/trial_runner.h"
+#include "fault/worker_health.h"
 
 namespace autotune {
+
+namespace obs {
+class Journal;
+}  // namespace obs
+
+/// Options for `ParallelTrialRunner` beyond the per-trial ones.
+struct ParallelRunnerOptions {
+  /// Per-trial execution options (repetitions, retries, penalties, ...).
+  TrialRunnerOptions trial;
+
+  /// Quarantine a worker after this many CONSECUTIVE failed trials and
+  /// replace its environment via the factory (0 disables — the pre-fault-
+  /// tolerance behavior). Tutorial slides 26-31: in the cloud whole
+  /// workers go bad; stop trusting them instead of imputing forever.
+  int quarantine_after = 0;
+
+  /// Upper bound on replacement environments created over the runner's
+  /// lifetime; once exhausted, quarantined workers keep running as-is
+  /// (degraded but never stuck).
+  int max_replacements = 8;
+
+  /// Re-evaluate the failed trials of a just-quarantined worker on its
+  /// replacement before the batch returns, so one dead worker cannot fail
+  /// a whole batch slice.
+  bool retry_after_quarantine = true;
+
+  /// Optional journal (non-owning): quarantine/replacement events are
+  /// appended as "worker_quarantined" / "worker_replaced" (see
+  /// docs/FAULT_TOLERANCE.md for the schema).
+  obs::Journal* journal = nullptr;
+
+  /// InvalidArgument describing the first offending field, or OK.
+  [[nodiscard]] Status Validate() const;
+};
 
 /// Executes trial batches concurrently on a worker pool — the execution
 /// side of parallel optimization (tutorial slide 57: "in the cloud! just
@@ -18,16 +54,32 @@ namespace autotune {
 /// clone), created by the factory with the worker index, so per-machine
 /// noise differs across workers exactly as it does across cloud VMs.
 ///
+/// Worker health: per-slot consecutive-failure counters feed a quarantine
+/// policy — a slot that keeps failing is torn down and rebuilt through the
+/// factory with a FRESH index (indices >= the original worker count), the
+/// cloud "kill the bad VM, provision a new one" move. Batches always
+/// complete: every submitted configuration yields an observation even if
+/// workers are quarantined mid-batch.
+///
 /// Configurations may come from any space with the same knob schema (the
 /// optimizer's); they are rebuilt by name against each worker's
 /// environment. Returned observations carry the ORIGINAL configuration so
 /// the optimizer can match them.
 class ParallelTrialRunner {
  public:
+  /// Builds the environment for worker slot `worker`. Slots 0 ..
+  /// num_workers-1 are the initial fleet; replacement environments are
+  /// requested with fresh indices num_workers, num_workers+1, ... so a
+  /// factory seeding per-VM noise (or flakiness) by index gives
+  /// replacements fresh draws.
   using EnvFactory = std::function<std::unique_ptr<Environment>(int worker)>;
 
   /// Creates `num_workers` workers (>= 1), each with its own environment
-  /// and trial runner.
+  /// and trial runner. `options` must validate OK (CHECKed).
+  ParallelTrialRunner(EnvFactory factory, ParallelRunnerOptions options,
+                      int num_workers, uint64_t seed);
+
+  /// Back-compat convenience: trial options only, fault tolerance off.
   ParallelTrialRunner(EnvFactory factory, TrialRunnerOptions options,
                       int num_workers, uint64_t seed);
 
@@ -45,10 +97,30 @@ class ParallelTrialRunner {
 
   int num_workers() const { return static_cast<int>(runners_.size()); }
 
+  /// Worker-health introspection.
+  const fault::WorkerHealthTracker& health() const { return health_; }
+  int replacements_made() const { return replacements_made_; }
+
  private:
+  /// Runs `config` on worker slot `worker`, recording the outcome in the
+  /// health tracker. Returns the observation re-homed onto `config`.
+  Observation RunOnWorker(size_t worker, const Configuration& config);
+
+  /// Tears down a quarantined slot and provisions a replacement through
+  /// the factory (if the replacement budget allows). Returns true if the
+  /// slot was replaced. Must be called from the coordinating thread with
+  /// no in-flight trials.
+  bool ReplaceWorker(size_t worker);
+
+  EnvFactory factory_;
+  ParallelRunnerOptions options_;
+  uint64_t seed_;
   std::vector<std::unique_ptr<Environment>> envs_;
   std::vector<std::unique_ptr<TrialRunner>> runners_;
+  fault::WorkerHealthTracker health_;
   ThreadPool pool_;
+  int next_replacement_index_;
+  int replacements_made_ = 0;
   double total_cost_ = 0.0;
   double wall_clock_cost_ = 0.0;
 };

@@ -5,18 +5,42 @@
 
 #include "common/check.h"
 #include "math/stats.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace autotune {
+
+Status TrialRunnerOptions::Validate() const {
+  if (repetitions < 1) {
+    return Status::InvalidArgument(
+        "TrialRunnerOptions::repetitions must be >= 1");
+  }
+  if (!(fidelity > 0.0 && fidelity <= 1.0)) {
+    return Status::InvalidArgument(
+        "TrialRunnerOptions::fidelity must be in (0, 1]");
+  }
+  if (!(crash_penalty_factor >= 1.0)) {
+    return Status::InvalidArgument(
+        "TrialRunnerOptions::crash_penalty_factor must be >= 1");
+  }
+  if (!(crash_fallback_objective > 0.0)) {
+    return Status::InvalidArgument(
+        "TrialRunnerOptions::crash_fallback_objective must be > 0");
+  }
+  if (!(early_abort_factor >= 1.0)) {
+    return Status::InvalidArgument(
+        "TrialRunnerOptions::early_abort_factor must be >= 1");
+  }
+  AUTOTUNE_RETURN_IF_ERROR(retry.Validate());
+  return Status::OK();
+}
 
 TrialRunner::TrialRunner(Environment* env, TrialRunnerOptions options,
                          uint64_t seed)
     : env_(env), options_(options), rng_(seed) {
   AUTOTUNE_CHECK(env != nullptr);
-  AUTOTUNE_CHECK(options_.repetitions >= 1);
-  AUTOTUNE_CHECK(options_.fidelity > 0.0 && options_.fidelity <= 1.0);
-  AUTOTUNE_CHECK(options_.crash_penalty_factor >= 1.0);
-  AUTOTUNE_CHECK(options_.early_abort_factor > 1.0);
+  const Status valid = options_.Validate();
+  AUTOTUNE_CHECK_MSG(valid.ok(), valid.ToString().c_str());
 }
 
 double TrialRunner::ObjectiveOf(const BenchmarkResult& result) const {
@@ -59,6 +83,57 @@ double TrialRunner::AggregateObjectives(
   return Mean(values);
 }
 
+double TrialRunner::ImputedPenalty() const {
+  // Slide 67's "N x worst score measured", written sign-safely: for the
+  // usual positive (latency-like) objectives this is exactly
+  // worst * crash_penalty_factor, but for maximize environments (negated,
+  // negative objectives) a plain multiply would make crashes look BETTER
+  // than every real trial. `worst + (N-1)|worst|` is always >= worst.
+  const double worst = worst_objective_.value_or(
+      options_.crash_fallback_objective / options_.crash_penalty_factor);
+  return worst + (options_.crash_penalty_factor - 1.0) * std::abs(worst);
+}
+
+void TrialRunner::TrackObjective(double objective) {
+  if (!best_objective_.has_value() || objective < *best_objective_) {
+    best_objective_ = objective;
+  }
+  if (!worst_objective_.has_value() || objective > *worst_objective_) {
+    worst_objective_ = objective;
+  }
+}
+
+BenchmarkResult TrialRunner::RunWithRetries(const Configuration& config,
+                                            double* cost, int* retries,
+                                            int* timeouts) {
+  const fault::RetryPolicy& retry = options_.retry;
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  BenchmarkResult result;
+  for (int attempt = 0;; ++attempt) {
+    result = env_->Run(config, options_.fidelity, &rng_);
+    if (result.hung) {
+      // The execution harness killed the run at its deadline; the trial is
+      // charged exactly the timeout (or the punitive unbounded-hang charge
+      // when no deadline is configured).
+      *cost += retry.HangCharge(env_->RunCost(options_.fidelity));
+      ++*timeouts;
+      metrics.Increment("fault.timeouts");
+    } else if (result.crashed) {
+      // A crashed run still burns (some) time.
+      *cost += env_->RunCost(options_.fidelity) * 0.25;
+      metrics.Increment("fault.crashes");
+    } else {
+      return result;
+    }
+    const bool retryable =
+        result.hung ? retry.retry_hangs : retry.retry_crashes;
+    if (!retryable || attempt + 1 >= retry.max_attempts) return result;
+    *cost += retry.BackoffCost(attempt);
+    ++*retries;
+    metrics.Increment("fault.retries");
+  }
+}
+
 Observation TrialRunner::Evaluate(const Configuration& config) {
   obs::Span span("trial.evaluate");
   ++num_trials_;
@@ -85,15 +160,16 @@ Observation TrialRunner::Evaluate(const Configuration& config) {
   bool crashed = false;
   bool aborted = false;
   int executed = 0;
+  int retries = 0;
+  int timeouts = 0;
   double run_cost = 0.0;
 
   for (int rep = 0; rep < options_.repetitions; ++rep) {
-    BenchmarkResult result = env_->Run(config, options_.fidelity, &rng_);
+    BenchmarkResult result = RunWithRetries(config, &run_cost, &retries,
+                                            &timeouts);
     ++executed;
-    if (result.crashed) {
+    if (result.crashed || result.hung) {
       crashed = true;
-      // A crashed run still burns (some) time.
-      run_cost += env_->RunCost(options_.fidelity) * 0.25;
       break;
     }
     const double objective = ObjectiveOf(result);
@@ -109,6 +185,9 @@ Observation TrialRunner::Evaluate(const Configuration& config) {
     }
   }
 
+  total_retries_ += retries;
+  total_timeouts_ += timeouts;
+
   Observation obs(config, 0.0);
   obs.fidelity = options_.fidelity;
   obs.repetitions = executed;
@@ -116,23 +195,22 @@ Observation TrialRunner::Evaluate(const Configuration& config) {
   total_cost_ += obs.cost;
 
   if (crashed || objectives.empty()) {
+    // Imputed score (slide 67: "N x worst score measured"). It must NOT
+    // enter the best/worst trackers: a poisoned worst tracker would inflate
+    // every later crash penalty by crash_penalty_factor^k.
     obs.failed = true;
-    const double worst = worst_objective_.value_or(
-        options_.crash_fallback_objective /
-        options_.crash_penalty_factor);
-    obs.objective = worst * options_.crash_penalty_factor;
+    obs.objective = ImputedPenalty();
+    if (retries > 0) obs.metrics["fault_retries"] = retries;
+    if (timeouts > 0) obs.metrics["fault_timeouts"] = timeouts;
     return obs;
   }
 
   obs.objective = AggregateObjectives(objectives);
   obs.metrics = last_metrics;
   if (aborted) obs.metrics["early_aborted"] = 1.0;
-  if (!best_objective_.has_value() || obs.objective < *best_objective_) {
-    best_objective_ = obs.objective;
-  }
-  if (!worst_objective_.has_value() || obs.objective > *worst_objective_) {
-    worst_objective_ = obs.objective;
-  }
+  if (retries > 0) obs.metrics["fault_retries"] = retries;
+  if (timeouts > 0) obs.metrics["fault_timeouts"] = timeouts;
+  TrackObjective(obs.objective);
   return obs;
 }
 
@@ -140,15 +218,16 @@ void TrialRunner::RestoreFromReplay(const Observation& observation) {
   ++num_trials_;
   last_deployed_ = observation.config;
   total_cost_ += observation.cost;
-  if (observation.failed) return;
-  if (!best_objective_.has_value() ||
-      observation.objective < *best_objective_) {
-    best_objective_ = observation.objective;
+  auto it = observation.metrics.find("fault_retries");
+  if (it != observation.metrics.end()) {
+    total_retries_ += static_cast<int64_t>(it->second);
   }
-  if (!worst_objective_.has_value() ||
-      observation.objective > *worst_objective_) {
-    worst_objective_ = observation.objective;
+  it = observation.metrics.find("fault_timeouts");
+  if (it != observation.metrics.end()) {
+    total_timeouts_ += static_cast<int64_t>(it->second);
   }
+  if (observation.failed) return;  // Imputed scores never enter trackers.
+  TrackObjective(observation.objective);
 }
 
 Observation TrialRunner::EvaluateDuet(const Configuration& config,
@@ -169,9 +248,13 @@ Observation TrialRunner::EvaluateDuet(const Configuration& config,
   Observation obs(config, 0.0);
   obs.fidelity = options_.fidelity;
   obs.cost = 2.0 * env_->RunCost(options_.fidelity);
-  if (result_config.crashed || result_baseline.crashed) {
+  if (result_config.crashed || result_config.hung ||
+      result_baseline.crashed || result_baseline.hung) {
+    // Impute on the duet objective scale (relative differences, ~0), not
+    // the raw fallback: a 1e9 outlier among +-0.1 observations would both
+    // wreck surrogate fits and, once tracked, inflate later penalties.
     obs.failed = true;
-    obs.objective = options_.crash_fallback_objective;
+    obs.objective = ImputedPenalty();
     return obs;
   }
   const double objective_config = ObjectiveOf(result_config);
@@ -181,6 +264,7 @@ Observation TrialRunner::EvaluateDuet(const Configuration& config,
   obs.metrics = result_config.metrics;
   obs.metrics["duet_baseline_objective"] = objective_baseline;
   obs.metrics["duet_config_objective"] = objective_config;
+  TrackObjective(obs.objective);
   return obs;
 }
 

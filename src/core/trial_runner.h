@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/environment.h"
 #include "core/observation.h"
+#include "fault/retry_policy.h"
 
 namespace autotune {
 
@@ -43,15 +45,27 @@ struct TrialRunnerOptions {
   /// `early_abort_factor x best objective so far`.
   bool early_abort = false;
   double early_abort_factor = 3.0;
+
+  /// Resilient execution: bounded retries with backoff cost accounting and
+  /// a per-attempt deadline that converts hangs into charged timeouts. The
+  /// default policy (1 attempt, no deadline) reproduces the non-resilient
+  /// behavior. See docs/FAULT_TOLERANCE.md.
+  fault::RetryPolicy retry;
+
+  /// InvalidArgument describing the first offending field, or OK. Checked
+  /// by the `TrialRunner` / `ParallelTrialRunner` constructors, and usable
+  /// by callers that assemble options from user input (CLI flags).
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Executes trials against an `Environment` and turns raw benchmark results
 /// into optimizer-ready `Observation`s: repetition + aggregation, maximize ->
-/// minimize negation, crash-score imputation, early abort, restart-cost
-/// accounting, and duet paired execution (tutorial slides 67-71).
+/// minimize negation, crash-score imputation, retries with backoff and
+/// hang-to-timeout conversion, early abort, restart-cost accounting, and
+/// duet paired execution (tutorial slides 67-71).
 class TrialRunner {
  public:
-  /// `env` must outlive the runner.
+  /// `env` must outlive the runner. `options` must validate OK (CHECKed).
   TrialRunner(Environment* env, TrialRunnerOptions options, uint64_t seed);
 
   /// Runs one trial (possibly several repetitions) of `config`.
@@ -71,10 +85,16 @@ class TrialRunner {
   /// Number of trials executed.
   size_t num_trials() const { return num_trials_; }
 
-  /// Best (lowest) successful objective seen, if any.
+  /// Best (lowest) successful objective seen, if any. Imputed objectives of
+  /// failed trials never enter this tracker (or the worst-objective one
+  /// feeding crash penalties).
   const std::optional<double>& best_objective() const {
     return best_objective_;
   }
+
+  /// Retries and hang-timeouts charged so far (see RetryPolicy).
+  int64_t total_retries() const { return total_retries_; }
+  int64_t total_timeouts() const { return total_timeouts_; }
 
   Environment* environment() const { return env_; }
   const TrialRunnerOptions& options() const { return options_; }
@@ -104,13 +124,32 @@ class TrialRunner {
   /// Cost charged for one repetition with the given measured objective.
   double RepetitionCost(double objective, bool aborted) const;
 
+  /// Runs one repetition through the retry policy. Appends all charged
+  /// costs (crash, timeout, backoff) to `*cost` and tallies
+  /// retries/timeouts into the trial-level counters at `*retries` /
+  /// `*timeouts`. The returned result is the final attempt's.
+  BenchmarkResult RunWithRetries(const Configuration& config, double* cost,
+                                 int* retries, int* timeouts);
+
   double AggregateObjectives(const std::vector<double>& values) const;
+
+  /// Imputed objective for a failed trial: the worst *successful* score
+  /// seen, pushed `crash_penalty_factor` further from optimal (sign-safe
+  /// for maximize environments, whose objectives are negative).
+  double ImputedPenalty() const;
+
+  /// Folds a finished trial's objective into the best/worst trackers.
+  /// Never called with imputed (failed-trial) objectives — those would
+  /// poison the crash-penalty scale.
+  void TrackObjective(double objective);
 
   Environment* env_;
   TrialRunnerOptions options_;
   Rng rng_;
   double total_cost_ = 0.0;
   size_t num_trials_ = 0;
+  int64_t total_retries_ = 0;
+  int64_t total_timeouts_ = 0;
   std::optional<double> best_objective_;
   std::optional<double> worst_objective_;
   std::optional<Configuration> last_deployed_;

@@ -22,6 +22,9 @@ TuningResult RunTuningLoopImpl(Optimizer* optimizer, TrialRunner* runner,
   AUTOTUNE_CHECK(runner != nullptr);
   AUTOTUNE_CHECK(options.max_trials >= 1);
   AUTOTUNE_CHECK(options.batch_size >= 1);
+  AUTOTUNE_CHECK(options.degrade_window >= 0);
+  AUTOTUNE_CHECK(options.degrade_failure_rate >= 0.0 &&
+                 options.degrade_failure_rate <= 1.0);
 
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   obs::Counter* trials_started = metrics.GetCounter("loop.trials.started");
@@ -48,8 +51,10 @@ TuningResult RunTuningLoopImpl(Optimizer* optimizer, TrialRunner* runner,
   TuningResult result;
   const double initial_cost = runner->total_cost();
   double best = std::numeric_limits<double>::infinity();
+  bool degrade_triggered = false;
 
-  while (result.trials_run < options.max_trials &&
+  while (!degrade_triggered &&
+         result.trials_run < options.max_trials &&
          runner->total_cost() - initial_cost < options.max_cost) {
     const size_t remaining =
         static_cast<size_t>(options.max_trials - result.trials_run);
@@ -155,6 +160,24 @@ TuningResult RunTuningLoopImpl(Optimizer* optimizer, TrialRunner* runner,
               Json(std::isfinite(best) ? best : 0.0)},
              {"total_cost", Json(runner->total_cost() - initial_cost)}});
       }
+
+      // Graceful degradation: failure rate over the trailing window. The
+      // check runs on replayed trials too, so a resumed session re-derives
+      // the same stop decision as the uninterrupted one.
+      if (options.degrade_window > 0 &&
+          result.trials_run >= options.degrade_window) {
+        const size_t window = static_cast<size_t>(options.degrade_window);
+        int failures = 0;
+        for (size_t i = result.history.size() - window;
+             i < result.history.size(); ++i) {
+          if (result.history[i].failed) ++failures;
+        }
+        if (failures > options.degrade_failure_rate *
+                           static_cast<double>(window)) {
+          degrade_triggered = true;
+          break;
+        }
+      }
     }
 
     // Convergence check over the trailing window.
@@ -172,12 +195,53 @@ TuningResult RunTuningLoopImpl(Optimizer* optimizer, TrialRunner* runner,
   }
 
   result.best = optimizer->best();
+
+  if (degrade_triggered) {
+    // The system is failing most trials — stop probing it and fall back to
+    // the best configuration we know works (slides 26-31: degrade, don't
+    // loop forever on a broken deployment).
+    result.degraded = true;
+    metrics.GetCounter("loop.degraded")->Increment();
+    const bool have_known_good =
+        result.best.has_value() && !result.best->failed;
+    if (have_known_good) {
+      Observation redeploy = runner->Evaluate(result.best->config);
+      if (journal != nullptr) {
+        journal->Event(
+            "degraded",
+            {{"trial", Json(int64_t{result.trials_run})},
+             {"window", Json(int64_t{options.degrade_window})},
+             {"failure_rate_threshold", Json(options.degrade_failure_rate)},
+             {"redeploy_config", obs::EncodeConfig(redeploy.config)},
+             {"redeploy_observation", obs::EncodeObservation(redeploy)}});
+      }
+      result.redeployed = std::move(redeploy);
+      result.status = Status::Aborted(
+          "tuning degraded: failure rate over the last " +
+          std::to_string(options.degrade_window) +
+          " trials exceeded the threshold; redeployed best-known "
+          "configuration");
+    } else {
+      if (journal != nullptr) {
+        journal->Event(
+            "degraded",
+            {{"trial", Json(int64_t{result.trials_run})},
+             {"window", Json(int64_t{options.degrade_window})},
+             {"failure_rate_threshold", Json(options.degrade_failure_rate)}});
+      }
+      result.status = Status::Unavailable(
+          "tuning degraded: failure rate exceeded the threshold and no "
+          "trial ever succeeded — no known-good configuration to redeploy");
+    }
+  }
+
   result.total_cost = runner->total_cost() - initial_cost;
   if (journal != nullptr) {
     journal->Event("experiment_finished",
                    {{"trials", Json(int64_t{result.trials_run})},
                     {"total_cost", Json(result.total_cost)},
-                    {"converged_early", Json(result.converged_early)}});
+                    {"converged_early", Json(result.converged_early)},
+                    {"degraded", Json(result.degraded)}});
     journal->Flush();
   }
   return result;

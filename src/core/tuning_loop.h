@@ -44,6 +44,15 @@ struct TuningLoopOptions {
   /// Journal an optimizer_snapshot event every N completed live trials
   /// (0 disables).
   int snapshot_every = 10;
+
+  /// Graceful degradation (tutorial slides 26-31; docs/FAULT_TOLERANCE.md):
+  /// once at least `degrade_window` trials have run, if more than
+  /// `degrade_failure_rate` of the trailing `degrade_window` trials failed,
+  /// stop tuning instead of looping on a broken system — redeploy the
+  /// best-known configuration and surface `TuningResult::status` =
+  /// Aborted (or Unavailable if nothing ever succeeded). 0 disables.
+  int degrade_window = 0;
+  double degrade_failure_rate = 0.5;
 };
 
 /// Outcome of a tuning session.
@@ -53,6 +62,20 @@ struct TuningResult {
   double total_cost = 0.0;
   int trials_run = 0;
   bool converged_early = false;
+
+  /// OK for normal completion. Aborted when the loop degraded gracefully
+  /// (failure rate over threshold; best-known config redeployed) and
+  /// Unavailable when it degraded with no known-good config to fall back
+  /// to. Callers that only care about the history may ignore it — hence a
+  /// plain field, not a Result<> wrapper.
+  Status status;
+
+  /// True if the loop stopped via graceful degradation.
+  bool degraded = false;
+
+  /// The verification run of the redeployed best-known config (only set
+  /// when `degraded` and a known-good config existed).
+  std::optional<Observation> redeployed;
 
   /// Of `trials_run`, how many were fast-forwarded from a journal instead
   /// of evaluated live (0 for fresh runs).

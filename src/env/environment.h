@@ -1,0 +1,85 @@
+#ifndef AUTOTUNE_ENV_ENVIRONMENT_H_
+#define AUTOTUNE_ENV_ENVIRONMENT_H_
+
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "space/config_space.h"
+
+namespace autotune {
+
+/// When a knob change takes effect (tutorial slide 19: "Autotuning in
+/// practice — how to deploy?").
+enum class KnobScope {
+  kRuntime,    ///< Adjustable online (ALTER SYSTEM ... SET).
+  kRestart,    ///< Needs a service restart (e.g. shared_buffers).
+  kProvision,  ///< Needs re-provisioning (e.g. filesystem block size).
+};
+
+/// Raw result of one benchmark execution.
+struct BenchmarkResult {
+  /// Metric name -> value, e.g. {"latency_p99_ms": 1.9, "throughput_ops":
+  /// 52000, "cost_usd": 0.12}. Empty if `crashed` or `hung`.
+  std::map<std::string, double> metrics;
+
+  /// The system failed to start or died under this configuration.
+  bool crashed = false;
+
+  /// The run never completed: the system wedged (deadlock, livelock, a VM
+  /// that stopped responding — tutorial slides 26-31) and the execution
+  /// harness had to kill it at its deadline. Distinct from `crashed` so the
+  /// trial runner can charge the configured timeout rather than the crash
+  /// cost, and so retry policies can treat hangs and crashes differently.
+  bool hung = false;
+};
+
+/// The target system + workload + benchmark, as one black box (tutorial
+/// slide 26's "system-specific scripts" box). Implementations live in
+/// `src/sim` (simulated DBMS / Redis / Spark) but the interface is what a
+/// real deployment would implement with ssh scripts and a load generator.
+/// Decorators (e.g. `fault::FaultInjectingEnvironment`) wrap one
+/// `Environment` in another; this header is the dependency-light interface
+/// layer both sides build against.
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  /// Human-readable name, e.g. "simdb-tpcc".
+  virtual std::string name() const = 0;
+
+  /// The tunable-parameter space this environment exposes.
+  virtual const ConfigSpace& space() const = 0;
+
+  /// Executes the benchmark under `config` at the given `fidelity` in
+  /// (0, 1] (1 = full benchmark; lower = cheaper, noisier, possibly
+  /// shifted — tutorial slide 66's multi-fidelity caveats). Randomness
+  /// (noise, arrival jitter) is drawn from `rng` so trials are reproducible
+  /// and duet runs can share noise.
+  virtual BenchmarkResult Run(const Configuration& config, double fidelity,
+                              Rng* rng) = 0;
+
+  /// Name of the metric being optimized, which must appear in
+  /// `BenchmarkResult::metrics` of successful runs.
+  virtual std::string objective_metric() const = 0;
+
+  /// True if the objective is minimized (latency); false to maximize
+  /// (throughput).
+  virtual bool minimize() const { return true; }
+
+  /// Simulated execution cost (seconds) of one run at `fidelity`.
+  virtual double RunCost(double fidelity) const { return fidelity * 60.0; }
+
+  /// Deployment scope of a knob (default: runtime-adjustable).
+  virtual KnobScope knob_scope(const std::string& /*name*/) const {
+    return KnobScope::kRuntime;
+  }
+
+  /// Extra cost (seconds) incurred when a new configuration changes any
+  /// restart-scoped knob (lost caches, downtime — tutorial slide 19).
+  virtual double RestartCost() const { return 0.0; }
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_ENV_ENVIRONMENT_H_

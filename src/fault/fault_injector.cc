@@ -1,0 +1,125 @@
+#include "fault/fault_injector.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "space/parameter.h"
+
+namespace autotune {
+namespace fault {
+
+namespace {
+
+/// Probability in [0, 1].
+bool ValidProb(double p) { return p >= 0.0 && p <= 1.0; }
+
+/// FNV-1a over a byte string — platform-stable (unlike std::hash), so crash
+/// regions are identical across builds and across the processes of a
+/// kill-and-resume pair.
+uint64_t Fnv1a(uint64_t hash, const std::string& bytes) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Status FaultModel::Validate() const {
+  if (!ValidProb(transient_crash_prob) || !ValidProb(hang_prob) ||
+      !ValidProb(crash_region_fraction) || !ValidProb(flaky_worker_prob) ||
+      !ValidProb(flaky_crash_prob) || !ValidProb(corrupt_metric_prob)) {
+    return Status::InvalidArgument(
+        "FaultModel probabilities must be in [0, 1]");
+  }
+  if (!(corrupt_metric_factor > 0.0)) {
+    return Status::InvalidArgument(
+        "FaultModel::corrupt_metric_factor must be > 0");
+  }
+  return Status::OK();
+}
+
+FaultInjectingEnvironment::FaultInjectingEnvironment(Environment* inner,
+                                                     FaultModel model,
+                                                     uint64_t seed)
+    : inner_(inner), model_(model) {
+  AUTOTUNE_CHECK(inner != nullptr);
+  const Status status = model_.Validate();
+  AUTOTUNE_CHECK_MSG(status.ok(), status.ToString().c_str());
+  // One Bernoulli draw decides instance flakiness; the stream is discarded
+  // afterwards so per-execution faults never depend on the instance seed.
+  Rng coin(seed ^ 0x666c616b79ull);  // "flaky"
+  flaky_ = coin.Bernoulli(model_.flaky_worker_prob);
+}
+
+FaultInjectingEnvironment::FaultInjectingEnvironment(
+    std::unique_ptr<Environment> inner, FaultModel model, uint64_t seed)
+    : FaultInjectingEnvironment(inner.get(), model, seed) {
+  owned_inner_ = std::move(inner);
+}
+
+std::string FaultInjectingEnvironment::name() const {
+  return inner_->name() + "+faults";
+}
+
+bool FaultInjectingEnvironment::InCrashRegion(
+    const Configuration& config) const {
+  if (model_.crash_region_fraction <= 0.0) return false;
+  uint64_t hash = 14695981039346656037ull;  // FNV offset basis.
+  for (size_t i = 0; i < config.space().size(); ++i) {
+    hash = Fnv1a(hash, config.space().param(i).name());
+    hash = Fnv1a(hash, ParamValueToString(config.ValueAt(i)));
+  }
+  const double u =
+      static_cast<double>(hash >> 11) / static_cast<double>(1ull << 53);
+  return u < model_.crash_region_fraction;
+}
+
+BenchmarkResult FaultInjectingEnvironment::Run(const Configuration& config,
+                                               double fidelity, Rng* rng) {
+  AUTOTUNE_CHECK(rng != nullptr);
+  // Persistent, config-dependent crash: no draw — deterministic, so retries
+  // see the same outcome every attempt.
+  if (InCrashRegion(config)) {
+    ++injected_crashes_;
+    BenchmarkResult result;
+    result.crashed = true;
+    return result;
+  }
+  // Fixed draw order so a given (seed, trial sequence) always maps to the
+  // same fault sequence regardless of which faults are enabled.
+  double crash_prob = model_.transient_crash_prob;
+  if (flaky_) crash_prob += model_.flaky_crash_prob;
+  if (rng->Uniform() < crash_prob) {
+    ++injected_crashes_;
+    BenchmarkResult result;
+    result.crashed = true;
+    return result;
+  }
+  if (rng->Uniform() < model_.hang_prob) {
+    ++injected_hangs_;
+    BenchmarkResult result;
+    result.hung = true;
+    return result;
+  }
+  const bool corrupt = rng->Uniform() < model_.corrupt_metric_prob;
+  BenchmarkResult result = inner_->Run(config, fidelity, rng);
+  if (corrupt && !result.crashed && !result.hung) {
+    auto it = result.metrics.find(inner_->objective_metric());
+    if (it != result.metrics.end()) {
+      ++injected_corruptions_;
+      // Corruption flatters the measurement (a falsely *good* reading) —
+      // the dangerous direction: it can steal the incumbent slot from a
+      // genuinely good configuration.
+      const double factor = model_.corrupt_metric_factor;
+      it->second = inner_->minimize() ? it->second / factor
+                                      : it->second * factor;
+    }
+  }
+  return result;
+}
+
+}  // namespace fault
+}  // namespace autotune

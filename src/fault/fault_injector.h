@@ -1,0 +1,121 @@
+#ifndef AUTOTUNE_FAULT_FAULT_INJECTOR_H_
+#define AUTOTUNE_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "env/environment.h"
+
+namespace autotune {
+namespace fault {
+
+/// Seeded, deterministic fault model for `FaultInjectingEnvironment` —
+/// the failure taxonomy of the tutorial's deployment slides (26-31, 67)
+/// and TUNA's unstable-cloud setting, reproduced in simulation:
+///
+///   * transient crashes   — iid per execution; a retry usually recovers.
+///   * hangs               — the run wedges and never completes; only a
+///                           deadline bounds the damage.
+///   * persistent crash regions — a deterministic fraction of the config
+///                           space crashes the system every time (bad
+///                           configs genuinely do; retries cannot help).
+///   * flaky workers       — some environment *instances* (cloud VMs) are
+///                           persistently less reliable than others.
+///   * corrupted metrics   — occasional wildly wrong measurements (co-
+///                           tenant interference, broken load generator).
+///
+/// All probabilities are in [0, 1].
+struct FaultModel {
+  /// Per-execution probability of a transient crash.
+  double transient_crash_prob = 0.0;
+
+  /// Per-execution probability the run hangs (reported as
+  /// `BenchmarkResult::hung`).
+  double hang_prob = 0.0;
+
+  /// Fraction of the configuration space that crashes deterministically,
+  /// every execution (selected by a seeded hash of the config values).
+  double crash_region_fraction = 0.0;
+
+  /// Probability that a given injector *instance* is flaky, decided once
+  /// from its seed at construction (model: each worker VM either landed on
+  /// a noisy host or did not).
+  double flaky_worker_prob = 0.0;
+
+  /// Extra transient-crash probability added on flaky instances.
+  double flaky_crash_prob = 0.5;
+
+  /// Per-execution probability that a successful run reports a corrupted
+  /// objective metric (multiplied by `corrupt_metric_factor`).
+  double corrupt_metric_prob = 0.0;
+  double corrupt_metric_factor = 10.0;
+
+  /// InvalidArgument unless all probabilities are in [0, 1] and the
+  /// corruption factor is positive.
+  [[nodiscard]] Status Validate() const;
+};
+
+/// Decorator wrapping any `Environment` with the seeded fault model above.
+///
+/// Determinism contract: per-execution fault draws (transient crash, hang,
+/// metric corruption) consume the SAME `Rng` stream that is passed to
+/// `Run` — the trial runner's journaled noise stream — so a journaled
+/// kill-and-resume replays the exact fault sequence, and two runs with the
+/// same seeds see identical faults. The constructor seed only decides
+/// instance-level flakiness (and is what `ParallelTrialRunner` varies per
+/// worker); crash regions are a pure hash of the configuration values.
+class FaultInjectingEnvironment : public Environment {
+ public:
+  /// Wraps `inner` (not owned; must outlive this object). `model` must
+  /// validate OK (CHECKed).
+  FaultInjectingEnvironment(Environment* inner, FaultModel model,
+                            uint64_t seed);
+
+  /// Owning variant, for factories that build the whole decorated stack.
+  FaultInjectingEnvironment(std::unique_ptr<Environment> inner,
+                            FaultModel model, uint64_t seed);
+
+  std::string name() const override;
+  const ConfigSpace& space() const override { return inner_->space(); }
+  BenchmarkResult Run(const Configuration& config, double fidelity,
+                      Rng* rng) override;
+  std::string objective_metric() const override {
+    return inner_->objective_metric();
+  }
+  bool minimize() const override { return inner_->minimize(); }
+  double RunCost(double fidelity) const override {
+    return inner_->RunCost(fidelity);
+  }
+  KnobScope knob_scope(const std::string& knob) const override {
+    return inner_->knob_scope(knob);
+  }
+  double RestartCost() const override { return inner_->RestartCost(); }
+
+  /// Whether this instance drew the persistently-flaky coin at
+  /// construction.
+  bool is_flaky() const { return flaky_; }
+
+  /// True if `config` falls in the deterministic crash region.
+  bool InCrashRegion(const Configuration& config) const;
+
+  /// Injection tallies (per instance; single-threaded like `Run`).
+  int64_t injected_crashes() const { return injected_crashes_; }
+  int64_t injected_hangs() const { return injected_hangs_; }
+  int64_t injected_corruptions() const { return injected_corruptions_; }
+
+ private:
+  Environment* inner_;
+  std::unique_ptr<Environment> owned_inner_;
+  FaultModel model_;
+  bool flaky_ = false;
+  int64_t injected_crashes_ = 0;
+  int64_t injected_hangs_ = 0;
+  int64_t injected_corruptions_ = 0;
+};
+
+}  // namespace fault
+}  // namespace autotune
+
+#endif  // AUTOTUNE_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,38 @@
+#include "fault/retry_policy.h"
+
+#include <cmath>
+
+namespace autotune {
+namespace fault {
+
+Status RetryPolicy::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument("RetryPolicy::max_attempts must be >= 1");
+  }
+  if (!(backoff_initial_seconds >= 0.0)) {
+    return Status::InvalidArgument(
+        "RetryPolicy::backoff_initial_seconds must be >= 0");
+  }
+  if (!(backoff_multiplier >= 1.0)) {
+    return Status::InvalidArgument(
+        "RetryPolicy::backoff_multiplier must be >= 1");
+  }
+  if (!(attempt_timeout_seconds > 0.0)) {
+    return Status::InvalidArgument(
+        "RetryPolicy::attempt_timeout_seconds must be > 0");
+  }
+  return Status::OK();
+}
+
+double RetryPolicy::BackoffCost(int retry) const {
+  if (backoff_initial_seconds <= 0.0) return 0.0;
+  return backoff_initial_seconds * std::pow(backoff_multiplier, retry);
+}
+
+double RetryPolicy::HangCharge(double run_cost) const {
+  if (std::isfinite(attempt_timeout_seconds)) return attempt_timeout_seconds;
+  return kUnboundedHangChargeFactor * run_cost;
+}
+
+}  // namespace fault
+}  // namespace autotune

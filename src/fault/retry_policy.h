@@ -1,0 +1,65 @@
+#ifndef AUTOTUNE_FAULT_RETRY_POLICY_H_
+#define AUTOTUNE_FAULT_RETRY_POLICY_H_
+
+#include <limits>
+
+#include "common/status.h"
+
+namespace autotune {
+namespace fault {
+
+/// How the trial runner reacts to crashed or hung benchmark executions
+/// (tutorial slides 26-31, 67: real tuning trials fail constantly — bad
+/// configs crash the service, VMs hang, cloud noise makes runs flaky).
+/// The default policy is "no retries, no deadline", which reproduces the
+/// pre-fault-tolerance behavior exactly.
+///
+/// Retries are *cost-accounted*, not free: every failed attempt is charged
+/// (crash cost or timeout charge) and every retry additionally pays the
+/// exponential backoff delay, so resilient execution competes on the same
+/// cost budget as everything else.
+struct RetryPolicy {
+  /// Total executions allowed per benchmark repetition (1 = no retries).
+  int max_attempts = 1;
+
+  /// Simulated seconds charged before the first retry; doubles (by
+  /// `backoff_multiplier`) on each subsequent one. Models the re-deploy /
+  /// restart / re-provision delay between attempts.
+  double backoff_initial_seconds = 0.0;
+  double backoff_multiplier = 2.0;
+
+  /// Per-attempt deadline: a hung run is killed after this many simulated
+  /// seconds and charged exactly this much. With the default (infinity) a
+  /// hang has no deadline to convert it into a bounded timeout, so the
+  /// runner falls back to charging `kUnboundedHangChargeFactor x
+  /// RunCost(fidelity)` — deliberately punishing, to make missing deadlines
+  /// visible in cost accounting.
+  double attempt_timeout_seconds = std::numeric_limits<double>::infinity();
+
+  /// Which failure kinds are retried. Persistent, config-dependent crashes
+  /// will fail every attempt regardless; retrying them simply burns
+  /// attempts, which is the realistic outcome.
+  bool retry_crashes = true;
+  bool retry_hangs = true;
+
+  /// Charge factor applied to RunCost when a run hangs and
+  /// `attempt_timeout_seconds` is infinite (see above).
+  static constexpr double kUnboundedHangChargeFactor = 60.0;
+
+  /// InvalidArgument unless max_attempts >= 1, backoff >= 0,
+  /// multiplier >= 1, and timeout > 0.
+  [[nodiscard]] Status Validate() const;
+
+  /// Backoff charged before retry number `retry` (0-based):
+  /// backoff_initial_seconds * multiplier^retry.
+  double BackoffCost(int retry) const;
+
+  /// Seconds charged for one hung attempt given the environment's
+  /// `run_cost` at the current fidelity.
+  double HangCharge(double run_cost) const;
+};
+
+}  // namespace fault
+}  // namespace autotune
+
+#endif  // AUTOTUNE_FAULT_RETRY_POLICY_H_

@@ -1,0 +1,69 @@
+#include "fault/worker_health.h"
+
+#include "common/check.h"
+
+namespace autotune {
+namespace fault {
+
+WorkerHealthTracker::WorkerHealthTracker(int num_workers, int quarantine_after)
+    : slots_size_(static_cast<size_t>(num_workers)),
+      quarantine_after_(quarantine_after) {
+  AUTOTUNE_CHECK(num_workers >= 1);
+  AUTOTUNE_CHECK(quarantine_after >= 0);
+  MutexLock lock(mutex_);
+  slots_.resize(slots_size_);
+}
+
+bool WorkerHealthTracker::RecordResult(int worker, bool failed) {
+  AUTOTUNE_CHECK(worker >= 0 && static_cast<size_t>(worker) < slots_size_);
+  MutexLock lock(mutex_);
+  WorkerHealth& slot = slots_[static_cast<size_t>(worker)];
+  if (!failed) {
+    ++slot.successes;
+    slot.consecutive_failures = 0;
+    return false;
+  }
+  ++slot.failures;
+  ++slot.consecutive_failures;
+  if (quarantine_after_ > 0 && !slot.quarantined &&
+      slot.consecutive_failures >= quarantine_after_) {
+    slot.quarantined = true;
+    ++total_quarantines_;
+    return true;
+  }
+  return false;
+}
+
+bool WorkerHealthTracker::IsQuarantined(int worker) const {
+  AUTOTUNE_CHECK(worker >= 0 && static_cast<size_t>(worker) < slots_size_);
+  MutexLock lock(mutex_);
+  return slots_[static_cast<size_t>(worker)].quarantined;
+}
+
+void WorkerHealthTracker::MarkReplaced(int worker) {
+  AUTOTUNE_CHECK(worker >= 0 && static_cast<size_t>(worker) < slots_size_);
+  MutexLock lock(mutex_);
+  WorkerHealth& slot = slots_[static_cast<size_t>(worker)];
+  slot.quarantined = false;
+  slot.consecutive_failures = 0;
+  ++slot.generation;
+}
+
+WorkerHealth WorkerHealthTracker::Snapshot(int worker) const {
+  AUTOTUNE_CHECK(worker >= 0 && static_cast<size_t>(worker) < slots_size_);
+  MutexLock lock(mutex_);
+  return slots_[static_cast<size_t>(worker)];
+}
+
+std::vector<WorkerHealth> WorkerHealthTracker::SnapshotAll() const {
+  MutexLock lock(mutex_);
+  return slots_;
+}
+
+int64_t WorkerHealthTracker::total_quarantines() const {
+  MutexLock lock(mutex_);
+  return total_quarantines_;
+}
+
+}  // namespace fault
+}  // namespace autotune

@@ -1,0 +1,72 @@
+#ifndef AUTOTUNE_FAULT_WORKER_HEALTH_H_
+#define AUTOTUNE_FAULT_WORKER_HEALTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace autotune {
+namespace fault {
+
+/// Point-in-time health snapshot of one worker slot.
+struct WorkerHealth {
+  /// Failed trials since the last success (resets on success and on
+  /// replacement).
+  int consecutive_failures = 0;
+  int64_t successes = 0;
+  int64_t failures = 0;
+  /// True once the slot crossed the quarantine threshold and has not been
+  /// replaced yet.
+  bool quarantined = false;
+  /// Bumped every time the slot's environment is replaced; 0 = original.
+  int generation = 0;
+};
+
+/// Consecutive-failure tracking for the parallel runner's worker slots —
+/// the shared state behind quarantine decisions (tutorial slides 26-31:
+/// whole workers go bad in the cloud; stop feeding them trials).
+///
+/// Thread-safe: `RecordResult` is called concurrently from pool threads as
+/// trials complete; replacement bookkeeping happens on the coordinating
+/// thread between waves. All state is lock-protected and annotated.
+class WorkerHealthTracker {
+ public:
+  /// Tracks `num_workers` slots. `quarantine_after` consecutive failures
+  /// quarantine a slot (0 disables quarantining entirely).
+  WorkerHealthTracker(int num_workers, int quarantine_after);
+
+  /// Records one trial outcome for `worker`. Returns true exactly once per
+  /// quarantine: when this result pushes the slot across the threshold.
+  bool RecordResult(int worker, bool failed) EXCLUDES(mutex_);
+
+  /// True if the slot is currently quarantined.
+  bool IsQuarantined(int worker) const EXCLUDES(mutex_);
+
+  /// Clears the quarantine and the consecutive-failure counter after the
+  /// slot's environment was replaced; bumps the generation.
+  void MarkReplaced(int worker) EXCLUDES(mutex_);
+
+  /// Snapshot of one slot / all slots.
+  WorkerHealth Snapshot(int worker) const EXCLUDES(mutex_);
+  std::vector<WorkerHealth> SnapshotAll() const EXCLUDES(mutex_);
+
+  /// Total quarantines across all slots and generations.
+  int64_t total_quarantines() const EXCLUDES(mutex_);
+
+  int num_workers() const { return static_cast<int>(slots_size_); }
+  int quarantine_after() const { return quarantine_after_; }
+
+ private:
+  const size_t slots_size_;
+  const int quarantine_after_;
+  mutable Mutex mutex_;
+  std::vector<WorkerHealth> slots_ GUARDED_BY(mutex_);
+  int64_t total_quarantines_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fault
+}  // namespace autotune
+
+#endif  // AUTOTUNE_FAULT_WORKER_HEALTH_H_

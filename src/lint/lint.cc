@@ -542,8 +542,10 @@ const std::map<std::string, std::set<std::string>>& LayerWhitelist() {
       {"common", {}},
       {"math", {"common"}},
       {"space", {"common", "math"}},
+      {"env", {"common", "math", "space"}},
+      {"fault", {"common", "math", "space", "env"}},
       {"surrogate", {"common", "math"}},
-      {"sim", {"common", "math"}},
+      {"sim", {"common", "math", "space", "env"}},
       {"lint", {"common", "obs"}},
   };
   return *map;

@@ -3,7 +3,7 @@
 
 #include <string>
 
-#include "core/environment.h"
+#include "env/environment.h"
 #include "sim/noise.h"
 
 namespace autotune {

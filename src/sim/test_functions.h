@@ -5,7 +5,7 @@
 #include <memory>
 #include <string>
 
-#include "core/environment.h"
+#include "env/environment.h"
 #include "space/config_space.h"
 
 namespace autotune {

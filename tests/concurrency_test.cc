@@ -14,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.h"
+#include "core/parallel_runner.h"
+#include "fault/worker_health.h"
 #include "obs/journal.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -152,6 +154,132 @@ TEST(ConcurrencyTest, ThreadPoolEnqueueFromManyThreadsThenShutdown) {
     for (auto& t : producers) t.join();
   }  // ThreadPool destructor drains the queue before joining workers.
   EXPECT_EQ(executed.load(), 4 * 100);
+}
+
+// Hammer the worker-health tracker the way the parallel runner does: pool
+// threads record outcomes concurrently while readers snapshot. The final
+// tallies must be exact and the quarantine crossing must be reported to
+// exactly one recorder per quarantine.
+TEST(ConcurrencyTest, WorkerHealthTrackerConcurrentRecordAndSnapshot) {
+  constexpr int kWorkers = 4;
+  constexpr int kThreads = 8;
+  constexpr int kRecordsPerThread = 500;
+  fault::WorkerHealthTracker tracker(kWorkers, /*quarantine_after=*/5);
+  std::atomic<int64_t> crossings{0};
+  std::atomic<bool> done{false};
+
+  std::thread reader([&]() {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto all = tracker.SnapshotAll();
+      EXPECT_EQ(all.size(), static_cast<size_t>(kWorkers));
+      for (const auto& slot : all) {
+        EXPECT_GE(slot.consecutive_failures, 0);
+        EXPECT_GE(slot.failures, slot.consecutive_failures);
+      }
+      (void)tracker.total_quarantines();
+      (void)tracker.IsQuarantined(0);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&, t]() {
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        const int worker = (t + i) % kWorkers;
+        const bool failed = (i % 8) != 0;
+        if (tracker.RecordResult(worker, failed)) {
+          crossings.fetch_add(1, std::memory_order_relaxed);
+          tracker.MarkReplaced(worker);  // Re-arm, as the runner would.
+        }
+      }
+    });
+  }
+  for (auto& t : recorders) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  // Deterministic tail: every crossing above was immediately re-armed, so
+  // a quarantine_after-long failure streak must cross exactly once more.
+  int tail_records = 0;
+  while (!tracker.RecordResult(0, true)) ++tail_records;
+  ++tail_records;
+  crossings.fetch_add(1, std::memory_order_relaxed);
+
+  int64_t successes = 0, failures = 0;
+  for (const auto& slot : tracker.SnapshotAll()) {
+    successes += slot.successes;
+    failures += slot.failures;
+  }
+  EXPECT_EQ(successes + failures,
+            static_cast<int64_t>(kThreads) * kRecordsPerThread +
+                tail_records);
+  EXPECT_EQ(tracker.total_quarantines(), crossings.load());
+  EXPECT_GT(crossings.load(), 0);
+}
+
+// Full-stack quarantine under concurrency: several workers fail their
+// trials simultaneously, cross the threshold in the same wave, and are all
+// replaced at the barrier — and the batch still yields every observation.
+// Run under TSan, this exercises RecordResult from pool threads racing
+// health reads, and the envs_/runners_ mutation at the wave boundary.
+TEST(ConcurrencyTest, ParallelRunnerQuarantinesConcurrentlyFailingWorkers) {
+  class CrashyEnvironment : public Environment {
+   public:
+    explicit CrashyEnvironment(bool crash) : crash_(crash) {
+      space_.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+    }
+    std::string name() const override { return "crashy"; }
+    const ConfigSpace& space() const override { return space_; }
+    BenchmarkResult Run(const Configuration& config, double fidelity,
+                        Rng* rng) override {
+      (void)fidelity;
+      (void)rng;
+      BenchmarkResult result;
+      if (crash_) {
+        result.crashed = true;
+      } else {
+        result.metrics["value"] = config.GetDouble("x");
+      }
+      return result;
+    }
+    std::string objective_metric() const override { return "value"; }
+
+   private:
+    ConfigSpace space_;
+    bool crash_;
+  };
+
+  constexpr int kWorkers = 4;
+  // Initial odd-indexed workers are dead; replacements (fresh indices
+  // >= kWorkers) are healthy.
+  auto factory = [](int worker) {
+    return std::make_unique<CrashyEnvironment>(worker < kWorkers &&
+                                               worker % 2 == 1);
+  };
+  ParallelRunnerOptions options;
+  options.quarantine_after = 1;
+  ParallelTrialRunner runner(factory, options, kWorkers, /*seed=*/31);
+
+  CrashyEnvironment reference(false);
+  std::vector<Configuration> configs;
+  for (int i = 0; i < 16; ++i) {
+    auto config = reference.space().Make(
+        {{"x", ParamValue(static_cast<double>(i) / 16.0)}});
+    ASSERT_TRUE(config.ok());
+    configs.push_back(*config);
+  }
+  std::vector<Observation> results = runner.EvaluateBatch(configs);
+  ASSERT_EQ(results.size(), configs.size());
+  // Both dead workers quarantine in wave 1 and their failed slots are
+  // re-run on healthy replacements, so every observation succeeds.
+  for (const Observation& obs : results) {
+    EXPECT_FALSE(obs.failed);
+  }
+  EXPECT_EQ(runner.replacements_made(), 2);
+  EXPECT_EQ(runner.health().total_quarantines(), 2);
+  EXPECT_EQ(runner.health().Snapshot(1).generation, 1);
+  EXPECT_EQ(runner.health().Snapshot(3).generation, 1);
 }
 
 TEST(ConcurrencyTest, TraceSpansFromManyThreads) {

@@ -1,0 +1,630 @@
+// Tests for src/fault/ and the resilient-execution paths it feeds: fault
+// injection determinism, retry/timeout cost accounting, imputation
+// regressions, worker quarantine, graceful degradation, and bit-exact
+// kill-and-resume of a faulty journaled run (docs/FAULT_TOLERANCE.md).
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel_runner.h"
+#include "core/trial_runner.h"
+#include "core/tuning_loop.h"
+#include "fault/fault_injector.h"
+#include "fault/retry_policy.h"
+#include "fault/worker_health.h"
+#include "obs/journal.h"
+#include "obs/json.h"
+#include "optimizers/random_search.h"
+#include "sim/test_functions.h"
+
+namespace autotune {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "fault_test_" + name;
+}
+
+// A controllable environment for fault-path tests: latency = x * 10, with
+// scriptable crash/hang behavior.
+class FaultyEnvironment : public Environment {
+ public:
+  FaultyEnvironment() {
+    space_.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  }
+
+  std::string name() const override { return "faulty"; }
+  const ConfigSpace& space() const override { return space_; }
+
+  BenchmarkResult Run(const Configuration& config, double fidelity,
+                      Rng* rng) override {
+    (void)fidelity;
+    ++runs;
+    BenchmarkResult result;
+    if (always_crash || runs <= crash_first_n) {
+      result.crashed = true;
+      return result;
+    }
+    if (always_hang) {
+      result.hung = true;
+      return result;
+    }
+    double value = config.GetDouble("x") * 10.0;
+    if (noise > 0.0) value += rng->Normal(0.0, noise);
+    result.metrics["latency_ms"] = value;
+    result.metrics["throughput_ops"] = 1000.0 - value;
+    return result;
+  }
+
+  std::string objective_metric() const override { return metric; }
+  bool minimize() const override { return metric == "latency_ms"; }
+  double RunCost(double fidelity) const override { return fidelity * 10.0; }
+
+  ConfigSpace space_;
+  std::string metric = "latency_ms";
+  bool always_crash = false;
+  bool always_hang = false;
+  int crash_first_n = 0;  // Crash the first N executions, then succeed.
+  double noise = 0.0;
+  int runs = 0;
+};
+
+Configuration MakeX(FaultyEnvironment* env, double x) {
+  auto config = env->space_.Make({{"x", ParamValue(x)}});
+  EXPECT_TRUE(config.ok());
+  return *config;
+}
+
+// ------------------------------------------------------------ Validation --
+
+TEST(FaultModelTest, ValidateRejectsBadFields) {
+  fault::FaultModel model;
+  EXPECT_TRUE(model.Validate().ok());
+  model.transient_crash_prob = 1.5;
+  EXPECT_FALSE(model.Validate().ok());
+  model.transient_crash_prob = 0.1;
+  model.hang_prob = -0.1;
+  EXPECT_FALSE(model.Validate().ok());
+  model.hang_prob = 0.0;
+  model.corrupt_metric_factor = 0.0;
+  EXPECT_FALSE(model.Validate().ok());
+}
+
+TEST(RetryPolicyTest, ValidateRejectsBadFields) {
+  fault::RetryPolicy retry;
+  EXPECT_TRUE(retry.Validate().ok());
+  retry.max_attempts = 0;
+  EXPECT_FALSE(retry.Validate().ok());
+  retry.max_attempts = 3;
+  retry.backoff_initial_seconds = -1.0;
+  EXPECT_FALSE(retry.Validate().ok());
+  retry.backoff_initial_seconds = 0.0;
+  retry.backoff_multiplier = 0.5;
+  EXPECT_FALSE(retry.Validate().ok());
+  retry.backoff_multiplier = 2.0;
+  retry.attempt_timeout_seconds = 0.0;
+  EXPECT_FALSE(retry.Validate().ok());
+}
+
+TEST(RetryPolicyTest, BackoffAndHangCharges) {
+  fault::RetryPolicy retry;
+  retry.backoff_initial_seconds = 5.0;
+  retry.backoff_multiplier = 3.0;
+  EXPECT_DOUBLE_EQ(retry.BackoffCost(0), 5.0);
+  EXPECT_DOUBLE_EQ(retry.BackoffCost(1), 15.0);
+  EXPECT_DOUBLE_EQ(retry.BackoffCost(2), 45.0);
+  retry.attempt_timeout_seconds = 30.0;
+  EXPECT_DOUBLE_EQ(retry.HangCharge(10.0), 30.0);
+  retry.attempt_timeout_seconds = std::numeric_limits<double>::infinity();
+  // No deadline: the punitive unbounded-hang charge.
+  EXPECT_DOUBLE_EQ(retry.HangCharge(10.0),
+                   fault::RetryPolicy::kUnboundedHangChargeFactor * 10.0);
+}
+
+TEST(TrialRunnerOptionsTest, ValidateRejectsBadFields) {
+  TrialRunnerOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.repetitions = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.repetitions = 1;
+  options.fidelity = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.fidelity = 1.5;
+  EXPECT_FALSE(options.Validate().ok());
+  options.fidelity = 1.0;
+  options.crash_penalty_factor = 0.5;
+  EXPECT_FALSE(options.Validate().ok());
+  options.crash_penalty_factor = 3.0;
+  options.early_abort_factor = 0.9;
+  EXPECT_FALSE(options.Validate().ok());
+  options.early_abort_factor = 3.0;
+  options.retry.max_attempts = 0;  // Nested policy must validate too.
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+// -------------------------------------------------------- FaultInjector --
+
+struct RunOutcome {
+  bool crashed = false;
+  bool hung = false;
+  double latency = -1.0;
+};
+
+std::vector<RunOutcome> RecordSequence(fault::FaultInjectingEnvironment* env,
+                                       const Configuration& config,
+                                       uint64_t rng_seed, int n) {
+  Rng rng(rng_seed);
+  std::vector<RunOutcome> out;
+  for (int i = 0; i < n; ++i) {
+    BenchmarkResult result = env->Run(config, 1.0, &rng);
+    RunOutcome outcome;
+    outcome.crashed = result.crashed;
+    outcome.hung = result.hung;
+    if (!result.crashed && !result.hung) {
+      outcome.latency = result.metrics.at("latency_ms");
+    }
+    out.push_back(outcome);
+  }
+  return out;
+}
+
+TEST(FaultInjectorTest, SameSeedsSameFaultSequence) {
+  fault::FaultModel model;
+  model.transient_crash_prob = 0.3;
+  model.hang_prob = 0.2;
+  model.corrupt_metric_prob = 0.2;
+  FaultyEnvironment inner_a, inner_b;
+  fault::FaultInjectingEnvironment env_a(&inner_a, model, /*seed=*/7);
+  fault::FaultInjectingEnvironment env_b(&inner_b, model, /*seed=*/7);
+  const auto seq_a = RecordSequence(&env_a, MakeX(&inner_a, 0.5), 99, 50);
+  const auto seq_b = RecordSequence(&env_b, MakeX(&inner_b, 0.5), 99, 50);
+  int faults = 0;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(seq_a[i].crashed, seq_b[i].crashed) << "run " << i;
+    EXPECT_EQ(seq_a[i].hung, seq_b[i].hung) << "run " << i;
+    EXPECT_EQ(seq_a[i].latency, seq_b[i].latency) << "run " << i;
+    if (seq_a[i].crashed || seq_a[i].hung) ++faults;
+  }
+  // The model actually injected something (else the test is vacuous).
+  EXPECT_GT(faults, 0);
+  EXPECT_LT(faults, 50);
+  EXPECT_EQ(env_a.injected_crashes(), env_b.injected_crashes());
+  EXPECT_EQ(env_a.injected_hangs(), env_b.injected_hangs());
+  EXPECT_EQ(env_a.injected_corruptions(), env_b.injected_corruptions());
+}
+
+TEST(FaultInjectorTest, CrashRegionIsPersistentAndSeedIndependent) {
+  fault::FaultModel model;
+  model.crash_region_fraction = 0.4;
+  FaultyEnvironment inner;
+  // Different instance seeds: crash regions are a pure hash of the config,
+  // so every injector (and every process of a kill/resume pair) agrees.
+  fault::FaultInjectingEnvironment env_a(&inner, model, /*seed=*/1);
+  fault::FaultInjectingEnvironment env_b(&inner, model, /*seed=*/2);
+  int in_region = 0;
+  for (int i = 0; i < 64; ++i) {
+    Configuration config = MakeX(&inner, i / 64.0);
+    EXPECT_EQ(env_a.InCrashRegion(config), env_b.InCrashRegion(config));
+    if (!env_a.InCrashRegion(config)) continue;
+    ++in_region;
+    // In-region configs crash every single attempt — retries cannot help.
+    Rng rng(13);
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      EXPECT_TRUE(env_a.Run(config, 1.0, &rng).crashed);
+    }
+  }
+  EXPECT_GT(in_region, 0);
+  EXPECT_LT(in_region, 64);
+}
+
+TEST(FaultInjectorTest, FlakinessIsDecidedOnceFromInstanceSeed) {
+  fault::FaultModel model;
+  model.flaky_worker_prob = 0.5;
+  FaultyEnvironment inner;
+  int flaky = 0;
+  for (uint64_t seed = 0; seed < 100; ++seed) {
+    fault::FaultInjectingEnvironment env_a(&inner, model, seed);
+    fault::FaultInjectingEnvironment env_b(&inner, model, seed);
+    EXPECT_EQ(env_a.is_flaky(), env_b.is_flaky()) << "seed " << seed;
+    if (env_a.is_flaky()) ++flaky;
+  }
+  // Roughly half the instances drew the flaky coin.
+  EXPECT_GT(flaky, 20);
+  EXPECT_LT(flaky, 80);
+}
+
+TEST(FaultInjectorTest, CorruptionFlattersTheMeasurement) {
+  fault::FaultModel model;
+  model.corrupt_metric_prob = 1.0;
+  model.corrupt_metric_factor = 10.0;
+  FaultyEnvironment inner;
+  fault::FaultInjectingEnvironment env(&inner, model, 3);
+  Rng rng(5);
+  // Minimize: the corrupted latency reads falsely LOW (5.0 -> 0.5).
+  BenchmarkResult result = env.Run(MakeX(&inner, 0.5), 1.0, &rng);
+  EXPECT_DOUBLE_EQ(result.metrics.at("latency_ms"), 0.5);
+  // Maximize: the corrupted throughput reads falsely HIGH.
+  inner.metric = "throughput_ops";
+  result = env.Run(MakeX(&inner, 0.5), 1.0, &rng);
+  EXPECT_DOUBLE_EQ(result.metrics.at("throughput_ops"), (1000.0 - 5.0) * 10.0);
+  EXPECT_EQ(env.injected_corruptions(), 2);
+}
+
+// ------------------------------------------------- Retries and timeouts --
+
+TEST(RetryTest, RetryRecoversTransientCrashWithExactCostAccounting) {
+  FaultyEnvironment env;
+  env.crash_first_n = 1;  // First execution crashes, then healthy.
+  TrialRunnerOptions options;
+  options.retry.max_attempts = 3;
+  options.retry.backoff_initial_seconds = 5.0;
+  TrialRunner runner(&env, options, 1);
+  Observation obs = runner.Evaluate(MakeX(&env, 0.5));
+  EXPECT_FALSE(obs.failed);
+  EXPECT_DOUBLE_EQ(obs.objective, 5.0);
+  // Charged: crashed attempt (0.25 x RunCost = 2.5) + backoff (5.0) +
+  // the successful repetition (RunCost = 10.0).
+  EXPECT_DOUBLE_EQ(obs.cost, 2.5 + 5.0 + 10.0);
+  EXPECT_EQ(runner.total_retries(), 1);
+  EXPECT_EQ(runner.total_timeouts(), 0);
+  EXPECT_DOUBLE_EQ(obs.metrics.at("fault_retries"), 1.0);
+}
+
+TEST(RetryTest, HangsAreChargedTheDeadline) {
+  FaultyEnvironment env;
+  env.always_hang = true;
+  TrialRunnerOptions options;
+  options.retry.max_attempts = 2;
+  options.retry.attempt_timeout_seconds = 30.0;
+  TrialRunner runner(&env, options, 1);
+  Observation obs = runner.Evaluate(MakeX(&env, 0.5));
+  EXPECT_TRUE(obs.failed);
+  // Two hung attempts, each charged exactly the 30 s deadline (backoff 0).
+  EXPECT_DOUBLE_EQ(obs.cost, 60.0);
+  EXPECT_EQ(runner.total_timeouts(), 2);
+  EXPECT_EQ(runner.total_retries(), 1);
+  EXPECT_DOUBLE_EQ(obs.metrics.at("fault_timeouts"), 2.0);
+}
+
+TEST(RetryTest, UnboundedHangPaysThePunitiveCharge) {
+  FaultyEnvironment env;
+  env.always_hang = true;
+  TrialRunnerOptions options;  // No deadline configured.
+  TrialRunner runner(&env, options, 1);
+  Observation obs = runner.Evaluate(MakeX(&env, 0.5));
+  EXPECT_TRUE(obs.failed);
+  // kUnboundedHangChargeFactor x RunCost(1.0) = 60 x 10.
+  EXPECT_DOUBLE_EQ(obs.cost, 600.0);
+  EXPECT_EQ(runner.total_timeouts(), 1);
+}
+
+TEST(RetryTest, DisabledRetryKindsAreNotRetried) {
+  FaultyEnvironment env;
+  env.always_crash = true;
+  TrialRunnerOptions options;
+  options.retry.max_attempts = 5;
+  options.retry.retry_crashes = false;
+  TrialRunner runner(&env, options, 1);
+  Observation obs = runner.Evaluate(MakeX(&env, 0.5));
+  EXPECT_TRUE(obs.failed);
+  EXPECT_EQ(env.runs, 1);  // One attempt despite the attempt budget.
+  EXPECT_EQ(runner.total_retries(), 0);
+}
+
+// --------------------------------------------- Imputation (regressions) --
+
+TEST(ImputationTest, ImputedScoresNeverEnterTheTrackers) {
+  FaultyEnvironment env;
+  TrialRunnerOptions options;
+  options.crash_penalty_factor = 3.0;
+  TrialRunner runner(&env, options, 1);
+  runner.Evaluate(MakeX(&env, 0.6));  // Worst successful = 6.0.
+  env.always_crash = true;
+  Observation first = runner.Evaluate(MakeX(&env, 0.9));
+  Observation second = runner.Evaluate(MakeX(&env, 0.9));
+  EXPECT_TRUE(first.failed);
+  EXPECT_TRUE(second.failed);
+  // If the imputed 18.0 leaked into the worst tracker, the second crash
+  // would compound to 54.0 (and the k-th to 6 * 3^k).
+  EXPECT_DOUBLE_EQ(first.objective, 18.0);
+  EXPECT_DOUBLE_EQ(second.objective, 18.0);
+  ASSERT_TRUE(runner.best_objective().has_value());
+  EXPECT_DOUBLE_EQ(*runner.best_objective(), 6.0);
+}
+
+TEST(ImputationTest, MaximizeCrashPenaltyIsWorseThanRealTrials) {
+  FaultyEnvironment env;
+  env.metric = "throughput_ops";  // Maximize -> negated objectives.
+  TrialRunnerOptions options;
+  options.crash_penalty_factor = 3.0;
+  TrialRunner runner(&env, options, 1);
+  Observation good = runner.Evaluate(MakeX(&env, 0.5));  // -995.
+  ASSERT_FALSE(good.failed);
+  ASSERT_LT(good.objective, 0.0);
+  env.always_crash = true;
+  Observation crashed = runner.Evaluate(MakeX(&env, 0.9));
+  EXPECT_TRUE(crashed.failed);
+  // Regression: a plain worst * factor on a negative worst (-995 * 3 =
+  // -2985) would rank the crash BETTER than every real trial.
+  EXPECT_GT(crashed.objective, good.objective);
+}
+
+TEST(ImputationTest, DuetCrashImputesOnTheDuetScale) {
+  FaultyEnvironment env;
+  TrialRunnerOptions options;
+  options.crash_penalty_factor = 3.0;
+  TrialRunner runner(&env, options, 1);
+  Configuration baseline = MakeX(&env, 0.4);
+  Observation good = runner.EvaluateDuet(MakeX(&env, 0.5), baseline);
+  ASSERT_FALSE(good.failed);
+  EXPECT_DOUBLE_EQ(good.objective, (5.0 - 4.0) / 4.0);  // 0.25.
+  env.always_crash = true;
+  Observation crashed = runner.EvaluateDuet(MakeX(&env, 0.9), baseline);
+  EXPECT_TRUE(crashed.failed);
+  // Imputed from the duet-scale worst (0.25 * 3), not the raw 1e9 fallback
+  // that used to wreck surrogate fits over ~0-scale duet objectives.
+  EXPECT_DOUBLE_EQ(crashed.objective, 0.75);
+}
+
+// ------------------------------------------------------- Worker health --
+
+TEST(WorkerHealthTest, QuarantineTriggersExactlyOnceAndResets) {
+  fault::WorkerHealthTracker tracker(/*num_workers=*/2,
+                                     /*quarantine_after=*/3);
+  EXPECT_FALSE(tracker.RecordResult(0, true));
+  EXPECT_FALSE(tracker.RecordResult(0, true));
+  // A success resets the consecutive counter.
+  EXPECT_FALSE(tracker.RecordResult(0, false));
+  EXPECT_FALSE(tracker.RecordResult(0, true));
+  EXPECT_FALSE(tracker.RecordResult(0, true));
+  EXPECT_TRUE(tracker.RecordResult(0, true));  // Crossing: exactly here.
+  EXPECT_FALSE(tracker.RecordResult(0, true));  // Already quarantined.
+  EXPECT_TRUE(tracker.IsQuarantined(0));
+  EXPECT_FALSE(tracker.IsQuarantined(1));
+  EXPECT_EQ(tracker.total_quarantines(), 1);
+
+  tracker.MarkReplaced(0);
+  EXPECT_FALSE(tracker.IsQuarantined(0));
+  const fault::WorkerHealth health = tracker.Snapshot(0);
+  EXPECT_EQ(health.generation, 1);
+  EXPECT_EQ(health.consecutive_failures, 0);
+  EXPECT_EQ(health.failures, 6);
+  EXPECT_EQ(health.successes, 1);
+}
+
+// --------------------------------------------------- Parallel quarantine --
+
+TEST(ParallelFaultTest, QuarantineReplacesDeadWorkerAndBatchCompletes) {
+  const std::string path = TempPath("quarantine.jsonl");
+  std::remove(path.c_str());
+  auto journal = obs::Journal::Open(path);
+  ASSERT_TRUE(journal.ok());
+
+  FaultyEnvironment reference;
+  // Worker slot 0's initial environment is dead on arrival; replacements
+  // (factory indices >= num_workers) and worker 1 are healthy.
+  auto factory = [](int worker) {
+    auto env = std::make_unique<FaultyEnvironment>();
+    env->always_crash = (worker == 0);
+    return env;
+  };
+  ParallelRunnerOptions options;
+  options.quarantine_after = 2;
+  options.journal = journal->get();
+  ParallelTrialRunner runner(factory, options, /*num_workers=*/2,
+                             /*seed=*/17);
+
+  std::vector<Configuration> configs;
+  for (int i = 0; i < 8; ++i) {
+    configs.push_back(MakeX(&reference, 0.1 * static_cast<double>(i)));
+  }
+  std::vector<Observation> results = runner.EvaluateBatch(configs);
+  ASSERT_EQ(results.size(), configs.size());
+
+  // Wave 1 fails on worker 0 (no quarantine yet); wave 2's failure crosses
+  // the threshold, the worker is replaced at the wave barrier, and its
+  // failed trial is re-run on the replacement — so exactly one observation
+  // stays failed.
+  int failed = 0;
+  for (const Observation& obs : results) {
+    if (obs.failed) ++failed;
+  }
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(runner.replacements_made(), 1);
+  EXPECT_EQ(runner.health().Snapshot(0).generation, 1);
+  EXPECT_EQ(runner.health().total_quarantines(), 1);
+
+  journal->get()->Flush();
+  auto quarantined = obs::ReadFirstEvent(path, "worker_quarantined");
+  ASSERT_TRUE(quarantined.ok());
+  EXPECT_EQ(quarantined->GetInt("worker", -1), 0);
+  EXPECT_EQ(quarantined->GetInt("consecutive_failures", -1), 2);
+  auto replaced = obs::ReadFirstEvent(path, "worker_replaced");
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(replaced->GetInt("worker", -1), 0);
+  // Replacement environments draw FRESH factory indices (>= num_workers).
+  EXPECT_GE(replaced->GetInt("replacement_index", -1), 2);
+  std::remove(path.c_str());
+}
+
+TEST(ParallelFaultTest, BatchCompletesEvenWhenEveryWorkerIsDead) {
+  FaultyEnvironment reference;
+  auto factory = [](int worker) {
+    (void)worker;
+    auto env = std::make_unique<FaultyEnvironment>();
+    env->always_crash = true;  // Replacements are just as dead.
+    return env;
+  };
+  ParallelRunnerOptions options;
+  options.quarantine_after = 1;
+  options.max_replacements = 2;
+  ParallelTrialRunner runner(factory, options, /*num_workers=*/2,
+                             /*seed=*/23);
+  std::vector<Configuration> configs;
+  for (int i = 0; i < 8; ++i) {
+    configs.push_back(MakeX(&reference, 0.1 * static_cast<double>(i)));
+  }
+  std::vector<Observation> results = runner.EvaluateBatch(configs);
+  ASSERT_EQ(results.size(), configs.size());
+  for (const Observation& obs : results) {
+    EXPECT_TRUE(obs.failed);
+  }
+  // The replacement budget bounds provisioning; afterwards the quarantined
+  // slots limp along instead of deadlocking the batch.
+  EXPECT_EQ(runner.replacements_made(), 2);
+}
+
+// -------------------------------------------------- Graceful degradation --
+
+TEST(DegradeTest, DegradedRunRedeploysBestKnownConfig) {
+  const std::string path = TempPath("degrade.jsonl");
+  std::remove(path.c_str());
+  auto journal = obs::Journal::Open(path);
+  ASSERT_TRUE(journal.ok());
+
+  FaultyEnvironment env;
+  // The environment decays: after 12 executions everything crashes (a
+  // deployment gone bad mid-session).
+  TrialRunner runner(&env, TrialRunnerOptions{}, 3);
+  RandomSearch optimizer(&env.space(), 9);
+  TuningLoopOptions options;
+  options.max_trials = 100;
+  options.degrade_window = 6;
+  options.degrade_failure_rate = 0.5;
+  options.journal = journal->get();
+
+  // Let a few trials succeed, then break the environment.
+  TuningResult result;
+  {
+    // First 8 trials healthy.
+    TuningLoopOptions warmup = options;
+    warmup.max_trials = 8;
+    warmup.journal = nullptr;
+    RunTuningLoop(&optimizer, &runner, warmup);
+    env.always_crash = true;
+    result = RunTuningLoop(&optimizer, &runner, options);
+  }
+
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.status.code(), StatusCode::kAborted);
+  EXPECT_LT(result.trials_run, 100);  // Stopped early, did not loop forever.
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_FALSE(result.best->failed);
+  // The best-known config was redeployed and verified (it fails here —
+  // the whole environment is down — but the observation is surfaced).
+  ASSERT_TRUE(result.redeployed.has_value());
+
+  journal->get()->Flush();
+  auto degraded = obs::ReadFirstEvent(path, "degraded");
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_DOUBLE_EQ(degraded->GetDouble("failure_rate_threshold", 0.0), 0.5);
+  EXPECT_TRUE(degraded->Get("redeploy_config").ok());
+  std::remove(path.c_str());
+}
+
+TEST(DegradeTest, DegradeWithoutAnySuccessIsUnavailable) {
+  FaultyEnvironment env;
+  env.always_crash = true;
+  TrialRunner runner(&env, TrialRunnerOptions{}, 3);
+  RandomSearch optimizer(&env.space(), 9);
+  TuningLoopOptions options;
+  options.max_trials = 50;
+  options.degrade_window = 4;
+  options.degrade_failure_rate = 0.5;
+  TuningResult result = RunTuningLoop(&optimizer, &runner, options);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(result.trials_run, 4);  // The first full window triggered.
+  EXPECT_FALSE(result.redeployed.has_value());
+}
+
+// ---------------------------------------------------- Faulty-run resume --
+
+// Acceptance criterion: killing and resuming a journaled run of a
+// fault-injected environment reproduces the identical trial sequence —
+// fault draws come from the runner's journaled RNG stream, flakiness from
+// the injector seed, crash regions from a pure config hash.
+TEST(FaultResumeTest, ResumedFaultyRunMatchesUninterruptedRun) {
+  constexpr int kTotalTrials = 30;
+  constexpr int kKilledAfter = 12;
+  constexpr uint64_t kEnvSeed = 11, kOptSeed = 21, kInjectorSeed = 5;
+  sim::FunctionEnvironment inner("noisy-sphere", 3, sim::Sphere, 0.5);
+  fault::FaultModel model;
+  model.transient_crash_prob = 0.15;
+  model.hang_prob = 0.1;
+  model.crash_region_fraction = 0.1;
+  model.corrupt_metric_prob = 0.1;
+  fault::FaultInjectingEnvironment env(&inner, model, kInjectorSeed);
+
+  TrialRunnerOptions trial_options;
+  trial_options.retry.max_attempts = 2;
+  trial_options.retry.attempt_timeout_seconds = 30.0;
+  trial_options.retry.backoff_initial_seconds = 1.0;
+
+  // Baseline: uninterrupted.
+  TuningResult baseline;
+  {
+    TrialRunner runner(&env, trial_options, kEnvSeed);
+    RandomSearch optimizer(&env.space(), kOptSeed);
+    TuningLoopOptions options;
+    options.max_trials = kTotalTrials;
+    baseline = RunTuningLoop(&optimizer, &runner, options);
+  }
+  ASSERT_EQ(baseline.trials_run, kTotalTrials);
+  int baseline_failures = 0;
+  for (const Observation& obs : baseline.history) {
+    if (obs.failed) ++baseline_failures;
+  }
+  // The fault model actually bit (else this test proves nothing).
+  ASSERT_GT(baseline_failures, 0);
+
+  // "Killed" run: same seeds, journaled, stopped early.
+  const std::string path = TempPath("fault_resume.jsonl");
+  std::remove(path.c_str());
+  {
+    TrialRunner runner(&env, trial_options, kEnvSeed);
+    RandomSearch optimizer(&env.space(), kOptSeed);
+    auto journal = obs::Journal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    TuningLoopOptions options;
+    options.max_trials = kKilledAfter;
+    options.journal = journal->get();
+    RunTuningLoop(&optimizer, &runner, options);
+  }
+
+  // Resume with fresh runner/optimizer built from the ORIGINAL seeds.
+  auto replay = obs::ReplayJournal(path, &env.space());
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(replay->observations.size(), static_cast<size_t>(kKilledAfter));
+  TrialRunner runner(&env, trial_options, kEnvSeed);
+  RandomSearch optimizer(&env.space(), kOptSeed);
+  TuningLoopOptions options;
+  options.max_trials = kTotalTrials;
+  TuningResult resumed = ResumeTuningLoop(&optimizer, &runner, options,
+                                          *replay);
+
+  EXPECT_EQ(resumed.trials_run, kTotalTrials);
+  EXPECT_EQ(resumed.replayed_trials, kKilledAfter);
+  ASSERT_EQ(resumed.history.size(), baseline.history.size());
+  for (size_t i = 0; i < baseline.history.size(); ++i) {
+    EXPECT_EQ(resumed.history[i].objective, baseline.history[i].objective)
+        << "trial " << i << " diverged";
+    EXPECT_EQ(resumed.history[i].failed, baseline.history[i].failed)
+        << "trial " << i << " fault outcome diverged";
+    EXPECT_EQ(resumed.history[i].cost, baseline.history[i].cost)
+        << "trial " << i << " charged cost diverged";
+    EXPECT_EQ(obs::EncodeConfig(resumed.history[i].config).Dump(),
+              obs::EncodeConfig(baseline.history[i].config).Dump())
+        << "trial " << i << " config diverged";
+  }
+  EXPECT_DOUBLE_EQ(resumed.total_cost, baseline.total_cost);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace autotune
