@@ -1,0 +1,251 @@
+// E28: multi-experiment tuning service (src/service/). Eight tenants — a
+// mix of simulated systems, two of them fault-injected — tune concurrently
+// over one shared worker pool under the fair-share scheduler. Because every
+// tenant owns its environment/optimizer/runner stack and the scheduler
+// dispatches at trial granularity, the concurrent service must land each
+// tenant on the SAME result as running it alone, serially (deterministic
+// sims => identical, so trivially within the 5% acceptance band). Faulty
+// tenants degrade alone; their healthy neighbors' results do not move.
+// Simulated trials cost ~nothing on wall-clock, so the timing line reports
+// scheduler overhead rather than a speedup.
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "env/workload.h"
+#include "fault/fault_injector.h"
+#include "obs/trace.h"
+#include "optimizers/random_search.h"
+#include "service/experiment_manager.h"
+#include "sim/db_env.h"
+#include "sim/nginx_env.h"
+#include "sim/redis_env.h"
+#include "sim/spark_env.h"
+#include "sim/test_functions.h"
+
+namespace autotune {
+namespace {
+
+constexpr int kTrials = 40;
+constexpr size_t kConcurrentThreads = 4;
+
+struct Tenant {
+  std::string name;
+  std::string env_label;
+  bool faulty = false;
+  double weight = 1.0;
+  uint64_t seed = 1;
+  std::function<std::unique_ptr<Environment>()> make_environment;
+};
+
+fault::FaultModel TenantFaultModel() {
+  fault::FaultModel model;
+  model.transient_crash_prob = 0.10;
+  model.crash_region_fraction = 0.15;
+  model.corrupt_metric_prob = 0.05;
+  model.corrupt_metric_factor = 100.0;
+  return model;
+}
+
+std::unique_ptr<Environment> WrapFaulty(std::unique_ptr<Environment> inner,
+                                        uint64_t seed) {
+  return std::make_unique<fault::FaultInjectingEnvironment>(
+      std::move(inner), TenantFaultModel(), seed);
+}
+
+/// The eight tenants: four simulated systems, two synthetic functions, and
+/// two fault-injected copies (one sim, one synthetic).
+std::vector<Tenant> MakeTenants() {
+  std::vector<Tenant> tenants;
+  const auto add = [&](std::string name, std::string env_label, bool faulty,
+                       double weight, uint64_t seed,
+                       std::function<std::unique_ptr<Environment>()> make) {
+    Tenant tenant;
+    tenant.name = std::move(name);
+    tenant.env_label = std::move(env_label);
+    tenant.faulty = faulty;
+    tenant.weight = weight;
+    tenant.seed = seed;
+    tenant.make_environment = std::move(make);
+    tenants.push_back(std::move(tenant));
+  };
+
+  add("db-tpcc", "simdb/tpcc", false, 2.0, 11, []() {
+    sim::DbEnvOptions options;
+    options.workload = workload::TpcC();
+    return std::make_unique<sim::DbEnv>(options);
+  });
+  add("db-ycsb", "simdb/ycsb-a", false, 1.0, 12, []() {
+    sim::DbEnvOptions options;
+    options.workload = workload::YcsbA();
+    return std::make_unique<sim::DbEnv>(options);
+  });
+  add("redis", "redis", false, 1.0, 13, []() {
+    return std::make_unique<sim::RedisEnv>(sim::RedisEnvOptions{});
+  });
+  add("nginx", "nginx", false, 1.0, 14, []() {
+    return std::make_unique<sim::NginxEnv>(sim::NginxEnvOptions{});
+  });
+  add("spark", "spark", false, 1.0, 15, []() {
+    return std::make_unique<sim::SparkEnv>(sim::SparkEnvOptions{});
+  });
+  add("sphere", "sphere-4d", false, 1.0, 16, []() {
+    return std::make_unique<sim::FunctionEnvironment>("sphere", 4,
+                                                      sim::Sphere);
+  });
+  add("flaky-redis", "redis+faults", true, 1.0, 17, []() {
+    return WrapFaulty(std::make_unique<sim::RedisEnv>(sim::RedisEnvOptions{}),
+                      17);
+  });
+  add("flaky-sphere", "sphere+faults", true, 1.0, 18, []() {
+    return WrapFaulty(
+        std::make_unique<sim::FunctionEnvironment>("sphere", 4, sim::Sphere),
+        18);
+  });
+  return tenants;
+}
+
+service::ExperimentSpec SpecFor(const Tenant& tenant) {
+  service::ExperimentSpec spec;
+  spec.name = tenant.name;
+  spec.weight = tenant.weight;
+  spec.seed = tenant.seed;
+  spec.make_environment = tenant.make_environment;
+  spec.make_optimizer = [](const ConfigSpace* space, uint64_t seed) {
+    return std::make_unique<RandomSearch>(space, seed);
+  };
+  spec.loop_options.max_trials = kTrials;
+  spec.loop_options.snapshot_every = 0;
+  return spec;
+}
+
+struct ArmResult {
+  std::map<std::string, double> best;  // name -> best objective.
+  std::map<std::string, int> failed;   // name -> failed trials.
+  double wall_seconds = 0.0;
+};
+
+/// Runs the given tenants through one ExperimentManager with `threads`
+/// workers (1 = the serial baseline; the scheduler still runs, it just
+/// never overlaps trials).
+ArmResult RunArm(const std::vector<Tenant>& tenants, size_t threads) {
+  obs::Span span("bench.e28.arm");
+  ThreadPool pool(threads);
+  service::ExperimentManager manager(&pool);
+  for (const Tenant& tenant : tenants) {
+    Status added = manager.AddExperiment(SpecFor(tenant));
+    if (!added.ok()) {
+      std::fprintf(stderr, "add %s: %s\n", tenant.name.c_str(),
+                   added.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  manager.WaitAll();
+
+  ArmResult arm;
+  for (const Tenant& tenant : tenants) {
+    auto result = manager.ResultOf(tenant.name);
+    if (!result.ok() || !result->best.has_value()) {
+      std::fprintf(stderr, "result %s: %s\n", tenant.name.c_str(),
+                   result.ok() ? "no best" : result.status().ToString().c_str());
+      std::exit(1);
+    }
+    arm.best[tenant.name] = result->best->objective;
+    int failed = 0;
+    for (const Observation& obs : result->history) {
+      if (obs.failed) ++failed;
+    }
+    arm.failed[tenant.name] = failed;
+  }
+  arm.wall_seconds = static_cast<double>(span.ElapsedNs()) * 1e-9;
+  return arm;
+}
+
+double RelDiff(double a, double b) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return scale == 0.0 ? 0.0 : std::abs(a - b) / scale;
+}
+
+int Main() {
+  benchutil::PrintHeader(
+      "E28: multi-experiment tuning service", "service layer",
+      "8 tenants over one shared pool: fair-share scheduling keeps every "
+      "tenant's concurrent result within 5% of its serial run (identical "
+      "for deterministic sims) and faults stay inside the injected tenant; "
+      "sim trials are ~free, so wall-clock here measures scheduler "
+      "overhead, not speedup");
+
+  const std::vector<Tenant> tenants = MakeTenants();
+
+  std::printf("\nserial baseline (1 worker)...\n");
+  const ArmResult serial = RunArm(tenants, 1);
+  std::printf("concurrent service (%zu workers)...\n", kConcurrentThreads);
+  const ArmResult concurrent = RunArm(tenants, kConcurrentThreads);
+
+  // Isolation probe: the healthy tenants again, with NO faulty neighbors.
+  std::vector<Tenant> healthy;
+  for (const Tenant& tenant : tenants) {
+    if (!tenant.faulty) healthy.push_back(tenant);
+  }
+  std::printf("healthy tenants only (isolation probe)...\n");
+  const ArmResult isolated = RunArm(healthy, kConcurrentThreads);
+
+  Table table({"tenant", "env", "faulty", "best_serial", "best_concurrent",
+               "rel_diff", "failed_trials"});
+  double max_rel_diff = 0.0;
+  double max_isolation_diff = 0.0;
+  for (const Tenant& tenant : tenants) {
+    const double serial_best = serial.best.at(tenant.name);
+    const double concurrent_best = concurrent.best.at(tenant.name);
+    const double diff = RelDiff(serial_best, concurrent_best);
+    max_rel_diff = std::max(max_rel_diff, diff);
+    if (!tenant.faulty) {
+      max_isolation_diff = std::max(
+          max_isolation_diff,
+          RelDiff(concurrent_best, isolated.best.at(tenant.name)));
+    }
+    (void)table.AppendRow({tenant.name, tenant.env_label,
+                           tenant.faulty ? "yes" : "no",
+                           FormatDouble(serial_best, 6),
+                           FormatDouble(concurrent_best, 6),
+                           FormatDouble(diff, 3),
+                           std::to_string(concurrent.failed.at(tenant.name))});
+  }
+  std::printf("\n%s\n", table.ToPrettyString().c_str());
+
+  const double speedup =
+      concurrent.wall_seconds > 0.0
+          ? serial.wall_seconds / concurrent.wall_seconds
+          : 0.0;
+  std::printf("wall-clock: serial %.2fs, concurrent %.2fs (%.1fx)\n",
+              serial.wall_seconds, concurrent.wall_seconds, speedup);
+  std::printf("max concurrent-vs-serial rel diff: %.4f (acceptance < 0.05)\n",
+              max_rel_diff);
+  std::printf("max healthy-tenant shift when faulty neighbors join: %.4f\n",
+              max_isolation_diff);
+
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.SetGauge("bench.e28.max_rel_diff", max_rel_diff);
+  metrics.SetGauge("bench.e28.isolation_diff", max_isolation_diff);
+  metrics.SetGauge("bench.e28.speedup", speedup);
+  metrics.SetGauge("bench.e28.serial_seconds", serial.wall_seconds);
+  metrics.SetGauge("bench.e28.concurrent_seconds", concurrent.wall_seconds);
+
+  const bool pass = max_rel_diff < 0.05 && max_isolation_diff < 0.05;
+  std::printf("\n%s\n", pass ? "PASS: concurrency within 5% of serial and "
+                               "faults stayed isolated"
+                             : "FAIL: concurrent results drifted from serial");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace autotune
+
+int main() { return autotune::Main(); }

@@ -26,6 +26,7 @@ void ThreadPool::Enqueue(std::function<void()> task) {
     MutexLock lock(mutex_);
     AUTOTUNE_CHECK_MSG(!shutting_down_, "Submit after shutdown");
     queue_.push_back(std::move(task));
+    ++tasks_submitted_;
   }
   cv_.notify_one();
 }
@@ -43,7 +44,24 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
+    {
+      MutexLock lock(mutex_);
+      ++tasks_completed_;
+    }
   }
+}
+
+ThreadPool::Stats ThreadPool::GetStats() const {
+  MutexLock lock(mutex_);
+  Stats stats;
+  stats.num_threads = workers_.size();
+  stats.tasks_submitted = tasks_submitted_;
+  stats.tasks_completed = tasks_completed_;
+  stats.queue_depth = queue_.size();
+  stats.running = static_cast<size_t>(
+      tasks_submitted_ - tasks_completed_ -
+      static_cast<int64_t>(queue_.size()));
+  return stats;
 }
 
 }  // namespace autotune

@@ -39,13 +39,30 @@ class ThreadPool {
   /// Number of worker threads.
   size_t num_threads() const { return workers_.size(); }
 
+  /// Point-in-time pool statistics (service /metrics gauges).
+  struct Stats {
+    size_t num_threads = 0;
+    /// Tasks accepted by Submit/Enqueue since construction.
+    int64_t tasks_submitted = 0;
+    /// Tasks whose callable has finished running.
+    int64_t tasks_completed = 0;
+    /// Tasks waiting in the queue (not yet picked up by a worker).
+    size_t queue_depth = 0;
+    /// Tasks currently executing on a worker (= submitted - completed -
+    /// queued, captured atomically under the pool lock).
+    size_t running = 0;
+  };
+  [[nodiscard]] Stats GetStats() const EXCLUDES(mutex_);
+
  private:
   void Enqueue(std::function<void()> task) EXCLUDES(mutex_);
   void WorkerLoop() EXCLUDES(mutex_);
 
-  Mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  int64_t tasks_submitted_ GUARDED_BY(mutex_) = 0;
+  int64_t tasks_completed_ GUARDED_BY(mutex_) = 0;
   /// Started in the constructor, joined in the destructor; never mutated in
   /// between, so `num_threads()` reads it without the lock.
   std::vector<std::thread> workers_;

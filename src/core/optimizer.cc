@@ -4,6 +4,18 @@
 
 namespace autotune {
 
+Result<OptimizerCheckpoint> Optimizer::SaveCheckpoint() const {
+  return Status::Unimplemented("optimizer '" + name() +
+                               "' does not support checkpointing");
+}
+
+Status Optimizer::RestoreCheckpoint(
+    const OptimizerCheckpoint& /*checkpoint*/,
+    const std::vector<Observation>& /*history*/) {
+  return Status::Unimplemented("optimizer '" + name() +
+                               "' does not support checkpointing");
+}
+
 Result<std::vector<Configuration>> Optimizer::SuggestBatch(size_t k) {
   std::vector<Configuration> batch;
   batch.reserve(k);
@@ -38,5 +50,36 @@ Status OptimizerBase::Observe(const Observation& observation) {
 }
 
 void OptimizerBase::OnObserve(const Observation& /*observation*/) {}
+
+OptimizerCheckpoint OptimizerBase::SaveBaseCheckpoint() const {
+  OptimizerCheckpoint checkpoint;
+  checkpoint.rng = rng_.SaveState();
+  return checkpoint;
+}
+
+Status OptimizerBase::RestoreBaseCheckpoint(
+    const OptimizerCheckpoint& checkpoint,
+    const std::vector<Observation>& history) {
+  for (const Observation& observation : history) {
+    if (&observation.config.space() != space_) {
+      return Status::InvalidArgument(
+          "checkpoint history configuration from a different space");
+    }
+  }
+  AUTOTUNE_RETURN_IF_ERROR(rng_.RestoreState(checkpoint.rng));
+  history_ = history;
+  // Recompute the incumbent with the exact rule `Observe` applies, so the
+  // restored tracker matches the one the interrupted run carried.
+  best_.reset();
+  for (const Observation& observation : history_) {
+    if (!best_.has_value() ||
+        (best_->failed && !observation.failed) ||
+        (best_->failed == observation.failed &&
+         observation.objective < best_->objective)) {
+      best_ = observation;
+    }
+  }
+  return Status::OK();
+}
 
 }  // namespace autotune

@@ -1,6 +1,8 @@
 #ifndef AUTOTUNE_CORE_OPTIMIZER_H_
 #define AUTOTUNE_CORE_OPTIMIZER_H_
 
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -11,6 +13,20 @@
 #include "space/config_space.h"
 
 namespace autotune {
+
+/// Compact resumable optimizer state, journaled inside periodic
+/// `optimizer_snapshot` events so a resumed session can skip the linear
+/// replay prefix (journal compaction — see docs/SERVICE.md). `rng` is the
+/// optimizer's RNG stream; `fields` carries small subclass-specific scalars
+/// (sequence indices, counters, flags encoded as 0/1). The observation
+/// history is deliberately NOT part of the checkpoint: it already lives in
+/// the journal's trial_completed events and is handed back to
+/// `RestoreCheckpoint` at resume time, so snapshot events stay O(1) in
+/// session length.
+struct OptimizerCheckpoint {
+  std::vector<uint64_t> rng;
+  std::map<std::string, int64_t> fields;
+};
 
 /// The optimizer side of the tutorial's black-box tuning loop (slide 34):
 /// "Optimizer: suggest new x_i" / "Target: evaluate y_i = f(x_i)". The
@@ -48,6 +64,25 @@ class Optimizer {
 
   /// Number of observations received.
   virtual size_t num_observations() const = 0;
+
+  /// Checkpoint/restore hooks for journal compaction. An optimizer whose
+  /// decision state is reconstructible from (checkpoint, observation
+  /// history) overrides BOTH; the default declines with Unimplemented,
+  /// which makes the tuning loop journal diagnostics-only snapshots and
+  /// resume fall back to linear replay — always correct, just not bounded
+  /// by the snapshot interval. `SaveCheckpoint` may also decline
+  /// transiently (FailedPrecondition) when the current internal state is
+  /// not a pure function of history (e.g. a fantasy-fitted surrogate
+  /// mid-batch).
+  [[nodiscard]] virtual Result<OptimizerCheckpoint> SaveCheckpoint() const;
+
+  /// Restores the state saved by `SaveCheckpoint`, with `history` the
+  /// journaled observations received before the checkpoint (in order).
+  /// After a successful restore, the optimizer's subsequent
+  /// Suggest/Observe stream is bit-identical to the run that saved it.
+  [[nodiscard]] virtual Status RestoreCheckpoint(
+      const OptimizerCheckpoint& checkpoint,
+      const std::vector<Observation>& history);
 };
 
 /// Convenience base class handling the bookkeeping shared by all concrete
@@ -72,6 +107,18 @@ class OptimizerBase : public Optimizer {
   /// Hook for subclasses to react to a new observation (model refit etc.).
   /// Called after the observation is recorded.
   virtual void OnObserve(const Observation& observation);
+
+  /// Base-state capture for subclasses implementing `SaveCheckpoint`:
+  /// returns a checkpoint holding the RNG stream (history/best are
+  /// reconstructed from the journal at restore time).
+  OptimizerCheckpoint SaveBaseCheckpoint() const;
+
+  /// Restores history, best tracking (recomputed with `Observe`'s rule),
+  /// and the RNG stream. Subclass extras are the caller's job. Does NOT
+  /// invoke `OnObserve` — subclasses rebuild their derived state directly.
+  [[nodiscard]] Status RestoreBaseCheckpoint(
+      const OptimizerCheckpoint& checkpoint,
+      const std::vector<Observation>& history);
 
   const ConfigSpace* space_;
   Rng rng_;

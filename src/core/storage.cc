@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "obs/journal.h"
+#include "record/codec.h"
 
 namespace autotune {
 
@@ -114,7 +115,7 @@ Status TrialStorage::WriteJsonl(const std::string& path) const {
     return Status::Unavailable("cannot open '" + path + "' for writing");
   }
   for (const Observation& observation : observations_) {
-    const std::string line = obs::EncodeObservation(observation).Dump();
+    const std::string line = record::EncodeObservation(observation).Dump();
     std::fwrite(line.data(), 1, line.size(), file);
     std::fputc('\n', file);
   }
@@ -127,8 +128,8 @@ Status TrialStorage::WriteJsonl(const std::string& path) const {
 Result<TrialStorage> TrialStorage::FromJournal(const ConfigSpace* space,
                                                const std::string& path) {
   if (space == nullptr) return Status::InvalidArgument("null space");
-  AUTOTUNE_ASSIGN_OR_RETURN(obs::JournalReplay replay,
-                            obs::ReplayJournal(path, space));
+  AUTOTUNE_ASSIGN_OR_RETURN(record::JournalReplay replay,
+                            record::ReplayJournal(path, space));
   TrialStorage storage(space);
   for (const Observation& observation : replay.observations) {
     AUTOTUNE_RETURN_IF_ERROR(storage.Add(observation));

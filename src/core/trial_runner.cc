@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "math/stats.h"
+#include "obs/env_bridge.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -39,6 +40,10 @@ TrialRunner::TrialRunner(Environment* env, TrialRunnerOptions options,
                          uint64_t seed)
     : env_(env), options_(options), rng_(seed) {
   AUTOTUNE_CHECK(env != nullptr);
+  // Environments emit spans/counters through the env-layer observer
+  // interface; make sure the obs bridge behind it is installed in any
+  // binary that runs trials.
+  obs::InstallEnvObserver();
   const Status valid = options_.Validate();
   AUTOTUNE_CHECK_MSG(valid.ok(), valid.ToString().c_str());
 }
@@ -228,6 +233,39 @@ void TrialRunner::RestoreFromReplay(const Observation& observation) {
   }
   if (observation.failed) return;  // Imputed scores never enter trackers.
   TrackObjective(observation.objective);
+}
+
+RunnerCheckpoint TrialRunner::SaveCheckpoint() const {
+  RunnerCheckpoint checkpoint;
+  checkpoint.rng = rng_.SaveState();
+  checkpoint.total_cost = total_cost_;
+  checkpoint.num_trials = static_cast<int64_t>(num_trials_);
+  checkpoint.total_retries = total_retries_;
+  checkpoint.total_timeouts = total_timeouts_;
+  checkpoint.best_objective = best_objective_;
+  checkpoint.worst_objective = worst_objective_;
+  checkpoint.last_deployed = last_deployed_;
+  return checkpoint;
+}
+
+Status TrialRunner::RestoreCheckpoint(const RunnerCheckpoint& checkpoint) {
+  if (checkpoint.num_trials < 0) {
+    return Status::InvalidArgument("negative num_trials in checkpoint");
+  }
+  if (checkpoint.last_deployed.has_value() &&
+      &checkpoint.last_deployed->space() != &env_->space()) {
+    return Status::InvalidArgument(
+        "checkpoint last_deployed configuration from a different space");
+  }
+  AUTOTUNE_RETURN_IF_ERROR(rng_.RestoreState(checkpoint.rng));
+  total_cost_ = checkpoint.total_cost;
+  num_trials_ = static_cast<size_t>(checkpoint.num_trials);
+  total_retries_ = checkpoint.total_retries;
+  total_timeouts_ = checkpoint.total_timeouts;
+  best_objective_ = checkpoint.best_objective;
+  worst_objective_ = checkpoint.worst_objective;
+  last_deployed_ = checkpoint.last_deployed;
+  return Status::OK();
 }
 
 Observation TrialRunner::EvaluateDuet(const Configuration& config,

@@ -58,6 +58,23 @@ struct TrialRunnerOptions {
   [[nodiscard]] Status Validate() const;
 };
 
+/// Resumable counters and trackers of a `TrialRunner`, captured at a trial
+/// boundary. Journaled inside `optimizer_snapshot` events (journal
+/// compaction) so a resumed session can restore the runner without
+/// replaying every prior observation through `RestoreFromReplay`.
+struct RunnerCheckpoint {
+  std::vector<uint64_t> rng;
+  double total_cost = 0.0;
+  int64_t num_trials = 0;
+  int64_t total_retries = 0;
+  int64_t total_timeouts = 0;
+  std::optional<double> best_objective;
+  std::optional<double> worst_objective;
+  /// Last configuration deployed to the environment (restart-cost
+  /// accounting); absent if no trial ran yet.
+  std::optional<Configuration> last_deployed;
+};
+
 /// Executes trials against an `Environment` and turns raw benchmark results
 /// into optimizer-ready `Observation`s: repetition + aggregation, maximize ->
 /// minimize negation, crash-score imputation, retries with backoff and
@@ -116,6 +133,12 @@ class TrialRunner {
   [[nodiscard]] Status RestoreRngState(const std::vector<uint64_t>& words) {
     return rng_.RestoreState(words);
   }
+
+  /// Full counter/tracker checkpoint for journal compaction: restoring it
+  /// is equivalent to calling `RestoreFromReplay` for every observation up
+  /// to the checkpoint, plus `RestoreRngState` of the state saved with it.
+  RunnerCheckpoint SaveCheckpoint() const;
+  [[nodiscard]] Status RestoreCheckpoint(const RunnerCheckpoint& checkpoint);
 
  private:
   /// Extracts the minimize-convention objective from a benchmark result.

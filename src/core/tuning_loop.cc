@@ -2,262 +2,374 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "common/log.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "record/codec.h"
 
 namespace autotune {
 
-namespace {
-
 using obs::Json;
 
-TuningResult RunTuningLoopImpl(Optimizer* optimizer, TrialRunner* runner,
-                               const TuningLoopOptions& options,
-                               const obs::JournalReplay* replay) {
+TuningLoop::TuningLoop(Optimizer* optimizer, TrialRunner* runner,
+                       TuningLoopOptions options)
+    : optimizer_(optimizer), runner_(runner), options_(options) {
   AUTOTUNE_CHECK(optimizer != nullptr);
   AUTOTUNE_CHECK(runner != nullptr);
-  AUTOTUNE_CHECK(options.max_trials >= 1);
-  AUTOTUNE_CHECK(options.batch_size >= 1);
-  AUTOTUNE_CHECK(options.degrade_window >= 0);
-  AUTOTUNE_CHECK(options.degrade_failure_rate >= 0.0 &&
-                 options.degrade_failure_rate <= 1.0);
+  AUTOTUNE_CHECK(options_.max_trials >= 1);
+  AUTOTUNE_CHECK(options_.batch_size >= 1);
+  AUTOTUNE_CHECK(options_.degrade_window >= 0);
+  AUTOTUNE_CHECK(options_.degrade_failure_rate >= 0.0 &&
+                 options_.degrade_failure_rate <= 1.0);
+  initial_cost_ = runner_->total_cost();
+}
+
+Status TuningLoop::Resume(const record::JournalReplay& replay) {
+  AUTOTUNE_CHECK_MSG(!loop_started_journaled_ && result_.trials_run == 0,
+                     "Resume must precede the first StepTrial");
+  replay_observations_ = replay.observations;
+  replay_runner_rng_ = replay.runner_rng;
+  replay_count_ = replay_observations_.size();
+  replay_next_ = 0;
+
+  if (!replay.checkpoint.has_value()) return Status::OK();
+  const record::LoopCheckpoint& checkpoint = *replay.checkpoint;
+  if (checkpoint.trial < 0 ||
+      static_cast<size_t>(checkpoint.trial) > replay_count_) {
+    return Status::InvalidArgument("journaled checkpoint trial out of range");
+  }
+
+  // Journal compaction fast-path: restore the optimizer and runner from the
+  // snapshot, absorb the pre-checkpoint observations without touching
+  // either, and leave only the post-checkpoint tail for suggest-and-discard
+  // fast-forwarding. Optimizers without checkpoint support decline with
+  // Unimplemented — fall back to linear replay from trial 0.
+  std::vector<Observation> prefix(
+      replay_observations_.begin(),
+      replay_observations_.begin() + checkpoint.trial);
+  Status restored = optimizer_->RestoreCheckpoint(checkpoint.optimizer,
+                                                  prefix);
+  if (!restored.ok()) {
+    AUTOTUNE_LOG(kInfo) << "checkpoint restore unavailable for optimizer '"
+                        << optimizer_->name() << "' ("
+                        << restored.ToString()
+                        << "); falling back to linear replay";
+    return Status::OK();
+  }
+  AUTOTUNE_RETURN_IF_ERROR(runner_->RestoreCheckpoint(checkpoint.runner));
+  for (const Observation& observation : prefix) {
+    if (done_) break;
+    AbsorbObservation(observation, /*replaying=*/true);
+  }
+  replay_next_ = static_cast<size_t>(checkpoint.trial);
+  if (replay_next_ == replay_count_ && !replay_runner_rng_.empty()) {
+    Status status = runner_->RestoreRngState(replay_runner_rng_);
+    if (!status.ok()) {
+      AUTOTUNE_LOG(kWarning) << "could not restore runner RNG state: "
+                             << status.ToString();
+    }
+  }
+  // Checkpoints are only written at batch boundaries, so re-run the
+  // boundary convergence check the linear replay would have run here.
+  if (!done_) CheckConvergenceAtBatchBoundary();
+  return Status::OK();
+}
+
+void TuningLoop::EnsureStarted() {
+  if (loop_started_journaled_) return;
+  loop_started_journaled_ = true;
+  if (options_.journal != nullptr) {
+    options_.journal->Event(
+        "loop_started",
+        {{"optimizer", Json(optimizer_->name())},
+         {"max_trials", Json(int64_t{options_.max_trials})},
+         {"batch_size", Json(options_.batch_size)},
+         {"resumed_trials", Json(replay_count_)},
+         {"space", record::EncodeSpaceSchema(optimizer_->space())}});
+  }
+}
+
+void TuningLoop::RefillBatch() {
+  if (degrade_triggered_ || result_.trials_run >= options_.max_trials ||
+      !(runner_->total_cost() - initial_cost_ < options_.max_cost)) {
+    done_ = true;
+    return;
+  }
+  const size_t remaining =
+      static_cast<size_t>(options_.max_trials - result_.trials_run);
+  const size_t batch = std::min(options_.batch_size, remaining);
+
+  obs::Span span("loop.suggest");
+  if (batch == 1) {
+    auto suggestion = optimizer_->Suggest();
+    if (!suggestion.ok()) {
+      AUTOTUNE_LOG(kInfo) << "optimizer '" << optimizer_->name()
+                          << "' stopped suggesting: "
+                          << suggestion.status().ToString();
+      done_ = true;  // E.g. grid exhausted.
+      return;
+    }
+    pending_.push_back(std::move(suggestion).value());
+  } else {
+    auto suggested = optimizer_->SuggestBatch(batch);
+    if (!suggested.ok() || suggested->empty()) {
+      done_ = true;
+      return;
+    }
+    for (Configuration& config : *suggested) {
+      pending_.push_back(std::move(config));
+    }
+  }
+}
+
+void TuningLoop::AbsorbObservation(Observation observation, bool replaying) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  const int trial = result_.trials_run;
+  if (!observation.failed && observation.objective < best_) {
+    best_ = observation.objective;
+    metrics.GetCounter("loop.incumbent_updates")->Increment();
+    metrics.GetGauge("loop.incumbent_objective")->Set(best_);
+    if (options_.journal != nullptr && !replaying) {
+      options_.journal->Event(
+          "incumbent_updated",
+          {{"trial", Json(int64_t{trial})},
+           {"objective", Json(best_)},
+           {"config", record::EncodeConfig(observation.config)}});
+    }
+  }
+  result_.best_so_far.push_back(best_);
+  result_.history.push_back(std::move(observation));
+  ++result_.trials_run;
+  if (replaying) {
+    ++result_.replayed_trials;
+  } else if (options_.snapshot_every > 0 &&
+             result_.trials_run % options_.snapshot_every == 0) {
+    snapshot_pending_ = true;
+  }
+  CheckDegrade();
+}
+
+void TuningLoop::CheckDegrade() {
+  // Graceful degradation: failure rate over the trailing window. The check
+  // runs on replayed trials too, so a resumed session re-derives the same
+  // stop decision as the uninterrupted one.
+  if (options_.degrade_window <= 0 ||
+      result_.trials_run < options_.degrade_window) {
+    return;
+  }
+  const size_t window = static_cast<size_t>(options_.degrade_window);
+  int failures = 0;
+  for (size_t i = result_.history.size() - window;
+       i < result_.history.size(); ++i) {
+    if (result_.history[i].failed) ++failures;
+  }
+  if (failures > options_.degrade_failure_rate *
+                     static_cast<double>(window)) {
+    degrade_triggered_ = true;
+    done_ = true;
+    pending_.clear();  // Discard the rest of the in-flight batch.
+  }
+}
+
+void TuningLoop::CheckConvergenceAtBatchBoundary() {
+  if (options_.convergence_window <= 0 ||
+      result_.trials_run <= options_.convergence_window) {
+    return;
+  }
+  const size_t idx = result_.best_so_far.size() -
+                     static_cast<size_t>(options_.convergence_window) - 1;
+  const double before = result_.best_so_far[idx];
+  if (std::isfinite(before) &&
+      before - best_ <= options_.convergence_tol) {
+    result_.converged_early = true;
+    done_ = true;
+  }
+}
+
+void TuningLoop::MaybeSnapshotAtBatchBoundary() {
+  if (!snapshot_pending_) return;
+  snapshot_pending_ = false;
+  if (options_.journal == nullptr) return;
+  Json::Object fields;
+  fields["trial"] = Json(int64_t{result_.trials_run});
+  fields["num_observations"] = Json(optimizer_->num_observations());
+  fields["best_objective"] = Json(std::isfinite(best_) ? best_ : 0.0);
+  fields["total_cost"] = Json(runner_->total_cost() - initial_cost_);
+  // Journal compaction: embed a full optimizer + runner checkpoint when the
+  // optimizer supports it; otherwise the snapshot is diagnostics-only and
+  // resume falls back to linear replay.
+  auto checkpoint = optimizer_->SaveCheckpoint();
+  if (checkpoint.ok()) {
+    Json::Object encoded;
+    encoded["optimizer"] = record::EncodeOptimizerCheckpoint(*checkpoint);
+    encoded["runner"] = record::EncodeRunnerCheckpoint(
+        runner_->SaveCheckpoint());
+    fields["checkpoint"] = Json(std::move(encoded));
+  }
+  options_.journal->Event("optimizer_snapshot", std::move(fields));
+}
+
+void TuningLoop::StepTrial() {
+  if (done_ || finished_) return;
+  EnsureStarted();
+  if (pending_.empty()) {
+    RefillBatch();
+    if (done_ || pending_.empty()) return;
+  }
 
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  obs::Counter* trials_started = metrics.GetCounter("loop.trials.started");
-  obs::Counter* trials_completed =
-      metrics.GetCounter("loop.trials.completed");
-  obs::Counter* trials_failed = metrics.GetCounter("loop.trials.failed");
-  obs::Counter* incumbent_updates =
-      metrics.GetCounter("loop.incumbent_updates");
-  obs::Gauge* incumbent_gauge = metrics.GetGauge("loop.incumbent_objective");
-  obs::Journal* journal = options.journal;
+  obs::Journal* journal = options_.journal;
+  Configuration config = std::move(pending_.front());
+  pending_.pop_front();
 
-  const size_t replay_count = replay ? replay->observations.size() : 0;
-  size_t replay_next = 0;
-
-  if (journal != nullptr) {
-    journal->Event("loop_started",
-                   {{"optimizer", Json(optimizer->name())},
-                    {"max_trials", Json(int64_t{options.max_trials})},
-                    {"batch_size", Json(options.batch_size)},
-                    {"resumed_trials", Json(replay_count)},
-                    {"space", obs::EncodeSpaceSchema(optimizer->space())}});
-  }
-
-  TuningResult result;
-  const double initial_cost = runner->total_cost();
-  double best = std::numeric_limits<double>::infinity();
-  bool degrade_triggered = false;
-
-  while (!degrade_triggered &&
-         result.trials_run < options.max_trials &&
-         runner->total_cost() - initial_cost < options.max_cost) {
-    const size_t remaining =
-        static_cast<size_t>(options.max_trials - result.trials_run);
-    const size_t batch = std::min(options.batch_size, remaining);
-
-    std::vector<Configuration> suggestions;
+  const int trial = result_.trials_run;
+  const bool replaying = replay_next_ < replay_count_;
+  std::optional<Observation> evaluated;
+  if (replaying) {
+    // Fast-forward: take the journaled outcome instead of re-running the
+    // benchmark. The suggestion above was still made (and is now
+    // discarded) so the optimizer's RNG stream advances exactly as in the
+    // original run.
+    const Observation& journaled = replay_observations_[replay_next_];
+    if (&journaled.config.space() == &config.space() &&
+        !(journaled.config == config)) {
+      AUTOTUNE_LOG(kWarning)
+          << "resume divergence at trial " << trial
+          << ": suggested config differs from journaled config; "
+             "continuing with the journaled one";
+    }
+    evaluated = journaled;
+    runner_->RestoreFromReplay(journaled);
+    ++replay_next_;
+    if (replay_next_ == replay_count_ && !replay_runner_rng_.empty()) {
+      Status status = runner_->RestoreRngState(replay_runner_rng_);
+      if (!status.ok()) {
+        AUTOTUNE_LOG(kWarning) << "could not restore runner RNG state: "
+                               << status.ToString();
+      }
+    }
+  } else {
+    metrics.GetCounter("loop.trials.started")->Increment();
+    if (journal != nullptr) {
+      journal->Event("trial_started",
+                     {{"trial", Json(int64_t{trial})},
+                      {"config", record::EncodeConfig(config)}});
+    }
     {
-      obs::Span span("loop.suggest");
-      if (batch == 1) {
-        auto suggestion = optimizer->Suggest();
-        if (!suggestion.ok()) {
-          AUTOTUNE_LOG(kInfo) << "optimizer '" << optimizer->name()
-                              << "' stopped suggesting: "
-                              << suggestion.status().ToString();
-          break;  // E.g. grid exhausted.
-        }
-        suggestions.push_back(std::move(suggestion).value());
-      } else {
-        auto suggested = optimizer->SuggestBatch(batch);
-        if (!suggested.ok() || suggested->empty()) break;
-        suggestions = std::move(suggested).value();
-      }
+      obs::Span span("loop.evaluate");
+      evaluated = runner_->Evaluate(config);
     }
-
-    for (const Configuration& config : suggestions) {
-      const int trial = result.trials_run;
-      const bool replaying = replay_next < replay_count;
-      std::optional<Observation> evaluated;
-      if (replaying) {
-        // Fast-forward: take the journaled outcome instead of re-running
-        // the benchmark. The suggestion above was still made (and is now
-        // discarded) so the optimizer's RNG stream advances exactly as in
-        // the original run.
-        const Observation& journaled = replay->observations[replay_next];
-        if (&journaled.config.space() == &config.space() &&
-            !(journaled.config == config)) {
-          AUTOTUNE_LOG(kWarning)
-              << "resume divergence at trial " << trial
-              << ": suggested config differs from journaled config; "
-                 "continuing with the journaled one";
-        }
-        evaluated = journaled;
-        runner->RestoreFromReplay(journaled);
-        ++replay_next;
-        ++result.replayed_trials;
-        if (replay_next == replay_count && !replay->runner_rng.empty()) {
-          Status status = runner->RestoreRngState(replay->runner_rng);
-          if (!status.ok()) {
-            AUTOTUNE_LOG(kWarning) << "could not restore runner RNG state: "
-                                   << status.ToString();
-          }
-        }
-      } else {
-        trials_started->Increment();
-        if (journal != nullptr) {
-          journal->Event("trial_started",
-                         {{"trial", Json(int64_t{trial})},
-                          {"config", obs::EncodeConfig(config)}});
-        }
-        {
-          obs::Span span("loop.evaluate");
-          evaluated = runner->Evaluate(config);
-        }
-        trials_completed->Increment();
-        if (evaluated->failed) trials_failed->Increment();
-        if (journal != nullptr) {
-          journal->Event(
-              "trial_completed",
-              {{"trial", Json(int64_t{trial})},
-               {"observation", obs::EncodeObservation(*evaluated)},
-               {"runner_rng", obs::EncodeRngState(runner->SaveRngState())}});
-        }
-      }
-
-      Observation& observation = *evaluated;
-      {
-        obs::Span span("loop.observe");
-        Status status = optimizer->Observe(observation);
-        AUTOTUNE_CHECK_MSG(status.ok(), status.ToString().c_str());
-      }
-      if (!observation.failed && observation.objective < best) {
-        best = observation.objective;
-        incumbent_updates->Increment();
-        incumbent_gauge->Set(best);
-        if (journal != nullptr && !replaying) {
-          journal->Event("incumbent_updated",
-                         {{"trial", Json(int64_t{trial})},
-                          {"objective", Json(best)},
-                          {"config", obs::EncodeConfig(observation.config)}});
-        }
-      }
-      result.best_so_far.push_back(best);
-      result.history.push_back(std::move(observation));
-      ++result.trials_run;
-
-      if (journal != nullptr && !replaying && options.snapshot_every > 0 &&
-          result.trials_run % options.snapshot_every == 0) {
-        journal->Event(
-            "optimizer_snapshot",
-            {{"trial", Json(int64_t{result.trials_run})},
-             {"num_observations", Json(optimizer->num_observations())},
-             {"best_objective",
-              Json(std::isfinite(best) ? best : 0.0)},
-             {"total_cost", Json(runner->total_cost() - initial_cost)}});
-      }
-
-      // Graceful degradation: failure rate over the trailing window. The
-      // check runs on replayed trials too, so a resumed session re-derives
-      // the same stop decision as the uninterrupted one.
-      if (options.degrade_window > 0 &&
-          result.trials_run >= options.degrade_window) {
-        const size_t window = static_cast<size_t>(options.degrade_window);
-        int failures = 0;
-        for (size_t i = result.history.size() - window;
-             i < result.history.size(); ++i) {
-          if (result.history[i].failed) ++failures;
-        }
-        if (failures > options.degrade_failure_rate *
-                           static_cast<double>(window)) {
-          degrade_triggered = true;
-          break;
-        }
-      }
+    metrics.GetCounter("loop.trials.completed")->Increment();
+    if (evaluated->failed) {
+      metrics.GetCounter("loop.trials.failed")->Increment();
     }
-
-    // Convergence check over the trailing window.
-    if (options.convergence_window > 0 &&
-        result.trials_run > options.convergence_window) {
-      const size_t idx = result.best_so_far.size() -
-                         static_cast<size_t>(options.convergence_window) - 1;
-      const double before = result.best_so_far[idx];
-      if (std::isfinite(before) &&
-          before - best <= options.convergence_tol) {
-        result.converged_early = true;
-        break;
-      }
+    if (journal != nullptr) {
+      journal->Event(
+          "trial_completed",
+          {{"trial", Json(int64_t{trial})},
+           {"observation", record::EncodeObservation(*evaluated)},
+           {"runner_rng",
+            record::EncodeRngState(runner_->SaveRngState())}});
     }
   }
 
-  result.best = optimizer->best();
+  {
+    obs::Span span("loop.observe");
+    Status status = optimizer_->Observe(*evaluated);
+    AUTOTUNE_CHECK_MSG(status.ok(), status.ToString().c_str());
+  }
+  AbsorbObservation(std::move(*evaluated), replaying);
 
-  if (degrade_triggered) {
+  if (!done_ && pending_.empty()) {
+    // Batch boundary: snapshots wait for it so a checkpoint never captures
+    // a mid-batch (fantasy-fitted) optimizer.
+    MaybeSnapshotAtBatchBoundary();
+    CheckConvergenceAtBatchBoundary();
+  }
+}
+
+TuningResult TuningLoop::Finish() {
+  AUTOTUNE_CHECK_MSG(!finished_, "TuningLoop::Finish called twice");
+  finished_ = true;
+  EnsureStarted();
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Journal* journal = options_.journal;
+
+  result_.best = optimizer_->best();
+
+  if (degrade_triggered_) {
     // The system is failing most trials — stop probing it and fall back to
     // the best configuration we know works (slides 26-31: degrade, don't
     // loop forever on a broken deployment).
-    result.degraded = true;
+    result_.degraded = true;
     metrics.GetCounter("loop.degraded")->Increment();
     const bool have_known_good =
-        result.best.has_value() && !result.best->failed;
+        result_.best.has_value() && !result_.best->failed;
     if (have_known_good) {
-      Observation redeploy = runner->Evaluate(result.best->config);
+      Observation redeploy = runner_->Evaluate(result_.best->config);
       if (journal != nullptr) {
         journal->Event(
             "degraded",
-            {{"trial", Json(int64_t{result.trials_run})},
-             {"window", Json(int64_t{options.degrade_window})},
-             {"failure_rate_threshold", Json(options.degrade_failure_rate)},
-             {"redeploy_config", obs::EncodeConfig(redeploy.config)},
-             {"redeploy_observation", obs::EncodeObservation(redeploy)}});
+            {{"trial", Json(int64_t{result_.trials_run})},
+             {"window", Json(int64_t{options_.degrade_window})},
+             {"failure_rate_threshold",
+              Json(options_.degrade_failure_rate)},
+             {"redeploy_config", record::EncodeConfig(redeploy.config)},
+             {"redeploy_observation",
+              record::EncodeObservation(redeploy)}});
       }
-      result.redeployed = std::move(redeploy);
-      result.status = Status::Aborted(
+      result_.redeployed = std::move(redeploy);
+      result_.status = Status::Aborted(
           "tuning degraded: failure rate over the last " +
-          std::to_string(options.degrade_window) +
+          std::to_string(options_.degrade_window) +
           " trials exceeded the threshold; redeployed best-known "
           "configuration");
     } else {
       if (journal != nullptr) {
         journal->Event(
             "degraded",
-            {{"trial", Json(int64_t{result.trials_run})},
-             {"window", Json(int64_t{options.degrade_window})},
-             {"failure_rate_threshold", Json(options.degrade_failure_rate)}});
+            {{"trial", Json(int64_t{result_.trials_run})},
+             {"window", Json(int64_t{options_.degrade_window})},
+             {"failure_rate_threshold",
+              Json(options_.degrade_failure_rate)}});
       }
-      result.status = Status::Unavailable(
+      result_.status = Status::Unavailable(
           "tuning degraded: failure rate exceeded the threshold and no "
           "trial ever succeeded — no known-good configuration to redeploy");
     }
   }
 
-  result.total_cost = runner->total_cost() - initial_cost;
+  result_.total_cost = runner_->total_cost() - initial_cost_;
   if (journal != nullptr) {
     journal->Event("experiment_finished",
-                   {{"trials", Json(int64_t{result.trials_run})},
-                    {"total_cost", Json(result.total_cost)},
-                    {"converged_early", Json(result.converged_early)},
-                    {"degraded", Json(result.degraded)}});
+                   {{"trials", Json(int64_t{result_.trials_run})},
+                    {"total_cost", Json(result_.total_cost)},
+                    {"converged_early", Json(result_.converged_early)},
+                    {"degraded", Json(result_.degraded)}});
     journal->Flush();
   }
-  return result;
+  return std::move(result_);
 }
-
-}  // namespace
 
 TuningResult RunTuningLoop(Optimizer* optimizer, TrialRunner* runner,
                            const TuningLoopOptions& options) {
-  return RunTuningLoopImpl(optimizer, runner, options, nullptr);
+  TuningLoop loop(optimizer, runner, options);
+  while (!loop.done()) loop.StepTrial();
+  return loop.Finish();
 }
 
 TuningResult ResumeTuningLoop(Optimizer* optimizer, TrialRunner* runner,
                               const TuningLoopOptions& options,
-                              const obs::JournalReplay& replay) {
-  return RunTuningLoopImpl(optimizer, runner, options, &replay);
+                              const record::JournalReplay& replay) {
+  TuningLoop loop(optimizer, runner, options);
+  const Status resumed = loop.Resume(replay);
+  AUTOTUNE_CHECK_MSG(resumed.ok(), resumed.ToString().c_str());
+  while (!loop.done()) loop.StepTrial();
+  return loop.Finish();
 }
 
 }  // namespace autotune

@@ -1,6 +1,8 @@
 #ifndef AUTOTUNE_CORE_TUNING_LOOP_H_
 #define AUTOTUNE_CORE_TUNING_LOOP_H_
 
+#include <cmath>
+#include <deque>
 #include <limits>
 #include <optional>
 #include <vector>
@@ -14,8 +16,11 @@ namespace autotune {
 
 namespace obs {
 class Journal;
-struct JournalReplay;
 }  // namespace obs
+
+namespace record {
+struct JournalReplay;
+}  // namespace record
 
 /// Stopping criteria and batching for `RunTuningLoop`.
 struct TuningLoopOptions {
@@ -42,7 +47,11 @@ struct TuningLoopOptions {
   obs::Journal* journal = nullptr;
 
   /// Journal an optimizer_snapshot event every N completed live trials
-  /// (0 disables).
+  /// (0 disables). Snapshots are written at batch boundaries and, when the
+  /// optimizer supports `SaveCheckpoint`, carry a full optimizer + runner
+  /// checkpoint — journal compaction: resume restores the last checkpoint
+  /// and fast-forwards only the trials after it, so resume cost is bounded
+  /// by this interval instead of the session length.
   int snapshot_every = 10;
 
   /// Graceful degradation (tutorial slides 26-31; docs/FAULT_TOLERANCE.md):
@@ -85,6 +94,109 @@ struct TuningResult {
   std::vector<double> best_so_far;
 };
 
+/// Incremental (steppable) form of the tuning loop: suggest -> evaluate ->
+/// observe, one trial per `StepTrial` call. `RunTuningLoop` /
+/// `ResumeTuningLoop` below drive it to completion in a plain while loop;
+/// the multi-experiment service (`src/service/`) interleaves steps of many
+/// loops over a shared worker pool, one in-flight trial per experiment.
+///
+/// Lifecycle: construct -> optionally `Resume` (before any step) ->
+/// `StepTrial` until `done()` (or until the caller decides to stop) ->
+/// `Finish` exactly once. All methods must be called from one thread at a
+/// time (the service serializes per-experiment work onto single tasks).
+class TuningLoop {
+ public:
+  /// `optimizer` and `runner` must outlive the loop. Options are CHECKed.
+  TuningLoop(Optimizer* optimizer, TrialRunner* runner,
+             TuningLoopOptions options);
+
+  /// Primes the loop with a journaled history: the first
+  /// `replay.observations.size()` trials are taken from the journal
+  /// instead of re-evaluated. When the replay carries an
+  /// `optimizer_snapshot` checkpoint the optimizer and runner are restored
+  /// from it and only the trials journaled AFTER it are fast-forwarded
+  /// through suggest/observe (journal compaction); otherwise every trial
+  /// is fast-forwarded (linear replay). Both paths end bit-exact with the
+  /// uninterrupted run. Must be called before the first `StepTrial`.
+  [[nodiscard]] Status Resume(const record::JournalReplay& replay);
+
+  /// True once the loop will run no further trials (budget exhausted,
+  /// converged, degraded, or the optimizer stopped suggesting).
+  bool done() const { return done_; }
+
+  /// Runs exactly one trial (journal-replayed or live). No-op once done.
+  void StepTrial();
+
+  /// Trials remaining to fast-forward from the journal (0 = live).
+  int pending_replay_trials() const {
+    return static_cast<int>(replay_count_ - replay_next_);
+  }
+
+  /// Finalizes the session: graceful-degradation redeploy if triggered,
+  /// experiment_finished journal event, flush. Call exactly once; the loop
+  /// is unusable afterwards.
+  TuningResult Finish();
+
+  // -- Progress accessors (service status endpoints) -------------------------
+
+  int trials_run() const { return result_.trials_run; }
+  int replayed_trials() const { return result_.replayed_trials; }
+  double total_cost() const { return runner_->total_cost() - initial_cost_; }
+
+  /// Best (lowest) successful objective so far, if any trial succeeded.
+  std::optional<double> best_objective() const {
+    return std::isfinite(best_) ? std::optional<double>(best_)
+                                : std::nullopt;
+  }
+
+  const TuningLoopOptions& options() const { return options_; }
+
+ private:
+  /// Writes the loop_started journal event once, lazily (after a possible
+  /// `Resume`, so it can report the fast-forward count).
+  void EnsureStarted();
+
+  /// Refills `pending_` with the next suggestion batch; marks the loop done
+  /// if the budget is exhausted or the optimizer stops suggesting.
+  void RefillBatch();
+
+  /// Folds one journal-replayed observation into the incumbent trackers,
+  /// history, and degrade check — everything a live trial does except
+  /// journaling and live-only metrics. Shared by linear replay and the
+  /// checkpoint fast-path.
+  void AbsorbObservation(Observation observation, bool replaying);
+
+  /// Degrade/convergence bookkeeping after each trial / batch boundary.
+  void CheckDegrade();
+  void CheckConvergenceAtBatchBoundary();
+  void MaybeSnapshotAtBatchBoundary();
+
+  Optimizer* optimizer_;
+  TrialRunner* runner_;
+  TuningLoopOptions options_;
+
+  TuningResult result_;
+  double initial_cost_ = 0.0;
+  double best_ = std::numeric_limits<double>::infinity();
+  bool done_ = false;
+  bool degrade_triggered_ = false;
+  bool finished_ = false;
+  bool loop_started_journaled_ = false;
+  /// Set when a snapshot interval elapses mid-batch; the snapshot itself is
+  /// written at the next batch boundary so a checkpoint never captures an
+  /// optimizer mid-`SuggestBatch` (fantasy surrogate state).
+  bool snapshot_pending_ = false;
+
+  /// Suggestions of the current batch not yet evaluated.
+  std::deque<Configuration> pending_;
+
+  /// Journal fast-forward state (`Resume`).
+  std::vector<Observation> replay_observations_;
+  std::vector<uint64_t> replay_runner_rng_;
+  size_t replay_count_ = 0;
+  size_t replay_next_ = 0;
+};
+
 /// Drives the tutorial's sequential model-based optimization loop (slide
 /// 33): suggest -> evaluate -> observe -> repeat, with budget and
 /// convergence stopping. This is the "elegant tuning framework" of slide 34
@@ -93,17 +205,17 @@ TuningResult RunTuningLoop(Optimizer* optimizer, TrialRunner* runner,
                            const TuningLoopOptions& options);
 
 /// Resumes a journaled session: re-drives the loop with the same seeds and
-/// options, but the first `replay.observations.size()` trials are taken
-/// from the journal instead of re-evaluated — the optimizer still makes
-/// (and discards) its suggestions during the fast-forward, so its internal
-/// state (surrogate, RNG stream) ends up exactly where the interrupted run
-/// left it, and the remaining trials continue as if the run had never been
-/// killed. Pass a fresh optimizer/runner constructed with the ORIGINAL
-/// seeds; with the journaled runner-RNG state restored, resumed runs are
-/// bit-exact even for noisy environments.
+/// options, but the journaled trials are fast-forwarded instead of
+/// re-evaluated (from the last checkpoint when one was journaled, from the
+/// beginning otherwise) — the optimizer's internal state (surrogate, RNG
+/// stream) ends up exactly where the interrupted run left it, and the
+/// remaining trials continue as if the run had never been killed. Pass a
+/// fresh optimizer/runner constructed with the ORIGINAL seeds; with the
+/// journaled runner-RNG state restored, resumed runs are bit-exact even
+/// for noisy environments.
 TuningResult ResumeTuningLoop(Optimizer* optimizer, TrialRunner* runner,
                               const TuningLoopOptions& options,
-                              const obs::JournalReplay& replay);
+                              const record::JournalReplay& replay);
 
 }  // namespace autotune
 

@@ -1,0 +1,29 @@
+#include "env/env_observer.h"
+
+namespace autotune {
+namespace env {
+
+namespace {
+
+std::atomic<EnvObserver*>& GlobalObserver() {
+  static std::atomic<EnvObserver*> observer{nullptr};
+  return observer;
+}
+
+}  // namespace
+
+void SetEnvObserver(EnvObserver* observer) {
+  GlobalObserver().store(observer, std::memory_order_release);
+}
+
+EnvObserver* GetEnvObserver() {
+  return GlobalObserver().load(std::memory_order_acquire);
+}
+
+void EnvCount(const char* name, double delta) {
+  EnvObserver* observer = GetEnvObserver();
+  if (observer != nullptr) observer->IncrementCounter(name, delta);
+}
+
+}  // namespace env
+}  // namespace autotune

@@ -1,0 +1,66 @@
+#ifndef AUTOTUNE_ENV_ENV_OBSERVER_H_
+#define AUTOTUNE_ENV_ENV_OBSERVER_H_
+
+#include <atomic>
+
+namespace autotune {
+namespace env {
+
+/// Narrow observability sink for environment implementations. Simulators
+/// live below the observability layer in the module graph, so they cannot
+/// (and should not) talk to `obs::Span` / `obs::MetricsRegistry` directly;
+/// instead they emit through this interface, and the obs layer installs a
+/// bridge (`obs::InstallEnvObserver`) that forwards spans to the trace
+/// buffer and counters to the metrics registry. With no observer installed
+/// every call is a no-op, so environments stay usable in minimal binaries.
+///
+/// Implementations must be thread-safe: environments run concurrently on
+/// the worker pool. They must not introduce ambient nondeterminism into the
+/// environment itself (timing happens behind the interface, in the obs
+/// layer).
+class EnvObserver {
+ public:
+  virtual ~EnvObserver() = default;
+
+  /// Begins a named span. The returned opaque token is handed back to
+  /// `EndSpan` exactly once. `name` must outlive the span (string
+  /// literals).
+  virtual void* BeginSpan(const char* name) = 0;
+  virtual void EndSpan(void* token) = 0;
+
+  /// Adds `delta` to a named counter.
+  virtual void IncrementCounter(const char* name, double delta) = 0;
+};
+
+/// Installs the process-global observer (nullptr to uninstall). The
+/// observer must outlive every environment run that may emit through it.
+void SetEnvObserver(EnvObserver* observer);
+EnvObserver* GetEnvObserver();
+
+/// RAII span through the installed observer; no-op when none is installed.
+/// The observer is captured at construction so an install/uninstall racing
+/// with a live span still pairs Begin/End on the same observer.
+class EnvSpanScope {
+ public:
+  explicit EnvSpanScope(const char* name) : observer_(GetEnvObserver()) {
+    if (observer_ != nullptr) token_ = observer_->BeginSpan(name);
+  }
+  ~EnvSpanScope() {
+    if (observer_ != nullptr) observer_->EndSpan(token_);
+  }
+
+  EnvSpanScope(const EnvSpanScope&) = delete;
+  EnvSpanScope& operator=(const EnvSpanScope&) = delete;
+
+ private:
+  EnvObserver* observer_;
+  void* token_ = nullptr;
+};
+
+/// Counter increment through the installed observer; no-op when none.
+void EnvCount(const char* name, double delta = 1.0);
+
+}  // namespace env
+}  // namespace autotune
+
+#endif  // AUTOTUNE_ENV_ENV_OBSERVER_H_

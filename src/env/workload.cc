@@ -1,4 +1,4 @@
-#include "workload/workload.h"
+#include "env/workload.h"
 
 #include <algorithm>
 

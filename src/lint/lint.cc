@@ -547,6 +547,9 @@ const std::map<std::string, std::set<std::string>>& LayerWhitelist() {
       {"surrogate", {"common", "math"}},
       {"sim", {"common", "math", "space", "env"}},
       {"lint", {"common", "obs"}},
+      {"record", {"common", "space", "core", "obs"}},
+      {"service",
+       {"common", "math", "space", "env", "fault", "core", "obs", "record"}},
   };
   return *map;
 }
@@ -554,7 +557,7 @@ const std::map<std::string, std::set<std::string>>& LayerWhitelist() {
 /// Explicitly forbidden edges for otherwise-unconstrained modules.
 const std::map<std::string, std::set<std::string>>& LayerBlacklist() {
   static const auto* map = new std::map<std::string, std::set<std::string>>{
-      {"obs", {"optimizers", "core"}},
+      {"obs", {"optimizers", "core", "record", "service"}},
   };
   return *map;
 }

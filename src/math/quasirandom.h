@@ -22,6 +22,12 @@ class HaltonSequence {
 
   size_t dim() const { return dim_; }
 
+  /// Raw sequence position (includes the warm-up skip), for
+  /// checkpoint/resume: a generator restored via `set_index` continues the
+  /// exact point stream of the saved one.
+  size_t index() const { return index_; }
+  void set_index(size_t index) { index_ = index; }
+
  private:
   size_t dim_;
   size_t index_;

@@ -1,0 +1,45 @@
+#include "obs/env_bridge.h"
+
+#include "env/env_observer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace autotune {
+namespace obs {
+
+namespace {
+
+/// Forwards the env layer's narrow observer interface to the obs backends.
+/// Span tokens are heap-allocated `obs::Span`s, so nesting and
+/// multi-threaded environments behave exactly like direct Span usage.
+class ObsEnvBridge : public env::EnvObserver {
+ public:
+  void* BeginSpan(const char* name) override { return new Span(name); }
+
+  void EndSpan(void* token) override { delete static_cast<Span*>(token); }
+
+  void IncrementCounter(const char* name, double delta) override {
+    MetricsRegistry::Global().Increment(name,
+                                        static_cast<int64_t>(delta));
+  }
+};
+
+}  // namespace
+
+void InstallEnvObserver() {
+  static ObsEnvBridge bridge;
+  env::SetEnvObserver(&bridge);
+}
+
+namespace {
+
+/// Best-effort install at static-init time for binaries that use
+/// environments without a TrialRunner.
+struct EnvBridgeRegistrar {
+  EnvBridgeRegistrar() { InstallEnvObserver(); }
+} env_bridge_registrar;
+
+}  // namespace
+
+}  // namespace obs
+}  // namespace autotune

@@ -1,0 +1,18 @@
+#ifndef AUTOTUNE_OBS_ENV_BRIDGE_H_
+#define AUTOTUNE_OBS_ENV_BRIDGE_H_
+
+namespace autotune {
+namespace obs {
+
+/// Installs the process-global `env::EnvObserver` bridge that forwards
+/// environment spans to the trace buffer and counters to the metrics
+/// registry. Idempotent and cheap; called from the `TrialRunner`
+/// constructor so any binary that runs trials gets environment
+/// observability without further wiring (and without relying on static
+/// initializers surviving static-library dead-stripping).
+void InstallEnvObserver();
+
+}  // namespace obs
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OBS_ENV_BRIDGE_H_

@@ -65,178 +65,9 @@ void Journal::Flush() {
   writer_->Submit([]() {}).wait();
 }
 
-// ---- Event payload encoding ------------------------------------------------
+// ---- Journal file reading --------------------------------------------------
 
-namespace {
-
-Json ParamValueToJson(const ParamValue& value) {
-  if (std::holds_alternative<double>(value)) {
-    return Json(std::get<double>(value));
-  }
-  if (std::holds_alternative<int64_t>(value)) {
-    return Json(std::get<int64_t>(value));
-  }
-  if (std::holds_alternative<bool>(value)) {
-    return Json(std::get<bool>(value));
-  }
-  return Json(std::get<std::string>(value));
-}
-
-Result<ParamValue> ParamValueFromJson(const ParameterSpec& spec,
-                                      const Json& value) {
-  switch (spec.type()) {
-    case ParameterType::kFloat:
-      if (!value.is_number()) break;
-      return ParamValue(value.AsDouble());
-    case ParameterType::kInt:
-      if (!value.is_number()) break;
-      return ParamValue(value.is_int()
-                            ? value.AsInt()
-                            : static_cast<int64_t>(value.AsDouble()));
-    case ParameterType::kCategorical:
-      if (!value.is_string()) break;
-      return ParamValue(value.AsString());
-    case ParameterType::kBool:
-      if (!value.is_bool()) break;
-      return ParamValue(value.AsBool());
-  }
-  return Status::InvalidArgument("journaled value for '" + spec.name() +
-                                 "' has the wrong JSON type");
-}
-
-}  // namespace
-
-Json EncodeConfig(const Configuration& config) {
-  const ConfigSpace& space = config.space();
-  Json::Object object;
-  for (size_t i = 0; i < space.size(); ++i) {
-    object[space.param(i).name()] = ParamValueToJson(config.ValueAt(i));
-  }
-  return Json(std::move(object));
-}
-
-Json EncodeObservation(const Observation& observation) {
-  Json::Object object;
-  object["config"] = EncodeConfig(observation.config);
-  object["objective"] = Json(observation.objective);
-  object["failed"] = Json(observation.failed);
-  object["cost"] = Json(observation.cost);
-  object["fidelity"] = Json(observation.fidelity);
-  object["repetitions"] = Json(int64_t{observation.repetitions});
-  Json::Object metrics;
-  for (const auto& [name, value] : observation.metrics) {
-    metrics[name] = Json(value);
-  }
-  object["metrics"] = Json(std::move(metrics));
-  return Json(std::move(object));
-}
-
-Result<Observation> DecodeObservation(const ConfigSpace* space,
-                                      const Json& encoded) {
-  if (space == nullptr) return Status::InvalidArgument("null space");
-  AUTOTUNE_ASSIGN_OR_RETURN(Json config_json, encoded.Get("config"));
-  if (!config_json.is_object()) {
-    return Status::InvalidArgument("'config' is not an object");
-  }
-  std::vector<std::pair<std::string, ParamValue>> values;
-  for (size_t i = 0; i < space->size(); ++i) {
-    const ParameterSpec& spec = space->param(i);
-    auto member = config_json.Get(spec.name());
-    if (!member.ok()) {
-      return Status::InvalidArgument("journaled config missing parameter '" +
-                                     spec.name() + "'");
-    }
-    AUTOTUNE_ASSIGN_OR_RETURN(ParamValue value,
-                              ParamValueFromJson(spec, *member));
-    values.emplace_back(spec.name(), std::move(value));
-  }
-  AUTOTUNE_ASSIGN_OR_RETURN(Configuration config, space->Make(values));
-  Observation observation(std::move(config),
-                          encoded.GetDouble("objective", 0.0));
-  observation.failed = encoded.GetBool("failed", false);
-  observation.cost = encoded.GetDouble("cost", 0.0);
-  observation.fidelity = encoded.GetDouble("fidelity", 1.0);
-  observation.repetitions =
-      static_cast<int>(encoded.GetInt("repetitions", 1));
-  auto metrics = encoded.Get("metrics");
-  if (metrics.ok() && metrics->is_object()) {
-    for (const auto& [name, value] : metrics->AsObject()) {
-      if (value.is_number()) observation.metrics[name] = value.AsDouble();
-    }
-  }
-  return observation;
-}
-
-Json EncodeSpaceSchema(const ConfigSpace& space) {
-  Json::Array params;
-  for (size_t i = 0; i < space.size(); ++i) {
-    Json::Object param;
-    param["name"] = Json(space.param(i).name());
-    param["type"] = Json(ParameterTypeToString(space.param(i).type()));
-    params.push_back(Json(std::move(param)));
-  }
-  return Json(std::move(params));
-}
-
-Status CheckSpaceSchema(const ConfigSpace& space, const Json& schema) {
-  if (!schema.is_array()) {
-    return Status::InvalidArgument("space schema is not an array");
-  }
-  const Json::Array& params = schema.AsArray();
-  if (params.size() != space.size()) {
-    return Status::FailedPrecondition(
-        "journaled space has " + std::to_string(params.size()) +
-        " parameters, current space has " + std::to_string(space.size()));
-  }
-  for (size_t i = 0; i < params.size(); ++i) {
-    const std::string name = params[i].GetString("name", "");
-    const std::string type = params[i].GetString("type", "");
-    if (name != space.param(i).name() ||
-        type != ParameterTypeToString(space.param(i).type())) {
-      return Status::FailedPrecondition(
-          "journaled parameter " + std::to_string(i) + " is '" + name + "' (" +
-          type + "), current space has '" + space.param(i).name() + "' (" +
-          ParameterTypeToString(space.param(i).type()) + ")");
-    }
-  }
-  return Status::OK();
-}
-
-Json EncodeRngState(const std::vector<uint64_t>& words) {
-  Json::Array encoded;
-  for (uint64_t word : words) {
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(word));
-    encoded.push_back(Json(std::string(buf)));
-  }
-  return Json(std::move(encoded));
-}
-
-Result<std::vector<uint64_t>> DecodeRngState(const Json& encoded) {
-  if (!encoded.is_array()) {
-    return Status::InvalidArgument("rng state is not an array");
-  }
-  std::vector<uint64_t> words;
-  for (const Json& word : encoded.AsArray()) {
-    if (!word.is_string()) {
-      return Status::InvalidArgument("rng state word is not a hex string");
-    }
-    char* end = nullptr;
-    words.push_back(std::strtoull(word.AsString().c_str(), &end, 16));
-    if (end != word.AsString().c_str() + word.AsString().size()) {
-      return Status::InvalidArgument("malformed rng state word '" +
-                                     word.AsString() + "'");
-    }
-  }
-  return words;
-}
-
-// ---- Replay ----------------------------------------------------------------
-
-namespace {
-
-Result<std::string> ReadWholeFile(const std::string& path) {
+Result<std::string> ReadJournalText(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "r");
   if (file == nullptr) {
     return Status::NotFound("cannot open journal '" + path + "'");
@@ -251,73 +82,9 @@ Result<std::string> ReadWholeFile(const std::string& path) {
   return text;
 }
 
-}  // namespace
-
-Result<JournalReplay> ReplayJournal(const std::string& path,
-                                    const ConfigSpace* space) {
-  if (space == nullptr) return Status::InvalidArgument("null space");
-  AUTOTUNE_ASSIGN_OR_RETURN(std::string text, ReadWholeFile(path));
-
-  JournalReplay replay;
-  size_t begin = 0;
-  int64_t line_number = 0;
-  while (begin < text.size()) {
-    size_t end = text.find('\n', begin);
-    const bool final_line = end == std::string::npos;
-    if (final_line) end = text.size();
-    const std::string line = text.substr(begin, end - begin);
-    begin = end + 1;
-    ++line_number;
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-
-    auto parsed = Json::Parse(line);
-    if (!parsed.ok()) {
-      // A partial trailing line is the expected signature of a killed
-      // process; anything earlier means corruption.
-      if (begin >= text.size()) {
-        AUTOTUNE_LOG(kWarning)
-            << "journal '" << path << "': discarding truncated final line";
-        break;
-      }
-      return Status::InvalidArgument(
-          "journal '" + path + "' line " + std::to_string(line_number) +
-          ": " + parsed.status().message());
-    }
-    const Json& event = *parsed;
-    const std::string kind = event.GetString("event", "");
-    if (kind == "experiment_started") {
-      if (replay.experiment.is_null()) replay.experiment = event;
-    } else if (kind == "loop_started") {
-      auto schema = event.Get("space");
-      if (schema.ok()) {
-        AUTOTUNE_RETURN_IF_ERROR(CheckSpaceSchema(*space, *schema));
-      }
-    } else if (kind == "trial_completed") {
-      auto observation_json = event.Get("observation");
-      if (!observation_json.ok()) {
-        return Status::InvalidArgument(
-            "journal line " + std::to_string(line_number) +
-            ": trial_completed without observation");
-      }
-      AUTOTUNE_ASSIGN_OR_RETURN(Observation observation,
-                                DecodeObservation(space, *observation_json));
-      replay.observations.push_back(std::move(observation));
-      auto rng = event.Get("runner_rng");
-      if (rng.ok()) {
-        AUTOTUNE_ASSIGN_OR_RETURN(replay.runner_rng, DecodeRngState(*rng));
-      }
-    } else if (kind == "experiment_finished") {
-      replay.finished = true;
-    }
-    // trial_started / incumbent_updated / optimizer_snapshot are
-    // diagnostics; replay does not need them.
-  }
-  return replay;
-}
-
 Result<Json> ReadFirstEvent(const std::string& path,
                             const std::string& kind) {
-  AUTOTUNE_ASSIGN_OR_RETURN(std::string text, ReadWholeFile(path));
+  AUTOTUNE_ASSIGN_OR_RETURN(std::string text, ReadJournalText(path));
   size_t begin = 0;
   while (begin < text.size()) {
     size_t end = text.find('\n', begin);

@@ -12,7 +12,6 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
-#include "core/observation.h"
 #include "obs/json.h"
 
 namespace autotune {
@@ -78,61 +77,20 @@ class Journal {
   std::unique_ptr<ThreadPool> writer_;
 };
 
-// ---- Event payload encoding ------------------------------------------------
+// ---- Journal file reading --------------------------------------------------
+//
+// The payload schemas (observations, configs, checkpoints) live in
+// `record/codec.h`, keeping this transport layer ignorant of core domain
+// types; `record::ReplayJournal` is the full-history reader.
 
-/// {"param": value, ...} with native JSON types per parameter kind.
-Json EncodeConfig(const Configuration& config);
-
-/// Full observation: {"config", "objective", "failed", "cost", "fidelity",
-/// "repetitions", "metrics"}.
-Json EncodeObservation(const Observation& observation);
-
-/// Rebuilds an observation against `space` (parameters matched by name).
-[[nodiscard]] Result<Observation> DecodeObservation(const ConfigSpace* space,
-                                      const Json& encoded);
-
-/// [{"name", "type"}, ...] — enough to detect schema drift on resume.
-Json EncodeSpaceSchema(const ConfigSpace& space);
-
-/// FailedPrecondition if `schema` does not match `space` by name and type.
-[[nodiscard]] Status CheckSpaceSchema(const ConfigSpace& space, const Json& schema);
-
-/// RNG state words as hex strings (uint64 does not fit JSON integers).
-Json EncodeRngState(const std::vector<uint64_t>& words);
-[[nodiscard]] Result<std::vector<uint64_t>> DecodeRngState(const Json& encoded);
-
-// ---- Replay ----------------------------------------------------------------
-
-/// Everything `Journal::Replay` reconstructs from a journal file.
-struct JournalReplay {
-  /// Completed trials, in journal order, rebuilt against the caller's
-  /// space.
-  std::vector<Observation> observations;
-
-  /// Trial runner RNG state recorded with the LAST completed trial (empty
-  /// if the journal predates it); restoring it makes even noisy-environment
-  /// resumes bit-exact.
-  std::vector<uint64_t> runner_rng;
-
-  /// The first "experiment_started" event (null if absent) — callers that
-  /// journal their own session metadata (e.g. the CLI) read it back here.
-  Json experiment;
-
-  /// True if an "experiment_finished" event was seen.
-  bool finished = false;
-};
-
-/// Parses a journal written by this class and reconstructs the trial
-/// history. `space` is the configuration space to rebuild against; a
-/// journaled "loop_started" space schema that conflicts with it is an
-/// error. A truncated final line (process killed mid-write) is silently
-/// discarded; malformed lines elsewhere fail the replay.
-[[nodiscard]] Result<JournalReplay> ReplayJournal(const std::string& path,
-                                    const ConfigSpace* space);
+/// Reads the raw text of a journal file (NotFound if it cannot be opened).
+/// Building block for replay parsers in higher layers.
+[[nodiscard]] Result<std::string> ReadJournalText(const std::string& path);
 
 /// Scans a journal for the first event of the given kind, without needing
 /// a configuration space (used by the CLI to recover session metadata
-/// before it can construct the environment). NotFound if absent.
+/// before it can construct the environment). NotFound if absent. Truncated
+/// or foreign lines are skipped.
 [[nodiscard]] Result<Json> ReadFirstEvent(const std::string& path,
                             const std::string& kind);
 

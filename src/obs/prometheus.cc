@@ -1,0 +1,100 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace autotune {
+namespace obs {
+
+namespace {
+
+std::string FormatValue(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string FormatValue(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  return buf;
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0;
+    const bool digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+    if (alpha || c == '_' || c == ':' || (digit && i > 0)) {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string RenderPrometheus(const Json& snapshot,
+                             const std::string& prefix) {
+  std::string out;
+  const auto emit_scalar = [&out, &prefix](const std::string& name,
+                                           const char* type,
+                                           const std::string& value) {
+    const std::string metric = prefix + PrometheusName(name);
+    out += "# TYPE " + metric + " " + type + "\n";
+    out += metric + " " + value + "\n";
+  };
+
+  const Result<Json> counters = snapshot.Get("counters");
+  if (counters.ok() && counters->is_object()) {
+    for (const auto& [name, value] : counters->AsObject()) {
+      emit_scalar(name, "counter", FormatValue(value.AsInt()));
+    }
+  }
+  const Result<Json> gauges = snapshot.Get("gauges");
+  if (gauges.ok() && gauges->is_object()) {
+    for (const auto& [name, value] : gauges->AsObject()) {
+      emit_scalar(name, "gauge", FormatValue(value.AsDouble()));
+    }
+  }
+  const Result<Json> histograms = snapshot.Get("histograms");
+  if (histograms.ok() && histograms->is_object()) {
+    for (const auto& [name, histogram] : histograms->AsObject()) {
+      const std::string metric = prefix + PrometheusName(name);
+      out += "# TYPE " + metric + " histogram\n";
+      const int64_t total = histogram.GetInt("count", 0);
+      int64_t cumulative = 0;
+      const Result<Json> buckets = histogram.Get("buckets");
+      if (buckets.ok() && buckets->is_array()) {
+        for (const Json& bucket : buckets->AsArray()) {
+          // The JSON snapshot skips empty buckets and stores per-bucket
+          // counts; Prometheus wants cumulative counts at each bound.
+          const Result<Json> le = bucket.Get("le");
+          if (!le.ok() || le->is_string()) continue;  // "+inf" handled below.
+          cumulative += bucket.GetInt("count", 0);
+          out += metric + "_bucket{le=\"" + FormatValue(le->AsDouble()) +
+                 "\"} " + FormatValue(cumulative) + "\n";
+        }
+      }
+      out += metric + "_bucket{le=\"+Inf\"} " + FormatValue(total) + "\n";
+      out += metric + "_sum " + FormatValue(histogram.GetDouble("sum", 0.0)) +
+             "\n";
+      out += metric + "_count " + FormatValue(total) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsRegistry& registry,
+                             const std::string& prefix) {
+  return RenderPrometheus(registry.ToJson(), prefix);
+}
+
+}  // namespace obs
+}  // namespace autotune

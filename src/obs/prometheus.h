@@ -1,0 +1,31 @@
+#ifndef AUTOTUNE_OBS_PROMETHEUS_H_
+#define AUTOTUNE_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace autotune {
+namespace obs {
+
+/// Renders a `MetricsRegistry::ToJson()` snapshot in the Prometheus text
+/// exposition format (version 0.0.4): `# TYPE` comments, sanitized metric
+/// names (dots become underscores), cumulative `_bucket{le="..."}` series
+/// plus `_sum`/`_count` for histograms. `prefix` is prepended to every
+/// metric name (e.g. "autotune_").
+std::string RenderPrometheus(const Json& snapshot,
+                             const std::string& prefix = "autotune_");
+
+/// Convenience: snapshot + render in one call.
+std::string RenderPrometheus(const MetricsRegistry& registry,
+                             const std::string& prefix = "autotune_");
+
+/// Sanitizes one metric name to the Prometheus charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]*; every other character becomes '_'.
+std::string PrometheusName(const std::string& name);
+
+}  // namespace obs
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OBS_PROMETHEUS_H_

@@ -37,14 +37,17 @@ void BayesianOptimizer::OnObserve(const Observation& /*observation*/) {
 }
 
 Status BayesianOptimizer::RefitWith(
-    const std::vector<std::pair<Vector, double>>& extra) {
+    const std::vector<std::pair<Vector, double>>& extra,
+    size_t history_count) {
   obs::Span span("bo.fit");
   obs::MetricsRegistry::Global().Increment("bo.surrogate_refits");
+  const size_t count = std::min(history_count, history_.size());
   std::vector<Vector> xs;
   Vector ys;
-  xs.reserve(history_.size() + extra.size());
-  ys.reserve(history_.size() + extra.size());
-  for (const Observation& obs : history_) {
+  xs.reserve(count + extra.size());
+  ys.reserve(count + extra.size());
+  for (size_t i = 0; i < count; ++i) {
+    const Observation& obs = history_[i];
     AUTOTUNE_ASSIGN_OR_RETURN(Vector x, encoder_.Encode(obs.config));
     xs.push_back(std::move(x));
     ys.push_back(obs.objective);
@@ -54,7 +57,73 @@ Status BayesianOptimizer::RefitWith(
     ys.push_back(y);
   }
   if (xs.empty()) return Status::FailedPrecondition("no observations");
-  return surrogate_->Fit(xs, ys);
+  AUTOTUNE_RETURN_IF_ERROR(surrogate_->Fit(xs, ys));
+  if (extra.empty()) {
+    clean_fit_history_size_ = count;
+    fit_is_fantasy_ = false;
+  } else {
+    fit_is_fantasy_ = true;
+  }
+  return Status::OK();
+}
+
+Result<OptimizerCheckpoint> BayesianOptimizer::SaveCheckpoint() const {
+  // A fantasy (batch) fit is not reconstructible from history. It is still
+  // checkpointable when the next model read is guaranteed to clean-refit
+  // first (SuggestBatch always does; Suggest does iff the stale counter
+  // will trip), because then the fitted state is dead weight either way.
+  const bool refit_before_use =
+      surrogate_stale_ && observations_since_fit_ + 1 >= options_.refit_every;
+  if (fit_is_fantasy_ && !refit_before_use) {
+    return Status::FailedPrecondition(
+        "surrogate holds a live fantasy fit; checkpoint at the next trial "
+        "boundary after a clean refit");
+  }
+  OptimizerCheckpoint checkpoint = SaveBaseCheckpoint();
+  checkpoint.fields["halton_index"] =
+      static_cast<int64_t>(halton_.index());
+  checkpoint.fields["surrogate_stale"] = surrogate_stale_ ? 1 : 0;
+  checkpoint.fields["observations_since_fit"] = observations_since_fit_;
+  checkpoint.fields["clean_fit_history_size"] =
+      static_cast<int64_t>(clean_fit_history_size_);
+  return checkpoint;
+}
+
+Status BayesianOptimizer::RestoreCheckpoint(
+    const OptimizerCheckpoint& checkpoint,
+    const std::vector<Observation>& history) {
+  const auto field = [&checkpoint](const char* name) -> Result<int64_t> {
+    auto it = checkpoint.fields.find(name);
+    if (it == checkpoint.fields.end()) {
+      return Status::InvalidArgument(std::string("checkpoint missing '") +
+                                     name + "'");
+    }
+    return it->second;
+  };
+  AUTOTUNE_ASSIGN_OR_RETURN(const int64_t halton_index,
+                            field("halton_index"));
+  AUTOTUNE_ASSIGN_OR_RETURN(const int64_t stale, field("surrogate_stale"));
+  AUTOTUNE_ASSIGN_OR_RETURN(const int64_t since_fit,
+                            field("observations_since_fit"));
+  AUTOTUNE_ASSIGN_OR_RETURN(const int64_t clean_fit,
+                            field("clean_fit_history_size"));
+  if (clean_fit < 0 || static_cast<size_t>(clean_fit) > history.size()) {
+    return Status::InvalidArgument(
+        "checkpoint clean_fit_history_size out of range");
+  }
+  AUTOTUNE_RETURN_IF_ERROR(RestoreBaseCheckpoint(checkpoint, history));
+  halton_.set_index(static_cast<size_t>(halton_index));
+  // Surrogate fits are pure functions of their training set, so ONE refit
+  // on the journaled prefix reproduces the model the interrupted run had —
+  // this is what bounds resume cost by the snapshot interval.
+  fit_is_fantasy_ = false;
+  clean_fit_history_size_ = 0;
+  if (clean_fit > 0) {
+    AUTOTUNE_RETURN_IF_ERROR(RefitWith({}, static_cast<size_t>(clean_fit)));
+  }
+  surrogate_stale_ = stale != 0;
+  observations_since_fit_ = static_cast<int>(since_fit);
+  return Status::OK();
 }
 
 Result<Configuration> BayesianOptimizer::MaximizeAcquisition() {

@@ -78,12 +78,25 @@ class BayesianOptimizer : public OptimizerBase {
   /// Access to the fitted surrogate (for diagnostics/tests).
   const Surrogate& surrogate() const { return *surrogate_; }
 
+  /// Checkpoint/restore for journal compaction. Works because the
+  /// surrogates are pure functions of their training set: restoring refits
+  /// ONCE on the history prefix the interrupted run had last cleanly
+  /// fitted, instead of replaying every suggest/observe. `SaveCheckpoint`
+  /// declines (FailedPrecondition) while the surrogate holds a fantasy
+  /// (batch constant-liar) fit that later predictions could still read.
+  [[nodiscard]] Result<OptimizerCheckpoint> SaveCheckpoint() const override;
+  [[nodiscard]] Status RestoreCheckpoint(
+      const OptimizerCheckpoint& checkpoint,
+      const std::vector<Observation>& history) override;
+
  protected:
   void OnObserve(const Observation& observation) override;
 
  private:
-  /// Refits the surrogate to history plus `extra` fantasy observations.
-  [[nodiscard]] Status RefitWith(const std::vector<std::pair<Vector, double>>& extra);
+  /// Refits the surrogate to the first `history_count` observations plus
+  /// `extra` fantasy observations (npos = full history).
+  [[nodiscard]] Status RefitWith(const std::vector<std::pair<Vector, double>>& extra,
+                                 size_t history_count = static_cast<size_t>(-1));
 
   /// Argmax of the acquisition over a random+local candidate pool, skipping
   /// infeasible configurations.
@@ -95,6 +108,13 @@ class BayesianOptimizer : public OptimizerBase {
   HaltonSequence halton_;
   bool surrogate_stale_ = true;
   int observations_since_fit_ = 0;
+  /// History prefix length of the last CLEAN (fantasy-free) fit; 0 = never
+  /// fitted. Checkpoint restore reproduces that fit with one refit.
+  size_t clean_fit_history_size_ = 0;
+  /// True while the surrogate holds a fantasy (constant-liar / believer)
+  /// fit from `SuggestBatch` — a state that is NOT a pure function of the
+  /// history and therefore not checkpointable.
+  bool fit_is_fantasy_ = false;
 };
 
 /// Factory: textbook GP-BO (Matérn-5/2, EI).

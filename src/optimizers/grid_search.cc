@@ -7,6 +7,25 @@ GridSearch::GridSearch(const ConfigSpace* space, size_t points_per_numeric,
     : OptimizerBase(space, /*seed=*/0),
       grid_(space->Grid(points_per_numeric, max_points)) {}
 
+Result<OptimizerCheckpoint> GridSearch::SaveCheckpoint() const {
+  OptimizerCheckpoint checkpoint = SaveBaseCheckpoint();
+  checkpoint.fields["next"] = static_cast<int64_t>(next_);
+  return checkpoint;
+}
+
+Status GridSearch::RestoreCheckpoint(
+    const OptimizerCheckpoint& checkpoint,
+    const std::vector<Observation>& history) {
+  auto it = checkpoint.fields.find("next");
+  if (it == checkpoint.fields.end() || it->second < 0 ||
+      static_cast<size_t>(it->second) > grid_.size()) {
+    return Status::InvalidArgument("checkpoint 'next' missing or out of range");
+  }
+  AUTOTUNE_RETURN_IF_ERROR(RestoreBaseCheckpoint(checkpoint, history));
+  next_ = static_cast<size_t>(it->second);
+  return Status::OK();
+}
+
 Result<Configuration> GridSearch::Suggest() {
   if (next_ >= grid_.size()) {
     return Status::Unavailable("grid exhausted after " +

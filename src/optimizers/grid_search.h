@@ -26,6 +26,13 @@ class GridSearch : public OptimizerBase {
   /// Total number of grid points.
   size_t grid_size() const { return grid_.size(); }
 
+  /// Checkpoint/restore for journal compaction: base state plus the grid
+  /// cursor. The grid itself is rebuilt deterministically by the ctor.
+  [[nodiscard]] Result<OptimizerCheckpoint> SaveCheckpoint() const override;
+  [[nodiscard]] Status RestoreCheckpoint(
+      const OptimizerCheckpoint& checkpoint,
+      const std::vector<Observation>& history) override;
+
  private:
   std::vector<Configuration> grid_;
   size_t next_ = 0;

@@ -9,6 +9,24 @@ std::string RandomSearch::name() const {
   return mode_ == Mode::kUniform ? "random" : "halton";
 }
 
+Result<OptimizerCheckpoint> RandomSearch::SaveCheckpoint() const {
+  OptimizerCheckpoint checkpoint = SaveBaseCheckpoint();
+  checkpoint.fields["halton_index"] = static_cast<int64_t>(halton_.index());
+  return checkpoint;
+}
+
+Status RandomSearch::RestoreCheckpoint(
+    const OptimizerCheckpoint& checkpoint,
+    const std::vector<Observation>& history) {
+  auto it = checkpoint.fields.find("halton_index");
+  if (it == checkpoint.fields.end() || it->second < 0) {
+    return Status::InvalidArgument("checkpoint missing 'halton_index'");
+  }
+  AUTOTUNE_RETURN_IF_ERROR(RestoreBaseCheckpoint(checkpoint, history));
+  halton_.set_index(static_cast<size_t>(it->second));
+  return Status::OK();
+}
+
 Result<Configuration> RandomSearch::Suggest() {
   constexpr int kMaxTries = 1000;
   for (int attempt = 0; attempt < kMaxTries; ++attempt) {

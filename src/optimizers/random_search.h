@@ -24,6 +24,13 @@ class RandomSearch : public OptimizerBase {
 
   [[nodiscard]] Result<Configuration> Suggest() override;
 
+  /// Checkpoint/restore for journal compaction: base RNG/history state plus
+  /// the Halton sequence position.
+  [[nodiscard]] Result<OptimizerCheckpoint> SaveCheckpoint() const override;
+  [[nodiscard]] Status RestoreCheckpoint(
+      const OptimizerCheckpoint& checkpoint,
+      const std::vector<Observation>& history) override;
+
  private:
   Mode mode_;
   HaltonSequence halton_;

@@ -1,0 +1,119 @@
+#ifndef AUTOTUNE_RECORD_CODEC_H_
+#define AUTOTUNE_RECORD_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/observation.h"
+#include "core/optimizer.h"
+#include "core/trial_runner.h"
+#include "obs/json.h"
+
+namespace autotune {
+namespace record {
+
+using obs::Json;
+
+/// Journal payload codecs — the translation layer between the tuning
+/// stack's domain types (`Observation`, `Configuration`, checkpoints) and
+/// the JSONL events persisted by `obs::Journal`. This lives in its own
+/// module so the observability layer stays ignorant of core types: `obs`
+/// owns the transport (append-only file, seq/ts stamping, replay-tolerant
+/// parsing) while `record` owns the schemas (what a trial_completed or
+/// optimizer_snapshot payload means). See docs/OBSERVABILITY.md for the
+/// event taxonomy.
+
+// ---- Event payload encoding ------------------------------------------------
+
+/// {"param": value, ...} with native JSON types per parameter kind.
+Json EncodeConfig(const Configuration& config);
+
+/// Full observation: {"config", "objective", "failed", "cost", "fidelity",
+/// "repetitions", "metrics"}.
+Json EncodeObservation(const Observation& observation);
+
+/// Rebuilds an observation against `space` (parameters matched by name).
+[[nodiscard]] Result<Observation> DecodeObservation(const ConfigSpace* space,
+                                                    const Json& encoded);
+
+/// [{"name", "type"}, ...] — enough to detect schema drift on resume.
+Json EncodeSpaceSchema(const ConfigSpace& space);
+
+/// FailedPrecondition if `schema` does not match `space` by name and type.
+[[nodiscard]] Status CheckSpaceSchema(const ConfigSpace& space,
+                                      const Json& schema);
+
+/// RNG state words as hex strings (uint64 does not fit JSON integers).
+Json EncodeRngState(const std::vector<uint64_t>& words);
+[[nodiscard]] Result<std::vector<uint64_t>> DecodeRngState(
+    const Json& encoded);
+
+// ---- Checkpoint encoding (journal compaction) ------------------------------
+
+/// {"rng": [...], "fields": {name: int, ...}}.
+Json EncodeOptimizerCheckpoint(const OptimizerCheckpoint& checkpoint);
+[[nodiscard]] Result<OptimizerCheckpoint> DecodeOptimizerCheckpoint(
+    const Json& encoded);
+
+/// {"rng": [...], "total_cost", "num_trials", "total_retries",
+///  "total_timeouts", "best_objective"?, "worst_objective"?,
+///  "last_deployed"?}.
+Json EncodeRunnerCheckpoint(const RunnerCheckpoint& checkpoint);
+[[nodiscard]] Result<RunnerCheckpoint> DecodeRunnerCheckpoint(
+    const ConfigSpace* space, const Json& encoded);
+
+// ---- Replay ----------------------------------------------------------------
+
+/// A full optimizer + runner checkpoint recovered from an
+/// `optimizer_snapshot` journal event. Restoring it and fast-forwarding
+/// only the trials journaled after it reproduces the interrupted run
+/// bit-exactly, with resume cost bounded by the snapshot interval instead
+/// of the session length (journal compaction).
+struct LoopCheckpoint {
+  /// Trials completed when the snapshot was taken.
+  int64_t trial = 0;
+
+  OptimizerCheckpoint optimizer;
+  RunnerCheckpoint runner;
+};
+
+/// Everything `ReplayJournal` reconstructs from a journal file.
+struct JournalReplay {
+  /// Completed trials, in journal order, rebuilt against the caller's
+  /// space.
+  std::vector<Observation> observations;
+
+  /// Trial runner RNG state recorded with the LAST completed trial (empty
+  /// if the journal predates it); restoring it makes even noisy-environment
+  /// resumes bit-exact.
+  std::vector<uint64_t> runner_rng;
+
+  /// The first "experiment_started" event (null if absent) — callers that
+  /// journal their own session metadata (e.g. the CLI) read it back here.
+  Json experiment;
+
+  /// True if an "experiment_finished" event was seen.
+  bool finished = false;
+
+  /// The LAST optimizer_snapshot event carrying a full checkpoint, if any
+  /// (optimizers without checkpoint support journal diagnostics-only
+  /// snapshots). `ResumeTuningLoop` restores from it and replays only
+  /// `observations[checkpoint->trial..]` through the optimizer.
+  std::optional<LoopCheckpoint> checkpoint;
+};
+
+/// Parses a journal written by `obs::Journal` and reconstructs the trial
+/// history. `space` is the configuration space to rebuild against; a
+/// journaled "loop_started" space schema that conflicts with it is an
+/// error. A truncated final line (process killed mid-write) is silently
+/// discarded; malformed lines elsewhere fail the replay.
+[[nodiscard]] Result<JournalReplay> ReplayJournal(const std::string& path,
+                                                  const ConfigSpace* space);
+
+}  // namespace record
+}  // namespace autotune
+
+#endif  // AUTOTUNE_RECORD_CODEC_H_

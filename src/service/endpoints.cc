@@ -1,0 +1,37 @@
+#include "service/endpoints.h"
+
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+
+namespace autotune {
+namespace service {
+
+HttpServer::Handler MakeServiceHandler(ExperimentManager* manager) {
+  return [manager](const std::string& path) {
+    HttpResponse response;
+    if (path == "/metrics") {
+      // Prometheus scrapes declare version=0.0.4 in Accept; serving it in
+      // Content-Type lets strict scrapers parse without content sniffing.
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body = obs::RenderPrometheus(obs::MetricsRegistry::Global());
+    } else if (path == "/experiments") {
+      if (manager == nullptr) {
+        response.status = 404;
+        response.body = "no experiment manager attached\n";
+      } else {
+        response.content_type = "application/json";
+        response.body = manager->StatusJson().Pretty();
+        response.body += "\n";
+      }
+    } else if (path == "/healthz" || path == "/") {
+      response.body = "ok\n";
+    } else {
+      response.status = 404;
+      response.body = "not found (try /metrics, /experiments, /healthz)\n";
+    }
+    return response;
+  };
+}
+
+}  // namespace service
+}  // namespace autotune

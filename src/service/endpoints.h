@@ -1,0 +1,21 @@
+#ifndef AUTOTUNE_SERVICE_ENDPOINTS_H_
+#define AUTOTUNE_SERVICE_ENDPOINTS_H_
+
+#include "service/experiment_manager.h"
+#include "service/http_server.h"
+
+namespace autotune {
+namespace service {
+
+/// The tuning service's request handler:
+///   GET /metrics      global metrics registry, Prometheus text exposition
+///   GET /experiments  ExperimentManager::StatusJson(), pretty JSON
+///   GET /healthz      "ok"
+/// `manager` may be null (metrics-only endpoint); it must outlive the
+/// HttpServer the handler is installed on.
+HttpServer::Handler MakeServiceHandler(ExperimentManager* manager);
+
+}  // namespace service
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SERVICE_ENDPOINTS_H_

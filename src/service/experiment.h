@@ -1,0 +1,83 @@
+#ifndef AUTOTUNE_SERVICE_EXPERIMENT_H_
+#define AUTOTUNE_SERVICE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/optimizer.h"
+#include "core/trial_runner.h"
+#include "core/tuning_loop.h"
+#include "env/environment.h"
+
+namespace autotune {
+namespace service {
+
+/// Lifecycle of a managed experiment.
+///
+///   running --(Pause)--> paused --(Resume)--> running
+///   running/paused --(Cancel)--> cancelled        [terminal]
+///   running --(loop done)--> finished             [terminal]
+enum class ExperimentState { kRunning, kPaused, kCancelled, kFinished };
+
+const char* ExperimentStateName(ExperimentState state);
+
+/// Everything the `ExperimentManager` needs to run one tuning session.
+/// Environments and optimizers are provided as factories so the spec stays
+/// serializable-ish and the manager controls construction order (the
+/// optimizer factory receives the environment's space).
+struct ExperimentSpec {
+  /// Unique experiment id (journal metadata, endpoint paths, log lines).
+  std::string name;
+
+  /// Fair-share weight (> 0): an experiment with twice the weight is
+  /// dispatched twice the trials per unit of scheduler virtual time.
+  double weight = 1.0;
+
+  /// JSONL journal path; empty disables journaling (and crash recovery).
+  /// If the file already holds an unfinished session for this experiment,
+  /// `AddExperiment` resumes it bit-exactly (checkpoint fast-path when the
+  /// journal carries optimizer snapshots).
+  std::string journal_path;
+
+  /// Base seed; optimizer and runner seeds derive from it, so the same
+  /// spec resumed after a crash continues the same random streams.
+  uint64_t seed = 42;
+
+  /// Builds the environment (required).
+  std::function<std::unique_ptr<Environment>()> make_environment;
+
+  /// Builds the optimizer over the environment's space (required).
+  std::function<std::unique_ptr<Optimizer>(const ConfigSpace* space,
+                                           uint64_t seed)>
+      make_optimizer;
+
+  TrialRunnerOptions runner_options;
+
+  /// Loop budget/convergence/snapshot options. `journal` is ignored — the
+  /// manager owns each experiment's journal.
+  TuningLoopOptions loop_options;
+};
+
+/// Point-in-time public view of one experiment (GET /experiments).
+struct ExperimentStatus {
+  std::string name;
+  ExperimentState state = ExperimentState::kRunning;
+  double weight = 1.0;
+  double virtual_time = 0.0;
+  bool in_flight = false;
+  bool resumed = false;
+  int trials_run = 0;
+  int replayed_trials = 0;
+  double total_cost = 0.0;
+  std::optional<double> best_objective;
+  bool degraded = false;
+  std::string message;
+};
+
+}  // namespace service
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SERVICE_EXPERIMENT_H_

@@ -1,0 +1,436 @@
+#include "service/experiment_manager.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "record/codec.h"
+
+namespace autotune {
+namespace service {
+
+const char* ExperimentStateName(ExperimentState state) {
+  switch (state) {
+    case ExperimentState::kRunning:
+      return "running";
+    case ExperimentState::kPaused:
+      return "paused";
+    case ExperimentState::kCancelled:
+      return "cancelled";
+    case ExperimentState::kFinished:
+      return "finished";
+  }
+  return "unknown";
+}
+
+ExperimentManager::ExperimentManager(ThreadPool* pool, Options options)
+    : pool_(pool),
+      max_concurrent_(options.max_concurrent_trials > 0
+                          ? options.max_concurrent_trials
+                          : (pool != nullptr ? pool->num_threads() : 0)) {
+  AUTOTUNE_CHECK(pool_ != nullptr);
+  AUTOTUNE_CHECK(max_concurrent_ > 0);
+}
+
+ExperimentManager::~ExperimentManager() {
+  {
+    MutexLock lock(mutex_);
+    shutting_down_ = true;  // PumpLocked stops dispatching.
+  }
+  CondVarLock lock(mutex_);
+  lock.Wait(cv_, [this]() REQUIRES(mutex_) { return in_flight_count_ == 0; });
+}
+
+Status ExperimentManager::AddExperiment(ExperimentSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("experiment name must not be empty");
+  }
+  if (!(spec.weight > 0.0)) {
+    return Status::InvalidArgument("experiment '" + spec.name +
+                                   "': weight must be > 0");
+  }
+  if (!spec.make_environment || !spec.make_optimizer) {
+    return Status::InvalidArgument(
+        "experiment '" + spec.name +
+        "': make_environment and make_optimizer are required");
+  }
+
+  // Build the whole tuning stack outside the manager lock — environment
+  // construction and journal replay can be arbitrarily expensive.
+  auto e = std::make_unique<Experiment>();
+  e->spec = std::move(spec);
+  const ExperimentSpec& s = e->spec;
+
+  e->env = s.make_environment();
+  if (e->env == nullptr) {
+    return Status::InvalidArgument("experiment '" + s.name +
+                                   "': make_environment returned null");
+  }
+  e->optimizer = s.make_optimizer(&e->env->space(), s.seed);
+  if (e->optimizer == nullptr) {
+    return Status::InvalidArgument("experiment '" + s.name +
+                                   "': make_optimizer returned null");
+  }
+  AUTOTUNE_RETURN_IF_ERROR(s.runner_options.Validate());
+  // The runner's noise stream is derived from (not equal to) the optimizer
+  // seed; both derivations are pure functions of the spec so a resumed
+  // process reconstructs identical streams.
+  e->runner = std::make_unique<TrialRunner>(
+      e->env.get(), s.runner_options, s.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  record::JournalReplay replay;
+  bool resume = false;
+  bool finished_in_journal = false;
+  if (!s.journal_path.empty()) {
+    Result<record::JournalReplay> replayed =
+        record::ReplayJournal(s.journal_path, &e->env->space());
+    if (replayed.ok()) {
+      replay = std::move(*replayed);
+      finished_in_journal = replay.finished;
+      resume = !finished_in_journal && (!replay.observations.empty() ||
+                                        replay.checkpoint.has_value());
+    } else if (replayed.status().code() != StatusCode::kNotFound) {
+      return replayed.status();  // Corrupt journal: surface, don't clobber.
+    }
+  }
+
+  if (finished_in_journal) {
+    // Completed in a previous process; report it done instead of re-running.
+    // The full history lives in the journal, not in ResultOf().
+    e->state = ExperimentState::kFinished;
+    e->resumed = true;
+    e->loop_done = true;
+    e->trials_run = static_cast<int>(replay.observations.size());
+    e->replayed_trials = e->trials_run;
+    e->message = "finished in a previous session (see journal)";
+  } else {
+    if (!s.journal_path.empty()) {
+      AUTOTUNE_ASSIGN_OR_RETURN(e->journal, obs::Journal::Open(s.journal_path));
+      if (!resume) {
+        e->journal->Event("experiment_started",
+                          {{"name", s.name},
+                           {"environment", e->env->name()},
+                           {"optimizer", e->optimizer->name()},
+                           {"seed", static_cast<int64_t>(s.seed)}});
+      }
+    }
+    TuningLoopOptions loop_options = s.loop_options;
+    loop_options.journal = e->journal.get();
+    e->loop = std::make_unique<TuningLoop>(e->optimizer.get(),
+                                           e->runner.get(), loop_options);
+    if (resume) {
+      AUTOTUNE_RETURN_IF_ERROR(e->loop->Resume(replay));
+      e->resumed = true;
+      e->message = "resumed from journal";
+    }
+    if (e->loop->done()) {
+      // Journal already covered the whole budget (killed between the last
+      // trial and finalization): finalize here, no trials to schedule.
+      TuningResult result = e->loop->Finish();
+      e->state = ExperimentState::kFinished;
+      e->degraded = result.degraded;
+      e->result = std::move(result);
+    }
+  }
+
+  MutexLock lock(mutex_);
+  if (shutting_down_) {
+    return Status::FailedPrecondition("manager is shutting down");
+  }
+  if (experiments_.count(s.name) != 0) {
+    return Status::FailedPrecondition("experiment '" + s.name +
+                                      "' already exists");
+  }
+  Experiment* raw = e.get();
+  raw->virtual_time = MinActiveVirtualTimeLocked();
+  if (raw->loop != nullptr && !raw->result.has_value()) {
+    SyncProgressLocked(raw);
+  }
+  experiments_[s.name] = std::move(e);
+  PumpLocked();
+  return Status::OK();
+}
+
+Status ExperimentManager::Pause(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto it = experiments_.find(name);
+  if (it == experiments_.end()) {
+    return Status::NotFound("no experiment '" + name + "'");
+  }
+  Experiment* e = it->second.get();
+  if (IsTerminal(e->state)) {
+    return Status::FailedPrecondition("experiment '" + name + "' is " +
+                                      ExperimentStateName(e->state));
+  }
+  e->state = ExperimentState::kPaused;
+  UpdateGaugesLocked();
+  return Status::OK();
+}
+
+Status ExperimentManager::Resume(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto it = experiments_.find(name);
+  if (it == experiments_.end()) {
+    return Status::NotFound("no experiment '" + name + "'");
+  }
+  Experiment* e = it->second.get();
+  if (IsTerminal(e->state)) {
+    return Status::FailedPrecondition("experiment '" + name + "' is " +
+                                      ExperimentStateName(e->state));
+  }
+  if (e->state == ExperimentState::kPaused) {
+    // Catch the virtual time up so the pause is forgiven, not banked as a
+    // claim to a burst of make-up trials.
+    e->state = ExperimentState::kRunning;
+    e->virtual_time =
+        std::max(e->virtual_time, MinActiveVirtualTimeLocked());
+  }
+  PumpLocked();
+  return Status::OK();
+}
+
+Status ExperimentManager::Cancel(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto it = experiments_.find(name);
+  if (it == experiments_.end()) {
+    return Status::NotFound("no experiment '" + name + "'");
+  }
+  Experiment* e = it->second.get();
+  if (IsTerminal(e->state)) return Status::OK();
+  e->state = ExperimentState::kCancelled;
+  e->message = "cancelled";
+  if (!e->in_flight && e->loop != nullptr && !e->result.has_value()) {
+    // Nobody owns the loop right now, so finalize inline. (If a trial is in
+    // flight, its worker observes the cancelled state and finalizes.)
+    TuningResult result = e->loop->Finish();
+    e->degraded = result.degraded;
+    e->result = std::move(result);
+    SyncProgressLocked(e);
+  }
+  UpdateGaugesLocked();
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void ExperimentManager::WaitAll() {
+  CondVarLock lock(mutex_);
+  lock.Wait(cv_, [this]() REQUIRES(mutex_) {
+    if (in_flight_count_ > 0) return false;
+    for (const auto& [name, e] : experiments_) {
+      if (!IsTerminal(e->state)) return false;
+    }
+    return true;
+  });
+}
+
+Result<TuningResult> ExperimentManager::ResultOf(
+    const std::string& name) const {
+  MutexLock lock(mutex_);
+  auto it = experiments_.find(name);
+  if (it == experiments_.end()) {
+    return Status::NotFound("no experiment '" + name + "'");
+  }
+  const Experiment* e = it->second.get();
+  if (!e->result.has_value()) {
+    return Status::FailedPrecondition(
+        "experiment '" + name + "' has no in-memory result (state: " +
+        std::string(ExperimentStateName(e->state)) + ")");
+  }
+  return *e->result;
+}
+
+Result<ExperimentStatus> ExperimentManager::StatusOf(
+    const std::string& name) const {
+  MutexLock lock(mutex_);
+  auto it = experiments_.find(name);
+  if (it == experiments_.end()) {
+    return Status::NotFound("no experiment '" + name + "'");
+  }
+  return StatusOfLocked(*it->second);
+}
+
+std::vector<ExperimentStatus> ExperimentManager::Snapshot() const {
+  MutexLock lock(mutex_);
+  std::vector<ExperimentStatus> out;
+  out.reserve(experiments_.size());
+  for (const auto& [name, e] : experiments_) {
+    out.push_back(StatusOfLocked(*e));
+  }
+  return out;
+}
+
+obs::Json ExperimentManager::StatusJson() const {
+  obs::Json::Array experiments;
+  size_t in_flight = 0;
+  {
+    MutexLock lock(mutex_);
+    in_flight = in_flight_count_;
+    for (const auto& [name, e] : experiments_) {
+      const ExperimentStatus status = StatusOfLocked(*e);
+      obs::Json::Object entry{
+          {"name", status.name},
+          {"state", ExperimentStateName(status.state)},
+          {"weight", status.weight},
+          {"virtual_time", status.virtual_time},
+          {"in_flight", status.in_flight},
+          {"resumed", status.resumed},
+          {"trials_run", status.trials_run},
+          {"replayed_trials", status.replayed_trials},
+          {"total_cost", status.total_cost},
+          {"degraded", status.degraded},
+      };
+      if (status.best_objective.has_value()) {
+        entry["best_objective"] = *status.best_objective;
+      }
+      if (!status.message.empty()) entry["message"] = status.message;
+      experiments.push_back(obs::Json(std::move(entry)));
+    }
+  }
+  const ThreadPool::Stats pool_stats = pool_->GetStats();
+  return obs::Json(obs::Json::Object{
+      {"experiments", std::move(experiments)},
+      {"scheduler",
+       obs::Json::Object{
+           {"in_flight_trials", static_cast<int64_t>(in_flight)},
+           {"max_concurrent_trials", static_cast<int64_t>(max_concurrent_)},
+           {"pool",
+            obs::Json::Object{
+                {"num_threads",
+                 static_cast<int64_t>(pool_stats.num_threads)},
+                {"tasks_submitted", pool_stats.tasks_submitted},
+                {"tasks_completed", pool_stats.tasks_completed},
+                {"queue_depth", static_cast<int64_t>(pool_stats.queue_depth)},
+                {"running", static_cast<int64_t>(pool_stats.running)},
+            }},
+       }},
+  });
+}
+
+void ExperimentManager::PumpLocked() {
+  if (shutting_down_) return;
+  while (in_flight_count_ < max_concurrent_) {
+    Experiment* pick = nullptr;
+    for (const auto& [name, e] : experiments_) {
+      if (e->state != ExperimentState::kRunning || e->in_flight ||
+          e->loop == nullptr || e->loop_done || e->result.has_value()) {
+        continue;
+      }
+      // Strict < keeps the tie-break on name order (map iteration order),
+      // which makes the schedule deterministic for equal-weight tenants.
+      if (pick == nullptr || e->virtual_time < pick->virtual_time) {
+        pick = e.get();
+      }
+    }
+    if (pick == nullptr) break;
+    pick->in_flight = true;
+    ++in_flight_count_;
+    pool_->Submit([this, pick]() { RunOneTrial(pick); });
+  }
+  UpdateGaugesLocked();
+}
+
+void ExperimentManager::RunOneTrial(Experiment* e) {
+  // This thread holds e's in-flight token: it exclusively owns the tuning
+  // stack until it hands the token back under the mutex.
+  e->loop->StepTrial();
+
+  {
+    MutexLock lock(mutex_);
+    e->virtual_time += 1.0 / e->spec.weight;
+    SyncProgressLocked(e);
+    const bool terminal =
+        e->state == ExperimentState::kCancelled || e->loop_done;
+    if (!terminal) {
+      e->in_flight = false;
+      --in_flight_count_;
+      cv_.notify_all();
+      PumpLocked();
+      return;
+    }
+    // Keep the in-flight token: Finish() still needs exclusive ownership
+    // (it may re-evaluate the incumbent for a degrade redeploy), and it
+    // must not run under the manager mutex.
+  }
+
+  TuningResult result = e->loop->Finish();
+
+  MutexLock lock(mutex_);
+  e->degraded = result.degraded;
+  e->result = std::move(result);
+  if (e->state != ExperimentState::kCancelled) {
+    e->state = ExperimentState::kFinished;
+  }
+  if (e->degraded && e->message.empty()) {
+    e->message = "degraded: " + e->result->status.ToString();
+  }
+  e->in_flight = false;
+  --in_flight_count_;
+  cv_.notify_all();
+  PumpLocked();
+}
+
+double ExperimentManager::MinActiveVirtualTimeLocked() const {
+  double min_vtime = std::numeric_limits<double>::infinity();
+  for (const auto& [name, e] : experiments_) {
+    if (e->state != ExperimentState::kRunning || e->loop == nullptr ||
+        e->loop_done) {
+      continue;
+    }
+    min_vtime = std::min(min_vtime, e->virtual_time);
+  }
+  return std::isfinite(min_vtime) ? min_vtime : 0.0;
+}
+
+void ExperimentManager::SyncProgressLocked(Experiment* e) {
+  e->loop_done = e->loop->done();
+  e->trials_run = e->loop->trials_run();
+  e->replayed_trials = e->loop->replayed_trials();
+  e->total_cost = e->loop->total_cost();
+  e->best_objective = e->loop->best_objective();
+}
+
+ExperimentStatus ExperimentManager::StatusOfLocked(
+    const Experiment& e) const {
+  ExperimentStatus status;
+  status.name = e.spec.name;
+  status.state = e.state;
+  status.weight = e.spec.weight;
+  status.virtual_time = e.virtual_time;
+  status.in_flight = e.in_flight;
+  status.resumed = e.resumed;
+  status.trials_run = e.trials_run;
+  status.replayed_trials = e.replayed_trials;
+  status.total_cost = e.total_cost;
+  status.best_objective = e.best_objective;
+  status.degraded = e.degraded;
+  status.message = e.message;
+  return status;
+}
+
+void ExperimentManager::UpdateGaugesLocked() {
+  int64_t active = 0;
+  for (const auto& [name, e] : experiments_) {
+    if (!IsTerminal(e->state)) ++active;
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.SetGauge("service.experiments.active",
+                    static_cast<double>(active));
+  registry.SetGauge("service.scheduler.in_flight_trials",
+                    static_cast<double>(in_flight_count_));
+  const ThreadPool::Stats stats = pool_->GetStats();
+  registry.SetGauge("service.pool.queue_depth",
+                    static_cast<double>(stats.queue_depth));
+  registry.SetGauge("service.pool.running",
+                    static_cast<double>(stats.running));
+  registry.SetGauge("service.pool.tasks_submitted",
+                    static_cast<double>(stats.tasks_submitted));
+  registry.SetGauge("service.pool.tasks_completed",
+                    static_cast<double>(stats.tasks_completed));
+}
+
+}  // namespace service
+}  // namespace autotune

@@ -1,0 +1,190 @@
+#ifndef AUTOTUNE_SERVICE_EXPERIMENT_MANAGER_H_
+#define AUTOTUNE_SERVICE_EXPERIMENT_MANAGER_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "obs/journal.h"
+#include "obs/json.h"
+#include "service/experiment.h"
+
+namespace autotune {
+namespace service {
+
+/// Multi-experiment tuning service: runs N concurrent journaled tuning
+/// sessions over ONE shared `ThreadPool`, scheduling at trial granularity.
+///
+/// Scheduling is weighted fair share (stride scheduling): each experiment
+/// carries a virtual time that advances by `1 / weight` per completed trial,
+/// and the dispatcher always hands the next free worker slot to the runnable
+/// experiment with the smallest virtual time. At most one trial of any
+/// experiment is in flight at a time, so each `TuningLoop` only ever runs on
+/// one thread — experiments are isolated by construction (own environment,
+/// optimizer, runner, journal) and a fault-injected tenant degrades without
+/// touching its neighbors' state or budget share.
+///
+/// Experiments with a journal path are durable: kill the process, construct
+/// a new manager, `AddExperiment` the same specs, and every unfinished
+/// session resumes bit-exactly (from its last `optimizer_snapshot`
+/// checkpoint when present, via linear replay otherwise); sessions whose
+/// journal already ends in `experiment_finished` are reported finished and
+/// not re-run.
+///
+/// Thread-safety: all public methods are safe to call from any thread,
+/// including the HTTP scrape handler. One manager mutex guards the registry
+/// and scheduler state; each experiment's tuning stack (loop, optimizer,
+/// runner, environment) is touched only by the thread currently holding
+/// that experiment's in-flight token, never under the manager mutex while
+/// evaluating.
+class ExperimentManager {
+ public:
+  struct Options {
+    /// Cap on concurrently executing trials across ALL experiments;
+    /// 0 means `pool->num_threads()`.
+    size_t max_concurrent_trials = 0;
+  };
+
+  /// `pool` must outlive the manager and is shared: the manager never owns
+  /// its workers and other subsystems may submit to it too.
+  ExperimentManager(ThreadPool* pool, Options options);
+  explicit ExperimentManager(ThreadPool* pool)
+      : ExperimentManager(pool, Options()) {}
+
+  /// Waits for in-flight trials to drain, then tears down. Experiments not
+  /// yet terminal are left wherever their journal puts them — a later
+  /// manager can resume them.
+  ~ExperimentManager();
+
+  ExperimentManager(const ExperimentManager&) = delete;
+  ExperimentManager& operator=(const ExperimentManager&) = delete;
+
+  /// Registers (and starts scheduling) one experiment. Builds the
+  /// environment/optimizer from the spec's factories, opens the journal,
+  /// and — if the journal already holds an unfinished session — resumes it.
+  /// InvalidArgument for malformed specs, FailedPrecondition for duplicate
+  /// names; journal corruption propagates.
+  [[nodiscard]] Status AddExperiment(ExperimentSpec spec) EXCLUDES(mutex_);
+
+  /// Stops dispatching new trials for the experiment; its in-flight trial
+  /// (if any) completes normally. Idempotent; FailedPrecondition once
+  /// terminal.
+  [[nodiscard]] Status Pause(const std::string& name) EXCLUDES(mutex_);
+
+  /// Resumes a paused experiment. Its virtual time is caught up to the
+  /// current minimum so a long pause does not entitle it to a burst of
+  /// make-up trials. Idempotent; FailedPrecondition once terminal.
+  [[nodiscard]] Status Resume(const std::string& name) EXCLUDES(mutex_);
+
+  /// Cancels the experiment: no further trials are dispatched, the session
+  /// is finalized (experiment_finished journaled, so a restart will not
+  /// resume it) and its result becomes available. Idempotent.
+  [[nodiscard]] Status Cancel(const std::string& name) EXCLUDES(mutex_);
+
+  /// Blocks until every experiment is finished or cancelled and no trial is
+  /// in flight. Paused experiments never finish on their own — resume or
+  /// cancel them first.
+  void WaitAll() EXCLUDES(mutex_);
+
+  /// The finalized result. FailedPrecondition while the experiment is still
+  /// running (or was finished in a *previous* process, where only the
+  /// journal — not the in-memory result — survives); NotFound for unknown
+  /// names.
+  [[nodiscard]] Result<TuningResult> ResultOf(const std::string& name) const
+      EXCLUDES(mutex_);
+
+  /// Point-in-time status of one experiment / all experiments (sorted by
+  /// name).
+  [[nodiscard]] Result<ExperimentStatus> StatusOf(
+      const std::string& name) const EXCLUDES(mutex_);
+  std::vector<ExperimentStatus> Snapshot() const EXCLUDES(mutex_);
+
+  /// {"experiments": [...], "scheduler": {...}} — the GET /experiments
+  /// payload (scheduler block includes the shared pool's stats).
+  obs::Json StatusJson() const EXCLUDES(mutex_);
+
+  ThreadPool* pool() const { return pool_; }
+  size_t max_concurrent_trials() const { return max_concurrent_; }
+
+ private:
+  /// One managed experiment. The manager mutex guards the scheduler fields
+  /// (`state`, `in_flight`, `virtual_time`) and the cached progress mirror;
+  /// the tuning stack below them is owned by whichever thread holds the
+  /// in-flight token (handed off through the mutex, so access is ordered).
+  struct Experiment {
+    ExperimentSpec spec;
+
+    ExperimentState state = ExperimentState::kRunning;
+    bool in_flight = false;
+    bool resumed = false;
+    double virtual_time = 0.0;
+    std::string message;
+
+    std::unique_ptr<Environment> env;
+    std::unique_ptr<Optimizer> optimizer;
+    std::unique_ptr<TrialRunner> runner;
+    std::unique_ptr<obs::Journal> journal;
+    std::unique_ptr<TuningLoop> loop;
+    std::optional<TuningResult> result;
+
+    /// Mirror of the loop's progress accessors, refreshed under the manager
+    /// mutex after every trial so status readers never touch the loop.
+    bool loop_done = false;
+    int trials_run = 0;
+    int replayed_trials = 0;
+    double total_cost = 0.0;
+    std::optional<double> best_objective;
+    bool degraded = false;
+  };
+
+  static bool IsTerminal(ExperimentState state) {
+    return state == ExperimentState::kCancelled ||
+           state == ExperimentState::kFinished;
+  }
+
+  /// Dispatches trials to free worker slots: repeatedly picks the runnable
+  /// experiment with the smallest virtual time (ties broken by name) and
+  /// submits one StepTrial task for it.
+  void PumpLocked() REQUIRES(mutex_);
+
+  /// Worker-task body: runs exactly one trial of `e`, then updates
+  /// scheduler state and finalizes the experiment if it became terminal.
+  void RunOneTrial(Experiment* e) EXCLUDES(mutex_);
+
+  /// Smallest virtual time among experiments still competing for workers
+  /// (0 when none) — the catch-up point for added/unpaused experiments.
+  double MinActiveVirtualTimeLocked() const REQUIRES(mutex_);
+
+  /// Copies the loop's progress accessors into the cached mirror. Caller
+  /// must hold the experiment's in-flight token (or otherwise own the
+  /// loop).
+  void SyncProgressLocked(Experiment* e) REQUIRES(mutex_);
+
+  ExperimentStatus StatusOfLocked(const Experiment& e) const
+      REQUIRES(mutex_);
+
+  /// Publishes scheduler + pool gauges to the global metrics registry.
+  void UpdateGaugesLocked() REQUIRES(mutex_);
+
+  ThreadPool* pool_;
+  size_t max_concurrent_;
+
+  mutable Mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, std::unique_ptr<Experiment>> experiments_
+      GUARDED_BY(mutex_);
+  size_t in_flight_count_ GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace service
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SERVICE_EXPERIMENT_MANAGER_H_

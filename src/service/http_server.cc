@@ -1,0 +1,141 @@
+#include "service/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/log.h"
+
+namespace autotune {
+namespace service {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return;  // Client went away; nothing to do.
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Start(const Options& options,
+                                                      Handler handler) {
+  if (!handler) return Status::InvalidArgument("null handler");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Unavailable("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address '" + options.host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Unavailable("cannot bind " + options.host + ":" +
+                               std::to_string(options.port));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::Unavailable("listen() failed");
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  int port = options.port;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port = ntohs(bound.sin_port);
+  }
+  return std::unique_ptr<HttpServer>(
+      new HttpServer(fd, port, std::move(handler)));
+}
+
+HttpServer::HttpServer(int listen_fd, int port, Handler handler)
+    : listen_fd_(listen_fd), port_(port), handler_(std::move(handler)) {
+  accept_thread_ = std::thread([this]() { AcceptLoop(); });
+}
+
+HttpServer::~HttpServer() {
+  // shutdown() unblocks the accept(2) in the accept thread; close after
+  // the join so the fd cannot be recycled while still in use.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  accept_thread_.join();
+  ::close(listen_fd_);
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) return;  // Shut down (or unrecoverable).
+
+    // Read just the request head; this server only serves bodyless GETs.
+    std::string request;
+    char buf[4096];
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < (1u << 16)) {
+      const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      request.append(buf, static_cast<size_t>(n));
+    }
+
+    std::string method = "GET";
+    std::string path = "/";
+    const size_t line_end = request.find("\r\n");
+    if (line_end != std::string::npos) {
+      const std::string line = request.substr(0, line_end);
+      const size_t sp1 = line.find(' ');
+      const size_t sp2 = line.find(' ', sp1 + 1);
+      if (sp1 != std::string::npos && sp2 != std::string::npos) {
+        method = line.substr(0, sp1);
+        path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        const size_t query = path.find('?');
+        if (query != std::string::npos) path = path.substr(0, query);
+      }
+    }
+
+    HttpResponse response;
+    if (method != "GET") {
+      response.status = 405;
+      response.body = "method not allowed\n";
+    } else {
+      response = handler_(path);
+    }
+    std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                      StatusText(response.status) + "\r\n";
+    out += "Content-Type: " + response.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) +
+           "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += response.body;
+    WriteAll(client, out);
+    ::close(client);
+  }
+}
+
+}  // namespace service
+}  // namespace autotune

@@ -1,0 +1,68 @@
+#ifndef AUTOTUNE_SERVICE_HTTP_SERVER_H_
+#define AUTOTUNE_SERVICE_HTTP_SERVER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace autotune {
+namespace service {
+
+/// Response produced by an `HttpServer::Handler`.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Minimal dependency-free HTTP/1.0 server for the tuning service's scrape
+/// endpoints (GET /metrics, GET /experiments). One accept thread, one
+/// request per connection, no keep-alive — exactly enough for Prometheus
+/// scrapes and curl, deliberately nothing more. Not exposed beyond
+/// localhost by default.
+class HttpServer {
+ public:
+  /// Maps a request path (e.g. "/metrics") to a response. Called on the
+  /// accept thread; must be thread-safe with the rest of the process and
+  /// reasonably fast (scrapes block each other).
+  using Handler = std::function<HttpResponse(const std::string& path)>;
+
+  struct Options {
+    /// Interface to bind. Keep loopback unless you know better.
+    std::string host = "127.0.0.1";
+    /// TCP port; 0 picks a free port (see `port()`).
+    int port = 0;
+  };
+
+  /// Binds, listens, and starts the accept thread. Unavailable on bind
+  /// failure (port taken, permission).
+  [[nodiscard]] static Result<std::unique_ptr<HttpServer>> Start(
+      const Options& options, Handler handler);
+
+  /// Stops accepting and joins the accept thread.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The actually bound port (useful with Options::port = 0).
+  int port() const { return port_; }
+
+ private:
+  HttpServer(int listen_fd, int port, Handler handler);
+
+  void AcceptLoop();
+
+  int listen_fd_;
+  int port_;
+  Handler handler_;
+  std::thread accept_thread_;
+};
+
+}  // namespace service
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SERVICE_HTTP_SERVER_H_

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "obs/trace.h"
+#include "env/env_observer.h"
 
 namespace autotune {
 namespace sim {
@@ -347,7 +347,7 @@ BenchmarkResult DbEnv::EvaluateModel(const Configuration& config,
 
 BenchmarkResult DbEnv::Run(const Configuration& config, double fidelity,
                            Rng* rng) {
-  obs::Span span("env.simdb.run");
+  env::EnvSpanScope span("env.simdb.run");
   BenchmarkResult result = EvaluateModel(config, fidelity);
   if (result.crashed || options_.deterministic || rng == nullptr) {
     return result;

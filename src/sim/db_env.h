@@ -5,7 +5,7 @@
 
 #include "env/environment.h"
 #include "sim/noise.h"
-#include "workload/workload.h"
+#include "env/workload.h"
 
 namespace autotune {
 namespace sim {

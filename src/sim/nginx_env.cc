@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "obs/trace.h"
+#include "env/env_observer.h"
 
 namespace autotune {
 namespace sim {
@@ -180,7 +180,7 @@ BenchmarkResult NginxEnv::EvaluateModel(const Configuration& config,
 
 BenchmarkResult NginxEnv::Run(const Configuration& config, double fidelity,
                               Rng* rng) {
-  obs::Span span("env.nginx.run");
+  env::EnvSpanScope span("env.nginx.run");
   BenchmarkResult result = EvaluateModel(config, fidelity);
   if (options_.deterministic || rng == nullptr) return result;
   const double factor = noise_.ApplyToLatency(1.0, options_.machine_id, rng);

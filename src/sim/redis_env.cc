@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "obs/trace.h"
+#include "env/env_observer.h"
 #include "sim/test_functions.h"
 
 namespace autotune {
@@ -55,7 +55,7 @@ BenchmarkResult RedisEnv::EvaluateModel(const Configuration& config) const {
 
 BenchmarkResult RedisEnv::Run(const Configuration& config,
                               double /*fidelity*/, Rng* rng) {
-  obs::Span span("env.redis.run");
+  env::EnvSpanScope span("env.redis.run");
   BenchmarkResult result = EvaluateModel(config);
   if (options_.deterministic || rng == nullptr) return result;
   const double factor = noise_.ApplyToLatency(1.0, options_.machine_id, rng);

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "obs/trace.h"
+#include "env/env_observer.h"
 
 namespace autotune {
 namespace sim {
@@ -128,7 +128,7 @@ BenchmarkResult SparkEnv::EvaluateModel(const Configuration& config,
 
 BenchmarkResult SparkEnv::Run(const Configuration& config, double fidelity,
                               Rng* rng) {
-  obs::Span span("env.spark.run");
+  env::EnvSpanScope span("env.spark.run");
   BenchmarkResult result = EvaluateModel(config, fidelity);
   if (result.crashed || options_.deterministic || rng == nullptr) {
     return result;

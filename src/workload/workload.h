@@ -1,74 +1,12 @@
 #ifndef AUTOTUNE_WORKLOAD_WORKLOAD_H_
 #define AUTOTUNE_WORKLOAD_WORKLOAD_H_
 
-#include <string>
-#include <vector>
-
-#include "common/rng.h"
-
-namespace autotune {
-namespace workload {
-
-/// A synthetic workload descriptor — the "workload" leg of the tutorial's
-/// context triple (slide 8: execution environment x workload x metrics).
-/// The fields are the latent characteristics the simulators' performance
-/// models respond to; the named factories approximate the standard
-/// benchmarks the tutorial lists (YCSB, TPC-C, TPC-H).
-struct Workload {
-  std::string name;
-
-  /// Fraction of read operations (rest are writes).
-  double read_ratio = 0.5;
-
-  /// Fraction of operations that are large scans (vs point accesses).
-  double scan_ratio = 0.0;
-
-  /// Hot working-set size the buffer pool competes for.
-  double working_set_mb = 1024.0;
-
-  /// Total data size (scans touch this).
-  double data_size_mb = 10240.0;
-
-  /// Offered load, operations (or transactions) per second.
-  double arrival_rate = 2000.0;
-
-  /// Zipfian access skew (0 = uniform; ~1 = heavily skewed).
-  double skew = 0.8;
-
-  /// Mean concurrent client sessions.
-  double clients = 32.0;
-
-  /// Fraction of operations inside multi-statement transactions.
-  double transactional = 0.0;
-};
-
-/// YCSB-A: 50/50 read/update, zipfian point accesses.
-Workload YcsbA();
-/// YCSB-B: 95/5 read/update.
-Workload YcsbB();
-/// YCSB-C: read-only point lookups.
-Workload YcsbC();
-/// TPC-C-like: write-heavy transactional OLTP.
-Workload TpcC();
-/// TPC-H-like: read-only analytical scans.
-Workload TpcH();
-/// Web-app-like mixed load.
-Workload WebApp();
-
-/// All the predefined workload families.
-std::vector<Workload> StandardWorkloads();
-
-/// A perturbed copy of `base`: each characteristic jittered by up to
-/// `relative_spread` (multiplicative), modeling "customer workloads similar
-/// to but not exactly a benchmark" (slide 88). Deterministic given `rng`.
-Workload PerturbWorkload(const Workload& base, double relative_spread,
-                         Rng* rng);
-
-/// Linear interpolation between two workloads (drift/shift modeling):
-/// t = 0 -> a, t = 1 -> b.
-Workload BlendWorkloads(const Workload& a, const Workload& b, double t);
-
-}  // namespace workload
-}  // namespace autotune
+// The Workload descriptor and benchmark factories moved to the
+// dependency-light `src/env/` layer so simulators no longer need to reach
+// into `workload/` (the lint baseline's sim -> workload layering paydown;
+// same pattern as core/environment.h). This forwarder keeps existing
+// `workload/workload.h` includes working; new code should include
+// "env/workload.h" directly.
+#include "env/workload.h"
 
 #endif  // AUTOTUNE_WORKLOAD_WORKLOAD_H_

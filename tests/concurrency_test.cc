@@ -20,6 +20,9 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "optimizers/random_search.h"
+#include "service/experiment_manager.h"
+#include "sim/test_functions.h"
 
 namespace autotune {
 namespace {
@@ -280,6 +283,93 @@ TEST(ConcurrencyTest, ParallelRunnerQuarantinesConcurrentlyFailingWorkers) {
   EXPECT_EQ(runner.health().total_quarantines(), 2);
   EXPECT_EQ(runner.health().Snapshot(1).generation, 1);
   EXPECT_EQ(runner.health().Snapshot(3).generation, 1);
+}
+
+// Hammers the ExperimentManager's control plane: 8 experiments share one
+// pool while controller threads concurrently pause/resume/cancel and read
+// status from every angle. Run under TSan this exercises the manager mutex
+// against the worker-side trial completion path; in plain builds it checks
+// the lifecycle invariants (everything terminal, budgets respected).
+TEST(ConcurrencyTest, ExperimentManagerControlPlaneHammer) {
+  constexpr int kExperiments = 8;
+  constexpr int kTrialsEach = 25;
+
+  ThreadPool pool(4);
+  service::ExperimentManager manager(&pool);
+  std::vector<std::string> names;
+  for (int i = 0; i < kExperiments; ++i) {
+    const std::string name = "hammer-" + std::to_string(i);
+    names.push_back(name);
+    service::ExperimentSpec spec;
+    spec.name = name;
+    spec.weight = 1.0 + (i % 3);
+    spec.seed = 100 + static_cast<uint64_t>(i);
+    spec.make_environment = []() {
+      return std::make_unique<sim::FunctionEnvironment>("sphere", 2,
+                                                        sim::Sphere);
+    };
+    spec.make_optimizer = [](const ConfigSpace* space, uint64_t seed) {
+      return std::make_unique<RandomSearch>(space, seed);
+    };
+    spec.loop_options.max_trials = kTrialsEach;
+    spec.loop_options.snapshot_every = 0;
+    ASSERT_TRUE(manager.AddExperiment(std::move(spec)).ok());
+  }
+
+  // Controllers fire pause/resume/cancel/status at experiments picked by a
+  // per-thread counter; the manager must tolerate every interleaving
+  // (errors like "already terminal" are expected and ignored).
+  constexpr int kControllers = 4;
+  std::vector<std::thread> controllers;
+  for (int t = 0; t < kControllers; ++t) {
+    controllers.emplace_back([&, t]() {
+      for (int i = 0; i < 120; ++i) {
+        const std::string& name =
+            names[static_cast<size_t>(t * 31 + i) % names.size()];
+        switch ((t + i) % 5) {
+          case 0:
+            (void)manager.Pause(name);
+            break;
+          case 1:
+            (void)manager.Resume(name);
+            break;
+          case 2:
+            // Only the last experiment may be cancelled, so the others
+            // still verify full-budget completion below.
+            if (name == names.back()) (void)manager.Cancel(name);
+            break;
+          case 3:
+            (void)manager.StatusOf(name);
+            break;
+          default:
+            (void)manager.Snapshot();
+            (void)manager.StatusJson();
+            break;
+        }
+      }
+    });
+  }
+  for (auto& controller : controllers) controller.join();
+
+  // Un-pause whatever the hammer left paused, then drain.
+  for (const std::string& name : names) {
+    (void)manager.Resume(name);
+  }
+  manager.WaitAll();
+
+  for (const std::string& name : names) {
+    auto status = manager.StatusOf(name);
+    ASSERT_TRUE(status.ok());
+    EXPECT_FALSE(status->in_flight);
+    EXPECT_TRUE(status->state == service::ExperimentState::kFinished ||
+                status->state == service::ExperimentState::kCancelled)
+        << name;
+    EXPECT_LE(status->trials_run, kTrialsEach);
+    if (status->state == service::ExperimentState::kFinished) {
+      EXPECT_EQ(status->trials_run, kTrialsEach) << name;
+      EXPECT_TRUE(manager.ResultOf(name).ok());
+    }
+  }
 }
 
 TEST(ConcurrencyTest, TraceSpansFromManyThreads) {

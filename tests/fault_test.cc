@@ -19,6 +19,7 @@
 #include "fault/retry_policy.h"
 #include "fault/worker_health.h"
 #include "obs/journal.h"
+#include "record/codec.h"
 #include "obs/json.h"
 #include "optimizers/random_search.h"
 #include "sim/test_functions.h"
@@ -598,7 +599,7 @@ TEST(FaultResumeTest, ResumedFaultyRunMatchesUninterruptedRun) {
   }
 
   // Resume with fresh runner/optimizer built from the ORIGINAL seeds.
-  auto replay = obs::ReplayJournal(path, &env.space());
+  auto replay = record::ReplayJournal(path, &env.space());
   ASSERT_TRUE(replay.ok()) << replay.status().ToString();
   ASSERT_EQ(replay->observations.size(), static_cast<size_t>(kKilledAfter));
   TrialRunner runner(&env, trial_options, kEnvSeed);
@@ -618,8 +619,8 @@ TEST(FaultResumeTest, ResumedFaultyRunMatchesUninterruptedRun) {
         << "trial " << i << " fault outcome diverged";
     EXPECT_EQ(resumed.history[i].cost, baseline.history[i].cost)
         << "trial " << i << " charged cost diverged";
-    EXPECT_EQ(obs::EncodeConfig(resumed.history[i].config).Dump(),
-              obs::EncodeConfig(baseline.history[i].config).Dump())
+    EXPECT_EQ(record::EncodeConfig(resumed.history[i].config).Dump(),
+              record::EncodeConfig(baseline.history[i].config).Dump())
         << "trial " << i << " config diverged";
   }
   EXPECT_DOUBLE_EQ(resumed.total_cost, baseline.total_cost);

@@ -11,6 +11,7 @@
 #include "core/trial_runner.h"
 #include "core/tuning_loop.h"
 #include "obs/journal.h"
+#include "record/codec.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -303,7 +304,7 @@ TEST(JournalTest, ObservationEncodeDecodeRoundTrip) {
   ConfigSpace& space = mixed.space;
   Observation original = MakeObservation(space, 41.75);
   auto decoded =
-      obs::DecodeObservation(&space, obs::EncodeObservation(original));
+      record::DecodeObservation(&space, record::EncodeObservation(original));
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_EQ(decoded->objective, original.objective);
   EXPECT_EQ(decoded->cost, original.cost);
@@ -329,14 +330,14 @@ TEST(JournalTest, WriteThenReplayRoundTrip) {
       (*journal)->Event(
           "trial_completed",
           {{"trial", obs::Json(int64_t{trial})},
-           {"observation", obs::EncodeObservation(observation)},
+           {"observation", record::EncodeObservation(observation)},
            {"runner_rng",
-            obs::EncodeRngState(
+            record::EncodeRngState(
                 {1, 2, 3, 4, 0, static_cast<uint64_t>(trial) + 7})}});
     }
   }  // Destructor drains the writer thread and closes the file.
 
-  auto replay = obs::ReplayJournal(path, &space);
+  auto replay = record::ReplayJournal(path, &space);
   ASSERT_TRUE(replay.ok()) << replay.status().ToString();
   ASSERT_EQ(replay->observations.size(), 3u);
   EXPECT_EQ(replay->observations[0].objective, 10.0);
@@ -389,7 +390,7 @@ TEST(JournalTest, TruncatedFinalLineIsTolerated) {
     (*journal)->Event(
         "trial_completed",
         {{"trial", obs::Json(int64_t{0})},
-         {"observation", obs::EncodeObservation(observation)}});
+         {"observation", record::EncodeObservation(observation)}});
   }
   // Simulate a kill mid-write: a partial JSON line with no newline.
   std::FILE* file = std::fopen(path.c_str(), "a");
@@ -397,7 +398,7 @@ TEST(JournalTest, TruncatedFinalLineIsTolerated) {
   std::fputs("{\"event\":\"trial_completed\",\"observ", file);
   std::fclose(file);
 
-  auto replay = obs::ReplayJournal(path, &space);
+  auto replay = record::ReplayJournal(path, &space);
   ASSERT_TRUE(replay.ok()) << replay.status().ToString();
   EXPECT_EQ(replay->observations.size(), 1u);  // Partial line discarded.
   std::remove(path.c_str());
@@ -413,7 +414,7 @@ TEST(JournalTest, MalformedInteriorLineFailsReplay) {
   std::fputs("not json at all\n", file);  // Interior corruption.
   std::fputs("{\"event\":\"experiment_finished\"}\n", file);
   std::fclose(file);
-  EXPECT_FALSE(obs::ReplayJournal(path, &space).ok());
+  EXPECT_FALSE(record::ReplayJournal(path, &space).ok());
   std::remove(path.c_str());
 }
 
@@ -426,19 +427,19 @@ TEST(JournalTest, SpaceSchemaMismatchFailsReplay) {
     auto journal = obs::Journal::Open(path);
     ASSERT_TRUE(journal.ok());
     (*journal)->Event("loop_started",
-                      {{"space", obs::EncodeSpaceSchema(space)}});
+                      {{"space", record::EncodeSpaceSchema(space)}});
   }
   ConfigSpace other;
   other.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
-  EXPECT_FALSE(obs::ReplayJournal(path, &other).ok());
-  EXPECT_TRUE(obs::ReplayJournal(path, &space).ok());
+  EXPECT_FALSE(record::ReplayJournal(path, &other).ok());
+  EXPECT_TRUE(record::ReplayJournal(path, &space).ok());
   std::remove(path.c_str());
 }
 
 TEST(JournalTest, RngStateRoundTripsThroughHex) {
   const std::vector<uint64_t> words = {0, 1, 0xffffffffffffffffULL,
                                        0x0123456789abcdefULL};
-  auto decoded = obs::DecodeRngState(obs::EncodeRngState(words));
+  auto decoded = record::DecodeRngState(record::EncodeRngState(words));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(*decoded, words);
 }
@@ -455,7 +456,7 @@ TEST(JournalTest, StorageBridgesToJournal) {
       (*journal)->Event(
           "trial_completed",
           {{"observation",
-            obs::EncodeObservation(MakeObservation(space, 1.0 + trial))}});
+            record::EncodeObservation(MakeObservation(space, 1.0 + trial))}});
     }
   }
   auto storage = TrialStorage::FromJournal(&space, path);
@@ -507,7 +508,7 @@ TEST(ResumeTest, ResumedRunMatchesUninterruptedRun) {
   }
 
   // Resume with FRESH optimizer/runner built from the ORIGINAL seeds.
-  auto replay = obs::ReplayJournal(path, &env.space());
+  auto replay = record::ReplayJournal(path, &env.space());
   ASSERT_TRUE(replay.ok()) << replay.status().ToString();
   ASSERT_EQ(replay->observations.size(),
             static_cast<size_t>(kKilledAfter));
@@ -526,14 +527,14 @@ TEST(ResumeTest, ResumedRunMatchesUninterruptedRun) {
         << "trial " << i << " diverged";
     // Configuration::operator== requires the same space instance; the two
     // runs use different environments, so compare by value.
-    EXPECT_EQ(obs::EncodeConfig(resumed.history[i].config).Dump(),
-              obs::EncodeConfig(baseline.history[i].config).Dump())
+    EXPECT_EQ(record::EncodeConfig(resumed.history[i].config).Dump(),
+              record::EncodeConfig(baseline.history[i].config).Dump())
         << "trial " << i << " config diverged";
   }
   ASSERT_TRUE(resumed.best.has_value());
   EXPECT_EQ(resumed.best->objective, baseline.best->objective);
-  EXPECT_EQ(obs::EncodeConfig(resumed.best->config).Dump(),
-            obs::EncodeConfig(baseline.best->config).Dump());
+  EXPECT_EQ(record::EncodeConfig(resumed.best->config).Dump(),
+            record::EncodeConfig(baseline.best->config).Dump());
   EXPECT_DOUBLE_EQ(resumed.total_cost, baseline.total_cost);
   std::remove(path.c_str());
 }
@@ -568,7 +569,7 @@ TEST(ResumeTest, ResumedBayesianRunMatchesUninterruptedRun) {
     RunTuningLoop(optimizer.get(), &runner, options);
   }
 
-  auto replay = obs::ReplayJournal(path, &env.space());
+  auto replay = record::ReplayJournal(path, &env.space());
   ASSERT_TRUE(replay.ok()) << replay.status().ToString();
   TrialRunner runner(&env, TrialRunnerOptions{}, kEnvSeed);
   auto optimizer = MakeGpBo(&env.space(), kOptSeed);

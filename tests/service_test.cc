@@ -1,0 +1,560 @@
+// Tests for the multi-experiment tuning service (src/service/): the
+// ExperimentManager's fair-share scheduler, pause/resume/cancel lifecycle,
+// journal-backed crash recovery, the HTTP endpoint handler, and the
+// Prometheus text exposition it serves.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "core/trial_runner.h"
+#include "core/tuning_loop.h"
+#include "obs/journal.h"
+#include "obs/json.h"
+#include "record/codec.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "optimizers/random_search.h"
+#include "service/endpoints.h"
+#include "service/experiment_manager.h"
+#include "service/http_server.h"
+#include "sim/test_functions.h"
+
+namespace autotune {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "service_test_" + name;
+}
+
+/// A deterministic 2-knob environment that records every dispatch into a
+/// shared, mutex-protected log — lets tests observe the exact scheduling
+/// order when the pool has one thread.
+class RecordingEnvironment : public Environment {
+ public:
+  RecordingEnvironment(std::string tag, std::vector<std::string>* order,
+                       std::mutex* order_mutex, int delay_ms = 0)
+      : tag_(std::move(tag)),
+        order_(order),
+        order_mutex_(order_mutex),
+        delay_ms_(delay_ms) {
+    space_.AddOrDie(ParameterSpec::Float("x0", 0.0, 1.0));
+    space_.AddOrDie(ParameterSpec::Float("x1", 0.0, 1.0));
+  }
+
+  std::string name() const override { return "recording-" + tag_; }
+  const ConfigSpace& space() const override { return space_; }
+  BenchmarkResult Run(const Configuration& config, double /*fidelity*/,
+                      Rng* /*rng*/) override {
+    if (order_ != nullptr) {
+      std::lock_guard<std::mutex> hold(*order_mutex_);
+      order_->push_back(tag_);
+    }
+    if (delay_ms_ > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+    }
+    BenchmarkResult result;
+    const Vector u = {config.GetDouble("x0"), config.GetDouble("x1")};
+    result.metrics["value"] = sim::Sphere(u);
+    return result;
+  }
+  std::string objective_metric() const override { return "value"; }
+
+ private:
+  std::string tag_;
+  std::vector<std::string>* order_;
+  std::mutex* order_mutex_;
+  int delay_ms_;
+  ConfigSpace space_;
+};
+
+/// A journaled sphere-minimization spec with a RandomSearch optimizer
+/// (checkpoint-capable, so snapshot compaction is exercised too).
+service::ExperimentSpec SphereSpec(const std::string& name, int trials,
+                                   double weight = 1.0,
+                                   const std::string& journal_path = "",
+                                   uint64_t seed = 7) {
+  service::ExperimentSpec spec;
+  spec.name = name;
+  spec.weight = weight;
+  spec.journal_path = journal_path;
+  spec.seed = seed;
+  spec.make_environment = []() {
+    return std::make_unique<sim::FunctionEnvironment>("sphere", 2,
+                                                      sim::Sphere);
+  };
+  spec.make_optimizer = [](const ConfigSpace* space, uint64_t opt_seed) {
+    return std::make_unique<RandomSearch>(space, opt_seed);
+  };
+  spec.loop_options.max_trials = trials;
+  spec.loop_options.snapshot_every = 5;
+  return spec;
+}
+
+// ----------------------------------------------------- ExperimentManager --
+
+TEST(ExperimentManagerTest, RunsExperimentsToCompletion) {
+  ThreadPool pool(4);
+  service::ExperimentManager manager(&pool);
+  ASSERT_TRUE(manager.AddExperiment(SphereSpec("alpha", 12)).ok());
+  ASSERT_TRUE(manager.AddExperiment(SphereSpec("beta", 8)).ok());
+  manager.WaitAll();
+
+  auto alpha = manager.StatusOf("alpha");
+  auto beta = manager.StatusOf("beta");
+  ASSERT_TRUE(alpha.ok() && beta.ok());
+  EXPECT_EQ(alpha->state, service::ExperimentState::kFinished);
+  EXPECT_EQ(beta->state, service::ExperimentState::kFinished);
+  EXPECT_EQ(alpha->trials_run, 12);
+  EXPECT_EQ(beta->trials_run, 8);
+  ASSERT_TRUE(alpha->best_objective.has_value());
+
+  auto result = manager.ResultOf("alpha");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->trials_run, 12);
+  EXPECT_EQ(result->history.size(), 12u);
+}
+
+TEST(ExperimentManagerTest, RejectsMalformedAndDuplicateSpecs) {
+  ThreadPool pool(2);
+  service::ExperimentManager manager(&pool);
+
+  service::ExperimentSpec nameless = SphereSpec("", 4);
+  EXPECT_EQ(manager.AddExperiment(std::move(nameless)).code(),
+            StatusCode::kInvalidArgument);
+
+  service::ExperimentSpec no_env = SphereSpec("x", 4);
+  no_env.make_environment = nullptr;
+  EXPECT_EQ(manager.AddExperiment(std::move(no_env)).code(),
+            StatusCode::kInvalidArgument);
+
+  service::ExperimentSpec bad_weight = SphereSpec("x", 4);
+  bad_weight.weight = 0.0;
+  EXPECT_EQ(manager.AddExperiment(std::move(bad_weight)).code(),
+            StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(manager.AddExperiment(SphereSpec("dup", 4)).ok());
+  EXPECT_EQ(manager.AddExperiment(SphereSpec("dup", 4)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(manager.StatusOf("nope").status().code(), StatusCode::kNotFound);
+  manager.WaitAll();
+}
+
+TEST(ExperimentManagerTest, FairShareDispatchesProportionallyToWeight) {
+  std::vector<std::string> order;
+  std::mutex order_mutex;
+  auto recording_spec = [&](const std::string& tag, double weight) {
+    service::ExperimentSpec spec = SphereSpec(tag, 60, weight);
+    spec.make_environment = [&, tag]() {
+      return std::make_unique<RecordingEnvironment>(tag, &order,
+                                                    &order_mutex);
+    };
+    return spec;
+  };
+
+  // One worker thread => dispatch order IS execution order.
+  ThreadPool pool(1);
+  {
+    service::ExperimentManager manager(&pool);
+    ASSERT_TRUE(manager.AddExperiment(recording_spec("heavy", 2.0)).ok());
+    ASSERT_TRUE(manager.AddExperiment(recording_spec("light", 1.0)).ok());
+    manager.WaitAll();
+  }
+
+  // Stride scheduling: in any prefix, the weight-2 experiment should get
+  // about twice the trials of the weight-1 one (until one runs out of
+  // budget). Check the first 30 dispatches.
+  int heavy = 0;
+  int light = 0;
+  for (size_t i = 0; i < 30 && i < order.size(); ++i) {
+    (order[i] == "heavy" ? heavy : light)++;
+  }
+  EXPECT_GE(heavy, 18) << "heavy=" << heavy << " light=" << light;
+  EXPECT_LE(heavy, 22) << "heavy=" << heavy << " light=" << light;
+}
+
+TEST(ExperimentManagerTest, PauseStopsDispatchAndResumeFinishes) {
+  ThreadPool pool(2);
+  service::ExperimentManager manager(&pool);
+  service::ExperimentSpec spec = SphereSpec("paused", 40);
+  spec.make_environment = []() {
+    return std::make_unique<RecordingEnvironment>("paused", nullptr, nullptr,
+                                                  /*delay_ms=*/2);
+  };
+  ASSERT_TRUE(manager.AddExperiment(std::move(spec)).ok());
+  ASSERT_TRUE(manager.Pause("paused").ok());
+  ASSERT_TRUE(manager.Pause("paused").ok());  // Idempotent.
+
+  // Wait for any in-flight trial to drain, then verify no further progress.
+  for (int i = 0; i < 200; ++i) {
+    auto status = manager.StatusOf("paused");
+    ASSERT_TRUE(status.ok());
+    if (!status->in_flight) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  auto before = manager.StatusOf("paused");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->state, service::ExperimentState::kPaused);
+  EXPECT_FALSE(before->in_flight);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto after = manager.StatusOf("paused");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->trials_run, before->trials_run);
+
+  ASSERT_TRUE(manager.Resume("paused").ok());
+  manager.WaitAll();
+  auto done = manager.StatusOf("paused");
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done->state, service::ExperimentState::kFinished);
+  EXPECT_EQ(done->trials_run, 40);
+}
+
+TEST(ExperimentManagerTest, CancelFinalizesAndJournalsCompletion) {
+  const std::string journal = TempPath("cancelled.jsonl");
+  std::remove(journal.c_str());
+
+  ThreadPool pool(2);
+  {
+    service::ExperimentManager manager(&pool);
+    ASSERT_TRUE(
+        manager.AddExperiment(SphereSpec("doomed", 100000, 1.0, journal))
+            .ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(manager.Cancel("doomed").ok());
+    ASSERT_TRUE(manager.Cancel("doomed").ok());  // Idempotent.
+    manager.WaitAll();
+    auto status = manager.StatusOf("doomed");
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(status->state, service::ExperimentState::kCancelled);
+    EXPECT_TRUE(manager.ResultOf("doomed").ok());
+    EXPECT_EQ(manager.Pause("doomed").code(),
+              StatusCode::kFailedPrecondition);
+  }
+
+  // The journal was finalized, so a restart reports the session finished
+  // instead of re-running it.
+  service::ExperimentManager second(&pool);
+  ASSERT_TRUE(
+      second.AddExperiment(SphereSpec("doomed", 100000, 1.0, journal)).ok());
+  auto status = second.StatusOf("doomed");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, service::ExperimentState::kFinished);
+  EXPECT_TRUE(status->resumed);
+}
+
+// Interrupts a journaled session partway (pause, drain, destroy manager),
+// then resumes it under a fresh manager and checks the result is
+// bit-exact against an uninterrupted run of the same spec.
+TEST(ExperimentManagerTest, CrashRecoveryResumesBitExactly) {
+  const std::string interrupted = TempPath("interrupted.jsonl");
+  const std::string straight = TempPath("straight.jsonl");
+  std::remove(interrupted.c_str());
+  std::remove(straight.c_str());
+  constexpr int kTrials = 30;
+
+  ThreadPool pool(2);
+
+  // Trials sleep a few ms so the "kill" below lands mid-run; the values
+  // stay deterministic, so both runs must agree bit-exactly.
+  const auto slow_spec = [&](const std::string& journal) {
+    service::ExperimentSpec spec = SphereSpec("ref", kTrials, 1.0, journal);
+    spec.make_environment = []() {
+      return std::make_unique<RecordingEnvironment>(
+          "ref", nullptr, nullptr, /*delay_ms=*/3);
+    };
+    return spec;
+  };
+
+  // Reference: uninterrupted run.
+  TuningResult reference;
+  {
+    service::ExperimentManager manager(&pool);
+    ASSERT_TRUE(manager.AddExperiment(slow_spec(straight)).ok());
+    manager.WaitAll();
+    auto result = manager.ResultOf("ref");
+    ASSERT_TRUE(result.ok());
+    reference = *std::move(result);
+  }
+
+  // Interrupted run: pause after a few trials, drain, tear down. The
+  // manager dtor leaves the unfinished journal on disk.
+  int trials_before_kill = 0;
+  {
+    service::ExperimentManager manager(&pool);
+    ASSERT_TRUE(manager.AddExperiment(slow_spec(interrupted)).ok());
+    for (int i = 0; i < 1000; ++i) {
+      auto status = manager.StatusOf("ref");
+      ASSERT_TRUE(status.ok());
+      if (status->trials_run >= 5) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_TRUE(manager.Pause("ref").ok());
+    for (int i = 0; i < 1000; ++i) {
+      auto status = manager.StatusOf("ref");
+      ASSERT_TRUE(status.ok());
+      if (!status->in_flight) {
+        trials_before_kill = status->trials_run;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_GT(trials_before_kill, 0);
+    ASSERT_LT(trials_before_kill, kTrials);
+  }
+
+  // Journal compaction: the interrupted journal carries an
+  // optimizer_snapshot checkpoint, and the tail to fast-forward past it is
+  // bounded by the snapshot interval (5, from SphereSpec) — resume cost
+  // does not grow with session length.
+  if (trials_before_kill >= 5) {
+    RecordingEnvironment probe("probe", nullptr, nullptr);
+    auto replay = record::ReplayJournal(interrupted, &probe.space());
+    ASSERT_TRUE(replay.ok());
+    ASSERT_TRUE(replay->checkpoint.has_value());
+    EXPECT_GE(replay->checkpoint->trial, trials_before_kill - 5);
+  }
+
+  // "Restart": same spec, same journal, new manager.
+  service::ExperimentManager manager(&pool);
+  ASSERT_TRUE(manager.AddExperiment(slow_spec(interrupted)).ok());
+  manager.WaitAll();
+  auto status = manager.StatusOf("ref");
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->resumed);
+  EXPECT_EQ(status->replayed_trials, trials_before_kill);
+  auto resumed = manager.ResultOf("ref");
+  ASSERT_TRUE(resumed.ok());
+
+  // Bit-exact: same trial count, same history objectives, same best.
+  ASSERT_EQ(resumed->history.size(), reference.history.size());
+  for (size_t i = 0; i < reference.history.size(); ++i) {
+    EXPECT_EQ(resumed->history[i].objective, reference.history[i].objective)
+        << "trial " << i;
+  }
+  ASSERT_TRUE(resumed->best.has_value());
+  ASSERT_TRUE(reference.best.has_value());
+  EXPECT_EQ(resumed->best->objective, reference.best->objective);
+}
+
+TEST(ExperimentManagerTest, StatusJsonCarriesSchedulerAndPoolStats) {
+  ThreadPool pool(2);
+  service::ExperimentManager manager(&pool);
+  ASSERT_TRUE(manager.AddExperiment(SphereSpec("one", 6)).ok());
+  manager.WaitAll();
+
+  const obs::Json json = manager.StatusJson();
+  ASSERT_TRUE(json.Has("experiments"));
+  auto scheduler = json.Get("scheduler");
+  ASSERT_TRUE(scheduler.ok());
+  EXPECT_TRUE(scheduler->Has("in_flight_trials"));
+  EXPECT_TRUE(scheduler->Has("max_concurrent_trials"));
+  auto pool_stats = scheduler->Get("pool");
+  ASSERT_TRUE(pool_stats.ok());
+  EXPECT_EQ(pool_stats->GetInt("num_threads", 0), 2);
+  EXPECT_GE(pool_stats->GetInt("tasks_submitted", 0), 6);
+}
+
+// Resuming from an optimizer_snapshot checkpoint (journal compaction fast
+// path) must land on exactly the same trajectory as linear replay of the
+// full journal.
+TEST(ExperimentManagerTest, SnapshotResumeMatchesLinearReplay) {
+  const std::string journal_path = TempPath("snapshot_equiv.jsonl");
+  std::remove(journal_path.c_str());
+
+  sim::FunctionEnvironment env("sphere", 2, sim::Sphere);
+  const ConfigSpace& space = env.space();
+
+  // Phase 1: an 8-trial journaled session with snapshots every 3 trials.
+  {
+    auto journal = obs::Journal::Open(journal_path);
+    ASSERT_TRUE(journal.ok());
+    RandomSearch optimizer(&space, 11);
+    TrialRunner runner(&env, TrialRunnerOptions{}, 11 * 31);
+    TuningLoopOptions options;
+    options.max_trials = 8;
+    options.snapshot_every = 3;
+    options.journal = journal->get();
+    RunTuningLoop(&optimizer, &runner, options);
+  }
+
+  // Phase 2: extend the session to 16 trials twice — once through the
+  // checkpoint, once forcing linear replay — and compare bit-exactly.
+  const auto extend = [&](bool use_checkpoint) {
+    auto replay = record::ReplayJournal(journal_path, &space);
+    EXPECT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_TRUE(replay->checkpoint.has_value());
+    if (!use_checkpoint) replay->checkpoint.reset();
+    RandomSearch optimizer(&space, 11);
+    TrialRunner runner(&env, TrialRunnerOptions{}, 11 * 31);
+    TuningLoopOptions options;
+    options.max_trials = 16;
+    options.snapshot_every = 3;
+    return ResumeTuningLoop(&optimizer, &runner, options, *replay);
+  };
+  const TuningResult from_snapshot = extend(true);
+  const TuningResult from_replay = extend(false);
+
+  ASSERT_EQ(from_snapshot.history.size(), 16u);
+  ASSERT_EQ(from_replay.history.size(), 16u);
+  for (size_t i = 0; i < from_snapshot.history.size(); ++i) {
+    EXPECT_EQ(from_snapshot.history[i].objective,
+              from_replay.history[i].objective)
+        << "trial " << i;
+  }
+  ASSERT_TRUE(from_snapshot.best.has_value());
+  ASSERT_TRUE(from_replay.best.has_value());
+  EXPECT_EQ(from_snapshot.best->objective, from_replay.best->objective);
+}
+
+// ------------------------------------------------------- ThreadPool stats --
+
+TEST(ThreadPoolStatsTest, CountsSubmittedAndCompletedTasks) {
+  ThreadPool pool(2);
+  const ThreadPool::Stats before = pool.GetStats();
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([] {});
+  }
+  for (int i = 0; i < 500; ++i) {
+    if (pool.GetStats().tasks_completed >= before.tasks_completed + 10) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const ThreadPool::Stats after = pool.GetStats();
+  EXPECT_EQ(after.num_threads, 2u);
+  EXPECT_EQ(after.tasks_submitted, before.tasks_submitted + 10);
+  EXPECT_EQ(after.tasks_completed, before.tasks_completed + 10);
+  EXPECT_EQ(after.queue_depth, 0u);
+  EXPECT_EQ(after.running, 0u);
+}
+
+// ------------------------------------------------------------- endpoints --
+
+TEST(EndpointsTest, HandlerServesMetricsExperimentsAndHealth) {
+  ThreadPool pool(2);
+  service::ExperimentManager manager(&pool);
+  ASSERT_TRUE(manager.AddExperiment(SphereSpec("web", 4)).ok());
+  manager.WaitAll();
+
+  const service::HttpServer::Handler handler =
+      service::MakeServiceHandler(&manager);
+
+  const service::HttpResponse metrics = handler("/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(metrics.body.find("# TYPE"), std::string::npos);
+  EXPECT_NE(metrics.body.find("autotune_"), std::string::npos);
+
+  const service::HttpResponse experiments = handler("/experiments");
+  EXPECT_EQ(experiments.status, 200);
+  auto parsed = obs::Json::Parse(experiments.body);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->Has("experiments"));
+
+  EXPECT_EQ(handler("/healthz").status, 200);
+  EXPECT_EQ(handler("/nope").status, 404);
+
+  // A handler without a manager still serves metrics.
+  const service::HttpServer::Handler bare = service::MakeServiceHandler(nullptr);
+  EXPECT_EQ(bare("/metrics").status, 200);
+  EXPECT_EQ(bare("/experiments").status, 404);
+}
+
+/// Blocking one-shot HTTP GET against localhost (the server speaks
+/// HTTP/1.0 with Connection: close, so read-until-EOF is the protocol).
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "<socket failed>";
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "<connect failed>";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buffer[4096];
+  ssize_t got = 0;
+  while ((got = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(EndpointsTest, HttpServerServesOverRealSocket) {
+  auto server = service::HttpServer::Start(
+      service::HttpServer::Options{}, [](const std::string& path) {
+        service::HttpResponse response;
+        response.body = "path=" + path + "\n";
+        return response;
+      });
+  ASSERT_TRUE(server.ok());
+  ASSERT_GT((*server)->port(), 0);
+
+  const std::string ok = HttpGet((*server)->port(), "/metrics");
+  EXPECT_NE(ok.find("200"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("path=/metrics"), std::string::npos) << ok;
+  // Query strings are stripped before the handler sees the path.
+  const std::string query = HttpGet((*server)->port(), "/metrics?format=prom");
+  EXPECT_NE(query.find("path=/metrics"), std::string::npos) << query;
+}
+
+// ------------------------------------------------------------ prometheus --
+
+TEST(PrometheusTest, RendersCountersGaugesAndCumulativeHistograms) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("service.trials.total")->Increment(3);
+  registry.GetGauge("service.pool.queue_depth")->Set(2.0);
+  auto* histogram = registry.GetHistogram("loop.trial_seconds");
+  histogram->Record(0.5);
+  histogram->Record(0.5);
+  histogram->Record(1e9);  // Lands in the overflow (+Inf) bucket.
+
+  const std::string text = obs::RenderPrometheus(registry);
+  EXPECT_NE(text.find("# TYPE autotune_service_trials_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("autotune_service_trials_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE autotune_service_pool_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("autotune_loop_trial_seconds_count 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("_bucket{le=\"+Inf\"} 3"), std::string::npos) << text;
+
+  // Buckets must be cumulative and non-decreasing in le order.
+  size_t last_bucket = 0;
+  size_t position = 0;
+  size_t previous = 0;
+  bool monotone = true;
+  while ((position = text.find("_bucket{le=", last_bucket)) !=
+         std::string::npos) {
+    const size_t space = text.find(' ', position);
+    const size_t eol = text.find('\n', space);
+    const size_t count = static_cast<size_t>(
+        std::atoll(text.substr(space + 1, eol - space - 1).c_str()));
+    if (count < previous) monotone = false;
+    previous = count;
+    last_bucket = position + 1;
+  }
+  EXPECT_TRUE(monotone) << text;
+}
+
+}  // namespace
+}  // namespace autotune

@@ -1,38 +1,50 @@
-// autotune_cli — run a tuning session from the command line.
+// autotune_cli — the autotune command-line frontend.
 //
 // Usage:
-//   autotune_cli [--env=simdb|redis|spark] [--workload=NAME]
-//                [--optimizer=bo|smac|cmaes|pso|ga|anneal|random|grid|
-//                 llamatune]
-//                [--trials=N] [--seed=N] [--reps=N] [--fidelity=F]
-//                [--objective=METRIC] [--maximize] [--noisy]
-//                [--batch=K] [--out=trials.csv] [--list]
-//                [--journal=run.jsonl] [--resume=run.jsonl]
-//                [--metrics-out=metrics.json] [--trace-out=trace.json]
+//   autotune_cli <command> [flags]
+//
+// Commands:
+//   run          run one tuning session
+//   resume FILE  resume a journaled session from its JSONL journal
+//   serve        multi-experiment tuning service (shared worker pool,
+//                fair-share scheduler, Prometheus /metrics endpoint)
+//   lint-report  summarize autotune-lint findings for the working tree
+//   help         this message
 //
 // Examples:
-//   autotune_cli --env=simdb --workload=tpcc --optimizer=bo --trials=60
-//   autotune_cli --env=redis --optimizer=cmaes --trials=100 --noisy
-//   autotune_cli --env=spark --optimizer=llamatune --trials=50 \
-//       --out=/tmp/spark_trials.csv
-//
-// Durable sessions: pass --journal to persist every trial as it completes;
-// if the process dies, --resume picks the session back up from the journal
-// (all other session flags are restored from the journal itself) and
-// finishes it with identical results to an uninterrupted run.
-//   autotune_cli --env=simdb --optimizer=bo --trials=80 --journal=run.jsonl
+//   autotune_cli run --env=simdb --workload=tpcc --optimizer=bo --trials=60
+//   autotune_cli run --env=redis --optimizer=cmaes --trials=100 --noisy
+//   autotune_cli run --env=simdb --optimizer=bo --trials=80 --journal=run.jsonl
 //   <kill it mid-run>
-//   autotune_cli --resume=run.jsonl
+//   autotune_cli resume run.jsonl
+//
+//   autotune_cli serve --port=9464 --threads=4 --journal-dir=/tmp/tuning
+//       --experiment=name=db,env=simdb,optimizer=bo,trials=60,weight=2
+//       --experiment=name=cache,env=redis,optimizer=random,trials=40
+//   curl localhost:9464/metrics
+//
+// Durable sessions: `run --journal=FILE` persists every trial as it
+// completes; `resume FILE` picks the session back up (session flags are
+// restored from the journal itself) and finishes it with results identical
+// to an uninterrupted run.
+//
+// The pre-subcommand flat invocation (`autotune_cli --env=... [--resume=F]`)
+// still works as a deprecated alias for `run` / `resume` and warns on use.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "core/storage.h"
 #include "core/trial_runner.h"
 #include "core/tuning_loop.h"
+#include "lint/lint.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -44,6 +56,10 @@
 #include "optimizers/pso.h"
 #include "optimizers/random_search.h"
 #include "optimizers/simulated_annealing.h"
+#include "record/codec.h"
+#include "service/endpoints.h"
+#include "service/experiment_manager.h"
+#include "service/http_server.h"
 #include "sim/db_env.h"
 #include "sim/nginx_env.h"
 #include "sim/redis_env.h"
@@ -52,6 +68,8 @@
 
 namespace autotune {
 namespace {
+
+// ---- Session options (shared by run / resume / serve experiments) ----------
 
 struct CliOptions {
   std::string env = "simdb";
@@ -76,7 +94,15 @@ struct CliOptions {
 
 void PrintUsage() {
   std::printf(
-      "autotune_cli — tune a simulated system from the command line\n\n"
+      "autotune_cli — tune simulated systems from the command line\n\n"
+      "usage: autotune_cli <command> [flags]\n\n"
+      "commands:\n"
+      "  run          run one tuning session\n"
+      "  resume FILE  resume a journaled session\n"
+      "  serve        multi-experiment tuning service + /metrics endpoint\n"
+      "  lint-report  summarize autotune-lint findings\n"
+      "  help         show this message\n\n"
+      "run/resume flags:\n"
       "  --env=simdb|redis|spark|nginx  target system (default simdb)\n"
       "  --workload=NAME             simdb workload: ycsb-a|ycsb-b|ycsb-c|\n"
       "                              tpcc|tpch|webapp (default tpcc)\n"
@@ -93,15 +119,28 @@ void PrintUsage() {
       "  --out=FILE.csv              write the trial log\n"
       "  --journal=FILE.jsonl        append every trial to a durable "
       "journal\n"
-      "  --resume=FILE.jsonl         resume a journaled session (other "
-      "session\n"
-      "                              flags are restored from the journal)\n"
       "  --metrics-out=FILE          write a metrics snapshot (.json or "
       ".csv)\n"
       "  --trace-out=FILE            write spans as Chrome trace-event "
       "JSON\n"
       "  --list                      list knobs of the chosen env and "
-      "exit\n");
+      "exit\n\n"
+      "serve flags:\n"
+      "  --experiment=SPEC           comma-separated key=value pairs; keys:\n"
+      "                              name (required), env, workload,\n"
+      "                              optimizer, trials, seed, weight, batch,\n"
+      "                              reps, fidelity, objective, maximize,\n"
+      "                              noisy, snapshot. Repeatable.\n"
+      "  --host=ADDR --port=N        scrape endpoint bind (default\n"
+      "                              127.0.0.1, port 0 = pick a free one)\n"
+      "  --threads=N                 shared worker pool size (default 4)\n"
+      "  --journal-dir=DIR           journal each experiment to\n"
+      "                              DIR/<name>.jsonl (enables crash "
+      "recovery)\n"
+      "  --linger                    keep serving after experiments finish\n\n"
+      "lint-report flags:\n"
+      "  --root=DIR                  repository root (default .)\n"
+      "  --json                      machine-readable report\n");
 }
 
 bool ParseFlag(const std::string& arg, const char* name,
@@ -112,9 +151,13 @@ bool ParseFlag(const std::string& arg, const char* name,
   return true;
 }
 
-Result<CliOptions> ParseArgs(int argc, char** argv) {
+/// Parses run/resume session flags from argv[begin..). When
+/// `allow_deprecated_resume` is set, `--resume=FILE` is accepted (the flat
+/// legacy spelling); the subcommands route resumes through `resume FILE`.
+Result<CliOptions> ParseSessionArgs(int argc, char** argv, int begin,
+                                    bool allow_deprecated_resume) {
   CliOptions options;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = begin; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
     if (arg == "--help" || arg == "-h") {
@@ -132,10 +175,18 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
                ParseFlag(arg, "objective", &options.objective) ||
                ParseFlag(arg, "out", &options.out) ||
                ParseFlag(arg, "journal", &options.journal) ||
-               ParseFlag(arg, "resume", &options.resume) ||
                ParseFlag(arg, "metrics-out", &options.metrics_out) ||
                ParseFlag(arg, "trace-out", &options.trace_out)) {
       // Parsed into the corresponding string field.
+    } else if (ParseFlag(arg, "resume", &options.resume)) {
+      if (!allow_deprecated_resume) {
+        return Status::InvalidArgument(
+            "--resume is the deprecated flat spelling; use 'autotune_cli "
+            "resume FILE'");
+      }
+      std::fprintf(stderr,
+                   "warning: --resume=FILE is deprecated; use 'autotune_cli "
+                   "resume FILE'\n");
     } else if (ParseFlag(arg, "trials", &value)) {
       options.trials = std::atoi(value.c_str());
       options.trials_explicit = true;
@@ -260,7 +311,7 @@ Result<std::unique_ptr<Optimizer>> MakeOptimizer(const CliOptions& options,
 }
 
 /// Restores the session flags of a journaled run from its
-/// experiment_started event, so `--resume=FILE` needs no other flags. An
+/// experiment_started event, so `resume FILE` needs no other flags. An
 /// explicit `--trials` still wins (to extend a finished run).
 Status RestoreOptionsFromJournal(CliOptions* options) {
   AUTOTUNE_ASSIGN_OR_RETURN(
@@ -329,9 +380,9 @@ int RunCli(const CliOptions& options) {
   TrialStorage storage(&space);
 
   const bool resuming = !options.resume.empty();
-  obs::JournalReplay replay;
+  record::JournalReplay replay;
   if (resuming) {
-    auto replayed = obs::ReplayJournal(options.resume, &space);
+    auto replayed = record::ReplayJournal(options.resume, &space);
     if (!replayed.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    replayed.status().ToString().c_str());
@@ -436,24 +487,365 @@ int RunCli(const CliOptions& options) {
   return 0;
 }
 
-}  // namespace
-}  // namespace autotune
+// ---- serve -----------------------------------------------------------------
 
-int main(int argc, char** argv) {
-  auto options = autotune::ParseArgs(argc, argv);
+struct ServeOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  size_t threads = 4;
+  std::string journal_dir;
+  bool linger = false;
+  std::vector<std::string> experiment_specs;
+};
+
+/// Parses one `--experiment=` spec: comma-separated key=value pairs
+/// (`name=db,env=simdb,optimizer=bo,trials=60,weight=2,...`). `name` is
+/// required; everything else defaults like `run` flags. `weight` is the
+/// fair-share weight, `snapshot` the journal-compaction interval.
+Result<service::ExperimentSpec> ParseExperimentSpec(
+    const std::string& spec_text, const std::string& journal_dir) {
+  CliOptions session;
+  std::string name;
+  double weight = 1.0;
+  int snapshot_every = 10;
+
+  size_t start = 0;
+  while (start <= spec_text.size()) {
+    size_t comma = spec_text.find(',', start);
+    if (comma == std::string::npos) comma = spec_text.size();
+    const std::string pair = spec_text.substr(start, comma - start);
+    start = comma + 1;
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("experiment spec entry '" + pair +
+                                     "' is not key=value");
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    if (key == "name") {
+      name = value;
+    } else if (key == "env") {
+      session.env = value;
+    } else if (key == "workload") {
+      session.workload = value;
+    } else if (key == "optimizer") {
+      session.optimizer = value;
+    } else if (key == "objective") {
+      session.objective = value;
+    } else if (key == "trials") {
+      session.trials = std::atoi(value.c_str());
+    } else if (key == "seed") {
+      session.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (key == "reps") {
+      session.reps = std::atoi(value.c_str());
+    } else if (key == "fidelity") {
+      session.fidelity = std::atof(value.c_str());
+    } else if (key == "batch") {
+      session.batch = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (key == "maximize") {
+      session.maximize = value != "0" && value != "false";
+    } else if (key == "noisy") {
+      session.noisy = value != "0" && value != "false";
+    } else if (key == "weight") {
+      weight = std::atof(value.c_str());
+    } else if (key == "snapshot") {
+      snapshot_every = std::atoi(value.c_str());
+    } else {
+      return Status::InvalidArgument("unknown experiment spec key '" + key +
+                                     "'");
+    }
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("experiment spec needs a name= entry");
+  }
+  if (session.trials < 1) {
+    return Status::InvalidArgument("experiment '" + name +
+                                   "': trials must be >= 1");
+  }
+
+  // Validate env/optimizer names now, with a readable error, rather than
+  // letting the factories return null inside the manager.
+  {
+    AUTOTUNE_ASSIGN_OR_RETURN(auto probe_env, MakeEnv(session));
+    AUTOTUNE_ASSIGN_OR_RETURN(auto probe_opt,
+                              MakeOptimizer(session, &probe_env->space()));
+  }
+
+  service::ExperimentSpec spec;
+  spec.name = name;
+  spec.weight = weight;
+  spec.seed = session.seed;
+  if (!journal_dir.empty()) {
+    spec.journal_path = journal_dir + "/" + name + ".jsonl";
+  }
+  spec.make_environment = [session]() -> std::unique_ptr<Environment> {
+    auto made = MakeEnv(session);
+    return made.ok() ? std::move(*made) : nullptr;
+  };
+  spec.make_optimizer = [session](const ConfigSpace* space, uint64_t seed)
+      -> std::unique_ptr<Optimizer> {
+    CliOptions with_seed = session;
+    with_seed.seed = seed;
+    auto made = MakeOptimizer(with_seed, space);
+    return made.ok() ? std::move(*made) : nullptr;
+  };
+  spec.runner_options.repetitions = session.reps;
+  spec.runner_options.fidelity = session.fidelity;
+  spec.loop_options.max_trials = session.trials;
+  spec.loop_options.batch_size = session.batch;
+  spec.loop_options.snapshot_every = snapshot_every;
+  return spec;
+}
+
+int ServeCli(const ServeOptions& options) {
+  if (options.experiment_specs.empty()) {
+    std::fprintf(stderr,
+                 "error: serve needs at least one --experiment=SPEC (try "
+                 "--help)\n");
+    return 1;
+  }
+
+  ThreadPool pool(options.threads);
+  service::ExperimentManager manager(&pool);
+
+  service::HttpServer::Options http;
+  http.host = options.host;
+  http.port = options.port;
+  auto server =
+      service::HttpServer::Start(http, service::MakeServiceHandler(&manager));
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("serving http://%s:%d  (GET /metrics, /experiments)\n",
+              options.host.c_str(), (*server)->port());
+
+  for (const std::string& spec_text : options.experiment_specs) {
+    auto spec = ParseExperimentSpec(spec_text, options.journal_dir);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "error: %s\n", spec.status().ToString().c_str());
+      return 1;
+    }
+    const std::string name = spec->name;
+    const Status added = manager.AddExperiment(std::move(*spec));
+    if (!added.ok()) {
+      std::fprintf(stderr, "error: %s\n", added.ToString().c_str());
+      return 1;
+    }
+    std::printf("experiment %-16s scheduled\n", name.c_str());
+  }
+
+  manager.WaitAll();
+
+  std::printf("\n%-16s %-10s %7s %9s %12s\n", "experiment", "state",
+              "trials", "replayed", "best");
+  for (const service::ExperimentStatus& status : manager.Snapshot()) {
+    std::printf("%-16s %-10s %7d %9d %12s%s\n", status.name.c_str(),
+                service::ExperimentStateName(status.state),
+                status.trials_run, status.replayed_trials,
+                status.best_objective.has_value()
+                    ? FormatDouble(*status.best_objective, 6).c_str()
+                    : "-",
+                status.degraded ? "  (degraded)" : "");
+  }
+
+  if (options.linger) {
+    std::printf("\nall experiments done; still serving (Ctrl-C to stop)\n");
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+  return 0;
+}
+
+int CmdServe(int argc, char** argv) {
+  ServeOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--linger") {
+      options.linger = true;
+    } else if (ParseFlag(arg, "host", &options.host) ||
+               ParseFlag(arg, "journal-dir", &options.journal_dir)) {
+      // Parsed into the corresponding string field.
+    } else if (ParseFlag(arg, "port", &value)) {
+      options.port = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "threads", &value)) {
+      options.threads = static_cast<size_t>(std::atoll(value.c_str()));
+      if (options.threads < 1) {
+        std::fprintf(stderr, "error: --threads must be >= 1\n");
+        return 1;
+      }
+    } else if (ParseFlag(arg, "experiment", &value)) {
+      options.experiment_specs.push_back(value);
+    } else {
+      std::fprintf(stderr, "error: unknown serve flag '%s' (try --help)\n",
+                   arg.c_str());
+      return 1;
+    }
+  }
+  return ServeCli(options);
+}
+
+// ---- lint-report -----------------------------------------------------------
+
+int CmdLintReport(int argc, char** argv) {
+  std::string root = ".";
+  bool json = false;
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (ParseFlag(arg, "root", &root)) {
+      // Parsed.
+    } else if (!arg.empty() && arg[0] != '-') {
+      paths.push_back(arg);
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown lint-report flag '%s' (try --help)\n",
+                   arg.c_str());
+      return 1;
+    }
+  }
+  if (paths.empty()) paths = {"src", "tools", "bench", "tests"};
+
+  auto files = lint::CollectSourceFiles(root, paths);
+  if (!files.ok()) {
+    std::fprintf(stderr, "error: %s\n", files.status().ToString().c_str());
+    return 1;
+  }
+  lint::Linter linter;
+  for (const std::string& file : *files) {
+    auto contents = lint::ReadFileToString(root + "/" + file);
+    if (!contents.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   contents.status().ToString().c_str());
+      return 1;
+    }
+    linter.AddFile(file, std::move(*contents));
+  }
+  const std::vector<lint::Finding> findings = linter.Run();
+  if (json) {
+    std::printf("%s\n", lint::FindingsToJson(findings).Pretty().c_str());
+  } else {
+    for (const lint::Finding& finding : findings) {
+      std::printf("%s\n", finding.ToString().c_str());
+    }
+    std::printf("%s", lint::SummaryTable(findings).ToPrettyString().c_str());
+    std::printf("%zu file(s), %zu finding(s) (no baseline applied)\n",
+                files->size(), findings.size());
+  }
+  return findings.empty() ? 0 : 1;
+}
+
+// ---- subcommand dispatch ---------------------------------------------------
+
+int CmdRun(int argc, char** argv) {
+  auto options = ParseSessionArgs(argc, argv, 2,
+                                  /*allow_deprecated_resume=*/false);
+  if (!options.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 options.status().ToString().c_str());
+    return 1;
+  }
+  return RunCli(*options);
+}
+
+int CmdResume(int argc, char** argv) {
+  std::string journal_path;
+  // The journal path may be positional (`resume FILE`) or spelled
+  // `--journal=FILE`; the remaining flags are ordinary session overrides
+  // (`--trials` extends a finished run).
+  std::vector<char*> rest = {argv[0], argv[1]};
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (!arg.empty() && arg[0] != '-' && journal_path.empty()) {
+      journal_path = arg;
+    } else if (ParseFlag(arg, "journal", &value) ||
+               ParseFlag(arg, "resume", &value)) {
+      journal_path = value;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (journal_path.empty()) {
+    std::fprintf(stderr, "error: resume needs a journal file: 'autotune_cli "
+                         "resume FILE.jsonl'\n");
+    return 1;
+  }
+  auto options =
+      ParseSessionArgs(static_cast<int>(rest.size()), rest.data(), 2,
+                       /*allow_deprecated_resume=*/false);
+  if (!options.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 options.status().ToString().c_str());
+    return 1;
+  }
+  options->resume = journal_path;
+  const Status restored = RestoreOptionsFromJournal(&*options);
+  if (!restored.ok()) {
+    std::fprintf(stderr, "error: cannot resume: %s\n",
+                 restored.ToString().c_str());
+    return 1;
+  }
+  return RunCli(*options);
+}
+
+/// The pre-subcommand invocation: every flag on one flat command line,
+/// `--resume=FILE` doubling as the resume command. Kept as a deprecated
+/// alias so existing scripts keep working.
+int CmdDeprecatedFlat(int argc, char** argv) {
+  std::fprintf(stderr,
+               "warning: flag-only invocation is deprecated; use "
+               "'autotune_cli run [flags]' or 'autotune_cli resume FILE' "
+               "(see --help)\n");
+  auto options = ParseSessionArgs(argc, argv, 1,
+                                  /*allow_deprecated_resume=*/true);
   if (!options.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  options.status().ToString().c_str());
     return 1;
   }
   if (!options->resume.empty()) {
-    autotune::Status status =
-        autotune::RestoreOptionsFromJournal(&*options);
-    if (!status.ok()) {
+    const Status restored = RestoreOptionsFromJournal(&*options);
+    if (!restored.ok()) {
       std::fprintf(stderr, "error: cannot resume: %s\n",
-                   status.ToString().c_str());
+                   restored.ToString().c_str());
       return 1;
     }
   }
-  return autotune::RunCli(*options);
+  return RunCli(*options);
+}
+
+}  // namespace
+}  // namespace autotune
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    autotune::PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "run") return autotune::CmdRun(argc, argv);
+  if (command == "resume") return autotune::CmdResume(argc, argv);
+  if (command == "serve") return autotune::CmdServe(argc, argv);
+  if (command == "lint-report") return autotune::CmdLintReport(argc, argv);
+  if (command == "help" || command == "--help" || command == "-h") {
+    autotune::PrintUsage();
+    return 0;
+  }
+  if (command.rfind("--", 0) == 0) return autotune::CmdDeprecatedFlat(argc, argv);
+  std::fprintf(stderr,
+               "error: unknown command '%s' (run|resume|serve|lint-report|"
+               "help)\n",
+               command.c_str());
+  return 2;
 }
