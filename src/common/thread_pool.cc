@@ -25,7 +25,7 @@ void ThreadPool::Enqueue(std::function<void()> task) {
   {
     MutexLock lock(mutex_);
     AUTOTUNE_CHECK_MSG(!shutting_down_, "Submit after shutdown");
-    queue_.push_back(std::move(task));
+    queue_.push_back(PendingTask{std::move(task), CurrentTraceContext()});
     ++tasks_submitted_;
   }
   cv_.notify_one();
@@ -33,7 +33,7 @@ void ThreadPool::Enqueue(std::function<void()> task) {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    PendingTask task;
     {
       CondVarLock lock(mutex_);
       lock.Wait(cv_, [this]() REQUIRES(mutex_) {
@@ -43,7 +43,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    {
+      ScopedTraceContext scoped_trace(task.trace);
+      task.fn();
+    }
     {
       MutexLock lock(mutex_);
       ++tasks_completed_;

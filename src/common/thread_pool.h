@@ -10,12 +10,17 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "common/trace_context.h"
 
 namespace autotune {
 
 /// Fixed-size worker pool used by the parallel trial runner. Tasks are plain
 /// `std::function<void()>`; use `Submit` to get a future for a callable's
 /// result. Destruction drains queued tasks, then joins.
+///
+/// Each task captures the submitting thread's `TraceContext` at enqueue time
+/// and runs with it installed, so spans opened inside pool tasks parent under
+/// the submitter's span (cross-thread trace trees, see obs/trace.h).
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1).
@@ -58,9 +63,15 @@ class ThreadPool {
   void Enqueue(std::function<void()> task) EXCLUDES(mutex_);
   void WorkerLoop() EXCLUDES(mutex_);
 
+  /// A queued task plus the trace context it should run under.
+  struct PendingTask {
+    std::function<void()> fn;
+    TraceContext trace;
+  };
+
   mutable Mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  std::deque<PendingTask> queue_ GUARDED_BY(mutex_);
   int64_t tasks_submitted_ GUARDED_BY(mutex_) = 0;
   int64_t tasks_completed_ GUARDED_BY(mutex_) = 0;
   /// Started in the constructor, joined in the destructor; never mutated in

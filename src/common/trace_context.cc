@@ -1,0 +1,37 @@
+#include "common/trace_context.h"
+
+#include <atomic>
+
+namespace autotune {
+
+namespace {
+
+thread_local TraceContext t_trace_context;
+
+std::atomic<uint64_t> g_next_trace_id{2};
+std::atomic<uint64_t> g_next_span_id{1};
+
+}  // namespace
+
+TraceContext CurrentTraceContext() { return t_trace_context; }
+
+void SetCurrentTraceContext(const TraceContext& context) {
+  t_trace_context = context;
+}
+
+uint64_t NewTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t NewSpanId() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& context)
+    : saved_(t_trace_context) {
+  t_trace_context = context;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_trace_context = saved_; }
+
+}  // namespace autotune

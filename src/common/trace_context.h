@@ -1,0 +1,54 @@
+#ifndef AUTOTUNE_COMMON_TRACE_CONTEXT_H_
+#define AUTOTUNE_COMMON_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace autotune {
+
+/// Ambient trace identity carried across threads. A *trace* groups all spans
+/// belonging to one logical activity (an experiment, a CLI run); `span_id`
+/// names the innermost open span, which becomes the parent of any span opened
+/// while this context is current. Both ids are process-local counters — they
+/// only need to be unique within one trace export, not globally.
+///
+/// The context lives in a thread-local slot. `ThreadPool::Enqueue` captures
+/// the submitting thread's context and installs it around the task on the
+/// worker, so spans opened inside pool tasks (parallel trial evaluation,
+/// service-scheduled trials) parent correctly under the submitter's span
+/// instead of forming orphan per-thread trees.
+struct TraceContext {
+  uint64_t trace_id = 0;  ///< 0 = not inside any trace.
+  uint64_t span_id = 0;   ///< Innermost open span; 0 = root of the trace.
+};
+
+/// The calling thread's current context (zeroes when none installed).
+[[nodiscard]] TraceContext CurrentTraceContext();
+
+/// Replaces the calling thread's current context.
+void SetCurrentTraceContext(const TraceContext& context);
+
+/// Allocates a fresh process-unique trace id (starts at 2; id 1 is reserved
+/// for untraced spans in Chrome exports, 0 means "no trace").
+[[nodiscard]] uint64_t NewTraceId();
+
+/// Allocates a fresh process-unique span id (never 0).
+[[nodiscard]] uint64_t NewSpanId();
+
+/// RAII: installs `context` for the current scope, restores the previous
+/// context on destruction. Used by worker loops and the service scheduler to
+/// re-parent work executed on behalf of another thread.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& context);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_COMMON_TRACE_CONTEXT_H_

@@ -1,0 +1,76 @@
+#ifndef AUTOTUNE_CORE_INTROSPECTION_H_
+#define AUTOTUNE_CORE_INTROSPECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "space/config_space.h"
+
+namespace autotune {
+
+/// One scored candidate from an optimizer's internal selection step. For
+/// model-based optimizers `score` is the (cost-adjusted) acquisition value
+/// and `posterior_mean`/`posterior_variance` are the surrogate's prediction
+/// at the candidate; sequence/grid optimizers leave all three at 0.
+struct DecisionCandidate {
+  Configuration config;
+  double score = 0.0;
+  double posterior_mean = 0.0;
+  double posterior_variance = 0.0;
+};
+
+/// Why an optimizer suggested what it suggested: the provenance of one
+/// `Suggest` (or one slot of a `SuggestBatch`). Everything in here is a pure
+/// function of optimizer state + RNG stream, so a resumed run regenerates
+/// records byte-identical to the interrupted one — wall-clock latencies are
+/// deliberately NOT part of this struct (the tuning loop journals them in a
+/// separate, non-deterministic `latency` payload).
+struct DecisionRecord {
+  /// `Optimizer::name()` of the producer, e.g. "bo-gp-ei".
+  std::string optimizer;
+
+  /// Selection regime for this suggestion: "initial_design" (space-filling
+  /// prefix), "model" (acquisition maximization), "fantasy_batch" (constant
+  /// liar / kriging believer slot), "random_fallback" (model unusable),
+  /// "uniform", "halton", or "grid".
+  std::string phase;
+
+  /// Size of the candidate set actually scored (1 for sequence/grid draws).
+  int64_t candidates = 0;
+
+  /// The winning candidate with its scores.
+  std::optional<DecisionCandidate> chosen;
+
+  /// Incumbent (best) objective at decision time, if any observation exists.
+  std::optional<double> incumbent;
+
+  /// Highest-scoring candidates, best first (includes the chosen one).
+  /// Capped at `kDecisionTopK` by producers.
+  std::vector<DecisionCandidate> top_k;
+
+  /// Small subclass-specific integers (e.g. "grid_index", "halton_index").
+  std::map<std::string, int64_t> details;
+};
+
+/// How many top candidates producers keep in `DecisionRecord::top_k`.
+inline constexpr size_t kDecisionTopK = 5;
+
+/// Implemented by optimizers that can explain their suggestions. The tuning
+/// loop discovers support via `dynamic_cast` after each Suggest/SuggestBatch
+/// and drains the queued records, pairing them 1:1 (in order) with the
+/// returned configurations.
+class OptimizerIntrospection {
+ public:
+  virtual ~OptimizerIntrospection() = default;
+
+  /// Returns the decision records queued since the last call, in the order
+  /// the corresponding suggestions were produced, and clears the queue.
+  [[nodiscard]] virtual std::vector<DecisionRecord> TakeDecisions() = 0;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_CORE_INTROSPECTION_H_

@@ -51,6 +51,24 @@ Status OptimizerBase::Observe(const Observation& observation) {
 
 void OptimizerBase::OnObserve(const Observation& /*observation*/) {}
 
+std::vector<DecisionRecord> OptimizerBase::TakeDecisions() {
+  std::vector<DecisionRecord> taken = std::move(pending_decisions_);
+  pending_decisions_.clear();
+  return taken;
+}
+
+void OptimizerBase::PushDecision(DecisionRecord record) {
+  record.optimizer = name();
+  if (best_.has_value()) record.incumbent = best_->objective;
+  // Bound the queue so an undrained optimizer (direct Suggest/Observe use
+  // outside a TuningLoop) stays O(1) in memory.
+  constexpr size_t kMaxPending = 64;
+  if (pending_decisions_.size() >= kMaxPending) {
+    pending_decisions_.erase(pending_decisions_.begin());
+  }
+  pending_decisions_.push_back(std::move(record));
+}
+
 OptimizerCheckpoint OptimizerBase::SaveBaseCheckpoint() const {
   OptimizerCheckpoint checkpoint;
   checkpoint.rng = rng_.SaveState();

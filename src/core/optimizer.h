@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "core/introspection.h"
 #include "core/observation.h"
 #include "space/config_space.h"
 
@@ -86,8 +87,9 @@ class Optimizer {
 };
 
 /// Convenience base class handling the bookkeeping shared by all concrete
-/// optimizers: history, best tracking, RNG, and the space pointer.
-class OptimizerBase : public Optimizer {
+/// optimizers: history, best tracking, RNG, the space pointer, and the
+/// explainability queue (`OptimizerIntrospection`).
+class OptimizerBase : public Optimizer, public OptimizerIntrospection {
  public:
   /// `space` must outlive the optimizer.
   OptimizerBase(const ConfigSpace* space, uint64_t seed);
@@ -103,7 +105,15 @@ class OptimizerBase : public Optimizer {
   /// Full observation history, in arrival order.
   const std::vector<Observation>& history() const { return history_; }
 
+  [[nodiscard]] std::vector<DecisionRecord> TakeDecisions() override;
+
  protected:
+  /// Queues the provenance of one suggestion for `TakeDecisions`. Subclasses
+  /// call this once per Suggest/batch slot; `record.optimizer` and
+  /// `record.incumbent` are filled in here. The queue is bounded (oldest
+  /// dropped) so optimizers driven without a draining loop don't grow it.
+  void PushDecision(DecisionRecord record);
+
   /// Hook for subclasses to react to a new observation (model refit etc.).
   /// Called after the observation is recorded.
   virtual void OnObserve(const Observation& observation);
@@ -124,6 +134,9 @@ class OptimizerBase : public Optimizer {
   Rng rng_;
   std::vector<Observation> history_;
   std::optional<Observation> best_;
+
+ private:
+  std::vector<DecisionRecord> pending_decisions_;
 };
 
 }  // namespace autotune

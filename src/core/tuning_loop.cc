@@ -17,7 +17,10 @@ using obs::Json;
 
 TuningLoop::TuningLoop(Optimizer* optimizer, TrialRunner* runner,
                        TuningLoopOptions options)
-    : optimizer_(optimizer), runner_(runner), options_(options) {
+    : optimizer_(optimizer),
+      runner_(runner),
+      options_(options),
+      introspection_(dynamic_cast<OptimizerIntrospection*>(optimizer)) {
   AUTOTUNE_CHECK(optimizer != nullptr);
   AUTOTUNE_CHECK(runner != nullptr);
   AUTOTUNE_CHECK(options_.max_trials >= 1);
@@ -113,7 +116,8 @@ void TuningLoop::RefillBatch() {
       done_ = true;  // E.g. grid exhausted.
       return;
     }
-    pending_.push_back(std::move(suggestion).value());
+    pending_.push_back(
+        PendingSuggestion{std::move(suggestion).value(), std::nullopt, 0.0});
   } else {
     auto suggested = optimizer_->SuggestBatch(batch);
     if (!suggested.ok() || suggested->empty()) {
@@ -121,8 +125,30 @@ void TuningLoop::RefillBatch() {
       return;
     }
     for (Configuration& config : *suggested) {
-      pending_.push_back(std::move(config));
+      pending_.push_back(
+          PendingSuggestion{std::move(config), std::nullopt, 0.0});
     }
+  }
+
+  // RefillBatch only runs on an empty queue, so `pending_` holds exactly
+  // this batch: pair it 1:1 (in order) with the optimizer's decision
+  // records, and amortize the batch's suggest latency across its trials.
+  const double suggest_seconds =
+      static_cast<double>(span.ElapsedNs()) * 1e-9 /
+      static_cast<double>(pending_.size());
+  if (introspection_ != nullptr) {
+    std::vector<DecisionRecord> decisions = introspection_->TakeDecisions();
+    if (decisions.size() == pending_.size()) {
+      for (size_t i = 0; i < pending_.size(); ++i) {
+        pending_[i].decision = std::move(decisions[i]);
+      }
+    }
+    // A count mismatch means the optimizer doesn't push one record per
+    // suggestion (or stale records survived an error path); drop them
+    // rather than misattribute provenance.
+  }
+  for (PendingSuggestion& suggestion : pending_) {
+    suggestion.suggest_seconds = suggest_seconds;
   }
 }
 
@@ -223,11 +249,14 @@ void TuningLoop::StepTrial() {
 
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   obs::Journal* journal = options_.journal;
-  Configuration config = std::move(pending_.front());
+  PendingSuggestion suggestion = std::move(pending_.front());
   pending_.pop_front();
+  Configuration config = std::move(suggestion.config);
 
   const int trial = result_.trials_run;
   const bool replaying = replay_next_ < replay_count_;
+  const double incumbent_before = best_;
+  double evaluate_seconds = 0.0;
   std::optional<Observation> evaluated;
   if (replaying) {
     // Fast-forward: take the journaled outcome instead of re-running the
@@ -262,6 +291,7 @@ void TuningLoop::StepTrial() {
     {
       obs::Span span("loop.evaluate");
       evaluated = runner_->Evaluate(config);
+      evaluate_seconds = static_cast<double>(span.ElapsedNs()) * 1e-9;
     }
     metrics.GetCounter("loop.trials.completed")->Increment();
     if (evaluated->failed) {
@@ -277,11 +307,50 @@ void TuningLoop::StepTrial() {
     }
   }
 
+  double update_seconds = 0.0;
   {
     obs::Span span("loop.observe");
     Status status = optimizer_->Observe(*evaluated);
     AUTOTUNE_CHECK_MSG(status.ok(), status.ToString().c_str());
+    update_seconds = static_cast<double>(span.ElapsedNs()) * 1e-9;
   }
+
+  if (!replaying) {
+    // Phase-latency histograms (bridged to Prometheus by the service) and
+    // the per-trial explainability event. The "decision" payload is a pure
+    // function of optimizer state + RNG, so resumed runs journal identical
+    // bytes; latencies are wall-clock and live in a separate member that
+    // bit-exactness consumers ignore.
+    metrics.Record("loop.phase.suggest", suggestion.suggest_seconds);
+    metrics.Record("loop.phase.evaluate", evaluate_seconds);
+    metrics.Record("loop.phase.update", update_seconds);
+    Json::Object fields;
+    fields["trial"] = Json(int64_t{trial});
+    fields["objective"] = Json(evaluated->objective);
+    fields["failed"] = Json(evaluated->failed);
+    if (std::isfinite(incumbent_before)) {
+      fields["incumbent_before"] = Json(incumbent_before);
+      fields["incumbent_delta"] =
+          Json(evaluated->objective - incumbent_before);
+    }
+    if (suggestion.decision.has_value()) {
+      fields["decision"] = record::EncodeDecisionRecord(*suggestion.decision);
+    }
+    Json::Object latency;
+    latency["suggest_s"] = Json(suggestion.suggest_seconds);
+    latency["evaluate_s"] = Json(evaluate_seconds);
+    latency["update_s"] = Json(update_seconds);
+    fields["latency"] = Json(std::move(latency));
+    constexpr size_t kMaxRecentDecisions = 64;
+    if (new_decisions_.size() >= kMaxRecentDecisions) {
+      new_decisions_.pop_front();
+    }
+    new_decisions_.push_back(Json(fields));
+    if (journal != nullptr) {
+      journal->Event("trial_decision", std::move(fields));
+    }
+  }
+
   AbsorbObservation(std::move(*evaluated), replaying);
 
   if (!done_ && pending_.empty()) {
@@ -290,6 +359,12 @@ void TuningLoop::StepTrial() {
     MaybeSnapshotAtBatchBoundary();
     CheckConvergenceAtBatchBoundary();
   }
+}
+
+std::vector<Json> TuningLoop::TakeDecisionEvents() {
+  std::vector<Json> taken(new_decisions_.begin(), new_decisions_.end());
+  new_decisions_.clear();
+  return taken;
 }
 
 TuningResult TuningLoop::Finish() {

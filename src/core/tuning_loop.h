@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/introspection.h"
 #include "core/optimizer.h"
 #include "core/storage.h"
 #include "core/trial_runner.h"
+#include "obs/json.h"
 
 namespace autotune {
 
@@ -151,6 +153,13 @@ class TuningLoop {
 
   const TuningLoopOptions& options() const { return options_; }
 
+  /// Drains the `trial_decision` payloads produced by live trials since the
+  /// last call (oldest first; internally bounded, oldest dropped). The same
+  /// payloads are journaled when a journal is attached; this accessor feeds
+  /// the service's `GET /experiments/<name>/trials` endpoint for journal-less
+  /// experiments too. Single-threaded like every other loop method.
+  [[nodiscard]] std::vector<obs::Json> TakeDecisionEvents();
+
  private:
   /// Writes the loop_started journal event once, lazily (after a possible
   /// `Resume`, so it can report the fast-forward count).
@@ -171,9 +180,21 @@ class TuningLoop {
   void CheckConvergenceAtBatchBoundary();
   void MaybeSnapshotAtBatchBoundary();
 
+  /// One suggestion waiting to be evaluated, with its provenance (decision
+  /// record, when the optimizer supports introspection) and its share of the
+  /// batch's suggest latency.
+  struct PendingSuggestion {
+    Configuration config;
+    std::optional<DecisionRecord> decision;
+    double suggest_seconds = 0.0;
+  };
+
   Optimizer* optimizer_;
   TrialRunner* runner_;
   TuningLoopOptions options_;
+
+  /// Non-null when `optimizer_` implements OptimizerIntrospection.
+  OptimizerIntrospection* introspection_ = nullptr;
 
   TuningResult result_;
   double initial_cost_ = 0.0;
@@ -188,7 +209,11 @@ class TuningLoop {
   bool snapshot_pending_ = false;
 
   /// Suggestions of the current batch not yet evaluated.
-  std::deque<Configuration> pending_;
+  std::deque<PendingSuggestion> pending_;
+
+  /// trial_decision payloads from live trials, awaiting TakeDecisionEvents
+  /// (bounded; oldest dropped when no one drains).
+  std::deque<obs::Json> new_decisions_;
 
   /// Journal fast-forward state (`Resume`).
   std::vector<Observation> replay_observations_;

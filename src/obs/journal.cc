@@ -30,6 +30,18 @@ Result<std::unique_ptr<Journal>> Journal::Open(const std::string& path) {
     return Status::Unavailable("cannot open journal '" + path +
                                "' for appending");
   }
+  // "a" positions at end-of-file, so ftell == 0 means a fresh journal: stamp
+  // it with the schema version. The header is written inline (not through
+  // Append) so it carries no "seq" and existing seq-based invariants hold.
+  if (std::ftell(file) == 0) {
+    Json::Object header;
+    header["event"] = Json("journal_header");
+    header["schema_version"] = Json(kJournalSchemaVersion);
+    std::string line = Json(std::move(header)).Dump();
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), file);
+    std::fflush(file);
+  }
   return std::unique_ptr<Journal>(new Journal(path, file));
 }
 

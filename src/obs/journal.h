@@ -17,6 +17,12 @@
 namespace autotune {
 namespace obs {
 
+/// Version of the journal file format this build writes (journal_header
+/// event). Bump when an incompatible change is made to event schemas;
+/// readers (`record::ReplayJournal`, `autotune_cli analyze`) warn — but
+/// still parse best-effort — when they meet a newer version.
+inline constexpr int64_t kJournalSchemaVersion = 1;
+
 /// Append-only JSONL experiment journal — the durable record of a tuning
 /// session (the MLOS-style "every trial persisted with full context"
 /// design). One JSON object per line; events carry a monotonically
@@ -28,6 +34,7 @@ namespace obs {
 /// tolerated (and discarded) by `Replay`.
 ///
 /// Event taxonomy (see docs/OBSERVABILITY.md for full schemas):
+///   journal_header       {"schema_version"} — first line of a fresh file
 ///   experiment_started   CLI/session metadata, written by the caller
 ///   loop_started         loop options + optimizer + space schema
 ///   trial_started        {"trial", "config"}
@@ -37,7 +44,10 @@ namespace obs {
 ///   experiment_finished  {"trials", "total_cost", "converged_early"}
 class Journal {
  public:
-  /// Opens `path` for appending (created if missing).
+  /// Opens `path` for appending (created if missing). A fresh (empty) file
+  /// gets a `journal_header` first line carrying `kJournalSchemaVersion`;
+  /// the header is transport metadata and does NOT consume a "seq".
+  /// Re-opening an existing journal (resume) never writes a second header.
   [[nodiscard]] static Result<std::unique_ptr<Journal>> Open(const std::string& path);
 
   /// Flushes pending events and closes the file.

@@ -2,10 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <thread>
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "common/trace_context.h"
 #include "obs/metrics.h"
 
 namespace autotune {
@@ -38,6 +40,9 @@ struct Ring {
   size_t capacity GUARDED_BY(mutex) = 8192;
   size_t next GUARDED_BY(mutex) = 0;  ///< Overwrite position once full.
   bool wrapped GUARDED_BY(mutex) = false;
+  /// Display names for traces (Chrome process_name metadata). Survives
+  /// SetCapacity/Clear: names describe traces, not buffered spans.
+  std::map<uint64_t, std::string> trace_names GUARDED_BY(mutex);
 };
 
 Ring& GetRing() {
@@ -87,6 +92,14 @@ void TraceBuffer::Record(SpanRecord record) {
   }
 }
 
+void TraceBuffer::SetTraceName(uint64_t trace_id, const std::string& name) {
+  Ring& ring = GetRing();
+  MutexLock lock(ring.mutex);
+  ring.trace_names[trace_id] = name;
+}
+
+int64_t TraceBuffer::NowOnSpanClockNs() { return NowNs(); }
+
 std::vector<SpanRecord> TraceBuffer::Snapshot() {
   Ring& ring = GetRing();
   MutexLock lock(ring.mutex);
@@ -104,17 +117,52 @@ std::vector<SpanRecord> TraceBuffer::Snapshot() {
 }
 
 Json TraceBuffer::ToChromeTraceJson() {
+  const std::vector<SpanRecord> spans = Snapshot();
+  std::map<uint64_t, std::string> trace_names;
+  {
+    Ring& ring = GetRing();
+    MutexLock lock(ring.mutex);
+    trace_names = ring.trace_names;
+  }
   Json::Array events;
-  for (const SpanRecord& span : Snapshot()) {
+  // process_name metadata first (only for traces with buffered spans), so
+  // viewers label trace groups immediately.
+  for (const auto& [trace_id, name] : trace_names) {
+    bool present = false;
+    for (const SpanRecord& span : spans) {
+      if (span.trace_id == trace_id) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) continue;
+    Json::Object meta;
+    meta["name"] = Json("process_name");
+    meta["ph"] = Json("M");
+    meta["pid"] = Json(static_cast<int64_t>(trace_id));
+    Json::Object args;
+    args["name"] = Json(name);
+    meta["args"] = Json(std::move(args));
+    events.push_back(Json(std::move(meta)));
+  }
+  for (const SpanRecord& span : spans) {
     Json::Object event;
     event["name"] = Json(span.name);
     event["ph"] = Json("X");
-    event["pid"] = Json(int64_t{1});
+    // One Chrome "process" per trace groups an experiment's spans into a
+    // single tree; untraced spans share the legacy pid 1.
+    event["pid"] = Json(static_cast<int64_t>(
+        span.trace_id == 0 ? 1 : span.trace_id));
     event["tid"] = Json(span.thread_id % 100000);
     event["ts"] = Json(static_cast<double>(span.start_ns) / 1000.0);
     event["dur"] = Json(static_cast<double>(span.duration_ns) / 1000.0);
     Json::Object args;
     args["depth"] = Json(int64_t{span.depth});
+    if (span.span_id != 0) {
+      args["span_id"] = Json(static_cast<int64_t>(span.span_id));
+      args["parent_span_id"] =
+          Json(static_cast<int64_t>(span.parent_span_id));
+    }
     event["args"] = Json(std::move(args));
     events.push_back(Json(std::move(event)));
   }
@@ -139,18 +187,26 @@ Status TraceBuffer::WriteChromeTraceFile(const std::string& path) {
 }
 
 Span::Span(const char* name)
-    : name_(name), start_ns_(NowNs()), depth_(t_span_depth++) {}
+    : name_(name),
+      start_ns_(NowNs()),
+      depth_(t_span_depth++),
+      parent_(CurrentTraceContext()),
+      span_id_(NewSpanId()) {
+  SetCurrentTraceContext(TraceContext{parent_.trace_id, span_id_});
+}
 
 int64_t Span::ElapsedNs() const { return NowNs() - start_ns_; }
 
 Span::~Span() {
   const int64_t duration_ns = ElapsedNs();
   --t_span_depth;
+  SetCurrentTraceContext(parent_);
   MetricsRegistry::Global().Record(std::string("span.") + name_,
                                    static_cast<double>(duration_ns) * 1e-9);
   if (TraceBuffer::enabled()) {
     TraceBuffer::Record(SpanRecord{name_, ThisThreadId(), start_ns_,
-                                   duration_ns, depth_});
+                                   duration_ns, depth_, parent_.trace_id,
+                                   span_id_, parent_.span_id});
   }
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/trace_context.h"
 #include "obs/json.h"
 
 namespace autotune {
@@ -18,6 +19,9 @@ struct SpanRecord {
   int64_t start_ns;       ///< Steady-clock start, ns since process anchor.
   int64_t duration_ns;    ///< Wall time inside the span.
   int depth;              ///< Nesting depth on its thread (0 = root).
+  uint64_t trace_id = 0;        ///< Owning trace (0 = untraced).
+  uint64_t span_id = 0;         ///< This span's id (0 for legacy records).
+  uint64_t parent_span_id = 0;  ///< Enclosing span's id (0 = trace root).
 };
 
 /// Process-wide trace sink: a fixed-capacity ring buffer of completed spans
@@ -42,8 +46,20 @@ class TraceBuffer {
   /// Copies out the recorded spans, oldest first.
   static std::vector<SpanRecord> Snapshot();
 
+  /// Names a trace (typically `NewTraceId()` from common/trace_context.h).
+  /// Named traces export as their own Chrome "process" with this name, so an
+  /// experiment's spans group into one coherent tree in the trace viewer.
+  static void SetTraceName(uint64_t trace_id, const std::string& name);
+
+  /// Returns current steady-clock nanoseconds on the span timebase. Lets
+  /// callers synthesize records (e.g. an experiment's root span) whose
+  /// timestamps are comparable with real spans.
+  [[nodiscard]] static int64_t NowOnSpanClockNs();
+
   /// Chrome trace-event JSON: {"traceEvents": [{"name", "ph": "X", "pid",
-  /// "tid", "ts" (us), "dur" (us)}, ...]}.
+  /// "tid", "ts" (us), "dur" (us)}, ...]}. Spans belonging to a trace use
+  /// `pid = trace_id` (with a process_name metadata event when the trace was
+  /// named via SetTraceName); untraced spans use pid 1.
   static Json ToChromeTraceJson();
   [[nodiscard]] static Status WriteChromeTraceFile(const std::string& path);
 
@@ -57,6 +73,12 @@ class TraceBuffer {
 /// Spans nest via a thread-local depth counter, so traces reconstruct the
 /// call tree (loop.evaluate > trial.evaluate > env.run).
 ///
+/// Each span also participates in the ambient `TraceContext`
+/// (common/trace_context.h): on construction it records the current context
+/// as its parent and installs its own span id; on destruction it restores the
+/// parent. Combined with `ThreadPool`'s context capture this yields a single
+/// parent/child tree per trace even when phases hop threads.
+///
 /// `name` must be a string literal (or otherwise outlive the span).
 class Span {
  public:
@@ -69,10 +91,15 @@ class Span {
   /// Nanoseconds elapsed since construction.
   int64_t ElapsedNs() const;
 
+  /// This span's process-unique id (parent for spans opened inside it).
+  [[nodiscard]] uint64_t span_id() const { return span_id_; }
+
  private:
   const char* name_;
   int64_t start_ns_;
   int depth_;
+  TraceContext parent_;
+  uint64_t span_id_;
 };
 
 }  // namespace obs

@@ -126,7 +126,8 @@ Status BayesianOptimizer::RestoreCheckpoint(
   return Status::OK();
 }
 
-Result<Configuration> BayesianOptimizer::MaximizeAcquisition() {
+Result<Configuration> BayesianOptimizer::MaximizeAcquisition(
+    const char* phase) {
   AUTOTUNE_CHECK(best_.has_value());
   const double incumbent = best_->objective;
 
@@ -144,9 +145,19 @@ Result<Configuration> BayesianOptimizer::MaximizeAcquisition() {
     candidates.push_back(std::move(candidate));
   }
   if (candidates.empty()) {
-    return space_->SampleFeasible(&rng_);
+    AUTOTUNE_ASSIGN_OR_RETURN(Configuration fallback,
+                              space_->SampleFeasible(&rng_));
+    DecisionRecord decision;
+    decision.phase = "random_fallback";
+    decision.candidates = 0;
+    decision.chosen = DecisionCandidate{fallback, 0.0, 0.0, 0.0};
+    PushDecision(std::move(decision));
+    return fallback;
   }
 
+  std::vector<double> scores(candidates.size());
+  std::vector<double> means(candidates.size());
+  std::vector<double> variances(candidates.size());
   double best_score = -std::numeric_limits<double>::infinity();
   size_t best_index = 0;
   for (size_t i = 0; i < candidates.size(); ++i) {
@@ -164,11 +175,40 @@ Result<Configuration> BayesianOptimizer::MaximizeAcquisition() {
       // Cost-adjusted acquisition: improvement per unit cost.
       score /= std::max(options_.cost_fn(candidates[i]), 1e-9);
     }
+    scores[i] = score;
+    means[i] = prediction.mean;
+    variances[i] = prediction.variance;
     if (score > best_score) {
       best_score = score;
       best_index = i;
     }
   }
+
+  // Rank candidates for the explain record: score desc, scan order on ties
+  // (so top_k[0] is exactly the chosen argmax).
+  std::vector<size_t> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const size_t top_n = std::min(kDecisionTopK, order.size());
+  std::partial_sort(order.begin(), order.begin() + top_n, order.end(),
+                    [&scores](size_t a, size_t b) {
+                      if (scores[a] != scores[b]) {
+                        return scores[a] > scores[b];
+                      }
+                      return a < b;
+                    });
+  DecisionRecord decision;
+  decision.phase = phase;
+  decision.candidates = static_cast<int64_t>(candidates.size());
+  decision.chosen = DecisionCandidate{candidates[best_index],
+                                      scores[best_index], means[best_index],
+                                      variances[best_index]};
+  decision.top_k.reserve(top_n);
+  for (size_t rank = 0; rank < top_n; ++rank) {
+    const size_t i = order[rank];
+    decision.top_k.push_back(
+        DecisionCandidate{candidates[i], scores[i], means[i], variances[i]});
+  }
+  PushDecision(std::move(decision));
   return candidates[best_index];
 }
 
@@ -178,9 +218,25 @@ Result<Configuration> BayesianOptimizer::Suggest() {
   if (history_.size() < static_cast<size_t>(options_.initial_design)) {
     for (int attempt = 0; attempt < 100; ++attempt) {
       Configuration config = space_->FromUnit(halton_.Next());
-      if (space_->IsFeasible(config)) return config;
+      if (space_->IsFeasible(config)) {
+        DecisionRecord decision;
+        decision.phase = "initial_design";
+        decision.candidates = attempt + 1;
+        decision.chosen = DecisionCandidate{config, 0.0, 0.0, 0.0};
+        decision.details["halton_index"] =
+            static_cast<int64_t>(halton_.index());
+        PushDecision(std::move(decision));
+        return config;
+      }
     }
-    return space_->SampleFeasible(&rng_);
+    AUTOTUNE_ASSIGN_OR_RETURN(Configuration fallback,
+                              space_->SampleFeasible(&rng_));
+    DecisionRecord decision;
+    decision.phase = "random_fallback";
+    decision.candidates = 0;
+    decision.chosen = DecisionCandidate{fallback, 0.0, 0.0, 0.0};
+    PushDecision(std::move(decision));
+    return fallback;
   }
   // Phase 2: model-guided.
   if (surrogate_stale_ &&
@@ -190,12 +246,19 @@ Result<Configuration> BayesianOptimizer::Suggest() {
       AUTOTUNE_LOG(kWarning) << "surrogate refit failed: "
                              << status.ToString()
                              << "; falling back to random";
-      return space_->SampleFeasible(&rng_);
+      AUTOTUNE_ASSIGN_OR_RETURN(Configuration fallback,
+                                space_->SampleFeasible(&rng_));
+      DecisionRecord decision;
+      decision.phase = "random_fallback";
+      decision.candidates = 0;
+      decision.chosen = DecisionCandidate{fallback, 0.0, 0.0, 0.0};
+      PushDecision(std::move(decision));
+      return fallback;
     }
     surrogate_stale_ = false;
     observations_since_fit_ = 0;
   }
-  return MaximizeAcquisition();
+  return MaximizeAcquisition("model");
 }
 
 Result<std::vector<Configuration>> BayesianOptimizer::SuggestBatch(size_t k) {
@@ -209,7 +272,9 @@ Result<std::vector<Configuration>> BayesianOptimizer::SuggestBatch(size_t k) {
   for (size_t i = 0; i < k; ++i) {
     AUTOTUNE_RETURN_IF_ERROR(RefitWith(fantasies));
     surrogate_stale_ = true;  // Fantasy fit; force a clean refit later.
-    AUTOTUNE_ASSIGN_OR_RETURN(Configuration config, MaximizeAcquisition());
+    AUTOTUNE_ASSIGN_OR_RETURN(
+        Configuration config,
+        MaximizeAcquisition(i == 0 ? "model" : "fantasy_batch"));
     AUTOTUNE_ASSIGN_OR_RETURN(Vector x, encoder_.Encode(config));
     const double fantasy =
         options_.batch_strategy ==

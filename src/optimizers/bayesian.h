@@ -100,7 +100,9 @@ class BayesianOptimizer : public OptimizerBase {
 
   /// Argmax of the acquisition over a random+local candidate pool, skipping
   /// infeasible configurations.
-  [[nodiscard]] Result<Configuration> MaximizeAcquisition();
+  /// Scores the candidate pool and returns the acquisition argmax, pushing a
+  /// DecisionRecord tagged with `phase` ("model" or "fantasy_batch").
+  [[nodiscard]] Result<Configuration> MaximizeAcquisition(const char* phase);
 
   std::unique_ptr<Surrogate> surrogate_;
   BayesianOptimizerOptions options_;

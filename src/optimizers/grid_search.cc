@@ -31,7 +31,14 @@ Result<Configuration> GridSearch::Suggest() {
     return Status::Unavailable("grid exhausted after " +
                                std::to_string(grid_.size()) + " points");
   }
-  return grid_[next_++];
+  const size_t index = next_++;
+  DecisionRecord decision;
+  decision.phase = "grid";
+  decision.candidates = static_cast<int64_t>(grid_.size());
+  decision.chosen = DecisionCandidate{grid_[index], 0.0, 0.0, 0.0};
+  decision.details["grid_index"] = static_cast<int64_t>(index);
+  PushDecision(std::move(decision));
+  return grid_[index];
 }
 
 }  // namespace autotune

@@ -33,7 +33,18 @@ Result<Configuration> RandomSearch::Suggest() {
     Configuration config = mode_ == Mode::kUniform
                                ? space_->Sample(&rng_)
                                : space_->FromUnit(halton_.Next());
-    if (space_->IsFeasible(config)) return config;
+    if (space_->IsFeasible(config)) {
+      DecisionRecord decision;
+      decision.phase = mode_ == Mode::kUniform ? "uniform" : "halton";
+      decision.candidates = attempt + 1;
+      decision.chosen = DecisionCandidate{config, 0.0, 0.0, 0.0};
+      if (mode_ == Mode::kHalton) {
+        decision.details["halton_index"] =
+            static_cast<int64_t>(halton_.index());
+      }
+      PushDecision(std::move(decision));
+      return config;
+    }
   }
   return Status::Unavailable("no feasible sample in " +
                              std::to_string(kMaxTries) + " tries");

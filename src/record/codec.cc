@@ -110,6 +110,53 @@ Result<Observation> DecodeObservation(const ConfigSpace* space,
   return observation;
 }
 
+namespace {
+
+Json EncodeDecisionCandidate(const DecisionCandidate& candidate) {
+  Json::Object object;
+  object["config"] = EncodeConfig(candidate.config);
+  // Sequence/grid draws carry no model scores; omitting the zeros keeps
+  // their records compact without losing information.
+  if (candidate.score != 0.0 || candidate.posterior_mean != 0.0 ||
+      candidate.posterior_variance != 0.0) {
+    object["score"] = Json(candidate.score);
+    object["mean"] = Json(candidate.posterior_mean);
+    object["variance"] = Json(candidate.posterior_variance);
+  }
+  return Json(std::move(object));
+}
+
+}  // namespace
+
+Json EncodeDecisionRecord(const DecisionRecord& record) {
+  Json::Object object;
+  object["optimizer"] = Json(record.optimizer);
+  object["phase"] = Json(record.phase);
+  object["candidates"] = Json(record.candidates);
+  if (record.chosen.has_value()) {
+    object["chosen"] = EncodeDecisionCandidate(*record.chosen);
+  }
+  if (record.incumbent.has_value()) {
+    object["incumbent"] = Json(*record.incumbent);
+  }
+  if (!record.top_k.empty()) {
+    Json::Array top_k;
+    top_k.reserve(record.top_k.size());
+    for (const DecisionCandidate& candidate : record.top_k) {
+      top_k.push_back(EncodeDecisionCandidate(candidate));
+    }
+    object["top_k"] = Json(std::move(top_k));
+  }
+  if (!record.details.empty()) {
+    Json::Object details;
+    for (const auto& [name, value] : record.details) {
+      details[name] = Json(value);
+    }
+    object["details"] = Json(std::move(details));
+  }
+  return Json(std::move(object));
+}
+
 Json EncodeSpaceSchema(const ConfigSpace& space) {
   Json::Array params;
   for (size_t i = 0; i < space.size(); ++i) {
@@ -299,7 +346,16 @@ Result<JournalReplay> ReplayJournal(const std::string& path,
     }
     const Json& event = *parsed;
     const std::string kind = event.GetString("event", "");
-    if (kind == "experiment_started") {
+    if (kind == "journal_header") {
+      const int64_t version =
+          event.GetInt("schema_version", obs::kJournalSchemaVersion);
+      if (version > obs::kJournalSchemaVersion) {
+        AUTOTUNE_LOG(kWarning)
+            << "journal '" << path << "' has schema_version " << version
+            << " but this build understands " << obs::kJournalSchemaVersion
+            << "; parsing best-effort (unknown events are skipped)";
+      }
+    } else if (kind == "experiment_started") {
       if (replay.experiment.is_null()) replay.experiment = event;
     } else if (kind == "loop_started") {
       auto schema = event.Get("space");

@@ -46,6 +46,15 @@ Json EncodeSpaceSchema(const ConfigSpace& space);
 [[nodiscard]] Status CheckSpaceSchema(const ConfigSpace& space,
                                       const Json& schema);
 
+/// Deterministic encoding of an optimizer's per-trial explainability record
+/// (core/introspection.h): {"optimizer", "phase", "candidates", "chosen"?,
+/// "incumbent"?, "top_k"?, "details"?}. Candidates encode as {"config",
+/// "score", "mean", "variance"} (score/mean/variance omitted for unscored
+/// sequence/grid draws where all three are 0). The encoding contains no
+/// timestamps or latencies, so a resumed run's records compare byte-equal
+/// (`Dump()`) to the uninterrupted run's.
+Json EncodeDecisionRecord(const DecisionRecord& record);
+
 /// RNG state words as hex strings (uint64 does not fit JSON integers).
 Json EncodeRngState(const std::vector<uint64_t>& words);
 [[nodiscard]] Result<std::vector<uint64_t>> DecodeRngState(

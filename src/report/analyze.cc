@@ -1,0 +1,403 @@
+#include "report/analyze.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "obs/journal.h"
+
+namespace autotune {
+namespace report {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void AccumulatePhase(PhaseLatency* phase, double seconds) {
+  ++phase->count;
+  phase->total_s += seconds;
+  phase->max_s = std::max(phase->max_s, seconds);
+}
+
+Json PhaseToJson(const PhaseLatency& phase) {
+  Json::Object object;
+  object["count"] = Json(phase.count);
+  object["total_s"] = Json(phase.total_s);
+  object["mean_s"] = Json(phase.mean_s());
+  object["max_s"] = Json(phase.max_s);
+  return Json(std::move(object));
+}
+
+/// +inf is not representable in JSON; encode pre-success curve points as
+/// null so consumers can distinguish "no incumbent yet" from a value.
+Json CurvePointToJson(double value) {
+  return std::isfinite(value) ? Json(value) : Json();
+}
+
+}  // namespace
+
+Result<JournalAnalysis> AnalyzeJournal(const std::string& path,
+                                       const AnalyzeOptions& /*options*/) {
+  AUTOTUNE_ASSIGN_OR_RETURN(std::string text, obs::ReadJournalText(path));
+
+  JournalAnalysis analysis;
+  analysis.path = path;
+
+  double best = kInf;
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok()) {
+      // Truncated tail of a killed process, or corruption: analysis is a
+      // diagnostic tool, so keep going either way.
+      ++analysis.skipped_lines;
+      continue;
+    }
+    const Json& event = *parsed;
+    const std::string kind = event.GetString("event", "");
+
+    if (kind == "journal_header") {
+      analysis.schema_version =
+          event.GetInt("schema_version", obs::kJournalSchemaVersion);
+      if (analysis.schema_version > obs::kJournalSchemaVersion) {
+        analysis.future_schema = true;
+        AUTOTUNE_LOG(kWarning)
+            << "journal '" << path << "' has schema_version "
+            << analysis.schema_version << " but this build understands "
+            << obs::kJournalSchemaVersion << "; analysis is best-effort";
+      }
+    } else if (kind == "experiment_started") {
+      if (analysis.experiment.empty()) {
+        analysis.experiment = event.GetString("name", "");
+      }
+      if (analysis.environment.empty()) {
+        // "env" from the CLI, "environment" from the service.
+        analysis.environment = event.GetString("env", "");
+        if (analysis.environment.empty()) {
+          analysis.environment = event.GetString("environment", "");
+        }
+      }
+      if (analysis.optimizer.empty()) {
+        analysis.optimizer = event.GetString("optimizer", "");
+      }
+    } else if (kind == "loop_started") {
+      analysis.optimizer =
+          event.GetString("optimizer", analysis.optimizer);
+      analysis.max_trials = event.GetInt("max_trials", analysis.max_trials);
+      analysis.batch_size = event.GetInt("batch_size", analysis.batch_size);
+      analysis.resumed_trials =
+          event.GetInt("resumed_trials", analysis.resumed_trials);
+    } else if (kind == "trial_completed") {
+      auto observation = event.Get("observation");
+      if (!observation.ok()) {
+        ++analysis.skipped_lines;
+        continue;
+      }
+      const double objective = observation->GetDouble("objective", 0.0);
+      const bool failed = observation->GetBool("failed", false);
+      analysis.objectives.push_back(objective);
+      analysis.failed.push_back(failed);
+      ++analysis.trials;
+      if (failed) ++analysis.failures;
+      analysis.total_cost += observation->GetDouble("cost", 0.0);
+      if (!failed && objective < best) best = objective;
+      analysis.best_so_far.push_back(best);
+      auto metrics = observation->Get("metrics");
+      if (metrics.ok() && metrics->is_object()) {
+        analysis.fault_retries += static_cast<int64_t>(
+            metrics->GetDouble("fault_retries", 0.0));
+        analysis.fault_timeouts += static_cast<int64_t>(
+            metrics->GetDouble("fault_timeouts", 0.0));
+      }
+    } else if (kind == "trial_decision") {
+      auto latency = event.Get("latency");
+      if (latency.ok() && latency->is_object()) {
+        AccumulatePhase(&analysis.suggest,
+                        latency->GetDouble("suggest_s", 0.0));
+        AccumulatePhase(&analysis.evaluate,
+                        latency->GetDouble("evaluate_s", 0.0));
+        AccumulatePhase(&analysis.update,
+                        latency->GetDouble("update_s", 0.0));
+      }
+      analysis.decisions.push_back(event);
+    } else if (kind == "incumbent_updated") {
+      ++analysis.incumbent_updates;
+      analysis.last_incumbent_trial =
+          event.GetInt("trial", analysis.last_incumbent_trial);
+    } else if (kind == "optimizer_snapshot") {
+      ++analysis.snapshots;
+    } else if (kind == "worker_quarantined") {
+      ++analysis.workers_quarantined;
+    } else if (kind == "worker_replaced") {
+      ++analysis.workers_replaced;
+    } else if (kind == "degraded") {
+      analysis.degraded = true;
+    } else if (kind == "experiment_finished") {
+      analysis.finished = true;
+      analysis.converged_early =
+          event.GetBool("converged_early", analysis.converged_early);
+      analysis.degraded = event.GetBool("degraded", analysis.degraded);
+      // Prefer the loop's own cost accounting (includes retry backoff and
+      // imputed timeout charges) over the per-observation sum.
+      analysis.total_cost = event.GetDouble("total_cost",
+                                            analysis.total_cost);
+    }
+    // Unknown kinds (including ones from future schema versions) are
+    // skipped silently: the journal is designed to be forward-readable.
+  }
+
+  analysis.has_success = std::isfinite(best);
+  analysis.final_best = analysis.has_success ? best : 0.0;
+  analysis.regret_proxy.reserve(analysis.best_so_far.size());
+  for (const double value : analysis.best_so_far) {
+    analysis.regret_proxy.push_back(
+        std::isfinite(value) && analysis.has_success
+            ? value - analysis.final_best
+            : kInf);
+  }
+  return analysis;
+}
+
+std::vector<Json> ExplainTopN(const JournalAnalysis& analysis, int top_n) {
+  // Index decisions by trial number for the join with trial outcomes.
+  std::vector<const Json*> decision_by_trial;
+  for (const Json& decision : analysis.decisions) {
+    const int64_t trial = decision.GetInt("trial", -1);
+    if (trial < 0) continue;
+    if (decision_by_trial.size() <= static_cast<size_t>(trial)) {
+      decision_by_trial.resize(static_cast<size_t>(trial) + 1, nullptr);
+    }
+    decision_by_trial[static_cast<size_t>(trial)] = &decision;
+  }
+
+  std::vector<size_t> successful;
+  for (size_t i = 0; i < analysis.objectives.size(); ++i) {
+    if (!analysis.failed[i]) successful.push_back(i);
+  }
+  std::sort(successful.begin(), successful.end(),
+            [&analysis](size_t a, size_t b) {
+              if (analysis.objectives[a] != analysis.objectives[b]) {
+                return analysis.objectives[a] < analysis.objectives[b];
+              }
+              return a < b;
+            });
+  if (top_n >= 0 && successful.size() > static_cast<size_t>(top_n)) {
+    successful.resize(static_cast<size_t>(top_n));
+  }
+
+  std::vector<Json> rows;
+  rows.reserve(successful.size());
+  for (const size_t trial : successful) {
+    Json::Object row;
+    row["trial"] = Json(static_cast<int64_t>(trial));
+    row["objective"] = Json(analysis.objectives[trial]);
+    const Json* decision = trial < decision_by_trial.size()
+                               ? decision_by_trial[trial]
+                               : nullptr;
+    if (decision != nullptr) {
+      auto delta = decision->Get("incumbent_delta");
+      if (delta.ok()) row["incumbent_delta"] = *delta;
+      auto record = decision->Get("decision");
+      if (record.ok() && record->is_object()) {
+        row["phase"] = Json(record->GetString("phase", ""));
+        row["candidates"] = Json(record->GetInt("candidates", 0));
+        auto chosen = record->Get("chosen");
+        if (chosen.ok() && chosen->Has("score")) {
+          row["score"] = Json(chosen->GetDouble("score", 0.0));
+          row["mean"] = Json(chosen->GetDouble("mean", 0.0));
+          row["variance"] = Json(chosen->GetDouble("variance", 0.0));
+        }
+      }
+    }
+    rows.push_back(Json(std::move(row)));
+  }
+  return rows;
+}
+
+Json AnalysisToJson(const JournalAnalysis& analysis, int top_n) {
+  Json::Object object;
+  object["path"] = Json(analysis.path);
+  object["schema_version"] = Json(analysis.schema_version);
+  object["future_schema"] = Json(analysis.future_schema);
+  if (!analysis.experiment.empty()) {
+    object["experiment"] = Json(analysis.experiment);
+  }
+  if (!analysis.environment.empty()) {
+    object["environment"] = Json(analysis.environment);
+  }
+  object["optimizer"] = Json(analysis.optimizer);
+  object["trials"] = Json(analysis.trials);
+  object["failures"] = Json(analysis.failures);
+  object["resumed_trials"] = Json(analysis.resumed_trials);
+  object["total_cost"] = Json(analysis.total_cost);
+  object["finished"] = Json(analysis.finished);
+  object["converged_early"] = Json(analysis.converged_early);
+  object["degraded"] = Json(analysis.degraded);
+  if (analysis.has_success) {
+    object["best_objective"] = Json(analysis.final_best);
+  }
+  object["incumbent_updates"] = Json(analysis.incumbent_updates);
+  object["last_incumbent_trial"] = Json(analysis.last_incumbent_trial);
+  object["snapshots"] = Json(analysis.snapshots);
+  object["skipped_lines"] = Json(analysis.skipped_lines);
+
+  Json::Array curve;
+  curve.reserve(analysis.best_so_far.size());
+  for (const double value : analysis.best_so_far) {
+    curve.push_back(CurvePointToJson(value));
+  }
+  object["best_so_far"] = Json(std::move(curve));
+  Json::Array regret;
+  regret.reserve(analysis.regret_proxy.size());
+  for (const double value : analysis.regret_proxy) {
+    regret.push_back(CurvePointToJson(value));
+  }
+  object["regret_proxy"] = Json(std::move(regret));
+
+  Json::Object phases;
+  phases["suggest"] = PhaseToJson(analysis.suggest);
+  phases["evaluate"] = PhaseToJson(analysis.evaluate);
+  phases["update"] = PhaseToJson(analysis.update);
+  object["phase_latency"] = Json(std::move(phases));
+
+  Json::Object faults;
+  faults["fault_retries"] = Json(analysis.fault_retries);
+  faults["fault_timeouts"] = Json(analysis.fault_timeouts);
+  faults["workers_quarantined"] = Json(analysis.workers_quarantined);
+  faults["workers_replaced"] = Json(analysis.workers_replaced);
+  object["faults"] = Json(std::move(faults));
+
+  Json::Array explain;
+  for (Json& row : ExplainTopN(analysis, top_n)) {
+    explain.push_back(std::move(row));
+  }
+  object["explain"] = Json(std::move(explain));
+  return Json(std::move(object));
+}
+
+std::string RenderAnalysisText(const JournalAnalysis& analysis, int top_n) {
+  std::string out;
+  out += "journal: " + analysis.path + " (schema v" +
+         std::to_string(analysis.schema_version) + ")\n";
+  if (analysis.future_schema) {
+    out += "  WARNING: written by a newer format than this build "
+           "understands; report is best-effort\n";
+  }
+  if (analysis.skipped_lines > 0) {
+    out += "  note: skipped " + std::to_string(analysis.skipped_lines) +
+           " unparseable line(s)\n";
+  }
+  out += "session: ";
+  if (!analysis.experiment.empty()) {
+    out += "name=" + analysis.experiment + " ";
+  }
+  if (!analysis.environment.empty()) {
+    out += "env=" + analysis.environment + " ";
+  }
+  out += "optimizer=" + analysis.optimizer +
+         " batch=" + std::to_string(analysis.batch_size) + "\n";
+  out += "trials: " + std::to_string(analysis.trials) + " (" +
+         std::to_string(analysis.failures) + " failed, " +
+         std::to_string(analysis.resumed_trials) + " resumed), cost " +
+         FormatDouble(analysis.total_cost, 6) + "s, ";
+  if (analysis.degraded) {
+    out += "DEGRADED";
+  } else if (analysis.converged_early) {
+    out += "converged early";
+  } else if (analysis.finished) {
+    out += "finished";
+  } else {
+    out += "in progress / interrupted";
+  }
+  out += "\n";
+  if (analysis.has_success) {
+    out += "best objective: " + FormatDouble(analysis.final_best, 9) +
+           " (" + std::to_string(analysis.incumbent_updates) +
+           " incumbent updates, last at trial " +
+           std::to_string(analysis.last_incumbent_trial) + ")\n";
+  } else {
+    out += "best objective: none (no successful trial)\n";
+  }
+
+  if (!analysis.best_so_far.empty()) {
+    out += "best-so-far curve (trial: best, regret):\n";
+    Table curve({"trial", "best", "regret"});
+    const size_t n = analysis.best_so_far.size();
+    std::vector<size_t> points = {0, n / 4, n / 2, 3 * n / 4, n - 1};
+    points.erase(std::unique(points.begin(), points.end()), points.end());
+    for (const size_t i : points) {
+      const double value = analysis.best_so_far[i];
+      Status status = curve.AppendRow(
+          {std::to_string(i),
+           std::isfinite(value) ? FormatDouble(value, 9) : "-",
+           std::isfinite(analysis.regret_proxy[i])
+               ? FormatDouble(analysis.regret_proxy[i], 6)
+               : "-"});
+      if (!status.ok()) break;
+    }
+    out += curve.ToPrettyString();
+  }
+
+  if (analysis.suggest.count > 0) {
+    out += "phase latency (live trials):\n";
+    Table phases({"phase", "count", "mean_ms", "max_ms", "total_s"});
+    const auto row = [&phases](const char* name,
+                               const PhaseLatency& phase) {
+      Status status = phases.AppendRow(
+          {name, std::to_string(phase.count),
+           FormatDouble(phase.mean_s() * 1e3, 4),
+           FormatDouble(phase.max_s * 1e3, 4),
+           FormatDouble(phase.total_s, 4)});
+      if (!status.ok()) AUTOTUNE_LOG(kWarning) << status.ToString();
+    };
+    row("suggest", analysis.suggest);
+    row("evaluate", analysis.evaluate);
+    row("update", analysis.update);
+    out += phases.ToPrettyString();
+  }
+
+  out += "faults: retries " + std::to_string(analysis.fault_retries) +
+         ", timeouts " + std::to_string(analysis.fault_timeouts) +
+         ", workers quarantined " +
+         std::to_string(analysis.workers_quarantined) + ", replaced " +
+         std::to_string(analysis.workers_replaced) + "\n";
+
+  const std::vector<Json> explain = ExplainTopN(analysis, top_n);
+  if (!explain.empty()) {
+    out += "why chosen (top " + std::to_string(explain.size()) +
+           " by objective):\n";
+    Table table(
+        {"trial", "objective", "delta", "phase", "pool", "score", "mean",
+         "variance"});
+    for (const Json& row : explain) {
+      const bool scored = row.Has("score");
+      Status status = table.AppendRow(
+          {std::to_string(row.GetInt("trial", -1)),
+           FormatDouble(row.GetDouble("objective", 0.0), 9),
+           row.Has("incumbent_delta")
+               ? FormatDouble(row.GetDouble("incumbent_delta", 0.0), 4)
+               : "-",
+           row.GetString("phase", "-"),
+           row.Has("candidates")
+               ? std::to_string(row.GetInt("candidates", 0))
+               : "-",
+           scored ? FormatDouble(row.GetDouble("score", 0.0), 4) : "-",
+           scored ? FormatDouble(row.GetDouble("mean", 0.0), 4) : "-",
+           scored ? FormatDouble(row.GetDouble("variance", 0.0), 4) : "-"});
+      if (!status.ok()) break;
+    }
+    out += table.ToPrettyString();
+  }
+  return out;
+}
+
+}  // namespace report
+}  // namespace autotune

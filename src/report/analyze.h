@@ -1,0 +1,125 @@
+#ifndef AUTOTUNE_REPORT_ANALYZE_H_
+#define AUTOTUNE_REPORT_ANALYZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace autotune {
+namespace report {
+
+using obs::Json;
+
+/// Offline journal analysis — the consumer side of the experiment journal
+/// (`obs::Journal` transport, `record::codec` schemas): reads a JSONL
+/// journal and derives the convergence report behind `autotune_cli analyze`.
+/// Works on raw events, so it needs no ConfigSpace and can analyze journals
+/// from environments this binary cannot construct.
+
+/// Aggregated wall-clock latency of one loop phase, from the non-
+/// deterministic `latency` member of trial_decision events.
+struct PhaseLatency {
+  int64_t count = 0;
+  double total_s = 0.0;
+  double max_s = 0.0;
+
+  [[nodiscard]] double mean_s() const {
+    return count > 0 ? total_s / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Everything `AnalyzeJournal` derives from one journal file.
+struct JournalAnalysis {
+  std::string path;
+
+  /// From the journal_header event (defaults to 1 for pre-header files).
+  int64_t schema_version = 1;
+  /// True when the file was written by a NEWER format than this build
+  /// understands — the analysis is best-effort in that case.
+  bool future_schema = false;
+
+  /// Session metadata (experiment_started / loop_started, when present).
+  std::string experiment;   ///< Service tenant name, if any.
+  std::string environment;  ///< CLI env id, if any.
+  std::string optimizer;
+  int64_t max_trials = 0;
+  int64_t batch_size = 1;
+  int64_t resumed_trials = 0;
+
+  /// Trial outcomes, in journal order (trial_completed events).
+  std::vector<double> objectives;
+  std::vector<bool> failed;
+  /// Incumbent (best successful) objective after each trial — the
+  /// convergence curve. Entries before the first success are +inf.
+  std::vector<double> best_so_far;
+  /// best_so_far minus the final best — a regret proxy against the best
+  /// configuration this run ever found (+inf before the first success).
+  std::vector<double> regret_proxy;
+
+  int64_t trials = 0;
+  int64_t failures = 0;
+  double total_cost = 0.0;
+  double final_best = 0.0;       ///< Valid iff `has_success`.
+  bool has_success = false;
+  int64_t incumbent_updates = 0;
+  int64_t last_incumbent_trial = -1;
+
+  /// Terminal state (experiment_finished / degraded events).
+  bool finished = false;
+  bool converged_early = false;
+  bool degraded = false;
+
+  /// Phase latency breakdown (live trials only; replayed trials re-journal
+  /// nothing).
+  PhaseLatency suggest;
+  PhaseLatency evaluate;
+  PhaseLatency update;
+
+  /// Fault/retry summary: per-trial fault metrics summed over observations
+  /// plus runner-level quarantine/replacement events.
+  int64_t fault_retries = 0;
+  int64_t fault_timeouts = 0;
+  int64_t workers_quarantined = 0;
+  int64_t workers_replaced = 0;
+
+  int64_t snapshots = 0;       ///< optimizer_snapshot events seen.
+  int64_t skipped_lines = 0;   ///< Unparseable (truncated/corrupt) lines.
+
+  /// Raw trial_decision events, in journal order — provenance for the
+  /// explain table ("why was this configuration chosen?").
+  std::vector<Json> decisions;
+};
+
+struct AnalyzeOptions {
+  /// Rows in the explain-top-N table (best objectives first).
+  int top_n = 5;
+};
+
+/// Parses `path` and derives the analysis. Unknown event kinds and
+/// unparseable lines are skipped (counted in `skipped_lines`), so journals
+/// from future schema versions degrade gracefully instead of failing.
+[[nodiscard]] Result<JournalAnalysis> AnalyzeJournal(
+    const std::string& path, const AnalyzeOptions& options = {});
+
+/// Machine-readable report: summary fields + convergence curve + phase
+/// latencies + fault summary + the explain-top-N rows.
+Json AnalysisToJson(const JournalAnalysis& analysis, int top_n = 5);
+
+/// Human-readable report (the `autotune_cli analyze` default output).
+std::string RenderAnalysisText(const JournalAnalysis& analysis,
+                               int top_n = 5);
+
+/// The explain-top-N rows: for the `top_n` best successful trials (by
+/// objective, ascending), the matching trial_decision provenance as flat
+/// objects {"trial", "objective", "incumbent_delta"?, "phase"?,
+/// "candidates"?, "score"?, "mean"?, "variance"?}. Trials without a
+/// journaled decision still appear (objective only).
+std::vector<Json> ExplainTopN(const JournalAnalysis& analysis, int top_n);
+
+}  // namespace report
+}  // namespace autotune
+
+#endif  // AUTOTUNE_REPORT_ANALYZE_H_

@@ -1,0 +1,167 @@
+#include "report/bench_compare.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/table.h"
+#include "obs/journal.h"
+
+namespace autotune {
+namespace report {
+
+namespace {
+
+Result<Json> ReadJsonFile(const std::string& path) {
+  AUTOTUNE_ASSIGN_OR_RETURN(std::string text, obs::ReadJournalText(path));
+  auto parsed = Json::Parse(text);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("'" + path +
+                                   "': " + parsed.status().message());
+  }
+  return *parsed;
+}
+
+/// Walks the members of `section` ("counters"/"gauges") in both snapshots;
+/// baseline drives the iteration so removed metrics surface as `missing`.
+void CompareScalarSection(const Json& baseline, const Json& current,
+                          const std::string& section, const char* kind,
+                          double tolerance, bool gate,
+                          BenchComparison* out) {
+  auto base_section = baseline.Get(section);
+  if (!base_section.ok() || !base_section->is_object()) return;
+  auto cur_section = current.Get(section);
+  for (const auto& [name, base_value] : base_section->AsObject()) {
+    BenchDelta delta;
+    delta.kind = kind;
+    delta.name = name;
+    delta.baseline = base_value.AsDouble();
+    auto cur_value = cur_section.ok() ? cur_section->Get(name)
+                                      : Result<Json>(cur_section.status());
+    if (!cur_value.ok()) {
+      delta.missing = true;
+      delta.regressed = gate;
+    } else {
+      delta.current = cur_value->AsDouble();
+      const double denom = std::max(std::fabs(delta.baseline), 1.0);
+      delta.relative = (delta.current - delta.baseline) / denom;
+      delta.regressed = gate && std::fabs(delta.relative) > tolerance;
+    }
+    if (delta.regressed) ++out->regressions;
+    out->deltas.push_back(std::move(delta));
+  }
+}
+
+void CompareHistogramMeans(const Json& baseline, const Json& current,
+                           const BenchCompareOptions& options,
+                           BenchComparison* out) {
+  auto base_section = baseline.Get("histograms");
+  if (!base_section.ok() || !base_section->is_object()) return;
+  auto cur_section = current.Get("histograms");
+  for (const auto& [name, base_hist] : base_section->AsObject()) {
+    BenchDelta delta;
+    delta.kind = "histogram_mean";
+    delta.name = name;
+    delta.baseline = base_hist.GetDouble("mean", 0.0);
+    auto cur_hist = cur_section.ok() ? cur_section->Get(name)
+                                     : Result<Json>(cur_section.status());
+    if (!cur_hist.ok()) {
+      delta.missing = true;
+      delta.regressed = true;
+    } else {
+      delta.current = cur_hist->GetDouble("mean", 0.0);
+      if (delta.baseline > 0.0) {
+        delta.relative = (delta.current - delta.baseline) / delta.baseline;
+      }
+      // Only slowdowns gate, and only above the noise floor: a mean that
+      // went from 2us to 6us is 3x "worse" but still pure scheduler noise.
+      delta.regressed = delta.relative > options.latency_tolerance &&
+                        delta.current > options.latency_floor_s &&
+                        delta.baseline > 0.0;
+    }
+    if (delta.regressed) ++out->regressions;
+    out->deltas.push_back(std::move(delta));
+  }
+}
+
+}  // namespace
+
+BenchComparison CompareBenchSnapshots(const Json& baseline,
+                                      const Json& current,
+                                      const BenchCompareOptions& options) {
+  BenchComparison out;
+  CompareScalarSection(baseline, current, "counters", "counter",
+                       options.counter_tolerance, /*gate=*/true, &out);
+  // Gauges (final objectives, incumbents) are workload outcomes, not
+  // performance: report the drift but never fail the gate on it.
+  CompareScalarSection(baseline, current, "gauges", "gauge",
+                       /*tolerance=*/0.0, /*gate=*/false, &out);
+  CompareHistogramMeans(baseline, current, options, &out);
+  return out;
+}
+
+Result<BenchComparison> CompareBenchFiles(const std::string& baseline_path,
+                                          const std::string& current_path,
+                                          const BenchCompareOptions& options) {
+  AUTOTUNE_ASSIGN_OR_RETURN(Json baseline, ReadJsonFile(baseline_path));
+  AUTOTUNE_ASSIGN_OR_RETURN(Json current, ReadJsonFile(current_path));
+  BenchComparison comparison =
+      CompareBenchSnapshots(baseline, current, options);
+  comparison.baseline_path = baseline_path;
+  comparison.current_path = current_path;
+  return comparison;
+}
+
+std::string RenderComparisonText(const BenchComparison& comparison) {
+  std::string out = "bench compare: " + comparison.current_path + " vs " +
+                    comparison.baseline_path + "\n";
+  Table table({"kind", "metric", "baseline", "current", "delta", "verdict"});
+  for (const BenchDelta& delta : comparison.deltas) {
+    // Unchanged scalars are noise in a terminal; show changes, histograms,
+    // and anything regressed.
+    if (!delta.regressed && !delta.missing && delta.relative == 0.0 &&
+        delta.kind == "counter") {
+      continue;
+    }
+    Status status = table.AppendRow(
+        {delta.kind, delta.name, FormatDouble(delta.baseline, 6),
+         delta.missing ? "MISSING" : FormatDouble(delta.current, 6),
+         FormatDouble(delta.relative * 100.0, 2) + "%",
+         delta.regressed ? "REGRESSED" : "ok"});
+    if (!status.ok()) break;
+  }
+  out += table.ToPrettyString();
+  out += comparison.ok()
+             ? "PASS: no regressions\n"
+             : "FAIL: " + std::to_string(comparison.regressions) +
+                   " regression(s)\n";
+  return out;
+}
+
+Json ComparisonToJson(const BenchComparison& comparison) {
+  Json::Object object;
+  object["baseline"] = Json(comparison.baseline_path);
+  object["current"] = Json(comparison.current_path);
+  object["regressions"] = Json(comparison.regressions);
+  object["pass"] = Json(comparison.ok());
+  Json::Array deltas;
+  deltas.reserve(comparison.deltas.size());
+  for (const BenchDelta& delta : comparison.deltas) {
+    Json::Object d;
+    d["kind"] = Json(delta.kind);
+    d["name"] = Json(delta.name);
+    d["baseline"] = Json(delta.baseline);
+    if (delta.missing) {
+      d["missing"] = Json(true);
+    } else {
+      d["current"] = Json(delta.current);
+      d["relative"] = Json(delta.relative);
+    }
+    d["regressed"] = Json(delta.regressed);
+    deltas.push_back(Json(std::move(d)));
+  }
+  object["deltas"] = Json(std::move(deltas));
+  return Json(std::move(object));
+}
+
+}  // namespace report
+}  // namespace autotune

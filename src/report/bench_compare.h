@@ -1,0 +1,77 @@
+#ifndef AUTOTUNE_REPORT_BENCH_COMPARE_H_
+#define AUTOTUNE_REPORT_BENCH_COMPARE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace autotune {
+namespace report {
+
+using obs::Json;
+
+/// Bench-regression gate: diffs a freshly produced `BENCH_<id>.json`
+/// (the MetricsRegistry snapshot bench binaries write when
+/// AUTOTUNE_BENCH_JSON_DIR is set) against a checked-in baseline from
+/// `bench/baselines/`, and flags regressions. Counters are expected to be
+/// near-deterministic (same seeds, same trial counts); histogram means are
+/// wall-clock and get a generous tolerance plus an absolute noise floor so
+/// CI machine jitter does not flap the gate.
+
+struct BenchCompareOptions {
+  /// Max relative drift for counters before they are flagged
+  /// (|current - baseline| / max(|baseline|, 1)).
+  double counter_tolerance = 0.10;
+  /// Max relative increase for histogram means before they are flagged
+  /// ((current - baseline) / baseline). Only slowdowns are regressions;
+  /// speedups are reported but never fail the gate.
+  double latency_tolerance = 1.00;
+  /// Histogram means below this (seconds) are never flagged — the signal
+  /// is smaller than scheduler noise.
+  double latency_floor_s = 50e-6;
+};
+
+/// One compared metric.
+struct BenchDelta {
+  std::string kind;  ///< "counter" | "gauge" | "histogram_mean".
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Signed relative change; for counters relative to max(|baseline|, 1).
+  double relative = 0.0;
+  bool regressed = false;
+  bool missing = false;  ///< Present in baseline, absent in current run.
+};
+
+struct BenchComparison {
+  std::string baseline_path;
+  std::string current_path;
+  std::vector<BenchDelta> deltas;
+  int64_t regressions = 0;
+
+  [[nodiscard]] bool ok() const { return regressions == 0; }
+};
+
+/// Compares two already-parsed metrics snapshots.
+[[nodiscard]] BenchComparison CompareBenchSnapshots(
+    const Json& baseline, const Json& current,
+    const BenchCompareOptions& options = {});
+
+/// Reads both files and compares them.
+[[nodiscard]] Result<BenchComparison> CompareBenchFiles(
+    const std::string& baseline_path, const std::string& current_path,
+    const BenchCompareOptions& options = {});
+
+/// Human-readable diff table; regressions are marked.
+std::string RenderComparisonText(const BenchComparison& comparison);
+
+/// Machine-readable diff ({"baseline", "current", "regressions", "deltas"}).
+Json ComparisonToJson(const BenchComparison& comparison);
+
+}  // namespace report
+}  // namespace autotune
+
+#endif  // AUTOTUNE_REPORT_BENCH_COMPARE_H_

@@ -1,10 +1,26 @@
 #include "service/endpoints.h"
 
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
 
 namespace autotune {
 namespace service {
+
+namespace {
+
+/// JSON error payload, so API clients can always parse the body of a JSON
+/// route — success or failure — without sniffing.
+HttpResponse JsonError(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body =
+      obs::Json(obs::Json::Object{{"error", message}}).Dump() + "\n";
+  return response;
+}
+
+}  // namespace
 
 HttpServer::Handler MakeServiceHandler(ExperimentManager* manager) {
   return [manager](const std::string& path) {
@@ -16,18 +32,39 @@ HttpServer::Handler MakeServiceHandler(ExperimentManager* manager) {
       response.body = obs::RenderPrometheus(obs::MetricsRegistry::Global());
     } else if (path == "/experiments") {
       if (manager == nullptr) {
-        response.status = 404;
-        response.body = "no experiment manager attached\n";
-      } else {
-        response.content_type = "application/json";
-        response.body = manager->StatusJson().Pretty();
-        response.body += "\n";
+        return JsonError(404, "no experiment manager attached");
       }
+      response.content_type = "application/json";
+      response.body = manager->StatusJson().Pretty();
+      response.body += "\n";
+    } else if (path.rfind("/experiments/", 0) == 0) {
+      // /experiments/<name>/trials — recent per-trial decision records.
+      const std::string rest = path.substr(std::string("/experiments/").size());
+      const size_t slash = rest.find('/');
+      const std::string name = rest.substr(0, slash);
+      const std::string sub =
+          slash == std::string::npos ? "" : rest.substr(slash);
+      if (sub != "/trials") {
+        return JsonError(404, "unknown experiment endpoint '" + path +
+                                  "' (try /experiments/<name>/trials)");
+      }
+      if (manager == nullptr) {
+        return JsonError(404, "no experiment manager attached");
+      }
+      Result<obs::Json> trials = manager->TrialsJson(name);
+      if (!trials.ok()) {
+        return JsonError(404, trials.status().message());
+      }
+      response.content_type = "application/json";
+      response.body = trials->Pretty();
+      response.body += "\n";
     } else if (path == "/healthz" || path == "/") {
       response.body = "ok\n";
     } else {
       response.status = 404;
-      response.body = "not found (try /metrics, /experiments, /healthz)\n";
+      response.body =
+          "not found (try /metrics, /experiments, "
+          "/experiments/<name>/trials, /healthz)\n";
     }
     return response;
   };

@@ -8,11 +8,17 @@ namespace autotune {
 namespace service {
 
 /// The tuning service's request handler:
-///   GET /metrics      global metrics registry, Prometheus text exposition
-///   GET /experiments  ExperimentManager::StatusJson(), pretty JSON
-///   GET /healthz      "ok"
-/// `manager` may be null (metrics-only endpoint); it must outlive the
-/// HttpServer the handler is installed on.
+///   GET /metrics                     global metrics registry, Prometheus
+///                                    text exposition
+///   GET /experiments                 ExperimentManager::StatusJson(),
+///                                    pretty JSON
+///   GET /experiments/<name>/trials   recent per-trial decision records,
+///                                    pretty JSON (404 with a JSON error
+///                                    body for unknown names)
+///   GET /healthz                     "ok"
+/// JSON routes always answer with Content-Type application/json, including
+/// their 404s. `manager` may be null (metrics-only endpoint); it must
+/// outlive the HttpServer the handler is installed on.
 HttpServer::Handler MakeServiceHandler(ExperimentManager* manager);
 
 }  // namespace service

@@ -8,10 +8,18 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "record/codec.h"
 
 namespace autotune {
 namespace service {
+
+namespace {
+
+/// Decision records kept per experiment for GET /experiments/<name>/trials.
+constexpr size_t kMaxRecentDecisions = 32;
+
+}  // namespace
 
 const char* ExperimentStateName(ExperimentState state) {
   switch (state) {
@@ -122,6 +130,12 @@ Status ExperimentManager::AddExperiment(ExperimentSpec spec) {
     loop_options.journal = e->journal.get();
     e->loop = std::make_unique<TuningLoop>(e->optimizer.get(),
                                            e->runner.get(), loop_options);
+    // Every trial of this tenant will run under this trace context, so its
+    // spans — whichever pool thread they land on — parent into one tree.
+    e->trace = TraceContext{NewTraceId(), NewSpanId()};
+    e->trace_start_ns = obs::TraceBuffer::NowOnSpanClockNs();
+    obs::TraceBuffer::SetTraceName(e->trace.trace_id,
+                                   "experiment:" + s.name);
     if (resume) {
       AUTOTUNE_RETURN_IF_ERROR(e->loop->Resume(replay));
       e->resumed = true;
@@ -149,6 +163,8 @@ Status ExperimentManager::AddExperiment(ExperimentSpec spec) {
   raw->virtual_time = MinActiveVirtualTimeLocked();
   if (raw->loop != nullptr && !raw->result.has_value()) {
     SyncProgressLocked(raw);
+  } else if (raw->result.has_value()) {
+    FinalizeTraceLocked(raw);  // Whole budget was already journaled.
   }
   experiments_[s.name] = std::move(e);
   PumpLocked();
@@ -210,6 +226,7 @@ Status ExperimentManager::Cancel(const std::string& name) {
     e->degraded = result.degraded;
     e->result = std::move(result);
     SyncProgressLocked(e);
+    FinalizeTraceLocked(e);
   }
   UpdateGaugesLocked();
   cv_.notify_all();
@@ -310,6 +327,27 @@ obs::Json ExperimentManager::StatusJson() const {
   });
 }
 
+Result<obs::Json> ExperimentManager::TrialsJson(
+    const std::string& name) const {
+  MutexLock lock(mutex_);
+  auto it = experiments_.find(name);
+  if (it == experiments_.end()) {
+    return Status::NotFound("no experiment '" + name + "'");
+  }
+  const Experiment* e = it->second.get();
+  obs::Json::Array trials;
+  trials.reserve(e->recent_decisions.size());
+  for (const obs::Json& decision : e->recent_decisions) {
+    trials.push_back(decision);
+  }
+  return obs::Json(obs::Json::Object{
+      {"name", e->spec.name},
+      {"state", ExperimentStateName(e->state)},
+      {"trials_run", static_cast<int64_t>(e->trials_run)},
+      {"trials", std::move(trials)},
+  });
+}
+
 void ExperimentManager::PumpLocked() {
   if (shutting_down_) return;
   while (in_flight_count_ < max_concurrent_) {
@@ -336,11 +374,27 @@ void ExperimentManager::PumpLocked() {
 void ExperimentManager::RunOneTrial(Experiment* e) {
   // This thread holds e's in-flight token: it exclusively owns the tuning
   // stack until it hands the token back under the mutex.
-  e->loop->StepTrial();
+  //
+  // The trial runs under the experiment's trace context so its spans (and
+  // any the loop fans out through the pool) parent into the tenant's tree
+  // regardless of which worker thread picked this task up.
+  std::vector<obs::Json> decisions;
+  {
+    ScopedTraceContext scoped_trace(e->trace);
+    obs::Span trial_span("service.trial");
+    e->loop->StepTrial();
+    decisions = e->loop->TakeDecisionEvents();
+  }
 
   {
     MutexLock lock(mutex_);
     e->virtual_time += 1.0 / e->spec.weight;
+    for (obs::Json& decision : decisions) {
+      e->recent_decisions.push_back(std::move(decision));
+      if (e->recent_decisions.size() > kMaxRecentDecisions) {
+        e->recent_decisions.pop_front();
+      }
+    }
     SyncProgressLocked(e);
     const bool terminal =
         e->state == ExperimentState::kCancelled || e->loop_done;
@@ -367,6 +421,7 @@ void ExperimentManager::RunOneTrial(Experiment* e) {
   if (e->degraded && e->message.empty()) {
     e->message = "degraded: " + e->result->status.ToString();
   }
+  FinalizeTraceLocked(e);
   e->in_flight = false;
   --in_flight_count_;
   cv_.notify_all();
@@ -409,6 +464,19 @@ ExperimentStatus ExperimentManager::StatusOfLocked(
   status.degraded = e.degraded;
   status.message = e.message;
   return status;
+}
+
+void ExperimentManager::FinalizeTraceLocked(Experiment* e) {
+  if (e->trace_finalized || e->trace.trace_id == 0) return;
+  e->trace_finalized = true;
+  // Synthesize the experiment-lifetime root span. Trial spans recorded its
+  // span id as their parent while it was still "open", so the tree is
+  // coherent even though this record is written last.
+  obs::TraceBuffer::Record(obs::SpanRecord{
+      "experiment", /*thread_id=*/0, e->trace_start_ns,
+      obs::TraceBuffer::NowOnSpanClockNs() - e->trace_start_ns,
+      /*depth=*/0, e->trace.trace_id, e->trace.span_id,
+      /*parent_span_id=*/0});
 }
 
 void ExperimentManager::UpdateGaugesLocked() {

@@ -2,6 +2,7 @@
 #define AUTOTUNE_SERVICE_EXPERIMENT_MANAGER_H_
 
 #include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -12,6 +13,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
+#include "common/trace_context.h"
 #include "obs/journal.h"
 #include "obs/json.h"
 #include "service/experiment.h"
@@ -110,6 +112,13 @@ class ExperimentManager {
   /// payload (scheduler block includes the shared pool's stats).
   obs::Json StatusJson() const EXCLUDES(mutex_);
 
+  /// {"name": ..., "trials": [...]} — the GET /experiments/<name>/trials
+  /// payload: the most recent per-trial decision records (bounded ring,
+  /// newest last), each with decision provenance and phase latencies.
+  /// NotFound for unknown names.
+  [[nodiscard]] Result<obs::Json> TrialsJson(const std::string& name) const
+      EXCLUDES(mutex_);
+
   ThreadPool* pool() const { return pool_; }
   size_t max_concurrent_trials() const { return max_concurrent_; }
 
@@ -142,6 +151,18 @@ class ExperimentManager {
     double total_cost = 0.0;
     std::optional<double> best_objective;
     bool degraded = false;
+
+    /// Trace identity: every trial of this experiment runs under this
+    /// context, so the Chrome trace export groups the whole tenant into one
+    /// process/tree. Written once in AddExperiment, immutable afterwards.
+    TraceContext trace;
+    int64_t trace_start_ns = 0;
+    bool trace_finalized = false;  ///< Root span recorded (manager mutex).
+
+    /// Most recent trial_decision events (manager mutex; bounded ring,
+    /// newest last) — drained from the loop after each trial and served by
+    /// GET /experiments/<name>/trials.
+    std::deque<obs::Json> recent_decisions;
   };
 
   static bool IsTerminal(ExperimentState state) {
@@ -169,6 +190,10 @@ class ExperimentManager {
 
   ExperimentStatus StatusOfLocked(const Experiment& e) const
       REQUIRES(mutex_);
+
+  /// Records the experiment's synthetic root span (parent of all its trial
+  /// spans) into the trace buffer, once, when the experiment turns terminal.
+  void FinalizeTraceLocked(Experiment* e) REQUIRES(mutex_);
 
   /// Publishes scheduler + pool gauges to the global metrics registry.
   void UpdateGaugesLocked() REQUIRES(mutex_);

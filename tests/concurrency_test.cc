@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <future>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -94,8 +96,11 @@ TEST(ConcurrencyTest, JournalAppendFlushAndCountRace) {
     }
     auto parsed = obs::Json::Parse(line);
     ASSERT_TRUE(parsed.ok()) << line;
-    EXPECT_EQ(parsed->GetInt("seq", -1), expected_seq);
-    ++expected_seq;
+    // Skip the seq-less schema-version header written at Open.
+    if (parsed->GetString("event", "") != "journal_header") {
+      EXPECT_EQ(parsed->GetInt("seq", -1), expected_seq);
+      ++expected_seq;
+    }
     line.clear();
   }
   std::fclose(file);
@@ -370,6 +375,82 @@ TEST(ConcurrencyTest, ExperimentManagerControlPlaneHammer) {
       EXPECT_TRUE(manager.ResultOf(name).ok());
     }
   }
+}
+
+// Hammer cross-thread trace-context propagation the way the service does:
+// several producers, each owning a trace, enqueue interleaved waves of tasks
+// into ONE shared pool. Every task must observe the context of the producer
+// that enqueued it (captured at Enqueue, installed in the worker), and every
+// span it opens must parent under that producer's root — across waves, with
+// tasks from all traces mixed in the same queue.
+TEST(ConcurrencyTest, TraceContextPropagatesThroughSharedPoolInterleaved) {
+  obs::TraceBuffer::SetCapacity(1 << 15);  // Hold the whole hammer's spans.
+  constexpr int kProducers = 4;
+  constexpr int kWaves = 8;
+  constexpr int kTasksPerWave = 16;
+
+  ThreadPool pool(4);
+  std::atomic<int> context_mismatches{0};
+  std::vector<TraceContext> roots(kProducers);
+  {
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p]() {
+        const TraceContext trace{NewTraceId(), NewSpanId()};
+        roots[p] = trace;
+        ScopedTraceContext scoped(trace);
+        for (int wave = 0; wave < kWaves; ++wave) {
+          std::vector<std::future<void>> futures;
+          futures.reserve(kTasksPerWave);
+          for (int i = 0; i < kTasksPerWave; ++i) {
+            futures.push_back(pool.Submit([&context_mismatches, trace]() {
+              const TraceContext seen = CurrentTraceContext();
+              if (seen.trace_id != trace.trace_id ||
+                  seen.span_id != trace.span_id) {
+                context_mismatches.fetch_add(1, std::memory_order_relaxed);
+              }
+              obs::Span task_span("ctx.hammer.task");
+              obs::Span child_span("ctx.hammer.child");
+            }));
+          }
+          for (auto& future : futures) future.get();  // Interleave waves.
+        }
+      });
+    }
+    for (auto& producer : producers) producer.join();
+  }
+  EXPECT_EQ(context_mismatches.load(), 0);
+
+  // Reconstruct parentage from the ring: task spans hang off their
+  // producer's root, child spans off a task span of the SAME trace.
+  std::map<uint64_t, uint64_t> root_span_by_trace;
+  for (const TraceContext& root : roots) {
+    root_span_by_trace[root.trace_id] = root.span_id;
+  }
+  std::map<uint64_t, uint64_t> trace_by_task_span;
+  int task_spans = 0, child_spans = 0;
+  for (const obs::SpanRecord& span : obs::TraceBuffer::Snapshot()) {
+    if (span.name == std::string("ctx.hammer.task")) {
+      ++task_spans;
+      auto root = root_span_by_trace.find(span.trace_id);
+      ASSERT_NE(root, root_span_by_trace.end()) << "task in unknown trace";
+      EXPECT_EQ(span.parent_span_id, root->second);
+      trace_by_task_span[span.span_id] = span.trace_id;
+    }
+  }
+  for (const obs::SpanRecord& span : obs::TraceBuffer::Snapshot()) {
+    if (span.name == std::string("ctx.hammer.child")) {
+      ++child_spans;
+      auto parent = trace_by_task_span.find(span.parent_span_id);
+      ASSERT_NE(parent, trace_by_task_span.end())
+          << "child span's parent is not a task span";
+      EXPECT_EQ(parent->second, span.trace_id)
+          << "child span crossed into another trace";
+    }
+  }
+  EXPECT_EQ(task_spans, kProducers * kWaves * kTasksPerWave);
+  EXPECT_EQ(child_spans, kProducers * kWaves * kTasksPerWave);
+  obs::TraceBuffer::SetCapacity(8192);  // Restore the default.
 }
 
 TEST(ConcurrencyTest, TraceSpansFromManyThreads) {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "core/storage.h"
 #include "core/trial_runner.h"
 #include "core/tuning_loop.h"
@@ -229,6 +230,50 @@ TEST(TraceTest, SpansRecordToRingBufferAndHistogram) {
   obs::MetricsRegistry::Global().Reset();
 }
 
+TEST(TraceTest, NestedSpansRecordParentChildIds) {
+  obs::TraceBuffer::SetCapacity(64);
+  const TraceContext trace{NewTraceId(), 0};
+  {
+    ScopedTraceContext scoped(trace);
+    obs::Span outer("test.parent.outer");
+    obs::Span inner("test.parent.inner");
+    // The ambient context inside `inner` is inner's own span id.
+    EXPECT_EQ(CurrentTraceContext().trace_id, trace.trace_id);
+    EXPECT_EQ(CurrentTraceContext().span_id, inner.span_id());
+  }
+  // Context is restored once the spans close.
+  EXPECT_NE(CurrentTraceContext().trace_id, trace.trace_id);
+
+  std::vector<obs::SpanRecord> spans = obs::TraceBuffer::Snapshot();
+  ASSERT_EQ(spans.size(), 2u);  // Inner recorded first.
+  EXPECT_EQ(spans[0].trace_id, trace.trace_id);
+  EXPECT_EQ(spans[1].trace_id, trace.trace_id);
+  EXPECT_NE(spans[1].span_id, 0u);
+  EXPECT_EQ(spans[0].parent_span_id, spans[1].span_id);  // inner -> outer.
+  EXPECT_EQ(spans[1].parent_span_id, 0u);  // outer -> the context root.
+  obs::TraceBuffer::Clear();
+  obs::MetricsRegistry::Global().Reset();
+}
+
+TEST(TraceTest, ThreadPoolCarriesTraceContextToWorkers) {
+  ThreadPool pool(2);
+  const TraceContext trace{NewTraceId(), NewSpanId()};
+  TraceContext seen_inside, seen_outside;
+  {
+    ScopedTraceContext scoped(trace);
+    pool.Submit([&seen_inside]() { seen_inside = CurrentTraceContext(); })
+        .get();
+  }
+  pool.Submit([&seen_outside]() { seen_outside = CurrentTraceContext(); })
+      .get();
+  // Enqueued under the context: the worker sees it. Enqueued after it was
+  // restored: the worker sees the empty context, not a stale one.
+  EXPECT_EQ(seen_inside.trace_id, trace.trace_id);
+  EXPECT_EQ(seen_inside.span_id, trace.span_id);
+  EXPECT_EQ(seen_outside.trace_id, 0u);
+  EXPECT_EQ(seen_outside.span_id, 0u);
+}
+
 TEST(TraceTest, RingBufferKeepsMostRecent) {
   obs::TraceBuffer::SetCapacity(4);
   for (int i = 0; i < 10; ++i) {
@@ -369,12 +414,49 @@ TEST(JournalTest, EventsAreSequencedAndOrdered) {
   while (std::fgets(line, sizeof(line), file) != nullptr) {
     auto parsed = obs::Json::Parse(line);
     ASSERT_TRUE(parsed.ok());
+    // The schema-version header is transport metadata and carries no seq.
+    if (parsed->GetString("event", "") == "journal_header") continue;
     EXPECT_EQ(parsed->GetInt("seq", -1), expected_seq);
     EXPECT_EQ(parsed->GetInt("i", -1), expected_seq);
     ++expected_seq;
   }
   std::fclose(file);
   EXPECT_EQ(expected_seq, 20);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, SchemaHeaderWrittenOnceOnFreshFilesOnly) {
+  const std::string path = TempPath("header.jsonl");
+  std::remove(path.c_str());
+  {
+    auto journal = obs::Journal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    (*journal)->Event("tick", {});
+  }
+  {
+    // Re-open (the resume path): the header must NOT be duplicated.
+    auto journal = obs::Journal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    (*journal)->Event("tock", {});
+  }
+  auto text = obs::ReadJournalText(path);
+  ASSERT_TRUE(text.ok());
+  // First line is the header, carrying this build's schema version.
+  const size_t first_newline = text->find('\n');
+  ASSERT_NE(first_newline, std::string::npos);
+  auto header = obs::Json::Parse(text->substr(0, first_newline));
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->GetString("event", ""), "journal_header");
+  EXPECT_EQ(header->GetInt("schema_version", -1),
+            obs::kJournalSchemaVersion);
+  EXPECT_FALSE(header->Has("seq"));
+  // And it appears exactly once across open/append/reopen.
+  size_t headers = 0, at = 0;
+  while ((at = text->find("journal_header", at)) != std::string::npos) {
+    ++headers;
+    at += 1;
+  }
+  EXPECT_EQ(headers, 1u);
   std::remove(path.c_str());
 }
 

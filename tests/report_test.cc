@@ -1,0 +1,411 @@
+// Tests for the report layer (src/report/): journal analysis behind
+// `autotune_cli analyze` — convergence curve, phase latencies, decision
+// provenance, forward-compatible schema handling — and the bench-regression
+// gate behind `autotune_cli bench-compare`. Also pins the explainability
+// contract end to end: per-trial DecisionRecords are journaled for every
+// optimizer family and replay bit-exactly across kill-and-resume.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/trial_runner.h"
+#include "core/tuning_loop.h"
+#include "obs/journal.h"
+#include "obs/json.h"
+#include "optimizers/bayesian.h"
+#include "optimizers/grid_search.h"
+#include "optimizers/random_search.h"
+#include "record/codec.h"
+#include "report/analyze.h"
+#include "report/bench_compare.h"
+#include "sim/test_functions.h"
+
+namespace autotune {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "report_test_" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& text) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr) << path;
+  std::fwrite(text.data(), 1, text.size(), file);
+  std::fclose(file);
+}
+
+/// The deterministic "decision" payloads of a journal's trial_decision
+/// events, keyed by trial number. The non-deterministic "latency" member is
+/// deliberately not read — the bit-exactness contract covers decisions only.
+std::map<int64_t, std::string> DecisionDumpsByTrial(const std::string& path) {
+  std::map<int64_t, std::string> out;
+  auto text = obs::ReadJournalText(path);
+  EXPECT_TRUE(text.ok()) << text.status().ToString();
+  if (!text.ok()) return out;
+  size_t begin = 0;
+  while (begin < text->size()) {
+    size_t end = text->find('\n', begin);
+    if (end == std::string::npos) end = text->size();
+    const std::string line = text->substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    auto parsed = obs::Json::Parse(line);
+    if (!parsed.ok() || parsed->GetString("event", "") != "trial_decision") {
+      continue;
+    }
+    const int64_t trial = parsed->GetInt("trial", -1);
+    auto decision = parsed->Get("decision");
+    EXPECT_FALSE(out.count(trial)) << "duplicate decision for trial "
+                                   << trial;
+    out[trial] = decision.ok() ? decision->Dump() : "<none>";
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- analyze --
+
+TEST(AnalyzeTest, GpBoRunReportMatchesJournal) {
+  constexpr int kTrials = 14;
+  const std::string path = TempPath("analyze_bo.jsonl");
+  std::remove(path.c_str());
+
+  sim::FunctionEnvironment env("sphere", 2, sim::Sphere);
+  TuningResult result;
+  {
+    TrialRunner runner(&env, TrialRunnerOptions{}, 5);
+    auto optimizer = MakeGpBo(&env.space(), 9);
+    auto journal = obs::Journal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    TuningLoopOptions options;
+    options.max_trials = kTrials;
+    options.journal = journal->get();
+    result = RunTuningLoop(optimizer.get(), &runner, options);
+  }
+  ASSERT_TRUE(result.best.has_value());
+
+  auto analysis = report::AnalyzeJournal(path);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  EXPECT_EQ(analysis->schema_version, obs::kJournalSchemaVersion);
+  EXPECT_FALSE(analysis->future_schema);
+  EXPECT_EQ(analysis->skipped_lines, 0);
+  EXPECT_EQ(analysis->trials, kTrials);
+  EXPECT_TRUE(analysis->finished);
+  ASSERT_TRUE(analysis->has_success);
+  EXPECT_DOUBLE_EQ(analysis->final_best, result.best->objective);
+
+  // Convergence curve reproduces the loop's own best-so-far trajectory.
+  ASSERT_EQ(analysis->best_so_far.size(), result.best_so_far.size());
+  for (size_t i = 0; i < result.best_so_far.size(); ++i) {
+    EXPECT_DOUBLE_EQ(analysis->best_so_far[i], result.best_so_far[i])
+        << "trial " << i;
+  }
+  EXPECT_DOUBLE_EQ(analysis->regret_proxy.back(), 0.0);
+
+  // Every live trial journaled one decision with its phase latencies.
+  EXPECT_EQ(analysis->decisions.size(), static_cast<size_t>(kTrials));
+  EXPECT_EQ(analysis->suggest.count, kTrials);
+  EXPECT_EQ(analysis->evaluate.count, kTrials);
+  EXPECT_EQ(analysis->update.count, kTrials);
+  EXPECT_GT(analysis->evaluate.total_s, 0.0);
+
+  // GP-BO provenance: the initial design and the model phase both appear,
+  // and model-phase decisions carry acquisition scores for the chosen
+  // candidate plus a top-k ranking whose head is the chosen point.
+  bool saw_initial = false, saw_model = false;
+  for (const obs::Json& event : analysis->decisions) {
+    auto decision = event.Get("decision");
+    ASSERT_TRUE(decision.ok());
+    const std::string phase = decision->GetString("phase", "");
+    if (phase == "initial_design") saw_initial = true;
+    if (phase == "model") {
+      saw_model = true;
+      EXPECT_GT(decision->GetInt("candidates", 0), 0);
+      auto chosen = decision->Get("chosen");
+      ASSERT_TRUE(chosen.ok());
+      EXPECT_TRUE(chosen->Has("score"));
+      auto top_k = decision->Get("top_k");
+      ASSERT_TRUE(top_k.ok());
+      ASSERT_FALSE(top_k->AsArray().empty());
+      EXPECT_EQ(top_k->AsArray()[0].GetDouble("score", -1.0),
+                chosen->GetDouble("score", -2.0));
+    }
+  }
+  EXPECT_TRUE(saw_initial);
+  EXPECT_TRUE(saw_model);
+
+  // The explain table joins the best trials with their decisions.
+  const std::vector<obs::Json> explain = report::ExplainTopN(*analysis, 3);
+  ASSERT_FALSE(explain.empty());
+  EXPECT_DOUBLE_EQ(explain[0].GetDouble("objective", -1.0),
+                   result.best->objective);
+
+  // Both renderings cover the headline facts.
+  const std::string text = report::RenderAnalysisText(*analysis);
+  EXPECT_NE(text.find("best objective"), std::string::npos);
+  EXPECT_NE(text.find("phase latency"), std::string::npos);
+  EXPECT_NE(text.find("why chosen"), std::string::npos);
+  const obs::Json json = report::AnalysisToJson(*analysis);
+  EXPECT_EQ(json.GetInt("trials", 0), kTrials);
+  EXPECT_DOUBLE_EQ(json.GetDouble("best_objective", -1.0),
+                   result.best->objective);
+  std::remove(path.c_str());
+}
+
+TEST(AnalyzeTest, GridAndRandomDecisionsCarryPhaseProvenance) {
+  sim::FunctionEnvironment env("sphere", 2, sim::Sphere);
+  {
+    TrialRunner runner(&env, TrialRunnerOptions{}, 3);
+    GridSearch optimizer(&env.space(), 3);
+    TuningLoop loop(&optimizer, &runner, TuningLoopOptions{});
+    loop.StepTrial();
+    const std::vector<obs::Json> events = loop.TakeDecisionEvents();
+    ASSERT_EQ(events.size(), 1u);
+    auto decision = events[0].Get("decision");
+    ASSERT_TRUE(decision.ok());
+    EXPECT_EQ(decision->GetString("phase", ""), "grid");
+    EXPECT_GT(decision->GetInt("candidates", 0), 0);
+    auto details = decision->Get("details");
+    ASSERT_TRUE(details.ok());
+    EXPECT_TRUE(details->Has("grid_index"));
+  }
+  {
+    TrialRunner runner(&env, TrialRunnerOptions{}, 3);
+    RandomSearch optimizer(&env.space(), 3);
+    TuningLoop loop(&optimizer, &runner, TuningLoopOptions{});
+    loop.StepTrial();
+    const std::vector<obs::Json> events = loop.TakeDecisionEvents();
+    ASSERT_EQ(events.size(), 1u);
+    auto decision = events[0].Get("decision");
+    ASSERT_TRUE(decision.ok());
+    EXPECT_EQ(decision->GetString("phase", ""), "uniform");
+    // Drained means drained: a second Take returns nothing new.
+    EXPECT_TRUE(loop.TakeDecisionEvents().empty());
+  }
+}
+
+TEST(AnalyzeTest, FutureSchemaVersionWarnsButStillParses) {
+  constexpr int kTrials = 6;
+  const std::string path = TempPath("analyze_future.jsonl");
+  std::remove(path.c_str());
+
+  sim::FunctionEnvironment env("sphere", 2, sim::Sphere);
+  {
+    TrialRunner runner(&env, TrialRunnerOptions{}, 5);
+    RandomSearch optimizer(&env.space(), 7);
+    auto journal = obs::Journal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    TuningLoopOptions options;
+    options.max_trials = kTrials;
+    options.journal = journal->get();
+    RunTuningLoop(&optimizer, &runner, options);
+  }
+
+  // Hand-edit the journal the way a newer build would have written it:
+  // bump the header version and add an event kind this build never heard of.
+  auto text = obs::ReadJournalText(path);
+  ASSERT_TRUE(text.ok());
+  const std::string old_header =
+      "{\"event\":\"journal_header\",\"schema_version\":1}";
+  const size_t at = text->find(old_header);
+  ASSERT_NE(at, std::string::npos) << *text;
+  std::string edited = *text;
+  edited.replace(at, old_header.size(),
+                 "{\"event\":\"journal_header\",\"schema_version\":99}");
+  edited += "{\"event\":\"quantum_refit\",\"seq\":9999,\"qubits\":8}\n";
+  WriteFile(path, edited);
+
+  // analyze: flagged as future, everything understood is still reported.
+  auto analysis = report::AnalyzeJournal(path);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  EXPECT_EQ(analysis->schema_version, 99);
+  EXPECT_TRUE(analysis->future_schema);
+  EXPECT_EQ(analysis->trials, kTrials);
+  EXPECT_TRUE(analysis->has_success);
+
+  // resume-side replay: same contract — warn, skip unknowns, don't crash.
+  auto replay = record::ReplayJournal(path, &env.space());
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->observations.size(), static_cast<size_t>(kTrials));
+  std::remove(path.c_str());
+}
+
+TEST(AnalyzeTest, MissingFileReportsNotFound) {
+  auto analysis = report::AnalyzeJournal(TempPath("does_not_exist.jsonl"));
+  EXPECT_FALSE(analysis.ok());
+}
+
+// ----------------------------------------------- decision bit-exactness --
+
+TEST(AnalyzeTest, DecisionRecordsAreBitExactAcrossKillAndResume) {
+  constexpr int kTotalTrials = 16;
+  constexpr int kKilledAfter = 7;
+  constexpr uint64_t kEnvSeed = 11, kOptSeed = 21;
+  sim::FunctionEnvironment env("noisy-sphere", 3, sim::Sphere, 0.5);
+
+  // Baseline: uninterrupted journaled GP-BO run.
+  const std::string baseline_path = TempPath("decisions_baseline.jsonl");
+  std::remove(baseline_path.c_str());
+  {
+    TrialRunner runner(&env, TrialRunnerOptions{}, kEnvSeed);
+    auto optimizer = MakeGpBo(&env.space(), kOptSeed);
+    auto journal = obs::Journal::Open(baseline_path);
+    ASSERT_TRUE(journal.ok());
+    TuningLoopOptions options;
+    options.max_trials = kTotalTrials;
+    options.journal = journal->get();
+    RunTuningLoop(optimizer.get(), &runner, options);
+  }
+
+  // "Killed" run: same seeds, stopped mid-flight, then resumed by a fresh
+  // process (fresh optimizer/runner) appending to the same journal.
+  const std::string resumed_path = TempPath("decisions_resumed.jsonl");
+  std::remove(resumed_path.c_str());
+  {
+    TrialRunner runner(&env, TrialRunnerOptions{}, kEnvSeed);
+    auto optimizer = MakeGpBo(&env.space(), kOptSeed);
+    auto journal = obs::Journal::Open(resumed_path);
+    ASSERT_TRUE(journal.ok());
+    TuningLoopOptions options;
+    options.max_trials = kKilledAfter;
+    options.journal = journal->get();
+    RunTuningLoop(optimizer.get(), &runner, options);
+  }
+  {
+    auto replay = record::ReplayJournal(resumed_path, &env.space());
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    TrialRunner runner(&env, TrialRunnerOptions{}, kEnvSeed);
+    auto optimizer = MakeGpBo(&env.space(), kOptSeed);
+    auto journal = obs::Journal::Open(resumed_path);
+    ASSERT_TRUE(journal.ok());
+    TuningLoopOptions options;
+    options.max_trials = kTotalTrials;
+    options.journal = journal->get();
+    ResumeTuningLoop(optimizer.get(), &runner, options, *replay);
+  }
+
+  const std::map<int64_t, std::string> baseline =
+      DecisionDumpsByTrial(baseline_path);
+  const std::map<int64_t, std::string> resumed =
+      DecisionDumpsByTrial(resumed_path);
+  ASSERT_EQ(baseline.size(), static_cast<size_t>(kTotalTrials));
+  // Replayed trials are not re-journaled, so each trial has exactly one
+  // decision in the resumed journal too.
+  ASSERT_EQ(resumed.size(), static_cast<size_t>(kTotalTrials));
+  for (const auto& [trial, dump] : baseline) {
+    ASSERT_TRUE(resumed.count(trial)) << "trial " << trial;
+    EXPECT_EQ(resumed.at(trial), dump)
+        << "decision for trial " << trial << " diverged across resume";
+  }
+  std::remove(baseline_path.c_str());
+  std::remove(resumed_path.c_str());
+}
+
+// -------------------------------------------------------- bench-compare --
+
+obs::Json BenchSnapshot(int64_t trials, double mean_s) {
+  obs::Json::Object histogram{
+      {"count", obs::Json(int64_t{10})}, {"sum", obs::Json(mean_s * 10)},
+      {"mean", obs::Json(mean_s)},       {"min", obs::Json(mean_s)},
+      {"max", obs::Json(mean_s)},        {"p50", obs::Json(mean_s)},
+      {"p95", obs::Json(mean_s)},        {"p99", obs::Json(mean_s)},
+      {"buckets", obs::Json(obs::Json::Array{})},
+  };
+  return obs::Json(obs::Json::Object{
+      {"counters",
+       obs::Json(obs::Json::Object{{"loop.trials.completed",
+                                    obs::Json(trials)}})},
+      {"gauges",
+       obs::Json(obs::Json::Object{{"loop.incumbent_objective",
+                                    obs::Json(1.25)}})},
+      {"histograms",
+       obs::Json(obs::Json::Object{{"span.loop.suggest",
+                                    obs::Json(std::move(histogram))}})},
+  });
+}
+
+TEST(BenchCompareTest, IdenticalSnapshotsPass) {
+  const obs::Json snapshot = BenchSnapshot(100, 0.01);
+  const report::BenchComparison comparison =
+      report::CompareBenchSnapshots(snapshot, snapshot);
+  EXPECT_TRUE(comparison.ok());
+  EXPECT_EQ(comparison.regressions, 0);
+  EXPECT_FALSE(comparison.deltas.empty());
+}
+
+TEST(BenchCompareTest, CounterDriftBeyondToleranceFails) {
+  const report::BenchComparison comparison = report::CompareBenchSnapshots(
+      BenchSnapshot(100, 0.01), BenchSnapshot(150, 0.01));
+  EXPECT_FALSE(comparison.ok());
+  bool found = false;
+  for (const report::BenchDelta& delta : comparison.deltas) {
+    if (delta.name == "loop.trials.completed") {
+      found = true;
+      EXPECT_TRUE(delta.regressed);
+      EXPECT_DOUBLE_EQ(delta.relative, 0.5);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchCompareTest, LatencyRegressionFailsButSpeedupPasses) {
+  // 10ms -> 30ms is 3x: beyond the 2x tolerance, above the noise floor.
+  EXPECT_FALSE(report::CompareBenchSnapshots(BenchSnapshot(100, 0.010),
+                                             BenchSnapshot(100, 0.030))
+                   .ok());
+  // A speedup of any size is never a regression.
+  EXPECT_TRUE(report::CompareBenchSnapshots(BenchSnapshot(100, 0.030),
+                                            BenchSnapshot(100, 0.001))
+                  .ok());
+}
+
+TEST(BenchCompareTest, SubFloorLatencyJitterIsIgnored) {
+  // 2us -> 6us is also 3x, but both sit below the 50us floor: scheduler
+  // noise, not signal.
+  EXPECT_TRUE(report::CompareBenchSnapshots(BenchSnapshot(100, 2e-6),
+                                            BenchSnapshot(100, 6e-6))
+                  .ok());
+}
+
+TEST(BenchCompareTest, MissingMetricIsARegression) {
+  obs::Json current = BenchSnapshot(100, 0.01);
+  current.AsObject()["counters"].AsObject().erase("loop.trials.completed");
+  const report::BenchComparison comparison =
+      report::CompareBenchSnapshots(BenchSnapshot(100, 0.01), current);
+  EXPECT_FALSE(comparison.ok());
+  bool found = false;
+  for (const report::BenchDelta& delta : comparison.deltas) {
+    if (delta.name == "loop.trials.completed") {
+      found = true;
+      EXPECT_TRUE(delta.missing);
+      EXPECT_TRUE(delta.regressed);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchCompareTest, FilesRoundTripAndRenderBothFormats) {
+  const std::string baseline_path = TempPath("bench_baseline.json");
+  const std::string current_path = TempPath("bench_current.json");
+  WriteFile(baseline_path, BenchSnapshot(100, 0.010).Dump());
+  WriteFile(current_path, BenchSnapshot(100, 0.050).Dump());
+
+  auto comparison = report::CompareBenchFiles(baseline_path, current_path);
+  ASSERT_TRUE(comparison.ok()) << comparison.status().ToString();
+  EXPECT_FALSE(comparison->ok());
+
+  const std::string text = report::RenderComparisonText(*comparison);
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  const obs::Json json = report::ComparisonToJson(*comparison);
+  EXPECT_FALSE(json.GetBool("pass", true));
+  EXPECT_GT(json.GetInt("regressions", 0), 0);
+  std::remove(baseline_path.c_str());
+  std::remove(current_path.c_str());
+}
+
+}  // namespace
+}  // namespace autotune

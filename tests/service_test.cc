@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -28,6 +29,7 @@
 #include "record/codec.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
+#include "obs/trace.h"
 #include "optimizers/random_search.h"
 #include "service/endpoints.h"
 #include "service/experiment_manager.h"
@@ -470,6 +472,94 @@ TEST(EndpointsTest, HandlerServesMetricsExperimentsAndHealth) {
   const service::HttpServer::Handler bare = service::MakeServiceHandler(nullptr);
   EXPECT_EQ(bare("/metrics").status, 200);
   EXPECT_EQ(bare("/experiments").status, 404);
+}
+
+TEST(EndpointsTest, TrialsEndpointServesDecisionRecordsAsJson) {
+  ThreadPool pool(2);
+  service::ExperimentManager manager(&pool);
+  ASSERT_TRUE(manager.AddExperiment(SphereSpec("web", 5)).ok());
+  manager.WaitAll();
+
+  const service::HttpServer::Handler handler =
+      service::MakeServiceHandler(&manager);
+
+  // /experiments and the trials endpoint are JSON, content type included.
+  EXPECT_EQ(handler("/experiments").content_type, "application/json");
+
+  const service::HttpResponse trials = handler("/experiments/web/trials");
+  EXPECT_EQ(trials.status, 200);
+  EXPECT_EQ(trials.content_type, "application/json");
+  auto parsed = obs::Json::Parse(trials.body);
+  ASSERT_TRUE(parsed.ok()) << trials.body;
+  EXPECT_EQ(parsed->GetString("name", ""), "web");
+  EXPECT_EQ(parsed->GetInt("trials_run", 0), 5);
+  auto records = parsed->Get("trials");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->AsArray().size(), 5u);
+  for (const obs::Json& record : records->AsArray()) {
+    EXPECT_TRUE(record.Has("trial"));
+    EXPECT_TRUE(record.Has("objective"));
+    auto decision = record.Get("decision");
+    ASSERT_TRUE(decision.ok());
+    EXPECT_EQ(decision->GetString("optimizer", ""), "random");
+    EXPECT_TRUE(record.Has("latency"));
+  }
+
+  // Unknown names and unknown sub-paths 404 with a parseable JSON body.
+  for (const char* path :
+       {"/experiments/nope/trials", "/experiments/web/bogus"}) {
+    const service::HttpResponse missing = handler(path);
+    EXPECT_EQ(missing.status, 404) << path;
+    EXPECT_EQ(missing.content_type, "application/json") << path;
+    auto error = obs::Json::Parse(missing.body);
+    ASSERT_TRUE(error.ok()) << missing.body;
+    EXPECT_TRUE(error->Has("error")) << path;
+  }
+}
+
+TEST(ExperimentManagerTest, TrialSpansParentUnderExperimentRoots) {
+  obs::TraceBuffer::SetCapacity(16384);  // Also clears prior tests' spans.
+
+  ThreadPool pool(4);
+  std::vector<std::string> names;
+  {
+    service::ExperimentManager manager(&pool);
+    for (int i = 0; i < 8; ++i) {
+      const std::string name = "tenant" + std::to_string(i);
+      names.push_back(name);
+      ASSERT_TRUE(
+          manager.AddExperiment(SphereSpec(name, 4, 1.0, "", 7 + i)).ok());
+    }
+    manager.WaitAll();
+  }
+
+  // Reconstruct the forest: every experiment has a root span, and every
+  // service.trial span is parented under the root of ITS experiment's
+  // trace — no trial leaks to another tenant or to the untraced pid.
+  const std::vector<obs::SpanRecord> spans = obs::TraceBuffer::Snapshot();
+  std::map<uint64_t, uint64_t> root_by_trace;  // trace_id -> root span_id.
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == "experiment") {
+      EXPECT_EQ(span.parent_span_id, 0u);
+      EXPECT_FALSE(root_by_trace.count(span.trace_id));
+      root_by_trace[span.trace_id] = span.span_id;
+    }
+  }
+  EXPECT_EQ(root_by_trace.size(), names.size());
+
+  size_t trial_spans = 0;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name != "service.trial") continue;
+    ++trial_spans;
+    ASSERT_NE(span.trace_id, 0u) << "orphan trial span (untraced)";
+    auto root = root_by_trace.find(span.trace_id);
+    ASSERT_NE(root, root_by_trace.end());
+    EXPECT_EQ(span.parent_span_id, root->second);
+  }
+  // 8 tenants x 4 trials, plus up to one no-op step per tenant at the end.
+  EXPECT_GE(trial_spans, names.size() * 4);
+
+  obs::TraceBuffer::SetCapacity(8192);  // Restore the default.
 }
 
 /// Blocking one-shot HTTP GET against localhost (the server speaks

@@ -8,6 +8,9 @@
 //   resume FILE  resume a journaled session from its JSONL journal
 //   serve        multi-experiment tuning service (shared worker pool,
 //                fair-share scheduler, Prometheus /metrics endpoint)
+//   analyze      convergence/explainability report from a JSONL journal
+//   bench-compare  diff a BENCH_<id>.json against a checked-in baseline
+//                  and fail on regressions (the CI bench gate)
 //   lint-report  summarize autotune-lint findings for the working tree
 //   help         this message
 //
@@ -57,6 +60,8 @@
 #include "optimizers/random_search.h"
 #include "optimizers/simulated_annealing.h"
 #include "record/codec.h"
+#include "report/analyze.h"
+#include "report/bench_compare.h"
 #include "service/endpoints.h"
 #include "service/experiment_manager.h"
 #include "service/http_server.h"
@@ -100,6 +105,8 @@ void PrintUsage() {
       "  run          run one tuning session\n"
       "  resume FILE  resume a journaled session\n"
       "  serve        multi-experiment tuning service + /metrics endpoint\n"
+      "  analyze FILE...  convergence report from JSONL journal(s)\n"
+      "  bench-compare BASELINE CURRENT  bench-regression gate\n"
       "  lint-report  summarize autotune-lint findings\n"
       "  help         show this message\n\n"
       "run/resume flags:\n"
@@ -137,7 +144,18 @@ void PrintUsage() {
       "  --journal-dir=DIR           journal each experiment to\n"
       "                              DIR/<name>.jsonl (enables crash "
       "recovery)\n"
+      "  --trace-out=FILE            write the run's spans as Chrome\n"
+      "                              trace-event JSON on completion\n"
       "  --linger                    keep serving after experiments finish\n\n"
+      "analyze flags:\n"
+      "  --top=N                     rows in the explain table (default 5)\n"
+      "  --json                      machine-readable report\n\n"
+      "bench-compare flags:\n"
+      "  --counter-tolerance=F       max relative counter drift (default "
+      "0.10)\n"
+      "  --latency-tolerance=F       max relative mean-latency increase\n"
+      "                              (default 1.0 = 2x)\n"
+      "  --json                      machine-readable diff\n\n"
       "lint-report flags:\n"
       "  --root=DIR                  repository root (default .)\n"
       "  --json                      machine-readable report\n");
@@ -494,6 +512,7 @@ struct ServeOptions {
   int port = 0;
   size_t threads = 4;
   std::string journal_dir;
+  std::string trace_out;  // Chrome trace-event dump on completion.
   bool linger = false;
   std::vector<std::string> experiment_specs;
 };
@@ -638,6 +657,13 @@ int ServeCli(const ServeOptions& options) {
 
   manager.WaitAll();
 
+  if (!options.trace_out.empty()) {
+    Status status =
+        obs::TraceBuffer::WriteChromeTraceFile(options.trace_out);
+    std::printf("trace: %s (%s)\n", options.trace_out.c_str(),
+                status.ok() ? "written" : status.ToString().c_str());
+  }
+
   std::printf("\n%-16s %-10s %7s %9s %12s\n", "experiment", "state",
               "trials", "replayed", "best");
   for (const service::ExperimentStatus& status : manager.Snapshot()) {
@@ -668,7 +694,8 @@ int CmdServe(int argc, char** argv) {
     } else if (arg == "--linger") {
       options.linger = true;
     } else if (ParseFlag(arg, "host", &options.host) ||
-               ParseFlag(arg, "journal-dir", &options.journal_dir)) {
+               ParseFlag(arg, "journal-dir", &options.journal_dir) ||
+               ParseFlag(arg, "trace-out", &options.trace_out)) {
       // Parsed into the corresponding string field.
     } else if (ParseFlag(arg, "port", &value)) {
       options.port = std::atoi(value.c_str());
@@ -687,6 +714,110 @@ int CmdServe(int argc, char** argv) {
     }
   }
   return ServeCli(options);
+}
+
+// ---- analyze ---------------------------------------------------------------
+
+int CmdAnalyze(int argc, char** argv) {
+  std::vector<std::string> files;
+  int top_n = 5;
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (ParseFlag(arg, "top", &value)) {
+      top_n = std::atoi(value.c_str());
+    } else if (!arg.empty() && arg[0] != '-') {
+      files.push_back(arg);
+    } else {
+      std::fprintf(stderr, "error: unknown analyze flag '%s' (try --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "error: analyze needs at least one journal: 'autotune_cli "
+                 "analyze FILE.jsonl [--top=N] [--json]'\n");
+    return 2;
+  }
+
+  obs::Json::Array reports;
+  for (const std::string& file : files) {
+    auto analysis = report::AnalyzeJournal(file);
+    if (!analysis.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   analysis.status().ToString().c_str());
+      return 1;
+    }
+    if (json) {
+      reports.push_back(report::AnalysisToJson(*analysis, top_n));
+    } else {
+      if (files.size() > 1 && &file != &files.front()) std::printf("\n");
+      std::printf("%s", report::RenderAnalysisText(*analysis, top_n).c_str());
+    }
+  }
+  if (json) {
+    // One file analyzes to one object; several to an array, so the shape
+    // tells the consumer what it asked for.
+    std::printf("%s\n", reports.size() == 1
+                            ? reports[0].Pretty().c_str()
+                            : obs::Json(std::move(reports)).Pretty().c_str());
+  }
+  return 0;
+}
+
+// ---- bench-compare ---------------------------------------------------------
+
+int CmdBenchCompare(int argc, char** argv) {
+  std::vector<std::string> files;
+  report::BenchCompareOptions options;
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (ParseFlag(arg, "counter-tolerance", &value)) {
+      options.counter_tolerance = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "latency-tolerance", &value)) {
+      options.latency_tolerance = std::atof(value.c_str());
+    } else if (!arg.empty() && arg[0] != '-') {
+      files.push_back(arg);
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown bench-compare flag '%s' (try --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "error: bench-compare needs exactly two files: "
+                 "'autotune_cli bench-compare BASELINE.json CURRENT.json'\n");
+    return 2;
+  }
+
+  auto comparison = report::CompareBenchFiles(files[0], files[1], options);
+  if (!comparison.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 comparison.status().ToString().c_str());
+    return 2;
+  }
+  if (json) {
+    std::printf("%s\n", report::ComparisonToJson(*comparison).Pretty().c_str());
+  } else {
+    std::printf("%s", report::RenderComparisonText(*comparison).c_str());
+  }
+  return comparison->ok() ? 0 : 1;
 }
 
 // ---- lint-report -----------------------------------------------------------
@@ -837,6 +968,10 @@ int main(int argc, char** argv) {
   if (command == "run") return autotune::CmdRun(argc, argv);
   if (command == "resume") return autotune::CmdResume(argc, argv);
   if (command == "serve") return autotune::CmdServe(argc, argv);
+  if (command == "analyze") return autotune::CmdAnalyze(argc, argv);
+  if (command == "bench-compare") {
+    return autotune::CmdBenchCompare(argc, argv);
+  }
   if (command == "lint-report") return autotune::CmdLintReport(argc, argv);
   if (command == "help" || command == "--help" || command == "-h") {
     autotune::PrintUsage();
@@ -844,8 +979,8 @@ int main(int argc, char** argv) {
   }
   if (command.rfind("--", 0) == 0) return autotune::CmdDeprecatedFlat(argc, argv);
   std::fprintf(stderr,
-               "error: unknown command '%s' (run|resume|serve|lint-report|"
-               "help)\n",
+               "error: unknown command '%s' (run|resume|serve|analyze|"
+               "bench-compare|lint-report|help)\n",
                command.c_str());
   return 2;
 }
