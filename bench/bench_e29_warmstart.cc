@@ -1,0 +1,211 @@
+// E29: fleet knowledge base warm starts (slides 67/92 at fleet scale).
+// Prior sessions' journals are distilled into a durable KnowledgeStore;
+// a new tenant on a similar workload asks the store for a warm-start
+// payload (exactly what `GET /warmstart` serves) and replays it into its
+// optimizer before the first fresh trial. The whole journal -> ingest ->
+// nearest-neighbor lookup -> sample-replay pipeline runs end-to-end: donor
+// journals are written to disk, scanned, and matched by workload
+// embedding — not handed over in memory like E11's in-process transfer.
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+#include "common/check.h"
+#include "kb/knowledge_store.h"
+#include "kb/warmstart.h"
+#include "obs/json.h"
+#include "optimizers/bayesian.h"
+#include "record/codec.h"
+#include "sim/db_env.h"
+#include "workload/embedding.h"
+
+namespace autotune {
+namespace {
+
+constexpr int kDonorTrials = 40;   // History depth of each prior session.
+constexpr int kFreshTrials = 25;   // Budget of the new (target) tenant.
+constexpr int kSeeds = 5;
+
+sim::DbEnvOptions EnvOptions(const workload::Workload& w, uint64_t seed) {
+  sim::DbEnvOptions options;
+  options.workload = w;
+  options.noise_seed = seed;
+  options.noise.run_noise_frac = 0.02;
+  options.noise.machine_speed_stddev = 0.0;
+  options.noise.outlier_machine_prob = 0.0;
+  return options;
+}
+
+/// Runs one donor session and writes its journal to `path` in the CLI
+/// journal dialect the knowledge base ingests (experiment_started with a
+/// "workload" field, one trial_completed per observation).
+void WriteDonorJournal(const std::string& path, const std::string& name,
+                       const workload::Workload& w, uint64_t seed) {
+  sim::DbEnv env(EnvOptions(w, seed));
+  TrialRunner runner(&env, TrialRunnerOptions{}, seed * 7);
+  auto bo = MakeGpBo(&env.space(), seed * 11);
+  TuningLoopOptions loop;
+  loop.max_trials = kDonorTrials;
+  TuningResult result = RunTuningLoop(bo.get(), &runner, loop);
+
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  AUTOTUNE_CHECK(file != nullptr);
+  const auto write_line = [&](const obs::Json& event) {
+    const std::string line = event.Dump() + "\n";
+    AUTOTUNE_CHECK(std::fwrite(line.data(), 1, line.size(), file) ==
+                   line.size());
+  };
+  write_line(obs::Json(obs::Json::Object{
+      {"event", "experiment_started"},
+      {"name", name},
+      {"env", "simdb"},
+      {"workload", w.name},
+      {"optimizer", bo->name()},
+      {"seed", static_cast<int64_t>(seed)},
+      {"maximize", false},
+  }));
+  for (const Observation& obs : result.history) {
+    write_line(obs::Json(obs::Json::Object{
+        {"event", "trial_completed"},
+        {"observation", record::EncodeObservation(obs)},
+    }));
+  }
+  write_line(obs::Json(obs::Json::Object{
+      {"event", "experiment_finished"},
+      {"trials", static_cast<int64_t>(result.history.size())},
+  }));
+  std::fclose(file);
+}
+
+/// 1-based index of the first fresh trial whose running best reaches
+/// `target`; `cap` when the run never does.
+int TrialsToTarget(const std::vector<Observation>& history, double target,
+                   int cap) {
+  double best = 1e18;
+  for (size_t i = 0; i < history.size(); ++i) {
+    if (!history[i].failed) best = std::min(best, history[i].objective);
+    if (best <= target) return static_cast<int>(i) + 1;
+  }
+  return cap;
+}
+
+double FinalBest(const std::vector<Observation>& history) {
+  double best = 1e18;
+  for (const Observation& obs : history) {
+    if (!obs.failed) best = std::min(best, obs.objective);
+  }
+  return best;
+}
+
+void Run() {
+  benchutil::PrintHeader(
+      "E29: fleet warm starts from the knowledge base", "slides 67/92",
+      "a tenant warm-started from the store's nearest prior session "
+      "reaches the cold run's best-after-25 in measurably fewer fresh "
+      "trials (median trial-count ratio < 1)");
+
+  // Fleet history on disk: two donors per seed — a similar workload
+  // (ycsb-b) and a dissimilar one (tpch). The store must pick the similar
+  // donor by embedding distance on its own.
+  const std::string dir = "bench_e29_kb.tmp";
+  ::mkdir(dir.c_str(), 0755);
+  kb::KnowledgeStore store;
+  std::printf("\nrecording donor sessions (%d trials each)...\n",
+              kDonorTrials);
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    WriteDonorJournal(dir + "/ycsb-b-" + std::to_string(seed) + ".jsonl",
+                      "donor-ycsb-b-" + std::to_string(seed),
+                      workload::YcsbB(), seed * 19);
+    WriteDonorJournal(dir + "/tpch-" + std::to_string(seed) + ".jsonl",
+                      "donor-tpch-" + std::to_string(seed), workload::TpcH(),
+                      seed * 23);
+  }
+  auto scan = store.ScanDirectory(dir);
+  AUTOTUNE_CHECK(scan.ok());
+  std::printf("knowledge store: %d journals ingested, %d skipped\n",
+              scan->ingested, scan->skipped);
+
+  const std::vector<double> query =
+      workload::ComputeEmbedding(workload::YcsbA());
+  transfer::WarmStartPolicy policy;
+  policy.good_samples = 10;
+
+  Table table({"seed", "cold_best", "cold_trials", "warm_trials", "donor"});
+  std::vector<double> cold_counts;
+  std::vector<double> warm_counts;
+  int warm_samples_applied = 0;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    // Cold arm: plain BO; its best-after-N defines the per-seed target.
+    sim::DbEnv cold_env(EnvOptions(workload::YcsbA(), seed));
+    TrialRunner cold_runner(&cold_env, TrialRunnerOptions{}, seed * 13);
+    auto cold_bo = MakeGpBo(&cold_env.space(), seed * 17);
+    TuningLoopOptions loop;
+    loop.max_trials = kFreshTrials;
+    TuningResult cold = RunTuningLoop(cold_bo.get(), &cold_runner, loop);
+    const double target = FinalBest(cold.history);
+    const int cold_trials = TrialsToTarget(cold.history, target, kFreshTrials);
+
+    // Warm arm: same seeds, but the optimizer is seeded with the payload
+    // the store serves over GET /warmstart for the target's embedding.
+    sim::DbEnv warm_env(EnvOptions(workload::YcsbA(), seed));
+    TrialRunner warm_runner(&warm_env, TrialRunnerOptions{}, seed * 13);
+    auto warm_bo = MakeGpBo(&warm_env.space(), seed * 17);
+    auto payload = store.WarmStartJson(query, policy, /*k=*/1);
+    AUTOTUNE_CHECK(payload.ok());
+    auto applied =
+        kb::ApplyWarmStartSamples(*payload, &warm_env.space(), warm_bo.get());
+    AUTOTUNE_CHECK(applied.ok());
+    warm_samples_applied = *applied;
+    TuningResult warm = RunTuningLoop(warm_bo.get(), &warm_runner, loop);
+    const int warm_trials = TrialsToTarget(warm.history, target, kFreshTrials);
+
+    const std::string donor = (*payload)
+                                  .Get("matches")
+                                  ->AsArray()[0]
+                                  .GetString("workload", "?");
+    cold_counts.push_back(cold_trials);
+    warm_counts.push_back(warm_trials);
+    (void)table.AppendRow({std::to_string(seed), FormatDouble(target, 5),
+                           std::to_string(cold_trials),
+                           std::to_string(warm_trials), donor});
+  }
+  benchutil::PrintTable(table);
+
+  const double cold_median = Median(cold_counts);
+  const double warm_median = Median(warm_counts);
+  const double ratio = cold_median > 0.0 ? warm_median / cold_median : 1.0;
+  std::printf(
+      "median trials to cold-best-after-%d: cold %.1f, warm %.1f "
+      "(ratio %.3f)\n",
+      kFreshTrials, cold_median, warm_median, ratio);
+
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.SetGauge("bench.e29.kb_sessions",
+                   static_cast<double>(store.num_sessions()));
+  metrics.SetGauge("bench.e29.warm_samples", warm_samples_applied);
+  metrics.SetGauge("bench.e29.cold_trials_to_target", cold_median);
+  metrics.SetGauge("bench.e29.warm_trials_to_target", warm_median);
+  metrics.SetGauge("bench.e29.trial_ratio", ratio);
+
+  const bool pass = ratio < 1.0;
+  std::printf("\n%s\n",
+              pass ? "PASS: warm starts reach cold-best in fewer trials"
+                   : "FAIL: warm start did not beat cold start");
+  if (!pass) std::exit(1);
+}
+
+}  // namespace
+}  // namespace autotune
+
+int main() {
+  autotune::Run();
+  return 0;
+}

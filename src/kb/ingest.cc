@@ -1,0 +1,198 @@
+#include "kb/ingest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "env/workload.h"
+#include "math/stats.h"
+#include "obs/journal.h"
+#include "workload/embedding.h"
+
+namespace autotune {
+namespace kb {
+
+namespace {
+
+using obs::Json;
+
+/// "dir/name.jsonl" -> "name".
+std::string FileStem(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string stem =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = stem.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) stem = stem.substr(0, dot);
+  return stem;
+}
+
+}  // namespace
+
+std::string ResolveWorkloadName(const std::string& workload_field,
+                                const std::string& environment_field) {
+  std::string candidate = workload_field;
+  if (candidate.empty()) {
+    // Service journals record only the environment name; the simulated DB
+    // encodes its workload there as "simdb-<workload>".
+    const std::string prefix = "simdb-";
+    if (environment_field.rfind(prefix, 0) == 0) {
+      candidate = environment_field.substr(prefix.size());
+    }
+  }
+  if (candidate.empty()) return "";
+  for (const workload::Workload& w : workload::StandardWorkloads()) {
+    if (w.name == candidate) return candidate;
+  }
+  return "";
+}
+
+Result<SessionSummary> SummarizeJournal(const std::string& path,
+                                        const IngestOptions& options) {
+  AUTOTUNE_ASSIGN_OR_RETURN(std::string text, obs::ReadJournalText(path));
+
+  SessionSummary summary;
+  summary.source_path = path;
+  std::string workload_field;
+
+  struct Trial {
+    Json config;
+    double objective = 0.0;
+    bool failed = false;
+  };
+  std::vector<Trial> trials;
+
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok()) {
+      // Mid-write truncation or corruption — tolerated, counted.
+      ++summary.skipped_lines;
+      continue;
+    }
+    const Json& event = *parsed;
+    const std::string kind = event.GetString("event", "");
+
+    if (kind == "experiment_started") {
+      if (summary.session_id.empty()) {
+        summary.session_id = event.GetString("name", "");
+      }
+      if (summary.environment.empty()) {
+        // "env" from the CLI, "environment" from the service.
+        summary.environment = event.GetString("env", "");
+        if (summary.environment.empty()) {
+          summary.environment = event.GetString("environment", "");
+        }
+      }
+      if (workload_field.empty()) {
+        workload_field = event.GetString("workload", "");
+      }
+      summary.maximize = event.GetBool("maximize", summary.maximize);
+      if (summary.optimizer.empty()) {
+        summary.optimizer = event.GetString("optimizer", "");
+      }
+    } else if (kind == "loop_started") {
+      summary.optimizer = event.GetString("optimizer", summary.optimizer);
+    } else if (kind == "trial_completed") {
+      auto observation = event.Get("observation");
+      if (!observation.ok() || !observation->is_object()) {
+        ++summary.skipped_lines;
+        continue;
+      }
+      auto config = observation->Get("config");
+      if (!config.ok() || !config->is_object()) {
+        ++summary.skipped_lines;
+        continue;
+      }
+      Trial trial;
+      trial.config = std::move(*config);
+      trial.objective = observation->GetDouble("objective", 0.0);
+      trial.failed = observation->GetBool("failed", false);
+      summary.total_cost += observation->GetDouble("cost", 0.0);
+      trials.push_back(std::move(trial));
+    } else if (kind == "worker_quarantined") {
+      ++summary.workers_quarantined;
+    } else if (kind == "degraded") {
+      summary.degraded = true;
+    } else if (kind == "experiment_finished") {
+      summary.finished = true;
+      summary.degraded = event.GetBool("degraded", summary.degraded);
+      summary.total_cost =
+          event.GetDouble("total_cost", summary.total_cost);
+    }
+    // Unknown kinds (trial_started, snapshots, decisions, future events)
+    // carry nothing the knowledge base needs.
+  }
+
+  if (trials.empty()) {
+    return Status::FailedPrecondition(
+        "journal '" + path + "' has no decodable trials (" +
+        std::to_string(summary.skipped_lines) + " unparseable line(s))");
+  }
+
+  if (summary.session_id.empty()) summary.session_id = FileStem(path);
+  summary.workload = ResolveWorkloadName(workload_field, summary.environment);
+  if (!summary.workload.empty()) {
+    for (const workload::Workload& w : workload::StandardWorkloads()) {
+      if (w.name == summary.workload) {
+        summary.embedding =
+            workload::ComputeEmbedding(w, options.embedding_seed);
+        break;
+      }
+    }
+  }
+
+  summary.trials = static_cast<int64_t>(trials.size());
+  std::vector<double> objectives;
+  std::vector<size_t> successes;
+  for (size_t i = 0; i < trials.size(); ++i) {
+    if (trials[i].failed) {
+      ++summary.failures;
+      if (summary.crash_samples.size() <
+          static_cast<size_t>(std::max(0, options.max_crash_samples))) {
+        summary.crash_samples.push_back(
+            {trials[i].config, trials[i].objective, true});
+      }
+    } else {
+      objectives.push_back(trials[i].objective);
+      successes.push_back(i);
+    }
+  }
+
+  if (!objectives.empty()) {
+    summary.best_objective = Min(objectives);
+    summary.objective_quantiles.reserve(11);
+    for (int q = 0; q <= 10; ++q) {
+      summary.objective_quantiles.push_back(
+          Quantile(objectives, static_cast<double>(q) / 10.0));
+    }
+    // Best-k successful configs, ascending objective; ties broken by
+    // journal order so the stored set is deterministic.
+    std::sort(successes.begin(), successes.end(),
+              [&trials](size_t a, size_t b) {
+                if (trials[a].objective != trials[b].objective) {
+                  return trials[a].objective < trials[b].objective;
+                }
+                return a < b;
+              });
+    const size_t keep =
+        std::min(successes.size(),
+                 static_cast<size_t>(std::max(0, options.max_good_samples)));
+    summary.good_samples.reserve(keep);
+    for (size_t i = 0; i < keep; ++i) {
+      const Trial& trial = trials[successes[i]];
+      summary.good_samples.push_back(
+          {trial.config, trial.objective, false});
+    }
+  }
+  return summary;
+}
+
+}  // namespace kb
+}  // namespace autotune

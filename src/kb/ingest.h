@@ -1,0 +1,51 @@
+#ifndef AUTOTUNE_KB_INGEST_H_
+#define AUTOTUNE_KB_INGEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "kb/session_summary.h"
+
+namespace autotune {
+namespace kb {
+
+/// Knobs for turning one journal into a `SessionSummary`.
+struct IngestOptions {
+  /// Best-k successful configs kept per session (ascending objective).
+  int max_good_samples = 16;
+
+  /// Failed-trial configs kept per session (journal order).
+  int max_crash_samples = 16;
+
+  /// Seed for `workload::ComputeEmbedding`; must match the seed used at
+  /// query time for distances to be meaningful.
+  uint64_t embedding_seed = 0;
+};
+
+/// Distills one JSONL experiment journal into a `SessionSummary`.
+///
+/// Parsing is deliberately tolerant — the mirror image of
+/// `record::ReplayJournal`'s strictness: a resume must not hallucinate
+/// state, but a fleet scan must survive whatever half-written or corrupt
+/// files a journal directory accumulates. Unparseable lines (truncated
+/// tails, corruption) are skipped and counted in
+/// `SessionSummary::skipped_lines`; unknown event kinds are ignored.
+///
+/// Errors: NotFound when the file cannot be read; FailedPrecondition when
+/// no decodable `trial_completed` event survives (a truncated or foreign
+/// file) — callers skip such files with a warning and keep scanning.
+[[nodiscard]] Result<SessionSummary> SummarizeJournal(
+    const std::string& path, const IngestOptions& options = IngestOptions());
+
+/// Resolves the workload name a journal's session ran on: the
+/// `experiment_started` event's "workload" field (CLI journals) or the
+/// "simdb-<workload>" environment-name convention (service journals).
+/// Empty when neither form matches a standard workload.
+std::string ResolveWorkloadName(const std::string& workload_field,
+                                const std::string& environment_field);
+
+}  // namespace kb
+}  // namespace autotune
+
+#endif  // AUTOTUNE_KB_INGEST_H_

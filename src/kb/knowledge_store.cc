@@ -1,0 +1,362 @@
+#include "kb/knowledge_store.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "common/log.h"
+#include "env/workload.h"
+#include "math/matrix.h"
+#include "obs/journal.h"
+#include "workload/embedding.h"
+
+namespace autotune {
+namespace kb {
+
+namespace {
+
+using obs::Json;
+
+/// Linear interpolation into the 11-point quantile sketch (q = 0..1.0 in
+/// steps of 0.1). Falls back to the sketch max when the sketch is short.
+double SketchQuantile(const std::vector<double>& sketch, double q) {
+  if (sketch.empty()) return 0.0;
+  if (sketch.size() < 11 || q <= 0.0) return sketch.front();
+  if (q >= 1.0) return sketch.back();
+  const double pos = q * 10.0;
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min<size_t>(lo + 1, 10);
+  const double frac = pos - static_cast<double>(lo);
+  return sketch[lo] + frac * (sketch[hi] - sketch[lo]);
+}
+
+Json EncodeMatch(const KnowledgeStore::Match& match) {
+  Json::Object object;
+  object["session"] = Json(match.summary.session_id);
+  object["source_path"] = Json(match.summary.source_path);
+  object["workload"] = Json(match.summary.workload);
+  object["environment"] = Json(match.summary.environment);
+  object["optimizer"] = Json(match.summary.optimizer);
+  object["distance"] = Json(match.distance);
+  object["trials"] = Json(match.summary.trials);
+  object["failures"] = Json(match.summary.failures);
+  object["workers_quarantined"] = Json(match.summary.workers_quarantined);
+  if (match.summary.best_objective.has_value()) {
+    object["best_objective"] = Json(*match.summary.best_objective);
+  }
+  return Json(std::move(object));
+}
+
+}  // namespace
+
+Result<KnowledgeStore::ScanReport> KnowledgeStore::ScanDirectory(
+    const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    return Status::NotFound("cannot open journal directory '" + dir + "'");
+  }
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    const std::string suffix = ".jsonl";
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(handle);
+  // Sorted order keeps ingest (and any first-writer-wins fields)
+  // deterministic regardless of directory enumeration order.
+  std::sort(names.begin(), names.end());
+
+  ScanReport report;
+  MutexLock lock(mutex_);
+  for (const std::string& name : names) {
+    const std::string path = dir + "/" + name;
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      AUTOTUNE_LOG(kWarning) << "kb: cannot stat '" << path << "', skipping";
+      ++report.skipped;
+      continue;
+    }
+    auto it = sessions_.find(path);
+    if (it != sessions_.end() &&
+        it->second.source_size == static_cast<int64_t>(st.st_size) &&
+        it->second.source_mtime == static_cast<int64_t>(st.st_mtime)) {
+      ++report.unchanged;
+      continue;
+    }
+    auto summary = SummarizeJournal(path, options_);
+    if (!summary.ok()) {
+      // A half-written or foreign file must never abort a fleet scan.
+      AUTOTUNE_LOG(kWarning)
+          << "kb: skipping journal '" << path
+          << "': " << summary.status().message();
+      ++report.skipped;
+      continue;
+    }
+    summary->source_size = static_cast<int64_t>(st.st_size);
+    summary->source_mtime = static_cast<int64_t>(st.st_mtime);
+    if (it == sessions_.end()) {
+      sessions_.emplace(path, std::move(*summary));
+      ++report.ingested;
+    } else {
+      it->second = std::move(*summary);
+      ++report.refreshed;
+    }
+  }
+  return report;
+}
+
+void KnowledgeStore::AddSession(SessionSummary summary) {
+  MutexLock lock(mutex_);
+  const std::string key = summary.source_path.empty()
+                              ? summary.session_id
+                              : summary.source_path;
+  sessions_[key] = std::move(summary);
+}
+
+Status KnowledgeStore::Save(const std::string& path) const {
+  Json::Array sessions;
+  {
+    MutexLock lock(mutex_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [key, summary] : sessions_) {
+      sessions.push_back(EncodeSessionSummary(summary));
+    }
+  }
+  const Json store(Json::Object{{"kb_version", Json(kStoreVersion)},
+                                {"sessions", Json(std::move(sessions))}});
+  const std::string text = store.Pretty() + "\n";
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != text.size() || !closed) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status KnowledgeStore::Load(const std::string& path) {
+  AUTOTUNE_ASSIGN_OR_RETURN(std::string text, obs::ReadJournalText(path));
+  AUTOTUNE_ASSIGN_OR_RETURN(Json store, Json::Parse(text));
+  if (!store.is_object()) {
+    return Status::InvalidArgument("store file is not a JSON object");
+  }
+  const int64_t version = store.GetInt("kb_version", -1);
+  if (version != kStoreVersion) {
+    return Status::InvalidArgument(
+        "unsupported kb_version " + std::to_string(version) + " in '" + path +
+        "' (this build reads version " + std::to_string(kStoreVersion) + ")");
+  }
+  AUTOTUNE_ASSIGN_OR_RETURN(Json sessions, store.Get("sessions"));
+  if (!sessions.is_array()) {
+    return Status::InvalidArgument("store 'sessions' is not an array");
+  }
+  std::map<std::string, SessionSummary> loaded;
+  for (const Json& encoded : sessions.AsArray()) {
+    AUTOTUNE_ASSIGN_OR_RETURN(SessionSummary summary,
+                              DecodeSessionSummary(encoded));
+    const std::string key = summary.source_path.empty()
+                                ? summary.session_id
+                                : summary.source_path;
+    loaded[key] = std::move(summary);
+  }
+  MutexLock lock(mutex_);
+  for (auto& [key, summary] : loaded) {
+    sessions_[key] = std::move(summary);
+  }
+  return Status::OK();
+}
+
+std::vector<KnowledgeStore::Match> KnowledgeStore::NearestSessions(
+    const std::vector<double>& embedding, int k) const {
+  MutexLock lock(mutex_);
+  return NearestSessionsLocked(embedding, k);
+}
+
+std::vector<KnowledgeStore::Match> KnowledgeStore::NearestSessionsLocked(
+    const std::vector<double>& embedding, int k) const {
+  std::vector<Match> matches;
+  if (embedding.empty() || k <= 0) return matches;
+  for (const auto& [key, summary] : sessions_) {
+    // Sessions whose workload could not be resolved have no embedding and
+    // are never nearest-neighbor donors (their crash samples still travel
+    // through the fleet-wide bad-sample channel).
+    if (summary.embedding.empty() ||
+        summary.embedding.size() != embedding.size()) {
+      continue;
+    }
+    Match match;
+    match.summary = summary;
+    match.distance = std::sqrt(SquaredDistance(embedding, summary.embedding));
+    matches.push_back(std::move(match));
+  }
+  // Tie-break on journal path: the map iteration above already visits
+  // paths in ascending order, and the explicit comparator makes the
+  // ordering self-documenting rather than an artifact of sort stability.
+  std::sort(matches.begin(), matches.end(), [](const Match& a,
+                                               const Match& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.summary.source_path < b.summary.source_path;
+  });
+  if (matches.size() > static_cast<size_t>(k)) {
+    matches.resize(static_cast<size_t>(k));
+  }
+  return matches;
+}
+
+Result<obs::Json> KnowledgeStore::WarmStartJson(
+    const std::vector<double>& embedding,
+    const transfer::WarmStartPolicy& policy, int k) const {
+  MutexLock lock(mutex_);
+  const std::vector<Match> matches = NearestSessionsLocked(embedding, k);
+  if (matches.empty()) {
+    return Status::NotFound(
+        "no stored session matches the query embedding (store has " +
+        std::to_string(sessions_.size()) + " session(s))");
+  }
+  const SessionSummary& donor = matches.front().summary;
+
+  Json::Array match_array;
+  match_array.reserve(matches.size());
+  for (const Match& match : matches) {
+    match_array.push_back(EncodeMatch(match));
+  }
+
+  // Good samples: the donor's best configs, filtered by the policy's
+  // poor-quantile cut ("mid-quality trials may be good in the new
+  // context — keep exploring them instead").
+  const double poor_cut =
+      SketchQuantile(donor.objective_quantiles, policy.poor_quantile);
+  Json::Array good_array;
+  for (const StoredSample& sample : donor.good_samples) {
+    if (static_cast<int>(good_array.size()) >= policy.good_samples) break;
+    if (!donor.objective_quantiles.empty() && sample.objective > poor_cut) {
+      continue;
+    }
+    good_array.push_back(Json(Json::Object{
+        {"config", sample.config},
+        {"objective", Json(sample.objective)},
+        {"failed", Json(false)},
+        {"session", Json(donor.session_id)},
+    }));
+  }
+
+  // Bad samples: the donor's own crash regions, plus — fleet-wide — crash
+  // regions from any session that quarantined a worker: a config that took
+  // a worker down is worth avoiding under every workload. Objectives are
+  // imputed relative to the donor's worst good objective, sign-safely.
+  Json::Array bad_array;
+  if (policy.replay_bad_samples) {
+    double worst_good = 1e6;
+    if (!donor.objective_quantiles.empty()) {
+      worst_good = donor.objective_quantiles.back();
+    }
+    const double imputed =
+        transfer::ImputedBadObjective(worst_good, policy.bad_penalty);
+    std::set<std::string> seen;
+    auto add_bad = [&](const SessionSummary& source, bool fleet) {
+      for (const StoredSample& sample : source.crash_samples) {
+        const std::string key = sample.config.Dump();
+        if (!seen.insert(key).second) continue;
+        bad_array.push_back(Json(Json::Object{
+            {"config", sample.config},
+            {"objective", Json(imputed)},
+            {"failed", Json(true)},
+            {"session", Json(source.session_id)},
+            {"fleet", Json(fleet)},
+        }));
+      }
+    };
+    add_bad(donor, false);
+    for (const auto& [key, summary] : sessions_) {
+      if (summary.session_id == donor.session_id) continue;
+      if (summary.workers_quarantined > 0) add_bad(summary, true);
+    }
+  }
+
+  Json::Object payload;
+  payload["query"] = Json(Json::Object{
+      {"embedding_dims", Json(static_cast<int64_t>(embedding.size()))},
+      {"k", Json(int64_t{static_cast<int64_t>(k)})},
+      {"sessions_in_store", Json(static_cast<int64_t>(sessions_.size()))},
+  });
+  payload["matches"] = Json(std::move(match_array));
+  payload["good_samples"] = Json(std::move(good_array));
+  payload["bad_samples"] = Json(std::move(bad_array));
+  payload["policy"] = Json(Json::Object{
+      {"good_samples", Json(int64_t{policy.good_samples})},
+      {"replay_bad_samples", Json(policy.replay_bad_samples)},
+      {"bad_penalty", Json(policy.bad_penalty)},
+      {"poor_quantile", Json(policy.poor_quantile)},
+  });
+  return Json(std::move(payload));
+}
+
+obs::Json KnowledgeStore::InspectJson() const {
+  MutexLock lock(mutex_);
+  Json::Array sessions;
+  sessions.reserve(sessions_.size());
+  int64_t total_trials = 0;
+  int64_t total_failures = 0;
+  int64_t with_embedding = 0;
+  for (const auto& [key, summary] : sessions_) {
+    total_trials += summary.trials;
+    total_failures += summary.failures;
+    if (!summary.embedding.empty()) ++with_embedding;
+    Json::Object row;
+    row["session"] = Json(summary.session_id);
+    row["source_path"] = Json(summary.source_path);
+    row["workload"] = Json(summary.workload);
+    row["environment"] = Json(summary.environment);
+    row["optimizer"] = Json(summary.optimizer);
+    row["finished"] = Json(summary.finished);
+    row["trials"] = Json(summary.trials);
+    row["failures"] = Json(summary.failures);
+    row["workers_quarantined"] = Json(summary.workers_quarantined);
+    row["skipped_lines"] = Json(summary.skipped_lines);
+    row["good_samples"] =
+        Json(static_cast<int64_t>(summary.good_samples.size()));
+    row["crash_samples"] =
+        Json(static_cast<int64_t>(summary.crash_samples.size()));
+    if (summary.best_objective.has_value()) {
+      row["best_objective"] = Json(*summary.best_objective);
+    }
+    sessions.push_back(Json(std::move(row)));
+  }
+  return Json(Json::Object{
+      {"kb_version", Json(kStoreVersion)},
+      {"num_sessions", Json(static_cast<int64_t>(sessions_.size()))},
+      {"sessions_with_embedding", Json(with_embedding)},
+      {"total_trials", Json(total_trials)},
+      {"total_failures", Json(total_failures)},
+      {"sessions", Json(std::move(sessions))},
+  });
+}
+
+size_t KnowledgeStore::num_sessions() const {
+  MutexLock lock(mutex_);
+  return sessions_.size();
+}
+
+Result<std::vector<double>> EmbeddingForWorkload(const std::string& name,
+                                                 uint64_t seed) {
+  for (const workload::Workload& w : workload::StandardWorkloads()) {
+    if (w.name == name) return workload::ComputeEmbedding(w, seed);
+  }
+  return Status::NotFound("unknown workload '" + name +
+                          "' (see workload::StandardWorkloads)");
+}
+
+}  // namespace kb
+}  // namespace autotune

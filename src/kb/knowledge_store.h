@@ -1,0 +1,111 @@
+#ifndef AUTOTUNE_KB_KNOWLEDGE_STORE_H_
+#define AUTOTUNE_KB_KNOWLEDGE_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "kb/ingest.h"
+#include "kb/session_summary.h"
+#include "obs/json.h"
+#include "transfer/knowledge_base.h"
+
+namespace autotune {
+namespace kb {
+
+/// Version of the durable store file format (`Save`/`Load`). Bump on
+/// incompatible schema changes; `Load` rejects mismatches.
+inline constexpr int64_t kStoreVersion = 1;
+
+/// Durable fleet knowledge base: per-session summaries distilled from
+/// experiment journals, indexed by workload embedding for nearest-neighbor
+/// warm-start lookups (tutorial slides 67/92 at fleet scale).
+///
+/// Sessions are keyed by journal path in a sorted map, so iteration order —
+/// and therefore every tie-break below — is deterministic. Thread-safe: the
+/// service queries a store concurrently with CLI-triggered rescans.
+class KnowledgeStore {
+ public:
+  explicit KnowledgeStore(IngestOptions options = IngestOptions())
+      : options_(options) {}
+
+  /// What one `ScanDirectory` pass did.
+  struct ScanReport {
+    int ingested = 0;   ///< New journals summarized.
+    int refreshed = 0;  ///< Known journals whose size/mtime changed.
+    int unchanged = 0;  ///< Known journals skipped (same size/mtime).
+    int skipped = 0;    ///< Unreadable/foreign files, warned and ignored.
+  };
+
+  /// Incrementally ingests every `*.jsonl` under `dir` (sorted name
+  /// order). A journal already in the store with unchanged size+mtime is
+  /// not re-read; one that fails to summarize (truncated beyond repair,
+  /// foreign file) is skipped with a logged warning — a bad file never
+  /// aborts the scan. NotFound when `dir` cannot be opened.
+  [[nodiscard]] Result<ScanReport> ScanDirectory(const std::string& dir)
+      EXCLUDES(mutex_);
+
+  /// Adds or replaces one summary directly (tests, programmatic feeds).
+  void AddSession(SessionSummary summary) EXCLUDES(mutex_);
+
+  /// Durable single-file JSON round trip: {"kb_version", "sessions": [...]}.
+  /// `Save` output is deterministic (sorted sessions, sorted keys).
+  [[nodiscard]] Status Save(const std::string& path) const EXCLUDES(mutex_);
+  [[nodiscard]] Status Load(const std::string& path) EXCLUDES(mutex_);
+
+  /// One nearest-neighbor hit: a copy of the stored summary plus its
+  /// embedding distance to the query.
+  struct Match {
+    SessionSummary summary;
+    double distance = 0.0;
+  };
+
+  /// Up to `k` stored sessions nearest to `embedding` by Euclidean
+  /// distance. Sessions with an empty or dimension-mismatched embedding
+  /// are never matched. Equal distances tie-break on journal path
+  /// (ascending), so results are stable across processes and rescans.
+  [[nodiscard]] std::vector<Match> NearestSessions(
+      const std::vector<double>& embedding, int k) const EXCLUDES(mutex_);
+
+  /// The warm-start payload served over `GET /warmstart` and printed by
+  /// `autotune_cli kb query`: nearest matches, good samples to replay
+  /// (nearest session's best configs under the policy's poor-quantile
+  /// cut), and bad samples to avoid — the nearest session's crash configs
+  /// plus, fleet-wide, crash configs from every session that quarantined a
+  /// worker ("if it crashes the system, it probably always does"). Bad
+  /// sample objectives are imputed sign-safely via
+  /// `transfer::ImputedBadObjective`. NotFound when no stored session has
+  /// a matching embedding.
+  [[nodiscard]] Result<obs::Json> WarmStartJson(
+      const std::vector<double>& embedding,
+      const transfer::WarmStartPolicy& policy, int k) const EXCLUDES(mutex_);
+
+  /// Store-wide inventory for `autotune_cli kb inspect`.
+  obs::Json InspectJson() const EXCLUDES(mutex_);
+
+  size_t num_sessions() const EXCLUDES(mutex_);
+
+ private:
+  std::vector<Match> NearestSessionsLocked(
+      const std::vector<double>& embedding, int k) const REQUIRES(mutex_);
+
+  const IngestOptions options_;
+  mutable Mutex mutex_;
+  /// Keyed by source journal path — sorted, so iteration (and tie-breaks)
+  /// are deterministic.
+  std::map<std::string, SessionSummary> sessions_ GUARDED_BY(mutex_);
+};
+
+/// Canonical query embedding for a standard workload name (the
+/// `?workload=` form of the warm-start endpoint). NotFound for names
+/// outside `workload::StandardWorkloads`.
+[[nodiscard]] Result<std::vector<double>> EmbeddingForWorkload(
+    const std::string& name, uint64_t seed = 0);
+
+}  // namespace kb
+}  // namespace autotune
+
+#endif  // AUTOTUNE_KB_KNOWLEDGE_STORE_H_

@@ -1,0 +1,146 @@
+#include "kb/session_summary.h"
+
+#include <utility>
+
+namespace autotune {
+namespace kb {
+
+namespace {
+
+using obs::Json;
+
+Json EncodeSample(const StoredSample& sample) {
+  return Json(Json::Object{{"config", sample.config},
+                           {"objective", Json(sample.objective)},
+                           {"failed", Json(sample.failed)}});
+}
+
+Result<StoredSample> DecodeSample(const Json& encoded) {
+  if (!encoded.is_object()) {
+    return Status::InvalidArgument("stored sample is not an object");
+  }
+  StoredSample sample;
+  AUTOTUNE_ASSIGN_OR_RETURN(sample.config, encoded.Get("config"));
+  if (!sample.config.is_object()) {
+    return Status::InvalidArgument("stored sample config is not an object");
+  }
+  sample.objective = encoded.GetDouble("objective", 0.0);
+  sample.failed = encoded.GetBool("failed", false);
+  return sample;
+}
+
+Json EncodeDoubles(const std::vector<double>& values) {
+  Json::Array array;
+  array.reserve(values.size());
+  for (const double v : values) array.push_back(Json(v));
+  return Json(std::move(array));
+}
+
+Result<std::vector<double>> DecodeDoubles(const Json& encoded) {
+  if (!encoded.is_array()) {
+    return Status::InvalidArgument("expected a JSON array of numbers");
+  }
+  std::vector<double> values;
+  values.reserve(encoded.AsArray().size());
+  for (const Json& v : encoded.AsArray()) {
+    if (!v.is_number()) {
+      return Status::InvalidArgument("non-numeric array element");
+    }
+    values.push_back(v.AsDouble());
+  }
+  return values;
+}
+
+}  // namespace
+
+Json EncodeSessionSummary(const SessionSummary& summary) {
+  Json::Object object;
+  object["session_id"] = Json(summary.session_id);
+  object["source_path"] = Json(summary.source_path);
+  object["source_size"] = Json(summary.source_size);
+  object["source_mtime"] = Json(summary.source_mtime);
+  object["environment"] = Json(summary.environment);
+  object["workload"] = Json(summary.workload);
+  object["optimizer"] = Json(summary.optimizer);
+  object["maximize"] = Json(summary.maximize);
+  object["finished"] = Json(summary.finished);
+  object["degraded"] = Json(summary.degraded);
+  object["trials"] = Json(summary.trials);
+  object["failures"] = Json(summary.failures);
+  object["workers_quarantined"] = Json(summary.workers_quarantined);
+  object["skipped_lines"] = Json(summary.skipped_lines);
+  object["total_cost"] = Json(summary.total_cost);
+  object["embedding"] = EncodeDoubles(summary.embedding);
+  if (summary.best_objective.has_value()) {
+    object["best_objective"] = Json(*summary.best_objective);
+  }
+  object["objective_quantiles"] = EncodeDoubles(summary.objective_quantiles);
+  Json::Array good;
+  good.reserve(summary.good_samples.size());
+  for (const StoredSample& sample : summary.good_samples) {
+    good.push_back(EncodeSample(sample));
+  }
+  object["good_samples"] = Json(std::move(good));
+  Json::Array crash;
+  crash.reserve(summary.crash_samples.size());
+  for (const StoredSample& sample : summary.crash_samples) {
+    crash.push_back(EncodeSample(sample));
+  }
+  object["crash_samples"] = Json(std::move(crash));
+  return Json(std::move(object));
+}
+
+Result<SessionSummary> DecodeSessionSummary(const Json& encoded) {
+  if (!encoded.is_object()) {
+    return Status::InvalidArgument("session summary is not an object");
+  }
+  SessionSummary summary;
+  summary.session_id = encoded.GetString("session_id", "");
+  summary.source_path = encoded.GetString("source_path", "");
+  summary.source_size = encoded.GetInt("source_size", 0);
+  summary.source_mtime = encoded.GetInt("source_mtime", 0);
+  summary.environment = encoded.GetString("environment", "");
+  summary.workload = encoded.GetString("workload", "");
+  summary.optimizer = encoded.GetString("optimizer", "");
+  summary.maximize = encoded.GetBool("maximize", false);
+  summary.finished = encoded.GetBool("finished", false);
+  summary.degraded = encoded.GetBool("degraded", false);
+  summary.trials = encoded.GetInt("trials", 0);
+  summary.failures = encoded.GetInt("failures", 0);
+  summary.workers_quarantined = encoded.GetInt("workers_quarantined", 0);
+  summary.skipped_lines = encoded.GetInt("skipped_lines", 0);
+  summary.total_cost = encoded.GetDouble("total_cost", 0.0);
+  if (summary.session_id.empty()) {
+    return Status::InvalidArgument("session summary has no session_id");
+  }
+  auto embedding = encoded.Get("embedding");
+  if (embedding.ok()) {
+    AUTOTUNE_ASSIGN_OR_RETURN(summary.embedding, DecodeDoubles(*embedding));
+  }
+  if (encoded.Has("best_objective")) {
+    summary.best_objective = encoded.GetDouble("best_objective", 0.0);
+  }
+  auto quantiles = encoded.Get("objective_quantiles");
+  if (quantiles.ok()) {
+    AUTOTUNE_ASSIGN_OR_RETURN(summary.objective_quantiles,
+                              DecodeDoubles(*quantiles));
+  }
+  auto good = encoded.Get("good_samples");
+  if (good.ok() && good->is_array()) {
+    for (const Json& sample : good->AsArray()) {
+      AUTOTUNE_ASSIGN_OR_RETURN(StoredSample decoded, DecodeSample(sample));
+      summary.good_samples.push_back(std::move(decoded));
+    }
+  }
+  auto crash = encoded.Get("crash_samples");
+  if (crash.ok() && crash->is_array()) {
+    for (const Json& sample : crash->AsArray()) {
+      AUTOTUNE_ASSIGN_OR_RETURN(StoredSample decoded, DecodeSample(sample));
+      summary.crash_samples.push_back(std::move(decoded));
+    }
+  }
+  return summary;
+}
+
+}  // namespace kb
+}  // namespace autotune

@@ -1,0 +1,80 @@
+#ifndef AUTOTUNE_KB_SESSION_SUMMARY_H_
+#define AUTOTUNE_KB_SESSION_SUMMARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace autotune {
+namespace kb {
+
+/// One journaled configuration the knowledge base keeps for replay: the
+/// encoded config (`record::EncodeConfig` shape, {"param": value}), its
+/// observed objective (minimize convention, like every journaled
+/// observation) and whether the trial crashed.
+struct StoredSample {
+  obs::Json config;
+  double objective = 0.0;
+  bool failed = false;
+};
+
+/// Everything the fleet knowledge base remembers about one completed (or
+/// partially journaled) tuning session — the per-session distillate of a
+/// JSONL experiment journal. Good samples are the session's best-k
+/// successful configs (ascending objective); crash samples are the configs
+/// of failed trials (the crash regions slide 67 replays everywhere).
+struct SessionSummary {
+  /// Experiment name from `experiment_started` when present, else the
+  /// journal's file name stem.
+  std::string session_id;
+
+  /// Journal file the summary was built from, plus its size/mtime stamp at
+  /// ingest time — the incremental-rescan key (`KnowledgeStore`).
+  std::string source_path;
+  int64_t source_size = 0;
+  int64_t source_mtime = 0;
+
+  std::string environment;  ///< e.g. "simdb-tpcc" (service) or "simdb".
+  std::string workload;     ///< Resolved workload name; empty if unknown.
+  std::string optimizer;
+  bool maximize = false;
+
+  bool finished = false;
+  bool degraded = false;
+  int64_t trials = 0;
+  int64_t failures = 0;
+  int64_t workers_quarantined = 0;
+  int64_t skipped_lines = 0;
+  double total_cost = 0.0;
+
+  /// `workload::ComputeEmbedding` of the resolved workload; empty when the
+  /// workload could not be resolved (such sessions are never matched by
+  /// nearest-neighbor lookup, only their crash samples travel fleet-wide).
+  std::vector<double> embedding;
+
+  std::optional<double> best_objective;
+
+  /// 11-point quantile sketch (q = 0, 0.1, ..., 1.0) of the successful
+  /// objectives — lets a query-time `poor_quantile` cut be interpolated
+  /// without storing the full history.
+  std::vector<double> objective_quantiles;
+
+  std::vector<StoredSample> good_samples;
+  std::vector<StoredSample> crash_samples;
+};
+
+/// JSON codecs for the durable store file. Encoding is deterministic
+/// (sorted keys via obs::Json), so `KnowledgeStore::Save` output diffs
+/// cleanly.
+obs::Json EncodeSessionSummary(const SessionSummary& summary);
+[[nodiscard]] Result<SessionSummary> DecodeSessionSummary(
+    const obs::Json& encoded);
+
+}  // namespace kb
+}  // namespace autotune
+
+#endif  // AUTOTUNE_KB_SESSION_SUMMARY_H_

@@ -1,0 +1,55 @@
+#include "kb/warmstart.h"
+
+#include "common/check.h"
+#include "common/log.h"
+#include "record/codec.h"
+
+namespace autotune {
+namespace kb {
+
+namespace {
+
+using obs::Json;
+
+/// Replays one sample array ("good_samples" or "bad_samples"). Absent or
+/// non-array members are treated as empty.
+Result<int> ApplyArray(const Json& payload, const std::string& key,
+                       const ConfigSpace* space, Optimizer* optimizer) {
+  auto array = payload.Get(key);
+  if (!array.ok() || !array->is_array()) return 0;
+  int replayed = 0;
+  for (const Json& sample : array->AsArray()) {
+    if (!sample.is_object()) continue;
+    // The sample is already DecodeObservation-shaped: {"config",
+    // "objective", "failed"} — cost/fidelity default sensibly.
+    auto observation = record::DecodeObservation(space, sample);
+    if (!observation.ok()) {
+      AUTOTUNE_LOG(kWarning) << "kb: skipping warm-start sample from '" << key
+                             << "': " << observation.status().message();
+      continue;
+    }
+    AUTOTUNE_RETURN_IF_ERROR(optimizer->Observe(*observation));
+    ++replayed;
+  }
+  return replayed;
+}
+
+}  // namespace
+
+Result<int> ApplyWarmStartSamples(const obs::Json& payload,
+                                  const ConfigSpace* space,
+                                  Optimizer* optimizer) {
+  AUTOTUNE_CHECK(space != nullptr);
+  AUTOTUNE_CHECK(optimizer != nullptr);
+  if (!payload.is_object()) {
+    return Status::InvalidArgument("warm-start payload is not a JSON object");
+  }
+  AUTOTUNE_ASSIGN_OR_RETURN(
+      int good, ApplyArray(payload, "good_samples", space, optimizer));
+  AUTOTUNE_ASSIGN_OR_RETURN(
+      int bad, ApplyArray(payload, "bad_samples", space, optimizer));
+  return good + bad;
+}
+
+}  // namespace kb
+}  // namespace autotune

@@ -1,0 +1,27 @@
+#ifndef AUTOTUNE_KB_WARMSTART_H_
+#define AUTOTUNE_KB_WARMSTART_H_
+
+#include "common/status.h"
+#include "core/optimizer.h"
+#include "obs/json.h"
+#include "space/config_space.h"
+
+namespace autotune {
+namespace kb {
+
+/// Replays a warm-start payload (`KnowledgeStore::WarmStartJson` shape, or
+/// the journaled `warmstart_applied` event, which carries the same
+/// "good_samples"/"bad_samples" arrays) into `optimizer`: each sample's
+/// config is decoded against `space` and fed through `Observe` before the
+/// first suggest. Samples whose config does not decode against the space
+/// (schema drift between fleet members) are skipped — a foreign sample
+/// must not sink the new experiment. Returns the number of observations
+/// actually replayed.
+[[nodiscard]] Result<int> ApplyWarmStartSamples(const obs::Json& payload,
+                                                const ConfigSpace* space,
+                                                Optimizer* optimizer);
+
+}  // namespace kb
+}  // namespace autotune
+
+#endif  // AUTOTUNE_KB_WARMSTART_H_

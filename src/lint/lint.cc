@@ -548,8 +548,12 @@ const std::map<std::string, std::set<std::string>>& LayerWhitelist() {
       {"sim", {"common", "math", "space", "env"}},
       {"lint", {"common", "obs"}},
       {"record", {"common", "space", "core", "obs"}},
+      {"kb",
+       {"common", "math", "space", "env", "core", "obs", "record", "transfer",
+        "workload"}},
       {"service",
-       {"common", "math", "space", "env", "fault", "core", "obs", "record"}},
+       {"common", "math", "space", "env", "fault", "core", "obs", "record",
+        "transfer", "kb"}},
   };
   return *map;
 }

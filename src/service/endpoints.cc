@@ -1,8 +1,15 @@
 #include "service/endpoints.h"
 
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
+#include "transfer/knowledge_base.h"
 
 namespace autotune {
 namespace service {
@@ -20,10 +27,85 @@ HttpResponse JsonError(int status, const std::string& message) {
   return response;
 }
 
+/// "1.5,2,-3e1" -> {1.5, 2, -30}. InvalidArgument on any unparseable piece.
+Result<std::vector<double>> ParseEmbedding(const std::string& text) {
+  std::vector<double> values;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string piece = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (piece.empty()) {
+      return Status::InvalidArgument("empty component in embedding");
+    }
+    char* parse_end = nullptr;
+    const double value = std::strtod(piece.c_str(), &parse_end);
+    if (parse_end == piece.c_str() || *parse_end != '\0') {
+      return Status::InvalidArgument("bad embedding component '" + piece +
+                                     "'");
+    }
+    values.push_back(value);
+    if (end == text.size()) break;
+  }
+  return values;
+}
+
+HttpResponse HandleWarmStart(const HttpRequest& request,
+                             const kb::KnowledgeStore* store) {
+  if (store == nullptr) {
+    return JsonError(404, "no knowledge store attached (serve --kb-dir)");
+  }
+  const std::map<std::string, std::string> params = request.QueryParams();
+
+  std::vector<double> embedding;
+  const auto embedding_it = params.find("embedding");
+  const auto workload_it = params.find("workload");
+  if (embedding_it != params.end()) {
+    Result<std::vector<double>> parsed = ParseEmbedding(embedding_it->second);
+    if (!parsed.ok()) return JsonError(400, parsed.status().message());
+    embedding = std::move(*parsed);
+  } else if (workload_it != params.end()) {
+    Result<std::vector<double>> resolved =
+        kb::EmbeddingForWorkload(workload_it->second);
+    if (!resolved.ok()) return JsonError(400, resolved.status().message());
+    embedding = std::move(*resolved);
+  } else {
+    return JsonError(
+        400, "missing query parameter: embedding=v1,v2,... or workload=name");
+  }
+
+  transfer::WarmStartPolicy policy;
+  int k = 3;
+  const auto k_it = params.find("k");
+  if (k_it != params.end()) k = std::atoi(k_it->second.c_str());
+  const auto good_it = params.find("good");
+  if (good_it != params.end()) {
+    policy.good_samples = std::atoi(good_it->second.c_str());
+  }
+  const auto quantile_it = params.find("quantile");
+  if (quantile_it != params.end()) {
+    policy.poor_quantile = std::atof(quantile_it->second.c_str());
+  }
+  if (k <= 0 || policy.good_samples < 0 || policy.poor_quantile < 0.0 ||
+      policy.poor_quantile > 1.0) {
+    return JsonError(400, "bad k/good/quantile parameter");
+  }
+
+  Result<obs::Json> payload = store->WarmStartJson(embedding, policy, k);
+  if (!payload.ok()) return JsonError(404, payload.status().message());
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = payload->Pretty() + "\n";
+  return response;
+}
+
 }  // namespace
 
-HttpServer::Handler MakeServiceHandler(ExperimentManager* manager) {
-  return [manager](const std::string& path) {
+HttpServer::Handler MakeServiceHandler(ExperimentManager* manager,
+                                       const kb::KnowledgeStore* store) {
+  return [manager, store](const HttpRequest& request) {
+    const std::string& path = request.path;
     HttpResponse response;
     if (path == "/metrics") {
       // Prometheus scrapes declare version=0.0.4 in Accept; serving it in
@@ -58,13 +140,15 @@ HttpServer::Handler MakeServiceHandler(ExperimentManager* manager) {
       response.content_type = "application/json";
       response.body = trials->Pretty();
       response.body += "\n";
+    } else if (path == "/warmstart") {
+      return HandleWarmStart(request, store);
     } else if (path == "/healthz" || path == "/") {
       response.body = "ok\n";
     } else {
       response.status = 404;
       response.body =
           "not found (try /metrics, /experiments, "
-          "/experiments/<name>/trials, /healthz)\n";
+          "/experiments/<name>/trials, /warmstart, /healthz)\n";
     }
     return response;
   };

@@ -1,6 +1,7 @@
 #ifndef AUTOTUNE_SERVICE_ENDPOINTS_H_
 #define AUTOTUNE_SERVICE_ENDPOINTS_H_
 
+#include "kb/knowledge_store.h"
 #include "service/experiment_manager.h"
 #include "service/http_server.h"
 
@@ -15,11 +16,21 @@ namespace service {
 ///   GET /experiments/<name>/trials   recent per-trial decision records,
 ///                                    pretty JSON (404 with a JSON error
 ///                                    body for unknown names)
+///   GET /warmstart                   knowledge-base warm-start lookup
+///                                    (`KnowledgeStore::WarmStartJson`).
+///                                    Query params: `embedding` (comma-
+///                                    separated doubles) or `workload`
+///                                    (standard workload name); optional
+///                                    `k`, `good`, `quantile`. 404 when no
+///                                    store is attached, 400 on bad params.
 ///   GET /healthz                     "ok"
 /// JSON routes always answer with Content-Type application/json, including
-/// their 404s. `manager` may be null (metrics-only endpoint); it must
-/// outlive the HttpServer the handler is installed on.
-HttpServer::Handler MakeServiceHandler(ExperimentManager* manager);
+/// their 404s. `manager` may be null (metrics-only endpoint) and `store`
+/// may be null (no knowledge base); both must outlive the HttpServer the
+/// handler is installed on.
+HttpServer::Handler MakeServiceHandler(ExperimentManager* manager,
+                                       const kb::KnowledgeStore* store =
+                                           nullptr);
 
 }  // namespace service
 }  // namespace autotune

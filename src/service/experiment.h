@@ -6,11 +6,14 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/optimizer.h"
 #include "core/trial_runner.h"
 #include "core/tuning_loop.h"
 #include "env/environment.h"
+#include "kb/knowledge_store.h"
+#include "transfer/knowledge_base.h"
 
 namespace autotune {
 namespace service {
@@ -59,6 +62,18 @@ struct ExperimentSpec {
   /// Loop budget/convergence/snapshot options. `journal` is ignored — the
   /// manager owns each experiment's journal.
   TuningLoopOptions loop_options;
+
+  /// Opt-in fleet warm start: before the first suggest, query
+  /// `warmstart_store` with `warmstart_embedding` and replay the returned
+  /// good/bad samples into the fresh optimizer. The applied payload is
+  /// journaled (`warmstart_applied`), so a resumed process re-applies the
+  /// exact same samples without re-querying the (possibly changed) store.
+  /// A failed lookup (empty store, no matching session) logs a warning and
+  /// falls back to a cold start — it never fails `AddExperiment`.
+  bool warmstart = false;
+  const kb::KnowledgeStore* warmstart_store = nullptr;
+  std::vector<double> warmstart_embedding;
+  transfer::WarmStartPolicy warmstart_policy;
 };
 
 /// Point-in-time public view of one experiment (GET /experiments).
@@ -74,6 +89,8 @@ struct ExperimentStatus {
   double total_cost = 0.0;
   std::optional<double> best_objective;
   bool degraded = false;
+  bool warm_started = false;  ///< Knowledge-base samples were replayed.
+  int warm_samples = 0;       ///< How many observations the replay added.
   std::string message;
 };
 

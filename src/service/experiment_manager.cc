@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "kb/warmstart.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "record/codec.h"
@@ -126,6 +127,71 @@ Status ExperimentManager::AddExperiment(ExperimentSpec spec) {
                            {"seed", static_cast<int64_t>(s.seed)}});
       }
     }
+    // Fleet warm start: replay knowledge-base samples into the optimizer
+    // before the loop exists (so before its first suggest). A fresh run
+    // queries the store and journals the applied payload; a resumed run
+    // re-applies the journaled payload verbatim — the store may have
+    // changed since, and a different sample set would break bit-exact
+    // replay.
+    obs::Json warm_payload;
+    bool have_warm_payload = false;
+    if (resume) {
+      Result<obs::Json> journaled =
+          obs::ReadFirstEvent(s.journal_path, "warmstart_applied");
+      if (journaled.ok()) {
+        warm_payload = std::move(*journaled);
+        have_warm_payload = true;
+      }
+    } else if (s.warmstart) {
+      if (s.warmstart_store == nullptr) {
+        return Status::InvalidArgument(
+            "experiment '" + s.name +
+            "': warmstart requested but no knowledge store provided");
+      }
+      Result<obs::Json> payload = s.warmstart_store->WarmStartJson(
+          s.warmstart_embedding, s.warmstart_policy, /*k=*/3);
+      if (payload.ok()) {
+        warm_payload = std::move(*payload);
+        have_warm_payload = true;
+        if (e->journal != nullptr) {
+          obs::Json::Object fields;
+          Result<obs::Json> good = warm_payload.Get("good_samples");
+          if (good.ok()) fields["good_samples"] = std::move(*good);
+          Result<obs::Json> bad = warm_payload.Get("bad_samples");
+          if (bad.ok()) fields["bad_samples"] = std::move(*bad);
+          Result<obs::Json> matches = warm_payload.Get("matches");
+          if (matches.ok() && matches->is_array() &&
+              !matches->AsArray().empty()) {
+            fields["matched_session"] =
+                matches->AsArray().front().GetString("session", "");
+          }
+          e->journal->Event("warmstart_applied", std::move(fields));
+        }
+      } else {
+        // Cold-start fallback: a thin or unmatched store must never keep a
+        // tenant from starting.
+        AUTOTUNE_LOG(kWarning)
+            << "experiment '" << s.name << "': warm start unavailable ("
+            << payload.status().message() << "), starting cold";
+      }
+    }
+    if (have_warm_payload) {
+      AUTOTUNE_ASSIGN_OR_RETURN(
+          int applied, kb::ApplyWarmStartSamples(
+                           warm_payload, &e->env->space(), e->optimizer.get()));
+      e->warm_started = applied > 0;
+      e->warm_samples = applied;
+      if (resume && replay.checkpoint.has_value()) {
+        // The checkpoint's observation prefix covers journaled trials only,
+        // not the warm-start Observes — restoring it would desync the
+        // optimizer from the original run. Linear replay reproduces both.
+        replay.checkpoint.reset();
+        AUTOTUNE_LOG(kInfo)
+            << "experiment '" << s.name
+            << "': warm-started session, resuming via linear replay";
+      }
+    }
+
     TuningLoopOptions loop_options = s.loop_options;
     loop_options.journal = e->journal.get();
     e->loop = std::make_unique<TuningLoop>(e->optimizer.get(),
@@ -299,6 +365,8 @@ obs::Json ExperimentManager::StatusJson() const {
           {"replayed_trials", status.replayed_trials},
           {"total_cost", status.total_cost},
           {"degraded", status.degraded},
+          {"warm_started", status.warm_started},
+          {"warm_samples", status.warm_samples},
       };
       if (status.best_objective.has_value()) {
         entry["best_objective"] = *status.best_objective;
@@ -462,6 +530,8 @@ ExperimentStatus ExperimentManager::StatusOfLocked(
   status.total_cost = e.total_cost;
   status.best_objective = e.best_objective;
   status.degraded = e.degraded;
+  status.warm_started = e.warm_started;
+  status.warm_samples = e.warm_samples;
   status.message = e.message;
   return status;
 }

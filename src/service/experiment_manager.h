@@ -151,6 +151,8 @@ class ExperimentManager {
     double total_cost = 0.0;
     std::optional<double> best_objective;
     bool degraded = false;
+    bool warm_started = false;  ///< Knowledge-base replay seeded the optimizer.
+    int warm_samples = 0;
 
     /// Trace identity: every trial of this experiment runs under this
     /// context, so the Chrome trace export groups the whole tenant into one

@@ -5,6 +5,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -37,7 +39,49 @@ void WriteAll(int fd, const std::string& data) {
   }
 }
 
+/// Percent-decodes one query component in place ('+' means space).
+std::string DecodeComponent(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < text.size() &&
+               std::isxdigit(static_cast<unsigned char>(text[i + 1])) &&
+               std::isxdigit(static_cast<unsigned char>(text[i + 2]))) {
+      const std::string hex = text.substr(i + 1, 2);
+      out.push_back(
+          static_cast<char>(std::strtol(hex.c_str(), nullptr, 16)));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::map<std::string, std::string> HttpRequest::QueryParams() const {
+  std::map<std::string, std::string> params;
+  size_t begin = 0;
+  while (begin <= query.size()) {
+    size_t end = query.find('&', begin);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(begin, end - begin);
+    begin = end + 1;
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      params[DecodeComponent(pair)] = "";
+    } else {
+      params[DecodeComponent(pair.substr(0, eq))] =
+          DecodeComponent(pair.substr(eq + 1));
+    }
+  }
+  return params;
+}
 
 Result<std::unique_ptr<HttpServer>> HttpServer::Start(const Options& options,
                                                       Handler handler) {
@@ -104,7 +148,8 @@ void HttpServer::AcceptLoop() {
     }
 
     std::string method = "GET";
-    std::string path = "/";
+    HttpRequest parsed;
+    parsed.path = "/";
     const size_t line_end = request.find("\r\n");
     if (line_end != std::string::npos) {
       const std::string line = request.substr(0, line_end);
@@ -112,9 +157,12 @@ void HttpServer::AcceptLoop() {
       const size_t sp2 = line.find(' ', sp1 + 1);
       if (sp1 != std::string::npos && sp2 != std::string::npos) {
         method = line.substr(0, sp1);
-        path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-        const size_t query = path.find('?');
-        if (query != std::string::npos) path = path.substr(0, query);
+        parsed.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        const size_t query = parsed.path.find('?');
+        if (query != std::string::npos) {
+          parsed.query = parsed.path.substr(query + 1);
+          parsed.path = parsed.path.substr(0, query);
+        }
       }
     }
 
@@ -123,7 +171,7 @@ void HttpServer::AcceptLoop() {
       response.status = 405;
       response.body = "method not allowed\n";
     } else {
-      response = handler_(path);
+      response = handler_(parsed);
     }
     std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
                       StatusText(response.status) + "\r\n";

@@ -2,6 +2,7 @@
 #define AUTOTUNE_SERVICE_HTTP_SERVER_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -18,6 +19,19 @@ struct HttpResponse {
   std::string body;
 };
 
+/// A parsed request line: the path with its query string split off (e.g.
+/// "GET /warmstart?workload=tpcc" gives path "/warmstart", query
+/// "workload=tpcc").
+struct HttpRequest {
+  std::string path;
+  std::string query;
+
+  /// The query string as key -> value (last wins on duplicates). Keys and
+  /// values are percent-decoded; '+' decodes to a space. A bare key maps
+  /// to the empty string.
+  std::map<std::string, std::string> QueryParams() const;
+};
+
 /// Minimal dependency-free HTTP/1.0 server for the tuning service's scrape
 /// endpoints (GET /metrics, GET /experiments). One accept thread, one
 /// request per connection, no keep-alive — exactly enough for Prometheus
@@ -25,10 +39,10 @@ struct HttpResponse {
 /// localhost by default.
 class HttpServer {
  public:
-  /// Maps a request path (e.g. "/metrics") to a response. Called on the
-  /// accept thread; must be thread-safe with the rest of the process and
+  /// Maps a request (path + query) to a response. Called on the accept
+  /// thread; must be thread-safe with the rest of the process and
   /// reasonably fast (scrapes block each other).
-  using Handler = std::function<HttpResponse(const std::string& path)>;
+  using Handler = std::function<HttpResponse(const HttpRequest& request)>;
 
   struct Options {
     /// Interface to bind. Keep loopback unless you know better.

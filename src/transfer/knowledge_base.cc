@@ -19,6 +19,10 @@ const TuningSession& KnowledgeBase::session(size_t i) const {
   return sessions_[i];
 }
 
+double ImputedBadObjective(double worst_good, double penalty_factor) {
+  return worst_good + (penalty_factor - 1.0) * std::abs(worst_good);
+}
+
 Result<size_t> KnowledgeBase::NearestSession(const Vector& query) const {
   double best_distance = std::numeric_limits<double>::infinity();
   size_t best = 0;
@@ -27,6 +31,8 @@ Result<size_t> KnowledgeBase::NearestSession(const Vector& query) const {
     const Vector& embedding = sessions_[i].workload_embedding;
     if (embedding.size() != query.size() || embedding.empty()) continue;
     const double d = std::sqrt(SquaredDistance(query, embedding));
+    // Strict < keeps the LOWEST session index on equal distances, so the
+    // warm-start donor is deterministic across runs and resumes.
     if (d < best_distance) {
       best_distance = d;
       best = i;
@@ -82,7 +88,8 @@ Result<int> KnowledgeBase::WarmStart(size_t session_index,
         objectives.empty() ? 1e6 : Max(objectives);
     for (const Observation* obs : bad) {
       Observation replay = *obs;
-      replay.objective = worst_good * policy.bad_penalty;
+      replay.objective =
+          ImputedBadObjective(worst_good, policy.bad_penalty);
       replay.failed = true;
       AUTOTUNE_RETURN_IF_ERROR(optimizer->Observe(replay));
       ++replayed;

@@ -29,9 +29,9 @@ struct WarmStartPolicy {
   /// Replay this many of the session's best trials.
   int good_samples = 10;
 
-  /// Replay crashed trials with an imputed score of
-  /// `bad_penalty x worst-good-objective` so the optimizer avoids the
-  /// crash region without believing an exact value.
+  /// Replay crashed trials with an imputed score derived from the worst
+  /// good objective (see `ImputedBadObjective`) so the optimizer avoids
+  /// the crash region without believing an exact value.
   bool replay_bad_samples = true;
   double bad_penalty = 3.0;
 
@@ -39,6 +39,14 @@ struct WarmStartPolicy {
   double poor_quantile = 0.5;  ///< Trials worse than this quantile are
                                ///< "poor" and not replayed.
 };
+
+/// Imputed objective for a replayed crashed trial: `penalty_factor` worse
+/// than the session's worst good objective. Sign-safe like
+/// `TrialRunner`'s crash imputation: `worst + (factor - 1) * |worst|` is
+/// strictly worse (higher, in the loop's minimize convention) even when
+/// objectives are negative — a plain multiply would make crashes look
+/// BETTER on maximize (negated-objective) environments.
+double ImputedBadObjective(double worst_good, double penalty_factor);
 
 /// Stores tuning sessions and serves warm starts for new contexts.
 class KnowledgeBase {

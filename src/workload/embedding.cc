@@ -105,6 +105,14 @@ Vector WorkloadEmbedder::Embed(const Vector& features) const {
   return embedded;
 }
 
+Vector ComputeEmbedding(const Workload& workload, uint64_t seed) {
+  // A shared fixed-seed telemetry draw keeps the mapping one-to-one:
+  // noise differs across workloads only through the workload itself.
+  TelemetryOptions options;
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  return ExtractFeatures(GenerateTelemetry(workload, options, &rng));
+}
+
 double EmbeddingDistance(const Vector& a, const Vector& b) {
   return std::sqrt(SquaredDistance(a, b));
 }

@@ -48,6 +48,13 @@ class WorkloadEmbedder {
   size_t embedding_dim_ = 0;
 };
 
+/// Canonical embedding of a workload descriptor: telemetry synthesized
+/// with a FIXED generator seed (`seed`, default 0) and options, reduced by
+/// `ExtractFeatures`. Deterministic — the same workload always maps to the
+/// same vector — so embeddings computed at ingest time (knowledge base)
+/// and at query time (warm-start lookups) are directly comparable.
+Vector ComputeEmbedding(const Workload& workload, uint64_t seed = 0);
+
 /// Euclidean distance between embeddings (the similarity metric of slide
 /// 88: "need a distance / similarity metric between workloads").
 double EmbeddingDistance(const Vector& a, const Vector& b);

@@ -26,6 +26,8 @@ Result<WorkloadIdentifier::Match> WorkloadIdentifier::Identify(
   best.distance = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < embeddings_.size(); ++i) {
     const double d = EmbeddingDistance(embedding, embeddings_[i]);
+    // Strict < keeps the FIRST exemplar on ties, so the match is a pure
+    // function of registration order — byte-identical across runs/resumes.
     if (d < best.distance) {
       best.distance = d;
       best.label = labels_[i];
@@ -46,9 +48,13 @@ std::vector<WorkloadIdentifier::Match> WorkloadIdentifier::IdentifyTopK(
     m.exemplar_index = i;
     matches.push_back(std::move(m));
   }
+  // Tie-break equal distances by exemplar index: `std::sort` is unstable,
+  // so a distance-only comparator would make the order (and any warm-start
+  // choice derived from it) vary across platforms and runs.
   std::sort(matches.begin(), matches.end(),
             [](const Match& a, const Match& b) {
-              return a.distance < b.distance;
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.exemplar_index < b.exemplar_index;
             });
   if (matches.size() > k) matches.resize(k);
   return matches;

@@ -1,0 +1,415 @@
+// Tests for the fleet knowledge base (src/kb/): journal ingestion (tolerant
+// of truncated/corrupt files), the durable KnowledgeStore with incremental
+// rescans and deterministic nearest-neighbor lookups, warm-start payload
+// assembly (good/bad/fleet samples, sign-safe imputation), and sample
+// replay into optimizers.
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kb/ingest.h"
+#include "kb/knowledge_store.h"
+#include "kb/session_summary.h"
+#include "kb/warmstart.h"
+#include "obs/journal.h"
+#include "obs/json.h"
+#include "optimizers/random_search.h"
+#include "space/config_space.h"
+#include "transfer/knowledge_base.h"
+#include "workload/embedding.h"
+
+namespace autotune {
+namespace {
+
+using obs::Json;
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "kb_test_" + name;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+void WriteFile(const std::string& path, const std::string& text) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr) << path;
+  ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), file), text.size());
+  std::fclose(file);
+}
+
+/// A well-formed CLI-style journal: tpcc workload, four trials (one
+/// crashed), a quarantined worker, and a finish marker.
+std::string GoodJournalText() {
+  return
+      R"({"event":"journal_header","schema_version":1})"
+      "\n"
+      R"({"event":"experiment_started","name":"sess-a","env":"simdb","workload":"tpcc","optimizer":"bo","seed":1,"maximize":false})"
+      "\n"
+      R"({"event":"trial_completed","observation":{"config":{"x0":0.1,"x1":0.2},"objective":5.0,"failed":false,"cost":1.0}})"
+      "\n"
+      R"({"event":"trial_completed","observation":{"config":{"x0":0.3,"x1":0.4},"objective":2.0,"failed":false,"cost":1.0}})"
+      "\n"
+      R"({"event":"trial_completed","observation":{"config":{"x0":0.9,"x1":0.9},"objective":0.0,"failed":true,"cost":0.5}})"
+      "\n"
+      R"({"event":"worker_quarantined","worker":0})"
+      "\n"
+      R"({"event":"trial_completed","observation":{"config":{"x0":0.5,"x1":0.5},"objective":3.0,"failed":false,"cost":1.0}})"
+      "\n"
+      R"({"event":"experiment_finished","trials":4,"total_cost":3.5})"
+      "\n";
+}
+
+// ----------------------------------------------------------------- ingest --
+
+TEST(IngestTest, SummarizeJournalExtractsSessionFacts) {
+  const std::string dir = TempDir("summarize");
+  const std::string path = dir + "/sess-a.jsonl";
+  WriteFile(path, GoodJournalText());
+
+  auto summary = kb::SummarizeJournal(path);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->session_id, "sess-a");
+  EXPECT_EQ(summary->environment, "simdb");
+  EXPECT_EQ(summary->workload, "tpcc");
+  EXPECT_EQ(summary->optimizer, "bo");
+  EXPECT_TRUE(summary->finished);
+  EXPECT_EQ(summary->trials, 4);
+  EXPECT_EQ(summary->failures, 1);
+  EXPECT_EQ(summary->workers_quarantined, 1);
+  EXPECT_EQ(summary->skipped_lines, 0);
+  EXPECT_EQ(summary->total_cost, 3.5);
+  ASSERT_TRUE(summary->best_objective.has_value());
+  EXPECT_EQ(*summary->best_objective, 2.0);
+  // Good samples sorted ascending by objective; crash config kept apart.
+  ASSERT_EQ(summary->good_samples.size(), 3u);
+  EXPECT_EQ(summary->good_samples[0].objective, 2.0);
+  EXPECT_EQ(summary->good_samples[2].objective, 5.0);
+  ASSERT_EQ(summary->crash_samples.size(), 1u);
+  EXPECT_EQ(summary->crash_samples[0].config.GetDouble("x0", 0.0), 0.9);
+  // tpcc resolves to the canonical embedding.
+  auto tpcc = kb::EmbeddingForWorkload("tpcc");
+  ASSERT_TRUE(tpcc.ok());
+  EXPECT_EQ(summary->embedding, *tpcc);
+  // 11-point quantile sketch over {2, 3, 5}: min at q=0, max at q=1.
+  ASSERT_EQ(summary->objective_quantiles.size(), 11u);
+  EXPECT_EQ(summary->objective_quantiles.front(), 2.0);
+  EXPECT_EQ(summary->objective_quantiles.back(), 5.0);
+}
+
+TEST(IngestTest, TruncatedTailIsSkippedNotFatal) {
+  const std::string dir = TempDir("truncated");
+  const std::string path = dir + "/torn.jsonl";
+  // A mid-write kill: the last line is torn halfway through a JSON object.
+  WriteFile(path, GoodJournalText() +
+                      R"({"event":"trial_completed","observation":{"con)");
+
+  auto summary = kb::SummarizeJournal(path);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->trials, 4);
+  EXPECT_EQ(summary->skipped_lines, 1);
+}
+
+TEST(IngestTest, JournalWithoutTrialsIsAnError) {
+  const std::string dir = TempDir("no_trials");
+  const std::string path = dir + "/empty.jsonl";
+  WriteFile(path,
+            R"({"event":"experiment_started","name":"x","env":"simdb"})"
+            "\n");
+  auto summary = kb::SummarizeJournal(path);
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(kb::SummarizeJournal(dir + "/missing.jsonl").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(IngestTest, ResolveWorkloadNameHandlesBothJournalDialects) {
+  // CLI journals carry the workload field directly.
+  EXPECT_EQ(kb::ResolveWorkloadName("ycsb-a", "simdb"), "ycsb-a");
+  // Service journals only record the environment name "simdb-<workload>".
+  EXPECT_EQ(kb::ResolveWorkloadName("", "simdb-tpcc"), "tpcc");
+  // Unknown names resolve to empty (no embedding, never NN-matched).
+  EXPECT_EQ(kb::ResolveWorkloadName("mystery", "simdb"), "");
+  EXPECT_EQ(kb::ResolveWorkloadName("", "redis"), "");
+}
+
+// ------------------------------------------------------------------ store --
+
+TEST(KnowledgeStoreTest, ScanIngestsGoodFilesAndSkipsCorruptOnes) {
+  const std::string dir = TempDir("scan");
+  WriteFile(dir + "/a.jsonl", GoodJournalText());
+  // A torn file with no decodable trial must be skipped with a warning —
+  // and must NOT abort the scan (b.jsonl sorts before c.jsonl).
+  WriteFile(dir + "/b.jsonl", R"({"event":"experiment_st)");
+  WriteFile(dir + "/c.jsonl", GoodJournalText());
+  WriteFile(dir + "/notes.txt", "not a journal");
+
+  kb::KnowledgeStore store;
+  auto report = store.ScanDirectory(dir);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->ingested, 2);
+  EXPECT_EQ(report->skipped, 1);
+  EXPECT_EQ(report->unchanged, 0);
+  EXPECT_EQ(store.num_sessions(), 2u);
+
+  EXPECT_EQ(store.ScanDirectory(dir + "/nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(KnowledgeStoreTest, RescanIsIncremental) {
+  const std::string dir = TempDir("rescan");
+  const std::string path = dir + "/a.jsonl";
+  WriteFile(path, GoodJournalText());
+
+  kb::KnowledgeStore store;
+  ASSERT_TRUE(store.ScanDirectory(dir).ok());
+
+  // Unchanged file: not re-read.
+  auto second = store.ScanDirectory(dir);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->unchanged, 1);
+  EXPECT_EQ(second->ingested + second->refreshed, 0);
+
+  // Appending a trial changes the size, so the summary is refreshed.
+  WriteFile(
+      path,
+      GoodJournalText() +
+          R"({"event":"trial_completed","observation":{"config":{"x0":0.6,"x1":0.6},"objective":1.0,"failed":false,"cost":1.0}})"
+          "\n");
+  auto third = store.ScanDirectory(dir);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->refreshed, 1);
+  const std::vector<kb::KnowledgeStore::Match> matches =
+      store.NearestSessions(*kb::EmbeddingForWorkload("tpcc"), 1);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].summary.trials, 5);
+  ASSERT_TRUE(matches[0].summary.best_objective.has_value());
+  EXPECT_EQ(*matches[0].summary.best_objective, 1.0);
+}
+
+TEST(KnowledgeStoreTest, SaveLoadRoundTripsDeterministically) {
+  const std::string dir = TempDir("save");
+  WriteFile(dir + "/a.jsonl", GoodJournalText());
+
+  kb::KnowledgeStore store;
+  ASSERT_TRUE(store.ScanDirectory(dir).ok());
+  const std::string store_path = dir + "/kb.json";
+  ASSERT_TRUE(store.Save(store_path).ok());
+
+  kb::KnowledgeStore loaded;
+  ASSERT_TRUE(loaded.Load(store_path).ok());
+  EXPECT_EQ(loaded.num_sessions(), 1u);
+  EXPECT_EQ(loaded.InspectJson().Dump(), store.InspectJson().Dump());
+
+  // Re-saving the loaded store is byte-identical (sorted keys + sessions).
+  const std::string second_path = dir + "/kb2.json";
+  ASSERT_TRUE(loaded.Save(second_path).ok());
+  auto first = obs::ReadJournalText(store_path);
+  auto second = obs::ReadJournalText(second_path);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+
+  // A loaded store rescans incrementally off the persisted size/mtime.
+  kb::KnowledgeStore resumed;
+  ASSERT_TRUE(resumed.Load(store_path).ok());
+  auto rescan = resumed.ScanDirectory(dir);
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_EQ(rescan->unchanged, 1);
+
+  EXPECT_EQ(loaded.Load(dir + "/missing.json").code(),
+            StatusCode::kNotFound);
+  WriteFile(dir + "/bad.json", R"({"kb_version":99,"sessions":[]})");
+  EXPECT_EQ(loaded.Load(dir + "/bad.json").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionSummaryTest, CodecRoundTripsEveryField) {
+  kb::SessionSummary summary;
+  summary.session_id = "s";
+  summary.source_path = "/tmp/s.jsonl";
+  summary.source_size = 123;
+  summary.source_mtime = 456;
+  summary.environment = "simdb";
+  summary.workload = "tpcc";
+  summary.optimizer = "bo";
+  summary.maximize = true;
+  summary.finished = true;
+  summary.degraded = true;
+  summary.trials = 7;
+  summary.failures = 2;
+  summary.workers_quarantined = 1;
+  summary.skipped_lines = 3;
+  summary.total_cost = 9.5;
+  summary.embedding = {1.0, -2.5};
+  summary.best_objective = -4.0;
+  summary.objective_quantiles = {-4.0, -3.0, -2.0};
+  summary.good_samples = {{Json(Json::Object{{"x", 1}}), -4.0, false}};
+  summary.crash_samples = {{Json(Json::Object{{"x", 9}}), 0.0, true}};
+
+  auto decoded = kb::DecodeSessionSummary(kb::EncodeSessionSummary(summary));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(kb::EncodeSessionSummary(*decoded).Dump(),
+            kb::EncodeSessionSummary(summary).Dump());
+
+  EXPECT_FALSE(kb::DecodeSessionSummary(Json("nope")).ok());
+  EXPECT_FALSE(
+      kb::DecodeSessionSummary(Json(Json::Object{{"trials", Json(1)}})).ok());
+}
+
+// ---------------------------------------------------------------- lookups --
+
+kb::SessionSummary MiniSession(const std::string& id,
+                               std::vector<double> embedding) {
+  kb::SessionSummary session;
+  session.session_id = id;
+  session.source_path = "mem://" + id;
+  session.trials = 1;
+  session.embedding = std::move(embedding);
+  session.best_objective = 1.0;
+  session.objective_quantiles = std::vector<double>(11, 1.0);
+  session.good_samples = {{Json(Json::Object{{"x0", 0.5}}), 1.0, false}};
+  return session;
+}
+
+TEST(KnowledgeStoreTest, NearestSessionsBreaksTiesByPath) {
+  kb::KnowledgeStore store;
+  // Equidistant sessions, inserted out of path order on purpose.
+  store.AddSession(MiniSession("zeta", {1.0, 0.0}));
+  store.AddSession(MiniSession("alpha", {1.0, 0.0}));
+  store.AddSession(MiniSession("mid", {0.5, 0.0}));
+  store.AddSession(MiniSession("noembed", {}));
+
+  const auto matches = store.NearestSessions({0.0, 0.0}, 10);
+  ASSERT_EQ(matches.size(), 3u);  // The embedding-less session never matches.
+  EXPECT_EQ(matches[0].summary.session_id, "mid");
+  // Equal distances: ascending source_path ("mem://alpha" < "mem://zeta").
+  EXPECT_EQ(matches[1].summary.session_id, "alpha");
+  EXPECT_EQ(matches[2].summary.session_id, "zeta");
+
+  EXPECT_TRUE(store.NearestSessions({}, 10).empty());
+  EXPECT_TRUE(store.NearestSessions({1.0, 0.0, 0.0}, 10).empty());
+  EXPECT_EQ(store.NearestSessions({0.0, 0.0}, 2).size(), 2u);
+}
+
+TEST(KnowledgeStoreTest, WarmStartJsonImputesSignSafelyOnNegativeObjectives) {
+  // A maximize-style donor: journaled objectives are negated, so every
+  // stored objective is negative. The imputed bad objective must still be
+  // strictly WORSE (higher) than the worst good one — the PR 3 sign bug.
+  kb::SessionSummary donor = MiniSession("neg", {1.0});
+  donor.objective_quantiles = std::vector<double>(11, -10.0);
+  donor.objective_quantiles.back() = -2.0;  // Worst good objective.
+  donor.good_samples = {{Json(Json::Object{{"x0", 0.1}}), -10.0, false}};
+  donor.crash_samples = {{Json(Json::Object{{"x0", 0.9}}), 0.0, true}};
+  kb::KnowledgeStore store;
+  store.AddSession(std::move(donor));
+
+  transfer::WarmStartPolicy policy;
+  auto payload = store.WarmStartJson({1.0}, policy, 1);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  const Json bad_samples = *payload->Get("bad_samples");
+  const auto& bad = bad_samples.AsArray();
+  ASSERT_EQ(bad.size(), 1u);
+  const double imputed = bad[0].GetDouble("objective", 0.0);
+  EXPECT_GT(imputed, -2.0);
+  EXPECT_EQ(imputed, transfer::ImputedBadObjective(-2.0, policy.bad_penalty));
+
+  // Empty store / unmatched query: NotFound, never a crash.
+  kb::KnowledgeStore empty;
+  EXPECT_EQ(empty.WarmStartJson({1.0}, policy, 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(KnowledgeStoreTest, WarmStartJsonAppliesPoorQuantileCut) {
+  kb::SessionSummary donor = MiniSession("cut", {1.0});
+  // Sketch ramps 0..10; samples at 2 (keep), 5 (boundary: keep, <=), 7
+  // (poor: drop) under poor_quantile = 0.5.
+  donor.objective_quantiles.clear();
+  for (int i = 0; i <= 10; ++i) {
+    donor.objective_quantiles.push_back(static_cast<double>(i));
+  }
+  donor.good_samples = {
+      {Json(Json::Object{{"x0", 0.1}}), 2.0, false},
+      {Json(Json::Object{{"x0", 0.2}}), 5.0, false},
+      {Json(Json::Object{{"x0", 0.3}}), 7.0, false},
+  };
+  kb::KnowledgeStore store;
+  store.AddSession(std::move(donor));
+
+  transfer::WarmStartPolicy policy;
+  policy.poor_quantile = 0.5;
+  auto payload = store.WarmStartJson({1.0}, policy, 1);
+  ASSERT_TRUE(payload.ok());
+  const Json good_samples = *payload->Get("good_samples");
+  const auto& good = good_samples.AsArray();
+  ASSERT_EQ(good.size(), 2u);
+  EXPECT_EQ(good[0].GetDouble("objective", -1.0), 2.0);
+  EXPECT_EQ(good[1].GetDouble("objective", -1.0), 5.0);
+
+  // good_samples policy knob caps the replay set.
+  policy.poor_quantile = 1.0;
+  policy.good_samples = 1;
+  auto capped = store.WarmStartJson({1.0}, policy, 1);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->Get("good_samples")->AsArray().size(), 1u);
+}
+
+// ----------------------------------------------------------------- replay --
+
+TEST(WarmStartTest, ApplySamplesObservesIntoOptimizer) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x0", 0.0, 1.0));
+  space.AddOrDie(ParameterSpec::Float("x1", 0.0, 1.0));
+  RandomSearch optimizer(&space, 7);
+
+  const Json payload(Json::Object{
+      {"good_samples",
+       Json(Json::Array{
+           Json(Json::Object{
+               {"config", Json(Json::Object{{"x0", 0.1}, {"x1", 0.2}})},
+               {"objective", Json(2.0)},
+               {"failed", Json(false)}}),
+       })},
+      {"bad_samples",
+       Json(Json::Array{
+           Json(Json::Object{
+               {"config", Json(Json::Object{{"x0", 0.9}, {"x1", 0.9}})},
+               {"objective", Json(99.0)},
+               {"failed", Json(true)}}),
+           // Foreign config (schema drift on a fleet member): skipped.
+           Json(Json::Object{
+               {"config", Json(Json::Object{{"zz", 1.0}})},
+               {"objective", Json(1.0)},
+               {"failed", Json(false)}}),
+       })},
+  });
+  auto applied = kb::ApplyWarmStartSamples(payload, &space, &optimizer);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(*applied, 2);
+  EXPECT_EQ(optimizer.num_observations(), 2u);
+
+  // Payloads without sample arrays apply zero observations.
+  auto none =
+      kb::ApplyWarmStartSamples(Json(Json::Object{}), &space, &optimizer);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none, 0);
+  EXPECT_FALSE(kb::ApplyWarmStartSamples(Json(1), &space, &optimizer).ok());
+}
+
+TEST(WarmStartTest, EmbeddingForWorkloadMatchesComputeEmbedding) {
+  auto resolved = kb::EmbeddingForWorkload("ycsb-a");
+  ASSERT_TRUE(resolved.ok());
+  ASSERT_FALSE(resolved->empty());
+  // Deterministic and consistent with the ingest-side embedding.
+  EXPECT_EQ(*resolved, *kb::EmbeddingForWorkload("ycsb-a"));
+  EXPECT_NE(*resolved, *kb::EmbeddingForWorkload("tpch"));
+  EXPECT_EQ(kb::EmbeddingForWorkload("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace autotune

@@ -22,6 +22,8 @@
 
 #include "common/table.h"
 #include "common/thread_pool.h"
+#include "kb/knowledge_store.h"
+#include "kb/session_summary.h"
 #include "core/trial_runner.h"
 #include "core/tuning_loop.h"
 #include "obs/journal.h"
@@ -453,25 +455,25 @@ TEST(EndpointsTest, HandlerServesMetricsExperimentsAndHealth) {
   const service::HttpServer::Handler handler =
       service::MakeServiceHandler(&manager);
 
-  const service::HttpResponse metrics = handler("/metrics");
+  const service::HttpResponse metrics = handler({"/metrics", ""});
   EXPECT_EQ(metrics.status, 200);
   EXPECT_EQ(metrics.content_type, "text/plain; version=0.0.4; charset=utf-8");
   EXPECT_NE(metrics.body.find("# TYPE"), std::string::npos);
   EXPECT_NE(metrics.body.find("autotune_"), std::string::npos);
 
-  const service::HttpResponse experiments = handler("/experiments");
+  const service::HttpResponse experiments = handler({"/experiments", ""});
   EXPECT_EQ(experiments.status, 200);
   auto parsed = obs::Json::Parse(experiments.body);
   ASSERT_TRUE(parsed.ok());
   ASSERT_TRUE(parsed->Has("experiments"));
 
-  EXPECT_EQ(handler("/healthz").status, 200);
-  EXPECT_EQ(handler("/nope").status, 404);
+  EXPECT_EQ(handler({"/healthz", ""}).status, 200);
+  EXPECT_EQ(handler({"/nope", ""}).status, 404);
 
   // A handler without a manager still serves metrics.
   const service::HttpServer::Handler bare = service::MakeServiceHandler(nullptr);
-  EXPECT_EQ(bare("/metrics").status, 200);
-  EXPECT_EQ(bare("/experiments").status, 404);
+  EXPECT_EQ(bare({"/metrics", ""}).status, 200);
+  EXPECT_EQ(bare({"/experiments", ""}).status, 404);
 }
 
 TEST(EndpointsTest, TrialsEndpointServesDecisionRecordsAsJson) {
@@ -484,9 +486,11 @@ TEST(EndpointsTest, TrialsEndpointServesDecisionRecordsAsJson) {
       service::MakeServiceHandler(&manager);
 
   // /experiments and the trials endpoint are JSON, content type included.
-  EXPECT_EQ(handler("/experiments").content_type, "application/json");
+  EXPECT_EQ(handler({"/experiments", ""}).content_type,
+            "application/json");
 
-  const service::HttpResponse trials = handler("/experiments/web/trials");
+  const service::HttpResponse trials =
+      handler({"/experiments/web/trials", ""});
   EXPECT_EQ(trials.status, 200);
   EXPECT_EQ(trials.content_type, "application/json");
   auto parsed = obs::Json::Parse(trials.body);
@@ -508,7 +512,7 @@ TEST(EndpointsTest, TrialsEndpointServesDecisionRecordsAsJson) {
   // Unknown names and unknown sub-paths 404 with a parseable JSON body.
   for (const char* path :
        {"/experiments/nope/trials", "/experiments/web/bogus"}) {
-    const service::HttpResponse missing = handler(path);
+    const service::HttpResponse missing = handler({path, ""});
     EXPECT_EQ(missing.status, 404) << path;
     EXPECT_EQ(missing.content_type, "application/json") << path;
     auto error = obs::Json::Parse(missing.body);
@@ -589,9 +593,11 @@ std::string HttpGet(int port, const std::string& path) {
 
 TEST(EndpointsTest, HttpServerServesOverRealSocket) {
   auto server = service::HttpServer::Start(
-      service::HttpServer::Options{}, [](const std::string& path) {
+      service::HttpServer::Options{},
+      [](const service::HttpRequest& request) {
         service::HttpResponse response;
-        response.body = "path=" + path + "\n";
+        response.body =
+            "path=" + request.path + " query=" + request.query + "\n";
         return response;
       });
   ASSERT_TRUE(server.ok());
@@ -600,9 +606,255 @@ TEST(EndpointsTest, HttpServerServesOverRealSocket) {
   const std::string ok = HttpGet((*server)->port(), "/metrics");
   EXPECT_NE(ok.find("200"), std::string::npos) << ok;
   EXPECT_NE(ok.find("path=/metrics"), std::string::npos) << ok;
-  // Query strings are stripped before the handler sees the path.
+  // The query string is split off the path and delivered separately.
   const std::string query = HttpGet((*server)->port(), "/metrics?format=prom");
-  EXPECT_NE(query.find("path=/metrics"), std::string::npos) << query;
+  EXPECT_NE(query.find("path=/metrics query=format=prom"), std::string::npos)
+      << query;
+}
+
+TEST(EndpointsTest, QueryParamsDecodePairsAndEscapes) {
+  service::HttpRequest request;
+  request.query = "workload=tpcc&k=3&note=a%20b+c&flag";
+  const std::map<std::string, std::string> params = request.QueryParams();
+  EXPECT_EQ(params.at("workload"), "tpcc");
+  EXPECT_EQ(params.at("k"), "3");
+  EXPECT_EQ(params.at("note"), "a b c");
+  EXPECT_EQ(params.at("flag"), "");
+  EXPECT_TRUE(service::HttpRequest{}.QueryParams().empty());
+}
+
+// ------------------------------------------------------------- warmstart --
+
+/// A knowledge-base session in the sphere (x0, x1) space: `embedding` for
+/// NN matching, two good configs near the optimum, one crash config.
+kb::SessionSummary SphereSession(const std::string& id,
+                                 std::vector<double> embedding,
+                                 int64_t quarantined = 0) {
+  kb::SessionSummary session;
+  session.session_id = id;
+  session.source_path = "mem://" + id;
+  session.workload = "sphere";
+  session.trials = 4;
+  session.failures = 1;
+  session.workers_quarantined = quarantined;
+  session.embedding = std::move(embedding);
+  session.best_objective = 0.02;
+  // Quantile sketch ramping 0.02 -> 0.9: the default poor_quantile cut
+  // (0.5 -> 0.46) admits both good samples below.
+  session.objective_quantiles.reserve(11);
+  for (int i = 0; i <= 10; ++i) {
+    session.objective_quantiles.push_back(0.02 + 0.088 * i);
+  }
+  session.good_samples = {
+      {obs::Json(obs::Json::Object{{"x0", 0.1}, {"x1", 0.1}}), 0.02, false},
+      {obs::Json(obs::Json::Object{{"x0", 0.2}, {"x1", 0.1}}), 0.05, false},
+  };
+  session.crash_samples = {
+      {obs::Json(obs::Json::Object{{"x0", 0.9}, {"x1", 0.9}}), 0.0, true},
+  };
+  return session;
+}
+
+TEST(EndpointsTest, WarmStartEndpointServesMatchesAndSamples) {
+  kb::KnowledgeStore store;
+  store.AddSession(SphereSession("donor", {1.0, 0.0}));
+  // A quarantined session with no embedding: never matched, but its crash
+  // configs must still come back as fleet-wide bad samples.
+  kb::SessionSummary hazard = SphereSession("hazard", {}, /*quarantined=*/1);
+  hazard.crash_samples = {
+      {obs::Json(obs::Json::Object{{"x0", 0.8}, {"x1", 0.9}}), 0.0, true},
+  };
+  store.AddSession(std::move(hazard));
+
+  const service::HttpServer::Handler handler =
+      service::MakeServiceHandler(nullptr, &store);
+
+  const service::HttpResponse hit =
+      handler({"/warmstart", "embedding=1,0&k=2"});
+  ASSERT_EQ(hit.status, 200) << hit.body;
+  EXPECT_EQ(hit.content_type, "application/json");
+  auto payload = obs::Json::Parse(hit.body);
+  ASSERT_TRUE(payload.ok()) << hit.body;
+  auto matches = payload->Get("matches");
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->AsArray().size(), 1u);  // "hazard" has no embedding.
+  EXPECT_EQ(matches->AsArray()[0].GetString("session", ""), "donor");
+  EXPECT_EQ(matches->AsArray()[0].GetDouble("distance", -1.0), 0.0);
+  auto good = payload->Get("good_samples");
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->AsArray().size(), 2u);
+  auto bad = payload->Get("bad_samples");
+  ASSERT_TRUE(bad.ok());
+  // Donor's own crash config, plus hazard's — fleet-wide carryover from a
+  // session that quarantined a worker, despite it having no embedding.
+  ASSERT_EQ(bad->AsArray().size(), 2u);
+  EXPECT_FALSE(bad->AsArray()[0].GetBool("fleet", true));
+  EXPECT_TRUE(bad->AsArray()[1].GetBool("fleet", false));
+  EXPECT_EQ(bad->AsArray()[1].GetString("session", ""), "hazard");
+  // Imputed objective sits strictly above the donor's worst good objective
+  // (0.9), sign-safely.
+  EXPECT_GT(bad->AsArray()[0].GetDouble("objective", 0.0), 0.9);
+  EXPECT_TRUE(payload->Has("policy"));
+
+  // Parameter validation and no-store behavior.
+  EXPECT_EQ(handler({"/warmstart", ""}).status, 400);
+  EXPECT_EQ(handler({"/warmstart", "embedding=1,oops"}).status, 400);
+  EXPECT_EQ(handler({"/warmstart", "workload=nope"}).status, 400);
+  EXPECT_EQ(handler({"/warmstart", "embedding=1,0&k=0"}).status, 400);
+  const service::HttpServer::Handler bare =
+      service::MakeServiceHandler(nullptr);
+  EXPECT_EQ(bare({"/warmstart", "embedding=1,0"}).status, 404);
+
+  // The by-workload-name form resolves through the canonical embedding, so
+  // a session stored under ComputeEmbedding(tpcc) matches exactly.
+  auto tpcc = kb::EmbeddingForWorkload("tpcc");
+  ASSERT_TRUE(tpcc.ok());
+  store.AddSession(SphereSession("tpcc-donor", *tpcc));
+  const service::HttpResponse by_name =
+      handler({"/warmstart", "workload=tpcc"});
+  ASSERT_EQ(by_name.status, 200) << by_name.body;
+  auto named = obs::Json::Parse(by_name.body);
+  ASSERT_TRUE(named.ok());
+  EXPECT_EQ(
+      named->Get("matches")->AsArray()[0].GetString("session", ""),
+      "tpcc-donor");
+}
+
+TEST(ExperimentManagerTest, WarmStartSeedsOptimizerAndJournalsPayload) {
+  const std::string journal = TempPath("warmstart.jsonl");
+  std::remove(journal.c_str());
+
+  kb::KnowledgeStore store;
+  store.AddSession(SphereSession("donor", {1.0, 0.0}));
+
+  ThreadPool pool(2);
+  service::ExperimentManager manager(&pool);
+  service::ExperimentSpec spec = SphereSpec("warm", 6, 1.0, journal);
+  spec.warmstart = true;
+  spec.warmstart_store = &store;
+  spec.warmstart_embedding = {1.0, 0.0};
+  ASSERT_TRUE(manager.AddExperiment(std::move(spec)).ok());
+  manager.WaitAll();
+
+  auto status = manager.StatusOf("warm");
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->warm_started);
+  EXPECT_EQ(status->warm_samples, 3);  // 2 good + 1 crash region.
+
+  // The applied payload is journaled so resumes replay it verbatim.
+  auto event = obs::ReadFirstEvent(journal, "warmstart_applied");
+  ASSERT_TRUE(event.ok());
+  EXPECT_EQ(event->GetString("matched_session", ""), "donor");
+  ASSERT_TRUE(event->Has("good_samples"));
+  ASSERT_TRUE(event->Has("bad_samples"));
+
+  // Status JSON exposes the warm-start fields per experiment.
+  const obs::Json json = manager.StatusJson();
+  const obs::Json& entry = json.Get("experiments")->AsArray()[0];
+  EXPECT_TRUE(entry.GetBool("warm_started", false));
+  EXPECT_EQ(entry.GetInt("warm_samples", 0), 3);
+}
+
+TEST(ExperimentManagerTest, WarmStartMissesFallBackToColdStart) {
+  kb::KnowledgeStore store;  // Empty: every lookup is a miss.
+  ThreadPool pool(2);
+  service::ExperimentManager manager(&pool);
+  service::ExperimentSpec spec = SphereSpec("cold", 4);
+  spec.warmstart = true;
+  spec.warmstart_store = &store;
+  spec.warmstart_embedding = {1.0, 0.0};
+  ASSERT_TRUE(manager.AddExperiment(std::move(spec)).ok());
+  manager.WaitAll();
+  auto status = manager.StatusOf("cold");
+  ASSERT_TRUE(status.ok());
+  EXPECT_FALSE(status->warm_started);
+  EXPECT_EQ(status->warm_samples, 0);
+  EXPECT_EQ(status->trials_run, 4);
+}
+
+// A warm-started journaled session, killed partway, must resume bit-exactly
+// WITHOUT consulting the store again — the journaled warmstart_applied
+// payload is the source of truth (the fleet store may have changed since).
+TEST(ExperimentManagerTest, WarmStartedSessionResumesBitExactly) {
+  const std::string interrupted = TempPath("warm_interrupted.jsonl");
+  const std::string straight = TempPath("warm_straight.jsonl");
+  std::remove(interrupted.c_str());
+  std::remove(straight.c_str());
+  constexpr int kTrials = 20;
+
+  kb::KnowledgeStore store;
+  store.AddSession(SphereSession("donor", {1.0, 0.0}));
+
+  ThreadPool pool(2);
+  const auto warm_spec = [&](const std::string& journal,
+                             const kb::KnowledgeStore* kb_store) {
+    service::ExperimentSpec spec = SphereSpec("warm", kTrials, 1.0, journal);
+    spec.make_environment = []() {
+      return std::make_unique<RecordingEnvironment>(
+          "warm", nullptr, nullptr, /*delay_ms=*/3);
+    };
+    spec.warmstart = true;
+    spec.warmstart_store = kb_store;
+    spec.warmstart_embedding = {1.0, 0.0};
+    return spec;
+  };
+
+  TuningResult reference;
+  {
+    service::ExperimentManager manager(&pool);
+    ASSERT_TRUE(manager.AddExperiment(warm_spec(straight, &store)).ok());
+    manager.WaitAll();
+    auto result = manager.ResultOf("warm");
+    ASSERT_TRUE(result.ok());
+    reference = *std::move(result);
+  }
+
+  int trials_before_kill = 0;
+  {
+    service::ExperimentManager manager(&pool);
+    ASSERT_TRUE(manager.AddExperiment(warm_spec(interrupted, &store)).ok());
+    for (int i = 0; i < 1000; ++i) {
+      auto status = manager.StatusOf("warm");
+      ASSERT_TRUE(status.ok());
+      if (status->trials_run >= 7) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_TRUE(manager.Pause("warm").ok());
+    for (int i = 0; i < 1000; ++i) {
+      auto status = manager.StatusOf("warm");
+      ASSERT_TRUE(status.ok());
+      if (!status->in_flight) {
+        trials_before_kill = status->trials_run;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_GT(trials_before_kill, 0);
+    ASSERT_LT(trials_before_kill, kTrials);
+  }
+
+  // "Restart" with an EMPTY store: the resume must re-apply the journaled
+  // samples, not query this (now useless) store.
+  kb::KnowledgeStore drained;
+  service::ExperimentManager manager(&pool);
+  ASSERT_TRUE(manager.AddExperiment(warm_spec(interrupted, &drained)).ok());
+  manager.WaitAll();
+  auto status = manager.StatusOf("warm");
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->resumed);
+  EXPECT_TRUE(status->warm_started);
+  EXPECT_EQ(status->warm_samples, 3);
+  auto resumed = manager.ResultOf("warm");
+  ASSERT_TRUE(resumed.ok());
+
+  ASSERT_EQ(resumed->history.size(), reference.history.size());
+  for (size_t i = 0; i < reference.history.size(); ++i) {
+    EXPECT_EQ(resumed->history[i].objective, reference.history[i].objective)
+        << "trial " << i;
+  }
+  ASSERT_TRUE(resumed->best.has_value());
+  ASSERT_TRUE(reference.best.has_value());
+  EXPECT_EQ(resumed->best->objective, reference.best->objective);
 }
 
 // ------------------------------------------------------------ prometheus --

@@ -40,6 +40,113 @@ TEST(KnowledgeBaseTest, NearestSessionByEmbedding) {
   EXPECT_FALSE(kb.NearestSession({1.0}).ok());  // Dim mismatch.
 }
 
+TEST(KnowledgeBaseTest, NearestSessionTiesGoToLowestIndex) {
+  KnowledgeBase kb;
+  TuningSession blind;  // No embedding: never matched.
+  blind.workload_label = "unknown";
+  kb.AddSession(std::move(blind));
+  TuningSession left;
+  left.workload_label = "left";
+  left.workload_embedding = {-1.0, 0.0};
+  kb.AddSession(std::move(left));
+  TuningSession right;
+  right.workload_label = "right";
+  right.workload_embedding = {1.0, 0.0};
+  kb.AddSession(std::move(right));
+
+  // The origin is equidistant from both candidates: the lowest session
+  // index wins, so the warm-start donor is stable across runs.
+  auto nearest = kb.NearestSession({0.0, 0.0});
+  ASSERT_TRUE(nearest.ok());
+  EXPECT_EQ(*nearest, 1u);
+  EXPECT_EQ(kb.session(*nearest).workload_label, "left");
+}
+
+TEST(KnowledgeBaseTest, NearestSessionIgnoresEmbeddinglessSessions) {
+  KnowledgeBase kb;
+  TuningSession blind;
+  blind.workload_label = "unknown";
+  kb.AddSession(std::move(blind));
+  EXPECT_FALSE(kb.NearestSession({0.0}).ok());
+
+  TuningSession sighted;
+  sighted.workload_label = "known";
+  sighted.workload_embedding = {3.0};
+  kb.AddSession(std::move(sighted));
+  auto nearest = kb.NearestSession({0.0});
+  ASSERT_TRUE(nearest.ok());
+  EXPECT_EQ(*nearest, 1u);
+}
+
+Observation MakeTrial(const ConfigSpace& space, double x, double objective,
+                      bool failed) {
+  Observation obs(*space.Make({{"x", x}}), objective);
+  obs.failed = failed;
+  return obs;
+}
+
+TEST(KnowledgeBaseTest, WarmStartImputationIsSignSafeOnNegativeObjectives) {
+  // Maximize-convention environments journal negated objectives, so every
+  // stored objective is negative; the imputed crash objective must still
+  // land strictly WORSE (greater, minimize convention) than the worst good
+  // one — a plain `worst * penalty` would make crashes look better.
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  TuningSession session;
+  session.workload_embedding = {0.0};
+  session.trials = {MakeTrial(space, 0.1, -10.0, false),
+                    MakeTrial(space, 0.2, -2.0, false),
+                    MakeTrial(space, 0.9, 0.0, true)};
+  KnowledgeBase kb;
+  kb.AddSession(std::move(session));
+
+  RandomSearch optimizer(&space, 3);
+  WarmStartPolicy policy;
+  policy.poor_quantile = 1.0;  // Keep every good trial.
+  auto replayed = kb.WarmStart(0, policy, &optimizer);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, 3);
+  const Observation& crash = optimizer.history().back();
+  EXPECT_TRUE(crash.failed);
+  EXPECT_GT(crash.objective, -2.0);
+  EXPECT_DOUBLE_EQ(crash.objective,
+                   ImputedBadObjective(-2.0, policy.bad_penalty));
+}
+
+TEST(KnowledgeBaseTest, PoorQuantileBoundaryKeepsTrialsAtTheCut) {
+  ConfigSpace space;
+  space.AddOrDie(ParameterSpec::Float("x", 0.0, 1.0));
+  TuningSession session;
+  session.workload_embedding = {0.0};
+  for (int i = 1; i <= 5; ++i) {
+    session.trials.push_back(
+        MakeTrial(space, 0.1 * i, static_cast<double>(i), false));
+  }
+  KnowledgeBase kb;
+  kb.AddSession(std::move(session));
+  WarmStartPolicy policy;
+  policy.replay_bad_samples = false;
+
+  // Objectives {1..5}, poor_quantile 0.5 -> cut at 3.0: a trial exactly AT
+  // the cut is kept (<=), strictly worse ones are dropped.
+  policy.poor_quantile = 0.5;
+  RandomSearch mid(&space, 3);
+  auto replayed = kb.WarmStart(0, policy, &mid);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, 3);
+  EXPECT_DOUBLE_EQ(mid.history().back().objective, 3.0);
+
+  // The extremes: quantile 0 keeps only the best, 1.0 keeps everything.
+  policy.poor_quantile = 0.0;
+  RandomSearch strict(&space, 3);
+  ASSERT_TRUE(kb.WarmStart(0, policy, &strict).ok());
+  EXPECT_EQ(strict.num_observations(), 1u);
+  policy.poor_quantile = 1.0;
+  RandomSearch lax(&space, 3);
+  ASSERT_TRUE(kb.WarmStart(0, policy, &lax).ok());
+  EXPECT_EQ(lax.num_observations(), 5u);
+}
+
 TEST(KnowledgeBaseTest, WarmStartReplaysGoodAndBad) {
   sim::DbEnv env(DeterministicDb(workload::YcsbA()));
   TrialRunner runner(&env, TrialRunnerOptions{}, 3);

@@ -175,6 +175,36 @@ TEST(IdentificationTest, TopKOrdering) {
   EXPECT_EQ(top[1].label, "mid");
 }
 
+TEST(IdentificationTest, TopKTiesKeepExemplarInsertionOrder) {
+  WorkloadIdentifier identifier;
+  // Both exemplars are exactly distance 1 from the query; the tie must
+  // break on exemplar index (insertion order), not std::sort whim, so the
+  // knowledge base's warm-start donor is stable across runs.
+  identifier.AddExemplar("second-wins-never", {0.0, 1.0});
+  identifier.AddExemplar("tied", {0.0, -1.0});
+  auto top = identifier.IdentifyTopK({0.0, 0.0}, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].label, "second-wins-never");
+  EXPECT_EQ(top[0].exemplar_index, 0u);
+  EXPECT_EQ(top[1].label, "tied");
+  EXPECT_EQ(top[1].exemplar_index, 1u);
+}
+
+TEST(EmbedderTest, ComputeEmbeddingIsDeterministicAndWorkloadSpecific) {
+  // The canonical fixed-seed embedding is what the fleet knowledge base
+  // stores at ingest and recomputes at query time — the same workload must
+  // always map to the same vector, and distinct workloads must differ.
+  const Vector a1 = ComputeEmbedding(YcsbA());
+  const Vector a2 = ComputeEmbedding(YcsbA());
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(a1.size(), NumTelemetryFeatures());
+  const Vector h = ComputeEmbedding(TpcH());
+  EXPECT_GT(EmbeddingDistance(a1, h), 0.0);
+  // A different generator seed yields a different (but still
+  // deterministic) view.
+  EXPECT_NE(ComputeEmbedding(YcsbA(), 1), a1);
+}
+
 TEST(IdentificationTest, EmptyIdentifierIsNotFound) {
   WorkloadIdentifier identifier;
   EXPECT_EQ(identifier.Identify({1.0}).status().code(),

@@ -26,6 +26,11 @@
 //       --experiment=name=cache,env=redis,optimizer=random,trials=40
 //   curl localhost:9464/metrics
 //
+//   autotune_cli kb build --journal-dir=/tmp/tuning --store=fleet_kb.json
+//   autotune_cli kb query --store=fleet_kb.json --workload=tpcc
+//   autotune_cli serve --kb-dir=/tmp/tuning \
+//       --experiment=name=new,env=simdb,workload=tpcc,warmstart=1
+//
 // Durable sessions: `run --journal=FILE` persists every trial as it
 // completes; `resume FILE` picks the session back up (session flags are
 // restored from the journal itself) and finishes it with results identical
@@ -45,6 +50,7 @@
 
 #include "common/thread_pool.h"
 #include "core/storage.h"
+#include "kb/knowledge_store.h"
 #include "core/trial_runner.h"
 #include "core/tuning_loop.h"
 #include "lint/lint.h"
@@ -105,6 +111,7 @@ void PrintUsage() {
       "  run          run one tuning session\n"
       "  resume FILE  resume a journaled session\n"
       "  serve        multi-experiment tuning service + /metrics endpoint\n"
+      "  kb build|inspect|query  fleet knowledge base over journals\n"
       "  analyze FILE...  convergence report from JSONL journal(s)\n"
       "  bench-compare BASELINE CURRENT  bench-regression gate\n"
       "  lint-report  summarize autotune-lint findings\n"
@@ -137,7 +144,7 @@ void PrintUsage() {
       "                              name (required), env, workload,\n"
       "                              optimizer, trials, seed, weight, batch,\n"
       "                              reps, fidelity, objective, maximize,\n"
-      "                              noisy, snapshot. Repeatable.\n"
+      "                              noisy, snapshot, warmstart. Repeatable.\n"
       "  --host=ADDR --port=N        scrape endpoint bind (default\n"
       "                              127.0.0.1, port 0 = pick a free one)\n"
       "  --threads=N                 shared worker pool size (default 4)\n"
@@ -146,7 +153,19 @@ void PrintUsage() {
       "recovery)\n"
       "  --trace-out=FILE            write the run's spans as Chrome\n"
       "                              trace-event JSON on completion\n"
+      "  --kb-dir=DIR                build a fleet knowledge base from the\n"
+      "                              journals in DIR; serves GET /warmstart\n"
+      "                              and powers warmstart=1 experiments\n"
       "  --linger                    keep serving after experiments finish\n\n"
+      "kb flags (kb build|inspect|query):\n"
+      "  --journal-dir=DIR           journals to ingest (build; or inspect/\n"
+      "                              query directly from journals)\n"
+      "  --store=FILE.json           durable store file to write (build) or\n"
+      "                              read (inspect/query)\n"
+      "  --workload=NAME             query: embed a standard workload\n"
+      "  --embedding=V1,V2,...       query: raw embedding vector\n"
+      "  --k=N --good=N --quantile=F query: matches to return, good samples\n"
+      "                              to replay, poor-quantile cut\n\n"
       "analyze flags:\n"
       "  --top=N                     rows in the explain table (default 5)\n"
       "  --json                      machine-readable report\n\n"
@@ -512,6 +531,7 @@ struct ServeOptions {
   int port = 0;
   size_t threads = 4;
   std::string journal_dir;
+  std::string kb_dir;     // Journals to build the knowledge base from.
   std::string trace_out;  // Chrome trace-event dump on completion.
   bool linger = false;
   std::vector<std::string> experiment_specs;
@@ -522,11 +542,13 @@ struct ServeOptions {
 /// required; everything else defaults like `run` flags. `weight` is the
 /// fair-share weight, `snapshot` the journal-compaction interval.
 Result<service::ExperimentSpec> ParseExperimentSpec(
-    const std::string& spec_text, const std::string& journal_dir) {
+    const std::string& spec_text, const std::string& journal_dir,
+    const kb::KnowledgeStore* store) {
   CliOptions session;
   std::string name;
   double weight = 1.0;
   int snapshot_every = 10;
+  bool warmstart = false;
 
   size_t start = 0;
   while (start <= spec_text.size()) {
@@ -570,6 +592,8 @@ Result<service::ExperimentSpec> ParseExperimentSpec(
       weight = std::atof(value.c_str());
     } else if (key == "snapshot") {
       snapshot_every = std::atoi(value.c_str());
+    } else if (key == "warmstart") {
+      warmstart = value != "0" && value != "false";
     } else {
       return Status::InvalidArgument("unknown experiment spec key '" + key +
                                      "'");
@@ -614,6 +638,17 @@ Result<service::ExperimentSpec> ParseExperimentSpec(
   spec.loop_options.max_trials = session.trials;
   spec.loop_options.batch_size = session.batch;
   spec.loop_options.snapshot_every = snapshot_every;
+  if (warmstart) {
+    if (store == nullptr) {
+      return Status::InvalidArgument(
+          "experiment '" + name +
+          "': warmstart=1 needs a knowledge base (serve --kb-dir=DIR)");
+    }
+    AUTOTUNE_ASSIGN_OR_RETURN(spec.warmstart_embedding,
+                              kb::EmbeddingForWorkload(session.workload));
+    spec.warmstart = true;
+    spec.warmstart_store = store;
+  }
   return spec;
 }
 
@@ -628,20 +663,41 @@ int ServeCli(const ServeOptions& options) {
   ThreadPool pool(options.threads);
   service::ExperimentManager manager(&pool);
 
+  // The knowledge base (when enabled) must outlive the HTTP server and the
+  // manager: both hold pointers into it.
+  kb::KnowledgeStore store;
+  const bool have_store = !options.kb_dir.empty();
+  if (have_store) {
+    auto report = store.ScanDirectory(options.kb_dir);
+    if (!report.ok()) {
+      std::fprintf(stderr, "warning: kb scan: %s\n",
+                   report.status().ToString().c_str());
+    } else {
+      std::printf(
+          "knowledge base: %zu session(s) (%d ingested, %d skipped) from "
+          "%s\n",
+          store.num_sessions(), report->ingested, report->skipped,
+          options.kb_dir.c_str());
+    }
+  }
+
   service::HttpServer::Options http;
   http.host = options.host;
   http.port = options.port;
-  auto server =
-      service::HttpServer::Start(http, service::MakeServiceHandler(&manager));
+  auto server = service::HttpServer::Start(
+      http,
+      service::MakeServiceHandler(&manager, have_store ? &store : nullptr));
   if (!server.ok()) {
     std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
     return 1;
   }
-  std::printf("serving http://%s:%d  (GET /metrics, /experiments)\n",
-              options.host.c_str(), (*server)->port());
+  std::printf("serving http://%s:%d  (GET /metrics, /experiments%s)\n",
+              options.host.c_str(), (*server)->port(),
+              have_store ? ", /warmstart" : "");
 
   for (const std::string& spec_text : options.experiment_specs) {
-    auto spec = ParseExperimentSpec(spec_text, options.journal_dir);
+    auto spec = ParseExperimentSpec(spec_text, options.journal_dir,
+                                    have_store ? &store : nullptr);
     if (!spec.ok()) {
       std::fprintf(stderr, "error: %s\n", spec.status().ToString().c_str());
       return 1;
@@ -695,6 +751,7 @@ int CmdServe(int argc, char** argv) {
       options.linger = true;
     } else if (ParseFlag(arg, "host", &options.host) ||
                ParseFlag(arg, "journal-dir", &options.journal_dir) ||
+               ParseFlag(arg, "kb-dir", &options.kb_dir) ||
                ParseFlag(arg, "trace-out", &options.trace_out)) {
       // Parsed into the corresponding string field.
     } else if (ParseFlag(arg, "port", &value)) {
@@ -714,6 +771,163 @@ int CmdServe(int argc, char** argv) {
     }
   }
   return ServeCli(options);
+}
+
+// ---- kb --------------------------------------------------------------------
+
+/// "1.5,2,-3e1" -> {1.5, 2.0, -30.0}.
+Result<std::vector<double>> ParseEmbeddingFlag(const std::string& text) {
+  std::vector<double> values;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string piece = text.substr(start, comma - start);
+    if (piece.empty()) {
+      return Status::InvalidArgument("--embedding has an empty component");
+    }
+    char* end = nullptr;
+    values.push_back(std::strtod(piece.c_str(), &end));
+    if (end == piece.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad --embedding component '" + piece +
+                                     "'");
+    }
+    if (comma == text.size()) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
+int CmdKb(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "error: kb needs an action: build|inspect|query (try "
+                 "--help)\n");
+    return 2;
+  }
+  const std::string action = argv[2];
+  std::string journal_dir;
+  std::string store_path;
+  std::string workload_name;
+  std::string embedding_text;
+  int k = 3;
+  transfer::WarmStartPolicy policy;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (ParseFlag(arg, "journal-dir", &journal_dir) ||
+               ParseFlag(arg, "store", &store_path) ||
+               ParseFlag(arg, "workload", &workload_name) ||
+               ParseFlag(arg, "embedding", &embedding_text)) {
+      // Parsed into the corresponding string.
+    } else if (ParseFlag(arg, "k", &value)) {
+      k = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "good", &value)) {
+      policy.good_samples = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "quantile", &value)) {
+      policy.poor_quantile = std::atof(value.c_str());
+    } else {
+      std::fprintf(stderr, "error: unknown kb flag '%s' (try --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  kb::KnowledgeStore store;
+  // Sources: a durable store file, a journal directory, or (build) both —
+  // load first, then rescan so changed journals refresh their summaries.
+  if (!store_path.empty()) {
+    const Status loaded = store.Load(store_path);
+    if (!loaded.ok()) {
+      const bool missing_ok =
+          action == "build" && loaded.code() == StatusCode::kNotFound;
+      if (!missing_ok) {
+        std::fprintf(stderr, "error: %s\n", loaded.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  if (!journal_dir.empty()) {
+    auto report = store.ScanDirectory(journal_dir);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "kb: scanned %s: %d ingested, %d refreshed, %d unchanged, "
+                 "%d skipped\n",
+                 journal_dir.c_str(), report->ingested, report->refreshed,
+                 report->unchanged, report->skipped);
+  }
+
+  if (action == "build") {
+    if (journal_dir.empty() || store_path.empty()) {
+      std::fprintf(stderr,
+                   "error: kb build needs --journal-dir=DIR and "
+                   "--store=FILE.json\n");
+      return 2;
+    }
+    const Status saved = store.Save(store_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("kb: wrote %zu session(s) to %s\n", store.num_sessions(),
+                store_path.c_str());
+    return 0;
+  }
+  if (store_path.empty() && journal_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: kb %s needs --store=FILE.json or "
+                 "--journal-dir=DIR\n",
+                 action.c_str());
+    return 2;
+  }
+
+  if (action == "inspect") {
+    std::printf("%s\n", store.InspectJson().Pretty().c_str());
+    return 0;
+  }
+  if (action == "query") {
+    std::vector<double> embedding;
+    if (!embedding_text.empty()) {
+      auto parsed = ParseEmbeddingFlag(embedding_text);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      embedding = std::move(*parsed);
+    } else if (!workload_name.empty()) {
+      auto resolved = kb::EmbeddingForWorkload(workload_name);
+      if (!resolved.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     resolved.status().ToString().c_str());
+        return 2;
+      }
+      embedding = std::move(*resolved);
+    } else {
+      std::fprintf(stderr,
+                   "error: kb query needs --workload=NAME or "
+                   "--embedding=V1,V2,...\n");
+      return 2;
+    }
+    auto payload = store.WarmStartJson(embedding, policy, k);
+    if (!payload.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   payload.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", payload->Pretty().c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "error: unknown kb action '%s' (build|inspect|query)\n",
+               action.c_str());
+  return 2;
 }
 
 // ---- analyze ---------------------------------------------------------------
@@ -968,6 +1182,7 @@ int main(int argc, char** argv) {
   if (command == "run") return autotune::CmdRun(argc, argv);
   if (command == "resume") return autotune::CmdResume(argc, argv);
   if (command == "serve") return autotune::CmdServe(argc, argv);
+  if (command == "kb") return autotune::CmdKb(argc, argv);
   if (command == "analyze") return autotune::CmdAnalyze(argc, argv);
   if (command == "bench-compare") {
     return autotune::CmdBenchCompare(argc, argv);
