@@ -1,0 +1,196 @@
+#include "common/lock_order.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace autotune {
+namespace lockorder {
+namespace {
+
+// The sentinel's own state is guarded by a plain `std::mutex`: using
+// `autotune::Mutex` here would recurse into these very hooks. (The static
+// `lock-discipline` rule exempts this file for the same reason.)
+struct Edge {
+  // Human-readable witness recorded the first time this edge was seen:
+  // which thread acquired `to` while holding which stack, so an inversion
+  // report can print *both* acquisition stacks.
+  std::string witness;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::uint64_t next_site = 1;
+  std::map<std::uint64_t, std::string> names;
+  // from-site -> to-site -> first witness. Ordered maps keep failure
+  // messages and DFS order deterministic for a given edge set.
+  std::map<std::uint64_t, std::map<std::uint64_t, Edge>> edges;
+  std::uint64_t edge_count = 0;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // Leaked: outlives all locks.
+  return *registry;
+}
+
+struct HeldStack {
+  std::vector<std::uint64_t> sites;
+};
+
+HeldStack& GetHeldStack() {
+  thread_local HeldStack stack;
+  return stack;
+}
+
+std::string NameLocked(const Registry& registry, std::uint64_t site) {
+  auto it = registry.names.find(site);
+  if (it != registry.names.end() && !it->second.empty()) {
+    return "`" + it->second + "` (site " + std::to_string(site) + ")";
+  }
+  return "site " + std::to_string(site);
+}
+
+std::string DescribeStackLocked(const Registry& registry,
+                                const std::vector<std::uint64_t>& sites) {
+  if (sites.empty()) return "<no locks held>";
+  std::string out;
+  for (std::uint64_t site : sites) {
+    if (!out.empty()) out += " -> ";
+    out += NameLocked(registry, site);
+  }
+  return out;
+}
+
+// Depth-first search for a path `from -> ... -> to` in the order graph.
+// Fills `path` with the sites along the way (excluding `from`).
+bool FindPathLocked(const Registry& registry, std::uint64_t from,
+                    std::uint64_t to, std::set<std::uint64_t>& visited,
+                    std::vector<std::uint64_t>& path) {
+  if (from == to) return true;
+  if (!visited.insert(from).second) return false;
+  auto it = registry.edges.find(from);
+  if (it == registry.edges.end()) return false;
+  for (const auto& [next, edge] : it->second) {
+    path.push_back(next);
+    if (FindPathLocked(registry, next, to, visited, path)) return true;
+    path.pop_back();
+  }
+  return false;
+}
+
+[[noreturn]] void ReportInversionLocked(const Registry& registry,
+                                        std::uint64_t held,
+                                        std::uint64_t attempted,
+                                        const std::vector<std::uint64_t>& path,
+                                        const HeldStack& stack) {
+  std::ostringstream message;
+  message << "AUTOTUNE DEADLOCK SENTINEL: lock-order inversion detected\n";
+  std::ostringstream thread_id;
+  thread_id << std::this_thread::get_id();
+  message << "  thread " << thread_id.str() << " is acquiring "
+          << NameLocked(registry, attempted) << " while holding: "
+          << DescribeStackLocked(registry, stack.sites) << "\n";
+  message << "  but the opposite order is already on record:\n";
+  // `path` walks attempted -> ... -> held; each hop carries the witness
+  // stack recorded when that hop was first seen.
+  std::uint64_t from = attempted;
+  for (std::uint64_t to : path) {
+    const Edge& edge = registry.edges.at(from).at(to);
+    message << "    " << NameLocked(registry, from) << " -> "
+            << NameLocked(registry, to) << ": " << edge.witness << "\n";
+    from = to;
+  }
+  message << "  cycle: " << NameLocked(registry, held) << " -> "
+          << NameLocked(registry, attempted);
+  from = attempted;
+  for (std::uint64_t to : path) {
+    message << " -> " << NameLocked(registry, to);
+    (void)from;
+    from = to;
+  }
+  message << "\n";
+  std::fprintf(stderr, "%s", message.str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+std::uint64_t RegisterLock(const void* addr, const char* name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const std::uint64_t site = registry.next_site++;
+  if (name != nullptr && name[0] != '\0') {
+    registry.names[site] = name;
+  } else {
+    char label[32];
+    std::snprintf(label, sizeof(label), "lock@%p", addr);
+    registry.names[site] = label;
+  }
+  return site;
+}
+
+void UnregisterLock(std::uint64_t site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.names.erase(site);
+}
+
+void OnLockAttempt(std::uint64_t site) {
+  HeldStack& stack = GetHeldStack();
+  if (stack.sites.empty()) return;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  // Would `held -> site` close a cycle? Equivalently: does a recorded path
+  // `site -> ... -> held` already exist for any held lock? Check before
+  // inserting so the offending edge itself is not part of the search.
+  for (std::uint64_t held : stack.sites) {
+    if (held == site) continue;  // Self-deadlock is TSan's department.
+    std::set<std::uint64_t> visited;
+    std::vector<std::uint64_t> path;
+    if (FindPathLocked(registry, site, held, visited, path)) {
+      ReportInversionLocked(registry, held, site, path, stack);
+    }
+  }
+  std::ostringstream thread_id;
+  thread_id << std::this_thread::get_id();
+  for (std::uint64_t held : stack.sites) {
+    if (held == site) continue;
+    Edge& edge = registry.edges[held][site];
+    if (edge.witness.empty()) {
+      edge.witness = "thread " + thread_id.str() + " acquired " +
+                     NameLocked(registry, site) + " while holding [" +
+                     DescribeStackLocked(registry, stack.sites) + "]";
+      ++registry.edge_count;
+    }
+  }
+}
+
+void OnLockAcquired(std::uint64_t site) {
+  GetHeldStack().sites.push_back(site);
+}
+
+void OnLockReleased(std::uint64_t site) {
+  std::vector<std::uint64_t>& sites = GetHeldStack().sites;
+  for (auto it = sites.rbegin(); it != sites.rend(); ++it) {
+    if (*it == site) {
+      sites.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::uint64_t EdgeCountForTest() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return registry.edge_count;
+}
+
+}  // namespace lockorder
+}  // namespace autotune

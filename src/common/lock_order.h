@@ -1,0 +1,52 @@
+#ifndef AUTOTUNE_COMMON_LOCK_ORDER_H_
+#define AUTOTUNE_COMMON_LOCK_ORDER_H_
+
+#include <cstdint>
+
+/// Runtime deadlock sentinel (a lockdep-style acquisition-order checker).
+///
+/// Compiled into `Mutex`/`CondVarLock` only when the `AUTOTUNE_DEADLOCK_CHECK`
+/// CMake option is ON (Debug CI leg). Every `Mutex` registers a site id at
+/// construction; a thread-local stack records which sites the current thread
+/// holds, and each acquisition records `held -> acquired` edges into a global
+/// order graph. The first acquisition that would close a cycle in that graph
+/// — i.e. the first lock-order inversion, whether or not the interleaving
+/// actually deadlocks this run — aborts with both acquisition stacks printed.
+///
+/// The static `lock-order` lint rule proves the same property over the code
+/// the linter can see; this sentinel catches what tokens cannot (function
+/// pointers, data-dependent paths) and turns every existing test and TSan
+/// hammer into a deadlock regression test for free.
+namespace autotune {
+namespace lockorder {
+
+/// Registers a lock instance and returns its site id. `name` is an optional
+/// human label used in failure messages (not owned; must outlive the lock —
+/// in practice a string literal). Ids are never reused, so a stale edge from
+/// a destroyed lock can never alias a live one.
+std::uint64_t RegisterLock(const void* addr, const char* name);
+
+/// Forgets a destroyed lock's name. Its edges stay in the graph but its id
+/// is retired, so they are unreachable from any future acquisition.
+void UnregisterLock(std::uint64_t site);
+
+/// Called before blocking on `site`: records `held -> site` edges for every
+/// lock the calling thread holds and aborts — printing this thread's held
+/// stack and the recorded witness stack of the reverse path — if any such
+/// edge closes a cycle in the global order graph.
+void OnLockAttempt(std::uint64_t site);
+
+/// Called after `site` is acquired: pushes it onto the thread's held stack.
+void OnLockAcquired(std::uint64_t site);
+
+/// Called before `site` is released: pops it from the thread's held stack
+/// (most-recent matching entry, so manual non-LIFO unlocks stay balanced).
+void OnLockReleased(std::uint64_t site);
+
+/// Number of distinct edges recorded so far (test introspection).
+std::uint64_t EdgeCountForTest();
+
+}  // namespace lockorder
+}  // namespace autotune
+
+#endif  // AUTOTUNE_COMMON_LOCK_ORDER_H_

@@ -6,29 +6,69 @@
 
 #include "common/thread_annotations.h"
 
+#ifdef AUTOTUNE_DEADLOCK_CHECK
+#include <cstdint>
+
+#include "common/lock_order.h"
+#endif
+
 namespace autotune {
 
 /// `std::mutex` wrapped as a Clang thread-safety *capability*, so fields can
 /// be declared `GUARDED_BY(mutex_)` and the analysis can verify the lock
 /// discipline at compile time (the standard mutex carries no annotations in
-/// libstdc++/libc++, so the analysis cannot see through it). Zero overhead:
-/// the wrapper is exactly a `std::mutex` plus attributes.
+/// libstdc++/libc++, so the analysis cannot see through it). Zero overhead in
+/// normal builds: the wrapper is exactly a `std::mutex` plus attributes.
+///
+/// Under the `AUTOTUNE_DEADLOCK_CHECK` CMake option every lock/unlock is
+/// additionally reported to the runtime deadlock sentinel
+/// (`common/lock_order.h`), which aborts on the first lock-order inversion.
+/// The optional constructor name labels this lock in sentinel reports and
+/// costs nothing when the sentinel is compiled out.
 class CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  Mutex() : Mutex(nullptr) {}
+#ifdef AUTOTUNE_DEADLOCK_CHECK
+  explicit Mutex(const char* name)
+      : site_(lockorder::RegisterLock(this, name)) {}
+  ~Mutex() { lockorder::UnregisterLock(site_); }
+#else
+  explicit Mutex(const char* name) { (void)name; }
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mutex_.lock(); }
-  void Unlock() RELEASE() { mutex_.unlock(); }
+  void Lock() ACQUIRE() {
+#ifdef AUTOTUNE_DEADLOCK_CHECK
+    lockorder::OnLockAttempt(site_);
+#endif
+    mutex_.lock();
+#ifdef AUTOTUNE_DEADLOCK_CHECK
+    lockorder::OnLockAcquired(site_);
+#endif
+  }
+  void Unlock() RELEASE() {
+#ifdef AUTOTUNE_DEADLOCK_CHECK
+    lockorder::OnLockReleased(site_);
+#endif
+    mutex_.unlock();
+  }
 
   /// The wrapped mutex, for APIs that need it (condition variables). The
   /// caller is responsible for keeping lock state consistent with what the
-  /// analysis believes.
+  /// analysis (and the deadlock sentinel) believes.
   std::mutex& native() { return mutex_; }
+
+#ifdef AUTOTUNE_DEADLOCK_CHECK
+  /// Sentinel site id, for wrappers that bypass `Lock()` (see `CondVarLock`).
+  std::uint64_t site() const { return site_; }
+#endif
 
  private:
   std::mutex mutex_;
+#ifdef AUTOTUNE_DEADLOCK_CHECK
+  std::uint64_t site_;
+#endif
 };
 
 /// RAII lock for `Mutex` — `std::lock_guard` with scoped-capability
@@ -51,10 +91,26 @@ class SCOPED_CAPABILITY MutexLock {
 /// `std::condition_variable` while keeping the capability annotations: the
 /// analysis treats the scope as holding the mutex, which is exactly the
 /// state whenever a wait predicate runs or the wait returns.
+///
+/// Because the `std::unique_lock` acquires through `Mutex::native()`, this
+/// class reports to the deadlock sentinel explicitly — including the
+/// release/reacquire pair inside `Wait`, which is a real unlock followed by
+/// a real (re)acquisition as far as lock ordering is concerned.
 class SCOPED_CAPABILITY CondVarLock {
  public:
-  explicit CondVarLock(Mutex& mutex) ACQUIRE(mutex) : lock_(mutex.native()) {}
+  explicit CondVarLock(Mutex& mutex) ACQUIRE(mutex)
+#ifdef AUTOTUNE_DEADLOCK_CHECK
+      : site_(mutex.site()), lock_(mutex.native(), std::defer_lock) {
+    lockorder::OnLockAttempt(site_);
+    lock_.lock();
+    lockorder::OnLockAcquired(site_);
+  }
+  ~CondVarLock() RELEASE() { lockorder::OnLockReleased(site_); }
+#else
+      : lock_(mutex.native()) {
+  }
   ~CondVarLock() RELEASE() {}
+#endif
 
   CondVarLock(const CondVarLock&) = delete;
   CondVarLock& operator=(const CondVarLock&) = delete;
@@ -63,10 +119,20 @@ class SCOPED_CAPABILITY CondVarLock {
   /// predicate is always evaluated with the mutex held.
   template <typename Predicate>
   void Wait(std::condition_variable& cv, Predicate predicate) {
+#ifdef AUTOTUNE_DEADLOCK_CHECK
+    lockorder::OnLockReleased(site_);
     cv.wait(lock_, std::move(predicate));
+    lockorder::OnLockAttempt(site_);
+    lockorder::OnLockAcquired(site_);
+#else
+    cv.wait(lock_, std::move(predicate));
+#endif
   }
 
  private:
+#ifdef AUTOTUNE_DEADLOCK_CHECK
+  std::uint64_t site_;
+#endif
   std::unique_lock<std::mutex> lock_;
 };
 

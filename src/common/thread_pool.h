@@ -69,7 +69,7 @@ class ThreadPool {
     TraceContext trace;
   };
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"common.thread_pool"};
   std::condition_variable cv_;
   std::deque<PendingTask> queue_ GUARDED_BY(mutex_);
   int64_t tasks_submitted_ GUARDED_BY(mutex_) = 0;

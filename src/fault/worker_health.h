@@ -61,7 +61,7 @@ class WorkerHealthTracker {
  private:
   const size_t slots_size_;
   const int quarantine_after_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"fault.worker_health"};
   std::vector<WorkerHealth> slots_ GUARDED_BY(mutex_);
   int64_t total_quarantines_ GUARDED_BY(mutex_) = 0;
 };

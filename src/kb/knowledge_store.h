@@ -93,7 +93,7 @@ class KnowledgeStore {
       const std::vector<double>& embedding, int k) const REQUIRES(mutex_);
 
   const IngestOptions options_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"kb.knowledge_store"};
   /// Keyed by source journal path — sorted, so iteration (and tie-breaks)
   /// are deterministic.
   std::map<std::string, SessionSummary> sessions_ GUARDED_BY(mutex_);

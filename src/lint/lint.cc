@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "lint/lock_rules.h"
+#include "lint/token.h"
 
 namespace autotune {
 namespace lint {
@@ -22,14 +24,6 @@ bool EndsWith(const std::string& text, const std::string& suffix) {
   return text.size() >= suffix.size() &&
          text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
              0;
-}
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
 }
 
 // ---- Comment / literal stripping -------------------------------------------
@@ -178,75 +172,8 @@ std::string BlankPreprocessor(const std::string& code) {
   return out;
 }
 
-// ---- Tokenizer -------------------------------------------------------------
-
-struct Token {
-  std::string text;
-  int line = 0;
-};
-
-std::vector<Token> Tokenize(const std::string& code) {
-  std::vector<Token> tokens;
-  int line = 1;
-  for (size_t i = 0; i < code.size();) {
-    const char c = code[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    if (IsIdentStart(c)) {
-      size_t j = i + 1;
-      while (j < code.size() && IsIdentChar(code[j])) ++j;
-      tokens.push_back({code.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      size_t j = i + 1;
-      while (j < code.size() && (IsIdentChar(code[j]) || code[j] == '.')) ++j;
-      tokens.push_back({code.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
-      tokens.push_back({"::", line});
-      i += 2;
-      continue;
-    }
-    if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
-      tokens.push_back({"->", line});
-      i += 2;
-      continue;
-    }
-    tokens.push_back({std::string(1, c), line});
-    ++i;
-  }
-  return tokens;
-}
-
-bool IsIdentToken(const Token& token) {
-  return !token.text.empty() && IsIdentStart(token.text[0]);
-}
-
-/// From `tokens[open]` == "<", returns the index one past the matching ">"
-/// (or `open` if the angles never close sanely — treat as "not a template").
-size_t SkipAngles(const std::vector<Token>& tokens, size_t open) {
-  int depth = 0;
-  for (size_t i = open; i < tokens.size() && i < open + 64; ++i) {
-    const std::string& t = tokens[i].text;
-    if (t == "<") ++depth;
-    if (t == ">") {
-      if (--depth == 0) return i + 1;
-    }
-    if (t == ";" || t == "{" || t == "}") break;
-  }
-  return open;
-}
+// The tokenizer lives in lint/token.{h,cc}, shared with the lock-graph
+// rules (lint/lock_rules.cc).
 
 // ---- Include extraction ----------------------------------------------------
 
@@ -659,8 +586,9 @@ std::string Finding::ToString() const {
 
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string>* rules = new std::vector<std::string>{
-      "determinism", "unchecked-status", "nodiscard", "layering",
-      "include-hygiene",
+      "determinism",     "unchecked-status", "nodiscard",
+      "layering",        "include-hygiene",  "lock-order",
+      "lock-discipline",
   };
   return *rules;
 }
@@ -707,6 +635,23 @@ std::vector<Finding> Linter::Run() {
     status_functions.erase(name);  // Ambiguous overloads: stay silent.
   }
 
+  // The lock rules are inter-procedural: they see the whole file set at
+  // once, then their findings are merged through each file's NOLINT filter
+  // below alongside the per-file rules.
+  std::map<std::string, std::vector<Finding>> lock_findings;
+  if (RuleEnabled("lock-order") || RuleEnabled("lock-discipline")) {
+    std::vector<LockRuleInput> inputs;
+    inputs.reserve(files_.size());
+    for (size_t i = 0; i < files_.size(); ++i) {
+      inputs.push_back({&files_[i].path, &tokens_per_file[i]});
+    }
+    for (Finding& finding :
+         RunLockRules(inputs, RuleEnabled("lock-order"),
+                      RuleEnabled("lock-discipline"))) {
+      lock_findings[finding.file].push_back(std::move(finding));
+    }
+  }
+
   // Pass 2: per-file rules.
   std::vector<Finding> findings;
   for (size_t i = 0; i < files_.size(); ++i) {
@@ -729,6 +674,12 @@ std::vector<Finding> Linter::Run() {
     }
     if (RuleEnabled("include-hygiene")) {
       RunIncludeHygieneRule(file.path, file.raw, tokens, &local);
+    }
+    const auto composed = lock_findings.find(file.path);
+    if (composed != lock_findings.end()) {
+      for (Finding& finding : composed->second) {
+        local.push_back(std::move(finding));
+      }
     }
     for (Finding& finding : local) {
       const auto nolint = file.nolint.find(finding.line);
@@ -876,7 +827,8 @@ std::vector<Finding> ApplyBaseline(const std::vector<Finding>& findings,
 
 // ---- Reporting -------------------------------------------------------------
 
-obs::Json FindingsToJson(const std::vector<Finding>& findings) {
+obs::Json FindingsToJson(const std::vector<Finding>& findings,
+                         int nolint_suppressed, int baseline_suppressed) {
   obs::Json::Array array;
   obs::Json::Object counts;
   for (const Finding& finding : findings) {
@@ -894,6 +846,8 @@ obs::Json FindingsToJson(const std::vector<Finding>& findings) {
   root["findings"] = obs::Json(std::move(array));
   root["counts"] = obs::Json(std::move(counts));
   root["total"] = obs::Json(int64_t{static_cast<int64_t>(findings.size())});
+  root["nolint_suppressed"] = obs::Json(int64_t{nolint_suppressed});
+  root["baseline_suppressed"] = obs::Json(int64_t{baseline_suppressed});
   return obs::Json(std::move(root));
 }
 

@@ -35,6 +35,12 @@ struct Finding {
 ///                    [[nodiscard]]
 ///   layering         include-graph violations between modules
 ///   include-hygiene  `using namespace` in headers; missing include guards
+///   lock-order       cycles in the global lock-acquisition graph, composed
+///                    inter-procedurally from MutexLock/CondVarLock scopes
+///                    (each cycle reported with a witness chain)
+///   lock-discipline  raw std::mutex/lock_guard/.lock() outside
+///                    src/common/mutex.h; blocking calls (waits, Evaluate,
+///                    sleeps, joins, flushes) made while a lock is held
 const std::vector<std::string>& AllRules();
 
 /// True if `rule` names a known rule.
@@ -125,8 +131,13 @@ std::vector<Finding> ApplyBaseline(const std::vector<Finding>& findings,
 // ---- Reporting -------------------------------------------------------------
 
 /// {"findings": [{"file", "line", "rule", "message"}, ...],
-///  "counts": {rule: n, ...}, "total": n}
-obs::Json FindingsToJson(const std::vector<Finding>& findings);
+///  "counts": {rule: n, ...}, "total": n,
+///  "nolint_suppressed": n, "baseline_suppressed": n}
+/// All strings pass through obs::Json, which escapes quotes, backslashes,
+/// and control characters — pathological paths/messages stay valid JSON.
+obs::Json FindingsToJson(const std::vector<Finding>& findings,
+                         int nolint_suppressed = 0,
+                         int baseline_suppressed = 0);
 
 /// Per-rule summary table (rule | findings) for the human report.
 Table SummaryTable(const std::vector<Finding>& findings);

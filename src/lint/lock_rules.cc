@@ -1,0 +1,817 @@
+#include "lint/lock_rules.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace autotune {
+namespace lint {
+namespace {
+
+// ---- Per-function lock model -----------------------------------------------
+//
+// The scanner reduces each function (including each lambda, analyzed as its
+// own anonymous function — a lambda body runs later, on some other stack, so
+// it must NOT inherit the held-lock state of its syntactic position) to two
+// event lists:
+//   acquires: `MutexLock`/`CondVarLock` declarations, with the stack of
+//             locks already held in this function at that point;
+//   calls:    every `name(...)` call, with the held stack at the call site —
+//             the raw material for inter-procedural composition.
+// Mutexes are identified by qualified name: a bare member `mutex_` inside
+// `ThreadPool::Enqueue` becomes `ThreadPool::mutex_`; a path expression like
+// `shard.mutex` is prefixed with the enclosing class (or file, outside any
+// class), so every method of one class agrees on one node per member.
+
+struct AcquireEvent {
+  std::string mutex;
+  int line = 0;
+  std::string var;      ///< RAII variable name (for the CondVarLock::Wait
+                        ///< own-lock exemption in lock-discipline).
+  bool condvar = false;
+  std::vector<std::string> held;  ///< Qualified names held before this.
+};
+
+struct CallEvent {
+  std::string callee;  ///< Base name as written at the call site.
+  int line = 0;
+  std::vector<std::string> held;
+};
+
+struct FunctionInfo {
+  std::string display;  ///< "ThreadPool::Enqueue", "f.cc:<lambda@42>".
+  std::string base;     ///< Call-matchable base name; empty for lambdas.
+  std::string file;
+  std::vector<AcquireEvent> acquires;
+  std::vector<CallEvent> calls;
+};
+
+// ---- Vocabulary ------------------------------------------------------------
+
+/// Files allowed to touch raw locking primitives: the annotated wrappers
+/// themselves and the deadlock sentinel (whose internal registry must use a
+/// plain `std::mutex` — an `autotune::Mutex` there would recurse into its
+/// own hooks).
+bool IsLockDisciplineExempt(const std::string& path) {
+  return path == "src/common/mutex.h" || path == "src/common/lock_order.h" ||
+         path == "src/common/lock_order.cc";
+}
+
+const std::set<std::string>& RawLockTypes() {
+  static const std::set<std::string>* types = new std::set<std::string>{
+      "mutex",       "recursive_mutex", "timed_mutex",
+      "shared_mutex", "lock_guard",     "unique_lock",
+      "scoped_lock", "shared_lock",
+  };
+  return *types;
+}
+
+/// Calls that block (or may block unboundedly) and therefore must not run
+/// while a `MutexLock` is in scope: condition-variable and future waits,
+/// trial evaluation, sleeps, thread joins, and file flushes.
+const std::set<std::string>& BlockingCalls() {
+  static const std::set<std::string>* calls = new std::set<std::string>{
+      "wait",     "wait_for", "wait_until", "Wait",    "Evaluate",
+      "sleep_for", "sleep_until", "usleep", "nanosleep", "join",
+      "Flush",    "flush",    "fflush",     "fsync",
+  };
+  return *calls;
+}
+
+/// Tokens that can directly precede a `(` without being a callee.
+const std::set<std::string>& NonCalleeKeywords() {
+  static const std::set<std::string>* keywords = new std::set<std::string>{
+      "if",       "for",      "while",    "switch",  "return",  "catch",
+      "sizeof",   "alignof",  "alignas",  "decltype", "noexcept", "typeid",
+      "new",      "delete",   "throw",    "co_await", "co_return",
+      "co_yield", "assert",   "int",      "char",    "bool",    "double",
+      "float",    "auto",     "void",     "long",    "short",   "unsigned",
+      "signed",   "operator",
+  };
+  return *keywords;
+}
+
+// ---- File scanner ----------------------------------------------------------
+
+class FileScanner {
+ public:
+  FileScanner(const std::string& path, const std::vector<Token>& tokens,
+              bool discipline, std::vector<FunctionInfo>* functions,
+              std::vector<Finding>* findings)
+      : path_(path),
+        tokens_(tokens),
+        discipline_(discipline && !IsLockDisciplineExempt(path)),
+        functions_(functions),
+        findings_(findings) {}
+
+  void Scan() {
+    if (discipline_) ScanRawPrimitives();
+    size_t i = 0;
+    while (i < tokens_.size()) {
+      if (InCodeBody()) {
+        i = ScanBodyToken(i);
+      } else {
+        i = ParseDeclaration(i);
+      }
+    }
+  }
+
+ private:
+  struct Context {
+    enum Kind { kNamespace, kClass, kEnum, kFunction, kLambda, kBlock };
+    Kind kind;
+    std::string name;        ///< Namespace/class name.
+    int function = -1;       ///< `functions_` index (kFunction/kLambda).
+    int saved_function = -1;  ///< Active function before entering.
+  };
+
+  struct Held {
+    std::string mutex;
+    std::string var;
+    bool condvar = false;
+    size_t depth = 0;  ///< Context-stack size at acquisition.
+  };
+
+  const std::string& Text(size_t i) const { return tokens_[i].text; }
+
+  bool InCodeBody() const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->kind == Context::kFunction || it->kind == Context::kLambda ||
+          it->kind == Context::kBlock || it->kind == Context::kEnum) {
+        return true;
+      }
+      if (it->kind == Context::kClass || it->kind == Context::kNamespace) {
+        return false;
+      }
+    }
+    return false;
+  }
+
+  std::string EnclosingClass() const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->kind == Context::kClass) return it->name;
+    }
+    return std::string();
+  }
+
+  // -- Raw-primitive pass (flat; declarations live outside function bodies) --
+
+  void ScanRawPrimitives() {
+    for (size_t i = 0; i < tokens_.size(); ++i) {
+      if (Text(i) == "std" && i + 2 < tokens_.size() && Text(i + 1) == "::" &&
+          RawLockTypes().count(Text(i + 2)) > 0) {
+        findings_->push_back(
+            {path_, tokens_[i].line, "lock-discipline",
+             "raw 'std::" + Text(i + 2) +
+                 "' — use autotune::Mutex/MutexLock (src/common/mutex.h) so "
+                 "thread-safety analysis and the deadlock sentinel see it"});
+        continue;
+      }
+      if ((Text(i) == "lock" || Text(i) == "unlock" ||
+           Text(i) == "try_lock") &&
+          i > 0 && (Text(i - 1) == "." || Text(i - 1) == "->") &&
+          i + 1 < tokens_.size() && Text(i + 1) == "(") {
+        findings_->push_back(
+            {path_, tokens_[i].line, "lock-discipline",
+             "raw '." + Text(i) +
+                 "()' call — manual lock management bypasses the annotated "
+                 "RAII wrappers in src/common/mutex.h"});
+      }
+    }
+  }
+
+  // -- Declaration parsing (namespace / class scope) --------------------------
+
+  size_t ParseDeclaration(size_t i) {
+    const std::string& t = Text(i);
+    if (t == "}") {
+      PopContext();
+      return i + 1;
+    }
+    if (t == ";") return i + 1;
+    if ((t == "public" || t == "private" || t == "protected") &&
+        i + 1 < tokens_.size() && Text(i + 1) == ":") {
+      return i + 2;
+    }
+    if (t == "namespace") return ParseNamespace(i);
+    if (t == "class" || t == "struct" || t == "union") return ParseClass(i);
+    if (t == "enum") return ParseEnum(i);
+    if (t == "template") {
+      if (i + 1 < tokens_.size() && Text(i + 1) == "<") {
+        const size_t closed = SkipAngles(tokens_, i + 1);
+        if (closed != i + 1) return closed;
+      }
+      return i + 1;
+    }
+    if (t == "using" || t == "typedef" || t == "static_assert" ||
+        t == "friend") {
+      return SkipToSemicolon(i);
+    }
+    return ParseDeclarator(i);
+  }
+
+  size_t ParseNamespace(size_t i) {
+    size_t j = i + 1;
+    std::string name;
+    while (j < tokens_.size() && IsIdentToken(tokens_[j])) {
+      name = Text(j);
+      ++j;
+      if (j < tokens_.size() && Text(j) == "::") ++j;
+    }
+    if (j < tokens_.size() && Text(j) == "{") {
+      stack_.push_back({Context::kNamespace, name, -1, -1});
+      return j + 1;
+    }
+    return SkipToSemicolon(i);  // `namespace fs = std::filesystem;`
+  }
+
+  size_t ParseClass(size_t i) {
+    // The class name is the last depth-0 identifier before `{`/`:`/`;` that
+    // is neither `final` nor a macro invocation (ident followed by `(`, like
+    // the CAPABILITY annotation macros).
+    std::string name;
+    size_t j = i + 1;
+    while (j < tokens_.size()) {
+      const std::string& t = Text(j);
+      if (t == ";") return j + 1;  // Forward declaration.
+      if (t == "{" || t == ":") break;
+      if (t == "(") {
+        j = SkipBalanced(j, "(", ")");
+        continue;
+      }
+      if (t == "<") {
+        const size_t closed = SkipAngles(tokens_, j);
+        j = closed == j ? j + 1 : closed;
+        continue;
+      }
+      if (IsIdentToken(tokens_[j]) && t != "final" &&
+          !(j + 1 < tokens_.size() && Text(j + 1) == "(")) {
+        name = t;
+      }
+      ++j;
+    }
+    // Base clause: scan to the body brace.
+    while (j < tokens_.size() && Text(j) != "{" && Text(j) != ";") ++j;
+    if (j < tokens_.size() && Text(j) == "{") {
+      stack_.push_back({Context::kClass, name, -1, -1});
+      return j + 1;
+    }
+    return j < tokens_.size() ? j + 1 : j;
+  }
+
+  size_t ParseEnum(size_t i) {
+    size_t j = i + 1;
+    while (j < tokens_.size() && Text(j) != "{" && Text(j) != ";") ++j;
+    if (j < tokens_.size() && Text(j) == "{") {
+      stack_.push_back({Context::kEnum, "", -1, -1});
+      return j + 1;
+    }
+    return j < tokens_.size() ? j + 1 : j;
+  }
+
+  /// Parses one declaration that may be a function definition: scans forward
+  /// for a parameter list `name(...)` and then either `;`/`=...;` (plain
+  /// declaration — skipped) or a body `{` (push a function context, walking
+  /// any constructor-initializer list to find the real body brace).
+  size_t ParseDeclarator(size_t i) {
+    std::string name;
+    std::string qualifier;
+    bool seen_params = false;
+    size_t j = i;
+    while (j < tokens_.size()) {
+      const std::string& t = Text(j);
+      if (t == ";") return j + 1;
+      if (t == "}") return j;  // Malformed; let the caller pop.
+      if (t == "=") return SkipToSemicolon(j);
+      if (t == "<") {
+        const size_t closed = SkipAngles(tokens_, j);
+        j = closed == j ? j + 1 : closed;
+        continue;
+      }
+      if (t == "operator" && !seen_params) {
+        size_t k = j + 1;
+        std::string symbol;
+        // `operator()` is the one case where the symbol itself is parens.
+        if (k + 1 < tokens_.size() && Text(k) == "(" && Text(k + 1) == ")") {
+          symbol = "()";
+          k += 2;
+        } else {
+          while (k < tokens_.size() && Text(k) != "(" && Text(k) != ";") {
+            symbol += Text(k);
+            ++k;
+          }
+        }
+        if (k >= tokens_.size() || Text(k) != "(") return SkipToSemicolon(j);
+        name = "operator" + symbol;
+        seen_params = true;
+        j = SkipBalanced(k, "(", ")");
+        continue;
+      }
+      if (t == "(") {
+        if (!seen_params && j > i && IsIdentToken(tokens_[j - 1])) {
+          name = Text(j - 1);
+          if (j >= 2 && Text(j - 2) == "~") name = "~" + name;
+          const size_t q = name[0] == '~' ? j - 2 : j - 1;
+          if (q >= 2 && Text(q - 1) == "::" && IsIdentToken(tokens_[q - 2])) {
+            qualifier = Text(q - 2);
+          }
+          seen_params = true;
+        }
+        j = SkipBalanced(j, "(", ")");
+        continue;
+      }
+      if (t == ":" && seen_params) {
+        const size_t body = SkipCtorInit(j);
+        if (body == 0) return SkipToSemicolon(j);
+        j = body;
+        continue;  // `Text(j)` is now the body `{`.
+      }
+      if (t == "{") {
+        if (seen_params && !name.empty()) {
+          PushFunction(name, qualifier);
+          return j + 1;
+        }
+        // Brace initializer at namespace/class scope: skip it.
+        j = SkipBalanced(j, "{", "}");
+        continue;
+      }
+      ++j;
+    }
+    return j;
+  }
+
+  /// From `:` after a parameter list, walks `member(init)` / `member{init}`
+  /// items to the body `{`. Returns its index, or 0 on a parse failure.
+  size_t SkipCtorInit(size_t colon) {
+    size_t j = colon + 1;
+    while (j < tokens_.size()) {
+      // Member (possibly qualified/templated base-class) name.
+      while (j < tokens_.size() &&
+             (IsIdentToken(tokens_[j]) || Text(j) == "::")) {
+        ++j;
+      }
+      if (j < tokens_.size() && Text(j) == "<") {
+        const size_t closed = SkipAngles(tokens_, j);
+        if (closed == j) return 0;
+        j = closed;
+      }
+      if (j >= tokens_.size()) return 0;
+      if (Text(j) == "(") {
+        j = SkipBalanced(j, "(", ")");
+      } else if (Text(j) == "{") {
+        // Could be `member{init}` or the body. The body is not followed by
+        // a comma-continued initializer; a `member{...}` always is (or is
+        // the last item, directly followed by the body brace).
+        const size_t after = SkipBalanced(j, "{", "}");
+        if (after < tokens_.size() &&
+            (Text(after) == "," || Text(after) == "{")) {
+          j = after;
+        } else {
+          return j;  // This brace was the body.
+        }
+      } else {
+        return 0;
+      }
+      if (j < tokens_.size() && Text(j) == ",") {
+        ++j;
+        continue;
+      }
+      if (j < tokens_.size() && Text(j) == "{") return j;
+      return 0;
+    }
+    return 0;
+  }
+
+  void PushFunction(const std::string& name, const std::string& qualifier) {
+    FunctionInfo function;
+    function.base = name;
+    function.file = path_;
+    const std::string owner =
+        !qualifier.empty() ? qualifier : EnclosingClass();
+    function.display = owner.empty() ? name : owner + "::" + name;
+    functions_->push_back(std::move(function));
+    Context context{Context::kFunction, owner,
+                    static_cast<int>(functions_->size()) - 1,
+                    current_function_};
+    current_function_ = context.function;
+    stack_.push_back(std::move(context));
+  }
+
+  // -- Function-body scanning -------------------------------------------------
+
+  size_t ScanBodyToken(size_t i) {
+    const std::string& t = Text(i);
+    if (t == "{") {
+      if (lambda_bodies_.count(i) > 0) {
+        PushLambda(tokens_[i].line);
+      } else {
+        stack_.push_back({Context::kBlock, "", -1, -1});
+      }
+      return i + 1;
+    }
+    if (t == "}") {
+      PopContext();
+      return i + 1;
+    }
+    if (t == "[") return ScanBracket(i);
+    if ((t == "MutexLock" || t == "CondVarLock") && i + 2 < tokens_.size() &&
+        IsIdentToken(tokens_[i + 1]) && Text(i + 2) == "(") {
+      return ScanAcquire(i, t == "CondVarLock");
+    }
+    if (IsIdentToken(tokens_[i]) && i + 1 < tokens_.size() &&
+        Text(i + 1) == "(" && NonCalleeKeywords().count(t) == 0) {
+      ScanCall(i);
+    }
+    return i + 1;
+  }
+
+  /// `[` in a body: an attribute (skip), a lambda introducer (mark its body
+  /// brace so `{` pushes a kLambda context), or a subscript (ignore).
+  size_t ScanBracket(size_t i) {
+    if (i + 1 < tokens_.size() && Text(i + 1) == "[") {
+      return SkipBalanced(i, "[", "]");  // [[attribute]]
+    }
+    static const std::set<std::string>* before_lambda =
+        new std::set<std::string>{"=",  "(", ",", "{",  "}",  ";", ":",
+                                  "return", "<", ">", "&&", "||", "?"};
+    if (i > 0 && !before_lambda->count(Text(i - 1))) return i + 1;
+    size_t j = SkipBalanced(i, "[", "]");
+    if (j < tokens_.size() && Text(j) == "(") j = SkipBalanced(j, "(", ")");
+    // Specifiers and an optional trailing return type, then the body.
+    for (int guard = 0; guard < 32 && j < tokens_.size(); ++guard) {
+      const std::string& t = Text(j);
+      if (t == "{") {
+        lambda_bodies_.insert(j);
+        break;
+      }
+      if (t == "mutable" || t == "noexcept" || t == "constexpr" ||
+          t == "->" || t == "::" || t == "*" || t == "&" ||
+          IsIdentToken(tokens_[j])) {
+        ++j;
+        continue;
+      }
+      if (t == "<") {
+        const size_t closed = SkipAngles(tokens_, j);
+        if (closed == j) break;
+        j = closed;
+        continue;
+      }
+      if (t == "(") {
+        j = SkipBalanced(j, "(", ")");
+        continue;
+      }
+      break;  // Not a lambda after all (e.g. an array designator).
+    }
+    return i + 1;  // Capture-list tokens are rescanned; they are harmless.
+  }
+
+  void PushLambda(int line) {
+    FunctionInfo function;
+    function.base = "";  // Lambdas are not call-matchable by name.
+    function.file = path_;
+    function.display =
+        path_ + ":<lambda@" + std::to_string(line) + ">";
+    functions_->push_back(std::move(function));
+    Context context{Context::kLambda, EnclosingClass(),
+                    static_cast<int>(functions_->size()) - 1,
+                    current_function_};
+    // The lambda body runs later on another stack: freeze the enclosing
+    // held-lock state and start the lambda with none. PopContext restores.
+    frozen_held_.push_back(std::move(held_));
+    held_.clear();
+    current_function_ = context.function;
+    stack_.push_back(std::move(context));
+  }
+
+  void PopContext() {
+    if (stack_.empty()) return;
+    const Context context = stack_.back();
+    stack_.pop_back();
+    if (context.kind == Context::kLambda) {
+      held_ = std::move(frozen_held_.back());
+      frozen_held_.pop_back();
+      current_function_ = context.saved_function;
+      return;
+    }
+    // Drop locks whose scope was the popped block/function.
+    while (!held_.empty() && held_.back().depth > stack_.size()) {
+      held_.pop_back();
+    }
+    if (context.kind == Context::kFunction) {
+      current_function_ = context.saved_function;
+    }
+  }
+
+  size_t ScanAcquire(size_t i, bool condvar) {
+    const std::string var = Text(i + 1);
+    const size_t open = i + 2;
+    const size_t close = SkipBalanced(open, "(", ")");
+    std::string mutex = ResolveMutexName(open + 1, close - 1);
+    if (current_function_ >= 0 && !mutex.empty()) {
+      AcquireEvent event;
+      event.mutex = mutex;
+      event.line = tokens_[i].line;
+      event.var = var;
+      event.condvar = condvar;
+      event.held = HeldNames();
+      (*functions_)[current_function_].acquires.push_back(std::move(event));
+    }
+    if (!mutex.empty()) {
+      held_.push_back({mutex, var, condvar, stack_.size()});
+    }
+    return close;
+  }
+
+  /// Qualified node name for the lock expression in tokens [begin, end):
+  /// a bare member is prefixed with the enclosing class (or the file path in
+  /// free functions); a path expression (`shard.mutex`, `GetRing().mutex`)
+  /// is concatenated and prefixed the same way. A leading `this->` is
+  /// stripped first so `this->mutex_` and `mutex_` agree.
+  std::string ResolveMutexName(size_t begin, size_t end) {
+    if (begin + 2 <= end && Text(begin) == "this" &&
+        Text(begin + 1) == "->") {
+      begin += 2;
+    }
+    if (begin >= end) return std::string();
+    std::string owner;
+    for (const auto& context : stack_) {
+      if (context.kind == Context::kClass ||
+          ((context.kind == Context::kFunction ||
+            context.kind == Context::kLambda) &&
+           !context.name.empty())) {
+        owner = context.name;
+      }
+    }
+    if (owner.empty()) owner = path_;
+    std::string expr;
+    for (size_t k = begin; k < end && k < tokens_.size(); ++k) {
+      expr += Text(k);
+    }
+    return owner + "::" + expr;
+  }
+
+  std::vector<std::string> HeldNames() const {
+    std::vector<std::string> names;
+    names.reserve(held_.size());
+    for (const Held& held : held_) names.push_back(held.mutex);
+    return names;
+  }
+
+  void ScanCall(size_t i) {
+    const std::string& callee = Text(i);
+    if (current_function_ >= 0) {
+      CallEvent event;
+      event.callee = callee;
+      event.line = tokens_[i].line;
+      event.held = HeldNames();
+      (*functions_)[current_function_].calls.push_back(std::move(event));
+    }
+    if (!discipline_ || held_.empty()) return;
+    if (BlockingCalls().count(callee) == 0) return;
+    // `lock.Wait(cv, ...)` on the lock's own CondVarLock is the sanctioned
+    // wait — but only when no *other* lock is held across it.
+    std::vector<std::string> other;
+    std::string own;
+    if (callee == "Wait" && i >= 2 &&
+        (Text(i - 1) == "." || Text(i - 1) == "->") &&
+        IsIdentToken(tokens_[i - 2])) {
+      own = Text(i - 2);
+    }
+    for (const Held& held : held_) {
+      if (!own.empty() && held.condvar && held.var == own) continue;
+      other.push_back(held.mutex);
+    }
+    if (other.empty()) return;
+    std::string held_list;
+    for (const std::string& name : other) {
+      held_list += (held_list.empty() ? "`" : ", `") + name + "`";
+    }
+    findings_->push_back(
+        {path_, tokens_[i].line, "lock-discipline",
+         "blocking call '" + callee + "' while holding " + held_list +
+             " — do the blocking work outside the critical section"});
+  }
+
+  // -- Small helpers ----------------------------------------------------------
+
+  size_t SkipBalanced(size_t open, const std::string& open_tok,
+                      const std::string& close_tok) const {
+    int depth = 0;
+    for (size_t j = open; j < tokens_.size(); ++j) {
+      if (Text(j) == open_tok) ++depth;
+      if (Text(j) == close_tok && --depth == 0) return j + 1;
+    }
+    return tokens_.size();
+  }
+
+  size_t SkipToSemicolon(size_t i) const {
+    int paren = 0, brace = 0, bracket = 0;
+    for (size_t j = i; j < tokens_.size(); ++j) {
+      const std::string& t = Text(j);
+      if (t == "(") ++paren;
+      if (t == ")") --paren;
+      if (t == "{") ++brace;
+      if (t == "}") {
+        --brace;
+        if (brace < 0) return j;  // Ran out of our scope.
+      }
+      if (t == "[") ++bracket;
+      if (t == "]") --bracket;
+      if (t == ";" && paren <= 0 && brace <= 0 && bracket <= 0) return j + 1;
+    }
+    return tokens_.size();
+  }
+
+  const std::string& path_;
+  const std::vector<Token>& tokens_;
+  const bool discipline_;
+  std::vector<FunctionInfo>* functions_;
+  std::vector<Finding>* findings_;
+
+  std::vector<Context> stack_;
+  std::vector<Held> held_;
+  std::vector<std::vector<Held>> frozen_held_;
+  std::set<size_t> lambda_bodies_;
+  int current_function_ = -1;
+};
+
+// ---- Inter-procedural composition and cycle detection ----------------------
+
+struct AcquireSite {
+  std::string file;
+  int line = 0;
+  std::string function;
+};
+
+struct OrderEdge {
+  std::string file;
+  int line = 0;
+  std::string description;
+};
+
+using EdgeMap = std::map<std::pair<std::string, std::string>, OrderEdge>;
+
+void AddEdge(EdgeMap* edges, const std::string& from, const std::string& to,
+             const std::string& file, int line,
+             const std::string& description) {
+  OrderEdge& edge = (*edges)[{from, to}];
+  if (edge.file.empty()) edge = {file, line, description};  // First witness.
+}
+
+/// DFS for a recorded path `from -> ... -> to`; fills `path` with the nodes
+/// after `from` (ending with `to`). Deterministic: neighbors visit in map
+/// (lexicographic) order.
+bool FindPath(const EdgeMap& edges, const std::string& from,
+              const std::string& to, std::set<std::string>* visited,
+              std::vector<std::string>* path) {
+  if (from == to) return true;
+  if (!visited->insert(from).second) return false;
+  const auto lower = edges.lower_bound({from, std::string()});
+  for (auto it = lower; it != edges.end() && it->first.first == from; ++it) {
+    path->push_back(it->first.second);
+    if (FindPath(edges, it->first.second, to, visited, path)) return true;
+    path->pop_back();
+  }
+  return false;
+}
+
+void RunLockOrder(const std::vector<FunctionInfo>& functions,
+                  std::vector<Finding>* findings) {
+  // Call-matchable functions by base name.
+  std::map<std::string, std::vector<size_t>> by_name;
+  for (size_t i = 0; i < functions.size(); ++i) {
+    if (!functions[i].base.empty()) by_name[functions[i].base].push_back(i);
+  }
+
+  // MayAcquire*: every mutex a function may acquire, directly or through
+  // any same-named callee, to fixpoint. Keeps the first-seen direct site
+  // per mutex as the witness.
+  std::vector<std::map<std::string, AcquireSite>> may(functions.size());
+  for (size_t i = 0; i < functions.size(); ++i) {
+    for (const AcquireEvent& acquire : functions[i].acquires) {
+      may[i].emplace(acquire.mutex,
+                     AcquireSite{functions[i].file, acquire.line,
+                                 functions[i].display});
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < functions.size(); ++i) {
+      for (const CallEvent& call : functions[i].calls) {
+        const auto targets = by_name.find(call.callee);
+        if (targets == by_name.end()) continue;
+        for (size_t target : targets->second) {
+          if (target == i) continue;
+          for (const auto& [mutex, site] : may[target]) {
+            if (may[i].emplace(mutex, site).second) changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // The global acquisition graph.
+  EdgeMap edges;
+  for (const FunctionInfo& function : functions) {
+    for (const AcquireEvent& acquire : function.acquires) {
+      for (const std::string& held : acquire.held) {
+        if (held == acquire.mutex) continue;
+        AddEdge(&edges, held, acquire.mutex, function.file, acquire.line,
+                function.display + " acquires `" + acquire.mutex +
+                    "` while holding `" + held + "`");
+      }
+    }
+    for (const CallEvent& call : function.calls) {
+      if (call.held.empty()) continue;
+      const auto targets = by_name.find(call.callee);
+      if (targets == by_name.end()) continue;
+      for (size_t target : targets->second) {
+        if (functions[target].display == function.display) continue;
+        for (const auto& [mutex, site] : may[target]) {
+          for (const std::string& held : call.held) {
+            if (held == mutex) continue;
+            AddEdge(&edges, held, mutex, function.file, call.line,
+                    function.display + " calls " + functions[target].display +
+                        " (which may acquire `" + mutex + "` at " + site.file +
+                        ":" + std::to_string(site.line) +
+                        ") while holding `" + held + "`");
+          }
+        }
+      }
+    }
+  }
+
+  // Every edge that closes a recorded reverse path is a cycle; canonicalize
+  // (rotate to the lexicographically smallest node) so each distinct cycle
+  // reports exactly once, at its first witness edge.
+  std::set<std::string> reported;
+  for (const auto& [key, edge] : edges) {
+    std::set<std::string> visited;
+    std::vector<std::string> back_path;
+    if (!FindPath(edges, key.second, key.first, &visited, &back_path)) {
+      continue;
+    }
+    std::vector<std::string> cycle;  // n0 -> n1 -> ... -> n0.
+    cycle.push_back(key.first);
+    cycle.push_back(key.second);
+    for (size_t i = 0; i + 1 < back_path.size(); ++i) {
+      cycle.push_back(back_path[i]);
+    }
+    const size_t smallest =
+        std::min_element(cycle.begin(), cycle.end()) - cycle.begin();
+    std::rotate(cycle.begin(), cycle.begin() + smallest, cycle.end());
+    std::string canonical;
+    for (const std::string& node : cycle) canonical += node + "|";
+    if (!reported.insert(canonical).second) continue;
+
+    std::string chain;
+    const OrderEdge* first_edge = nullptr;
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      const std::string& from = cycle[i];
+      const std::string& to = cycle[(i + 1) % cycle.size()];
+      const OrderEdge& witness = edges.at({from, to});
+      if (first_edge == nullptr) first_edge = &witness;
+      if (!chain.empty()) chain += ", ";
+      chain += "`" + from + "` -> `" + to + "` at " + witness.file + ":" +
+               std::to_string(witness.line) + " (" + witness.description +
+               ")";
+    }
+    findings->push_back({first_edge->file, first_edge->line, "lock-order",
+                         "lock acquisition cycle: " + chain});
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> RunLockRules(const std::vector<LockRuleInput>& files,
+                                  bool order_enabled,
+                                  bool discipline_enabled) {
+  std::vector<Finding> findings;
+  if (!order_enabled && !discipline_enabled) return findings;
+  std::vector<FunctionInfo> functions;
+  for (const LockRuleInput& file : files) {
+    std::vector<Finding> discipline;
+    FileScanner scanner(*file.path, *file.tokens, discipline_enabled,
+                        &functions, &discipline);
+    scanner.Scan();
+    for (Finding& finding : discipline) findings.push_back(std::move(finding));
+  }
+  if (order_enabled) RunLockOrder(functions, &findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.message < b.message;
+            });
+  return findings;
+}
+
+}  // namespace lint
+}  // namespace autotune

@@ -1,0 +1,51 @@
+#ifndef AUTOTUNE_LINT_LOCK_RULES_H_
+#define AUTOTUNE_LINT_LOCK_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/token.h"
+
+namespace autotune {
+namespace lint {
+
+struct Finding;
+
+/// One linted file as seen by the lock rules: its reporting path and the
+/// token stream over the comment/literal/preprocessor-stripped text (the
+/// same stream the other token rules consume). Pointers are borrowed and
+/// must outlive the `RunLockRules` call.
+struct LockRuleInput {
+  const std::string* path = nullptr;
+  const std::vector<Token>* tokens = nullptr;
+};
+
+/// Runs the two lock rules over the whole file set at once:
+///
+///   lock-order       reconstructs per-function `MutexLock`/`CondVarLock`
+///                    acquisition scopes (mutex members resolved by
+///                    qualified name), composes them inter-procedurally
+///                    along call edges (callees matched by base name) into
+///                    one global acquisition graph, and reports every cycle
+///                    with a witness chain (`A -> B at f.cc:N, B -> A at
+///                    g.cc:M`). Each cycle is one finding, attributed to its
+///                    first witness edge, so NOLINT / the baseline apply at
+///                    that acquisition site.
+///   lock-discipline  flags raw `std::mutex` / `std::lock_guard` /
+///                    `.lock()` use outside src/common/mutex.h (the
+///                    annotated, sentinel-instrumented wrappers), and
+///                    known-blocking calls (condition-variable / future
+///                    waits, `Environment::Evaluate`, sleeps, joins, file
+///                    flushes) made while a `MutexLock` is in scope.
+///
+/// The analysis is inter-procedural, so it must see the whole file set
+/// (unlike the per-file rules); findings come back sorted by file/line for
+/// the caller to merge through the per-file NOLINT filter.
+std::vector<Finding> RunLockRules(const std::vector<LockRuleInput>& files,
+                                  bool order_enabled,
+                                  bool discipline_enabled);
+
+}  // namespace lint
+}  // namespace autotune
+
+#endif  // AUTOTUNE_LINT_LOCK_RULES_H_

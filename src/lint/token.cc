@@ -1,0 +1,68 @@
+#include "lint/token.h"
+
+namespace autotune {
+namespace lint {
+
+std::vector<Token> Tokenize(const std::string& code) {
+  std::vector<Token> tokens;
+  int line = 1;
+  for (size_t i = 0; i < code.size();) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < code.size() && IsIdentChar(code[j])) ++j;
+      tokens.push_back({code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;
+      while (j < code.size() && (IsIdentChar(code[j]) || code[j] == '.')) ++j;
+      tokens.push_back({code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+      tokens.push_back({"::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
+      tokens.push_back({"->", line});
+      i += 2;
+      continue;
+    }
+    tokens.push_back({std::string(1, c), line});
+    ++i;
+  }
+  return tokens;
+}
+
+bool IsIdentToken(const Token& token) {
+  return !token.text.empty() && IsIdentStart(token.text[0]);
+}
+
+size_t SkipAngles(const std::vector<Token>& tokens, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < tokens.size() && i < open + 64; ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "<") ++depth;
+    if (t == ">") {
+      if (--depth == 0) return i + 1;
+    }
+    if (t == ";" || t == "{" || t == "}") break;
+  }
+  return open;
+}
+
+}  // namespace lint
+}  // namespace autotune

@@ -1,0 +1,42 @@
+#ifndef AUTOTUNE_LINT_TOKEN_H_
+#define AUTOTUNE_LINT_TOKEN_H_
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+/// The shared token layer under the lint rules: a flat token stream over
+/// comment/literal-stripped source (see `StripCommentsAndLiterals` in
+/// lint.cc), with line numbers preserved. Split out of lint.cc so the
+/// lock-graph rules (lock_rules.cc) can share one tokenizer.
+namespace autotune {
+namespace lint {
+
+inline bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+inline bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+/// Splits stripped code into identifiers, numbers, `::`, `->`, and single
+/// punctuation characters. Whitespace (and the blanks left by stripping)
+/// separates tokens.
+std::vector<Token> Tokenize(const std::string& code);
+
+[[nodiscard]] bool IsIdentToken(const Token& token);
+
+/// From `tokens[open]` == "<", returns the index one past the matching ">"
+/// (or `open` if the angles never close sanely — treat as "not a template").
+[[nodiscard]] size_t SkipAngles(const std::vector<Token>& tokens, size_t open);
+
+}  // namespace lint
+}  // namespace autotune
+
+#endif  // AUTOTUNE_LINT_TOKEN_H_

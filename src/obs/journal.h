@@ -79,7 +79,7 @@ class Journal {
   /// Written and flushed only on the single writer thread (and in the
   /// destructor, after the writer has joined).
   std::FILE* file_;
-  Mutex mutex_;  ///< Orders seq stamping with queue submission.
+  Mutex mutex_{"obs.journal"};  ///< Orders seq stamping with queue submission.
   /// Incremented only under `mutex_` (atomic so `events_written()` can read
   /// it from any thread without taking the lock).
   std::atomic<int64_t> next_seq_{0};

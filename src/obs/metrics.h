@@ -131,7 +131,7 @@ class MetricsRegistry {
   static constexpr size_t kNumShards = 16;
 
   struct Shard {
-    mutable Mutex mutex;
+    mutable Mutex mutex{"obs.metrics_shard"};
     std::map<std::string, std::unique_ptr<Counter>> counters
         GUARDED_BY(mutex);
     std::map<std::string, std::unique_ptr<Gauge>> gauges GUARDED_BY(mutex);

@@ -35,7 +35,7 @@ uint64_t ThisThreadId() {
 /// (microseconds and up), so contention here is negligible next to the
 /// work being traced.
 struct Ring {
-  Mutex mutex;
+  Mutex mutex{"obs.trace_ring"};
   std::vector<SpanRecord> records GUARDED_BY(mutex);
   size_t capacity GUARDED_BY(mutex) = 8192;
   size_t next GUARDED_BY(mutex) = 0;  ///< Overwrite position once full.

@@ -276,24 +276,40 @@ Status ExperimentManager::Resume(const std::string& name) {
 }
 
 Status ExperimentManager::Cancel(const std::string& name) {
+  Experiment* e = nullptr;
+  {
+    MutexLock lock(mutex_);
+    auto it = experiments_.find(name);
+    if (it == experiments_.end()) {
+      return Status::NotFound("no experiment '" + name + "'");
+    }
+    e = it->second.get();
+    if (IsTerminal(e->state)) return Status::OK();
+    e->state = ExperimentState::kCancelled;
+    e->message = "cancelled";
+    if (e->in_flight || e->loop == nullptr || e->result.has_value()) {
+      // Either a worker owns the loop (it observes the cancelled state and
+      // finalizes) or there is nothing left to finalize.
+      UpdateGaugesLocked();
+      cv_.notify_all();
+      return Status::OK();
+    }
+    // Claim the in-flight token: Finish() needs exclusive ownership of the
+    // tuning stack, and it must not run under the manager mutex (it may
+    // re-evaluate the incumbent, which blocks on pool/environment locks).
+    e->in_flight = true;
+    ++in_flight_count_;
+  }
+
+  TuningResult result = e->loop->Finish();
+
   MutexLock lock(mutex_);
-  auto it = experiments_.find(name);
-  if (it == experiments_.end()) {
-    return Status::NotFound("no experiment '" + name + "'");
-  }
-  Experiment* e = it->second.get();
-  if (IsTerminal(e->state)) return Status::OK();
-  e->state = ExperimentState::kCancelled;
-  e->message = "cancelled";
-  if (!e->in_flight && e->loop != nullptr && !e->result.has_value()) {
-    // Nobody owns the loop right now, so finalize inline. (If a trial is in
-    // flight, its worker observes the cancelled state and finalizes.)
-    TuningResult result = e->loop->Finish();
-    e->degraded = result.degraded;
-    e->result = std::move(result);
-    SyncProgressLocked(e);
-    FinalizeTraceLocked(e);
-  }
+  e->degraded = result.degraded;
+  e->result = std::move(result);
+  SyncProgressLocked(e);
+  FinalizeTraceLocked(e);
+  e->in_flight = false;
+  --in_flight_count_;
   UpdateGaugesLocked();
   cv_.notify_all();
   return Status::OK();

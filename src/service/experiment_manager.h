@@ -203,7 +203,7 @@ class ExperimentManager {
   ThreadPool* pool_;
   size_t max_concurrent_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"service.experiment_manager"};
   std::condition_variable cv_;
   std::map<std::string, std::unique_ptr<Experiment>> experiments_
       GUARDED_BY(mutex_);

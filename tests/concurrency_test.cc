@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/lock_order.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "core/parallel_runner.h"
 #include "fault/worker_health.h"
@@ -473,6 +475,53 @@ TEST(ConcurrencyTest, TraceSpansFromManyThreads) {
       registry.GetHistogram("span.concurrency.test.span1")->count();
   EXPECT_EQ(total, kThreads * 50);
 }
+
+
+#ifdef AUTOTUNE_DEADLOCK_CHECK
+
+// A consistent global order never trips the sentinel; it only grows the
+// order graph. (Two threads so the edges come from different held stacks.)
+TEST(DeadlockSentinelTest, ConsistentOrderRecordsEdgesWithoutAborting) {
+  Mutex outer("sentinel_test_outer");
+  Mutex inner("sentinel_test_inner");
+  const std::uint64_t before = lockorder::EdgeCountForTest();
+  std::thread worker([&]() {
+    MutexLock a(outer);
+    MutexLock b(inner);
+  });
+  worker.join();
+  {
+    MutexLock a(outer);
+    MutexLock b(inner);
+  }
+  EXPECT_GE(lockorder::EdgeCountForTest(), before + 1);
+}
+
+// The seeded inversion: this thread records alpha -> beta, a second thread
+// then attempts alpha while holding beta. The sentinel must abort on that
+// attempt — before any actual deadlock can form — printing the acquiring
+// thread's held stack and the recorded witness stack (both lock names).
+TEST(DeadlockSentinelDeathTest, TripsOnInvertedAcquisitionOrder) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex alpha("sentinel_test_alpha");
+        Mutex beta("sentinel_test_beta");
+        {
+          MutexLock a(alpha);
+          MutexLock b(beta);  // NOLINT(lock-order) — seeded inversion.
+        }
+        std::thread inverted([&]() {
+          MutexLock b(beta);
+          MutexLock a(alpha);  // NOLINT(lock-order) — seeded inversion.
+        });
+        inverted.join();
+      },
+      "AUTOTUNE DEADLOCK SENTINEL: lock-order inversion detected"
+      "(.|\n)*sentinel_test_alpha(.|\n)*sentinel_test_beta");
+}
+
+#endif  // AUTOTUNE_DEADLOCK_CHECK
 
 }  // namespace
 }  // namespace autotune

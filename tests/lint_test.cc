@@ -344,6 +344,33 @@ TEST(LintReportTest, JsonOutputShape) {
   EXPECT_EQ(counts->GetInt("nodiscard", -1), 1);
 }
 
+TEST(LintReportTest, JsonEscapesPathologicalStrings) {
+  // Quotes, backslashes, and control characters in paths/messages must
+  // survive a parse round-trip — the payload stays machine-readable.
+  Finding weird;
+  weird.file = "dir/we\"ird\\name\t.cc";
+  weird.line = 3;
+  weird.rule = "lock-order";
+  weird.message = "cycle: \"a\" -> b\nline2\x01" "end";
+  const obs::Json json = FindingsToJson({weird}, /*nolint_suppressed=*/2,
+                                        /*baseline_suppressed=*/1);
+  const Result<obs::Json> parsed = obs::Json::Parse(json.Pretty());
+  ASSERT_TRUE(parsed.ok()) << json.Pretty();
+  const Result<obs::Json> list = parsed->Get("findings");
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->AsArray().size(), 1u);
+  EXPECT_EQ(list->AsArray()[0].GetString("file", ""), weird.file);
+  EXPECT_EQ(list->AsArray()[0].GetString("message", ""), weird.message);
+  EXPECT_EQ(parsed->GetInt("nolint_suppressed", -1), 2);
+  EXPECT_EQ(parsed->GetInt("baseline_suppressed", -1), 1);
+}
+
+TEST(LintReportTest, JsonDefaultsSuppressedCountsToZero) {
+  const obs::Json json = FindingsToJson({});
+  EXPECT_EQ(json.GetInt("nolint_suppressed", -1), 0);
+  EXPECT_EQ(json.GetInt("baseline_suppressed", -1), 0);
+}
+
 TEST(LintReportTest, SummaryTableListsEveryRule) {
   const Table table = SummaryTable({MakeFinding("a.cc", 1, "layering")});
   EXPECT_EQ(table.num_rows(), AllRules().size());
@@ -365,7 +392,184 @@ TEST(LintRulesTest, KnownRuleRegistry) {
   EXPECT_TRUE(IsKnownRule("nodiscard"));
   EXPECT_TRUE(IsKnownRule("layering"));
   EXPECT_TRUE(IsKnownRule("include-hygiene"));
+  EXPECT_TRUE(IsKnownRule("lock-order"));
+  EXPECT_TRUE(IsKnownRule("lock-discipline"));
   EXPECT_FALSE(IsKnownRule("made-up"));
+}
+
+// ---- lock-order ------------------------------------------------------------
+
+/// Two methods of one class taking the same pair of locks in opposite
+/// orders — the minimal inversion.
+constexpr char kInvertedPair[] =
+    "void Foo::First() {\n"
+    "  MutexLock a(mu_a_);\n"
+    "  MutexLock b(mu_b_);\n"
+    "}\n"
+    "void Foo::Second() {\n"
+    "  MutexLock b(mu_b_);\n"
+    "  MutexLock a(mu_a_);\n"
+    "}\n";
+
+TEST(LintLockOrderTest, FlagsInvertedPairWithWitnessChain) {
+  Linter linter;
+  linter.SetRules({"lock-order"});
+  linter.AddFile("src/x/cycle.cc", kInvertedPair);
+  const auto findings = linter.Run();
+  ASSERT_EQ(CountRule(findings, "lock-order"), 1);
+  const std::string& msg = findings[0].message;
+  // The witness chain names both locks, both directions, and cites
+  // file:line for each hop.
+  EXPECT_NE(msg.find("lock acquisition cycle"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("`Foo::mu_a_` -> `Foo::mu_b_`"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("`Foo::mu_b_` -> `Foo::mu_a_`"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("src/x/cycle.cc:3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("src/x/cycle.cc:7"), std::string::npos) << msg;
+}
+
+TEST(LintLockOrderTest, ConsistentOrderIsClean) {
+  Linter linter;
+  linter.SetRules({"lock-order"});
+  linter.AddFile("src/x/clean.cc",
+                 "void Foo::First() {\n"
+                 "  MutexLock a(mu_a_);\n"
+                 "  MutexLock b(mu_b_);\n"
+                 "}\n"
+                 "void Foo::Second() {\n"
+                 "  MutexLock a(mu_a_);\n"
+                 "  MutexLock b(mu_b_);\n"
+                 "}\n");
+  EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(LintLockOrderTest, ComposesAcrossCallEdgesAndFiles) {
+  // Outer holds a_ and calls Helper, which acquires b_ (in another file);
+  // Other takes b_ then a_. The cycle only exists inter-procedurally.
+  Linter linter;
+  linter.SetRules({"lock-order"});
+  linter.AddFile("src/x/one.cc",
+                 "void Foo::Helper() {\n"
+                 "  MutexLock hold(mu_b_);\n"
+                 "}\n"
+                 "void Foo::Outer() {\n"
+                 "  MutexLock hold(mu_a_);\n"
+                 "  Helper();\n"
+                 "}\n");
+  linter.AddFile("src/x/two.cc",
+                 "void Foo::Other() {\n"
+                 "  MutexLock hold(mu_b_);\n"
+                 "  MutexLock hold2(mu_a_);\n"
+                 "}\n");
+  const auto findings = linter.Run();
+  ASSERT_EQ(CountRule(findings, "lock-order"), 1);
+  const std::string& msg = findings[0].message;
+  EXPECT_NE(msg.find("calls Foo::Helper"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("may acquire"), std::string::npos) << msg;
+}
+
+TEST(LintLockOrderTest, LambdaBodiesDoNotInheritHeldLocks) {
+  // The lambda handed to the pool runs later, on another thread's stack:
+  // holding a_ at the Submit site must not create an a_ -> b_ edge.
+  Linter linter;
+  linter.SetRules({"lock-order"});
+  linter.AddFile("src/x/async.cc",
+                 "void Foo::Kick() {\n"
+                 "  MutexLock hold(mu_a_);\n"
+                 "  pool_->Submit([this] {\n"
+                 "    MutexLock inner(mu_b_);\n"
+                 "  });\n"
+                 "}\n"
+                 "void Foo::Other() {\n"
+                 "  MutexLock hold(mu_b_);\n"
+                 "  MutexLock hold2(mu_a_);\n"
+                 "}\n");
+  EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(LintLockOrderTest, NolintOnWitnessLineSuppresses) {
+  // The cycle reports at its first witness edge (the smaller node's
+  // acquisition); a NOLINT there is the targeted escape hatch.
+  Linter linter;
+  linter.SetRules({"lock-order"});
+  linter.AddFile("src/x/cycle.cc",
+                 "void Foo::First() {\n"
+                 "  MutexLock a(mu_a_);\n"
+                 "  MutexLock b(mu_b_);  // NOLINT(lock-order)\n"
+                 "}\n"
+                 "void Foo::Second() {\n"
+                 "  MutexLock b(mu_b_);\n"
+                 "  MutexLock a(mu_a_);\n"
+                 "}\n");
+  EXPECT_TRUE(linter.Run().empty());
+  EXPECT_EQ(linter.nolint_suppressed(), 1);
+}
+
+TEST(LintLockOrderTest, BaselineRatchetAbsorbsKnownCycle) {
+  Linter linter;
+  linter.SetRules({"lock-order"});
+  linter.AddFile("src/x/cycle.cc", kInvertedPair);
+  const auto findings = linter.Run();
+  ASSERT_EQ(findings.size(), 1u);
+  Baseline baseline;
+  baseline[{"src/x/cycle.cc", "lock-order"}] = 1;
+  int suppressed = 0;
+  EXPECT_TRUE(ApplyBaseline(findings, baseline, &suppressed).empty());
+  EXPECT_EQ(suppressed, 1);
+}
+
+// ---- lock-discipline -------------------------------------------------------
+
+TEST(LintLockDisciplineTest, FlagsRawPrimitives) {
+  Linter linter;
+  linter.SetRules({"lock-discipline"});
+  linter.AddFile("src/x/raw.cc",
+                 "void F() {\n"
+                 "  std::mutex m;\n"
+                 "  std::lock_guard<std::mutex> hold(m);\n"
+                 "  m.lock();\n"
+                 "  m.unlock();\n"
+                 "}\n");
+  // std::mutex, lock_guard + its template argument, .lock(), .unlock().
+  EXPECT_EQ(CountRule(linter.Run(), "lock-discipline"), 5);
+}
+
+TEST(LintLockDisciplineTest, ExemptsTheWrapperItself) {
+  Linter linter;
+  linter.SetRules({"lock-discipline"});
+  linter.AddFile("src/common/mutex.h",
+                 "class Mutex {\n"
+                 "  std::mutex mutex_;\n"
+                 "};\n");
+  EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(LintLockDisciplineTest, FlagsBlockingCallUnderLock) {
+  Linter linter;
+  linter.SetRules({"lock-discipline"});
+  linter.AddFile("src/x/block.cc",
+                 "void Foo::F() {\n"
+                 "  MutexLock hold(mu_);\n"
+                 "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+                 "}\n");
+  const auto findings = linter.Run();
+  ASSERT_EQ(CountRule(findings, "lock-discipline"), 1);
+  EXPECT_NE(findings[0].message.find("sleep_for"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("Foo::mu_"), std::string::npos);
+}
+
+TEST(LintLockDisciplineTest, CondVarWaitOnOwnLockIsExempt) {
+  // CondVarLock::Wait releases its own lock while blocked — that is the
+  // sanctioned pattern, not a blocking call under a held lock.
+  Linter linter;
+  linter.SetRules({"lock-discipline"});
+  linter.AddFile("src/x/wait.cc",
+                 "void Foo::WaitDone() {\n"
+                 "  CondVarLock lock(mu_);\n"
+                 "  lock.Wait(cv_, [this] { return done_; });\n"
+                 "}\n");
+  EXPECT_TRUE(linter.Run().empty());
 }
 
 }  // namespace

@@ -13,13 +13,13 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/mutex.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "kb/knowledge_store.h"
@@ -51,7 +51,7 @@ std::string TempPath(const std::string& name) {
 class RecordingEnvironment : public Environment {
  public:
   RecordingEnvironment(std::string tag, std::vector<std::string>* order,
-                       std::mutex* order_mutex, int delay_ms = 0)
+                       Mutex* order_mutex, int delay_ms = 0)
       : tag_(std::move(tag)),
         order_(order),
         order_mutex_(order_mutex),
@@ -65,7 +65,7 @@ class RecordingEnvironment : public Environment {
   BenchmarkResult Run(const Configuration& config, double /*fidelity*/,
                       Rng* /*rng*/) override {
     if (order_ != nullptr) {
-      std::lock_guard<std::mutex> hold(*order_mutex_);
+      MutexLock hold(*order_mutex_);
       order_->push_back(tag_);
     }
     if (delay_ms_ > 0) {
@@ -81,7 +81,7 @@ class RecordingEnvironment : public Environment {
  private:
   std::string tag_;
   std::vector<std::string>* order_;
-  std::mutex* order_mutex_;
+  Mutex* order_mutex_;
   int delay_ms_;
   ConfigSpace space_;
 };
@@ -160,7 +160,7 @@ TEST(ExperimentManagerTest, RejectsMalformedAndDuplicateSpecs) {
 
 TEST(ExperimentManagerTest, FairShareDispatchesProportionallyToWeight) {
   std::vector<std::string> order;
-  std::mutex order_mutex;
+  Mutex order_mutex{"test.order_log"};
   auto recording_spec = [&](const std::string& tag, double weight) {
     service::ExperimentSpec spec = SphereSpec(tag, 60, weight);
     spec.make_environment = [&, tag]() {
@@ -750,7 +750,9 @@ TEST(ExperimentManagerTest, WarmStartSeedsOptimizerAndJournalsPayload) {
 
   // Status JSON exposes the warm-start fields per experiment.
   const obs::Json json = manager.StatusJson();
-  const obs::Json& entry = json.Get("experiments")->AsArray()[0];
+  const Result<obs::Json> experiments = json.Get("experiments");
+  ASSERT_TRUE(experiments.ok());
+  const obs::Json& entry = experiments->AsArray()[0];
   EXPECT_TRUE(entry.GetBool("warm_started", false));
   EXPECT_EQ(entry.GetInt("warm_samples", 0), 3);
 }

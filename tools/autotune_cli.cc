@@ -1078,7 +1078,11 @@ int CmdLintReport(int argc, char** argv) {
   }
   const std::vector<lint::Finding> findings = linter.Run();
   if (json) {
-    std::printf("%s\n", lint::FindingsToJson(findings).Pretty().c_str());
+    std::printf("%s\n",
+                lint::FindingsToJson(findings, linter.nolint_suppressed(),
+                                     /*baseline_suppressed=*/0)
+                    .Pretty()
+                    .c_str());
   } else {
     for (const lint::Finding& finding : findings) {
       std::printf("%s\n", finding.ToString().c_str());

@@ -200,7 +200,11 @@ int main(int argc, char** argv) {
       lint::ApplyBaseline(all_findings, baseline, &baselined);
 
   if (options.json) {
-    std::printf("%s\n", lint::FindingsToJson(findings).Pretty().c_str());
+    std::printf("%s\n",
+                lint::FindingsToJson(findings, linter.nolint_suppressed(),
+                                     baselined)
+                    .Pretty()
+                    .c_str());
   } else {
     for (const lint::Finding& finding : findings) {
       std::printf("%s\n", finding.ToString().c_str());
