@@ -1,0 +1,352 @@
+// E30: live control-plane latency. Sixteen mixed tenants are admitted one
+// by one — through ControlPlane::Admit, the same path POST /experiments
+// takes — into an ALREADY BUSY four-worker service, and two user-facing
+// latencies are measured end to end:
+//
+//   admission-to-first-trial   Admit() returning -> the tenant's own
+//                              environment runs for the first time. This is
+//                              the "how long until my experiment is actually
+//                              doing work" number, measured under contention
+//                              from every previously admitted tenant.
+//   preemption                 Cancel() -> the tenant observed terminal
+//                              (trial stopped at a repetition boundary,
+//                              partial cost charged, journal finalized).
+//                              Bounded by one repetition plus finalization,
+//                              NOT by the remaining trial.
+//
+// Twelve steady tenants run 40 short trials each; four preemptees run one
+// deliberately enormous trial (2000 x 2ms repetitions) that only cooperative
+// preemption can end early, so every cancel lands mid-trial and each
+// preemptee completes exactly one (preempted) trial — keeping the trial
+// counters deterministic for the bench-regression gate.
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/mutex.h"
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+#include "optimizers/random_search.h"
+#include "service/control_plane.h"
+#include "service/experiment_manager.h"
+#include "sim/test_functions.h"
+
+namespace autotune {
+namespace {
+
+constexpr size_t kWorkers = 4;
+constexpr int kSteadyTenants = 12;
+constexpr int kPreemptTenants = 4;
+constexpr int kSteadyTrials = 40;
+constexpr int kSteadyDelayMs = 1;
+constexpr int kPreemptReps = 2000;
+constexpr int kPreemptRepDelayMs = 2;
+
+/// Deterministic 2-knob sphere environment that sleeps `delay_ms` per run
+/// and flips a shared flag on its first dispatch — the flag is how the
+/// admission clock learns the tenant's first trial has genuinely started
+/// on a worker thread.
+class SleepySphereEnv : public Environment {
+ public:
+  SleepySphereEnv(int delay_ms, std::shared_ptr<std::atomic<bool>> first_run)
+      : delay_ms_(delay_ms), first_run_(std::move(first_run)) {
+    space_.AddOrDie(ParameterSpec::Float("x0", 0.0, 1.0));
+    space_.AddOrDie(ParameterSpec::Float("x1", 0.0, 1.0));
+  }
+
+  std::string name() const override { return "sleepy-sphere"; }
+  const ConfigSpace& space() const override { return space_; }
+  BenchmarkResult Run(const Configuration& config, double /*fidelity*/,
+                      Rng* /*rng*/) override {
+    if (first_run_ != nullptr) first_run_->store(true);
+    if (delay_ms_ > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+    }
+    BenchmarkResult result;
+    const Vector u = {config.GetDouble("x0"), config.GetDouble("x1")};
+    result.metrics["value"] = sim::Sphere(u);
+    return result;
+  }
+  std::string objective_metric() const override { return "value"; }
+
+ private:
+  int delay_ms_;
+  std::shared_ptr<std::atomic<bool>> first_run_;
+  ConfigSpace space_;
+};
+
+/// First-run flags, shared between the spec factory (which hands them to
+/// environments) and the admission clock on the main thread.
+struct FlagRegistry {
+  Mutex mutex{"bench.e30.flags"};
+  std::map<std::string, std::shared_ptr<std::atomic<bool>>> flags;
+
+  std::shared_ptr<std::atomic<bool>> ForTenant(const std::string& name) {
+    MutexLock hold(mutex);
+    auto& slot = flags[name];
+    if (slot == nullptr) slot = std::make_shared<std::atomic<bool>>(false);
+    return slot;
+  }
+};
+
+/// Spec keys: name (required), kind (steady|preempt), trials, seed.
+service::ControlPlane::SpecFactory MakeSpecFactory(FlagRegistry* registry) {
+  return [registry](const std::map<std::string, std::string>& keys)
+             -> Result<service::ExperimentSpec> {
+    std::string name;
+    std::string kind = "steady";
+    int trials = kSteadyTrials;
+    uint64_t seed = 7;
+    for (const auto& [key, value] : keys) {
+      if (key == "name") {
+        name = value;
+      } else if (key == "kind") {
+        kind = value;
+      } else if (key == "trials") {
+        trials = std::atoi(value.c_str());
+      } else if (key == "seed") {
+        seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+      } else {
+        return Status::InvalidArgument("unknown spec key '" + key + "'");
+      }
+    }
+    if (kind != "steady" && kind != "preempt") {
+      return Status::InvalidArgument("unknown kind '" + kind + "'");
+    }
+
+    service::ExperimentSpec spec;
+    spec.name = name;
+    spec.seed = seed;
+    const int delay_ms = kind == "steady" ? kSteadyDelayMs
+                                          : kPreemptRepDelayMs;
+    auto flag = registry->ForTenant(name);
+    spec.make_environment = [delay_ms, flag]() {
+      return std::make_unique<SleepySphereEnv>(delay_ms, flag);
+    };
+    spec.make_optimizer = [](const ConfigSpace* space, uint64_t opt_seed) {
+      return std::make_unique<RandomSearch>(space, opt_seed);
+    };
+    spec.loop_options.max_trials = trials;
+    spec.loop_options.snapshot_every = 0;
+    if (kind == "preempt") {
+      spec.runner_options.repetitions = kPreemptReps;
+    }
+    return spec;
+  };
+}
+
+/// Best-effort flat cleanup of the bench's private journal dir.
+void RemoveTree(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle != nullptr) {
+    while (dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(handle);
+  }
+  ::rmdir(dir.c_str());
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+/// Spins (200us granularity) until `done` returns true; dies loudly after
+/// 60s so a wedged control plane fails the bench instead of hanging CI.
+void AwaitOrDie(const char* what, const std::function<bool()>& done) {
+  obs::Span deadline("bench.e30.await");
+  while (!done()) {
+    if (deadline.ElapsedNs() > 60LL * 1000 * 1000 * 1000) {
+      std::fprintf(stderr, "FAIL: timed out waiting for %s\n", what);
+      std::exit(1);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+int Main() {
+  benchutil::PrintHeader(
+      "E30: control-plane latency", "live service",
+      "dynamic admission lands a tenant's first trial promptly even with "
+      "15 earlier tenants contending for 4 workers, and cooperative "
+      "preemption ends a 4-second trial within roughly one repetition "
+      "plus finalization — never waiting out the remaining trial");
+
+  const std::string dir =
+      "/tmp/bench_e30_control_plane." + std::to_string(::getpid());
+  RemoveTree(dir);  // Stale dir would be adopted as a durable tenant set.
+
+  FlagRegistry registry;
+  ThreadPool pool(kWorkers);
+  service::ExperimentManager manager(&pool);
+  service::ControlPlane::Options options;
+  options.journal_dir = dir;
+  options.shard_id = "bench-e30";
+  options.lease_timeout_ms = 60000;
+  options.start_tick_thread = false;
+  auto control =
+      service::ControlPlane::Start(&manager, MakeSpecFactory(&registry),
+                                   options);
+  if (!control.ok()) {
+    std::fprintf(stderr, "control plane: %s\n",
+                 control.status().ToString().c_str());
+    return 1;
+  }
+
+  // Admit the 16 tenants one at a time — preemptees interleaved among the
+  // steadies so each admission (and later each cancel) happens against a
+  // busy, mixed pool. The clock stops when the tenant's own environment
+  // first runs on a worker.
+  struct Tenant {
+    std::string name;
+    bool preempt = false;
+  };
+  std::vector<Tenant> tenants;
+  for (int i = 0, p = 0, s = 0; i < kSteadyTenants + kPreemptTenants; ++i) {
+    // Every 4th slot (1-based) is a preemptee: s p s s | s p s s | ...
+    if (i % 4 == 1 && p < kPreemptTenants) {
+      tenants.push_back({"preempt-" + std::to_string(p++), true});
+    } else {
+      tenants.push_back({"steady-" + std::to_string(s++), false});
+    }
+  }
+
+  std::vector<double> admission_ms;
+  std::vector<double> preemption_ms;
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    const Tenant& tenant = tenants[i];
+    const std::string body =
+        std::string("{\"name\":\"") + tenant.name + "\",\"kind\":\"" +
+        (tenant.preempt ? "preempt" : "steady") + "\",\"trials\":" +
+        std::to_string(tenant.preempt ? 1000 : kSteadyTrials) +
+        ",\"seed\":" + std::to_string(100 + i) + "}";
+    auto flag = registry.ForTenant(tenant.name);
+    obs::Span span("bench.e30.admission");
+    Status admitted = (*control)->Admit(body);
+    if (!admitted.ok()) {
+      std::fprintf(stderr, "admit %s: %s\n", tenant.name.c_str(),
+                   admitted.ToString().c_str());
+      return 1;
+    }
+    AwaitOrDie(tenant.name.c_str(), [&]() { return flag->load(); });
+    admission_ms.push_back(static_cast<double>(span.ElapsedNs()) * 1e-6);
+
+    // Preempt the monster-trial tenant right away, while its neighbors
+    // keep the pool busy. It is mid-repetition-loop by construction (its
+    // single trial takes ~4s and its flag just flipped), so the cancel is
+    // honored at a repetition boundary — the latency is one repetition
+    // plus finalization, not the remaining ~4s of trial. Cancelling here
+    // also keeps a worker from being walled off behind each 4s trial,
+    // which would turn later admission numbers into trial-length echoes.
+    if (tenant.preempt) {
+      obs::Span cancel_span("bench.e30.preemption");
+      Status cancelled = manager.Cancel(tenant.name);
+      if (!cancelled.ok()) {
+        std::fprintf(stderr, "cancel %s: %s\n", tenant.name.c_str(),
+                     cancelled.ToString().c_str());
+        return 1;
+      }
+      AwaitOrDie(tenant.name.c_str(), [&]() {
+        auto status = manager.StatusOf(tenant.name);
+        return status.ok() &&
+               status->state == service::ExperimentState::kCancelled &&
+               !status->in_flight;
+      });
+      preemption_ms.push_back(static_cast<double>(cancel_span.ElapsedNs()) *
+                              1e-6);
+    }
+  }
+
+  manager.WaitAll();
+
+  // Honesty checks: the steadies all finished their full budget; every
+  // preemptee stopped after exactly its one (partial, preempted) trial and
+  // was charged a nonzero partial cost.
+  bool ok = true;
+  for (const Tenant& tenant : tenants) {
+    auto status = manager.StatusOf(tenant.name);
+    if (!status.ok()) {
+      std::fprintf(stderr, "status %s: %s\n", tenant.name.c_str(),
+                   status.status().ToString().c_str());
+      return 1;
+    }
+    if (tenant.preempt) {
+      ok = ok && status->state == service::ExperimentState::kCancelled &&
+           status->trials_run == 1 && status->total_cost > 0.0;
+    } else {
+      ok = ok && status->state == service::ExperimentState::kFinished &&
+           status->trials_run == kSteadyTrials;
+    }
+  }
+
+  Table table({"latency", "count", "p50_ms", "p95_ms", "max_ms"});
+  const auto row = [&table](const std::string& name,
+                            const std::vector<double>& ms) {
+    (void)table.AppendRow(
+        {name, std::to_string(ms.size()),
+         FormatDouble(Percentile(ms, 0.50), 2),
+         FormatDouble(Percentile(ms, 0.95), 2),
+         FormatDouble(*std::max_element(ms.begin(), ms.end()), 2)});
+  };
+  row("admission-to-first-trial", admission_ms);
+  row("preemption (cancel->terminal)", preemption_ms);
+  std::printf("\n%s\n", table.ToPrettyString().c_str());
+
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.SetGauge("bench.e30.admission_p50_ms",
+                   Percentile(admission_ms, 0.50));
+  metrics.SetGauge("bench.e30.admission_p95_ms",
+                   Percentile(admission_ms, 0.95));
+  metrics.SetGauge("bench.e30.preemption_p50_ms",
+                   Percentile(preemption_ms, 0.50));
+  metrics.SetGauge("bench.e30.preemption_max_ms",
+                   *std::max_element(preemption_ms.begin(),
+                                     preemption_ms.end()));
+
+  // Acceptance: admission under one second even behind 15 tenants on 4
+  // workers; preemption nowhere near the ~4s the trial had left (the bound
+  // is one 2ms repetition + finalization; 500ms absorbs CI-runner noise).
+  const double admission_p95 = Percentile(admission_ms, 0.95);
+  const double preemption_max =
+      *std::max_element(preemption_ms.begin(), preemption_ms.end());
+  ok = ok && admission_p95 < 1000.0 && preemption_max < 500.0;
+  std::printf(
+      "admission p95 %.2fms (accept < 1000), preemption max %.2fms "
+      "(accept < 500; trial had ~%.0fms left)\n",
+      admission_p95, preemption_max,
+      static_cast<double>(kPreemptReps) * kPreemptRepDelayMs);
+
+  RemoveTree(dir);
+  std::printf("\n%s\n",
+              ok ? "PASS: admission is prompt and preemption is bounded by "
+                   "a repetition, not the trial"
+                 : "FAIL: control-plane latency out of bounds");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace autotune
+
+int main() { return autotune::Main(); }

@@ -1,0 +1,60 @@
+#ifndef AUTOTUNE_COMMON_CANCELLATION_H_
+#define AUTOTUNE_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace autotune {
+
+/// Cooperative preemption signal, threaded from a controller (the service's
+/// experiment manager) down to the code that runs trials. The flag is an
+/// atomic so hot paths can poll it lock-free at safe stopping points
+/// (repetition and retry boundaries in `TrialRunner`, wave boundaries in
+/// `ParallelTrialRunner`); the human-readable reason rides behind a leaf
+/// mutex that is only touched on the cold cancel/report paths.
+///
+/// First `Cancel` wins: later calls neither overwrite the reason nor report
+/// having cancelled. Tokens are never reset — one token per unit of
+/// cancellable work (the service allocates one per experiment).
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation. Returns true if this call was the first (and
+  /// therefore the stored reason is `reason`), false if already cancelled.
+  bool Cancel(const std::string& reason) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    if (cancelled_.load(std::memory_order_relaxed)) return false;
+    reason_ = reason;
+    // Release pairs with the acquire in cancelled(): a poller that sees the
+    // flag is guaranteed a subsequent reason() read (which takes the mutex)
+    // observes the reason written above.
+    cancelled_.store(true, std::memory_order_release);
+    return true;
+  }
+
+  /// Lock-free poll — safe from any thread, any frequency.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Why the work was cancelled; empty until `Cancel`.
+  std::string reason() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return reason_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable Mutex mutex_{"common.cancellation"};
+  std::string reason_ GUARDED_BY(mutex_);
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_COMMON_CANCELLATION_H_

@@ -1,6 +1,7 @@
 #ifndef AUTOTUNE_COMMON_MUTEX_H_
 #define AUTOTUNE_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -126,6 +127,25 @@ class SCOPED_CAPABILITY CondVarLock {
     lockorder::OnLockAcquired(site_);
 #else
     cv.wait(lock_, std::move(predicate));
+#endif
+  }
+
+  /// Timed variant of `Wait`, for periodic background work (heartbeat
+  /// ticks) that must also wake promptly on shutdown. Returns the
+  /// predicate's final value (false = timed out with the predicate still
+  /// false).
+  template <typename Rep, typename Period, typename Predicate>
+  bool WaitFor(std::condition_variable& cv,
+               const std::chrono::duration<Rep, Period>& timeout,
+               Predicate predicate) {
+#ifdef AUTOTUNE_DEADLOCK_CHECK
+    lockorder::OnLockReleased(site_);
+    const bool result = cv.wait_for(lock_, timeout, std::move(predicate));
+    lockorder::OnLockAttempt(site_);
+    lockorder::OnLockAcquired(site_);
+    return result;
+#else
+    return cv.wait_for(lock_, timeout, std::move(predicate));
 #endif
   }
 

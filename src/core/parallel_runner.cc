@@ -127,8 +127,27 @@ std::vector<Observation> ParallelTrialRunner::EvaluateBatch(
   obs::MetricsRegistry::Global().Increment("parallel.batches");
   std::vector<Observation> results;
   results.reserve(configs.size());
+  const CancellationToken* cancel = options_.trial.cancel;
   for (size_t begin = 0; begin < configs.size();
        begin += runners_.size()) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      // Wave boundary = preemption point: remaining configurations are
+      // never dispatched. Report them as preempted failures — imputed on
+      // each slot's own penalty scale, zero cost (nothing ran) — so the
+      // batch still returns one observation per input, in order.
+      obs::MetricsRegistry::Global().Increment("parallel.waves_preempted");
+      for (size_t i = begin; i < configs.size(); ++i) {
+        const size_t worker = (i - begin) % runners_.size();
+        Observation obs(configs[i], runners_[worker]->ImputedPenalty());
+        obs.failed = true;
+        obs.cost = 0.0;
+        obs.fidelity = options_.trial.fidelity;
+        obs.repetitions = 0;
+        obs.metrics["preempted"] = 1.0;
+        results.push_back(std::move(obs));
+      }
+      break;
+    }
     const size_t end =
         std::min(configs.size(), begin + runners_.size());
     std::vector<std::future<Observation>> futures;

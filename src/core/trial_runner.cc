@@ -110,7 +110,7 @@ void TrialRunner::TrackObjective(double objective) {
 
 BenchmarkResult TrialRunner::RunWithRetries(const Configuration& config,
                                             double* cost, int* retries,
-                                            int* timeouts) {
+                                            int* timeouts, bool* preempted) {
   const fault::RetryPolicy& retry = options_.retry;
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   BenchmarkResult result;
@@ -133,6 +133,12 @@ BenchmarkResult TrialRunner::RunWithRetries(const Configuration& config,
     const bool retryable =
         result.hung ? retry.retry_hangs : retry.retry_crashes;
     if (!retryable || attempt + 1 >= retry.max_attempts) return result;
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      // Retry boundary = preemption point: give up on this repetition
+      // instead of burning more attempts on work nobody wants.
+      *preempted = true;
+      return result;
+    }
     *cost += retry.BackoffCost(attempt);
     ++*retries;
     metrics.Increment("fault.retries");
@@ -164,14 +170,20 @@ Observation TrialRunner::Evaluate(const Configuration& config) {
   std::map<std::string, double> last_metrics;
   bool crashed = false;
   bool aborted = false;
+  bool preempted = false;
   int executed = 0;
   int retries = 0;
   int timeouts = 0;
   double run_cost = 0.0;
 
   for (int rep = 0; rep < options_.repetitions; ++rep) {
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      // Repetition boundary = preemption point: report what finished.
+      preempted = true;
+      break;
+    }
     BenchmarkResult result = RunWithRetries(config, &run_cost, &retries,
-                                            &timeouts);
+                                            &timeouts, &preempted);
     ++executed;
     if (result.crashed || result.hung) {
       crashed = true;
@@ -199,12 +211,17 @@ Observation TrialRunner::Evaluate(const Configuration& config) {
   obs.cost = deploy_cost + run_cost;
   total_cost_ += obs.cost;
 
+  if (preempted) {
+    obs::MetricsRegistry::Global().Increment("trial.preempted");
+  }
+
   if (crashed || objectives.empty()) {
     // Imputed score (slide 67: "N x worst score measured"). It must NOT
     // enter the best/worst trackers: a poisoned worst tracker would inflate
     // every later crash penalty by crash_penalty_factor^k.
     obs.failed = true;
     obs.objective = ImputedPenalty();
+    if (preempted) obs.metrics["preempted"] = 1.0;
     if (retries > 0) obs.metrics["fault_retries"] = retries;
     if (timeouts > 0) obs.metrics["fault_timeouts"] = timeouts;
     return obs;
@@ -213,6 +230,7 @@ Observation TrialRunner::Evaluate(const Configuration& config) {
   obs.objective = AggregateObjectives(objectives);
   obs.metrics = last_metrics;
   if (aborted) obs.metrics["early_aborted"] = 1.0;
+  if (preempted) obs.metrics["preempted"] = 1.0;
   if (retries > 0) obs.metrics["fault_retries"] = retries;
   if (timeouts > 0) obs.metrics["fault_timeouts"] = timeouts;
   TrackObjective(obs.objective);

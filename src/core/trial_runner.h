@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/environment.h"
@@ -51,6 +52,14 @@ struct TrialRunnerOptions {
   /// default policy (1 attempt, no deadline) reproduces the non-resilient
   /// behavior. See docs/FAULT_TOLERANCE.md.
   fault::RetryPolicy retry;
+
+  /// Cooperative preemption (non-owning; may be null; must outlive the
+  /// runner). Polled before each repetition and before each retry attempt,
+  /// so a cancel lands within ONE attempt instead of one full trial. A
+  /// preempted trial reports the repetitions that did finish (partial
+  /// aggregate, `metrics["preempted"] = 1`) — or an imputed failure when
+  /// none did — with the cost accrued so far charged honestly.
+  const CancellationToken* cancel = nullptr;
 
   /// InvalidArgument describing the first offending field, or OK. Checked
   /// by the `TrialRunner` / `ParallelTrialRunner` constructors, and usable
@@ -140,6 +149,13 @@ class TrialRunner {
   RunnerCheckpoint SaveCheckpoint() const;
   [[nodiscard]] Status RestoreCheckpoint(const RunnerCheckpoint& checkpoint);
 
+  /// Imputed objective for a failed trial: the worst *successful* score
+  /// seen, pushed `crash_penalty_factor` further from optimal (sign-safe
+  /// for maximize environments, whose objectives are negative). Public so
+  /// `ParallelTrialRunner` can score never-dispatched configurations of a
+  /// preempted batch on the same penalty scale.
+  double ImputedPenalty() const;
+
  private:
   /// Extracts the minimize-convention objective from a benchmark result.
   double ObjectiveOf(const BenchmarkResult& result) const;
@@ -150,16 +166,14 @@ class TrialRunner {
   /// Runs one repetition through the retry policy. Appends all charged
   /// costs (crash, timeout, backoff) to `*cost` and tallies
   /// retries/timeouts into the trial-level counters at `*retries` /
-  /// `*timeouts`. The returned result is the final attempt's.
+  /// `*timeouts`. The returned result is the final attempt's. Sets
+  /// `*preempted` (never clears it) when the cancellation token fired at a
+  /// retry boundary — the failed attempt is then final, not retried.
   BenchmarkResult RunWithRetries(const Configuration& config, double* cost,
-                                 int* retries, int* timeouts);
+                                 int* retries, int* timeouts,
+                                 bool* preempted);
 
   double AggregateObjectives(const std::vector<double>& values) const;
-
-  /// Imputed objective for a failed trial: the worst *successful* score
-  /// seen, pushed `crash_penalty_factor` further from optimal (sign-safe
-  /// for maximize environments, whose objectives are negative).
-  double ImputedPenalty() const;
 
   /// Folds a finished trial's objective into the best/worst trackers.
   /// Never called with imputed (failed-trial) objectives — those would

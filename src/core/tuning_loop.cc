@@ -304,6 +304,18 @@ void TuningLoop::StepTrial() {
            {"observation", record::EncodeObservation(*evaluated)},
            {"runner_rng",
             record::EncodeRngState(runner_->SaveRngState())}});
+      if (evaluated->metrics.count("preempted") > 0) {
+        // Forensics marker: the trial above was stopped at a repetition /
+        // retry boundary by a cancellation token, and its (partial) cost
+        // is already in the books via the trial_completed observation.
+        // Replay ignores this event — state reconstruction needs only the
+        // observation itself, which keeps resume bit-exact.
+        journal->Event("trial_preempted",
+                       {{"trial", Json(int64_t{trial})},
+                        {"partial_cost", Json(evaluated->cost)},
+                        {"repetitions", Json(int64_t{evaluated->repetitions})},
+                        {"failed", Json(evaluated->failed)}});
+      }
     }
   }
 

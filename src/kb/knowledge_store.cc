@@ -77,6 +77,32 @@ Result<KnowledgeStore::ScanReport> KnowledgeStore::ScanDirectory(
 
   ScanReport report;
   MutexLock lock(mutex_);
+
+  // Evict ghosts first: sessions keyed by a path under `dir` whose journal
+  // is no longer in the directory listing (deleted, renamed away). Without
+  // this, a rescan keeps serving warm starts from tenants that were
+  // evicted on disk. Keys from other directories (or programmatic
+  // AddSession ids) are not touched.
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir
+                                                              : dir + "/";
+  std::set<std::string> present;
+  for (const std::string& name : names) present.insert(prefix + name);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    const std::string& key = it->first;
+    const bool under_dir =
+        key.size() > prefix.size() && key.compare(0, prefix.size(), prefix) ==
+                                          0 &&
+        key.find('/', prefix.size()) == std::string::npos;
+    if (under_dir && present.count(key) == 0) {
+      AUTOTUNE_LOG(kInfo) << "kb: evicting '" << key
+                          << "' (journal deleted)";
+      it = sessions_.erase(it);
+      ++report.evicted;
+    } else {
+      ++it;
+    }
+  }
+
   for (const std::string& name : names) {
     const std::string path = dir + "/" + name;
     struct stat st;

@@ -38,13 +38,17 @@ class KnowledgeStore {
     int refreshed = 0;  ///< Known journals whose size/mtime changed.
     int unchanged = 0;  ///< Known journals skipped (same size/mtime).
     int skipped = 0;    ///< Unreadable/foreign files, warned and ignored.
+    int evicted = 0;    ///< Stored sessions whose journal file vanished.
   };
 
   /// Incrementally ingests every `*.jsonl` under `dir` (sorted name
   /// order). A journal already in the store with unchanged size+mtime is
   /// not re-read; one that fails to summarize (truncated beyond repair,
   /// foreign file) is skipped with a logged warning — a bad file never
-  /// aborts the scan. NotFound when `dir` cannot be opened.
+  /// aborts the scan. Sessions previously ingested from `dir` whose
+  /// journal file has since been deleted are evicted, so `NearestSessions`
+  /// never serves warm-start donors that no longer exist on disk.
+  /// NotFound when `dir` cannot be opened.
   [[nodiscard]] Result<ScanReport> ScanDirectory(const std::string& dir)
       EXCLUDES(mutex_);
 

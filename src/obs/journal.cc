@@ -5,19 +5,16 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace autotune {
 namespace obs {
 
-namespace {
-
-int64_t NowMillis() {
+int64_t NowEpochMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::system_clock::now().time_since_epoch())
       .count();
 }
-
-}  // namespace
 
 Journal::Journal(std::string path, std::FILE* file)
     : path_(std::move(path)),
@@ -54,9 +51,15 @@ void Journal::Append(Json event) {
   AUTOTUNE_CHECK_MSG(event.is_object() && event.Has("event"),
                      "journal events must be objects with an 'event' member");
   MutexLock lock(mutex_);
+  if (gate_ && !gate_()) {
+    // Fenced off (this process lost the tenant's lease): the event is
+    // dropped so the journal's new owner sees exactly the bytes it adopted.
+    MetricsRegistry::Global().Increment("journal.appends_fenced");
+    return;
+  }
   event.AsObject()["seq"] =
       Json(next_seq_.fetch_add(1, std::memory_order_relaxed));
-  event.AsObject()["ts_ms"] = Json(NowMillis());
+  event.AsObject()["ts_ms"] = Json(NowEpochMs());
   std::string line = event.Dump();
   line.push_back('\n');
   // Serialization happened above on the caller's thread; only the file
@@ -71,6 +74,11 @@ void Journal::Append(Json event) {
 void Journal::Event(const std::string& kind, Json::Object fields) {
   fields["event"] = Json(kind);
   Append(Json(std::move(fields)));
+}
+
+void Journal::SetWriteGate(WriteGate gate) {
+  MutexLock lock(mutex_);
+  gate_ = std::move(gate);
 }
 
 void Journal::Flush() {

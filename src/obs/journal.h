@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +17,12 @@
 
 namespace autotune {
 namespace obs {
+
+/// Wall-clock epoch milliseconds — THE sanctioned time source for
+/// diagnostic metadata (journal "ts_ms" stamps, lease heartbeats, deadline
+/// anchors). Tuning state must never depend on it; the determinism lint
+/// bans raw clock APIs everywhere outside this shim and the trace clocks.
+int64_t NowEpochMs();
 
 /// Version of the journal file format this build writes (journal_header
 /// event). Bump when an incompatible change is made to event schemas;
@@ -67,6 +74,17 @@ class Journal {
   /// Blocks until every appended event has reached the OS.
   void Flush();
 
+  /// Fencing hook for multi-process shard failover: when a gate is set,
+  /// `Append` consults it and silently DROPS the event when it returns
+  /// false (counted in the `journal.appends_fenced` metric). A deposed
+  /// lease holder installs a gate that reads its fenced flag, so its
+  /// in-flight trial cannot scribble on a journal that a surviving shard
+  /// has already adopted. The gate runs on every Append under the journal's
+  /// leaf mutex — it MUST be lock-free (read atomics only) and MUST NOT
+  /// call back into the journal or any subsystem that takes locks.
+  using WriteGate = std::function<bool()>;
+  void SetWriteGate(WriteGate gate) EXCLUDES(mutex_);
+
   const std::string& path() const { return path_; }
   int64_t events_written() const {
     return next_seq_.load(std::memory_order_relaxed);
@@ -80,6 +98,7 @@ class Journal {
   /// destructor, after the writer has joined).
   std::FILE* file_;
   Mutex mutex_{"obs.journal"};  ///< Orders seq stamping with queue submission.
+  WriteGate gate_ GUARDED_BY(mutex_);
   /// Incremented only under `mutex_` (atomic so `events_written()` can read
   /// it from any thread without taking the lock).
   std::atomic<int64_t> next_seq_{0};

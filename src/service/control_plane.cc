@@ -1,0 +1,535 @@
+#include "service/control_plane.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "obs/journal.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace autotune {
+namespace service {
+
+namespace {
+
+using obs::Json;
+
+int64_t NowMs() { return obs::NowEpochMs(); }
+
+/// Tenant names become file names and URL path segments, so they are
+/// restricted to a filename-safe alphabet and must not start with a dot.
+bool ValidName(const std::string& name) {
+  if (name.empty() || name.size() > 128 || name.front() == '.') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// One parsed `<name>.lease.json`.
+struct Lease {
+  std::string owner;
+  int64_t fence = 0;
+  int64_t ts_ms = 0;
+};
+
+Result<Lease> ReadLease(const std::string& path) {
+  AUTOTUNE_ASSIGN_OR_RETURN(std::string text, obs::ReadJournalText(path));
+  AUTOTUNE_ASSIGN_OR_RETURN(Json parsed, Json::Parse(text));
+  if (!parsed.is_object()) {
+    return Status::InvalidArgument("lease file '" + path +
+                                   "' is not a JSON object");
+  }
+  Lease lease;
+  lease.owner = parsed.GetString("owner", "");
+  lease.fence = parsed.GetInt("fence", 0);
+  lease.ts_ms = parsed.GetInt("ts_ms", 0);
+  if (lease.owner.empty() || lease.fence <= 0) {
+    return Status::InvalidArgument("lease file '" + path + "' is malformed");
+  }
+  return lease;
+}
+
+/// tmp + rename so readers (and adopters racing on other shards) never see
+/// a half-written file. The tmp name carries the writer id: two shards
+/// writing the same target never collide on the tmp path either.
+Status WriteFileAtomic(const std::string& path, const std::string& writer_id,
+                       const std::string& text) {
+  const std::string tmp = path + ".tmp." + writer_id;
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open '" + tmp + "' for writing");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != text.size() || !closed) {
+    ::unlink(tmp.c_str());
+    return Status::Unavailable("short write to '" + tmp + "'");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Unavailable("cannot rename '" + tmp + "' into place");
+  }
+  return Status::OK();
+}
+
+Status WriteLease(const std::string& path, const std::string& writer_id,
+                  const Lease& lease) {
+  const Json body(Json::Object{{"owner", Json(lease.owner)},
+                               {"fence", Json(lease.fence)},
+                               {"ts_ms", Json(lease.ts_ms)}});
+  return WriteFileAtomic(path, writer_id, body.Dump() + "\n");
+}
+
+/// Exclusive advisory lock on `<dir>/.leases.lock`, serializing lease
+/// transitions (acquire / heartbeat / release) across every shard process
+/// sharing the directory. Read-modify-write on a lease file is only
+/// correct under this lock.
+class DirLock {
+ public:
+  explicit DirLock(const std::string& dir) {
+    const std::string path = dir + "/.leases.lock";
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+    if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~DirLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+  bool ok() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// JSON body -> raw spec key/value map. Strings pass through; numbers and
+/// bools are stringified so the map feeds the same spec parser as the CLI
+/// `--experiment` string.
+Result<std::map<std::string, std::string>> SpecMapFromJson(const Json& body) {
+  if (!body.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  std::map<std::string, std::string> keys;
+  for (const auto& [key, value] : body.AsObject()) {
+    if (value.is_string()) {
+      keys[key] = value.AsString();
+    } else if (value.is_bool()) {
+      keys[key] = value.AsBool() ? "1" : "0";
+    } else if (value.is_number()) {
+      keys[key] = value.Dump();
+    } else {
+      return Status::InvalidArgument(
+          "spec key '" + key + "' must be a string, number, or boolean");
+    }
+  }
+  return keys;
+}
+
+/// Tenant names in `dir` that have a durable spec file (sorted).
+std::vector<std::string> ListSpecNames(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return names;
+  const std::string suffix = ".spec.json";
+  while (struct dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      names.push_back(name.substr(0, name.size() - suffix.size()));
+    }
+  }
+  ::closedir(handle);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ControlPlane>> ControlPlane::Start(
+    ExperimentManager* manager, SpecFactory make_spec, Options options) {
+  if (manager == nullptr) return Status::InvalidArgument("null manager");
+  if (!make_spec) return Status::InvalidArgument("null spec factory");
+  if (options.journal_dir.empty()) {
+    return Status::InvalidArgument("journal_dir is required");
+  }
+  if (options.shard_id.empty() || !ValidName(options.shard_id)) {
+    return Status::InvalidArgument(
+        "shard_id is required (filename-safe characters only)");
+  }
+  if (options.lease_timeout_ms <= 0) {
+    return Status::InvalidArgument("lease_timeout_ms must be > 0");
+  }
+  if (::mkdir(options.journal_dir.c_str(), 0755) != 0) {
+    struct stat st;
+    if (::stat(options.journal_dir.c_str(), &st) != 0 ||
+        !S_ISDIR(st.st_mode)) {
+      return Status::Unavailable("cannot create journal directory '" +
+                                 options.journal_dir + "'");
+    }
+  }
+  return std::unique_ptr<ControlPlane>(
+      new ControlPlane(manager, std::move(make_spec), std::move(options)));
+}
+
+ControlPlane::ControlPlane(ExperimentManager* manager, SpecFactory make_spec,
+                           Options options)
+    : manager_(manager),
+      make_spec_(std::move(make_spec)),
+      options_(std::move(options)) {
+  if (options_.start_tick_thread) {
+    tick_thread_ = std::thread([this]() { TickLoop(); });
+  }
+}
+
+ControlPlane::~ControlPlane() {
+  {
+    MutexLock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (tick_thread_.joinable()) tick_thread_.join();
+}
+
+std::string ControlPlane::SpecPath(const std::string& name) const {
+  return options_.journal_dir + "/" + name + ".spec.json";
+}
+
+std::string ControlPlane::LeasePath(const std::string& name) const {
+  return options_.journal_dir + "/" + name + ".lease.json";
+}
+
+Status ControlPlane::Admit(const std::string& body) {
+  AUTOTUNE_ASSIGN_OR_RETURN(Json parsed, Json::Parse(body));
+  AUTOTUNE_ASSIGN_OR_RETURN(auto keys, SpecMapFromJson(parsed));
+  const auto name_it = keys.find("name");
+  if (name_it == keys.end() || !ValidName(name_it->second)) {
+    return Status::InvalidArgument(
+        "spec needs a 'name' of filename-safe characters "
+        "([A-Za-z0-9_.-], not starting with '.')");
+  }
+  const std::string name = name_it->second;
+  {
+    MutexLock lock(mutex_);
+    if (stopping_) return Status::Unavailable("control plane shutting down");
+    if (tenants_.count(name) > 0) {
+      return Status::FailedPrecondition("experiment '" + name +
+                                        "' is already admitted");
+    }
+    tenants_[name].health = std::make_shared<LeaseHealth>();
+  }
+  const Status admitted = AdmitTenant(name, keys, /*persist_spec=*/true);
+  if (!admitted.ok()) {
+    MutexLock lock(mutex_);
+    tenants_.erase(name);
+    return admitted;
+  }
+  obs::MetricsRegistry::Global().Increment("control_plane.admitted");
+  return Status::OK();
+}
+
+Status ControlPlane::AdmitTenant(
+    const std::string& name, const std::map<std::string, std::string>& keys,
+    bool persist_spec) {
+  std::shared_ptr<LeaseHealth> health;
+  {
+    MutexLock lock(mutex_);
+    const auto it = tenants_.find(name);
+    AUTOTUNE_CHECK_MSG(it != tenants_.end(),
+                       "AdmitTenant without a registry placeholder");
+    health = it->second.health;
+  }
+
+  // Build the spec before touching the lease: a malformed spec must be a
+  // clean 400 with no on-disk side effects.
+  AUTOTUNE_ASSIGN_OR_RETURN(ExperimentSpec spec, make_spec_(keys));
+  if (spec.name != name) {
+    return Status::InvalidArgument("spec factory renamed '" + name +
+                                   "' to '" + spec.name + "'");
+  }
+
+  // Lease acquisition (read -> bump fence -> write) under the directory
+  // flock, so two shards can never both conclude they own the tenant.
+  const int64_t now = NowMs();
+  {
+    DirLock dir_lock(options_.journal_dir);
+    if (!dir_lock.ok()) {
+      return Status::Unavailable("cannot lock lease directory '" +
+                                 options_.journal_dir + "'");
+    }
+    int64_t prev_fence = 0;
+    const Result<Lease> current = ReadLease(LeasePath(name));
+    if (current.ok()) {
+      const bool live = now - current->ts_ms <= options_.lease_timeout_ms;
+      if (live && current->owner != options_.shard_id) {
+        return Status::FailedPrecondition(
+            "experiment '" + name + "' is leased by shard '" +
+            current->owner + "'");
+      }
+      prev_fence = current->fence;
+    }
+    Lease next;
+    next.owner = options_.shard_id;
+    next.fence = prev_fence + 1;
+    next.ts_ms = now;
+    AUTOTUNE_RETURN_IF_ERROR(
+        WriteLease(LeasePath(name), options_.shard_id, next));
+    health->fence.store(next.fence, std::memory_order_release);
+    health->fenced.store(false, std::memory_order_release);
+    health->confirmed_ms.store(now, std::memory_order_release);
+  }
+
+  if (persist_spec) {
+    Json::Object encoded;
+    for (const auto& [key, value] : keys) encoded[key] = Json(value);
+    const Status wrote =
+        WriteFileAtomic(SpecPath(name), options_.shard_id,
+                        Json(std::move(encoded)).Pretty() + "\n");
+    if (!wrote.ok()) {
+      ReleaseLease(name, health->fence.load(std::memory_order_acquire));
+      return wrote;
+    }
+  }
+
+  // The control plane owns durability wiring: the tenant journals into the
+  // shared directory and every append is fenced by this shard's lease
+  // health. The gate reads two atomics and the clock shim — nothing that
+  // can take a lock (see obs::Journal::SetWriteGate).
+  spec.journal_path = options_.journal_dir + "/" + name + ".jsonl";
+  const int64_t timeout_ms = options_.lease_timeout_ms;
+  spec.journal_gate = [health, timeout_ms]() {
+    return !health->fenced.load(std::memory_order_acquire) &&
+           obs::NowEpochMs() -
+                   health->confirmed_ms.load(std::memory_order_acquire) <=
+               timeout_ms;
+  };
+
+  const Status added = manager_->AddExperiment(std::move(spec));
+  if (!added.ok()) {
+    if (persist_spec) ::unlink(SpecPath(name).c_str());
+    ReleaseLease(name, health->fence.load(std::memory_order_acquire));
+    return added;
+  }
+  return Status::OK();
+}
+
+void ControlPlane::ReleaseLease(const std::string& name, int64_t fence) {
+  DirLock dir_lock(options_.journal_dir);
+  if (!dir_lock.ok()) return;
+  const Result<Lease> current = ReadLease(LeasePath(name));
+  if (current.ok() && current->owner == options_.shard_id &&
+      current->fence == fence) {
+    ::unlink(LeasePath(name).c_str());
+  }
+}
+
+Status ControlPlane::Evict(const std::string& name) {
+  if (!ValidName(name)) {
+    return Status::InvalidArgument("malformed experiment name '" + name +
+                                   "'");
+  }
+  const Status cancelled = manager_->Cancel(name);
+  if (cancelled.ok()) {
+    // Ours (or at least hosted here): finalize, then retire the registry
+    // entry so the name can be re-admitted later.
+    ::unlink(SpecPath(name).c_str());
+    int64_t fence = 0;
+    {
+      MutexLock lock(mutex_);
+      const auto it = tenants_.find(name);
+      if (it != tenants_.end()) {
+        fence = it->second.health->fence.load(std::memory_order_acquire);
+        tenants_.erase(it);
+      }
+    }
+    if (fence > 0) ReleaseLease(name, fence);
+    obs::MetricsRegistry::Global().Increment("control_plane.evicted");
+    return Status::OK();
+  }
+  if (cancelled.code() == StatusCode::kNotFound) {
+    // Not hosted on this shard. If the durable registry knows the tenant,
+    // removing its spec file IS the eviction: the owning shard's next tick
+    // sees the spec vanish and cancels locally.
+    struct stat st;
+    if (::stat(SpecPath(name).c_str(), &st) == 0) {
+      ::unlink(SpecPath(name).c_str());
+      obs::MetricsRegistry::Global().Increment("control_plane.evicted");
+      return Status::OK();
+    }
+    return Status::NotFound("no experiment named '" + name + "'");
+  }
+  return cancelled;
+}
+
+Result<int> ControlPlane::RecoverAll() {
+  int adopted = 0;
+  for (const std::string& name : ListSpecNames(options_.journal_dir)) {
+    {
+      MutexLock lock(mutex_);
+      if (stopping_) break;
+      if (tenants_.count(name) > 0) continue;
+    }
+    if (manager_->StatusOf(name).ok()) continue;  // Hosted outside us.
+    const Result<std::string> text = obs::ReadJournalText(SpecPath(name));
+    if (!text.ok()) continue;  // Evicted between listing and reading.
+    Result<Json> parsed = Json::Parse(*text);
+    if (!parsed.ok()) {
+      AUTOTUNE_LOG(kWarning) << "control plane: unparseable spec for '"
+                             << name << "': " << parsed.status().message();
+      continue;
+    }
+    Result<std::map<std::string, std::string>> keys =
+        SpecMapFromJson(*parsed);
+    if (!keys.ok() || ValidName(name) == false) {
+      AUTOTUNE_LOG(kWarning) << "control plane: bad spec for '" << name
+                             << "', skipping";
+      continue;
+    }
+    {
+      MutexLock lock(mutex_);
+      tenants_[name].health = std::make_shared<LeaseHealth>();
+    }
+    const Status admitted = AdmitTenant(name, *keys, /*persist_spec=*/false);
+    if (!admitted.ok()) {
+      MutexLock lock(mutex_);
+      tenants_.erase(name);
+      // FailedPrecondition = another live shard owns it; that is the system
+      // working, not a recovery failure.
+      if (admitted.code() != StatusCode::kFailedPrecondition) {
+        AUTOTUNE_LOG(kWarning) << "control plane: cannot recover '" << name
+                               << "': " << admitted.message();
+      }
+      continue;
+    }
+    ++adopted;
+    obs::MetricsRegistry::Global().Increment("control_plane.adopted");
+  }
+  return adopted;
+}
+
+ControlPlane::TickReport ControlPlane::TickOnce() {
+  TickReport report;
+  std::map<std::string, std::shared_ptr<LeaseHealth>> owned;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& [name, tenant] : tenants_) {
+      owned[name] = tenant.health;
+    }
+  }
+
+  for (const auto& [name, health] : owned) {
+    // Spec file gone = evicted from another shard: finalize locally. The
+    // journal (with its experiment_finished) outlives the tenant.
+    struct stat st;
+    if (::stat(SpecPath(name).c_str(), &st) != 0) {
+      const Status cancelled = manager_->Cancel(name);
+      if (!cancelled.ok() &&
+          cancelled.code() != StatusCode::kNotFound) {
+        AUTOTUNE_LOG(kWarning) << "control plane: evict-cancel of '" << name
+                               << "' failed: " << cancelled.message();
+      }
+      {
+        MutexLock lock(mutex_);
+        tenants_.erase(name);
+      }
+      ReleaseLease(name, health->fence.load(std::memory_order_acquire));
+      ++report.evicted;
+      obs::MetricsRegistry::Global().Increment("control_plane.evicted");
+      continue;
+    }
+
+    // Heartbeat. Reading back a different owner or fence means another
+    // shard adopted the tenant while we were stalled: fence our journal
+    // writes FIRST, then drop the tenant without finalizing — its state
+    // belongs to the new owner now.
+    bool deposed = false;
+    {
+      DirLock dir_lock(options_.journal_dir);
+      if (!dir_lock.ok()) continue;  // Transient; retry next tick.
+      const Result<Lease> current = ReadLease(LeasePath(name));
+      if (!current.ok() || current->owner != options_.shard_id ||
+          current->fence != health->fence.load(std::memory_order_acquire)) {
+        deposed = true;
+      } else {
+        Lease next = *current;
+        next.ts_ms = NowMs();
+        if (WriteLease(LeasePath(name), options_.shard_id, next).ok()) {
+          health->confirmed_ms.store(next.ts_ms,
+                                     std::memory_order_release);
+          ++report.heartbeats;
+        }
+      }
+    }
+    if (deposed) {
+      health->fenced.store(true, std::memory_order_release);
+      const Status abandoned = manager_->Abandon(name);
+      if (!abandoned.ok() &&
+          abandoned.code() != StatusCode::kNotFound) {
+        AUTOTUNE_LOG(kWarning) << "control plane: abandon of deposed '"
+                               << name << "' failed: "
+                               << abandoned.message();
+      }
+      MutexLock lock(mutex_);
+      tenants_.erase(name);
+      ++report.deposed;
+      obs::MetricsRegistry::Global().Increment("control_plane.deposed");
+    }
+  }
+
+  // Orphan adoption: any registered tenant whose lease is missing or past
+  // the timeout lost its shard — RecoverAll does exactly the right dance
+  // (it skips live leases via the acquire-time check).
+  const Result<int> adopted = RecoverAll();
+  if (adopted.ok()) report.adopted = *adopted;
+
+  manager_->EnforceExpiry();
+  return report;
+}
+
+std::vector<std::string> ControlPlane::OwnedTenants() const {
+  std::vector<std::string> names;
+  MutexLock lock(mutex_);
+  names.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  return names;
+}
+
+void ControlPlane::TickLoop() {
+  const int64_t interval_ms = options_.tick_interval_ms > 0
+                                  ? options_.tick_interval_ms
+                                  : std::max<int64_t>(
+                                        1, options_.lease_timeout_ms / 3);
+  for (;;) {
+    {
+      CondVarLock lock(mutex_);
+      const bool stop = lock.WaitFor(
+          cv_, std::chrono::milliseconds(interval_ms),
+          [this]() REQUIRES(mutex_) { return stopping_; });
+      if (stop) return;
+    }
+    TickOnce();
+  }
+}
+
+}  // namespace service
+}  // namespace autotune

@@ -1,0 +1,189 @@
+#ifndef AUTOTUNE_SERVICE_CONTROL_PLANE_H_
+#define AUTOTUNE_SERVICE_CONTROL_PLANE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "service/experiment_manager.h"
+
+namespace autotune {
+namespace service {
+
+/// Live control plane for a `serve` shard: dynamic tenant admission over
+/// HTTP, durable tenant registry on disk, and lease-based failover across
+/// N shard processes sharing one `--journal-dir`.
+///
+/// On-disk layout (all inside `journal_dir`, all writes tmp + rename):
+///   <name>.spec.json    the tenant's raw spec key/value map — the durable
+///                       registry. Recovery replays THIS set, not whatever
+///                       flags the process was started with.
+///   <name>.lease.json   {"owner", "fence", "ts_ms"} — which shard owns the
+///                       tenant. The owner re-stamps ts_ms every tick
+///                       (heartbeat); a lease whose ts_ms is older than
+///                       `lease_timeout_ms` is up for adoption. `fence`
+///                       increments on every ownership change.
+///   <name>.jsonl        the tenant's journal (owned by the manager).
+///
+/// Fencing: every owned tenant carries a shared health block (an atomic
+/// fenced flag plus the timestamp of the last confirmed heartbeat) that the
+/// tenant journal's write gate reads (`obs::Journal::SetWriteGate`). A
+/// shard that is deposed — or merely fails to confirm a heartbeat within
+/// the lease timeout — stops being able to append to the journal *before*
+/// a survivor is allowed to adopt it, so the adopted journal never grows
+/// bytes the new owner didn't see. Lease transitions themselves are
+/// serialized through an exclusive flock on `<journal_dir>/.leases.lock`,
+/// so two shards can never both confirm the same acquisition.
+///
+/// Lock order: the control-plane mutex sits ABOVE the manager
+/// (control_plane -> manager -> pool -> leaves) and is only held for
+/// registry bookkeeping — never across file I/O or manager calls.
+class ControlPlane {
+ public:
+  /// Builds an `ExperimentSpec` from a raw spec key/value map (the same
+  /// keys as the CLI `--experiment` spec string, e.g. name/weight/seed/
+  /// cost_budget/deadline_ms/warmstart). The control plane owns
+  /// `journal_path` and `journal_gate` — values the factory sets for those
+  /// are overwritten. InvalidArgument for malformed specs.
+  using SpecFactory = std::function<Result<ExperimentSpec>(
+      const std::map<std::string, std::string>& keys)>;
+
+  struct Options {
+    /// Shared durable directory: specs, leases, and journals (required).
+    std::string journal_dir;
+    /// Unique id of this shard process (required; e.g. "shard-0.<pid>").
+    /// Appears as the lease "owner" and in log lines.
+    std::string shard_id;
+    /// A lease whose heartbeat is older than this is adoptable. The owner
+    /// self-fences journal writes at the same threshold, so adoption and
+    /// fencing can never overlap.
+    int64_t lease_timeout_ms = 10000;
+    /// Heartbeat/adoption tick period; 0 derives `lease_timeout_ms / 3`.
+    int64_t tick_interval_ms = 0;
+    /// Start the background tick thread. Tests drive `TickOnce()` manually.
+    bool start_tick_thread = true;
+  };
+
+  /// One tick's worth of registry work (returned for tests and logging).
+  struct TickReport {
+    int heartbeats = 0;  ///< Owned leases successfully re-stamped.
+    int adopted = 0;     ///< Orphaned tenants taken over (journal replayed).
+    int deposed = 0;     ///< Own tenants lost to another shard (abandoned).
+    int evicted = 0;     ///< Own tenants whose spec file vanished (cancelled).
+  };
+
+  /// Validates options, creates `journal_dir` if missing, and — when
+  /// `start_tick_thread` — starts heartbeating. Does NOT adopt existing
+  /// tenants by itself; call `RecoverAll()` (startup) or let the tick
+  /// thread adopt orphans as their leases expire.
+  [[nodiscard]] static Result<std::unique_ptr<ControlPlane>> Start(
+      ExperimentManager* manager, SpecFactory make_spec, Options options);
+
+  /// Stops the tick thread. Owned leases are left to expire so a surviving
+  /// shard adopts them (a clean handoff journals nothing — the journal is
+  /// the tenant's state, the lease only names its operator).
+  ~ControlPlane();
+
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  /// POST /experiments: admits one tenant from a JSON object body (same
+  /// keys as the CLI spec string). Persists the spec file, acquires the
+  /// lease, and `AddExperiment`s into the running manager — which resumes
+  /// from the tenant's journal if one exists, so re-admitting a crashed
+  /// tenant is safe. InvalidArgument for malformed bodies/specs,
+  /// FailedPrecondition when the name is already admitted here or leased
+  /// by a live shard.
+  [[nodiscard]] Status Admit(const std::string& body) EXCLUDES(mutex_);
+
+  /// DELETE /experiments/<name>: cancels the tenant (finalizing its
+  /// journal) and removes its spec + lease files. Works from any shard: a
+  /// non-owner removes the spec file and the owner's next tick cancels the
+  /// tenant locally. Idempotent — deleting an already-finished tenant is
+  /// OK; NotFound only when nothing by that name exists here or on disk.
+  [[nodiscard]] Status Evict(const std::string& name) EXCLUDES(mutex_);
+
+  /// Startup recovery: adopts every tenant in the durable registry whose
+  /// lease is free or expired (journal replay restores each one
+  /// bit-exactly). Returns the number adopted.
+  [[nodiscard]] Result<int> RecoverAll() EXCLUDES(mutex_);
+
+  /// One synchronous control-plane tick: heartbeat owned leases (detecting
+  /// deposition), cancel tenants whose spec file vanished, adopt orphans,
+  /// and run the manager's budget/deadline expiry sweep.
+  TickReport TickOnce() EXCLUDES(mutex_);
+
+  /// Names of tenants this shard currently operates (sorted).
+  std::vector<std::string> OwnedTenants() const EXCLUDES(mutex_);
+
+  const Options& options() const { return options_; }
+
+ private:
+  /// Per-tenant fencing state shared with the journal write gate. The gate
+  /// lambda holds the shared_ptr, so the block outlives both the registry
+  /// entry and the journal that consults it.
+  struct LeaseHealth {
+    std::atomic<bool> fenced{false};
+    /// Epoch ms of the last heartbeat confirmed under the flock. The write
+    /// gate rejects appends once this is older than the lease timeout.
+    std::atomic<int64_t> confirmed_ms{0};
+    /// Fence value this shard acquired with (stable while owned). Atomic
+    /// because admission publishes it under the directory flock while the
+    /// tick thread may already hold the health block through the registry.
+    std::atomic<int64_t> fence{0};
+  };
+
+  struct Tenant {
+    std::shared_ptr<LeaseHealth> health;
+  };
+
+  ControlPlane(ExperimentManager* manager, SpecFactory make_spec,
+               Options options);
+
+  /// Admission core shared by Admit/RecoverAll/adoption: acquires the
+  /// lease, wires journal path + write gate, and hands the spec to the
+  /// manager. `keys` is the raw spec map (already validated to have a
+  /// well-formed name); the caller must already hold the tenant's registry
+  /// placeholder. `persist_spec` writes `<name>.spec.json` (fresh
+  /// admission) — recovery and adoption read the existing file instead.
+  [[nodiscard]] Status AdmitTenant(
+      const std::string& name,
+      const std::map<std::string, std::string>& keys, bool persist_spec)
+      EXCLUDES(mutex_);
+
+  /// Deletes the lease file iff this shard still owns it at `fence`
+  /// (serialized through the directory flock).
+  void ReleaseLease(const std::string& name, int64_t fence);
+
+  void TickLoop();
+
+  std::string SpecPath(const std::string& name) const;
+  std::string LeasePath(const std::string& name) const;
+
+  ExperimentManager* manager_;
+  SpecFactory make_spec_;
+  Options options_;
+
+  /// Above the manager mutex in the lock order; guards only the registry
+  /// map and shutdown flag (never held across I/O or manager calls).
+  mutable Mutex mutex_{"service.control_plane"};
+  std::condition_variable cv_;
+  std::map<std::string, Tenant> tenants_ GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
+
+  std::thread tick_thread_;
+};
+
+}  // namespace service
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SERVICE_CONTROL_PLANE_H_

@@ -51,6 +51,23 @@ Result<std::vector<double>> ParseEmbedding(const std::string& text) {
   return values;
 }
 
+/// Status -> HTTP for the control-plane mutations. FailedPrecondition is
+/// the repo's "already exists / owned elsewhere" code, hence 409.
+int HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    case StatusCode::kUnavailable:
+      return 503;
+    default:
+      return 500;
+  }
+}
+
 HttpResponse HandleWarmStart(const HttpRequest& request,
                              const kb::KnowledgeStore* store) {
   if (store == nullptr) {
@@ -103,10 +120,55 @@ HttpResponse HandleWarmStart(const HttpRequest& request,
 }  // namespace
 
 HttpServer::Handler MakeServiceHandler(ExperimentManager* manager,
-                                       const kb::KnowledgeStore* store) {
-  return [manager, store](const HttpRequest& request) {
+                                       const kb::KnowledgeStore* store,
+                                       ControlPlane* control) {
+  return [manager, store, control](const HttpRequest& request) {
     const std::string& path = request.path;
     HttpResponse response;
+
+    // Mutations first: the control plane is the only writer surface.
+    if (request.method == "POST") {
+      if (path != "/experiments") {
+        return JsonError(404, "POST is only supported on /experiments");
+      }
+      if (control == nullptr) {
+        return JsonError(404,
+                         "no control plane attached (serve --journal-dir "
+                         "enables dynamic admission)");
+      }
+      const Status admitted = control->Admit(request.body);
+      if (!admitted.ok()) {
+        return JsonError(HttpStatusFor(admitted), admitted.message());
+      }
+      response.content_type = "application/json";
+      response.body =
+          obs::Json(obs::Json::Object{{"admitted", true}}).Dump() + "\n";
+      return response;
+    }
+    if (request.method == "DELETE") {
+      const std::string prefix = "/experiments/";
+      if (path.rfind(prefix, 0) != 0 ||
+          path.size() == prefix.size() ||
+          path.find('/', prefix.size()) != std::string::npos) {
+        return JsonError(404, "DELETE expects /experiments/<name>");
+      }
+      if (control == nullptr) {
+        return JsonError(404,
+                         "no control plane attached (serve --journal-dir "
+                         "enables dynamic admission)");
+      }
+      const std::string name = path.substr(prefix.size());
+      const Status evicted = control->Evict(name);
+      if (!evicted.ok()) {
+        return JsonError(HttpStatusFor(evicted), evicted.message());
+      }
+      response.content_type = "application/json";
+      response.body = obs::Json(obs::Json::Object{{"evicted", name}})
+                          .Dump() +
+                      "\n";
+      return response;
+    }
+
     if (path == "/metrics") {
       // Prometheus scrapes declare version=0.0.4 in Accept; serving it in
       // Content-Type lets strict scrapers parse without content sniffing.

@@ -2,6 +2,7 @@
 #define AUTOTUNE_SERVICE_ENDPOINTS_H_
 
 #include "kb/knowledge_store.h"
+#include "service/control_plane.h"
 #include "service/experiment_manager.h"
 #include "service/http_server.h"
 
@@ -13,6 +14,20 @@ namespace service {
 ///                                    text exposition
 ///   GET /experiments                 ExperimentManager::StatusJson(),
 ///                                    pretty JSON
+///   POST /experiments                admit a tenant into the RUNNING
+///                                    manager (`ControlPlane::Admit`).
+///                                    Body: a JSON object with the same
+///                                    keys as the CLI `--experiment` spec
+///                                    string (name, weight, seed,
+///                                    cost_budget, deadline_ms,
+///                                    warmstart, ...). 400 on malformed
+///                                    bodies/specs, 409 when the name is
+///                                    already admitted or leased by
+///                                    another live shard.
+///   DELETE /experiments/<name>       cancel + retire the tenant
+///                                    (`ControlPlane::Evict`); idempotent
+///                                    for already-finished tenants, 404
+///                                    for unknown names.
 ///   GET /experiments/<name>/trials   recent per-trial decision records,
 ///                                    pretty JSON (404 with a JSON error
 ///                                    body for unknown names)
@@ -25,12 +40,14 @@ namespace service {
 ///                                    store is attached, 400 on bad params.
 ///   GET /healthz                     "ok"
 /// JSON routes always answer with Content-Type application/json, including
-/// their 404s. `manager` may be null (metrics-only endpoint) and `store`
-/// may be null (no knowledge base); both must outlive the HttpServer the
-/// handler is installed on.
+/// their 404s. `manager` may be null (metrics-only endpoint), `store` may
+/// be null (no knowledge base), and `control` may be null (static tenant
+/// set: POST/DELETE answer 404 explaining how to enable the control
+/// plane); all must outlive the HttpServer the handler is installed on.
 HttpServer::Handler MakeServiceHandler(ExperimentManager* manager,
                                        const kb::KnowledgeStore* store =
-                                           nullptr);
+                                           nullptr,
+                                       ControlPlane* control = nullptr);
 
 }  // namespace service
 }  // namespace autotune

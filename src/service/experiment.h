@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -23,7 +24,14 @@ namespace service {
 ///   running --(Pause)--> paused --(Resume)--> running
 ///   running/paused --(Cancel)--> cancelled        [terminal]
 ///   running --(loop done)--> finished             [terminal]
-enum class ExperimentState { kRunning, kPaused, kCancelled, kFinished };
+///   running/paused --(over budget / past deadline)--> expired   [terminal]
+enum class ExperimentState {
+  kRunning,
+  kPaused,
+  kCancelled,
+  kFinished,
+  kExpired,
+};
 
 const char* ExperimentStateName(ExperimentState state);
 
@@ -49,6 +57,21 @@ struct ExperimentSpec {
   /// spec resumed after a crash continues the same random streams.
   uint64_t seed = 42;
 
+  /// Total-cost budget (simulated seconds; infinity = unlimited). Enforced
+  /// by the scheduler at trial boundaries: once the tenant's cumulative
+  /// cost reaches the budget it transitions to `kExpired` with an honest
+  /// `budget_exhausted` journal event. The check also runs on journal
+  /// replay, so a resumed over-budget tenant expires instead of getting
+  /// extra trials.
+  double cost_budget = std::numeric_limits<double>::infinity();
+
+  /// Wall-clock deadline in milliseconds since admission (0 = none).
+  /// Anchored to the journal's `experiment_started` timestamp when
+  /// resuming, so a restarted process enforces the same absolute deadline.
+  /// Expiry journals `deadline_exceeded`, cancels the in-flight trial via
+  /// the cooperative cancellation token, and transitions to `kExpired`.
+  int64_t deadline_ms = 0;
+
   /// Builds the environment (required).
   std::function<std::unique_ptr<Environment>()> make_environment;
 
@@ -62,6 +85,12 @@ struct ExperimentSpec {
   /// Loop budget/convergence/snapshot options. `journal` is ignored — the
   /// manager owns each experiment's journal.
   TuningLoopOptions loop_options;
+
+  /// Optional fencing gate installed on the experiment's journal (see
+  /// `obs::Journal::SetWriteGate`): return false and appends are dropped.
+  /// The control plane points this at the tenant's lease state so a deposed
+  /// shard's late writes never reach an adopted journal. Must be lock-free.
+  std::function<bool()> journal_gate;
 
   /// Opt-in fleet warm start: before the first suggest, query
   /// `warmstart_store` with `warmstart_embedding` and replay the returned
@@ -91,6 +120,9 @@ struct ExperimentStatus {
   bool degraded = false;
   bool warm_started = false;  ///< Knowledge-base samples were replayed.
   int warm_samples = 0;       ///< How many observations the replay added.
+  double cost_budget =
+      std::numeric_limits<double>::infinity();  ///< Spec budget (inf = none).
+  int64_t deadline_ms = 0;  ///< Spec deadline (0 = none).
   std::string message;
 };
 

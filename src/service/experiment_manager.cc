@@ -20,6 +20,10 @@ namespace {
 /// Decision records kept per experiment for GET /experiments/<name>/trials.
 constexpr size_t kMaxRecentDecisions = 32;
 
+/// Deadlines are diagnostic wall-clock state, so they flow through the
+/// sanctioned obs timestamp shim (the determinism lint bans raw clocks).
+int64_t NowMs() { return obs::NowEpochMs(); }
+
 }  // namespace
 
 const char* ExperimentStateName(ExperimentState state) {
@@ -32,6 +36,8 @@ const char* ExperimentStateName(ExperimentState state) {
       return "cancelled";
     case ExperimentState::kFinished:
       return "finished";
+    case ExperimentState::kExpired:
+      return "expired";
   }
   return "unknown";
 }
@@ -67,11 +73,24 @@ Status ExperimentManager::AddExperiment(ExperimentSpec spec) {
         "experiment '" + spec.name +
         "': make_environment and make_optimizer are required");
   }
+  if (std::isnan(spec.cost_budget) || !(spec.cost_budget > 0.0)) {
+    return Status::InvalidArgument("experiment '" + spec.name +
+                                   "': cost_budget must be > 0");
+  }
+  if (spec.deadline_ms < 0) {
+    return Status::InvalidArgument("experiment '" + spec.name +
+                                   "': deadline_ms must be >= 0");
+  }
 
   // Build the whole tuning stack outside the manager lock — environment
   // construction and journal replay can be arbitrarily expensive.
   auto e = std::make_unique<Experiment>();
   e->spec = std::move(spec);
+  // Wire this experiment's preemption token into its runner: Cancel /
+  // expiry / lease loss then stops the in-flight trial at the next
+  // repetition or retry boundary. The Experiment lives behind a unique_ptr,
+  // so the token's address is stable for the runner's lifetime.
+  e->spec.runner_options.cancel = &e->cancel_token;
   const ExperimentSpec& s = e->spec;
 
   e->env = s.make_environment();
@@ -107,6 +126,19 @@ Status ExperimentManager::AddExperiment(ExperimentSpec spec) {
     }
   }
 
+  if (s.deadline_ms > 0) {
+    // Anchor the deadline at original admission: a resumed tenant keeps the
+    // absolute deadline its first process started, rather than earning a
+    // fresh allowance per restart.
+    int64_t anchor_ms = NowMs();
+    if (resume || finished_in_journal) {
+      Result<obs::Json> started =
+          obs::ReadFirstEvent(s.journal_path, "experiment_started");
+      if (started.ok()) anchor_ms = started->GetInt("ts_ms", anchor_ms);
+    }
+    e->deadline_at_ms = anchor_ms + s.deadline_ms;
+  }
+
   if (finished_in_journal) {
     // Completed in a previous process; report it done instead of re-running.
     // The full history lives in the journal, not in ResultOf().
@@ -119,6 +151,7 @@ Status ExperimentManager::AddExperiment(ExperimentSpec spec) {
   } else {
     if (!s.journal_path.empty()) {
       AUTOTUNE_ASSIGN_OR_RETURN(e->journal, obs::Journal::Open(s.journal_path));
+      if (s.journal_gate) e->journal->SetWriteGate(s.journal_gate);
       if (!resume) {
         e->journal->Event("experiment_started",
                           {{"name", s.name},
@@ -204,6 +237,14 @@ Status ExperimentManager::AddExperiment(ExperimentSpec spec) {
                                    "experiment:" + s.name);
     if (resume) {
       AUTOTUNE_RETURN_IF_ERROR(e->loop->Resume(replay));
+      // Drain the fast-forward tail now instead of lazily through the
+      // scheduler: replayed steps are cheap (suggest-and-discard, no
+      // environment runs), and only a fully drained loop reports the
+      // honest trials_run/total_cost that the budget/deadline enforcement
+      // below — and the first status read — depend on.
+      while (!e->loop->done() && e->loop->pending_replay_trials() > 0) {
+        e->loop->StepTrial();
+      }
       e->resumed = true;
       e->message = "resumed from journal";
     }
@@ -214,6 +255,27 @@ Status ExperimentManager::AddExperiment(ExperimentSpec spec) {
       e->state = ExperimentState::kFinished;
       e->degraded = result.degraded;
       e->result = std::move(result);
+    } else {
+      // Enforcement on replay: a tenant that was already over budget or
+      // past deadline when its process died expires NOW, instead of being
+      // granted extra trials the uninterrupted run would never have run.
+      const char* kind = nullptr;
+      if (std::isfinite(s.cost_budget) &&
+          e->loop->total_cost() >= s.cost_budget) {
+        kind = "budget_exhausted";
+      } else if (e->deadline_at_ms != 0 && NowMs() >= e->deadline_at_ms) {
+        kind = "deadline_exceeded";
+      }
+      if (kind != nullptr) {
+        e->state = ExperimentState::kExpired;
+        e->message = kind;
+        e->pending_expiry = kind;
+        (void)e->cancel_token.Cancel(kind);  // First-wins; later causes lose.
+        JournalPendingExpiry(e.get());
+        TuningResult result = e->loop->Finish();
+        e->degraded = result.degraded;
+        e->result = std::move(result);
+      }
     }
   }
 
@@ -227,10 +289,13 @@ Status ExperimentManager::AddExperiment(ExperimentSpec spec) {
   }
   Experiment* raw = e.get();
   raw->virtual_time = MinActiveVirtualTimeLocked();
-  if (raw->loop != nullptr && !raw->result.has_value()) {
+  if (raw->loop != nullptr) {
+    // Also runs for a tenant that expired on replay above: its status must
+    // report the replayed trial count and cost, not zeros.
     SyncProgressLocked(raw);
-  } else if (raw->result.has_value()) {
-    FinalizeTraceLocked(raw);  // Whole budget was already journaled.
+  }
+  if (raw->result.has_value()) {
+    FinalizeTraceLocked(raw);  // Nothing left to run or finalize later.
   }
   experiments_[s.name] = std::move(e);
   PumpLocked();
@@ -287,6 +352,9 @@ Status ExperimentManager::Cancel(const std::string& name) {
     if (IsTerminal(e->state)) return Status::OK();
     e->state = ExperimentState::kCancelled;
     e->message = "cancelled";
+    // Cooperative preemption: an in-flight trial stops at its next
+    // repetition/retry boundary instead of running to completion.
+    (void)e->cancel_token.Cancel("cancelled");  // First-wins; later causes lose.
     if (e->in_flight || e->loop == nullptr || e->result.has_value()) {
       // Either a worker owns the loop (it observes the cancelled state and
       // finalizes) or there is nothing left to finalize.
@@ -301,17 +369,56 @@ Status ExperimentManager::Cancel(const std::string& name) {
     ++in_flight_count_;
   }
 
-  TuningResult result = e->loop->Finish();
+  FinalizeWithToken(e);
+  return Status::OK();
+}
 
-  MutexLock lock(mutex_);
-  e->degraded = result.degraded;
-  e->result = std::move(result);
-  SyncProgressLocked(e);
-  FinalizeTraceLocked(e);
-  e->in_flight = false;
-  --in_flight_count_;
-  UpdateGaugesLocked();
-  cv_.notify_all();
+void ExperimentManager::EnforceExpiry() {
+  const int64_t now_ms = NowMs();
+  std::vector<Experiment*> to_finalize;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& [name, e] : experiments_) {
+      if (IsTerminal(e->state) || e->loop == nullptr ||
+          e->result.has_value()) {
+        continue;
+      }
+      const char* kind = ExpiryKindLocked(*e, now_ms);
+      if (kind == nullptr) continue;
+      BeginExpiryLocked(e.get(), kind);
+      if (e->in_flight) continue;  // The worker finalizes on token return.
+      e->in_flight = true;
+      ++in_flight_count_;
+      to_finalize.push_back(e.get());
+    }
+    if (!to_finalize.empty()) UpdateGaugesLocked();
+  }
+  for (Experiment* e : to_finalize) FinalizeWithToken(e);
+}
+
+Status ExperimentManager::Abandon(const std::string& name) {
+  std::unique_ptr<Experiment> reaped;
+  {
+    MutexLock lock(mutex_);
+    auto it = experiments_.find(name);
+    if (it == experiments_.end()) {
+      return Status::NotFound("no experiment '" + name + "'");
+    }
+    Experiment* e = it->second.get();
+    (void)e->cancel_token.Cancel("abandoned: lease lost");  // First-wins.
+    if (e->in_flight) {
+      // A worker owns the tuning stack; it reaps the entry (without
+      // finalizing) when the preempted trial returns the token.
+      e->abandoning = true;
+      return Status::OK();
+    }
+    reaped = std::move(it->second);
+    experiments_.erase(it);
+    UpdateGaugesLocked();
+    cv_.notify_all();
+  }
+  // `reaped` destructs here, outside the manager mutex: the journal's
+  // destructor joins its writer thread, which must not run under the lock.
   return Status::OK();
 }
 
@@ -387,6 +494,12 @@ obs::Json ExperimentManager::StatusJson() const {
       if (status.best_objective.has_value()) {
         entry["best_objective"] = *status.best_objective;
       }
+      if (std::isfinite(status.cost_budget)) {
+        entry["cost_budget"] = status.cost_budget;
+      }
+      if (status.deadline_ms > 0) {
+        entry["deadline_ms"] = status.deadline_ms;
+      }
       if (!status.message.empty()) entry["message"] = status.message;
       experiments.push_back(obs::Json(std::move(entry)));
     }
@@ -434,11 +547,23 @@ Result<obs::Json> ExperimentManager::TrialsJson(
 
 void ExperimentManager::PumpLocked() {
   if (shutting_down_) return;
+  const int64_t now_ms = NowMs();
   while (in_flight_count_ < max_concurrent_) {
     Experiment* pick = nullptr;
     for (const auto& [name, e] : experiments_) {
       if (e->state != ExperimentState::kRunning || e->in_flight ||
           e->loop == nullptr || e->loop_done || e->result.has_value()) {
+        continue;
+      }
+      // Budget/deadline enforcement at the dispatch point: an expired
+      // tenant gets a finalize task, never another trial.
+      const char* kind = ExpiryKindLocked(*e, now_ms);
+      if (kind != nullptr) {
+        BeginExpiryLocked(e.get(), kind);
+        e->in_flight = true;
+        ++in_flight_count_;
+        Experiment* doomed = e.get();
+        pool_->Submit([this, doomed]() { FinalizeWithToken(doomed); });
         continue;
       }
       // Strict < keeps the tie-break on name order (map iteration order),
@@ -470,6 +595,7 @@ void ExperimentManager::RunOneTrial(Experiment* e) {
     decisions = e->loop->TakeDecisionEvents();
   }
 
+  std::unique_ptr<Experiment> reaped;
   {
     MutexLock lock(mutex_);
     e->virtual_time += 1.0 / e->spec.weight;
@@ -480,34 +606,97 @@ void ExperimentManager::RunOneTrial(Experiment* e) {
       }
     }
     SyncProgressLocked(e);
-    const bool terminal =
-        e->state == ExperimentState::kCancelled || e->loop_done;
-    if (!terminal) {
+    if (e->abandoning) {
+      // Lease lost mid-trial: reap the entry without finalizing (no
+      // experiment_finished — the journal now belongs to the adopter).
+      auto it = experiments_.find(e->spec.name);
+      AUTOTUNE_CHECK(it != experiments_.end() && it->second.get() == e);
+      reaped = std::move(it->second);
+      experiments_.erase(it);
       e->in_flight = false;
       --in_flight_count_;
+      UpdateGaugesLocked();
       cv_.notify_all();
       PumpLocked();
-      return;
+    } else {
+      if (!IsTerminal(e->state)) {
+        // Budget/deadline enforcement at the trial boundary.
+        const char* kind = ExpiryKindLocked(*e, NowMs());
+        if (kind != nullptr) BeginExpiryLocked(e, kind);
+      }
+      const bool terminal = IsTerminal(e->state) || e->loop_done;
+      if (!terminal) {
+        e->in_flight = false;
+        --in_flight_count_;
+        cv_.notify_all();
+        PumpLocked();
+        return;
+      }
+      // Keep the in-flight token: Finish() still needs exclusive ownership
+      // (it may re-evaluate the incumbent for a degrade redeploy), and it
+      // must not run under the manager mutex.
     }
-    // Keep the in-flight token: Finish() still needs exclusive ownership
-    // (it may re-evaluate the incumbent for a degrade redeploy), and it
-    // must not run under the manager mutex.
   }
+  if (reaped != nullptr) return;  // Journal destructs outside the lock.
 
+  FinalizeWithToken(e);
+}
+
+const char* ExperimentManager::ExpiryKindLocked(const Experiment& e,
+                                                int64_t now_ms) const {
+  if (std::isfinite(e.spec.cost_budget) &&
+      e.total_cost >= e.spec.cost_budget) {
+    return "budget_exhausted";
+  }
+  if (e.deadline_at_ms != 0 && now_ms >= e.deadline_at_ms) {
+    return "deadline_exceeded";
+  }
+  return nullptr;
+}
+
+void ExperimentManager::BeginExpiryLocked(Experiment* e, const char* kind) {
+  e->state = ExperimentState::kExpired;
+  e->message = kind;
+  e->pending_expiry = kind;
+  (void)e->cancel_token.Cancel(kind);  // First-wins; later causes lose.
+  obs::MetricsRegistry::Global().Increment("service.experiments.expired");
+}
+
+void ExperimentManager::JournalPendingExpiry(Experiment* e) {
+  const char* kind = e->pending_expiry;
+  e->pending_expiry = nullptr;
+  if (kind == nullptr || e->journal == nullptr) return;
+  obs::Json::Object fields;
+  fields["name"] = obs::Json(e->spec.name);
+  fields["total_cost"] = obs::Json(e->loop->total_cost());
+  if (std::isfinite(e->spec.cost_budget)) {
+    fields["cost_budget"] = obs::Json(e->spec.cost_budget);
+  }
+  if (e->spec.deadline_ms > 0) {
+    fields["deadline_ms"] = obs::Json(int64_t{e->spec.deadline_ms});
+    fields["deadline_at_ms"] = obs::Json(int64_t{e->deadline_at_ms});
+  }
+  e->journal->Event(kind, std::move(fields));
+}
+
+void ExperimentManager::FinalizeWithToken(Experiment* e) {
+  JournalPendingExpiry(e);
   TuningResult result = e->loop->Finish();
 
   MutexLock lock(mutex_);
   e->degraded = result.degraded;
   e->result = std::move(result);
-  if (e->state != ExperimentState::kCancelled) {
+  if (!IsTerminal(e->state)) {
     e->state = ExperimentState::kFinished;
   }
   if (e->degraded && e->message.empty()) {
     e->message = "degraded: " + e->result->status.ToString();
   }
+  SyncProgressLocked(e);
   FinalizeTraceLocked(e);
   e->in_flight = false;
   --in_flight_count_;
+  UpdateGaugesLocked();
   cv_.notify_all();
   PumpLocked();
 }
@@ -548,6 +737,8 @@ ExperimentStatus ExperimentManager::StatusOfLocked(
   status.degraded = e.degraded;
   status.warm_started = e.warm_started;
   status.warm_samples = e.warm_samples;
+  status.cost_budget = e.spec.cost_budget;
+  status.deadline_ms = e.spec.deadline_ms;
   status.message = e.message;
   return status;
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -87,8 +88,30 @@ class ExperimentManager {
 
   /// Cancels the experiment: no further trials are dispatched, the session
   /// is finalized (experiment_finished journaled, so a restart will not
-  /// resume it) and its result becomes available. Idempotent.
+  /// resume it) and its result becomes available. Idempotent. The in-flight
+  /// trial (if any) is cooperatively preempted through the experiment's
+  /// cancellation token, so cancellation lands within one retry attempt,
+  /// not one full trial.
   [[nodiscard]] Status Cancel(const std::string& name) EXCLUDES(mutex_);
+
+  /// Budget/deadline sweep: transitions every over-budget or past-deadline
+  /// experiment to `kExpired` (journaling `budget_exhausted` /
+  /// `deadline_exceeded`), preempting in-flight trials via their
+  /// cancellation tokens. The same checks run at every trial boundary; this
+  /// entry point exists so a control-plane tick can expire tenants that are
+  /// idle, paused, or stuck in one long trial.
+  void EnforceExpiry() EXCLUDES(mutex_);
+
+  /// Drops the experiment WITHOUT finalizing it: no `experiment_finished`
+  /// is journaled, so another process can adopt the journal and resume the
+  /// session. Used on lease loss (shard failover — the tenant now belongs
+  /// to someone else). The in-flight trial, if any, is preempted via the
+  /// cancellation token and the entry is reaped when it completes; the
+  /// journal write gate (see `obs::Journal::SetWriteGate`) is what keeps
+  /// the preempted trial's late events out of the adopted journal.
+  /// NotFound for unknown names; otherwise OK (asynchronous when a trial is
+  /// in flight).
+  [[nodiscard]] Status Abandon(const std::string& name) EXCLUDES(mutex_);
 
   /// Blocks until every experiment is finished or cancelled and no trial is
   /// in flight. Paused experiments never finish on their own — resume or
@@ -136,6 +159,23 @@ class ExperimentManager {
     double virtual_time = 0.0;
     std::string message;
 
+    /// Cooperative preemption signal, wired into the runner's options so
+    /// Cancel / expiry / lease loss stops the in-flight trial at its next
+    /// repetition or retry boundary. Never reset — terminal is terminal.
+    CancellationToken cancel_token;
+
+    /// Absolute deadline (epoch ms; 0 = none), anchored at admission — or
+    /// at the journal's `experiment_started` timestamp when resuming.
+    int64_t deadline_at_ms = 0;
+
+    /// Expiry journal event ("budget_exhausted" / "deadline_exceeded")
+    /// awaiting the finalizer, which writes it outside the manager mutex.
+    const char* pending_expiry = nullptr;
+
+    /// Lease loss: reap this entry (no finalization) once its in-flight
+    /// trial completes.
+    bool abandoning = false;
+
     std::unique_ptr<Environment> env;
     std::unique_ptr<Optimizer> optimizer;
     std::unique_ptr<TrialRunner> runner;
@@ -169,7 +209,8 @@ class ExperimentManager {
 
   static bool IsTerminal(ExperimentState state) {
     return state == ExperimentState::kCancelled ||
-           state == ExperimentState::kFinished;
+           state == ExperimentState::kFinished ||
+           state == ExperimentState::kExpired;
   }
 
   /// Dispatches trials to free worker slots: repeatedly picks the runnable
@@ -180,6 +221,27 @@ class ExperimentManager {
   /// Worker-task body: runs exactly one trial of `e`, then updates
   /// scheduler state and finalizes the experiment if it became terminal.
   void RunOneTrial(Experiment* e) EXCLUDES(mutex_);
+
+  /// "budget_exhausted" / "deadline_exceeded" if `e` is over its budget or
+  /// past its deadline at `now_ms`, nullptr otherwise.
+  const char* ExpiryKindLocked(const Experiment& e, int64_t now_ms) const
+      REQUIRES(mutex_);
+
+  /// Transitions `e` to kExpired: records the pending journal event and
+  /// fires the cancellation token so an in-flight trial preempts.
+  void BeginExpiryLocked(Experiment* e, const char* kind) REQUIRES(mutex_);
+
+  /// Writes the pending `budget_exhausted` / `deadline_exceeded` event (if
+  /// any) with honest cost/deadline figures, then clears it. Caller must
+  /// own the tuning stack and must NOT hold the manager mutex.
+  void JournalPendingExpiry(Experiment* e);
+
+  /// Shared finalization tail (Cancel, expiry, natural completion). The
+  /// caller must hold `e`'s in-flight token; runs Finish() OUTSIDE the
+  /// manager mutex (it may re-evaluate the incumbent), journals the pending
+  /// expiry event first, then re-locks to store the result and release the
+  /// token.
+  void FinalizeWithToken(Experiment* e) EXCLUDES(mutex_);
 
   /// Smallest virtual time among experiments still competing for workers
   /// (0 when none) — the catch-up point for added/unpaused experiments.

@@ -3,9 +3,11 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>  // NOLINT(determinism): timeval for SO_RCVTIMEO, not a clock
 #include <unistd.h>
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
@@ -21,13 +23,31 @@ const char* StatusText(int status) {
   switch (status) {
     case 200:
       return "OK";
+    case 400:
+      return "Bad Request";
     case 404:
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 409:
+      return "Conflict";
+    case 413:
+      return "Payload Too Large";
     default:
       return "Error";
   }
+}
+
+/// JSON error response — even transport-level failures (408/413) answer in
+/// JSON so clients never have to sniff the body.
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = "{\"error\": \"" + message + "\"}\n";
+  return response;
 }
 
 void WriteAll(int fd, const std::string& data) {
@@ -116,11 +136,15 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Start(const Options& options,
     port = ntohs(bound.sin_port);
   }
   return std::unique_ptr<HttpServer>(
-      new HttpServer(fd, port, std::move(handler)));
+      new HttpServer(fd, port, options, std::move(handler)));
 }
 
-HttpServer::HttpServer(int listen_fd, int port, Handler handler)
-    : listen_fd_(listen_fd), port_(port), handler_(std::move(handler)) {
+HttpServer::HttpServer(int listen_fd, int port, Options options,
+                       Handler handler)
+    : listen_fd_(listen_fd),
+      port_(port),
+      options_(std::move(options)),
+      handler_(std::move(handler)) {
   accept_thread_ = std::thread([this]() { AcceptLoop(); });
 }
 
@@ -136,53 +160,120 @@ void HttpServer::AcceptLoop() {
   for (;;) {
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) return;  // Shut down (or unrecoverable).
-
-    // Read just the request head; this server only serves bodyless GETs.
-    std::string request;
-    char buf[4096];
-    while (request.find("\r\n\r\n") == std::string::npos &&
-           request.size() < (1u << 16)) {
-      const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
-      if (n <= 0) break;
-      request.append(buf, static_cast<size_t>(n));
-    }
-
-    std::string method = "GET";
-    HttpRequest parsed;
-    parsed.path = "/";
-    const size_t line_end = request.find("\r\n");
-    if (line_end != std::string::npos) {
-      const std::string line = request.substr(0, line_end);
-      const size_t sp1 = line.find(' ');
-      const size_t sp2 = line.find(' ', sp1 + 1);
-      if (sp1 != std::string::npos && sp2 != std::string::npos) {
-        method = line.substr(0, sp1);
-        parsed.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-        const size_t query = parsed.path.find('?');
-        if (query != std::string::npos) {
-          parsed.query = parsed.path.substr(query + 1);
-          parsed.path = parsed.path.substr(0, query);
-        }
-      }
-    }
-
-    HttpResponse response;
-    if (method != "GET") {
-      response.status = 405;
-      response.body = "method not allowed\n";
-    } else {
-      response = handler_(parsed);
-    }
-    std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
-                      StatusText(response.status) + "\r\n";
-    out += "Content-Type: " + response.content_type + "\r\n";
-    out += "Content-Length: " + std::to_string(response.body.size()) +
-           "\r\n";
-    out += "Connection: close\r\n\r\n";
-    out += response.body;
-    WriteAll(client, out);
+    HandleConnection(client);
     ::close(client);
   }
+}
+
+void HttpServer::HandleConnection(int client) {
+  // Per-connection read deadline: a client that connects and then stalls
+  // must not wedge the (single) accept loop — recv() returns EAGAIN at the
+  // deadline and the client is answered 408 and dropped.
+  if (options_.read_deadline_ms > 0) {
+    timeval tv;
+    tv.tv_sec = options_.read_deadline_ms / 1000;
+    tv.tv_usec = (options_.read_deadline_ms % 1000) * 1000;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  std::string request;
+  char buf[4096];
+  bool timed_out = false;
+  bool oversized = false;
+  const auto read_until =
+      [&](const std::function<bool(const std::string&)>& complete) {
+        while (true) {
+          // Cap first: a request over the limit is rejected even when a
+          // single recv() delivered it terminator and all.
+          if (request.size() > options_.max_request_bytes) {
+            oversized = true;
+            return;
+          }
+          if (complete(request)) return;
+          const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            timed_out = true;
+            return;
+          }
+          if (n <= 0) return;  // Client closed (or hard error).
+          request.append(buf, static_cast<size_t>(n));
+        }
+      };
+
+  read_until([](const std::string& r) {
+    return r.find("\r\n\r\n") != std::string::npos;
+  });
+  size_t head_end = request.find("\r\n\r\n");
+
+  HttpRequest parsed;
+  parsed.path = "/";
+  const size_t line_end = request.find("\r\n");
+  if (line_end != std::string::npos) {
+    const std::string line = request.substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp1 != std::string::npos && sp2 != std::string::npos) {
+      parsed.method = line.substr(0, sp1);
+      parsed.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const size_t query = parsed.path.find('?');
+      if (query != std::string::npos) {
+        parsed.query = parsed.path.substr(query + 1);
+        parsed.path = parsed.path.substr(0, query);
+      }
+    }
+  }
+
+  // Body (POST): bounded by Content-Length, the request cap, and the same
+  // read deadline as the head.
+  size_t content_length = 0;
+  if (head_end != std::string::npos && line_end != std::string::npos) {
+    std::string head = request.substr(0, head_end);
+    for (char& c : head) c = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c)));
+    const size_t key = head.find("\r\ncontent-length:");
+    if (key != std::string::npos) {
+      content_length = static_cast<size_t>(std::strtoull(
+          head.c_str() + key + sizeof("\r\ncontent-length:") - 1, nullptr,
+          10));
+    }
+  }
+  if (!timed_out && !oversized && content_length > 0 &&
+      head_end != std::string::npos) {
+    const size_t total = head_end + 4 + content_length;
+    if (total > options_.max_request_bytes) {
+      oversized = true;
+    } else {
+      read_until([total](const std::string& r) { return r.size() >= total; });
+      if (!timed_out && !oversized && request.size() >= total) {
+        parsed.body = request.substr(head_end + 4, content_length);
+      } else if (!oversized) {
+        timed_out = true;  // Short body: the client stalled or gave up.
+      }
+    }
+  }
+
+  HttpResponse response;
+  if (oversized) {
+    response = ErrorResponse(413, "request exceeds " +
+                                      std::to_string(
+                                          options_.max_request_bytes) +
+                                      " bytes");
+  } else if (timed_out) {
+    response = ErrorResponse(408, "read deadline exceeded");
+  } else if (parsed.method != "GET" && parsed.method != "POST" &&
+             parsed.method != "DELETE") {
+    response = ErrorResponse(405, "method not allowed");
+  } else {
+    response = handler_(parsed);
+  }
+  std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) +
+         "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  WriteAll(client, out);
 }
 
 }  // namespace service

@@ -19,12 +19,14 @@ struct HttpResponse {
   std::string body;
 };
 
-/// A parsed request line: the path with its query string split off (e.g.
-/// "GET /warmstart?workload=tpcc" gives path "/warmstart", query
-/// "workload=tpcc").
+/// A parsed request: method, the path with its query string split off
+/// (e.g. "GET /warmstart?workload=tpcc" gives path "/warmstart", query
+/// "workload=tpcc"), and — for POST — the request body.
 struct HttpRequest {
   std::string path;
   std::string query;
+  std::string method = "GET";
+  std::string body;
 
   /// The query string as key -> value (last wins on duplicates). Keys and
   /// values are percent-decoded; '+' decodes to a space. A bare key maps
@@ -33,15 +35,20 @@ struct HttpRequest {
 };
 
 /// Minimal dependency-free HTTP/1.0 server for the tuning service's scrape
-/// endpoints (GET /metrics, GET /experiments). One accept thread, one
-/// request per connection, no keep-alive — exactly enough for Prometheus
-/// scrapes and curl, deliberately nothing more. Not exposed beyond
-/// localhost by default.
+/// and control endpoints (GET /metrics, POST/DELETE /experiments...). One
+/// accept thread, one request per connection, no keep-alive — exactly
+/// enough for Prometheus scrapes and curl, deliberately nothing more. Not
+/// exposed beyond localhost by default.
+///
+/// Robustness: each connection gets a socket read deadline and a bound on
+/// total request size, so a stalled or oversized client is answered with a
+/// JSON 408/413 and dropped instead of wedging the accept loop forever.
 class HttpServer {
  public:
-  /// Maps a request (path + query) to a response. Called on the accept
-  /// thread; must be thread-safe with the rest of the process and
-  /// reasonably fast (scrapes block each other).
+  /// Maps a request to a response. Called on the accept thread; must be
+  /// thread-safe with the rest of the process and reasonably fast
+  /// (requests block each other). Only GET/POST/DELETE reach the handler;
+  /// other methods are answered 405 by the server itself.
   using Handler = std::function<HttpResponse(const HttpRequest& request)>;
 
   struct Options {
@@ -49,6 +56,12 @@ class HttpServer {
     std::string host = "127.0.0.1";
     /// TCP port; 0 picks a free port (see `port()`).
     int port = 0;
+    /// Per-connection socket read deadline (milliseconds; 0 disables). A
+    /// client that stalls mid-request gets `408 {"error": ...}`.
+    int read_deadline_ms = 5000;
+    /// Upper bound on the whole request, head + body (bytes). Beyond it
+    /// the client gets `413 {"error": ...}`.
+    size_t max_request_bytes = 1 << 20;
   };
 
   /// Binds, listens, and starts the accept thread. Unavailable on bind
@@ -66,12 +79,16 @@ class HttpServer {
   int port() const { return port_; }
 
  private:
-  HttpServer(int listen_fd, int port, Handler handler);
+  HttpServer(int listen_fd, int port, Options options, Handler handler);
 
   void AcceptLoop();
 
+  /// Reads, parses, and answers one connection (then the caller closes it).
+  void HandleConnection(int client);
+
   int listen_fd_;
   int port_;
+  Options options_;
   Handler handler_;
   std::thread accept_thread_;
 };

@@ -5,6 +5,9 @@
 // user-visible invariants (event counts, sequencing) so they are meaningful
 // in plain builds.
 
+#include <dirent.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <future>
@@ -25,6 +28,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optimizers/random_search.h"
+#include "service/control_plane.h"
 #include "service/experiment_manager.h"
 #include "sim/test_functions.h"
 
@@ -376,6 +380,93 @@ TEST(ConcurrencyTest, ExperimentManagerControlPlaneHammer) {
       EXPECT_EQ(status->trials_run, kTrialsEach) << name;
       EXPECT_TRUE(manager.ResultOf(name).ok());
     }
+  }
+}
+
+// Hammer the live control plane the way N impatient operators would: four
+// threads mix dynamic admission, eviction, registry ticks, and status reads
+// against ONE manager while its scheduler dispatches trials. Errors like
+// "already admitted" / "not found" are expected; what TSan checks is that
+// the registry, lease files, journals, and scheduler state never race.
+TEST(ConcurrencyTest, ControlPlaneAdmitEvictTickHammer) {
+  const std::string dir = TempPath("cp_hammer");
+  if (DIR* handle = ::opendir(dir.c_str())) {  // Stale files from past runs.
+    while (struct dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(handle);
+  }
+
+  ThreadPool pool(4);
+  service::ExperimentManager manager(&pool);
+  service::ControlPlane::Options options;
+  options.journal_dir = dir;
+  options.shard_id = "hammer";
+  options.lease_timeout_ms = 60000;  // Never expires mid-test.
+  options.start_tick_thread = false;
+  auto control = service::ControlPlane::Start(
+      &manager,
+      [](const std::map<std::string, std::string>& keys)
+          -> Result<service::ExperimentSpec> {
+        service::ExperimentSpec spec;
+        spec.name = keys.count("name") ? keys.at("name") : "";
+        spec.seed =
+            keys.count("seed")
+                ? static_cast<uint64_t>(std::atoll(keys.at("seed").c_str()))
+                : 11;
+        spec.make_environment = []() {
+          return std::make_unique<sim::FunctionEnvironment>("sphere", 2,
+                                                            sim::Sphere);
+        };
+        spec.make_optimizer = [](const ConfigSpace* space, uint64_t seed) {
+          return std::make_unique<RandomSearch>(space, seed);
+        };
+        spec.loop_options.max_trials = 15;
+        spec.loop_options.snapshot_every = 0;
+        return spec;
+      },
+      options);
+  ASSERT_TRUE(control.ok()) << control.status().ToString();
+
+  constexpr int kOperators = 4;
+  std::vector<std::thread> operators;
+  for (int t = 0; t < kOperators; ++t) {
+    operators.emplace_back([&, t]() {
+      for (int i = 0; i < 60; ++i) {
+        const std::string name =
+            "t" + std::to_string((t * 17 + i) % 6);
+        switch ((t + i) % 4) {
+          case 0:
+            (void)(*control)->Admit("{\"name\":\"" + name + "\"}");
+            break;
+          case 1:
+            (void)(*control)->Evict(name);
+            break;
+          case 2:
+            (void)(*control)->TickOnce();
+            break;
+          default:
+            (void)(*control)->OwnedTenants();
+            (void)manager.StatusJson();
+            break;
+        }
+      }
+    });
+  }
+  for (auto& op : operators) op.join();
+  manager.WaitAll();
+
+  // Whatever survived the hammer is consistent: every owned tenant exists
+  // in the manager, finished its trial budget, and kept its durable spec.
+  for (const std::string& name : (*control)->OwnedTenants()) {
+    auto status = manager.StatusOf(name);
+    ASSERT_TRUE(status.ok()) << name;
+    EXPECT_TRUE(status->state == service::ExperimentState::kFinished ||
+                status->state == service::ExperimentState::kCancelled)
+        << name;
+    EXPECT_EQ(::access((dir + "/" + name + ".spec.json").c_str(), F_OK), 0)
+        << name;
   }
 }
 

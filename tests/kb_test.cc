@@ -191,6 +191,44 @@ TEST(KnowledgeStoreTest, RescanIsIncremental) {
   EXPECT_EQ(*matches[0].summary.best_objective, 1.0);
 }
 
+TEST(KnowledgeStoreTest, RescanEvictsSessionsWhoseJournalVanished) {
+  const std::string dir = TempDir("evict");
+  WriteFile(dir + "/a.jsonl", GoodJournalText());
+  WriteFile(dir + "/b.jsonl", GoodJournalText());
+
+  kb::KnowledgeStore store;
+  ASSERT_TRUE(store.ScanDirectory(dir).ok());
+  // A programmatic session keyed outside the directory must survive scans.
+  kb::SessionSummary foreign;
+  foreign.session_id = "foreign";
+  foreign.source_path = "mem://foreign";
+  foreign.workload = "tpcc";
+  foreign.trials = 1;
+  store.AddSession(std::move(foreign));
+  ASSERT_EQ(store.num_sessions(), 3u);
+
+  // Deleting a journal makes its summary a ghost: the next rescan evicts
+  // it, so NearestSessions never serves a warm-start donor that no longer
+  // exists on disk.
+  std::remove((dir + "/a.jsonl").c_str());
+  auto report = store.ScanDirectory(dir);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->evicted, 1);
+  EXPECT_EQ(report->unchanged, 1);
+  EXPECT_EQ(store.num_sessions(), 2u);
+  const auto matches =
+      store.NearestSessions(*kb::EmbeddingForWorkload("tpcc"), 5);
+  for (const auto& match : matches) {
+    EXPECT_NE(match.summary.source_path, dir + "/a.jsonl");
+  }
+
+  // Stable state: a further rescan evicts nothing more.
+  auto again = store.ScanDirectory(dir);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->evicted, 0);
+  EXPECT_EQ(store.num_sessions(), 2u);
+}
+
 TEST(KnowledgeStoreTest, SaveLoadRoundTripsDeterministically) {
   const std::string dir = TempDir("save");
   WriteFile(dir + "/a.jsonl", GoodJournalText());

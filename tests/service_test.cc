@@ -4,6 +4,7 @@
 // Prometheus text exposition it serves.
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -33,6 +34,7 @@
 #include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "optimizers/random_search.h"
+#include "service/control_plane.h"
 #include "service/endpoints.h"
 #include "service/experiment_manager.h"
 #include "service/http_server.h"
@@ -857,6 +859,591 @@ TEST(ExperimentManagerTest, WarmStartedSessionResumesBitExactly) {
   ASSERT_TRUE(resumed->best.has_value());
   ASSERT_TRUE(reference.best.has_value());
   EXPECT_EQ(resumed->best->objective, reference.best->objective);
+}
+
+// ---------------------------------------------------- budgets & deadlines --
+
+/// Counts journal lines carrying `"event":"<kind>"` (journal Dump output is
+/// compact, so the needle is unambiguous).
+int CountEvents(const std::string& path, const std::string& kind) {
+  auto text = obs::ReadJournalText(path);
+  if (!text.ok()) return -1;
+  const std::string needle = "\"event\":\"" + kind + "\"";
+  int count = 0;
+  size_t pos = 0;
+  while ((pos = text->find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST(ExperimentManagerTest, BudgetExpiryStopsSchedulingAndJournalsHonestly) {
+  const std::string journal = TempPath("budget.jsonl");
+  std::remove(journal.c_str());
+
+  // The default cost model charges RunCost = fidelity * 60 per trial, so a
+  // 150-cost budget admits exactly three 60-cost trials (180 >= 150).
+  const auto budgeted = [&]() {
+    service::ExperimentSpec spec = SphereSpec("budgeted", 50, 1.0, journal);
+    spec.cost_budget = 150.0;
+    return spec;
+  };
+
+  ThreadPool pool(2);
+  {
+    service::ExperimentManager manager(&pool);
+    ASSERT_TRUE(manager.AddExperiment(budgeted()).ok());
+    manager.WaitAll();
+    auto status = manager.StatusOf("budgeted");
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(status->state, service::ExperimentState::kExpired);
+    EXPECT_EQ(status->message, "budget_exhausted");
+    EXPECT_EQ(status->trials_run, 3);
+    EXPECT_GE(status->total_cost, 150.0);
+    EXPECT_EQ(status->cost_budget, 150.0);
+    EXPECT_TRUE(manager.ResultOf("budgeted").ok());
+  }
+
+  // The expiry is journaled with the honest totals, and the session is
+  // finalized (no dangling journal).
+  auto event = obs::ReadFirstEvent(journal, "budget_exhausted");
+  ASSERT_TRUE(event.ok()) << event.status().ToString();
+  EXPECT_GE(event->GetDouble("total_cost", 0.0), 150.0);
+  EXPECT_EQ(event->GetDouble("cost_budget", 0.0), 150.0);
+  EXPECT_EQ(CountEvents(journal, "trial_completed"), 3);
+  EXPECT_EQ(CountEvents(journal, "experiment_finished"), 1);
+
+  // Restart: the finalized journal reports the session done — the tenant
+  // is never granted trials its budget already paid for.
+  service::ExperimentManager manager(&pool);
+  ASSERT_TRUE(manager.AddExperiment(budgeted()).ok());
+  auto status = manager.StatusOf("budgeted");
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->resumed);
+  EXPECT_EQ(status->replayed_trials, 3);
+  manager.WaitAll();
+  EXPECT_EQ(CountEvents(journal, "trial_completed"), 3);
+}
+
+// Enforcement on replay: a journal whose replayed cost already exceeds the
+// (tightened) budget expires at admission — zero new trials — and the
+// expiry is journaled exactly like a live one.
+TEST(ExperimentManagerTest, OverBudgetReplayExpiresWithoutExtraTrials) {
+  const std::string journal = TempPath("budget_replay.jsonl");
+  std::remove(journal.c_str());
+  ThreadPool pool(2);
+
+  const auto slow_spec = [&](double budget) {
+    service::ExperimentSpec spec = SphereSpec("tight", 40, 1.0, journal);
+    spec.make_environment = []() {
+      return std::make_unique<RecordingEnvironment>("tight", nullptr,
+                                                    nullptr, /*delay_ms=*/3);
+    };
+    spec.cost_budget = budget;
+    return spec;
+  };
+
+  // Interrupted unbudgeted run: at least 3 trials (cost >= 180) on disk.
+  int trials_before_kill = 0;
+  {
+    service::ExperimentManager manager(&pool);
+    ASSERT_TRUE(
+        manager
+            .AddExperiment(slow_spec(std::numeric_limits<double>::infinity()))
+            .ok());
+    for (int i = 0; i < 1000; ++i) {
+      auto status = manager.StatusOf("tight");
+      ASSERT_TRUE(status.ok());
+      if (status->trials_run >= 3) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_TRUE(manager.Pause("tight").ok());
+    for (int i = 0; i < 1000; ++i) {
+      auto status = manager.StatusOf("tight");
+      ASSERT_TRUE(status.ok());
+      if (!status->in_flight) {
+        trials_before_kill = status->trials_run;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_GE(trials_before_kill, 3);
+  }
+  const int completed_on_disk = CountEvents(journal, "trial_completed");
+  ASSERT_EQ(completed_on_disk, trials_before_kill);
+
+  // Restart with a 150-cost budget the journal already exceeds.
+  service::ExperimentManager manager(&pool);
+  ASSERT_TRUE(manager.AddExperiment(slow_spec(150.0)).ok());
+  auto status = manager.StatusOf("tight");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, service::ExperimentState::kExpired);
+  EXPECT_EQ(status->message, "budget_exhausted");
+  EXPECT_TRUE(status->resumed);
+  EXPECT_EQ(status->trials_run, trials_before_kill);
+  EXPECT_EQ(status->replayed_trials, trials_before_kill);
+  EXPECT_GE(status->total_cost, 150.0);
+  manager.WaitAll();  // Already terminal: returns immediately.
+  EXPECT_EQ(CountEvents(journal, "trial_completed"), completed_on_disk);
+  EXPECT_EQ(CountEvents(journal, "budget_exhausted"), 1);
+  EXPECT_TRUE(manager.ResultOf("tight").ok());
+}
+
+TEST(ExperimentManagerTest, DeadlineExpiryPreemptsAndIsSweptWhilePaused) {
+  const std::string journal = TempPath("deadline.jsonl");
+  std::remove(journal.c_str());
+  ThreadPool pool(2);
+  service::ExperimentManager manager(&pool);
+
+  // A tenant that could never finish its 1000 trials inside 60ms: the
+  // scheduler notices the blown deadline at a trial boundary and expires it.
+  service::ExperimentSpec doomed = SphereSpec("doomed", 1000, 1.0, journal);
+  doomed.make_environment = []() {
+    return std::make_unique<RecordingEnvironment>("doomed", nullptr, nullptr,
+                                                  /*delay_ms=*/5);
+  };
+  doomed.deadline_ms = 60;
+  ASSERT_TRUE(manager.AddExperiment(std::move(doomed)).ok());
+  manager.WaitAll();
+  auto status = manager.StatusOf("doomed");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, service::ExperimentState::kExpired);
+  EXPECT_EQ(status->message, "deadline_exceeded");
+  EXPECT_LT(status->trials_run, 1000);
+  auto event = obs::ReadFirstEvent(journal, "deadline_exceeded");
+  ASSERT_TRUE(event.ok()) << event.status().ToString();
+  EXPECT_EQ(event->GetInt("deadline_ms", 0), 60);
+  EXPECT_GT(event->GetInt("deadline_at_ms", 0), 0);
+
+  // A paused tenant never reaches a trial boundary, so only the periodic
+  // sweep (the control plane tick calls it) can expire it.
+  service::ExperimentSpec parked = SphereSpec("parked", 1000);
+  parked.deadline_ms = 1;
+  ASSERT_TRUE(manager.AddExperiment(std::move(parked)).ok());
+  ASSERT_TRUE(manager.Pause("parked").ok());
+  for (int i = 0; i < 1000; ++i) {
+    auto parked_status = manager.StatusOf("parked");
+    ASSERT_TRUE(parked_status.ok());
+    if (!parked_status->in_flight) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  manager.EnforceExpiry();
+  manager.WaitAll();
+  auto parked_after = manager.StatusOf("parked");
+  ASSERT_TRUE(parked_after.ok());
+  EXPECT_EQ(parked_after->state, service::ExperimentState::kExpired);
+  EXPECT_EQ(parked_after->message, "deadline_exceeded");
+}
+
+// Cooperative preemption: Cancel stops a long multi-repetition trial at the
+// next repetition boundary — it does NOT run all 50 repetitions — and the
+// partial cost of the completed repetitions is charged honestly.
+TEST(ExperimentManagerTest, CancelPreemptsInFlightTrialAtRepBoundary) {
+  const std::string journal = TempPath("preempt.jsonl");
+  std::remove(journal.c_str());
+  std::vector<std::string> runs;
+  Mutex runs_mutex{"test.preempt_log"};
+
+  ThreadPool pool(2);
+  service::ExperimentManager manager(&pool);
+  service::ExperimentSpec spec = SphereSpec("slow", 3, 1.0, journal);
+  spec.make_environment = [&]() {
+    return std::make_unique<RecordingEnvironment>("slow", &runs, &runs_mutex,
+                                                  /*delay_ms=*/20);
+  };
+  spec.runner_options.repetitions = 50;  // A 50 x 20ms = one-second trial.
+  ASSERT_TRUE(manager.AddExperiment(std::move(spec)).ok());
+
+  // Wait for the first repetition to be executing, then cancel mid-trial.
+  for (int i = 0; i < 1000; ++i) {
+    {
+      MutexLock hold(runs_mutex);
+      if (!runs.empty()) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(manager.Cancel("slow").ok());
+  manager.WaitAll();
+
+  int executed = 0;
+  {
+    MutexLock hold(runs_mutex);
+    executed = static_cast<int>(runs.size());
+  }
+  ASSERT_GE(executed, 1);
+  EXPECT_LT(executed, 10) << "preemption missed the repetition boundary";
+
+  auto status = manager.StatusOf("slow");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, service::ExperimentState::kCancelled);
+  EXPECT_EQ(status->trials_run, 1);
+  // Partial cost: exactly the executed repetitions at 60 cost units each.
+  EXPECT_NEAR(status->total_cost, 60.0 * executed, 1e-6);
+
+  // The preempted trial journals as a normal trial_completed (replay needs
+  // nothing special) plus a forensics marker with the partial accounting.
+  EXPECT_EQ(CountEvents(journal, "trial_completed"), 1);
+  auto marker = obs::ReadFirstEvent(journal, "trial_preempted");
+  ASSERT_TRUE(marker.ok()) << marker.status().ToString();
+  EXPECT_EQ(marker->GetInt("repetitions", -1), executed);
+  EXPECT_NEAR(marker->GetDouble("partial_cost", 0.0), 60.0 * executed, 1e-6);
+}
+
+// ---------------------------------------------------------- control plane --
+
+/// Best-effort recursive cleanup of one flat temp directory.
+void RemoveTree(const std::string& dir) {
+  if (DIR* handle = ::opendir(dir.c_str())) {
+    while (struct dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(handle);
+  }
+  ::rmdir(dir.c_str());
+}
+
+/// The HTTP-body spec vocabulary for control-plane tests: name / trials /
+/// weight / seed / cost_budget / deadline_ms / delay_ms, anything else is
+/// a client error.
+service::ControlPlane::SpecFactory SphereSpecFactory() {
+  return [](const std::map<std::string, std::string>& keys)
+             -> Result<service::ExperimentSpec> {
+    std::string name;
+    int trials = 8;
+    double weight = 1.0;
+    uint64_t seed = 7;
+    int delay_ms = 0;
+    double cost_budget = std::numeric_limits<double>::infinity();
+    int64_t deadline_ms = 0;
+    for (const auto& [key, value] : keys) {
+      if (key == "name") {
+        name = value;
+      } else if (key == "trials") {
+        trials = std::atoi(value.c_str());
+      } else if (key == "weight") {
+        weight = std::atof(value.c_str());
+      } else if (key == "seed") {
+        seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+      } else if (key == "delay_ms") {
+        delay_ms = std::atoi(value.c_str());
+      } else if (key == "cost_budget") {
+        cost_budget = std::atof(value.c_str());
+      } else if (key == "deadline_ms") {
+        deadline_ms = std::atoll(value.c_str());
+      } else {
+        return Status::InvalidArgument("unknown spec key '" + key + "'");
+      }
+    }
+    service::ExperimentSpec spec = SphereSpec(name, trials, weight, "", seed);
+    if (delay_ms > 0) {
+      spec.make_environment = [delay_ms]() {
+        return std::make_unique<RecordingEnvironment>("cp", nullptr, nullptr,
+                                                      delay_ms);
+      };
+    }
+    spec.cost_budget = cost_budget;
+    spec.deadline_ms = deadline_ms;
+    return spec;
+  };
+}
+
+TEST(ControlPlaneTest, AdmitAndEvictDriveTheTenantSetOverHttp) {
+  const std::string dir = TempPath("cp_http");
+  RemoveTree(dir);
+
+  ThreadPool pool(2);
+  service::ExperimentManager manager(&pool);
+  service::ControlPlane::Options options;
+  options.journal_dir = dir;
+  options.shard_id = "s1";
+  options.start_tick_thread = false;
+  auto control =
+      service::ControlPlane::Start(&manager, SphereSpecFactory(), options);
+  ASSERT_TRUE(control.ok()) << control.status().ToString();
+
+  const service::HttpServer::Handler handler =
+      service::MakeServiceHandler(&manager, nullptr, control->get());
+
+  // POST admits into the RUNNING manager and persists the durable spec.
+  const service::HttpResponse admitted =
+      handler({"/experiments", "", "POST", R"({"name":"web","trials":4})"});
+  ASSERT_EQ(admitted.status, 200) << admitted.body;
+  EXPECT_TRUE(manager.StatusOf("web").ok());
+  EXPECT_EQ(::access((dir + "/web.spec.json").c_str(), F_OK), 0);
+  EXPECT_EQ(::access((dir + "/web.lease.json").c_str(), F_OK), 0);
+
+  // Validation: duplicate -> 409; malformed JSON, missing name, unknown
+  // key -> 400 — all with parseable JSON error bodies, all side-effect-free.
+  const service::HttpResponse duplicate =
+      handler({"/experiments", "", "POST", R"({"name":"web","trials":4})"});
+  EXPECT_EQ(duplicate.status, 409) << duplicate.body;
+  auto error = obs::Json::Parse(duplicate.body);
+  ASSERT_TRUE(error.ok()) << duplicate.body;
+  EXPECT_TRUE(error->Has("error"));
+  EXPECT_EQ(handler({"/experiments", "", "POST", "{oops"}).status, 400);
+  EXPECT_EQ(handler({"/experiments", "", "POST", R"({"trials":4})"}).status,
+            400);
+  EXPECT_EQ(
+      handler({"/experiments", "", "POST", R"({"name":"w2","bogus":1})"})
+          .status,
+      400);
+  EXPECT_NE(::access((dir + "/w2.spec.json").c_str(), F_OK), 0);
+  // The only POST surface is /experiments.
+  EXPECT_EQ(handler({"/metrics", "", "POST", "{}"}).status, 404);
+
+  manager.WaitAll();
+
+  // DELETE cancels and clears the durable registry; it is idempotent on an
+  // already-finished tenant, and 404s only for names that never existed.
+  EXPECT_EQ(handler({"/experiments/web", "", "DELETE", ""}).status, 200);
+  EXPECT_NE(::access((dir + "/web.spec.json").c_str(), F_OK), 0);
+  EXPECT_NE(::access((dir + "/web.lease.json").c_str(), F_OK), 0);
+  EXPECT_EQ(handler({"/experiments/web", "", "DELETE", ""}).status, 200);
+  EXPECT_EQ(handler({"/experiments/nope", "", "DELETE", ""}).status, 404);
+  EXPECT_EQ(handler({"/experiments/", "", "DELETE", ""}).status, 404);
+  EXPECT_EQ(handler({"/experiments/a/b", "", "DELETE", ""}).status, 404);
+
+  // A handler without a control plane refuses mutations outright.
+  const service::HttpServer::Handler readonly =
+      service::MakeServiceHandler(&manager);
+  EXPECT_EQ(
+      readonly({"/experiments", "", "POST", R"({"name":"x"})"}).status, 404);
+  EXPECT_EQ(readonly({"/experiments/web", "", "DELETE", ""}).status, 404);
+}
+
+TEST(ControlPlaneTest, RecoveryReplaysTheDurableTenantSet) {
+  const std::string dir = TempPath("cp_recover");
+  RemoveTree(dir);
+
+  service::ControlPlane::Options options;
+  options.journal_dir = dir;
+  options.lease_timeout_ms = 200;
+  options.start_tick_thread = false;
+
+  ThreadPool pool(2);
+  // First process: admit two tenants dynamically, run them to completion,
+  // then "die" (destructors; lease files stay behind with stale stamps).
+  {
+    service::ExperimentManager manager(&pool);
+    options.shard_id = "gen1";
+    auto control =
+        service::ControlPlane::Start(&manager, SphereSpecFactory(), options);
+    ASSERT_TRUE(control.ok());
+    ASSERT_TRUE((*control)->Admit(R"({"name":"a","trials":4})").ok());
+    ASSERT_TRUE((*control)->Admit(R"({"name":"b","trials":6})").ok());
+    manager.WaitAll();
+  }
+
+  // Recovery replays the spec files — the tenant set the control plane
+  // accumulated at runtime, NOT whatever flags a restart would pass.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  service::ExperimentManager manager(&pool);
+  options.shard_id = "gen2";
+  auto control =
+      service::ControlPlane::Start(&manager, SphereSpecFactory(), options);
+  ASSERT_TRUE(control.ok());
+  auto recovered = (*control)->RecoverAll();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(*recovered, 2);
+  EXPECT_EQ((*control)->OwnedTenants(),
+            (std::vector<std::string>{"a", "b"}));
+  for (const char* name : {"a", "b"}) {
+    auto status = manager.StatusOf(name);
+    ASSERT_TRUE(status.ok()) << name;
+    EXPECT_EQ(status->state, service::ExperimentState::kFinished);
+    EXPECT_TRUE(status->resumed);
+  }
+  // Adoption bumped the fence: generation 2 owns the lease at fence 2.
+  auto lease_text = obs::ReadJournalText(dir + "/a.lease.json");
+  ASSERT_TRUE(lease_text.ok());
+  auto lease = obs::Json::Parse(*lease_text);
+  ASSERT_TRUE(lease.ok()) << *lease_text;
+  EXPECT_EQ(lease->GetString("owner", ""), "gen2");
+  EXPECT_EQ(lease->GetInt("fence", 0), 2);
+}
+
+TEST(ControlPlaneTest, FailoverAdoptsOrphanAndFencesDeposedShard) {
+  const std::string dir = TempPath("cp_failover");
+  RemoveTree(dir);
+
+  ThreadPool pool_a(2);
+  ThreadPool pool_b(2);
+  service::ExperimentManager manager_a(&pool_a);
+  service::ExperimentManager manager_b(&pool_b);
+
+  service::ControlPlane::Options options;
+  options.journal_dir = dir;
+  options.lease_timeout_ms = 400;
+  options.start_tick_thread = false;
+  options.shard_id = "shard-a";
+  auto a = service::ControlPlane::Start(&manager_a, SphereSpecFactory(),
+                                        options);
+  ASSERT_TRUE(a.ok());
+  options.shard_id = "shard-b";
+  auto b = service::ControlPlane::Start(&manager_b, SphereSpecFactory(),
+                                        options);
+  ASSERT_TRUE(b.ok());
+
+  // Shard A owns a slow journaled tenant, paused mid-session so the
+  // adoption below has real state to replay.
+  ASSERT_TRUE(
+      (*a)->Admit(R"({"name":"ten","trials":30,"delay_ms":3})").ok());
+  for (int i = 0; i < 1000; ++i) {
+    auto status = manager_a.StatusOf("ten");
+    ASSERT_TRUE(status.ok());
+    if (status->trials_run >= 5) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(manager_a.Pause("ten").ok());
+  int trials_on_a = 0;
+  for (int i = 0; i < 1000; ++i) {
+    auto status = manager_a.StatusOf("ten");
+    ASSERT_TRUE(status.ok());
+    if (!status->in_flight) {
+      trials_on_a = status->trials_run;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GT(trials_on_a, 0);
+
+  // While A's lease is live, B can neither admit the name nor adopt it.
+  EXPECT_EQ((*b)->Admit(R"({"name":"ten","trials":30})").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*b)->TickOnce().adopted, 0);
+  EXPECT_TRUE((*b)->OwnedTenants().empty());
+
+  // A stops heartbeating (no ticks — a stalled process). Past the lease
+  // timeout, B's tick adopts the orphan and replays its journal.
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(options.lease_timeout_ms + 150));
+  const auto adopted = (*b)->TickOnce();
+  EXPECT_EQ(adopted.adopted, 1);
+  ASSERT_TRUE(manager_b.Pause("ten").ok());  // Freeze while we probe A.
+  auto on_b = manager_b.StatusOf("ten");
+  ASSERT_TRUE(on_b.ok());
+  EXPECT_TRUE(on_b->resumed);
+  EXPECT_EQ(on_b->replayed_trials, trials_on_a);
+
+  // A's late journal writes are fenced: its lease went unconfirmed past
+  // the timeout, so the write gate drops appends BEFORE B could adopt.
+  obs::Counter* fenced =
+      obs::MetricsRegistry::Global().GetCounter("journal.appends_fenced");
+  const int64_t fenced_before = fenced->value();
+  ASSERT_TRUE(manager_a.Resume("ten").ok());  // Zombie keeps running on A.
+  for (int i = 0; i < 1000 && fenced->value() == fenced_before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(fenced->value(), fenced_before)
+      << "deposed shard's journal appends were not fenced";
+
+  // A's own next tick observes the lost lease and abandons the zombie —
+  // without finalizing (that would append to a journal it no longer owns).
+  const auto deposed = (*a)->TickOnce();
+  EXPECT_EQ(deposed.deposed, 1);
+  for (int i = 0; i < 1000; ++i) {
+    if (!manager_a.StatusOf("ten").ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(manager_a.StatusOf("ten").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE((*a)->OwnedTenants().empty());
+
+  // B finishes the session; the journal holds one coherent history.
+  ASSERT_TRUE(manager_b.Resume("ten").ok());
+  manager_b.WaitAll();
+  auto final_status = manager_b.StatusOf("ten");
+  ASSERT_TRUE(final_status.ok());
+  EXPECT_EQ(final_status->state, service::ExperimentState::kFinished);
+  EXPECT_EQ(final_status->trials_run, 30);
+  EXPECT_EQ(CountEvents(dir + "/ten.jsonl", "trial_completed"), 30);
+
+  // Bit-exact: the adopted run equals an uninterrupted single-shard run of
+  // the same spec (same seed, same trial values).
+  auto resumed_result = manager_b.ResultOf("ten");
+  ASSERT_TRUE(resumed_result.ok());
+  auto reference_spec = SphereSpecFactory()(
+      {{"name", "ten"}, {"trials", "30"}, {"delay_ms", "3"}});
+  ASSERT_TRUE(reference_spec.ok());
+  service::ExperimentManager reference_manager(&pool_a);
+  ASSERT_TRUE(
+      reference_manager.AddExperiment(*std::move(reference_spec)).ok());
+  reference_manager.WaitAll();
+  auto reference = reference_manager.ResultOf("ten");
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(resumed_result->history.size(), reference->history.size());
+  for (size_t i = 0; i < reference->history.size(); ++i) {
+    EXPECT_EQ(resumed_result->history[i].objective,
+              reference->history[i].objective)
+        << "trial " << i;
+  }
+}
+
+// --------------------------------------------------- HTTP server hygiene --
+
+/// Sends raw bytes to localhost:`port` and reads until EOF (the server is
+/// HTTP/1.0, Connection: close). `shutdown_write` half-closes after the
+/// send, modelling a client that finished (a truncated request) vs one
+/// that stalled mid-request.
+std::string RawHttp(int port, const std::string& payload,
+                    bool shutdown_write = false) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "<socket failed>";
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "<connect failed>";
+  }
+  (void)::send(fd, payload.data(), payload.size(), 0);
+  if (shutdown_write) ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buffer[4096];
+  ssize_t got = 0;
+  while ((got = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(EndpointsTest, SlowClientsGet408AndOversizedRequestsGet413) {
+  service::HttpServer::Options options;
+  options.read_deadline_ms = 150;
+  options.max_request_bytes = 1024;
+  auto server = service::HttpServer::Start(
+      options, [](const service::HttpRequest& request) {
+        service::HttpResponse response;
+        response.body = "method=" + request.method + "\n";
+        return response;
+      });
+  ASSERT_TRUE(server.ok());
+  const int port = (*server)->port();
+
+  // A client that stalls mid-request cannot pin the serving slot: the read
+  // deadline fires and the server answers 408 with a JSON error body.
+  const std::string stalled = RawHttp(port, "GET /metrics HTT");
+  EXPECT_NE(stalled.find(" 408 "), std::string::npos) << stalled;
+  EXPECT_NE(stalled.find("\"error\""), std::string::npos) << stalled;
+
+  // A request larger than the cap is rejected up front with 413.
+  const std::string oversized = RawHttp(
+      port, "GET /x HTTP/1.0\r\nX-Pad: " + std::string(2048, 'a') +
+                "\r\n\r\n");
+  EXPECT_NE(oversized.find(" 413 "), std::string::npos) << oversized;
+
+  // Unsupported methods get 405; normal requests still flow.
+  const std::string put =
+      RawHttp(port, "PUT /x HTTP/1.0\r\n\r\n", /*shutdown_write=*/true);
+  EXPECT_NE(put.find(" 405 "), std::string::npos) << put;
+  const std::string ok = HttpGet(port, "/x");
+  EXPECT_NE(ok.find(" 200 "), std::string::npos) << ok;
+  EXPECT_NE(ok.find("method=GET"), std::string::npos) << ok;
 }
 
 // ------------------------------------------------------------ prometheus --

@@ -39,9 +39,12 @@
 // The pre-subcommand flat invocation (`autotune_cli --env=... [--resume=F]`)
 // still works as a deprecated alias for `run` / `resume` and warns on use.
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -68,6 +71,7 @@
 #include "record/codec.h"
 #include "report/analyze.h"
 #include "report/bench_compare.h"
+#include "service/control_plane.h"
 #include "service/endpoints.h"
 #include "service/experiment_manager.h"
 #include "service/http_server.h"
@@ -144,7 +148,11 @@ void PrintUsage() {
       "                              name (required), env, workload,\n"
       "                              optimizer, trials, seed, weight, batch,\n"
       "                              reps, fidelity, objective, maximize,\n"
-      "                              noisy, snapshot, warmstart. Repeatable.\n"
+      "                              noisy, snapshot, warmstart,\n"
+      "                              cost_budget, deadline_ms. Repeatable;\n"
+      "                              optional with --linger + --journal-dir\n"
+      "                              (tenants then arrive over POST\n"
+      "                              /experiments with the same keys)\n"
       "  --host=ADDR --port=N        scrape endpoint bind (default\n"
       "                              127.0.0.1, port 0 = pick a free one)\n"
       "  --threads=N                 shared worker pool size (default 4)\n"
@@ -156,7 +164,13 @@ void PrintUsage() {
       "  --kb-dir=DIR                build a fleet knowledge base from the\n"
       "                              journals in DIR; serves GET /warmstart\n"
       "                              and powers warmstart=1 experiments\n"
-      "  --linger                    keep serving after experiments finish\n\n"
+      "  --linger                    keep serving after experiments finish\n"
+      "  --shard-id=ID               lease owner id for multi-shard serve\n"
+      "                              over one --journal-dir (default\n"
+      "                              shard-<pid>)\n"
+      "  --lease-timeout-ms=N        tenant lease heartbeat timeout; a\n"
+      "                              shard silent this long is failed over\n"
+      "                              (default 10000)\n\n"
       "kb flags (kb build|inspect|query):\n"
       "  --journal-dir=DIR           journals to ingest (build; or inspect/\n"
       "                              query directly from journals)\n"
@@ -534,22 +548,18 @@ struct ServeOptions {
   std::string kb_dir;     // Journals to build the knowledge base from.
   std::string trace_out;  // Chrome trace-event dump on completion.
   bool linger = false;
+  std::string shard_id;          // Lease owner id (default shard-<pid>).
+  int64_t lease_timeout_ms = 10000;
   std::vector<std::string> experiment_specs;
 };
 
-/// Parses one `--experiment=` spec: comma-separated key=value pairs
-/// (`name=db,env=simdb,optimizer=bo,trials=60,weight=2,...`). `name` is
-/// required; everything else defaults like `run` flags. `weight` is the
-/// fair-share weight, `snapshot` the journal-compaction interval.
-Result<service::ExperimentSpec> ParseExperimentSpec(
-    const std::string& spec_text, const std::string& journal_dir,
-    const kb::KnowledgeStore* store) {
-  CliOptions session;
-  std::string name;
-  double weight = 1.0;
-  int snapshot_every = 10;
-  bool warmstart = false;
-
+/// "name=db,env=simdb,weight=2" -> {{"name","db"},{"env","simdb"},...}.
+/// The same key/value map arrives as a JSON object through
+/// POST /experiments, so the CLI string and the HTTP body share one spec
+/// vocabulary (and one validator, `SpecFromMap`).
+Result<std::map<std::string, std::string>> SpecTextToMap(
+    const std::string& spec_text) {
+  std::map<std::string, std::string> keys;
   size_t start = 0;
   while (start <= spec_text.size()) {
     size_t comma = spec_text.find(',', start);
@@ -562,8 +572,28 @@ Result<service::ExperimentSpec> ParseExperimentSpec(
       return Status::InvalidArgument("experiment spec entry '" + pair +
                                      "' is not key=value");
     }
-    const std::string key = pair.substr(0, eq);
-    const std::string value = pair.substr(eq + 1);
+    keys[pair.substr(0, eq)] = pair.substr(eq + 1);
+  }
+  return keys;
+}
+
+/// Builds one experiment from a raw spec key/value map. `name` is
+/// required; everything else defaults like `run` flags. `weight` is the
+/// fair-share weight, `snapshot` the journal-compaction interval,
+/// `cost_budget`/`deadline_ms` the expiry limits enforced by the
+/// scheduler.
+Result<service::ExperimentSpec> SpecFromMap(
+    const std::map<std::string, std::string>& keys,
+    const std::string& journal_dir, const kb::KnowledgeStore* store) {
+  CliOptions session;
+  std::string name;
+  double weight = 1.0;
+  int snapshot_every = 10;
+  bool warmstart = false;
+  double cost_budget = std::numeric_limits<double>::infinity();
+  int64_t deadline_ms = 0;
+
+  for (const auto& [key, value] : keys) {
     if (key == "name") {
       name = value;
     } else if (key == "env") {
@@ -594,6 +624,10 @@ Result<service::ExperimentSpec> ParseExperimentSpec(
       snapshot_every = std::atoi(value.c_str());
     } else if (key == "warmstart") {
       warmstart = value != "0" && value != "false";
+    } else if (key == "cost_budget") {
+      cost_budget = std::atof(value.c_str());
+    } else if (key == "deadline_ms") {
+      deadline_ms = std::atoll(value.c_str());
     } else {
       return Status::InvalidArgument("unknown experiment spec key '" + key +
                                      "'");
@@ -619,6 +653,8 @@ Result<service::ExperimentSpec> ParseExperimentSpec(
   spec.name = name;
   spec.weight = weight;
   spec.seed = session.seed;
+  spec.cost_budget = cost_budget;
+  spec.deadline_ms = deadline_ms;
   if (!journal_dir.empty()) {
     spec.journal_path = journal_dir + "/" + name + ".jsonl";
   }
@@ -653,10 +689,14 @@ Result<service::ExperimentSpec> ParseExperimentSpec(
 }
 
 int ServeCli(const ServeOptions& options) {
-  if (options.experiment_specs.empty()) {
+  // Zero startup experiments is fine when the process lingers as a pure
+  // control-plane shard (tenants arrive over POST /experiments or by
+  // adopting orphans from --journal-dir).
+  if (options.experiment_specs.empty() &&
+      !(options.linger && !options.journal_dir.empty())) {
     std::fprintf(stderr,
-                 "error: serve needs at least one --experiment=SPEC (try "
-                 "--help)\n");
+                 "error: serve needs at least one --experiment=SPEC, or "
+                 "--linger with --journal-dir (try --help)\n");
     return 1;
   }
 
@@ -681,34 +721,94 @@ int ServeCli(const ServeOptions& options) {
     }
   }
 
+  // With --journal-dir the shard runs a live control plane: startup specs
+  // are persisted into the durable tenant registry (so recovery replays
+  // the live set, not these flags), orphans left by dead shards are
+  // adopted, and POST/DELETE /experiments work. Without it, the tenant
+  // set is static and the manager is driven directly.
+  std::unique_ptr<service::ControlPlane> control;
+  if (!options.journal_dir.empty()) {
+    service::ControlPlane::Options cp;
+    cp.journal_dir = options.journal_dir;
+    cp.shard_id = options.shard_id.empty()
+                      ? "shard-" + std::to_string(::getpid())
+                      : options.shard_id;
+    cp.lease_timeout_ms = options.lease_timeout_ms;
+    const kb::KnowledgeStore* spec_store = have_store ? &store : nullptr;
+    auto started = service::ControlPlane::Start(
+        &manager,
+        [spec_store, journal_dir = options.journal_dir](
+            const std::map<std::string, std::string>& keys) {
+          // journal_path/journal_gate are overwritten by the control
+          // plane; the dir only matters for validation symmetry here.
+          return SpecFromMap(keys, journal_dir, spec_store);
+        },
+        std::move(cp));
+    if (!started.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    control = std::move(*started);
+  }
+
   service::HttpServer::Options http;
   http.host = options.host;
   http.port = options.port;
   auto server = service::HttpServer::Start(
-      http,
-      service::MakeServiceHandler(&manager, have_store ? &store : nullptr));
+      http, service::MakeServiceHandler(
+                &manager, have_store ? &store : nullptr, control.get()));
   if (!server.ok()) {
     std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
     return 1;
   }
-  std::printf("serving http://%s:%d  (GET /metrics, /experiments%s)\n",
+  std::printf("serving http://%s:%d  (GET /metrics, /experiments%s%s)\n",
               options.host.c_str(), (*server)->port(),
+              control != nullptr ? ", POST/DELETE /experiments" : "",
               have_store ? ", /warmstart" : "");
 
   for (const std::string& spec_text : options.experiment_specs) {
-    auto spec = ParseExperimentSpec(spec_text, options.journal_dir,
-                                    have_store ? &store : nullptr);
-    if (!spec.ok()) {
-      std::fprintf(stderr, "error: %s\n", spec.status().ToString().c_str());
+    auto keys = SpecTextToMap(spec_text);
+    if (!keys.ok()) {
+      std::fprintf(stderr, "error: %s\n", keys.status().ToString().c_str());
       return 1;
     }
-    const std::string name = spec->name;
-    const Status added = manager.AddExperiment(std::move(*spec));
+    std::string name;
+    Status added = Status::OK();
+    if (control != nullptr) {
+      // Through the control plane, so the tenant lands in the durable
+      // registry with a lease — exactly like a POST /experiments.
+      obs::Json::Object body;
+      for (const auto& [key, value] : *keys) {
+        body[key] = obs::Json(value);
+      }
+      const auto name_it = keys->find("name");
+      name = name_it != keys->end() ? name_it->second : spec_text;
+      added = control->Admit(obs::Json(std::move(body)).Dump());
+    } else {
+      auto spec = SpecFromMap(*keys, options.journal_dir,
+                              have_store ? &store : nullptr);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     spec.status().ToString().c_str());
+        return 1;
+      }
+      name = spec->name;
+      added = manager.AddExperiment(std::move(*spec));
+    }
     if (!added.ok()) {
       std::fprintf(stderr, "error: %s\n", added.ToString().c_str());
       return 1;
     }
     std::printf("experiment %-16s scheduled\n", name.c_str());
+  }
+
+  if (control != nullptr) {
+    auto adopted = control->RecoverAll();
+    if (adopted.ok() && *adopted > 0) {
+      std::printf("recovered %d tenant(s) from %s\n", *adopted,
+                  options.journal_dir.c_str());
+    }
   }
 
   manager.WaitAll();
@@ -764,6 +864,14 @@ int CmdServe(int argc, char** argv) {
       }
     } else if (ParseFlag(arg, "experiment", &value)) {
       options.experiment_specs.push_back(value);
+    } else if (ParseFlag(arg, "shard-id", &options.shard_id)) {
+      // Parsed into the shard id.
+    } else if (ParseFlag(arg, "lease-timeout-ms", &value)) {
+      options.lease_timeout_ms = std::atoll(value.c_str());
+      if (options.lease_timeout_ms <= 0) {
+        std::fprintf(stderr, "error: --lease-timeout-ms must be > 0\n");
+        return 1;
+      }
     } else {
       std::fprintf(stderr, "error: unknown serve flag '%s' (try --help)\n",
                    arg.c_str());
