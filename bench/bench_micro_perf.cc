@@ -1,17 +1,30 @@
-// Microbenchmarks (google-benchmark) for the framework's hot paths: the
-// per-suggestion costs an adopter pays — GP fit/predict scaling with
-// observation count, RF fit, space sampling/encoding, CMA-ES generation
-// updates, and Pareto archive maintenance. These are about the OPTIMIZER's
-// overhead, not the target system's; run in Release mode for meaningful
-// numbers.
+// Microbenchmarks for the framework's hot paths: the per-suggestion costs
+// an adopter pays — GP fit/predict scaling with observation count, RF fit,
+// space sampling/encoding, CMA-ES generation updates, and Pareto archive
+// maintenance. These are about the OPTIMIZER's overhead, not the target
+// system's; run in Release mode for meaningful numbers.
+//
+// Running with no arguments executes the suggest-latency-vs-history sweep
+// (the CI gate: emits BENCH_MICRO.json when AUTOTUNE_BENCH_JSON_DIR is set
+// and exits non-zero if suggest p99 at n=4096 exceeds 3x the p99 at
+// n=256). Passing any google-benchmark flag (e.g. --benchmark_filter=.)
+// additionally runs the google-benchmark cases below.
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "multiobj/pareto.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizers/bayesian.h"
 #include "optimizers/cmaes.h"
 #include "sim/db_env.h"
@@ -152,7 +165,101 @@ void BM_ParetoArchiveInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_ParetoArchiveInsert);
 
+// ------------------------------------ Suggest latency vs history (gate) --
+
+double QuantileOfSorted(const std::vector<double>& sorted, double q) {
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+/// Feeds one GP-BO optimizer 4096 observations through the incremental
+/// `Observe` path and samples `Suggest` latency at checkpoint history
+/// sizes. With rank-1 updates + the geometric refit schedule + the sparse
+/// (FITC) handoff at 1024 observations, suggest cost must stay flat:
+/// p99(n=4096) <= 3 * p99(n=256) is the pass condition. Latencies land in
+/// the metrics registry via `obs::Span` (span.micro.suggest.nNNN /
+/// span.micro.observe.nNNN), so the bench-compare gate also diffs them
+/// against the checked-in baseline.
+bool RunSuggestVsHistorySweep() {
+  constexpr size_t kCheckpoints[] = {64, 256, 1024, 4096};
+  constexpr int kSuggestSamples = 64;
+
+  sim::DbEnvOptions env_options;
+  env_options.deterministic = true;
+  sim::DbEnv env(env_options);
+  BayesianOptimizerOptions bo_options;  // Defaults: incremental updates on,
+                                        // sparse handoff at 1024.
+  auto bo = std::make_unique<BayesianOptimizer>(
+      &env.space(), 29, GaussianProcess::MakeDefault(), bo_options);
+
+  Rng rng(31);
+  std::map<size_t, std::vector<double>> suggest_seconds;
+  size_t fed = 0;
+  for (size_t checkpoint : kCheckpoints) {
+    const std::string suffix = ".n" + std::to_string(checkpoint);
+    const std::string observe_span = "micro.observe" + suffix;
+    const std::string suggest_span = "micro.suggest" + suffix;
+    while (fed < checkpoint) {
+      Configuration config = env.space().Sample(&rng);
+      auto result = env.EvaluateModel(config, 1.0);
+      Observation observation(
+          config,
+          result.crashed ? 1e6 : result.metrics.at("latency_p99_ms"));
+      observation.failed = result.crashed;
+      obs::Span span(observe_span.c_str());
+      if (!bo->Observe(observation).ok()) return false;
+      ++fed;
+    }
+    for (int s = 0; s < kSuggestSamples; ++s) {
+      bool ok = false;
+      double elapsed = 0.0;
+      {
+        obs::Span span(suggest_span.c_str());
+        ok = bo->Suggest().ok();
+        elapsed = static_cast<double>(span.ElapsedNs()) * 1e-9;
+      }
+      if (!ok) return false;
+      suggest_seconds[checkpoint].push_back(elapsed);
+    }
+    (void)bo->TakeDecisions();  // Keep the pending queue bounded.
+  }
+  obs::MetricsRegistry::Global().Increment("micro.observations_fed",
+                                           static_cast<int64_t>(fed));
+
+  Table table({"history", "suggest p50 (ms)", "suggest p99 (ms)"});
+  std::map<size_t, double> p99;
+  for (auto& [checkpoint, samples] : suggest_seconds) {
+    std::sort(samples.begin(), samples.end());
+    p99[checkpoint] = QuantileOfSorted(samples, 0.99);
+    const double p50 = QuantileOfSorted(samples, 0.5);
+    (void)table.AppendRow({std::to_string(checkpoint),
+                           FormatDouble(p50 * 1e3, 3),
+                           FormatDouble(p99[checkpoint] * 1e3, 3)});
+  }
+  benchutil::PrintTable(table);
+
+  const double ratio = p99[4096] / std::max(p99[256], 1e-12);
+  std::printf("suggest p99 n=4096 / n=256: %.2fx (gate: <= 3x)\n", ratio);
+  return ratio <= 3.0;
+}
+
 }  // namespace
 }  // namespace autotune
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  autotune::benchutil::PrintHeader(
+      "MICRO: optimizer hot-path microbenchmarks", "framework",
+      "suggest latency stays flat as history grows (incremental surrogate "
+      "updates + bounded sparse fallback)");
+  const bool flat = autotune::RunSuggestVsHistorySweep();
+  if (argc > 1) {  // Google-benchmark cases only on request; see header.
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  if (!flat) {
+    std::printf("FAIL: suggest latency grew superlinearly with history\n");
+    return 1;
+  }
+  return 0;
+}

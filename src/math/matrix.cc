@@ -1,5 +1,6 @@
 #include "math/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -34,6 +35,18 @@ Vector Matrix::Row(size_t i) const {
   Vector row(cols_);
   for (size_t j = 0; j < cols_; ++j) row[j] = (*this)(i, j);
   return row;
+}
+
+void Matrix::SetRow(size_t i, const Vector& v) {
+  AUTOTUNE_CHECK(i < rows_);
+  AUTOTUNE_CHECK(v.size() == cols_);
+  std::copy(v.begin(), v.end(), data_.begin() + i * cols_);
+}
+
+void Matrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
 }
 
 Matrix Matrix::Transposed() const {
@@ -121,17 +134,46 @@ Result<Matrix> CholeskyWithJitter(const Matrix& a, double max_jitter,
       std::to_string(max_jitter));
 }
 
+namespace {
+
+// Forward substitution for one right-hand side. Every solve variant below
+// funnels through this helper, and its reduction is the shared `Dot`
+// kernel — so per-vector and batched solves are bit-identical (the
+// compiler cannot vectorize structurally identical loops differently
+// across call sites when there is only one loop).
+void SolveLowerRow(const Matrix& l, const double* b, double* x) {
+  const size_t n = l.rows();
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = (b[i] - Dot(l.RowPtr(i), x, i)) / l(i, i);
+  }
+}
+
+}  // namespace
+
 Vector SolveLowerTriangular(const Matrix& l, const Vector& b) {
   AUTOTUNE_CHECK(l.rows() == l.cols());
   AUTOTUNE_CHECK(l.rows() == b.size());
-  const size_t n = b.size();
-  Vector x(n);
-  for (size_t i = 0; i < n; ++i) {
-    double sum = b[i];
-    for (size_t j = 0; j < i; ++j) sum -= l(i, j) * x[j];
-    x[i] = sum / l(i, i);
-  }
+  Vector x(b.size());
+  SolveLowerRow(l, b.data(), x.data());
   return x;
+}
+
+void SolveLowerTriangularInto(const Matrix& l, const Vector& b, Vector* x) {
+  AUTOTUNE_CHECK(l.rows() == l.cols());
+  AUTOTUNE_CHECK(l.rows() == b.size());
+  AUTOTUNE_CHECK(x != &b);
+  x->resize(b.size());
+  SolveLowerRow(l, b.data(), x->data());
+}
+
+Matrix SolveLowerTriangularBatch(const Matrix& l, const Matrix& rhs) {
+  AUTOTUNE_CHECK(l.rows() == l.cols());
+  AUTOTUNE_CHECK(l.rows() == rhs.cols());
+  Matrix out(rhs.rows(), l.rows());
+  for (size_t r = 0; r < rhs.rows(); ++r) {
+    SolveLowerRow(l, rhs.RowPtr(r), out.RowPtr(r));
+  }
+  return out;
 }
 
 Vector SolveUpperTriangularFromLower(const Matrix& l, const Vector& b) {
@@ -156,6 +198,57 @@ double LogDetFromCholesky(const Matrix& l) {
   double sum = 0.0;
   for (size_t i = 0; i < l.rows(); ++i) sum += std::log(l(i, i));
   return 2.0 * sum;
+}
+
+Result<Matrix> CholeskyAppendRow(const Matrix& l, const Vector& b, double c,
+                                 double rel_tol) {
+  AUTOTUNE_CHECK(l.rows() == l.cols());
+  AUTOTUNE_CHECK(l.rows() == b.size());
+  const size_t n = l.rows();
+  Vector w = SolveLowerTriangular(l, b);
+  const double d2 = c - Dot(w, w);
+  if (!std::isfinite(d2) || d2 <= rel_tol * std::abs(c)) {
+    return Status::FailedPrecondition(
+        "appended row leaves matrix numerically indefinite (d^2 = " +
+        std::to_string(d2) + ")");
+  }
+  Matrix out(n + 1, n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    std::copy(l.RowPtr(i), l.RowPtr(i) + n, out.RowPtr(i));
+  }
+  std::copy(w.begin(), w.end(), out.RowPtr(n));
+  out(n, n) = std::sqrt(d2);
+  return out;
+}
+
+Status CholeskyRank1Update(Matrix* l, Vector v) {
+  AUTOTUNE_CHECK(l != nullptr);
+  AUTOTUNE_CHECK(l->rows() == l->cols());
+  AUTOTUNE_CHECK(l->rows() == v.size());
+  const size_t n = v.size();
+  // Classic cholupdate: a sweep of Givens-like rotations folds v into L
+  // column by column, keeping L lower triangular.
+  for (size_t k = 0; k < n; ++k) {
+    const double lkk = (*l)(k, k);
+    if (!std::isfinite(lkk) || lkk <= 0.0) {
+      return Status::Internal("rank-1 Cholesky update hit non-positive pivot " +
+                              std::to_string(lkk) + " at " + std::to_string(k));
+    }
+    const double r = std::sqrt(lkk * lkk + v[k] * v[k]);
+    if (!std::isfinite(r) || r <= 0.0) {
+      return Status::Internal("rank-1 Cholesky update produced pivot " +
+                              std::to_string(r) + " at " + std::to_string(k));
+    }
+    const double cos = r / lkk;
+    const double sin = v[k] / lkk;
+    (*l)(k, k) = r;
+    for (size_t i = k + 1; i < n; ++i) {
+      double& lik = (*l)(i, k);
+      lik = (lik + sin * v[i]) / cos;
+      v[i] = cos * v[i] - sin * lik;
+    }
+  }
+  return Status::OK();
 }
 
 Result<EigenResult> SymmetricEigen(const Matrix& a, int max_sweeps) {
@@ -214,8 +307,12 @@ Result<EigenResult> SymmetricEigen(const Matrix& a, int max_sweeps) {
 
 double Dot(const Vector& a, const Vector& b) {
   AUTOTUNE_CHECK(a.size() == b.size());
+  return Dot(a.data(), b.data(), a.size());
+}
+
+double Dot(const double* a, const double* b, size_t n) {
   double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  for (size_t i = 0; i < n; ++i) sum += a[i] * b[i];
   return sum;
 }
 

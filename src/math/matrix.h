@@ -33,6 +33,19 @@ class Matrix {
   /// Row `i` as a vector copy.
   Vector Row(size_t i) const;
 
+  /// Raw pointer to the start of row `i` (rows are contiguous). Valid until
+  /// the next `Resize`. The hot-loop alternative to per-element operator().
+  double* RowPtr(size_t i) { return data_.data() + i * cols_; }
+  const double* RowPtr(size_t i) const { return data_.data() + i * cols_; }
+
+  /// Copies `v` (length == cols, CHECKed) into row `i`.
+  void SetRow(size_t i, const Vector& v);
+
+  /// Reshapes to rows x cols, zero-filling contents. Reuses the existing
+  /// allocation when capacity allows, so a matrix held across iterations
+  /// becomes allocation-free once it has seen its peak size.
+  void Resize(size_t rows, size_t cols);
+
   /// Matrix transpose.
   Matrix Transposed() const;
 
@@ -65,6 +78,17 @@ class Matrix {
 /// Solves L * x = b where L is lower triangular (forward substitution).
 Vector SolveLowerTriangular(const Matrix& l, const Vector& b);
 
+/// Allocation-free forward substitution: solves L * x = b into `x` (resized).
+/// `x` may not alias `b`. Performs the same arithmetic in the same order as
+/// `SolveLowerTriangular`, so results are bit-identical.
+void SolveLowerTriangularInto(const Matrix& l, const Vector& b, Vector* x);
+
+/// Batched forward substitution: treats each ROW of `rhs` as an independent
+/// right-hand side and returns a matrix whose row i solves L * x = rhs_i.
+/// One call replaces rhs.rows() vector solves; per-row arithmetic is
+/// bit-identical to `SolveLowerTriangular`.
+Matrix SolveLowerTriangularBatch(const Matrix& l, const Matrix& rhs);
+
 /// Solves L^T * x = b where L is lower triangular (back substitution).
 Vector SolveUpperTriangularFromLower(const Matrix& l, const Vector& b);
 
@@ -73,6 +97,23 @@ Vector CholeskySolve(const Matrix& l, const Vector& b);
 
 /// log(det(A)) given the Cholesky factor L of A: 2 * sum(log(L_ii)).
 double LogDetFromCholesky(const Matrix& l);
+
+/// Extends an n x n Cholesky factor L of A to the (n+1) x (n+1) factor of
+///   [ A   b ]
+///   [ b^T c ]
+/// in O(n²): w = L⁻¹ b, d = sqrt(c - ‖w‖²). Fails with FailedPrecondition
+/// when the appended row makes the matrix numerically indefinite, i.e.
+/// c - ‖w‖² <= rel_tol * c (the caller should fall back to a full
+/// refactorization with jitter).
+[[nodiscard]] Result<Matrix> CholeskyAppendRow(const Matrix& l,
+                                               const Vector& b, double c,
+                                               double rel_tol = 1e-10);
+
+/// In-place rank-1 Cholesky update: given L with A = L Lᵀ, rewrites L so that
+/// L Lᵀ = A + v vᵀ, in O(n²) via the classic cholupdate rotation sweep.
+/// `v` is consumed (overwritten). Fails with Internal if the sweep produces a
+/// non-finite pivot (caller should refactorize).
+[[nodiscard]] Status CholeskyRank1Update(Matrix* l, Vector v);
 
 /// Eigendecomposition of a symmetric matrix A = V diag(w) V^T via the cyclic
 /// Jacobi method. `eigenvectors` columns are the eigenvectors; `eigenvalues`
@@ -87,6 +128,12 @@ struct EigenResult {
 
 /// Dot product (sizes must match, CHECKed).
 double Dot(const Vector& a, const Vector& b);
+
+/// Pointer form of `Dot` for rows of a `Matrix`. The `Vector` overload
+/// delegates here, so mixing the two forms yields bit-identical sums —
+/// callers that must match a scalar reference path (e.g. batched GP
+/// prediction vs per-point prediction) rely on this single shared kernel.
+double Dot(const double* a, const double* b, size_t n);
 
 /// Euclidean norm.
 double Norm2(const Vector& v);

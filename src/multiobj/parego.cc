@@ -28,6 +28,9 @@ Result<Configuration> SuggestByGpEi(
     ys.push_back(y);
     incumbent = std::min(incumbent, y);
   }
+  // Full `Fit` (not incremental `Observe`): the scalarization weights
+  // change every iteration, so the training targets are rewritten
+  // wholesale — there is no append-only stream to absorb.
   auto gp = GaussianProcess::MakeDefault();
   AUTOTUNE_RETURN_IF_ERROR(gp->Fit(xs, ys));
 

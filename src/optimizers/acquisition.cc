@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "math/distributions.h"
 
 namespace autotune {
@@ -21,12 +22,15 @@ const char* AcquisitionKindToString(AcquisitionKind kind) {
   return "?";
 }
 
-double EvaluateAcquisition(AcquisitionKind kind,
-                           const AcquisitionParams& params,
-                           const Prediction& prediction,
-                           double best_objective, double thompson_draw) {
-  const double mean = prediction.mean;
-  const double stddev = std::max(prediction.stddev(), 1e-12);
+namespace {
+
+// Scalar scoring core shared by the per-point adapter and the batch loop so
+// the two paths are bit-identical by construction.
+inline double ScoreOne(AcquisitionKind kind, const AcquisitionParams& params,
+                       double mean, double variance, double best_objective,
+                       double thompson_draw) {
+  const double stddev =
+      std::max(std::sqrt(std::max(variance, 0.0)), 1e-12);
   // Improvement means going BELOW the incumbent (minimization).
   const double target = best_objective - params.xi;
   const double z = (target - mean) / stddev;
@@ -42,6 +46,33 @@ double EvaluateAcquisition(AcquisitionKind kind,
       return -(mean + stddev * thompson_draw);
   }
   return 0.0;
+}
+
+}  // namespace
+
+double EvaluateAcquisition(AcquisitionKind kind,
+                           const AcquisitionParams& params,
+                           const Prediction& prediction,
+                           double best_objective, double thompson_draw) {
+  return ScoreOne(kind, params, prediction.mean, prediction.variance,
+                  best_objective, thompson_draw);
+}
+
+void EvaluateAcquisitionBatch(AcquisitionKind kind,
+                              const AcquisitionParams& params,
+                              const PredictionBatch& predictions,
+                              double best_objective,
+                              const Vector& thompson_draws, Vector* scores) {
+  const size_t n = predictions.size();
+  if (!thompson_draws.empty()) {
+    AUTOTUNE_CHECK(thompson_draws.size() == n);
+  }
+  scores->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double draw = thompson_draws.empty() ? 0.0 : thompson_draws[i];
+    (*scores)[i] = ScoreOne(kind, params, predictions.mean[i],
+                            predictions.variance[i], best_objective, draw);
+  }
 }
 
 }  // namespace autotune

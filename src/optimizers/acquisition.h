@@ -39,11 +39,27 @@ struct AcquisitionParams {
 /// objective). For kThompsonSampling this pointwise form returns
 /// -(mean) plus noise supplied by the caller as `thompson_draw` (a standard
 /// normal); the BO driver passes a per-candidate draw.
+///
+/// DEPRECATED for hot paths: this per-point form is kept as a thin adapter
+/// over the same scalar core the batched entry point uses; candidate-pool
+/// scoring should go through `EvaluateAcquisitionBatch`.
 double EvaluateAcquisition(AcquisitionKind kind,
                            const AcquisitionParams& params,
                            const Prediction& prediction,
                            double best_objective,
                            double thompson_draw = 0.0);
+
+/// Scores a whole structure-of-arrays prediction batch into `*scores`
+/// (resized to `predictions.size()`), allocation-free after the first call
+/// with a reused output vector. `thompson_draws` must be empty (non-TS
+/// kinds) or one standard-normal draw per candidate. Score i is
+/// bit-identical to the per-point `EvaluateAcquisition` on
+/// `predictions.At(i)`.
+void EvaluateAcquisitionBatch(AcquisitionKind kind,
+                              const AcquisitionParams& params,
+                              const PredictionBatch& predictions,
+                              double best_objective,
+                              const Vector& thompson_draws, Vector* scores);
 
 }  // namespace autotune
 

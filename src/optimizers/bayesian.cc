@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "surrogate/gaussian_process.h"
 #include "surrogate/random_forest.h"
+#include "surrogate/sparse_gp.h"
 
 namespace autotune {
 
@@ -32,8 +33,64 @@ std::string BayesianOptimizer::name() const {
          AcquisitionKindToString(options_.acquisition);
 }
 
-void BayesianOptimizer::OnObserve(const Observation& /*observation*/) {
-  surrogate_stale_ = true;
+size_t BayesianOptimizer::NextFullRefitSize() const {
+  const size_t by_growth = static_cast<size_t>(
+      static_cast<double>(last_full_fit_size_) * options_.full_refit_growth);
+  const size_t by_gap =
+      last_full_fit_size_ + static_cast<size_t>(options_.full_refit_min_gap);
+  return std::max(by_growth, by_gap);
+}
+
+void BayesianOptimizer::OnObserve(const Observation& observation) {
+  if (!options_.incremental_updates ||
+      !surrogate().SupportsIncrementalObserve() ||
+      history_.size() < static_cast<size_t>(options_.initial_design)) {
+    // Legacy path: mark stale and let Suggest refit per `refit_every`.
+    surrogate_stale_ = true;
+    return;
+  }
+  if (fit_is_fantasy_ || last_full_fit_size_ == 0 ||
+      history_.size() >= NextFullRefitSize()) {
+    // Scheduled full refit: hyperparameter re-selection (and the sparse
+    // switch) happen here, at geometrically spaced history sizes, so the
+    // amortized per-observation fit cost stays O(n²). Also the recovery
+    // path out of a fantasy (batch) fit. Deterministic in the history, so
+    // resumed runs refit at the same points.
+    Status status = RefitWith({});
+    if (!status.ok()) {
+      AUTOTUNE_LOG(kWarning) << "scheduled surrogate refit failed: "
+                             << status.ToString();
+      surrogate_stale_ = true;
+      return;
+    }
+    surrogate_stale_ = false;
+    observations_since_fit_ = 0;
+    return;
+  }
+  // Steady state: absorb the one new observation in place.
+  obs::Span span("bo.observe_incremental");
+  Result<Vector> x = encoder_.Encode(observation.config);
+  if (!x.ok()) {
+    surrogate_stale_ = true;
+    return;
+  }
+  Result<SurrogateUpdate> update =
+      active_surrogate().Observe(std::move(x).value(), observation.objective);
+  if (!update.ok()) {
+    AUTOTUNE_LOG(kWarning) << "incremental surrogate update failed: "
+                           << update.status().ToString();
+    surrogate_stale_ = true;
+    return;
+  }
+  if (update.value() == SurrogateUpdate::kRefit) {
+    // Numerical drift forced a refactorization inside Observe; surface it
+    // in the next DecisionRecord (`surrogate_refit` marker).
+    ++refits_since_decision_;
+  }
+  ++model_observed_through_;
+  obs::MetricsRegistry::Global().Increment("bo.surrogate_incremental_updates");
+  surrogate_stale_ = false;
+  observations_since_fit_ = 0;
 }
 
 Status BayesianOptimizer::RefitWith(
@@ -42,6 +99,20 @@ Status BayesianOptimizer::RefitWith(
   obs::Span span("bo.fit");
   obs::MetricsRegistry::Global().Increment("bo.surrogate_refits");
   const size_t count = std::min(history_count, history_.size());
+  // Monotone sparse switch: once the clean training set crosses the
+  // threshold, a GP primary hands off to the bounded-cost FITC fallback.
+  if (extra.empty() && !use_sparse_ && options_.sparse_history_threshold > 0 &&
+      count >= options_.sparse_history_threshold) {
+    const auto* gp = dynamic_cast<const GaussianProcess*>(surrogate_.get());
+    if (gp != nullptr) {
+      SparseGpOptions sparse_options;
+      sparse_options.num_inducing = options_.sparse_num_inducing;
+      sparse_ = std::make_unique<SparseGaussianProcess>(gp->kernel().Clone(),
+                                                        sparse_options);
+      use_sparse_ = true;
+      obs::MetricsRegistry::Global().Increment("bo.sparse_switches");
+    }
+  }
   std::vector<Vector> xs;
   Vector ys;
   xs.reserve(count + extra.size());
@@ -57,9 +128,12 @@ Status BayesianOptimizer::RefitWith(
     ys.push_back(y);
   }
   if (xs.empty()) return Status::FailedPrecondition("no observations");
-  AUTOTUNE_RETURN_IF_ERROR(surrogate_->Fit(xs, ys));
+  AUTOTUNE_RETURN_IF_ERROR(active_surrogate().Fit(xs, ys));
+  ++refits_since_decision_;
   if (extra.empty()) {
     clean_fit_history_size_ = count;
+    last_full_fit_size_ = count;
+    model_observed_through_ = count;
     fit_is_fantasy_ = false;
   } else {
     fit_is_fantasy_ = true;
@@ -86,6 +160,12 @@ Result<OptimizerCheckpoint> BayesianOptimizer::SaveCheckpoint() const {
   checkpoint.fields["observations_since_fit"] = observations_since_fit_;
   checkpoint.fields["clean_fit_history_size"] =
       static_cast<int64_t>(clean_fit_history_size_);
+  checkpoint.fields["last_full_fit_size"] =
+      static_cast<int64_t>(last_full_fit_size_);
+  checkpoint.fields["model_observed_through"] =
+      static_cast<int64_t>(model_observed_through_);
+  checkpoint.fields["use_sparse"] = use_sparse_ ? 1 : 0;
+  checkpoint.fields["refits_since_decision"] = refits_since_decision_;
   return checkpoint;
 }
 
@@ -111,18 +191,62 @@ Status BayesianOptimizer::RestoreCheckpoint(
     return Status::InvalidArgument(
         "checkpoint clean_fit_history_size out of range");
   }
+  // Incremental-path fields; absent in pre-incremental journals, which
+  // behave as "model state == the one clean fit".
+  const auto optional_field = [&checkpoint](const char* name,
+                                            int64_t fallback) -> int64_t {
+    auto it = checkpoint.fields.find(name);
+    return it == checkpoint.fields.end() ? fallback : it->second;
+  };
+  const int64_t last_full = optional_field("last_full_fit_size", clean_fit);
+  const int64_t observed_through =
+      optional_field("model_observed_through", last_full);
+  const int64_t sparse_flag = optional_field("use_sparse", 0);
+  const int64_t refits_pending = optional_field("refits_since_decision", 0);
+  if (last_full < 0 || observed_through < last_full ||
+      static_cast<size_t>(observed_through) > history.size()) {
+    return Status::InvalidArgument(
+        "checkpoint incremental-fit range out of order");
+  }
   AUTOTUNE_RETURN_IF_ERROR(RestoreBaseCheckpoint(checkpoint, history));
   halton_.set_index(static_cast<size_t>(halton_index));
-  // Surrogate fits are pure functions of their training set, so ONE refit
-  // on the journaled prefix reproduces the model the interrupted run had —
-  // this is what bounds resume cost by the snapshot interval.
+  // The model state is a pure function of (history prefix, options): ONE
+  // full refit on the prefix the interrupted run last fully fitted, then an
+  // incremental Observe replay of the tail it had absorbed, reproduces the
+  // live model bit-exactly — resume cost stays bounded by the refit
+  // schedule, not the history length.
   fit_is_fantasy_ = false;
   clean_fit_history_size_ = 0;
-  if (clean_fit > 0) {
-    AUTOTUNE_RETURN_IF_ERROR(RefitWith({}, static_cast<size_t>(clean_fit)));
+  last_full_fit_size_ = 0;
+  model_observed_through_ = 0;
+  use_sparse_ = false;
+  sparse_.reset();
+  if (sparse_flag != 0) {
+    const auto* gp = dynamic_cast<const GaussianProcess*>(surrogate_.get());
+    if (gp == nullptr) {
+      return Status::InvalidArgument(
+          "checkpoint says use_sparse but the primary surrogate is not a GP");
+    }
+    SparseGpOptions sparse_options;
+    sparse_options.num_inducing = options_.sparse_num_inducing;
+    sparse_ = std::make_unique<SparseGaussianProcess>(gp->kernel().Clone(),
+                                                      sparse_options);
+    use_sparse_ = true;
+  }
+  if (last_full > 0) {
+    AUTOTUNE_RETURN_IF_ERROR(RefitWith({}, static_cast<size_t>(last_full)));
+    for (size_t i = static_cast<size_t>(last_full);
+         i < static_cast<size_t>(observed_through); ++i) {
+      AUTOTUNE_ASSIGN_OR_RETURN(Vector x, encoder_.Encode(history[i].config));
+      Result<SurrogateUpdate> update =
+          active_surrogate().Observe(std::move(x), history[i].objective);
+      if (!update.ok()) return update.status();
+      ++model_observed_through_;
+    }
   }
   surrogate_stale_ = stale != 0;
   observations_since_fit_ = static_cast<int>(since_fit);
+  refits_since_decision_ = refits_pending;
   return Status::OK();
 }
 
@@ -155,58 +279,74 @@ Result<Configuration> BayesianOptimizer::MaximizeAcquisition(
     return fallback;
   }
 
-  std::vector<double> scores(candidates.size());
-  std::vector<double> means(candidates.size());
-  std::vector<double> variances(candidates.size());
+  // Structure-of-arrays scoring: encode the pool into one contiguous
+  // feature matrix, predict the whole batch (one triangular solve per
+  // batch inside the GP), then score with an allocation-free loop. The
+  // per-candidate arithmetic and RNG draw order match the old per-point
+  // path exactly, so suggest streams are unchanged.
+  const size_t pool = candidates.size();
+  candidate_features_.Resize(pool, encoder_.encoded_dim());
+  for (size_t i = 0; i < pool; ++i) {
+    AUTOTUNE_ASSIGN_OR_RETURN(Vector x, encoder_.Encode(candidates[i]));
+    candidate_features_.SetRow(i, x);
+  }
+  predictions_ = surrogate().PredictBatch(candidate_features_);
+  if (options_.acquisition == AcquisitionKind::kThompsonSampling) {
+    thompson_draws_.resize(pool);
+    for (size_t i = 0; i < pool; ++i) thompson_draws_[i] = rng_.Normal();
+  } else {
+    thompson_draws_.clear();
+  }
+  EvaluateAcquisitionBatch(options_.acquisition, options_.acquisition_params,
+                           predictions_, incumbent, thompson_draws_,
+                           &scores_);
+  if (options_.cost_fn) {
+    for (size_t i = 0; i < pool; ++i) {
+      if (scores_[i] > 0.0) {
+        // Cost-adjusted acquisition: improvement per unit cost.
+        scores_[i] /= std::max(options_.cost_fn(candidates[i]), 1e-9);
+      }
+    }
+  }
   double best_score = -std::numeric_limits<double>::infinity();
   size_t best_index = 0;
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    AUTOTUNE_ASSIGN_OR_RETURN(Vector x, encoder_.Encode(candidates[i]));
-    const Prediction prediction = surrogate_->Predict(x);
-    const double draw =
-        options_.acquisition == AcquisitionKind::kThompsonSampling
-            ? rng_.Normal()
-            : 0.0;
-    double score =
-        EvaluateAcquisition(options_.acquisition,
-                            options_.acquisition_params, prediction,
-                            incumbent, draw);
-    if (options_.cost_fn && score > 0.0) {
-      // Cost-adjusted acquisition: improvement per unit cost.
-      score /= std::max(options_.cost_fn(candidates[i]), 1e-9);
-    }
-    scores[i] = score;
-    means[i] = prediction.mean;
-    variances[i] = prediction.variance;
-    if (score > best_score) {
-      best_score = score;
+  for (size_t i = 0; i < pool; ++i) {
+    if (scores_[i] > best_score) {
+      best_score = scores_[i];
       best_index = i;
     }
   }
 
   // Rank candidates for the explain record: score desc, scan order on ties
   // (so top_k[0] is exactly the chosen argmax).
-  std::vector<size_t> order(candidates.size());
+  std::vector<size_t> order(pool);
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   const size_t top_n = std::min(kDecisionTopK, order.size());
   std::partial_sort(order.begin(), order.begin() + top_n, order.end(),
-                    [&scores](size_t a, size_t b) {
-                      if (scores[a] != scores[b]) {
-                        return scores[a] > scores[b];
+                    [this](size_t a, size_t b) {
+                      if (scores_[a] != scores_[b]) {
+                        return scores_[a] > scores_[b];
                       }
                       return a < b;
                     });
   DecisionRecord decision;
   decision.phase = phase;
-  decision.candidates = static_cast<int64_t>(candidates.size());
-  decision.chosen = DecisionCandidate{candidates[best_index],
-                                      scores[best_index], means[best_index],
-                                      variances[best_index]};
+  decision.candidates = static_cast<int64_t>(pool);
+  decision.chosen =
+      DecisionCandidate{candidates[best_index], scores_[best_index],
+                        predictions_.mean[best_index],
+                        predictions_.variance[best_index]};
   decision.top_k.reserve(top_n);
   for (size_t rank = 0; rank < top_n; ++rank) {
     const size_t i = order[rank];
-    decision.top_k.push_back(
-        DecisionCandidate{candidates[i], scores[i], means[i], variances[i]});
+    decision.top_k.push_back(DecisionCandidate{candidates[i], scores_[i],
+                                               predictions_.mean[i],
+                                               predictions_.variance[i]});
+  }
+  if (refits_since_decision_ > 0) {
+    // Audit trail for replay: how many full refits fed this decision.
+    decision.details["surrogate_refit"] = refits_since_decision_;
+    refits_since_decision_ = 0;
   }
   PushDecision(std::move(decision));
   return candidates[best_index];
@@ -270,8 +410,16 @@ Result<std::vector<Configuration>> BayesianOptimizer::SuggestBatch(size_t k) {
   std::vector<std::pair<Vector, double>> fantasies;
   const double incumbent_lie = best_.has_value() ? best_->objective : 0.0;
   for (size_t i = 0; i < k; ++i) {
-    AUTOTUNE_RETURN_IF_ERROR(RefitWith(fantasies));
-    surrogate_stale_ = true;  // Fantasy fit; force a clean refit later.
+    // The first pick can reuse a model that is already current (clean fit
+    // plus incremental updates covering the whole history); later picks
+    // must refit to absorb the accumulated fantasies.
+    const bool model_current = i == 0 && !fit_is_fantasy_ &&
+                               !surrogate_stale_ && last_full_fit_size_ > 0 &&
+                               model_observed_through_ == history_.size();
+    if (!model_current) {
+      AUTOTUNE_RETURN_IF_ERROR(RefitWith(fantasies));
+      surrogate_stale_ = true;  // Fantasy fit; force a clean refit later.
+    }
     AUTOTUNE_ASSIGN_OR_RETURN(
         Configuration config,
         MaximizeAcquisition(i == 0 ? "model" : "fantasy_batch"));
@@ -279,7 +427,7 @@ Result<std::vector<Configuration>> BayesianOptimizer::SuggestBatch(size_t k) {
     const double fantasy =
         options_.batch_strategy ==
                 BayesianOptimizerOptions::BatchStrategy::kKrigingBeliever
-            ? surrogate_->Predict(x).mean  // Believe the model.
+            ? surrogate().Predict(x).mean  // Believe the model.
             : incumbent_lie;               // Constant liar.
     fantasies.emplace_back(std::move(x), fantasy);
     batch.push_back(std::move(config));

@@ -39,7 +39,30 @@ struct BayesianOptimizerOptions {
   bool impute_inactive = true;
 
   /// Refit the surrogate every `refit_every` observations (1 = always).
+  /// Only consulted on the legacy refit-per-suggest path, i.e. when
+  /// `incremental_updates` is false or the surrogate has no incremental
+  /// `Observe`.
   int refit_every = 1;
+
+  /// Feed observations to the surrogate incrementally (`Observe`) instead
+  /// of refitting from scratch each trial, when the surrogate supports it.
+  /// Full refits (hyperparameter re-selection) then happen on the geometric
+  /// schedule below, so total fit cost is amortized O(n²) per observation.
+  bool incremental_updates = true;
+
+  /// A scheduled full refit fires when history reaches
+  /// max(last_full_fit * full_refit_growth, last_full_fit +
+  /// full_refit_min_gap). Deterministic (data-size based), so live runs
+  /// and resumed runs refit at identical points.
+  double full_refit_growth = 1.5;
+  int full_refit_min_gap = 8;
+
+  /// Past this many observations, full refits switch a GaussianProcess
+  /// surrogate to a `SparseGaussianProcess` with `sparse_num_inducing`
+  /// inducing points, bounding per-trial cost regardless of history
+  /// length. 0 disables the switch. The switch is monotone (never back).
+  size_t sparse_history_threshold = 1024;
+  size_t sparse_num_inducing = 256;
 
   /// Batch-diversity strategy for `SuggestBatch` (slide 57):
   /// constant liar fantasizes the incumbent value at each picked point;
@@ -75,8 +98,11 @@ class BayesianOptimizer : public OptimizerBase {
   /// next pick avoids it, keeping the batch diverse.
   [[nodiscard]] Result<std::vector<Configuration>> SuggestBatch(size_t k) override;
 
-  /// Access to the fitted surrogate (for diagnostics/tests).
-  const Surrogate& surrogate() const { return *surrogate_; }
+  /// Access to the ACTIVE surrogate (the sparse fallback once the history
+  /// threshold has tripped, the primary before; for diagnostics/tests).
+  const Surrogate& surrogate() const {
+    return use_sparse_ ? *sparse_ : *surrogate_;
+  }
 
   /// Checkpoint/restore for journal compaction. Works because the
   /// surrogates are pure functions of their training set: restoring refits
@@ -94,7 +120,9 @@ class BayesianOptimizer : public OptimizerBase {
 
  private:
   /// Refits the surrogate to the first `history_count` observations plus
-  /// `extra` fantasy observations (npos = full history).
+  /// `extra` fantasy observations (npos = full history). Clean (fantasy-
+  /// free) refits also run the sparse-threshold switch and reset the
+  /// incremental-update schedule.
   [[nodiscard]] Status RefitWith(const std::vector<std::pair<Vector, double>>& extra,
                                  size_t history_count = static_cast<size_t>(-1));
 
@@ -103,6 +131,13 @@ class BayesianOptimizer : public OptimizerBase {
   /// Scores the candidate pool and returns the acquisition argmax, pushing a
   /// DecisionRecord tagged with `phase` ("model" or "fantasy_batch").
   [[nodiscard]] Result<Configuration> MaximizeAcquisition(const char* phase);
+
+  /// The surrogate predictions and incremental updates go to: the sparse
+  /// fallback once the threshold has tripped, the primary before.
+  Surrogate& active_surrogate() { return use_sparse_ ? *sparse_ : *surrogate_; }
+
+  /// History size at which the next scheduled full refit fires.
+  size_t NextFullRefitSize() const;
 
   std::unique_ptr<Surrogate> surrogate_;
   BayesianOptimizerOptions options_;
@@ -117,6 +152,29 @@ class BayesianOptimizer : public OptimizerBase {
   /// fit from `SuggestBatch` — a state that is NOT a pure function of the
   /// history and therefore not checkpointable.
   bool fit_is_fantasy_ = false;
+
+  /// Sparse fallback surrogate; created lazily at the threshold switch.
+  std::unique_ptr<Surrogate> sparse_;
+  bool use_sparse_ = false;
+  /// History size of the last scheduled FULL fit (hyperparameter
+  /// re-selection); anchors the geometric refit schedule. 0 = never.
+  size_t last_full_fit_size_ = 0;
+  /// Number of history observations the model has absorbed (full fit +
+  /// incremental tail). Restore replays Observe for
+  /// history[last_full_fit_size_, model_observed_through_).
+  size_t model_observed_through_ = 0;
+  /// Full refits since the last DecisionRecord — journaled as the
+  /// `surrogate_refit` marker so replays can audit refit points.
+  int64_t refits_since_decision_ = 0;
+
+  /// Reused candidate-pool buffers (SoA): encoded features, posterior
+  /// batch, Thompson draws, and scores. Only valid within one
+  /// MaximizeAcquisition call; kept as members to make the scoring loop
+  /// allocation-free at steady state.
+  Matrix candidate_features_{0, 0};
+  PredictionBatch predictions_;
+  Vector thompson_draws_;
+  Vector scores_;
 };
 
 /// Factory: textbook GP-BO (Matérn-5/2, EI).

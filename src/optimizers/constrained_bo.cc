@@ -31,9 +31,34 @@ Status ConstrainedBoOptimizer::ObserveWithConstraints(
   }
   AUTOTUNE_ASSIGN_OR_RETURN(Vector x, encoder_.Encode(observation.config));
   AUTOTUNE_RETURN_IF_ERROR(Observe(observation));
-  encoded_.push_back(std::move(x));
+  encoded_.push_back(x);
   for (size_t c = 0; c < constraints.size(); ++c) {
     constraint_values_[c].push_back(constraints[c]);
+  }
+  // Keep the persistent constraint models current: incremental rank-1
+  // absorb, full refit (hyperparameter re-selection) on a geometric
+  // schedule. On any numerical failure the models are dropped and rebuilt
+  // lazily at the next Suggest.
+  if (constraint_fit_size_ > 0) {
+    const size_t next_full =
+        std::max(static_cast<size_t>(
+                     static_cast<double>(constraint_fit_size_) * 1.5),
+                 constraint_fit_size_ + 8);
+    if (encoded_.size() >= next_full) {
+      Status refit = RefitConstraintGps();
+      if (!refit.ok()) {
+        constraint_gps_.clear();
+        constraint_fit_size_ = 0;
+      }
+    } else {
+      for (size_t c = 0; c < constraint_gps_.size(); ++c) {
+        if (!constraint_gps_[c]->Observe(x, constraints[c]).ok()) {
+          constraint_gps_.clear();
+          constraint_fit_size_ = 0;
+          break;
+        }
+      }
+    }
   }
   bool feasible = !observation.failed;
   for (double value : constraints) {
@@ -43,6 +68,21 @@ Status ConstrainedBoOptimizer::ObserveWithConstraints(
                    observation.objective < best_feasible_->objective)) {
     best_feasible_ = observation;
   }
+  return Status::OK();
+}
+
+Status ConstrainedBoOptimizer::RefitConstraintGps() {
+  if (constraint_gps_.size() != constraint_values_.size()) {
+    constraint_gps_.clear();
+    for (size_t c = 0; c < constraint_values_.size(); ++c) {
+      constraint_gps_.push_back(GaussianProcess::MakeDefault());
+    }
+  }
+  for (size_t c = 0; c < constraint_values_.size(); ++c) {
+    AUTOTUNE_RETURN_IF_ERROR(
+        constraint_gps_[c]->Fit(encoded_, constraint_values_[c]));
+  }
+  constraint_fit_size_ = encoded_.size();
   return Status::OK();
 }
 
@@ -71,33 +111,59 @@ Result<Configuration> ConstrainedBoOptimizer::Suggest() {
     }
   }
 
+  // The objective surrogate is fitted per call with `Fit`, NOT kept
+  // incremental: its training set is the feasible subset, which changes
+  // non-monotonically (a point can only be classified once its constraint
+  // values arrive), so there is no append-only stream to Observe.
   auto objective_gp = GaussianProcess::MakeDefault();
   const bool have_objective_model = feasible_x.size() >= 3;
   if (have_objective_model) {
     AUTOTUNE_RETURN_IF_ERROR(objective_gp->Fit(feasible_x, feasible_y));
   }
 
-  std::vector<std::unique_ptr<GaussianProcess>> constraint_gps;
-  for (const Vector& values : constraint_values_) {
-    auto gp = GaussianProcess::MakeDefault();
-    AUTOTUNE_RETURN_IF_ERROR(gp->Fit(encoded_, values));
-    constraint_gps.push_back(std::move(gp));
+  // Constraint histories ARE append-only, so those GPs persist across
+  // calls and were updated incrementally in ObserveWithConstraints.
+  if (constraint_fit_size_ == 0) {
+    AUTOTUNE_RETURN_IF_ERROR(RefitConstraintGps());
   }
 
   const double incumbent = best_feasible_.has_value()
                                ? best_feasible_->objective
                                : std::numeric_limits<double>::infinity();
 
-  double best_score = -std::numeric_limits<double>::infinity();
-  std::optional<Configuration> best_candidate;
+  std::vector<Configuration> candidates;
+  candidates.reserve(static_cast<size_t>(options_.num_candidates));
   for (int i = 0; i < options_.num_candidates; ++i) {
     Configuration candidate = space_->Sample(&rng_);
     if (!space_->IsFeasible(candidate)) continue;
-    AUTOTUNE_ASSIGN_OR_RETURN(Vector x, encoder_.Encode(candidate));
+    candidates.push_back(std::move(candidate));
+  }
+  if (candidates.empty()) return space_->SampleFeasible(&rng_);
+
+  // Batched posteriors: one PredictBatch per model instead of a Predict
+  // per (candidate, model) pair.
+  Matrix features(candidates.size(), encoder_.encoded_dim());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    AUTOTUNE_ASSIGN_OR_RETURN(Vector x, encoder_.Encode(candidates[i]));
+    features.SetRow(i, x);
+  }
+  std::vector<PredictionBatch> constraint_predictions;
+  constraint_predictions.reserve(constraint_gps_.size());
+  for (const auto& gp : constraint_gps_) {
+    constraint_predictions.push_back(gp->PredictBatch(features));
+  }
+  PredictionBatch objective_predictions;
+  if (have_objective_model && std::isfinite(incumbent)) {
+    objective_predictions = objective_gp->PredictBatch(features);
+  }
+
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::optional<size_t> best_candidate;
+  for (size_t i = 0; i < candidates.size(); ++i) {
     // P(all constraints satisfied).
     double p_feasible = 1.0;
-    for (const auto& gp : constraint_gps) {
-      const Prediction p = gp->Predict(x);
+    for (const PredictionBatch& batch : constraint_predictions) {
+      const Prediction p = batch.At(i);
       const double stddev = std::max(p.stddev(), 1e-9);
       p_feasible *= NormalCdf((0.0 - p.mean) / stddev);
     }
@@ -106,19 +172,18 @@ Result<Configuration> ConstrainedBoOptimizer::Suggest() {
       // No feasible incumbent yet: pure feasibility search.
       score = p_feasible;
     } else {
-      const Prediction p = objective_gp->Predict(x);
-      const double ei =
-          EvaluateAcquisition(AcquisitionKind::kExpectedImprovement,
-                              options_.acquisition_params, p, incumbent);
+      const double ei = EvaluateAcquisition(
+          AcquisitionKind::kExpectedImprovement, options_.acquisition_params,
+          objective_predictions.At(i), incumbent);
       score = ei * p_feasible;
     }
     if (score > best_score) {
       best_score = score;
-      best_candidate = std::move(candidate);
+      best_candidate = i;
     }
   }
   if (!best_candidate.has_value()) return space_->SampleFeasible(&rng_);
-  return *best_candidate;
+  return candidates[*best_candidate];
 }
 
 }  // namespace autotune

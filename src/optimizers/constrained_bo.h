@@ -56,6 +56,9 @@ class ConstrainedBoOptimizer : public OptimizerBase {
   size_t num_constraints() const { return constraint_values_.size(); }
 
  private:
+  /// (Re)builds the per-constraint GPs from scratch on all observations.
+  [[nodiscard]] Status RefitConstraintGps();
+
   ConstrainedBoOptions options_;
   SpaceEncoder encoder_;
   HaltonSequence halton_;
@@ -63,6 +66,15 @@ class ConstrainedBoOptimizer : public OptimizerBase {
   std::vector<Vector> encoded_;
   std::vector<Vector> constraint_values_;  // [constraint][observation].
   std::optional<Observation> best_feasible_;
+
+  /// Persistent per-constraint GPs: constraint histories are append-only,
+  /// so these absorb observations incrementally and fully refit only on a
+  /// geometric schedule. (The OBJECTIVE surrogate cannot be persistent: it
+  /// is fitted on the feasible subset, which changes non-monotonically as
+  /// constraint outcomes arrive, so `Suggest` still uses `Fit` for it.)
+  std::vector<std::unique_ptr<GaussianProcess>> constraint_gps_;
+  /// History size at the last full constraint-GP fit; 0 = never fitted.
+  size_t constraint_fit_size_ = 0;
 };
 
 }  // namespace autotune

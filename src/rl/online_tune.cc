@@ -61,12 +61,18 @@ Result<Configuration> OnlineTuneOptimizer::Suggest(const Vector& context) {
                             &rng_);
   }
 
-  // Fit the contextual GP.
-  GaussianProcess gp(MakeMaternKernel(2.5, 0.3), GpOptions{});
-  Status fit = gp.Fit(xs_, ys_);
-  if (!fit.ok()) {
-    ++fallbacks_;
-    return *incumbent_;
+  // Contextual GP: persistent across calls, fed incrementally in Observe;
+  // (re)fit from scratch here only when no current model exists.
+  if (gp_fitted_size_ == 0) {
+    gp_ = std::make_unique<GaussianProcess>(MakeMaternKernel(2.5, 0.3),
+                                            GpOptions{});
+    Status fit = gp_->Fit(xs_, ys_);
+    if (!fit.ok()) {
+      gp_.reset();
+      ++fallbacks_;
+      return *incumbent_;
+    }
+    gp_fitted_size_ = ys_.size();
   }
 
   // Candidates inside the trust region around the incumbent.
@@ -75,8 +81,8 @@ Result<Configuration> OnlineTuneOptimizer::Suggest(const Vector& context) {
   const double safety_cap =
       baseline_objective_ * options_.safety_threshold;
 
-  double best_score = -std::numeric_limits<double>::infinity();
-  std::optional<Configuration> best;
+  std::vector<Configuration> candidates;
+  candidates.reserve(static_cast<size_t>(options_.num_candidates));
   for (int i = 0; i < options_.num_candidates; ++i) {
     Vector u = *incumbent_unit;
     for (double& coord : u) {
@@ -87,28 +93,44 @@ Result<Configuration> OnlineTuneOptimizer::Suggest(const Vector& context) {
     }
     Configuration candidate = space_->FromUnit(u);
     if (!space_->IsFeasible(candidate)) continue;
-    const Prediction p =
-        gp.Predict(EncodeWithContext(candidate, context));
+    candidates.push_back(std::move(candidate));
+  }
+  if (candidates.empty()) {
+    ++fallbacks_;
+    return *incumbent_;  // Nothing safe: hold position.
+  }
+  // Batched posterior over the pool, then an allocation-free gate+score
+  // loop (numerically identical to the old per-point path).
+  candidate_features_.Resize(candidates.size(), xs_[0].size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    candidate_features_.SetRow(i, EncodeWithContext(candidates[i], context));
+  }
+  const PredictionBatch predictions =
+      gp_->PredictBatch(candidate_features_);
+  EvaluateAcquisitionBatch(AcquisitionKind::kExpectedImprovement,
+                           AcquisitionParams{}, predictions,
+                           incumbent_objective_, {}, &candidate_scores_);
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::optional<size_t> best;
+  for (size_t i = 0; i < candidates.size(); ++i) {
     // Safety gate: even the PESSIMISTIC estimate (mean + beta sigma) must
     // stay under the cap — the configuration is provably-ish safe.
+    const Prediction p = predictions.At(i);
     const double pessimistic = p.mean + options_.lcb_beta * p.stddev();
     if (pessimistic > safety_cap) {
       ++rejected_unsafe_;
       continue;
     }
-    const double score =
-        EvaluateAcquisition(AcquisitionKind::kExpectedImprovement,
-                            AcquisitionParams{}, p, incumbent_objective_);
-    if (score > best_score) {
-      best_score = score;
-      best = std::move(candidate);
+    if (candidate_scores_[i] > best_score) {
+      best_score = candidate_scores_[i];
+      best = i;
     }
   }
   if (!best.has_value()) {
     ++fallbacks_;
     return *incumbent_;  // Nothing safe: hold position.
   }
-  return *best;
+  return candidates[*best];
 }
 
 Status OnlineTuneOptimizer::Observe(const Configuration& config,
@@ -120,8 +142,28 @@ Status OnlineTuneOptimizer::Observe(const Configuration& config,
   if (context.size() != context_dim_) {
     return Status::InvalidArgument("context has wrong dimension");
   }
-  xs_.push_back(EncodeWithContext(config, context));
+  Vector x = EncodeWithContext(config, context);
+  xs_.push_back(x);
   ys_.push_back(objective);
+  // Keep the persistent GP current: incremental rank-1 absorb, with a full
+  // refit (length-scale re-selection) on a geometric schedule.
+  if (gp_fitted_size_ > 0) {
+    const size_t next_full = std::max(
+        static_cast<size_t>(static_cast<double>(gp_fitted_size_) *
+                            options_.full_refit_growth),
+        gp_fitted_size_ + static_cast<size_t>(options_.full_refit_min_gap));
+    if (ys_.size() >= next_full) {
+      if (gp_->Fit(xs_, ys_).ok()) {
+        gp_fitted_size_ = ys_.size();
+      } else {
+        gp_.reset();
+        gp_fitted_size_ = 0;  // Next Suggest refits from scratch.
+      }
+    } else if (!gp_->Observe(x, objective).ok()) {
+      gp_.reset();
+      gp_fitted_size_ = 0;
+    }
+  }
   if (!incumbent_.has_value()) {
     incumbent_ = config;
     incumbent_objective_ = objective;

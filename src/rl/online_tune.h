@@ -38,6 +38,13 @@ struct OnlineTuneOptions {
   /// kicks in.
   int initial_samples = 5;
   int num_candidates = 256;
+
+  /// The contextual GP absorbs observations incrementally; a full refit
+  /// (length-scale re-selection) fires when the history reaches
+  /// max(last_fit * full_refit_growth, last_fit + full_refit_min_gap),
+  /// keeping per-step cost amortized O(n²) instead of O(n³).
+  double full_refit_growth = 1.5;
+  int full_refit_min_gap = 8;
 };
 
 /// OnlineTune-style safe contextual Bayesian optimization (tutorial slides
@@ -95,6 +102,15 @@ class OnlineTuneOptimizer {
   Vector ys_;
   int rejected_unsafe_ = 0;
   int fallbacks_ = 0;
+
+  /// Persistent contextual GP, fed incrementally via `Surrogate::Observe`;
+  /// refit from scratch on the geometric schedule above. 0 = no model yet.
+  std::unique_ptr<GaussianProcess> gp_;
+  size_t gp_fitted_size_ = 0;
+
+  /// Reused candidate buffers for batched prediction.
+  Matrix candidate_features_{0, 0};
+  Vector candidate_scores_;
 };
 
 }  // namespace rl

@@ -89,7 +89,8 @@ Status GaussianProcess::FitArd(double noise_variance,
   return FitOnce(noise_variance);
 }
 
-Status GaussianProcess::Fit(const std::vector<Vector>& xs, const Vector& ys) {
+Status GaussianProcess::FitImpl(const std::vector<Vector>& xs,
+                                const Vector& ys) {
   if (xs.empty()) return Status::InvalidArgument("no observations");
   if (xs.size() != ys.size()) {
     return Status::InvalidArgument("xs/ys size mismatch");
@@ -139,6 +140,84 @@ Status GaussianProcess::Fit(const std::vector<Vector>& xs, const Vector& ys) {
     return FitArd(best_noise, best_ls);
   }
   return FitOnce(best_noise);
+}
+
+Result<SurrogateUpdate> GaussianProcess::Observe(const Vector& x, double y) {
+  if (!fitted_) {
+    // No factor to extend yet: take the base-class full-fit path.
+    return Surrogate::Observe(x, y);
+  }
+  if (x.size() != xs_raw_[0].size()) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  const Vector scaled = ScaleInput(x);
+  const size_t n = xs_.size();
+  Vector k_star(n);
+  for (size_t i = 0; i < n; ++i) k_star[i] = kernel_->Eval(scaled, xs_[i]);
+  const double diag = kernel_->Eval(scaled, scaled) + fitted_noise_;
+  // Hyperparameters and the target standardizer stay frozen between full
+  // fits so the update is a pure extension of the existing model.
+  Result<Matrix> extended = CholeskyAppendRow(chol_, k_star, diag, 1e-8);
+  xs_raw_.push_back(x);
+  xs_.push_back(scaled);
+  ys_std_.push_back(y_standardizer_.Apply(y));
+  if (!extended.ok()) {
+    // Numerical drift: refactorize from scratch at the current
+    // hyperparameters (jitter handles the near-singular diagonal).
+    Status refit = FitOnce(fitted_noise_);
+    if (!refit.ok()) {
+      xs_raw_.pop_back();
+      xs_.pop_back();
+      ys_std_.pop_back();
+      return refit;
+    }
+    AppendObservation(x, y);
+    return SurrogateUpdate::kRefit;
+  }
+  chol_ = std::move(extended.value());
+  alpha_ = CholeskySolve(chol_, ys_std_);
+  lml_ = -0.5 * Dot(ys_std_, alpha_) - 0.5 * LogDetFromCholesky(chol_) -
+         0.5 * static_cast<double>(n + 1) * std::log(2.0 * M_PI);
+  AppendObservation(x, y);
+  return SurrogateUpdate::kIncremental;
+}
+
+PredictionBatch GaussianProcess::PredictBatch(const Matrix& xs) const {
+  PredictionBatch batch;
+  const size_t m = xs.rows();
+  batch.Resize(m);
+  if (!fitted_) {
+    double prior_var = y_standardizer_.stddev * y_standardizer_.stddev;
+    if (prior_var == 0.0) prior_var = 1.0;
+    for (size_t r = 0; r < m; ++r) {
+      batch.mean[r] = y_standardizer_.mean;
+      batch.variance[r] = prior_var;
+    }
+    return batch;
+  }
+  const size_t n = xs_.size();
+  Matrix k_star(m, n);
+  Vector self_kernel(m);
+  for (size_t r = 0; r < m; ++r) {
+    const Vector query = ScaleInput(xs.Row(r));
+    double* row = k_star.RowPtr(r);
+    for (size_t i = 0; i < n; ++i) row[i] = kernel_->Eval(query, xs_[i]);
+    self_kernel[r] = kernel_->Eval(query, query);
+  }
+  // One batched triangular solve covers every candidate.
+  const Matrix v = SolveLowerTriangularBatch(chol_, k_star);
+  const double sd = y_standardizer_.stddev;
+  for (size_t r = 0; r < m; ++r) {
+    // Same shared Dot kernel — and the same multiplication association —
+    // as the scalar Predict path: bit-identical results.
+    const double* vr = v.RowPtr(r);
+    const double mean_std = Dot(k_star.RowPtr(r), alpha_.data(), n);
+    const double var_std =
+        std::max(self_kernel[r] - Dot(vr, vr, n), 0.0);
+    batch.mean[r] = y_standardizer_.Invert(mean_std);
+    batch.variance[r] = var_std * sd * sd;
+  }
+  return batch;
 }
 
 Prediction GaussianProcess::Predict(const Vector& x) const {

@@ -52,7 +52,19 @@ class GaussianProcess : public Surrogate {
   /// BO surrogate.
   static std::unique_ptr<GaussianProcess> MakeDefault();
 
-  [[nodiscard]] Status Fit(const std::vector<Vector>& xs, const Vector& ys) override;
+  /// O(n²) incremental append: extends the Cholesky factor by one row
+  /// (`CholeskyAppendRow`) and re-solves for alpha, keeping the current
+  /// hyperparameters and target standardizer frozen. Falls back to a full
+  /// refactorization with the current hyperparameters (returning `kRefit`)
+  /// when the appended row would make K + noise*I numerically indefinite.
+  /// Hyperparameter re-selection (grids, ARD) still requires `Fit`.
+  [[nodiscard]] Result<SurrogateUpdate> Observe(const Vector& x,
+                                                double y) override;
+  bool SupportsIncrementalObserve() const override { return true; }
+
+  /// Before a successful fit, every row gets the same weakly-informative
+  /// prior `Predict` documents. Bit-identical to looping `Predict`.
+  [[nodiscard]] PredictionBatch PredictBatch(const Matrix& xs) const override;
 
   Prediction Predict(const Vector& x) const override;
 
@@ -72,8 +84,12 @@ class GaussianProcess : public Surrogate {
 
   /// Draws one joint posterior sample at `points` (Thompson sampling over a
   /// candidate set). Requires a successful prior Fit.
-  [[nodiscard]] Result<Vector> SamplePosterior(const std::vector<Vector>& points,
-                                 Rng* rng) const;
+  [[nodiscard]] Result<Vector> SamplePosterior(
+      const std::vector<Vector>& points, Rng* rng) const;
+
+ protected:
+  [[nodiscard]] Status FitImpl(const std::vector<Vector>& xs,
+                               const Vector& ys) override;
 
  private:
   /// Fits with the current kernel; fills chol_/alpha_/lml_.

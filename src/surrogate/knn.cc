@@ -9,7 +9,7 @@ namespace autotune {
 
 KnnSurrogate::KnnSurrogate(size_t k) : k_(k) { AUTOTUNE_CHECK(k >= 1); }
 
-Status KnnSurrogate::Fit(const std::vector<Vector>& xs, const Vector& ys) {
+Status KnnSurrogate::FitImpl(const std::vector<Vector>& xs, const Vector& ys) {
   if (xs.empty()) return Status::InvalidArgument("no observations");
   if (xs.size() != ys.size()) {
     return Status::InvalidArgument("xs/ys size mismatch");
@@ -21,6 +21,16 @@ Status KnnSurrogate::Fit(const std::vector<Vector>& xs, const Vector& ys) {
   xs_ = xs;
   ys_ = ys;
   return Status::OK();
+}
+
+Result<SurrogateUpdate> KnnSurrogate::Observe(const Vector& x, double y) {
+  if (!xs_.empty() && x.size() != xs_[0].size()) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  xs_.push_back(x);
+  ys_.push_back(y);
+  AppendObservation(x, y);
+  return SurrogateUpdate::kIncremental;
 }
 
 Prediction KnnSurrogate::Predict(const Vector& x) const {

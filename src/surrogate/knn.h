@@ -18,11 +18,18 @@ class KnnSurrogate : public Surrogate {
  public:
   explicit KnnSurrogate(size_t k = 5);
 
-  [[nodiscard]] Status Fit(const std::vector<Vector>& xs, const Vector& ys) override;
+  /// O(1) incremental append: kNN has no trained state beyond the data.
+  [[nodiscard]] Result<SurrogateUpdate> Observe(const Vector& x,
+                                                double y) override;
+  bool SupportsIncrementalObserve() const override { return true; }
 
   Prediction Predict(const Vector& x) const override;
 
   size_t num_observations() const override { return xs_.size(); }
+
+ protected:
+  [[nodiscard]] Status FitImpl(const std::vector<Vector>& xs,
+                               const Vector& ys) override;
 
  private:
   size_t k_;

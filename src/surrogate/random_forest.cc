@@ -150,8 +150,8 @@ int RandomForestSurrogate::BuildNode(Tree* tree, const std::vector<Vector>& xs,
   return node_index;
 }
 
-Status RandomForestSurrogate::Fit(const std::vector<Vector>& xs,
-                                  const Vector& ys) {
+Status RandomForestSurrogate::FitImpl(const std::vector<Vector>& xs,
+                                      const Vector& ys) {
   if (xs.empty()) return Status::InvalidArgument("no observations");
   if (xs.size() != ys.size()) {
     return Status::InvalidArgument("xs/ys size mismatch");

@@ -33,8 +33,6 @@ class RandomForestSurrogate : public Surrogate {
  public:
   explicit RandomForestSurrogate(RandomForestOptions options = {});
 
-  [[nodiscard]] Status Fit(const std::vector<Vector>& xs, const Vector& ys) override;
-
   Prediction Predict(const Vector& x) const override;
 
   size_t num_observations() const override { return num_observations_; }
@@ -43,6 +41,12 @@ class RandomForestSurrogate : public Surrogate {
   /// zeros before Fit or if no splits occurred). Used for knob-importance
   /// ranking (slide 68).
   Vector FeatureImportances() const;
+
+ protected:
+  /// Trees cannot be extended in place, so `Observe` keeps the base-class
+  /// default (append + refit from history).
+  [[nodiscard]] Status FitImpl(const std::vector<Vector>& xs,
+                               const Vector& ys) override;
 
  private:
   struct Node {

@@ -1,0 +1,255 @@
+#include "surrogate/sparse_gp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "math/kmeans.h"
+
+namespace autotune {
+
+namespace {
+// Floor for the per-point FITC noise lambda_i = k_ii - q_ii + noise; exact
+// arithmetic keeps it >= noise, but roundoff can push it negative when a
+// training point coincides with an inducing point.
+constexpr double kLambdaFloor = 1e-10;
+}  // namespace
+
+SparseGaussianProcess::SparseGaussianProcess(std::unique_ptr<Kernel> kernel,
+                                             SparseGpOptions options)
+    : kernel_(std::move(kernel)), options_(std::move(options)) {
+  AUTOTUNE_CHECK(kernel_ != nullptr);
+  AUTOTUNE_CHECK(options_.noise_variance > 0.0);
+  AUTOTUNE_CHECK(options_.num_inducing >= 1);
+}
+
+std::unique_ptr<SparseGaussianProcess> SparseGaussianProcess::MakeDefault() {
+  return std::make_unique<SparseGaussianProcess>(MakeMaternKernel(2.5, 0.3),
+                                                 SparseGpOptions{});
+}
+
+Status SparseGaussianProcess::BuildModel(double noise_variance) {
+  const size_t n = xs_.size();
+  const size_t m = inducing_.size();
+  // Kuu and its Cholesky factor.
+  Matrix kuu(m, m);
+  for (size_t a = 0; a < m; ++a) {
+    for (size_t b = a; b < m; ++b) {
+      const double v = kernel_->Eval(inducing_[a], inducing_[b]);
+      kuu(a, b) = v;
+      kuu(b, a) = v;
+    }
+  }
+  AUTOTUNE_ASSIGN_OR_RETURN(Matrix luu, CholeskyWithJitter(kuu));
+  // Kfu rows, and V = Luu^-1 Kuf column-by-column (one batched solve).
+  Matrix kfu(n, m);
+  for (size_t i = 0; i < n; ++i) {
+    double* row = kfu.RowPtr(i);
+    for (size_t a = 0; a < m; ++a) row[a] = kernel_->Eval(xs_[i], inducing_[a]);
+  }
+  const Matrix v = SolveLowerTriangularBatch(luu, kfu);
+  // FITC per-point noise: lambda_i = k_ii - q_ii + noise.
+  Vector lambda(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* vi = v.RowPtr(i);
+    double qff = 0.0;
+    for (size_t a = 0; a < m; ++a) qff += vi[a] * vi[a];
+    lambda[i] =
+        std::max(kernel_->Eval(xs_[i], xs_[i]) - qff + noise_variance,
+                 kLambdaFloor);
+  }
+  // Sigma = Kuu + Kuf diag(lambda)^-1 Kfu, b = Kuf diag(lambda)^-1 y.
+  Matrix sigma = kuu;
+  Vector b(m, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* ku = kfu.RowPtr(i);
+    const double w = 1.0 / lambda[i];
+    for (size_t a = 0; a < m; ++a) {
+      const double wa = w * ku[a];
+      double* srow = sigma.RowPtr(a);
+      for (size_t c = 0; c <= a; ++c) srow[c] += wa * ku[c];
+      b[a] += wa * ys_std_[i];
+    }
+  }
+  for (size_t a = 0; a < m; ++a) {
+    for (size_t c = a + 1; c < m; ++c) sigma(a, c) = sigma(c, a);
+  }
+  AUTOTUNE_ASSIGN_OR_RETURN(Matrix lsigma, CholeskyWithJitter(sigma));
+  Vector beta = CholeskySolve(lsigma, b);
+  // FITC LML = -1/2 (y^T Lambda^-1 y - b^T Sigma^-1 b
+  //                  + log|Sigma| - log|Kuu| + sum log lambda + n log 2 pi).
+  double quad = 0.0;
+  double logdet_lambda = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    quad += ys_std_[i] * ys_std_[i] / lambda[i];
+    logdet_lambda += std::log(lambda[i]);
+  }
+  lml_ = -0.5 * (quad - Dot(b, beta) + LogDetFromCholesky(lsigma) -
+                 LogDetFromCholesky(luu) + logdet_lambda +
+                 static_cast<double>(n) * std::log(2.0 * M_PI));
+  luu_ = std::move(luu);
+  lsigma_ = std::move(lsigma);
+  b_ = std::move(b);
+  beta_ = std::move(beta);
+  fitted_noise_ = noise_variance;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status SparseGaussianProcess::FitImpl(const std::vector<Vector>& xs,
+                                      const Vector& ys) {
+  if (xs.empty()) return Status::InvalidArgument("no observations");
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("xs/ys size mismatch");
+  }
+  const size_t dim = xs[0].size();
+  for (const auto& x : xs) {
+    if (x.size() != dim) return Status::InvalidArgument("ragged features");
+  }
+  xs_ = xs;
+  y_standardizer_ = FitStandardizer(ys);
+  ys_std_.resize(ys.size());
+  for (size_t i = 0; i < ys.size(); ++i) {
+    ys_std_[i] = y_standardizer_.Apply(ys[i]);
+  }
+
+  // Inducing set: k-means centroids with a FIXED seed so the fit is a pure
+  // function of the data (resume determinism).
+  const size_t m = std::min(options_.num_inducing, xs_.size());
+  if (!options_.inducing_override.empty()) {
+    inducing_ = options_.inducing_override;
+  } else if (m == xs_.size()) {
+    inducing_ = xs_;
+  } else {
+    Rng rng(options_.kmeans_seed);
+    KMeansOptions kopts;
+    kopts.max_iterations = options_.kmeans_iterations;
+    kopts.restarts = 1;
+    AUTOTUNE_ASSIGN_OR_RETURN(KMeansResult clusters,
+                              KMeans(xs_, m, kopts, &rng));
+    inducing_ = std::move(clusters.centroids);
+  }
+
+  if (!options_.fit_length_scale || xs_.size() < 3 ||
+      options_.length_scale_grid.empty()) {
+    return BuildModel(options_.noise_variance);
+  }
+  double best_lml = -std::numeric_limits<double>::infinity();
+  double best_ls = -1.0;
+  for (double ls : options_.length_scale_grid) {
+    kernel_->SetLengthScale(ls);
+    if (!BuildModel(options_.noise_variance).ok()) continue;
+    if (lml_ > best_lml) {
+      best_lml = lml_;
+      best_ls = ls;
+    }
+  }
+  if (best_ls < 0.0) {
+    return Status::Internal(
+        "sparse GP fit failed for every length scale in the grid");
+  }
+  kernel_->SetLengthScale(best_ls);
+  return BuildModel(options_.noise_variance);
+}
+
+Result<SurrogateUpdate> SparseGaussianProcess::Observe(const Vector& x,
+                                                       double y) {
+  if (!fitted_) return Surrogate::Observe(x, y);
+  if (x.size() != xs_[0].size()) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  const size_t m = inducing_.size();
+  Vector ku(m);
+  for (size_t a = 0; a < m; ++a) ku[a] = kernel_->Eval(x, inducing_[a]);
+  Vector w;
+  SolveLowerTriangularInto(luu_, ku, &w);
+  double qff = 0.0;
+  for (size_t a = 0; a < m; ++a) qff += w[a] * w[a];
+  const double lambda = std::max(
+      kernel_->Eval(x, x) - qff + fitted_noise_, kLambdaFloor);
+  const double y_std = y_standardizer_.Apply(y);
+  // Sigma += lambda^-1 ku ku^T via rank-1 cholupdate; on numerical failure
+  // refit from scratch (lsigma_ may be partially mutated, but the refit
+  // rebuilds it wholesale).
+  Vector update(m);
+  const double inv_sqrt_lambda = 1.0 / std::sqrt(lambda);
+  for (size_t a = 0; a < m; ++a) update[a] = ku[a] * inv_sqrt_lambda;
+  Status rank1 = CholeskyRank1Update(&lsigma_, std::move(update));
+  if (!rank1.ok()) {
+    fitted_ = false;
+    return Surrogate::Observe(x, y);
+  }
+  const double wy = y_std / lambda;
+  for (size_t a = 0; a < m; ++a) b_[a] += wy * ku[a];
+  beta_ = CholeskySolve(lsigma_, b_);
+  xs_.push_back(x);
+  ys_std_.push_back(y_std);
+  AppendObservation(x, y);
+  return SurrogateUpdate::kIncremental;
+}
+
+Prediction SparseGaussianProcess::Predict(const Vector& x) const {
+  Prediction out;
+  if (!fitted_) {
+    out.mean = y_standardizer_.mean;
+    out.variance = y_standardizer_.stddev * y_standardizer_.stddev;
+    if (out.variance == 0.0) out.variance = 1.0;
+    return out;
+  }
+  const size_t m = inducing_.size();
+  Vector ku(m);
+  for (size_t a = 0; a < m; ++a) ku[a] = kernel_->Eval(x, inducing_[a]);
+  const double mean_std = Dot(ku, beta_);
+  // var = k(x,x) - ||Luu^-1 ku||^2 + ||LSigma^-1 ku||^2.
+  const Vector wu = SolveLowerTriangular(luu_, ku);
+  const Vector ws = SolveLowerTriangular(lsigma_, ku);
+  double var_std = kernel_->Eval(x, x) - Dot(wu, wu) + Dot(ws, ws);
+  var_std = std::max(var_std, 0.0);
+  out.mean = y_standardizer_.Invert(mean_std);
+  out.variance = var_std * y_standardizer_.stddev * y_standardizer_.stddev;
+  return out;
+}
+
+PredictionBatch SparseGaussianProcess::PredictBatch(const Matrix& xs) const {
+  PredictionBatch batch;
+  const size_t rows = xs.rows();
+  batch.Resize(rows);
+  if (!fitted_) {
+    double prior_var = y_standardizer_.stddev * y_standardizer_.stddev;
+    if (prior_var == 0.0) prior_var = 1.0;
+    for (size_t r = 0; r < rows; ++r) {
+      batch.mean[r] = y_standardizer_.mean;
+      batch.variance[r] = prior_var;
+    }
+    return batch;
+  }
+  const size_t m = inducing_.size();
+  Matrix ku(rows, m);
+  Vector self_kernel(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    const Vector query = xs.Row(r);
+    double* row = ku.RowPtr(r);
+    for (size_t a = 0; a < m; ++a) row[a] = kernel_->Eval(query, inducing_[a]);
+    self_kernel[r] = kernel_->Eval(query, query);
+  }
+  // Two batched triangular solves cover every candidate.
+  const Matrix wu = SolveLowerTriangularBatch(luu_, ku);
+  const Matrix ws = SolveLowerTriangularBatch(lsigma_, ku);
+  const double sd = y_standardizer_.stddev;
+  for (size_t r = 0; r < rows; ++r) {
+    // Same shared Dot kernel — and the same multiplication association —
+    // as the scalar Predict path: bit-identical results.
+    const double* ur = wu.RowPtr(r);
+    const double* sr = ws.RowPtr(r);
+    const double mean_std = Dot(ku.RowPtr(r), beta_.data(), m);
+    const double var_std = std::max(
+        self_kernel[r] - Dot(ur, ur, m) + Dot(sr, sr, m), 0.0);
+    batch.mean[r] = y_standardizer_.Invert(mean_std);
+    batch.variance[r] = var_std * sd * sd;
+  }
+  return batch;
+}
+
+}  // namespace autotune

@@ -1,0 +1,108 @@
+#ifndef AUTOTUNE_SURROGATE_SPARSE_GP_H_
+#define AUTOTUNE_SURROGATE_SPARSE_GP_H_
+
+#include <memory>
+#include <vector>
+
+#include "math/matrix.h"
+#include "math/stats.h"
+#include "surrogate/kernel.h"
+#include "surrogate/surrogate.h"
+
+namespace autotune {
+
+/// Options for `SparseGaussianProcess`.
+struct SparseGpOptions {
+  /// Observation-noise variance (standardized-y units).
+  double noise_variance = 1e-4;
+
+  /// Number of inducing points m. Fit cost is O(n m²), predict O(m²),
+  /// incremental observe O(m²) — independent of history length once n > m.
+  size_t num_inducing = 256;
+
+  /// If true, `Fit` selects the kernel length scale by maximizing the FITC
+  /// log marginal likelihood over `length_scale_grid`.
+  bool fit_length_scale = true;
+  std::vector<double> length_scale_grid = {0.1, 0.2, 0.3, 0.5, 1.0};
+
+  /// Seed for the k-means inducing-point selection. Fixed (not wall-clock)
+  /// so a refit on the same data reproduces the same model bit-exactly —
+  /// required for kill-and-resume determinism.
+  uint64_t kmeans_seed = 0xC0FFEE;
+  int kmeans_iterations = 10;
+
+  /// Test hook: when non-empty, used verbatim as the inducing set instead
+  /// of running k-means.
+  std::vector<Vector> inducing_override;
+};
+
+/// Sparse (inducing-point) Gaussian process with the FITC approximation:
+/// the posterior is summarized through m k-means-seeded inducing points, so
+/// fitting is O(n m²) and prediction / incremental updates are O(m²)
+/// regardless of history length. This is the bounded-cost fallback
+/// `BayesianOptimizer` switches to past its history threshold; for small n
+/// prefer the exact `GaussianProcess`.
+///
+/// The model is a pure function of (data, options): refitting on the same
+/// observations reproduces the same posterior bit-exactly, which resume
+/// relies on. ARD is not supported (the dense GP keeps that role).
+class SparseGaussianProcess : public Surrogate {
+ public:
+  /// Takes ownership of `kernel` (must not be null).
+  SparseGaussianProcess(std::unique_ptr<Kernel> kernel,
+                        SparseGpOptions options);
+
+  /// Matérn-5/2 FITC GP with default options.
+  static std::unique_ptr<SparseGaussianProcess> MakeDefault();
+
+  /// O(m²) incremental append: rank-1 cholupdate of the inducing posterior
+  /// factor plus an information-vector update. Hyperparameters, inducing
+  /// set, and target standardizer stay frozen; falls back to a full refit
+  /// (`kRefit`) if the update turns numerically unstable.
+  [[nodiscard]] Result<SurrogateUpdate> Observe(const Vector& x,
+                                                double y) override;
+  bool SupportsIncrementalObserve() const override { return true; }
+
+  Prediction Predict(const Vector& x) const override;
+
+  /// Batched FITC posterior: two triangular solves per batch. Bit-identical
+  /// to looping `Predict`; rows get the weak prior before the first fit.
+  [[nodiscard]] PredictionBatch PredictBatch(const Matrix& xs) const override;
+
+  size_t num_observations() const override { return xs_.size(); }
+
+  /// Inducing points of the current fit (empty before the first fit).
+  const std::vector<Vector>& inducing_points() const { return inducing_; }
+
+  /// FITC log marginal likelihood of the last full fit. Not maintained by
+  /// incremental `Observe` (reported value is from the preceding fit).
+  double log_marginal_likelihood() const { return lml_; }
+
+ protected:
+  [[nodiscard]] Status FitImpl(const std::vector<Vector>& xs,
+                               const Vector& ys) override;
+
+ private:
+  /// Rebuilds Luu/LSigma/b/beta/lml for the current kernel + inducing set.
+  [[nodiscard]] Status BuildModel(double noise_variance);
+
+  std::unique_ptr<Kernel> kernel_;
+  SparseGpOptions options_;
+
+  std::vector<Vector> xs_;
+  Vector ys_std_;
+  Standardizer y_standardizer_;
+
+  bool fitted_ = false;
+  std::vector<Vector> inducing_;
+  Matrix luu_{0, 0};     // chol(Kuu + jitter).
+  Matrix lsigma_{0, 0};  // chol(Kuu + Kuf diag(lambda)^-1 Kfu).
+  Vector b_;             // Kuf diag(lambda)^-1 y (information vector).
+  Vector beta_;          // Sigma^-1 b.
+  double fitted_noise_ = 0.0;
+  double lml_ = 0.0;
+};
+
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SURROGATE_SPARSE_GP_H_

@@ -1,0 +1,42 @@
+#include "surrogate/surrogate.h"
+
+#include <utility>
+
+namespace autotune {
+
+Status Surrogate::Fit(const std::vector<Vector>& xs, const Vector& ys) {
+  AUTOTUNE_RETURN_IF_ERROR(FitImpl(xs, ys));
+  xs_history_ = xs;
+  ys_history_ = ys;
+  return Status::OK();
+}
+
+Result<SurrogateUpdate> Surrogate::Observe(const Vector& x, double y) {
+  xs_history_.push_back(x);
+  ys_history_.push_back(y);
+  Status refit = FitImpl(xs_history_, ys_history_);
+  if (!refit.ok()) {
+    xs_history_.pop_back();
+    ys_history_.pop_back();
+    return refit;
+  }
+  return SurrogateUpdate::kRefit;
+}
+
+PredictionBatch Surrogate::PredictBatch(const Matrix& xs) const {
+  PredictionBatch batch;
+  batch.Resize(xs.rows());
+  for (size_t i = 0; i < xs.rows(); ++i) {
+    const Prediction p = Predict(xs.Row(i));
+    batch.mean[i] = p.mean;
+    batch.variance[i] = p.variance;
+  }
+  return batch;
+}
+
+void Surrogate::AppendObservation(const Vector& x, double y) {
+  xs_history_.push_back(x);
+  ys_history_.push_back(y);
+}
+
+}  // namespace autotune

@@ -16,26 +16,113 @@ struct Prediction {
   double stddev() const;
 };
 
+/// Structure-of-arrays batch of posterior predictions: `mean[i]` /
+/// `variance[i]` belong to row i of the query matrix. Deliberately NOT
+/// `std::vector<Prediction>` — the two contiguous arrays let acquisition
+/// scoring stream through candidates without gather/scatter, and let
+/// implementations fill the batch with batched linear algebra.
+struct PredictionBatch {
+  Vector mean;
+  Vector variance;
+
+  size_t size() const { return mean.size(); }
+
+  /// Row i as a scalar `Prediction` (convenience for non-hot paths).
+  Prediction At(size_t i) const { return Prediction{mean[i], variance[i]}; }
+
+  void Resize(size_t n) {
+    mean.assign(n, 0.0);
+    variance.assign(n, 0.0);
+  }
+};
+
+/// How a surrogate absorbed one observation in `Observe`.
+enum class SurrogateUpdate {
+  /// The model state was updated in place (e.g. a rank-1 Cholesky update);
+  /// hyperparameters were NOT re-selected.
+  kIncremental,
+  /// The model refit from scratch (default path, or an incremental update
+  /// hit a numerical-drift tolerance and fell back to refactorization).
+  kRefit,
+};
+
 /// A regression model of the (expensive, noisy) objective over encoded
 /// feature vectors — the statistical model `M` of the tutorial's
 /// sequential model-based optimization loop (slide 33). Implementations:
-/// `GaussianProcess` (slides 35-44), `RandomForestSurrogate` (SMAC, slide
-/// 50), `KnnSurrogate` (baseline).
+/// `GaussianProcess` (slides 35-44), `SparseGaussianProcess` (FITC),
+/// `RandomForestSurrogate` (SMAC, slide 50), `KnnSurrogate` (baseline).
+///
+/// ## Contract
+///
+/// - `Fit` replaces the training set wholesale and re-selects
+///   hyperparameters. It is still REQUIRED when the training set changes
+///   non-monotonically (points removed, targets re-scalarized, subset
+///   filtered) and is the periodic "ground truth" path that incremental
+///   updates are checked against.
+/// - `Observe` appends ONE observation. The default implementation refits
+///   from the base-class history; implementations that can do better
+///   (rank-1 updates) override it and advertise via
+///   `SupportsIncrementalObserve`. After a mix of `Fit` and `Observe`
+///   calls the model state must equal what a single `Fit` on the full
+///   history would produce up to the documented drift tolerance.
+/// - Before the first successful `Fit`/`Observe`, `Predict` and
+///   `PredictBatch` return a weakly-informative prior (mean 0, unit
+///   variance — implementations may substitute their standardizer's prior)
+///   rather than failing.
+/// - Thread safety: mutation (`Fit`/`Observe`) must be externally
+///   serialized with everything else; concurrent const `Predict`/
+///   `PredictBatch` calls are safe with each other.
 class Surrogate {
  public:
   virtual ~Surrogate() = default;
 
   /// Fits the model to observations. `xs` are equal-dimension feature rows,
   /// `ys` the observed objective values. May be called repeatedly as data
-  /// accumulates (each call refits from scratch).
-  [[nodiscard]] virtual Status Fit(const std::vector<Vector>& xs, const Vector& ys) = 0;
+  /// accumulates (each call refits from scratch). On success the base class
+  /// retains a copy of (xs, ys) as the observation history that default
+  /// `Observe` implementations extend.
+  [[nodiscard]] Status Fit(const std::vector<Vector>& xs, const Vector& ys);
 
-  /// Posterior mean/variance at `x`. Before any successful `Fit`, returns a
+  /// Appends a single observation. Default: append to history and refit
+  /// from scratch (always `kRefit`); overrides may update in place and
+  /// return `kIncremental`. On error the history is unchanged.
+  [[nodiscard]] virtual Result<SurrogateUpdate> Observe(const Vector& x,
+                                                        double y);
+
+  /// True when `Observe` has an O(n²)-or-better in-place path, i.e. feeding
+  /// points one at a time is cheaper than refitting per point.
+  virtual bool SupportsIncrementalObserve() const { return false; }
+
+  /// Posterior mean/variance at `x`. Before any successful fit, returns a
   /// weakly-informative prior (mean 0, unit variance).
   virtual Prediction Predict(const Vector& x) const = 0;
 
+  /// Posterior at every row of `xs` as a structure-of-arrays batch.
+  /// Default: loops over `Predict`. Overrides share triangular solves
+  /// across the batch but must return bit-identical numbers to the
+  /// per-point path (callers rely on this for replay determinism).
+  [[nodiscard]] virtual PredictionBatch PredictBatch(const Matrix& xs) const;
+
   /// Number of observations the model was last fitted to.
   virtual size_t num_observations() const = 0;
+
+ protected:
+  /// Implementation hook for `Fit`: refit from scratch on (xs, ys).
+  [[nodiscard]] virtual Status FitImpl(const std::vector<Vector>& xs,
+                                       const Vector& ys) = 0;
+
+  /// Observation history maintained by the base class (everything passed to
+  /// the last successful `Fit` plus every successful `Observe` since).
+  const std::vector<Vector>& observed_xs() const { return xs_history_; }
+  const Vector& observed_ys() const { return ys_history_; }
+
+  /// Incremental `Observe` overrides call this after a successful in-place
+  /// update so a later full `FitImpl` sees the complete history.
+  void AppendObservation(const Vector& x, double y);
+
+ private:
+  std::vector<Vector> xs_history_;
+  Vector ys_history_;
 };
 
 }  // namespace autotune

@@ -44,6 +44,8 @@ Result<std::vector<KnobImportance>> RankKnobImportance(
       break;
     }
     case ImportanceMethod::kRandomForest: {
+      // One-shot batch analysis: the forest is fitted once on the full
+      // history and discarded, so `Fit` (not `Observe`) is the right call.
       RandomForestSurrogate forest;
       AUTOTUNE_RETURN_IF_ERROR(forest.Fit(xs, ys));
       Vector importances = forest.FeatureImportances();

@@ -531,5 +531,127 @@ TEST(HaltonTest, RadicalInverseKnownValues) {
   EXPECT_DOUBLE_EQ(RadicalInverse(1, 3), 1.0 / 3.0);
 }
 
+// ------------------------------------------------- Incremental Cholesky --
+
+namespace {
+// Random SPD matrix A = B Bᵀ + n·I.
+Matrix RandomSpd(int n, Rng* rng) {
+  Matrix b(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) b(i, j) = rng->Normal();
+  }
+  Matrix a = b.Multiply(b.Transposed());
+  a.AddDiagonal(static_cast<double>(n));
+  return a;
+}
+}  // namespace
+
+TEST(CholeskyAppendRowTest, MatchesDirectFactorization) {
+  // Growing the factor one row at a time must track the direct Cholesky of
+  // each leading principal submatrix.
+  Rng rng(42);
+  const int n = 12;
+  Matrix a = RandomSpd(n, &rng);
+
+  Matrix leading(1, 1);
+  leading(0, 0) = a(0, 0);
+  auto grown = Cholesky(leading);
+  ASSERT_TRUE(grown.ok());
+  Matrix incremental = *grown;
+  for (int k = 1; k < n; ++k) {
+    Vector b(k);
+    for (int i = 0; i < k; ++i) b[i] = a(k, i);
+    auto appended = CholeskyAppendRow(incremental, b, a(k, k));
+    ASSERT_TRUE(appended.ok()) << "append failed at row " << k;
+    incremental = *appended;
+
+    Matrix sub(k + 1, k + 1);
+    for (int i = 0; i <= k; ++i) {
+      for (int j = 0; j <= k; ++j) sub(i, j) = a(i, j);
+    }
+    auto direct = Cholesky(sub);
+    ASSERT_TRUE(direct.ok());
+    for (int i = 0; i <= k; ++i) {
+      for (int j = 0; j <= i; ++j) {
+        EXPECT_NEAR(incremental(i, j), (*direct)(i, j), 1e-9)
+            << "mismatch at (" << i << "," << j << ") after row " << k;
+      }
+    }
+  }
+}
+
+TEST(CholeskyAppendRowTest, RejectsIndefiniteExtension) {
+  // Appending a row that makes the matrix indefinite (new diagonal smaller
+  // than the projection of the new column) must fail, not produce NaN.
+  Matrix one(1, 1);
+  one(0, 0) = 4.0;
+  auto l = Cholesky(one);
+  ASSERT_TRUE(l.ok());
+  auto bad = CholeskyAppendRow(*l, {4.0}, 1.0);  // Schur complement < 0.
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(CholeskyRank1UpdateTest, MatchesRefactorization) {
+  // After the update, L'L'ᵀ must equal A + v vᵀ.
+  Rng rng(7);
+  const int n = 9;
+  Matrix a = RandomSpd(n, &rng);
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  Vector v(n);
+  for (int i = 0; i < n; ++i) v[i] = rng.Normal();
+
+  Matrix updated = *l;
+  ASSERT_TRUE(CholeskyRank1Update(&updated, v).ok());
+
+  Matrix expected = a;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) expected(i, j) += v[i] * v[j];
+  }
+  Matrix recon = updated.Multiply(updated.Transposed());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(recon(i, j), expected(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(SolveLowerTriangularBatchTest, MatchesPerVectorSolves) {
+  Rng rng(99);
+  const int n = 10;
+  const int m = 7;
+  Matrix a = RandomSpd(n, &rng);
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  Matrix rhs(m, n);
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < n; ++c) rhs(r, c) = rng.Normal();
+  }
+  Matrix batch = SolveLowerTriangularBatch(*l, rhs);
+  for (int r = 0; r < m; ++r) {
+    Vector b(n);
+    for (int c = 0; c < n; ++c) b[c] = rhs(r, c);
+    Vector x = SolveLowerTriangular(*l, b);
+    for (int c = 0; c < n; ++c) {
+      // Bit-identical, not just close: the batch kernel runs the same
+      // operations in the same order.
+      EXPECT_EQ(batch(r, c), x[c]) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(MatrixResizeTest, ResizeZeroFillsAndSetRowCopies) {
+  Matrix m(2, 3);
+  m(1, 2) = 5.0;
+  m.Resize(4, 2);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 2; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+  m.SetRow(2, {1.5, -2.5});
+  EXPECT_EQ(m(2, 0), 1.5);
+  EXPECT_EQ(m(2, 1), -2.5);
+  EXPECT_EQ(m.RowPtr(2)[1], -2.5);
+}
+
 }  // namespace
 }  // namespace autotune
