@@ -7,7 +7,9 @@
 // journals are written to disk, scanned, and matched by workload
 // embedding — not handed over in memory like E11's in-process transfer.
 
+#include <dirent.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -114,8 +116,11 @@ void Run() {
 
   // Fleet history on disk: two donors per seed — a similar workload
   // (ycsb-b) and a dissimilar one (tpch). The store must pick the similar
-  // donor by embedding distance on its own.
-  const std::string dir = "bench_e29_kb.tmp";
+  // donor by embedding distance on its own. Under /tmp with the pid so the
+  // bench never drops a directory into the working tree and parallel runs
+  // never collide.
+  const std::string dir =
+      "/tmp/bench_e29_kb." + std::to_string(::getpid());
   ::mkdir(dir.c_str(), 0755);
   kb::KnowledgeStore store;
   std::printf("\nrecording donor sessions (%d trials each)...\n",
@@ -194,6 +199,17 @@ void Run() {
   metrics.SetGauge("bench.e29.cold_trials_to_target", cold_median);
   metrics.SetGauge("bench.e29.warm_trials_to_target", warm_median);
   metrics.SetGauge("bench.e29.trial_ratio", ratio);
+
+  // Best-effort flat cleanup of the donor-journal dir.
+  if (DIR* handle = ::opendir(dir.c_str())) {
+    while (dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(handle);
+  }
+  ::rmdir(dir.c_str());
 
   const bool pass = ratio < 1.0;
   std::printf("\n%s\n",

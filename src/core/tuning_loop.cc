@@ -155,6 +155,7 @@ void TuningLoop::RefillBatch() {
 void TuningLoop::AbsorbObservation(Observation observation, bool replaying) {
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   const int trial = result_.trials_run;
+  if (observation.failed) ++failed_trials_;
   if (!observation.failed && observation.objective < best_) {
     best_ = observation.objective;
     metrics.GetCounter("loop.incumbent_updates")->Increment();

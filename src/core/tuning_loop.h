@@ -143,6 +143,9 @@ class TuningLoop {
 
   int trials_run() const { return result_.trials_run; }
   int replayed_trials() const { return result_.replayed_trials; }
+  /// Trials whose observation came back failed (counted identically on live
+  /// and replayed trials, so the value is bit-exact across journal replay).
+  int failed_trials() const { return failed_trials_; }
   double total_cost() const { return runner_->total_cost() - initial_cost_; }
 
   /// Best (lowest) successful objective so far, if any trial succeeded.
@@ -198,6 +201,7 @@ class TuningLoop {
 
   TuningResult result_;
   double initial_cost_ = 0.0;
+  int failed_trials_ = 0;
   double best_ = std::numeric_limits<double>::infinity();
   bool done_ = false;
   bool degrade_triggered_ = false;

@@ -1,0 +1,299 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace autotune {
+namespace obs {
+namespace {
+
+std::string FormatValue(double value) {
+  char buf[64];
+  if (value == static_cast<int64_t>(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", value);
+  }
+  return buf;
+}
+
+bool Compare(RuleCompare compare, double value, double threshold) {
+  return compare == RuleCompare::kGreaterThan ? value > threshold
+                                              : value < threshold;
+}
+
+}  // namespace
+
+const char* AlertStateName(AlertState state) {
+  switch (state) {
+    case AlertState::kInactive:
+      return "inactive";
+    case AlertState::kPending:
+      return "pending";
+    case AlertState::kFiring:
+      return "firing";
+    case AlertState::kResolved:
+      return "resolved";
+  }
+  return "unknown";
+}
+
+const char* RuleKindName(RuleKind kind) {
+  switch (kind) {
+    case RuleKind::kThreshold:
+      return "threshold";
+    case RuleKind::kRateOfChange:
+      return "rate_of_change";
+    case RuleKind::kAbsence:
+      return "absence";
+    case RuleKind::kStall:
+      return "stall";
+    case RuleKind::kBudgetBurn:
+      return "budget_burn";
+    case RuleKind::kRegression:
+      return "regression";
+  }
+  return "unknown";
+}
+
+void HealthEngine::UpsertRule(AlertRule rule) {
+  MutexLock lock(mutex_);
+  RuleState& state = rules_[rule.name];
+  state.rule = std::move(rule);
+}
+
+bool HealthEngine::RemoveRule(const std::string& name) {
+  MutexLock lock(mutex_);
+  return rules_.erase(name) > 0;
+}
+
+int HealthEngine::RemoveRulesWithPrefix(const std::string& prefix) {
+  MutexLock lock(mutex_);
+  int removed = 0;
+  for (auto it = rules_.lower_bound(prefix); it != rules_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    it = rules_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+bool HealthEngine::HasRule(const std::string& name) const {
+  MutexLock lock(mutex_);
+  return rules_.count(name) > 0;
+}
+
+size_t HealthEngine::num_rules() const {
+  MutexLock lock(mutex_);
+  return rules_.size();
+}
+
+bool HealthEngine::ConditionHolds(const TimeSeriesStore& store,
+                                  int64_t now_ms, RuleState* state) {
+  const AlertRule& rule = state->rule;
+
+  if (!rule.gate_series.empty()) {
+    const auto gate = store.Query(rule.gate_series, rule.window_ms, now_ms);
+    if (gate.empty() || gate.back().value < rule.gate_min) {
+      state->detail = "gated off (" + rule.gate_series + ")";
+      return false;
+    }
+  }
+
+  const auto points = store.Query(rule.series, rule.window_ms, now_ms);
+
+  if (rule.kind == RuleKind::kAbsence) {
+    state->value = static_cast<double>(points.size());
+    if (points.empty()) {
+      state->detail = "no samples of " + rule.series + " in window";
+      return true;
+    }
+    state->detail = "";
+    return false;
+  }
+
+  if (points.empty()) {
+    state->detail = "";
+    return false;
+  }
+
+  switch (rule.kind) {
+    case RuleKind::kThreshold: {
+      state->value = points.back().value;
+      state->detail = rule.series + " = " + FormatValue(state->value);
+      return Compare(rule.compare, state->value, rule.threshold);
+    }
+    case RuleKind::kRateOfChange: {
+      double sum = 0.0;
+      for (const SamplePoint& point : points) sum += point.value;
+      state->value = sum;
+      state->detail = FormatValue(sum) + " over window on " + rule.series;
+      return Compare(rule.compare, sum, rule.threshold);
+    }
+    case RuleKind::kStall: {
+      // Require coverage of at least half the window so a tenant admitted
+      // mid-window is never declared stalled off a couple of samples.
+      if (points.size() < 3 ||
+          points.back().ts_ms - points.front().ts_ms < rule.window_ms / 2) {
+        state->detail = "insufficient history";
+        return false;
+      }
+      const double moved =
+          std::fabs(points.back().value - points.front().value);
+      state->value = moved;
+      state->detail =
+          rule.series + " moved " + FormatValue(moved) + " over window";
+      return moved <= rule.threshold;
+    }
+    case RuleKind::kBudgetBurn: {
+      if (!(rule.budget < std::numeric_limits<double>::infinity()) ||
+          rule.deadline_at_ms <= now_ms || points.size() < 3) {
+        state->detail = "";
+        return false;
+      }
+      const SamplePoint& first = points.front();
+      const SamplePoint& last = points.back();
+      const int64_t span_ms = last.ts_ms - first.ts_ms;
+      if (span_ms < rule.window_ms / 2) {
+        state->detail = "insufficient history";
+        return false;
+      }
+      const double rate_per_ms = (last.value - first.value) / span_ms;
+      if (rate_per_ms <= 0.0) {
+        state->detail = "spend flat";
+        return false;
+      }
+      const double projected =
+          last.value + rate_per_ms * (rule.deadline_at_ms - last.ts_ms);
+      state->value = projected;
+      state->detail = "projected spend " + FormatValue(projected) +
+                      " vs budget " + FormatValue(rule.budget) +
+                      " at deadline";
+      return projected > rule.budget;
+    }
+    case RuleKind::kRegression: {
+      // Freeze the baseline once: the mean of the series' first
+      // baseline_samples points ("vs the first window").
+      if (std::isnan(state->baseline)) {
+        const auto all = store.Query(rule.series, /*window_ms=*/0, now_ms);
+        if (static_cast<int>(all.size()) < rule.baseline_samples) {
+          state->detail = "collecting baseline";
+          return false;
+        }
+        double sum = 0.0;
+        for (int i = 0; i < rule.baseline_samples; ++i) sum += all[i].value;
+        state->baseline = sum / rule.baseline_samples;
+      }
+      state->value = points.back().value;
+      state->detail = rule.series + " = " + FormatValue(state->value) +
+                      " vs baseline " + FormatValue(state->baseline);
+      if (state->baseline <= 0.0) return false;
+      return state->value > state->baseline * rule.threshold;
+    }
+    case RuleKind::kAbsence:
+      break;  // Handled above.
+  }
+  return false;
+}
+
+void HealthEngine::Evaluate(const TimeSeriesStore& store, int64_t now_ms) {
+  MutexLock lock(mutex_);
+  for (auto& [name, state] : rules_) {
+    const bool holds = ConditionHolds(store, now_ms, &state);
+    if (holds) {
+      switch (state.state) {
+        case AlertState::kInactive:
+        case AlertState::kResolved:
+          state.state = AlertState::kPending;
+          state.held_ticks = 1;
+          state.since_ms = now_ms;
+          break;
+        case AlertState::kPending:
+          ++state.held_ticks;
+          break;
+        case AlertState::kFiring:
+          ++state.held_ticks;
+          continue;
+      }
+      if (state.state == AlertState::kPending &&
+          state.held_ticks >= state.rule.for_ticks) {
+        state.state = AlertState::kFiring;
+        state.since_ms = now_ms;
+      }
+    } else {
+      switch (state.state) {
+        case AlertState::kPending:
+          state.state = AlertState::kInactive;
+          state.held_ticks = 0;
+          state.since_ms = now_ms;
+          break;
+        case AlertState::kFiring:
+          state.state = AlertState::kResolved;
+          state.held_ticks = 0;
+          state.since_ms = now_ms;
+          break;
+        case AlertState::kInactive:
+        case AlertState::kResolved:
+          break;
+      }
+    }
+  }
+}
+
+std::vector<AlertStatus> HealthEngine::Alerts() const {
+  std::vector<AlertStatus> out;
+  MutexLock lock(mutex_);
+  out.reserve(rules_.size());
+  for (const auto& [name, state] : rules_) {
+    AlertStatus status;
+    status.rule = state.rule;
+    status.state = state.state;
+    status.held_ticks = state.held_ticks;
+    status.since_ms = state.since_ms;
+    status.value = state.value;
+    status.detail = state.detail;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+int HealthEngine::FiringCount() const {
+  MutexLock lock(mutex_);
+  int firing = 0;
+  for (const auto& [name, state] : rules_) {
+    if (state.state == AlertState::kFiring) ++firing;
+  }
+  return firing;
+}
+
+Json HealthEngine::ToJson() const {
+  Json::Array alerts;
+  int firing = 0;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& [name, state] : rules_) {
+      if (state.state == AlertState::kFiring) ++firing;
+      alerts.push_back(Json(Json::Object{
+          {"name", Json(state.rule.name)},
+          {"state", Json(std::string(AlertStateName(state.state)))},
+          {"severity", Json(state.rule.severity)},
+          {"kind", Json(std::string(RuleKindName(state.rule.kind)))},
+          {"series", Json(state.rule.series)},
+          {"value", Json(state.value)},
+          {"threshold", Json(state.rule.threshold)},
+          {"held_ticks", Json(static_cast<int64_t>(state.held_ticks))},
+          {"since_ms", Json(state.since_ms)},
+          {"detail", Json(state.detail)},
+          {"description", Json(state.rule.description)},
+      }));
+    }
+  }
+  return Json(Json::Object{{"alerts", Json(std::move(alerts))},
+                           {"firing", Json(static_cast<int64_t>(firing))}});
+}
+
+}  // namespace obs
+}  // namespace autotune

@@ -1,0 +1,171 @@
+#ifndef AUTOTUNE_OBS_HEALTH_H_
+#define AUTOTUNE_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/json.h"
+#include "obs/timeseries.h"
+
+namespace autotune {
+namespace obs {
+
+/// Alert lifecycle. A rule whose condition holds for `for_ticks`
+/// consecutive evaluations (hysteresis — one noisy tick never pages)
+/// transitions pending -> firing; a firing rule whose condition clears
+/// transitions to resolved, which is a latched "was firing, now ok"
+/// display state until the condition returns (-> pending again).
+///
+///   inactive --(cond)--> pending --(held >= for_ticks)--> firing
+///   pending --(!cond)--> inactive
+///   firing --(!cond)--> resolved --(cond)--> pending
+enum class AlertState { kInactive, kPending, kFiring, kResolved };
+
+const char* AlertStateName(AlertState state);
+
+/// How a rule turns retained samples into a boolean condition.
+enum class RuleKind {
+  /// Latest value in the window `compare` threshold.
+  kThreshold,
+  /// Sum of values in the window `compare` threshold. On counter series
+  /// (stored as per-tick deltas) this is the windowed increment — e.g.
+  /// "more than 3 faults in the last minute".
+  kRateOfChange,
+  /// No sample in the window at all (sampler dead, shard not reporting,
+  /// metric vanished).
+  kAbsence,
+  /// Samples span most of the window but the value moved by <= threshold
+  /// (progress counter flatlined). Needs at least half a window of points,
+  /// so a freshly admitted tenant is never declared stalled off two
+  /// samples.
+  kStall,
+  /// Linear projection of the windowed slope crosses `budget` before
+  /// `deadline_at_ms` (budget burn-rate alarm: "at this spend rate the
+  /// tenant exhausts its budget before its deadline").
+  kBudgetBurn,
+  /// Latest value exceeds `threshold` x the frozen baseline (the mean of
+  /// the series' first `baseline_samples` points — "p99 regressed vs the
+  /// first window").
+  kRegression,
+};
+
+const char* RuleKindName(RuleKind kind);
+
+enum class RuleCompare { kGreaterThan, kLessThan };
+
+/// One declarative health rule over the time-series store.
+struct AlertRule {
+  /// Unique id; also the alert's display name ("tenant.db.stall").
+  std::string name;
+  std::string severity = "warning";  ///< "warning" | "critical".
+  std::string description;           ///< Human text for /alerts, /statusz.
+
+  RuleKind kind = RuleKind::kThreshold;
+  std::string series;  ///< Input series in the store.
+  RuleCompare compare = RuleCompare::kGreaterThan;
+  double threshold = 0.0;
+  int64_t window_ms = 60000;
+  int for_ticks = 3;  ///< Consecutive true evaluations before firing.
+
+  /// Optional activation gate: the rule only evaluates while the latest
+  /// value of `gate_series` (within the window) is >= `gate_min`; otherwise
+  /// the condition is treated as false — so e.g. a stall rule gated on
+  /// `tenant.<t>.active` resolves when the tenant is cancelled instead of
+  /// firing forever on its flat progress counter.
+  std::string gate_series;
+  double gate_min = 1.0;
+
+  /// kBudgetBurn inputs.
+  double budget = std::numeric_limits<double>::infinity();
+  int64_t deadline_at_ms = 0;  ///< Absolute epoch ms.
+
+  /// kRegression: how many of the series' first samples freeze the
+  /// baseline.
+  int baseline_samples = 8;
+};
+
+/// Point-in-time state of one rule.
+struct AlertStatus {
+  AlertRule rule;
+  AlertState state = AlertState::kInactive;
+  int held_ticks = 0;      ///< Consecutive true evaluations so far.
+  int64_t since_ms = 0;    ///< When the current state was entered.
+  double value = 0.0;      ///< Last evaluated input value.
+  std::string detail;      ///< e.g. "42 fenced appends in 60s".
+};
+
+/// Declarative alert engine over a `TimeSeriesStore`: rules are upserted /
+/// removed as tenants come and go, `Evaluate` advances every state machine
+/// one tick, and the firing set is exported to `GET /alerts`, `/statusz`,
+/// and the `alerts.firing` gauge (-> `autotune_alerts_firing` in the
+/// Prometheus exposition, so external scrapers can page on it).
+///
+/// Thread-safety: all methods are safe from any thread. The engine mutex is
+/// held across store reads during `Evaluate` (lock order: obs.health ->
+/// obs.timeseries; both are leaves of the service stack).
+class HealthEngine {
+ public:
+  HealthEngine() = default;
+  HealthEngine(const HealthEngine&) = delete;
+  HealthEngine& operator=(const HealthEngine&) = delete;
+
+  /// Installs or replaces a rule. Replacing keeps the existing alert state
+  /// machine (so re-reconciling a tenant's rules every tick never resets a
+  /// pending alert); only the rule definition is refreshed.
+  void UpsertRule(AlertRule rule) EXCLUDES(mutex_);
+
+  /// Removes the rule entirely (state machine included). False if absent.
+  bool RemoveRule(const std::string& name) EXCLUDES(mutex_);
+
+  /// Removes every rule whose name starts with `prefix`; returns the count
+  /// (retiring all of one tenant's rules on eviction).
+  int RemoveRulesWithPrefix(const std::string& prefix) EXCLUDES(mutex_);
+
+  bool HasRule(const std::string& name) const EXCLUDES(mutex_);
+  size_t num_rules() const EXCLUDES(mutex_);
+
+  /// Evaluates every rule against `store` at `now_ms`, advancing the
+  /// pending -> firing -> resolved state machines by one tick.
+  void Evaluate(const TimeSeriesStore& store, int64_t now_ms)
+      EXCLUDES(mutex_);
+
+  /// All rules' current status, sorted by name.
+  std::vector<AlertStatus> Alerts() const EXCLUDES(mutex_);
+
+  int FiringCount() const EXCLUDES(mutex_);
+
+  /// {"alerts": [{"name", "state", "severity", "kind", "series", "value",
+  ///   "threshold", "since_ms", "detail", "description"}, ...],
+  ///  "firing": N} — the GET /alerts payload.
+  Json ToJson() const EXCLUDES(mutex_);
+
+ private:
+  struct RuleState {
+    AlertRule rule;
+    AlertState state = AlertState::kInactive;
+    int held_ticks = 0;
+    int64_t since_ms = 0;
+    double value = 0.0;
+    std::string detail;
+    /// kRegression: frozen once `baseline_samples` points exist.
+    double baseline = std::numeric_limits<double>::quiet_NaN();
+  };
+
+  /// Evaluates one rule's raw condition (no hysteresis); fills
+  /// `state->value` / `state->detail`.
+  bool ConditionHolds(const TimeSeriesStore& store, int64_t now_ms,
+                      RuleState* state) REQUIRES(mutex_);
+
+  mutable Mutex mutex_{"obs.health"};
+  std::map<std::string, RuleState> rules_ GUARDED_BY(mutex_);
+};
+
+}  // namespace obs
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OBS_HEALTH_H_

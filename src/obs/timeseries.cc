@@ -1,0 +1,174 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace autotune {
+namespace obs {
+
+TimeSeriesStore::TimeSeriesStore(Options options) : options_(options) {
+  AUTOTUNE_CHECK(options_.samples_per_series > 0);
+  AUTOTUNE_CHECK(options_.max_series > 0);
+}
+
+TimeSeriesStore::Series* TimeSeriesStore::FindOrCreateLocked(
+    const std::string& name) {
+  auto it = series_.find(name);
+  if (it != series_.end()) return &it->second;
+  if (series_.size() >= options_.max_series) {
+    MetricsRegistry::Global().Increment("obs.timeseries.series_dropped");
+    return nullptr;
+  }
+  Series& series = series_[name];
+  series.ring.resize(options_.samples_per_series);
+  return &series;
+}
+
+void TimeSeriesStore::PushLocked(const std::string& name, int64_t ts_ms,
+                                 double value) {
+  Series* series = FindOrCreateLocked(name);
+  if (series == nullptr) return;
+  if (series->size == series->ring.size()) {
+    // Full ring: the new point overwrites the oldest. History loss is
+    // counted, never silent (docs/OBSERVABILITY.md retention math).
+    series->ring[series->head] = {ts_ms, value};
+    series->head = (series->head + 1) % series->ring.size();
+    MetricsRegistry::Global().Increment("obs.timeseries.samples_dropped");
+  } else {
+    series->ring[(series->head + series->size) % series->ring.size()] = {
+        ts_ms, value};
+    ++series->size;
+  }
+}
+
+void TimeSeriesStore::PushDeltaLocked(const std::string& name, int64_t ts_ms,
+                                      double cumulative) {
+  Series* series = FindOrCreateLocked(name);
+  if (series == nullptr) return;
+  if (!series->primed) {
+    series->primed = true;
+    series->last_cumulative = cumulative;
+    return;
+  }
+  const double delta = cumulative - series->last_cumulative;
+  series->last_cumulative = cumulative;
+  PushLocked(name, ts_ms, delta);
+}
+
+void TimeSeriesStore::Sample(const MetricsRegistry& registry,
+                             int64_t now_ms) {
+  // Snapshot outside the store mutex: ToJson takes the registry's shard
+  // locks and the store mutex must stay a leaf.
+  const Json snapshot = registry.ToJson();
+  const Result<Json> counters = snapshot.Get("counters");
+  const Result<Json> gauges = snapshot.Get("gauges");
+  const Result<Json> histograms = snapshot.Get("histograms");
+
+  MutexLock lock(mutex_);
+  ++ticks_;
+  if (counters.ok()) {
+    for (const auto& [name, value] : counters->AsObject()) {
+      PushDeltaLocked(name, now_ms, value.AsDouble());
+    }
+  }
+  if (gauges.ok()) {
+    for (const auto& [name, value] : gauges->AsObject()) {
+      PushLocked(name, now_ms, value.AsDouble());
+    }
+  }
+  if (histograms.ok()) {
+    for (const auto& [name, histogram] : histograms->AsObject()) {
+      PushLocked(name + ".p50", now_ms, histogram.GetDouble("p50", 0.0));
+      PushLocked(name + ".p99", now_ms, histogram.GetDouble("p99", 0.0));
+      PushDeltaLocked(name + ".count", now_ms,
+                      histogram.GetDouble("count", 0.0));
+    }
+  }
+}
+
+void TimeSeriesStore::Push(const std::string& name, int64_t ts_ms,
+                           double value) {
+  MutexLock lock(mutex_);
+  PushLocked(name, ts_ms, value);
+}
+
+std::vector<SamplePoint> TimeSeriesStore::SnapshotLocked(
+    const Series& series, int64_t min_ts_ms) const {
+  std::vector<SamplePoint> points;
+  points.reserve(series.size);
+  for (size_t i = 0; i < series.size; ++i) {
+    const SamplePoint& point =
+        series.ring[(series.head + i) % series.ring.size()];
+    if (point.ts_ms >= min_ts_ms) points.push_back(point);
+  }
+  return points;
+}
+
+std::vector<SamplePoint> TimeSeriesStore::Query(const std::string& name,
+                                                int64_t window_ms,
+                                                int64_t now_ms) const {
+  const int64_t min_ts_ms =
+      window_ms > 0 ? now_ms - window_ms
+                    : std::numeric_limits<int64_t>::min();
+  MutexLock lock(mutex_);
+  const auto it = series_.find(name);
+  if (it == series_.end()) return {};
+  return SnapshotLocked(it->second, min_ts_ms);
+}
+
+bool TimeSeriesStore::Has(const std::string& name) const {
+  MutexLock lock(mutex_);
+  return series_.count(name) > 0;
+}
+
+std::vector<std::string> TimeSeriesStore::Names() const {
+  std::vector<std::string> names;
+  MutexLock lock(mutex_);
+  names.reserve(series_.size());
+  for (const auto& [name, series] : series_) names.push_back(name);
+  return names;
+}
+
+size_t TimeSeriesStore::num_series() const {
+  MutexLock lock(mutex_);
+  return series_.size();
+}
+
+int64_t TimeSeriesStore::ticks() const {
+  MutexLock lock(mutex_);
+  return ticks_;
+}
+
+Result<Json> TimeSeriesStore::HistoryJson(const std::string& name,
+                                          int64_t window_ms,
+                                          int64_t now_ms) const {
+  const int64_t min_ts_ms =
+      window_ms > 0 ? now_ms - window_ms
+                    : std::numeric_limits<int64_t>::min();
+  Json::Object series_out;
+  int64_t ticks = 0;
+  {
+    MutexLock lock(mutex_);
+    ticks = ticks_;
+    if (!name.empty() && series_.count(name) == 0) {
+      return Status::NotFound("no series named '" + name + "'");
+    }
+    for (const auto& [series_name, series] : series_) {
+      if (!name.empty() && series_name != name) continue;
+      Json::Array points;
+      for (const SamplePoint& point : SnapshotLocked(series, min_ts_ms)) {
+        points.push_back(Json(Json::Object{{"ts_ms", Json(point.ts_ms)},
+                                           {"value", Json(point.value)}}));
+      }
+      series_out[series_name] = Json(std::move(points));
+    }
+  }
+  return Json(Json::Object{{"series", Json(std::move(series_out))},
+                           {"ticks", Json(ticks)}});
+}
+
+}  // namespace obs
+}  // namespace autotune

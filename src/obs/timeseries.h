@@ -1,0 +1,134 @@
+#ifndef AUTOTUNE_OBS_TIMESERIES_H_
+#define AUTOTUNE_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace autotune {
+namespace obs {
+
+/// One retained sample: wall-clock timestamp (epoch ms, from the
+/// `NowEpochMs` shim) and the sampled value.
+struct SamplePoint {
+  int64_t ts_ms = 0;
+  double value = 0.0;
+};
+
+/// Fixed-memory in-process time-series store: a bounded ring buffer per
+/// series, filled by periodically sampling a `MetricsRegistry` snapshot.
+///
+/// Sampling rules (one series per scalar the dashboard can draw):
+///   counter `c`     -> series `c`, value = delta since the previous tick.
+///                      The first sight of a counter only primes the delta
+///                      baseline (no point emitted), so a counter that is
+///                      already at 10^6 when sampling starts does not show
+///                      a phantom spike.
+///   gauge `g`       -> series `g`, value as-is.
+///   histogram `h`   -> series `h.p50` and `h.p99` (the registry's
+///                      interpolated quantile estimates, cumulative since
+///                      process start) plus `h.count` as a per-tick delta.
+///
+/// Memory is strictly bounded: at most `max_series` series of
+/// `samples_per_series` points each. A full ring overwrites its oldest
+/// point and counts the loss in the `obs.timeseries.samples_dropped`
+/// counter (retention math: docs/OBSERVABILITY.md); a full series table
+/// drops NEW series and counts them in `obs.timeseries.series_dropped`.
+///
+/// Wall-clock sampling lives strictly OUTSIDE the bit-exact journal: the
+/// store is diagnostic state, never tuning state (the PR 5 precedent of
+/// keeping non-deterministic latency payloads out of replayed history).
+///
+/// Thread-safety: all methods are safe from any thread (one leaf mutex; no
+/// callbacks run under it).
+class TimeSeriesStore {
+ public:
+  struct Options {
+    /// Ring capacity per series (how many ticks of history survive).
+    size_t samples_per_series = 600;
+    /// Upper bound on distinct series (fixed-memory guarantee).
+    size_t max_series = 4096;
+  };
+
+  explicit TimeSeriesStore(Options options);
+  TimeSeriesStore() : TimeSeriesStore(Options()) {}
+
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  /// Takes one sample of `registry` (see the class comment for the
+  /// per-kind rules), stamped `now_ms`. Typically called on a sampler tick
+  /// thread; scrapes may run concurrently.
+  void Sample(const MetricsRegistry& registry, int64_t now_ms)
+      EXCLUDES(mutex_);
+
+  /// Appends one point to `name` directly (tests; derived series).
+  void Push(const std::string& name, int64_t ts_ms, double value)
+      EXCLUDES(mutex_);
+
+  /// Points of `name` with `ts_ms >= now_ms - window_ms`, oldest first.
+  /// `window_ms <= 0` returns the full retained ring. Unknown series ->
+  /// empty.
+  std::vector<SamplePoint> Query(const std::string& name, int64_t window_ms,
+                                 int64_t now_ms) const EXCLUDES(mutex_);
+
+  /// True if the series exists (has ever stored a point).
+  bool Has(const std::string& name) const EXCLUDES(mutex_);
+
+  /// All series names, sorted.
+  std::vector<std::string> Names() const EXCLUDES(mutex_);
+
+  size_t num_series() const EXCLUDES(mutex_);
+  int64_t ticks() const EXCLUDES(mutex_);
+
+  /// {"series": {name: [{"ts_ms":..., "value":...}, ...]}, "ticks": N}
+  /// restricted to `window_ms` (<= 0 = everything) — the
+  /// GET /metrics/history payload. When `name` is non-empty only that
+  /// series is included (NotFound when it does not exist).
+  [[nodiscard]] Result<Json> HistoryJson(const std::string& name,
+                                         int64_t window_ms,
+                                         int64_t now_ms) const
+      EXCLUDES(mutex_);
+
+  const Options& options() const { return options_; }
+
+ private:
+  /// Bounded ring of points plus the delta baseline for counter series.
+  struct Series {
+    std::vector<SamplePoint> ring;  ///< capacity = samples_per_series.
+    size_t head = 0;                ///< Index of the OLDEST point.
+    size_t size = 0;
+    double last_cumulative = 0.0;  ///< Counter delta baseline.
+    bool primed = false;           ///< Counter baseline captured.
+  };
+
+  void PushLocked(const std::string& name, int64_t ts_ms, double value)
+      REQUIRES(mutex_);
+  /// Counter-style ingestion: emits the delta vs the stored baseline (and
+  /// primes silently on first sight).
+  void PushDeltaLocked(const std::string& name, int64_t ts_ms,
+                       double cumulative) REQUIRES(mutex_);
+  /// nullptr when the series table is full and `name` is new.
+  Series* FindOrCreateLocked(const std::string& name) REQUIRES(mutex_);
+  std::vector<SamplePoint> SnapshotLocked(const Series& series,
+                                          int64_t min_ts_ms) const
+      REQUIRES(mutex_);
+
+  const Options options_;
+
+  mutable Mutex mutex_{"obs.timeseries"};
+  std::map<std::string, Series> series_ GUARDED_BY(mutex_);
+  int64_t ticks_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace obs
+}  // namespace autotune
+
+#endif  // AUTOTUNE_OBS_TIMESERIES_H_

@@ -203,12 +203,16 @@ ControlPlane::ControlPlane(ExperimentManager* manager, SpecFactory make_spec,
 }
 
 ControlPlane::~ControlPlane() {
+  bool announced = false;
   {
     MutexLock lock(mutex_);
     stopping_ = true;
+    announced = announce_port_ > 0;
   }
   cv_.notify_all();
   if (tick_thread_.joinable()) tick_thread_.join();
+  // Clean shutdown retires the endpoint row; a crash leaves it to go stale.
+  if (announced) ::unlink(ShardPath().c_str());
 }
 
 std::string ControlPlane::SpecPath(const std::string& name) const {
@@ -217,6 +221,75 @@ std::string ControlPlane::SpecPath(const std::string& name) const {
 
 std::string ControlPlane::LeasePath(const std::string& name) const {
   return options_.journal_dir + "/" + name + ".lease.json";
+}
+
+std::string ControlPlane::ShardPath() const {
+  return options_.journal_dir + "/" + options_.shard_id + ".shard.json";
+}
+
+void ControlPlane::AnnounceEndpoint(const std::string& host, int port) {
+  {
+    MutexLock lock(mutex_);
+    announce_host_ = host;
+    announce_port_ = port;
+  }
+  HeartbeatShardFile();
+}
+
+void ControlPlane::HeartbeatShardFile() {
+  std::string host;
+  int port = 0;
+  {
+    MutexLock lock(mutex_);
+    host = announce_host_;
+    port = announce_port_;
+  }
+  if (port <= 0) return;
+  const Json body(Json::Object{{"shard_id", Json(options_.shard_id)},
+                               {"host", Json(host)},
+                               {"port", Json(int64_t{port})},
+                               {"ts_ms", Json(NowMs())}});
+  const Status wrote =
+      WriteFileAtomic(ShardPath(), options_.shard_id, body.Dump() + "\n");
+  if (!wrote.ok()) {
+    AUTOTUNE_LOG(kWarning) << "control plane: cannot heartbeat shard file: "
+                           << wrote.message();
+  }
+}
+
+std::vector<ControlPlane::ShardInfo> ControlPlane::ListShards(
+    const std::string& dir) {
+  std::vector<ShardInfo> shards;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return shards;
+  const std::string suffix = ".shard.json";
+  while (struct dirent* entry = ::readdir(handle)) {
+    const std::string file = entry->d_name;
+    if (file.size() <= suffix.size() ||
+        file.compare(file.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const Result<std::string> text = obs::ReadJournalText(dir + "/" + file);
+    if (!text.ok()) continue;
+    const Result<Json> parsed = Json::Parse(*text);
+    if (!parsed.ok() || !parsed->is_object()) continue;
+    ShardInfo info;
+    info.shard_id = parsed->GetString("shard_id", "");
+    info.host = parsed->GetString("host", "");
+    info.port = static_cast<int>(parsed->GetInt("port", 0));
+    info.ts_ms = parsed->GetInt("ts_ms", 0);
+    if (info.shard_id.empty() || info.host.empty() || info.port <= 0) {
+      continue;
+    }
+    shards.push_back(std::move(info));
+  }
+  ::closedir(handle);
+  std::sort(shards.begin(), shards.end(),
+            [](const ShardInfo& a, const ShardInfo& b) {
+              return a.shard_id < b.shard_id;
+            });
+  return shards;
 }
 
 Status ControlPlane::Admit(const std::string& body) {
@@ -502,6 +575,7 @@ ControlPlane::TickReport ControlPlane::TickOnce() {
   const Result<int> adopted = RecoverAll();
   if (adopted.ok()) report.adopted = *adopted;
 
+  HeartbeatShardFile();
   manager_->EnforceExpiry();
   return report;
 }

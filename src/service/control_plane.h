@@ -49,6 +49,16 @@ namespace service {
 /// registry bookkeeping — never across file I/O or manager calls.
 class ControlPlane {
  public:
+  /// One row of the shard endpoint registry (`<shard_id>.shard.json`):
+  /// where a shard's HTTP endpoint lives, and when it last heartbeated.
+  /// A shard that died without cleanup leaves its file behind with an aging
+  /// `ts_ms` — the fleet view renders it as stale rather than erroring.
+  struct ShardInfo {
+    std::string shard_id;
+    std::string host;
+    int port = 0;
+    int64_t ts_ms = 0;  ///< Last heartbeat (epoch ms).
+  };
   /// Builds an `ExperimentSpec` from a raw spec key/value map (the same
   /// keys as the CLI `--experiment` spec string, e.g. name/weight/seed/
   /// cost_budget/deadline_ms/warmstart). The control plane owns
@@ -125,6 +135,18 @@ class ControlPlane {
   /// Names of tenants this shard currently operates (sorted).
   std::vector<std::string> OwnedTenants() const EXCLUDES(mutex_);
 
+  /// Publishes this shard's HTTP endpoint into the registry
+  /// (`<shard_id>.shard.json`, tmp + rename). Called by `serve` AFTER the
+  /// HTTP server is up (the port is only known then); the tick thread
+  /// re-stamps the heartbeat from then on, and a clean shutdown removes the
+  /// file. A kill -9 leaves it behind with an aging ts_ms — exactly the
+  /// "stale shard" signal /fleet/statusz renders.
+  void AnnounceEndpoint(const std::string& host, int port) EXCLUDES(mutex_);
+
+  /// Reads every `*.shard.json` in `dir` (sorted by shard id). Malformed
+  /// files are skipped — discovery must degrade, not fail.
+  static std::vector<ShardInfo> ListShards(const std::string& dir);
+
   const Options& options() const { return options_; }
 
  private:
@@ -166,8 +188,13 @@ class ControlPlane {
 
   void TickLoop();
 
+  /// Re-writes `<shard_id>.shard.json` with a fresh heartbeat if
+  /// `AnnounceEndpoint` has been called (every tick).
+  void HeartbeatShardFile() EXCLUDES(mutex_);
+
   std::string SpecPath(const std::string& name) const;
   std::string LeasePath(const std::string& name) const;
+  std::string ShardPath() const;
 
   ExperimentManager* manager_;
   SpecFactory make_spec_;
@@ -179,6 +206,10 @@ class ControlPlane {
   std::condition_variable cv_;
   std::map<std::string, Tenant> tenants_ GUARDED_BY(mutex_);
   bool stopping_ GUARDED_BY(mutex_) = false;
+
+  /// HTTP endpoint published via AnnounceEndpoint ("" / 0 = not announced).
+  std::string announce_host_ GUARDED_BY(mutex_);
+  int announce_port_ GUARDED_BY(mutex_) = 0;
 
   std::thread tick_thread_;
 };

@@ -6,9 +6,11 @@
 #include <utility>
 #include <vector>
 
+#include "obs/journal.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
+#include "service/statusz.h"
 #include "transfer/knowledge_base.h"
 
 namespace autotune {
@@ -121,8 +123,9 @@ HttpResponse HandleWarmStart(const HttpRequest& request,
 
 HttpServer::Handler MakeServiceHandler(ExperimentManager* manager,
                                        const kb::KnowledgeStore* store,
-                                       ControlPlane* control) {
-  return [manager, store, control](const HttpRequest& request) {
+                                       ControlPlane* control,
+                                       FleetMonitor* monitor) {
+  return [manager, store, control, monitor](const HttpRequest& request) {
     const std::string& path = request.path;
     HttpResponse response;
 
@@ -174,6 +177,66 @@ HttpServer::Handler MakeServiceHandler(ExperimentManager* manager,
       // Content-Type lets strict scrapers parse without content sniffing.
       response.content_type = "text/plain; version=0.0.4; charset=utf-8";
       response.body = obs::RenderPrometheus(obs::MetricsRegistry::Global());
+    } else if (path == "/metrics/history") {
+      if (monitor == nullptr) {
+        return JsonError(404,
+                         "no fleet monitor attached (serve --health-tick-ms "
+                         "enables retained metric history)");
+      }
+      const std::map<std::string, std::string> params =
+          request.QueryParams();
+      const auto name_it = params.find("name");
+      const std::string name =
+          name_it != params.end() ? name_it->second : "";
+      int64_t window_ms = monitor->options().window_ms;
+      const auto window_it = params.find("window");
+      if (window_it != params.end()) {
+        window_ms = std::atoll(window_it->second.c_str());
+        if (window_ms <= 0) {
+          return JsonError(400, "window must be a positive ms count");
+        }
+      }
+      const Result<obs::Json> history =
+          monitor->store().HistoryJson(name, window_ms, obs::NowEpochMs());
+      if (!history.ok()) {
+        return JsonError(HttpStatusFor(history.status()),
+                         history.status().message());
+      }
+      response.content_type = "application/json";
+      response.body = history->Dump() + "\n";
+    } else if (path == "/alerts") {
+      if (monitor == nullptr) {
+        return JsonError(404, "no fleet monitor attached");
+      }
+      response.content_type = "application/json";
+      response.body = monitor->health().ToJson().Pretty() + "\n";
+    } else if (path == "/statusz" || path == "/statusz.json") {
+      const std::string shard_id =
+          control != nullptr ? control->options().shard_id : "local";
+      const int64_t now_ms = obs::NowEpochMs();
+      const obs::Json local =
+          LocalStatuszJson(manager, monitor, shard_id, now_ms);
+      if (path == "/statusz.json") {
+        response.content_type = "application/json";
+        response.body = local.Pretty() + "\n";
+      } else {
+        response.content_type = "text/html; charset=utf-8";
+        response.body = RenderStatuszHtml(local, now_ms);
+      }
+    } else if (path == "/fleet/statusz" || path == "/fleet/alerts") {
+      // Peers are fetched over HTTP with per-peer timeouts; the own shard
+      // is served from local state (self-HTTP would deadlock the accept
+      // thread).
+      const int64_t now_ms = obs::NowEpochMs();
+      const std::vector<FleetShard> shards =
+          GatherFleet(manager, monitor, control, now_ms);
+      if (path == "/fleet/alerts") {
+        response.content_type = "application/json";
+        response.body = FleetAlertsJson(shards).Pretty() + "\n";
+      } else {
+        response.content_type = "text/html; charset=utf-8";
+        response.body = RenderFleetHtml(shards, now_ms);
+      }
     } else if (path == "/experiments") {
       if (manager == nullptr) {
         return JsonError(404, "no experiment manager attached");
@@ -209,8 +272,9 @@ HttpServer::Handler MakeServiceHandler(ExperimentManager* manager,
     } else {
       response.status = 404;
       response.body =
-          "not found (try /metrics, /experiments, "
-          "/experiments/<name>/trials, /warmstart, /healthz)\n";
+          "not found (try /metrics, /metrics/history, /experiments, "
+          "/experiments/<name>/trials, /warmstart, /alerts, /statusz, "
+          "/fleet/statusz, /fleet/alerts, /healthz)\n";
     }
     return response;
   };

@@ -4,6 +4,7 @@
 #include "kb/knowledge_store.h"
 #include "service/control_plane.h"
 #include "service/experiment_manager.h"
+#include "service/fleet.h"
 #include "service/http_server.h"
 
 namespace autotune {
@@ -38,16 +39,40 @@ namespace service {
 ///                                    (standard workload name); optional
 ///                                    `k`, `good`, `quantile`. 404 when no
 ///                                    store is attached, 400 on bad params.
+///   GET /metrics/history             retained metric history from the
+///                                    fleet monitor's time-series store
+///                                    (`TimeSeriesStore::HistoryJson`).
+///                                    Query params: `name` (one series;
+///                                    default all), `window` (ms; default
+///                                    the monitor window). 404 when no
+///                                    monitor is attached or the series is
+///                                    unknown.
+///   GET /alerts                      health-engine alert states
+///                                    (`HealthEngine::ToJson`), pretty JSON
+///   GET /statusz                     dependency-free HTML dashboard for
+///                                    THIS shard (tenant table with health
+///                                    badges, firing alerts, inline SVG
+///                                    sparklines)
+///   GET /statusz.json                the machine-readable /statusz payload
+///                                    (what /fleet/* fetches from peers)
+///   GET /fleet/statusz               aggregated HTML view across every
+///                                    shard in the registry directory;
+///                                    unreachable shards render stale
+///   GET /fleet/alerts                fleet-wide firing alerts, JSON
 ///   GET /healthz                     "ok"
 /// JSON routes always answer with Content-Type application/json, including
 /// their 404s. `manager` may be null (metrics-only endpoint), `store` may
-/// be null (no knowledge base), and `control` may be null (static tenant
-/// set: POST/DELETE answer 404 explaining how to enable the control
-/// plane); all must outlive the HttpServer the handler is installed on.
+/// be null (no knowledge base), `control` may be null (static tenant set:
+/// POST/DELETE answer 404 explaining how to enable the control plane, and
+/// /fleet/* degrades to a single-shard view), and `monitor` may be null
+/// (no retained history: /metrics/history and /alerts answer 404,
+/// /statusz renders without sparkline data); all must outlive the
+/// HttpServer the handler is installed on.
 HttpServer::Handler MakeServiceHandler(ExperimentManager* manager,
                                        const kb::KnowledgeStore* store =
                                            nullptr,
-                                       ControlPlane* control = nullptr);
+                                       ControlPlane* control = nullptr,
+                                       FleetMonitor* monitor = nullptr);
 
 }  // namespace service
 }  // namespace autotune

@@ -115,6 +115,8 @@ struct ExperimentStatus {
   bool resumed = false;
   int trials_run = 0;
   int replayed_trials = 0;
+  int failed_trials = 0;  ///< Trials whose observation came back failed.
+  int64_t faults = 0;     ///< Runner retries + timeouts (fault injections).
   double total_cost = 0.0;
   std::optional<double> best_objective;
   bool degraded = false;
@@ -122,7 +124,8 @@ struct ExperimentStatus {
   int warm_samples = 0;       ///< How many observations the replay added.
   double cost_budget =
       std::numeric_limits<double>::infinity();  ///< Spec budget (inf = none).
-  int64_t deadline_ms = 0;  ///< Spec deadline (0 = none).
+  int64_t deadline_ms = 0;     ///< Spec deadline (0 = none).
+  int64_t deadline_at_ms = 0;  ///< Absolute deadline (epoch ms; 0 = none).
   std::string message;
 };
 

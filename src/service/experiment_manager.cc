@@ -486,6 +486,8 @@ obs::Json ExperimentManager::StatusJson() const {
           {"resumed", status.resumed},
           {"trials_run", status.trials_run},
           {"replayed_trials", status.replayed_trials},
+          {"failed_trials", status.failed_trials},
+          {"faults", status.faults},
           {"total_cost", status.total_cost},
           {"degraded", status.degraded},
           {"warm_started", status.warm_started},
@@ -717,6 +719,8 @@ void ExperimentManager::SyncProgressLocked(Experiment* e) {
   e->loop_done = e->loop->done();
   e->trials_run = e->loop->trials_run();
   e->replayed_trials = e->loop->replayed_trials();
+  e->failed_trials = e->loop->failed_trials();
+  e->faults = e->runner->total_retries() + e->runner->total_timeouts();
   e->total_cost = e->loop->total_cost();
   e->best_objective = e->loop->best_objective();
 }
@@ -732,6 +736,8 @@ ExperimentStatus ExperimentManager::StatusOfLocked(
   status.resumed = e.resumed;
   status.trials_run = e.trials_run;
   status.replayed_trials = e.replayed_trials;
+  status.failed_trials = e.failed_trials;
+  status.faults = e.faults;
   status.total_cost = e.total_cost;
   status.best_objective = e.best_objective;
   status.degraded = e.degraded;
@@ -739,6 +745,7 @@ ExperimentStatus ExperimentManager::StatusOfLocked(
   status.warm_samples = e.warm_samples;
   status.cost_budget = e.spec.cost_budget;
   status.deadline_ms = e.spec.deadline_ms;
+  status.deadline_at_ms = e.deadline_at_ms;
   status.message = e.message;
   return status;
 }

@@ -188,6 +188,8 @@ class ExperimentManager {
     bool loop_done = false;
     int trials_run = 0;
     int replayed_trials = 0;
+    int failed_trials = 0;
+    int64_t faults = 0;  ///< Runner retries + timeouts.
     double total_cost = 0.0;
     std::optional<double> best_objective;
     bool degraded = false;

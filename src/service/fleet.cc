@@ -1,0 +1,224 @@
+#include "service/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace autotune {
+namespace service {
+
+namespace {
+
+bool IsActive(ExperimentState state) {
+  return state == ExperimentState::kRunning ||
+         state == ExperimentState::kPaused;
+}
+
+}  // namespace
+
+FleetMonitor::FleetMonitor(ExperimentManager* manager, Options options)
+    : manager_(manager), options_(options), store_([&options]() {
+        // Size each ring to the rule window (plus slack for jitter): the
+        // retention the dashboard shows IS the window the rules see.
+        obs::TimeSeriesStore::Options store_options;
+        const int64_t tick = std::max<int64_t>(1, options.tick_ms);
+        store_options.samples_per_series = static_cast<size_t>(
+            std::max<int64_t>(60, 2 * options.window_ms / tick));
+        return store_options;
+      }()) {
+  // Eagerly create the counters the fleet rules watch: the store's counter
+  // sampling swallows a counter's first sighting (delta-baseline priming),
+  // so a lazily created counter's 0 -> 1 transition would never produce a
+  // point. Touching them here pins the baseline at their current value
+  // from the first tick, so the NEXT increment is a visible delta.
+  obs::MetricsRegistry::Global().GetCounter("journal.appends_fenced");
+  obs::MetricsRegistry::Global().GetCounter("control_plane.adopted");
+
+  // Fleet-wide rules live for the process; per-tenant rules are reconciled
+  // each tick.
+  obs::AlertRule fenced;
+  fenced.name = "fleet.fenced_appends";
+  fenced.severity = "critical";
+  fenced.description =
+      "journal appends rejected by the lease fence — a deposed shard is "
+      "still trying to write";
+  fenced.kind = obs::RuleKind::kRateOfChange;
+  fenced.series = "journal.appends_fenced";
+  fenced.threshold = 0.0;
+  fenced.window_ms = options_.window_ms;
+  fenced.for_ticks = 1;
+  health_.UpsertRule(fenced);
+
+  obs::AlertRule failover;
+  failover.name = "fleet.failover";
+  failover.severity = "critical";
+  failover.description =
+      "this shard adopted tenants from a dead or deposed peer (journal "
+      "fence enforced during takeover)";
+  failover.kind = obs::RuleKind::kRateOfChange;
+  failover.series = "control_plane.adopted";
+  failover.threshold = 0.0;
+  failover.window_ms = options_.window_ms;
+  failover.for_ticks = 1;
+  health_.UpsertRule(failover);
+
+  obs::AlertRule regression;
+  regression.name = "service.suggest_p99_regression";
+  regression.description =
+      "suggest p99 latency regressed vs its first-window baseline";
+  regression.kind = obs::RuleKind::kRegression;
+  regression.series = "span.loop.suggest.p99";
+  regression.threshold = options_.suggest_regression_factor;
+  regression.window_ms = options_.window_ms;
+  regression.for_ticks = 3;
+  health_.UpsertRule(regression);
+
+  if (options_.start_thread) {
+    tick_thread_ = std::thread([this]() { TickLoop(); });
+  }
+}
+
+FleetMonitor::~FleetMonitor() {
+  {
+    MutexLock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (tick_thread_.joinable()) tick_thread_.join();
+}
+
+void FleetMonitor::PublishTenantMetrics(
+    const std::vector<ExperimentStatus>& tenants) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  for (const ExperimentStatus& tenant : tenants) {
+    const std::string prefix = "tenant." + tenant.name + ".";
+    registry.SetGauge(prefix + "trials",
+                      static_cast<double>(tenant.trials_run));
+    registry.SetGauge(prefix + "cost", tenant.total_cost);
+    registry.SetGauge(prefix + "active", IsActive(tenant.state) ? 1.0 : 0.0);
+    if (tenant.best_objective.has_value()) {
+      registry.SetGauge(prefix + "best", *tenant.best_objective);
+    }
+    // Failed/fault counts mirror cumulative values; advance the registry
+    // counters by their delta so the store's counter sampling (per-tick
+    // deltas) sees real increments. GetCounter (not a conditional
+    // Increment) so the counter exists at 0 from the tenant's first tick —
+    // otherwise the store's first-sight priming would swallow the first
+    // spike along with the counter's creation.
+    obs::Counter* failed_counter = registry.GetCounter(prefix + "failed");
+    int64_t& failed = last_failed_[tenant.name];
+    if (tenant.failed_trials > failed) {
+      failed_counter->Increment(tenant.failed_trials - failed);
+    }
+    failed = tenant.failed_trials;
+    obs::Counter* faults_counter = registry.GetCounter(prefix + "faults");
+    int64_t& faults = last_faults_[tenant.name];
+    if (tenant.faults > faults) {
+      faults_counter->Increment(tenant.faults - faults);
+    }
+    faults = tenant.faults;
+  }
+}
+
+void FleetMonitor::ReconcileRules(
+    const std::vector<ExperimentStatus>& tenants) {
+  std::map<std::string, bool> seen;
+  for (const ExperimentStatus& tenant : tenants) {
+    seen[tenant.name] = true;
+    const std::string prefix = "tenant." + tenant.name + ".";
+
+    obs::AlertRule stall;
+    stall.name = prefix + "stall";
+    stall.description = "trial progress stalled while active";
+    stall.kind = obs::RuleKind::kStall;
+    stall.series = prefix + "trials";
+    stall.threshold = 0.0;
+    stall.window_ms = options_.window_ms;
+    stall.for_ticks = 3;
+    stall.gate_series = prefix + "active";
+    health_.UpsertRule(stall);
+
+    obs::AlertRule faults;
+    faults.name = prefix + "fault_spike";
+    faults.description = "runner retries/timeouts spiked";
+    faults.kind = obs::RuleKind::kRateOfChange;
+    faults.series = prefix + "faults";
+    faults.threshold = options_.fault_spike_threshold;
+    faults.window_ms = options_.window_ms;
+    faults.for_ticks = 2;
+    faults.gate_series = prefix + "active";
+    health_.UpsertRule(faults);
+
+    obs::AlertRule failures;
+    failures.name = prefix + "failure_spike";
+    failures.description = "failed-trial rate spiked";
+    failures.kind = obs::RuleKind::kRateOfChange;
+    failures.series = prefix + "failed";
+    failures.threshold = options_.failure_spike_threshold;
+    failures.window_ms = options_.window_ms;
+    failures.for_ticks = 2;
+    failures.gate_series = prefix + "active";
+    health_.UpsertRule(failures);
+
+    if (std::isfinite(tenant.cost_budget) && tenant.deadline_at_ms > 0) {
+      obs::AlertRule burn;
+      burn.name = prefix + "budget_burn";
+      burn.description =
+          "spend rate projects budget exhaustion before the deadline";
+      burn.kind = obs::RuleKind::kBudgetBurn;
+      burn.series = prefix + "cost";
+      burn.window_ms = options_.window_ms;
+      burn.for_ticks = 2;
+      burn.gate_series = prefix + "active";
+      burn.budget = tenant.cost_budget;
+      burn.deadline_at_ms = tenant.deadline_at_ms;
+      health_.UpsertRule(burn);
+    }
+  }
+  // Tenants reaped from the manager (evicted, abandoned) take their rules
+  // with them; a merely-terminal tenant keeps its rules so a firing alert
+  // can settle into "resolved" via the active gate first.
+  for (const auto& [name, unused] : known_tenants_) {
+    if (seen.count(name) == 0) {
+      health_.RemoveRulesWithPrefix("tenant." + name + ".");
+      last_failed_.erase(name);
+      last_faults_.erase(name);
+    }
+  }
+  known_tenants_ = std::move(seen);
+}
+
+void FleetMonitor::TickOnce(int64_t now_ms) {
+  // The tick's own cost lands in the span.fleet.tick histogram, so the
+  // sampler's overhead is itself observable (and benched by E31).
+  obs::Span tick_span("fleet.tick");
+  const std::vector<ExperimentStatus> tenants = manager_->Snapshot();
+  PublishTenantMetrics(tenants);
+  store_.Sample(obs::MetricsRegistry::Global(), now_ms);
+  ReconcileRules(tenants);
+  health_.Evaluate(store_, now_ms);
+  obs::MetricsRegistry::Global().SetGauge(
+      "alerts.firing", static_cast<double>(health_.FiringCount()));
+}
+
+void FleetMonitor::TickLoop() {
+  for (;;) {
+    {
+      CondVarLock lock(mutex_);
+      const bool stop = lock.WaitFor(
+          cv_, std::chrono::milliseconds(std::max<int64_t>(1,
+                                                           options_.tick_ms)),
+          [this]() REQUIRES(mutex_) { return stopping_; });
+      if (stop) return;
+    }
+    TickOnce(obs::NowEpochMs());
+  }
+}
+
+}  // namespace service
+}  // namespace autotune

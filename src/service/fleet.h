@@ -1,0 +1,119 @@
+#ifndef AUTOTUNE_SERVICE_FLEET_H_
+#define AUTOTUNE_SERVICE_FLEET_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/health.h"
+#include "obs/timeseries.h"
+#include "service/experiment_manager.h"
+
+namespace autotune {
+namespace service {
+
+/// The serve process's live health loop: a background tick that
+///   1. publishes per-tenant progress metrics into the global
+///      `MetricsRegistry` (`tenant.<name>.trials/cost/best/active` gauges,
+///      `tenant.<name>.failed/faults` counters),
+///   2. samples the registry into the in-process `TimeSeriesStore`
+///      (GET /metrics/history),
+///   3. reconciles the built-in per-tenant alert rules against the
+///      manager's current tenant set, and
+///   4. evaluates the `HealthEngine`, exporting the firing count as the
+///      `alerts.firing` gauge (`autotune_alerts_firing` in the Prometheus
+///      exposition, so external scrapers can page on it).
+///
+/// Built-in rules:
+///   tenant.<n>.stall        trial progress flat across the window while
+///                           the tenant is active
+///   tenant.<n>.fault_spike  runner retries+timeouts jumped in the window
+///   tenant.<n>.failure_spike failed trials jumped in the window
+///   tenant.<n>.budget_burn  windowed spend rate projects budget
+///                           exhaustion before the tenant's deadline
+///   service.suggest_p99_regression  span.loop.suggest p99 vs its first
+///                           window (frozen baseline)
+///   fleet.fenced_appends    journal.appends_fenced grew — a deposed shard
+///                           is still trying to write
+///   fleet.failover          control_plane.adopted grew — this shard
+///                           adopted a tenant from a dead/deposed peer
+///
+/// Everything here is wall-clock diagnostic state and stays strictly
+/// OUTSIDE the bit-exact journal (the sampler reads metrics, it never
+/// writes tuning state).
+///
+/// Lock order: the monitor mutex only guards the tick thread's shutdown
+/// flag; a tick takes the manager snapshot first, then the store/health
+/// leaf mutexes — the monitor mutex is never held across either.
+class FleetMonitor {
+ public:
+  struct Options {
+    /// Sampler/evaluation tick period.
+    int64_t tick_ms = 1000;
+    /// Rule window and the /statusz sparkline span. The store's per-series
+    /// ring is sized to hold `window_ms / tick_ms` samples (plus slack), so
+    /// retention ~= the window by construction.
+    int64_t window_ms = 60000;
+    /// Per-peer budget for /fleet/* fan-out fetches.
+    int64_t peer_timeout_ms = 1000;
+    /// Windowed fault / failed-trial counts that trip the spike rules.
+    double fault_spike_threshold = 8.0;
+    double failure_spike_threshold = 5.0;
+    /// Fire when suggest p99 exceeds this multiple of its first-window
+    /// baseline.
+    double suggest_regression_factor = 2.0;
+    /// Start the background tick thread. Tests drive `TickOnce` manually.
+    bool start_thread = true;
+  };
+
+  FleetMonitor(ExperimentManager* manager, Options options);
+  ~FleetMonitor();
+
+  FleetMonitor(const FleetMonitor&) = delete;
+  FleetMonitor& operator=(const FleetMonitor&) = delete;
+
+  /// One synchronous tick at `now_ms`: publish tenant metrics, sample,
+  /// reconcile rules, evaluate alerts. Only the tick thread may call this
+  /// while `start_thread` is on; tests construct with `start_thread=false`
+  /// and drive ticks manually.
+  void TickOnce(int64_t now_ms);
+
+  const obs::TimeSeriesStore& store() const { return store_; }
+  obs::HealthEngine& health() { return health_; }
+  const obs::HealthEngine& health() const { return health_; }
+  const Options& options() const { return options_; }
+
+ private:
+  void PublishTenantMetrics(const std::vector<ExperimentStatus>& tenants);
+  void ReconcileRules(const std::vector<ExperimentStatus>& tenants);
+  void TickLoop();
+
+  ExperimentManager* manager_;
+  const Options options_;
+
+  obs::TimeSeriesStore store_;
+  obs::HealthEngine health_;
+
+  /// Tick-private state (see TickOnce: exactly one ticking thread). Last
+  /// mirrored cumulative failed/fault counts per tenant, so the registry
+  /// counters advance by deltas, and the tenant set seen last tick (for
+  /// rule retirement).
+  std::map<std::string, int64_t> last_failed_;
+  std::map<std::string, int64_t> last_faults_;
+  std::map<std::string, bool> known_tenants_;
+
+  mutable Mutex mutex_{"service.fleet_monitor"};
+  std::condition_variable cv_;
+  bool stopping_ GUARDED_BY(mutex_) = false;
+
+  std::thread tick_thread_;
+};
+
+}  // namespace service
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SERVICE_FLEET_H_

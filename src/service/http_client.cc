@@ -1,0 +1,121 @@
+#include "service/http_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace autotune {
+namespace service {
+namespace {
+
+/// Closes `fd` on every exit path.
+struct FdCloser {
+  int fd;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Status ConnectWithTimeout(int fd, const sockaddr_in& addr,
+                          int64_t timeout_ms) {
+  // Non-blocking connect + poll: a plain connect() against a dropped-packet
+  // host blocks for the kernel's SYN retry budget (minutes), far past any
+  // per-peer deadline.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Status::Unavailable(std::string("connect: ") +
+                               std::strerror(errno));
+  }
+  if (rc != 0) {
+    pollfd pfd = {fd, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (rc == 0) return Status::Unavailable("connect timed out");
+    if (rc < 0) {
+      return Status::Unavailable(std::string("poll: ") +
+                                 std::strerror(errno));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      return Status::Unavailable(std::string("connect: ") +
+                                 std::strerror(err));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);  // Back to blocking for send/recv.
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<HttpClientResponse> HttpGet(const std::string& host, int port,
+                                   const std::string& path,
+                                   int64_t timeout_ms) {
+  if (timeout_ms <= 0) timeout_ms = 1000;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  FdCloser closer{fd};
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host '" + host +
+                                   "' (numeric IPv4 only)");
+  }
+  AUTOTUNE_RETURN_IF_ERROR(ConnectWithTimeout(fd, addr, timeout_ms));
+
+  timeval tv = {};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    return Status::Unavailable(std::string("send: ") + std::strerror(errno));
+  }
+
+  std::string raw;
+  char buffer[4096];
+  ssize_t got = 0;
+  while ((got = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    raw.append(buffer, static_cast<size_t>(got));
+  }
+  if (got < 0) {
+    return (errno == EAGAIN || errno == EWOULDBLOCK)
+               ? Status::Unavailable("read timed out")
+               : Status::Unavailable(std::string("recv: ") +
+                                     std::strerror(errno));
+  }
+
+  // "HTTP/1.0 200 OK\r\n<headers>\r\n\r\n<body>".
+  if (raw.compare(0, 5, "HTTP/") != 0) {
+    return Status::Internal("malformed response (no status line)");
+  }
+  const size_t space = raw.find(' ');
+  if (space == std::string::npos) {
+    return Status::Internal("malformed status line");
+  }
+  HttpClientResponse response;
+  response.status_code = std::atoi(raw.c_str() + space + 1);
+  const size_t blank = raw.find("\r\n\r\n");
+  response.body = blank == std::string::npos ? "" : raw.substr(blank + 4);
+  return response;
+}
+
+}  // namespace service
+}  // namespace autotune

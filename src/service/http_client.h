@@ -1,0 +1,36 @@
+#ifndef AUTOTUNE_SERVICE_HTTP_CLIENT_H_
+#define AUTOTUNE_SERVICE_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace autotune {
+namespace service {
+
+/// A parsed HTTP response from `HttpGet`.
+struct HttpClientResponse {
+  int status_code = 0;
+  std::string body;
+};
+
+/// Blocking one-shot HTTP/1.0 GET (Connection: close semantics — read until
+/// EOF, matching `HttpServer`). `timeout_ms` bounds EACH of connect and
+/// socket reads, so a hung peer costs at most ~2x the timeout, not forever.
+/// Errors (refused, timeout, malformed status line) come back as non-OK
+/// status — the fleet fan-out turns them into "stale", never a crash.
+///
+/// Never call this against the server running on the CURRENT thread: the
+/// HTTP server handles requests on its accept thread, so a handler fetching
+/// its own port would deadlock. Fleet endpoints serve local data directly
+/// and only fetch PEER shards.
+[[nodiscard]] Result<HttpClientResponse> HttpGet(const std::string& host,
+                                                 int port,
+                                                 const std::string& path,
+                                                 int64_t timeout_ms);
+
+}  // namespace service
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SERVICE_HTTP_CLIENT_H_

@@ -1,0 +1,409 @@
+#include "service/statusz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "service/http_client.h"
+
+namespace autotune {
+namespace service {
+
+namespace {
+
+using obs::Json;
+
+std::string HtmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatNumber(double value) {
+  char buf[64];
+  if (std::fabs(value - std::round(value)) < 1e-9 &&
+      std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(std::llround(value)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", value);
+  }
+  return buf;
+}
+
+/// [[ts, value], ...] (oldest first) -> a 120x28 inline SVG polyline. Even
+/// an empty series renders an (empty) sparkline slot, so pages always carry
+/// at least one <svg class="spark">.
+std::string Sparkline(const Json& points) {
+  std::string svg =
+      "<svg class=\"spark\" width=\"120\" height=\"28\" "
+      "viewBox=\"0 0 120 28\">";
+  if (points.is_array() && points.AsArray().size() >= 2) {
+    const auto& array = points.AsArray();
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    for (const Json& point : array) {
+      if (!point.is_array() || point.AsArray().size() != 2) continue;
+      const double v = point.AsArray()[1].AsDouble();
+      min = std::min(min, v);
+      max = std::max(max, v);
+    }
+    if (std::isfinite(min) && std::isfinite(max)) {
+      const double span = max > min ? max - min : 1.0;
+      std::string line;
+      const size_t n = array.size();
+      for (size_t i = 0; i < n; ++i) {
+        const Json& point = array[i];
+        if (!point.is_array() || point.AsArray().size() != 2) continue;
+        const double v = point.AsArray()[1].AsDouble();
+        const double x = n > 1 ? 120.0 * i / (n - 1) : 0.0;
+        const double y = 26.0 - 24.0 * (v - min) / span;
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.1f,%.1f ", x, y);
+        line += buf;
+      }
+      svg += "<polyline fill=\"none\" stroke=\"#36c\" stroke-width=\"1.5\" "
+             "points=\"" +
+             line + "\"/>";
+    }
+  }
+  svg += "</svg>";
+  return svg;
+}
+
+const char kStyle[] =
+    "<style>"
+    "body{font:14px/1.45 system-ui,sans-serif;margin:24px;color:#222}"
+    "h1{font-size:20px}h2{font-size:16px;margin-top:24px}"
+    "table{border-collapse:collapse}"
+    "td,th{border:1px solid #ccc;padding:4px 10px;text-align:left}"
+    "th{background:#f2f2f2}"
+    ".badge{display:inline-block;padding:1px 8px;border-radius:9px;"
+    "color:#fff;font-size:12px}"
+    ".ok{background:#2a2}.warn{background:#d90}.bad{background:#c33}"
+    ".stale{opacity:.5}"
+    ".meta{color:#777;font-size:12px}"
+    ".spark{vertical-align:middle}"
+    "</style>";
+
+/// Worst alert state among this tenant's rules -> badge markup.
+std::string TenantBadge(const Json& alerts, const std::string& tenant) {
+  const std::string prefix = "tenant." + tenant + ".";
+  bool firing = false;
+  bool pending = false;
+  const Result<Json> list = alerts.Get("alerts");
+  if (list.ok() && list->is_array()) {
+    for (const Json& alert : list->AsArray()) {
+      if (alert.GetString("name", "").rfind(prefix, 0) != 0) continue;
+      const std::string state = alert.GetString("state", "");
+      firing = firing || state == "firing";
+      pending = pending || state == "pending";
+    }
+  }
+  if (firing) return "<span class=\"badge bad\">alert</span>";
+  if (pending) return "<span class=\"badge warn\">pending</span>";
+  return "<span class=\"badge ok\">ok</span>";
+}
+
+void AppendAlertsSection(const Json& alerts, std::string* out) {
+  Json::Array firing;
+  const Result<Json> list = alerts.Get("alerts");
+  if (list.ok() && list->is_array()) {
+    for (const Json& alert : list->AsArray()) {
+      const std::string state = alert.GetString("state", "");
+      if (state == "firing" || state == "pending") {
+        firing.push_back(alert);
+      }
+    }
+  }
+  *out += "<h2>Alerts</h2>";
+  if (firing.empty()) {
+    *out += "<p>none firing</p>";
+    return;
+  }
+  *out +=
+      "<table><tr><th>alert</th><th>state</th><th>severity</th>"
+      "<th>detail</th></tr>";
+  for (const Json& alert : firing) {
+    const std::string state = alert.GetString("state", "");
+    const char* badge = state == "firing" ? "bad" : "warn";
+    *out += "<tr><td>" + HtmlEscape(alert.GetString("name", "")) +
+            "</td><td><span class=\"badge " + badge + "\">" +
+            HtmlEscape(state) + "</span></td><td>" +
+            HtmlEscape(alert.GetString("severity", "")) + "</td><td>" +
+            HtmlEscape(alert.GetString("detail", "")) + "</td></tr>";
+  }
+  *out += "</table>";
+}
+
+/// The per-shard body shared by /statusz and each /fleet/statusz section.
+void AppendShardBody(const Json& shard, std::string* out) {
+  const Result<Json> alerts_result = shard.Get("alerts");
+  const Json alerts =
+      alerts_result.ok() ? *alerts_result : Json(Json::Object{});
+  const Result<Json> sparks_result = shard.Get("sparklines");
+  const Json sparks =
+      sparks_result.ok() ? *sparks_result : Json(Json::Object{});
+
+  AppendAlertsSection(alerts, out);
+
+  *out += "<h2>Tenants</h2>";
+  const Result<Json> experiments = shard.Get("experiments");
+  if (!experiments.ok() || !experiments->is_array() ||
+      experiments->AsArray().empty()) {
+    *out += "<p>no tenants</p>";
+  } else {
+    *out +=
+        "<table><tr><th>tenant</th><th>health</th><th>state</th>"
+        "<th>trials</th><th>failed</th><th>faults</th><th>cost</th>"
+        "<th>best</th><th>trend</th></tr>";
+    for (const Json& tenant : experiments->AsArray()) {
+      const std::string name = tenant.GetString("name", "?");
+      const Result<Json> trend = sparks.Get("tenant." + name + ".trials");
+      *out += "<tr><td>" + HtmlEscape(name) + "</td><td>" +
+              TenantBadge(alerts, name) + "</td><td>" +
+              HtmlEscape(tenant.GetString("state", "?")) + "</td><td>" +
+              FormatNumber(tenant.GetDouble("trials_run", 0)) + "</td><td>" +
+              FormatNumber(tenant.GetDouble("failed_trials", 0)) +
+              "</td><td>" + FormatNumber(tenant.GetDouble("faults", 0)) +
+              "</td><td>" + FormatNumber(tenant.GetDouble("total_cost", 0)) +
+              "</td><td>" +
+              (tenant.Get("best_objective").ok()
+                   ? FormatNumber(tenant.GetDouble("best_objective", 0))
+                   : std::string("—")) +
+              "</td><td>" +
+              Sparkline(trend.ok() ? *trend : Json(Json::Array{})) +
+              "</td></tr>";
+    }
+    *out += "</table>";
+  }
+
+  const Result<Json> p99 = sparks.Get("span.loop.suggest.p99");
+  *out += "<h2>Suggest p99</h2>" +
+          Sparkline(p99.ok() ? *p99 : Json(Json::Array{}));
+}
+
+void SparkSeries(const obs::TimeSeriesStore& store, const std::string& name,
+                 int64_t window_ms, int64_t now_ms, Json::Object* out) {
+  Json::Array points;
+  for (const obs::SamplePoint& point : store.Query(name, window_ms, now_ms)) {
+    points.push_back(
+        Json(Json::Array{Json(point.ts_ms), Json(point.value)}));
+  }
+  (*out)[name] = Json(std::move(points));
+}
+
+}  // namespace
+
+Json LocalStatuszJson(ExperimentManager* manager, FleetMonitor* monitor,
+                      const std::string& shard_id, int64_t now_ms) {
+  Json::Object out{{"shard_id", Json(shard_id)}, {"now_ms", Json(now_ms)}};
+
+  Json::Array experiments;
+  if (manager != nullptr) {
+    const Result<Json> list = manager->StatusJson().Get("experiments");
+    if (list.ok() && list->is_array()) experiments = list->AsArray();
+  }
+
+  Json::Object sparklines;
+  if (monitor != nullptr) {
+    const int64_t window = monitor->options().window_ms;
+    SparkSeries(monitor->store(), "span.loop.suggest.p99", window, now_ms,
+                &sparklines);
+    for (const Json& tenant : experiments) {
+      const std::string name = tenant.GetString("name", "");
+      if (name.empty()) continue;
+      SparkSeries(monitor->store(), "tenant." + name + ".trials", window,
+                  now_ms, &sparklines);
+      SparkSeries(monitor->store(), "tenant." + name + ".cost", window,
+                  now_ms, &sparklines);
+    }
+    out["alerts"] = monitor->health().ToJson();
+  } else {
+    // No monitor: the key still exists so every page has a sparkline slot.
+    sparklines["span.loop.suggest.p99"] = Json(Json::Array{});
+    out["alerts"] = Json(Json::Object{{"alerts", Json(Json::Array{})},
+                                      {"firing", Json(int64_t{0})}});
+  }
+
+  out["experiments"] = Json(std::move(experiments));
+  out["sparklines"] = Json(std::move(sparklines));
+  return Json(std::move(out));
+}
+
+std::vector<FleetShard> GatherFleet(ExperimentManager* manager,
+                                    FleetMonitor* monitor,
+                                    ControlPlane* control, int64_t now_ms) {
+  std::vector<FleetShard> shards;
+  const std::string self_id =
+      control != nullptr ? control->options().shard_id : "local";
+
+  FleetShard self;
+  self.info.shard_id = self_id;
+  self.info.host = "127.0.0.1";
+  self.info.ts_ms = now_ms;
+  self.self = true;
+  // The own shard NEVER goes through HTTP (the handler runs on the accept
+  // thread; fetching our own port would deadlock it).
+  self.payload = LocalStatuszJson(manager, monitor, self_id, now_ms);
+
+  if (control == nullptr) {
+    shards.push_back(std::move(self));
+    return shards;
+  }
+
+  const int64_t lease_timeout = control->options().lease_timeout_ms;
+  const int64_t timeout_ms =
+      monitor != nullptr ? monitor->options().peer_timeout_ms : 1000;
+  for (ControlPlane::ShardInfo& info :
+       ControlPlane::ListShards(control->options().journal_dir)) {
+    if (info.shard_id == self_id) {
+      self.info = info;
+      continue;
+    }
+    FleetShard peer;
+    peer.info = std::move(info);
+    peer.stale = now_ms - peer.info.ts_ms > lease_timeout;
+    Result<HttpClientResponse> fetched = HttpGet(
+        peer.info.host, peer.info.port, "/statusz.json", timeout_ms);
+    if (fetched.ok() && fetched->status_code == 200) {
+      Result<Json> parsed = Json::Parse(fetched->body);
+      if (parsed.ok()) {
+        peer.payload = std::move(*parsed);
+      } else {
+        peer.stale = true;
+        peer.error = "unparseable /statusz.json";
+      }
+    } else {
+      peer.stale = true;
+      peer.error = fetched.ok() ? "HTTP " + std::to_string(
+                                               fetched->status_code)
+                                : std::string(fetched.status().message());
+    }
+    shards.push_back(std::move(peer));
+  }
+  shards.push_back(std::move(self));
+  std::sort(shards.begin(), shards.end(),
+            [](const FleetShard& a, const FleetShard& b) {
+              return a.info.shard_id < b.info.shard_id;
+            });
+  return shards;
+}
+
+Json FleetAlertsJson(const std::vector<FleetShard>& shards) {
+  Json::Array rows;
+  Json::Array firing_alerts;
+  int64_t firing_total = 0;
+  for (const FleetShard& shard : shards) {
+    int64_t firing = 0;
+    if (shard.payload.is_object()) {
+      const Result<Json> alerts = shard.payload.Get("alerts");
+      if (alerts.ok()) {
+        firing = alerts->GetInt("firing", 0);
+        const Result<Json> list = alerts->Get("alerts");
+        if (list.ok() && list->is_array()) {
+          for (const Json& alert : list->AsArray()) {
+            if (alert.GetString("state", "") != "firing") continue;
+            Json::Object annotated = alert.AsObject();
+            annotated["shard"] = Json(shard.info.shard_id);
+            firing_alerts.push_back(Json(std::move(annotated)));
+          }
+        }
+      }
+    }
+    firing_total += firing;
+    rows.push_back(Json(Json::Object{
+        {"shard_id", Json(shard.info.shard_id)},
+        {"self", Json(shard.self)},
+        {"stale", Json(shard.stale)},
+        {"error", Json(shard.error)},
+        {"firing", Json(firing)},
+    }));
+  }
+  return Json(Json::Object{{"shards", Json(std::move(rows))},
+                           {"alerts", Json(std::move(firing_alerts))},
+                           {"firing", Json(firing_total)}});
+}
+
+std::string RenderStatuszHtml(const Json& shard, int64_t now_ms) {
+  const std::string shard_id = shard.GetString("shard_id", "?");
+  std::string out = "<!doctype html><html><head><meta charset=\"utf-8\">";
+  out += "<title>autotune statusz</title>";
+  out += kStyle;
+  out += "</head><body><h1>autotune shard " + HtmlEscape(shard_id) +
+         "</h1><p class=\"meta\">now_ms " + std::to_string(now_ms) +
+         " &middot; <a href=\"/fleet/statusz\">fleet view</a> &middot; "
+         "<a href=\"/alerts\">alerts json</a></p>";
+  AppendShardBody(shard, &out);
+  out += "</body></html>\n";
+  return out;
+}
+
+std::string RenderFleetHtml(const std::vector<FleetShard>& shards,
+                            int64_t now_ms) {
+  std::string out = "<!doctype html><html><head><meta charset=\"utf-8\">";
+  out += "<title>autotune fleet</title>";
+  out += kStyle;
+  out += "</head><body><h1>autotune fleet</h1><p class=\"meta\">now_ms " +
+         std::to_string(now_ms) + " &middot; " +
+         std::to_string(shards.size()) + " shard(s)</p>";
+
+  out +=
+      "<h2>Shards</h2><table><tr><th>shard</th><th>status</th>"
+      "<th>endpoint</th><th>firing</th><th>note</th></tr>";
+  for (const FleetShard& shard : shards) {
+    int64_t firing = 0;
+    if (shard.payload.is_object()) {
+      const Result<Json> alerts = shard.payload.Get("alerts");
+      if (alerts.ok()) firing = alerts->GetInt("firing", 0);
+    }
+    const std::string status =
+        shard.stale ? "<span class=\"badge bad\">stale</span>"
+                    : "<span class=\"badge ok\">live</span>";
+    out += std::string("<tr") + (shard.stale ? " class=\"stale\"" : "") +
+           "><td>" + HtmlEscape(shard.info.shard_id) +
+           (shard.self ? " (self)" : "") + "</td><td>" + status +
+           "</td><td>" + HtmlEscape(shard.info.host) + ":" +
+           std::to_string(shard.info.port) + "</td><td>" +
+           std::to_string(firing) + "</td><td>" + HtmlEscape(shard.error) +
+           "</td></tr>";
+  }
+  out += "</table>";
+
+  for (const FleetShard& shard : shards) {
+    out += "<hr><h1" + std::string(shard.stale ? " class=\"stale\"" : "") +
+           ">shard " + HtmlEscape(shard.info.shard_id) +
+           (shard.stale ? " (stale)" : "") + "</h1>";
+    if (shard.payload.is_object()) {
+      AppendShardBody(shard.payload, &out);
+    } else {
+      out += "<p class=\"meta\">unreachable: " + HtmlEscape(shard.error) +
+             "</p>";
+    }
+  }
+  out += "</body></html>\n";
+  return out;
+}
+
+}  // namespace service
+}  // namespace autotune

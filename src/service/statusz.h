@@ -1,0 +1,66 @@
+#ifndef AUTOTUNE_SERVICE_STATUSZ_H_
+#define AUTOTUNE_SERVICE_STATUSZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "service/control_plane.h"
+#include "service/experiment_manager.h"
+#include "service/fleet.h"
+
+namespace autotune {
+namespace service {
+
+/// The machine-readable shard status (`GET /statusz.json`), which is also
+/// the payload /fleet/* fetches from each peer:
+///   {"shard_id", "now_ms", "experiments": [...], "alerts": {...},
+///    "sparklines": {series: [[ts_ms, value], ...]}}
+/// `experiments` is the manager's per-tenant status array; `alerts` is the
+/// health engine's ToJson; `sparklines` carries the suggest-p99 series plus
+/// each tenant's trials/cost series over the monitor window (always
+/// includes the suggest-p99 key, possibly empty, so every page renders at
+/// least one sparkline slot).
+obs::Json LocalStatuszJson(ExperimentManager* manager, FleetMonitor* monitor,
+                           const std::string& shard_id, int64_t now_ms);
+
+/// One shard's row in the fleet view.
+struct FleetShard {
+  ControlPlane::ShardInfo info;
+  bool self = false;
+  /// Heartbeat older than the lease timeout, or the fetch failed: the
+  /// shard is rendered stale (last-known data, dimmed) — never an error.
+  bool stale = false;
+  std::string error;    ///< Fetch failure detail ("" when reachable).
+  obs::Json payload;    ///< /statusz.json body (null JSON when unreachable).
+};
+
+/// Discovers peers from the control plane's registry directory and fetches
+/// each peer's /statusz.json over HTTP with a per-peer timeout. The OWN
+/// shard is served from local state — never over HTTP, which would
+/// deadlock the single accept thread. Unreachable/expired peers come back
+/// `stale`. With no control plane there is exactly one row: self.
+std::vector<FleetShard> GatherFleet(ExperimentManager* manager,
+                                    FleetMonitor* monitor,
+                                    ControlPlane* control, int64_t now_ms);
+
+/// {"shards": [{"shard_id", "stale", "self", "firing", ...}], "firing": N}
+/// — the /fleet/alerts payload (firing = fleet-wide total across
+/// reachable shards).
+obs::Json FleetAlertsJson(const std::vector<FleetShard>& shards);
+
+/// Dependency-free HTML dashboard for one shard (GET /statusz): tenant
+/// table with health badges, firing alerts, inline SVG sparklines.
+std::string RenderStatuszHtml(const obs::Json& shard, int64_t now_ms);
+
+/// The aggregated fleet dashboard (GET /fleet/statusz): shard summary
+/// table (stale shards dimmed) followed by each reachable shard's section.
+std::string RenderFleetHtml(const std::vector<FleetShard>& shards,
+                            int64_t now_ms);
+
+}  // namespace service
+}  // namespace autotune
+
+#endif  // AUTOTUNE_SERVICE_STATUSZ_H_

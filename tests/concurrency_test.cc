@@ -30,6 +30,9 @@
 #include "optimizers/random_search.h"
 #include "service/control_plane.h"
 #include "service/experiment_manager.h"
+#include "service/http_server.h"
+#include "service/fleet.h"
+#include "service/endpoints.h"
 #include "sim/test_functions.h"
 
 namespace autotune {
@@ -567,6 +570,103 @@ TEST(ConcurrencyTest, TraceSpansFromManyThreads) {
   EXPECT_EQ(total, kThreads * 50);
 }
 
+
+// The live-health loop's three-way race: the FleetMonitor's background
+// sampler tick (publish tenant metrics -> sample the registry -> reconcile
+// rules -> evaluate alerts) vs. HTTP scrapes reading the store/engine
+// through the endpoint handler vs. tenants being admitted and finishing
+// mid-window. TSan watches the store/engine/registry mutexes; the plain
+// build asserts the sampler actually retained history for late tenants.
+TEST(ConcurrencyTest, FleetMonitorSamplerScrapeAdmissionHammer) {
+  obs::MetricsRegistry::Global().Reset();
+  ThreadPool pool(4);
+  service::ExperimentManager manager(&pool);
+
+  service::FleetMonitor::Options options;
+  options.tick_ms = 2;  // Aggressive: many ticks inside the test window.
+  options.window_ms = 10000;
+  auto monitor = std::make_unique<service::FleetMonitor>(&manager, options);
+  const service::HttpServer::Handler handler =
+      service::MakeServiceHandler(&manager, nullptr, nullptr, monitor.get());
+
+  const auto spec_for = [](const std::string& name) {
+    service::ExperimentSpec spec;
+    spec.name = name;
+    spec.seed = 11;
+    spec.make_environment = []() {
+      return std::make_unique<sim::FunctionEnvironment>("sphere", 2,
+                                                        sim::Sphere);
+    };
+    spec.make_optimizer = [](const ConfigSpace* space, uint64_t seed) {
+      return std::make_unique<RandomSearch>(space, seed);
+    };
+    spec.loop_options.max_trials = 20;
+    spec.loop_options.snapshot_every = 0;
+    return spec;
+  };
+
+  // Admission: tenants appear while the sampler is already ticking.
+  std::thread admitter([&]() {
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(
+          manager.AddExperiment(spec_for("mon-" + std::to_string(i))).ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+  });
+
+  // Scrapes: everything a dashboard or Prometheus would hit, in a loop.
+  std::atomic<bool> done{false};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 3; ++t) {
+    scrapers.emplace_back([&, t]() {
+      int rounds = 0;
+      while (!done.load(std::memory_order_acquire) && rounds < 400) {
+        switch ((t + rounds) % 4) {
+          case 0:
+            EXPECT_EQ(handler({"/alerts", "", "GET", ""}).status, 200);
+            break;
+          case 1:
+            EXPECT_EQ(handler({"/statusz.json", "", "GET", ""}).status, 200);
+            break;
+          case 2:
+            EXPECT_EQ(handler({"/metrics/history", "", "GET", ""}).status,
+                      200);
+            break;
+          default:
+            EXPECT_EQ(handler({"/metrics", "", "GET", ""}).status, 200);
+            break;
+        }
+        ++rounds;
+      }
+    });
+  }
+
+  admitter.join();
+  manager.WaitAll();
+  done.store(true, std::memory_order_release);
+  for (auto& scraper : scrapers) scraper.join();
+
+  // The sampler retains history even for the tenants admitted last. Poll
+  // with a generous deadline instead of a fixed settle: under TSan a
+  // contended tick can take tens of milliseconds, so asserting right
+  // after WaitAll races the tick thread's next pass.
+  for (int attempt = 0;
+       attempt < 2000 && !(monitor->store().Has("tenant.mon-0.trials") &&
+                           monitor->store().Has("tenant.mon-5.trials") &&
+                           monitor->store().ticks() >= 2 &&
+                           monitor->health().HasRule("tenant.mon-5.stall"));
+       ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(monitor->store().Has("tenant.mon-0.trials"));
+  EXPECT_TRUE(monitor->store().Has("tenant.mon-5.trials"));
+  EXPECT_GE(monitor->store().ticks(), 2);
+  EXPECT_TRUE(monitor->health().HasRule("tenant.mon-5.stall"));
+  // Join the tick thread BEFORE Reset: Reset frees the gauge objects the
+  // tick's SetGauge writes through.
+  monitor.reset();
+  obs::MetricsRegistry::Global().Reset();
+}
 
 #ifdef AUTOTUNE_DEADLOCK_CHECK
 

@@ -1,0 +1,428 @@
+// Live-health layer: the fixed-memory time-series store (sampling rules,
+// ring overwrite accounting) and the declarative alert engine (rule kinds,
+// the pending -> firing -> resolved state machine, hysteresis at the
+// boundaries). Everything here drives the clock by hand — no wall-clock
+// sleeps, no tick threads.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace autotune {
+namespace {
+
+using obs::AlertRule;
+using obs::AlertState;
+using obs::AlertStatus;
+using obs::HealthEngine;
+using obs::Json;
+using obs::MetricsRegistry;
+using obs::RuleCompare;
+using obs::RuleKind;
+using obs::SamplePoint;
+using obs::TimeSeriesStore;
+
+AlertStatus StatusOf(const HealthEngine& engine, const std::string& name) {
+  for (const AlertStatus& status : engine.Alerts()) {
+    if (status.rule.name == name) return status;
+  }
+  ADD_FAILURE() << "no alert named " << name;
+  return AlertStatus{};
+}
+
+// ---------------------------------------------------------- time series --
+
+TEST(TimeSeriesTest, SamplesCountersAsDeltasAndGaugesAsValues) {
+  MetricsRegistry registry;
+  TimeSeriesStore store;
+
+  registry.Increment("requests", 10);
+  registry.SetGauge("queue_depth", 3.0);
+  store.Sample(registry, 1000);  // First sight primes the counter baseline.
+
+  registry.Increment("requests", 7);
+  registry.SetGauge("queue_depth", 5.0);
+  store.Sample(registry, 2000);
+
+  // The counter series holds deltas and skipped the priming tick (no
+  // phantom +10 spike from the pre-existing total).
+  const std::vector<SamplePoint> requests = store.Query("requests", 0, 2000);
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0].ts_ms, 2000);
+  EXPECT_DOUBLE_EQ(requests[0].value, 7.0);
+
+  // The gauge series holds raw values from the first tick on.
+  const std::vector<SamplePoint> depth = store.Query("queue_depth", 0, 2000);
+  ASSERT_EQ(depth.size(), 2u);
+  EXPECT_DOUBLE_EQ(depth[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(depth[1].value, 5.0);
+}
+
+TEST(TimeSeriesTest, SamplesHistogramsAsQuantilesAndCountDeltas) {
+  MetricsRegistry registry;
+  TimeSeriesStore store;
+  for (int i = 1; i <= 100; ++i) {
+    registry.GetHistogram("latency")->Record(static_cast<double>(i));
+  }
+  store.Sample(registry, 1000);
+  registry.GetHistogram("latency")->Record(1.0);
+  store.Sample(registry, 2000);
+
+  EXPECT_TRUE(store.Has("latency.p50"));
+  EXPECT_TRUE(store.Has("latency.p99"));
+  // Quantiles are values (present from tick one) ...
+  EXPECT_EQ(store.Query("latency.p50", 0, 2000).size(), 2u);
+  // ... the count is a delta (primed on tick one, so one point).
+  const std::vector<SamplePoint> count =
+      store.Query("latency.count", 0, 2000);
+  ASSERT_EQ(count.size(), 1u);
+  EXPECT_DOUBLE_EQ(count[0].value, 1.0);
+}
+
+TEST(TimeSeriesTest, WindowQueryClipsOldPoints) {
+  TimeSeriesStore store;
+  for (int64_t t = 1; t <= 10; ++t) store.Push("s", t * 1000, double(t));
+  EXPECT_EQ(store.Query("s", 0, 10000).size(), 10u);        // Everything.
+  EXPECT_EQ(store.Query("s", 3000, 10000).size(), 4u);      // >= 7000.
+  EXPECT_TRUE(store.Query("missing", 0, 10000).empty());
+}
+
+TEST(TimeSeriesTest, RingOverwriteCountsSamplesDropped) {
+  MetricsRegistry& global = MetricsRegistry::Global();
+  global.Reset();
+  TimeSeriesStore::Options options;
+  options.samples_per_series = 4;
+  TimeSeriesStore store(options);
+
+  for (int64_t t = 1; t <= 4; ++t) store.Push("s", t, double(t));
+  EXPECT_EQ(global.GetCounter("obs.timeseries.samples_dropped")->value(), 0);
+
+  // Two more pushes overwrite the two oldest points — counted, not silent.
+  store.Push("s", 5, 5.0);
+  store.Push("s", 6, 6.0);
+  EXPECT_EQ(global.GetCounter("obs.timeseries.samples_dropped")->value(), 2);
+
+  // The ring kept the NEWEST four, oldest first.
+  const std::vector<SamplePoint> points = store.Query("s", 0, 6);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points.front().ts_ms, 3);
+  EXPECT_EQ(points.back().ts_ms, 6);
+  global.Reset();
+}
+
+TEST(TimeSeriesTest, SeriesTableIsBounded) {
+  MetricsRegistry& global = MetricsRegistry::Global();
+  global.Reset();
+  TimeSeriesStore::Options options;
+  options.max_series = 2;
+  TimeSeriesStore store(options);
+  store.Push("a", 1, 1.0);
+  store.Push("b", 1, 1.0);
+  store.Push("c", 1, 1.0);  // Dropped: table full.
+  EXPECT_EQ(store.num_series(), 2u);
+  EXPECT_FALSE(store.Has("c"));
+  EXPECT_EQ(global.GetCounter("obs.timeseries.series_dropped")->value(), 1);
+  global.Reset();
+}
+
+TEST(TimeSeriesTest, HistoryJsonFiltersByNameAndWindow) {
+  TimeSeriesStore store;
+  store.Push("x", 1000, 1.0);
+  store.Push("x", 2000, 2.0);
+  store.Push("y", 2000, 9.0);
+
+  const Result<Json> all = store.HistoryJson("", 0, 2000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->Get("series")->AsObject().size(), 2u);
+
+  const Result<Json> just_x = store.HistoryJson("x", 500, 2000);
+  ASSERT_TRUE(just_x.ok());
+  // Copy: Get returns Result<Json> by value, so a reference through the
+  // temporary would dangle past this statement.
+  const Json series = *just_x->Get("series");
+  EXPECT_EQ(series.AsObject().size(), 1u);
+  EXPECT_EQ(series.Get("x")->AsArray().size(), 1u);  // 1000 clipped.
+
+  EXPECT_FALSE(store.HistoryJson("missing", 0, 2000).ok());
+}
+
+// --------------------------------------------------------- health engine --
+
+AlertRule ThresholdRule(const std::string& name, const std::string& series,
+                        double threshold, int for_ticks) {
+  AlertRule rule;
+  rule.name = name;
+  rule.kind = RuleKind::kThreshold;
+  rule.series = series;
+  rule.threshold = threshold;
+  rule.window_ms = 60000;
+  rule.for_ticks = for_ticks;
+  return rule;
+}
+
+TEST(HealthEngineTest, EvaluateOnEmptyStoreIsInactive) {
+  TimeSeriesStore store;
+  HealthEngine engine;
+  engine.UpsertRule(ThresholdRule("hot", "temp", 10.0, 1));
+  engine.Evaluate(store, 1000);
+  EXPECT_EQ(StatusOf(engine, "hot").state, AlertState::kInactive);
+  EXPECT_EQ(engine.FiringCount(), 0);
+}
+
+TEST(HealthEngineTest, HysteresisHoldsForKTicksBeforeFiring) {
+  TimeSeriesStore store;
+  HealthEngine engine;
+  engine.UpsertRule(ThresholdRule("hot", "temp", 10.0, 3));
+
+  // A single hot tick followed by a cool one FLAPS back to inactive — it
+  // never reaches firing.
+  store.Push("temp", 1000, 50.0);
+  engine.Evaluate(store, 1000);
+  EXPECT_EQ(StatusOf(engine, "hot").state, AlertState::kPending);
+  store.Push("temp", 2000, 5.0);
+  engine.Evaluate(store, 2000);
+  EXPECT_EQ(StatusOf(engine, "hot").state, AlertState::kInactive);
+  EXPECT_EQ(engine.FiringCount(), 0);
+
+  // Three consecutive hot ticks fire.
+  for (int64_t t = 3; t <= 5; ++t) {
+    store.Push("temp", t * 1000, 50.0);
+    engine.Evaluate(store, t * 1000);
+  }
+  EXPECT_EQ(StatusOf(engine, "hot").state, AlertState::kFiring);
+  EXPECT_EQ(engine.FiringCount(), 1);
+
+  // Condition clears: firing -> resolved (latched), not inactive.
+  store.Push("temp", 6000, 1.0);
+  engine.Evaluate(store, 6000);
+  EXPECT_EQ(StatusOf(engine, "hot").state, AlertState::kResolved);
+  EXPECT_EQ(engine.FiringCount(), 0);
+
+  // Re-trigger: resolved -> pending again.
+  store.Push("temp", 7000, 50.0);
+  engine.Evaluate(store, 7000);
+  EXPECT_EQ(StatusOf(engine, "hot").state, AlertState::kPending);
+}
+
+TEST(HealthEngineTest, UpsertKeepsStateRemoveDropsIt) {
+  TimeSeriesStore store;
+  HealthEngine engine;
+  engine.UpsertRule(ThresholdRule("hot", "temp", 10.0, 2));
+  store.Push("temp", 1000, 50.0);
+  engine.Evaluate(store, 1000);
+  EXPECT_EQ(StatusOf(engine, "hot").state, AlertState::kPending);
+
+  // Re-upserting (the monitor reconciles every tick) must not reset the
+  // held count; the next hot tick fires.
+  engine.UpsertRule(ThresholdRule("hot", "temp", 10.0, 2));
+  store.Push("temp", 2000, 50.0);
+  engine.Evaluate(store, 2000);
+  EXPECT_EQ(StatusOf(engine, "hot").state, AlertState::kFiring);
+
+  EXPECT_TRUE(engine.RemoveRule("hot"));
+  EXPECT_FALSE(engine.RemoveRule("hot"));
+  EXPECT_EQ(engine.num_rules(), 0u);
+
+  engine.UpsertRule(ThresholdRule("tenant.a.x", "s", 1.0, 1));
+  engine.UpsertRule(ThresholdRule("tenant.a.y", "s", 1.0, 1));
+  engine.UpsertRule(ThresholdRule("tenant.b.x", "s", 1.0, 1));
+  EXPECT_EQ(engine.RemoveRulesWithPrefix("tenant.a."), 2);
+  EXPECT_EQ(engine.num_rules(), 1u);
+}
+
+TEST(HealthEngineTest, RateOfChangeSumsTheWindow) {
+  TimeSeriesStore store;
+  HealthEngine engine;
+  AlertRule rule;
+  rule.name = "faults";
+  rule.kind = RuleKind::kRateOfChange;
+  rule.series = "tenant.a.faults";  // Counter deltas.
+  rule.threshold = 3.0;
+  rule.window_ms = 10000;
+  rule.for_ticks = 1;
+  engine.UpsertRule(rule);
+
+  store.Push("tenant.a.faults", 1000, 1.0);
+  store.Push("tenant.a.faults", 2000, 1.0);
+  engine.Evaluate(store, 2000);
+  EXPECT_EQ(StatusOf(engine, "faults").state, AlertState::kInactive);
+
+  store.Push("tenant.a.faults", 3000, 2.0);  // Windowed sum = 4 > 3.
+  engine.Evaluate(store, 3000);
+  EXPECT_EQ(StatusOf(engine, "faults").state, AlertState::kFiring);
+
+  // Old points age out of the window and the alert resolves.
+  engine.Evaluate(store, 30000);
+  EXPECT_EQ(StatusOf(engine, "faults").state, AlertState::kResolved);
+}
+
+TEST(HealthEngineTest, AbsenceFiresOnMissingSeries) {
+  TimeSeriesStore store;
+  HealthEngine engine;
+  AlertRule rule;
+  rule.name = "silent";
+  rule.kind = RuleKind::kAbsence;
+  rule.series = "heartbeat";
+  rule.window_ms = 5000;
+  rule.for_ticks = 1;
+  engine.UpsertRule(rule);
+
+  engine.Evaluate(store, 1000);  // Series never existed.
+  EXPECT_EQ(StatusOf(engine, "silent").state, AlertState::kFiring);
+
+  store.Push("heartbeat", 2000, 1.0);
+  engine.Evaluate(store, 2000);
+  EXPECT_EQ(StatusOf(engine, "silent").state, AlertState::kResolved);
+
+  // Point aged out of the window: with for_ticks=1 the re-trigger passes
+  // straight through pending and fires again in the same tick.
+  engine.Evaluate(store, 60000);
+  EXPECT_EQ(StatusOf(engine, "silent").state, AlertState::kFiring);
+}
+
+TEST(HealthEngineTest, StallNeedsHalfAWindowOfHistory) {
+  TimeSeriesStore store;
+  HealthEngine engine;
+  AlertRule rule;
+  rule.name = "stall";
+  rule.kind = RuleKind::kStall;
+  rule.series = "trials";
+  rule.threshold = 0.0;
+  rule.window_ms = 10000;
+  rule.for_ticks = 1;
+  engine.UpsertRule(rule);
+
+  // A tenant admitted mid-window: flat, but only 2s of span — the span
+  // guard keeps it quiet instead of declaring a newborn tenant stalled.
+  store.Push("trials", 1000, 5.0);
+  store.Push("trials", 2000, 5.0);
+  store.Push("trials", 3000, 5.0);
+  engine.Evaluate(store, 3000);
+  EXPECT_EQ(StatusOf(engine, "stall").state, AlertState::kInactive);
+
+  // Flat across >= half the window: stalled.
+  store.Push("trials", 7000, 5.0);
+  engine.Evaluate(store, 7000);
+  EXPECT_EQ(StatusOf(engine, "stall").state, AlertState::kFiring);
+
+  // Progress clears it.
+  store.Push("trials", 8000, 9.0);
+  engine.Evaluate(store, 8000);
+  EXPECT_EQ(StatusOf(engine, "stall").state, AlertState::kResolved);
+}
+
+TEST(HealthEngineTest, GateSeriesResolvesAfterCancel) {
+  TimeSeriesStore store;
+  HealthEngine engine;
+  AlertRule rule = ThresholdRule("tenant.a.stall", "tenant.a.flat", 10.0, 1);
+  rule.gate_series = "tenant.a.active";
+  engine.UpsertRule(rule);
+
+  store.Push("tenant.a.flat", 1000, 50.0);
+  store.Push("tenant.a.active", 1000, 1.0);
+  engine.Evaluate(store, 1000);
+  EXPECT_EQ(StatusOf(engine, "tenant.a.stall").state, AlertState::kFiring);
+
+  // Cancelled: active drops to 0. The input series is still "bad", but the
+  // gate forces the condition false and the alert settles into resolved
+  // instead of firing forever over a dead tenant.
+  store.Push("tenant.a.flat", 2000, 50.0);
+  store.Push("tenant.a.active", 2000, 0.0);
+  engine.Evaluate(store, 2000);
+  EXPECT_EQ(StatusOf(engine, "tenant.a.stall").state,
+            AlertState::kResolved);
+}
+
+TEST(HealthEngineTest, BudgetBurnProjectsExhaustionBeforeDeadline) {
+  TimeSeriesStore store;
+  HealthEngine engine;
+  AlertRule rule;
+  rule.name = "burn";
+  rule.kind = RuleKind::kBudgetBurn;
+  rule.series = "cost";
+  rule.window_ms = 10000;
+  rule.for_ticks = 1;
+  rule.budget = 100.0;
+  rule.deadline_at_ms = 60000;
+  engine.UpsertRule(rule);
+
+  // 1 unit/s from t=1s to t=9s -> projected 9 + 51 = 60 at the deadline:
+  // under budget, quiet.
+  for (int64_t t = 1; t <= 9; ++t) {
+    store.Push("cost", t * 1000, static_cast<double>(t));
+  }
+  engine.Evaluate(store, 9000);
+  EXPECT_EQ(StatusOf(engine, "burn").state, AlertState::kInactive);
+
+  // Spend accelerates to ~5 units/s -> projection blows past 100.
+  store.Push("cost", 10000, 14.0);
+  store.Push("cost", 11000, 19.0);
+  store.Push("cost", 12000, 24.0);
+  engine.Evaluate(store, 12000);
+  EXPECT_EQ(StatusOf(engine, "burn").state, AlertState::kFiring);
+}
+
+TEST(HealthEngineTest, RegressionFreezesFirstWindowBaseline) {
+  TimeSeriesStore store;
+  HealthEngine engine;
+  AlertRule rule;
+  rule.name = "p99";
+  rule.kind = RuleKind::kRegression;
+  rule.series = "lat.p99";
+  rule.threshold = 2.0;  // Fire above 2x baseline.
+  rule.window_ms = 60000;
+  rule.for_ticks = 1;
+  rule.baseline_samples = 4;
+  engine.UpsertRule(rule);
+
+  // Collecting the baseline: quiet no matter the values.
+  store.Push("lat.p99", 1000, 10.0);
+  store.Push("lat.p99", 2000, 10.0);
+  engine.Evaluate(store, 2000);
+  EXPECT_EQ(StatusOf(engine, "p99").state, AlertState::kInactive);
+
+  store.Push("lat.p99", 3000, 10.0);
+  store.Push("lat.p99", 4000, 10.0);  // Baseline frozen at mean 10.
+  store.Push("lat.p99", 5000, 15.0);  // 1.5x: fine.
+  engine.Evaluate(store, 5000);
+  EXPECT_EQ(StatusOf(engine, "p99").state, AlertState::kInactive);
+
+  store.Push("lat.p99", 6000, 25.0);  // 2.5x: regression.
+  engine.Evaluate(store, 6000);
+  EXPECT_EQ(StatusOf(engine, "p99").state, AlertState::kFiring);
+
+  // The baseline stays frozen: the same high value keeps it firing even
+  // though a rolling mean would have absorbed it by now.
+  store.Push("lat.p99", 7000, 25.0);
+  engine.Evaluate(store, 7000);
+  EXPECT_EQ(StatusOf(engine, "p99").state, AlertState::kFiring);
+}
+
+TEST(HealthEngineTest, ToJsonCarriesStatesAndFiringCount) {
+  TimeSeriesStore store;
+  HealthEngine engine;
+  engine.UpsertRule(ThresholdRule("a", "s", 10.0, 1));
+  engine.UpsertRule(ThresholdRule("b", "s", 100.0, 1));
+  store.Push("s", 1000, 50.0);
+  engine.Evaluate(store, 1000);
+
+  const Json json = engine.ToJson();
+  EXPECT_EQ(json.GetInt("firing", -1), 1);
+  // Copy: Get returns Result<Json> by value, so a reference through the
+  // temporary would dangle past this statement.
+  const Json alerts = *json.Get("alerts");
+  ASSERT_EQ(alerts.AsArray().size(), 2u);
+  EXPECT_EQ(alerts.AsArray()[0].GetString("name", ""), "a");
+  EXPECT_EQ(alerts.AsArray()[0].GetString("state", ""), "firing");
+  EXPECT_EQ(alerts.AsArray()[1].GetString("state", ""), "inactive");
+  EXPECT_EQ(alerts.AsArray()[0].GetString("kind", ""), "threshold");
+}
+
+}  // namespace
+}  // namespace autotune

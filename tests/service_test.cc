@@ -37,7 +37,10 @@
 #include "service/control_plane.h"
 #include "service/endpoints.h"
 #include "service/experiment_manager.h"
+#include "service/fleet.h"
+#include "service/http_client.h"
 #include "service/http_server.h"
+#include "service/statusz.h"
 #include "sim/test_functions.h"
 
 namespace autotune {
@@ -1485,6 +1488,272 @@ TEST(PrometheusTest, RendersCountersGaugesAndCumulativeHistograms) {
     last_bucket = position + 1;
   }
   EXPECT_TRUE(monotone) << text;
+}
+
+// --------------------------------------------- fleet monitor & statusz --
+
+TEST(FleetMonitorTest, TickPublishesTenantSeriesAndReconcilesRules) {
+  obs::MetricsRegistry::Global().Reset();
+  ThreadPool pool(2);
+  service::ExperimentManager manager(&pool);
+  ASSERT_TRUE(manager.AddExperiment(SphereSpec("web", 4)).ok());
+  manager.WaitAll();
+
+  service::FleetMonitor::Options options;
+  options.start_thread = false;
+  service::FleetMonitor monitor(&manager, options);
+  monitor.TickOnce(1000);
+  monitor.TickOnce(2000);
+
+  // Tenant progress landed in the store as gauges sampled every tick.
+  const std::vector<obs::SamplePoint> trials =
+      monitor.store().Query("tenant.web.trials", 0, 2000);
+  ASSERT_EQ(trials.size(), 2u);
+  EXPECT_DOUBLE_EQ(trials.back().value, 4.0);
+  EXPECT_TRUE(monitor.store().Has("tenant.web.cost"));
+
+  // The per-tenant rules were reconciled in alongside the global ones.
+  EXPECT_TRUE(monitor.health().HasRule("tenant.web.stall"));
+  EXPECT_TRUE(monitor.health().HasRule("tenant.web.fault_spike"));
+  EXPECT_TRUE(monitor.health().HasRule("tenant.web.failure_spike"));
+  EXPECT_TRUE(monitor.health().HasRule("fleet.fenced_appends"));
+  EXPECT_TRUE(monitor.health().HasRule("service.suggest_p99_regression"));
+
+  // A finished, healthy tenant fires nothing (the stall rule is gated on
+  // tenant.web.active), and the firing count is exported as a gauge.
+  EXPECT_EQ(monitor.health().FiringCount(), 0);
+  EXPECT_DOUBLE_EQ(
+      obs::MetricsRegistry::Global().GetGauge("alerts.firing")->value(), 0.0);
+  obs::MetricsRegistry::Global().Reset();
+}
+
+TEST(FleetMonitorTest, FailoverAlertFiresOnFirstAdoptionIncrement) {
+  // The adoption counter is created lazily by the control plane, AFTER
+  // sampling has started. The monitor must pre-create it so the store's
+  // first-sight priming pins the baseline at 0 — otherwise the 0 -> 1
+  // takeover delta is swallowed with the counter's creation and the
+  // fleet.failover rate rule never fires.
+  obs::MetricsRegistry::Global().Reset();
+  ThreadPool pool(2);
+  service::ExperimentManager manager(&pool);
+  service::FleetMonitor::Options options;
+  options.start_thread = false;
+  service::FleetMonitor monitor(&manager, options);
+
+  monitor.TickOnce(1000);  // Primes control_plane.adopted at 0.
+  obs::MetricsRegistry::Global().Increment("control_plane.adopted");
+  monitor.TickOnce(2000);
+
+  bool firing = false;
+  for (const obs::AlertStatus& alert : monitor.health().Alerts()) {
+    if (alert.rule.name == "fleet.failover") {
+      firing = alert.state == obs::AlertState::kFiring;
+    }
+  }
+  EXPECT_TRUE(firing);
+  EXPECT_GE(monitor.health().FiringCount(), 1);
+  obs::MetricsRegistry::Global().Reset();
+}
+
+TEST(EndpointsTest, StatuszAlertsAndHistoryEndpointsServeLiveHealth) {
+  obs::MetricsRegistry::Global().Reset();
+  ThreadPool pool(2);
+  service::ExperimentManager manager(&pool);
+  ASSERT_TRUE(manager.AddExperiment(SphereSpec("web", 4)).ok());
+  manager.WaitAll();
+
+  service::FleetMonitor::Options fm;
+  fm.start_thread = false;
+  service::FleetMonitor monitor(&manager, fm);
+  monitor.TickOnce(obs::NowEpochMs() - 1000);
+  monitor.TickOnce(obs::NowEpochMs());
+
+  const service::HttpServer::Handler handler =
+      service::MakeServiceHandler(&manager, nullptr, nullptr, &monitor);
+
+  // /statusz is a self-contained HTML dashboard with inline sparklines.
+  const service::HttpResponse page = handler({"/statusz", ""});
+  EXPECT_EQ(page.status, 200);
+  EXPECT_EQ(page.content_type, "text/html; charset=utf-8");
+  EXPECT_NE(page.body.find("<svg class=\"spark\""), std::string::npos)
+      << page.body;
+  EXPECT_NE(page.body.find("web"), std::string::npos);
+
+  // /statusz.json is the machine-readable form /fleet/* fetches from peers.
+  auto parsed = obs::Json::Parse(handler({"/statusz.json", ""}).body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetString("shard_id", ""), "local");
+  ASSERT_TRUE(parsed->Has("sparklines"));
+  EXPECT_TRUE(parsed->Get("sparklines")->Has("tenant.web.trials"));
+
+  // /alerts mirrors the engine's JSON, firing count included.
+  auto alerts = obs::Json::Parse(handler({"/alerts", ""}).body);
+  ASSERT_TRUE(alerts.ok());
+  EXPECT_EQ(alerts->GetInt("firing", -1), 0);
+
+  // /metrics/history filters by name; unknown series is a clean 404 and a
+  // non-positive window a 400.
+  const service::HttpResponse history =
+      handler({"/metrics/history", "name=tenant.web.trials"});
+  EXPECT_EQ(history.status, 200);
+  auto history_json = obs::Json::Parse(history.body);
+  ASSERT_TRUE(history_json.ok());
+  EXPECT_EQ(history_json->Get("series")->AsObject().size(), 1u);
+  EXPECT_EQ(handler({"/metrics/history", "name=nope"}).status, 404);
+  EXPECT_EQ(handler({"/metrics/history", "window=-5"}).status, 400);
+
+  // Without a monitor the history/alert surface 404s, but /statusz still
+  // renders (with an empty sparkline slot) so the dashboard link never
+  // breaks.
+  const service::HttpServer::Handler bare =
+      service::MakeServiceHandler(&manager);
+  EXPECT_EQ(bare({"/metrics/history", ""}).status, 404);
+  EXPECT_EQ(bare({"/alerts", ""}).status, 404);
+  EXPECT_EQ(bare({"/statusz", ""}).status, 200);
+  obs::MetricsRegistry::Global().Reset();
+}
+
+TEST(HttpClientTest, GetFetchesStatusAndBodyAndFailsFastWhenDead) {
+  auto server = service::HttpServer::Start(
+      service::HttpServer::Options{},
+      [](const service::HttpRequest& request) {
+        service::HttpResponse response;
+        if (request.path == "/missing") response.status = 404;
+        response.body = "hello " + request.path + "\n";
+        return response;
+      });
+  ASSERT_TRUE(server.ok());
+
+  auto ok = service::HttpGet("127.0.0.1", (*server)->port(), "/x", 1000);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->status_code, 200);
+  EXPECT_EQ(ok->body, "hello /x\n");
+
+  auto missing =
+      service::HttpGet("127.0.0.1", (*server)->port(), "/missing", 1000);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status_code, 404);
+
+  // Nothing listening: a bounded Unavailable, not a hang.
+  auto dead = service::HttpGet("127.0.0.1", 1, "/x", 200);
+  EXPECT_FALSE(dead.ok());
+}
+
+TEST(ControlPlaneTest, ShardRegistryAnnouncesHeartbeatsAndCleansUp) {
+  const std::string dir = TempPath("cp_registry");
+  RemoveTree(dir);
+  ThreadPool pool(2);
+  {
+    service::ExperimentManager manager(&pool);
+    service::ControlPlane::Options options;
+    options.journal_dir = dir;
+    options.shard_id = "s1";
+    options.start_tick_thread = false;
+    auto control =
+        service::ControlPlane::Start(&manager, SphereSpecFactory(), options);
+    ASSERT_TRUE(control.ok());
+
+    // Before AnnounceEndpoint the registry has no row — ticks don't write.
+    (*control)->TickOnce();
+    EXPECT_TRUE(service::ControlPlane::ListShards(dir).empty());
+
+    (*control)->AnnounceEndpoint("127.0.0.1", 8123);
+    std::vector<service::ControlPlane::ShardInfo> shards =
+        service::ControlPlane::ListShards(dir);
+    ASSERT_EQ(shards.size(), 1u);
+    EXPECT_EQ(shards[0].shard_id, "s1");
+    EXPECT_EQ(shards[0].host, "127.0.0.1");
+    EXPECT_EQ(shards[0].port, 8123);
+    const int64_t first_ts = shards[0].ts_ms;
+    EXPECT_GT(first_ts, 0);
+
+    // Every control-plane tick re-stamps the heartbeat.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    (*control)->TickOnce();
+    shards = service::ControlPlane::ListShards(dir);
+    ASSERT_EQ(shards.size(), 1u);
+    EXPECT_GE(shards[0].ts_ms, first_ts);
+
+    // Malformed rows are skipped, never fatal.
+    std::FILE* junk = std::fopen((dir + "/junk.shard.json").c_str(), "wb");
+    ASSERT_NE(junk, nullptr);
+    std::fputs("{not json", junk);
+    std::fclose(junk);
+    EXPECT_EQ(service::ControlPlane::ListShards(dir).size(), 1u);
+    ::unlink((dir + "/junk.shard.json").c_str());
+  }
+  // Clean shutdown unlinks the row — only a kill -9 leaves it behind.
+  EXPECT_TRUE(service::ControlPlane::ListShards(dir).empty());
+  RemoveTree(dir);
+}
+
+TEST(FleetViewTest, GathersLivePeerAndMarksDeadShardStale) {
+  obs::MetricsRegistry::Global().Reset();
+  const std::string dir = TempPath("fleet_view");
+  RemoveTree(dir);
+  ThreadPool pool(2);
+
+  // Shard "b": a real HTTP server a peer can fetch /statusz.json from.
+  service::ExperimentManager manager_b(&pool);
+  service::ControlPlane::Options options_b;
+  options_b.journal_dir = dir;
+  options_b.shard_id = "b";
+  options_b.start_tick_thread = false;
+  auto control_b =
+      service::ControlPlane::Start(&manager_b, SphereSpecFactory(), options_b);
+  ASSERT_TRUE(control_b.ok());
+  auto server_b = service::HttpServer::Start(
+      service::HttpServer::Options{},
+      service::MakeServiceHandler(&manager_b, nullptr, control_b->get()));
+  ASSERT_TRUE(server_b.ok());
+  (*control_b)->AnnounceEndpoint("127.0.0.1", (*server_b)->port());
+
+  // Shard "a" does the asking; self is served from local state, so its
+  // announced port is never dialed.
+  service::ExperimentManager manager_a(&pool);
+  service::ControlPlane::Options options_a = options_b;
+  options_a.shard_id = "a";
+  auto control_a =
+      service::ControlPlane::Start(&manager_a, SphereSpecFactory(), options_a);
+  ASSERT_TRUE(control_a.ok());
+  (*control_a)->AnnounceEndpoint("127.0.0.1", 1);
+
+  service::FleetMonitor::Options fm;
+  fm.start_thread = false;
+  fm.peer_timeout_ms = 2000;
+  service::FleetMonitor monitor(&manager_a, fm);
+  monitor.TickOnce(obs::NowEpochMs());
+
+  std::vector<service::FleetShard> shards = service::GatherFleet(
+      &manager_a, &monitor, control_a->get(), obs::NowEpochMs());
+  ASSERT_EQ(shards.size(), 2u);  // Sorted by shard_id: a, b.
+  EXPECT_EQ(shards[0].info.shard_id, "a");
+  EXPECT_TRUE(shards[0].self);
+  EXPECT_FALSE(shards[0].stale);
+  EXPECT_EQ(shards[1].info.shard_id, "b");
+  EXPECT_FALSE(shards[1].self);
+  EXPECT_FALSE(shards[1].stale) << shards[1].error;
+  EXPECT_EQ(shards[1].payload.GetString("shard_id", ""), "b");
+
+  obs::Json alerts = service::FleetAlertsJson(shards);
+  EXPECT_EQ(alerts.Get("shards")->AsArray().size(), 2u);
+  EXPECT_EQ(alerts.GetInt("firing", -1), 0);
+
+  // Kill shard b's server: socket gone, registry row left behind — the
+  // kill -9 shape. The survivor renders b stale, never an error.
+  (*server_b).reset();
+  shards = service::GatherFleet(&manager_a, &monitor, control_a->get(),
+                                obs::NowEpochMs());
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_FALSE(shards[0].stale);
+  EXPECT_TRUE(shards[1].stale);
+  EXPECT_FALSE(shards[1].error.empty());
+  const std::string html =
+      service::RenderFleetHtml(shards, obs::NowEpochMs());
+  EXPECT_NE(html.find("stale"), std::string::npos) << html;
+
+  obs::MetricsRegistry::Global().Reset();
+  RemoveTree(dir);
 }
 
 }  // namespace

@@ -74,6 +74,7 @@
 #include "service/control_plane.h"
 #include "service/endpoints.h"
 #include "service/experiment_manager.h"
+#include "service/fleet.h"
 #include "service/http_server.h"
 #include "sim/db_env.h"
 #include "sim/nginx_env.h"
@@ -170,7 +171,13 @@ void PrintUsage() {
       "                              shard-<pid>)\n"
       "  --lease-timeout-ms=N        tenant lease heartbeat timeout; a\n"
       "                              shard silent this long is failed over\n"
-      "                              (default 10000)\n\n"
+      "                              (default 10000)\n"
+      "  --health-tick-ms=N          live-health sampler tick: retained\n"
+      "                              metric history (/metrics/history),\n"
+      "                              alert rules (/alerts), and /statusz\n"
+      "                              dashboards (default 1000; 0 disables)\n"
+      "  --history-window=MS         retained history span and alert-rule\n"
+      "                              window (default 60000)\n\n"
       "kb flags (kb build|inspect|query):\n"
       "  --journal-dir=DIR           journals to ingest (build; or inspect/\n"
       "                              query directly from journals)\n"
@@ -550,6 +557,8 @@ struct ServeOptions {
   bool linger = false;
   std::string shard_id;          // Lease owner id (default shard-<pid>).
   int64_t lease_timeout_ms = 10000;
+  int64_t health_tick_ms = 1000;     // Sampler tick; 0 disables the monitor.
+  int64_t history_window_ms = 60000; // Retained history / rule window.
   std::vector<std::string> experiment_specs;
 };
 
@@ -752,20 +761,41 @@ int ServeCli(const ServeOptions& options) {
     control = std::move(*started);
   }
 
+  // Live health: the fleet monitor samples the metrics registry and
+  // evaluates alert rules on its own tick thread (wall-clock diagnostics,
+  // strictly outside the bit-exact journal). --health-tick-ms=0 turns the
+  // whole layer off.
+  std::unique_ptr<service::FleetMonitor> monitor;
+  if (options.health_tick_ms > 0) {
+    service::FleetMonitor::Options fm;
+    fm.tick_ms = options.health_tick_ms;
+    fm.window_ms = options.history_window_ms;
+    monitor = std::make_unique<service::FleetMonitor>(&manager, fm);
+  }
+
   service::HttpServer::Options http;
   http.host = options.host;
   http.port = options.port;
   auto server = service::HttpServer::Start(
-      http, service::MakeServiceHandler(
-                &manager, have_store ? &store : nullptr, control.get()));
+      http, service::MakeServiceHandler(&manager,
+                                        have_store ? &store : nullptr,
+                                        control.get(), monitor.get()));
   if (!server.ok()) {
     std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
     return 1;
   }
-  std::printf("serving http://%s:%d  (GET /metrics, /experiments%s%s)\n",
+  std::printf("serving http://%s:%d  (GET /metrics, /experiments%s%s%s)\n",
               options.host.c_str(), (*server)->port(),
               control != nullptr ? ", POST/DELETE /experiments" : "",
-              have_store ? ", /warmstart" : "");
+              have_store ? ", /warmstart" : "",
+              monitor != nullptr ? ", /statusz, /alerts" : "");
+
+  // Announce only after the server is up: the port is unknown earlier. The
+  // tick thread heartbeats the registry row from here on, and peers'
+  // /fleet/statusz discovers this shard through it.
+  if (control != nullptr) {
+    control->AnnounceEndpoint(options.host, (*server)->port());
+  }
 
   for (const std::string& spec_text : options.experiment_specs) {
     auto keys = SpecTextToMap(spec_text);
@@ -870,6 +900,19 @@ int CmdServe(int argc, char** argv) {
       options.lease_timeout_ms = std::atoll(value.c_str());
       if (options.lease_timeout_ms <= 0) {
         std::fprintf(stderr, "error: --lease-timeout-ms must be > 0\n");
+        return 1;
+      }
+    } else if (ParseFlag(arg, "health-tick-ms", &value)) {
+      options.health_tick_ms = std::atoll(value.c_str());
+      if (options.health_tick_ms < 0) {
+        std::fprintf(stderr,
+                     "error: --health-tick-ms must be >= 0 (0 disables)\n");
+        return 1;
+      }
+    } else if (ParseFlag(arg, "history-window", &value)) {
+      options.history_window_ms = std::atoll(value.c_str());
+      if (options.history_window_ms <= 0) {
+        std::fprintf(stderr, "error: --history-window must be > 0 (ms)\n");
         return 1;
       }
     } else {
